@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark harness.
+
+Every experiment (E1–E12, see DESIGN.md §5) produces a human-readable
+report: rows printed to stdout *and* appended to
+``benchmarks/reports/<experiment>.txt`` so `pytest benchmarks/
+--benchmark-only | tee bench_output.txt` plus the reports directory
+together capture everything EXPERIMENTS.md references.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable
+
+import pytest
+
+REPORT_DIR = os.path.join(os.path.dirname(__file__), "reports")
+
+
+def write_report(experiment: str, lines: Iterable[str]) -> None:
+    """Print report lines and persist them under benchmarks/reports/."""
+    os.makedirs(REPORT_DIR, exist_ok=True)
+    text = "\n".join(lines)
+    print(f"\n[{experiment}]")
+    print(text)
+    path = os.path.join(REPORT_DIR, f"{experiment}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+
+
+@pytest.fixture
+def report():
+    """Fixture handing benches the report writer."""
+    return write_report

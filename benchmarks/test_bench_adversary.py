@@ -1,0 +1,147 @@
+"""EX2 — the electronic intruder: adversarial probing of the household.
+
+The paper's motivating threat (§1): "an electronic intruder can attack
+the home at any time, from any location."  This bench runs the probe
+battery against the fully configured household (the E12 home) and
+reports what leaked — the quantitative closed-world check the paper
+argues the home needs.
+
+Expected shape: zero grants to the role-less stranger; zero grants to
+out-of-window replays; claim-spoofing succeeds exactly on the surface
+the policy *intends* sensed evidence to reach (the §5.2 trade), with
+weak claims blocked once the confidence threshold is raised.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime
+
+from repro.workload.adversary import AdversarySimulator, AttackReport
+from repro.workload.scenarios import build_repairman_scenario, build_s51_scenario
+
+from test_bench_home_day import build_full_home
+
+
+def test_bench_adversary(benchmark, report):
+    rows = ["EX2 The electronic intruder vs. the full household"]
+
+    home = build_full_home()
+    home.runtime.clock.advance_to(datetime(2000, 1, 17, 19, 30))  # free time
+    simulator = AdversarySimulator(home)
+
+    attack = AttackReport()
+    simulator.stranger_probe(attack)
+    surface = attack.attempts["stranger"]
+    rows.append(
+        f"attack surface:                {surface} (operation x device) pairs"
+    )
+    rows.append(
+        f"stranger probe:                {attack.grant_count('stranger')}"
+        f"/{surface} granted"
+    )
+    assert attack.grant_count("stranger") == 0
+
+    simulator.claim_spoof_probe(attack, confidences=(0.5, 0.99))
+    spoof_grants = attack.grants_for("claim-spoof")
+    spoof_transactions = sorted({g.transaction for g in spoof_grants})
+    rows.append(
+        f"claim-spoof probe:             {len(spoof_grants)}"
+        f"/{attack.attempts['claim-spoof']} granted"
+    )
+    rows.append(
+        f"  operations reachable by spoofed claims: {spoof_transactions}"
+    )
+    # FINDING: the household policy as first written accepts *any*
+    # sensed role claim (no min_confidence on its grants), so an
+    # asserted "parent" even reaches the oven.  The probe exists to
+    # surface exactly this.
+    oven_spoofs = [g for g in spoof_grants if g.obj == "kitchen/oven"]
+    rows.append(
+        f"  FINDING: spoofed claims reach the oven {len(oven_spoofs)} "
+        f"way(s) - unqualified grants trust any sensed evidence"
+    )
+    assert oven_spoofs  # the probe must catch the weakness
+
+    # Hardening step 1: a house-wide 90% threshold blocks weak claims.
+    home.engine.confidence_threshold = 0.9
+    strict = AttackReport()
+    simulator.claim_spoof_probe(strict, confidences=(0.5,))
+    rows.append(
+        f"  hardened (house threshold 90%): weak 0.5 spoofs "
+        f"{strict.grant_count('claim-spoof')}/{strict.attempts['claim-spoof']}"
+    )
+    assert strict.grant_count("claim-spoof") == 0
+
+    # Hardening step 2: safety-critical rules demand near-certainty,
+    # which sensed-only evidence (capped by sensor reliability < 1)
+    # can never reach; explicit authentication still can.
+    from repro.core import Sign
+
+    for permission in list(home.policy.permissions()):
+        if (
+            permission.sign is Sign.GRANT
+            and permission.object_role.name == "safety-critical"
+        ):
+            home.policy.remove_permission(permission)
+            from repro.core import Permission
+
+            home.policy.add_permission(
+                Permission(
+                    subject_role=permission.subject_role,
+                    object_role=permission.object_role,
+                    environment_role=permission.environment_role,
+                    transaction=permission.transaction,
+                    sign=permission.sign,
+                    min_confidence=0.995,
+                    priority=permission.priority,
+                    name=permission.name,
+                )
+            )
+    hardened = AttackReport()
+    simulator.claim_spoof_probe(hardened, confidences=(0.99,))
+    rows.append(
+        f"  hardened (oven rules need 99.5%): 0.99 spoofs reaching "
+        f"the oven: "
+        f"{len([g for g in hardened.grants_for('claim-spoof') if g.obj == 'kitchen/oven'])}"
+    )
+    assert not any(
+        g.obj == "kitchen/oven" for g in hardened.grants_for("claim-spoof")
+    )
+    home.engine.confidence_threshold = 0.0
+
+    # Replay: the repairman comes back at midnight.
+    scenario = build_repairman_scenario()
+    repair_home = scenario.home
+    repair_home.runtime.clock.advance(hours=2)
+    repair_home.move("repair-tech", "kitchen")
+    legitimate = [("diagnose", "kitchen/dishwasher"), ("open", "kitchen/fridge")]
+    repair_home.runtime.clock.advance(hours=15)  # midnight
+    replay_sim = AdversarySimulator(repair_home)
+    replay = AttackReport()
+    replay_sim.replay_probe(replay, "repair-tech", legitimate)
+    rows.append(
+        f"repairman midnight replay:     "
+        f"{replay.grant_count('replay')}/{replay.attempts['replay']} granted"
+    )
+    assert replay.grant_count("replay") == 0
+
+    # Blast radius of each legitimate account right now.
+    mapping = simulator.privilege_map()
+    rows.append("compromise blast radius (reachable operations, 19:30 Monday):")
+    for subject, reachable in sorted(mapping.items()):
+        rows.append(f"  {subject:>14}: {len(reachable)}")
+    rows.append(
+        "shape: fail-closed holds - the stranger and the midnight "
+        "replay get nothing; the claim-spoof probe FINDS the intended "
+        "weakness (unqualified grants trust sensed evidence) and both "
+        "hardening levers (house threshold, per-rule min_confidence) "
+        "verifiably close it."
+    )
+
+    fresh_report = AttackReport()
+
+    def run():
+        simulator.stranger_probe(fresh_report)
+
+    benchmark(run)
+    report("EX2-adversary", rows)

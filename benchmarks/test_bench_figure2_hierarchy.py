@@ -1,0 +1,108 @@
+"""E2 — Figure 2: the household subject-role hierarchy.
+
+Regenerates the figure (as an edge list + per-user effective role
+sets) and characterizes hierarchy queries: possession-closure
+(``expand``) cost as hierarchies get deeper and wider than the
+household's.
+
+Expected shape: expansion cost grows with the size of the reachable
+ancestor set (depth), not with the total number of roles (width at
+other branches), thanks to per-role closure caching.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.hierarchy import RoleHierarchy
+from repro.core.roles import RoleKind, subject_role
+from repro.workload.scenarios import build_figure2_policy
+
+
+def chain_hierarchy(depth: int) -> RoleHierarchy:
+    hierarchy = RoleHierarchy(RoleKind.SUBJECT)
+    names = [f"level-{i}" for i in range(depth)]
+    for name in names:
+        hierarchy.add_role(subject_role(name))
+    for child, parent in zip(names, names[1:]):
+        hierarchy.add_specialization(child, parent)
+    return hierarchy
+
+
+def star_hierarchy(width: int) -> RoleHierarchy:
+    hierarchy = RoleHierarchy(RoleKind.SUBJECT)
+    hierarchy.add_role(subject_role("root"))
+    for index in range(width):
+        leaf = subject_role(f"leaf-{index}")
+        hierarchy.add_specialization(leaf, "root")
+    return hierarchy
+
+
+def mean_expand_us(hierarchy: RoleHierarchy, leaf: str, iterations: int = 2000) -> float:
+    start = time.perf_counter()
+    for _ in range(iterations):
+        hierarchy.expand([leaf])
+    return (time.perf_counter() - start) / iterations * 1e6
+
+
+def test_bench_figure2_hierarchy(benchmark, report):
+    policy = build_figure2_policy()
+    hierarchy = policy.subject_roles
+
+    def run():
+        for subject in ("mom", "dad", "alice", "bobby", "dishwasher-repair-tech"):
+            policy.effective_subject_roles(subject)
+
+    benchmark(run)
+
+    rows = ["E2  Figure 2: the example subject role hierarchy for the home", ""]
+    rows.append("specialization edges (child -> parent):")
+    for child, parent in sorted(
+        (c.name, p.name) for c, p in hierarchy.edges()
+    ):
+        rows.append(f"  {child:<18} -> {parent}")
+    rows.append("")
+    rows.append("effective role sets (possession closure):")
+    for subject in ("mom", "dad", "alice", "bobby", "dishwasher-repair-tech"):
+        effective = sorted(
+            r.name for r in policy.effective_subject_roles(subject)
+        )
+        rows.append(f"  {subject:<24} {', '.join(effective)}")
+    rows.append("")
+    rows.append("query scaling (expand a leaf role, cached closures):")
+    rows.append(f"  {'shape':<22}{'roles':>7}{'us/expand':>11}")
+    for depth in (4, 16, 64, 256):
+        hierarchy = chain_hierarchy(depth)
+        rows.append(
+            f"  {'chain depth ' + str(depth):<22}{depth:>7}"
+            f"{mean_expand_us(hierarchy, 'level-0'):>11.2f}"
+        )
+    for width in (16, 256, 1024):
+        hierarchy = star_hierarchy(width)
+        rows.append(
+            f"  {'star width ' + str(width):<22}{width + 1:>7}"
+            f"{mean_expand_us(hierarchy, 'leaf-0'):>11.2f}"
+        )
+    rows.append(
+        "shape: chain cost grows with ancestor-set size; star cost is "
+        "flat in width - expansion touches only reachable ancestors."
+    )
+
+    # Regenerate the figure itself as Graphviz DOT.
+    import os
+
+    policy = build_figure2_policy()
+    members = {
+        role.name: policy.subjects_in_role(role.name, transitive=False)
+        for role in policy.subject_roles.roles()
+    }
+    dot = policy.subject_roles.to_dot("figure2", members=members)
+    from conftest import REPORT_DIR
+
+    os.makedirs(REPORT_DIR, exist_ok=True)
+    dot_path = os.path.join(REPORT_DIR, "figure2.dot")
+    with open(dot_path, "w", encoding="utf-8") as handle:
+        handle.write(dot)
+    rows.append("")
+    rows.append(f"figure regenerated as Graphviz DOT: {dot_path}")
+    report("E2-figure2-hierarchy", rows)

@@ -1,0 +1,122 @@
+"""E12 — end to end: a full day of household life through the whole
+stack.
+
+The complete Aware Home (all devices, all four applications, the
+Figure 2 household) runs a 24-hour schedule-driven trace: residents
+move room to room, use whatever is around them, the utility agent
+ticks hourly, and every attempt is mediated and audited.
+
+Expected shape: thousands of decisions per second of wall time;
+grants/denials split along role lines (children denied the oven and
+R-rated channels, the agent denied actuation when the house empties).
+"""
+
+from __future__ import annotations
+
+import time
+from datetime import datetime
+
+from repro.home.apps import CyberfridgeApp, MediaGuardApp, UtilityApp
+from repro.home.devices import (
+    Oven,
+    Refrigerator,
+    Television,
+    Thermostat,
+    Vcr,
+    WaterHeater,
+)
+from repro.home.registry import SecureHome
+from repro.home.residents import standard_household
+from repro.policy.templates import install_figure2_roles
+from repro.sensors.motion import OccupancyProvider
+from repro.workload.traces import DayTraceSimulator
+
+
+def build_full_home() -> SecureHome:
+    home = SecureHome(start=datetime(2000, 1, 17, 0, 0))  # Monday
+    install_figure2_roles(home.policy)
+    for resident in standard_household():
+        home.register_resident(resident)
+    devices = [
+        Television("tv", "livingroom"),
+        Vcr("vcr", "livingroom"),
+        Refrigerator("fridge", "kitchen"),
+        Oven("oven", "kitchen"),
+        Thermostat("thermostat", "foyer"),
+        WaterHeater("heater", "garage"),
+    ]
+    for device in devices:
+        home.register_device(device)
+    home.runtime.providers.register(
+        OccupancyProvider(home.runtime.location, ["home"])
+    )
+    CyberfridgeApp.install_policy(home)
+    UtilityApp.install_policy(home)
+    UtilityApp(home, devices[4], devices[5])
+    MediaGuardApp.install_policy(home)
+
+    policy = home.policy
+    policy.grant("family-member", "power_on", "entertainment")
+    policy.grant("family-member", "watch", "entertainment")
+    policy.grant("family-member", "power_off", "entertainment")
+    policy.grant("family-member", "play_tape", "entertainment")
+    policy.grant("parent", "power_on", "safety-critical")
+    policy.grant("parent", "set_temperature", "safety-critical")
+    policy.deny("child", "power_on", "safety-critical")
+    policy.deny("child", "set_temperature", "safety-critical")
+    policy.grant("parent", "set_temperature", "hvac")
+    return home
+
+
+def test_bench_home_day(benchmark, report):
+    home = build_full_home()
+    simulator = DayTraceSimulator(home, step_minutes=10, seed=13)
+    wall_start = time.perf_counter()
+    result = simulator.run(hours=24)
+    wall = time.perf_counter() - wall_start
+
+    decisions = home.audit.total
+    per_subject = result.by_subject()
+    rows = [
+        "E12 A day in the life: full household through the whole stack",
+        f"simulated span:       24 hours in 10-minute steps",
+        f"movements:            {result.moves}",
+        f"device attempts:      {len(result.events)}",
+        f"mediated decisions:   {decisions} "
+        f"({home.audit.grant_count} granted / {home.audit.deny_count} denied, "
+        f"{home.audit.grant_rate():.0%} grant rate)",
+        f"wall time:            {wall * 1000:.1f} ms "
+        f"({decisions / wall:,.0f} decisions/s)",
+        "",
+        "per resident (granted / denied):",
+    ]
+    for subject, (grants, denials) in sorted(per_subject.items()):
+        rows.append(f"  {subject:>8}: {grants:>3} / {denials}")
+
+    # Role-line spot checks: the children's denials are the oven.
+    child_oven_denials = [
+        record
+        for record in home.audit.denials()
+        if record.subject in ("alice", "bobby") and record.obj == "kitchen/oven"
+    ]
+    rows.append("")
+    rows.append(
+        f"children denied at the oven: {len(child_oven_denials)} time(s); "
+        f"parents denied there: "
+        f"{len([r for r in home.audit.denials() if r.subject in ('mom', 'dad') and r.obj == 'kitchen/oven'])}"
+    )
+    rows.append(
+        "shape: grants/denials split on role lines; the whole day "
+        "(clock, sensors, activation, mediation, devices, audit) runs "
+        "in well under a second."
+    )
+    assert result.grants > 0 and result.denials > 0
+
+    fresh = build_full_home()
+    fresh_simulator = DayTraceSimulator(fresh, step_minutes=30, seed=13)
+
+    def run():
+        fresh_simulator.run(hours=2)
+
+    benchmark(run)
+    report("E12-home-day", rows)

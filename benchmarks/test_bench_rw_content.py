@@ -1,0 +1,88 @@
+"""E8 — §6 vs Gopal & Manber: content-based access via object roles.
+
+Programs are catalogued into rating-based object roles (the MediaGuard
+classifier); one rule per audience class governs arbitrarily many
+programs.  The bench grows the catalogue and compares:
+
+* rules needed: GRBAC stays at 2 (child + adult) while a per-object
+  ACL grows linearly;
+* decision latency vs catalogue size;
+* correctness: every program decision matches the rating directly.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from datetime import datetime
+
+from repro.home.apps import MediaGuardApp
+from repro.home.apps.mediaguard import KID_SAFE_RATINGS
+from repro.home.devices import Television
+from repro.home.registry import SecureHome
+from repro.home.residents import standard_household
+from repro.policy.templates import install_figure2_roles
+
+RATINGS = ("G", "PG", "PG-13", "R")
+
+
+def build_catalogue(size: int, seed: int = 0):
+    home = SecureHome(start=datetime(2000, 1, 17, 19, 30))
+    install_figure2_roles(home.policy)
+    for resident in standard_household():
+        home.register_resident(resident)
+    tv = Television("tv", "livingroom")
+    home.register_device(tv)
+    app = MediaGuardApp(home, tv)
+    MediaGuardApp.install_policy(home)
+    rng = random.Random(seed)
+    ratings = {}
+    for channel in range(1, size + 1):
+        rating = rng.choice(RATINGS)
+        app.add_program(channel, f"program-{channel}", rating)
+        ratings[channel] = rating
+    return home, app, ratings
+
+
+def test_bench_rw_content(benchmark, report):
+    rows = [
+        "E8  Content-based access control through object roles",
+        f"  {'catalogue':>10}{'grbac rules':>12}{'acl entries':>12}"
+        f"{'us/decision':>12}{'correct':>9}",
+    ]
+    for size in (10, 100, 500, 2000):
+        home, app, ratings = build_catalogue(size)
+        rule_count = len(
+            [p for p in home.policy.permissions() if p.transaction.name == "view_program"]
+        )
+        # A per-object ACL system needs one entry per (program, class):
+        acl_entries = size * 2
+        sample = random.Random(1).sample(sorted(ratings), min(size, 100))
+        start = time.perf_counter()
+        correct = True
+        for channel in sample:
+            child_ok = app.can_watch("alice", channel)
+            adult_ok = app.can_watch("mom", channel)
+            expected_child = ratings[channel] in KID_SAFE_RATINGS
+            if child_ok != expected_child or not adult_ok:
+                correct = False
+        per_decision = (time.perf_counter() - start) / (len(sample) * 2) * 1e6
+        rows.append(
+            f"  {size:>10}{rule_count:>12}{acl_entries:>12}"
+            f"{per_decision:>12.2f}{str(correct):>9}"
+        )
+        assert correct
+    rows.append(
+        "shape: the GRBAC policy stays at 2 rules while ACL entries "
+        "grow linearly with the catalogue; decision latency is flat in "
+        "catalogue size (role lookup, not list scan)."
+    )
+
+    home, app, _ = build_catalogue(500)
+
+    def run():
+        app.can_watch("alice", 250)
+        app.can_watch("mom", 250)
+
+    benchmark(run)
+    report("E8-rw-content", rows)

@@ -1,0 +1,85 @@
+"""E7 — §6 vs GACL (Woo & Lam): system-load-based authorization.
+
+A *low-load* environment role gates a heavy transaction ("certain
+programs only can be executed when there is enough system capacity").
+The bench replays a seeded load random walk, measures how the grant
+rate tracks the configured threshold, and checks the gating is exact
+(grant iff load below threshold at decision time).
+
+Expected shape: grant rate rises monotonically with the threshold and
+matches the fraction of time the walk spends below it.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime
+
+from repro.core import GrbacPolicy, MediationEngine
+from repro.env import (
+    EnvironmentRoleActivator,
+    EnvironmentState,
+    SimulatedClock,
+    SimulatedLoadProvider,
+    state_below,
+)
+
+
+def build_system(threshold: float):
+    clock = SimulatedClock(datetime(2000, 1, 1))
+    state = EnvironmentState()
+    activator = EnvironmentRoleActivator(state, clock)
+    provider = SimulatedLoadProvider(state, initial=0.5, volatility=0.15, seed=42)
+    policy = GrbacPolicy("gacl")
+    policy.add_subject("batch-user")
+    policy.add_subject_role("compute-user")
+    policy.assign_subject("batch-user", "compute-user")
+    policy.add_object("simulation-cluster")
+    policy.add_environment_role("low-load")
+    activator.bind("low-load", state_below("system.load", threshold))
+    policy.grant("compute-user", "run_heavy_job", "any-object", "low-load")
+    engine = MediationEngine(policy, activator)
+    return engine, provider, clock
+
+
+def test_bench_rw_load(benchmark, report):
+    rows = [
+        "E7  GACL-style load gating via a low-load environment role",
+        f"  {'threshold':>10}{'time below':>12}{'grant rate':>12}{'exact':>7}",
+    ]
+    for threshold in (0.2, 0.4, 0.6, 0.8):
+        engine, provider, clock = build_system(threshold)
+        below = 0
+        grants = 0
+        exact = True
+        steps = 600
+        for _ in range(steps):
+            load = provider.step()
+            clock.advance(60)
+            granted = engine.check(
+                "batch-user", "run_heavy_job", "simulation-cluster"
+            )
+            if load < threshold:
+                below += 1
+            if granted:
+                grants += 1
+            if granted != (load < threshold):
+                exact = False
+        rows.append(
+            f"  {threshold:>10.1f}{below / steps:>12.1%}{grants / steps:>12.1%}"
+            f"{str(exact):>7}"
+        )
+        assert exact
+    rows.append(
+        "shape: grant rate equals the fraction of time the load walk "
+        "spends under the threshold - the gate is exact and monotone."
+    )
+
+    engine, provider, clock = build_system(0.6)
+
+    def run():
+        provider.step()
+        clock.advance(60)
+        engine.check("batch-user", "run_heavy_job", "simulation-cluster")
+
+    benchmark(run)
+    report("E7-rw-load", rows)

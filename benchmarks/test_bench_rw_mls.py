@@ -1,0 +1,80 @@
+"""E9 — §6 vs Bell–LaPadula: "GRBAC can implement multilevel access
+control."
+
+Exhaustively compares the GRBAC encoding of BLP (role chains +
+grant-only rules, :mod:`repro.policy.mls`) against a direct reference
+monitor, across lattice sizes and populations, then times both.
+
+Expected shape: 100% agreement everywhere; the GRBAC encoding pays a
+modest constant factor over the two-integer-compare reference.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.policy.mls import ReferenceBlp, agreement, build_pair
+
+
+def population(levels, subjects: int, objects: int):
+    subject_map = {
+        f"subject-{i}": levels[i % len(levels)] for i in range(subjects)
+    }
+    object_map = {f"object-{i}": levels[(i * 7 + 3) % len(levels)] for i in range(objects)}
+    return subject_map, object_map
+
+
+def test_bench_rw_mls(benchmark, report):
+    rows = [
+        "E9  Bell-LaPadula encoded in GRBAC vs a direct reference monitor",
+        f"  {'levels':>7}{'subjects':>9}{'objects':>8}{'checks':>8}"
+        f"{'agree':>7}{'grbac us':>10}{'ref us':>8}",
+    ]
+    for level_count, subject_count, object_count in [
+        (2, 6, 6),
+        (4, 10, 10),
+        (6, 12, 12),
+        (8, 16, 16),
+    ]:
+        levels = [f"L{i}" for i in range(level_count)]
+        subjects, objects = population(levels, subject_count, object_count)
+        reference, encoding = build_pair(levels, subjects, objects)
+        result = agreement(reference, encoding, list(subjects), list(objects))
+        checks = result["agree"] + result["disagree"]
+
+        start = time.perf_counter()
+        for subject in subjects:
+            for obj in objects:
+                encoding.can_read(subject, obj)
+                encoding.can_write(subject, obj)
+        grbac_us = (time.perf_counter() - start) / checks * 1e6
+        start = time.perf_counter()
+        for subject in subjects:
+            for obj in objects:
+                reference.can_read(subject, obj)
+                reference.can_write(subject, obj)
+        ref_us = (time.perf_counter() - start) / checks * 1e6
+
+        rows.append(
+            f"  {level_count:>7}{subject_count:>9}{object_count:>8}{checks:>8}"
+            f"{result['agree'] / checks:>7.0%}{grbac_us:>10.2f}{ref_us:>8.2f}"
+        )
+        assert result["disagree"] == 0
+    rows.append(
+        "shape: decision-for-decision agreement at every lattice size "
+        "(simple security AND the strict *-property); the encoding uses "
+        "only ordinary roles, hierarchies, and grants - no mediation "
+        "special cases. The converse direction (BLP expressing GRBAC's "
+        "environment roles) has no encoding, as the paper notes."
+    )
+
+    levels = [f"L{i}" for i in range(4)]
+    subjects, objects = population(levels, 10, 10)
+    _, encoding = build_pair(levels, subjects, objects)
+
+    def run():
+        encoding.can_read("subject-3", "object-4")
+        encoding.can_write("subject-3", "object-4")
+
+    benchmark(run)
+    report("E9-rw-mls", rows)

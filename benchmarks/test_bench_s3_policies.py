@@ -1,0 +1,135 @@
+"""E5 — §3's motivating policies: the repairman, negative rights, and
+the precedence-strategy ablation.
+
+Scores the repairman's time-boxed/location-gated access and the
+children-vs-dangerous-appliances rules against the paper's English,
+then ablates the four precedence strategies on the same conflicting
+rule set (DESIGN.md §6).
+
+Expected shape: 100% oracle agreement under deny-overrides; the
+ablation shows exactly which strategies would let the child at the
+oven (allow-overrides would — which is why the library defaults to
+deny-overrides).
+"""
+
+from __future__ import annotations
+
+from datetime import datetime
+
+from repro.core import PrecedenceStrategy
+from repro.workload.scenarios import (
+    build_negative_rights_scenario,
+    build_repairman_scenario,
+)
+
+
+def test_bench_s3_policies(benchmark, report):
+    rows = ["E5  Section 3: repairman window + negative rights"]
+
+    # ---- repairman grid ------------------------------------------------
+    rows.append("")
+    rows.append("repairman: access iff (Jan 17 2000, 08:00-13:00) AND inside:")
+    rows.append(f"  {'time':<8}{'location':<10}{'expected':>9}{'measured':>10}")
+    grid = [
+        (datetime(2000, 1, 17, 7, 30), False),
+        (datetime(2000, 1, 17, 8, 30), False),
+        (datetime(2000, 1, 17, 9, 0), True),
+        (datetime(2000, 1, 17, 10, 30), False),
+        (datetime(2000, 1, 17, 11, 0), True),
+        (datetime(2000, 1, 17, 12, 59), True),
+        (datetime(2000, 1, 17, 13, 30), True),
+        (datetime(2000, 1, 17, 14, 0), False),
+    ]
+    scenario = build_repairman_scenario()
+    home = scenario.home
+    agreement = 0
+    for moment, inside in grid:
+        home.runtime.clock.advance_to(moment)
+        if inside:
+            home.move("repair-tech", "kitchen")
+        else:
+            home.runtime.location.leave("repair-tech")
+        expected = scenario.oracle(moment, inside)
+        measured = home.try_operate(
+            "repair-tech", "kitchen/dishwasher", "diagnose"
+        ).granted
+        agreement += measured == expected
+        rows.append(
+            f"  {moment.strftime('%H:%M'):<8}"
+            f"{'inside' if inside else 'outside':<10}"
+            f"{'GRANT' if expected else 'deny':>9}"
+            f"{'GRANT' if measured else 'deny':>10}"
+        )
+    rows.append(f"  agreement: {agreement}/{len(grid)}")
+    assert agreement == len(grid)
+
+    # ---- negative rights + precedence ablation -------------------------
+    rows.append("")
+    rows.append("negative rights: family grant vs child deny on the oven,")
+    rows.append("under each precedence strategy (ablation):")
+    rows.append(
+        f"  {'strategy':<18}{'alice/oven':>11}{'alice/tv':>10}{'mom/oven':>10}"
+    )
+    expected_by_strategy = {
+        PrecedenceStrategy.DENY_OVERRIDES: ("deny", "GRANT", "GRANT"),
+        PrecedenceStrategy.ALLOW_OVERRIDES: ("GRANT", "GRANT", "GRANT"),
+        PrecedenceStrategy.PRIORITY: ("deny", "GRANT", "GRANT"),
+        PrecedenceStrategy.MOST_SPECIFIC: ("deny", "GRANT", "GRANT"),
+    }
+    for strategy in PrecedenceStrategy:
+        scenario = build_negative_rights_scenario()
+        home = scenario.home
+        home.policy.precedence = strategy
+        cells = [
+            home.try_operate("alice", "kitchen/oven", "power_on").granted,
+            home.try_operate("alice", "livingroom/tv", "power_on").granted,
+            home.try_operate("mom", "kitchen/oven", "power_on").granted,
+        ]
+        rendered = tuple("GRANT" if c else "deny" for c in cells)
+        rows.append(
+            f"  {strategy.value:<18}{rendered[0]:>11}{rendered[1]:>10}"
+            f"{rendered[2]:>10}"
+        )
+        assert rendered == expected_by_strategy[strategy], strategy
+    rows.append(
+        "shape: only allow-overrides lets the child at the oven; the "
+        "paper's deny-the-dangerous policy needs deny-overrides (the "
+        "default), priority, or most-specific."
+    )
+
+    # ---- §4.1.2's own precedence example: Bobby vs the records ----------
+    from repro.workload.scenarios import build_medical_records_scenario
+
+    rows.append("")
+    rows.append("S4.1.2: Bobby (family-member grant vs child deny) reads the")
+    rows.append("family medical records, per strategy:")
+    for strategy in PrecedenceStrategy:
+        scenario = build_medical_records_scenario()
+        home = scenario.home
+        home.policy.precedence = strategy
+        outcome = home.try_operate(
+            "bobby", "study/medical-records", "read_document",
+            document="family-history",
+        )
+        expected = scenario.oracle(strategy.value)
+        assert outcome.granted == expected, strategy
+        rows.append(
+            f"  {strategy.value:<18} -> "
+            f"{'GRANT' if outcome.granted else 'deny'}"
+        )
+    rows.append(
+        "shape: the inconsistency resolves exactly along the design "
+        "space the paper enumerates; the child deny wins under every "
+        "strategy except always-allow."
+    )
+
+    # ---- timing ---------------------------------------------------------
+    scenario = build_negative_rights_scenario()
+    home = scenario.home
+
+    def run():
+        home.try_operate("alice", "kitchen/oven", "power_on")
+        home.try_operate("mom", "kitchen/oven", "power_on")
+
+    benchmark(run)
+    report("E5-s3-policies", rows)

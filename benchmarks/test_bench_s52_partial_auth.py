@@ -1,0 +1,155 @@
+"""E4 — §5.2: partial authentication through the Smart Floor.
+
+Reproduces the paper's worked numbers (Alice: identity ≈75%, child
+role ≈98%, threshold 90%) and sweeps the two knobs the argument turns
+on: the sibling weight gap (identity ambiguity) and the confidence
+threshold.  Ablates fusion strategies for the multi-sensor case.
+
+Expected shape: identity-only authentication stops granting once the
+threshold exceeds the identity posterior; role-level authentication
+keeps granting until the threshold passes the floor's reliability.
+"""
+
+from __future__ import annotations
+
+from repro.auth import AuthenticationService, FusionStrategy, Presence
+from repro.sensors import SmartFloor, face_sensor, voice_sensor
+from repro.workload.scenarios import build_s52_scenario
+
+
+def test_bench_s52_partial_auth(benchmark, report):
+    scenario = build_s52_scenario()
+    home = scenario.home
+    alice = home.resident("alice")
+    presence = alice.presence()
+
+    result = home.auth.authenticate(presence)
+    identity = result.identity_confidence
+    role = result.role_confidences["child"]
+
+    def run():
+        home.operate_with_presence(presence, "livingroom/tv", "power_on")
+
+    benchmark(run)
+
+    rows = [
+        "E4  Section 5.2: Smart Floor partial authentication",
+        f"paper: identity(alice) = 75%     measured: {identity:.1%}",
+        f"paper: role(child)     = 98%     measured: {role:.1%}",
+        f"paper: threshold       = 90%     engine:   "
+        f"{home.engine.confidence_threshold:.0%}",
+        "",
+        "grant outcome vs threshold (identity-only vs role-level auth):",
+        f"  {'threshold':>10}{'identity-only':>15}{'with role claims':>18}",
+    ]
+    from repro.core import AccessRequest
+
+    for threshold in (0.5, 0.7, 0.76, 0.9, 0.99):
+        home.engine.confidence_threshold = threshold
+        identity_only = home.engine.decide(
+            AccessRequest(
+                transaction="power_on",
+                obj="livingroom/tv",
+                subject="alice",
+                identity_confidence=identity,
+            )
+        ).granted
+        with_roles = home.operate_with_presence(
+            presence, "livingroom/tv", "power_on"
+        ).granted
+        rows.append(
+            f"  {threshold:>10.0%}{'GRANT' if identity_only else 'deny':>15}"
+            f"{'GRANT' if with_roles else 'deny':>18}"
+        )
+    home.engine.confidence_threshold = 0.9
+    rows.append(
+        "shape: the crossover sits between the 75% identity posterior "
+        "and the 98% role confidence - exactly the paper's gap."
+    )
+
+    rows.append("")
+    rows.append("sibling weight gap sweep (threshold 90%):")
+    rows.append(f"  {'gap lb':>7}{'identity(alice)':>17}{'role(child)':>13}"
+                f"{'identity grants?':>18}{'role grants?':>14}")
+    for gap in (30, 12, 6, 3, 1):
+        floor = SmartFloor(measurement_sigma=0.0, identity_sigma=4.0)
+        floor.enroll("alice", 94.0)
+        floor.enroll("bobby", 94.0 - gap)
+        floor.enroll("mom", 135.0)
+        floor.enroll("dad", 180.0)
+        floor.define_weight_class("child", 40.0, 120.0)
+        posterior = floor.identity_posterior(94.0)["alice"]
+        confidence = floor.role_confidences(94.0)["child"]
+        rows.append(
+            f"  {gap:>7}{posterior:>17.2f}{confidence:>13.2f}"
+            f"{str(posterior >= 0.9):>18}{str(confidence >= 0.9):>14}"
+        )
+
+    rows.append("")
+    rows.append("fusion ablation: identity(alice) from floor+face+voice:")
+    face = face_sensor()
+    voice = voice_sensor()
+    for resident in home.residents():
+        face.enroll(resident.name, resident.face_signature)
+        voice.enroll(resident.name, resident.voice_signature)
+    for strategy in FusionStrategy:
+        service = AuthenticationService(home.policy, strategy=strategy)
+        service.register(scenario.extras["floor"])
+        service.register(face)
+        service.register(voice)
+        fused = service.authenticate(presence).identity_confidence
+        rows.append(f"  {strategy.value:<12} -> {fused:.3f}")
+    rows.append(
+        "shape: independent-error fusion crosses 90% with three "
+        "agreeing sensors; max/min/mean do not."
+    )
+
+    # ---- realized error rates under stochastic sensing ------------------
+    # The confidences above are *claims*; this section measures what
+    # actually happens when the floor's measurement is noisy and the
+    # face recognizer errs at its stated rate.
+    rows.append("")
+    rows.append("realized grant rates, stochastic sensors (noisy floor ±3 lb")
+    rows.append("+ 90%-accurate face recognizer), 400 approaches each,")
+    rows.append("threshold 90%:")
+    rows.append(f"  {'person':>8}{'is child':>10}{'grant rate':>12}")
+
+    noisy_floor = SmartFloor(
+        measurement_sigma=3.0, identity_sigma=4.0, reliability=0.98, seed=17
+    )
+    stochastic_face = face_sensor(stochastic=True, seed=23)
+    for resident in home.residents():
+        noisy_floor.enroll(resident.name, resident.weight_lb)
+        stochastic_face.enroll(resident.name, resident.face_signature)
+    noisy_floor.define_weight_class("child", 40.0, 120.0)
+    noisy_floor.define_weight_class("parent", 120.0, 260.0)
+    service = AuthenticationService(home.policy, identity_threshold=0.5)
+    service.register(noisy_floor)
+    service.register(stochastic_face)
+
+    trials = 400
+    realized = {}
+    for resident in home.residents():
+        grants = 0
+        for _ in range(trials):
+            result = service.authenticate(resident.presence())
+            try:
+                req = service.build_request(result, "power_on", "livingroom/tv")
+            except Exception:
+                continue
+            if home.engine.decide(req).granted:
+                grants += 1
+        realized[resident.name] = grants / trials
+        rows.append(
+            f"  {resident.name:>8}{str(resident.age < 18):>10}"
+            f"{realized[resident.name]:>12.1%}"
+        )
+    rows.append(
+        "shape: children are admitted at near-ceiling rates despite "
+        "sensor noise (role evidence saturates); adults leak only "
+        "through rare misidentifications - the residual risk the "
+        "threshold knob prices."
+    )
+    assert realized["alice"] > 0.95 and realized["bobby"] > 0.95
+    assert realized["mom"] < 0.15 and realized["dad"] < 0.15
+    report("E4-s52-partial-auth", rows)

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""The Aware Home, end to end — the paper's §5.1 scenario plus the
+negative-rights and repairman examples of §3, over a simulated week.
+
+What it shows:
+
+* the Figure 2 subject-role hierarchy governing a real device fleet;
+* a single rule covering every entertainment device, present and future;
+* positive AND negative rights (children vs. the oven);
+* a time-boxed, location-gated guest (the dishwasher repairman);
+* the audit trail answering "who was denied what, and when?".
+
+Run:  python examples/aware_home.py
+"""
+
+from datetime import datetime, timedelta
+
+from repro.exceptions import AccessDeniedError
+from repro.home.devices import Oven, Stereo
+from repro.workload.scenarios import (
+    build_repairman_scenario,
+    build_s51_scenario,
+)
+from repro.workload.traces import DayTraceSimulator
+
+
+def entertainment_week() -> None:
+    print("=" * 64)
+    print("Section 5.1: children, entertainment devices, weekday free time")
+    print("=" * 64)
+    scenario = build_s51_scenario(start=datetime(2000, 1, 16, 12, 0))  # Sunday noon
+    home = scenario.home
+
+    checkpoints = [
+        ("Sunday    19:30", datetime(2000, 1, 16, 19, 30)),
+        ("Monday    16:00", datetime(2000, 1, 17, 16, 0)),
+        ("Monday    19:30", datetime(2000, 1, 17, 19, 30)),
+        ("Monday    22:15", datetime(2000, 1, 17, 22, 15)),
+        ("Friday    20:00", datetime(2000, 1, 21, 20, 0)),
+        ("Saturday  20:00", datetime(2000, 1, 22, 20, 0)),
+    ]
+    print(f"{'when':<18}{'alice/tv':<10}{'bobby/console':<15}{'mom/tv':<8}")
+    for label, moment in checkpoints:
+        home.runtime.clock.advance_to(moment)
+        row = [
+            home.try_operate("alice", "livingroom/tv", "power_on").granted,
+            home.try_operate("bobby", "kids-bedroom/console", "power_on").granted,
+            home.try_operate("mom", "livingroom/tv", "power_on").granted,
+        ]
+        cells = ["GRANT" if g else "deny" for g in row]
+        print(f"{label:<18}{cells[0]:<10}{cells[1]:<15}{cells[2]:<8}")
+    print("(mom is denied by *this* rule — the §5.1 policy text only "
+          "authorizes children; a real household adds parent rules.)")
+
+    # A new toy arrives and is covered with zero new rules.
+    new_toy = Stereo("boombox", "kids-bedroom")
+    home.register_device(new_toy)
+    home.runtime.clock.advance_to(datetime(2000, 1, 24, 19, 30))  # Monday
+    granted = home.try_operate("alice", "kids-bedroom/boombox", "power_on").granted
+    print(f"\nNew boombox, Monday 19:30, no new rules written: "
+          f"{'GRANT' if granted else 'deny'}")
+
+
+def negative_rights() -> None:
+    print()
+    print("=" * 64)
+    print("Section 3: positive and negative rights (the oven)")
+    print("=" * 64)
+    scenario = build_s51_scenario(start=datetime(2000, 1, 17, 19, 30))
+    home = scenario.home
+    oven = Oven("oven", "kitchen")
+    home.register_device(oven)
+    policy = home.policy
+    policy.grant("family-member", "power_on", name="family-appliances")
+    policy.deny("child", "power_on", "safety-critical", name="child-danger")
+
+    for subject in ("mom", "alice"):
+        outcome = home.try_operate(subject, "kitchen/oven", "power_on")
+        print(f"{subject:>6} power_on oven -> "
+              f"{'GRANT' if outcome.granted else 'deny'}  "
+              f"({outcome.decision.rationale})")
+
+
+def repairman_visit() -> None:
+    print()
+    print("=" * 64)
+    print("Section 3: the repairman (Jan 17 2000, 08:00-13:00, inside only)")
+    print("=" * 64)
+    scenario = build_repairman_scenario()
+    home = scenario.home
+
+    script = [
+        ("07:30  rings the doorbell (outside)", datetime(2000, 1, 17, 7, 30), None),
+        ("09:00  let into the kitchen", datetime(2000, 1, 17, 9, 0), "kitchen"),
+        ("10:30  steps out for parts", datetime(2000, 1, 17, 10, 30), "outside"),
+        ("11:00  back at the dishwasher", datetime(2000, 1, 17, 11, 0), "kitchen"),
+        ("14:00  lingers after the window", datetime(2000, 1, 17, 14, 0), "kitchen"),
+    ]
+    for label, moment, move_to in script:
+        home.runtime.clock.advance_to(moment)
+        if move_to == "outside":
+            home.runtime.location.leave("repair-tech")
+        elif move_to:
+            home.move("repair-tech", move_to)
+        outcome = home.try_operate("repair-tech", "kitchen/dishwasher", "diagnose")
+        print(f"{label:<38} diagnose -> {'GRANT' if outcome.granted else 'deny'}")
+
+    print(f"\nAudit summary: {home.audit.summary()}")
+    denials = home.audit.denials("repair-tech")
+    print(f"Repair-tech denials on record: {len(denials)}")
+
+
+def day_in_the_life() -> None:
+    print()
+    print("=" * 64)
+    print("A simulated day of household traffic through the monitor")
+    print("=" * 64)
+    scenario = build_s51_scenario(start=datetime(2000, 1, 17, 0, 0))
+    simulator = DayTraceSimulator(scenario.home, step_minutes=15, seed=7)
+    result = simulator.run(hours=24)
+    print(f"trace: {result.summary()}")
+    for subject, (grants, denials) in sorted(result.by_subject().items()):
+        print(f"  {subject:>6}: {grants} granted, {denials} denied")
+    print(f"audit: {scenario.home.audit.summary()}")
+
+
+if __name__ == "__main__":
+    entertainment_week()
+    negative_rights()
+    repairman_visit()
+    day_in_the_life()

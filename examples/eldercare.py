@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Elder care with emergency escalation — the paper's §2 application.
+
+An elderly resident lives alone.  A caregiver reads vitals remotely; a
+relative can only see degraded camera snapshots.  When the vitals
+monitor raises an alert, a *medical-emergency* environment role
+activates through the trusted event system and temporarily widens
+access: live video for the family, and door-unlock rights for the
+responding caregiver.  When the alert clears, everything snaps back.
+
+Run:  python examples/eldercare.py
+"""
+
+from datetime import datetime
+
+from repro.exceptions import AccessDeniedError
+from repro.home.apps import ElderCareApp
+from repro.home.devices import Camera, DoorLock, MedicalMonitor
+from repro.home.registry import SecureHome
+from repro.home.residents import Resident
+from repro.policy.templates import install_figure2_roles
+
+
+def attempt(home: SecureHome, subject: str, device: str, operation: str) -> str:
+    try:
+        home.operate(subject, device, operation)
+        return "GRANT"
+    except AccessDeniedError:
+        return "deny"
+
+
+def main() -> None:
+    home = SecureHome(start=datetime(2000, 3, 1, 9, 0))
+    install_figure2_roles(home.policy)
+    home.policy.add_subject_role("caregiver", "visiting care professionals")
+    home.policy.add_subject_role("relative", "family living elsewhere")
+
+    grandma = Resident("grandma", age=82, weight_lb=120.0, roles=("parent",))
+    home.register_resident(grandma)
+    home.policy.add_subject("nurse-joy")
+    home.policy.assign_subject("nurse-joy", "caregiver")
+    home.policy.add_subject("nephew-ned")
+    home.policy.assign_subject("nephew-ned", "relative")
+
+    monitor = MedicalMonitor("vitals", "master-bedroom")
+    camera = Camera("camera", "master-bedroom")
+    door = DoorLock("front-door", "foyer")
+    for device in (monitor, camera, door):
+        home.register_device(device)
+
+    app = ElderCareApp(home, monitor, camera, door)
+    ElderCareApp.install_policy(home)
+    home.policy.grant("caregiver", "clear_alert", "information")
+
+    probes = [
+        ("nurse-joy", "master-bedroom/vitals", "read_vitals"),
+        ("nephew-ned", "master-bedroom/vitals", "read_vitals"),
+        ("nephew-ned", "master-bedroom/camera", "view_snapshot"),
+        ("nephew-ned", "master-bedroom/camera", "view_stream"),
+        ("nurse-joy", "foyer/front-door", "unlock"),
+    ]
+
+    def report(title: str) -> None:
+        print(f"\n--- {title} "
+              f"(emergency role active: {app.alert_active}) ---")
+        for subject, device, operation in probes:
+            print(f"  {subject:>11} {operation:<14} -> "
+                  f"{attempt(home, subject, device, operation)}")
+
+    # Morning: all quiet.
+    app.record_vitals(heart_rate=74, systolic=122)
+    report("09:00 - normal morning vitals (74 bpm, 122 systolic)")
+
+    # Midday: the monitor sees trouble.
+    home.runtime.clock.advance(hours=3)
+    app.record_vitals(heart_rate=148, systolic=192)
+    report("12:00 - abnormal vitals (148 bpm, 192 systolic)")
+
+    # The nurse responds, checks the stream, lets herself in.
+    stream = app.view_camera("nurse-joy", stream=True)
+    print(f"\n  nurse-joy views the live stream: frame {stream['frame']}")
+    app.unlock_door("nurse-joy")
+    print("  nurse-joy unlocks the front door and responds.")
+
+    # Crisis handled; the nurse stands the system down.
+    home.runtime.clock.advance(minutes=40)
+    app.clear_alert("nurse-joy")
+    report("12:40 - alert cleared by the caregiver")
+
+    print(f"\nAudit: {home.audit.summary()}")
+    print("Every escalated access above is on the record:")
+    for record in home.audit.records(granted=True):
+        if record.transaction in ("view_stream", "unlock"):
+            print(f"  {record.describe()}")
+
+
+if __name__ == "__main__":
+    main()

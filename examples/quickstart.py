@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: GRBAC in ~40 lines.
+
+Builds the smallest interesting policy — one subject role, one object
+role, one environment role, one rule — and shows the §4.2.4 mediation
+rule deciding requests as the environment changes.
+
+Run:  python examples/quickstart.py
+"""
+
+from datetime import datetime
+
+from repro import GrbacPolicy, MediationEngine
+from repro.env import EnvironmentRuntime, time_window, weekdays
+
+
+def main() -> None:
+    # -- The policy: roles for subjects, objects, and the environment.
+    policy = GrbacPolicy("quickstart")
+    policy.add_subject("alice", age=11)
+    policy.add_subject_role("child")
+    policy.assign_subject("alice", "child")
+
+    policy.add_object("livingroom/tv", kind="television")
+    policy.add_object_role("entertainment-devices")
+    policy.assign_object("livingroom/tv", "entertainment-devices")
+
+    # -- The environment: a live clock drives the 'free-time' role.
+    runtime = EnvironmentRuntime(start=datetime(2000, 1, 17, 18, 30))  # Monday
+    runtime.define_time_role(
+        policy, "weekday-free-time", weekdays() & time_window("19:00", "22:00")
+    )
+
+    # -- One rule (§5.1): children may watch entertainment devices
+    #    on weekdays during free time.
+    policy.grant("child", "watch", "entertainment-devices", "weekday-free-time")
+
+    # -- Mediation.
+    engine = MediationEngine(policy, runtime.activator)
+
+    for label, advance_hours in [("18:30 Mon", 0), ("19:30 Mon", 1), ("22:30 Mon", 3)]:
+        if advance_hours:
+            runtime.clock.advance(hours=advance_hours)
+        granted = engine.check("alice", "watch", "livingroom/tv")
+        active = ", ".join(sorted(runtime.active_roles())) or "(none)"
+        print(f"{label}: alice watches TV -> {'GRANT' if granted else 'DENY':5}  "
+              f"active env roles: {active}")
+
+    # -- Explanations come for free.
+    from repro import AccessRequest
+
+    decision = engine.decide(
+        AccessRequest(transaction="watch", obj="livingroom/tv", subject="alice")
+    )
+    print("\nWhy was the last request denied?")
+    print(decision.explain())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,110 @@
+"""GRBAC — Generalized Role-Based Access Control.
+
+A production-quality reproduction of Covington, Moyer & Ahamad,
+*Generalized Role-Based Access Control for Securing Future
+Applications* (ICDCS 2001): the GRBAC model (subject, object, and
+environment roles over one mediation rule), the environment substrate
+(trusted clock/events/state, temporal algebra, location, load), the
+authentication pipeline with confidence levels, the simulated Aware
+Home (topology, devices, residents, applications), a traditional-RBAC
+baseline with bridges, policy tooling (builder, DSL, analysis, an MLS
+encoding), and workload generation.
+
+Quickstart::
+
+    from repro import (
+        GrbacPolicy, MediationEngine, StaticEnvironment,
+    )
+
+    policy = GrbacPolicy("home")
+    policy.add_subject("alice")
+    policy.add_subject_role("child")
+    policy.assign_subject("alice", "child")
+    policy.add_object("tv")
+    policy.add_object_role("entertainment")
+    policy.assign_object("tv", "entertainment")
+    policy.add_environment_role("free-time")
+    policy.grant("child", "watch", "entertainment", "free-time")
+
+    env = StaticEnvironment({"free-time"})
+    engine = MediationEngine(policy, env)
+    assert engine.check("alice", "watch", "tv")
+
+See the ``examples/`` directory for the full Aware Home walkthroughs.
+"""
+
+from repro.core import (
+    ANY_ENVIRONMENT,
+    ANY_OBJECT,
+    AccessRequest,
+    AuditLog,
+    CardinalityConstraint,
+    Decision,
+    GrbacPolicy,
+    MediationEngine,
+    Permission,
+    PrecedenceStrategy,
+    PrerequisiteConstraint,
+    Resource,
+    Role,
+    RoleHierarchy,
+    RoleKind,
+    SeparationOfDuty,
+    Session,
+    Sign,
+    StaticEnvironment,
+    Subject,
+    Transaction,
+    environment_role,
+    object_role,
+    subject_role,
+)
+from repro.env import (
+    EnvironmentRuntime,
+    EnvironmentState,
+    EventBus,
+    SimulatedClock,
+)
+from repro.exceptions import AccessDeniedError, GrbacError
+from repro.home import SecureHome
+from repro.policy import PolicyAnalyzer, PolicyBuilder, compile_policy
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ANY_ENVIRONMENT",
+    "ANY_OBJECT",
+    "AccessDeniedError",
+    "AccessRequest",
+    "AuditLog",
+    "CardinalityConstraint",
+    "Decision",
+    "EnvironmentRuntime",
+    "EnvironmentState",
+    "EventBus",
+    "GrbacError",
+    "GrbacPolicy",
+    "MediationEngine",
+    "Permission",
+    "PolicyAnalyzer",
+    "PolicyBuilder",
+    "PrecedenceStrategy",
+    "PrerequisiteConstraint",
+    "Resource",
+    "Role",
+    "RoleHierarchy",
+    "RoleKind",
+    "SecureHome",
+    "SeparationOfDuty",
+    "Session",
+    "Sign",
+    "SimulatedClock",
+    "StaticEnvironment",
+    "Subject",
+    "Transaction",
+    "__version__",
+    "compile_policy",
+    "environment_role",
+    "object_role",
+    "subject_role",
+]

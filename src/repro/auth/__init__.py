@@ -1,0 +1,32 @@
+"""Authentication with confidence levels (§3, §5.2).
+
+Claims, evidence fusion, explicit and implicit authenticators, and the
+service that turns sensed presences into GRBAC access requests.
+"""
+
+from repro.auth.authenticator import (
+    Authenticator,
+    Evidence,
+    PasswordAuthenticator,
+    Presence,
+    TokenAuthenticator,
+)
+from repro.auth.claims import IdentityClaim, RoleClaim, validate_confidence
+from repro.auth.fusion import FusionStrategy, fuse, fuse_claim_map
+from repro.auth.service import AuthenticationResult, AuthenticationService
+
+__all__ = [
+    "AuthenticationResult",
+    "AuthenticationService",
+    "Authenticator",
+    "Evidence",
+    "FusionStrategy",
+    "IdentityClaim",
+    "PasswordAuthenticator",
+    "Presence",
+    "RoleClaim",
+    "TokenAuthenticator",
+    "fuse",
+    "fuse_claim_map",
+    "validate_confidence",
+]

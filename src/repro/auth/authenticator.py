@@ -1,0 +1,175 @@
+"""Authenticators — producers of identity/role evidence.
+
+An :class:`Authenticator` observes a *presence* (someone physically at
+a device, or a remote login attempt) and returns
+:class:`~repro.auth.evidence.Evidence`.  Implicit authenticators wrap
+sensors (:mod:`repro.sensors`); :class:`PasswordAuthenticator` and
+:class:`TokenAuthenticator` model the explicit mechanisms the paper
+wants to avoid burdening residents with — but which remote access
+(from outside the home) still needs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.auth.claims import IdentityClaim, RoleClaim
+from repro.exceptions import AuthenticationError
+
+
+@dataclass(frozen=True)
+class Evidence:
+    """What one authenticator asserted about one presence."""
+
+    #: The authenticator that produced this evidence.
+    source: str
+    identity_claims: Tuple[IdentityClaim, ...] = ()
+    role_claims: Tuple[RoleClaim, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "identity_claims", tuple(self.identity_claims))
+        object.__setattr__(self, "role_claims", tuple(self.role_claims))
+
+    @property
+    def empty(self) -> bool:
+        """True when the authenticator asserted nothing."""
+        return not self.identity_claims and not self.role_claims
+
+    def identity_map(self) -> Dict[str, float]:
+        """``{subject: best confidence}`` over the identity claims."""
+        result: Dict[str, float] = {}
+        for claim in self.identity_claims:
+            result[claim.subject] = max(result.get(claim.subject, 0.0), claim.confidence)
+        return result
+
+    def role_map(self) -> Dict[str, float]:
+        """``{role: best confidence}`` over the role claims."""
+        result: Dict[str, float] = {}
+        for claim in self.role_claims:
+            result[claim.role] = max(result.get(claim.role, 0.0), claim.confidence)
+        return result
+
+    def describe(self) -> str:
+        parts = [c.describe() for c in self.identity_claims]
+        parts += [c.describe() for c in self.role_claims]
+        return f"{self.source}: " + (", ".join(parts) if parts else "<nothing>")
+
+
+@dataclass(frozen=True)
+class Presence:
+    """A ground-truth observation context handed to authenticators.
+
+    ``subject`` is the *actual* person present (known to the
+    simulation, never to the policy), and ``features`` carries the
+    physically observable signals — weight on the floor, face/voice
+    signature quality, a presented token, a typed password.
+    """
+
+    subject: str
+    features: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "features", dict(self.features))
+
+    def feature(self, key: str, default: Any = None) -> Any:
+        return self.features.get(key, default)
+
+
+class Authenticator:
+    """Interface: turn a presence into evidence."""
+
+    #: Short name used as the evidence source label.
+    name: str = "authenticator"
+
+    def observe(self, presence: Presence) -> Evidence:
+        """Produce evidence about ``presence``.
+
+        Must never raise for an unrecognizable presence — return empty
+        evidence instead; recognition failure is normal operation.
+        """
+        raise NotImplementedError  # pragma: no cover - interface
+
+
+def _hash_secret(secret: str, salt: str) -> str:
+    return hashlib.sha256((salt + ":" + secret).encode("utf-8")).hexdigest()
+
+
+class PasswordAuthenticator(Authenticator):
+    """Explicit password login — full-confidence identity on success.
+
+    Secrets are stored salted-and-hashed; comparison is constant-time.
+    This is the "log in" mechanism the paper deems unacceptable for
+    everyday in-home use (§5.2) but which remote access still needs.
+    """
+
+    name = "password"
+
+    def __init__(self, salt: str = "grbac") -> None:
+        self._salt = salt
+        self._secrets: Dict[str, str] = {}
+
+    def enroll(self, subject: str, password: str) -> None:
+        """Register (or replace) a subject's password."""
+        if not password:
+            raise AuthenticationError("password must be non-empty")
+        self._secrets[subject] = _hash_secret(password, self._salt)
+
+    def observe(self, presence: Presence) -> Evidence:
+        """Check a ``password`` feature against the enrolled secret."""
+        supplied = presence.feature("password")
+        if supplied is None:
+            return Evidence(self.name)
+        expected = self._secrets.get(presence.subject)
+        if expected is None:
+            return Evidence(self.name)
+        if hmac.compare_digest(expected, _hash_secret(str(supplied), self._salt)):
+            return Evidence(
+                self.name,
+                identity_claims=(IdentityClaim(presence.subject, 1.0, self.name),),
+            )
+        return Evidence(self.name)
+
+    def login(self, subject: str, password: str) -> Evidence:
+        """Convenience for explicit logins without a sensed presence."""
+        return self.observe(Presence(subject, {"password": password}))
+
+
+class TokenAuthenticator(Authenticator):
+    """A physical token (RFID badge, key fob) — high-confidence identity.
+
+    Tokens can be lost or lent, so confidence is configurable and
+    defaults below 1.0: possession of a badge is strong but not
+    conclusive evidence of identity.
+    """
+
+    name = "token"
+
+    def __init__(self, confidence: float = 0.95) -> None:
+        self._confidence = confidence
+        self._tokens: Dict[str, str] = {}
+
+    def issue(self, subject: str, token_id: str) -> None:
+        """Bind ``token_id`` to ``subject``."""
+        if token_id in self._tokens:
+            raise AuthenticationError(f"token {token_id!r} already issued")
+        self._tokens[token_id] = subject
+
+    def revoke(self, token_id: str) -> None:
+        """Invalidate a token; safe when unknown."""
+        self._tokens.pop(token_id, None)
+
+    def observe(self, presence: Presence) -> Evidence:
+        """Check a ``token`` feature against issued tokens."""
+        token_id = presence.feature("token")
+        if token_id is None:
+            return Evidence(self.name)
+        owner = self._tokens.get(str(token_id))
+        if owner is None:
+            return Evidence(self.name)
+        return Evidence(
+            self.name,
+            identity_claims=(IdentityClaim(owner, self._confidence, self.name),),
+        )

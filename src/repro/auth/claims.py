@@ -1,0 +1,74 @@
+"""Authentication claims — identity and role evidence with confidence.
+
+The paper (§3): implicit identification technologies "may provide only
+'partial authentication' of users based on limited sensory
+information... A security model for the home should incorporate these
+confidence levels for both authentication and access control."
+
+Two claim types capture what a sensor can assert:
+
+* :class:`IdentityClaim` — "this is Alice, with confidence 0.75";
+* :class:`RoleClaim` — "this is *a child*, with confidence 0.98"
+  (§5.2: a sensor may be far more confident about a subject's *role*
+  than about their identity, because role classes are well separated
+  even when individuals within a class are not).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import AuthenticationError
+
+
+def validate_confidence(value: float, what: str = "confidence") -> float:
+    """Ensure a confidence value lies in [0, 1] and return it."""
+    if not isinstance(value, (int, float)) or not 0.0 <= float(value) <= 1.0:
+        raise AuthenticationError(f"{what} must be a number in [0, 1], got {value!r}")
+    return float(value)
+
+
+@dataclass(frozen=True)
+class IdentityClaim:
+    """Evidence that a particular subject is present."""
+
+    #: The claimed subject name.
+    subject: str
+    #: Confidence in [0, 1].
+    confidence: float
+    #: Which authenticator produced the claim (for audit).
+    source: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.subject:
+            raise AuthenticationError("identity claim needs a subject")
+        object.__setattr__(
+            self, "confidence", validate_confidence(self.confidence)
+        )
+
+    def describe(self) -> str:
+        source = f" [{self.source}]" if self.source else ""
+        return f"identity={self.subject}@{self.confidence:.2f}{source}"
+
+
+@dataclass(frozen=True)
+class RoleClaim:
+    """Evidence that the present subject possesses a subject role."""
+
+    #: The claimed subject-role name.
+    role: str
+    #: Confidence in [0, 1].
+    confidence: float
+    #: Which authenticator produced the claim (for audit).
+    source: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.role:
+            raise AuthenticationError("role claim needs a role")
+        object.__setattr__(
+            self, "confidence", validate_confidence(self.confidence)
+        )
+
+    def describe(self) -> str:
+        source = f" [{self.source}]" if self.source else ""
+        return f"role={self.role}@{self.confidence:.2f}{source}"

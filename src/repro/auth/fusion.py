@@ -1,0 +1,84 @@
+"""Confidence fusion — combining evidence from multiple sensors.
+
+The home has many identification technologies of different reliability
+("face recognition is 90% accurate, while voice recognition is only
+70%", §3).  When several independently support the same claim, the
+system should be *more* confident than any single sensor; when they
+disagree, it must combine them defensibly.
+
+Strategies (the E4 ablation compares them):
+
+* ``MAX`` — trust the best single sensor; conservative, never exceeds
+  the strongest evidence.
+* ``INDEPENDENT`` — treat each sensor's error as independent:
+  ``1 - prod(1 - c_i)``.  Two 0.7 sensors agreeing yield 0.91.
+* ``MIN`` — paranoid lower bound; useful as a worst-case reference.
+* ``MEAN`` — arithmetic mean; included as the naive baseline.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Dict, Iterable, List, Sequence
+
+from repro.auth.claims import validate_confidence
+from repro.exceptions import AuthenticationError
+
+
+class FusionStrategy(enum.Enum):
+    """How to combine several confidence values for one claim."""
+
+    MAX = "max"
+    INDEPENDENT = "independent"
+    MIN = "min"
+    MEAN = "mean"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+def fuse(
+    confidences: Sequence[float],
+    strategy: FusionStrategy = FusionStrategy.INDEPENDENT,
+) -> float:
+    """Combine confidence values for one claim into one value.
+
+    :raises AuthenticationError: on an empty sequence or out-of-range
+        values.
+    """
+    if not confidences:
+        raise AuthenticationError("cannot fuse an empty confidence list")
+    values = [validate_confidence(c) for c in confidences]
+    if strategy is FusionStrategy.MAX:
+        return max(values)
+    if strategy is FusionStrategy.MIN:
+        return min(values)
+    if strategy is FusionStrategy.MEAN:
+        return sum(values) / len(values)
+    if strategy is FusionStrategy.INDEPENDENT:
+        # 1 - prod(1 - c): the probability at least one sensor is
+        # right, under independence.  Computed in log space to stay
+        # stable for long evidence lists.
+        if any(c == 1.0 for c in values):
+            return 1.0
+        log_error = sum(math.log1p(-c) for c in values)
+        return -math.expm1(log_error)
+    raise AuthenticationError(f"unknown fusion strategy {strategy!r}")
+
+
+def fuse_claim_map(
+    claim_lists: Iterable[Dict[str, float]],
+    strategy: FusionStrategy = FusionStrategy.INDEPENDENT,
+) -> Dict[str, float]:
+    """Fuse several per-claim confidence maps key-wise.
+
+    Input: one ``{claim_key: confidence}`` map per sensor.  Output: one
+    map with each key's confidences fused.  Keys missing from a sensor
+    simply contribute no evidence (they are *not* treated as zero).
+    """
+    gathered: Dict[str, List[float]] = {}
+    for claim_map in claim_lists:
+        for key, confidence in claim_map.items():
+            gathered.setdefault(key, []).append(confidence)
+    return {key: fuse(values, strategy) for key, values in gathered.items()}

@@ -1,0 +1,189 @@
+"""The authentication service — §5.2's decision support, end to end.
+
+:class:`AuthenticationService` gathers evidence from every registered
+authenticator for a presence, fuses it, and produces an
+:class:`AuthenticationResult` that converts directly into an
+:class:`~repro.core.mediation.AccessRequest`:
+
+* if the fused *identity* confidence clears ``identity_threshold``,
+  the request names the subject (classic authenticated access);
+* regardless, all fused *role* evidence rides along as role claims —
+  including roles *derived* from identity evidence ("it's Alice at
+  0.75, Alice is a child, so this is a child at ≥0.75").
+
+That derivation plus direct role claims is exactly the paper's Smart
+Floor argument: identity evidence for Alice may sit below the policy
+threshold while role evidence for *child* clears it, and the TV turns
+on anyway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.auth.authenticator import Authenticator, Evidence, Presence
+from repro.auth.fusion import FusionStrategy, fuse_claim_map
+from repro.core.mediation import AccessRequest
+from repro.core.policy import GrbacPolicy
+from repro.exceptions import AuthenticationError
+
+
+@dataclass(frozen=True)
+class AuthenticationResult:
+    """Fused authentication outcome for one presence."""
+
+    #: Best-supported subject, or ``None`` when no identity evidence.
+    subject: Optional[str]
+    #: Fused confidence for that subject (0.0 when ``subject`` is None).
+    identity_confidence: float
+    #: Fused per-subject identity confidences (all candidates).
+    identity_confidences: Dict[str, float]
+    #: Fused per-role confidences (direct claims + identity-derived).
+    role_confidences: Dict[str, float]
+    #: The raw evidence, for audit.
+    evidence: Tuple[Evidence, ...]
+
+    def describe(self) -> str:
+        identity = (
+            f"{self.subject}@{self.identity_confidence:.2f}"
+            if self.subject
+            else "<no identity>"
+        )
+        roles = ", ".join(
+            f"{role}@{conf:.2f}"
+            for role, conf in sorted(self.role_confidences.items())
+        )
+        return f"identity: {identity}; roles: {roles or '<none>'}"
+
+
+class AuthenticationService:
+    """Collects, fuses, and converts authentication evidence.
+
+    :param policy: used to derive role evidence from identity evidence
+        (an identity claim for Alice implies claims for Alice's
+        *directly assigned* roles at the same confidence).
+    :param strategy: fusion strategy for multi-sensor evidence.
+    :param identity_threshold: minimum fused identity confidence for a
+        request to carry the subject's name.  Below it the requester
+        stays unidentified and only role claims flow (fail toward
+        anonymity, not toward misidentification).
+    """
+
+    def __init__(
+        self,
+        policy: GrbacPolicy,
+        strategy: FusionStrategy = FusionStrategy.INDEPENDENT,
+        identity_threshold: float = 0.5,
+    ) -> None:
+        if not 0.0 <= identity_threshold <= 1.0:
+            raise AuthenticationError("identity_threshold must be in [0, 1]")
+        self._policy = policy
+        self._strategy = strategy
+        self._identity_threshold = identity_threshold
+        self._authenticators: List[Authenticator] = []
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    def register(self, authenticator: Authenticator) -> Authenticator:
+        """Add an authenticator to the evidence pipeline."""
+        self._authenticators.append(authenticator)
+        return authenticator
+
+    def authenticators(self) -> List[Authenticator]:
+        """Registered authenticators, in order."""
+        return list(self._authenticators)
+
+    # ------------------------------------------------------------------
+    # Authentication
+    # ------------------------------------------------------------------
+    def authenticate(self, presence: Presence) -> AuthenticationResult:
+        """Run every authenticator over ``presence`` and fuse.
+
+        :raises AuthenticationError: when no authenticators are
+            registered — silently authenticating nobody would mask a
+            misconfigured deployment.
+        """
+        if not self._authenticators:
+            raise AuthenticationError("no authenticators registered")
+        evidence = tuple(
+            auth.observe(presence) for auth in self._authenticators
+        )
+        return self.fuse_evidence(evidence)
+
+    def fuse_evidence(
+        self, evidence: Tuple[Evidence, ...]
+    ) -> AuthenticationResult:
+        """Fuse pre-collected evidence (used directly by tests/benches)."""
+        identity = fuse_claim_map(
+            (e.identity_map() for e in evidence), self._strategy
+        )
+        direct_roles = fuse_claim_map(
+            (e.role_map() for e in evidence), self._strategy
+        )
+
+        subject: Optional[str] = None
+        identity_confidence = 0.0
+        if identity:
+            subject, identity_confidence = max(
+                identity.items(), key=lambda item: (item[1], item[0])
+            )
+
+        # Derive role evidence from identity evidence: every candidate
+        # subject contributes its directly assigned roles at the
+        # candidate's confidence.  Where direct role claims also exist,
+        # keep the stronger.
+        role_confidences = dict(direct_roles)
+        for candidate, confidence in identity.items():
+            for role_name in self._policy.authorized_subject_role_names(candidate):
+                if confidence > role_confidences.get(role_name, 0.0):
+                    role_confidences[role_name] = confidence
+
+        return AuthenticationResult(
+            subject=subject,
+            identity_confidence=identity_confidence if subject else 0.0,
+            identity_confidences=identity,
+            role_confidences=role_confidences,
+            evidence=evidence,
+        )
+
+    # ------------------------------------------------------------------
+    # Request construction
+    # ------------------------------------------------------------------
+    def build_request(
+        self,
+        result: AuthenticationResult,
+        transaction: str,
+        obj: str,
+    ) -> AccessRequest:
+        """Turn an authentication result into an access request.
+
+        The subject name is attached only when the fused identity
+        confidence clears the service's ``identity_threshold``; role
+        claims always ride along (restricted to roles the policy
+        knows, since claims must name real roles).
+        """
+        known_roles = {
+            role: confidence
+            for role, confidence in result.role_confidences.items()
+            if role in self._policy.subject_roles
+        }
+        attach_identity = (
+            result.subject is not None
+            and result.identity_confidence >= self._identity_threshold
+        )
+        if not attach_identity and not known_roles:
+            raise AuthenticationError(
+                "authentication produced neither a usable identity nor "
+                "any recognizable role evidence"
+            )
+        return AccessRequest(
+            transaction=transaction,
+            obj=obj,
+            subject=result.subject if attach_identity else None,
+            identity_confidence=(
+                result.identity_confidence if attach_identity else 1.0
+            ),
+            role_claims=known_roles,
+        )

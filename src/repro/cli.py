@@ -1,0 +1,238 @@
+"""Command-line interface for GRBAC policy work.
+
+The homeowner-facing surface (§3's usability requirement) for people
+who prefer a terminal over a Python prompt::
+
+    python -m repro.cli show  policy.grbac
+    python -m repro.cli lint  policy.grbac
+    python -m repro.cli check policy.grbac alice watch livingroom/tv \\
+           --env weekday-free-time --explain
+    python -m repro.cli export policy.grbac -o policy.json
+    python -m repro.cli demo  s51
+
+Policies are authored in the text DSL (see
+:mod:`repro.policy.dsl.parser` for the grammar); ``export`` converts
+to the JSON document format of :mod:`repro.policy.serialize`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core import AccessRequest, GrbacPolicy, MediationEngine
+from repro.exceptions import GrbacError
+from repro.policy.analysis import PolicyAnalyzer
+from repro.policy.dsl import compile_policy
+from repro.policy.serialize import to_json
+
+
+def _load_policy(path: str) -> GrbacPolicy:
+    with open(path, "r", encoding="utf-8") as handle:
+        return compile_policy(handle.read(), name=path)
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    policy = _load_policy(args.policy)
+    stats = policy.stats()
+    print(f"policy {policy.name!r}")
+    for key, value in stats.items():
+        print(f"  {key:<22} {value}")
+    print(f"  precedence             {policy.precedence.value}")
+    print(f"  default                {policy.default_sign.value}")
+    print("\nrules:")
+    for permission in policy.permissions():
+        print(f"  {permission.describe()}")
+    return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    policy = _load_policy(args.policy)
+    findings = PolicyAnalyzer(policy).lint()
+    if not findings:
+        print("clean: no conflicts, shadowed rules, or unreachable rules")
+        return 0
+    for finding in findings:
+        print(finding.describe())
+    has_errors = any(finding.severity == "error" for finding in findings)
+    return 1 if has_errors else 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    policy = _load_policy(args.policy)
+    engine = MediationEngine(
+        policy, confidence_threshold=args.threshold
+    )
+    request = AccessRequest(
+        transaction=args.transaction,
+        obj=args.object,
+        subject=args.subject,
+        identity_confidence=args.confidence,
+    )
+    decision = engine.decide(request, environment_roles=set(args.env))
+    if args.explain:
+        print(decision.explain())
+    else:
+        print("GRANT" if decision.granted else "DENY")
+    if args.diagnose:
+        print("candidate rules:")
+        diagnoses = engine.diagnose(request, environment_roles=set(args.env))
+        if not diagnoses:
+            print(f"  (no rule mentions transaction {args.transaction!r})")
+        for diagnosis in diagnoses:
+            print(f"  {diagnosis.describe()}")
+    return 0 if decision.granted else 1
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    policy = _load_policy(args.policy)
+    if args.format == "dsl":
+        from repro.policy.dsl.printer import print_policy
+
+        text = print_policy(policy).rstrip("\n")
+    else:
+        text = to_json(policy)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from datetime import datetime
+
+    from repro.workload.scenarios import (
+        build_negative_rights_scenario,
+        build_repairman_scenario,
+        build_s51_scenario,
+        build_s52_scenario,
+    )
+
+    if args.scenario == "s51":
+        scenario = build_s51_scenario(start=datetime(2000, 1, 17, 19, 30))
+        home = scenario.home
+        for subject in ("alice", "bobby", "mom"):
+            outcome = home.try_operate(subject, "livingroom/tv", "power_on")
+            print(f"{subject:>6} -> {'GRANT' if outcome.granted else 'DENY'}")
+    elif args.scenario == "s52":
+        scenario = build_s52_scenario()
+        home = scenario.home
+        alice = home.resident("alice")
+        result = home.auth.authenticate(alice.presence())
+        print(result.describe())
+        outcome = home.operate_with_presence(
+            alice.presence(), "livingroom/tv", "power_on"
+        )
+        print(f"TV power button -> {'GRANT' if outcome.granted else 'DENY'}")
+    elif args.scenario == "repairman":
+        scenario = build_repairman_scenario()
+        home = scenario.home
+        home.runtime.clock.advance(hours=2)
+        home.move("repair-tech", "kitchen")
+        outcome = home.try_operate("repair-tech", "kitchen/dishwasher", "diagnose")
+        print(f"09:00 inside -> {'GRANT' if outcome.granted else 'DENY'}")
+        home.runtime.clock.advance(hours=5)
+        outcome = home.try_operate("repair-tech", "kitchen/dishwasher", "diagnose")
+        print(f"14:00 inside -> {'GRANT' if outcome.granted else 'DENY'}")
+    else:  # negative-rights
+        scenario = build_negative_rights_scenario()
+        home = scenario.home
+        for subject, device in [("alice", "kitchen/oven"), ("mom", "kitchen/oven")]:
+            outcome = home.try_operate(subject, device, "power_on")
+            print(f"{subject:>6} power_on oven -> "
+                  f"{'GRANT' if outcome.granted else 'DENY'}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro.cli", description="GRBAC policy tooling"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    show = subparsers.add_parser("show", help="print a policy's contents")
+    show.add_argument("policy", help="path to a DSL policy file")
+    show.set_defaults(func=_cmd_show)
+
+    lint = subparsers.add_parser("lint", help="analyze a policy for problems")
+    lint.add_argument("policy", help="path to a DSL policy file")
+    lint.set_defaults(func=_cmd_lint)
+
+    check = subparsers.add_parser("check", help="mediate one request")
+    check.add_argument("policy", help="path to a DSL policy file")
+    check.add_argument("subject")
+    check.add_argument("transaction")
+    check.add_argument("object")
+    check.add_argument(
+        "--env",
+        action="append",
+        default=[],
+        metavar="ROLE",
+        help="active environment role (repeatable)",
+    )
+    check.add_argument(
+        "--confidence",
+        type=float,
+        default=1.0,
+        help="identity confidence of the requester (default 1.0)",
+    )
+    check.add_argument(
+        "--threshold",
+        type=float,
+        default=0.0,
+        help="policy-wide confidence threshold (default 0.0)",
+    )
+    check.add_argument(
+        "--explain", action="store_true", help="print the full decision"
+    )
+    check.add_argument(
+        "--diagnose",
+        action="store_true",
+        help="list every candidate rule and why it did/didn't apply",
+    )
+    check.set_defaults(func=_cmd_check)
+
+    export = subparsers.add_parser(
+        "export", help="convert a policy to JSON or normalized DSL"
+    )
+    export.add_argument("policy", help="path to a DSL policy file")
+    export.add_argument("-o", "--output", help="output file (default stdout)")
+    export.add_argument(
+        "--format",
+        choices=["json", "dsl"],
+        default="json",
+        help="output format (default json)",
+    )
+    export.set_defaults(func=_cmd_export)
+
+    demo = subparsers.add_parser("demo", help="run a canned paper scenario")
+    demo.add_argument(
+        "scenario",
+        choices=["s51", "s52", "repairman", "negative-rights"],
+        help="which paper scenario to run",
+    )
+    demo.set_defaults(func=_cmd_demo)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except GrbacError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

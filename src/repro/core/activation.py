@@ -1,0 +1,197 @@
+"""Role activation and sessions (§4.1.2 "Role Activation").
+
+The paper: "restrict a subject's role usage to a subset of his
+authorized role set at all times, so that only those roles that are
+necessary to perform his current duties are active... Only roles in
+the *active role set* can be used to execute transactions."
+
+A :class:`Session` records the active subject-role set of one subject.
+Activation is checked against
+
+* the subject's authorized role set (you can only activate a role you
+  possess), and
+* the policy's dynamic separation-of-duty constraints (two DSD-
+  conflicting roles may never be simultaneously active).
+
+The mediation engine accepts an optional session with each request;
+when present, only active roles (hierarchy-expanded) produce matches —
+this is how "active roles take precedence over inactive roles" is
+realized.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Iterator, List, Optional, Set
+
+from repro.core.roles import Role, RoleKind
+from repro.exceptions import ActivationError, SessionError
+
+
+class Session:
+    """One subject's login/interaction session with an active role set.
+
+    Sessions are created through :class:`SessionManager` (which wires
+    in the policy's checks); they should not be constructed directly
+    except in tests.
+    """
+
+    def __init__(
+        self,
+        session_id: str,
+        subject: str,
+        authorized: Callable[[str], Set[str]],
+        dsd_check: Callable[[str, str, Set[str]], None],
+    ) -> None:
+        self.session_id = session_id
+        self.subject = subject
+        self._authorized = authorized
+        self._dsd_check = dsd_check
+        self._active: Set[str] = set()
+        self._terminated = False
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    @property
+    def active_roles(self) -> Set[str]:
+        """Names of the currently active roles (a copy)."""
+        return set(self._active)
+
+    @property
+    def terminated(self) -> bool:
+        return self._terminated
+
+    def is_active(self, role: "Role | str") -> bool:
+        """True iff ``role`` is in the active role set."""
+        name = role.name if isinstance(role, Role) else role
+        return name in self._active
+
+    # ------------------------------------------------------------------
+    # Activation
+    # ------------------------------------------------------------------
+    def activate(self, role: "Role | str") -> None:
+        """Add ``role`` to the active role set.
+
+        :raises SessionError: if the session has been terminated.
+        :raises ActivationError: if the subject does not possess the
+            role.
+        :raises ConstraintViolationError: if activating it would
+            violate a dynamic separation-of-duty constraint.
+        """
+        self._require_live()
+        name = role.name if isinstance(role, Role) else role
+        if isinstance(role, Role):
+            role.require_kind(RoleKind.SUBJECT)
+        if name in self._active:
+            return
+        if name not in self._authorized(self.subject):
+            raise ActivationError(
+                f"subject {self.subject!r} is not authorized for role {name!r}"
+            )
+        self._dsd_check(self.subject, name, self._active)
+        self._active.add(name)
+
+    def deactivate(self, role: "Role | str") -> None:
+        """Remove ``role`` from the active role set.
+
+        :raises ActivationError: if the role is not active.
+        """
+        self._require_live()
+        name = role.name if isinstance(role, Role) else role
+        if name not in self._active:
+            raise ActivationError(
+                f"role {name!r} is not active in session {self.session_id!r}"
+            )
+        self._active.discard(name)
+
+    def activate_all_authorized(self) -> Set[str]:
+        """Activate every authorized role that DSD allows.
+
+        Roles are attempted in sorted order for determinism; roles
+        whose activation a DSD constraint vetoes are skipped.  Returns
+        the set of role names actually activated by this call.
+        """
+        self._require_live()
+        activated: Set[str] = set()
+        for name in sorted(self._authorized(self.subject)):
+            if name in self._active:
+                continue
+            try:
+                self.activate(name)
+            except Exception:
+                continue
+            activated.add(name)
+        return activated
+
+    def drop_all(self) -> None:
+        """Deactivate every role (the session stays alive)."""
+        self._require_live()
+        self._active.clear()
+
+    def _require_live(self) -> None:
+        if self._terminated:
+            raise SessionError(f"session {self.session_id!r} is terminated")
+
+
+class SessionManager:
+    """Creates and tracks sessions for a policy.
+
+    The manager is handed the two policy hooks a session needs —
+    the authorized-role-set lookup and the DSD activation check — so
+    that :mod:`repro.core.policy` can own constraint data without a
+    circular dependency.
+    """
+
+    def __init__(
+        self,
+        authorized: Callable[[str], Set[str]],
+        dsd_check: Callable[[str, str, Set[str]], None],
+    ) -> None:
+        self._authorized = authorized
+        self._dsd_check = dsd_check
+        self._sessions: Dict[str, Session] = {}
+        self._counter = itertools.count(1)
+
+    def open(self, subject: str, activate: Optional[List[str]] = None) -> Session:
+        """Open a session for ``subject``.
+
+        :param activate: role names to activate immediately; activation
+            errors propagate, leaving the session open with whatever
+            activated before the failure.
+        """
+        session_id = f"session-{next(self._counter)}"
+        session = Session(session_id, subject, self._authorized, self._dsd_check)
+        self._sessions[session_id] = session
+        if activate:
+            for role_name in activate:
+                session.activate(role_name)
+        return session
+
+    def get(self, session_id: str) -> Session:
+        """Look up a live session by id.
+
+        :raises SessionError: when unknown or already closed.
+        """
+        session = self._sessions.get(session_id)
+        if session is None or session.terminated:
+            raise SessionError(f"no live session {session_id!r}")
+        return session
+
+    def close(self, session: "Session | str") -> None:
+        """Terminate a session; idempotent on already-closed sessions."""
+        session_id = session.session_id if isinstance(session, Session) else session
+        found = self._sessions.pop(session_id, None)
+        if found is not None:
+            found._terminated = True
+            found._active.clear()
+
+    def sessions_of(self, subject: str) -> List[Session]:
+        """All live sessions of ``subject``."""
+        return [s for s in self._sessions.values() if s.subject == subject]
+
+    def __iter__(self) -> Iterator[Session]:
+        return iter(list(self._sessions.values()))
+
+    def __len__(self) -> int:
+        return len(self._sessions)

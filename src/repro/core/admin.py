@@ -1,0 +1,165 @@
+"""Administrative control — who may change the policy itself.
+
+The paper's homeowners "need to configure and manage information
+security policies in their homes" (§3) — which makes *policy
+administration* a security-relevant operation in its own right.  This
+module provides an ARBAC-style administrative layer: administrative
+rights are themselves attached to subject roles and scoped to a
+subtree of the role hierarchy.
+
+Example: the *parent* role may assign/revoke/delegate any role under
+*authorized-guest* (so Mom can let the repairman in), but not *parent*
+itself — children cannot be promoted by anyone but the household
+administrator.
+
+Every administrative action is checked against the actor's effective
+roles and, when permitted, executed against the policy and published
+on the event bus (``admin.<action>``) so the audit story covers policy
+*changes*, not just accesses.
+"""
+
+from __future__ import annotations
+
+import enum
+from datetime import datetime
+from typing import List, Optional, Set, Tuple
+
+from repro.core.delegation import Delegation, DelegationManager
+from repro.core.permissions import Permission
+from repro.core.policy import GrbacPolicy
+from repro.env.events import EventBus
+from repro.exceptions import AccessDeniedError, PolicyError
+
+
+class AdminAction(enum.Enum):
+    """Administrable operations on the policy."""
+
+    ASSIGN_ROLE = "assign-role"
+    REVOKE_ROLE = "revoke-role"
+    DELEGATE_ROLE = "delegate-role"
+    ADD_RULE = "add-rule"
+    REMOVE_RULE = "remove-rule"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class PolicyAdministrator:
+    """Mediated administrative interface over a policy.
+
+    :param policy: the policy being administered.
+    :param delegations: optional delegation manager for
+        :attr:`AdminAction.DELEGATE_ROLE`.
+    :param bus: optional event bus for ``admin.*`` events.
+    """
+
+    def __init__(
+        self,
+        policy: GrbacPolicy,
+        delegations: Optional[DelegationManager] = None,
+        bus: Optional[EventBus] = None,
+    ) -> None:
+        self._policy = policy
+        self._delegations = delegations
+        self._bus = bus
+        #: (admin role, action, scope role) triples.
+        self._grants: Set[Tuple[str, AdminAction, str]] = set()
+
+    # ------------------------------------------------------------------
+    # Configuring administrative rights
+    # ------------------------------------------------------------------
+    def grant_admin(
+        self, admin_role: str, action: AdminAction, scope_role: str
+    ) -> None:
+        """Let holders of ``admin_role`` perform ``action`` on roles at
+        or below ``scope_role`` in the subject-role hierarchy."""
+        self._policy.subject_roles.role(admin_role)
+        self._policy.subject_roles.role(scope_role)
+        if not isinstance(action, AdminAction):
+            raise PolicyError(f"unknown administrative action {action!r}")
+        self._grants.add((admin_role, action, scope_role))
+
+    def admin_grants(self) -> List[Tuple[str, AdminAction, str]]:
+        """All configured administrative rights."""
+        return sorted(self._grants, key=lambda g: (g[0], g[1].value, g[2]))
+
+    # ------------------------------------------------------------------
+    # The administrative check
+    # ------------------------------------------------------------------
+    def may(self, actor: str, action: AdminAction, target_role: str) -> bool:
+        """True iff ``actor`` may perform ``action`` on ``target_role``.
+
+        The actor's *effective* roles are matched against admin grants;
+        the target must be the scope role or one of its
+        specializations.
+        """
+        hierarchy = self._policy.subject_roles
+        hierarchy.role(target_role)
+        actor_roles = {r.name for r in self._policy.effective_subject_roles(actor)}
+        for admin_role, granted_action, scope_role in self._grants:
+            if granted_action is not action:
+                continue
+            if admin_role not in actor_roles:
+                continue
+            if hierarchy.is_specialization_of(target_role, scope_role):
+                return True
+        return False
+
+    def _require(self, actor: str, action: AdminAction, target_role: str) -> None:
+        if not self.may(actor, action, target_role):
+            raise AccessDeniedError(
+                f"{actor!r} may not {action.value} for role {target_role!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # Mediated administrative operations
+    # ------------------------------------------------------------------
+    def assign_role(self, actor: str, subject: str, role: str) -> None:
+        """Assign ``role`` to ``subject`` on ``actor``'s authority."""
+        self._require(actor, AdminAction.ASSIGN_ROLE, role)
+        self._policy.assign_subject(subject, role)
+        self._publish("admin.assign-role", actor, subject=subject, role=role)
+
+    def revoke_role(self, actor: str, subject: str, role: str) -> None:
+        """Revoke ``role`` from ``subject`` on ``actor``'s authority."""
+        self._require(actor, AdminAction.REVOKE_ROLE, role)
+        self._policy.revoke_subject(subject, role)
+        self._publish("admin.revoke-role", actor, subject=subject, role=role)
+
+    def delegate_role(
+        self, actor: str, subject: str, role: str, until: datetime
+    ) -> Delegation:
+        """Time-box ``role`` to ``subject`` on ``actor``'s authority."""
+        if self._delegations is None:
+            raise PolicyError("no delegation manager attached")
+        self._require(actor, AdminAction.DELEGATE_ROLE, role)
+        delegation = self._delegations.delegate(
+            subject, role, until=until, granted_by=actor
+        )
+        self._publish(
+            "admin.delegate-role",
+            actor,
+            subject=subject,
+            role=role,
+            delegation=delegation.delegation_id,
+        )
+        return delegation
+
+    def add_rule(self, actor: str, permission: Permission) -> Permission:
+        """Add a permission whose subject role is in the actor's scope."""
+        self._require(actor, AdminAction.ADD_RULE, permission.subject_role.name)
+        added = self._policy.add_permission(permission)
+        self._publish("admin.add-rule", actor, rule=permission.describe())
+        return added
+
+    def remove_rule(self, actor: str, permission: Permission) -> None:
+        """Remove a permission whose subject role is in the actor's scope."""
+        self._require(
+            actor, AdminAction.REMOVE_RULE, permission.subject_role.name
+        )
+        self._policy.remove_permission(permission)
+        self._publish("admin.remove-rule", actor, rule=permission.describe())
+
+    def _publish(self, event_type: str, actor: str, **payload) -> None:
+        if self._bus is not None:
+            self._bus.publish(event_type, actor=actor, **payload)

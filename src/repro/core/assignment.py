@@ -1,0 +1,134 @@
+"""Role assignment — authorized role sets (§4.1.1).
+
+The paper: "Each subject has an *authorized role set*, which consists
+of all the roles that the subject has been authorized to use.  We use
+the term *role possession* to denote that a role is in the authorized
+role set of a subject."
+
+GRBAC extends possession to objects (§4.2.3): each object possesses a
+set of object roles.  Environment roles are *not* assigned here — their
+membership ("activation") is a function of system state and lives in
+:mod:`repro.env.activation`.
+
+:class:`AssignmentTable` is a kind-checked many-to-many mapping between
+entity names and roles, used once for subject-role assignment and once
+for object-role assignment inside :class:`~repro.core.policy.GrbacPolicy`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Set
+
+from repro.core.roles import Role, RoleKind
+from repro.exceptions import UnknownEntityError
+
+
+class AssignmentTable:
+    """A many-to-many mapping of entity names to roles of one kind.
+
+    The table stores *direct* assignments only; hierarchy expansion is
+    the mediation engine's job.  A validation hook lets the policy
+    enforce constraints (static separation of duty, cardinality) at
+    assignment time.
+    """
+
+    def __init__(
+        self,
+        kind: RoleKind,
+        entity_label: str,
+        validator: Optional[Callable[[str, Role, Set[str]], None]] = None,
+    ) -> None:
+        """
+        :param kind: the role kind this table accepts.
+        :param entity_label: ``"subject"`` or ``"object"``, for errors.
+        :param validator: optional hook called as
+            ``validator(entity, role, current_role_names)`` before each
+            assignment; it should raise to veto.
+        """
+        self._kind = kind
+        self._entity_label = entity_label
+        self._validator = validator
+        #: entity name -> set of directly assigned role names
+        self._by_entity: Dict[str, Set[str]] = {}
+        #: role name -> set of entity names
+        self._by_role: Dict[str, Set[str]] = {}
+        #: role name -> Role (to return Role objects from queries)
+        self._roles: Dict[str, Role] = {}
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def assign(self, entity: str, role: Role) -> None:
+        """Add ``role`` to the authorized role set of ``entity``.
+
+        Idempotent.  Runs the validation hook (if any) first, so a
+        vetoed assignment leaves the table unchanged.
+        """
+        role.require_kind(self._kind)
+        current = self._by_entity.get(entity, set())
+        if role.name in current:
+            return
+        if self._validator is not None:
+            self._validator(entity, role, set(current))
+        self._by_entity.setdefault(entity, set()).add(role.name)
+        self._by_role.setdefault(role.name, set()).add(entity)
+        self._roles[role.name] = role
+
+    def revoke(self, entity: str, role: "Role | str") -> None:
+        """Remove a direct assignment.
+
+        :raises UnknownEntityError: if the assignment does not exist.
+        """
+        role_name = role.name if isinstance(role, Role) else role
+        if role_name not in self._by_entity.get(entity, ()):
+            raise UnknownEntityError(
+                f"{self._entity_label} {entity!r} is not assigned "
+                f"{self._kind.value} role {role_name!r}"
+            )
+        self._by_entity[entity].discard(role_name)
+        self._by_role[role_name].discard(entity)
+
+    def revoke_all(self, entity: str) -> None:
+        """Remove every assignment of ``entity``. Safe when none exist."""
+        for role_name in list(self._by_entity.get(entity, ())):
+            self._by_role[role_name].discard(entity)
+        self._by_entity.pop(entity, None)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def roles_of(self, entity: str) -> Set[Role]:
+        """The directly assigned roles of ``entity`` (empty set if none)."""
+        return {self._roles[name] for name in self._by_entity.get(entity, ())}
+
+    def role_names_of(self, entity: str) -> Set[str]:
+        """Names of directly assigned roles of ``entity``."""
+        return set(self._by_entity.get(entity, ()))
+
+    def members_of(self, role: "Role | str") -> Set[str]:
+        """Entity names directly assigned to ``role``."""
+        role_name = role.name if isinstance(role, Role) else role
+        return set(self._by_role.get(role_name, ()))
+
+    def possesses(self, entity: str, role: "Role | str") -> bool:
+        """True iff ``entity`` is *directly* assigned ``role``."""
+        role_name = role.name if isinstance(role, Role) else role
+        return role_name in self._by_entity.get(entity, ())
+
+    def entities(self) -> List[str]:
+        """All entities with at least one assignment."""
+        return [name for name, roles in self._by_entity.items() if roles]
+
+    def assignments(self) -> Iterable[tuple]:
+        """Yield ``(entity, role)`` pairs for every direct assignment."""
+        for entity, role_names in self._by_entity.items():
+            for role_name in sorted(role_names):
+                yield entity, self._roles[role_name]
+
+    def member_count(self, role: "Role | str") -> int:
+        """Number of entities directly assigned to ``role``."""
+        role_name = role.name if isinstance(role, Role) else role
+        return len(self._by_role.get(role_name, ()))
+
+    def __len__(self) -> int:
+        return sum(len(roles) for roles in self._by_entity.values())

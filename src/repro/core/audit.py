@@ -1,0 +1,220 @@
+"""Audit trail for access decisions.
+
+The home scenario makes auditability a first-class need: when a
+homeowner asks "who looked at the bedroom camera last night?", the
+answer must come from a queryable record of decisions, not from logs
+scattered across devices.  :class:`AuditLog` records every
+:class:`~repro.core.mediation.Decision` together with the environment
+snapshot it was made under, and supports the queries the example
+applications and benchmarks need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional
+
+from repro.core.mediation import Decision
+
+
+@dataclass(frozen=True)
+class AuditRecord:
+    """One audited decision with its timestamp.
+
+    ``timestamp`` is seconds since the simulation epoch (the env
+    substrate's clock), or ``None`` when no clock was attached.
+    """
+
+    sequence: int
+    decision: Decision
+    timestamp: Optional[float] = None
+
+    @property
+    def granted(self) -> bool:
+        return self.decision.granted
+
+    @property
+    def subject(self) -> Optional[str]:
+        return self.decision.request.subject
+
+    @property
+    def obj(self) -> str:
+        return self.decision.request.obj
+
+    @property
+    def transaction(self) -> str:
+        return self.decision.request.transaction
+
+    def describe(self) -> str:
+        """One-line rendering for reports."""
+        stamp = f"t={self.timestamp:.0f} " if self.timestamp is not None else ""
+        outcome = "GRANT" if self.granted else "DENY"
+        return (
+            f"{stamp}#{self.sequence} {outcome} "
+            f"{self.subject or '<unidentified>'} "
+            f"{self.transaction} {self.obj}"
+        )
+
+
+class AuditLog:
+    """An append-only, queryable record of decisions.
+
+    :param clock: optional zero-argument callable returning the current
+        time (the env substrate passes ``clock.now``); decisions are
+        stamped with its value at append time.
+    :param capacity: optional bound; when exceeded the oldest records
+        are dropped (a ring buffer), which keeps week-long simulated
+        traces memory-safe.
+    """
+
+    def __init__(
+        self,
+        clock: Optional[Callable[[], float]] = None,
+        capacity: Optional[int] = None,
+    ) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("audit capacity must be >= 1")
+        self._clock = clock
+        self._capacity = capacity
+        self._records: List[AuditRecord] = []
+        self._sequence = 0
+        self._grant_count = 0
+        self._deny_count = 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(self, decision: Decision) -> AuditRecord:
+        """Append a decision and return its audit record."""
+        self._sequence += 1
+        timestamp = self._clock() if self._clock is not None else None
+        record = AuditRecord(self._sequence, decision, timestamp)
+        self._records.append(record)
+        if decision.granted:
+            self._grant_count += 1
+        else:
+            self._deny_count += 1
+        if self._capacity is not None and len(self._records) > self._capacity:
+            self._records = self._records[-self._capacity :]
+        return record
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[AuditRecord]:
+        return iter(list(self._records))
+
+    def records(
+        self,
+        subject: Optional[str] = None,
+        obj: Optional[str] = None,
+        transaction: Optional[str] = None,
+        granted: Optional[bool] = None,
+        since: Optional[float] = None,
+        until: Optional[float] = None,
+    ) -> List[AuditRecord]:
+        """Filtered view of the retained records.
+
+        All filters are conjunctive; ``None`` means "don't filter".
+        Time filters only apply to records that carry a timestamp.
+        """
+        result = []
+        for record in self._records:
+            if subject is not None and record.subject != subject:
+                continue
+            if obj is not None and record.obj != obj:
+                continue
+            if transaction is not None and record.transaction != transaction:
+                continue
+            if granted is not None and record.granted != granted:
+                continue
+            if since is not None and (
+                record.timestamp is None or record.timestamp < since
+            ):
+                continue
+            if until is not None and (
+                record.timestamp is None or record.timestamp > until
+            ):
+                continue
+            result.append(record)
+        return result
+
+    def denials(self, subject: Optional[str] = None) -> List[AuditRecord]:
+        """All retained denials, optionally for one subject."""
+        return self.records(subject=subject, granted=False)
+
+    def grants(self, subject: Optional[str] = None) -> List[AuditRecord]:
+        """All retained grants, optionally for one subject."""
+        return self.records(subject=subject, granted=True)
+
+    @property
+    def grant_count(self) -> int:
+        """Total grants recorded (including evicted records)."""
+        return self._grant_count
+
+    @property
+    def deny_count(self) -> int:
+        """Total denials recorded (including evicted records)."""
+        return self._deny_count
+
+    @property
+    def total(self) -> int:
+        """Total decisions recorded (including evicted records)."""
+        return self._grant_count + self._deny_count
+
+    def grant_rate(self) -> float:
+        """Fraction of all recorded decisions that were grants."""
+        if self.total == 0:
+            return 0.0
+        return self._grant_count / self.total
+
+    def summary(self) -> str:
+        """One-line traffic summary for reports."""
+        return (
+            f"{self.total} decision(s): {self._grant_count} granted, "
+            f"{self._deny_count} denied ({self.grant_rate():.1%} grant rate)"
+        )
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def export_jsonl(self) -> str:
+        """Render retained records as JSON Lines, one decision per line.
+
+        The export carries what an external audit system needs —
+        outcome, parties, matched-rule names, rationale, environment —
+        not the full in-memory decision graph.
+        """
+        import json
+
+        lines = []
+        for record in self._records:
+            decision = record.decision
+            lines.append(
+                json.dumps(
+                    {
+                        "sequence": record.sequence,
+                        "timestamp": record.timestamp,
+                        "granted": record.granted,
+                        "subject": record.subject,
+                        "transaction": record.transaction,
+                        "object": record.obj,
+                        "rationale": decision.rationale,
+                        "matched_rules": [
+                            m.permission.describe() for m in decision.matches
+                        ],
+                        "environment_roles": sorted(decision.environment_roles),
+                        "subject_roles": {
+                            name: round(confidence, 6)
+                            for name, confidence in sorted(
+                                decision.subject_role_confidence.items()
+                            )
+                        },
+                    },
+                    sort_keys=True,
+                )
+            )
+        return "\n".join(lines) + ("\n" if lines else "")

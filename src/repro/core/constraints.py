@@ -1,0 +1,265 @@
+"""Separation of duty and related constraints (§4.1.2).
+
+The paper describes two varieties of separation of duty:
+
+* **Static** (SSD): two roles present a conflict of interest that
+  cannot be resolved by activation discipline; the same subject may
+  never possess both.  Enforced at *assignment* time.
+* **Dynamic** (DSD): the conflict exists only when both roles are used
+  simultaneously (the teller / account-holder example); the same
+  subject may possess both but never have both *active* in a session.
+  Enforced at *activation* time.
+
+Beyond the paper's two, this module provides the standard companions
+from the RBAC literature that the paper's references [4, 13] define —
+cardinality and prerequisite-role constraints — because realistic home
+policies use them ("at most two subjects may hold *administrator*").
+
+Constraints apply to **subject roles**; each checks a proposed new
+role against an existing role-name set and raises
+:class:`ConstraintViolationError` to veto.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, FrozenSet, Iterable, List, Optional, Set
+
+from repro.core.roles import Role
+from repro.exceptions import ConstraintViolationError, PolicyError
+
+
+def _role_names(roles: Iterable["Role | str"]) -> FrozenSet[str]:
+    return frozenset(r.name if isinstance(r, Role) else r for r in roles)
+
+
+@dataclass(frozen=True)
+class SeparationOfDuty:
+    """A mutual-exclusion constraint over a set of roles.
+
+    ``static=True`` gives SSD semantics (checked on assignment);
+    ``static=False`` gives DSD semantics (checked on activation).
+    ``limit`` generalizes pairwise exclusion: a subject may hold (or
+    activate) at most ``limit`` of the conflicting roles.  The classic
+    pairwise case is ``limit=1`` over two roles.
+    """
+
+    name: str
+    roles: FrozenSet[str]
+    static: bool = True
+    limit: int = 1
+
+    def __init__(
+        self,
+        name: str,
+        roles: Iterable["Role | str"],
+        static: bool = True,
+        limit: int = 1,
+    ) -> None:
+        role_names = _role_names(roles)
+        if len(role_names) < 2:
+            raise PolicyError(
+                f"separation-of-duty constraint {name!r} needs >= 2 roles"
+            )
+        if not 1 <= limit < len(role_names):
+            raise PolicyError(
+                f"separation-of-duty limit must be in [1, {len(role_names) - 1}], "
+                f"got {limit}"
+            )
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "roles", role_names)
+        object.__setattr__(self, "static", static)
+        object.__setattr__(self, "limit", limit)
+
+    @property
+    def kind_label(self) -> str:
+        return "static" if self.static else "dynamic"
+
+    def check(self, subject: str, new_role: str, held: Set[str]) -> None:
+        """Veto adding ``new_role`` to ``held`` for ``subject``.
+
+        ``held`` is the currently assigned (SSD) or currently active
+        (DSD) role-name set *before* the addition.
+
+        :raises ConstraintViolationError: when the addition would push
+            the subject over ``limit`` conflicting roles.
+        """
+        if new_role not in self.roles:
+            return
+        conflicting = (held & self.roles) | {new_role}
+        if len(conflicting) > self.limit:
+            raise ConstraintViolationError(
+                f"{self.kind_label} separation of duty {self.name!r}: "
+                f"{subject!r} cannot hold {sorted(conflicting)} together "
+                f"(limit {self.limit})",
+                constraint_name=self.name,
+            )
+
+    def violated_by(self, role_names: Set[str]) -> bool:
+        """True iff ``role_names`` already violates this constraint."""
+        return len(role_names & self.roles) > self.limit
+
+
+@dataclass(frozen=True)
+class CardinalityConstraint:
+    """At most ``max_members`` subjects may be assigned ``role``."""
+
+    name: str
+    role: str
+    max_members: int
+
+    def __init__(self, name: str, role: "Role | str", max_members: int) -> None:
+        if max_members < 1:
+            raise PolicyError(f"cardinality for {name!r} must be >= 1")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(
+            self, "role", role.name if isinstance(role, Role) else role
+        )
+        object.__setattr__(self, "max_members", max_members)
+
+    def check(self, subject: str, new_role: str, current_members: int) -> None:
+        """Veto assignment when the role is already at capacity."""
+        if new_role != self.role:
+            return
+        if current_members >= self.max_members:
+            raise ConstraintViolationError(
+                f"cardinality {self.name!r}: role {self.role!r} already has "
+                f"{current_members} member(s), max is {self.max_members}",
+                constraint_name=self.name,
+            )
+
+
+@dataclass(frozen=True)
+class PrerequisiteConstraint:
+    """A subject must already hold ``required`` to be given ``role``.
+
+    Example: only existing *family-member* subjects may be made
+    *administrator*.
+    """
+
+    name: str
+    role: str
+    required: str
+
+    def __init__(
+        self, name: str, role: "Role | str", required: "Role | str"
+    ) -> None:
+        object.__setattr__(self, "name", name)
+        object.__setattr__(
+            self, "role", role.name if isinstance(role, Role) else role
+        )
+        object.__setattr__(
+            self,
+            "required",
+            required.name if isinstance(required, Role) else required,
+        )
+        if self.role == self.required:
+            raise PolicyError(
+                f"prerequisite constraint {name!r} is self-referential"
+            )
+
+    def check(self, subject: str, new_role: str, held: Set[str]) -> None:
+        """Veto assignment when the prerequisite role is missing.
+
+        ``held`` should be the subject's *effective* (hierarchy-
+        expanded) role names so that holding a specialization of the
+        prerequisite satisfies it.
+        """
+        if new_role != self.role:
+            return
+        if self.required not in held:
+            raise ConstraintViolationError(
+                f"prerequisite {self.name!r}: {subject!r} must hold "
+                f"{self.required!r} before being assigned {self.role!r}",
+                constraint_name=self.name,
+            )
+
+
+class ConstraintSet:
+    """The collection of constraints attached to a policy.
+
+    Provides the two checkpoints the model needs:
+
+    * :meth:`check_assignment` — SSD, cardinality, prerequisites;
+    * :meth:`check_activation` — DSD.
+    """
+
+    def __init__(self) -> None:
+        self._ssd: List[SeparationOfDuty] = []
+        self._dsd: List[SeparationOfDuty] = []
+        self._cardinality: List[CardinalityConstraint] = []
+        self._prerequisite: List[PrerequisiteConstraint] = []
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def add(self, constraint) -> None:
+        """Register any supported constraint object."""
+        if isinstance(constraint, SeparationOfDuty):
+            (self._ssd if constraint.static else self._dsd).append(constraint)
+        elif isinstance(constraint, CardinalityConstraint):
+            self._cardinality.append(constraint)
+        elif isinstance(constraint, PrerequisiteConstraint):
+            self._prerequisite.append(constraint)
+        else:
+            raise PolicyError(f"unsupported constraint type {type(constraint)!r}")
+
+    @property
+    def static_sod(self) -> List[SeparationOfDuty]:
+        return list(self._ssd)
+
+    @property
+    def dynamic_sod(self) -> List[SeparationOfDuty]:
+        return list(self._dsd)
+
+    @property
+    def cardinality(self) -> List[CardinalityConstraint]:
+        return list(self._cardinality)
+
+    @property
+    def prerequisite(self) -> List[PrerequisiteConstraint]:
+        return list(self._prerequisite)
+
+    def __len__(self) -> int:
+        return (
+            len(self._ssd)
+            + len(self._dsd)
+            + len(self._cardinality)
+            + len(self._prerequisite)
+        )
+
+    # ------------------------------------------------------------------
+    # Checkpoints
+    # ------------------------------------------------------------------
+    def check_assignment(
+        self,
+        subject: str,
+        new_role: str,
+        assigned: Set[str],
+        effective: Set[str],
+        member_count: Callable[[str], int],
+    ) -> None:
+        """Run all assignment-time checks.
+
+        :param assigned: the subject's *directly* assigned role names.
+        :param effective: the hierarchy-expanded role names (used for
+            prerequisites).
+        :param member_count: callable giving the current direct member
+            count of a role (used for cardinality).
+        :raises ConstraintViolationError: on the first violation.
+        """
+        for ssd in self._ssd:
+            ssd.check(subject, new_role, assigned)
+        for card in self._cardinality:
+            card.check(subject, new_role, member_count(card.role))
+        for prereq in self._prerequisite:
+            prereq.check(subject, new_role, effective)
+
+    def check_activation(self, subject: str, new_role: str, active: Set[str]) -> None:
+        """Run all activation-time (DSD) checks.
+
+        :param active: role names already active in the session.
+        :raises ConstraintViolationError: on the first violation.
+        """
+        for dsd in self._dsd:
+            dsd.check(subject, new_role, active)

@@ -1,0 +1,252 @@
+"""Time-boxed role delegation — guest passes, generalized.
+
+The paper's repairman (§3) holds an authorization that exists only for
+one visit.  Encoding each visit as a bespoke environment role works
+(scenario E5 does), but the *administrative* act — "give this person
+this role until 1 p.m." — deserves first-class support:
+:class:`DelegationManager` grants a subject role for a bounded window
+and guarantees revocation when the window closes, driven by the
+trusted clock.
+
+Lifecycle::
+
+    PENDING --(start reached)--> ACTIVE --(expiry reached)--> EXPIRED
+        \\------------------(revoke)------------------> REVOKED
+
+The manager assigns the role in the policy when a delegation becomes
+active and revokes it when the delegation ends, so mediation needs no
+new machinery — the authorized role set simply changes over time, and
+every transition is published on the event bus for the audit trail.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from datetime import datetime
+from typing import Dict, List, Optional
+
+from repro.core.policy import GrbacPolicy
+from repro.env.clock import Clock, to_timestamp
+from repro.env.events import EventBus
+from repro.exceptions import PolicyError
+
+
+class DelegationState(enum.Enum):
+    """Where a delegation is in its lifecycle."""
+
+    PENDING = "pending"
+    ACTIVE = "active"
+    EXPIRED = "expired"
+    REVOKED = "revoked"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class Delegation:
+    """One bounded grant of a subject role."""
+
+    def __init__(
+        self,
+        delegation_id: str,
+        subject: str,
+        role: str,
+        starts_at: float,
+        expires_at: float,
+        granted_by: str,
+    ) -> None:
+        self.delegation_id = delegation_id
+        self.subject = subject
+        self.role = role
+        self.starts_at = starts_at
+        self.expires_at = expires_at
+        self.granted_by = granted_by
+        self.state = DelegationState.PENDING
+
+    def describe(self) -> str:
+        return (
+            f"{self.delegation_id}: {self.role!r} to {self.subject!r} "
+            f"[{self.state.value}] (by {self.granted_by!r})"
+        )
+
+
+class DelegationManager:
+    """Grants and automatically retires time-boxed role assignments.
+
+    :param policy: the policy whose assignments are managed.
+    :param clock: the trusted time source; with a
+        :class:`~repro.env.clock.SimulatedClock`, transitions happen
+        eagerly on every advance.
+    :param bus: optional event bus for lifecycle events
+        (``delegation.granted`` / ``delegation.expired`` /
+        ``delegation.revoked``).
+    """
+
+    def __init__(
+        self,
+        policy: GrbacPolicy,
+        clock: Clock,
+        bus: Optional[EventBus] = None,
+    ) -> None:
+        self._policy = policy
+        self._clock = clock
+        self._bus = bus
+        self._delegations: Dict[str, Delegation] = {}
+        self._counter = itertools.count(1)
+        if hasattr(clock, "on_advance"):
+            clock.on_advance(self.refresh)
+
+    # ------------------------------------------------------------------
+    # Granting
+    # ------------------------------------------------------------------
+    def delegate(
+        self,
+        subject: str,
+        role: str,
+        until: datetime,
+        starting: Optional[datetime] = None,
+        granted_by: str = "administrator",
+    ) -> Delegation:
+        """Grant ``role`` to ``subject`` until ``until``.
+
+        :param starting: optional future activation time; defaults to
+            now.
+        :raises PolicyError: for windows that never open, roles the
+            subject already possesses (a delegation must be the sole
+            source of the right, or expiry could not safely revoke),
+            or unknown subjects/roles.
+        """
+        self._policy.subject(subject)
+        self._policy.subject_roles.role(role)
+        now = self._clock.now()
+        starts_at = to_timestamp(starting) if starting else now
+        expires_at = to_timestamp(until)
+        if expires_at <= starts_at:
+            raise PolicyError("delegation would expire before it starts")
+        if expires_at <= now:
+            raise PolicyError("delegation window is entirely in the past")
+        for existing in self._delegations.values():
+            if (
+                existing.subject == subject
+                and existing.role == role
+                and existing.state
+                in (DelegationState.PENDING, DelegationState.ACTIVE)
+            ):
+                raise PolicyError(
+                    f"a live delegation of {role!r} to {subject!r} exists "
+                    f"({existing.delegation_id})"
+                )
+        if role in self._policy.authorized_subject_role_names(subject):
+            raise PolicyError(
+                f"{subject!r} already possesses {role!r}; delegating it "
+                "would make expiry revoke a permanent assignment"
+            )
+        delegation = Delegation(
+            f"delegation-{next(self._counter)}",
+            subject,
+            role,
+            starts_at,
+            expires_at,
+            granted_by,
+        )
+        self._delegations[delegation.delegation_id] = delegation
+        self.refresh()
+        return delegation
+
+    # ------------------------------------------------------------------
+    # Revocation & lifecycle
+    # ------------------------------------------------------------------
+    def revoke(self, delegation: "Delegation | str") -> None:
+        """Terminate a delegation immediately.
+
+        :raises PolicyError: for unknown or already-finished ones.
+        """
+        delegation = self._resolve(delegation)
+        if delegation.state in (DelegationState.EXPIRED, DelegationState.REVOKED):
+            raise PolicyError(
+                f"delegation {delegation.delegation_id!r} already "
+                f"{delegation.state.value}"
+            )
+        if delegation.state is DelegationState.ACTIVE:
+            self._policy.revoke_subject(delegation.subject, delegation.role)
+        delegation.state = DelegationState.REVOKED
+        self._publish("delegation.revoked", delegation)
+
+    def refresh(self) -> List[Delegation]:
+        """Apply due transitions; returns delegations that changed.
+
+        Called automatically on simulated-clock advances; call it
+        manually when using a wall clock.
+        """
+        now = self._clock.now()
+        changed: List[Delegation] = []
+        for delegation in self._delegations.values():
+            if (
+                delegation.state is DelegationState.PENDING
+                and delegation.starts_at <= now < delegation.expires_at
+            ):
+                self._policy.assign_subject(delegation.subject, delegation.role)
+                delegation.state = DelegationState.ACTIVE
+                self._publish("delegation.granted", delegation)
+                changed.append(delegation)
+            if (
+                delegation.state is DelegationState.ACTIVE
+                and now >= delegation.expires_at
+            ):
+                self._policy.revoke_subject(delegation.subject, delegation.role)
+                delegation.state = DelegationState.EXPIRED
+                self._publish("delegation.expired", delegation)
+                changed.append(delegation)
+            if (
+                delegation.state is DelegationState.PENDING
+                and now >= delegation.expires_at
+            ):
+                # The window opened and closed between refreshes; the
+                # role is never assigned.
+                delegation.state = DelegationState.EXPIRED
+                self._publish("delegation.expired", delegation)
+                changed.append(delegation)
+        return changed
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def get(self, delegation_id: str) -> Delegation:
+        """Look up a delegation by id."""
+        return self._resolve(delegation_id)
+
+    def delegations_of(self, subject: str) -> List[Delegation]:
+        """All delegations (any state) ever granted to ``subject``."""
+        return [
+            d for d in self._delegations.values() if d.subject == subject
+        ]
+
+    def active(self) -> List[Delegation]:
+        """Currently active delegations."""
+        return [
+            d
+            for d in self._delegations.values()
+            if d.state is DelegationState.ACTIVE
+        ]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _resolve(self, delegation: "Delegation | str") -> Delegation:
+        if isinstance(delegation, Delegation):
+            return delegation
+        found = self._delegations.get(delegation)
+        if found is None:
+            raise PolicyError(f"unknown delegation {delegation!r}")
+        return found
+
+    def _publish(self, event_type: str, delegation: Delegation) -> None:
+        if self._bus is not None:
+            self._bus.publish(
+                event_type,
+                delegation=delegation.delegation_id,
+                subject=delegation.subject,
+                role=delegation.role,
+                granted_by=delegation.granted_by,
+            )

@@ -1,0 +1,359 @@
+"""Role hierarchies (§4.1.2 "Role Hierarchies", §4.2.1).
+
+The paper motivates hierarchies as a structuring tool: write a generic
+rule once against a broad role, and let more specific roles inherit it.
+Figure 2's household hierarchy is the canonical example — *Parent*
+specializes *Family Member*, which specializes *Home User*.
+
+Semantics used here (uniform across all three role kinds):
+
+* An edge ``specializes(child, parent)`` declares *child* the more
+  specific role and *parent* the more general one.
+* Possessing a specific role implies possessing all of its transitive
+  generalizations: Mom assigned *Parent* is also a *Family Member* and
+  a *Home User*, so permissions attached to any of those apply to her.
+* For environment roles the same rule reads: when *weekday-morning* is
+  active, *weekday* is active too.
+* For object roles: an object classified *television* is also in
+  *entertainment-devices*.
+
+The hierarchy is a DAG; each role kind gets its own hierarchy (the
+policy object holds three) because an edge between roles of different
+kinds is meaningless.  Cycles are rejected at edge-insertion time.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.core.roles import Role, RoleKind
+from repro.exceptions import (
+    HierarchyCycleError,
+    HierarchyError,
+    RoleKindError,
+    UnknownEntityError,
+)
+
+
+class RoleHierarchy:
+    """A DAG of specialization edges over roles of one kind.
+
+    The hierarchy owns the set of roles of its kind: roles must be
+    added (explicitly or implicitly via :meth:`add_specialization`)
+    before they participate in queries.
+    """
+
+    def __init__(self, kind: RoleKind) -> None:
+        self._kind = kind
+        #: role name -> Role
+        self._roles: Dict[str, Role] = {}
+        #: child name -> set of direct parent (more general) names
+        self._parents: Dict[str, Set[str]] = {}
+        #: parent name -> set of direct child (more specific) names
+        self._children: Dict[str, Set[str]] = {}
+        #: memoized transitive generalization closures, invalidated on
+        #: any mutation.  Maps role name -> frozenset of names
+        #: (including the role itself).
+        self._closure_cache: Dict[str, FrozenSet[str]] = {}
+        #: memoized shortest-path distances, invalidated with the
+        #: closure cache.
+        self._distance_cache: Dict[str, Dict[str, int]] = {}
+        #: Monotonic counter bumped on every structural mutation;
+        #: consumers use it as a staleness check.
+        self.revision = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def kind(self) -> RoleKind:
+        """The role kind this hierarchy manages."""
+        return self._kind
+
+    def __contains__(self, role: "Role | str") -> bool:
+        return self._name_of(role) in self._roles
+
+    def __len__(self) -> int:
+        return len(self._roles)
+
+    def __iter__(self) -> Iterator[Role]:
+        return iter(self._roles.values())
+
+    def role(self, name: str) -> Role:
+        """Return the registered role called ``name``.
+
+        :raises UnknownEntityError: if no such role exists.
+        """
+        try:
+            return self._roles[name]
+        except KeyError:
+            raise UnknownEntityError(
+                f"unknown {self._kind.value} role {name!r}"
+            ) from None
+
+    def roles(self) -> List[Role]:
+        """All registered roles, in insertion order."""
+        return list(self._roles.values())
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_role(self, role: Role) -> Role:
+        """Register ``role``; idempotent for an identical re-add.
+
+        :raises RoleKindError: if the role has the wrong kind.
+        :raises HierarchyError: if a *different* role object with the
+            same name is already registered.
+        """
+        role.require_kind(self._kind)
+        existing = self._roles.get(role.name)
+        if existing is not None:
+            # Role equality is (kind, name); require the descriptive
+            # payload to match too, so a conflicting re-registration
+            # surfaces instead of silently keeping the first version.
+            if (
+                existing.description == role.description
+                and existing.metadata == role.metadata
+            ):
+                return existing
+            raise HierarchyError(
+                f"{self._kind.value} role {role.name!r} already registered "
+                "with different description/metadata"
+            )
+        self._roles[role.name] = role
+        self._parents.setdefault(role.name, set())
+        self._children.setdefault(role.name, set())
+        self._closure_cache.clear()
+        self._distance_cache.clear()
+        self.revision += 1
+        return role
+
+    def add_specialization(self, child: "Role | str", parent: "Role | str") -> None:
+        """Declare ``child`` a specialization of ``parent``.
+
+        Both roles must already be registered when referenced by name;
+        :class:`Role` arguments are auto-registered for convenience.
+
+        :raises HierarchyCycleError: if the edge would create a cycle
+            (including a self-edge).
+        """
+        child_name = self._ensure(child)
+        parent_name = self._ensure(parent)
+        if child_name == parent_name:
+            raise HierarchyCycleError(
+                f"role {child_name!r} cannot specialize itself"
+            )
+        # A cycle appears iff parent can already reach child through
+        # existing generalization edges.
+        if child_name in self._reachable_generalizations(parent_name):
+            raise HierarchyCycleError(
+                f"edge {child_name!r} -> {parent_name!r} would create a cycle"
+            )
+        self._parents[child_name].add(parent_name)
+        self._children[parent_name].add(child_name)
+        self._closure_cache.clear()
+        self._distance_cache.clear()
+        self.revision += 1
+
+    def remove_specialization(self, child: "Role | str", parent: "Role | str") -> None:
+        """Remove a direct specialization edge.
+
+        :raises HierarchyError: if the edge does not exist.
+        """
+        child_name = self._name_of(child)
+        parent_name = self._name_of(parent)
+        if parent_name not in self._parents.get(child_name, ()):  # pragma: no branch
+            raise HierarchyError(
+                f"no edge {child_name!r} -> {parent_name!r} to remove"
+            )
+        self._parents[child_name].discard(parent_name)
+        self._children[parent_name].discard(child_name)
+        self._closure_cache.clear()
+        self._distance_cache.clear()
+        self.revision += 1
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def direct_generalizations(self, role: "Role | str") -> Set[Role]:
+        """Direct parents (more general roles) of ``role``."""
+        name = self._name_of(role)
+        self.role(name)
+        return {self._roles[p] for p in self._parents[name]}
+
+    def direct_specializations(self, role: "Role | str") -> Set[Role]:
+        """Direct children (more specific roles) of ``role``."""
+        name = self._name_of(role)
+        self.role(name)
+        return {self._roles[c] for c in self._children[name]}
+
+    def generalizations(self, role: "Role | str") -> Set[Role]:
+        """All transitive generalizations of ``role`` (excluding itself)."""
+        name = self._name_of(role)
+        self.role(name)
+        closure = self._closure(name)
+        return {self._roles[n] for n in closure if n != name}
+
+    def specializations(self, role: "Role | str") -> Set[Role]:
+        """All transitive specializations of ``role`` (excluding itself)."""
+        name = self._name_of(role)
+        self.role(name)
+        seen: Set[str] = set()
+        frontier = deque(self._children[name])
+        while frontier:
+            current = frontier.popleft()
+            if current in seen:
+                continue
+            seen.add(current)
+            frontier.extend(self._children[current])
+        return {self._roles[n] for n in seen}
+
+    def is_specialization_of(self, child: "Role | str", parent: "Role | str") -> bool:
+        """True iff ``child`` transitively specializes ``parent``.
+
+        Reflexive: every role is a specialization of itself.
+        """
+        child_name = self._name_of(child)
+        parent_name = self._name_of(parent)
+        self.role(child_name)
+        self.role(parent_name)
+        return parent_name in self._closure(child_name)
+
+    def expand(self, roles: Iterable["Role | str"]) -> Set[Role]:
+        """Close a role set under generalization.
+
+        Given the directly-possessed roles of a subject (or object, or
+        the directly-active environment roles), return the full
+        effective role set: each input role plus every transitive
+        generalization.  This is the operation the mediation engine
+        applies before checking permissions.
+        """
+        result: Set[Role] = set()
+        for role in roles:
+            name = self._name_of(role)
+            self.role(name)
+            result.update(self._roles[n] for n in self._closure(name))
+        return result
+
+    def topological_order(self) -> List[Role]:
+        """Roles ordered so generalizations come after specializations.
+
+        Useful for policy analysis passes that propagate information
+        from specific to general roles.
+        """
+        in_degree = {name: len(parents) for name, parents in self._parents.items()}
+        # Kahn's algorithm over the reversed edge direction: start from
+        # roles with no parents?  We want specializations first, so we
+        # start from roles with no children.
+        child_count = {name: len(self._children[name]) for name in self._roles}
+        frontier = deque(name for name, count in child_count.items() if count == 0)
+        order: List[str] = []
+        remaining = dict(child_count)
+        while frontier:
+            current = frontier.popleft()
+            order.append(current)
+            for parent in self._parents[current]:
+                remaining[parent] -= 1
+                if remaining[parent] == 0:
+                    frontier.append(parent)
+        if len(order) != len(self._roles):  # pragma: no cover - cycles rejected
+            raise HierarchyError("hierarchy contains a cycle")
+        del in_degree
+        return [self._roles[name] for name in order]
+
+    def distance(self, child: "Role | str", parent: "Role | str") -> Optional[int]:
+        """Length of the shortest specialization path child → parent.
+
+        Returns ``0`` when the two roles are the same, ``None`` when
+        ``parent`` is not a generalization of ``child``.  Used by the
+        most-specific precedence strategy (smaller distance = the rule
+        was written closer to the entity's direct roles).
+        """
+        child_name = self._name_of(child)
+        parent_name = self._name_of(parent)
+        self.role(child_name)
+        self.role(parent_name)
+        distances = self._distance_cache.get(child_name)
+        if distances is None:
+            distances = {child_name: 0}
+            frontier = deque([child_name])
+            while frontier:
+                current = frontier.popleft()
+                for up in self._parents[current]:
+                    if up not in distances:
+                        distances[up] = distances[current] + 1
+                        frontier.append(up)
+            self._distance_cache[child_name] = distances
+        return distances.get(parent_name)
+
+    def edges(self) -> List[Tuple[Role, Role]]:
+        """All direct (child, parent) specialization edges."""
+        return [
+            (self._roles[child], self._roles[parent])
+            for child, parents in self._parents.items()
+            for parent in sorted(parents)
+        ]
+
+    def to_dot(
+        self,
+        name: str = "roles",
+        members: Optional[Dict[str, Iterable[str]]] = None,
+    ) -> str:
+        """Render the hierarchy as Graphviz DOT.
+
+        Figure 2 of the paper is exactly such a drawing: roles as
+        boxes, specialization edges upward, users hanging off their
+        assigned roles.  Pass ``members`` (role name → entity names)
+        to include the entities as ellipse nodes.
+
+        The output needs no Graphviz at test time — it is stable text,
+        suitable for documentation and golden-file comparison.
+        """
+        lines = [f"digraph {name} {{", "  rankdir=BT;", "  node [shape=box];"]
+        for role in sorted(self._roles):
+            lines.append(f'  "{role}";')
+        for child, parents in sorted(self._parents.items()):
+            for parent in sorted(parents):
+                lines.append(f'  "{child}" -> "{parent}";')
+        if members:
+            for role, entities in sorted(members.items()):
+                for entity in sorted(entities):
+                    lines.append(f'  "{entity}" [shape=ellipse];')
+                    lines.append(f'  "{entity}" -> "{role}" [style=dashed];')
+        lines.append("}")
+        return "\n".join(lines) + "\n"
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _name_of(role: "Role | str") -> str:
+        return role.name if isinstance(role, Role) else role
+
+    def _ensure(self, role: "Role | str") -> str:
+        """Register a Role argument if new; resolve names strictly."""
+        if isinstance(role, Role):
+            self.add_role(role)
+            return role.name
+        self.role(role)
+        return role
+
+    def _closure(self, name: str) -> FrozenSet[str]:
+        cached = self._closure_cache.get(name)
+        if cached is not None:
+            return cached
+        closure = frozenset(self._reachable_generalizations(name) | {name})
+        self._closure_cache[name] = closure
+        return closure
+
+    def _reachable_generalizations(self, name: str) -> Set[str]:
+        seen: Set[str] = set()
+        frontier = deque(self._parents.get(name, ()))
+        while frontier:
+            current = frontier.popleft()
+            if current in seen:
+                continue
+            seen.add(current)
+            frontier.extend(self._parents[current])
+        return seen

@@ -1,0 +1,53 @@
+"""Identifier discipline for GRBAC entities.
+
+All model entities (subjects, objects, roles, transactions) are referred
+to by short string identifiers.  Identifiers are case-sensitive,
+non-empty, and may not contain whitespace; this keeps audit logs, DSL
+text, and error messages unambiguous.
+
+The helpers here are deliberately tiny — they exist so that every
+constructor validates names the same way and produces the same error
+messages.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.exceptions import PolicyError
+
+#: Pattern for a valid entity identifier: at least one character, no
+#: whitespace.  Punctuation such as ``-``, ``_``, ``.``, ``:`` and ``/``
+#: is allowed because device paths ("kitchen/tv") and dotted names make
+#: natural identifiers in the home domain.
+_IDENT_RE = re.compile(r"^\S+$")
+
+
+def validate_identifier(name: str, kind: str = "identifier") -> str:
+    """Validate ``name`` as an entity identifier and return it.
+
+    :param name: proposed identifier.
+    :param kind: human-readable description used in error messages
+        (e.g. ``"subject"`` or ``"role"``).
+    :raises PolicyError: if the identifier is empty, not a string, or
+        contains whitespace.
+    """
+    if not isinstance(name, str):
+        raise PolicyError(f"{kind} name must be a string, got {type(name).__name__}")
+    if not name:
+        raise PolicyError(f"{kind} name must be non-empty")
+    if not _IDENT_RE.match(name):
+        raise PolicyError(f"{kind} name {name!r} must not contain whitespace")
+    return name
+
+
+def qualify(namespace: str, name: str) -> str:
+    """Join a namespace and a local name into one identifier.
+
+    Used by the home registry to map devices into globally unique
+    object identifiers, e.g. ``qualify("livingroom", "tv")`` →
+    ``"livingroom/tv"``.
+    """
+    validate_identifier(namespace, "namespace")
+    validate_identifier(name, "name")
+    return f"{namespace}/{name}"

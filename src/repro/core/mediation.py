@@ -1,0 +1,636 @@
+"""Access mediation — the GRBAC decision procedure (§4.2.4).
+
+The paper's rule: for subject *s* to perform transaction *t* on object
+*o*, *s* must possess some subject role ``rs`` such that
+
+1. there exists some object role ``ro`` possessed by *o*;
+2. there exists some environment role ``re`` that is currently active;
+3. there exists some permission that allows ``rs`` to perform *t* on
+   ``ro`` when ``re`` is active.
+
+:class:`MediationEngine` implements this rule over a
+:class:`~repro.core.policy.GrbacPolicy`, with the practical extensions
+the paper discusses around it:
+
+* **hierarchy expansion** — possession and activation close over the
+  role hierarchies (§4.1.2 "Role Hierarchies");
+* **negative rights** — matching DENY rules are fed, together with the
+  grants, to the configured precedence strategy (§3, §4.1.2 "Role
+  Precedence");
+* **sessions** — when a request carries a session, only the session's
+  *active* roles can produce matches (§4.1.2 "Role Activation");
+* **partial authentication** (§5.2) — requests may carry role-level
+  confidence claims instead of (or alongside) an identity; GRANT rules
+  only match when the claim confidence clears both the rule's own
+  ``min_confidence`` and the engine-wide ``confidence_threshold``.
+  DENY rules match at any confidence: weak evidence must never weaken
+  a prohibition.
+
+Two decision paths are provided: the default *indexed* path and a
+*naive* path that is a literal transcription of the quantifier rule.
+They are verified equivalent by property-based tests and ablated
+against each other in benchmark E11.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
+
+from repro.core.activation import Session
+from repro.core.permissions import Permission, Sign
+from repro.core.policy import GrbacPolicy
+from repro.core.precedence import Match, PrecedenceStrategy, Resolution, resolve
+from repro.core.roles import ANY_ENVIRONMENT, ANY_OBJECT, Role
+from repro.exceptions import PolicyError
+
+#: Hierarchy distance assigned to a match through one of the wildcard
+#: roles (``any-object`` / ``any-environment``) when computing rule
+#: specificity — wildcards are by definition the least specific match.
+WILDCARD_DISTANCE = 1_000
+
+
+@dataclass(frozen=True)
+class AccessRequest:
+    """One access attempt: who, what transaction, which object.
+
+    ``subject`` may be ``None`` for purely sensor-driven requests in
+    which the requester was never identified but was authenticated
+    directly into roles via ``role_claims`` (the §5.2 mechanism).
+
+    ``role_claims`` maps subject-role names to authentication
+    confidence in ``[0, 1]`` — "the Smart Floor can authenticate her
+    into the Child role with 98% accuracy" becomes
+    ``{"child": 0.98}``.
+    """
+
+    transaction: str
+    obj: str
+    subject: Optional[str] = None
+    role_claims: Mapping[str, float] = field(default_factory=dict)
+    #: Confidence of the identity claim itself; the subject's assigned
+    #: roles inherit this confidence (identifying Alice at 75% means
+    #: every role derived from "this is Alice" carries 75%).
+    identity_confidence: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.subject is None and not self.role_claims:
+            raise PolicyError(
+                "an access request needs a subject, role claims, or both"
+            )
+        if not 0.0 <= self.identity_confidence <= 1.0:
+            raise PolicyError("identity_confidence must be in [0, 1]")
+        claims = dict(self.role_claims)
+        for role_name, confidence in claims.items():
+            if not 0.0 <= confidence <= 1.0:
+                raise PolicyError(
+                    f"confidence for role {role_name!r} must be in [0, 1], "
+                    f"got {confidence}"
+                )
+        object.__setattr__(self, "role_claims", claims)
+
+
+@dataclass(frozen=True)
+class Decision:
+    """The outcome of mediating one request."""
+
+    request: AccessRequest
+    granted: bool
+    resolution: Resolution
+    matches: Tuple[Match, ...]
+    #: Effective (expanded) subject-role confidences used for matching.
+    subject_role_confidence: Mapping[str, float]
+    object_roles: FrozenSet[str]
+    environment_roles: FrozenSet[str]
+
+    @property
+    def sign(self) -> Sign:
+        return self.resolution.sign
+
+    @property
+    def rationale(self) -> str:
+        """Why the decision came out the way it did."""
+        return self.resolution.rationale
+
+    def explain(self) -> str:
+        """Multi-line human-readable explanation for audit output."""
+        lines = [
+            f"request: {self.request.subject or '<unidentified>'} -> "
+            f"{self.request.transaction} on {self.request.obj}",
+            f"decision: {'GRANT' if self.granted else 'DENY'}",
+            f"rationale: {self.rationale}",
+            "subject roles: "
+            + ", ".join(
+                f"{name}@{conf:.2f}"
+                for name, conf in sorted(self.subject_role_confidence.items())
+            ),
+            "object roles: " + ", ".join(sorted(self.object_roles)),
+            "environment roles: " + ", ".join(sorted(self.environment_roles)),
+        ]
+        if self.matches:
+            lines.append("matched rules:")
+            lines.extend(f"  - {m.permission.describe()}" for m in self.matches)
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class RuleDiagnosis:
+    """Why one candidate rule did / did not apply to a request."""
+
+    permission: Permission
+    subject_role_ok: bool
+    object_role_ok: bool
+    environment_role_ok: bool
+    confidence_ok: bool
+
+    @property
+    def matched(self) -> bool:
+        """All four gates held — this rule participated in resolution."""
+        return (
+            self.subject_role_ok
+            and self.object_role_ok
+            and self.environment_role_ok
+            and self.confidence_ok
+        )
+
+    @property
+    def conditions_met(self) -> int:
+        """How many of the four gates held (for nearest-miss sorting)."""
+        return sum(
+            (
+                self.subject_role_ok,
+                self.object_role_ok,
+                self.environment_role_ok,
+                self.confidence_ok,
+            )
+        )
+
+    def describe(self) -> str:
+        if self.matched:
+            return f"MATCHED  {self.permission.describe()}"
+        missing = []
+        if not self.subject_role_ok:
+            missing.append(
+                f"requester lacks role {self.permission.subject_role.name!r}"
+            )
+        if not self.object_role_ok:
+            missing.append(
+                f"object lacks role {self.permission.object_role.name!r}"
+            )
+        if not self.environment_role_ok:
+            missing.append(
+                f"environment role {self.permission.environment_role.name!r} "
+                "not active"
+            )
+        if not self.confidence_ok:
+            missing.append("authentication confidence too low")
+        return f"missed   {self.permission.describe()} — " + "; ".join(missing)
+
+
+class EnvironmentSource:
+    """Protocol-ish base: supplies the currently active environment roles.
+
+    The env substrate (:mod:`repro.env.activation`) provides the real
+    implementation; :class:`StaticEnvironment` below serves tests and
+    pure-model usage.
+
+    A source may additionally implement
+    :meth:`active_environment_roles_for` to contribute
+    *requester-relative* roles — state that depends on who is asking,
+    like §4.2.2's "children may only use the videophone while they are
+    in the kitchen" (the kitchen-ness is a property of the requester's
+    location, not of the house).  The engine prefers the request-aware
+    hook when present.
+    """
+
+    def active_environment_roles(self) -> Set[str]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def active_environment_roles_for(self, request: "AccessRequest") -> Set[str]:
+        """Request-aware variant; defaults to the global set."""
+        return self.active_environment_roles()
+
+
+class StaticEnvironment(EnvironmentSource):
+    """A fixed active environment-role set, settable by hand."""
+
+    def __init__(self, active: Optional[Set[str]] = None) -> None:
+        self._active: Set[str] = set(active or ())
+
+    def activate(self, *role_names: str) -> None:
+        self._active.update(role_names)
+
+    def deactivate(self, *role_names: str) -> None:
+        self._active.difference_update(role_names)
+
+    def set_active(self, role_names: Set[str]) -> None:
+        self._active = set(role_names)
+
+    def active_environment_roles(self) -> Set[str]:
+        return set(self._active)
+
+
+class MediationEngine:
+    """Evaluates access requests against a policy (§4.2.4).
+
+    :param policy: the policy to mediate.
+    :param environment: source of active environment roles; when
+        ``None`` only the always-active ``any-environment`` role is
+        active.
+    :param confidence_threshold: policy-wide minimum authentication
+        confidence for GRANT matches (the "90% accuracy before the
+        system will grant rights" of §5.2).
+    :param use_index: select the indexed decision path (default) or
+        the naive quantifier transcription (for the E11 ablation).
+    """
+
+    def __init__(
+        self,
+        policy: GrbacPolicy,
+        environment: Optional[EnvironmentSource] = None,
+        confidence_threshold: float = 0.0,
+        use_index: bool = True,
+        cache_size: int = 0,
+    ) -> None:
+        if not 0.0 <= confidence_threshold <= 1.0:
+            raise PolicyError("confidence_threshold must be in [0, 1]")
+        if cache_size < 0:
+            raise PolicyError("cache_size must be >= 0")
+        self.policy = policy
+        self.environment = environment
+        self.confidence_threshold = confidence_threshold
+        self.use_index = use_index
+        #: LRU decision cache capacity (0 disables caching).  Entries
+        #: key on the full request *and* the active environment set
+        #: *and* the policy's decision revision, so cached decisions
+        #: can never go stale (verified property-based).
+        self.cache_size = cache_size
+        self._cache: "OrderedDict[tuple, Decision]" = OrderedDict()
+        self.cache_hits = 0
+        self.cache_misses = 0
+        #: (transaction, subject_role, object_role) -> permissions
+        self._index: Dict[Tuple[str, str, str], List[Permission]] = {}
+        self._permission_order: Dict[tuple, int] = {}
+        self._indexed_revision = -1  # force initial build
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def decide(
+        self,
+        request: AccessRequest,
+        session: Optional[Session] = None,
+        environment_roles: Optional[Set[str]] = None,
+    ) -> Decision:
+        """Mediate ``request`` and return a full :class:`Decision`.
+
+        :param session: when given, the subject's identity-derived
+            roles are restricted to the session's active role set
+            before hierarchy expansion (§4.1.2 "Role Activation").
+        :param environment_roles: explicit directly-active environment
+            role names, overriding the engine's environment source —
+            useful for what-if queries and policy analysis.
+        """
+        active_env = self._resolve_active_env(request, environment_roles)
+        cache_key = None
+        if self.cache_size > 0 and session is None:
+            cache_key = (
+                request.subject,
+                request.transaction,
+                request.obj,
+                request.identity_confidence,
+                frozenset(request.role_claims.items()),
+                active_env,
+                self.policy.decision_revision,
+                self.confidence_threshold,
+                self.policy.precedence,
+                self.policy.default_sign,
+            )
+            cached = self._cache.get(cache_key)
+            if cached is not None:
+                self._cache.move_to_end(cache_key)
+                self.cache_hits += 1
+                return cached
+            self.cache_misses += 1
+
+        confidences, direct_subject_roles = self._subject_role_confidences(
+            request, session
+        )
+        object_roles, direct_object_roles = self._object_role_names(request.obj)
+        env_roles, direct_env_roles = self._environment_role_names(active_env)
+        self.policy.transaction(request.transaction)
+        directs = (direct_subject_roles, direct_object_roles, direct_env_roles)
+
+        if self.use_index:
+            matches = self._matches_indexed(
+                request.transaction, confidences, object_roles, env_roles, directs
+            )
+        else:
+            matches = self._matches_naive(
+                request.transaction, confidences, object_roles, env_roles, directs
+            )
+        matches = self._apply_confidence_gate(matches)
+        resolution = resolve(matches, self.policy.precedence, self.policy.default_sign)
+        decision = Decision(
+            request=request,
+            granted=resolution.sign is Sign.GRANT,
+            resolution=resolution,
+            matches=tuple(matches),
+            subject_role_confidence=dict(confidences),
+            object_roles=frozenset(object_roles),
+            environment_roles=frozenset(env_roles),
+        )
+        if cache_key is not None:
+            self._cache[cache_key] = decision
+            if len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
+        return decision
+
+    def check(
+        self,
+        subject: str,
+        transaction: str,
+        obj: str,
+        session: Optional[Session] = None,
+    ) -> bool:
+        """Boolean convenience wrapper around :meth:`decide`."""
+        request = AccessRequest(transaction=transaction, obj=obj, subject=subject)
+        return self.decide(request, session=session).granted
+
+    def diagnose(
+        self,
+        request: AccessRequest,
+        session: Optional[Session] = None,
+        environment_roles: Optional[Set[str]] = None,
+    ) -> List["RuleDiagnosis"]:
+        """Explain, per candidate rule, why the request did or did not
+        match it — the "why can't I watch TV?" answer a homeowner needs
+        (§3's usability requirement).
+
+        Every permission whose *transaction* matches the request is a
+        candidate; for each, the diagnosis reports which of the three
+        §4.2.4 conditions held (subject role possessed, object role
+        possessed, environment role active) plus the confidence gate.
+        Sorted with the nearest misses first.
+        """
+        active_env = self._resolve_active_env(request, environment_roles)
+        confidences, _ = self._subject_role_confidences(request, session)
+        object_roles, _ = self._object_role_names(request.obj)
+        env_roles, _ = self._environment_role_names(active_env)
+        self.policy.transaction(request.transaction)
+
+        diagnoses: List[RuleDiagnosis] = []
+        for permission in self.policy.permissions():
+            if permission.transaction.name != request.transaction:
+                continue
+            subject_ok = permission.subject_role.name in confidences
+            object_ok = permission.object_role.name in object_roles
+            environment_ok = permission.environment_role.name in env_roles
+            required = permission.min_confidence or self.confidence_threshold
+            if permission.sign is Sign.DENY or required == 0.0:
+                confidence_ok = True
+            else:
+                confidence_ok = (
+                    subject_ok
+                    and confidences[permission.subject_role.name] >= required
+                )
+            diagnoses.append(
+                RuleDiagnosis(
+                    permission=permission,
+                    subject_role_ok=subject_ok,
+                    object_role_ok=object_ok,
+                    environment_role_ok=environment_ok,
+                    confidence_ok=confidence_ok,
+                )
+            )
+        diagnoses.sort(key=lambda d: -d.conditions_met)
+        return diagnoses
+
+    # ------------------------------------------------------------------
+    # Effective role computation
+    # ------------------------------------------------------------------
+    def _subject_role_confidences(
+        self, request: AccessRequest, session: Optional[Session]
+    ) -> Tuple[Dict[str, float], Set[str]]:
+        """Expanded subject-role -> confidence map, plus direct roles.
+
+        Identity-derived roles carry ``identity_confidence``; explicit
+        role claims carry their own confidence.  Expansion propagates a
+        role's confidence to all its generalizations (being *parent* at
+        0.9 implies being *family-member* at 0.9).  Where several
+        sources support the same role, the maximum confidence wins.
+
+        The returned direct-role set (pre-expansion) feeds rule
+        specificity: a rule naming a direct role is maximally specific.
+        """
+        hierarchy = self.policy.subject_roles
+        direct: Dict[str, float] = {}
+        if request.subject is not None:
+            self.policy.subject(request.subject)
+            assigned = self.policy.authorized_subject_role_names(request.subject)
+            if session is not None:
+                if session.subject != request.subject:
+                    raise PolicyError(
+                        f"session belongs to {session.subject!r}, "
+                        f"request is for {request.subject!r}"
+                    )
+                assigned &= session.active_roles
+            for role_name in assigned:
+                direct[role_name] = max(
+                    direct.get(role_name, 0.0), request.identity_confidence
+                )
+        for role_name, confidence in request.role_claims.items():
+            hierarchy.role(role_name)  # claims must name real roles
+            direct[role_name] = max(direct.get(role_name, 0.0), confidence)
+
+        effective: Dict[str, float] = {}
+        for role_name, confidence in direct.items():
+            for role in hierarchy.expand([role_name]):
+                if confidence > effective.get(role.name, -1.0):
+                    effective[role.name] = confidence
+        return effective, set(direct)
+
+    def _object_role_names(self, obj: str) -> Tuple[Set[str], Set[str]]:
+        """(expanded role names incl. any-object, direct role names)."""
+        expanded = {r.name for r in self.policy.effective_object_roles(obj)}
+        direct = {r.name for r in self.policy.direct_object_roles(obj)}
+        return expanded, direct
+
+    def _resolve_active_env(
+        self, request: AccessRequest, override: Optional[Set[str]]
+    ) -> FrozenSet[str]:
+        """The directly-active environment role names for this request.
+
+        Precedence: an explicit override beats the environment source;
+        a request-aware source contributes requester-relative roles.
+        """
+        if override is not None:
+            return frozenset(override)
+        if self.environment is None:
+            return frozenset()
+        return frozenset(self.environment.active_environment_roles_for(request))
+
+    def _environment_role_names(
+        self, active: FrozenSet[str]
+    ) -> Tuple[Set[str], Set[str]]:
+        """(expanded active role names incl. any-environment, direct)."""
+        hierarchy = self.policy.environment_roles
+        known = {name for name in active if name in hierarchy}
+        expanded = {r.name for r in hierarchy.expand(known)}
+        expanded.add(ANY_ENVIRONMENT.name)
+        return expanded, known
+
+    # ------------------------------------------------------------------
+    # Matching
+    # ------------------------------------------------------------------
+    def _matches_indexed(
+        self,
+        transaction: str,
+        confidences: Dict[str, float],
+        object_roles: Set[str],
+        env_roles: Set[str],
+        directs: Tuple[Set[str], Set[str], Set[str]],
+    ) -> List[Match]:
+        self._refresh_index()
+        matches: List[Match] = []
+        for subject_role, object_role in itertools.product(
+            confidences, object_roles
+        ):
+            for permission in self._index.get(
+                (transaction, subject_role, object_role), ()
+            ):
+                if permission.environment_role.name in env_roles:
+                    matches.append(
+                        self._build_match(permission, confidences, directs)
+                    )
+        # Keep policy insertion order for deterministic resolution.
+        matches.sort(key=lambda m: self._permission_order[m.permission.key])
+        return matches
+
+    def _matches_naive(
+        self,
+        transaction: str,
+        confidences: Dict[str, float],
+        object_roles: Set[str],
+        env_roles: Set[str],
+        directs: Tuple[Set[str], Set[str], Set[str]],
+    ) -> List[Match]:
+        """Literal transcription of the §4.2.4 quantifier rule."""
+        matches: List[Match] = []
+        for permission in self.policy.permissions():
+            if permission.transaction.name != transaction:
+                continue
+            if permission.subject_role.name not in confidences:
+                continue
+            if permission.object_role.name not in object_roles:
+                continue
+            if permission.environment_role.name not in env_roles:
+                continue
+            matches.append(self._build_match(permission, confidences, directs))
+        return matches
+
+    def _apply_confidence_gate(self, matches: List[Match]) -> List[Match]:
+        """Drop GRANT matches whose confidence is insufficient.
+
+        A rule that sets its own ``min_confidence`` governs itself —
+        that is how §3's quality-tiered access works (stream at 90%,
+        degraded snapshot at 60%, under a 90% house default).  Rules
+        without one fall under the engine-wide ``confidence_threshold``
+        (§5.2's "90% accuracy before the system will grant rights").
+        Denies always survive: insufficient evidence must never
+        *unlock* something a deny rule forbids.
+        """
+        kept: List[Match] = []
+        for match in matches:
+            if match.sign is Sign.DENY:
+                kept.append(match)
+                continue
+            required = match.permission.min_confidence
+            if required == 0.0:
+                required = self.confidence_threshold
+            if match.confidence >= required or required == 0.0:
+                kept.append(match)
+        return kept
+
+    def _build_match(
+        self,
+        permission: Permission,
+        confidences: Dict[str, float],
+        directs: Tuple[Set[str], Set[str], Set[str]],
+    ) -> Match:
+        confidence = confidences[permission.subject_role.name]
+        specificity = self._specificity(permission, directs)
+        return Match(
+            permission=permission,
+            subject_role=permission.subject_role,
+            object_role=permission.object_role,
+            environment_role=permission.environment_role,
+            specificity=specificity,
+            confidence=confidence,
+        )
+
+    def _specificity(
+        self, permission: Permission, directs: Tuple[Set[str], Set[str], Set[str]]
+    ) -> int:
+        """Total hierarchy distance of the rule from the request.
+
+        Per dimension: the minimum specialization-path length from any
+        role the request holds *directly* up to the role the rule was
+        written against — 0 when the rule names a direct role, larger
+        the more generally the rule was phrased.  The ``any-object`` /
+        ``any-environment`` wildcards take a fixed large penalty: a
+        wildcard is by definition the least specific way to match.
+        """
+        direct_subjects, direct_objects, direct_envs = directs
+        subject_component = self._dimension_distance(
+            self.policy.subject_roles, direct_subjects, permission.subject_role.name
+        )
+        if permission.object_role == ANY_OBJECT:
+            object_component = WILDCARD_DISTANCE
+        else:
+            object_component = self._dimension_distance(
+                self.policy.object_roles, direct_objects, permission.object_role.name
+            )
+        if permission.environment_role == ANY_ENVIRONMENT:
+            environment_component = WILDCARD_DISTANCE
+        else:
+            environment_component = self._dimension_distance(
+                self.policy.environment_roles,
+                direct_envs,
+                permission.environment_role.name,
+            )
+        return subject_component + object_component + environment_component
+
+    @staticmethod
+    def _dimension_distance(hierarchy, direct_roles: Set[str], target: str) -> int:
+        distances = [
+            d
+            for d in (
+                hierarchy.distance(name, target)
+                for name in direct_roles
+                if name in hierarchy
+            )
+            if d is not None
+        ]
+        return min(distances) if distances else WILDCARD_DISTANCE
+
+    # ------------------------------------------------------------------
+    # Index maintenance
+    # ------------------------------------------------------------------
+    def _refresh_index(self) -> None:
+        if self.policy.permission_revision == self._indexed_revision:
+            return
+        permissions = self.policy.permissions()
+        self._index = {}
+        self._permission_order = {}
+        for position, permission in enumerate(permissions):
+            key = (
+                permission.transaction.name,
+                permission.subject_role.name,
+                permission.object_role.name,
+            )
+            self._index.setdefault(key, []).append(permission)
+            self._permission_order[permission.key] = position
+        self._indexed_revision = self.policy.permission_revision

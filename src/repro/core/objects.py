@@ -1,0 +1,58 @@
+"""Objects (resources) — the things a GRBAC system protects.
+
+Figure 1 of the paper defines an *object* as "a system resource".
+Examples from the paper: appliances (dishwasher, stereo), media objects
+(movies), and sensitive digital information (medical records, tax
+returns).
+
+The class is named :class:`Resource` to avoid clashing with Python's
+``object`` builtin; the module keeps the paper's terminology in its
+docstrings and the public API aliases ``Object = Resource``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+
+from repro.core.ids import validate_identifier
+
+
+@dataclass(frozen=True)
+class Resource:
+    """A system resource (the paper's *object*).
+
+    Like :class:`~repro.core.subjects.Subject`, a resource is an
+    immutable value object identified by name.  Attributes describe
+    classifiable properties that object roles may be based on — the
+    paper lists creation date, object type, sensitivity level, and
+    content descriptors (§4.2.3).
+    """
+
+    #: Unique identifier, e.g. ``"livingroom/tv"``.
+    name: str
+    #: Classifiable properties (``{"type": "streaming_video", "rating": "G"}``).
+    attributes: Mapping[str, Any] = field(default_factory=dict, compare=False)
+    #: Optional human-readable description.
+    description: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        validate_identifier(self.name, "object")
+        object.__setattr__(self, "attributes", dict(self.attributes))
+
+    def attribute(self, key: str, default: Optional[Any] = None) -> Any:
+        """Return attribute ``key`` or ``default`` when absent."""
+        return self.attributes.get(key, default)
+
+    def with_attributes(self, **updates: Any) -> "Resource":
+        """Return a copy of this resource with extra/overridden attributes."""
+        merged: Dict[str, Any] = dict(self.attributes)
+        merged.update(updates)
+        return Resource(self.name, merged, self.description)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+#: Alias matching the paper's vocabulary.
+Object = Resource

@@ -1,0 +1,103 @@
+"""Permissions — the GRBAC policy rules (§4.2.4).
+
+A GRBAC permission authorizes (or, with a negative sign, forbids) a
+transaction for the triple *(subject role, object role, environment
+role)*.  The paper's access mediation rule quantifies existentially
+over all three dimensions; attaching the rule to roles — never to
+individual subjects or objects — is what makes policies small.
+
+Positive **and** negative rights both "arise naturally in the context
+of the home" (§3): adults are granted access to all appliances while
+children are *denied* access to dangerous ones.  The :class:`Sign`
+enum models this; conflicts between matching grant and deny rules are
+resolved by a precedence strategy (:mod:`repro.core.precedence`).
+
+The optional ``min_confidence`` field implements §5.2: a permission may
+require that the subject was authenticated *into the matching subject
+role* with at least the given confidence.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.roles import Role, RoleKind
+from repro.core.transactions import Transaction
+from repro.exceptions import PolicyError
+
+
+class Sign(enum.Enum):
+    """Whether a permission grants or denies its transaction."""
+
+    GRANT = "grant"
+    DENY = "deny"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class Permission:
+    """One policy rule: ``sign transaction for (rs, ro, re)``.
+
+    ``subject_role``, ``object_role`` and ``environment_role`` are the
+    roles the rule is written against; hierarchy expansion at mediation
+    time means a rule written for *entertainment-devices* also covers
+    an object whose direct role is *television* when *television*
+    specializes *entertainment-devices*.
+    """
+
+    subject_role: Role
+    object_role: Role
+    environment_role: Role
+    transaction: Transaction
+    sign: Sign = Sign.GRANT
+    #: Minimum authentication confidence (0..1] required for the
+    #: subject-role claim that matches this rule.  ``0.0`` means any
+    #: confidence is acceptable.
+    min_confidence: float = 0.0
+    #: Priority for the PRIORITY precedence strategy; larger wins.
+    priority: int = 0
+    #: Optional human-readable name for audit output.
+    name: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        self.subject_role.require_kind(RoleKind.SUBJECT)
+        self.object_role.require_kind(RoleKind.OBJECT)
+        self.environment_role.require_kind(RoleKind.ENVIRONMENT)
+        if not isinstance(self.sign, Sign):
+            raise PolicyError(f"permission sign must be a Sign, got {self.sign!r}")
+        if not 0.0 <= self.min_confidence <= 1.0:
+            raise PolicyError(
+                f"min_confidence must be in [0, 1], got {self.min_confidence}"
+            )
+
+    @property
+    def key(self) -> tuple:
+        """The rule tuple the policy deduplicates on."""
+        return (
+            self.subject_role.name,
+            self.object_role.name,
+            self.environment_role.name,
+            self.transaction.name,
+            self.sign,
+        )
+
+    def describe(self) -> str:
+        """Human-readable one-line rendering, used by audit logs."""
+        label = f"[{self.name}] " if self.name else ""
+        confidence = (
+            f" (confidence >= {self.min_confidence:.0%})"
+            if self.min_confidence > 0
+            else ""
+        )
+        return (
+            f"{label}{self.sign.value} {self.transaction.name} to "
+            f"{self.subject_role.name} on {self.object_role.name} "
+            f"when {self.environment_role.name}{confidence}"
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.describe()

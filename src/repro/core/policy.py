@@ -1,0 +1,501 @@
+"""The GRBAC policy aggregate.
+
+:class:`GrbacPolicy` collects everything the model defines — entity
+registries, the three role hierarchies, role assignments, permissions,
+constraints, and the precedence configuration — behind one object that
+the mediation engine (and the policy DSL compiler, analysis passes,
+benchmarks, …) consume.
+
+Two distinguished roles are pre-registered in every policy:
+
+* ``object:any-object`` — possessed implicitly by every object, for
+  rules that do not discriminate on the resource;
+* ``environment:any-environment`` — always active, for rules with no
+  environmental condition.
+
+With those two, "traditional RBAC is essentially GRBAC with subject
+roles only" (§6) holds constructively: a plain RBAC rule is a GRBAC
+permission against ``any-object``/``any-environment``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Union
+
+from repro.core.activation import SessionManager
+from repro.core.assignment import AssignmentTable
+from repro.core.constraints import ConstraintSet
+from repro.core.hierarchy import RoleHierarchy
+from repro.core.objects import Resource
+from repro.core.permissions import Permission, Sign
+from repro.core.precedence import PrecedenceStrategy
+from repro.core.roles import (
+    ANY_ENVIRONMENT,
+    ANY_OBJECT,
+    Role,
+    RoleKind,
+    environment_role,
+    object_role,
+    subject_role,
+)
+from repro.core.subjects import Subject
+from repro.core.transactions import Transaction
+from repro.exceptions import (
+    DuplicateEntityError,
+    PolicyError,
+    UnknownEntityError,
+)
+
+RoleLike = Union[Role, str]
+
+
+class GrbacPolicy:
+    """A complete GRBAC policy instance.
+
+    The class is intentionally a plain in-memory aggregate: persistence
+    and distribution concerns belong to layers above the model, exactly
+    as the paper separates the access *model* from the trusted system
+    that hosts it (§7).
+    """
+
+    def __init__(
+        self,
+        name: str = "policy",
+        precedence: PrecedenceStrategy = PrecedenceStrategy.DENY_OVERRIDES,
+        default_sign: Sign = Sign.DENY,
+    ) -> None:
+        self.name = name
+        #: Conflict-resolution strategy for mediation (§4.1.2).
+        self.precedence = precedence
+        #: Decision when no rule matches; DENY = closed world.
+        self.default_sign = default_sign
+
+        self._subjects: Dict[str, Subject] = {}
+        self._objects: Dict[str, Resource] = {}
+        self._transactions: Dict[str, Transaction] = {}
+
+        self.subject_roles = RoleHierarchy(RoleKind.SUBJECT)
+        self.object_roles = RoleHierarchy(RoleKind.OBJECT)
+        self.environment_roles = RoleHierarchy(RoleKind.ENVIRONMENT)
+
+        self.constraints = ConstraintSet()
+        self._subject_assignments = AssignmentTable(
+            RoleKind.SUBJECT, "subject", validator=self._validate_subject_assignment
+        )
+        self._object_assignments = AssignmentTable(RoleKind.OBJECT, "object")
+
+        self._permissions: List[Permission] = []
+        self._permission_keys: Set[tuple] = set()
+        #: Monotonic counter bumped on every permission add/remove;
+        #: consumers (the mediation index) use it as a staleness check.
+        self.permission_revision = 0
+        #: Counter bumped on every assignment change (subject or
+        #: object); part of the decision-cache key.
+        self.assignment_revision = 0
+
+        self._sessions = SessionManager(
+            authorized=self.authorized_subject_role_names,
+            dsd_check=self.constraints.check_activation,
+        )
+
+        # Distinguished wildcard roles (see module docstring).
+        self.object_roles.add_role(ANY_OBJECT)
+        self.environment_roles.add_role(ANY_ENVIRONMENT)
+
+    # ------------------------------------------------------------------
+    # Entity registration
+    # ------------------------------------------------------------------
+    def add_subject(self, subject: Union[Subject, str], **attributes) -> Subject:
+        """Register a subject (by object or by name).
+
+        Re-adding an identical subject is idempotent; re-adding a name
+        with different attributes raises :class:`DuplicateEntityError`.
+        """
+        if isinstance(subject, str):
+            subject = Subject(subject, attributes)
+        existing = self._subjects.get(subject.name)
+        if existing is not None:
+            if existing.attributes == subject.attributes:
+                return existing
+            raise DuplicateEntityError(f"subject {subject.name!r} already exists")
+        self._subjects[subject.name] = subject
+        return subject
+
+    def add_object(self, obj: Union[Resource, str], **attributes) -> Resource:
+        """Register an object/resource (by object or by name)."""
+        if isinstance(obj, str):
+            obj = Resource(obj, attributes)
+        existing = self._objects.get(obj.name)
+        if existing is not None:
+            if existing.attributes == obj.attributes:
+                return existing
+            raise DuplicateEntityError(f"object {obj.name!r} already exists")
+        self._objects[obj.name] = obj
+        return obj
+
+    def add_transaction(self, transaction: Union[Transaction, str]) -> Transaction:
+        """Register a transaction (a bare name builds a simple one)."""
+        if isinstance(transaction, str):
+            transaction = Transaction.simple(transaction)
+        existing = self._transactions.get(transaction.name)
+        if existing is not None:
+            return existing
+        self._transactions[transaction.name] = transaction
+        return transaction
+
+    def subject(self, name: str) -> Subject:
+        """Look up a registered subject by name."""
+        try:
+            return self._subjects[name]
+        except KeyError:
+            raise UnknownEntityError(f"unknown subject {name!r}") from None
+
+    def object(self, name: str) -> Resource:
+        """Look up a registered object by name."""
+        try:
+            return self._objects[name]
+        except KeyError:
+            raise UnknownEntityError(f"unknown object {name!r}") from None
+
+    def transaction(self, name: str) -> Transaction:
+        """Look up a registered transaction by name."""
+        try:
+            return self._transactions[name]
+        except KeyError:
+            raise UnknownEntityError(f"unknown transaction {name!r}") from None
+
+    def subjects(self) -> List[Subject]:
+        """All registered subjects."""
+        return list(self._subjects.values())
+
+    def objects(self) -> List[Resource]:
+        """All registered objects."""
+        return list(self._objects.values())
+
+    def transactions(self) -> List[Transaction]:
+        """All registered transactions."""
+        return list(self._transactions.values())
+
+    # ------------------------------------------------------------------
+    # Role registration
+    # ------------------------------------------------------------------
+    def add_subject_role(self, role: RoleLike, description: str = "") -> Role:
+        """Register a subject role (by Role or by name)."""
+        if isinstance(role, str):
+            role = subject_role(role, description)
+        return self.subject_roles.add_role(role)
+
+    def add_object_role(self, role: RoleLike, description: str = "") -> Role:
+        """Register an object role (by Role or by name)."""
+        if isinstance(role, str):
+            role = object_role(role, description)
+        return self.object_roles.add_role(role)
+
+    def add_environment_role(self, role: RoleLike, description: str = "") -> Role:
+        """Register an environment role (by Role or by name)."""
+        if isinstance(role, str):
+            role = environment_role(role, description)
+        return self.environment_roles.add_role(role)
+
+    def hierarchy_for(self, kind: RoleKind) -> RoleHierarchy:
+        """The hierarchy managing roles of ``kind``."""
+        return {
+            RoleKind.SUBJECT: self.subject_roles,
+            RoleKind.OBJECT: self.object_roles,
+            RoleKind.ENVIRONMENT: self.environment_roles,
+        }[kind]
+
+    # ------------------------------------------------------------------
+    # Assignment
+    # ------------------------------------------------------------------
+    def assign_subject(self, subject: Union[Subject, str], role: RoleLike) -> None:
+        """Add a subject role to a subject's authorized role set.
+
+        Assignment-time constraints (SSD, cardinality, prerequisites)
+        are enforced; a violation raises and leaves state unchanged.
+        """
+        name = subject.name if isinstance(subject, Subject) else subject
+        self.subject(name)
+        role_obj = self._resolve_role(role, self.subject_roles)
+        self._subject_assignments.assign(name, role_obj)
+        self.assignment_revision += 1
+
+    def assign_object(self, obj: Union[Resource, str], role: RoleLike) -> None:
+        """Classify an object into an object role (§4.2.3)."""
+        name = obj.name if isinstance(obj, Resource) else obj
+        self.object(name)
+        role_obj = self._resolve_role(role, self.object_roles)
+        self._object_assignments.assign(name, role_obj)
+        self.assignment_revision += 1
+
+    def revoke_subject(self, subject: str, role: RoleLike) -> None:
+        """Remove a subject-role assignment."""
+        self._subject_assignments.revoke(subject, self._role_name(role))
+        self.assignment_revision += 1
+
+    def revoke_object(self, obj: str, role: RoleLike) -> None:
+        """Remove an object-role assignment."""
+        self._object_assignments.revoke(obj, self._role_name(role))
+        self.assignment_revision += 1
+
+    # --- subject role queries -----------------------------------------
+    def authorized_subject_roles(self, subject: str) -> Set[Role]:
+        """Directly assigned subject roles (the authorized role set)."""
+        return self._subject_assignments.roles_of(subject)
+
+    def authorized_subject_role_names(self, subject: str) -> Set[str]:
+        """Names of directly assigned subject roles."""
+        return self._subject_assignments.role_names_of(subject)
+
+    def effective_subject_roles(self, subject: str) -> Set[Role]:
+        """Hierarchy-expanded subject roles (possession closure)."""
+        direct = self._subject_assignments.roles_of(subject)
+        return self.subject_roles.expand(direct)
+
+    def subjects_in_role(self, role: RoleLike, transitive: bool = True) -> Set[str]:
+        """Subjects possessing ``role``.
+
+        With ``transitive=True`` (default), subjects assigned any
+        specialization of ``role`` are included — Mom is "in"
+        *family-member* because *parent* specializes it.
+        """
+        role_name = self._role_name(role)
+        members = self._subject_assignments.members_of(role_name)
+        if transitive and role_name in self.subject_roles:
+            for spec in self.subject_roles.specializations(role_name):
+                members |= self._subject_assignments.members_of(spec.name)
+        return members
+
+    # --- object role queries ------------------------------------------
+    def direct_object_roles(self, obj: str) -> Set[Role]:
+        """Directly assigned object roles (excludes ``any-object``)."""
+        return self._object_assignments.roles_of(obj)
+
+    def effective_object_roles(self, obj: str) -> Set[Role]:
+        """Hierarchy-expanded object roles, always incl. ``any-object``.
+
+        :raises UnknownEntityError: for unregistered objects — a
+            request against a nonexistent resource is a caller bug,
+            not a deniable access.
+        """
+        self.object(obj)
+        direct = self._object_assignments.roles_of(obj)
+        expanded = self.object_roles.expand(direct)
+        expanded.add(ANY_OBJECT)
+        return expanded
+
+    def objects_in_role(self, role: RoleLike, transitive: bool = True) -> Set[str]:
+        """Objects classified into ``role`` (transitively by default)."""
+        role_name = self._role_name(role)
+        if role_name == ANY_OBJECT.name:
+            return set(self._objects)
+        members = self._object_assignments.members_of(role_name)
+        if transitive and role_name in self.object_roles:
+            for spec in self.object_roles.specializations(role_name):
+                members |= self._object_assignments.members_of(spec.name)
+        return members
+
+    # ------------------------------------------------------------------
+    # Permissions
+    # ------------------------------------------------------------------
+    def add_permission(self, permission: Permission) -> Permission:
+        """Register a permission; duplicate rule tuples are rejected.
+
+        All referenced roles and the transaction are validated against
+        the registries (auto-registering the transaction if needed, to
+        keep simple policies terse).
+        """
+        self.subject_roles.role(permission.subject_role.name)
+        self.object_roles.role(permission.object_role.name)
+        self.environment_roles.role(permission.environment_role.name)
+        self.add_transaction(permission.transaction)
+        if permission.key in self._permission_keys:
+            raise DuplicateEntityError(
+                f"duplicate permission: {permission.describe()}"
+            )
+        self._permission_keys.add(permission.key)
+        self._permissions.append(permission)
+        self.permission_revision += 1
+        return permission
+
+    def grant(
+        self,
+        subject_role: RoleLike,
+        transaction: Union[Transaction, str],
+        object_role: RoleLike = ANY_OBJECT,
+        environment_role: RoleLike = ANY_ENVIRONMENT,
+        min_confidence: float = 0.0,
+        priority: int = 0,
+        name: str = "",
+    ) -> Permission:
+        """Convenience: add a GRANT permission by role names."""
+        return self._add_rule(
+            subject_role,
+            transaction,
+            object_role,
+            environment_role,
+            Sign.GRANT,
+            min_confidence,
+            priority,
+            name,
+        )
+
+    def deny(
+        self,
+        subject_role: RoleLike,
+        transaction: Union[Transaction, str],
+        object_role: RoleLike = ANY_OBJECT,
+        environment_role: RoleLike = ANY_ENVIRONMENT,
+        min_confidence: float = 0.0,
+        priority: int = 0,
+        name: str = "",
+    ) -> Permission:
+        """Convenience: add a DENY permission by role names (§3)."""
+        return self._add_rule(
+            subject_role,
+            transaction,
+            object_role,
+            environment_role,
+            Sign.DENY,
+            min_confidence,
+            priority,
+            name,
+        )
+
+    def permissions(self) -> List[Permission]:
+        """All permissions, in insertion order."""
+        return list(self._permissions)
+
+    def permissions_for_transaction(self, transaction: str) -> List[Permission]:
+        """Permissions whose transaction is ``transaction``."""
+        return [p for p in self._permissions if p.transaction.name == transaction]
+
+    def remove_permission(self, permission: Permission) -> None:
+        """Remove a previously added permission.
+
+        :raises UnknownEntityError: when not present.
+        """
+        if permission.key not in self._permission_keys:
+            raise UnknownEntityError(
+                f"permission not in policy: {permission.describe()}"
+            )
+        self._permission_keys.discard(permission.key)
+        self._permissions = [
+            p for p in self._permissions if p.key != permission.key
+        ]
+        self.permission_revision += 1
+
+    # ------------------------------------------------------------------
+    # Constraints & sessions
+    # ------------------------------------------------------------------
+    def add_constraint(self, constraint) -> None:
+        """Attach an SoD / cardinality / prerequisite constraint.
+
+        Existing assignments are re-validated for static constraints so
+        a policy cannot silently hold a violating state.
+        """
+        self.constraints.add(constraint)
+        # Re-validate current assignments against the new constraint.
+        for subject_name in self._subject_assignments.entities():
+            assigned = self._subject_assignments.role_names_of(subject_name)
+            for constraint_obj in self.constraints.static_sod:
+                if constraint_obj.violated_by(assigned):
+                    raise PolicyError(
+                        f"existing assignments of {subject_name!r} violate "
+                        f"new constraint {constraint_obj.name!r}"
+                    )
+
+    @property
+    def sessions(self) -> SessionManager:
+        """The policy's session manager (role activation, §4.1.2)."""
+        return self._sessions
+
+    @property
+    def decision_revision(self) -> int:
+        """A counter that changes whenever any state affecting access
+        decisions changes: permissions, assignments, or any of the
+        three role hierarchies.  The mediation decision cache keys on
+        it."""
+        return (
+            self.permission_revision
+            + self.assignment_revision
+            + self.subject_roles.revision
+            + self.object_roles.revision
+            + self.environment_roles.revision
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        """Size counters, used by benchmarks and analysis reports."""
+        return {
+            "subjects": len(self._subjects),
+            "objects": len(self._objects),
+            "transactions": len(self._transactions),
+            "subject_roles": len(self.subject_roles),
+            "object_roles": len(self.object_roles),
+            "environment_roles": len(self.environment_roles),
+            "subject_assignments": len(self._subject_assignments),
+            "object_assignments": len(self._object_assignments),
+            "permissions": len(self._permissions),
+            "constraints": len(self.constraints),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        stats = self.stats()
+        return (
+            f"GrbacPolicy({self.name!r}, permissions={stats['permissions']}, "
+            f"subject_roles={stats['subject_roles']})"
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _role_name(role: RoleLike) -> str:
+        return role.name if isinstance(role, Role) else role
+
+    def _resolve_role(self, role: RoleLike, hierarchy: RoleHierarchy) -> Role:
+        if isinstance(role, Role):
+            hierarchy.role(role.name)  # must be registered
+            return role
+        return hierarchy.role(role)
+
+    def _add_rule(
+        self,
+        subject_role: RoleLike,
+        transaction: Union[Transaction, str],
+        object_role: RoleLike,
+        environment_role: RoleLike,
+        sign: Sign,
+        min_confidence: float,
+        priority: int,
+        name: str,
+    ) -> Permission:
+        transaction_obj = self.add_transaction(transaction)
+        permission = Permission(
+            subject_role=self._resolve_role(subject_role, self.subject_roles),
+            object_role=self._resolve_role(object_role, self.object_roles),
+            environment_role=self._resolve_role(
+                environment_role, self.environment_roles
+            ),
+            transaction=transaction_obj,
+            sign=sign,
+            min_confidence=min_confidence,
+            priority=priority,
+            name=name,
+        )
+        return self.add_permission(permission)
+
+    def _validate_subject_assignment(
+        self, subject: str, role: Role, current: Set[str]
+    ) -> None:
+        effective = {r.name for r in self.subject_roles.expand(current)} if current else set()
+        self.constraints.check_assignment(
+            subject,
+            role.name,
+            current,
+            effective,
+            self._subject_assignments.member_count,
+        )

@@ -1,0 +1,110 @@
+"""Roles — the single organizing concept of GRBAC.
+
+The paper's thesis (§4.2) is that one concept, the *role*, can organize
+all security-relevant state in a system:
+
+* **subject roles** categorize users (Parent, Child, Authorized Guest);
+* **object roles** categorize resources (entertainment devices, medical
+  records);
+* **environment roles** name system states (weekdays, free-time,
+  kitchen-occupied) that are *active* or *inactive* over time.
+
+All three kinds share one :class:`Role` value type distinguished by a
+:class:`RoleKind` tag.  Keeping one type (rather than three classes)
+mirrors the paper's "uniform application of the role concept" and lets
+hierarchies, assignment tables, and the mediation engine treat role
+kind as data.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional
+
+from repro.core.ids import validate_identifier
+from repro.exceptions import RoleKindError
+
+
+class RoleKind(enum.Enum):
+    """The three kinds of GRBAC role (§4.2.1–4.2.3)."""
+
+    SUBJECT = "subject"
+    OBJECT = "object"
+    ENVIRONMENT = "environment"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class Role:
+    """A role of some :class:`RoleKind`.
+
+    Roles compare by ``(kind, name)`` so that a subject role and an
+    object role may share a name without colliding (e.g. a ``guest``
+    subject role and a ``guest`` object role for the guest-room
+    devices).
+    """
+
+    name: str
+    kind: RoleKind
+    description: str = field(default="", compare=False)
+    #: Free-form metadata, e.g. a priority used by priority-based
+    #: precedence, or the sensitivity level for MLS encodings.
+    metadata: Mapping[str, Any] = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        validate_identifier(self.name, "role")
+        if not isinstance(self.kind, RoleKind):
+            raise RoleKindError(f"role kind must be a RoleKind, got {self.kind!r}")
+        object.__setattr__(self, "metadata", dict(self.metadata))
+
+    @property
+    def qualified_name(self) -> str:
+        """``kind:name`` — unambiguous across kinds, used in logs."""
+        return f"{self.kind.value}:{self.name}"
+
+    def meta(self, key: str, default: Optional[Any] = None) -> Any:
+        """Return metadata ``key`` or ``default`` when absent."""
+        return self.metadata.get(key, default)
+
+    def require_kind(self, kind: RoleKind) -> "Role":
+        """Assert this role has ``kind`` and return it (for call chains)."""
+        if self.kind is not kind:
+            raise RoleKindError(
+                f"expected a {kind.value} role, got {self.qualified_name}"
+            )
+        return self
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.qualified_name
+
+
+def subject_role(name: str, description: str = "", **metadata: Any) -> Role:
+    """Convenience constructor for a subject role."""
+    return Role(name, RoleKind.SUBJECT, description, metadata)
+
+
+def object_role(name: str, description: str = "", **metadata: Any) -> Role:
+    """Convenience constructor for an object role."""
+    return Role(name, RoleKind.OBJECT, description, metadata)
+
+
+def environment_role(name: str, description: str = "", **metadata: Any) -> Role:
+    """Convenience constructor for an environment role."""
+    return Role(name, RoleKind.ENVIRONMENT, description, metadata)
+
+
+#: The distinguished environment role that is *always* active.  Policies
+#: that do not care about environment state attach permissions to this
+#: role; it makes plain-RBAC policies expressible without special cases
+#: in the mediation rule (§6: "traditional RBAC is essentially GRBAC
+#: with subject roles only").
+ANY_ENVIRONMENT = environment_role(
+    "any-environment", "Distinguished always-active environment role"
+)
+
+#: The distinguished object role possessed by *every* object, for rules
+#: that do not discriminate on the resource.
+ANY_OBJECT = object_role("any-object", "Distinguished role possessed by all objects")

@@ -1,0 +1,53 @@
+"""Subjects — the users of a GRBAC system.
+
+Figure 1 of the paper defines a *subject* as "a user of the system".
+In the home domain a subject may be a resident, a guest, a pet, or a
+software agent acting on someone's behalf.  Subjects carry free-form
+attributes (age, weight, relationship to the household) that sensors
+and policy tooling may consult; the mediation engine itself only ever
+looks at role possession.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional
+
+from repro.core.ids import validate_identifier
+
+
+@dataclass(frozen=True)
+class Subject:
+    """A user of the system.
+
+    Instances are immutable value objects; identity is the ``name``.
+    Two subjects with the same name are the same subject regardless of
+    attributes, which keeps set/dict semantics intuitive when policies
+    are rebuilt.
+    """
+
+    #: Unique identifier, e.g. ``"alice"``.
+    name: str
+    #: Free-form descriptive attributes (``{"age": 11, "weight_lb": 94}``).
+    attributes: Mapping[str, Any] = field(default_factory=dict, compare=False)
+    #: Optional human-readable description.
+    description: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        validate_identifier(self.name, "subject")
+        # Freeze the attribute mapping so the value object is genuinely
+        # immutable even when a plain dict was passed in.
+        object.__setattr__(self, "attributes", dict(self.attributes))
+
+    def attribute(self, key: str, default: Optional[Any] = None) -> Any:
+        """Return attribute ``key`` or ``default`` when absent."""
+        return self.attributes.get(key, default)
+
+    def with_attributes(self, **updates: Any) -> "Subject":
+        """Return a copy of this subject with extra/overridden attributes."""
+        merged: Dict[str, Any] = dict(self.attributes)
+        merged.update(updates)
+        return Subject(self.name, merged, self.description)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name

@@ -1,0 +1,82 @@
+"""Transactions — what subjects do to objects.
+
+Figure 1 defines a *transaction* as "a series of one or more accesses
+to one or more objects".  A transaction in the home may be as simple as
+``read`` on a file, or a composite like ``reorder_groceries`` which
+reads the fridge inventory and places an order.
+
+We model this with two layers:
+
+* :class:`Operation` — a primitive named access mode (``read``,
+  ``power_on``, ``view_stream``).
+* :class:`Transaction` — a named series of one or more operations.  For
+  the common single-access case, :func:`Transaction.simple` wraps one
+  operation.
+
+Permissions in the policy are attached to transactions, exactly as the
+paper specifies ("all policy rules in RBAC are linked to roles" via the
+authorized transaction set of a role).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Tuple
+
+from repro.core.ids import validate_identifier
+
+
+@dataclass(frozen=True)
+class Operation:
+    """A primitive access mode, e.g. ``read`` or ``power_on``."""
+
+    name: str
+    description: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        validate_identifier(self.name, "operation")
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """A named series of one or more operations (Figure 1).
+
+    Transactions compare by name; the operation tuple documents what
+    the transaction does and lets applications (e.g. the home apps)
+    execute the constituent steps once access is granted.
+    """
+
+    #: Unique identifier, e.g. ``"watch_tv"``.
+    name: str
+    #: The operations performed, in order.  Always at least one.
+    operations: Tuple[Operation, ...] = field(default=(), compare=False)
+    description: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        validate_identifier(self.name, "transaction")
+        ops = tuple(self.operations)
+        if not ops:
+            # A transaction is "one or more accesses"; default the
+            # operation list to a single operation named after the
+            # transaction so the invariant always holds.
+            ops = (Operation(self.name),)
+        object.__setattr__(self, "operations", ops)
+
+    @classmethod
+    def simple(cls, name: str, description: str = "") -> "Transaction":
+        """Build a single-operation transaction named ``name``."""
+        return cls(name, (Operation(name),), description)
+
+    @classmethod
+    def composite(
+        cls, name: str, operation_names: Iterable[str], description: str = ""
+    ) -> "Transaction":
+        """Build a multi-operation transaction from operation names."""
+        ops = tuple(Operation(op) for op in operation_names)
+        return cls(name, ops, description)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name

@@ -1,0 +1,159 @@
+"""Environment-role activation — binding roles to system state.
+
+"Some basic environment interface must exist, so that policy writers
+can associate their environment role definitions with actual system
+states" (§4.2.2).  :class:`EnvironmentRoleActivator` is that
+interface: it maps environment-role names to
+:class:`~repro.env.conditions.Condition` objects and computes, at any
+moment, which roles are active.
+
+It implements the :class:`~repro.core.mediation.EnvironmentSource`
+protocol, so a mediation engine wired to an activator automatically
+sees time/location/load-based roles flip as the simulated clock
+advances and sensors write state.
+
+Activation transitions are published on the trusted event bus
+(``role.activated`` / ``role.deactivated``) whenever :meth:`refresh`
+runs — the activator subscribes itself to clock advances and
+``env.changed`` events so transitions are observed promptly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.core.mediation import EnvironmentSource
+from repro.env.clock import Clock
+from repro.env.conditions import Condition
+from repro.env.events import EventBus
+from repro.env.state import EnvironmentState
+from repro.exceptions import EnvironmentError_
+
+
+class EnvironmentRoleActivator(EnvironmentSource):
+    """Evaluates environment-role conditions against live state.
+
+    :param state: the environment state store conditions read.
+    :param clock: the trusted time source.
+    :param bus: optional event bus for activation-transition events;
+        when provided, the activator also subscribes to ``env.changed``
+        so state writes trigger a refresh.
+    :param auto_refresh_on_clock: when the clock is a
+        :class:`~repro.env.clock.SimulatedClock`, register for advance
+        notifications so time-based roles transition eagerly.
+    """
+
+    def __init__(
+        self,
+        state: EnvironmentState,
+        clock: Clock,
+        bus: Optional[EventBus] = None,
+        auto_refresh_on_clock: bool = True,
+    ) -> None:
+        self._state = state
+        self._clock = clock
+        self._bus = bus
+        self._bindings: Dict[str, Condition] = {}
+        self._last_active: Set[str] = set()
+        # Evaluation cache: valid while neither time nor state changed.
+        self._cache_key: Optional[tuple] = None
+        self._cache_value: Set[str] = set()
+
+        if bus is not None:
+            bus.subscribe("env.changed", lambda event: self.refresh())
+        if auto_refresh_on_clock and hasattr(clock, "on_advance"):
+            clock.on_advance(self.refresh)
+
+    # ------------------------------------------------------------------
+    # Binding management
+    # ------------------------------------------------------------------
+    def bind(self, role_name: str, condition: Condition) -> None:
+        """Associate ``role_name`` with ``condition``.
+
+        Rebinding an existing role replaces its condition (policy
+        updates); the next refresh publishes any resulting transition.
+        """
+        if not role_name:
+            raise EnvironmentError_("environment role name must be non-empty")
+        self._bindings[role_name] = condition
+        self._invalidate()
+
+    def unbind(self, role_name: str) -> None:
+        """Remove a binding; the role becomes permanently inactive.
+
+        :raises EnvironmentError_: when the role was never bound.
+        """
+        if role_name not in self._bindings:
+            raise EnvironmentError_(f"environment role {role_name!r} is not bound")
+        del self._bindings[role_name]
+        self._invalidate()
+
+    def bound_roles(self) -> List[str]:
+        """Names of all bound environment roles."""
+        return list(self._bindings)
+
+    def condition_of(self, role_name: str) -> Condition:
+        """The condition bound to ``role_name``.
+
+        :raises EnvironmentError_: when unbound.
+        """
+        try:
+            return self._bindings[role_name]
+        except KeyError:
+            raise EnvironmentError_(
+                f"environment role {role_name!r} is not bound"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Activation queries
+    # ------------------------------------------------------------------
+    def active_environment_roles(self) -> Set[str]:
+        """Names of roles whose condition currently holds.
+
+        This is the :class:`EnvironmentSource` hook the mediation
+        engine calls on every decision; results are cached against
+        ``(clock.now(), state.revision)`` so bursts of decisions at
+        one simulated instant evaluate conditions once.
+        """
+        key = (self._clock.now(), self._state.revision, len(self._bindings))
+        if key == self._cache_key:
+            return set(self._cache_value)
+        active = {
+            role_name
+            for role_name, condition in self._bindings.items()
+            if condition.evaluate(self._state, self._clock)
+        }
+        self._cache_key = key
+        self._cache_value = active
+        return set(active)
+
+    def is_active(self, role_name: str) -> bool:
+        """True iff ``role_name`` is bound and currently active."""
+        return role_name in self.active_environment_roles()
+
+    # ------------------------------------------------------------------
+    # Transition tracking
+    # ------------------------------------------------------------------
+    def refresh(self) -> Dict[str, bool]:
+        """Re-evaluate all bindings and publish transitions.
+
+        Returns a mapping of role name → new activation value for every
+        role that *changed* since the previous refresh.  When a bus is
+        attached, each change is published as ``role.activated`` or
+        ``role.deactivated`` with the role name in the payload.
+        """
+        current = self.active_environment_roles()
+        changed: Dict[str, bool] = {}
+        for role_name in current - self._last_active:
+            changed[role_name] = True
+            if self._bus is not None:
+                self._bus.publish("role.activated", role=role_name)
+        for role_name in self._last_active - current:
+            changed[role_name] = False
+            if self._bus is not None:
+                self._bus.publish("role.deactivated", role=role_name)
+        self._last_active = current
+        return changed
+
+    def _invalidate(self) -> None:
+        self._cache_key = None

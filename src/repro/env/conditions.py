@@ -1,0 +1,208 @@
+"""Conditions — predicates that decide environment-role activation.
+
+An environment role is active exactly when its binding condition holds
+(§4.2.2).  A :class:`Condition` evaluates over the current
+:class:`~repro.env.state.EnvironmentState` and
+:class:`~repro.env.clock.Clock`, and conditions compose with
+``&`` / ``|`` / ``~`` like the temporal algebra they embed.
+
+The built-in vocabulary covers the paper's examples:
+
+* :func:`during` — time-based roles (*weekdays*, *free-time*);
+* :func:`state_equals` / :func:`state_test` — arbitrary collected
+  state ("the scope of GRBAC environment roles is limited only by the
+  level of support that the system provides for accurately reporting
+  environmental information");
+* :func:`state_below` / :func:`state_above` — numeric thresholds
+  (GACL-style system load, temperature);
+* :func:`subject_located` — location roles ("children may only use
+  the videophone while they are in the kitchen").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Tuple
+
+from repro.env.clock import Clock
+from repro.env.state import EnvironmentState
+from repro.env.temporal import TimeExpression
+
+
+class Condition:
+    """Base class: a boolean predicate over (state, clock)."""
+
+    def evaluate(self, state: EnvironmentState, clock: Clock) -> bool:
+        """True iff the condition currently holds."""
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def describe(self) -> str:
+        """Human-readable rendering for reports."""
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def __and__(self, other: "Condition") -> "Condition":
+        return AllOf((self, other))
+
+    def __or__(self, other: "Condition") -> "Condition":
+        return AnyOf((self, other))
+
+    def __invert__(self) -> "Condition":
+        return Not(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__}: {self.describe()}>"
+
+
+@dataclass(frozen=True)
+class TrueCondition(Condition):
+    """Always holds (an unconditionally active environment role)."""
+
+    def evaluate(self, state: EnvironmentState, clock: Clock) -> bool:
+        return True
+
+    def describe(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class FalseCondition(Condition):
+    """Never holds (an administratively disabled role)."""
+
+    def evaluate(self, state: EnvironmentState, clock: Clock) -> bool:
+        return False
+
+    def describe(self) -> str:
+        return "false"
+
+
+@dataclass(frozen=True)
+class TemporalCondition(Condition):
+    """Holds when the clock's current moment is inside a time expression."""
+
+    expression: TimeExpression
+
+    def evaluate(self, state: EnvironmentState, clock: Clock) -> bool:
+        return self.expression.contains(clock.now_datetime())
+
+    def describe(self) -> str:
+        return f"time in {self.expression.describe()}"
+
+
+@dataclass(frozen=True)
+class StateCondition(Condition):
+    """Holds when a predicate over one state variable is true.
+
+    Missing variables evaluate to ``False`` (fail closed), never to an
+    error: an environment role backed by a sensor that has not reported
+    yet is simply inactive.
+    """
+
+    variable: str
+    predicate: Callable[[Any], bool]
+    label: str = ""
+
+    def evaluate(self, state: EnvironmentState, clock: Clock) -> bool:
+        if self.variable not in state:
+            return False
+        try:
+            return bool(self.predicate(state.get(self.variable)))
+        except (TypeError, ValueError):
+            # A sensor reporting a malformed value must not crash
+            # mediation; the role is simply inactive.
+            return False
+
+    def describe(self) -> str:
+        return self.label or f"predicate on {self.variable}"
+
+
+@dataclass(frozen=True)
+class AllOf(Condition):
+    """Conjunction."""
+
+    members: Tuple[Condition, ...]
+
+    def evaluate(self, state: EnvironmentState, clock: Clock) -> bool:
+        return all(member.evaluate(state, clock) for member in self.members)
+
+    def describe(self) -> str:
+        return "(" + " and ".join(m.describe() for m in self.members) + ")"
+
+
+@dataclass(frozen=True)
+class AnyOf(Condition):
+    """Disjunction."""
+
+    members: Tuple[Condition, ...]
+
+    def evaluate(self, state: EnvironmentState, clock: Clock) -> bool:
+        return any(member.evaluate(state, clock) for member in self.members)
+
+    def describe(self) -> str:
+        return "(" + " or ".join(m.describe() for m in self.members) + ")"
+
+
+@dataclass(frozen=True)
+class Not(Condition):
+    """Negation."""
+
+    inner: Condition
+
+    def evaluate(self, state: EnvironmentState, clock: Clock) -> bool:
+        return not self.inner.evaluate(state, clock)
+
+    def describe(self) -> str:
+        return f"not {self.inner.describe()}"
+
+
+# ----------------------------------------------------------------------
+# Constructors
+# ----------------------------------------------------------------------
+def during(expression: TimeExpression) -> Condition:
+    """Condition form of a time expression."""
+    return TemporalCondition(expression)
+
+
+def state_equals(variable: str, value: Any) -> Condition:
+    """``state[variable] == value``."""
+    return StateCondition(variable, lambda v: v == value, f"{variable} == {value!r}")
+
+
+def state_test(
+    variable: str, predicate: Callable[[Any], bool], label: str = ""
+) -> Condition:
+    """Arbitrary predicate over one state variable."""
+    return StateCondition(variable, predicate, label or f"test({variable})")
+
+
+def state_below(variable: str, threshold: float) -> Condition:
+    """``state[variable] < threshold`` (numeric)."""
+    return StateCondition(
+        variable, lambda v: v < threshold, f"{variable} < {threshold}"
+    )
+
+
+def state_above(variable: str, threshold: float) -> Condition:
+    """``state[variable] > threshold`` (numeric)."""
+    return StateCondition(
+        variable, lambda v: v > threshold, f"{variable} > {threshold}"
+    )
+
+
+def subject_located(subject: str, location: str) -> Condition:
+    """The subject's tracked location equals ``location`` exactly.
+
+    For containment semantics ("inside the home", "upstairs") use
+    :meth:`repro.env.location.LocationService.in_zone_condition`,
+    which understands the home topology.
+    """
+    return state_equals(f"location.{subject}", location)
+
+
+def always_true() -> Condition:
+    """An unconditionally active role's condition."""
+    return TrueCondition()
+
+
+def always_false() -> Condition:
+    """A disabled role's condition."""
+    return FalseCondition()

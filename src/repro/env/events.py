@@ -1,0 +1,153 @@
+"""The trusted event system (§4.2.2).
+
+The paper: "One effective approach... would be to use a trusted event
+system that is capable of generating events based on various system
+state changes."  This module provides that substrate: a synchronous,
+in-order publish/subscribe bus over typed events.
+
+Event types are dotted strings (``"env.changed"``,
+``"role.activated"``, ``"sensor.reading"``); subscriptions match an
+exact type or a ``prefix.*`` pattern.  Delivery is synchronous and in
+publication order, which keeps the simulation deterministic.  Handler
+exceptions are captured (not propagated) by default so one broken
+consumer cannot wedge the bus; ``strict=True`` flips that for tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.exceptions import EnvironmentError_
+
+Handler = Callable[["Event"], None]
+
+
+@dataclass(frozen=True)
+class Event:
+    """One occurrence on the bus."""
+
+    #: Dotted event type, e.g. ``"env.changed"``.
+    type: str
+    #: Structured payload.
+    payload: Mapping[str, Any] = field(default_factory=dict)
+    #: Seconds since epoch at publication (stamped by the bus when a
+    #: clock is attached; ``None`` otherwise).
+    timestamp: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.type or " " in self.type:
+            raise EnvironmentError_(f"invalid event type {self.type!r}")
+        object.__setattr__(self, "payload", dict(self.payload))
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Payload accessor."""
+        return self.payload.get(key, default)
+
+
+@dataclass
+class DeliveryError:
+    """A handler exception captured during non-strict delivery."""
+
+    event: Event
+    handler: Handler
+    error: Exception
+
+
+class EventBus:
+    """Synchronous publish/subscribe over :class:`Event`.
+
+    :param clock: optional time source used to stamp events.
+    :param strict: when ``True`` handler exceptions propagate to the
+        publisher; when ``False`` (default) they are recorded in
+        :attr:`errors`.
+    """
+
+    def __init__(self, clock=None, strict: bool = False) -> None:
+        self._clock = clock
+        self._strict = strict
+        #: exact type -> handlers
+        self._exact: Dict[str, List[Handler]] = {}
+        #: prefix (without ``.*``) -> handlers
+        self._prefix: Dict[str, List[Handler]] = {}
+        #: handlers receiving every event
+        self._wildcard: List[Handler] = []
+        #: captured handler failures (non-strict mode)
+        self.errors: List[DeliveryError] = []
+        #: count of events published, for diagnostics
+        self.published_count = 0
+        #: bounded history of recent events, newest last
+        self._history: List[Event] = []
+        self._history_capacity = 1024
+
+    # ------------------------------------------------------------------
+    # Subscription
+    # ------------------------------------------------------------------
+    def subscribe(self, pattern: str, handler: Handler) -> Callable[[], None]:
+        """Subscribe ``handler`` to events matching ``pattern``.
+
+        ``pattern`` is an exact type, a ``prefix.*`` glob, or ``"*"``
+        for everything.  Returns an unsubscribe callable.
+        """
+        if pattern == "*":
+            self._wildcard.append(handler)
+            return lambda: self._discard(self._wildcard, handler)
+        if pattern.endswith(".*"):
+            prefix = pattern[:-2]
+            handlers = self._prefix.setdefault(prefix, [])
+            handlers.append(handler)
+            return lambda: self._discard(handlers, handler)
+        handlers = self._exact.setdefault(pattern, [])
+        handlers.append(handler)
+        return lambda: self._discard(handlers, handler)
+
+    @staticmethod
+    def _discard(handlers: List[Handler], handler: Handler) -> None:
+        if handler in handlers:
+            handlers.remove(handler)
+
+    # ------------------------------------------------------------------
+    # Publication
+    # ------------------------------------------------------------------
+    def publish(self, event_type: str, **payload: Any) -> Event:
+        """Build, stamp, and deliver an event; returns it."""
+        timestamp = self._clock.now() if self._clock is not None else None
+        event = Event(event_type, payload, timestamp)
+        self.publish_event(event)
+        return event
+
+    def publish_event(self, event: Event) -> None:
+        """Deliver a pre-built event to all matching subscribers."""
+        self.published_count += 1
+        self._history.append(event)
+        if len(self._history) > self._history_capacity:
+            del self._history[: -self._history_capacity]
+        for handler in self._handlers_for(event.type):
+            try:
+                handler(event)
+            except Exception as error:
+                if self._strict:
+                    raise
+                self.errors.append(DeliveryError(event, handler, error))
+
+    def _handlers_for(self, event_type: str) -> List[Handler]:
+        handlers = list(self._exact.get(event_type, ()))
+        for prefix, prefix_handlers in self._prefix.items():
+            if event_type == prefix or event_type.startswith(prefix + "."):
+                handlers.extend(prefix_handlers)
+        handlers.extend(self._wildcard)
+        return handlers
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def history(self, event_type: Optional[str] = None) -> List[Event]:
+        """Recent events (bounded), optionally filtered by exact type."""
+        if event_type is None:
+            return list(self._history)
+        return [e for e in self._history if e.type == event_type]
+
+    def clear_history(self) -> None:
+        """Drop retained history and captured errors."""
+        self._history.clear()
+        self.errors.clear()

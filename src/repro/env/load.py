@@ -1,0 +1,86 @@
+"""System-load provider — the GACL comparison substrate (§6).
+
+Woo & Lam's Generalized Access Control Language uses system load as an
+authorization factor "so that certain programs only can be executed
+when there is enough system capacity available".  The paper argues
+GRBAC subsumes this through environment roles; experiment E7 needs a
+load signal to demonstrate it.
+
+:class:`SimulatedLoadProvider` produces a deterministic, seeded load
+trace in ``[0, 1]`` — either a bounded random walk or an explicit
+schedule — and writes it into the environment state under
+``system.load`` where a ``state_below("system.load", x)`` condition
+can gate an environment role such as *low-load*.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional
+
+from repro.env.state import EnvironmentState
+from repro.exceptions import EnvironmentError_
+
+#: The state variable this provider maintains.
+LOAD_VARIABLE = "system.load"
+
+
+class SimulatedLoadProvider:
+    """A seeded random-walk (or scripted) system-load signal.
+
+    :param state: environment state store to write into.
+    :param initial: starting load in [0, 1].
+    :param volatility: maximum per-step change for the random walk.
+    :param seed: RNG seed — traces are reproducible by construction.
+    """
+
+    def __init__(
+        self,
+        state: EnvironmentState,
+        initial: float = 0.3,
+        volatility: float = 0.1,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= initial <= 1.0:
+            raise EnvironmentError_("initial load must be in [0, 1]")
+        if volatility <= 0:
+            raise EnvironmentError_("volatility must be positive")
+        self._state = state
+        self._load = initial
+        self._volatility = volatility
+        self._rng = random.Random(seed)
+        self._state.set(LOAD_VARIABLE, initial)
+
+    @property
+    def load(self) -> float:
+        """The current load value."""
+        return self._load
+
+    def set_load(self, value: float) -> None:
+        """Force the load to an explicit value (scripted scenarios)."""
+        if not 0.0 <= value <= 1.0:
+            raise EnvironmentError_("load must be in [0, 1]")
+        self._load = value
+        self._state.set(LOAD_VARIABLE, value)
+
+    def step(self, steps: int = 1) -> float:
+        """Advance the random walk ``steps`` times; returns new load.
+
+        Each step perturbs the load by a uniform value in
+        ``[-volatility, +volatility]``, clamped to [0, 1].
+        """
+        if steps < 1:
+            raise EnvironmentError_("steps must be >= 1")
+        for _ in range(steps):
+            delta = self._rng.uniform(-self._volatility, self._volatility)
+            self._load = min(1.0, max(0.0, self._load + delta))
+        self._state.set(LOAD_VARIABLE, self._load)
+        return self._load
+
+    def play_trace(self, values: Iterable[float]) -> List[float]:
+        """Replay an explicit load trace; returns the applied values."""
+        applied: List[float] = []
+        for value in values:
+            self.set_load(value)
+            applied.append(value)
+        return applied

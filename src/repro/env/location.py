@@ -1,0 +1,193 @@
+"""Location tracking — "where is the subject?" as environment state.
+
+Location is one of the paper's "two most basic types of environmental
+information" (§4.2.2).  The examples all reduce to two queries:
+
+* exact room — "children may only use the videophone while they are
+  in the kitchen";
+* zone containment — "a repairman has access to the refrigerator only
+  while he is *inside the home*", or location roles like "upstairs".
+
+:class:`LocationService` tracks each subject's current location,
+writes it into the environment state (``location.<subject>``) so
+conditions and audit tooling see it, and answers containment queries
+through a pluggable :class:`ZoneResolver` — the home topology module
+provides the real resolver, keeping this package free of a dependency
+on :mod:`repro.home`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Set
+
+from repro.core.mediation import AccessRequest, EnvironmentSource
+from repro.env.conditions import Condition, StateCondition
+from repro.env.state import EnvironmentState
+from repro.exceptions import EnvironmentError_
+
+#: ``resolver(location, zone) -> bool`` — does ``location`` lie inside
+#: ``zone``?  A location is always inside itself.
+ZoneResolver = Callable[[str, str], bool]
+
+#: The distinguished location of subjects who are not on the premises.
+OUTSIDE = "outside"
+
+
+def exact_zone_resolver(location: str, zone: str) -> bool:
+    """Fallback resolver: containment is equality only."""
+    return location == zone
+
+
+class LocationService:
+    """Tracks subject locations and answers zone queries.
+
+    :param state: environment state store to mirror locations into.
+    :param resolver: zone-containment oracle; defaults to exact match.
+        :meth:`repro.home.topology.Home.zone_resolver` supplies a
+        topology-aware one.
+    :param valid_locations: optional whitelist; moves to unknown
+        locations are rejected when provided.
+    """
+
+    def __init__(
+        self,
+        state: EnvironmentState,
+        resolver: ZoneResolver = exact_zone_resolver,
+        valid_locations: Optional[Iterable[str]] = None,
+    ) -> None:
+        self._state = state
+        self._resolver = resolver
+        self._valid: Optional[Set[str]] = (
+            set(valid_locations) | {OUTSIDE} if valid_locations is not None else None
+        )
+        self._locations: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # Movement
+    # ------------------------------------------------------------------
+    def move(self, subject: str, location: str) -> None:
+        """Record that ``subject`` is now at ``location``.
+
+        :raises EnvironmentError_: when a whitelist is configured and
+            the location is unknown.
+        """
+        if self._valid is not None and location not in self._valid:
+            raise EnvironmentError_(f"unknown location {location!r}")
+        self._locations[subject] = location
+        self._state.set(f"location.{subject}", location)
+
+    def leave(self, subject: str) -> None:
+        """Record that ``subject`` left the premises."""
+        self.move(subject, OUTSIDE)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def location_of(self, subject: str) -> str:
+        """The subject's current location (``OUTSIDE`` when untracked)."""
+        return self._locations.get(subject, OUTSIDE)
+
+    def is_in_zone(self, subject: str, zone: str) -> bool:
+        """True iff the subject's location lies inside ``zone``."""
+        location = self.location_of(subject)
+        if location == OUTSIDE:
+            return zone == OUTSIDE
+        return self._resolver(location, zone)
+
+    def subjects_in_zone(self, zone: str) -> List[str]:
+        """All tracked subjects currently inside ``zone``."""
+        return [s for s in self._locations if self.is_in_zone(s, zone)]
+
+    def occupancy(self, zone: str) -> int:
+        """Number of tracked subjects inside ``zone``."""
+        return len(self.subjects_in_zone(zone))
+
+    # ------------------------------------------------------------------
+    # Condition factory
+    # ------------------------------------------------------------------
+    def in_zone_condition(self, subject: str, zone: str) -> Condition:
+        """A condition: ``subject`` is inside ``zone``.
+
+        Evaluates through the resolver, so "inside the home" and
+        "upstairs" work when a topology-aware resolver is wired in.
+        The condition reads the mirrored ``location.<subject>`` state
+        variable, keeping evaluation consistent with whatever the
+        trusted event system last reported.
+        """
+        resolver = self._resolver
+
+        def predicate(location) -> bool:
+            if location is None or location == OUTSIDE:
+                return zone == OUTSIDE
+            return resolver(str(location), zone)
+
+        return StateCondition(
+            f"location.{subject}", predicate, f"{subject} in {zone}"
+        )
+
+    def zone_occupied_condition(self, zone: str, minimum: int = 1) -> Condition:
+        """A condition: at least ``minimum`` subjects are in ``zone``.
+
+        Unlike :meth:`in_zone_condition`, this reads the service's own
+        tracking table (occupancy is not a single state variable), so
+        the condition closes over ``self``.
+        """
+        service = self
+
+        class _Occupied(Condition):
+            def evaluate(self, state, clock) -> bool:
+                return service.occupancy(zone) >= minimum
+
+            def describe(self) -> str:
+                return f"occupancy({zone}) >= {minimum}"
+
+        return _Occupied()
+
+
+#: Prefix for requester-relative location roles.
+REQUESTER_PREFIX = "requester-in-"
+
+
+class RequesterLocationEnvironment(EnvironmentSource):
+    """Environment source adding requester-relative location roles.
+
+    §4.2.2's videophone example — "children may only use the videophone
+    while they are in the kitchen" — conditions access on the
+    *requester's* location, which no global environment role can
+    express (two children in different rooms need different answers at
+    the same instant).  This source wraps a base environment (usually
+    the role activator) and, per request, adds one role
+    ``requester-in-<zone>`` for every tracked zone containing the
+    requesting subject.
+
+    The roles are only *injected*; they take effect solely where the
+    policy has registered them (unknown active role names are ignored
+    by mediation), so the wrapper is safe to install unconditionally.
+    """
+
+    def __init__(
+        self,
+        base: EnvironmentSource,
+        location: LocationService,
+        zones: Iterable[str],
+    ) -> None:
+        self._base = base
+        self._location = location
+        self._zones = list(zones)
+
+    @staticmethod
+    def role_for(zone: str) -> str:
+        """The injected role name for ``zone``."""
+        return f"{REQUESTER_PREFIX}{zone}"
+
+    def active_environment_roles(self) -> Set[str]:
+        """Without a requester there is nothing relative to add."""
+        return self._base.active_environment_roles()
+
+    def active_environment_roles_for(self, request: AccessRequest) -> Set[str]:
+        active = set(self._base.active_environment_roles())
+        if request.subject is not None:
+            for zone in self._zones:
+                if self._location.is_in_zone(request.subject, zone):
+                    active.add(self.role_for(zone))
+        return active

@@ -1,0 +1,110 @@
+"""Provider framework — feeding collected data into environment state.
+
+Providers model the paper's requirement that "the system must be able
+to securely and accurately collect enough system data... to determine
+whether a given environment role is active" (§4.2.2).  A provider owns
+some slice of the state namespace and refreshes it on demand (or on a
+clock observer).
+
+Concrete providers elsewhere: the location service
+(:mod:`repro.env.location`), the load provider
+(:mod:`repro.env.load`), and the sensor framework
+(:mod:`repro.sensors`).  Here live the generic pieces: the registry
+and two simple reusable providers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+from repro.env.clock import Clock
+from repro.env.state import EnvironmentState
+from repro.exceptions import EnvironmentError_
+
+
+class StateProvider:
+    """Interface: something that refreshes environment variables."""
+
+    #: Short name for diagnostics.
+    name: str = "provider"
+
+    def refresh(self, state: EnvironmentState, clock: Clock) -> None:
+        """Update the provider's variables in ``state``."""
+        raise NotImplementedError  # pragma: no cover - interface
+
+
+class CallbackProvider(StateProvider):
+    """Adapts a plain function into a provider.
+
+    The callback receives the clock and returns a mapping of variable
+    names to values, all of which are written into the state.
+    """
+
+    def __init__(
+        self, name: str, callback: Callable[[Clock], Dict[str, Any]]
+    ) -> None:
+        self.name = name
+        self._callback = callback
+
+    def refresh(self, state: EnvironmentState, clock: Clock) -> None:
+        for variable, value in self._callback(clock).items():
+            state.set(variable, value)
+
+
+class ClockProvider(StateProvider):
+    """Mirrors calendar facts into state (``time.hour``, ``time.weekday``).
+
+    Most temporal conditions evaluate straight off the clock, but
+    mirroring calendar components lets generic ``state_*`` conditions
+    and audit snapshots see time like any other variable.
+    """
+
+    name = "clock"
+
+    def refresh(self, state: EnvironmentState, clock: Clock) -> None:
+        moment = clock.now_datetime()
+        state.set("time.hour", moment.hour)
+        state.set("time.minute", moment.minute)
+        state.set("time.weekday", moment.weekday())
+        state.set("time.month", moment.month)
+        state.set("time.day", moment.day)
+
+
+class ProviderRegistry:
+    """Holds providers and refreshes them together.
+
+    When constructed with ``auto_refresh=True`` and a simulated clock,
+    the registry refreshes all providers after every clock advance, so
+    provider-backed environment roles stay current during simulation.
+    """
+
+    def __init__(
+        self,
+        state: EnvironmentState,
+        clock: Clock,
+        auto_refresh: bool = True,
+    ) -> None:
+        self._state = state
+        self._clock = clock
+        self._providers: List[StateProvider] = []
+        if auto_refresh and hasattr(clock, "on_advance"):
+            clock.on_advance(self.refresh_all)
+
+    def register(self, provider: StateProvider) -> StateProvider:
+        """Add a provider and refresh it immediately."""
+        if not isinstance(provider, StateProvider):
+            raise EnvironmentError_(
+                f"expected a StateProvider, got {type(provider).__name__}"
+            )
+        self._providers.append(provider)
+        provider.refresh(self._state, self._clock)
+        return provider
+
+    def refresh_all(self) -> None:
+        """Refresh every registered provider, in registration order."""
+        for provider in self._providers:
+            provider.refresh(self._state, self._clock)
+
+    def providers(self) -> List[StateProvider]:
+        """Registered providers, in order."""
+        return list(self._providers)

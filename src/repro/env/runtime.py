@@ -1,0 +1,123 @@
+"""Environment runtime — one object wiring the whole substrate.
+
+Building a working environment takes five coordinated pieces (clock,
+event bus, state store, role activator, provider registry).
+:class:`EnvironmentRuntime` assembles them with sane defaults and adds
+the convenience the examples and apps live on: *defining* an
+environment role — registering it in the policy **and** binding its
+condition in the activator — in one call.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime
+from typing import Optional
+
+from repro.core.policy import GrbacPolicy
+from repro.core.roles import Role
+from repro.env.activation import EnvironmentRoleActivator
+from repro.env.clock import Clock, SimulatedClock
+from repro.env.conditions import Condition, during
+from repro.env.events import EventBus
+from repro.env.location import LocationService, ZoneResolver, exact_zone_resolver
+from repro.env.providers import ProviderRegistry
+from repro.env.state import EnvironmentState
+from repro.env.temporal import TimeExpression
+
+
+class EnvironmentRuntime:
+    """The assembled environment substrate.
+
+    Typical construction::
+
+        runtime = EnvironmentRuntime(start=datetime(2000, 1, 17, 8, 0))
+        runtime.define_time_role(policy, "weekdays", weekdays())
+        engine = MediationEngine(policy, runtime.activator)
+    """
+
+    def __init__(
+        self,
+        start: Optional[datetime] = None,
+        clock: Optional[Clock] = None,
+        zone_resolver: ZoneResolver = exact_zone_resolver,
+        strict_events: bool = False,
+    ) -> None:
+        if clock is not None and start is not None:
+            raise ValueError("pass either start or clock, not both")
+        #: The trusted time source (simulated unless a clock was given).
+        self.clock: Clock = clock or SimulatedClock(
+            start or datetime(2000, 1, 17, 8, 0)
+        )
+        #: The trusted event system (§4.2.2).
+        self.bus = EventBus(clock=self.clock, strict=strict_events)
+        #: Collected environment variables.
+        self.state = EnvironmentState(bus=self.bus)
+        #: Environment-role condition bindings + activation.
+        self.activator = EnvironmentRoleActivator(
+            self.state, self.clock, bus=self.bus
+        )
+        #: Subject location tracking.
+        self.location = LocationService(self.state, resolver=zone_resolver)
+        #: Data providers refreshed on clock advances.
+        self.providers = ProviderRegistry(self.state, self.clock)
+
+    # ------------------------------------------------------------------
+    # Role definition conveniences
+    # ------------------------------------------------------------------
+    def define_role(
+        self,
+        policy: GrbacPolicy,
+        name: str,
+        condition: Condition,
+        description: str = "",
+    ) -> Role:
+        """Register ``name`` as an environment role and bind it.
+
+        Registers the role in ``policy`` (idempotently — an existing
+        role of the same name is reused, whatever its description) and
+        binds the condition in the activator, so the role immediately
+        starts activating/deactivating with the environment.
+        """
+        if name in policy.environment_roles:
+            role = policy.environment_roles.role(name)
+        else:
+            role = policy.add_environment_role(name, description)
+        self.activator.bind(name, condition)
+        return role
+
+    def define_time_role(
+        self,
+        policy: GrbacPolicy,
+        name: str,
+        expression: TimeExpression,
+        description: str = "",
+    ) -> Role:
+        """Shorthand for a purely temporal environment role (§5.1)."""
+        return self.define_role(
+            policy, name, during(expression), description or expression.describe()
+        )
+
+    def define_location_role(
+        self,
+        policy: GrbacPolicy,
+        name: str,
+        subject: str,
+        zone: str,
+        description: str = "",
+    ) -> Role:
+        """An environment role active while ``subject`` is in ``zone``."""
+        condition = self.location.in_zone_condition(subject, zone)
+        return self.define_role(
+            policy, name, condition, description or f"{subject} in {zone}"
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def active_roles(self) -> set:
+        """Names of currently active environment roles."""
+        return self.activator.active_environment_roles()
+
+    def now(self) -> datetime:
+        """Current simulated time."""
+        return self.clock.now_datetime()

@@ -1,0 +1,105 @@
+"""Environment state — the named variables conditions evaluate over.
+
+"An environment role can be based on any system state that the system
+can accurately collect" (§4.2.2).  :class:`EnvironmentState` is that
+collection point: a revisioned key-value store of state variables
+(``"location.alice" = "kitchen"``, ``"system.load" = 0.42``,
+``"occupancy.home" = 3``) written by providers/sensors and read by
+conditions.
+
+Every change is published on the trusted event bus as ``env.changed``
+so downstream consumers (the role activator, audit tooling) observe
+state transitions as events, matching the paper's architecture.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Optional
+
+from repro.env.events import EventBus
+from repro.exceptions import EnvironmentError_
+
+#: Sentinel distinguishing "no default supplied" from ``default=None``.
+_MISSING = object()
+
+
+class EnvironmentState:
+    """A revisioned store of named environment variables.
+
+    :param bus: optional event bus; when attached, every mutation
+        publishes ``env.changed`` with ``name``, ``old`` and ``new``.
+    """
+
+    def __init__(self, bus: Optional[EventBus] = None) -> None:
+        self._bus = bus
+        self._values: Dict[str, Any] = {}
+        #: Monotonic counter bumped on every effective mutation; used
+        #: by caches (e.g. the role activator) as a staleness check.
+        self.revision = 0
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def set(self, name: str, value: Any) -> None:
+        """Set variable ``name`` to ``value``.
+
+        Setting a variable to its current value is a no-op (no
+        revision bump, no event) so noisy providers do not flood the
+        bus with non-changes.
+        """
+        if not name:
+            raise EnvironmentError_("state variable name must be non-empty")
+        old = self._values.get(name, _MISSING)
+        if old is not _MISSING and old == value:
+            return
+        self._values[name] = value
+        self.revision += 1
+        if self._bus is not None:
+            self._bus.publish(
+                "env.changed",
+                name=name,
+                old=None if old is _MISSING else old,
+                new=value,
+            )
+
+    def delete(self, name: str) -> None:
+        """Remove a variable; safe when absent."""
+        if name in self._values:
+            old = self._values.pop(name)
+            self.revision += 1
+            if self._bus is not None:
+                self._bus.publish("env.changed", name=name, old=old, new=None)
+
+    def update(self, **values: Any) -> None:
+        """Set several variables at once."""
+        for name, value in values.items():
+            self.set(name, value)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def get(self, name: str, default: Any = None) -> Any:
+        """Read a variable, with a default when absent."""
+        return self._values.get(name, default)
+
+    def require(self, name: str) -> Any:
+        """Read a variable that must exist.
+
+        :raises EnvironmentError_: when absent.
+        """
+        if name not in self._values:
+            raise EnvironmentError_(f"environment variable {name!r} is not set")
+        return self._values[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._values
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A shallow copy of all variables (for audit/debug output)."""
+        return dict(self._values)

@@ -1,0 +1,397 @@
+"""Periodic time expressions — the temporal algebra behind time roles.
+
+The paper positions GRBAC environment roles as a usable superset of
+Bertino-style periodic authorizations (§6): "environment roles can be
+used to simplify temporal access rules by assigning
+human-understandable names to various periods of time, e.g. 'Monday',
+'Weekends', or even 'Weekday mornings in July'".
+
+This module provides the algebra those names compile to.  A
+:class:`TimeExpression` answers one question — does a given moment
+fall inside the period? — and expressions compose with ``&`` / ``|`` /
+``~`` so "weekday mornings in July" is literally::
+
+    weekdays() & time_window("06:00", "12:00") & months(7)
+
+All expressions are immutable; ``describe()`` renders a human-readable
+form used by policy reports.
+
+The paper's own examples are all constructible:
+
+* *weekdays* — "12:01 a.m. on Monday to 11:59 p.m. on Friday" (§5.1);
+* *free time* — "7:00 p.m. to 10:00 p.m." (§5.1);
+* the repairman window — January 17, 2000, 8:00 a.m.–1:00 p.m. (§3);
+* "the first Monday of each month" (§4.2.2) — :func:`nth_weekday`.
+"""
+
+from __future__ import annotations
+
+import calendar
+import re
+from dataclasses import dataclass
+from datetime import date, datetime, time, timedelta
+from typing import FrozenSet, Iterable, Tuple
+
+from repro.exceptions import TemporalExpressionError
+
+_DAY_NAMES = [
+    "monday",
+    "tuesday",
+    "wednesday",
+    "thursday",
+    "friday",
+    "saturday",
+    "sunday",
+]
+_MONTH_NAMES = [
+    "january",
+    "february",
+    "march",
+    "april",
+    "may",
+    "june",
+    "july",
+    "august",
+    "september",
+    "october",
+    "november",
+    "december",
+]
+_TIME_RE = re.compile(r"^(\d{1,2}):(\d{2})(?::(\d{2}))?$")
+
+
+def parse_time_of_day(text: str) -> time:
+    """Parse ``"HH:MM"`` or ``"HH:MM:SS"`` into a :class:`~datetime.time`.
+
+    :raises TemporalExpressionError: on malformed input.
+    """
+    match = _TIME_RE.match(text.strip())
+    if not match:
+        raise TemporalExpressionError(f"invalid time of day {text!r}")
+    hour, minute = int(match.group(1)), int(match.group(2))
+    second = int(match.group(3) or 0)
+    if hour > 23 or minute > 59 or second > 59:
+        raise TemporalExpressionError(f"time of day out of range: {text!r}")
+    return time(hour, minute, second)
+
+
+class TimeExpression:
+    """Base class: a (possibly periodic) set of moments in time."""
+
+    def contains(self, moment: datetime) -> bool:
+        """True iff ``moment`` falls inside this expression."""
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def describe(self) -> str:
+        """Human-readable rendering."""
+        raise NotImplementedError  # pragma: no cover - interface
+
+    # --- algebra -------------------------------------------------------
+    def __and__(self, other: "TimeExpression") -> "TimeExpression":
+        return Intersection((self, other))
+
+    def __or__(self, other: "TimeExpression") -> "TimeExpression":
+        return Union((self, other))
+
+    def __invert__(self) -> "TimeExpression":
+        return Complement(self)
+
+    def __contains__(self, moment: datetime) -> bool:
+        return self.contains(moment)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__}: {self.describe()}>"
+
+
+@dataclass(frozen=True)
+class Always(TimeExpression):
+    """Every moment."""
+
+    def contains(self, moment: datetime) -> bool:
+        return True
+
+    def describe(self) -> str:
+        return "always"
+
+
+@dataclass(frozen=True)
+class Never(TimeExpression):
+    """No moment."""
+
+    def contains(self, moment: datetime) -> bool:
+        return False
+
+    def describe(self) -> str:
+        return "never"
+
+
+@dataclass(frozen=True)
+class TimeOfDayWindow(TimeExpression):
+    """A daily window ``[start, end)``; wraps midnight when start >= end.
+
+    ``time_window("19:00", "22:00")`` is the paper's *free time*;
+    ``time_window("22:00", "06:00")`` covers night hours across the
+    date boundary.
+    """
+
+    start: time
+    end: time
+
+    def __post_init__(self) -> None:
+        if self.start == self.end:
+            raise TemporalExpressionError(
+                "degenerate time window (start == end); use always()/never()"
+            )
+
+    def contains(self, moment: datetime) -> bool:
+        moment_time = moment.time()
+        if self.start < self.end:
+            return self.start <= moment_time < self.end
+        return moment_time >= self.start or moment_time < self.end
+
+    def describe(self) -> str:
+        return f"{self.start.strftime('%H:%M')}-{self.end.strftime('%H:%M')}"
+
+
+@dataclass(frozen=True)
+class WeekdaySet(TimeExpression):
+    """Moments whose day-of-week is in the set (0=Monday .. 6=Sunday)."""
+
+    days: FrozenSet[int]
+
+    def __post_init__(self) -> None:
+        if not self.days:
+            raise TemporalExpressionError("weekday set must be non-empty")
+        if not all(0 <= d <= 6 for d in self.days):
+            raise TemporalExpressionError("weekday values must be 0..6")
+
+    def contains(self, moment: datetime) -> bool:
+        return moment.weekday() in self.days
+
+    def describe(self) -> str:
+        return ",".join(_DAY_NAMES[d] for d in sorted(self.days))
+
+
+@dataclass(frozen=True)
+class MonthSet(TimeExpression):
+    """Moments whose month is in the set (1=January .. 12=December)."""
+
+    months: FrozenSet[int]
+
+    def __post_init__(self) -> None:
+        if not self.months:
+            raise TemporalExpressionError("month set must be non-empty")
+        if not all(1 <= m <= 12 for m in self.months):
+            raise TemporalExpressionError("month values must be 1..12")
+
+    def contains(self, moment: datetime) -> bool:
+        return moment.month in self.months
+
+    def describe(self) -> str:
+        return ",".join(_MONTH_NAMES[m - 1] for m in sorted(self.months))
+
+
+@dataclass(frozen=True)
+class NthWeekdayOfMonth(TimeExpression):
+    """The n-th given weekday of each month (§4.2.2's "first Monday").
+
+    ``n`` counts from 1; negative ``n`` counts from the end of the
+    month (``-1`` = last).
+    """
+
+    n: int
+    weekday: int
+
+    def __post_init__(self) -> None:
+        if self.n == 0 or abs(self.n) > 5:
+            raise TemporalExpressionError("n must be in 1..5 or -5..-1")
+        if not 0 <= self.weekday <= 6:
+            raise TemporalExpressionError("weekday must be 0..6")
+
+    def contains(self, moment: datetime) -> bool:
+        if moment.weekday() != self.weekday:
+            return False
+        if self.n > 0:
+            # Occurrence index of this weekday within the month.
+            occurrence = (moment.day - 1) // 7 + 1
+            return occurrence == self.n
+        days_in_month = calendar.monthrange(moment.year, moment.month)[1]
+        occurrence_from_end = (days_in_month - moment.day) // 7 + 1
+        return occurrence_from_end == -self.n
+
+    def describe(self) -> str:
+        ordinal = (
+            f"{self.n}th" if self.n > 0 else f"{-self.n}th-from-last"
+        )
+        if self.n == 1:
+            ordinal = "first"
+        elif self.n == -1:
+            ordinal = "last"
+        return f"{ordinal} {_DAY_NAMES[self.weekday]} of the month"
+
+
+@dataclass(frozen=True)
+class DateRange(TimeExpression):
+    """All moments on days between ``start`` and ``end`` inclusive."""
+
+    start: date
+    end: date
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise TemporalExpressionError("date range end before start")
+
+    def contains(self, moment: datetime) -> bool:
+        return self.start <= moment.date() <= self.end
+
+    def describe(self) -> str:
+        if self.start == self.end:
+            return self.start.isoformat()
+        return f"{self.start.isoformat()}..{self.end.isoformat()}"
+
+
+@dataclass(frozen=True)
+class DateTimeRange(TimeExpression):
+    """Moments in ``[start, end)`` — a one-off window like the §3
+    repairman's "January 17, 2000, between 8:00 a.m. and 1:00 p.m."."""
+
+    start: datetime
+    end: datetime
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise TemporalExpressionError("datetime range end not after start")
+
+    def contains(self, moment: datetime) -> bool:
+        return self.start <= moment < self.end
+
+    def describe(self) -> str:
+        return f"{self.start.isoformat()}..{self.end.isoformat()}"
+
+
+@dataclass(frozen=True)
+class Union(TimeExpression):
+    """Moments in any member expression."""
+
+    members: Tuple[TimeExpression, ...]
+
+    def __post_init__(self) -> None:
+        if not self.members:
+            raise TemporalExpressionError("union needs at least one member")
+
+    def contains(self, moment: datetime) -> bool:
+        return any(member.contains(moment) for member in self.members)
+
+    def describe(self) -> str:
+        return "(" + " or ".join(m.describe() for m in self.members) + ")"
+
+
+@dataclass(frozen=True)
+class Intersection(TimeExpression):
+    """Moments in every member expression."""
+
+    members: Tuple[TimeExpression, ...]
+
+    def __post_init__(self) -> None:
+        if not self.members:
+            raise TemporalExpressionError("intersection needs at least one member")
+
+    def contains(self, moment: datetime) -> bool:
+        return all(member.contains(moment) for member in self.members)
+
+    def describe(self) -> str:
+        return "(" + " and ".join(m.describe() for m in self.members) + ")"
+
+
+@dataclass(frozen=True)
+class Complement(TimeExpression):
+    """Moments *not* in the inner expression."""
+
+    inner: TimeExpression
+
+    def contains(self, moment: datetime) -> bool:
+        return not self.inner.contains(moment)
+
+    def describe(self) -> str:
+        return f"not {self.inner.describe()}"
+
+
+# ----------------------------------------------------------------------
+# Named constructors — the human-readable vocabulary (§6)
+# ----------------------------------------------------------------------
+def always() -> TimeExpression:
+    """Every moment."""
+    return Always()
+
+
+def never() -> TimeExpression:
+    """No moment."""
+    return Never()
+
+
+def time_window(start: str, end: str) -> TimeExpression:
+    """Daily window, e.g. ``time_window("19:00", "22:00")``."""
+    return TimeOfDayWindow(parse_time_of_day(start), parse_time_of_day(end))
+
+
+def days(*names: str) -> TimeExpression:
+    """Days of the week by name: ``days("monday", "wednesday")``."""
+    indices = set()
+    for name in names:
+        lowered = name.strip().lower()
+        if lowered not in _DAY_NAMES:
+            raise TemporalExpressionError(f"unknown day name {name!r}")
+        indices.add(_DAY_NAMES.index(lowered))
+    return WeekdaySet(frozenset(indices))
+
+
+def weekdays() -> TimeExpression:
+    """Monday through Friday (§5.1's *weekdays* role)."""
+    return WeekdaySet(frozenset(range(5)))
+
+
+def weekends() -> TimeExpression:
+    """Saturday and Sunday."""
+    return WeekdaySet(frozenset({5, 6}))
+
+
+def months(*values: "int | str") -> TimeExpression:
+    """Months by number or name: ``months(7)`` or ``months("july")``."""
+    indices = set()
+    for value in values:
+        if isinstance(value, int):
+            indices.add(value)
+            continue
+        lowered = value.strip().lower()
+        if lowered not in _MONTH_NAMES:
+            raise TemporalExpressionError(f"unknown month name {value!r}")
+        indices.add(_MONTH_NAMES.index(lowered) + 1)
+    return MonthSet(frozenset(indices))
+
+
+def nth_weekday(n: int, day_name: str) -> TimeExpression:
+    """E.g. ``nth_weekday(1, "monday")`` — the first Monday (§4.2.2)."""
+    lowered = day_name.strip().lower()
+    if lowered not in _DAY_NAMES:
+        raise TemporalExpressionError(f"unknown day name {day_name!r}")
+    return NthWeekdayOfMonth(n, _DAY_NAMES.index(lowered))
+
+
+def date_range(start: date, end: date) -> TimeExpression:
+    """All of the days from ``start`` to ``end`` inclusive."""
+    return DateRange(start, end)
+
+
+def one_off(start: datetime, end: datetime) -> TimeExpression:
+    """A single absolute window (the §3 repairman visit)."""
+    return DateTimeRange(start, end)
+
+
+def union(expressions: Iterable[TimeExpression]) -> TimeExpression:
+    """Union of several expressions."""
+    return Union(tuple(expressions))
+
+
+def intersection(expressions: Iterable[TimeExpression]) -> TimeExpression:
+    """Intersection of several expressions."""
+    return Intersection(tuple(expressions))

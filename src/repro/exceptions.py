@@ -1,0 +1,107 @@
+"""Exception hierarchy for the GRBAC reproduction.
+
+Every error raised by the library derives from :class:`GrbacError`, so
+callers can catch one base class.  Sub-classes are fine-grained enough
+that tests can assert on the *reason* an operation was rejected.
+"""
+
+from __future__ import annotations
+
+
+class GrbacError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class PolicyError(GrbacError):
+    """A policy is malformed or an operation on it is invalid."""
+
+
+class UnknownEntityError(PolicyError):
+    """A subject, object, role, or transaction is not registered."""
+
+
+class DuplicateEntityError(PolicyError):
+    """An entity with the same identifier is already registered."""
+
+
+class RoleKindError(PolicyError):
+    """A role was used where a different kind of role is required.
+
+    For example, passing an environment role where a subject role is
+    expected, or linking roles of different kinds in one hierarchy.
+    """
+
+
+class HierarchyError(PolicyError):
+    """An invalid role-hierarchy operation (e.g. introducing a cycle)."""
+
+
+class HierarchyCycleError(HierarchyError):
+    """Adding an inheritance edge would create a cycle."""
+
+
+class ConstraintViolationError(GrbacError):
+    """A separation-of-duty or cardinality constraint was violated."""
+
+    def __init__(self, message: str, constraint_name: str = "") -> None:
+        super().__init__(message)
+        #: Name of the violated constraint, when known.
+        self.constraint_name = constraint_name
+
+
+class ActivationError(GrbacError):
+    """A role activation request is not permitted."""
+
+
+class SessionError(GrbacError):
+    """An operation referenced a missing or terminated session."""
+
+
+class AuthenticationError(GrbacError):
+    """An authentication step failed outright (not merely low confidence)."""
+
+
+class EnvironmentError_(GrbacError):
+    """An environment provider or condition failed.
+
+    Named with a trailing underscore to avoid shadowing the Python
+    built-in ``EnvironmentError`` alias of :class:`OSError`.
+    """
+
+
+class TemporalExpressionError(GrbacError):
+    """A periodic time expression is malformed."""
+
+
+class PolicySyntaxError(GrbacError):
+    """The policy DSL text could not be parsed."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        location = f" (line {line}, column {column})" if line else ""
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class PolicyCompileError(GrbacError):
+    """A parsed DSL policy referenced entities that do not exist."""
+
+
+class DeviceError(GrbacError):
+    """An invalid operation on a simulated home device."""
+
+
+class AccessDeniedError(GrbacError):
+    """The mediation engine denied an enforced operation.
+
+    Carries the full :class:`~repro.core.mediation.Decision` so
+    callers (and tests) can inspect why.
+    """
+
+    def __init__(self, message: str, decision=None) -> None:
+        super().__init__(message)
+        self.decision = decision
+
+
+class WorkloadError(GrbacError):
+    """A workload generator was misconfigured."""

@@ -1,0 +1,61 @@
+"""The Aware Home substrate (§2) — topology, devices, residents, and
+the SecureHome integration that fronts every device operation with
+GRBAC mediation."""
+
+from repro.home.devices import (
+    Camera,
+    Device,
+    DeviceCategory,
+    Dishwasher,
+    DocumentStore,
+    DoorLock,
+    GameConsole,
+    MedicalMonitor,
+    Oven,
+    Refrigerator,
+    Stereo,
+    Television,
+    Thermostat,
+    Vcr,
+    Videophone,
+    WaterHeater,
+)
+from repro.home.registry import OperationResult, SecureHome
+from repro.home.residents import (
+    DailySchedule,
+    Resident,
+    ScheduleEntry,
+    ScheduleError,
+    standard_household,
+)
+from repro.home.topology import HOME_ZONE, Home, TopologyError, standard_home
+
+__all__ = [
+    "HOME_ZONE",
+    "Camera",
+    "DailySchedule",
+    "Device",
+    "DeviceCategory",
+    "Dishwasher",
+    "DocumentStore",
+    "DoorLock",
+    "GameConsole",
+    "Home",
+    "MedicalMonitor",
+    "OperationResult",
+    "Oven",
+    "Refrigerator",
+    "Resident",
+    "ScheduleEntry",
+    "ScheduleError",
+    "SecureHome",
+    "Stereo",
+    "Television",
+    "Thermostat",
+    "TopologyError",
+    "Vcr",
+    "Videophone",
+    "WaterHeater",
+    "standard_home",
+    "standard_household",
+]

@@ -1,0 +1,33 @@
+"""Aware Home example applications (§2), all enforced through GRBAC."""
+
+from repro.home.apps.cyberfridge import CyberfridgeApp
+from repro.home.apps.eldercare import ALERT_VARIABLE, EMERGENCY_ROLE, ElderCareApp
+from repro.home.apps.mediaguard import (
+    KID_SAFE_RATINGS,
+    KID_SAFE_ROLE,
+    PROGRAM_ROLE,
+    MediaGuardApp,
+)
+from repro.home.apps.utility import (
+    AGENT_ROLE,
+    AGENT_SUBJECT,
+    HOT_WATER_ROLE,
+    OCCUPIED_ROLE,
+    UtilityApp,
+)
+
+__all__ = [
+    "AGENT_ROLE",
+    "AGENT_SUBJECT",
+    "ALERT_VARIABLE",
+    "EMERGENCY_ROLE",
+    "HOT_WATER_ROLE",
+    "KID_SAFE_RATINGS",
+    "KID_SAFE_ROLE",
+    "OCCUPIED_ROLE",
+    "PROGRAM_ROLE",
+    "CyberfridgeApp",
+    "ElderCareApp",
+    "MediaGuardApp",
+    "UtilityApp",
+]

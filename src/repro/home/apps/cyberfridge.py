@@ -1,0 +1,127 @@
+"""Cyberfridge — remote inventory management (§2, ref. [9]).
+
+"The Cyberfridge application collects information about food items in
+a refrigerator and makes the data accessible from anywhere.
+Cyberfridge can interface with a local food delivery service to
+automatically reorder food items such as milk or eggs when necessary."
+
+The app wraps a :class:`~repro.home.devices.Refrigerator` behind the
+secure home, adds par-level tracking, and defines the policy slice the
+paper's examples imply:
+
+* family members may read the inventory from anywhere;
+* parents may modify it and place orders;
+* the *delivery service agent* (an outside subject) may only read the
+  inventory and confirm orders — and only that;
+* the §3 repairman-style time-boxed guest access composes on top via
+  ordinary environment roles, nothing app-specific needed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.home.devices import Refrigerator
+from repro.home.registry import SecureHome
+
+
+class CyberfridgeApp:
+    """Inventory management over an enforced refrigerator.
+
+    :param home: the secure home hosting the fridge.
+    :param fridge: the refrigerator device (must already be registered
+        with the home).
+    """
+
+    def __init__(self, home: SecureHome, fridge: Refrigerator) -> None:
+        self._home = home
+        self._fridge = fridge
+        self._fridge_name = fridge.qualified_name
+        #: item -> desired minimum quantity
+        self._par_levels: Dict[str, int] = {}
+        home.device(self._fridge_name)  # must be registered
+
+    # ------------------------------------------------------------------
+    # Policy installation
+    # ------------------------------------------------------------------
+    @staticmethod
+    def install_policy(
+        home: SecureHome,
+        family_role: str = "family-member",
+        parent_role: str = "parent",
+        delivery_role: str = "delivery-agent",
+    ) -> None:
+        """Create the app's permission slice in the home's policy.
+
+        Assumes the kitchen object role (the fridge's category role) is
+        ``"kitchen"`` — the default classification from
+        :meth:`~repro.home.registry.SecureHome.register_device`.
+        """
+        policy = home.policy
+        for role in (family_role, parent_role, delivery_role):
+            if role not in policy.subject_roles:
+                policy.add_subject_role(role)
+        policy.grant(family_role, "read_inventory", "kitchen", name="cf-read")
+        policy.grant(family_role, "open", "kitchen", name="cf-open")
+        for transaction in ("add_item", "remove_item", "reorder"):
+            policy.grant(parent_role, transaction, "kitchen", name=f"cf-{transaction}")
+        policy.grant(delivery_role, "read_inventory", "kitchen", name="cf-delivery-read")
+
+    # ------------------------------------------------------------------
+    # Par levels
+    # ------------------------------------------------------------------
+    def set_par_level(self, item: str, minimum: int) -> None:
+        """Keep at least ``minimum`` of ``item`` on hand."""
+        if minimum < 1:
+            raise ValueError("par level must be >= 1")
+        self._par_levels[item] = minimum
+
+    def par_levels(self) -> Dict[str, int]:
+        """Configured par levels."""
+        return dict(self._par_levels)
+
+    # ------------------------------------------------------------------
+    # Enforced operations
+    # ------------------------------------------------------------------
+    def read_inventory(self, subject: str) -> Dict[str, int]:
+        """Read the fridge contents as ``subject`` (from anywhere)."""
+        return self._home.operate(subject, self._fridge_name, "read_inventory")
+
+    def stock(self, subject: str, item: str, quantity: int = 1) -> int:
+        """Add items (requires modify rights)."""
+        return self._home.operate(
+            subject, self._fridge_name, "add_item", item=item, quantity=quantity
+        )
+
+    def consume(self, subject: str, item: str, quantity: int = 1) -> int:
+        """Remove items (requires modify rights)."""
+        return self._home.operate(
+            subject, self._fridge_name, "remove_item", item=item, quantity=quantity
+        )
+
+    def check_and_reorder(self, subject: str) -> List[Dict[str, int]]:
+        """Reorder every item below its par level, as ``subject``.
+
+        Returns the orders placed.  Reading and ordering are both
+        mediated, so a subject who may read but not order gets the
+        denial on the first order attempt.
+        """
+        inventory = self.read_inventory(subject)
+        orders = []
+        for item, minimum in sorted(self._par_levels.items()):
+            have = inventory.get(item, 0)
+            if have < minimum:
+                order = self._home.operate(
+                    subject,
+                    self._fridge_name,
+                    "reorder",
+                    item=item,
+                    quantity=minimum - have,
+                )
+                orders.append(order)
+        return orders
+
+    def pending_orders(self) -> List[Dict[str, int]]:
+        """Orders placed so far (read from device state, unenforced —
+        this is the delivery company's view of its own order book)."""
+        return list(self._fridge.state.get("orders", []))

@@ -1,0 +1,179 @@
+"""Elder care — remote monitoring with emergency escalation (§2).
+
+"One research group is exploring how the Aware Home concept can help
+elderly residents remain in their homes longer... effectively
+providing the same level of care and supervision that today can be
+found only in nursing homes and hospitals."
+
+The app demonstrates the GRBAC feature mix the scenario needs:
+
+* a *caregiver* subject role (an outside professional) may read the
+  elder's vitals at any time;
+* *relatives* may view only degraded camera snapshots in normal
+  operation (§3's quality-tiered access);
+* a ``medical-emergency`` **environment role**, driven by the vitals
+  monitor's alert state through the trusted event system, widens
+  access while active: relatives and caregivers may view the live
+  stream and the caregiver may unlock the front door.
+
+Everything is ordinary GRBAC machinery — the emergency escalation is
+just an environment role bound to a state condition.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.env.conditions import state_equals
+from repro.home.devices import Camera, DoorLock, MedicalMonitor
+from repro.home.registry import SecureHome
+
+#: Environment state variable mirroring the monitor's alert status.
+ALERT_VARIABLE = "eldercare.alert"
+
+#: The escalation environment role.
+EMERGENCY_ROLE = "medical-emergency"
+
+
+class ElderCareApp:
+    """Vitals monitoring + emergency-escalated access.
+
+    :param home: the secure home.
+    :param monitor: the elder's medical monitor (registered).
+    :param camera: the elder's room camera (registered).
+    :param door: optional front-door lock for responder entry.
+    """
+
+    def __init__(
+        self,
+        home: SecureHome,
+        monitor: MedicalMonitor,
+        camera: Camera,
+        door: Optional[DoorLock] = None,
+    ) -> None:
+        self._home = home
+        self._monitor = monitor
+        self._camera = camera
+        self._door = door
+        for device in (monitor, camera) + ((door,) if door else ()):
+            home.device(device.qualified_name)
+        # Mirror the monitor's alert state into the environment and
+        # bind the emergency role to it.
+        home.runtime.state.set(ALERT_VARIABLE, False)
+        home.runtime.define_role(
+            home.policy,
+            EMERGENCY_ROLE,
+            state_equals(ALERT_VARIABLE, True),
+            "the vitals monitor has raised an alert",
+        )
+
+    # ------------------------------------------------------------------
+    # Policy installation
+    # ------------------------------------------------------------------
+    @staticmethod
+    def install_policy(
+        home: SecureHome,
+        caregiver_role: str = "caregiver",
+        relative_role: str = "relative",
+    ) -> None:
+        """Create the app's permission slice.
+
+        Must run after the app object exists (it defines the emergency
+        environment role) or the role can be pre-registered manually.
+        """
+        policy = home.policy
+        for role in (caregiver_role, relative_role):
+            if role not in policy.subject_roles:
+                policy.add_subject_role(role)
+        if EMERGENCY_ROLE not in policy.environment_roles:
+            policy.add_environment_role(EMERGENCY_ROLE)
+        # Vitals: caregiver always; relatives only during an emergency.
+        policy.grant(caregiver_role, "read_vitals", "information", name="ec-vitals")
+        policy.grant(
+            relative_role,
+            "read_vitals",
+            "information",
+            EMERGENCY_ROLE,
+            name="ec-vitals-emergency",
+        )
+        # Camera: snapshots for relatives anytime; live stream only
+        # during an emergency (quality-tiered access, §3).
+        policy.grant(relative_role, "view_snapshot", "security", name="ec-snapshot")
+        policy.grant(
+            relative_role,
+            "view_stream",
+            "security",
+            EMERGENCY_ROLE,
+            name="ec-stream-emergency",
+        )
+        policy.grant(
+            caregiver_role,
+            "view_stream",
+            "security",
+            EMERGENCY_ROLE,
+            name="ec-caregiver-stream",
+        )
+        # Door: the caregiver may unlock it only during an emergency.
+        policy.grant(
+            caregiver_role,
+            "unlock",
+            "security",
+            EMERGENCY_ROLE,
+            name="ec-door",
+        )
+
+    # ------------------------------------------------------------------
+    # Monitoring (the trusted sensor path — not subject-mediated)
+    # ------------------------------------------------------------------
+    def record_vitals(self, heart_rate: int, systolic: int) -> Dict[str, int]:
+        """Ingest a vitals reading from the monitor hardware.
+
+        This is the device's own sensor feed, not a subject access, so
+        it bypasses mediation — but it *does* flow through the trusted
+        event system: an abnormal reading flips the alert state
+        variable, which activates the emergency environment role.
+        """
+        reading = self._monitor.perform(
+            "record_vitals", heart_rate=heart_rate, systolic=systolic
+        )
+        alert = self._monitor.state["alert"] is not None
+        self._home.runtime.state.set(ALERT_VARIABLE, alert)
+        return reading
+
+    def clear_alert(self, subject: str) -> bool:
+        """Stand down the emergency (mediated: caregivers only by
+        default policy — whoever holds ``clear_alert`` rights)."""
+        result = self._home.operate(
+            subject, self._monitor.qualified_name, "clear_alert"
+        )
+        self._home.runtime.state.set(ALERT_VARIABLE, False)
+        return result
+
+    @property
+    def alert_active(self) -> bool:
+        """Is the emergency environment role currently active?"""
+        return EMERGENCY_ROLE in self._home.runtime.active_roles()
+
+    # ------------------------------------------------------------------
+    # Enforced accesses
+    # ------------------------------------------------------------------
+    def read_vitals(self, subject: str, last: int = 1) -> List[Dict[str, int]]:
+        """Read recent vitals as ``subject``."""
+        return self._home.operate(
+            subject, self._monitor.qualified_name, "read_vitals", last=last
+        )
+
+    def view_camera(self, subject: str, stream: bool = False) -> Dict[str, object]:
+        """View the elder's camera as ``subject``.
+
+        ``stream=True`` requests live video (emergency-gated for
+        relatives); ``False`` requests the degraded snapshot.
+        """
+        operation = "view_stream" if stream else "view_snapshot"
+        return self._home.operate(subject, self._camera.qualified_name, operation)
+
+    def unlock_door(self, subject: str) -> bool:
+        """Unlock the front door as ``subject`` (emergency-gated)."""
+        if self._door is None:
+            raise ValueError("no door lock attached to this app")
+        return self._home.operate(subject, self._door.qualified_name, "unlock")

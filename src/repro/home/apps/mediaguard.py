@@ -1,0 +1,148 @@
+"""MediaGuard — content-rating control via object roles (§3, §4.2.3).
+
+"A child may be prohibited from viewing any television program or
+movie that is not rated 'G' or 'PG'."  Object roles make this natural:
+programs are objects, a classifier assigns each the object role of its
+rating, and one rule per audience class covers every program forever —
+including programs added after the rule was written (§5.1's "if the
+household were to purchase a new toy... it would immediately be
+controlled by this pre-defined access policy", applied to media).
+
+This is also the §6 content-based access control comparison (Gopal &
+Manber): classification by object *content attributes* feeding access
+decisions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import AccessDeniedError, UnknownEntityError
+from repro.home.devices import Television
+from repro.home.registry import SecureHome
+
+#: Object role possessed by programs a child may watch.
+KID_SAFE_ROLE = "kid-safe-program"
+
+#: Object role for every program (the media catalogue).
+PROGRAM_ROLE = "program"
+
+#: Ratings considered safe for children.
+KID_SAFE_RATINGS = ("G", "PG")
+
+
+class MediaGuardApp:
+    """A program guide with rating-classified object roles.
+
+    :param home: the secure home.
+    :param tv: the registered television to tune.
+    """
+
+    def __init__(self, home: SecureHome, tv: Television) -> None:
+        self._home = home
+        self._tv = tv
+        home.device(tv.qualified_name)
+        #: channel -> (program object name, rating)
+        self._guide: Dict[int, Tuple[str, str]] = {}
+        policy = home.policy
+        if PROGRAM_ROLE not in policy.object_roles:
+            policy.add_object_role(PROGRAM_ROLE, "all catalogued programs")
+        if KID_SAFE_ROLE not in policy.object_roles:
+            policy.add_object_role(KID_SAFE_ROLE, "programs rated G or PG")
+            policy.object_roles.add_specialization(KID_SAFE_ROLE, PROGRAM_ROLE)
+
+    # ------------------------------------------------------------------
+    # Policy installation
+    # ------------------------------------------------------------------
+    @staticmethod
+    def install_policy(
+        home: SecureHome,
+        child_role: str = "child",
+        adult_role: str = "parent",
+    ) -> None:
+        """One rule per audience class (the point of object roles)."""
+        policy = home.policy
+        if PROGRAM_ROLE not in policy.object_roles:
+            policy.add_object_role(PROGRAM_ROLE)
+        if KID_SAFE_ROLE not in policy.object_roles:
+            policy.add_object_role(KID_SAFE_ROLE)
+            policy.object_roles.add_specialization(KID_SAFE_ROLE, PROGRAM_ROLE)
+        policy.add_transaction("view_program")
+        policy.grant(adult_role, "view_program", PROGRAM_ROLE, name="mg-adult")
+        policy.grant(child_role, "view_program", KID_SAFE_ROLE, name="mg-child")
+
+    # ------------------------------------------------------------------
+    # Programming guide
+    # ------------------------------------------------------------------
+    def add_program(self, channel: int, name: str, rating: str) -> str:
+        """Catalogue a program: object + rating classification.
+
+        Returns the program's object identifier.  Classification into
+        :data:`KID_SAFE_ROLE` happens here, by rating — the classifier
+        the §6 content-based comparison talks about.
+        """
+        if rating not in Television.RATINGS:
+            raise UnknownEntityError(f"unknown rating {rating!r}")
+        object_name = f"program/{name}"
+        policy = self._home.policy
+        policy.add_object(object_name, rating=rating, channel=channel)
+        policy.assign_object(object_name, PROGRAM_ROLE)
+        if rating in KID_SAFE_RATINGS:
+            policy.assign_object(object_name, KID_SAFE_ROLE)
+        self._guide[channel] = (object_name, rating)
+        return object_name
+
+    def guide(self) -> Dict[int, Tuple[str, str]]:
+        """The channel guide: channel -> (program object, rating)."""
+        return dict(self._guide)
+
+    # ------------------------------------------------------------------
+    # Enforced viewing
+    # ------------------------------------------------------------------
+    def watch(self, subject: str, channel: int) -> Dict[str, object]:
+        """Tune the TV to ``channel`` and watch, as ``subject``.
+
+        Mediates ``view_program`` on the *program object* — the access
+        decision is about the content, not the appliance — then drives
+        the television.
+
+        :raises AccessDeniedError: when the subject may not view the
+            program on that channel.
+        :raises UnknownEntityError: for unlisted channels.
+        """
+        if channel not in self._guide:
+            raise UnknownEntityError(f"no program listed on channel {channel}")
+        program, rating = self._guide[channel]
+        engine = self._home.engine
+        from repro.core.mediation import AccessRequest
+
+        decision = engine.decide(
+            AccessRequest(transaction="view_program", obj=program, subject=subject)
+        )
+        self._home.audit.record(decision)
+        if not decision.granted:
+            raise AccessDeniedError(
+                f"{subject!r} may not view {program!r} (rated {rating}): "
+                f"{decision.rationale}",
+                decision=decision,
+            )
+        self._tv.perform("power_on")
+        self._tv.perform("change_channel", channel=channel, rating=rating)
+        return self._tv.perform("watch")
+
+    def can_watch(self, subject: str, channel: int) -> bool:
+        """Non-destructive permission probe for a channel."""
+        if channel not in self._guide:
+            return False
+        program, _ = self._guide[channel]
+        from repro.core.mediation import AccessRequest
+
+        return self._home.engine.decide(
+            AccessRequest(transaction="view_program", obj=program, subject=subject)
+        ).granted
+
+    def allowed_channels(self, subject: str) -> List[int]:
+        """Channels ``subject`` may currently watch."""
+        return sorted(
+            channel for channel in self._guide if self.can_watch(subject, channel)
+        )

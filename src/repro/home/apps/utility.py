@@ -1,0 +1,158 @@
+"""Utility management — automated heating and hot water (§2).
+
+"A third example is an application that automatically manages home
+resources such as hot water and heat... It can choose to heat the
+house only when it knows there are residents inside, and it can choose
+to produce hot water only at times when residents usually take
+showers."
+
+The interesting access-control point: the actor is a **software
+agent**, not a person.  GRBAC handles it with an ordinary subject role
+(*automation-agent*) — the agent's rights are as scoped and auditable
+as any resident's, and can additionally be gated by environment roles
+(here: *home-occupied* for heat, a schedule window for hot water).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.env.conditions import state_above
+from repro.env.temporal import TimeExpression, time_window, union
+from repro.home.devices import Thermostat, WaterHeater
+from repro.home.registry import SecureHome
+
+#: The environment role active while anyone is in the house.
+OCCUPIED_ROLE = "home-occupied"
+
+#: The environment role active during habitual hot-water hours.
+HOT_WATER_ROLE = "hot-water-window"
+
+#: The software agent's subject name and role.
+AGENT_SUBJECT = "utility-agent"
+AGENT_ROLE = "automation-agent"
+
+
+class UtilityApp:
+    """Occupancy- and schedule-driven HVAC control.
+
+    :param home: the secure home (must track occupancy — register an
+        :class:`~repro.sensors.OccupancyProvider` for zone ``home``).
+    :param thermostat: the registered thermostat device.
+    :param water_heater: the registered water-heater device.
+    :param hot_water_windows: when residents habitually use hot water;
+        default mirrors morning showers and evening dishes/laundry.
+    """
+
+    def __init__(
+        self,
+        home: SecureHome,
+        thermostat: Thermostat,
+        water_heater: WaterHeater,
+        hot_water_windows: Optional[TimeExpression] = None,
+    ) -> None:
+        self._home = home
+        self._thermostat = thermostat
+        self._water_heater = water_heater
+        home.device(thermostat.qualified_name)
+        home.device(water_heater.qualified_name)
+
+        windows = hot_water_windows or union(
+            [time_window("06:00", "09:00"), time_window("18:00", "21:00")]
+        )
+        home.runtime.define_role(
+            home.policy,
+            OCCUPIED_ROLE,
+            state_above("occupancy.home", 0),
+            "at least one resident is inside the home",
+        )
+        home.runtime.define_time_role(
+            home.policy, HOT_WATER_ROLE, windows, "habitual hot-water hours"
+        )
+        #: Actions taken on the last tick, for reporting.
+        self.last_actions: List[str] = []
+
+    # ------------------------------------------------------------------
+    # Policy installation
+    # ------------------------------------------------------------------
+    @staticmethod
+    def install_policy(home: SecureHome, comfort_f: int = 68) -> None:
+        """Register the agent subject and its scoped rights.
+
+        The agent may adjust heat only while the home is occupied, and
+        may run the water heater only in the habitual windows; it may
+        *disable* both unconditionally (turning things off is safe).
+        Parents may override anything at any time.
+        """
+        policy = home.policy
+        if AGENT_ROLE not in policy.subject_roles:
+            policy.add_subject_role(AGENT_ROLE, "non-human automation agents")
+        if AGENT_SUBJECT not in {s.name for s in policy.subjects()}:
+            policy.add_subject(AGENT_SUBJECT, kind="software-agent")
+        policy.assign_subject(AGENT_SUBJECT, AGENT_ROLE)
+        for role in (OCCUPIED_ROLE, HOT_WATER_ROLE):
+            if role not in policy.environment_roles:
+                policy.add_environment_role(role)
+
+        policy.grant(AGENT_ROLE, "enable_heat", "hvac", OCCUPIED_ROLE, name="ua-heat")
+        policy.grant(
+            AGENT_ROLE, "set_temperature", "hvac", OCCUPIED_ROLE, name="ua-setpoint"
+        )
+        policy.grant(AGENT_ROLE, "disable_heat", "hvac", name="ua-heat-off")
+        policy.grant(AGENT_ROLE, "enable", "hvac", HOT_WATER_ROLE, name="ua-water")
+        policy.grant(AGENT_ROLE, "disable", "hvac", name="ua-water-off")
+        policy.grant(AGENT_ROLE, "read_temperature", "hvac", name="ua-read")
+
+    # ------------------------------------------------------------------
+    # The control loop
+    # ------------------------------------------------------------------
+    def tick(self, comfort_f: int = 68, setback_f: int = 58) -> List[str]:
+        """One control decision, driven by current environment state.
+
+        The agent *attempts* the actuations appropriate to what it
+        observes; mediation decides whether each is permitted right
+        now.  Denials are normal (e.g. the occupied-role just lapsed)
+        and are recorded rather than raised.
+        """
+        actions: List[str] = []
+        occupied = OCCUPIED_ROLE in self._home.runtime.active_roles()
+        hot_water_window = HOT_WATER_ROLE in self._home.runtime.active_roles()
+
+        thermostat = self._thermostat.qualified_name
+        heater = self._water_heater.qualified_name
+
+        if occupied:
+            actions.append(self._attempt(thermostat, "enable_heat"))
+            actions.append(
+                self._attempt(thermostat, "set_temperature", setpoint_f=comfort_f)
+            )
+        else:
+            actions.append(self._attempt(thermostat, "disable_heat"))
+
+        if hot_water_window and occupied:
+            actions.append(self._attempt(heater, "enable"))
+        else:
+            actions.append(self._attempt(heater, "disable"))
+
+        self.last_actions = [a for a in actions if a]
+        return self.last_actions
+
+    def _attempt(self, device: str, operation: str, **kwargs) -> str:
+        outcome = self._home.try_operate(
+            AGENT_SUBJECT, device, operation, **kwargs
+        )
+        status = "ok" if outcome.granted else "denied"
+        return f"{operation}@{device}: {status}"
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def status(self) -> Dict[str, object]:
+        """Current device states and active roles, for dashboards."""
+        return {
+            "heating": self._thermostat.state["heating"],
+            "setpoint_f": self._thermostat.state["setpoint_f"],
+            "hot_water": self._water_heater.state["heating"],
+            "occupied": OCCUPIED_ROLE in self._home.runtime.active_roles(),
+            "hot_water_window": HOT_WATER_ROLE in self._home.runtime.active_roles(),
+        }

@@ -1,0 +1,533 @@
+"""Device models — the objects the Aware Home protects.
+
+The paper's object examples: "appliances such as a dishwasher or
+stereo, media objects such as movies, and sensitive digital
+information such as medical records or income tax returns" (§4.1.1).
+
+Each :class:`Device` lives in a room, belongs to a
+:class:`DeviceCategory`, and exposes named *operations* — the
+primitive accesses that map onto GRBAC transactions through the
+:mod:`repro.home.registry`.  Devices hold real (simulated) state so
+the example applications do something observable once access is
+granted: a television actually changes channel, the refrigerator
+actually tracks its contents.
+
+Access control is **not** enforced here — devices are dumb hardware.
+Enforcement happens in :class:`repro.home.registry.SecureHome`, which
+fronts every operation with the mediation engine (the paper's "must be
+integrated carefully into a trusted computer system", §7).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+from repro.exceptions import DeviceError
+
+
+class DeviceCategory(enum.Enum):
+    """Coarse device taxonomy used for default object roles."""
+
+    ENTERTAINMENT = "entertainment"
+    KITCHEN = "kitchen"
+    HVAC = "hvac"
+    SECURITY = "security"
+    COMMUNICATION = "communication"
+    INFORMATION = "information"
+    SAFETY_CRITICAL = "safety-critical"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class Device:
+    """Base device: named, located, with a table of operations.
+
+    Subclasses register operations with :meth:`_operation`; calling
+    :meth:`perform` executes one.  ``state`` is an open dictionary of
+    the device's observable condition.
+    """
+
+    category: DeviceCategory = DeviceCategory.INFORMATION
+
+    def __init__(self, name: str, room: str) -> None:
+        if not name or not room:
+            raise DeviceError("device needs a name and a room")
+        self.name = name
+        self.room = room
+        self.state: Dict[str, Any] = {}
+        self._operations: Dict[str, Callable[..., Any]] = {}
+        self._register_operations()
+
+    # ------------------------------------------------------------------
+    # Operation plumbing
+    # ------------------------------------------------------------------
+    def _register_operations(self) -> None:
+        """Subclass hook: call :meth:`_operation` for each operation."""
+
+    def _operation(self, name: str, handler: Callable[..., Any]) -> None:
+        self._operations[name] = handler
+
+    def operations(self) -> List[str]:
+        """Names of the operations this device supports."""
+        return list(self._operations)
+
+    def supports(self, operation: str) -> bool:
+        """True iff the device implements ``operation``."""
+        return operation in self._operations
+
+    def perform(self, operation: str, **kwargs: Any) -> Any:
+        """Execute an operation directly (no access control).
+
+        :raises DeviceError: for unsupported operations.
+        """
+        handler = self._operations.get(operation)
+        if handler is None:
+            raise DeviceError(
+                f"device {self.name!r} does not support {operation!r} "
+                f"(supported: {sorted(self._operations)})"
+            )
+        return handler(**kwargs)
+
+    @property
+    def qualified_name(self) -> str:
+        """``room/name`` — the GRBAC object identifier."""
+        return f"{self.room}/{self.name}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.qualified_name}>"
+
+
+# ----------------------------------------------------------------------
+# Entertainment
+# ----------------------------------------------------------------------
+class Television(Device):
+    """A TV with power, channels, and content ratings (§3's G/PG rule).
+
+    The currently tuned program carries a rating; the registry exposes
+    the rating as an object attribute so a *rated-G-or-PG* object role
+    can gate children's viewing.
+    """
+
+    category = DeviceCategory.ENTERTAINMENT
+
+    #: Recognized program ratings, most to least restrictive audience.
+    RATINGS = ("G", "PG", "PG-13", "R")
+
+    def __init__(self, name: str, room: str) -> None:
+        super().__init__(name, room)
+        self.state.update(power=False, channel=1, program_rating="G")
+
+    def _register_operations(self) -> None:
+        self._operation("power_on", self._power_on)
+        self._operation("power_off", self._power_off)
+        self._operation("change_channel", self._change_channel)
+        self._operation("watch", self._watch)
+
+    def _power_on(self) -> bool:
+        self.state["power"] = True
+        return True
+
+    def _power_off(self) -> bool:
+        self.state["power"] = False
+        return True
+
+    def _change_channel(self, channel: int = 1, rating: str = "G") -> int:
+        if rating not in self.RATINGS:
+            raise DeviceError(f"unknown rating {rating!r}")
+        if channel < 1:
+            raise DeviceError("channel must be >= 1")
+        self.state["channel"] = channel
+        self.state["program_rating"] = rating
+        return channel
+
+    def _watch(self) -> Dict[str, Any]:
+        if not self.state["power"]:
+            raise DeviceError(f"{self.name!r} is powered off")
+        return {
+            "channel": self.state["channel"],
+            "rating": self.state["program_rating"],
+        }
+
+
+class Stereo(Device):
+    """A stereo system."""
+
+    category = DeviceCategory.ENTERTAINMENT
+
+    def __init__(self, name: str, room: str) -> None:
+        super().__init__(name, room)
+        self.state.update(power=False, volume=3)
+
+    def _register_operations(self) -> None:
+        self._operation("power_on", lambda: self.state.update(power=True) or True)
+        self._operation("power_off", lambda: self.state.update(power=False) or True)
+        self._operation("set_volume", self._set_volume)
+        self._operation("play", self._play)
+
+    def _set_volume(self, volume: int = 3) -> int:
+        if not 0 <= volume <= 10:
+            raise DeviceError("volume must be 0..10")
+        self.state["volume"] = volume
+        return volume
+
+    def _play(self, track: str = "default") -> str:
+        if not self.state["power"]:
+            raise DeviceError(f"{self.name!r} is powered off")
+        self.state["playing"] = track
+        return track
+
+
+class GameConsole(Device):
+    """A home video-game console (§5.1's entertainment devices)."""
+
+    category = DeviceCategory.ENTERTAINMENT
+
+    def __init__(self, name: str, room: str) -> None:
+        super().__init__(name, room)
+        self.state.update(power=False, game=None)
+
+    def _register_operations(self) -> None:
+        self._operation("power_on", lambda: self.state.update(power=True) or True)
+        self._operation("power_off", lambda: self.state.update(power=False) or True)
+        self._operation("play", self._play)
+
+    def _play(self, game: str = "puzzle") -> str:
+        if not self.state["power"]:
+            raise DeviceError(f"{self.name!r} is powered off")
+        self.state["game"] = game
+        return game
+
+
+class Vcr(Device):
+    """A VCR (it was 2000)."""
+
+    category = DeviceCategory.ENTERTAINMENT
+
+    def __init__(self, name: str, room: str) -> None:
+        super().__init__(name, room)
+        self.state.update(power=False, tape=None)
+
+    def _register_operations(self) -> None:
+        self._operation("power_on", lambda: self.state.update(power=True) or True)
+        self._operation("power_off", lambda: self.state.update(power=False) or True)
+        self._operation("play_tape", self._play_tape)
+        self._operation("record", self._record)
+
+    def _play_tape(self, tape: str = "home-video") -> str:
+        if not self.state["power"]:
+            raise DeviceError(f"{self.name!r} is powered off")
+        self.state["tape"] = tape
+        return tape
+
+    def _record(self, channel: int = 1) -> int:
+        if not self.state["power"]:
+            raise DeviceError(f"{self.name!r} is powered off")
+        self.state["recording_channel"] = channel
+        return channel
+
+
+# ----------------------------------------------------------------------
+# Kitchen
+# ----------------------------------------------------------------------
+class Refrigerator(Device):
+    """The Cyberfridge (§2, ref. [9]): a fridge with a queryable inventory."""
+
+    category = DeviceCategory.KITCHEN
+
+    def __init__(self, name: str, room: str) -> None:
+        super().__init__(name, room)
+        self.state["inventory"] = {}
+
+    def _register_operations(self) -> None:
+        self._operation("open", lambda: True)
+        self._operation("read_inventory", self._read_inventory)
+        self._operation("add_item", self._add_item)
+        self._operation("remove_item", self._remove_item)
+        self._operation("reorder", self._reorder)
+
+    @property
+    def inventory(self) -> Dict[str, int]:
+        return dict(self.state["inventory"])
+
+    def _read_inventory(self) -> Dict[str, int]:
+        return self.inventory
+
+    def _add_item(self, item: str = "", quantity: int = 1) -> int:
+        if not item:
+            raise DeviceError("item name required")
+        if quantity < 1:
+            raise DeviceError("quantity must be >= 1")
+        inventory = self.state["inventory"]
+        inventory[item] = inventory.get(item, 0) + quantity
+        return inventory[item]
+
+    def _remove_item(self, item: str = "", quantity: int = 1) -> int:
+        inventory = self.state["inventory"]
+        if item not in inventory:
+            raise DeviceError(f"no {item!r} in the refrigerator")
+        if quantity > inventory[item]:
+            raise DeviceError(
+                f"only {inventory[item]} {item!r} present, cannot remove {quantity}"
+            )
+        inventory[item] -= quantity
+        if inventory[item] == 0:
+            del inventory[item]
+        return inventory.get(item, 0)
+
+    def _reorder(self, item: str = "", quantity: int = 1) -> Dict[str, Any]:
+        """Place a (simulated) grocery order with the delivery service."""
+        if not item:
+            raise DeviceError("item name required")
+        orders = self.state.setdefault("orders", [])
+        order = {"item": item, "quantity": quantity}
+        orders.append(order)
+        return order
+
+
+class Oven(Device):
+    """A potentially dangerous appliance (§3's negative-rights example)."""
+
+    category = DeviceCategory.SAFETY_CRITICAL
+
+    def __init__(self, name: str, room: str) -> None:
+        super().__init__(name, room)
+        self.state.update(power=False, temperature_f=0)
+
+    def _register_operations(self) -> None:
+        self._operation("power_on", lambda: self.state.update(power=True) or True)
+        self._operation("power_off", self._power_off)
+        self._operation("set_temperature", self._set_temperature)
+
+    def _power_off(self) -> bool:
+        self.state.update(power=False, temperature_f=0)
+        return True
+
+    def _set_temperature(self, temperature_f: int = 350) -> int:
+        if not self.state["power"]:
+            raise DeviceError(f"{self.name!r} is powered off")
+        if not 100 <= temperature_f <= 550:
+            raise DeviceError("oven temperature must be 100..550 F")
+        self.state["temperature_f"] = temperature_f
+        return temperature_f
+
+
+class Dishwasher(Device):
+    """The appliance the §5.1 repair technician comes to fix."""
+
+    category = DeviceCategory.KITCHEN
+
+    def __init__(self, name: str, room: str) -> None:
+        super().__init__(name, room)
+        self.state.update(power=False, cycle=None, fault=None)
+
+    def _register_operations(self) -> None:
+        self._operation("power_on", lambda: self.state.update(power=True) or True)
+        self._operation("power_off", lambda: self.state.update(power=False) or True)
+        self._operation("run_cycle", self._run_cycle)
+        self._operation("diagnose", self._diagnose)
+        self._operation("repair", self._repair)
+
+    def _run_cycle(self, cycle: str = "normal") -> str:
+        if not self.state["power"]:
+            raise DeviceError(f"{self.name!r} is powered off")
+        if self.state["fault"]:
+            raise DeviceError(f"{self.name!r} has a fault: {self.state['fault']}")
+        self.state["cycle"] = cycle
+        return cycle
+
+    def _diagnose(self) -> Optional[str]:
+        return self.state["fault"]
+
+    def _repair(self) -> bool:
+        self.state["fault"] = None
+        return True
+
+
+# ----------------------------------------------------------------------
+# HVAC / utilities
+# ----------------------------------------------------------------------
+class Thermostat(Device):
+    """Heating control for the utility-management application (§2)."""
+
+    category = DeviceCategory.HVAC
+
+    def __init__(self, name: str, room: str) -> None:
+        super().__init__(name, room)
+        self.state.update(setpoint_f=62, heating=False)
+
+    def _register_operations(self) -> None:
+        self._operation("read_temperature", lambda: self.state["setpoint_f"])
+        self._operation("set_temperature", self._set_temperature)
+        self._operation("enable_heat", self._enable_heat)
+        self._operation("disable_heat", self._disable_heat)
+
+    def _set_temperature(self, setpoint_f: int = 68) -> int:
+        if not 40 <= setpoint_f <= 90:
+            raise DeviceError("setpoint must be 40..90 F")
+        self.state["setpoint_f"] = setpoint_f
+        return setpoint_f
+
+    def _enable_heat(self) -> bool:
+        self.state["heating"] = True
+        return True
+
+    def _disable_heat(self) -> bool:
+        self.state["heating"] = False
+        return True
+
+
+class WaterHeater(Device):
+    """Hot-water production, scheduled by the utility app (§2)."""
+
+    category = DeviceCategory.HVAC
+
+    def __init__(self, name: str, room: str) -> None:
+        super().__init__(name, room)
+        self.state.update(heating=False, temperature_f=70)
+
+    def _register_operations(self) -> None:
+        self._operation("enable", lambda: self.state.update(heating=True) or True)
+        self._operation("disable", lambda: self.state.update(heating=False) or True)
+        self._operation("read_temperature", lambda: self.state["temperature_f"])
+
+
+# ----------------------------------------------------------------------
+# Security / communication / information
+# ----------------------------------------------------------------------
+class Camera(Device):
+    """A room camera with two quality tiers (§3's streaming-vs-still).
+
+    ``view_stream`` returns live video — the high-sensitivity access a
+    policy may reserve for strongly authenticated parents.
+    ``view_snapshot`` returns "a recent still image of reduced quality
+    and definition", the degraded access the paper suggests for weak
+    authentication.
+    """
+
+    category = DeviceCategory.SECURITY
+
+    def __init__(self, name: str, room: str) -> None:
+        super().__init__(name, room)
+        self.state.update(recording=True, frame=0)
+
+    def _register_operations(self) -> None:
+        self._operation("view_stream", self._view_stream)
+        self._operation("view_snapshot", self._view_snapshot)
+        self._operation("disable", lambda: self.state.update(recording=False) or True)
+        self._operation("enable", lambda: self.state.update(recording=True) or True)
+
+    def _view_stream(self) -> Dict[str, Any]:
+        if not self.state["recording"]:
+            raise DeviceError(f"{self.name!r} is disabled")
+        self.state["frame"] += 1
+        return {"kind": "stream", "room": self.room, "frame": self.state["frame"]}
+
+    def _view_snapshot(self) -> Dict[str, Any]:
+        if not self.state["recording"]:
+            raise DeviceError(f"{self.name!r} is disabled")
+        return {"kind": "snapshot", "room": self.room, "frame": self.state["frame"]}
+
+
+class Videophone(Device):
+    """The videophone of §4.2.2's kitchen-only rule for children."""
+
+    category = DeviceCategory.COMMUNICATION
+
+    def __init__(self, name: str, room: str) -> None:
+        super().__init__(name, room)
+        self.state.update(in_call=None)
+
+    def _register_operations(self) -> None:
+        self._operation("place_call", self._place_call)
+        self._operation("hang_up", self._hang_up)
+
+    def _place_call(self, callee: str = "grandma") -> str:
+        if self.state["in_call"]:
+            raise DeviceError("already in a call")
+        self.state["in_call"] = callee
+        return callee
+
+    def _hang_up(self) -> bool:
+        self.state["in_call"] = None
+        return True
+
+
+class DoorLock(Device):
+    """A physical access point bridged into the digital policy."""
+
+    category = DeviceCategory.SECURITY
+
+    def __init__(self, name: str, room: str) -> None:
+        super().__init__(name, room)
+        self.state.update(locked=True)
+
+    def _register_operations(self) -> None:
+        self._operation("lock", lambda: self.state.update(locked=True) or True)
+        self._operation("unlock", lambda: self.state.update(locked=False) or True)
+        self._operation("read_status", lambda: self.state["locked"])
+
+
+class DocumentStore(Device):
+    """Sensitive documents: medical records, tax returns (§1, §4.1.2)."""
+
+    category = DeviceCategory.INFORMATION
+
+    def __init__(self, name: str, room: str) -> None:
+        super().__init__(name, room)
+        self.state["documents"] = {}
+
+    def _register_operations(self) -> None:
+        self._operation("read_document", self._read)
+        self._operation("write_document", self._write)
+        self._operation("list_documents", self._list)
+
+    def _read(self, document: str = "") -> str:
+        documents = self.state["documents"]
+        if document not in documents:
+            raise DeviceError(f"no document {document!r}")
+        return documents[document]
+
+    def _write(self, document: str = "", content: str = "") -> bool:
+        if not document:
+            raise DeviceError("document name required")
+        self.state["documents"][document] = content
+        return True
+
+    def _list(self) -> List[str]:
+        return sorted(self.state["documents"])
+
+
+class MedicalMonitor(Device):
+    """Elder-care vitals monitoring (§2's assisted-living application)."""
+
+    category = DeviceCategory.INFORMATION
+
+    def __init__(self, name: str, room: str) -> None:
+        super().__init__(name, room)
+        self.state.update(readings=[], alert=None)
+
+    def _register_operations(self) -> None:
+        self._operation("record_vitals", self._record)
+        self._operation("read_vitals", self._read)
+        self._operation("read_alert", lambda: self.state["alert"])
+        self._operation("clear_alert", self._clear_alert)
+
+    def _record(self, heart_rate: int = 70, systolic: int = 120) -> Dict[str, int]:
+        if heart_rate <= 0 or systolic <= 0:
+            raise DeviceError("vital readings must be positive")
+        reading = {"heart_rate": heart_rate, "systolic": systolic}
+        self.state["readings"].append(reading)
+        if heart_rate > 120 or heart_rate < 40 or systolic > 180:
+            self.state["alert"] = reading
+        return reading
+
+    def _read(self, last: int = 1) -> List[Dict[str, int]]:
+        if last < 1:
+            raise DeviceError("last must be >= 1")
+        return list(self.state["readings"][-last:])
+
+    def _clear_alert(self) -> bool:
+        self.state["alert"] = None
+        return True

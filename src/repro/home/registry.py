@@ -1,0 +1,268 @@
+"""SecureHome — the trusted system that integrates GRBAC (§7).
+
+"GRBAC is not a complete security solution in itself.  It is only an
+access control model; to be useful in the real world, it must be
+integrated carefully into a trusted computer system."
+
+:class:`SecureHome` is that integration for the simulated Aware Home:
+it binds together the policy, the environment runtime (clock, events,
+state, role activation, location), the device inventory, an audit log,
+and optionally an authentication service — and fronts **every** device
+operation with the mediation engine.  Applications never touch a
+:class:`~repro.home.devices.Device` directly; they call
+:meth:`operate` and get either the device's result or
+:class:`~repro.exceptions.AccessDeniedError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.auth.authenticator import Presence
+from repro.auth.service import AuthenticationService
+from repro.core.audit import AuditLog
+from repro.core.mediation import AccessRequest, Decision, MediationEngine
+from repro.core.policy import GrbacPolicy
+from repro.env.runtime import EnvironmentRuntime
+from repro.exceptions import AccessDeniedError, UnknownEntityError
+from repro.home.devices import Device
+from repro.home.residents import Resident
+from repro.home.topology import Home
+
+
+@dataclass(frozen=True)
+class OperationResult:
+    """Outcome of an enforced device operation."""
+
+    granted: bool
+    decision: Decision
+    #: The device's return value, present only when granted.
+    result: Any = None
+
+
+class SecureHome:
+    """The assembled, enforced Aware Home.
+
+    :param home: the spatial model (defaults to
+        :func:`~repro.home.topology.standard_home`).
+    :param policy: the GRBAC policy (a fresh one by default).
+    :param start: simulation start time.
+    :param confidence_threshold: the policy-wide authentication
+        threshold enforced by mediation (§5.2's "90% accuracy").
+    """
+
+    def __init__(
+        self,
+        home: Optional[Home] = None,
+        policy: Optional[GrbacPolicy] = None,
+        start: Optional[datetime] = None,
+        confidence_threshold: float = 0.0,
+    ) -> None:
+        from repro.home.topology import standard_home
+
+        self.home = home or standard_home()
+        self.policy = policy or GrbacPolicy("aware-home")
+        self.runtime = EnvironmentRuntime(
+            start=start, zone_resolver=self.home.zone_resolver()
+        )
+        # Wrap the activator so requester-relative location roles
+        # (``requester-in-kitchen`` etc., §4.2.2's videophone example)
+        # are injected per request; they only take effect for policies
+        # that register them.
+        from repro.env.location import RequesterLocationEnvironment
+        from repro.home.topology import HOME_ZONE
+
+        zones = (
+            list(self.home.rooms())
+            + list(self.home.zones())
+            + list(self.home.floors())
+            + [HOME_ZONE]
+        )
+        self.environment = RequesterLocationEnvironment(
+            self.runtime.activator, self.runtime.location, zones
+        )
+        self.engine = MediationEngine(
+            self.policy,
+            environment=self.environment,
+            confidence_threshold=confidence_threshold,
+        )
+        self.audit = AuditLog(clock=self.runtime.clock.now)
+        #: Optional sensor-driven authentication pipeline.
+        self.auth: Optional[AuthenticationService] = None
+        self._devices: Dict[str, Device] = {}
+        self._residents: Dict[str, Resident] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register_resident(self, resident: Resident) -> Resident:
+        """Add a person: subject registration + role assignments.
+
+        Roles named in ``resident.roles`` must already exist in the
+        policy (defining the household's role structure is a policy
+        decision, not a side effect of adding people).
+        """
+        attributes = {"age": resident.age, "weight_lb": resident.weight_lb}
+        attributes.update(resident.attributes)
+        self.policy.add_subject(resident.name, **attributes)
+        for role_name in resident.roles:
+            self.policy.assign_subject(resident.name, role_name)
+        self._residents[resident.name] = resident
+        return resident
+
+    def register_device(
+        self,
+        device: Device,
+        roles: Iterable[str] = (),
+        include_category_role: bool = True,
+    ) -> Device:
+        """Add a device: object registration + classification.
+
+        The device becomes a GRBAC object named ``room/name``.  Its
+        operations are registered as transactions.  It is classified
+        into each role in ``roles`` and (by default) into an object
+        role named after its category — created on first use — so
+        "all televisions, stereos and home video games" (§5.1) fall
+        under one *entertainment* role automatically.
+        """
+        if device.room not in self.home.rooms():
+            raise UnknownEntityError(
+                f"device room {device.room!r} is not in the home"
+            )
+        self.policy.add_object(
+            device.qualified_name,
+            room=device.room,
+            category=device.category.value,
+            kind=type(device).__name__.lower(),
+        )
+        for operation in device.operations():
+            self.policy.add_transaction(operation)
+        if include_category_role:
+            category_role = device.category.value
+            if category_role not in self.policy.object_roles:
+                self.policy.add_object_role(
+                    category_role, f"devices in category {category_role}"
+                )
+            self.policy.assign_object(device.qualified_name, category_role)
+        for role_name in roles:
+            self.policy.assign_object(device.qualified_name, role_name)
+        self._devices[device.qualified_name] = device
+        return device
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def device(self, qualified_name: str) -> Device:
+        """Find a registered device by ``room/name``.
+
+        :raises UnknownEntityError: when absent.
+        """
+        try:
+            return self._devices[qualified_name]
+        except KeyError:
+            raise UnknownEntityError(
+                f"no device {qualified_name!r} registered"
+            ) from None
+
+    def devices(self) -> List[Device]:
+        """All registered devices."""
+        return list(self._devices.values())
+
+    def resident(self, name: str) -> Resident:
+        """Find a registered resident.
+
+        :raises UnknownEntityError: when absent.
+        """
+        try:
+            return self._residents[name]
+        except KeyError:
+            raise UnknownEntityError(f"no resident {name!r} registered") from None
+
+    def residents(self) -> List[Resident]:
+        """All registered residents."""
+        return list(self._residents.values())
+
+    # ------------------------------------------------------------------
+    # Movement
+    # ------------------------------------------------------------------
+    def move(self, subject: str, location: str) -> None:
+        """Record a subject's movement (trusted location update)."""
+        self.runtime.location.move(subject, location)
+        self.runtime.providers.refresh_all()
+
+    # ------------------------------------------------------------------
+    # Enforced operation
+    # ------------------------------------------------------------------
+    def operate(
+        self,
+        subject: str,
+        device_name: str,
+        operation: str,
+        session=None,
+        **kwargs: Any,
+    ) -> Any:
+        """Perform ``operation`` as ``subject``; raise when denied.
+
+        :raises AccessDeniedError: when mediation denies; the decision
+            rides on the exception.
+        :raises DeviceError: when granted but the device rejects the
+            operation's arguments or state.
+        """
+        outcome = self.try_operate(
+            subject, device_name, operation, session=session, **kwargs
+        )
+        if not outcome.granted:
+            raise AccessDeniedError(
+                f"{subject!r} may not {operation} {device_name!r}: "
+                f"{outcome.decision.rationale}",
+                decision=outcome.decision,
+            )
+        return outcome.result
+
+    def try_operate(
+        self,
+        subject: str,
+        device_name: str,
+        operation: str,
+        session=None,
+        **kwargs: Any,
+    ) -> OperationResult:
+        """Like :meth:`operate` but returns an :class:`OperationResult`."""
+        request = AccessRequest(
+            transaction=operation, obj=device_name, subject=subject
+        )
+        return self._mediate_and_perform(request, session, kwargs)
+
+    def operate_with_presence(
+        self,
+        presence: Presence,
+        device_name: str,
+        operation: str,
+        **kwargs: Any,
+    ) -> OperationResult:
+        """Sensor-driven operation: authenticate the presence first.
+
+        Requires an attached authentication service (:attr:`auth`).
+        This is the §5.2 path — the person at the device is whoever
+        the sensors say, with whatever confidence they can muster.
+        """
+        if self.auth is None:
+            raise UnknownEntityError(
+                "no authentication service attached to this home"
+            )
+        result = self.auth.authenticate(presence)
+        request = self.auth.build_request(result, operation, device_name)
+        return self._mediate_and_perform(request, None, kwargs)
+
+    def _mediate_and_perform(
+        self, request: AccessRequest, session, kwargs: Dict[str, Any]
+    ) -> OperationResult:
+        device = self.device(request.obj)
+        decision = self.engine.decide(request, session=session)
+        self.audit.record(decision)
+        if not decision.granted:
+            return OperationResult(granted=False, decision=decision)
+        result = device.perform(request.transaction, **kwargs)
+        return OperationResult(granted=True, decision=decision, result=result)

@@ -1,0 +1,160 @@
+"""Remote access — the "always connected" home's front door (§1).
+
+"In a connected community, resources in the home and information about
+the residents will be remotely accessible to both residents and
+guests, as well as to potentially malicious users."  The paper's
+motivating threat is the *electronic intruder* who "can attack the
+home at any time, from any location" — so a policy must be able to say
+*this is fine remotely* (reading the Cyberfridge inventory) and *this
+is not* (streaming the bedroom camera).
+
+:class:`RemoteGateway` mediates channel-aware requests.  Whether the
+requester is physically inside is per-request context, so the gateway
+realizes it as two *request-contextual environment roles*:
+
+* ``requester-inside`` — active for a request arriving from someone
+  the location service places inside the home;
+* ``requester-remote`` — active for a request arriving over the
+  network.
+
+These compose with every other environment role: "family members may
+read the fridge inventory when requester-remote" is one ordinary GRBAC
+rule.  Remote requests additionally require authentication (no
+identity, no service) and are audited with their channel.
+
+This is a documented extension of the paper's model: plain environment
+roles describe *global* system state; requester-relative state needs
+the per-request injection the gateway performs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Set
+
+from repro.auth.authenticator import Presence
+from repro.core.mediation import AccessRequest
+from repro.exceptions import AccessDeniedError, AuthenticationError
+from repro.home.registry import OperationResult, SecureHome
+from repro.home.topology import HOME_ZONE
+
+#: Environment role active while the requester is physically inside.
+INSIDE_ROLE = "requester-inside"
+
+#: Environment role active for network-borne requests.
+REMOTE_ROLE = "requester-remote"
+
+
+class RemoteGateway:
+    """Channel-aware mediation in front of a :class:`SecureHome`.
+
+    :param home: the secure home to front.
+
+    The two channel roles are registered on construction; rules may
+    reference them immediately.
+    """
+
+    def __init__(self, home: SecureHome) -> None:
+        self._home = home
+        policy = home.policy
+        for role, description in [
+            (INSIDE_ROLE, "the requester is physically inside the home"),
+            (REMOTE_ROLE, "the request arrived over the network"),
+        ]:
+            if role not in policy.environment_roles:
+                policy.add_environment_role(role, description)
+
+    # ------------------------------------------------------------------
+    # Channel-aware operations
+    # ------------------------------------------------------------------
+    def operate_local(
+        self, subject: str, device_name: str, operation: str, **kwargs: Any
+    ) -> OperationResult:
+        """A request from inside the home (channel = presence).
+
+        The requester must actually *be* inside according to the
+        location service; a "local" request from someone the house
+        believes is outside is suspicious and is refused outright.
+        """
+        if not self._home.runtime.location.is_in_zone(subject, HOME_ZONE):
+            raise AuthenticationError(
+                f"{subject!r} is not inside the home; a local-channel "
+                "request cannot originate from them"
+            )
+        return self._operate(subject, device_name, operation, INSIDE_ROLE, kwargs)
+
+    def operate_remote(
+        self,
+        subject: str,
+        device_name: str,
+        operation: str,
+        credentials: Optional[Presence] = None,
+        **kwargs: Any,
+    ) -> OperationResult:
+        """A request over the network (channel = remote).
+
+        When an authentication service is attached to the home, remote
+        requests must present credentials that authenticate as
+        ``subject`` — sensors cannot vouch for someone who is not
+        physically present.
+        """
+        if self._home.auth is not None:
+            if credentials is None:
+                raise AuthenticationError(
+                    "remote access requires credentials"
+                )
+            result = self._home.auth.authenticate(credentials)
+            if result.subject != subject:
+                raise AuthenticationError(
+                    f"credentials authenticate {result.subject!r}, "
+                    f"not {subject!r}"
+                )
+        return self._operate(subject, device_name, operation, REMOTE_ROLE, kwargs)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _operate(
+        self,
+        subject: str,
+        device_name: str,
+        operation: str,
+        channel_role: str,
+        kwargs,
+    ) -> OperationResult:
+        home = self._home
+        device = home.device(device_name)
+        request = AccessRequest(
+            transaction=operation, obj=device_name, subject=subject
+        )
+        # Start from the home's request-aware environment (time/state
+        # roles plus requester-location roles) and add the channel.
+        active: Set[str] = set(
+            home.engine.environment.active_environment_roles_for(request)
+        )
+        active.add(channel_role)
+        decision = home.engine.decide(request, environment_roles=active)
+        home.audit.record(decision)
+        if not decision.granted:
+            return OperationResult(granted=False, decision=decision)
+        result = device.perform(operation, **kwargs)
+        return OperationResult(granted=True, decision=decision, result=result)
+
+    def require_remote(
+        self,
+        subject: str,
+        device_name: str,
+        operation: str,
+        credentials: Optional[Presence] = None,
+        **kwargs: Any,
+    ) -> Any:
+        """Like :meth:`operate_remote` but raises on denial."""
+        outcome = self.operate_remote(
+            subject, device_name, operation, credentials=credentials, **kwargs
+        )
+        if not outcome.granted:
+            raise AccessDeniedError(
+                f"remote {operation} on {device_name!r} denied for "
+                f"{subject!r}: {outcome.decision.rationale}",
+                decision=outcome.decision,
+            )
+        return outcome.result

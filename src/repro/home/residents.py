@@ -1,0 +1,202 @@
+"""Residents and guests — the people of the Aware Home.
+
+A :class:`Resident` is the simulation's ground truth about a person:
+their physical features (weight, biometric signatures) that sensors
+observe, and a :class:`DailySchedule` describing their habitual
+movement through the house — the raw material for trace generation
+("it can choose to produce hot water only at times when residents
+usually take showers", §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime, time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.auth.authenticator import Presence
+from repro.env.location import OUTSIDE
+from repro.env.temporal import parse_time_of_day
+from repro.exceptions import GrbacError
+
+
+class ScheduleError(GrbacError):
+    """An invalid daily-schedule definition."""
+
+
+@dataclass(frozen=True)
+class ScheduleEntry:
+    """From ``start`` (time of day) the person is at ``location``."""
+
+    start: time
+    location: str
+
+
+class DailySchedule:
+    """A day as a sequence of (time, location) waypoints.
+
+    The schedule wraps around midnight: before the first entry of the
+    day, the person is wherever the *last* entry put them (asleep in
+    bed at 23:00 means still in bed at 02:00).
+    """
+
+    def __init__(self, entries: Sequence[Tuple[str, str]]) -> None:
+        """
+        :param entries: ``(time_of_day, location)`` pairs, e.g.
+            ``[("07:00", "kitchen"), ("08:30", "outside"), ...]``.
+        """
+        if not entries:
+            raise ScheduleError("a schedule needs at least one entry")
+        parsed = [
+            ScheduleEntry(parse_time_of_day(start), location)
+            for start, location in entries
+        ]
+        parsed.sort(key=lambda entry: entry.start)
+        for first, second in zip(parsed, parsed[1:]):
+            if first.start == second.start:
+                raise ScheduleError(
+                    f"duplicate schedule time {first.start.isoformat()}"
+                )
+        self._entries = parsed
+
+    def location_at(self, moment: datetime) -> str:
+        """Where the person is at ``moment``."""
+        current = self._entries[-1].location  # wrap-around from yesterday
+        moment_time = moment.time()
+        for entry in self._entries:
+            if entry.start <= moment_time:
+                current = entry.location
+            else:
+                break
+        return current
+
+    def entries(self) -> List[ScheduleEntry]:
+        """The normalized waypoints, sorted by time."""
+        return list(self._entries)
+
+    def transition_times(self) -> List[time]:
+        """Times of day at which the person moves."""
+        return [entry.start for entry in self._entries]
+
+
+@dataclass
+class Resident:
+    """Ground truth about one person in (or visiting) the home."""
+
+    name: str
+    age: int
+    weight_lb: float
+    #: Subject-role names this person should be assigned.
+    roles: Tuple[str, ...] = ()
+    #: Biometric signatures observable by recognition sensors.
+    face_signature: str = ""
+    voice_signature: str = ""
+    #: Habitual daily movement; ``None`` for visitors.
+    schedule: Optional[DailySchedule] = None
+    #: Extra descriptive attributes.
+    attributes: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise GrbacError("resident needs a name")
+        if self.age < 0 or self.weight_lb <= 0:
+            raise GrbacError("resident age/weight out of range")
+        if not self.face_signature:
+            self.face_signature = f"face:{self.name}"
+        if not self.voice_signature:
+            self.voice_signature = f"voice:{self.name}"
+        self.roles = tuple(self.roles)
+
+    @property
+    def is_adult(self) -> bool:
+        """Eighteen or older."""
+        return self.age >= 18
+
+    def presence(self, **extra_features: Any) -> Presence:
+        """The ground-truth presence sensors observe for this person."""
+        features: Dict[str, Any] = {
+            "weight_lb": self.weight_lb,
+            "face": self.face_signature,
+            "voice": self.voice_signature,
+        }
+        features.update(extra_features)
+        return Presence(self.name, features)
+
+    def location_at(self, moment: datetime) -> str:
+        """Scheduled location at ``moment`` (OUTSIDE without a schedule)."""
+        if self.schedule is None:
+            return OUTSIDE
+        return self.schedule.location_at(moment)
+
+
+def standard_household() -> List[Resident]:
+    """The paper's Figure 2 household, with ground-truth features.
+
+    Mom, Dad (parents), Alice (11, 94 lb — §5.2's numbers) and Bobby
+    (children).  The dishwasher repair technician is created by the
+    scenarios that need him, since he is a visitor, not a resident.
+    """
+    return [
+        Resident(
+            "mom",
+            age=40,
+            weight_lb=135.0,
+            roles=("parent",),
+            schedule=DailySchedule(
+                [
+                    ("06:30", "kitchen"),
+                    ("08:00", OUTSIDE),
+                    ("17:30", "kitchen"),
+                    ("19:00", "livingroom"),
+                    ("22:30", "master-bedroom"),
+                ]
+            ),
+        ),
+        Resident(
+            "dad",
+            age=42,
+            weight_lb=180.0,
+            roles=("parent",),
+            schedule=DailySchedule(
+                [
+                    ("07:00", "kitchen"),
+                    ("08:30", OUTSIDE),
+                    ("18:00", "livingroom"),
+                    ("20:00", "study"),
+                    ("23:00", "master-bedroom"),
+                ]
+            ),
+        ),
+        Resident(
+            "alice",
+            age=11,
+            weight_lb=94.0,
+            roles=("child",),
+            schedule=DailySchedule(
+                [
+                    ("07:00", "kitchen"),
+                    ("08:00", OUTSIDE),
+                    ("15:30", "kids-bedroom"),
+                    ("18:00", "diningroom"),
+                    ("19:00", "livingroom"),
+                    ("22:00", "kids-bedroom"),
+                ]
+            ),
+        ),
+        Resident(
+            "bobby",
+            age=8,
+            weight_lb=88.0,
+            roles=("child",),
+            schedule=DailySchedule(
+                [
+                    ("07:15", "kitchen"),
+                    ("08:00", OUTSIDE),
+                    ("15:30", "livingroom"),
+                    ("18:00", "diningroom"),
+                    ("19:00", "livingroom"),
+                    ("21:30", "kids-bedroom"),
+                ]
+            ),
+        ),
+    ]

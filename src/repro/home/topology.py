@@ -1,0 +1,205 @@
+"""Home topology — floors, rooms, zones, and containment.
+
+Location-based environment roles need a spatial model: "we can define
+location roles such as 'upstairs,' 'downstairs,' 'master bedroom,'
+etc." (§4.2.2), and §3's repairman is authorized "only while he is
+*inside the home*".
+
+A :class:`Home` is a set of named rooms grouped into floors, plus
+arbitrary named *zones* (room groups).  Containment works at four
+levels: a room contains itself; a floor contains its rooms; a zone
+contains its member rooms; and the distinguished zone ``"home"``
+contains every room.  :meth:`Home.zone_resolver` adapts this to the
+:class:`~repro.env.location.LocationService` resolver protocol.
+
+Adjacency edges between rooms let trace generators move residents
+realistically (no teleporting through walls).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.env.location import OUTSIDE, ZoneResolver
+from repro.exceptions import GrbacError
+
+#: The distinguished zone containing every room.
+HOME_ZONE = "home"
+
+
+class TopologyError(GrbacError):
+    """An invalid home-topology operation."""
+
+
+class Home:
+    """The spatial model of one household."""
+
+    def __init__(self, name: str = "aware-home") -> None:
+        self.name = name
+        #: room -> floor
+        self._room_floor: Dict[str, str] = {}
+        #: floor -> rooms (insertion order)
+        self._floor_rooms: Dict[str, List[str]] = {}
+        #: zone -> member rooms
+        self._zones: Dict[str, Set[str]] = {}
+        #: undirected adjacency between rooms (and OUTSIDE)
+        self._adjacent: Dict[str, Set[str]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_room(self, room: str, floor: str = "ground") -> str:
+        """Add a room on a floor; idempotent for the same floor.
+
+        :raises TopologyError: when the room exists on another floor or
+            collides with a floor/zone name.
+        """
+        if not room:
+            raise TopologyError("room name must be non-empty")
+        if room == OUTSIDE or room == HOME_ZONE:
+            raise TopologyError(f"{room!r} is a reserved name")
+        existing = self._room_floor.get(room)
+        if existing is not None:
+            if existing != floor:
+                raise TopologyError(
+                    f"room {room!r} already on floor {existing!r}"
+                )
+            return room
+        if room in self._floor_rooms or room in self._zones:
+            raise TopologyError(f"{room!r} already names a floor or zone")
+        self._room_floor[room] = floor
+        self._floor_rooms.setdefault(floor, []).append(room)
+        self._adjacent.setdefault(room, set())
+        return room
+
+    def connect(self, room_a: str, room_b: str) -> None:
+        """Declare two locations adjacent (rooms, or a room and OUTSIDE)."""
+        for room in (room_a, room_b):
+            if room != OUTSIDE and room not in self._room_floor:
+                raise TopologyError(f"unknown room {room!r}")
+        if room_a == room_b:
+            raise TopologyError("a room cannot be adjacent to itself")
+        self._adjacent.setdefault(room_a, set()).add(room_b)
+        self._adjacent.setdefault(room_b, set()).add(room_a)
+
+    def define_zone(self, zone: str, rooms: Iterable[str]) -> None:
+        """Name a group of rooms (e.g. ``"private"`` = the bedrooms)."""
+        members = set(rooms)
+        unknown = members - set(self._room_floor)
+        if unknown:
+            raise TopologyError(f"unknown rooms in zone {zone!r}: {sorted(unknown)}")
+        if zone in self._room_floor or zone == OUTSIDE:
+            raise TopologyError(f"{zone!r} already names a room")
+        if not members:
+            raise TopologyError(f"zone {zone!r} must contain at least one room")
+        self._zones[zone] = members
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def rooms(self, floor: Optional[str] = None) -> List[str]:
+        """All rooms, or the rooms of one floor."""
+        if floor is None:
+            return list(self._room_floor)
+        return list(self._floor_rooms.get(floor, ()))
+
+    def floors(self) -> List[str]:
+        """All floor names, in insertion order."""
+        return list(self._floor_rooms)
+
+    def zones(self) -> List[str]:
+        """All explicitly defined zone names."""
+        return list(self._zones)
+
+    def floor_of(self, room: str) -> str:
+        """The floor a room is on.
+
+        :raises TopologyError: for unknown rooms.
+        """
+        try:
+            return self._room_floor[room]
+        except KeyError:
+            raise TopologyError(f"unknown room {room!r}") from None
+
+    def contains(self, location: str, zone: str) -> bool:
+        """Does ``location`` (a room) lie inside ``zone``?
+
+        ``zone`` may be the location itself, its floor, an explicit
+        zone containing it, or ``"home"``.  ``OUTSIDE`` is inside
+        nothing but itself.
+        """
+        if location == zone:
+            return True
+        if location == OUTSIDE or location not in self._room_floor:
+            return False
+        if zone == HOME_ZONE:
+            return True
+        if zone in self._zones:
+            return location in self._zones[zone]
+        return self._room_floor[location] == zone
+
+    def zone_resolver(self) -> ZoneResolver:
+        """Adapter for :class:`~repro.env.location.LocationService`."""
+        return self.contains
+
+    def path(self, start: str, goal: str) -> Optional[List[str]]:
+        """Shortest adjacency path between two locations, or ``None``.
+
+        Used by trace generators to move residents room-by-room.
+        """
+        if start == goal:
+            return [start]
+        for room in (start, goal):
+            if room != OUTSIDE and room not in self._room_floor:
+                raise TopologyError(f"unknown room {room!r}")
+        frontier = deque([start])
+        came_from: Dict[str, str] = {start: start}
+        while frontier:
+            current = frontier.popleft()
+            for neighbor in sorted(self._adjacent.get(current, ())):
+                if neighbor in came_from:
+                    continue
+                came_from[neighbor] = current
+                if neighbor == goal:
+                    path = [goal]
+                    while path[-1] != start:
+                        path.append(came_from[path[-1]])
+                    return list(reversed(path))
+                frontier.append(neighbor)
+        return None
+
+    def adjacent_to(self, room: str) -> Set[str]:
+        """Locations directly adjacent to ``room``."""
+        return set(self._adjacent.get(room, ()))
+
+
+def standard_home() -> Home:
+    """The canonical two-story test household used across the repo.
+
+    Ground floor: kitchen, living room, dining room, garage, foyer.
+    Upstairs: master bedroom, kids' bedroom, study, bathroom.
+    Zones: ``upstairs``/``downstairs`` (the paper's §4.2.2 examples)
+    and ``private`` (bedrooms + study).
+    """
+    home = Home()
+    for room in ["foyer", "livingroom", "kitchen", "diningroom", "garage"]:
+        home.add_room(room, floor="downstairs-floor")
+    for room in ["master-bedroom", "kids-bedroom", "study", "bathroom"]:
+        home.add_room(room, floor="upstairs-floor")
+    home.connect(OUTSIDE, "foyer")
+    home.connect(OUTSIDE, "garage")
+    home.connect("foyer", "livingroom")
+    home.connect("livingroom", "diningroom")
+    home.connect("diningroom", "kitchen")
+    home.connect("kitchen", "garage")
+    home.connect("foyer", "bathroom")
+    home.connect("foyer", "master-bedroom")
+    home.connect("master-bedroom", "study")
+    home.connect("foyer", "kids-bedroom")
+    home.define_zone("upstairs", ["master-bedroom", "kids-bedroom", "study", "bathroom"])
+    home.define_zone(
+        "downstairs", ["foyer", "livingroom", "kitchen", "diningroom", "garage"]
+    )
+    home.define_zone("private", ["master-bedroom", "kids-bedroom", "study"])
+    return home

@@ -1,0 +1,51 @@
+"""Policy authoring and analysis: builder, DSL, lint, MLS, templates."""
+
+from repro.policy.analysis import Conflict, Finding, PolicyAnalyzer
+from repro.policy.builder import PolicyBuilder
+from repro.policy.diff import CategoryDiff, PolicyDiff, diff_policies
+from repro.policy.dsl import compile_policy, parse
+from repro.policy.dsl.printer import print_policy
+from repro.policy.serialize import from_dict, from_json, to_dict, to_json
+from repro.policy.mls import (
+    DEFAULT_LEVELS,
+    MlsEncoding,
+    ReferenceBlp,
+    agreement,
+    build_pair,
+)
+from repro.policy.templates import (
+    FIGURE2_ASSIGNMENTS,
+    FIGURE2_EDGES,
+    install_figure2_household,
+    install_figure2_roles,
+    install_standard_object_roles,
+    section51_rule,
+)
+
+__all__ = [
+    "DEFAULT_LEVELS",
+    "FIGURE2_ASSIGNMENTS",
+    "FIGURE2_EDGES",
+    "CategoryDiff",
+    "Conflict",
+    "PolicyDiff",
+    "diff_policies",
+    "from_dict",
+    "from_json",
+    "print_policy",
+    "to_dict",
+    "to_json",
+    "Finding",
+    "MlsEncoding",
+    "PolicyAnalyzer",
+    "PolicyBuilder",
+    "ReferenceBlp",
+    "agreement",
+    "build_pair",
+    "compile_policy",
+    "install_figure2_household",
+    "install_figure2_roles",
+    "install_standard_object_roles",
+    "parse",
+    "section51_rule",
+]

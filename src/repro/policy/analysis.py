@@ -1,0 +1,266 @@
+"""Policy analysis — conflicts, shadowing, reachability, coverage.
+
+GRBAC's generality "makes it even more susceptible to various types of
+policy conflicts and ambiguities" (§4.2.4).  The paper leans on
+"appropriate care for 'clean' policy definition" (§6); this module is
+that care, mechanized:
+
+* **conflicts** — a grant and a deny that can match the same concrete
+  request, with how the active precedence strategy would resolve them;
+* **shadowed rules** — rules that can never win under the active
+  strategy (e.g. a grant wholly covered by a broader deny under
+  deny-overrides);
+* **unreachable rules** — rules whose subject or object role currently
+  has no members at all;
+* **coverage** — how many concrete (subject, transaction, object)
+  triples have any applicable rule.
+
+Findings are conservative in the safe direction: environment roles are
+assumed potentially co-active (the policy object cannot know their
+binding conditions), so conflict detection over-approximates rather
+than misses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.core.permissions import Permission, Sign
+from repro.core.policy import GrbacPolicy
+from repro.core.precedence import PrecedenceStrategy
+from repro.core.roles import ANY_ENVIRONMENT, ANY_OBJECT
+
+
+@dataclass(frozen=True)
+class Conflict:
+    """A grant/deny pair that can collide on a concrete request."""
+
+    grant: Permission
+    deny: Permission
+    #: Example subjects/objects in both scopes (evidence of overlap).
+    witness_subjects: Tuple[str, ...]
+    witness_objects: Tuple[str, ...]
+    #: How the policy's precedence strategy resolves the collision.
+    resolution: str
+
+    def describe(self) -> str:
+        return (
+            f"conflict on {self.grant.transaction.name!r}: "
+            f"[{self.grant.describe()}] vs [{self.deny.describe()}] "
+            f"-> {self.resolution}"
+        )
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding."""
+
+    severity: str  # "error" | "warning" | "info"
+    category: str
+    message: str
+
+    def describe(self) -> str:
+        return f"{self.severity}:{self.category}: {self.message}"
+
+
+class PolicyAnalyzer:
+    """Static analysis over one policy."""
+
+    def __init__(self, policy: GrbacPolicy) -> None:
+        self._policy = policy
+
+    # ------------------------------------------------------------------
+    # Scope helpers
+    # ------------------------------------------------------------------
+    def _subjects_in_scope(self, permission: Permission) -> Set[str]:
+        return self._policy.subjects_in_role(permission.subject_role.name)
+
+    def _objects_in_scope(self, permission: Permission) -> Set[str]:
+        return self._policy.objects_in_role(permission.object_role.name)
+
+    def _environments_may_overlap(self, a: Permission, b: Permission) -> bool:
+        """Could both environment roles be active at once?
+
+        ``any-environment`` overlaps everything.  Two distinct named
+        roles are assumed co-activatable (their conditions live outside
+        the policy), except that a role and its generalization
+        *certainly* overlap.  There is no disjointness information, so
+        this never returns False for named roles — by design.
+        """
+        del a, b  # every pair may overlap; kept for future disjointness info
+        return True
+
+    # ------------------------------------------------------------------
+    # Conflicts
+    # ------------------------------------------------------------------
+    def find_conflicts(self) -> List[Conflict]:
+        """All grant/deny pairs with overlapping concrete scope."""
+        permissions = self._policy.permissions()
+        grants = [p for p in permissions if p.sign is Sign.GRANT]
+        denies = [p for p in permissions if p.sign is Sign.DENY]
+        conflicts: List[Conflict] = []
+        for grant in grants:
+            grant_subjects = self._subjects_in_scope(grant)
+            grant_objects = self._objects_in_scope(grant)
+            for deny in denies:
+                if grant.transaction.name != deny.transaction.name:
+                    continue
+                subjects = grant_subjects & self._subjects_in_scope(deny)
+                if not subjects:
+                    continue
+                objects = grant_objects & self._objects_in_scope(deny)
+                if not objects:
+                    continue
+                if not self._environments_may_overlap(grant, deny):
+                    continue  # pragma: no cover - currently always overlaps
+                conflicts.append(
+                    Conflict(
+                        grant=grant,
+                        deny=deny,
+                        witness_subjects=tuple(sorted(subjects)[:3]),
+                        witness_objects=tuple(sorted(objects)[:3]),
+                        resolution=self._resolution_of(grant, deny),
+                    )
+                )
+        return conflicts
+
+    def _resolution_of(self, grant: Permission, deny: Permission) -> str:
+        strategy = self._policy.precedence
+        if strategy is PrecedenceStrategy.DENY_OVERRIDES:
+            return "deny wins (deny-overrides)"
+        if strategy is PrecedenceStrategy.ALLOW_OVERRIDES:
+            return "grant wins (allow-overrides)"
+        if strategy is PrecedenceStrategy.PRIORITY:
+            if grant.priority > deny.priority:
+                return f"grant wins (priority {grant.priority} > {deny.priority})"
+            if deny.priority > grant.priority:
+                return f"deny wins (priority {deny.priority} > {grant.priority})"
+            return "deny wins (equal priority, deny-overrides tiebreak)"
+        return "depends on request specificity (most-specific)"
+
+    # ------------------------------------------------------------------
+    # Shadowing
+    # ------------------------------------------------------------------
+    def find_shadowed_rules(self) -> List[Tuple[Permission, Permission]]:
+        """Rules that can never win under the current strategy.
+
+        Under deny-overrides, a grant is shadowed by a deny whose
+        scope *contains* the grant's scope on all three dimensions and
+        whose transaction matches.  Under allow-overrides, dually.
+        Priority / most-specific strategies have no simple global
+        shadowing, so the list is empty there.
+        """
+        strategy = self._policy.precedence
+        if strategy is PrecedenceStrategy.DENY_OVERRIDES:
+            weaker, stronger = Sign.GRANT, Sign.DENY
+        elif strategy is PrecedenceStrategy.ALLOW_OVERRIDES:
+            weaker, stronger = Sign.DENY, Sign.GRANT
+        else:
+            return []
+        permissions = self._policy.permissions()
+        shadowed: List[Tuple[Permission, Permission]] = []
+        for victim in permissions:
+            if victim.sign is not weaker:
+                continue
+            for cover in permissions:
+                if cover.sign is not stronger:
+                    continue
+                if cover.transaction.name != victim.transaction.name:
+                    continue
+                if self._scope_contains(cover, victim):
+                    shadowed.append((victim, cover))
+                    break
+        return shadowed
+
+    def _scope_contains(self, outer: Permission, inner: Permission) -> bool:
+        """Does ``outer``'s role scope contain ``inner``'s?"""
+        subject_contains = self._policy.subject_roles.is_specialization_of(
+            inner.subject_role.name, outer.subject_role.name
+        )
+        object_contains = (
+            outer.object_role == ANY_OBJECT
+            or self._policy.object_roles.is_specialization_of(
+                inner.object_role.name, outer.object_role.name
+            )
+        )
+        environment_contains = (
+            outer.environment_role == ANY_ENVIRONMENT
+            or self._policy.environment_roles.is_specialization_of(
+                inner.environment_role.name, outer.environment_role.name
+            )
+        )
+        return subject_contains and object_contains and environment_contains
+
+    # ------------------------------------------------------------------
+    # Reachability & coverage
+    # ------------------------------------------------------------------
+    def find_unreachable_rules(self) -> List[Permission]:
+        """Rules whose subject or object scope has no members today."""
+        unreachable = []
+        for permission in self._policy.permissions():
+            if not self._subjects_in_scope(permission):
+                unreachable.append(permission)
+                continue
+            if not self._objects_in_scope(permission):
+                unreachable.append(permission)
+        return unreachable
+
+    def coverage(self) -> Dict[str, int]:
+        """Counts of concrete triples with/without an applicable rule.
+
+        A triple is "covered" when some rule's subject and object
+        scopes include it for its transaction (environment
+        notwithstanding).
+        """
+        covered = 0
+        total = 0
+        scope_cache: List[Tuple[str, Set[str], Set[str]]] = [
+            (
+                p.transaction.name,
+                self._subjects_in_scope(p),
+                self._objects_in_scope(p),
+            )
+            for p in self._policy.permissions()
+        ]
+        for subject in self._policy.subjects():
+            for transaction in self._policy.transactions():
+                for obj in self._policy.objects():
+                    total += 1
+                    for txn_name, subjects, objects in scope_cache:
+                        if (
+                            txn_name == transaction.name
+                            and subject.name in subjects
+                            and obj.name in objects
+                        ):
+                            covered += 1
+                            break
+        return {"covered": covered, "uncovered": total - covered, "total": total}
+
+    # ------------------------------------------------------------------
+    # Lint driver
+    # ------------------------------------------------------------------
+    def lint(self) -> List[Finding]:
+        """Aggregate all analyses into a finding list."""
+        findings: List[Finding] = []
+        for conflict in self.find_conflicts():
+            findings.append(Finding("warning", "conflict", conflict.describe()))
+        for victim, cover in self.find_shadowed_rules():
+            findings.append(
+                Finding(
+                    "warning",
+                    "shadowed",
+                    f"[{victim.describe()}] can never win against "
+                    f"[{cover.describe()}]",
+                )
+            )
+        for permission in self.find_unreachable_rules():
+            findings.append(
+                Finding(
+                    "info",
+                    "unreachable",
+                    f"[{permission.describe()}] matches no current "
+                    f"subject/object",
+                )
+            )
+        return findings

@@ -1,0 +1,212 @@
+"""Fluent programmatic policy builder.
+
+The usability argument of the paper is about *policy authoring*:
+"ease of security policy definition and implementation is a key
+requirement" (§1).  For Python-native callers the builder provides a
+declarative, chainable surface over :class:`~repro.core.GrbacPolicy`::
+
+    policy = (
+        PolicyBuilder("home")
+        .subject_role("family-member")
+        .subject_role("parent", extends="family-member")
+        .subject_role("child", extends="family-member")
+        .subject("alice", roles=["child"])
+        .object_role("entertainment-devices")
+        .object("livingroom/tv", roles=["entertainment-devices"])
+        .environment_role("free-time")
+        .allow("child", "watch", on="entertainment-devices", when="free-time")
+        .build()
+    )
+
+(For non-programmers the same vocabulary exists as a text DSL in
+:mod:`repro.policy.dsl`.)
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.core.constraints import (
+    CardinalityConstraint,
+    PrerequisiteConstraint,
+    SeparationOfDuty,
+)
+from repro.core.permissions import Sign
+from repro.core.policy import GrbacPolicy
+from repro.core.precedence import PrecedenceStrategy
+from repro.core.roles import ANY_ENVIRONMENT, ANY_OBJECT
+
+
+class PolicyBuilder:
+    """Chainable construction of a :class:`GrbacPolicy`."""
+
+    def __init__(self, name: str = "policy") -> None:
+        self._policy = GrbacPolicy(name)
+
+    # ------------------------------------------------------------------
+    # Roles
+    # ------------------------------------------------------------------
+    def subject_role(
+        self, name: str, extends: Optional[str] = None, description: str = ""
+    ) -> "PolicyBuilder":
+        """Declare a subject role, optionally specializing another."""
+        self._policy.add_subject_role(name, description)
+        if extends is not None:
+            self._policy.add_subject_role(extends)
+            self._policy.subject_roles.add_specialization(name, extends)
+        return self
+
+    def object_role(
+        self, name: str, extends: Optional[str] = None, description: str = ""
+    ) -> "PolicyBuilder":
+        """Declare an object role, optionally specializing another."""
+        self._policy.add_object_role(name, description)
+        if extends is not None:
+            self._policy.add_object_role(extends)
+            self._policy.object_roles.add_specialization(name, extends)
+        return self
+
+    def environment_role(
+        self, name: str, extends: Optional[str] = None, description: str = ""
+    ) -> "PolicyBuilder":
+        """Declare an environment role, optionally specializing another."""
+        self._policy.add_environment_role(name, description)
+        if extends is not None:
+            self._policy.add_environment_role(extends)
+            self._policy.environment_roles.add_specialization(name, extends)
+        return self
+
+    # ------------------------------------------------------------------
+    # Entities
+    # ------------------------------------------------------------------
+    def subject(
+        self, name: str, roles: Iterable[str] = (), **attributes
+    ) -> "PolicyBuilder":
+        """Register a subject and assign its roles."""
+        self._policy.add_subject(name, **attributes)
+        for role in roles:
+            self._policy.assign_subject(name, role)
+        return self
+
+    def object(
+        self, name: str, roles: Iterable[str] = (), **attributes
+    ) -> "PolicyBuilder":
+        """Register an object and classify it."""
+        self._policy.add_object(name, **attributes)
+        for role in roles:
+            self._policy.assign_object(name, role)
+        return self
+
+    def transaction(self, name: str) -> "PolicyBuilder":
+        """Register a transaction."""
+        self._policy.add_transaction(name)
+        return self
+
+    # ------------------------------------------------------------------
+    # Rules
+    # ------------------------------------------------------------------
+    def allow(
+        self,
+        subject_role: str,
+        *transactions: str,
+        on: str = ANY_OBJECT.name,
+        when: str = ANY_ENVIRONMENT.name,
+        min_confidence: float = 0.0,
+        priority: int = 0,
+        name: str = "",
+    ) -> "PolicyBuilder":
+        """Add GRANT rules (one per transaction)."""
+        return self._rule(
+            Sign.GRANT, subject_role, transactions, on, when,
+            min_confidence, priority, name,
+        )
+
+    def deny(
+        self,
+        subject_role: str,
+        *transactions: str,
+        on: str = ANY_OBJECT.name,
+        when: str = ANY_ENVIRONMENT.name,
+        min_confidence: float = 0.0,
+        priority: int = 0,
+        name: str = "",
+    ) -> "PolicyBuilder":
+        """Add DENY rules (one per transaction)."""
+        return self._rule(
+            Sign.DENY, subject_role, transactions, on, when,
+            min_confidence, priority, name,
+        )
+
+    def _rule(
+        self,
+        sign: Sign,
+        subject_role: str,
+        transactions: Sequence[str],
+        on: str,
+        when: str,
+        min_confidence: float,
+        priority: int,
+        name: str,
+    ) -> "PolicyBuilder":
+        add = self._policy.grant if sign is Sign.GRANT else self._policy.deny
+        for index, transaction in enumerate(transactions):
+            rule_name = name if len(transactions) == 1 or not name else f"{name}-{index}"
+            add(
+                subject_role,
+                transaction,
+                on,
+                when,
+                min_confidence=min_confidence,
+                priority=priority,
+                name=rule_name,
+            )
+        return self
+
+    # ------------------------------------------------------------------
+    # Constraints & configuration
+    # ------------------------------------------------------------------
+    def static_sod(
+        self, name: str, roles: Iterable[str], limit: int = 1
+    ) -> "PolicyBuilder":
+        """Add a static separation-of-duty constraint."""
+        self._policy.add_constraint(SeparationOfDuty(name, roles, static=True, limit=limit))
+        return self
+
+    def dynamic_sod(
+        self, name: str, roles: Iterable[str], limit: int = 1
+    ) -> "PolicyBuilder":
+        """Add a dynamic separation-of-duty constraint."""
+        self._policy.add_constraint(SeparationOfDuty(name, roles, static=False, limit=limit))
+        return self
+
+    def cardinality(self, name: str, role: str, max_members: int) -> "PolicyBuilder":
+        """Bound a role's direct membership."""
+        self._policy.add_constraint(CardinalityConstraint(name, role, max_members))
+        return self
+
+    def prerequisite(self, name: str, role: str, required: str) -> "PolicyBuilder":
+        """Require ``required`` before ``role`` may be assigned."""
+        self._policy.add_constraint(PrerequisiteConstraint(name, role, required))
+        return self
+
+    def precedence(self, strategy: PrecedenceStrategy) -> "PolicyBuilder":
+        """Select the conflict-resolution strategy."""
+        self._policy.precedence = strategy
+        return self
+
+    def default_deny(self) -> "PolicyBuilder":
+        """Closed world: unmatched requests are denied (the default)."""
+        self._policy.default_sign = Sign.DENY
+        return self
+
+    def default_allow(self) -> "PolicyBuilder":
+        """Open world: unmatched requests are granted (use with care)."""
+        self._policy.default_sign = Sign.GRANT
+        return self
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+    def build(self) -> GrbacPolicy:
+        """Return the constructed policy."""
+        return self._policy

@@ -1,0 +1,120 @@
+"""Policy diffing — what changed between two policy versions.
+
+Administration needs review: before applying an edited policy, a
+homeowner (or an auditor, afterwards) wants the delta, not two
+thousand-line documents.  :func:`diff_policies` computes a structural
+diff over everything that affects decisions: entities, roles,
+hierarchy edges, assignments, rules, constraints, and configuration.
+
+The output is a :class:`PolicyDiff` of added/removed items per
+category, renderable as a unified human-readable report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.core.policy import GrbacPolicy
+from repro.policy.serialize import to_dict
+
+
+@dataclass(frozen=True)
+class CategoryDiff:
+    """Added/removed items in one category."""
+
+    added: Tuple[str, ...] = ()
+    removed: Tuple[str, ...] = ()
+
+    @property
+    def empty(self) -> bool:
+        return not self.added and not self.removed
+
+
+@dataclass
+class PolicyDiff:
+    """The full structural delta between two policies."""
+
+    categories: Dict[str, CategoryDiff] = field(default_factory=dict)
+    #: Configuration changes: name -> (old, new).
+    settings: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+
+    @property
+    def empty(self) -> bool:
+        return all(diff.empty for diff in self.categories.values()) and (
+            not self.settings
+        )
+
+    def describe(self) -> str:
+        """Unified human-readable rendering (+/- lines)."""
+        if self.empty:
+            return "policies are equivalent"
+        lines: List[str] = []
+        for name, (old, new) in sorted(self.settings.items()):
+            lines.append(f"~ {name}: {old} -> {new}")
+        for category, diff in self.categories.items():
+            if diff.empty:
+                continue
+            lines.append(f"{category}:")
+            for item in diff.removed:
+                lines.append(f"  - {item}")
+            for item in diff.added:
+                lines.append(f"  + {item}")
+        return "\n".join(lines)
+
+
+def _render_items(category: str, entries) -> Set[str]:
+    if category == "permissions":
+        return {
+            f"{e['sign']} {e['transaction']} to {e['subject_role']} "
+            f"on {e['object_role']} when {e['environment_role']}"
+            + (f" (confidence >= {e['min_confidence']:.0%})" if e["min_confidence"] else "")
+            + (f" (priority {e['priority']})" if e["priority"] else "")
+            for e in entries
+        }
+    if category == "constraints":
+        return {
+            ", ".join(f"{k}={v}" for k, v in sorted(e.items())) for e in entries
+        }
+    if category in ("subjects", "objects", "transactions"):
+        return {e["name"] for e in entries}
+    if category.endswith("_roles"):
+        return {e["name"] for e in entries}
+    # hierarchy edges and assignments: [a, b] pairs
+    return {f"{a} -> {b}" for a, b in entries}
+
+
+#: Categories compared, in report order.
+_CATEGORIES = [
+    "subjects",
+    "objects",
+    "transactions",
+    "subject_roles",
+    "object_roles",
+    "environment_roles",
+    "subject_hierarchy",
+    "object_hierarchy",
+    "environment_hierarchy",
+    "subject_assignments",
+    "object_assignments",
+    "permissions",
+    "constraints",
+]
+
+
+def diff_policies(old: GrbacPolicy, new: GrbacPolicy) -> PolicyDiff:
+    """Structural diff from ``old`` to ``new``."""
+    old_doc = to_dict(old)
+    new_doc = to_dict(new)
+    result = PolicyDiff()
+    for category in _CATEGORIES:
+        old_items = _render_items(category, old_doc[category])
+        new_items = _render_items(category, new_doc[category])
+        result.categories[category] = CategoryDiff(
+            added=tuple(sorted(new_items - old_items)),
+            removed=tuple(sorted(old_items - new_items)),
+        )
+    for setting in ("precedence", "default_sign"):
+        if old_doc[setting] != new_doc[setting]:
+            result.settings[setting] = (old_doc[setting], new_doc[setting])
+    return result

@@ -1,0 +1,39 @@
+"""The GRBAC policy DSL: lexer, parser, AST, and compiler.
+
+Entry points: :func:`~repro.policy.dsl.parser.parse` for text → AST
+and :func:`~repro.policy.dsl.compiler.compile_policy` for text →
+:class:`~repro.core.GrbacPolicy`.
+"""
+
+from repro.policy.dsl.ast import (
+    ConstraintDecl,
+    DefaultDecl,
+    ObjectDecl,
+    PrecedenceDecl,
+    RoleDecl,
+    RuleDecl,
+    Statement,
+    SubjectDecl,
+    TransactionDecl,
+)
+from repro.policy.dsl.compiler import compile_policy, compile_statements
+from repro.policy.dsl.lexer import Token, tokenize, tokenize_line
+from repro.policy.dsl.parser import parse
+
+__all__ = [
+    "ConstraintDecl",
+    "DefaultDecl",
+    "ObjectDecl",
+    "PrecedenceDecl",
+    "RoleDecl",
+    "RuleDecl",
+    "Statement",
+    "SubjectDecl",
+    "Token",
+    "TransactionDecl",
+    "compile_policy",
+    "compile_statements",
+    "parse",
+    "tokenize",
+    "tokenize_line",
+]

@@ -1,0 +1,89 @@
+"""AST nodes for the GRBAC policy DSL.
+
+Each statement in a policy text parses to exactly one node; nodes are
+plain frozen dataclasses carrying the source line for error reporting.
+The grammar is documented in :mod:`repro.policy.dsl.parser`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Statement:
+    """Base class for all DSL statements."""
+
+    #: 1-based source line, for diagnostics.
+    line: int
+
+
+@dataclass(frozen=True)
+class RoleDecl(Statement):
+    """``subject|object|environment role NAME [extends PARENT]``"""
+
+    kind: str  # "subject" | "object" | "environment"
+    name: str = ""
+    extends: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class SubjectDecl(Statement):
+    """``subject NAME is ROLE[, ROLE ...]``"""
+
+    name: str = ""
+    roles: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class ObjectDecl(Statement):
+    """``object NAME is ROLE[, ROLE ...]``"""
+
+    name: str = ""
+    roles: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class TransactionDecl(Statement):
+    """``transaction NAME``"""
+
+    name: str = ""
+
+
+@dataclass(frozen=True)
+class RuleDecl(Statement):
+    """``[priority N] allow|deny SROLE to TXN[, TXN] [on OROLE]
+    [when EROLE] [if confidence >= P%]``"""
+
+    sign: str = "allow"  # "allow" | "deny"
+    subject_role: str = ""
+    transactions: Tuple[str, ...] = ()
+    object_role: Optional[str] = None
+    environment_role: Optional[str] = None
+    min_confidence: float = 0.0
+    priority: int = 0
+
+
+@dataclass(frozen=True)
+class ConstraintDecl(Statement):
+    """``constraint ssd|dsd NAME between R1 and R2 [and R3 ...] [limit N]``"""
+
+    flavor: str = "ssd"  # "ssd" | "dsd"
+    name: str = ""
+    roles: Tuple[str, ...] = ()
+    limit: int = 1
+
+
+@dataclass(frozen=True)
+class PrecedenceDecl(Statement):
+    """``precedence STRATEGY``"""
+
+    strategy: str = "deny-overrides"
+
+
+@dataclass(frozen=True)
+class DefaultDecl(Statement):
+    """``default allow|deny``"""
+
+    sign: str = "deny"

@@ -1,0 +1,180 @@
+"""Compiler: DSL statements → a :class:`~repro.core.GrbacPolicy`.
+
+Compilation is strict about *references*: a rule, assignment, or
+constraint naming an undeclared role is a
+:class:`~repro.exceptions.PolicyCompileError` with the offending line
+— exactly the "policy bug" feedback the paper says hierarchies and
+clean structure should help surface (§4.1.2).
+
+Two passes: declarations first (roles, subjects, objects,
+transactions, configuration), then rules and constraints — so the
+order of statements in the source does not matter.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.constraints import SeparationOfDuty
+from repro.core.permissions import Sign
+from repro.core.policy import GrbacPolicy
+from repro.core.precedence import PrecedenceStrategy
+from repro.core.roles import ANY_ENVIRONMENT, ANY_OBJECT
+from repro.exceptions import GrbacError, PolicyCompileError
+from repro.policy.dsl.ast import (
+    ConstraintDecl,
+    DefaultDecl,
+    ObjectDecl,
+    PrecedenceDecl,
+    RoleDecl,
+    RuleDecl,
+    Statement,
+    SubjectDecl,
+    TransactionDecl,
+)
+from repro.policy.dsl.parser import parse
+
+_STRATEGIES = {strategy.value: strategy for strategy in PrecedenceStrategy}
+
+
+def compile_statements(
+    statements: List[Statement],
+    policy: Optional[GrbacPolicy] = None,
+    name: str = "dsl-policy",
+) -> GrbacPolicy:
+    """Compile parsed statements into (or onto) a policy.
+
+    :param policy: extend an existing policy instead of creating one —
+        the SecureHome flow declares devices programmatically and then
+        layers DSL-authored rules on top.
+    """
+    target = policy if policy is not None else GrbacPolicy(name)
+
+    # Three passes so statement order never matters: roles and
+    # configuration first, then entities (which reference roles), then
+    # rules and constraints (which reference both).
+    role_decls = [
+        s
+        for s in statements
+        if isinstance(s, (RoleDecl, TransactionDecl, PrecedenceDecl, DefaultDecl))
+    ]
+    entity_decls = [s for s in statements if isinstance(s, (SubjectDecl, ObjectDecl))]
+    rules = [s for s in statements if isinstance(s, (RuleDecl, ConstraintDecl))]
+
+    for statement in role_decls + entity_decls:
+        _compile_declaration(statement, target)
+    for statement in rules:
+        if isinstance(statement, RuleDecl):
+            _compile_rule(statement, target)
+        else:
+            _compile_constraint(statement, target)
+    return target
+
+
+def compile_policy(
+    source: str,
+    policy: Optional[GrbacPolicy] = None,
+    name: str = "dsl-policy",
+) -> GrbacPolicy:
+    """Parse and compile policy text in one call."""
+    return compile_statements(parse(source), policy=policy, name=name)
+
+
+# ----------------------------------------------------------------------
+# Statement handlers
+# ----------------------------------------------------------------------
+def _fail(statement: Statement, message: str) -> "PolicyCompileError":
+    return PolicyCompileError(f"line {statement.line}: {message}")
+
+
+def _compile_declaration(statement: Statement, policy: GrbacPolicy) -> None:
+    if isinstance(statement, RoleDecl):
+        adders = {
+            "subject": (policy.add_subject_role, policy.subject_roles),
+            "object": (policy.add_object_role, policy.object_roles),
+            "environment": (policy.add_environment_role, policy.environment_roles),
+        }
+        add, hierarchy = adders[statement.kind]
+        add(statement.name)
+        if statement.extends is not None:
+            add(statement.extends)
+            try:
+                hierarchy.add_specialization(statement.name, statement.extends)
+            except GrbacError as error:
+                raise _fail(statement, str(error)) from error
+        return
+    if isinstance(statement, SubjectDecl):
+        policy.add_subject(statement.name)
+        for role in statement.roles:
+            if role not in policy.subject_roles:
+                raise _fail(statement, f"undeclared subject role {role!r}")
+            policy.assign_subject(statement.name, role)
+        return
+    if isinstance(statement, ObjectDecl):
+        policy.add_object(statement.name)
+        for role in statement.roles:
+            if role not in policy.object_roles:
+                raise _fail(statement, f"undeclared object role {role!r}")
+            policy.assign_object(statement.name, role)
+        return
+    if isinstance(statement, TransactionDecl):
+        policy.add_transaction(statement.name)
+        return
+    if isinstance(statement, PrecedenceDecl):
+        strategy = _STRATEGIES.get(statement.strategy)
+        if strategy is None:
+            raise _fail(
+                statement,
+                f"unknown precedence {statement.strategy!r} "
+                f"(choices: {sorted(_STRATEGIES)})",
+            )
+        policy.precedence = strategy
+        return
+    if isinstance(statement, DefaultDecl):
+        policy.default_sign = Sign.GRANT if statement.sign == "allow" else Sign.DENY
+        return
+    raise _fail(statement, f"unhandled statement {type(statement).__name__}")
+
+
+def _compile_rule(statement: RuleDecl, policy: GrbacPolicy) -> None:
+    if statement.subject_role not in policy.subject_roles:
+        raise _fail(statement, f"undeclared subject role {statement.subject_role!r}")
+    object_role = statement.object_role or ANY_OBJECT.name
+    if object_role not in policy.object_roles:
+        raise _fail(statement, f"undeclared object role {object_role!r}")
+    environment_role = statement.environment_role or ANY_ENVIRONMENT.name
+    if environment_role not in policy.environment_roles:
+        raise _fail(
+            statement, f"undeclared environment role {environment_role!r}"
+        )
+    add = policy.grant if statement.sign == "allow" else policy.deny
+    for transaction in statement.transactions:
+        try:
+            add(
+                statement.subject_role,
+                transaction,
+                object_role,
+                environment_role,
+                min_confidence=statement.min_confidence,
+                priority=statement.priority,
+                name=f"dsl-line-{statement.line}",
+            )
+        except GrbacError as error:
+            raise _fail(statement, str(error)) from error
+
+
+def _compile_constraint(statement: ConstraintDecl, policy: GrbacPolicy) -> None:
+    for role in statement.roles:
+        if role not in policy.subject_roles:
+            raise _fail(statement, f"undeclared subject role {role!r}")
+    try:
+        policy.add_constraint(
+            SeparationOfDuty(
+                statement.name,
+                statement.roles,
+                static=(statement.flavor == "ssd"),
+                limit=statement.limit,
+            )
+        )
+    except GrbacError as error:
+        raise _fail(statement, str(error)) from error

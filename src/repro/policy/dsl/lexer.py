@@ -1,0 +1,84 @@
+"""Tokenizer for the GRBAC policy DSL.
+
+The language is line-oriented: one statement per line, ``#`` to end of
+line is a comment, blank lines are ignored.  Tokens within a line are
+words (identifiers/keywords — identifiers may contain ``-``, ``/``,
+``.`` and ``_``), integers, percentages (``90%``), the comparison
+``>=``, and commas.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from repro.exceptions import PolicySyntaxError
+
+#: token kinds
+WORD = "word"
+NUMBER = "number"
+PERCENT = "percent"
+COMMA = "comma"
+GTE = "gte"
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>\#.*)
+  | (?P<gte>>=)
+  | (?P<percent>\d+(?:\.\d+)?%)
+  | (?P<number>\d+(?:\.\d+)?)
+  | (?P<comma>,)
+  | (?P<word>[A-Za-z_][A-Za-z0-9_\-/.]*)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position."""
+
+    kind: str
+    text: str
+    line: int
+    column: int
+
+    @property
+    def number(self) -> float:
+        """Numeric value for NUMBER/PERCENT tokens (percent as 0..1)."""
+        if self.kind == PERCENT:
+            return float(self.text[:-1]) / 100.0
+        return float(self.text)
+
+
+def tokenize_line(text: str, line_number: int) -> List[Token]:
+    """Tokenize one source line.
+
+    :raises PolicySyntaxError: on an unrecognized character.
+    """
+    tokens: List[Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise PolicySyntaxError(
+                f"unexpected character {text[position]!r}",
+                line=line_number,
+                column=position + 1,
+            )
+        position = match.end()
+        kind = match.lastgroup
+        if kind in ("ws", "comment"):
+            continue
+        tokens.append(Token(kind, match.group(), line_number, match.start() + 1))
+    return tokens
+
+
+def tokenize(source: str) -> Iterator[Tuple[int, List[Token]]]:
+    """Yield ``(line_number, tokens)`` for every non-empty line."""
+    for line_number, line in enumerate(source.splitlines(), start=1):
+        tokens = tokenize_line(line, line_number)
+        if tokens:
+            yield line_number, tokens

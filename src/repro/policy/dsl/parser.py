@@ -1,0 +1,262 @@
+"""Parser for the GRBAC policy DSL.
+
+Grammar (one statement per line; ``#`` comments; case-sensitive
+keywords, lowercase)::
+
+    statement :=
+        "subject" "role" NAME ["extends" NAME]
+      | "object" "role" NAME ["extends" NAME]
+      | "environment" "role" NAME
+      | "subject" NAME ["is" NAME ("," NAME)*]
+      | "object" NAME ["is" NAME ("," NAME)*]
+      | "transaction" NAME
+      | ["priority" INT] ("allow" | "deny") NAME
+            "to" NAME ("," NAME)*
+            ["on" NAME] ["when" NAME]
+            ["if" "confidence" ">=" PERCENT]
+      | "constraint" ("ssd" | "dsd") NAME
+            "between" NAME ("and" NAME)+ ["limit" INT]
+      | "precedence" NAME
+      | "default" ("allow" | "deny")
+
+The §5.1 policy in this language::
+
+    subject role family-member
+    subject role parent extends family-member
+    subject role child extends family-member
+    object role entertainment-devices
+    environment role weekday-free-time
+    subject alice is child
+    object livingroom/tv is entertainment-devices
+    allow child to watch on entertainment-devices when weekday-free-time
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.exceptions import PolicySyntaxError
+from repro.policy.dsl.ast import (
+    ConstraintDecl,
+    DefaultDecl,
+    ObjectDecl,
+    PrecedenceDecl,
+    RoleDecl,
+    RuleDecl,
+    Statement,
+    SubjectDecl,
+    TransactionDecl,
+)
+from repro.policy.dsl.lexer import COMMA, GTE, NUMBER, PERCENT, WORD, Token, tokenize
+
+
+class _LineParser:
+    """Recursive-descent over one line's token list."""
+
+    def __init__(self, tokens: List[Token], line: int) -> None:
+        self._tokens = tokens
+        self._line = line
+        self._position = 0
+
+    # --- primitives -----------------------------------------------------
+    def peek(self) -> Optional[Token]:
+        if self._position < len(self._tokens):
+            return self._tokens[self._position]
+        return None
+
+    def next(self) -> Token:
+        token = self.peek()
+        if token is None:
+            raise PolicySyntaxError("unexpected end of statement", line=self._line)
+        self._position += 1
+        return token
+
+    def expect_word(self, *expected: str) -> Token:
+        token = self.next()
+        if token.kind != WORD or (expected and token.text not in expected):
+            wanted = " or ".join(repr(e) for e in expected) or "an identifier"
+            raise PolicySyntaxError(
+                f"expected {wanted}, got {token.text!r}",
+                line=self._line,
+                column=token.column,
+            )
+        return token
+
+    def expect_name(self) -> str:
+        token = self.next()
+        if token.kind != WORD:
+            raise PolicySyntaxError(
+                f"expected a name, got {token.text!r}",
+                line=self._line,
+                column=token.column,
+            )
+        return token.text
+
+    def at_word(self, text: str) -> bool:
+        token = self.peek()
+        return token is not None and token.kind == WORD and token.text == text
+
+    def accept_word(self, text: str) -> bool:
+        if self.at_word(text):
+            self._position += 1
+            return True
+        return False
+
+    def expect_end(self) -> None:
+        token = self.peek()
+        if token is not None:
+            raise PolicySyntaxError(
+                f"unexpected trailing input {token.text!r}",
+                line=self._line,
+                column=token.column,
+            )
+
+    def name_list(self, separator_kind: str = COMMA) -> Tuple[str, ...]:
+        names = [self.expect_name()]
+        while True:
+            token = self.peek()
+            if token is not None and token.kind == separator_kind:
+                self.next()
+                names.append(self.expect_name())
+            else:
+                break
+        return tuple(names)
+
+    # --- statements -----------------------------------------------------
+    def parse(self) -> Statement:
+        token = self.peek()
+        if token is None:  # pragma: no cover - tokenize skips empties
+            raise PolicySyntaxError("empty statement", line=self._line)
+        head = token.text
+        if head in ("subject", "object"):
+            return self._parse_subject_or_object(head)
+        if head == "environment":
+            return self._parse_environment()
+        if head == "transaction":
+            self.next()
+            name = self.expect_name()
+            self.expect_end()
+            return TransactionDecl(self._line, name)
+        if head in ("allow", "deny", "priority"):
+            return self._parse_rule()
+        if head == "constraint":
+            return self._parse_constraint()
+        if head == "precedence":
+            self.next()
+            strategy = self.expect_name()
+            self.expect_end()
+            return PrecedenceDecl(self._line, strategy)
+        if head == "default":
+            self.next()
+            sign = self.expect_word("allow", "deny").text
+            self.expect_end()
+            return DefaultDecl(self._line, sign)
+        raise PolicySyntaxError(
+            f"unknown statement {head!r}", line=self._line, column=token.column
+        )
+
+    def _parse_subject_or_object(self, kind: str) -> Statement:
+        self.next()  # consume "subject"/"object"
+        if self.accept_word("role"):
+            name = self.expect_name()
+            extends = self.expect_name() if self.accept_word("extends") else None
+            self.expect_end()
+            return RoleDecl(self._line, kind, name, extends)
+        name = self.expect_name()
+        roles: Tuple[str, ...] = ()
+        if self.accept_word("is"):
+            roles = self.name_list()
+        self.expect_end()
+        if kind == "subject":
+            return SubjectDecl(self._line, name, roles)
+        return ObjectDecl(self._line, name, roles)
+
+    def _parse_environment(self) -> Statement:
+        self.next()
+        self.expect_word("role")
+        name = self.expect_name()
+        extends = self.expect_name() if self.accept_word("extends") else None
+        self.expect_end()
+        return RoleDecl(self._line, "environment", name, extends)
+
+    def _parse_rule(self) -> RuleDecl:
+        priority = 0
+        if self.accept_word("priority"):
+            token = self.next()
+            if token.kind != NUMBER:
+                raise PolicySyntaxError(
+                    "priority needs an integer", line=self._line, column=token.column
+                )
+            priority = int(token.number)
+        sign = self.expect_word("allow", "deny").text
+        subject_role = self.expect_name()
+        self.expect_word("to")
+        transactions = self.name_list()
+        object_role = self.expect_name() if self.accept_word("on") else None
+        environment_role = self.expect_name() if self.accept_word("when") else None
+        min_confidence = 0.0
+        if self.accept_word("if"):
+            self.expect_word("confidence")
+            token = self.next()
+            if token.kind != GTE:
+                raise PolicySyntaxError(
+                    "expected '>=' after 'confidence'",
+                    line=self._line,
+                    column=token.column,
+                )
+            token = self.next()
+            if token.kind not in (PERCENT, NUMBER):
+                raise PolicySyntaxError(
+                    "confidence needs a percentage",
+                    line=self._line,
+                    column=token.column,
+                )
+            min_confidence = token.number
+            if token.kind == NUMBER and min_confidence > 1.0:
+                # Allow "90" to mean 90%.
+                min_confidence /= 100.0
+        self.expect_end()
+        return RuleDecl(
+            self._line,
+            sign,
+            subject_role,
+            transactions,
+            object_role,
+            environment_role,
+            min_confidence,
+            priority,
+        )
+
+    def _parse_constraint(self) -> ConstraintDecl:
+        self.next()
+        flavor = self.expect_word("ssd", "dsd").text
+        name = self.expect_name()
+        self.expect_word("between")
+        roles = [self.expect_name()]
+        while self.accept_word("and"):
+            roles.append(self.expect_name())
+        if len(roles) < 2:
+            raise PolicySyntaxError(
+                "constraint needs at least two roles", line=self._line
+            )
+        limit = 1
+        if self.accept_word("limit"):
+            token = self.next()
+            if token.kind != NUMBER:
+                raise PolicySyntaxError(
+                    "limit needs an integer", line=self._line, column=token.column
+                )
+            limit = int(token.number)
+        self.expect_end()
+        return ConstraintDecl(self._line, flavor, name, tuple(roles), limit)
+
+
+def parse(source: str) -> List[Statement]:
+    """Parse policy text into a statement list.
+
+    :raises PolicySyntaxError: on the first malformed statement.
+    """
+    statements: List[Statement] = []
+    for line_number, tokens in tokenize(source):
+        statements.append(_LineParser(tokens, line_number).parse())
+    return statements

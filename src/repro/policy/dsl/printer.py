@@ -1,0 +1,126 @@
+"""Pretty-printer: a :class:`~repro.core.GrbacPolicy` back to DSL text.
+
+The inverse of the compiler, for the administrative story: "show me
+what the house enforces" should produce something a homeowner can
+read, edit, and re-apply.  Round-trip property (tested):
+``compile_policy(print_policy(p))`` decides identically to ``p``.
+
+Limitations, by construction of the DSL:
+
+* subject/object *attributes* have no DSL syntax and are dropped —
+  use the JSON serializer for lossless storage;
+* multi-operation transactions print as bare ``transaction`` lines
+  (the operation list has no DSL syntax);
+* cardinality/prerequisite constraints have no DSL syntax and raise,
+  since silently dropping a constraint would weaken the policy.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.permissions import Permission, Sign
+from repro.core.policy import GrbacPolicy
+from repro.core.roles import ANY_ENVIRONMENT, ANY_OBJECT
+from repro.exceptions import PolicyError
+
+
+def print_policy(policy: GrbacPolicy) -> str:
+    """Render ``policy`` as DSL text.
+
+    :raises PolicyError: if the policy uses constraints the DSL cannot
+        express (cardinality, prerequisite).
+    """
+    if policy.constraints.cardinality or policy.constraints.prerequisite:
+        raise PolicyError(
+            "cardinality/prerequisite constraints have no DSL syntax; "
+            "use repro.policy.serialize for lossless storage"
+        )
+    lines: List[str] = [f"# policy {policy.name!r}", ""]
+
+    lines += _role_section(policy, "subject", policy.subject_roles, set())
+    lines += _role_section(
+        policy, "object", policy.object_roles, {ANY_OBJECT.name}
+    )
+    lines += _role_section(
+        policy, "environment", policy.environment_roles, {ANY_ENVIRONMENT.name}
+    )
+
+    entity_lines: List[str] = []
+    for subject in policy.subjects():
+        roles = sorted(policy.authorized_subject_role_names(subject.name))
+        suffix = f" is {', '.join(roles)}" if roles else ""
+        entity_lines.append(f"subject {subject.name}{suffix}")
+    for obj in policy.objects():
+        roles = sorted(r.name for r in policy.direct_object_roles(obj.name))
+        suffix = f" is {', '.join(roles)}" if roles else ""
+        entity_lines.append(f"object {obj.name}{suffix}")
+    referenced = {p.transaction.name for p in policy.permissions()}
+    for transaction in policy.transactions():
+        if transaction.name not in referenced:
+            entity_lines.append(f"transaction {transaction.name}")
+    if entity_lines:
+        lines += entity_lines + [""]
+
+    for permission in policy.permissions():
+        lines.append(_rule_line(permission))
+    if policy.permissions():
+        lines.append("")
+
+    for sod in policy.constraints.static_sod + policy.constraints.dynamic_sod:
+        flavor = "ssd" if sod.static else "dsd"
+        roles = " and ".join(sorted(sod.roles))
+        limit = f" limit {sod.limit}" if sod.limit != 1 else ""
+        lines.append(f"constraint {flavor} {sod.name} between {roles}{limit}")
+    if policy.constraints.static_sod or policy.constraints.dynamic_sod:
+        lines.append("")
+
+    lines.append(f"precedence {policy.precedence.value}")
+    lines.append(f"default {policy.default_sign.value}")
+    return "\n".join(lines) + "\n"
+
+
+def _role_section(policy, kind: str, hierarchy, skip) -> List[str]:
+    lines: List[str] = []
+    parents = {
+        child.name: parent.name for child, parent in hierarchy.edges()
+    }
+    multi_parent = {}
+    for child, parent in hierarchy.edges():
+        multi_parent.setdefault(child.name, []).append(parent.name)
+    for role in hierarchy.roles():
+        if role.name in skip:
+            continue
+        parent_list = sorted(multi_parent.get(role.name, []))
+        if not parent_list:
+            lines.append(f"{kind} role {role.name}")
+        else:
+            # The grammar carries one `extends` per declaration; emit
+            # one declaration for the first parent and explicit extra
+            # declarations for the rest (re-declaration is idempotent).
+            lines.append(f"{kind} role {role.name} extends {parent_list[0]}")
+            for extra in parent_list[1:]:
+                lines.append(f"{kind} role {role.name} extends {extra}")
+    del parents
+    if lines:
+        lines.append("")
+    return lines
+
+
+def _rule_line(permission: Permission) -> str:
+    verb = "allow" if permission.sign is Sign.GRANT else "deny"
+    parts: List[str] = []
+    if permission.priority:
+        parts.append(f"priority {permission.priority}")
+    parts.append(verb)
+    parts.append(permission.subject_role.name)
+    parts.append(f"to {permission.transaction.name}")
+    if permission.object_role != ANY_OBJECT:
+        parts.append(f"on {permission.object_role.name}")
+    if permission.environment_role != ANY_ENVIRONMENT:
+        parts.append(f"when {permission.environment_role.name}")
+    if permission.min_confidence > 0:
+        percent = permission.min_confidence * 100
+        rendered = f"{percent:.10g}"
+        parts.append(f"if confidence >= {rendered}%")
+    return " ".join(parts)

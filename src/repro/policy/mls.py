@@ -1,0 +1,228 @@
+"""Multilevel security encoded in GRBAC (§6, ref. [1]).
+
+The paper claims: "The GRBAC model can be used to implement multilevel
+access control, but the converse is not true."  This module makes the
+first half executable and testable:
+
+* :class:`ReferenceBlp` — a direct Bell–LaPadula reference monitor
+  over a linear lattice of security levels: *simple security* (no read
+  up: read allowed iff clearance ≥ classification) and the strict
+  *★-property* (no write down: write allowed iff classification ≥
+  clearance).
+* :class:`MlsEncoding` — the same lattice compiled into ordinary
+  GRBAC roles and permissions.
+
+Encoding scheme (for levels ``L0 < L1 < ... < Ln``):
+
+* subject role chain ``cleared-Li``, where ``cleared-L(i+1)``
+  specializes ``cleared-Li`` — possession of a high clearance implies
+  possession of all lower ones; plus one *flat* role ``writes-at-Li``
+  per subject (no inheritance), pinning the exact clearance for the
+  ★-property.
+* object role ``class-Li`` (the exact classification) specializing
+  ``atleast-Li``, with ``atleast-L(i+1)`` specializing ``atleast-Li``
+  — an object classified ``Li`` possesses ``atleast-Lj`` for all
+  ``j ≤ i``.
+* read rules: ``grant read to cleared-Li on class-Li`` — a subject
+  cleared ``S`` matches exactly the classes ``C ≤ S``.
+* write rules: ``grant write to writes-at-Li on atleast-Li`` — a
+  subject cleared exactly ``S`` may write exactly objects with
+  ``C ≥ S``.
+
+Experiment E9 verifies decision-for-decision agreement between the
+encoding and the reference monitor over exhaustive request grids.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.mediation import MediationEngine
+from repro.core.policy import GrbacPolicy
+from repro.exceptions import PolicyError, UnknownEntityError
+
+#: The classic four-level military lattice.
+DEFAULT_LEVELS = ("unclassified", "confidential", "secret", "top-secret")
+
+
+class ReferenceBlp:
+    """A direct Bell–LaPadula reference monitor (linear lattice)."""
+
+    def __init__(self, levels: Sequence[str] = DEFAULT_LEVELS) -> None:
+        if len(levels) < 2 or len(set(levels)) != len(levels):
+            raise PolicyError("need >= 2 distinct security levels")
+        self._levels = tuple(levels)
+        self._rank = {level: index for index, level in enumerate(levels)}
+        self._clearance: Dict[str, int] = {}
+        self._classification: Dict[str, int] = {}
+
+    @property
+    def levels(self) -> Tuple[str, ...]:
+        return self._levels
+
+    def _rank_of(self, level: str) -> int:
+        try:
+            return self._rank[level]
+        except KeyError:
+            raise UnknownEntityError(f"unknown security level {level!r}") from None
+
+    def set_clearance(self, subject: str, level: str) -> None:
+        """Assign a subject's clearance level."""
+        self._clearance[subject] = self._rank_of(level)
+
+    def set_classification(self, obj: str, level: str) -> None:
+        """Assign an object's classification level."""
+        self._classification[obj] = self._rank_of(level)
+
+    def can_read(self, subject: str, obj: str) -> bool:
+        """Simple security: clearance >= classification."""
+        return self._lookup(subject, obj)[0] >= self._lookup(subject, obj)[1]
+
+    def can_write(self, subject: str, obj: str) -> bool:
+        """Strict ★-property: classification >= clearance."""
+        clearance, classification = self._lookup(subject, obj)
+        return classification >= clearance
+
+    def _lookup(self, subject: str, obj: str) -> Tuple[int, int]:
+        if subject not in self._clearance:
+            raise UnknownEntityError(f"no clearance for subject {subject!r}")
+        if obj not in self._classification:
+            raise UnknownEntityError(f"no classification for object {obj!r}")
+        return self._clearance[subject], self._classification[obj]
+
+
+class MlsEncoding:
+    """Bell–LaPadula compiled into a GRBAC policy."""
+
+    def __init__(self, levels: Sequence[str] = DEFAULT_LEVELS) -> None:
+        if len(levels) < 2 or len(set(levels)) != len(levels):
+            raise PolicyError("need >= 2 distinct security levels")
+        self._levels = tuple(levels)
+        self.policy = GrbacPolicy("mls")
+        policy = self.policy
+        policy.add_transaction("read")
+        policy.add_transaction("write")
+
+        previous_cleared = None
+        previous_atleast = None
+        for level in levels:
+            cleared = policy.add_subject_role(self._cleared(level))
+            policy.add_subject_role(self._writes_at(level))
+            class_role = policy.add_object_role(self._class(level))
+            atleast = policy.add_object_role(self._atleast(level))
+            policy.object_roles.add_specialization(class_role, atleast)
+            if previous_cleared is not None:
+                # Higher clearance implies lower clearance.
+                policy.subject_roles.add_specialization(cleared, previous_cleared)
+                # Higher floor implies lower floor: atleast-L(i+1) -> atleast-Li.
+                policy.object_roles.add_specialization(atleast, previous_atleast)
+            previous_cleared = cleared
+            previous_atleast = atleast
+
+        for level in levels:
+            policy.grant(
+                self._cleared(level), "read", self._class(level),
+                name=f"mls-read-{level}",
+            )
+            policy.grant(
+                self._writes_at(level), "write", self._atleast(level),
+                name=f"mls-write-{level}",
+            )
+        self._engine = MediationEngine(policy)
+
+    # ------------------------------------------------------------------
+    # Role-name scheme
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _cleared(level: str) -> str:
+        return f"cleared-{level}"
+
+    @staticmethod
+    def _writes_at(level: str) -> str:
+        return f"writes-at-{level}"
+
+    @staticmethod
+    def _class(level: str) -> str:
+        return f"class-{level}"
+
+    @staticmethod
+    def _atleast(level: str) -> str:
+        return f"atleast-{level}"
+
+    # ------------------------------------------------------------------
+    # Population
+    # ------------------------------------------------------------------
+    def add_subject(self, subject: str, clearance: str) -> None:
+        """Register a subject with a clearance level."""
+        if clearance not in self._levels:
+            raise UnknownEntityError(f"unknown security level {clearance!r}")
+        self.policy.add_subject(subject, clearance=clearance)
+        self.policy.assign_subject(subject, self._cleared(clearance))
+        self.policy.assign_subject(subject, self._writes_at(clearance))
+
+    def add_object(self, obj: str, classification: str) -> None:
+        """Register an object with a classification level."""
+        if classification not in self._levels:
+            raise UnknownEntityError(f"unknown security level {classification!r}")
+        self.policy.add_object(obj, classification=classification)
+        self.policy.assign_object(obj, self._class(classification))
+
+    # ------------------------------------------------------------------
+    # Mediation
+    # ------------------------------------------------------------------
+    def can_read(self, subject: str, obj: str) -> bool:
+        """Read decision through GRBAC mediation."""
+        return self._engine.check(subject, "read", obj)
+
+    def can_write(self, subject: str, obj: str) -> bool:
+        """Write decision through GRBAC mediation."""
+        return self._engine.check(subject, "write", obj)
+
+
+def build_pair(
+    levels: Sequence[str],
+    subjects: Dict[str, str],
+    objects: Dict[str, str],
+) -> Tuple[ReferenceBlp, MlsEncoding]:
+    """Build reference and encoding with identical populations.
+
+    :param subjects: subject -> clearance level.
+    :param objects: object -> classification level.
+    """
+    reference = ReferenceBlp(levels)
+    encoding = MlsEncoding(levels)
+    for subject, clearance in subjects.items():
+        reference.set_clearance(subject, clearance)
+        encoding.add_subject(subject, clearance)
+    for obj, classification in objects.items():
+        reference.set_classification(obj, classification)
+        encoding.add_object(obj, classification)
+    return reference, encoding
+
+
+def agreement(
+    reference: ReferenceBlp,
+    encoding: MlsEncoding,
+    subjects: Sequence[str],
+    objects: Sequence[str],
+) -> Dict[str, int]:
+    """Exhaustively compare decisions; returns agree/disagree counts."""
+    agree = disagree = 0
+    for subject in subjects:
+        for obj in objects:
+            for operation in ("read", "write"):
+                ref = (
+                    reference.can_read(subject, obj)
+                    if operation == "read"
+                    else reference.can_write(subject, obj)
+                )
+                enc = (
+                    encoding.can_read(subject, obj)
+                    if operation == "read"
+                    else encoding.can_write(subject, obj)
+                )
+                if ref == enc:
+                    agree += 1
+                else:
+                    disagree += 1
+    return {"agree": agree, "disagree": disagree}

@@ -1,0 +1,254 @@
+"""Policy serialization — JSON-compatible round-tripping.
+
+A deployed home needs its policy to survive restarts and to be
+inspectable ("show me exactly what the house enforces").  This module
+converts a :class:`~repro.core.GrbacPolicy` to a plain JSON-compatible
+dictionary and back, losslessly for everything the model defines:
+entities, the three role hierarchies, assignments, permissions
+(including sign/priority/confidence), constraints, and the
+precedence/default configuration.
+
+What is *not* serialized, by design: environment-role **conditions**.
+A condition may close over arbitrary Python (sensors, topology
+resolvers), so conditions are re-bound by the deployment code that
+owns them — the policy document records the role names only, exactly
+like the paper separates role *definitions* from the "environment
+interface" that drives them (§4.2.2).
+
+Round-trip property: ``from_dict(to_dict(p))`` decides identically to
+``p`` on every request (verified property-based in the tests).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.core.constraints import (
+    CardinalityConstraint,
+    PrerequisiteConstraint,
+    SeparationOfDuty,
+)
+from repro.core.permissions import Permission, Sign
+from repro.core.policy import GrbacPolicy
+from repro.core.precedence import PrecedenceStrategy
+from repro.core.roles import Role, RoleKind
+from repro.core.transactions import Transaction
+from repro.exceptions import PolicyError
+
+#: Schema version stamped into every document.
+SCHEMA_VERSION = 1
+
+
+def to_dict(policy: GrbacPolicy) -> Dict[str, Any]:
+    """Serialize ``policy`` to a JSON-compatible dictionary."""
+
+    def roles_of(hierarchy) -> List[Dict[str, Any]]:
+        return [
+            {
+                "name": role.name,
+                "description": role.description,
+                "metadata": dict(role.metadata),
+            }
+            for role in hierarchy.roles()
+        ]
+
+    def edges_of(hierarchy) -> List[List[str]]:
+        return sorted(
+            [child.name, parent.name] for child, parent in hierarchy.edges()
+        )
+
+    constraints: List[Dict[str, Any]] = []
+    for sod in policy.constraints.static_sod + policy.constraints.dynamic_sod:
+        constraints.append(
+            {
+                "type": "separation-of-duty",
+                "name": sod.name,
+                "roles": sorted(sod.roles),
+                "static": sod.static,
+                "limit": sod.limit,
+            }
+        )
+    for card in policy.constraints.cardinality:
+        constraints.append(
+            {
+                "type": "cardinality",
+                "name": card.name,
+                "role": card.role,
+                "max_members": card.max_members,
+            }
+        )
+    for prereq in policy.constraints.prerequisite:
+        constraints.append(
+            {
+                "type": "prerequisite",
+                "name": prereq.name,
+                "role": prereq.role,
+                "required": prereq.required,
+            }
+        )
+
+    return {
+        "schema": SCHEMA_VERSION,
+        "name": policy.name,
+        "precedence": policy.precedence.value,
+        "default_sign": policy.default_sign.value,
+        "subjects": [
+            {"name": subject.name, "attributes": dict(subject.attributes)}
+            for subject in policy.subjects()
+        ],
+        "objects": [
+            {"name": obj.name, "attributes": dict(obj.attributes)}
+            for obj in policy.objects()
+        ],
+        "transactions": [
+            {
+                "name": transaction.name,
+                "operations": [op.name for op in transaction.operations],
+            }
+            for transaction in policy.transactions()
+        ],
+        "subject_roles": roles_of(policy.subject_roles),
+        "object_roles": [
+            entry
+            for entry in roles_of(policy.object_roles)
+            if entry["name"] != "any-object"
+        ],
+        "environment_roles": [
+            entry
+            for entry in roles_of(policy.environment_roles)
+            if entry["name"] != "any-environment"
+        ],
+        "subject_hierarchy": edges_of(policy.subject_roles),
+        "object_hierarchy": edges_of(policy.object_roles),
+        "environment_hierarchy": edges_of(policy.environment_roles),
+        "subject_assignments": sorted(
+            [subject.name, role.name]
+            for subject in policy.subjects()
+            for role in policy.authorized_subject_roles(subject.name)
+        ),
+        "object_assignments": sorted(
+            [obj.name, role.name]
+            for obj in policy.objects()
+            for role in policy.direct_object_roles(obj.name)
+        ),
+        "permissions": [
+            {
+                "subject_role": permission.subject_role.name,
+                "object_role": permission.object_role.name,
+                "environment_role": permission.environment_role.name,
+                "transaction": permission.transaction.name,
+                "sign": permission.sign.value,
+                "min_confidence": permission.min_confidence,
+                "priority": permission.priority,
+                "name": permission.name,
+            }
+            for permission in policy.permissions()
+        ],
+        "constraints": constraints,
+    }
+
+
+def from_dict(document: Dict[str, Any]) -> GrbacPolicy:
+    """Rebuild a policy from :func:`to_dict` output.
+
+    :raises PolicyError: on unknown schema versions or malformed
+        documents — a policy store must never half-load.
+    """
+    if document.get("schema") != SCHEMA_VERSION:
+        raise PolicyError(
+            f"unsupported policy schema {document.get('schema')!r} "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    try:
+        policy = GrbacPolicy(
+            document["name"],
+            precedence=PrecedenceStrategy(document["precedence"]),
+            default_sign=Sign(document["default_sign"]),
+        )
+        for entry in document["subjects"]:
+            policy.add_subject(entry["name"], **entry.get("attributes", {}))
+        for entry in document["objects"]:
+            policy.add_object(entry["name"], **entry.get("attributes", {}))
+        for entry in document["transactions"]:
+            policy.add_transaction(
+                Transaction.composite(entry["name"], entry["operations"])
+            )
+        kind_specs = [
+            ("subject_roles", "subject_hierarchy", RoleKind.SUBJECT,
+             policy.subject_roles),
+            ("object_roles", "object_hierarchy", RoleKind.OBJECT,
+             policy.object_roles),
+            ("environment_roles", "environment_hierarchy",
+             RoleKind.ENVIRONMENT, policy.environment_roles),
+        ]
+        for roles_key, edges_key, kind, hierarchy in kind_specs:
+            for entry in document[roles_key]:
+                hierarchy.add_role(
+                    Role(
+                        entry["name"],
+                        kind,
+                        entry.get("description", ""),
+                        entry.get("metadata", {}),
+                    )
+                )
+            for child, parent in document[edges_key]:
+                hierarchy.add_specialization(child, parent)
+        for subject, role in document["subject_assignments"]:
+            policy.assign_subject(subject, role)
+        for obj, role in document["object_assignments"]:
+            policy.assign_object(obj, role)
+        # Constraints come after assignments: the serialized state was
+        # already constraint-valid, and replaying prerequisites in
+        # arbitrary assignment order would spuriously fail.  Static
+        # SoD is still re-validated by add_constraint itself.
+        for entry in document["constraints"]:
+            policy.add_constraint(_constraint_from(entry))
+        for entry in document["permissions"]:
+            policy.add_permission(
+                Permission(
+                    subject_role=policy.subject_roles.role(entry["subject_role"]),
+                    object_role=policy.object_roles.role(entry["object_role"]),
+                    environment_role=policy.environment_roles.role(
+                        entry["environment_role"]
+                    ),
+                    transaction=policy.transaction(entry["transaction"]),
+                    sign=Sign(entry["sign"]),
+                    min_confidence=entry.get("min_confidence", 0.0),
+                    priority=entry.get("priority", 0),
+                    name=entry.get("name", ""),
+                )
+            )
+    except KeyError as error:
+        raise PolicyError(f"malformed policy document: missing {error}") from error
+    return policy
+
+
+def _constraint_from(entry: Dict[str, Any]):
+    constraint_type = entry.get("type")
+    if constraint_type == "separation-of-duty":
+        return SeparationOfDuty(
+            entry["name"], entry["roles"], entry["static"], entry["limit"]
+        )
+    if constraint_type == "cardinality":
+        return CardinalityConstraint(
+            entry["name"], entry["role"], entry["max_members"]
+        )
+    if constraint_type == "prerequisite":
+        return PrerequisiteConstraint(
+            entry["name"], entry["role"], entry["required"]
+        )
+    raise PolicyError(f"unknown constraint type {constraint_type!r}")
+
+
+def to_json(policy: GrbacPolicy, indent: int = 2) -> str:
+    """Serialize to a JSON string."""
+    import json
+
+    return json.dumps(to_dict(policy), indent=indent, sort_keys=True)
+
+
+def from_json(text: str) -> GrbacPolicy:
+    """Rebuild a policy from :func:`to_json` output."""
+    import json
+
+    return from_dict(json.loads(text))

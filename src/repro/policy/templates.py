@@ -1,0 +1,99 @@
+"""Canned policy templates — the paper's household, reusable.
+
+Templates install the *role structure* of the paper's examples onto a
+policy so that scenarios, examples, tests and benchmarks share one
+canonical vocabulary instead of re-declaring it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.policy import GrbacPolicy
+from repro.core.roles import Role
+
+#: Figure 2's subject-role specialization edges (child, parent).
+FIGURE2_EDGES = [
+    ("family-member", "home-user"),
+    ("authorized-guest", "home-user"),
+    ("parent", "family-member"),
+    ("child", "family-member"),
+    ("service-agent", "authorized-guest"),
+]
+
+#: Figure 2's user → role assignments.
+FIGURE2_ASSIGNMENTS = {
+    "mom": "parent",
+    "dad": "parent",
+    "alice": "child",
+    "bobby": "child",
+    "dishwasher-repair-tech": "service-agent",
+}
+
+
+def install_figure2_roles(policy: GrbacPolicy) -> List[Role]:
+    """Install the Figure 2 subject-role hierarchy.
+
+    Roles: home-user ← {family-member, authorized-guest};
+    family-member ← {parent, child}; authorized-guest ← service-agent.
+    Returns the created roles.
+    """
+    names = {"home-user"}
+    for child, parent in FIGURE2_EDGES:
+        names.add(child)
+        names.add(parent)
+    roles = [policy.add_subject_role(name) for name in sorted(names)]
+    for child, parent in FIGURE2_EDGES:
+        policy.subject_roles.add_specialization(child, parent)
+    return roles
+
+
+def install_figure2_household(policy: GrbacPolicy) -> Dict[str, str]:
+    """Install roles *and* the example users (Mom, Dad, Alice, Bobby,
+    and the Dishwasher Repair Technician).  Returns the assignment map."""
+    install_figure2_roles(policy)
+    for subject, role in FIGURE2_ASSIGNMENTS.items():
+        policy.add_subject(subject)
+        policy.assign_subject(subject, role)
+    return dict(FIGURE2_ASSIGNMENTS)
+
+
+def install_standard_object_roles(policy: GrbacPolicy) -> List[Role]:
+    """The standard device-object roles used across examples.
+
+    ``entertainment-devices`` (§5.1), ``dangerous-appliances`` (§3's
+    negative-rights example), ``sensitive-documents`` (medical/tax
+    records), plus the specialized ``television`` role under
+    entertainment.
+    """
+    roles = [
+        policy.add_object_role("entertainment-devices"),
+        policy.add_object_role("television"),
+        policy.add_object_role("dangerous-appliances"),
+        policy.add_object_role("sensitive-documents"),
+    ]
+    policy.object_roles.add_specialization("television", "entertainment-devices")
+    return roles
+
+
+def section51_rule(policy: GrbacPolicy) -> None:
+    """The one rule of §5.1: "any child can use entertainment devices
+    on weekdays during free time."
+
+    Requires the Figure 2 subject roles, the standard object roles,
+    and a ``weekday-free-time`` environment role to be present.
+    """
+    policy.grant(
+        "child",
+        "watch",
+        "entertainment-devices",
+        "weekday-free-time",
+        name="s51-entertainment",
+    )
+    policy.grant(
+        "child",
+        "power_on",
+        "entertainment-devices",
+        "weekday-free-time",
+        name="s51-power",
+    )

@@ -1,0 +1,24 @@
+"""Traditional RBAC baseline (Figure 1) and GRBAC bridges (§6)."""
+
+from repro.rbac.bridge import (
+    SYSTEM_OBJECT,
+    FlattenedGrbac,
+    agreement_check,
+    grbac_from_rbac,
+    rbac_from_grbac,
+)
+from repro.rbac.hierarchy import HierarchicalRbacModel
+from repro.rbac.model import RbacModel
+from repro.rbac.sessions import RbacSession, RbacSessionModel
+
+__all__ = [
+    "SYSTEM_OBJECT",
+    "FlattenedGrbac",
+    "HierarchicalRbacModel",
+    "RbacModel",
+    "RbacSession",
+    "RbacSessionModel",
+    "agreement_check",
+    "grbac_from_rbac",
+    "rbac_from_grbac",
+]

@@ -1,0 +1,243 @@
+"""Bridges between GRBAC and the traditional RBAC baseline (§6).
+
+Two claims from the related-work section become executable here:
+
+1. **"Traditional RBAC is essentially GRBAC with subject roles only."**
+   :func:`grbac_from_rbac` embeds any Figure 1 model into GRBAC using
+   the distinguished ``any-object`` / ``any-environment`` roles, and
+   :func:`rbac_from_grbac` projects a subject-roles-only GRBAC policy
+   back.  Property-based tests check the round trip decides
+   identically.
+
+2. **Expressiveness** (benchmark E10): plain RBAC *can* emulate
+   environment- and object-sensitivity, but only by multiplying roles
+   and transactions out over contexts.  :class:`FlattenedGrbac`
+   performs that emulation mechanically — each (subject role ×
+   environment role) pair becomes one flat role, each (transaction ×
+   object) pair one flat transaction — so the size blowup GRBAC avoids
+   can be *measured* rather than asserted.
+
+The flattening supports grant-only policies over flat (non-
+hierarchical) role structures with one named environment role active
+at a time; that restricted shape is exactly what the expressiveness
+benchmark sweeps, and keeping the emulation simple keeps it auditable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+from repro.core.mediation import AccessRequest, MediationEngine
+from repro.core.permissions import Sign
+from repro.core.policy import GrbacPolicy
+from repro.core.roles import ANY_ENVIRONMENT, ANY_OBJECT
+from repro.exceptions import PolicyError
+from repro.rbac.model import RbacModel
+
+#: The placeholder object used when embedding object-less RBAC.
+SYSTEM_OBJECT = "rbac-system"
+
+
+def grbac_from_rbac(rbac: RbacModel) -> Tuple[GrbacPolicy, str]:
+    """Embed a Figure 1 RBAC model into GRBAC.
+
+    Every AT entry becomes a GRANT against ``any-object`` and
+    ``any-environment``; requests target the placeholder object.
+    Returns ``(policy, placeholder_object_name)``.
+    """
+    policy = GrbacPolicy(f"grbac({rbac.name})")
+    policy.add_object(SYSTEM_OBJECT)
+    for subject in rbac.subjects():
+        policy.add_subject(subject)
+    for role in rbac.roles():
+        policy.add_subject_role(role)
+    for transaction in rbac.transactions():
+        policy.add_transaction(transaction)
+    for subject in rbac.subjects():
+        for role in rbac.authorized_roles(subject):
+            policy.assign_subject(subject, role)
+    for role in rbac.roles():
+        for transaction in rbac.authorized_transactions(role):
+            policy.grant(role, transaction)
+    return policy, SYSTEM_OBJECT
+
+
+def rbac_from_grbac(policy: GrbacPolicy) -> RbacModel:
+    """Project a subject-roles-only GRBAC policy onto Figure 1 RBAC.
+
+    :raises PolicyError: if the policy uses negative rights, object
+        roles other than ``any-object``, environment roles other than
+        ``any-environment``, or a subject-role hierarchy — those have
+        no counterpart in the flat baseline.
+    """
+    if policy.subject_roles.edges():
+        raise PolicyError("cannot project a hierarchical policy onto flat RBAC")
+    rbac = RbacModel(f"rbac({policy.name})")
+    for subject in policy.subjects():
+        rbac.add_subject(subject.name)
+    for role in policy.subject_roles.roles():
+        rbac.add_role(role.name)
+    for transaction in policy.transactions():
+        rbac.add_transaction(transaction.name)
+    for subject in policy.subjects():
+        for role in policy.authorized_subject_roles(subject.name):
+            rbac.authorize_role(subject.name, role.name)
+    for permission in policy.permissions():
+        if permission.sign is not Sign.GRANT:
+            raise PolicyError("flat RBAC has no negative rights")
+        if permission.object_role != ANY_OBJECT:
+            raise PolicyError("flat RBAC cannot express object roles")
+        if permission.environment_role != ANY_ENVIRONMENT:
+            raise PolicyError("flat RBAC cannot express environment roles")
+        rbac.authorize_transaction(
+            permission.subject_role.name, permission.transaction.name
+        )
+    return rbac
+
+
+class FlattenedGrbac:
+    """RBAC emulation of a (restricted) GRBAC policy, with size metrics.
+
+    Construction enumerates the cross products described in the module
+    docstring.  :meth:`exec_in_env` then mediates a request the way a
+    flat-RBAC deployment would: activate the subject's flattened roles
+    for the current environment context and check the flattened
+    transaction.
+    """
+
+    def __init__(self, policy: GrbacPolicy) -> None:
+        self._validate(policy)
+        self._policy = policy
+        self.rbac = RbacModel(f"flattened({policy.name})")
+
+        subject_roles = [r.name for r in policy.subject_roles.roles()]
+        env_roles = [r.name for r in policy.environment_roles.roles()]
+        objects = [o.name for o in policy.objects()]
+
+        # Roles: every (subject role x environment role) pair.
+        for subject_role in subject_roles:
+            for env_role in env_roles:
+                self.rbac.add_role(self._flat_role(subject_role, env_role))
+        # Transactions: every (transaction x object) pair.
+        for transaction in policy.transactions():
+            for obj in objects:
+                self.rbac.add_transaction(
+                    self._flat_transaction(transaction.name, obj)
+                )
+        # AR: subjects hold every env variant of their direct roles
+        # (session activation picks the current one).
+        for subject in policy.subjects():
+            self.rbac.add_subject(subject.name)
+            for role in policy.authorized_subject_roles(subject.name):
+                for env_role in env_roles:
+                    self.rbac.authorize_role(
+                        subject.name, self._flat_role(role.name, env_role)
+                    )
+        # AT: each GRBAC permission expands over the objects in its
+        # object role.
+        for permission in policy.permissions():
+            member_objects = policy.objects_in_role(permission.object_role.name)
+            for obj in member_objects:
+                self.rbac.authorize_transaction(
+                    self._flat_role(
+                        permission.subject_role.name,
+                        permission.environment_role.name,
+                    ),
+                    self._flat_transaction(permission.transaction.name, obj),
+                )
+
+    @staticmethod
+    def _validate(policy: GrbacPolicy) -> None:
+        for hierarchy in (
+            policy.subject_roles,
+            policy.object_roles,
+            policy.environment_roles,
+        ):
+            if hierarchy.edges():
+                raise PolicyError(
+                    "flattening supports flat (non-hierarchical) policies only"
+                )
+        for permission in policy.permissions():
+            if permission.sign is not Sign.GRANT:
+                raise PolicyError("flattening supports grant-only policies")
+
+    @staticmethod
+    def _flat_role(subject_role: str, env_role: str) -> str:
+        return f"{subject_role}@{env_role}"
+
+    @staticmethod
+    def _flat_transaction(transaction: str, obj: str) -> str:
+        return f"{transaction}#{obj}"
+
+    # ------------------------------------------------------------------
+    # Emulated mediation
+    # ------------------------------------------------------------------
+    def exec_in_env(
+        self,
+        subject: str,
+        transaction: str,
+        obj: str,
+        active_env_role: Optional[str] = None,
+    ) -> bool:
+        """Mediate as flat RBAC would, in one environment context.
+
+        The subject's activated roles are the flattened variants of
+        their direct roles for ``active_env_role`` and for
+        ``any-environment`` (which is always active).
+        """
+        contexts = {ANY_ENVIRONMENT.name}
+        if active_env_role is not None:
+            contexts.add(active_env_role)
+        flat_transaction = self._flat_transaction(transaction, obj)
+        direct = self._policy.authorized_subject_role_names(subject)
+        for role in direct:
+            for env_role in contexts:
+                flat_role = self._flat_role(role, env_role)
+                if flat_transaction in self.rbac.authorized_transactions(flat_role):
+                    return True
+        return False
+
+    # ------------------------------------------------------------------
+    # The measurement (E10)
+    # ------------------------------------------------------------------
+    def size_metrics(self) -> Dict[str, int]:
+        """Flattened-model sizes, to compare against the GRBAC policy."""
+        stats = self.rbac.stats()
+        return {
+            "flat_roles": stats["roles"],
+            "flat_transactions": stats["transactions"],
+            "flat_authorizations": stats["transaction_authorizations"],
+            "flat_role_authorizations": stats["role_authorizations"],
+        }
+
+
+def agreement_check(
+    policy: GrbacPolicy,
+    flattened: FlattenedGrbac,
+    env_role: Optional[str] = None,
+) -> bool:
+    """Verify the flattening decides identically to GRBAC.
+
+    Exhaustively compares all (subject, transaction, object) triples
+    under one active environment role.  Used by tests and by E10 as a
+    self-check before reporting sizes.
+    """
+    engine = MediationEngine(policy)
+    active = {env_role} if env_role else set()
+    for subject in policy.subjects():
+        if not policy.authorized_subject_role_names(subject.name):
+            continue
+        for transaction in policy.transactions():
+            for obj in policy.objects():
+                request = AccessRequest(
+                    transaction=transaction.name, obj=obj.name, subject=subject.name
+                )
+                grbac_says = engine.decide(
+                    request, environment_roles=active
+                ).granted
+                rbac_says = flattened.exec_in_env(
+                    subject.name, transaction.name, obj.name, env_role
+                )
+                if grbac_says != rbac_says:
+                    return False
+    return True

@@ -1,0 +1,60 @@
+"""Hierarchical RBAC (RBAC1-style) over the flat Figure 1 model.
+
+§4.1.2 "Role Hierarchies" motivates inheritance: generic rules written
+once against a broad role apply to all its specializations.
+:class:`HierarchicalRbacModel` layers a specialization DAG (reusing
+the core :class:`~repro.core.hierarchy.RoleHierarchy` machinery, with
+subject-kind roles) over :class:`~repro.rbac.model.RbacModel`:
+possession of a role implies possession of its generalizations, so
+``exec(s, t)`` holds when *any* effective role authorizes *t*.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.core.hierarchy import RoleHierarchy
+from repro.core.roles import RoleKind, subject_role
+from repro.rbac.model import RbacModel
+
+
+class HierarchicalRbacModel(RbacModel):
+    """Figure 1 RBAC plus a role-specialization hierarchy."""
+
+    def __init__(self, name: str = "hierarchical-rbac") -> None:
+        super().__init__(name)
+        self.hierarchy = RoleHierarchy(RoleKind.SUBJECT)
+
+    def add_role(self, role: str) -> str:
+        """Register a role in both the flat model and the hierarchy."""
+        super().add_role(role)
+        if role not in self.hierarchy:
+            self.hierarchy.add_role(subject_role(role))
+        return role
+
+    def add_specialization(self, child: str, parent: str) -> None:
+        """Declare ``child`` a specialization of ``parent``."""
+        self.add_role(child)
+        self.add_role(parent)
+        self.hierarchy.add_specialization(child, parent)
+
+    def effective_roles(self, subject: str) -> Set[str]:
+        """AR(s) closed under generalization."""
+        direct = self.authorized_roles(subject)
+        return {role.name for role in self.hierarchy.expand(direct)}
+
+    def exec_(self, subject: str, transaction: str) -> bool:
+        """Mediation with hierarchy expansion."""
+        self._require_subject(subject)
+        self._require_transaction(transaction)
+        authorizing = self._roles_by_transaction.get(transaction, set())
+        return not authorizing.isdisjoint(self.effective_roles(subject))
+
+    def exec_naive(self, subject: str, transaction: str) -> bool:
+        """Literal double loop over effective roles."""
+        self._require_subject(subject)
+        self._require_transaction(transaction)
+        for role in self.effective_roles(subject):
+            if transaction in self._authorized_transactions.get(role, ()):
+                return True
+        return False

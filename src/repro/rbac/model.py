@@ -1,0 +1,157 @@
+"""Traditional RBAC — a literal implementation of Figure 1.
+
+The paper's Figure 1 defines:
+
+* Subject *s* — a user of the system
+* Role *r* — a categorization primitive for subjects
+* Object *o* — a system resource
+* Transaction *t* — a series of one or more accesses to objects
+* ``AR(s)`` — the authorized role set for subject *s*
+* ``AT(r)`` — the authorized transaction set for role *r*
+* ``exec(s, t)`` — true iff subject *s* is authorized to execute
+  transaction *t*
+
+**Access mediation rule**: ``exec(s, t)`` iff ∃ role *r* such that
+``r ∈ AR(s)`` and ``t ∈ AT(r)``.
+
+This baseline exists for experiment E1 (an executable Figure 1), for
+the §6 equivalence check ("traditional RBAC is essentially GRBAC with
+subject roles only" — verified property-based against
+:func:`repro.rbac.bridge.grbac_from_rbac`), and as the comparator in
+the expressiveness benchmarks (E10).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set
+
+from repro.exceptions import UnknownEntityError
+
+
+class RbacModel:
+    """Flat traditional RBAC, exactly Figure 1's constructs."""
+
+    def __init__(self, name: str = "rbac") -> None:
+        self.name = name
+        self._subjects: Set[str] = set()
+        self._roles: Set[str] = set()
+        self._transactions: Set[str] = set()
+        #: AR: subject -> authorized role set
+        self._authorized_roles: Dict[str, Set[str]] = {}
+        #: AT: role -> authorized transaction set
+        self._authorized_transactions: Dict[str, Set[str]] = {}
+        #: reverse index: transaction -> roles authorizing it
+        self._roles_by_transaction: Dict[str, Set[str]] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def add_subject(self, subject: str) -> str:
+        """Register a subject; idempotent."""
+        if not subject:
+            raise UnknownEntityError("subject name must be non-empty")
+        self._subjects.add(subject)
+        self._authorized_roles.setdefault(subject, set())
+        return subject
+
+    def add_role(self, role: str) -> str:
+        """Register a role; idempotent."""
+        if not role:
+            raise UnknownEntityError("role name must be non-empty")
+        self._roles.add(role)
+        self._authorized_transactions.setdefault(role, set())
+        return role
+
+    def add_transaction(self, transaction: str) -> str:
+        """Register a transaction; idempotent."""
+        if not transaction:
+            raise UnknownEntityError("transaction name must be non-empty")
+        self._transactions.add(transaction)
+        return transaction
+
+    # ------------------------------------------------------------------
+    # AR and AT
+    # ------------------------------------------------------------------
+    def authorize_role(self, subject: str, role: str) -> None:
+        """Add ``role`` to AR(subject) — role possession."""
+        self._require_subject(subject)
+        self._require_role(role)
+        self._authorized_roles[subject].add(role)
+
+    def authorize_transaction(self, role: str, transaction: str) -> None:
+        """Add ``transaction`` to AT(role)."""
+        self._require_role(role)
+        self._require_transaction(transaction)
+        self._authorized_transactions[role].add(transaction)
+        self._roles_by_transaction.setdefault(transaction, set()).add(role)
+
+    def authorized_roles(self, subject: str) -> Set[str]:
+        """AR(s): the authorized role set of ``subject``."""
+        self._require_subject(subject)
+        return set(self._authorized_roles[subject])
+
+    def authorized_transactions(self, role: str) -> Set[str]:
+        """AT(r): the authorized transaction set of ``role``."""
+        self._require_role(role)
+        return set(self._authorized_transactions[role])
+
+    # ------------------------------------------------------------------
+    # The Figure 1 mediation rule
+    # ------------------------------------------------------------------
+    def exec_(self, subject: str, transaction: str) -> bool:
+        """``exec(s, t)``: ∃ r with r ∈ AR(s) and t ∈ AT(r)."""
+        self._require_subject(subject)
+        self._require_transaction(transaction)
+        authorizing = self._roles_by_transaction.get(transaction, set())
+        return not authorizing.isdisjoint(self._authorized_roles[subject])
+
+    def exec_naive(self, subject: str, transaction: str) -> bool:
+        """The same rule as a literal double loop (for equivalence
+        tests of the reverse index)."""
+        self._require_subject(subject)
+        self._require_transaction(transaction)
+        for role in self._authorized_roles[subject]:
+            if transaction in self._authorized_transactions[role]:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def subjects(self) -> List[str]:
+        return sorted(self._subjects)
+
+    def roles(self) -> List[str]:
+        return sorted(self._roles)
+
+    def transactions(self) -> List[str]:
+        return sorted(self._transactions)
+
+    def stats(self) -> Dict[str, int]:
+        """Size counters for benchmark reporting."""
+        return {
+            "subjects": len(self._subjects),
+            "roles": len(self._roles),
+            "transactions": len(self._transactions),
+            "role_authorizations": sum(
+                len(roles) for roles in self._authorized_roles.values()
+            ),
+            "transaction_authorizations": sum(
+                len(txns) for txns in self._authorized_transactions.values()
+            ),
+        }
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _require_subject(self, subject: str) -> None:
+        if subject not in self._subjects:
+            raise UnknownEntityError(f"unknown subject {subject!r}")
+
+    def _require_role(self, role: str) -> None:
+        if role not in self._roles:
+            raise UnknownEntityError(f"unknown role {role!r}")
+
+    def _require_transaction(self, transaction: str) -> None:
+        if transaction not in self._transactions:
+            raise UnknownEntityError(f"unknown transaction {transaction!r}")

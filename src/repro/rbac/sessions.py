@@ -1,0 +1,112 @@
+"""RBAC sessions — role activation for the baseline (§4.1.2).
+
+"When role activation is used, a subject must declare which roles he
+intends to use at all times... Only roles in the active role set can
+be used to execute transactions."
+
+:class:`RbacSessionModel` extends the flat model with sessions and an
+optional set of dynamic separation-of-duty pairs (the paper's
+teller / account-holder example), enforced at activation time.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.exceptions import ActivationError, ConstraintViolationError
+from repro.rbac.model import RbacModel
+
+
+class RbacSession:
+    """One subject's session with its active role set."""
+
+    def __init__(self, session_id: str, subject: str, model: "RbacSessionModel") -> None:
+        self.session_id = session_id
+        self.subject = subject
+        self._model = model
+        self.active: Set[str] = set()
+
+    def activate(self, role: str) -> None:
+        """Activate a possessed role, subject to DSD.
+
+        :raises ActivationError: if the subject lacks the role.
+        :raises ConstraintViolationError: on a DSD conflict.
+        """
+        if role in self.active:
+            return
+        if role not in self._model.authorized_roles(self.subject):
+            raise ActivationError(
+                f"{self.subject!r} does not possess role {role!r}"
+            )
+        for conflicting in self._model.dsd_conflicts(role):
+            if conflicting in self.active:
+                raise ConstraintViolationError(
+                    f"dynamic separation of duty: {role!r} conflicts with "
+                    f"active role {conflicting!r}"
+                )
+        self.active.add(role)
+
+    def deactivate(self, role: str) -> None:
+        """Deactivate an active role.
+
+        :raises ActivationError: if the role is not active.
+        """
+        if role not in self.active:
+            raise ActivationError(f"role {role!r} is not active")
+        self.active.discard(role)
+
+    def exec_(self, transaction: str) -> bool:
+        """Mediation restricted to *active* roles."""
+        for role in self.active:
+            if transaction in self._model.authorized_transactions(role):
+                return True
+        return False
+
+
+class RbacSessionModel(RbacModel):
+    """Figure 1 RBAC + sessions + dynamic separation of duty."""
+
+    def __init__(self, name: str = "rbac-sessions") -> None:
+        super().__init__(name)
+        self._dsd_pairs: Set[FrozenSet[str]] = set()
+        self._counter = itertools.count(1)
+        self._sessions: Dict[str, RbacSession] = {}
+
+    # ------------------------------------------------------------------
+    # DSD
+    # ------------------------------------------------------------------
+    def add_dsd_pair(self, role_a: str, role_b: str) -> None:
+        """Declare two roles dynamically mutually exclusive."""
+        self._require_role(role_a)
+        self._require_role(role_b)
+        if role_a == role_b:
+            raise ConstraintViolationError("a role cannot DSD-conflict with itself")
+        self._dsd_pairs.add(frozenset((role_a, role_b)))
+
+    def dsd_conflicts(self, role: str) -> Set[str]:
+        """Roles that may not be active together with ``role``."""
+        conflicts: Set[str] = set()
+        for pair in self._dsd_pairs:
+            if role in pair:
+                conflicts.update(pair - {role})
+        return conflicts
+
+    # ------------------------------------------------------------------
+    # Sessions
+    # ------------------------------------------------------------------
+    def open_session(self, subject: str) -> RbacSession:
+        """Open a session for ``subject`` with an empty active set."""
+        self._require_subject(subject)
+        session = RbacSession(f"rbac-session-{next(self._counter)}", subject, self)
+        self._sessions[session.session_id] = session
+        return session
+
+    def close_session(self, session: RbacSession) -> None:
+        """Close a session; idempotent."""
+        self._sessions.pop(session.session_id, None)
+        session.active.clear()
+
+    def sessions_of(self, subject: str) -> List[RbacSession]:
+        """Live sessions of ``subject``."""
+        return [s for s in self._sessions.values() if s.subject == subject]

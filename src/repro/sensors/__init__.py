@@ -1,0 +1,32 @@
+"""Simulated sensing hardware for the Aware Home.
+
+Substitutes for the paper's physical sensors (DESIGN.md §2): the Smart
+Floor, face and voice recognition, and motion/occupancy sensing.  All
+sensors are deterministic (seeded) models that plug into the
+authentication pipeline as :class:`~repro.auth.Authenticator`\\ s.
+"""
+
+from repro.sensors.base import (
+    SimulatedSensor,
+    gaussian_cdf,
+    interval_probability,
+)
+from repro.sensors.motion import OccupancyProvider
+from repro.sensors.recognition import (
+    RecognitionSensor,
+    face_sensor,
+    voice_sensor,
+)
+from repro.sensors.smart_floor import WEIGHT_FEATURE, SmartFloor
+
+__all__ = [
+    "WEIGHT_FEATURE",
+    "OccupancyProvider",
+    "RecognitionSensor",
+    "SimulatedSensor",
+    "SmartFloor",
+    "face_sensor",
+    "gaussian_cdf",
+    "interval_probability",
+    "voice_sensor",
+]

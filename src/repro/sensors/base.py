@@ -1,0 +1,73 @@
+"""Sensor framework — simulated identification hardware.
+
+The Aware Home identifies residents implicitly through sensors (§3,
+§5.2).  No such hardware exists here, so each sensor is a *model*: it
+receives the simulation's ground truth (who is actually present, with
+which physical features) through an
+:class:`~repro.auth.authenticator.Presence` and emits the evidence a
+real sensor plausibly would — noisy, partial, and quantified with a
+confidence.
+
+Design rules every sensor follows:
+
+* deterministic by default (seeded RNG) so scenarios replay exactly;
+* never raises on an unrecognizable presence — empty evidence is the
+  normal "I didn't see anything I know" outcome;
+* confidence is capped by the sensor's ``reliability`` — a sensor that
+  is wrong 10% of the time must never report 0.99.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional
+
+from repro.auth.authenticator import Authenticator
+from repro.exceptions import AuthenticationError
+
+
+def gaussian_cdf(x: float) -> float:
+    """Standard normal CDF via the error function."""
+    return 0.5 * (1.0 + math.erf(x / math.sqrt(2.0)))
+
+
+def interval_probability(
+    value: float, low: float, high: float, sigma: float
+) -> float:
+    """P(true quantity in [low, high] | measured ``value``) under a
+    Gaussian measurement-error model with standard deviation ``sigma``."""
+    if sigma <= 0:
+        return 1.0 if low <= value <= high else 0.0
+    return gaussian_cdf((high - value) / sigma) - gaussian_cdf((low - value) / sigma)
+
+
+class SimulatedSensor(Authenticator):
+    """Base class for seeded, reliability-bounded sensors.
+
+    :param reliability: upper bound on any confidence this sensor
+        reports; models intrinsic hardware/algorithm error.
+    :param seed: RNG seed for the sensor's noise.
+    """
+
+    name = "sensor"
+
+    def __init__(self, reliability: float = 0.99, seed: int = 0) -> None:
+        if not 0.0 < reliability <= 1.0:
+            raise AuthenticationError("reliability must be in (0, 1]")
+        self.reliability = reliability
+        self._rng = random.Random(seed)
+
+    def bound(self, confidence: float) -> float:
+        """Clamp a raw confidence into [0, reliability]."""
+        return max(0.0, min(self.reliability, confidence))
+
+    def gaussian_noise(self, sigma: float) -> float:
+        """One sample of the sensor's measurement noise."""
+        if sigma <= 0:
+            return 0.0
+        return self._rng.gauss(0.0, sigma)
+
+    def reseed(self, seed: int) -> None:
+        """Reset the noise stream (used between benchmark repetitions)."""
+        self._rng = random.Random(seed)

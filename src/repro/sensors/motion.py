@@ -1,0 +1,40 @@
+"""Motion / occupancy sensing — presence as environment state.
+
+Motion sensors do not identify anyone; they report that *somebody* is
+in a room.  That feeds environment roles like *home-occupied* (the
+utility-management app of §2 heats the house "only when it knows there
+are residents inside") without any authentication at all.
+
+:class:`OccupancyProvider` derives per-zone occupancy from the
+location service (the simulation's ground truth for movement) and
+writes ``occupancy.<zone>`` counts plus ``occupancy.home`` into the
+environment state on every refresh.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.env.clock import Clock
+from repro.env.location import LocationService
+from repro.env.providers import StateProvider
+from repro.env.state import EnvironmentState
+
+
+class OccupancyProvider(StateProvider):
+    """Mirrors zone occupancy counts into environment state.
+
+    :param location: the location service to read.
+    :param zones: zone names to track; ``"home"`` aggregates everything
+        that is not outside.
+    """
+
+    name = "occupancy"
+
+    def __init__(self, location: LocationService, zones: Iterable[str]) -> None:
+        self._location = location
+        self._zones: List[str] = list(zones)
+
+    def refresh(self, state: EnvironmentState, clock: Clock) -> None:
+        for zone in self._zones:
+            state.set(f"occupancy.{zone}", self._location.occupancy(zone))

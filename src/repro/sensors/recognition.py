@@ -1,0 +1,126 @@
+"""Face and voice recognition sensors (§3's 90% / 70% example).
+
+"An experiment might conclude that face recognition is 90% accurate,
+while voice recognition is only 70% accurate."  Both are instances of
+one model, :class:`RecognitionSensor`, parameterized by modality and
+accuracy.
+
+Two operating modes:
+
+* **deterministic** (default) — the sensor recognizes an enrolled
+  signature and reports the correct identity at exactly its accuracy.
+  This is the right model for policy reasoning and the paper's worked
+  numbers: "90% accurate" becomes an identity claim at 0.90.
+* **stochastic** — with probability ``accuracy`` the correct identity
+  is reported; otherwise the sensor misreads (uniformly among other
+  enrolled residents) or misses entirely.  Used by workload traces to
+  measure *realized* grant/deny error rates under sensor error (E4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.auth.authenticator import Evidence, Presence
+from repro.auth.claims import IdentityClaim
+from repro.exceptions import AuthenticationError
+from repro.sensors.base import SimulatedSensor
+
+
+class RecognitionSensor(SimulatedSensor):
+    """A biometric recognizer over enrolled signatures.
+
+    :param modality: presence feature to read, e.g. ``"face"`` or
+        ``"voice"`` — the feature value is the person's true signature.
+    :param accuracy: recognition accuracy, also used as the reported
+        confidence.
+    :param stochastic: enable the error-sampling mode.
+    :param miss_fraction: in stochastic mode, the fraction of errors
+        that are misses (no claim) rather than misidentifications.
+    """
+
+    def __init__(
+        self,
+        modality: str,
+        accuracy: float,
+        stochastic: bool = False,
+        miss_fraction: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(reliability=accuracy, seed=seed)
+        if not 0.0 < accuracy <= 1.0:
+            raise AuthenticationError("accuracy must be in (0, 1]")
+        if not 0.0 <= miss_fraction <= 1.0:
+            raise AuthenticationError("miss_fraction must be in [0, 1]")
+        self.name = f"{modality}-recognition"
+        self._modality = modality
+        self.accuracy = accuracy
+        self._stochastic = stochastic
+        self._miss_fraction = miss_fraction
+        #: signature -> subject
+        self._signatures: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # Enrollment
+    # ------------------------------------------------------------------
+    def enroll(self, subject: str, signature: str) -> None:
+        """Register a subject's biometric signature.
+
+        :raises AuthenticationError: if the signature is already bound
+            to a *different* subject — colliding biometrics must be
+            surfaced at enrollment, not at recognition time.
+        """
+        existing = self._signatures.get(signature)
+        if existing is not None and existing != subject:
+            raise AuthenticationError(
+                f"signature already enrolled for {existing!r}"
+            )
+        self._signatures[signature] = subject
+
+    def enrolled_subjects(self) -> list:
+        """All enrolled subjects (deduplicated, sorted)."""
+        return sorted(set(self._signatures.values()))
+
+    # ------------------------------------------------------------------
+    # Sensing
+    # ------------------------------------------------------------------
+    def observe(self, presence: Presence) -> Evidence:
+        signature = presence.feature(self._modality)
+        if signature is None:
+            return Evidence(self.name)
+        subject = self._signatures.get(str(signature))
+        if subject is None:
+            return Evidence(self.name)
+        if not self._stochastic:
+            return self._claim(subject)
+        roll = self._rng.random()
+        if roll < self.accuracy:
+            return self._claim(subject)
+        # Error branch: miss or misidentify.
+        if self._rng.random() < self._miss_fraction:
+            return Evidence(self.name)
+        others = [s for s in self.enrolled_subjects() if s != subject]
+        if not others:
+            return Evidence(self.name)
+        wrong = others[self._rng.randrange(len(others))]
+        return self._claim(wrong)
+
+    def _claim(self, subject: str) -> Evidence:
+        return Evidence(
+            self.name,
+            identity_claims=(IdentityClaim(subject, self.accuracy, self.name),),
+        )
+
+
+def face_sensor(
+    accuracy: float = 0.90, stochastic: bool = False, seed: int = 0
+) -> RecognitionSensor:
+    """The paper's face-recognition sensor (90% accurate)."""
+    return RecognitionSensor("face", accuracy, stochastic=stochastic, seed=seed)
+
+
+def voice_sensor(
+    accuracy: float = 0.70, stochastic: bool = False, seed: int = 0
+) -> RecognitionSensor:
+    """The paper's voice-recognition sensor (70% accurate)."""
+    return RecognitionSensor("voice", accuracy, stochastic=stochastic, seed=seed)

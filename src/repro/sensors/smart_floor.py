@@ -1,0 +1,143 @@
+"""The Smart Floor — weight-based identification (§5.2, ref. [12]).
+
+The paper's worked example: "the Smart Floor can identify her as Alice
+with 75% accuracy by comparing the amount of weight that it senses
+with its internal, 'official' weight for Alice... it may be able to
+authenticate her into the *Child* role with 98% accuracy, because it
+knows the approximate weight of children in the household."
+
+The model here makes both numbers *derived* rather than hard-coded:
+
+* **identity** — a Bayesian posterior over enrolled residents under a
+  Gaussian weight-measurement model.  Residents with similar weights
+  (two kids at 88 lb and 94 lb) are inherently confusable, so identity
+  confidence is moderate.
+* **role** — the probability mass of the measured weight falling in a
+  declared weight class (e.g. *child* = 40–120 lb).  Classes are far
+  apart, so role confidence approaches the sensor's reliability even
+  when identity is ambiguous.
+
+That gap — high role confidence, modest identity confidence — is the
+entire point of §5.2, and it emerges from the physics of the model.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Tuple
+
+from repro.auth.authenticator import Evidence, Presence
+from repro.auth.claims import IdentityClaim, RoleClaim
+from repro.exceptions import AuthenticationError
+from repro.sensors.base import SimulatedSensor, interval_probability
+
+#: Presence feature carrying the person's true weight in pounds.
+WEIGHT_FEATURE = "weight_lb"
+
+
+class SmartFloor(SimulatedSensor):
+    """Weight-sensing floor that identifies people and weight classes.
+
+    :param measurement_sigma: std-dev of the weight measurement noise
+        (pounds) — the physical sensor error.
+    :param identity_sigma: std-dev used in the identity likelihood —
+        how much a person's day-to-day weight varies around their
+        enrolled ("official") weight.
+    :param reliability: cap on reported confidences.
+    """
+
+    name = "smart-floor"
+
+    def __init__(
+        self,
+        measurement_sigma: float = 3.0,
+        identity_sigma: float = 5.0,
+        reliability: float = 0.98,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(reliability=reliability, seed=seed)
+        if measurement_sigma < 0 or identity_sigma <= 0:
+            raise AuthenticationError("sigmas must be positive")
+        self._measurement_sigma = measurement_sigma
+        self._identity_sigma = identity_sigma
+        #: subject -> enrolled official weight (lb)
+        self._enrolled: Dict[str, float] = {}
+        #: role -> (min_lb, max_lb) weight class
+        self._classes: Dict[str, Tuple[float, float]] = {}
+
+    # ------------------------------------------------------------------
+    # Enrollment
+    # ------------------------------------------------------------------
+    def enroll(self, subject: str, weight_lb: float) -> None:
+        """Register a resident's official weight (§5.2: Alice, 94 lb)."""
+        if weight_lb <= 0:
+            raise AuthenticationError("weight must be positive")
+        self._enrolled[subject] = weight_lb
+
+    def define_weight_class(
+        self, role: str, min_lb: float, max_lb: float
+    ) -> None:
+        """Declare a subject role's approximate weight range."""
+        if not 0 < min_lb < max_lb:
+            raise AuthenticationError("invalid weight class bounds")
+        self._classes[role] = (min_lb, max_lb)
+
+    # ------------------------------------------------------------------
+    # Sensing
+    # ------------------------------------------------------------------
+    def measure(self, true_weight: float) -> float:
+        """One noisy weight measurement."""
+        return true_weight + self.gaussian_noise(self._measurement_sigma)
+
+    def observe(self, presence: Presence) -> Evidence:
+        """Sense the presence's weight and emit identity + role claims."""
+        true_weight = presence.feature(WEIGHT_FEATURE)
+        if true_weight is None:
+            return Evidence(self.name)
+        measured = self.measure(float(true_weight))
+        identity_claims = tuple(
+            IdentityClaim(subject, confidence, self.name)
+            for subject, confidence in self.identity_posterior(measured).items()
+            if confidence > 0.01
+        )
+        role_claims = tuple(
+            RoleClaim(role, confidence, self.name)
+            for role, confidence in self.role_confidences(measured).items()
+            if confidence > 0.01
+        )
+        return Evidence(self.name, identity_claims, role_claims)
+
+    # ------------------------------------------------------------------
+    # The measurement models (exposed for tests and benchmarks)
+    # ------------------------------------------------------------------
+    def identity_posterior(self, measured: float) -> Dict[str, float]:
+        """Posterior over enrolled residents given a measured weight.
+
+        Uniform prior over enrolled residents, Gaussian likelihood
+        around each official weight; the posterior is then capped by
+        the sensor reliability.
+        """
+        if not self._enrolled:
+            return {}
+        likelihoods = {
+            subject: math.exp(
+                -0.5 * ((measured - weight) / self._identity_sigma) ** 2
+            )
+            for subject, weight in self._enrolled.items()
+        }
+        total = sum(likelihoods.values())
+        if total <= 1e-12:
+            return {}
+        return {
+            subject: self.bound(likelihood / total)
+            for subject, likelihood in likelihoods.items()
+        }
+
+    def role_confidences(self, measured: float) -> Dict[str, float]:
+        """P(true weight in each declared class | measured weight)."""
+        return {
+            role: self.bound(
+                interval_probability(measured, low, high, self._measurement_sigma)
+            )
+            for role, (low, high) in self._classes.items()
+        }

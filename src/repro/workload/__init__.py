@@ -1,0 +1,54 @@
+"""Workload generation: synthetic policies/requests, paper scenarios,
+and schedule-driven daily-life traces."""
+
+from repro.workload.adversary import (
+    AdversarialGrant,
+    AdversarySimulator,
+    AttackReport,
+)
+from repro.workload.generator import (
+    GeneratedRequest,
+    RandomPolicyConfig,
+    generate_policy,
+    generate_requests,
+)
+from repro.workload.scenarios import (
+    REPAIR_WINDOW,
+    WEEKDAY_FREE_TIME,
+    HomeScenario,
+    build_figure2_policy,
+    build_medical_records_scenario,
+    build_negative_rights_scenario,
+    build_repairman_scenario,
+    build_s51_scenario,
+    build_s52_scenario,
+)
+from repro.workload.traces import (
+    DEFAULT_HABITS,
+    DayTraceSimulator,
+    TraceEvent,
+    TraceResult,
+)
+
+__all__ = [
+    "AdversarialGrant",
+    "AdversarySimulator",
+    "AttackReport",
+    "DEFAULT_HABITS",
+    "REPAIR_WINDOW",
+    "WEEKDAY_FREE_TIME",
+    "DayTraceSimulator",
+    "GeneratedRequest",
+    "HomeScenario",
+    "RandomPolicyConfig",
+    "TraceEvent",
+    "TraceResult",
+    "build_figure2_policy",
+    "build_medical_records_scenario",
+    "build_negative_rights_scenario",
+    "build_repairman_scenario",
+    "build_s51_scenario",
+    "build_s52_scenario",
+    "generate_policy",
+    "generate_requests",
+]

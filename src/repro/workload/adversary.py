@@ -1,0 +1,208 @@
+"""Adversarial workload — the electronic intruder (§1).
+
+"Unlike a physical burglar, an electronic intruder can attack the home
+at any time, from any location."  This module probes a configured
+:class:`~repro.home.registry.SecureHome` the way such an intruder
+would, and scores the policy by what leaks:
+
+* **stranger probes** — a subject with no roles tries every
+  (transaction, device) pair;
+* **claim spoofing** — an unidentified requester asserts role claims
+  ("I am a parent, trust me 99%") at swept confidence levels;
+* **replay probes** — requests issued outside the environment windows
+  that authorize them (the repairman coming back at midnight);
+* **privilege probing** — every *legitimate* subject tries every
+  operation, mapping exactly what each role reaches (the attack
+  surface an account compromise would expose).
+
+The result object reports every grant the adversary obtained; for a
+fail-closed policy, stranger and replay probes should obtain **zero**
+grants, and claim spoofing should succeed exactly when the policy
+says sensed evidence of that strength *should* suffice — the §5.2
+design point, not a bug, but one worth seeing enumerated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.mediation import AccessRequest
+from repro.exceptions import GrbacError
+from repro.home.registry import SecureHome
+
+
+@dataclass(frozen=True)
+class AdversarialGrant:
+    """One access the adversary obtained."""
+
+    probe: str
+    subject: Optional[str]
+    transaction: str
+    obj: str
+    detail: str = ""
+
+    def describe(self) -> str:
+        who = self.subject or "<unidentified>"
+        suffix = f" [{self.detail}]" if self.detail else ""
+        return f"{self.probe}: {who} -> {self.transaction} {self.obj}{suffix}"
+
+
+@dataclass
+class AttackReport:
+    """Everything the adversary managed, per probe family."""
+
+    grants: List[AdversarialGrant] = field(default_factory=list)
+    attempts: Dict[str, int] = field(default_factory=dict)
+
+    def grants_for(self, probe: str) -> List[AdversarialGrant]:
+        return [grant for grant in self.grants if grant.probe == probe]
+
+    def grant_count(self, probe: Optional[str] = None) -> int:
+        if probe is None:
+            return len(self.grants)
+        return len(self.grants_for(probe))
+
+    def summary(self) -> str:
+        lines = []
+        for probe, attempts in sorted(self.attempts.items()):
+            got = self.grant_count(probe)
+            lines.append(f"{probe}: {got}/{attempts} attempts granted")
+        return "\n".join(lines)
+
+
+class AdversarySimulator:
+    """Runs intruder probe families against a secure home.
+
+    :param home: the fully configured home under attack.
+    :param stranger: subject name used for the intruder; registered
+        with no roles if absent.
+    """
+
+    def __init__(self, home: SecureHome, stranger: str = "intruder") -> None:
+        self._home = home
+        self._stranger = stranger
+        if stranger not in {s.name for s in home.policy.subjects()}:
+            home.policy.add_subject(stranger, kind="adversary")
+
+    # ------------------------------------------------------------------
+    # Probe families
+    # ------------------------------------------------------------------
+    def _surface(self) -> List[Tuple[str, str]]:
+        """Every (operation, device) pair the home exposes."""
+        pairs = []
+        for device in self._home.devices():
+            for operation in device.operations():
+                pairs.append((operation, device.qualified_name))
+        return pairs
+
+    def stranger_probe(self, report: AttackReport) -> None:
+        """A role-less subject tries the whole surface."""
+        probe = "stranger"
+        for operation, device in self._surface():
+            report.attempts[probe] = report.attempts.get(probe, 0) + 1
+            decision = self._home.engine.decide(
+                AccessRequest(
+                    transaction=operation, obj=device, subject=self._stranger
+                )
+            )
+            if decision.granted:
+                report.grants.append(
+                    AdversarialGrant(probe, self._stranger, operation, device)
+                )
+
+    def claim_spoof_probe(
+        self,
+        report: AttackReport,
+        confidences: Sequence[float] = (0.5, 0.9, 0.99),
+    ) -> None:
+        """An unidentified requester asserts every subject role.
+
+        A grant here means the policy accepts *sensed role evidence of
+        that strength* for the operation — which is the intended §5.2
+        behaviour for low-risk actions, and a finding for high-risk
+        ones.  The report's detail field carries role and confidence
+        so policy owners can review each.
+        """
+        probe = "claim-spoof"
+        roles = [r.name for r in self._home.policy.subject_roles.roles()]
+        for confidence in confidences:
+            for role in roles:
+                for operation, device in self._surface():
+                    report.attempts[probe] = report.attempts.get(probe, 0) + 1
+                    decision = self._home.engine.decide(
+                        AccessRequest(
+                            transaction=operation,
+                            obj=device,
+                            role_claims={role: confidence},
+                        )
+                    )
+                    if decision.granted:
+                        report.grants.append(
+                            AdversarialGrant(
+                                probe,
+                                None,
+                                operation,
+                                device,
+                                detail=f"claimed {role}@{confidence:.2f}",
+                            )
+                        )
+
+    def replay_probe(
+        self,
+        report: AttackReport,
+        subject: str,
+        pairs: Sequence[Tuple[str, str]],
+    ) -> None:
+        """Replay a legitimate subject's accesses *right now*.
+
+        Call this after moving the clock outside the window that made
+        the accesses legitimate; every grant is a replay hole.
+        """
+        probe = "replay"
+        for operation, device in pairs:
+            report.attempts[probe] = report.attempts.get(probe, 0) + 1
+            decision = self._home.engine.decide(
+                AccessRequest(transaction=operation, obj=device, subject=subject)
+            )
+            if decision.granted:
+                report.grants.append(
+                    AdversarialGrant(probe, subject, operation, device)
+                )
+
+    def privilege_map(self) -> Dict[str, List[str]]:
+        """What each legitimate subject can reach right now.
+
+        The compromise blast radius: ``{subject: ["op device", ...]}``.
+        """
+        surface = self._surface()
+        result: Dict[str, List[str]] = {}
+        for subject in self._home.policy.subjects():
+            if subject.name == self._stranger:
+                continue
+            reachable = []
+            for operation, device in surface:
+                try:
+                    decision = self._home.engine.decide(
+                        AccessRequest(
+                            transaction=operation, obj=device, subject=subject.name
+                        )
+                    )
+                except GrbacError:  # pragma: no cover - defensive
+                    continue
+                if decision.granted:
+                    reachable.append(f"{operation} {device}")
+            result[subject.name] = reachable
+        return result
+
+    # ------------------------------------------------------------------
+    # The full battery
+    # ------------------------------------------------------------------
+    def run(
+        self, spoof_confidences: Sequence[float] = (0.5, 0.9, 0.99)
+    ) -> AttackReport:
+        """Stranger + claim-spoof probes (replay needs a scenario)."""
+        report = AttackReport()
+        self.stranger_probe(report)
+        self.claim_spoof_probe(report, spoof_confidences)
+        return report

@@ -1,0 +1,193 @@
+"""Synthetic policy and request generation for benchmarks.
+
+The paper has no workload of its own, so the scaling experiments (E1,
+E10, E11) sweep synthetic policies whose shape is controlled by
+:class:`RandomPolicyConfig`.  Generation is fully seeded: the same
+config always yields the same policy and the same request stream.
+
+Role hierarchies are generated as random DAGs by only drawing edges
+from later-created roles to earlier-created ones, which guarantees
+acyclicity by construction.  Subject/object selection in request
+streams is Zipf-weighted (rank ``k`` has weight ``1/k``) so a few hot
+entities dominate, as in real access logs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.core.mediation import AccessRequest
+from repro.core.policy import GrbacPolicy
+from repro.exceptions import WorkloadError
+
+
+@dataclass(frozen=True)
+class RandomPolicyConfig:
+    """Shape parameters for a synthetic GRBAC policy."""
+
+    subjects: int = 20
+    objects: int = 30
+    transactions: int = 10
+    subject_roles: int = 10
+    object_roles: int = 8
+    environment_roles: int = 6
+    #: Specialization edges per hierarchy (capped by what stays acyclic).
+    hierarchy_edges: int = 6
+    #: Direct role assignments per subject / per object.
+    roles_per_subject: int = 2
+    roles_per_object: int = 2
+    permissions: int = 60
+    #: Fraction of permissions that are DENY rules.
+    deny_fraction: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "subjects",
+            "objects",
+            "transactions",
+            "subject_roles",
+            "object_roles",
+            "environment_roles",
+        ):
+            if getattr(self, name) < 1:
+                raise WorkloadError(f"{name} must be >= 1")
+        if not 0.0 <= self.deny_fraction <= 1.0:
+            raise WorkloadError("deny_fraction must be in [0, 1]")
+
+
+def generate_policy(config: RandomPolicyConfig) -> GrbacPolicy:
+    """Build a random, structurally valid policy from ``config``."""
+    rng = random.Random(config.seed)
+    policy = GrbacPolicy(f"random-{config.seed}")
+
+    subject_roles = [f"srole-{i}" for i in range(config.subject_roles)]
+    object_roles = [f"orole-{i}" for i in range(config.object_roles)]
+    env_roles = [f"erole-{i}" for i in range(config.environment_roles)]
+    for name in subject_roles:
+        policy.add_subject_role(name)
+    for name in object_roles:
+        policy.add_object_role(name)
+    for name in env_roles:
+        policy.add_environment_role(name)
+
+    _random_dag(policy.subject_roles, subject_roles, config.hierarchy_edges, rng)
+    _random_dag(policy.object_roles, object_roles, config.hierarchy_edges, rng)
+    _random_dag(policy.environment_roles, env_roles, config.hierarchy_edges, rng)
+
+    transactions = [f"txn-{i}" for i in range(config.transactions)]
+    for name in transactions:
+        policy.add_transaction(name)
+
+    for index in range(config.subjects):
+        subject = f"subject-{index}"
+        policy.add_subject(subject)
+        for role in rng.sample(
+            subject_roles, min(config.roles_per_subject, len(subject_roles))
+        ):
+            policy.assign_subject(subject, role)
+    for index in range(config.objects):
+        obj = f"object-{index}"
+        policy.add_object(obj)
+        for role in rng.sample(
+            object_roles, min(config.roles_per_object, len(object_roles))
+        ):
+            policy.assign_object(obj, role)
+
+    added = 0
+    attempts = 0
+    max_attempts = config.permissions * 20
+    while added < config.permissions and attempts < max_attempts:
+        attempts += 1
+        subject_role = rng.choice(subject_roles)
+        object_role = rng.choice(object_roles + ["any-object"])
+        env_role = rng.choice(env_roles + ["any-environment"])
+        transaction = rng.choice(transactions)
+        deny = rng.random() < config.deny_fraction
+        try:
+            if deny:
+                policy.deny(subject_role, transaction, object_role, env_role)
+            else:
+                policy.grant(subject_role, transaction, object_role, env_role)
+        except Exception:
+            continue  # duplicate rule tuple; draw again
+        added += 1
+    if added < config.permissions:
+        raise WorkloadError(
+            f"could only place {added}/{config.permissions} unique permissions; "
+            "increase the role/transaction space"
+        )
+    return policy
+
+
+def _random_dag(hierarchy, names: Sequence[str], edges: int, rng: random.Random) -> None:
+    """Draw up to ``edges`` random child→parent edges (later → earlier)."""
+    if len(names) < 2:
+        return
+    placed = 0
+    attempts = 0
+    while placed < edges and attempts < edges * 10:
+        attempts += 1
+        child_index = rng.randrange(1, len(names))
+        parent_index = rng.randrange(0, child_index)
+        try:
+            hierarchy.add_specialization(names[child_index], names[parent_index])
+        except Exception:
+            continue
+        placed += 1
+
+
+def _zipf_choice(rng: random.Random, items: Sequence[str]) -> str:
+    weights = [1.0 / (rank + 1) for rank in range(len(items))]
+    return rng.choices(items, weights=weights, k=1)[0]
+
+
+@dataclass(frozen=True)
+class GeneratedRequest:
+    """One synthetic request plus the environment it arrives in."""
+
+    request: AccessRequest
+    active_environment_roles: frozenset
+
+
+def generate_requests(
+    policy: GrbacPolicy,
+    count: int,
+    seed: int = 0,
+    max_active_env_roles: int = 2,
+) -> List[GeneratedRequest]:
+    """Draw ``count`` seeded requests against ``policy``.
+
+    Subjects and objects are Zipf-weighted; each request gets a random
+    (possibly empty) set of directly active named environment roles.
+    """
+    if count < 0:
+        raise WorkloadError("count must be >= 0")
+    rng = random.Random(seed)
+    subjects = [s.name for s in policy.subjects()]
+    objects = [o.name for o in policy.objects()]
+    transactions = [t.name for t in policy.transactions()]
+    env_roles = [
+        r.name
+        for r in policy.environment_roles.roles()
+        if r.name != "any-environment"
+    ]
+    if not subjects or not objects or not transactions:
+        raise WorkloadError("policy needs subjects, objects, and transactions")
+    requests: List[GeneratedRequest] = []
+    for _ in range(count):
+        active_count = rng.randint(0, min(max_active_env_roles, len(env_roles)))
+        active = frozenset(rng.sample(env_roles, active_count)) if env_roles else frozenset()
+        requests.append(
+            GeneratedRequest(
+                request=AccessRequest(
+                    transaction=_zipf_choice(rng, transactions),
+                    obj=_zipf_choice(rng, objects),
+                    subject=_zipf_choice(rng, subjects),
+                ),
+                active_environment_roles=active,
+            )
+        )
+    return requests

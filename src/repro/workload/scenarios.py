@@ -1,0 +1,327 @@
+"""The paper's worked scenarios as reusable fixtures.
+
+Each ``build_*`` function assembles a fully wired setup for one paper
+artifact (DESIGN.md's experiment index references these):
+
+* :func:`build_figure2_policy` — F2, the household role hierarchy;
+* :func:`build_s51_scenario` — §5.1, "children may use entertainment
+  devices on weekdays during free time";
+* :func:`build_s52_scenario` — §5.2, Smart Floor partial
+  authentication with the 90% policy threshold;
+* :func:`build_repairman_scenario` — §3, the time-boxed, inside-the-
+  home-only repairman;
+* :func:`build_negative_rights_scenario` — §3, adults allowed on all
+  appliances, children denied dangerous ones.
+
+Scenario objects expose an *oracle* where the paper states the
+expected outcome, so tests and benchmarks can score correctness
+exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime, time
+from typing import Callable, Dict, List, Optional
+
+from repro.auth.service import AuthenticationService
+from repro.core.policy import GrbacPolicy
+from repro.env.conditions import during
+from repro.env.temporal import one_off, time_window, weekdays
+from repro.home.devices import (
+    Dishwasher,
+    GameConsole,
+    Oven,
+    Refrigerator,
+    Stereo,
+    Television,
+    Vcr,
+)
+from repro.home.registry import SecureHome
+from repro.home.residents import Resident, standard_household
+from repro.policy.templates import (
+    install_figure2_household,
+    install_figure2_roles,
+    section51_rule,
+)
+from repro.sensors.smart_floor import SmartFloor
+
+#: §5.1's environment role: weekdays during after-dinner free time.
+WEEKDAY_FREE_TIME = "weekday-free-time"
+
+#: §3's one-off repairman window environment role.
+REPAIR_WINDOW = "repair-visit-window"
+
+
+@dataclass
+class HomeScenario:
+    """A wired SecureHome plus scenario-specific helpers."""
+
+    name: str
+    home: SecureHome
+    #: Scenario-specific named extras (devices, apps, services).
+    extras: Dict[str, object] = field(default_factory=dict)
+    #: Ground-truth oracle, when the paper prescribes outcomes.
+    oracle: Optional[Callable[..., bool]] = None
+
+
+def _register_household(home: SecureHome) -> List[Resident]:
+    residents = standard_household()
+    for resident in residents:
+        home.register_resident(resident)
+    return residents
+
+
+def build_figure2_policy() -> GrbacPolicy:
+    """F2: the Figure 2 hierarchy and user assignments, standalone."""
+    policy = GrbacPolicy("figure2")
+    install_figure2_household(policy)
+    return policy
+
+
+def build_s51_scenario(
+    start: datetime = datetime(2000, 1, 17, 18, 0)
+) -> HomeScenario:
+    """§5.1 end to end: roles, devices, the environment roles, one rule.
+
+    The oracle implements the paper's English directly: a *child* may
+    use an *entertainment device* iff the moment is a weekday between
+    19:00 and 22:00; parents are not granted by this rule (the §5.1
+    policy text only authorizes children — parents would get their own
+    rules in a real household).
+    """
+    home = SecureHome(start=start)
+    policy = home.policy
+    install_figure2_roles(policy)
+    _register_household(home)
+
+    livingroom_tv = Television("tv", "livingroom")
+    vcr = Vcr("vcr", "livingroom")
+    stereo = Stereo("stereo", "livingroom")
+    console = GameConsole("console", "kids-bedroom")
+    fridge = Refrigerator("fridge", "kitchen")
+    for device in (livingroom_tv, vcr, stereo, console, fridge):
+        home.register_device(device)
+    # §5.1's object role: "all televisions, stereos and home video
+    # games" — realized by making the automatic *entertainment*
+    # category role a specialization of it, so any newly purchased
+    # entertainment device "would immediately be controlled by this
+    # pre-defined access policy".
+    policy.add_object_role("entertainment-devices")
+    policy.object_roles.add_specialization("entertainment", "entertainment-devices")
+
+    # "Weekdays are defined by the system as the time from 12:01 a.m.
+    # on Monday to 11:59 p.m. on Friday"; free time is 19:00-22:00.
+    home.runtime.define_time_role(
+        policy,
+        WEEKDAY_FREE_TIME,
+        weekdays() & time_window("19:00", "22:00"),
+        "weekdays during after-dinner free time (§5.1)",
+    )
+    section51_rule(policy)
+    livingroom_tv.perform("power_off")
+
+    def oracle(subject_role: str, moment: datetime) -> bool:
+        is_weekday = moment.weekday() < 5
+        free = time(19, 0) <= moment.time() < time(22, 0)
+        return subject_role == "child" and is_weekday and free
+
+    return HomeScenario(
+        name="s51-entertainment",
+        home=home,
+        extras={
+            "tv": livingroom_tv,
+            "vcr": vcr,
+            "stereo": stereo,
+            "console": console,
+            "fridge": fridge,
+        },
+        oracle=oracle,
+    )
+
+
+def build_s52_scenario(
+    confidence_threshold: float = 0.90,
+    identity_sigma: float = 4.0,
+    floor_reliability: float = 0.98,
+) -> HomeScenario:
+    """§5.2: the Smart Floor identifies Alice weakly but her role
+    strongly; the 90% threshold gates grants.
+
+    With the default parameters the fixture reproduces the paper's
+    numbers in shape: Alice's identity posterior lands near 0.75
+    (Bobby's weight is 6 lb away) while the *child* weight class is
+    unambiguous, so the role confidence saturates at the floor's
+    reliability, 0.98.
+    """
+    scenario = build_s51_scenario(start=datetime(2000, 1, 17, 19, 30))
+    home = scenario.home
+    home.engine.confidence_threshold = confidence_threshold
+
+    floor = SmartFloor(
+        measurement_sigma=0.0,  # the paper's numbers are about priors,
+        identity_sigma=identity_sigma,  # not per-step measurement noise
+        reliability=floor_reliability,
+    )
+    for resident in home.residents():
+        floor.enroll(resident.name, resident.weight_lb)
+    floor.define_weight_class("child", 40.0, 120.0)
+    floor.define_weight_class("parent", 120.0, 260.0)
+
+    service = AuthenticationService(home.policy, identity_threshold=0.5)
+    service.register(floor)
+    home.auth = service
+
+    scenario.name = "s52-partial-auth"
+    scenario.extras["floor"] = floor
+    scenario.extras["auth"] = service
+    scenario.extras["threshold"] = confidence_threshold
+    return scenario
+
+
+def build_repairman_scenario() -> HomeScenario:
+    """§3: "a repairman has access to the refrigerator only while he is
+    inside the home on January 17, 2000, between 8:00 a.m. and 1:00 p.m."
+
+    (The §5.1 cast places him at the dishwasher; we authorize both the
+    fridge access the §3 sentence names and the dishwasher repair.)
+    """
+    home = SecureHome(start=datetime(2000, 1, 17, 7, 0))
+    policy = home.policy
+    install_figure2_roles(policy)
+    _register_household(home)
+    repairman = Resident(
+        "repair-tech", age=35, weight_lb=170.0, roles=("service-agent",)
+    )
+    home.register_resident(repairman)
+
+    fridge = Refrigerator("fridge", "kitchen")
+    dishwasher = Dishwasher("dishwasher", "kitchen")
+    dishwasher.state["fault"] = "pump failure"
+    for device in (fridge, dishwasher):
+        home.register_device(device)
+
+    window = one_off(datetime(2000, 1, 17, 8, 0), datetime(2000, 1, 17, 13, 0))
+    inside = home.runtime.location.in_zone_condition("repair-tech", "home")
+    home.runtime.define_role(
+        policy,
+        REPAIR_WINDOW,
+        during(window) & inside,
+        "repair visit: Jan 17 2000 08:00-13:00, while inside the home",
+    )
+    for transaction in ("open", "read_inventory"):
+        policy.grant(
+            "service-agent", transaction, "kitchen", REPAIR_WINDOW,
+            name=f"repair-fridge-{transaction}",
+        )
+    for transaction in ("diagnose", "repair", "power_on", "run_cycle"):
+        policy.grant(
+            "service-agent", transaction, "kitchen", REPAIR_WINDOW,
+            name=f"repair-dishwasher-{transaction}",
+        )
+
+    def oracle(moment: datetime, inside_home: bool) -> bool:
+        in_window = (
+            moment.date() == datetime(2000, 1, 17).date()
+            and time(8, 0) <= moment.time() < time(13, 0)
+        )
+        return in_window and inside_home
+
+    return HomeScenario(
+        name="s3-repairman",
+        home=home,
+        extras={"fridge": fridge, "dishwasher": dishwasher},
+        oracle=oracle,
+    )
+
+
+def build_medical_records_scenario() -> HomeScenario:
+    """§4.1.2 "Role Precedence": Bobby is both *family-member* (may
+    read the family medical records) and *child* (may not).
+
+    "If Bobby tries to read the family's medical records, the system
+    must decide how to resolve the inconsistency."  The scenario wires
+    the conflicting pair; tests/benches sweep the precedence
+    strategies the paper enumerates — always-deny, always-allow, a
+    predefined rule (priority), and role specificity.
+    """
+    from repro.home.devices import DocumentStore
+
+    home = SecureHome(start=datetime(2000, 1, 17, 19, 0))
+    policy = home.policy
+    install_figure2_roles(policy)
+    _register_household(home)
+
+    records = DocumentStore("medical-records", "study")
+    records.perform(
+        "write_document", document="family-history", content="confidential"
+    )
+    home.register_device(records)
+    policy.add_object_role("medical-records")
+    policy.assign_object(records.qualified_name, "medical-records")
+
+    # The paper's inconsistent pair, verbatim.
+    policy.grant(
+        "family-member", "read_document", "medical-records",
+        name="family-may-read",
+    )
+    policy.deny(
+        "child", "read_document", "medical-records",
+        name="children-may-not",
+    )
+
+    def oracle(strategy_value: str) -> bool:
+        """Expected outcome for Bobby under each strategy.
+
+        Deny-overrides / priority-tie / most-specific all resolve to
+        deny (the child rule is one hierarchy step *closer* to Bobby's
+        direct role than the family-member rule); allow-overrides
+        grants.
+        """
+        return strategy_value == "allow-overrides"
+
+    return HomeScenario(
+        name="s412-role-precedence",
+        home=home,
+        extras={"records": records},
+        oracle=oracle,
+    )
+
+
+def build_negative_rights_scenario() -> HomeScenario:
+    """§3: "adult residents may be granted access to all appliances in
+    the home, while children are denied access to potentially dangerous
+    appliances."  Deny-overrides resolves the collision for children on
+    dangerous devices."""
+    home = SecureHome(start=datetime(2000, 1, 17, 19, 30))
+    policy = home.policy
+    install_figure2_roles(policy)
+    _register_household(home)
+
+    tv = Television("tv", "livingroom")
+    oven = Oven("oven", "kitchen")
+    fridge = Refrigerator("fridge", "kitchen")
+    home.register_device(tv)
+    home.register_device(fridge)
+    home.register_device(oven)
+    policy.add_object_role("dangerous-appliances", "devices that can hurt a child")
+    policy.assign_object(oven.qualified_name, "dangerous-appliances")
+
+    # Adults: every appliance.  Family members: power things on.
+    policy.grant("family-member", "power_on", name="nr-family-power")
+    policy.grant("parent", "set_temperature", name="nr-adult-temp")
+    # Children: denied on the dangerous class, regardless of the grant
+    # they inherit from family-member.
+    policy.deny("child", "power_on", "dangerous-appliances", name="nr-child-danger")
+
+    def oracle(subject_role: str, device_dangerous: bool) -> bool:
+        if subject_role == "child" and device_dangerous:
+            return False
+        return subject_role in ("child", "parent")
+
+    return HomeScenario(
+        name="s3-negative-rights",
+        home=home,
+        extras={"tv": tv, "oven": oven, "fridge": fridge},
+        oracle=oracle,
+    )

@@ -1,0 +1,126 @@
+"""Tests for explicit authenticators and evidence objects."""
+
+import pytest
+
+from repro.auth.authenticator import (
+    Evidence,
+    PasswordAuthenticator,
+    Presence,
+    TokenAuthenticator,
+)
+from repro.auth.claims import IdentityClaim, RoleClaim
+from repro.exceptions import AuthenticationError
+
+
+class TestEvidence:
+    def test_empty(self):
+        assert Evidence("src").empty
+        assert not Evidence(
+            "src", identity_claims=(IdentityClaim("a", 0.5),)
+        ).empty
+
+    def test_identity_map_keeps_best(self):
+        evidence = Evidence(
+            "src",
+            identity_claims=(
+                IdentityClaim("alice", 0.5),
+                IdentityClaim("alice", 0.8),
+                IdentityClaim("bob", 0.3),
+            ),
+        )
+        assert evidence.identity_map() == {"alice": 0.8, "bob": 0.3}
+
+    def test_role_map(self):
+        evidence = Evidence(
+            "src", role_claims=(RoleClaim("child", 0.9), RoleClaim("child", 0.7))
+        )
+        assert evidence.role_map() == {"child": 0.9}
+
+    def test_describe(self):
+        assert "<nothing>" in Evidence("floor").describe()
+        text = Evidence(
+            "floor", identity_claims=(IdentityClaim("alice", 0.75),)
+        ).describe()
+        assert "floor" in text and "alice" in text
+
+
+class TestPresence:
+    def test_features_copied(self):
+        features = {"weight_lb": 94}
+        presence = Presence("alice", features)
+        features["weight_lb"] = 10
+        assert presence.feature("weight_lb") == 94
+
+    def test_feature_default(self):
+        assert Presence("alice").feature("missing", 1) == 1
+
+
+class TestPasswordAuthenticator:
+    def test_successful_login(self):
+        auth = PasswordAuthenticator()
+        auth.enroll("mom", "hunter2")
+        evidence = auth.login("mom", "hunter2")
+        assert evidence.identity_map() == {"mom": 1.0}
+
+    def test_wrong_password_empty_evidence(self):
+        auth = PasswordAuthenticator()
+        auth.enroll("mom", "hunter2")
+        assert auth.login("mom", "wrong").empty
+
+    def test_unenrolled_subject_empty_evidence(self):
+        auth = PasswordAuthenticator()
+        assert auth.login("stranger", "x").empty
+
+    def test_presence_without_password_empty(self):
+        auth = PasswordAuthenticator()
+        auth.enroll("mom", "hunter2")
+        assert auth.observe(Presence("mom")).empty
+
+    def test_empty_password_rejected_at_enroll(self):
+        with pytest.raises(AuthenticationError):
+            PasswordAuthenticator().enroll("mom", "")
+
+    def test_reenroll_replaces(self):
+        auth = PasswordAuthenticator()
+        auth.enroll("mom", "old")
+        auth.enroll("mom", "new")
+        assert auth.login("mom", "old").empty
+        assert not auth.login("mom", "new").empty
+
+    def test_secrets_not_stored_in_plaintext(self):
+        auth = PasswordAuthenticator()
+        auth.enroll("mom", "hunter2")
+        stored = list(auth._secrets.values())[0]
+        assert "hunter2" not in stored
+
+
+class TestTokenAuthenticator:
+    def test_issued_token_identifies_owner(self):
+        auth = TokenAuthenticator(confidence=0.95)
+        auth.issue("dad", "fob-1")
+        evidence = auth.observe(Presence("whoever", {"token": "fob-1"}))
+        assert evidence.identity_map() == {"dad": 0.95}
+
+    def test_unknown_token_empty(self):
+        auth = TokenAuthenticator()
+        assert auth.observe(Presence("x", {"token": "ghost"})).empty
+
+    def test_revoked_token_empty(self):
+        auth = TokenAuthenticator()
+        auth.issue("dad", "fob-1")
+        auth.revoke("fob-1")
+        assert auth.observe(Presence("x", {"token": "fob-1"})).empty
+
+    def test_duplicate_issue_rejected(self):
+        auth = TokenAuthenticator()
+        auth.issue("dad", "fob-1")
+        with pytest.raises(AuthenticationError):
+            auth.issue("mom", "fob-1")
+
+    def test_token_is_evidence_of_owner_not_bearer(self):
+        # A lent/stolen badge identifies its OWNER - which is exactly
+        # why confidence should stay below 1.0.
+        auth = TokenAuthenticator()
+        auth.issue("dad", "fob-1")
+        evidence = auth.observe(Presence("burglar", {"token": "fob-1"}))
+        assert "dad" in evidence.identity_map()

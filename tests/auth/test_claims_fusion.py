@@ -1,0 +1,110 @@
+"""Tests for claims and confidence fusion."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.auth.claims import IdentityClaim, RoleClaim, validate_confidence
+from repro.auth.fusion import FusionStrategy, fuse, fuse_claim_map
+from repro.exceptions import AuthenticationError
+
+
+class TestClaims:
+    def test_identity_claim(self):
+        claim = IdentityClaim("alice", 0.75, "smart-floor")
+        assert claim.subject == "alice"
+        assert "alice@0.75" in claim.describe()
+        assert "smart-floor" in claim.describe()
+
+    def test_role_claim(self):
+        claim = RoleClaim("child", 0.98)
+        assert "child@0.98" in claim.describe()
+
+    def test_confidence_validated(self):
+        with pytest.raises(AuthenticationError):
+            IdentityClaim("alice", 1.5)
+        with pytest.raises(AuthenticationError):
+            RoleClaim("child", -0.1)
+        with pytest.raises(AuthenticationError):
+            validate_confidence("high")
+
+    def test_empty_names_rejected(self):
+        with pytest.raises(AuthenticationError):
+            IdentityClaim("", 0.5)
+        with pytest.raises(AuthenticationError):
+            RoleClaim("", 0.5)
+
+
+class TestFuse:
+    def test_empty_rejected(self):
+        with pytest.raises(AuthenticationError):
+            fuse([])
+
+    def test_max_min_mean(self):
+        values = [0.2, 0.6, 0.4]
+        assert fuse(values, FusionStrategy.MAX) == 0.6
+        assert fuse(values, FusionStrategy.MIN) == 0.2
+        assert fuse(values, FusionStrategy.MEAN) == pytest.approx(0.4)
+
+    def test_independent_two_sensors(self):
+        # Two 0.7 sensors agreeing: 1 - 0.3*0.3 = 0.91.
+        assert fuse([0.7, 0.7], FusionStrategy.INDEPENDENT) == pytest.approx(0.91)
+
+    def test_independent_with_certainty(self):
+        assert fuse([0.5, 1.0], FusionStrategy.INDEPENDENT) == 1.0
+
+    def test_independent_single_value_identity(self):
+        assert fuse([0.42], FusionStrategy.INDEPENDENT) == pytest.approx(0.42)
+
+    def test_paper_example_face_plus_voice(self):
+        # §3: face 90%, voice 70% -> agreeing evidence should beat
+        # either alone under independence.
+        combined = fuse([0.9, 0.7], FusionStrategy.INDEPENDENT)
+        assert combined == pytest.approx(0.97)
+
+
+class TestFuseProperties:
+    confidences = st.lists(st.floats(0.0, 1.0), min_size=1, max_size=8)
+
+    @given(confidences)
+    @settings(max_examples=200, deadline=None)
+    def test_all_strategies_stay_in_unit_interval(self, values):
+        for strategy in FusionStrategy:
+            assert 0.0 <= fuse(values, strategy) <= 1.0
+
+    @given(confidences)
+    @settings(max_examples=200, deadline=None)
+    def test_independent_dominates_max(self, values):
+        # Independent fusion never reports less than the best sensor.
+        assert fuse(values, FusionStrategy.INDEPENDENT) >= (
+            fuse(values, FusionStrategy.MAX) - 1e-9
+        )
+
+    @given(confidences, st.floats(0.0, 1.0))
+    @settings(max_examples=200, deadline=None)
+    def test_independent_monotone_in_added_evidence(self, values, extra):
+        # Adding evidence never lowers independent-fused confidence.
+        assert fuse(values + [extra], FusionStrategy.INDEPENDENT) >= (
+            fuse(values, FusionStrategy.INDEPENDENT) - 1e-9
+        )
+
+    @given(confidences)
+    @settings(max_examples=100, deadline=None)
+    def test_min_lower_bounds_everything(self, values):
+        low = fuse(values, FusionStrategy.MIN)
+        for strategy in FusionStrategy:
+            assert fuse(values, strategy) >= low - 1e-9
+
+
+class TestFuseClaimMap:
+    def test_keywise_fusion(self):
+        fused = fuse_claim_map(
+            [{"alice": 0.7, "bobby": 0.2}, {"alice": 0.7}],
+            FusionStrategy.INDEPENDENT,
+        )
+        assert fused["alice"] == pytest.approx(0.91)
+        # Missing key contributes no evidence, not zero.
+        assert fused["bobby"] == pytest.approx(0.2)
+
+    def test_empty_input(self):
+        assert fuse_claim_map([]) == {}

@@ -1,0 +1,148 @@
+"""Tests for the authentication service (the §5.2 pipeline)."""
+
+import pytest
+
+from repro.auth.authenticator import (
+    Evidence,
+    PasswordAuthenticator,
+    Presence,
+    TokenAuthenticator,
+)
+from repro.auth.claims import IdentityClaim, RoleClaim
+from repro.auth.fusion import FusionStrategy
+from repro.auth.service import AuthenticationService
+from repro.exceptions import AuthenticationError
+
+
+class FakeSensor:
+    """An authenticator returning canned evidence."""
+
+    name = "fake"
+
+    def __init__(self, *claims):
+        identity = tuple(c for c in claims if isinstance(c, IdentityClaim))
+        roles = tuple(c for c in claims if isinstance(c, RoleClaim))
+        self._evidence = Evidence(self.name, identity, roles)
+
+    def observe(self, presence):
+        return self._evidence
+
+
+@pytest.fixture
+def service(figure2_policy):
+    return AuthenticationService(figure2_policy, identity_threshold=0.5)
+
+
+class TestAuthenticate:
+    def test_requires_authenticators(self, service):
+        with pytest.raises(AuthenticationError):
+            service.authenticate(Presence("alice"))
+
+    def test_single_sensor_identity(self, service):
+        service.register(FakeSensor(IdentityClaim("alice", 0.8)))
+        result = service.authenticate(Presence("alice"))
+        assert result.subject == "alice"
+        assert result.identity_confidence == pytest.approx(0.8)
+
+    def test_identity_derives_role_confidence(self, service):
+        service.register(FakeSensor(IdentityClaim("alice", 0.8)))
+        result = service.authenticate(Presence("alice"))
+        # Alice is assigned 'child' in the figure-2 policy.
+        assert result.role_confidences["child"] == pytest.approx(0.8)
+
+    def test_direct_role_claim_beats_weaker_derivation(self, service):
+        service.register(
+            FakeSensor(IdentityClaim("alice", 0.75), RoleClaim("child", 0.98))
+        )
+        result = service.authenticate(Presence("alice"))
+        assert result.role_confidences["child"] == pytest.approx(0.98)
+
+    def test_multi_sensor_fusion(self, figure2_policy):
+        service = AuthenticationService(
+            figure2_policy, strategy=FusionStrategy.INDEPENDENT
+        )
+        service.register(FakeSensor(IdentityClaim("alice", 0.7)))
+        service.register(FakeSensor(IdentityClaim("alice", 0.7)))
+        result = service.authenticate(Presence("alice"))
+        assert result.identity_confidence == pytest.approx(0.91)
+
+    def test_best_candidate_wins(self, service):
+        service.register(
+            FakeSensor(IdentityClaim("alice", 0.6), IdentityClaim("bobby", 0.3))
+        )
+        result = service.authenticate(Presence("alice"))
+        assert result.subject == "alice"
+        assert result.identity_confidences["bobby"] == pytest.approx(0.3)
+
+    def test_tie_broken_deterministically(self, service):
+        service.register(
+            FakeSensor(IdentityClaim("alice", 0.5), IdentityClaim("bobby", 0.5))
+        )
+        # Ties break by name (max over (confidence, name)).
+        assert service.authenticate(Presence("x")).subject == "bobby"
+
+    def test_no_evidence_at_all(self, service):
+        service.register(FakeSensor())
+        result = service.authenticate(Presence("alice"))
+        assert result.subject is None
+        assert result.identity_confidence == 0.0
+        assert result.role_confidences == {}
+
+    def test_describe(self, service):
+        service.register(FakeSensor(IdentityClaim("alice", 0.8)))
+        text = service.authenticate(Presence("alice")).describe()
+        assert "alice@0.80" in text
+
+
+class TestBuildRequest:
+    def test_identity_above_threshold_attached(self, service):
+        service.register(FakeSensor(IdentityClaim("alice", 0.8)))
+        result = service.authenticate(Presence("alice"))
+        request = service.build_request(result, "watch", "tv")
+        assert request.subject == "alice"
+        assert request.identity_confidence == pytest.approx(0.8)
+
+    def test_identity_below_threshold_dropped(self, figure2_policy):
+        service = AuthenticationService(figure2_policy, identity_threshold=0.9)
+        service.register(
+            FakeSensor(IdentityClaim("alice", 0.75), RoleClaim("child", 0.98))
+        )
+        result = service.authenticate(Presence("alice"))
+        request = service.build_request(result, "watch", "tv")
+        assert request.subject is None
+        assert request.role_claims["child"] == pytest.approx(0.98)
+
+    def test_unknown_role_claims_filtered(self, service):
+        service.register(
+            FakeSensor(IdentityClaim("alice", 0.8), RoleClaim("wizard", 0.99))
+        )
+        result = service.authenticate(Presence("alice"))
+        request = service.build_request(result, "watch", "tv")
+        assert "wizard" not in request.role_claims
+
+    def test_nothing_usable_raises(self, figure2_policy):
+        service = AuthenticationService(figure2_policy, identity_threshold=0.99)
+        service.register(FakeSensor(RoleClaim("wizard", 0.99)))
+        result = service.authenticate(Presence("x"))
+        with pytest.raises(AuthenticationError):
+            service.build_request(result, "watch", "tv")
+
+    def test_threshold_validation(self, figure2_policy):
+        with pytest.raises(AuthenticationError):
+            AuthenticationService(figure2_policy, identity_threshold=1.5)
+
+
+class TestWithRealAuthenticators:
+    def test_password_plus_token_stack(self, figure2_policy):
+        service = AuthenticationService(figure2_policy)
+        password = PasswordAuthenticator()
+        password.enroll("mom", "secret")
+        token = TokenAuthenticator(confidence=0.95)
+        token.issue("mom", "fob")
+        service.register(password)
+        service.register(token)
+        presence = Presence("mom", {"password": "secret", "token": "fob"})
+        result = service.authenticate(presence)
+        assert result.subject == "mom"
+        assert result.identity_confidence == 1.0  # certainty dominates
+        assert len(service.authenticators()) == 2

@@ -1,0 +1,69 @@
+"""Shared fixtures for the GRBAC test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import GrbacPolicy, MediationEngine, StaticEnvironment
+from repro.policy.templates import (
+    install_figure2_household,
+    install_figure2_roles,
+)
+
+
+@pytest.fixture
+def empty_policy() -> GrbacPolicy:
+    """A fresh policy with only the distinguished wildcard roles."""
+    return GrbacPolicy("test")
+
+
+@pytest.fixture
+def figure2_policy() -> GrbacPolicy:
+    """The Figure 2 household: hierarchy + Mom/Dad/Alice/Bobby/tech."""
+    policy = GrbacPolicy("figure2")
+    install_figure2_household(policy)
+    return policy
+
+
+@pytest.fixture
+def tv_policy() -> GrbacPolicy:
+    """A small, complete policy used across core tests.
+
+    Figure 2 roles, a TV classified *television* ⊂
+    *entertainment-devices*, an oven classified *dangerous*,
+    environment roles *free-time* and *weekday*, and the §5.1 grant.
+    """
+    policy = GrbacPolicy("tv")
+    install_figure2_roles(policy)
+    for subject, role in [
+        ("mom", "parent"),
+        ("dad", "parent"),
+        ("alice", "child"),
+        ("bobby", "child"),
+    ]:
+        policy.add_subject(subject)
+        policy.assign_subject(subject, role)
+    policy.add_object("livingroom/tv")
+    policy.add_object("kitchen/oven")
+    policy.add_object_role("entertainment-devices")
+    policy.add_object_role("television")
+    policy.add_object_role("dangerous")
+    policy.object_roles.add_specialization("television", "entertainment-devices")
+    policy.assign_object("livingroom/tv", "television")
+    policy.assign_object("kitchen/oven", "dangerous")
+    policy.add_environment_role("free-time")
+    policy.add_environment_role("weekday")
+    policy.grant("child", "watch", "entertainment-devices", "free-time")
+    return policy
+
+
+@pytest.fixture
+def tv_engine(tv_policy) -> MediationEngine:
+    """Engine over ``tv_policy`` with a controllable static environment."""
+    return MediationEngine(tv_policy, StaticEnvironment())
+
+
+@pytest.fixture
+def free_time_env():
+    """A static environment with *free-time* active."""
+    return StaticEnvironment({"free-time"})

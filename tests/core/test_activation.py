@@ -1,0 +1,123 @@
+"""Tests for sessions and role activation (§4.1.2)."""
+
+import pytest
+
+from repro.core.activation import Session, SessionManager
+from repro.exceptions import (
+    ActivationError,
+    ConstraintViolationError,
+    SessionError,
+)
+
+
+def make_manager(authorized=None, dsd_pairs=()):
+    authorized = authorized or {"pat": {"teller", "account-holder", "janitor"}}
+
+    def lookup(subject):
+        return set(authorized.get(subject, set()))
+
+    def dsd_check(subject, new_role, active):
+        for a, b in dsd_pairs:
+            if (new_role == a and b in active) or (new_role == b and a in active):
+                raise ConstraintViolationError(f"{a} conflicts with {b}")
+
+    return SessionManager(lookup, dsd_check)
+
+
+class TestActivation:
+    def test_activate_possessed_role(self):
+        session = make_manager().open("pat")
+        session.activate("teller")
+        assert session.is_active("teller")
+        assert session.active_roles == {"teller"}
+
+    def test_activate_unpossessed_role_raises(self):
+        session = make_manager().open("pat")
+        with pytest.raises(ActivationError):
+            session.activate("root")
+
+    def test_activate_idempotent(self):
+        session = make_manager().open("pat")
+        session.activate("teller")
+        session.activate("teller")
+        assert session.active_roles == {"teller"}
+
+    def test_dsd_blocks_simultaneous_activation(self):
+        # The paper: "the system simply disallows any two roles with
+        # dynamic separation of duty constraints from being active at
+        # the same time."
+        manager = make_manager(dsd_pairs=[("teller", "account-holder")])
+        session = manager.open("pat")
+        session.activate("teller")
+        with pytest.raises(ConstraintViolationError):
+            session.activate("account-holder")
+
+    def test_dsd_roles_usable_in_different_intervals(self):
+        # "There is no conflict of interest if the employee acts as a
+        # teller during one time interval and an account holder during
+        # another."
+        manager = make_manager(dsd_pairs=[("teller", "account-holder")])
+        session = manager.open("pat")
+        session.activate("teller")
+        session.deactivate("teller")
+        session.activate("account-holder")  # fine now
+        assert session.active_roles == {"account-holder"}
+
+    def test_deactivate_inactive_raises(self):
+        session = make_manager().open("pat")
+        with pytest.raises(ActivationError):
+            session.deactivate("teller")
+
+    def test_activate_all_authorized_skips_dsd_conflicts(self):
+        manager = make_manager(dsd_pairs=[("teller", "account-holder")])
+        session = manager.open("pat")
+        activated = session.activate_all_authorized()
+        # Deterministic sorted order: account-holder first, teller skipped.
+        assert "account-holder" in activated
+        assert "teller" not in session.active_roles
+        assert "janitor" in session.active_roles
+
+    def test_drop_all(self):
+        session = make_manager().open("pat")
+        session.activate("teller")
+        session.drop_all()
+        assert session.active_roles == set()
+
+
+class TestSessionManager:
+    def test_open_with_initial_roles(self):
+        session = make_manager().open("pat", activate=["teller"])
+        assert session.is_active("teller")
+
+    def test_get_live_session(self):
+        manager = make_manager()
+        session = manager.open("pat")
+        assert manager.get(session.session_id) is session
+
+    def test_close_terminates(self):
+        manager = make_manager()
+        session = manager.open("pat")
+        manager.close(session)
+        assert session.terminated
+        with pytest.raises(SessionError):
+            manager.get(session.session_id)
+        with pytest.raises(SessionError):
+            session.activate("teller")
+
+    def test_close_idempotent(self):
+        manager = make_manager()
+        session = manager.open("pat")
+        manager.close(session)
+        manager.close(session.session_id)
+
+    def test_sessions_of(self):
+        manager = make_manager({"pat": {"a"}, "sam": {"a"}})
+        s1 = manager.open("pat")
+        manager.open("sam")
+        assert manager.sessions_of("pat") == [s1]
+        assert len(manager) == 2
+
+    def test_unique_ids(self):
+        manager = make_manager()
+        ids = {manager.open("pat").session_id for _ in range(5)}
+        assert len(ids) == 5

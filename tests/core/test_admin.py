@@ -1,0 +1,157 @@
+"""Tests for the administrative control layer."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.core import GrbacPolicy, Permission, Sign
+from repro.core.admin import AdminAction, PolicyAdministrator
+from repro.core.delegation import DelegationManager
+from repro.core.roles import ANY_ENVIRONMENT, ANY_OBJECT
+from repro.env.clock import SimulatedClock
+from repro.exceptions import AccessDeniedError, PolicyError
+from repro.policy.templates import install_figure2_household
+
+
+@pytest.fixture
+def setup():
+    policy = GrbacPolicy()
+    install_figure2_household(policy)
+    clock = SimulatedClock(datetime(2000, 1, 17, 7, 0))
+    delegations = DelegationManager(policy, clock)
+    admin = PolicyAdministrator(policy, delegations=delegations)
+    # Parents administer the guest subtree.
+    for action in (
+        AdminAction.ASSIGN_ROLE,
+        AdminAction.REVOKE_ROLE,
+        AdminAction.DELEGATE_ROLE,
+        AdminAction.ADD_RULE,
+        AdminAction.REMOVE_RULE,
+    ):
+        admin.grant_admin("parent", action, "authorized-guest")
+    policy.add_subject("babysitter")
+    return policy, clock, delegations, admin
+
+
+class TestScope:
+    def test_parent_manages_guest_subtree(self, setup):
+        policy, _, _, admin = setup
+        assert admin.may("mom", AdminAction.ASSIGN_ROLE, "authorized-guest")
+        assert admin.may("mom", AdminAction.ASSIGN_ROLE, "service-agent")
+
+    def test_parent_cannot_manage_family_roles(self, setup):
+        _, _, _, admin = setup
+        assert not admin.may("mom", AdminAction.ASSIGN_ROLE, "parent")
+        assert not admin.may("mom", AdminAction.ASSIGN_ROLE, "child")
+        assert not admin.may("mom", AdminAction.ASSIGN_ROLE, "home-user")
+
+    def test_children_administer_nothing(self, setup):
+        _, _, _, admin = setup
+        assert not admin.may("alice", AdminAction.ASSIGN_ROLE, "authorized-guest")
+
+    def test_admin_rights_flow_through_hierarchy(self, setup):
+        policy, _, _, admin = setup
+        # Grant on family-member: parents AND children hold it
+        # effectively, because both specialize family-member.
+        admin.grant_admin("family-member", AdminAction.ASSIGN_ROLE, "service-agent")
+        assert admin.may("alice", AdminAction.ASSIGN_ROLE, "service-agent")
+
+    def test_grant_validation(self, setup):
+        _, _, _, admin = setup
+        with pytest.raises(Exception):
+            admin.grant_admin("ghost", AdminAction.ASSIGN_ROLE, "child")
+        with pytest.raises(PolicyError):
+            admin.grant_admin("parent", "assign", "child")
+
+    def test_admin_grants_listing(self, setup):
+        _, _, _, admin = setup
+        grants = admin.admin_grants()
+        assert ("parent", AdminAction.ASSIGN_ROLE, "authorized-guest") in grants
+
+
+class TestOperations:
+    def test_assign_and_revoke_in_scope(self, setup):
+        policy, _, _, admin = setup
+        admin.assign_role("mom", "babysitter", "authorized-guest")
+        assert "authorized-guest" in policy.authorized_subject_role_names(
+            "babysitter"
+        )
+        admin.revoke_role("mom", "babysitter", "authorized-guest")
+        assert policy.authorized_subject_role_names("babysitter") == set()
+
+    def test_out_of_scope_assignment_denied(self, setup):
+        policy, _, _, admin = setup
+        with pytest.raises(AccessDeniedError):
+            admin.assign_role("mom", "babysitter", "parent")
+        assert policy.authorized_subject_role_names("babysitter") == set()
+
+    def test_unauthorized_actor_denied(self, setup):
+        _, _, _, admin = setup
+        with pytest.raises(AccessDeniedError):
+            admin.assign_role("alice", "babysitter", "authorized-guest")
+
+    def test_delegation_through_admin(self, setup):
+        policy, clock, _, admin = setup
+        delegation = admin.delegate_role(
+            "mom", "babysitter", "service-agent", until=datetime(2000, 1, 17, 22, 0)
+        )
+        assert delegation.granted_by == "mom"
+        assert "service-agent" in policy.authorized_subject_role_names("babysitter")
+        clock.advance(hours=16)
+        assert "service-agent" not in policy.authorized_subject_role_names(
+            "babysitter"
+        )
+
+    def test_delegation_requires_manager(self, setup):
+        policy, _, _, _ = setup
+        bare_admin = PolicyAdministrator(policy)
+        bare_admin.grant_admin(
+            "parent", AdminAction.DELEGATE_ROLE, "authorized-guest"
+        )
+        with pytest.raises(PolicyError, match="delegation manager"):
+            bare_admin.delegate_role(
+                "mom", "babysitter", "authorized-guest", until=datetime(2000, 1, 18)
+            )
+
+    def test_rule_management_in_scope(self, setup):
+        policy, _, _, admin = setup
+        policy.add_transaction("open")
+        rule = Permission(
+            subject_role=policy.subject_roles.role("service-agent"),
+            object_role=ANY_OBJECT,
+            environment_role=ANY_ENVIRONMENT,
+            transaction=policy.transaction("open"),
+            sign=Sign.GRANT,
+        )
+        admin.add_rule("mom", rule)
+        assert len(policy.permissions()) == 1
+        admin.remove_rule("dad", rule)
+        assert policy.permissions() == []
+
+    def test_rule_for_out_of_scope_role_denied(self, setup):
+        policy, _, _, admin = setup
+        policy.add_transaction("open")
+        rule = Permission(
+            subject_role=policy.subject_roles.role("child"),
+            object_role=ANY_OBJECT,
+            environment_role=ANY_ENVIRONMENT,
+            transaction=policy.transaction("open"),
+            sign=Sign.GRANT,
+        )
+        with pytest.raises(AccessDeniedError):
+            admin.add_rule("mom", rule)
+
+
+class TestAdminAudit:
+    def test_admin_events_published(self, setup):
+        policy, clock, delegations, _ = setup
+        from repro.env.events import EventBus
+
+        bus = EventBus(clock=clock)
+        admin = PolicyAdministrator(policy, delegations=delegations, bus=bus)
+        admin.grant_admin("parent", AdminAction.ASSIGN_ROLE, "authorized-guest")
+        admin.assign_role("mom", "babysitter", "authorized-guest")
+        events = bus.history("admin.assign-role")
+        assert len(events) == 1
+        assert events[0].get("actor") == "mom"
+        assert events[0].get("subject") == "babysitter"

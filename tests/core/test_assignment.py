@@ -1,0 +1,114 @@
+"""Tests for AssignmentTable (authorized role sets, §4.1.1)."""
+
+import pytest
+
+from repro.core.assignment import AssignmentTable
+from repro.core.roles import RoleKind, object_role, subject_role
+from repro.exceptions import ConstraintViolationError, RoleKindError, UnknownEntityError
+
+
+@pytest.fixture
+def table() -> AssignmentTable:
+    return AssignmentTable(RoleKind.SUBJECT, "subject")
+
+
+class TestAssign:
+    def test_assign_and_query(self, table):
+        table.assign("alice", subject_role("child"))
+        assert table.possesses("alice", "child")
+        assert table.role_names_of("alice") == {"child"}
+        assert table.members_of("child") == {"alice"}
+
+    def test_assign_idempotent(self, table):
+        role = subject_role("child")
+        table.assign("alice", role)
+        table.assign("alice", role)
+        assert len(table) == 1
+
+    def test_wrong_kind_rejected(self, table):
+        with pytest.raises(RoleKindError):
+            table.assign("alice", object_role("tv"))
+
+    def test_unassigned_entity_queries_empty(self, table):
+        assert table.roles_of("ghost") == set()
+        assert not table.possesses("ghost", "child")
+        assert table.members_of("ghost-role") == set()
+
+    def test_member_count(self, table):
+        table.assign("alice", subject_role("child"))
+        table.assign("bobby", subject_role("child"))
+        assert table.member_count("child") == 2
+        assert table.member_count("parent") == 0
+
+
+class TestRevoke:
+    def test_revoke(self, table):
+        table.assign("alice", subject_role("child"))
+        table.revoke("alice", "child")
+        assert not table.possesses("alice", "child")
+        assert table.members_of("child") == set()
+
+    def test_revoke_missing_raises(self, table):
+        with pytest.raises(UnknownEntityError):
+            table.revoke("alice", "child")
+
+    def test_revoke_all(self, table):
+        table.assign("alice", subject_role("child"))
+        table.assign("alice", subject_role("student"))
+        table.revoke_all("alice")
+        assert table.roles_of("alice") == set()
+        assert table.members_of("child") == set()
+
+    def test_revoke_all_when_empty_is_safe(self, table):
+        table.revoke_all("nobody")
+
+
+class TestValidator:
+    def test_validator_vetoes_assignment(self):
+        def validator(entity, role, current):
+            if role.name == "forbidden":
+                raise ConstraintViolationError("no")
+
+        table = AssignmentTable(RoleKind.SUBJECT, "subject", validator)
+        table.assign("alice", subject_role("ok"))
+        with pytest.raises(ConstraintViolationError):
+            table.assign("alice", subject_role("forbidden"))
+        # Veto left no partial state.
+        assert table.role_names_of("alice") == {"ok"}
+
+    def test_validator_sees_current_roles(self):
+        seen = {}
+
+        def validator(entity, role, current):
+            seen[role.name] = set(current)
+
+        table = AssignmentTable(RoleKind.SUBJECT, "subject", validator)
+        table.assign("alice", subject_role("first"))
+        table.assign("alice", subject_role("second"))
+        assert seen["first"] == set()
+        assert seen["second"] == {"first"}
+
+    def test_validator_not_called_for_duplicate(self):
+        calls = []
+        table = AssignmentTable(
+            RoleKind.SUBJECT, "subject", lambda e, r, c: calls.append(r.name)
+        )
+        role = subject_role("x")
+        table.assign("alice", role)
+        table.assign("alice", role)
+        assert calls == ["x"]
+
+
+class TestIteration:
+    def test_entities_and_assignments(self, table):
+        table.assign("alice", subject_role("child"))
+        table.assign("mom", subject_role("parent"))
+        assert set(table.entities()) == {"alice", "mom"}
+        pairs = {(entity, role.name) for entity, role in table.assignments()}
+        assert pairs == {("alice", "child"), ("mom", "parent")}
+
+    def test_len_counts_assignments(self, table):
+        table.assign("alice", subject_role("a"))
+        table.assign("alice", subject_role("b"))
+        table.assign("mom", subject_role("a"))
+        assert len(table) == 3

@@ -1,0 +1,118 @@
+"""Tests for the audit log."""
+
+import pytest
+
+from repro.core import AccessRequest, AuditLog, MediationEngine, StaticEnvironment
+
+
+@pytest.fixture
+def decisions(tv_policy):
+    """A small batch of real decisions (grants and denials)."""
+    engine = MediationEngine(tv_policy, StaticEnvironment({"free-time"}))
+    requests = [
+        AccessRequest(transaction="watch", obj="livingroom/tv", subject="alice"),
+        AccessRequest(transaction="watch", obj="livingroom/tv", subject="mom"),
+        AccessRequest(transaction="watch", obj="kitchen/oven", subject="alice"),
+        AccessRequest(transaction="watch", obj="livingroom/tv", subject="bobby"),
+    ]
+    return [engine.decide(request) for request in requests]
+
+
+class TestRecording:
+    def test_record_and_counts(self, decisions):
+        log = AuditLog()
+        for decision in decisions:
+            log.record(decision)
+        assert len(log) == 4
+        assert log.grant_count == 2  # alice + bobby on the TV
+        assert log.deny_count == 2
+        assert log.total == 4
+        assert log.grant_rate() == pytest.approx(0.5)
+
+    def test_sequence_numbers_monotonic(self, decisions):
+        log = AuditLog()
+        records = [log.record(d) for d in decisions]
+        assert [r.sequence for r in records] == [1, 2, 3, 4]
+
+    def test_timestamps_from_clock(self, decisions):
+        times = iter([10.0, 20.0, 30.0, 40.0])
+        log = AuditLog(clock=lambda: next(times))
+        records = [log.record(d) for d in decisions]
+        assert [r.timestamp for r in records] == [10.0, 20.0, 30.0, 40.0]
+
+    def test_no_clock_no_timestamp(self, decisions):
+        log = AuditLog()
+        assert log.record(decisions[0]).timestamp is None
+
+    def test_capacity_evicts_oldest_but_keeps_totals(self, decisions):
+        log = AuditLog(capacity=2)
+        for decision in decisions:
+            log.record(decision)
+        assert len(log) == 2
+        assert log.total == 4  # counters survive eviction
+        assert [r.sequence for r in log] == [3, 4]
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            AuditLog(capacity=0)
+
+
+class TestQueries:
+    def test_filter_by_subject(self, decisions):
+        log = AuditLog()
+        for decision in decisions:
+            log.record(decision)
+        assert len(log.records(subject="alice")) == 2
+        assert len(log.grants(subject="alice")) == 1
+        assert len(log.denials(subject="mom")) == 1
+
+    def test_filter_by_object_and_outcome(self, decisions):
+        log = AuditLog()
+        for decision in decisions:
+            log.record(decision)
+        tv_grants = log.records(obj="livingroom/tv", granted=True)
+        assert {r.subject for r in tv_grants} == {"alice", "bobby"}
+
+    def test_filter_by_time_window(self, decisions):
+        times = iter([10.0, 20.0, 30.0, 40.0])
+        log = AuditLog(clock=lambda: next(times))
+        for decision in decisions:
+            log.record(decision)
+        window = log.records(since=15.0, until=35.0)
+        assert [r.timestamp for r in window] == [20.0, 30.0]
+
+    def test_describe_and_summary(self, decisions):
+        log = AuditLog(clock=lambda: 5.0)
+        record = log.record(decisions[0])
+        assert "GRANT" in record.describe()
+        assert "alice" in record.describe()
+        assert "4 decision" not in log.summary()
+        for decision in decisions[1:]:
+            log.record(decision)
+        assert "4 decision(s)" in log.summary()
+
+    def test_empty_log_grant_rate(self):
+        assert AuditLog().grant_rate() == 0.0
+
+
+class TestExport:
+    def test_jsonl_one_line_per_decision(self, decisions):
+        import json
+
+        log = AuditLog(clock=lambda: 42.0)
+        for decision in decisions:
+            log.record(decision)
+        lines = log.export_jsonl().strip().splitlines()
+        assert len(lines) == 4
+        first = json.loads(lines[0])
+        assert first["sequence"] == 1
+        assert first["timestamp"] == 42.0
+        assert first["granted"] is True
+        assert first["subject"] == "alice"
+        assert first["transaction"] == "watch"
+        assert "free-time" in first["environment_roles"]
+        assert any("grant watch" in rule for rule in first["matched_rules"])
+        assert first["subject_roles"]["child"] == 1.0
+
+    def test_empty_export(self):
+        assert AuditLog().export_jsonl() == ""

@@ -1,0 +1,138 @@
+"""Tests for separation of duty and companion constraints (§4.1.2)."""
+
+import pytest
+
+from repro.core.constraints import (
+    CardinalityConstraint,
+    ConstraintSet,
+    PrerequisiteConstraint,
+    SeparationOfDuty,
+)
+from repro.exceptions import ConstraintViolationError, PolicyError
+
+
+class TestSeparationOfDuty:
+    def test_pairwise_exclusion_blocks_second_role(self):
+        # The paper's teller / account-holder example.
+        sod = SeparationOfDuty("bank", ["teller", "account-holder"])
+        sod.check("pat", "teller", set())  # fine alone
+        with pytest.raises(ConstraintViolationError) as excinfo:
+            sod.check("pat", "teller", {"account-holder"})
+        assert excinfo.value.constraint_name == "bank"
+
+    def test_unrelated_role_ignored(self):
+        sod = SeparationOfDuty("bank", ["teller", "account-holder"])
+        sod.check("pat", "janitor", {"teller"})
+
+    def test_limit_generalizes_exclusion(self):
+        sod = SeparationOfDuty("duties", ["a", "b", "c"], limit=2)
+        sod.check("pat", "b", {"a"})  # two of three is fine
+        with pytest.raises(ConstraintViolationError):
+            sod.check("pat", "c", {"a", "b"})
+
+    def test_violated_by(self):
+        sod = SeparationOfDuty("x", ["a", "b"])
+        assert sod.violated_by({"a", "b"})
+        assert not sod.violated_by({"a"})
+
+    def test_needs_two_roles(self):
+        with pytest.raises(PolicyError):
+            SeparationOfDuty("bad", ["only-one"])
+
+    def test_limit_bounds(self):
+        with pytest.raises(PolicyError):
+            SeparationOfDuty("bad", ["a", "b"], limit=2)
+        with pytest.raises(PolicyError):
+            SeparationOfDuty("bad", ["a", "b"], limit=0)
+
+    def test_static_flag_labels(self):
+        assert SeparationOfDuty("x", ["a", "b"], static=True).kind_label == "static"
+        assert SeparationOfDuty("x", ["a", "b"], static=False).kind_label == "dynamic"
+
+
+class TestCardinality:
+    def test_blocks_when_full(self):
+        card = CardinalityConstraint("one-admin", "administrator", 1)
+        card.check("alice", "administrator", 0)
+        with pytest.raises(ConstraintViolationError):
+            card.check("bob", "administrator", 1)
+
+    def test_other_roles_ignored(self):
+        card = CardinalityConstraint("one-admin", "administrator", 1)
+        card.check("bob", "guest", 100)
+
+    def test_max_must_be_positive(self):
+        with pytest.raises(PolicyError):
+            CardinalityConstraint("bad", "r", 0)
+
+
+class TestPrerequisite:
+    def test_requires_prior_role(self):
+        prereq = PrerequisiteConstraint("admin-needs-family", "admin", "family-member")
+        with pytest.raises(ConstraintViolationError):
+            prereq.check("guest", "admin", set())
+        prereq.check("mom", "admin", {"family-member"})
+
+    def test_effective_roles_satisfy(self):
+        # `held` is hierarchy-expanded by the caller, so a
+        # specialization satisfies the requirement.
+        prereq = PrerequisiteConstraint("x", "admin", "family-member")
+        prereq.check("mom", "admin", {"parent", "family-member", "home-user"})
+
+    def test_self_reference_rejected(self):
+        with pytest.raises(PolicyError):
+            PrerequisiteConstraint("bad", "r", "r")
+
+
+class TestConstraintSet:
+    def test_routes_by_type(self):
+        constraints = ConstraintSet()
+        constraints.add(SeparationOfDuty("ssd", ["a", "b"], static=True))
+        constraints.add(SeparationOfDuty("dsd", ["c", "d"], static=False))
+        constraints.add(CardinalityConstraint("card", "a", 2))
+        constraints.add(PrerequisiteConstraint("pre", "a", "b"))
+        assert len(constraints.static_sod) == 1
+        assert len(constraints.dynamic_sod) == 1
+        assert len(constraints.cardinality) == 1
+        assert len(constraints.prerequisite) == 1
+        assert len(constraints) == 4
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(PolicyError):
+            ConstraintSet().add(object())
+
+    def test_check_assignment_runs_all(self):
+        constraints = ConstraintSet()
+        constraints.add(SeparationOfDuty("ssd", ["teller", "holder"]))
+        constraints.add(CardinalityConstraint("card", "teller", 1))
+        constraints.add(PrerequisiteConstraint("pre", "manager", "employee"))
+
+        # SSD violation
+        with pytest.raises(ConstraintViolationError, match="ssd"):
+            constraints.check_assignment(
+                "pat", "teller", {"holder"}, {"holder"}, lambda role: 0
+            )
+        # cardinality violation
+        with pytest.raises(ConstraintViolationError, match="card"):
+            constraints.check_assignment(
+                "pat", "teller", set(), set(), lambda role: 1
+            )
+        # prerequisite violation
+        with pytest.raises(ConstraintViolationError, match="pre"):
+            constraints.check_assignment(
+                "pat", "manager", set(), set(), lambda role: 0
+            )
+        # clean assignment passes
+        constraints.check_assignment(
+            "pat", "manager", {"employee"}, {"employee"}, lambda role: 0
+        )
+
+    def test_check_activation_only_dsd(self):
+        constraints = ConstraintSet()
+        constraints.add(SeparationOfDuty("ssd", ["a", "b"], static=True))
+        constraints.add(SeparationOfDuty("dsd", ["c", "d"], static=False))
+        # SSD pairs are NOT activation-checked (they were blocked at
+        # assignment time already).
+        constraints.check_activation("pat", "a", {"b"})
+        with pytest.raises(ConstraintViolationError, match="dsd"):
+            constraints.check_activation("pat", "c", {"d"})

@@ -1,0 +1,110 @@
+"""Tests for the mediation decision cache."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AccessRequest, MediationEngine, StaticEnvironment
+from repro.exceptions import PolicyError
+from repro.workload.generator import (
+    RandomPolicyConfig,
+    generate_policy,
+    generate_requests,
+)
+
+
+@pytest.fixture
+def cached_engine(tv_policy, free_time_env):
+    return MediationEngine(tv_policy, free_time_env, cache_size=64)
+
+
+REQUEST = dict(transaction="watch", obj="livingroom/tv", subject="alice")
+
+
+class TestCacheBasics:
+    def test_hit_on_repeat(self, cached_engine):
+        first = cached_engine.decide(AccessRequest(**REQUEST))
+        second = cached_engine.decide(AccessRequest(**REQUEST))
+        assert second is first
+        assert cached_engine.cache_hits == 1
+        assert cached_engine.cache_misses == 1
+
+    def test_different_requests_miss(self, cached_engine):
+        cached_engine.decide(AccessRequest(**REQUEST))
+        cached_engine.decide(
+            AccessRequest(transaction="watch", obj="livingroom/tv", subject="bobby")
+        )
+        assert cached_engine.cache_hits == 0
+        assert cached_engine.cache_misses == 2
+
+    def test_disabled_by_default(self, tv_policy, free_time_env):
+        engine = MediationEngine(tv_policy, free_time_env)
+        engine.decide(AccessRequest(**REQUEST))
+        engine.decide(AccessRequest(**REQUEST))
+        assert engine.cache_hits == 0
+
+    def test_negative_size_rejected(self, tv_policy):
+        with pytest.raises(PolicyError):
+            MediationEngine(tv_policy, cache_size=-1)
+
+    def test_lru_eviction(self, tv_policy, free_time_env):
+        engine = MediationEngine(tv_policy, free_time_env, cache_size=1)
+        engine.decide(AccessRequest(**REQUEST))
+        engine.decide(
+            AccessRequest(transaction="watch", obj="kitchen/oven", subject="alice")
+        )
+        engine.decide(AccessRequest(**REQUEST))  # evicted -> miss again
+        assert engine.cache_hits == 0
+        assert engine.cache_misses == 3
+
+
+class TestCacheInvalidation:
+    def test_environment_change_invalidates(self, tv_policy):
+        environment = StaticEnvironment({"free-time"})
+        engine = MediationEngine(tv_policy, environment, cache_size=64)
+        assert engine.decide(AccessRequest(**REQUEST)).granted
+        environment.deactivate("free-time")
+        assert not engine.decide(AccessRequest(**REQUEST)).granted
+
+    def test_permission_change_invalidates(self, cached_engine, tv_policy):
+        assert cached_engine.decide(AccessRequest(**REQUEST)).granted
+        tv_policy.deny("child", "watch", "television")
+        assert not cached_engine.decide(AccessRequest(**REQUEST)).granted
+
+    def test_assignment_change_invalidates(self, cached_engine, tv_policy):
+        assert cached_engine.decide(AccessRequest(**REQUEST)).granted
+        tv_policy.revoke_subject("alice", "child")
+        assert not cached_engine.decide(AccessRequest(**REQUEST)).granted
+
+    def test_hierarchy_change_invalidates(self, cached_engine, tv_policy):
+        assert cached_engine.decide(AccessRequest(**REQUEST)).granted
+        tv_policy.object_roles.remove_specialization(
+            "television", "entertainment-devices"
+        )
+        assert not cached_engine.decide(AccessRequest(**REQUEST)).granted
+
+    def test_sessions_bypass_cache(self, cached_engine, tv_policy):
+        session = tv_policy.sessions.open("alice", activate=["child"])
+        request = AccessRequest(**REQUEST)
+        assert cached_engine.decide(request, session=session).granted
+        session.deactivate("child")
+        assert not cached_engine.decide(request, session=session).granted
+        assert cached_engine.cache_hits == 0  # session decisions uncached
+
+
+class TestCacheEquivalenceProperty:
+    @given(seed=st.integers(0, 3_000), request_seed=st.integers(0, 3_000))
+    @settings(max_examples=20, deadline=None)
+    def test_cached_engine_equals_uncached(self, seed, request_seed):
+        policy = generate_policy(RandomPolicyConfig(seed=seed, permissions=25))
+        cached = MediationEngine(policy, cache_size=64)
+        plain = MediationEngine(policy)
+        # Repeat the request stream twice so hits actually occur.
+        stream = generate_requests(policy, 20, seed=request_seed) * 2
+        for generated in stream:
+            env = set(generated.active_environment_roles)
+            assert (
+                cached.decide(generated.request, environment_roles=env).granted
+                == plain.decide(generated.request, environment_roles=env).granted
+            )
+        assert cached.cache_hits > 0

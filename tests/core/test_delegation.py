@@ -1,0 +1,182 @@
+"""Tests for time-boxed role delegation."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.core import GrbacPolicy
+from repro.core.delegation import DelegationManager, DelegationState
+from repro.env.clock import SimulatedClock
+from repro.env.events import EventBus
+from repro.exceptions import PolicyError
+
+
+@pytest.fixture
+def setup():
+    clock = SimulatedClock(datetime(2000, 1, 17, 7, 0))
+    bus = EventBus(clock=clock)
+    policy = GrbacPolicy()
+    policy.add_subject("repair-tech")
+    policy.add_subject("mom")
+    policy.add_subject_role("service-agent")
+    policy.add_subject_role("parent")
+    policy.assign_subject("mom", "parent")
+    manager = DelegationManager(policy, clock, bus=bus)
+    return policy, clock, bus, manager
+
+
+class TestLifecycle:
+    def test_immediate_delegation_assigns_role(self, setup):
+        policy, clock, _, manager = setup
+        delegation = manager.delegate(
+            "repair-tech", "service-agent", until=datetime(2000, 1, 17, 13, 0)
+        )
+        assert delegation.state is DelegationState.ACTIVE
+        assert "service-agent" in policy.authorized_subject_role_names("repair-tech")
+
+    def test_expiry_revokes_automatically(self, setup):
+        policy, clock, _, manager = setup
+        manager.delegate(
+            "repair-tech", "service-agent", until=datetime(2000, 1, 17, 13, 0)
+        )
+        clock.advance(hours=5)  # 12:00 — still active
+        assert "service-agent" in policy.authorized_subject_role_names("repair-tech")
+        clock.advance(hours=2)  # 14:00 — expired
+        assert "service-agent" not in policy.authorized_subject_role_names(
+            "repair-tech"
+        )
+        assert manager.delegations_of("repair-tech")[0].state is (
+            DelegationState.EXPIRED
+        )
+
+    def test_future_start_waits(self, setup):
+        policy, clock, _, manager = setup
+        delegation = manager.delegate(
+            "repair-tech",
+            "service-agent",
+            starting=datetime(2000, 1, 17, 8, 0),
+            until=datetime(2000, 1, 17, 13, 0),
+        )
+        assert delegation.state is DelegationState.PENDING
+        assert "service-agent" not in policy.authorized_subject_role_names(
+            "repair-tech"
+        )
+        clock.advance(hours=2)  # 09:00
+        assert delegation.state is DelegationState.ACTIVE
+        assert "service-agent" in policy.authorized_subject_role_names("repair-tech")
+
+    def test_window_skipped_entirely(self, setup):
+        policy, clock, _, manager = setup
+        delegation = manager.delegate(
+            "repair-tech",
+            "service-agent",
+            starting=datetime(2000, 1, 17, 8, 0),
+            until=datetime(2000, 1, 17, 9, 0),
+        )
+        clock.advance(hours=6)  # jump straight past the window
+        assert delegation.state is DelegationState.EXPIRED
+        assert "service-agent" not in policy.authorized_subject_role_names(
+            "repair-tech"
+        )
+
+    def test_revocation_mid_window(self, setup):
+        policy, clock, _, manager = setup
+        delegation = manager.delegate(
+            "repair-tech", "service-agent", until=datetime(2000, 1, 17, 13, 0)
+        )
+        manager.revoke(delegation)
+        assert delegation.state is DelegationState.REVOKED
+        assert "service-agent" not in policy.authorized_subject_role_names(
+            "repair-tech"
+        )
+        with pytest.raises(PolicyError):
+            manager.revoke(delegation)  # already finished
+
+    def test_events_published(self, setup):
+        _, clock, bus, manager = setup
+        manager.delegate(
+            "repair-tech", "service-agent", until=datetime(2000, 1, 17, 13, 0)
+        )
+        clock.advance(hours=7)
+        types = [e.type for e in bus.history() if e.type.startswith("delegation.")]
+        assert types == ["delegation.granted", "delegation.expired"]
+
+
+class TestValidation:
+    def test_unknown_subject_or_role(self, setup):
+        _, _, _, manager = setup
+        with pytest.raises(Exception):
+            manager.delegate("ghost", "service-agent", until=datetime(2000, 1, 18))
+        with pytest.raises(Exception):
+            manager.delegate("repair-tech", "ghost-role", until=datetime(2000, 1, 18))
+
+    def test_window_in_the_past(self, setup):
+        _, _, _, manager = setup
+        with pytest.raises(PolicyError):
+            manager.delegate(
+                "repair-tech", "service-agent", until=datetime(2000, 1, 16)
+            )
+
+    def test_inverted_window(self, setup):
+        _, _, _, manager = setup
+        with pytest.raises(PolicyError):
+            manager.delegate(
+                "repair-tech",
+                "service-agent",
+                starting=datetime(2000, 1, 18),
+                until=datetime(2000, 1, 17, 12, 0),
+            )
+
+    def test_cannot_delegate_possessed_role(self, setup):
+        _, _, _, manager = setup
+        with pytest.raises(PolicyError, match="already possesses"):
+            manager.delegate("mom", "parent", until=datetime(2000, 1, 18))
+
+    def test_no_duplicate_live_delegations(self, setup):
+        _, _, _, manager = setup
+        manager.delegate(
+            "repair-tech", "service-agent", until=datetime(2000, 1, 17, 13, 0)
+        )
+        with pytest.raises(PolicyError, match="live delegation"):
+            manager.delegate(
+                "repair-tech", "service-agent", until=datetime(2000, 1, 17, 14, 0)
+            )
+
+    def test_redelegation_after_expiry_allowed(self, setup):
+        _, clock, _, manager = setup
+        manager.delegate(
+            "repair-tech", "service-agent", until=datetime(2000, 1, 17, 13, 0)
+        )
+        clock.advance(hours=7)
+        second = manager.delegate(
+            "repair-tech", "service-agent", until=datetime(2000, 1, 17, 18, 0)
+        )
+        assert second.state is DelegationState.ACTIVE
+
+
+class TestMediationIntegration:
+    def test_access_follows_the_delegation_window(self, setup):
+        policy, clock, _, manager = setup
+        from repro.core import MediationEngine
+
+        policy.add_object("dishwasher")
+        policy.grant("service-agent", "repair")
+        engine = MediationEngine(policy)
+        assert not engine.check("repair-tech", "repair", "dishwasher")
+        manager.delegate(
+            "repair-tech", "service-agent", until=datetime(2000, 1, 17, 13, 0)
+        )
+        assert engine.check("repair-tech", "repair", "dishwasher")
+        clock.advance(hours=7)
+        assert not engine.check("repair-tech", "repair", "dishwasher")
+
+    def test_queries(self, setup):
+        _, _, _, manager = setup
+        delegation = manager.delegate(
+            "repair-tech", "service-agent", until=datetime(2000, 1, 17, 13, 0)
+        )
+        assert manager.get(delegation.delegation_id) is delegation
+        assert manager.active() == [delegation]
+        assert "service-agent" in delegation.describe()
+        with pytest.raises(PolicyError):
+            manager.get("delegation-999")

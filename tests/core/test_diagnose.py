@@ -1,0 +1,102 @@
+"""Tests for mediation diagnosis — the 'why can't I?' answer."""
+
+import pytest
+
+from repro.core import AccessRequest, MediationEngine, StaticEnvironment
+
+
+@pytest.fixture
+def engine(tv_policy):
+    return MediationEngine(tv_policy, StaticEnvironment())
+
+
+class TestDiagnose:
+    def test_matched_rule_reported(self, tv_policy, free_time_env):
+        engine = MediationEngine(tv_policy, free_time_env)
+        request = AccessRequest(
+            transaction="watch", obj="livingroom/tv", subject="alice"
+        )
+        diagnoses = engine.diagnose(request)
+        assert len(diagnoses) == 1
+        assert diagnoses[0].matched
+        assert diagnoses[0].describe().startswith("MATCHED")
+
+    def test_missing_environment_named(self, engine):
+        # free-time is NOT active.
+        request = AccessRequest(
+            transaction="watch", obj="livingroom/tv", subject="alice"
+        )
+        (diagnosis,) = engine.diagnose(request)
+        assert not diagnosis.matched
+        assert diagnosis.subject_role_ok
+        assert diagnosis.object_role_ok
+        assert not diagnosis.environment_role_ok
+        assert "'free-time' not active" in diagnosis.describe()
+
+    def test_missing_subject_role_named(self, tv_policy, free_time_env):
+        engine = MediationEngine(tv_policy, free_time_env)
+        request = AccessRequest(
+            transaction="watch", obj="livingroom/tv", subject="mom"
+        )
+        (diagnosis,) = engine.diagnose(request)
+        assert not diagnosis.subject_role_ok
+        assert "requester lacks role 'child'" in diagnosis.describe()
+
+    def test_missing_object_role_named(self, tv_policy, free_time_env):
+        engine = MediationEngine(tv_policy, free_time_env)
+        request = AccessRequest(
+            transaction="watch", obj="kitchen/oven", subject="alice"
+        )
+        (diagnosis,) = engine.diagnose(request)
+        assert not diagnosis.object_role_ok
+        assert "object lacks role" in diagnosis.describe()
+
+    def test_confidence_gate_reported(self, tv_policy, free_time_env):
+        tv_policy.grant("parent", "view_stream", min_confidence=0.9)
+        engine = MediationEngine(tv_policy, free_time_env)
+        request = AccessRequest(
+            transaction="view_stream",
+            obj="livingroom/tv",
+            subject="mom",
+            identity_confidence=0.6,
+        )
+        (diagnosis,) = engine.diagnose(request)
+        assert diagnosis.subject_role_ok
+        assert not diagnosis.confidence_ok
+        assert "confidence too low" in diagnosis.describe()
+
+    def test_nearest_miss_sorted_first(self, tv_policy, free_time_env):
+        # Add a rule that misses on everything for alice/tv.
+        tv_policy.add_subject_role("houseguest")
+        tv_policy.grant("houseguest", "watch", "dangerous", "weekday")
+        engine = MediationEngine(tv_policy, StaticEnvironment())
+        request = AccessRequest(
+            transaction="watch", obj="livingroom/tv", subject="alice"
+        )
+        diagnoses = engine.diagnose(request)
+        assert len(diagnoses) == 2
+        assert diagnoses[0].conditions_met >= diagnoses[1].conditions_met
+        # The near miss (only environment missing) leads.
+        assert diagnoses[0].permission.subject_role.name == "child"
+
+    def test_matches_decide_participation(self, tv_policy, free_time_env):
+        engine = MediationEngine(tv_policy, free_time_env)
+        request = AccessRequest(
+            transaction="watch", obj="livingroom/tv", subject="alice"
+        )
+        decision = engine.decide(request)
+        diagnoses = engine.diagnose(request)
+        matched_keys = {
+            d.permission.key for d in diagnoses if d.matched
+        }
+        assert matched_keys == {m.permission.key for m in decision.matches}
+
+    def test_unknown_transaction_raises(self, engine):
+        from repro.exceptions import UnknownEntityError
+
+        with pytest.raises(UnknownEntityError):
+            engine.diagnose(
+                AccessRequest(
+                    transaction="ghost", obj="livingroom/tv", subject="alice"
+                )
+            )

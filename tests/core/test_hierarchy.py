@@ -1,0 +1,234 @@
+"""Tests for RoleHierarchy: DAG maintenance, closure, distances."""
+
+import pytest
+
+from repro.core.hierarchy import RoleHierarchy
+from repro.core.roles import RoleKind, object_role, subject_role
+from repro.exceptions import (
+    HierarchyCycleError,
+    HierarchyError,
+    RoleKindError,
+    UnknownEntityError,
+)
+
+
+@pytest.fixture
+def figure2() -> RoleHierarchy:
+    """The Figure 2 subject-role hierarchy."""
+    h = RoleHierarchy(RoleKind.SUBJECT)
+    for name in [
+        "home-user",
+        "family-member",
+        "authorized-guest",
+        "parent",
+        "child",
+        "service-agent",
+    ]:
+        h.add_role(subject_role(name))
+    h.add_specialization("family-member", "home-user")
+    h.add_specialization("authorized-guest", "home-user")
+    h.add_specialization("parent", "family-member")
+    h.add_specialization("child", "family-member")
+    h.add_specialization("service-agent", "authorized-guest")
+    return h
+
+
+class TestRegistration:
+    def test_add_and_lookup(self):
+        h = RoleHierarchy(RoleKind.SUBJECT)
+        role = h.add_role(subject_role("parent"))
+        assert h.role("parent") is role
+        assert "parent" in h
+        assert len(h) == 1
+
+    def test_identical_readd_is_idempotent(self):
+        h = RoleHierarchy(RoleKind.SUBJECT)
+        h.add_role(subject_role("x"))
+        h.add_role(subject_role("x"))
+        assert len(h) == 1
+
+    def test_wrong_kind_rejected(self):
+        h = RoleHierarchy(RoleKind.SUBJECT)
+        with pytest.raises(RoleKindError):
+            h.add_role(object_role("tv"))
+
+    def test_unknown_role_lookup_raises(self):
+        with pytest.raises(UnknownEntityError):
+            RoleHierarchy(RoleKind.SUBJECT).role("ghost")
+
+    def test_edge_to_unregistered_name_raises(self):
+        h = RoleHierarchy(RoleKind.SUBJECT)
+        h.add_role(subject_role("a"))
+        with pytest.raises(UnknownEntityError):
+            h.add_specialization("a", "ghost")
+
+    def test_edge_with_role_objects_auto_registers(self):
+        h = RoleHierarchy(RoleKind.SUBJECT)
+        h.add_specialization(subject_role("child"), subject_role("person"))
+        assert "child" in h and "person" in h
+
+
+class TestCycleRejection:
+    def test_self_edge_rejected(self):
+        h = RoleHierarchy(RoleKind.SUBJECT)
+        h.add_role(subject_role("a"))
+        with pytest.raises(HierarchyCycleError):
+            h.add_specialization("a", "a")
+
+    def test_two_cycle_rejected(self):
+        h = RoleHierarchy(RoleKind.SUBJECT)
+        h.add_specialization(subject_role("a"), subject_role("b"))
+        with pytest.raises(HierarchyCycleError):
+            h.add_specialization("b", "a")
+
+    def test_long_cycle_rejected(self):
+        h = RoleHierarchy(RoleKind.SUBJECT)
+        h.add_specialization(subject_role("a"), subject_role("b"))
+        h.add_specialization("b", subject_role("c"))
+        h.add_specialization("c", subject_role("d"))
+        with pytest.raises(HierarchyCycleError):
+            h.add_specialization("d", "a")
+
+    def test_diamond_is_allowed(self):
+        h = RoleHierarchy(RoleKind.SUBJECT)
+        h.add_specialization(subject_role("bottom"), subject_role("left"))
+        h.add_specialization("bottom", subject_role("right"))
+        h.add_specialization("left", subject_role("top"))
+        h.add_specialization("right", "top")
+        assert {r.name for r in h.generalizations("bottom")} == {
+            "left",
+            "right",
+            "top",
+        }
+
+
+class TestQueries:
+    def test_generalizations_transitive(self, figure2):
+        assert {r.name for r in figure2.generalizations("parent")} == {
+            "family-member",
+            "home-user",
+        }
+
+    def test_specializations_transitive(self, figure2):
+        assert {r.name for r in figure2.specializations("home-user")} == {
+            "family-member",
+            "authorized-guest",
+            "parent",
+            "child",
+            "service-agent",
+        }
+
+    def test_direct_queries(self, figure2):
+        assert {r.name for r in figure2.direct_generalizations("parent")} == {
+            "family-member"
+        }
+        assert {r.name for r in figure2.direct_specializations("family-member")} == {
+            "parent",
+            "child",
+        }
+
+    def test_is_specialization_reflexive(self, figure2):
+        assert figure2.is_specialization_of("child", "child")
+
+    def test_is_specialization_transitive(self, figure2):
+        assert figure2.is_specialization_of("child", "home-user")
+        assert not figure2.is_specialization_of("home-user", "child")
+
+    def test_siblings_not_related(self, figure2):
+        assert not figure2.is_specialization_of("child", "parent")
+        assert not figure2.is_specialization_of("parent", "child")
+
+    def test_expand_includes_self_and_ancestors(self, figure2):
+        expanded = {r.name for r in figure2.expand(["child"])}
+        assert expanded == {"child", "family-member", "home-user"}
+
+    def test_expand_multiple_roots(self, figure2):
+        expanded = {r.name for r in figure2.expand(["child", "service-agent"])}
+        assert "authorized-guest" in expanded and "family-member" in expanded
+
+    def test_expand_empty(self, figure2):
+        assert figure2.expand([]) == set()
+
+
+class TestDistance:
+    def test_distance_zero_to_self(self, figure2):
+        assert figure2.distance("child", "child") == 0
+
+    def test_distance_counts_edges(self, figure2):
+        assert figure2.distance("child", "family-member") == 1
+        assert figure2.distance("child", "home-user") == 2
+
+    def test_distance_none_when_unrelated(self, figure2):
+        assert figure2.distance("child", "parent") is None
+        assert figure2.distance("home-user", "child") is None
+
+    def test_distance_shortest_path_in_diamond(self):
+        h = RoleHierarchy(RoleKind.SUBJECT)
+        h.add_specialization(subject_role("a"), subject_role("b"))
+        h.add_specialization("b", subject_role("d"))
+        h.add_specialization("a", "d")  # direct shortcut
+        assert h.distance("a", "d") == 1
+
+    def test_distance_cache_invalidated_on_edge_change(self, figure2):
+        assert figure2.distance("child", "home-user") == 2
+        figure2.add_specialization("child", "home-user")  # direct shortcut
+        assert figure2.distance("child", "home-user") == 1
+
+
+class TestMutation:
+    def test_remove_specialization(self, figure2):
+        figure2.remove_specialization("child", "family-member")
+        assert figure2.generalizations("child") == set()
+
+    def test_remove_missing_edge_raises(self, figure2):
+        with pytest.raises(HierarchyError):
+            figure2.remove_specialization("child", "home-user")
+
+    def test_closure_invalidated_on_removal(self, figure2):
+        assert figure2.is_specialization_of("child", "home-user")
+        figure2.remove_specialization("family-member", "home-user")
+        assert not figure2.is_specialization_of("child", "home-user")
+
+    def test_conflicting_readd_raises(self, figure2):
+        with pytest.raises(HierarchyError):
+            figure2.add_role(subject_role("parent", x=1))
+
+    def test_conflicting_description_readd_raises(self, figure2):
+        with pytest.raises(HierarchyError):
+            figure2.add_role(subject_role("parent", "a new description"))
+
+
+class TestTopologicalOrder:
+    def test_specializations_before_generalizations(self, figure2):
+        order = [r.name for r in figure2.topological_order()]
+        assert order.index("child") < order.index("family-member")
+        assert order.index("family-member") < order.index("home-user")
+        assert order.index("service-agent") < order.index("authorized-guest")
+
+    def test_all_roles_present(self, figure2):
+        assert len(figure2.topological_order()) == len(figure2)
+
+    def test_edges_listing(self, figure2):
+        edges = {(c.name, p.name) for c, p in figure2.edges()}
+        assert ("parent", "family-member") in edges
+        assert len(edges) == 5
+
+
+class TestDotExport:
+    def test_dot_contains_roles_edges_and_members(self, figure2):
+        dot = figure2.to_dot(
+            "figure2", members={"parent": ["mom", "dad"], "child": ["alice"]}
+        )
+        assert dot.startswith("digraph figure2 {")
+        assert '"parent" -> "family-member";' in dot
+        assert '"mom" -> "parent" [style=dashed];' in dot
+        assert '"alice" [shape=ellipse];' in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_dot_without_members(self, figure2):
+        dot = figure2.to_dot()
+        assert "style=dashed" not in dot
+        assert '"child" -> "family-member";' in dot
+
+    def test_dot_is_deterministic(self, figure2):
+        assert figure2.to_dot() == figure2.to_dot()

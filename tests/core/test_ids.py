@@ -1,0 +1,40 @@
+"""Tests for the identifier discipline."""
+
+import pytest
+
+from repro.core.ids import qualify, validate_identifier
+from repro.exceptions import PolicyError
+
+
+class TestValidateIdentifier:
+    def test_valid_identifiers_returned_unchanged(self):
+        for name in ("alice", "livingroom/tv", "kid-safe", "a.b.c", "x:y"):
+            assert validate_identifier(name) == name
+
+    def test_empty_rejected(self):
+        with pytest.raises(PolicyError, match="non-empty"):
+            validate_identifier("")
+
+    def test_whitespace_rejected(self):
+        for bad in ("two words", "tab\tname", "new\nline", " leading"):
+            with pytest.raises(PolicyError, match="whitespace"):
+                validate_identifier(bad)
+
+    def test_non_string_rejected(self):
+        with pytest.raises(PolicyError, match="must be a string"):
+            validate_identifier(42)
+
+    def test_kind_appears_in_message(self):
+        with pytest.raises(PolicyError, match="widget"):
+            validate_identifier("", kind="widget")
+
+
+class TestQualify:
+    def test_joins_namespace_and_name(self):
+        assert qualify("livingroom", "tv") == "livingroom/tv"
+
+    def test_both_parts_validated(self):
+        with pytest.raises(PolicyError):
+            qualify("", "tv")
+        with pytest.raises(PolicyError):
+            qualify("livingroom", "big tv")

@@ -1,0 +1,78 @@
+"""Tests for Permission (the GRBAC rule tuple)."""
+
+import pytest
+
+from repro.core.permissions import Permission, Sign
+from repro.core.roles import environment_role, object_role, subject_role
+from repro.core.transactions import Transaction
+from repro.exceptions import PolicyError, RoleKindError
+
+
+def make_permission(**overrides):
+    values = dict(
+        subject_role=subject_role("child"),
+        object_role=object_role("entertainment"),
+        environment_role=environment_role("free-time"),
+        transaction=Transaction.simple("watch"),
+        sign=Sign.GRANT,
+    )
+    values.update(overrides)
+    return Permission(**values)
+
+
+class TestConstruction:
+    def test_valid_permission(self):
+        permission = make_permission()
+        assert permission.sign is Sign.GRANT
+        assert permission.min_confidence == 0.0
+        assert permission.priority == 0
+
+    def test_kind_checked_subject(self):
+        with pytest.raises(RoleKindError):
+            make_permission(subject_role=object_role("wrong"))
+
+    def test_kind_checked_object(self):
+        with pytest.raises(RoleKindError):
+            make_permission(object_role=subject_role("wrong"))
+
+    def test_kind_checked_environment(self):
+        with pytest.raises(RoleKindError):
+            make_permission(environment_role=subject_role("wrong"))
+
+    def test_sign_type_checked(self):
+        with pytest.raises(PolicyError):
+            make_permission(sign="grant")
+
+    def test_confidence_range_checked(self):
+        with pytest.raises(PolicyError):
+            make_permission(min_confidence=1.5)
+        with pytest.raises(PolicyError):
+            make_permission(min_confidence=-0.1)
+
+
+class TestKeyAndDescribe:
+    def test_key_identifies_rule_tuple(self):
+        a = make_permission()
+        b = make_permission()
+        assert a.key == b.key
+
+    def test_key_distinguishes_sign(self):
+        assert make_permission().key != make_permission(sign=Sign.DENY).key
+
+    def test_key_ignores_priority_and_confidence(self):
+        assert (
+            make_permission(priority=5, min_confidence=0.9).key
+            == make_permission().key
+        )
+
+    def test_describe_mentions_all_parts(self):
+        text = make_permission(name="tv-rule", min_confidence=0.9).describe()
+        assert "tv-rule" in text
+        assert "grant watch" in text
+        assert "child" in text
+        assert "entertainment" in text
+        assert "free-time" in text
+        assert "90%" in text
+
+    def test_describe_deny(self):
+        assert make_permission(sign=Sign.DENY).describe().startswith("deny")

@@ -1,0 +1,207 @@
+"""Tests for the GrbacPolicy aggregate."""
+
+import pytest
+
+from repro.core import (
+    CardinalityConstraint,
+    GrbacPolicy,
+    PrerequisiteConstraint,
+    SeparationOfDuty,
+    Sign,
+)
+from repro.core.roles import ANY_ENVIRONMENT, ANY_OBJECT
+from repro.exceptions import (
+    ConstraintViolationError,
+    DuplicateEntityError,
+    PolicyError,
+    UnknownEntityError,
+)
+
+
+class TestEntityRegistration:
+    def test_add_subject_by_name_with_attributes(self, empty_policy):
+        subject = empty_policy.add_subject("alice", age=11)
+        assert subject.attribute("age") == 11
+        assert empty_policy.subject("alice") is subject
+
+    def test_duplicate_subject_same_attributes_idempotent(self, empty_policy):
+        a = empty_policy.add_subject("alice", age=11)
+        b = empty_policy.add_subject("alice", age=11)
+        assert a is b
+
+    def test_duplicate_subject_different_attributes_raises(self, empty_policy):
+        empty_policy.add_subject("alice", age=11)
+        with pytest.raises(DuplicateEntityError):
+            empty_policy.add_subject("alice", age=12)
+
+    def test_unknown_lookups_raise(self, empty_policy):
+        with pytest.raises(UnknownEntityError):
+            empty_policy.subject("ghost")
+        with pytest.raises(UnknownEntityError):
+            empty_policy.object("ghost")
+        with pytest.raises(UnknownEntityError):
+            empty_policy.transaction("ghost")
+
+    def test_transaction_by_name(self, empty_policy):
+        txn = empty_policy.add_transaction("watch")
+        assert empty_policy.transaction("watch") is txn
+
+    def test_wildcard_roles_preregistered(self, empty_policy):
+        assert ANY_OBJECT.name in empty_policy.object_roles
+        assert ANY_ENVIRONMENT.name in empty_policy.environment_roles
+
+
+class TestRoleQueries:
+    def test_authorized_vs_effective_subject_roles(self, figure2_policy):
+        direct = {r.name for r in figure2_policy.authorized_subject_roles("mom")}
+        effective = {r.name for r in figure2_policy.effective_subject_roles("mom")}
+        assert direct == {"parent"}
+        assert effective == {"parent", "family-member", "home-user"}
+
+    def test_subjects_in_role_transitive(self, figure2_policy):
+        assert figure2_policy.subjects_in_role("family-member") == {
+            "mom",
+            "dad",
+            "alice",
+            "bobby",
+        }
+        assert figure2_policy.subjects_in_role("family-member", transitive=False) == set()
+        assert figure2_policy.subjects_in_role("home-user") == {
+            "mom",
+            "dad",
+            "alice",
+            "bobby",
+            "dishwasher-repair-tech",
+        }
+
+    def test_effective_object_roles_include_any_object(self, tv_policy):
+        roles = {r.name for r in tv_policy.effective_object_roles("livingroom/tv")}
+        assert roles == {"television", "entertainment-devices", "any-object"}
+
+    def test_objects_in_role_transitive(self, tv_policy):
+        assert tv_policy.objects_in_role("entertainment-devices") == {
+            "livingroom/tv"
+        }
+        assert tv_policy.objects_in_role("any-object") == {
+            "livingroom/tv",
+            "kitchen/oven",
+        }
+
+    def test_assignment_requires_known_entities(self, empty_policy):
+        empty_policy.add_subject_role("r")
+        with pytest.raises(UnknownEntityError):
+            empty_policy.assign_subject("ghost", "r")
+        empty_policy.add_subject("alice")
+        with pytest.raises(UnknownEntityError):
+            empty_policy.assign_subject("alice", "ghost-role")
+
+    def test_revoke_subject(self, figure2_policy):
+        figure2_policy.revoke_subject("mom", "parent")
+        assert figure2_policy.authorized_subject_roles("mom") == set()
+
+
+class TestPermissions:
+    def test_grant_registers_transaction(self, tv_policy):
+        tv_policy.grant("parent", "brand-new-transaction")
+        assert tv_policy.transaction("brand-new-transaction")
+
+    def test_duplicate_rule_rejected(self, tv_policy):
+        with pytest.raises(DuplicateEntityError):
+            tv_policy.grant("child", "watch", "entertainment-devices", "free-time")
+
+    def test_grant_and_deny_same_tuple_both_allowed(self, tv_policy):
+        # Same tuple with opposite sign is a *conflict*, not a duplicate.
+        tv_policy.deny("child", "watch", "entertainment-devices", "free-time")
+        assert len(tv_policy.permissions()) == 2
+
+    def test_unknown_role_in_rule_rejected(self, tv_policy):
+        with pytest.raises(UnknownEntityError):
+            tv_policy.grant("ghost-role", "watch")
+
+    def test_remove_permission(self, tv_policy):
+        permission = tv_policy.permissions()[0]
+        tv_policy.remove_permission(permission)
+        assert tv_policy.permissions() == []
+        with pytest.raises(UnknownEntityError):
+            tv_policy.remove_permission(permission)
+
+    def test_permission_revision_bumps(self, tv_policy):
+        before = tv_policy.permission_revision
+        permission = tv_policy.grant("parent", "new-txn")
+        tv_policy.remove_permission(permission)
+        assert tv_policy.permission_revision == before + 2
+
+    def test_permissions_for_transaction(self, tv_policy):
+        assert len(tv_policy.permissions_for_transaction("watch")) == 1
+        assert tv_policy.permissions_for_transaction("ghost") == []
+
+
+class TestConstraintsIntegration:
+    def test_ssd_enforced_on_assignment(self, empty_policy):
+        policy = empty_policy
+        policy.add_subject("pat")
+        policy.add_subject_role("teller")
+        policy.add_subject_role("account-holder")
+        policy.add_constraint(
+            SeparationOfDuty("bank", ["teller", "account-holder"], static=True)
+        )
+        policy.assign_subject("pat", "teller")
+        with pytest.raises(ConstraintViolationError):
+            policy.assign_subject("pat", "account-holder")
+
+    def test_new_constraint_rejected_if_already_violated(self, empty_policy):
+        policy = empty_policy
+        policy.add_subject("pat")
+        policy.add_subject_role("a")
+        policy.add_subject_role("b")
+        policy.assign_subject("pat", "a")
+        policy.assign_subject("pat", "b")
+        with pytest.raises(PolicyError):
+            policy.add_constraint(SeparationOfDuty("late", ["a", "b"], static=True))
+
+    def test_cardinality_enforced(self, empty_policy):
+        policy = empty_policy
+        policy.add_subject("a")
+        policy.add_subject("b")
+        policy.add_subject_role("admin")
+        policy.add_constraint(CardinalityConstraint("one-admin", "admin", 1))
+        policy.assign_subject("a", "admin")
+        with pytest.raises(ConstraintViolationError):
+            policy.assign_subject("b", "admin")
+
+    def test_prerequisite_uses_hierarchy(self, figure2_policy):
+        policy = figure2_policy
+        policy.add_subject_role("administrator")
+        policy.add_constraint(
+            PrerequisiteConstraint("admin-family", "administrator", "family-member")
+        )
+        # Mom holds parent, which specializes family-member: allowed.
+        policy.assign_subject("mom", "administrator")
+        # The repair tech holds only service-agent: blocked.
+        with pytest.raises(ConstraintViolationError):
+            policy.assign_subject("dishwasher-repair-tech", "administrator")
+
+    def test_dsd_enforced_via_sessions(self, empty_policy):
+        policy = empty_policy
+        policy.add_subject("pat")
+        policy.add_subject_role("teller")
+        policy.add_subject_role("account-holder")
+        policy.add_constraint(
+            SeparationOfDuty("bank", ["teller", "account-holder"], static=False)
+        )
+        policy.assign_subject("pat", "teller")
+        policy.assign_subject("pat", "account-holder")  # possession OK
+        session = policy.sessions.open("pat", activate=["teller"])
+        with pytest.raises(ConstraintViolationError):
+            session.activate("account-holder")
+
+
+class TestStats:
+    def test_stats_counts(self, tv_policy):
+        stats = tv_policy.stats()
+        assert stats["subjects"] == 4
+        assert stats["objects"] == 2
+        assert stats["permissions"] == 1
+        assert stats["subject_roles"] == 6
+        # any-object plus the three declared object roles
+        assert stats["object_roles"] == 4

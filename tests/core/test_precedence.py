@@ -1,0 +1,125 @@
+"""Tests for role-precedence / conflict-resolution strategies."""
+
+import pytest
+
+from repro.core.permissions import Permission, Sign
+from repro.core.precedence import Match, PrecedenceStrategy, resolve
+from repro.core.roles import environment_role, object_role, subject_role
+from repro.core.transactions import Transaction
+
+
+def match(sign: Sign, priority: int = 0, specificity: int = 0) -> Match:
+    permission = Permission(
+        subject_role=subject_role(f"s-{sign.value}-{priority}-{specificity}"),
+        object_role=object_role("o"),
+        environment_role=environment_role("e"),
+        transaction=Transaction.simple("t"),
+        sign=sign,
+        priority=priority,
+    )
+    return Match(
+        permission=permission,
+        subject_role=permission.subject_role,
+        object_role=permission.object_role,
+        environment_role=permission.environment_role,
+        specificity=specificity,
+    )
+
+
+class TestEmptyMatches:
+    def test_default_deny(self):
+        resolution = resolve([], PrecedenceStrategy.DENY_OVERRIDES)
+        assert resolution.sign is Sign.DENY
+        assert resolution.winner is None
+        assert "no matching rule" in resolution.rationale
+
+    def test_default_sign_respected(self):
+        resolution = resolve(
+            [], PrecedenceStrategy.DENY_OVERRIDES, default_sign=Sign.GRANT
+        )
+        assert resolution.sign is Sign.GRANT
+
+
+class TestDenyOverrides:
+    def test_deny_beats_grant(self):
+        resolution = resolve(
+            [match(Sign.GRANT), match(Sign.DENY)],
+            PrecedenceStrategy.DENY_OVERRIDES,
+        )
+        assert resolution.sign is Sign.DENY
+        assert resolution.winner.sign is Sign.DENY
+
+    def test_all_grants_grant(self):
+        resolution = resolve(
+            [match(Sign.GRANT), match(Sign.GRANT)],
+            PrecedenceStrategy.DENY_OVERRIDES,
+        )
+        assert resolution.sign is Sign.GRANT
+
+
+class TestAllowOverrides:
+    def test_grant_beats_deny(self):
+        resolution = resolve(
+            [match(Sign.DENY), match(Sign.GRANT)],
+            PrecedenceStrategy.ALLOW_OVERRIDES,
+        )
+        assert resolution.sign is Sign.GRANT
+
+    def test_all_denies_deny(self):
+        resolution = resolve(
+            [match(Sign.DENY)], PrecedenceStrategy.ALLOW_OVERRIDES
+        )
+        assert resolution.sign is Sign.DENY
+
+
+class TestPriority:
+    def test_higher_priority_wins(self):
+        resolution = resolve(
+            [match(Sign.DENY, priority=1), match(Sign.GRANT, priority=5)],
+            PrecedenceStrategy.PRIORITY,
+        )
+        assert resolution.sign is Sign.GRANT
+
+    def test_tie_falls_back_to_deny(self):
+        resolution = resolve(
+            [match(Sign.DENY, priority=3), match(Sign.GRANT, priority=3)],
+            PrecedenceStrategy.PRIORITY,
+        )
+        assert resolution.sign is Sign.DENY
+
+    def test_lower_priority_ignored_entirely(self):
+        # A low-priority deny must not override a high-priority grant.
+        resolution = resolve(
+            [match(Sign.DENY, priority=0), match(Sign.GRANT, priority=9)],
+            PrecedenceStrategy.PRIORITY,
+        )
+        assert resolution.sign is Sign.GRANT
+        assert "priority 9" in resolution.rationale
+
+
+class TestMostSpecific:
+    def test_smaller_distance_wins(self):
+        resolution = resolve(
+            [match(Sign.DENY, specificity=5), match(Sign.GRANT, specificity=1)],
+            PrecedenceStrategy.MOST_SPECIFIC,
+        )
+        assert resolution.sign is Sign.GRANT
+
+    def test_tie_falls_back_to_deny(self):
+        resolution = resolve(
+            [match(Sign.DENY, specificity=2), match(Sign.GRANT, specificity=2)],
+            PrecedenceStrategy.MOST_SPECIFIC,
+        )
+        assert resolution.sign is Sign.DENY
+
+
+class TestRationale:
+    def test_rationale_names_strategy(self):
+        for strategy, needle in [
+            (PrecedenceStrategy.DENY_OVERRIDES, "deny-overrides"),
+            (PrecedenceStrategy.ALLOW_OVERRIDES, "allow-overrides"),
+            (PrecedenceStrategy.PRIORITY, "priority"),
+            (PrecedenceStrategy.MOST_SPECIFIC, "most-specific"),
+        ]:
+            resolution = resolve([match(Sign.GRANT)], strategy)
+            assert needle in resolution.rationale

@@ -1,0 +1,214 @@
+"""Property-based tests for the core model (hypothesis).
+
+Invariants checked:
+
+* hierarchy seniority is a partial order (reflexive, transitive,
+  antisymmetric) and ``expand`` equals the union of closures;
+* random edge insertions never produce a cycle (cycle attempts raise);
+* the indexed mediation path is decision-equivalent to the naive
+  quantifier transcription on random policies and requests;
+* deny-overrides/allow-overrides resolutions are monotone in match
+  sets (adding a deny never turns a deny-overrides grant... etc.).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    AccessRequest,
+    MediationEngine,
+    PrecedenceStrategy,
+    Sign,
+)
+from repro.core.hierarchy import RoleHierarchy
+from repro.core.roles import RoleKind, subject_role
+from repro.exceptions import HierarchyCycleError
+from repro.workload.generator import (
+    RandomPolicyConfig,
+    generate_policy,
+    generate_requests,
+)
+
+# ----------------------------------------------------------------------
+# Hierarchy properties
+# ----------------------------------------------------------------------
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 11), st.integers(0, 11)),
+    min_size=0,
+    max_size=30,
+)
+
+
+def build_hierarchy(edges) -> RoleHierarchy:
+    h = RoleHierarchy(RoleKind.SUBJECT)
+    names = [f"r{i}" for i in range(12)]
+    for name in names:
+        h.add_role(subject_role(name))
+    for child, parent in edges:
+        if child == parent:
+            continue
+        try:
+            h.add_specialization(names[child], names[parent])
+        except HierarchyCycleError:
+            pass
+    return h
+
+
+@given(edge_lists)
+@settings(max_examples=60, deadline=None)
+def test_hierarchy_seniority_is_partial_order(edges):
+    h = build_hierarchy(edges)
+    names = [r.name for r in h.roles()]
+    # Reflexive
+    for name in names:
+        assert h.is_specialization_of(name, name)
+    # Antisymmetric (a DAG cannot have a <= b and b <= a for a != b)
+    for a in names:
+        for b in names:
+            if a != b and h.is_specialization_of(a, b):
+                assert not h.is_specialization_of(b, a)
+    # Transitive
+    for a in names:
+        for b in (r.name for r in h.generalizations(a)):
+            for c in (r.name for r in h.generalizations(b)):
+                assert h.is_specialization_of(a, c)
+
+
+@given(edge_lists)
+@settings(max_examples=60, deadline=None)
+def test_hierarchy_expand_is_union_of_closures(edges):
+    h = build_hierarchy(edges)
+    names = [r.name for r in h.roles()]
+    some = names[::3]
+    expanded = {r.name for r in h.expand(some)}
+    union = set()
+    for name in some:
+        union.add(name)
+        union.update(r.name for r in h.generalizations(name))
+    assert expanded == union
+
+
+@given(edge_lists)
+@settings(max_examples=60, deadline=None)
+def test_hierarchy_distance_consistent_with_closure(edges):
+    h = build_hierarchy(edges)
+    names = [r.name for r in h.roles()]
+    for a in names[:6]:
+        for b in names[:6]:
+            distance = h.distance(a, b)
+            related = h.is_specialization_of(a, b)
+            assert (distance is not None) == related
+            if a == b:
+                assert distance == 0
+
+
+@given(edge_lists)
+@settings(max_examples=60, deadline=None)
+def test_hierarchy_never_becomes_cyclic(edges):
+    h = build_hierarchy(edges)
+    # topological_order succeeds only on DAGs.
+    order = [r.name for r in h.topological_order()]
+    position = {name: i for i, name in enumerate(order)}
+    for child, parent in ((c.name, p.name) for c, p in h.edges()):
+        assert position[child] < position[parent]
+
+
+# ----------------------------------------------------------------------
+# Mediation equivalence: indexed == naive
+# ----------------------------------------------------------------------
+@st.composite
+def policy_configs(draw):
+    """Random-policy configs whose permission count always fits the
+    unique grant-tuple space (the generator draws signs randomly, so
+    the safe capacity is the grant-only one)."""
+    subject_roles = draw(st.integers(2, 6))
+    object_roles = draw(st.integers(2, 5))
+    environment_roles = draw(st.integers(1, 4))
+    transactions = draw(st.integers(1, 5))
+    capacity = (
+        subject_roles * (object_roles + 1) * (environment_roles + 1) * transactions
+    )
+    return RandomPolicyConfig(
+        subjects=draw(st.integers(2, 8)),
+        objects=draw(st.integers(2, 8)),
+        transactions=transactions,
+        subject_roles=subject_roles,
+        object_roles=object_roles,
+        environment_roles=environment_roles,
+        hierarchy_edges=draw(st.integers(0, 5)),
+        roles_per_subject=draw(st.integers(1, 3)),
+        roles_per_object=draw(st.integers(1, 3)),
+        permissions=min(draw(st.integers(1, 25)), capacity),
+        deny_fraction=draw(st.floats(0.0, 0.5)),
+        seed=draw(st.integers(0, 10_000)),
+    )
+
+
+@given(policy_configs(), st.integers(0, 10_000))
+@settings(max_examples=40, deadline=None)
+def test_indexed_engine_equals_naive_engine(config, request_seed):
+    policy = generate_policy(config)
+    indexed = MediationEngine(policy, use_index=True)
+    naive = MediationEngine(policy, use_index=False)
+    for generated in generate_requests(policy, 15, seed=request_seed):
+        env = set(generated.active_environment_roles)
+        a = indexed.decide(generated.request, environment_roles=env)
+        b = naive.decide(generated.request, environment_roles=env)
+        assert a.granted == b.granted
+        assert {m.permission.key for m in a.matches} == {
+            m.permission.key for m in b.matches
+        }
+
+
+@given(policy_configs(), st.integers(0, 10_000))
+@settings(max_examples=20, deadline=None)
+def test_deny_overrides_is_never_more_permissive(config, request_seed):
+    """deny-overrides grants a subset of what allow-overrides grants."""
+    policy = generate_policy(config)
+    engine = MediationEngine(policy)
+    for generated in generate_requests(policy, 10, seed=request_seed):
+        env = set(generated.active_environment_roles)
+        policy.precedence = PrecedenceStrategy.DENY_OVERRIDES
+        deny_first = engine.decide(generated.request, environment_roles=env)
+        policy.precedence = PrecedenceStrategy.ALLOW_OVERRIDES
+        allow_first = engine.decide(generated.request, environment_roles=env)
+        if deny_first.granted:
+            assert allow_first.granted
+
+
+@given(policy_configs(), st.integers(0, 10_000))
+@settings(max_examples=20, deadline=None)
+def test_activating_more_environment_roles_is_monotone_for_grant_only(
+    config, request_seed
+):
+    """With no deny rules, more active environment roles never revoke."""
+    # Zeroing deny_fraction halves the unique-rule space (sign is part
+    # of the rule key), so cap the permission count to what fits.
+    capacity = (
+        config.subject_roles
+        * (config.object_roles + 1)
+        * (config.environment_roles + 1)
+        * config.transactions
+    )
+    config = RandomPolicyConfig(
+        **{
+            **config.__dict__,
+            "deny_fraction": 0.0,
+            "permissions": min(config.permissions, capacity),
+        }
+    )
+    policy = generate_policy(config)
+    engine = MediationEngine(policy)
+    all_env = {
+        r.name for r in policy.environment_roles.roles()
+        if r.name != "any-environment"
+    }
+    for generated in generate_requests(policy, 10, seed=request_seed):
+        some = set(generated.active_environment_roles)
+        with_some = engine.decide(generated.request, environment_roles=some)
+        with_all = engine.decide(generated.request, environment_roles=all_env)
+        if with_some.granted:
+            assert with_all.granted

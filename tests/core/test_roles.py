@@ -1,0 +1,87 @@
+"""Tests for roles: kinds, equality, metadata, constructors."""
+
+import pytest
+
+from repro.core.roles import (
+    ANY_ENVIRONMENT,
+    ANY_OBJECT,
+    Role,
+    RoleKind,
+    environment_role,
+    object_role,
+    subject_role,
+)
+from repro.exceptions import PolicyError, RoleKindError
+
+
+class TestRoleConstruction:
+    def test_constructors_set_kind(self):
+        assert subject_role("parent").kind is RoleKind.SUBJECT
+        assert object_role("tv").kind is RoleKind.OBJECT
+        assert environment_role("weekday").kind is RoleKind.ENVIRONMENT
+
+    def test_qualified_name(self):
+        assert subject_role("parent").qualified_name == "subject:parent"
+        assert str(environment_role("weekday")) == "environment:weekday"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(PolicyError):
+            subject_role("")
+
+    def test_whitespace_name_rejected(self):
+        with pytest.raises(PolicyError):
+            subject_role("two words")
+
+    def test_non_rolekind_kind_rejected(self):
+        with pytest.raises(RoleKindError):
+            Role("x", "subject")  # type: ignore[arg-type]
+
+    def test_metadata_stored_and_readable(self):
+        role = subject_role("admin", "administrators", priority=7)
+        assert role.meta("priority") == 7
+        assert role.meta("missing") is None
+        assert role.meta("missing", 3) == 3
+
+    def test_metadata_copied_not_aliased(self):
+        metadata = {"level": 1}
+        role = Role("r", RoleKind.SUBJECT, metadata=metadata)
+        metadata["level"] = 99
+        assert role.meta("level") == 1
+
+
+class TestRoleEquality:
+    def test_same_kind_same_name_equal(self):
+        assert subject_role("x") == subject_role("x")
+
+    def test_same_name_different_kind_not_equal(self):
+        assert subject_role("guest") != object_role("guest")
+
+    def test_description_does_not_affect_equality(self):
+        assert subject_role("x", "one") == subject_role("x", "two")
+
+    def test_metadata_does_not_affect_equality(self):
+        assert subject_role("x", a=1) == subject_role("x", a=2)
+
+    def test_hashable_and_set_dedup(self):
+        roles = {subject_role("x"), subject_role("x"), object_role("x")}
+        assert len(roles) == 2
+
+
+class TestRequireKind:
+    def test_require_matching_kind_returns_role(self):
+        role = subject_role("x")
+        assert role.require_kind(RoleKind.SUBJECT) is role
+
+    def test_require_wrong_kind_raises(self):
+        with pytest.raises(RoleKindError, match="expected a object role"):
+            subject_role("x").require_kind(RoleKind.OBJECT)
+
+
+class TestDistinguishedRoles:
+    def test_any_object_is_object_kind(self):
+        assert ANY_OBJECT.kind is RoleKind.OBJECT
+        assert ANY_OBJECT.name == "any-object"
+
+    def test_any_environment_is_environment_kind(self):
+        assert ANY_ENVIRONMENT.kind is RoleKind.ENVIRONMENT
+        assert ANY_ENVIRONMENT.name == "any-environment"

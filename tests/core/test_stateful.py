@@ -1,0 +1,195 @@
+"""Stateful property tests (hypothesis RuleBasedStateMachine).
+
+Two safety invariants the model must hold under *any* interleaving of
+operations:
+
+* **Separation of duty** (§4.1.2): no sequence of assigns, revokes,
+  session openings, activations and deactivations ever reaches a state
+  where a subject's assigned roles violate an SSD constraint or a
+  session's active roles violate a DSD constraint.
+* **Delegation lifecycle**: under arbitrary delegate/revoke/advance
+  interleavings, a subject possesses a delegated role exactly while
+  some delegation of it is ACTIVE — never after expiry or revocation.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.core import GrbacPolicy, SeparationOfDuty
+from repro.core.delegation import DelegationManager, DelegationState
+from repro.env.clock import SimulatedClock, from_timestamp
+from repro.exceptions import GrbacError
+
+SUBJECTS = ["s0", "s1", "s2"]
+ROLES = ["r0", "r1", "r2", "r3"]
+#: r0/r1 conflict statically; r2/r3 conflict dynamically.
+SSD_PAIR = ("r0", "r1")
+DSD_PAIR = ("r2", "r3")
+
+
+class SodMachine(RuleBasedStateMachine):
+    """Random assign/revoke/activate churn against SoD constraints."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.policy = GrbacPolicy("stateful")
+        for subject in SUBJECTS:
+            self.policy.add_subject(subject)
+        for role in ROLES:
+            self.policy.add_subject_role(role)
+        self.policy.add_constraint(
+            SeparationOfDuty("ssd", SSD_PAIR, static=True)
+        )
+        self.policy.add_constraint(
+            SeparationOfDuty("dsd", DSD_PAIR, static=False)
+        )
+        self.sessions = {
+            subject: self.policy.sessions.open(subject) for subject in SUBJECTS
+        }
+
+    @rule(subject=st.sampled_from(SUBJECTS), role=st.sampled_from(ROLES))
+    def assign(self, subject, role):
+        try:
+            self.policy.assign_subject(subject, role)
+        except GrbacError:
+            pass  # vetoes are fine; the invariant is what matters
+
+    @rule(subject=st.sampled_from(SUBJECTS), role=st.sampled_from(ROLES))
+    def revoke(self, subject, role):
+        try:
+            self.policy.revoke_subject(subject, role)
+        except GrbacError:
+            pass
+
+    @rule(subject=st.sampled_from(SUBJECTS), role=st.sampled_from(ROLES))
+    def activate(self, subject, role):
+        try:
+            self.sessions[subject].activate(role)
+        except GrbacError:
+            pass
+
+    @rule(subject=st.sampled_from(SUBJECTS), role=st.sampled_from(ROLES))
+    def deactivate(self, subject, role):
+        try:
+            self.sessions[subject].deactivate(role)
+        except GrbacError:
+            pass
+
+    @rule(subject=st.sampled_from(SUBJECTS))
+    def reopen_session(self, subject):
+        self.policy.sessions.close(self.sessions[subject])
+        self.sessions[subject] = self.policy.sessions.open(subject)
+
+    @invariant()
+    def no_ssd_violation_in_assignments(self):
+        for subject in SUBJECTS:
+            assigned = self.policy.authorized_subject_role_names(subject)
+            assert not (set(SSD_PAIR) <= assigned), (subject, assigned)
+
+    @invariant()
+    def no_dsd_violation_in_sessions(self):
+        for subject, session in self.sessions.items():
+            active = session.active_roles
+            assert not (set(DSD_PAIR) <= active), (subject, active)
+
+    @invariant()
+    def active_roles_are_possessed(self):
+        # Sessions may hold roles revoked after activation?  No: our
+        # model keeps activation independent, so check the weaker but
+        # still essential property that activation only ever happened
+        # for possessed roles at activation time.  Here we assert the
+        # set difference only contains roles revoked *after*
+        # activation, which the model permits; nothing to check beyond
+        # DSD above.  Kept as documentation of the design decision.
+        pass
+
+
+TestSodMachine = SodMachine.TestCase
+TestSodMachine.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+
+
+START = datetime(2000, 1, 17, 8, 0)
+
+
+class DelegationMachine(RuleBasedStateMachine):
+    """Random delegation churn; possession must track ACTIVE windows."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.clock = SimulatedClock(START)
+        self.policy = GrbacPolicy("delegation-stateful")
+        for subject in SUBJECTS:
+            self.policy.add_subject(subject)
+        self.policy.add_subject_role("guest")
+        self.manager = DelegationManager(self.policy, self.clock)
+
+    @rule(
+        subject=st.sampled_from(SUBJECTS),
+        start_offset=st.integers(0, 3600),
+        duration=st.integers(60, 7200),
+    )
+    def delegate(self, subject, start_offset, duration):
+        now = self.clock.now()
+        starting = from_timestamp(now + start_offset)
+        until = from_timestamp(now + start_offset + duration)
+        try:
+            self.manager.delegate(
+                subject, "guest", until=until,
+                starting=starting if start_offset else None,
+            )
+        except GrbacError:
+            pass
+
+    @rule(subject=st.sampled_from(SUBJECTS))
+    def revoke_first_live(self, subject):
+        for delegation in self.manager.delegations_of(subject):
+            if delegation.state in (
+                DelegationState.PENDING,
+                DelegationState.ACTIVE,
+            ):
+                self.manager.revoke(delegation)
+                break
+
+    @rule(seconds=st.integers(1, 5400))
+    def advance(self, seconds):
+        self.clock.advance(seconds)
+
+    @invariant()
+    def possession_tracks_active_delegations(self):
+        for subject in SUBJECTS:
+            possessed = "guest" in self.policy.authorized_subject_role_names(
+                subject
+            )
+            active = any(
+                d.state is DelegationState.ACTIVE
+                for d in self.manager.delegations_of(subject)
+            )
+            assert possessed == active, (subject, possessed, active)
+
+    @invariant()
+    def finished_delegations_stay_finished(self):
+        now = self.clock.now()
+        for subject in SUBJECTS:
+            for delegation in self.manager.delegations_of(subject):
+                if delegation.state is DelegationState.ACTIVE:
+                    assert now < delegation.expires_at
+                if delegation.state is DelegationState.PENDING:
+                    assert now < delegation.expires_at
+
+
+TestDelegationMachine = DelegationMachine.TestCase
+TestDelegationMachine.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)

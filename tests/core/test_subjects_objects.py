@@ -1,0 +1,69 @@
+"""Tests for Subject and Resource value objects."""
+
+import pytest
+
+from repro.core.objects import Object, Resource
+from repro.core.subjects import Subject
+from repro.exceptions import PolicyError
+
+
+class TestSubject:
+    def test_basic_construction(self):
+        alice = Subject("alice", {"age": 11})
+        assert alice.name == "alice"
+        assert alice.attribute("age") == 11
+
+    def test_attribute_default(self):
+        assert Subject("x").attribute("age", 99) == 99
+
+    def test_equality_by_name_only(self):
+        assert Subject("alice", {"age": 11}) == Subject("alice", {"age": 12})
+        assert Subject("alice") != Subject("bob")
+
+    def test_attributes_frozen_copy(self):
+        attributes = {"age": 11}
+        alice = Subject("alice", attributes)
+        attributes["age"] = 50
+        assert alice.attribute("age") == 11
+
+    def test_with_attributes_returns_new_subject(self):
+        alice = Subject("alice", {"age": 11})
+        older = alice.with_attributes(age=12, grade=6)
+        assert older.attribute("age") == 12
+        assert older.attribute("grade") == 6
+        assert alice.attribute("age") == 11
+
+    def test_invalid_names_rejected(self):
+        with pytest.raises(PolicyError):
+            Subject("")
+        with pytest.raises(PolicyError):
+            Subject("has space")
+
+    def test_str_is_name(self):
+        assert str(Subject("alice")) == "alice"
+
+
+class TestResource:
+    def test_basic_construction(self):
+        tv = Resource("livingroom/tv", {"type": "television"})
+        assert tv.name == "livingroom/tv"
+        assert tv.attribute("type") == "television"
+
+    def test_object_alias(self):
+        assert Object is Resource
+
+    def test_equality_by_name(self):
+        assert Resource("tv", {"a": 1}) == Resource("tv", {"a": 2})
+
+    def test_with_attributes(self):
+        tv = Resource("tv", {"rating": "G"})
+        rated = tv.with_attributes(rating="R")
+        assert rated.attribute("rating") == "R"
+        assert tv.attribute("rating") == "G"
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(PolicyError):
+            Resource("bad name")
+
+    def test_hashable(self):
+        assert len({Resource("tv"), Resource("tv")}) == 1

@@ -1,0 +1,48 @@
+"""Tests for Operation and Transaction (Figure 1 definitions)."""
+
+import pytest
+
+from repro.core.transactions import Operation, Transaction
+from repro.exceptions import PolicyError
+
+
+class TestOperation:
+    def test_basic(self):
+        assert Operation("read").name == "read"
+        assert str(Operation("read")) == "read"
+
+    def test_invalid_name(self):
+        with pytest.raises(PolicyError):
+            Operation("")
+
+
+class TestTransaction:
+    def test_simple_builds_one_operation(self):
+        txn = Transaction.simple("watch")
+        assert txn.name == "watch"
+        assert [op.name for op in txn.operations] == ["watch"]
+
+    def test_default_operations_named_after_transaction(self):
+        txn = Transaction("reboot")
+        assert [op.name for op in txn.operations] == ["reboot"]
+
+    def test_composite_preserves_order(self):
+        txn = Transaction.composite(
+            "reorder_groceries", ["read_inventory", "place_order"]
+        )
+        assert [op.name for op in txn.operations] == [
+            "read_inventory",
+            "place_order",
+        ]
+
+    def test_a_transaction_is_one_or_more_accesses(self):
+        # Figure 1: "a series of one or more accesses".
+        assert len(Transaction("t").operations) >= 1
+        assert len(Transaction.composite("t2", ["a", "b", "c"]).operations) == 3
+
+    def test_equality_by_name(self):
+        assert Transaction.simple("t") == Transaction.composite("t", ["x", "y"])
+
+    def test_invalid_name(self):
+        with pytest.raises(PolicyError):
+            Transaction.simple("two words")

@@ -1,0 +1,132 @@
+"""Tests for the environment-role activator."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.env.activation import EnvironmentRoleActivator
+from repro.env.clock import SimulatedClock
+from repro.env.conditions import during, state_equals
+from repro.env.events import EventBus
+from repro.env.state import EnvironmentState
+from repro.env.temporal import time_window, weekdays
+from repro.exceptions import EnvironmentError_
+
+
+@pytest.fixture
+def setup():
+    clock = SimulatedClock(datetime(2000, 1, 17, 18, 0))  # Monday 18:00
+    bus = EventBus(clock=clock)
+    state = EnvironmentState(bus)
+    activator = EnvironmentRoleActivator(state, clock, bus=bus)
+    return clock, bus, state, activator
+
+
+class TestBindings:
+    def test_bind_and_query(self, setup):
+        clock, bus, state, activator = setup
+        activator.bind("weekdays", during(weekdays()))
+        assert activator.is_active("weekdays")
+        assert activator.bound_roles() == ["weekdays"]
+        assert activator.condition_of("weekdays") is not None
+
+    def test_unbind(self, setup):
+        _, _, _, activator = setup
+        activator.bind("x", during(weekdays()))
+        activator.unbind("x")
+        assert activator.active_environment_roles() == set()
+        with pytest.raises(EnvironmentError_):
+            activator.unbind("x")
+        with pytest.raises(EnvironmentError_):
+            activator.condition_of("x")
+
+    def test_rebind_replaces_condition(self, setup):
+        clock, _, state, activator = setup
+        activator.bind("flex", state_equals("flag", True))
+        assert not activator.is_active("flex")
+        activator.bind("flex", during(weekdays()))
+        assert activator.is_active("flex")
+
+    def test_empty_name_rejected(self, setup):
+        _, _, _, activator = setup
+        with pytest.raises(EnvironmentError_):
+            activator.bind("", during(weekdays()))
+
+
+class TestActivationDynamics:
+    def test_time_based_transition(self, setup):
+        clock, _, _, activator = setup
+        activator.bind("free-time", during(time_window("19:00", "22:00")))
+        assert not activator.is_active("free-time")
+        clock.advance(hours=2)  # 20:00
+        assert activator.is_active("free-time")
+        clock.advance(hours=3)  # 23:00
+        assert not activator.is_active("free-time")
+
+    def test_state_based_transition(self, setup):
+        _, _, state, activator = setup
+        activator.bind("alert", state_equals("alarm", True))
+        assert not activator.is_active("alert")
+        state.set("alarm", True)
+        assert activator.is_active("alert")
+        state.set("alarm", False)
+        assert not activator.is_active("alert")
+
+    def test_cache_is_keyed_on_time_and_state(self, setup):
+        clock, _, state, activator = setup
+        calls = []
+
+        from repro.env.conditions import Condition
+
+        class Counting(Condition):
+            def evaluate(self, state_, clock_):
+                calls.append(1)
+                return True
+
+            def describe(self):
+                return "counting"
+
+        activator.bind("counted", Counting())
+        activator.active_environment_roles()
+        activator.active_environment_roles()  # cached
+        assert len(calls) == 1
+        clock.advance(1)
+        activator.active_environment_roles()
+        assert len(calls) == 2
+        state.set("anything", 1)
+        activator.active_environment_roles()
+        assert len(calls) == 3
+
+
+class TestTransitionEvents:
+    def test_events_published_on_transitions(self, setup):
+        clock, bus, _, activator = setup
+        activator.bind("free-time", during(time_window("19:00", "22:00")))
+        activated = []
+        deactivated = []
+        bus.subscribe("role.activated", lambda e: activated.append(e.get("role")))
+        bus.subscribe(
+            "role.deactivated", lambda e: deactivated.append(e.get("role"))
+        )
+        clock.advance(hours=2)  # 20:00: inactive -> active
+        clock.advance(minutes=30)  # still active: no event
+        clock.advance(hours=2)  # 22:30: active -> inactive
+        assert activated == ["free-time"]
+        assert deactivated == ["free-time"]
+
+    def test_refresh_returns_changes(self, setup):
+        clock, _, _, activator = setup
+        activator.bind("free-time", during(time_window("19:00", "22:00")))
+        activator.refresh()
+        # Manually advance the raw time without observers by using a
+        # fresh refresh call after a clock advance.
+        changes = activator.refresh()
+        assert changes == {}
+
+    def test_state_change_triggers_refresh_via_bus(self, setup):
+        _, bus, state, activator = setup
+        activator.bind("alert", state_equals("alarm", True))
+        events = []
+        bus.subscribe("role.activated", events.append)
+        state.set("alarm", True)  # env.changed -> refresh -> role.activated
+        assert len(events) == 1

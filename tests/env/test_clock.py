@@ -1,0 +1,95 @@
+"""Tests for the simulated clock."""
+
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.env.clock import (
+    EPOCH,
+    SimulatedClock,
+    SystemClock,
+    from_timestamp,
+    to_timestamp,
+)
+from repro.exceptions import EnvironmentError_
+
+
+class TestConversions:
+    def test_round_trip(self):
+        moment = datetime(2000, 1, 17, 8, 30, 15)
+        assert from_timestamp(to_timestamp(moment)) == moment
+
+    def test_epoch_is_zero(self):
+        assert to_timestamp(EPOCH) == 0.0
+
+
+class TestSimulatedClock:
+    def test_default_start_is_the_repairman_morning(self):
+        clock = SimulatedClock()
+        assert clock.now_datetime() == datetime(2000, 1, 17, 8, 0)
+
+    def test_advance_seconds(self):
+        clock = SimulatedClock(datetime(2000, 1, 1))
+        clock.advance(90)
+        assert clock.now_datetime() == datetime(2000, 1, 1, 0, 1, 30)
+
+    def test_advance_with_units(self):
+        clock = SimulatedClock(datetime(2000, 1, 1))
+        clock.advance(days=1, hours=2, minutes=30)
+        assert clock.now_datetime() == datetime(2000, 1, 2, 2, 30)
+
+    def test_advance_to(self):
+        clock = SimulatedClock(datetime(2000, 1, 1))
+        clock.advance_to(datetime(2000, 3, 15, 12, 0))
+        assert clock.now_datetime() == datetime(2000, 3, 15, 12, 0)
+
+    def test_backwards_movement_rejected(self):
+        clock = SimulatedClock(datetime(2000, 1, 2))
+        with pytest.raises(EnvironmentError_):
+            clock.advance(-1)
+        with pytest.raises(EnvironmentError_):
+            clock.advance_to(datetime(2000, 1, 1))
+
+    def test_observers_fire_on_every_advance(self):
+        clock = SimulatedClock(datetime(2000, 1, 1))
+        ticks = []
+        clock.on_advance(lambda: ticks.append(clock.now()))
+        clock.advance(10)
+        clock.advance(hours=1)
+        assert len(ticks) == 2
+        assert ticks[0] < ticks[1]
+
+    def test_iterate_steps_and_stops(self):
+        clock = SimulatedClock(datetime(2000, 1, 1, 0, 0))
+        moments = list(
+            clock.iterate(datetime(2000, 1, 1, 1, 0), timedelta(minutes=15))
+        )
+        assert len(moments) == 4
+        assert moments[-1] == datetime(2000, 1, 1, 1, 0)
+
+    def test_iterate_rejects_nonpositive_step(self):
+        clock = SimulatedClock(datetime(2000, 1, 1))
+        with pytest.raises(EnvironmentError_):
+            clock.iterate(datetime(2000, 1, 2), timedelta(0))
+
+    def test_iterate_notifies_observers(self):
+        clock = SimulatedClock(datetime(2000, 1, 1))
+        ticks = []
+        clock.on_advance(lambda: ticks.append(1))
+        list(clock.iterate(datetime(2000, 1, 1, 0, 30), timedelta(minutes=10)))
+        assert len(ticks) == 3
+
+
+class TestSystemClock:
+    def test_now_is_positive_and_monotonicish(self):
+        clock = SystemClock()
+        first = clock.now()
+        second = clock.now()
+        assert first > 0
+        assert second >= first
+
+    def test_now_datetime_matches_now(self):
+        clock = SystemClock()
+        stamp = clock.now()
+        moment = clock.now_datetime()
+        assert abs(to_timestamp(moment) - stamp) < 5.0

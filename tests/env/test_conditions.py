@@ -1,0 +1,97 @@
+"""Tests for environment-role conditions."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.env.clock import SimulatedClock
+from repro.env.conditions import (
+    always_false,
+    always_true,
+    during,
+    state_above,
+    state_below,
+    state_equals,
+    state_test,
+    subject_located,
+)
+from repro.env.state import EnvironmentState
+from repro.env.temporal import time_window, weekdays
+
+
+@pytest.fixture
+def state():
+    return EnvironmentState()
+
+
+@pytest.fixture
+def clock():
+    return SimulatedClock(datetime(2000, 1, 17, 19, 30))  # Monday evening
+
+
+class TestTemporalCondition:
+    def test_follows_the_clock(self, state, clock):
+        condition = during(weekdays() & time_window("19:00", "22:00"))
+        assert condition.evaluate(state, clock)
+        clock.advance(hours=3)  # 22:30
+        assert not condition.evaluate(state, clock)
+
+    def test_describe(self, state, clock):
+        assert "time in" in during(weekdays()).describe()
+
+
+class TestStateConditions:
+    def test_equals(self, state, clock):
+        condition = state_equals("door.front", "locked")
+        assert not condition.evaluate(state, clock)  # missing -> False
+        state.set("door.front", "locked")
+        assert condition.evaluate(state, clock)
+        state.set("door.front", "open")
+        assert not condition.evaluate(state, clock)
+
+    def test_below_above(self, state, clock):
+        state.set("system.load", 0.4)
+        assert state_below("system.load", 0.5).evaluate(state, clock)
+        assert not state_above("system.load", 0.5).evaluate(state, clock)
+        state.set("system.load", 0.9)
+        assert state_above("system.load", 0.5).evaluate(state, clock)
+
+    def test_arbitrary_predicate(self, state, clock):
+        condition = state_test("occupancy.home", lambda n: n >= 2, "2+ home")
+        state.set("occupancy.home", 3)
+        assert condition.evaluate(state, clock)
+        assert condition.describe() == "2+ home"
+
+    def test_missing_variable_fails_closed(self, state, clock):
+        assert not state_below("never.set", 100).evaluate(state, clock)
+
+    def test_malformed_value_fails_closed(self, state, clock):
+        state.set("system.load", "not-a-number")
+        assert not state_below("system.load", 0.5).evaluate(state, clock)
+
+    def test_subject_located(self, state, clock):
+        condition = subject_located("alice", "kitchen")
+        state.set("location.alice", "kitchen")
+        assert condition.evaluate(state, clock)
+        state.set("location.alice", "garage")
+        assert not condition.evaluate(state, clock)
+
+
+class TestCombinators:
+    def test_and_or_not(self, state, clock):
+        state.set("a", 1)
+        a = state_equals("a", 1)
+        b = state_equals("b", 1)
+        assert (a | b).evaluate(state, clock)
+        assert not (a & b).evaluate(state, clock)
+        assert (~b).evaluate(state, clock)
+        state.set("b", 1)
+        assert (a & b).evaluate(state, clock)
+
+    def test_constants(self, state, clock):
+        assert always_true().evaluate(state, clock)
+        assert not always_false().evaluate(state, clock)
+
+    def test_describe_composites(self, state, clock):
+        text = (state_equals("a", 1) & ~state_equals("b", 2)).describe()
+        assert "and" in text and "not" in text

@@ -1,0 +1,125 @@
+"""Tests for the trusted event system."""
+
+import pytest
+
+from repro.env.clock import SimulatedClock
+from repro.env.events import Event, EventBus
+from repro.exceptions import EnvironmentError_
+
+
+class TestEvent:
+    def test_payload_copied(self):
+        payload = {"a": 1}
+        event = Event("env.changed", payload)
+        payload["a"] = 2
+        assert event.get("a") == 1
+
+    def test_invalid_type_rejected(self):
+        with pytest.raises(EnvironmentError_):
+            Event("")
+        with pytest.raises(EnvironmentError_):
+            Event("has space")
+
+    def test_get_default(self):
+        assert Event("x").get("missing", 7) == 7
+
+
+class TestSubscription:
+    def test_exact_subscription(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("env.changed", seen.append)
+        bus.publish("env.changed", name="x")
+        bus.publish("role.activated", role="r")
+        assert len(seen) == 1
+        assert seen[0].get("name") == "x"
+
+    def test_prefix_subscription(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("role.*", seen.append)
+        bus.publish("role.activated", role="a")
+        bus.publish("role.deactivated", role="b")
+        bus.publish("env.changed")
+        assert [e.type for e in seen] == ["role.activated", "role.deactivated"]
+
+    def test_wildcard_subscription(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("*", seen.append)
+        bus.publish("a.b")
+        bus.publish("c.d")
+        assert len(seen) == 2
+
+    def test_unsubscribe(self):
+        bus = EventBus()
+        seen = []
+        unsubscribe = bus.subscribe("x", seen.append)
+        bus.publish("x")
+        unsubscribe()
+        bus.publish("x")
+        assert len(seen) == 1
+
+    def test_delivery_in_publication_order(self):
+        bus = EventBus()
+        order = []
+        bus.subscribe("*", lambda e: order.append(e.get("n")))
+        for n in range(5):
+            bus.publish("tick", n=n)
+        assert order == [0, 1, 2, 3, 4]
+
+
+class TestErrorHandling:
+    def test_nonstrict_captures_handler_errors(self):
+        bus = EventBus()
+        bus.subscribe("x", lambda e: 1 / 0)
+        seen = []
+        bus.subscribe("x", seen.append)
+        bus.publish("x")
+        assert len(bus.errors) == 1
+        assert isinstance(bus.errors[0].error, ZeroDivisionError)
+        # Later subscribers still got the event.
+        assert len(seen) == 1
+
+    def test_strict_propagates(self):
+        bus = EventBus(strict=True)
+        bus.subscribe("x", lambda e: 1 / 0)
+        with pytest.raises(ZeroDivisionError):
+            bus.publish("x")
+
+
+class TestTimestampsAndHistory:
+    def test_clock_stamps_events(self):
+        clock = SimulatedClock()
+        bus = EventBus(clock=clock)
+        event = bus.publish("x")
+        assert event.timestamp == clock.now()
+
+    def test_no_clock_no_stamp(self):
+        assert EventBus().publish("x").timestamp is None
+
+    def test_history_filter(self):
+        bus = EventBus()
+        bus.publish("a")
+        bus.publish("b")
+        bus.publish("a")
+        assert len(bus.history()) == 3
+        assert len(bus.history("a")) == 2
+        assert bus.published_count == 3
+
+    def test_history_bounded(self):
+        bus = EventBus()
+        bus._history_capacity = 10
+        for n in range(25):
+            bus.publish("tick", n=n)
+        assert len(bus.history()) == 10
+        assert bus.history()[-1].get("n") == 24
+        assert bus.published_count == 25
+
+    def test_clear_history(self):
+        bus = EventBus()
+        bus.subscribe("x", lambda e: 1 / 0)
+        bus.publish("x")
+        bus.clear_history()
+        assert bus.history() == []
+        assert bus.errors == []

@@ -1,0 +1,164 @@
+"""Failure injection — the substrate must fail closed, not fall over.
+
+The home's sensors and event consumers are the least trustworthy part
+of the system (§3: residents are not technologists; hardware is
+flaky).  These tests inject the failures a deployment will actually
+see — garbage sensor values, missing variables, crashing event
+handlers, providers that throw — and check two things everywhere:
+
+1. the system keeps running (no propagated exceptions on the hot path);
+2. every ambiguity resolves toward DENY / inactive (fail closed).
+"""
+
+from datetime import datetime
+
+import pytest
+
+from repro.core import GrbacPolicy, MediationEngine
+from repro.env import (
+    EnvironmentRoleActivator,
+    EnvironmentState,
+    EventBus,
+    SimulatedClock,
+    state_below,
+    state_equals,
+)
+from repro.env.providers import CallbackProvider, ProviderRegistry
+from repro.exceptions import EnvironmentError_
+
+
+@pytest.fixture
+def stack():
+    clock = SimulatedClock(datetime(2000, 1, 17, 12, 0))
+    bus = EventBus(clock=clock)
+    state = EnvironmentState(bus)
+    activator = EnvironmentRoleActivator(state, clock, bus=bus)
+    return clock, bus, state, activator
+
+
+class TestGarbageSensorValues:
+    def test_malformed_numeric_deactivates_role(self, stack):
+        clock, _, state, activator = stack
+        activator.bind("low-load", state_below("system.load", 0.5))
+        state.set("system.load", 0.2)
+        assert activator.is_active("low-load")
+        # The "sensor" starts reporting garbage.
+        state.set("system.load", "!!corrupt!!")
+        assert not activator.is_active("low-load")
+        # And recovers.
+        state.set("system.load", 0.1)
+        assert activator.is_active("low-load")
+
+    def test_none_value_fails_closed(self, stack):
+        clock, _, state, activator = stack
+        activator.bind("door-locked", state_equals("door", "locked"))
+        state.set("door", None)
+        assert not activator.is_active("door-locked")
+
+    def test_missing_variable_role_inactive_not_error(self, stack):
+        clock, _, state, activator = stack
+        activator.bind("never-fed", state_below("ghost.sensor", 1))
+        assert activator.active_environment_roles() == set()
+
+    def test_mediation_stays_deny_under_garbage(self, stack):
+        clock, _, state, activator = stack
+        policy = GrbacPolicy()
+        policy.add_subject("alice")
+        policy.add_subject_role("child")
+        policy.assign_subject("alice", "child")
+        policy.add_object("tv")
+        policy.add_environment_role("calm")
+        activator.bind("calm", state_below("noise", 10))
+        policy.grant("child", "watch", "any-object", "calm")
+        engine = MediationEngine(policy, activator)
+        state.set("noise", 3)
+        assert engine.check("alice", "watch", "tv")
+        state.set("noise", {"unexpected": "dict"})
+        assert not engine.check("alice", "watch", "tv")
+
+
+class TestCrashingConsumers:
+    def test_crashing_handler_does_not_block_role_activation(self, stack):
+        clock, bus, state, activator = stack
+        bus.subscribe("env.changed", lambda e: 1 / 0)  # a broken app
+        activator.bind("flag-up", state_equals("flag", True))
+        state.set("flag", True)  # delivery hits the broken handler
+        assert activator.is_active("flag-up")
+        assert len(bus.errors) >= 1
+
+    def test_crashing_condition_fails_that_role_only(self, stack):
+        clock, _, state, activator = stack
+        from repro.env.conditions import Condition
+
+        class Exploding(Condition):
+            def evaluate(self, state_, clock_):
+                raise RuntimeError("sensor driver bug")
+
+            def describe(self):
+                return "exploding"
+
+        activator.bind("healthy", state_equals("ok", True))
+        state.set("ok", True)
+        activator.bind("broken", Exploding())
+        # A condition that raises (not just returns garbage) is a
+        # programming error and must surface...
+        with pytest.raises(RuntimeError):
+            activator.active_environment_roles()
+
+
+class TestProviderFailures:
+    def test_provider_exception_surfaces_on_registration(self, stack):
+        clock, _, state, _ = stack
+        registry = ProviderRegistry(state, clock)
+
+        def broken(clock_):
+            raise OSError("sensor bus offline")
+
+        with pytest.raises(OSError):
+            registry.register(CallbackProvider("broken", broken))
+
+    def test_clock_refuses_time_regression(self, stack):
+        clock, _, _, _ = stack
+        with pytest.raises(EnvironmentError_):
+            clock.advance(-10)
+
+    def test_state_rejects_anonymous_variables(self, stack):
+        _, _, state, _ = stack
+        with pytest.raises(EnvironmentError_):
+            state.set("", 1)
+
+
+class TestConfidenceEdgeCases:
+    def test_zero_confidence_claims_never_grant(self):
+        policy = GrbacPolicy()
+        policy.add_subject_role("child")
+        policy.add_object("tv")
+        policy.grant("child", "watch", min_confidence=0.01)
+        engine = MediationEngine(policy)
+        from repro.core import AccessRequest
+
+        request = AccessRequest(
+            transaction="watch", obj="tv", role_claims={"child": 0.0}
+        )
+        assert not engine.decide(request).granted
+
+    def test_threshold_one_requires_certainty(self):
+        policy = GrbacPolicy()
+        policy.add_subject("alice")
+        policy.add_subject_role("child")
+        policy.assign_subject("alice", "child")
+        policy.add_object("tv")
+        policy.grant("child", "watch")
+        engine = MediationEngine(policy, confidence_threshold=1.0)
+        from repro.core import AccessRequest
+
+        nearly = AccessRequest(
+            transaction="watch", obj="tv", subject="alice",
+            identity_confidence=0.999999,
+        )
+        certain = AccessRequest(
+            transaction="watch", obj="tv", subject="alice",
+            identity_confidence=1.0,
+        )
+        assert not engine.decide(nearly).granted
+        assert engine.decide(certain).granted

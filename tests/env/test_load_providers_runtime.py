@@ -1,0 +1,154 @@
+"""Tests for the load provider, provider registry, and runtime."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.core import GrbacPolicy, MediationEngine
+from repro.env.clock import SimulatedClock
+from repro.env.conditions import state_below
+from repro.env.load import LOAD_VARIABLE, SimulatedLoadProvider
+from repro.env.providers import CallbackProvider, ClockProvider, ProviderRegistry
+from repro.env.runtime import EnvironmentRuntime
+from repro.env.state import EnvironmentState
+from repro.env.temporal import time_window, weekdays
+from repro.exceptions import EnvironmentError_
+
+
+class TestLoadProvider:
+    def test_initial_and_set(self):
+        state = EnvironmentState()
+        provider = SimulatedLoadProvider(state, initial=0.3)
+        assert state.get(LOAD_VARIABLE) == 0.3
+        provider.set_load(0.8)
+        assert provider.load == 0.8
+        assert state.get(LOAD_VARIABLE) == 0.8
+
+    def test_random_walk_is_seeded_and_bounded(self):
+        state_a = EnvironmentState()
+        state_b = EnvironmentState()
+        a = SimulatedLoadProvider(state_a, seed=7)
+        b = SimulatedLoadProvider(state_b, seed=7)
+        trace_a = [a.step() for _ in range(50)]
+        trace_b = [b.step() for _ in range(50)]
+        assert trace_a == trace_b
+        assert all(0.0 <= value <= 1.0 for value in trace_a)
+
+    def test_play_trace(self):
+        state = EnvironmentState()
+        provider = SimulatedLoadProvider(state)
+        provider.play_trace([0.1, 0.9])
+        assert state.get(LOAD_VARIABLE) == 0.9
+
+    def test_validation(self):
+        state = EnvironmentState()
+        with pytest.raises(EnvironmentError_):
+            SimulatedLoadProvider(state, initial=1.5)
+        provider = SimulatedLoadProvider(state)
+        with pytest.raises(EnvironmentError_):
+            provider.set_load(-0.1)
+        with pytest.raises(EnvironmentError_):
+            provider.step(0)
+
+    def test_gacl_style_gating(self):
+        """§6 / Woo & Lam: execute heavy jobs only under low load."""
+        state = EnvironmentState()
+        clock = SimulatedClock(datetime(2000, 1, 1))
+        provider = SimulatedLoadProvider(state, initial=0.9)
+        low_load = state_below(LOAD_VARIABLE, 0.5)
+        assert not low_load.evaluate(state, clock)
+        provider.set_load(0.2)
+        assert low_load.evaluate(state, clock)
+
+
+class TestProviders:
+    def test_clock_provider_mirrors_calendar(self):
+        state = EnvironmentState()
+        clock = SimulatedClock(datetime(2000, 1, 17, 9, 30))  # Monday
+        ClockProvider().refresh(state, clock)
+        assert state.get("time.hour") == 9
+        assert state.get("time.weekday") == 0
+        assert state.get("time.month") == 1
+
+    def test_callback_provider(self):
+        state = EnvironmentState()
+        clock = SimulatedClock(datetime(2000, 1, 17))
+        provider = CallbackProvider("temp", lambda c: {"temperature_f": 68})
+        provider.refresh(state, clock)
+        assert state.get("temperature_f") == 68
+
+    def test_registry_refreshes_on_clock_advance(self):
+        state = EnvironmentState()
+        clock = SimulatedClock(datetime(2000, 1, 17, 9, 0))
+        registry = ProviderRegistry(state, clock)
+        registry.register(ClockProvider())
+        assert state.get("time.hour") == 9
+        clock.advance(hours=3)
+        assert state.get("time.hour") == 12
+
+    def test_registry_rejects_non_provider(self):
+        state = EnvironmentState()
+        clock = SimulatedClock(datetime(2000, 1, 17))
+        registry = ProviderRegistry(state, clock)
+        with pytest.raises(EnvironmentError_):
+            registry.register(lambda: None)
+
+    def test_registry_lists_providers(self):
+        state = EnvironmentState()
+        clock = SimulatedClock(datetime(2000, 1, 17))
+        registry = ProviderRegistry(state, clock)
+        provider = registry.register(ClockProvider())
+        assert registry.providers() == [provider]
+
+
+class TestRuntime:
+    def test_define_time_role_end_to_end(self):
+        runtime = EnvironmentRuntime(start=datetime(2000, 1, 17, 18, 0))
+        policy = GrbacPolicy()
+        runtime.define_time_role(
+            policy, "free-time", time_window("19:00", "22:00")
+        )
+        assert "free-time" in policy.environment_roles
+        assert "free-time" not in runtime.active_roles()
+        runtime.clock.advance(hours=2)
+        assert "free-time" in runtime.active_roles()
+
+    def test_define_location_role(self):
+        from repro.home.topology import standard_home
+
+        home = standard_home()
+        runtime = EnvironmentRuntime(
+            start=datetime(2000, 1, 17, 9, 0), zone_resolver=home.zone_resolver()
+        )
+        policy = GrbacPolicy()
+        runtime.define_location_role(policy, "tech-inside", "tech", "home")
+        assert "tech-inside" not in runtime.active_roles()
+        runtime.location.move("tech", "kitchen")
+        assert "tech-inside" in runtime.active_roles()
+
+    def test_start_and_clock_are_exclusive(self):
+        with pytest.raises(ValueError):
+            EnvironmentRuntime(
+                start=datetime(2000, 1, 1),
+                clock=SimulatedClock(datetime(2000, 1, 1)),
+            )
+
+    def test_now_reports_clock(self):
+        runtime = EnvironmentRuntime(start=datetime(2000, 5, 5, 5, 5))
+        assert runtime.now() == datetime(2000, 5, 5, 5, 5)
+
+    def test_runtime_feeds_mediation(self):
+        runtime = EnvironmentRuntime(start=datetime(2000, 1, 17, 20, 0))
+        policy = GrbacPolicy()
+        policy.add_subject("alice")
+        policy.add_subject_role("child")
+        policy.assign_subject("alice", "child")
+        policy.add_object("tv")
+        runtime.define_time_role(
+            policy, "weekday-free-time", weekdays() & time_window("19:00", "22:00")
+        )
+        policy.grant("child", "watch", "any-object", "weekday-free-time")
+        engine = MediationEngine(policy, runtime.activator)
+        assert engine.check("alice", "watch", "tv")
+        runtime.clock.advance(days=5)  # Saturday
+        assert not engine.check("alice", "watch", "tv")

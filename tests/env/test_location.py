@@ -1,0 +1,94 @@
+"""Tests for the location service."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.env.clock import SimulatedClock
+from repro.env.location import OUTSIDE, LocationService
+from repro.env.state import EnvironmentState
+from repro.exceptions import EnvironmentError_
+from repro.home.topology import standard_home
+
+
+@pytest.fixture
+def state():
+    return EnvironmentState()
+
+
+@pytest.fixture
+def service(state):
+    home = standard_home()
+    return LocationService(state, resolver=home.zone_resolver())
+
+
+class TestTracking:
+    def test_move_and_query(self, service, state):
+        service.move("alice", "kitchen")
+        assert service.location_of("alice") == "kitchen"
+        assert state.get("location.alice") == "kitchen"
+
+    def test_untracked_subject_is_outside(self, service):
+        assert service.location_of("stranger") == OUTSIDE
+
+    def test_leave(self, service):
+        service.move("alice", "kitchen")
+        service.leave("alice")
+        assert service.location_of("alice") == OUTSIDE
+
+    def test_whitelist_enforced(self, state):
+        service = LocationService(state, valid_locations=["kitchen"])
+        service.move("alice", "kitchen")
+        service.leave("alice")  # OUTSIDE is always valid
+        with pytest.raises(EnvironmentError_):
+            service.move("alice", "narnia")
+
+
+class TestZones:
+    def test_room_in_home_zone(self, service):
+        service.move("alice", "kitchen")
+        assert service.is_in_zone("alice", "home")
+        assert service.is_in_zone("alice", "kitchen")
+        assert service.is_in_zone("alice", "downstairs")
+        assert not service.is_in_zone("alice", "upstairs")
+
+    def test_outside_is_in_no_zone_but_outside(self, service):
+        service.leave("alice")
+        assert not service.is_in_zone("alice", "home")
+        assert service.is_in_zone("alice", OUTSIDE)
+
+    def test_subjects_in_zone_and_occupancy(self, service):
+        service.move("alice", "kitchen")
+        service.move("mom", "livingroom")
+        service.move("dad", "master-bedroom")
+        assert set(service.subjects_in_zone("home")) == {"alice", "mom", "dad"}
+        assert service.occupancy("downstairs") == 2
+        assert service.occupancy("upstairs") == 1
+
+
+class TestConditions:
+    def test_in_zone_condition(self, service, state):
+        clock = SimulatedClock(datetime(2000, 1, 17))
+        condition = service.in_zone_condition("alice", "home")
+        assert not condition.evaluate(state, clock)  # untracked
+        service.move("alice", "kitchen")
+        assert condition.evaluate(state, clock)
+        service.leave("alice")
+        assert not condition.evaluate(state, clock)
+
+    def test_in_zone_condition_with_floor_zone(self, service, state):
+        clock = SimulatedClock(datetime(2000, 1, 17))
+        condition = service.in_zone_condition("alice", "upstairs")
+        service.move("alice", "kids-bedroom")
+        assert condition.evaluate(state, clock)
+        service.move("alice", "kitchen")
+        assert not condition.evaluate(state, clock)
+
+    def test_zone_occupied_condition(self, service, state):
+        clock = SimulatedClock(datetime(2000, 1, 17))
+        condition = service.zone_occupied_condition("home", minimum=2)
+        service.move("alice", "kitchen")
+        assert not condition.evaluate(state, clock)
+        service.move("mom", "livingroom")
+        assert condition.evaluate(state, clock)
+        assert "occupancy(home) >= 2" == condition.describe()

@@ -1,0 +1,103 @@
+"""Tests for EnvironmentState."""
+
+import pytest
+
+from repro.env.events import EventBus
+from repro.env.state import EnvironmentState
+from repro.exceptions import EnvironmentError_
+
+
+class TestBasics:
+    def test_set_get(self):
+        state = EnvironmentState()
+        state.set("location.alice", "kitchen")
+        assert state.get("location.alice") == "kitchen"
+        assert "location.alice" in state
+        assert len(state) == 1
+
+    def test_get_default(self):
+        assert EnvironmentState().get("missing", 42) == 42
+
+    def test_require_raises_when_missing(self):
+        with pytest.raises(EnvironmentError_):
+            EnvironmentState().require("missing")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(EnvironmentError_):
+            EnvironmentState().set("", 1)
+
+    def test_update_many(self):
+        state = EnvironmentState()
+        state.update(a=1, b=2)
+        assert state.get("a") == 1 and state.get("b") == 2
+
+    def test_delete(self):
+        state = EnvironmentState()
+        state.set("x", 1)
+        state.delete("x")
+        assert "x" not in state
+        state.delete("x")  # safe when absent
+
+    def test_snapshot_is_copy(self):
+        state = EnvironmentState()
+        state.set("x", 1)
+        snap = state.snapshot()
+        snap["x"] = 99
+        assert state.get("x") == 1
+
+    def test_iteration(self):
+        state = EnvironmentState()
+        state.update(a=1, b=2)
+        assert sorted(state) == ["a", "b"]
+
+
+class TestRevisions:
+    def test_revision_bumps_on_change(self):
+        state = EnvironmentState()
+        r0 = state.revision
+        state.set("x", 1)
+        assert state.revision == r0 + 1
+
+    def test_no_bump_on_same_value(self):
+        state = EnvironmentState()
+        state.set("x", 1)
+        r = state.revision
+        state.set("x", 1)
+        assert state.revision == r
+
+    def test_delete_bumps(self):
+        state = EnvironmentState()
+        state.set("x", 1)
+        r = state.revision
+        state.delete("x")
+        assert state.revision == r + 1
+
+
+class TestEventEmission:
+    def test_change_publishes_env_changed(self):
+        bus = EventBus()
+        state = EnvironmentState(bus)
+        events = []
+        bus.subscribe("env.changed", events.append)
+        state.set("x", 1)
+        state.set("x", 2)
+        assert len(events) == 2
+        assert events[0].get("old") is None and events[0].get("new") == 1
+        assert events[1].get("old") == 1 and events[1].get("new") == 2
+
+    def test_no_event_for_noop_set(self):
+        bus = EventBus()
+        state = EnvironmentState(bus)
+        state.set("x", 1)
+        count = bus.published_count
+        state.set("x", 1)
+        assert bus.published_count == count
+
+    def test_delete_publishes(self):
+        bus = EventBus()
+        state = EnvironmentState(bus)
+        state.set("x", 1)
+        events = []
+        bus.subscribe("env.changed", events.append)
+        state.delete("x")
+        assert events[0].get("new") is None

@@ -1,0 +1,199 @@
+"""Tests for the periodic-time algebra — the paper's named periods."""
+
+from datetime import date, datetime, time
+
+import pytest
+
+from repro.env.temporal import (
+    always,
+    date_range,
+    days,
+    intersection,
+    months,
+    never,
+    nth_weekday,
+    one_off,
+    parse_time_of_day,
+    time_window,
+    union,
+    weekdays,
+    weekends,
+)
+from repro.exceptions import TemporalExpressionError
+
+MONDAY_EVENING = datetime(2000, 1, 17, 19, 30)  # Monday
+SATURDAY_EVENING = datetime(2000, 1, 22, 19, 30)  # Saturday
+MONDAY_MORNING = datetime(2000, 1, 17, 9, 0)
+
+
+class TestParseTime:
+    def test_basic(self):
+        assert parse_time_of_day("19:00") == time(19, 0)
+        assert parse_time_of_day("07:05:30") == time(7, 5, 30)
+
+    @pytest.mark.parametrize("bad", ["25:00", "12:61", "noon", "19", ""])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(TemporalExpressionError):
+            parse_time_of_day(bad)
+
+
+class TestTimeWindow:
+    def test_free_time_window(self):
+        # §5.1: free time is 19:00-22:00.
+        free_time = time_window("19:00", "22:00")
+        assert MONDAY_EVENING in free_time
+        assert datetime(2000, 1, 17, 22, 0) not in free_time  # end exclusive
+        assert datetime(2000, 1, 17, 19, 0) in free_time  # start inclusive
+        assert MONDAY_MORNING not in free_time
+
+    def test_midnight_wrap(self):
+        night = time_window("22:00", "06:00")
+        assert datetime(2000, 1, 17, 23, 30) in night
+        assert datetime(2000, 1, 18, 3, 0) in night
+        assert datetime(2000, 1, 17, 12, 0) not in night
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(TemporalExpressionError):
+            time_window("09:00", "09:00")
+
+
+class TestWeekdaySets:
+    def test_weekdays_and_weekends_partition(self):
+        for day in range(17, 24):  # a full week of Jan 2000
+            moment = datetime(2000, 1, day, 12, 0)
+            assert (moment in weekdays()) != (moment in weekends())
+
+    def test_specific_days(self):
+        mondays = days("monday")
+        assert MONDAY_EVENING in mondays
+        assert SATURDAY_EVENING not in mondays
+
+    def test_case_insensitive_names(self):
+        assert MONDAY_EVENING in days("MONDAY")
+
+    def test_unknown_day_rejected(self):
+        with pytest.raises(TemporalExpressionError):
+            days("funday")
+
+    def test_describe(self):
+        assert "monday" in days("monday", "friday").describe()
+
+
+class TestMonths:
+    def test_by_number_and_name(self):
+        july = months(7)
+        assert datetime(2000, 7, 4) in july
+        assert datetime(2000, 6, 30) not in july
+        assert datetime(2000, 7, 4) in months("july")
+
+    def test_unknown_month_rejected(self):
+        with pytest.raises(TemporalExpressionError):
+            months("jully")
+        with pytest.raises(TemporalExpressionError):
+            months(13)
+
+
+class TestNthWeekday:
+    def test_first_monday_of_month(self):
+        # §4.2.2: "the first Monday of each month".
+        first_monday = nth_weekday(1, "monday")
+        assert datetime(2000, 1, 3, 10, 0) in first_monday
+        assert datetime(2000, 1, 10, 10, 0) not in first_monday  # second Monday
+        assert datetime(2000, 1, 4, 10, 0) not in first_monday  # a Tuesday
+        assert datetime(2000, 2, 7, 10, 0) in first_monday  # next month
+
+    def test_last_friday(self):
+        last_friday = nth_weekday(-1, "friday")
+        assert datetime(2000, 1, 28, 17, 0) in last_friday
+        assert datetime(2000, 1, 21, 17, 0) not in last_friday
+
+    def test_fifth_occurrence_only_in_long_months(self):
+        fifth_monday = nth_weekday(5, "monday")
+        assert datetime(2000, 1, 31) in fifth_monday  # Jan 2000 has 5 Mondays
+        assert all(
+            datetime(2000, 2, d) not in fifth_monday for d in range(1, 30)
+        )
+
+    def test_invalid_parameters(self):
+        with pytest.raises(TemporalExpressionError):
+            nth_weekday(0, "monday")
+        with pytest.raises(TemporalExpressionError):
+            nth_weekday(6, "monday")
+        with pytest.raises(TemporalExpressionError):
+            nth_weekday(1, "blursday")
+
+    def test_describe_first_and_last(self):
+        assert nth_weekday(1, "monday").describe() == "first monday of the month"
+        assert nth_weekday(-1, "friday").describe() == "last friday of the month"
+
+
+class TestRanges:
+    def test_date_range_inclusive(self):
+        vacation = date_range(date(2000, 7, 1), date(2000, 7, 14))
+        assert datetime(2000, 7, 1, 0, 0) in vacation
+        assert datetime(2000, 7, 14, 23, 59) in vacation
+        assert datetime(2000, 7, 15, 0, 0) not in vacation
+
+    def test_date_range_order_checked(self):
+        with pytest.raises(TemporalExpressionError):
+            date_range(date(2000, 2, 1), date(2000, 1, 1))
+
+    def test_one_off_repairman_window(self):
+        # §3: January 17, 2000, 8:00 a.m. to 1:00 p.m.
+        visit = one_off(
+            datetime(2000, 1, 17, 8, 0), datetime(2000, 1, 17, 13, 0)
+        )
+        assert datetime(2000, 1, 17, 8, 0) in visit
+        assert datetime(2000, 1, 17, 12, 59) in visit
+        assert datetime(2000, 1, 17, 13, 0) not in visit
+        assert datetime(2000, 1, 18, 9, 0) not in visit
+
+    def test_one_off_order_checked(self):
+        with pytest.raises(TemporalExpressionError):
+            one_off(datetime(2000, 1, 2), datetime(2000, 1, 1))
+
+
+class TestAlgebra:
+    def test_weekday_free_time(self):
+        # §5.1's composite: weekdays AND 19:00-22:00.
+        combined = weekdays() & time_window("19:00", "22:00")
+        assert MONDAY_EVENING in combined
+        assert SATURDAY_EVENING not in combined
+        assert MONDAY_MORNING not in combined
+
+    def test_weekday_mornings_in_july(self):
+        # §6's "Weekday mornings in July".
+        expression = weekdays() & time_window("06:00", "12:00") & months("july")
+        assert datetime(2000, 7, 3, 9, 0) in expression  # July Monday morning
+        assert datetime(2000, 7, 1, 9, 0) not in expression  # July Saturday
+        assert datetime(2000, 6, 26, 9, 0) not in expression  # June Monday
+
+    def test_union(self):
+        either = days("monday") | days("friday")
+        assert MONDAY_EVENING in either
+        assert datetime(2000, 1, 21, 12, 0) in either  # Friday
+        assert datetime(2000, 1, 19, 12, 0) not in either  # Wednesday
+
+    def test_complement(self):
+        not_weekend = ~weekends()
+        assert MONDAY_EVENING in not_weekend
+        assert SATURDAY_EVENING not in not_weekend
+
+    def test_always_never(self):
+        assert MONDAY_EVENING in always()
+        assert MONDAY_EVENING not in never()
+
+    def test_union_intersection_builders(self):
+        u = union([days("monday"), days("tuesday")])
+        i = intersection([weekdays(), time_window("09:00", "17:00")])
+        assert MONDAY_EVENING in u
+        assert MONDAY_MORNING in i
+        with pytest.raises(TemporalExpressionError):
+            union([])
+        with pytest.raises(TemporalExpressionError):
+            intersection([])
+
+    def test_describe_composites(self):
+        text = (weekdays() & time_window("19:00", "22:00")).describe()
+        assert "and" in text
+        assert "19:00-22:00" in text

@@ -1,0 +1,142 @@
+"""Property-based tests for the temporal algebra (hypothesis).
+
+Set-theoretic laws must hold pointwise for arbitrary moments, and the
+structured expressions must agree with brute-force calendar scans.
+"""
+
+from __future__ import annotations
+
+import calendar
+from datetime import datetime, timedelta
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.env.temporal import (
+    Complement,
+    Intersection,
+    TimeOfDayWindow,
+    Union,
+    WeekdaySet,
+    days,
+    nth_weekday,
+    parse_time_of_day,
+    time_window,
+    weekdays,
+    weekends,
+)
+
+moments = st.datetimes(
+    min_value=datetime(1999, 1, 1), max_value=datetime(2003, 12, 31)
+)
+
+hours = st.integers(0, 23)
+minutes = st.integers(0, 59)
+
+
+@st.composite
+def windows(draw):
+    start = f"{draw(hours):02d}:{draw(minutes):02d}"
+    end = f"{draw(hours):02d}:{draw(minutes):02d}"
+    if start == end:
+        end = f"{(int(end[:2]) + 1) % 24:02d}:{end[3:]}"
+    return time_window(start, end)
+
+
+@st.composite
+def weekday_sets(draw):
+    chosen = draw(st.sets(st.integers(0, 6), min_size=1, max_size=7))
+    return WeekdaySet(frozenset(chosen))
+
+
+simple_expressions = st.one_of(windows(), weekday_sets())
+
+
+@st.composite
+def expressions(draw, depth=2):
+    if depth == 0:
+        return draw(simple_expressions)
+    kind = draw(st.integers(0, 3))
+    if kind == 0:
+        return draw(simple_expressions)
+    if kind == 1:
+        return Complement(draw(expressions(depth=depth - 1)))
+    left = draw(expressions(depth=depth - 1))
+    right = draw(expressions(depth=depth - 1))
+    if kind == 2:
+        return Union((left, right))
+    return Intersection((left, right))
+
+
+@given(expressions(), expressions(), moments)
+@settings(max_examples=150, deadline=None)
+def test_union_and_intersection_are_pointwise(a, b, moment):
+    assert ((a | b).contains(moment)) == (a.contains(moment) or b.contains(moment))
+    assert ((a & b).contains(moment)) == (a.contains(moment) and b.contains(moment))
+
+
+@given(expressions(), moments)
+@settings(max_examples=150, deadline=None)
+def test_complement_is_involutive_and_pointwise(a, moment):
+    assert (~a).contains(moment) == (not a.contains(moment))
+    assert (~~a).contains(moment) == a.contains(moment)
+
+
+@given(expressions(), expressions(), moments)
+@settings(max_examples=100, deadline=None)
+def test_de_morgan(a, b, moment):
+    assert (~(a | b)).contains(moment) == ((~a) & (~b)).contains(moment)
+    assert (~(a & b)).contains(moment) == ((~a) | (~b)).contains(moment)
+
+
+@given(moments)
+@settings(max_examples=150, deadline=None)
+def test_weekdays_weekends_partition_every_moment(moment):
+    assert weekdays().contains(moment) != weekends().contains(moment)
+
+
+@given(windows(), moments)
+@settings(max_examples=150, deadline=None)
+def test_window_membership_matches_arithmetic(window, moment):
+    moment_time = moment.time()
+    if window.start < window.end:
+        expected = window.start <= moment_time < window.end
+    else:
+        expected = moment_time >= window.start or moment_time < window.end
+    assert window.contains(moment) == expected
+
+
+@given(
+    st.integers(1, 5),
+    st.integers(0, 6),
+    st.integers(1999, 2003),
+    st.integers(1, 12),
+)
+@settings(max_examples=100, deadline=None)
+def test_nth_weekday_matches_bruteforce_calendar_scan(n, weekday, year, month):
+    expression = nth_weekday(n, calendar.day_name[weekday].lower())
+    # Brute force: the n-th occurrence of the weekday in the month.
+    matches = [
+        day
+        for day in range(1, calendar.monthrange(year, month)[1] + 1)
+        if datetime(year, month, day).weekday() == weekday
+    ]
+    expected_day = matches[n - 1] if len(matches) >= n else None
+    for day in range(1, calendar.monthrange(year, month)[1] + 1):
+        moment = datetime(year, month, day, 12, 0)
+        assert expression.contains(moment) == (day == expected_day)
+
+
+@given(st.integers(0, 6), st.integers(1999, 2003), st.integers(1, 12))
+@settings(max_examples=100, deadline=None)
+def test_last_weekday_matches_bruteforce(weekday, year, month):
+    expression = nth_weekday(-1, calendar.day_name[weekday].lower())
+    matches = [
+        day
+        for day in range(1, calendar.monthrange(year, month)[1] + 1)
+        if datetime(year, month, day).weekday() == weekday
+    ]
+    last = matches[-1]
+    for day in matches:
+        moment = datetime(year, month, day, 12, 0)
+        assert expression.contains(moment) == (day == last)

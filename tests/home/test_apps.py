@@ -1,0 +1,273 @@
+"""Tests for the four Aware Home applications."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.exceptions import AccessDeniedError, UnknownEntityError
+from repro.home.apps import (
+    AGENT_SUBJECT,
+    EMERGENCY_ROLE,
+    CyberfridgeApp,
+    ElderCareApp,
+    MediaGuardApp,
+    UtilityApp,
+)
+from repro.home.devices import (
+    Camera,
+    DoorLock,
+    MedicalMonitor,
+    Refrigerator,
+    Television,
+    Thermostat,
+    WaterHeater,
+)
+from repro.home.registry import SecureHome
+from repro.home.residents import Resident, standard_household
+from repro.policy.templates import install_figure2_roles
+from repro.sensors.motion import OccupancyProvider
+
+
+@pytest.fixture
+def home() -> SecureHome:
+    home = SecureHome(start=datetime(2000, 1, 17, 19, 0))  # Monday evening
+    install_figure2_roles(home.policy)
+    for resident in standard_household():
+        home.register_resident(resident)
+    return home
+
+
+class TestCyberfridge:
+    @pytest.fixture
+    def app(self, home) -> CyberfridgeApp:
+        fridge = Refrigerator("fridge", "kitchen")
+        home.register_device(fridge)
+        CyberfridgeApp.install_policy(home)
+        home.policy.add_subject("grocer")
+        home.policy.assign_subject("grocer", "delivery-agent")
+        return CyberfridgeApp(home, fridge)
+
+    def test_family_members_read_from_anywhere(self, app):
+        # Alice is a child -> family-member via hierarchy.
+        assert app.read_inventory("alice") == {}
+
+    def test_parents_manage_inventory(self, app):
+        assert app.stock("mom", "milk", 2) == 2
+        assert app.consume("dad", "milk", 1) == 1
+
+    def test_children_cannot_modify(self, app):
+        with pytest.raises(AccessDeniedError):
+            app.stock("alice", "soda", 6)
+
+    def test_delivery_agent_read_only(self, app):
+        assert app.read_inventory("grocer") == {}
+        with pytest.raises(AccessDeniedError):
+            app.stock("grocer", "milk", 1)
+
+    def test_auto_reorder_below_par(self, app):
+        app.set_par_level("milk", 3)
+        app.set_par_level("eggs", 12)
+        app.stock("mom", "milk", 1)
+        orders = app.check_and_reorder("mom")
+        assert {"item": "eggs", "quantity": 12} in orders
+        assert {"item": "milk", "quantity": 2} in orders
+        assert app.pending_orders() == orders
+
+    def test_no_reorder_when_stocked(self, app):
+        app.set_par_level("milk", 1)
+        app.stock("mom", "milk", 5)
+        assert app.check_and_reorder("mom") == []
+
+    def test_par_level_validation(self, app):
+        with pytest.raises(ValueError):
+            app.set_par_level("milk", 0)
+        app.set_par_level("milk", 2)
+        assert app.par_levels() == {"milk": 2}
+
+
+class TestElderCare:
+    @pytest.fixture
+    def app(self, home) -> ElderCareApp:
+        monitor = MedicalMonitor("vitals", "master-bedroom")
+        camera = Camera("camera", "master-bedroom")
+        door = DoorLock("front-door", "foyer")
+        for device in (monitor, camera, door):
+            home.register_device(device)
+        app = ElderCareApp(home, monitor, camera, door)
+        ElderCareApp.install_policy(home)
+        home.policy.add_subject("nurse")
+        home.policy.assign_subject("nurse", "caregiver")
+        home.policy.add_subject("uncle")
+        home.policy.assign_subject("uncle", "relative")
+        home.policy.grant("caregiver", "clear_alert", "information")
+        return app
+
+    def test_caregiver_reads_vitals_anytime(self, app):
+        app.record_vitals(72, 118)
+        assert app.read_vitals("nurse") == [{"heart_rate": 72, "systolic": 118}]
+
+    def test_relative_snapshot_only_normally(self, app):
+        assert app.view_camera("uncle")["kind"] == "snapshot"
+        with pytest.raises(AccessDeniedError):
+            app.view_camera("uncle", stream=True)
+
+    def test_emergency_escalates_access(self, app):
+        assert not app.alert_active
+        app.record_vitals(150, 195)  # abnormal -> alert
+        assert app.alert_active
+        assert app.view_camera("uncle", stream=True)["kind"] == "stream"
+        assert app.read_vitals("uncle")
+        assert app.unlock_door("nurse") is True
+
+    def test_relative_cannot_unlock_even_in_emergency(self, app):
+        app.record_vitals(150, 195)
+        with pytest.raises(AccessDeniedError):
+            app.unlock_door("uncle")
+
+    def test_clearing_alert_restores_normal_policy(self, app):
+        app.record_vitals(150, 195)
+        app.clear_alert("nurse")
+        assert not app.alert_active
+        with pytest.raises(AccessDeniedError):
+            app.view_camera("uncle", stream=True)
+
+    def test_relative_cannot_clear_alert(self, app):
+        app.record_vitals(150, 195)
+        with pytest.raises(AccessDeniedError):
+            app.clear_alert("uncle")
+        assert app.alert_active
+
+
+class TestUtility:
+    @pytest.fixture
+    def app(self, home) -> UtilityApp:
+        thermostat = Thermostat("thermostat", "foyer")
+        heater = WaterHeater("heater", "garage")
+        home.register_device(thermostat)
+        home.register_device(heater)
+        home.runtime.providers.register(
+            OccupancyProvider(home.runtime.location, ["home"])
+        )
+        app = UtilityApp(home, thermostat, heater)
+        UtilityApp.install_policy(home)
+        return app
+
+    def test_heats_when_occupied(self, app, home):
+        home.move("mom", "kitchen")
+        app.tick()
+        status = app.status()
+        assert status["heating"] is True
+        assert status["setpoint_f"] == 68
+        # 19:00 is inside the default evening hot-water window.
+        assert status["hot_water"] is True
+
+    def test_sets_back_when_empty(self, app, home):
+        home.move("mom", "kitchen")
+        app.tick()
+        home.runtime.location.leave("mom")
+        home.runtime.providers.refresh_all()
+        app.tick()
+        status = app.status()
+        assert status["heating"] is False
+        assert status["hot_water"] is False
+
+    def test_hot_water_respects_schedule(self, app, home):
+        home.move("mom", "kitchen")
+        home.runtime.clock.advance(hours=4)  # 23:00, outside windows
+        app.tick()
+        assert app.status()["hot_water"] is False
+        assert app.status()["heating"] is True  # still occupied
+
+    def test_agent_is_a_regular_audited_subject(self, app, home):
+        home.move("mom", "kitchen")
+        before = home.audit.total
+        app.tick()
+        agent_records = home.audit.records(subject=AGENT_SUBJECT)
+        assert len(agent_records) == home.audit.total - before
+
+
+class TestMediaGuard:
+    @pytest.fixture
+    def app(self, home) -> MediaGuardApp:
+        tv = Television("tv", "livingroom")
+        home.register_device(tv)
+        app = MediaGuardApp(home, tv)
+        MediaGuardApp.install_policy(home)
+        app.add_program(2, "cartoons", "G")
+        app.add_program(4, "family-movie", "PG")
+        app.add_program(5, "action-movie", "R")
+        app.add_program(7, "thriller", "PG-13")
+        return app
+
+    def test_child_limited_to_g_and_pg(self, app):
+        # §3: "a child may be prohibited from viewing any television
+        # program or movie that is not rated G or PG".
+        assert app.allowed_channels("alice") == [2, 4]
+
+    def test_parent_watches_anything(self, app):
+        assert app.allowed_channels("mom") == [2, 4, 5, 7]
+
+    def test_watch_drives_the_television(self, app):
+        result = app.watch("alice", 2)
+        assert result == {"channel": 2, "rating": "G"}
+
+    def test_denied_watch_raises_and_leaves_tv_alone(self, app, home):
+        tv = home.device("livingroom/tv")
+        with pytest.raises(AccessDeniedError):
+            app.watch("alice", 5)
+        assert tv.state["channel"] != 5
+
+    def test_new_program_immediately_governed(self, app):
+        # §5.1's "newly purchased device" argument, applied to media.
+        app.add_program(9, "new-cartoon", "G")
+        assert app.can_watch("alice", 9)
+        app.add_program(10, "new-slasher", "R")
+        assert not app.can_watch("alice", 10)
+
+    def test_unlisted_channel(self, app):
+        assert not app.can_watch("mom", 99)
+        with pytest.raises(UnknownEntityError):
+            app.watch("mom", 99)
+
+    def test_bad_rating_rejected(self, app):
+        with pytest.raises(UnknownEntityError):
+            app.add_program(11, "mystery", "NC-99")
+
+    def test_guide(self, app):
+        assert app.guide()[5] == ("program/action-movie", "R")
+
+
+class TestAppEdgeCases:
+    def test_utility_custom_hot_water_window(self, home):
+        from repro.env.temporal import time_window
+
+        thermostat = Thermostat("thermostat2", "foyer")
+        heater = WaterHeater("heater2", "garage")
+        home.register_device(thermostat)
+        home.register_device(heater)
+        home.runtime.providers.register(
+            OccupancyProvider(home.runtime.location, ["home"])
+        )
+        app = UtilityApp(
+            home, thermostat, heater,
+            hot_water_windows=time_window("21:00", "22:00"),
+        )
+        UtilityApp.install_policy(home)
+        home.move("mom", "kitchen")
+        app.tick()  # 19:00: outside the custom window
+        assert app.status()["hot_water"] is False
+        home.runtime.clock.advance(hours=2, minutes=30)  # 21:30
+        app.tick()
+        assert app.status()["hot_water"] is True
+
+    def test_eldercare_without_door(self, home):
+        monitor = MedicalMonitor("vitals2", "master-bedroom")
+        camera = Camera("camera2", "master-bedroom")
+        home.register_device(monitor)
+        home.register_device(camera)
+        app = ElderCareApp(home, monitor, camera)  # no door
+        ElderCareApp.install_policy(home)
+        home.policy.add_subject("medic")
+        home.policy.assign_subject("medic", "caregiver")
+        with pytest.raises(ValueError, match="no door lock"):
+            app.unlock_door("medic")

@@ -1,0 +1,194 @@
+"""Tests for the device models."""
+
+import pytest
+
+from repro.exceptions import DeviceError
+from repro.home.devices import (
+    Camera,
+    Device,
+    DeviceCategory,
+    Dishwasher,
+    DocumentStore,
+    DoorLock,
+    MedicalMonitor,
+    Oven,
+    Refrigerator,
+    Television,
+    Thermostat,
+    Videophone,
+)
+
+
+class TestDeviceBase:
+    def test_qualified_name(self):
+        assert Television("tv", "livingroom").qualified_name == "livingroom/tv"
+
+    def test_unsupported_operation_raises(self):
+        tv = Television("tv", "livingroom")
+        with pytest.raises(DeviceError, match="does not support"):
+            tv.perform("levitate")
+
+    def test_supports_and_operations(self):
+        tv = Television("tv", "livingroom")
+        assert tv.supports("watch")
+        assert not tv.supports("bake")
+        assert "power_on" in tv.operations()
+
+    def test_construction_validation(self):
+        with pytest.raises(DeviceError):
+            Television("", "livingroom")
+        with pytest.raises(DeviceError):
+            Television("tv", "")
+
+
+class TestTelevision:
+    def test_power_cycle_and_watch(self):
+        tv = Television("tv", "livingroom")
+        with pytest.raises(DeviceError):
+            tv.perform("watch")  # off
+        tv.perform("power_on")
+        assert tv.perform("watch") == {"channel": 1, "rating": "G"}
+        tv.perform("power_off")
+        with pytest.raises(DeviceError):
+            tv.perform("watch")
+
+    def test_change_channel_sets_rating(self):
+        tv = Television("tv", "livingroom")
+        tv.perform("power_on")
+        tv.perform("change_channel", channel=5, rating="R")
+        assert tv.perform("watch")["rating"] == "R"
+
+    def test_channel_and_rating_validation(self):
+        tv = Television("tv", "livingroom")
+        with pytest.raises(DeviceError):
+            tv.perform("change_channel", channel=0)
+        with pytest.raises(DeviceError):
+            tv.perform("change_channel", channel=2, rating="X")
+
+    def test_category(self):
+        assert Television("tv", "x").category is DeviceCategory.ENTERTAINMENT
+
+
+class TestRefrigerator:
+    def test_inventory_lifecycle(self):
+        fridge = Refrigerator("fridge", "kitchen")
+        assert fridge.perform("read_inventory") == {}
+        fridge.perform("add_item", item="milk", quantity=2)
+        fridge.perform("add_item", item="milk", quantity=1)
+        assert fridge.inventory == {"milk": 3}
+        fridge.perform("remove_item", item="milk", quantity=3)
+        assert fridge.inventory == {}
+
+    def test_remove_validation(self):
+        fridge = Refrigerator("fridge", "kitchen")
+        with pytest.raises(DeviceError):
+            fridge.perform("remove_item", item="eggs")
+        fridge.perform("add_item", item="eggs", quantity=1)
+        with pytest.raises(DeviceError):
+            fridge.perform("remove_item", item="eggs", quantity=5)
+
+    def test_add_validation(self):
+        fridge = Refrigerator("fridge", "kitchen")
+        with pytest.raises(DeviceError):
+            fridge.perform("add_item", item="", quantity=1)
+        with pytest.raises(DeviceError):
+            fridge.perform("add_item", item="milk", quantity=0)
+
+    def test_reorder_records_orders(self):
+        fridge = Refrigerator("fridge", "kitchen")
+        order = fridge.perform("reorder", item="milk", quantity=2)
+        assert order == {"item": "milk", "quantity": 2}
+        assert fridge.state["orders"] == [order]
+
+
+class TestSafetyDevices:
+    def test_oven_requires_power(self):
+        oven = Oven("oven", "kitchen")
+        with pytest.raises(DeviceError):
+            oven.perform("set_temperature", temperature_f=350)
+        oven.perform("power_on")
+        assert oven.perform("set_temperature", temperature_f=350) == 350
+        with pytest.raises(DeviceError):
+            oven.perform("set_temperature", temperature_f=900)
+        oven.perform("power_off")
+        assert oven.state["temperature_f"] == 0
+
+    def test_oven_is_safety_critical(self):
+        assert Oven("oven", "kitchen").category is DeviceCategory.SAFETY_CRITICAL
+
+
+class TestDishwasher:
+    def test_fault_blocks_cycles_until_repaired(self):
+        dishwasher = Dishwasher("dw", "kitchen")
+        dishwasher.state["fault"] = "pump failure"
+        dishwasher.perform("power_on")
+        assert dishwasher.perform("diagnose") == "pump failure"
+        with pytest.raises(DeviceError):
+            dishwasher.perform("run_cycle")
+        dishwasher.perform("repair")
+        assert dishwasher.perform("run_cycle") == "normal"
+
+
+class TestCamera:
+    def test_stream_vs_snapshot(self):
+        camera = Camera("cam", "kids-bedroom")
+        stream = camera.perform("view_stream")
+        snapshot = camera.perform("view_snapshot")
+        assert stream["kind"] == "stream"
+        assert snapshot["kind"] == "snapshot"
+        # Snapshots do not advance the live frame counter.
+        assert snapshot["frame"] == stream["frame"]
+
+    def test_disabled_camera_refuses(self):
+        camera = Camera("cam", "kids-bedroom")
+        camera.perform("disable")
+        with pytest.raises(DeviceError):
+            camera.perform("view_stream")
+        camera.perform("enable")
+        camera.perform("view_stream")
+
+
+class TestOtherDevices:
+    def test_thermostat_bounds(self):
+        thermostat = Thermostat("t", "foyer")
+        assert thermostat.perform("set_temperature", setpoint_f=68) == 68
+        with pytest.raises(DeviceError):
+            thermostat.perform("set_temperature", setpoint_f=120)
+
+    def test_videophone_single_call(self):
+        phone = Videophone("vp", "kitchen")
+        phone.perform("place_call", callee="grandma")
+        with pytest.raises(DeviceError):
+            phone.perform("place_call", callee="uncle")
+        phone.perform("hang_up")
+        phone.perform("place_call", callee="uncle")
+
+    def test_door_lock(self):
+        door = DoorLock("front", "foyer")
+        assert door.perform("read_status") is True
+        door.perform("unlock")
+        assert door.perform("read_status") is False
+
+    def test_document_store(self):
+        docs = DocumentStore("docs", "study")
+        docs.perform("write_document", document="tax-return", content="1040")
+        assert docs.perform("read_document", document="tax-return") == "1040"
+        assert docs.perform("list_documents") == ["tax-return"]
+        with pytest.raises(DeviceError):
+            docs.perform("read_document", document="missing")
+        with pytest.raises(DeviceError):
+            docs.perform("write_document", document="", content="x")
+
+    def test_medical_monitor_alerts(self):
+        monitor = MedicalMonitor("vitals", "master-bedroom")
+        monitor.perform("record_vitals", heart_rate=72, systolic=120)
+        assert monitor.perform("read_alert") is None
+        monitor.perform("record_vitals", heart_rate=150, systolic=190)
+        assert monitor.perform("read_alert") is not None
+        assert len(monitor.perform("read_vitals", last=2)) == 2
+        monitor.perform("clear_alert")
+        assert monitor.perform("read_alert") is None
+        with pytest.raises(DeviceError):
+            monitor.perform("record_vitals", heart_rate=-1, systolic=120)
+        with pytest.raises(DeviceError):
+            monitor.perform("read_vitals", last=0)

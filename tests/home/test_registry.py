@@ -1,0 +1,128 @@
+"""Tests for SecureHome — the enforced integration layer."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.exceptions import AccessDeniedError, DeviceError, UnknownEntityError
+from repro.home.devices import Refrigerator, Television
+from repro.home.registry import SecureHome
+from repro.home.residents import Resident, standard_household
+from repro.policy.templates import install_figure2_roles
+
+
+@pytest.fixture
+def home() -> SecureHome:
+    home = SecureHome(start=datetime(2000, 1, 17, 19, 30))
+    install_figure2_roles(home.policy)
+    for resident in standard_household():
+        home.register_resident(resident)
+    home.register_device(Television("tv", "livingroom"))
+    home.register_device(Refrigerator("fridge", "kitchen"))
+    return home
+
+
+class TestRegistration:
+    def test_resident_becomes_subject_with_roles(self, home):
+        assert home.policy.subject("alice").attribute("age") == 11
+        assert home.policy.authorized_subject_role_names("alice") == {"child"}
+        assert home.resident("alice").name == "alice"
+        assert len(home.residents()) == 4
+
+    def test_resident_roles_must_exist(self):
+        bare = SecureHome()
+        with pytest.raises(UnknownEntityError):
+            bare.register_resident(
+                Resident("x", age=30, weight_lb=150.0, roles=("undeclared",))
+            )
+
+    def test_device_becomes_object_with_category_role(self, home):
+        roles = {
+            r.name for r in home.policy.effective_object_roles("livingroom/tv")
+        }
+        assert "entertainment" in roles
+        assert home.policy.object("livingroom/tv").attribute("room") == "livingroom"
+        assert home.device("livingroom/tv").name == "tv"
+        assert len(home.devices()) == 2
+
+    def test_device_operations_become_transactions(self, home):
+        assert home.policy.transaction("watch")
+        assert home.policy.transaction("read_inventory")
+
+    def test_device_room_must_exist(self, home):
+        with pytest.raises(UnknownEntityError):
+            home.register_device(Television("tv2", "narnia"))
+
+    def test_unknown_lookups(self, home):
+        with pytest.raises(UnknownEntityError):
+            home.device("nowhere/nothing")
+        with pytest.raises(UnknownEntityError):
+            home.resident("stranger")
+
+
+class TestEnforcedOperation:
+    def test_operate_granted_returns_device_result(self, home):
+        home.policy.grant("parent", "read_inventory", "kitchen")
+        assert home.operate("mom", "kitchen/fridge", "read_inventory") == {}
+
+    def test_operate_denied_raises_with_decision(self, home):
+        with pytest.raises(AccessDeniedError) as excinfo:
+            home.operate("alice", "kitchen/fridge", "read_inventory")
+        assert excinfo.value.decision is not None
+        assert not excinfo.value.decision.granted
+
+    def test_try_operate_returns_outcome(self, home):
+        outcome = home.try_operate("alice", "kitchen/fridge", "read_inventory")
+        assert not outcome.granted
+        assert outcome.result is None
+
+    def test_device_errors_propagate_after_grant(self, home):
+        home.policy.grant("child", "watch", "entertainment")
+        with pytest.raises(DeviceError):
+            home.operate("alice", "livingroom/tv", "watch")  # TV is off
+
+    def test_kwargs_forwarded(self, home):
+        home.policy.grant("parent", "add_item", "kitchen")
+        count = home.operate(
+            "mom", "kitchen/fridge", "add_item", item="milk", quantity=2
+        )
+        assert count == 2
+
+    def test_every_decision_audited(self, home):
+        home.try_operate("alice", "kitchen/fridge", "read_inventory")
+        home.policy.grant("parent", "read_inventory", "kitchen")
+        home.try_operate("mom", "kitchen/fridge", "read_inventory")
+        assert home.audit.total == 2
+        assert home.audit.deny_count == 1
+        assert home.audit.grant_count == 1
+
+    def test_audit_timestamps_use_simulated_clock(self, home):
+        home.try_operate("alice", "kitchen/fridge", "read_inventory")
+        record = list(home.audit)[0]
+        assert record.timestamp == home.runtime.clock.now()
+
+    def test_session_restricted_operation(self, home):
+        home.policy.grant("parent", "read_inventory", "kitchen")
+        session = home.policy.sessions.open("mom")  # nothing active
+        outcome = home.try_operate(
+            "mom", "kitchen/fridge", "read_inventory", session=session
+        )
+        assert not outcome.granted
+        session.activate("parent")
+        outcome = home.try_operate(
+            "mom", "kitchen/fridge", "read_inventory", session=session
+        )
+        assert outcome.granted
+
+
+class TestMovement:
+    def test_move_updates_location_state(self, home):
+        home.move("alice", "kitchen")
+        assert home.runtime.location.location_of("alice") == "kitchen"
+        assert home.runtime.state.get("location.alice") == "kitchen"
+
+    def test_presence_path_requires_auth_service(self, home):
+        with pytest.raises(UnknownEntityError):
+            home.operate_with_presence(
+                home.resident("alice").presence(), "livingroom/tv", "watch"
+            )

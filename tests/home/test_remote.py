@@ -1,0 +1,162 @@
+"""Tests for the remote-access gateway."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.auth import AuthenticationService, PasswordAuthenticator, Presence
+from repro.exceptions import AccessDeniedError, AuthenticationError
+from repro.home.devices import Camera, Refrigerator
+from repro.home.registry import SecureHome
+from repro.home.remote import INSIDE_ROLE, REMOTE_ROLE, RemoteGateway
+from repro.home.residents import standard_household
+from repro.policy.templates import install_figure2_roles
+
+
+@pytest.fixture
+def setup():
+    home = SecureHome(start=datetime(2000, 1, 17, 12, 0))
+    install_figure2_roles(home.policy)
+    for resident in standard_household():
+        home.register_resident(resident)
+    home.register_device(Refrigerator("fridge", "kitchen"))
+    home.register_device(Camera("camera", "kids-bedroom"))
+    gateway = RemoteGateway(home)
+    policy = home.policy
+    # Fridge inventory: readable by family from anywhere.
+    policy.grant("family-member", "read_inventory", "kitchen", name="rg-fridge")
+    # Camera streams: parents, and ONLY from inside the home.
+    policy.grant("parent", "view_stream", "security", INSIDE_ROLE, name="rg-cam")
+    # Snapshot: parents, explicitly allowed remotely.
+    policy.grant("parent", "view_snapshot", "security", REMOTE_ROLE, name="rg-snap")
+    return home, gateway
+
+
+class TestChannels:
+    def test_channel_roles_registered(self, setup):
+        home, _ = setup
+        assert INSIDE_ROLE in home.policy.environment_roles
+        assert REMOTE_ROLE in home.policy.environment_roles
+
+    def test_inventory_readable_from_both_channels(self, setup):
+        home, gateway = setup
+        home.move("mom", "kitchen")
+        assert gateway.operate_local("mom", "kitchen/fridge", "read_inventory").granted
+        assert gateway.operate_remote(
+            "dad", "kitchen/fridge", "read_inventory"
+        ).granted
+
+    def test_stream_inside_only(self, setup):
+        home, gateway = setup
+        home.move("mom", "livingroom")
+        assert gateway.operate_local(
+            "mom", "kids-bedroom/camera", "view_stream"
+        ).granted
+        assert not gateway.operate_remote(
+            "mom", "kids-bedroom/camera", "view_stream"
+        ).granted
+
+    def test_snapshot_remote_tier(self, setup):
+        _, gateway = setup
+        outcome = gateway.operate_remote("mom", "kids-bedroom/camera", "view_snapshot")
+        assert outcome.granted
+        assert outcome.result["kind"] == "snapshot"
+
+    def test_local_channel_requires_physical_presence(self, setup):
+        home, gateway = setup
+        # Mom has not been placed anywhere: the house believes she is
+        # outside, so a "local" request in her name is refused.
+        with pytest.raises(AuthenticationError, match="not inside"):
+            gateway.operate_local("mom", "kitchen/fridge", "read_inventory")
+
+    def test_children_not_widened_by_channel_roles(self, setup):
+        home, gateway = setup
+        home.move("alice", "kitchen")
+        # Family-member grant covers alice for the fridge...
+        assert gateway.operate_local(
+            "alice", "kitchen/fridge", "read_inventory"
+        ).granted
+        # ...but no channel role gives her the camera.
+        assert not gateway.operate_local(
+            "alice", "kids-bedroom/camera", "view_stream"
+        ).granted
+
+
+class TestRemoteCredentials:
+    def test_credentials_required_when_auth_attached(self, setup):
+        home, gateway = setup
+        password = PasswordAuthenticator()
+        password.enroll("mom", "hunter2")
+        service = AuthenticationService(home.policy)
+        service.register(password)
+        home.auth = service
+        with pytest.raises(AuthenticationError, match="requires credentials"):
+            gateway.operate_remote("mom", "kitchen/fridge", "read_inventory")
+
+    def test_valid_credentials_pass(self, setup):
+        home, gateway = setup
+        password = PasswordAuthenticator()
+        password.enroll("mom", "hunter2")
+        service = AuthenticationService(home.policy)
+        service.register(password)
+        home.auth = service
+        outcome = gateway.operate_remote(
+            "mom",
+            "kitchen/fridge",
+            "read_inventory",
+            credentials=Presence("mom", {"password": "hunter2"}),
+        )
+        assert outcome.granted
+
+    def test_wrong_identity_rejected(self, setup):
+        home, gateway = setup
+        password = PasswordAuthenticator()
+        password.enroll("mom", "hunter2")
+        password.enroll("dad", "swordfish")
+        service = AuthenticationService(home.policy)
+        service.register(password)
+        home.auth = service
+        # Dad's valid credentials do not let him act as mom.
+        with pytest.raises(AuthenticationError, match="not 'mom'"):
+            gateway.operate_remote(
+                "mom",
+                "kitchen/fridge",
+                "read_inventory",
+                credentials=Presence("dad", {"password": "swordfish"}),
+            )
+
+
+class TestAuditAndErrors:
+    def test_remote_decisions_audited(self, setup):
+        home, gateway = setup
+        gateway.operate_remote("mom", "kids-bedroom/camera", "view_stream")
+        record = list(home.audit)[-1]
+        assert not record.granted
+        assert REMOTE_ROLE in record.decision.environment_roles
+
+    def test_require_remote_raises_on_denial(self, setup):
+        _, gateway = setup
+        with pytest.raises(AccessDeniedError):
+            gateway.require_remote("mom", "kids-bedroom/camera", "view_stream")
+
+    def test_require_remote_returns_result(self, setup):
+        _, gateway = setup
+        result = gateway.require_remote(
+            "mom", "kids-bedroom/camera", "view_snapshot"
+        )
+        assert result["kind"] == "snapshot"
+
+    def test_channel_roles_compose_with_time_roles(self, setup):
+        home, gateway = setup
+        from repro.env.temporal import time_window
+
+        home.runtime.define_time_role(
+            home.policy, "daytime", time_window("08:00", "20:00")
+        )
+        home.policy.grant(
+            "child", "open", "kitchen", "daytime", name="kids-daytime"
+        )
+        home.move("alice", "kitchen")
+        assert gateway.operate_local("alice", "kitchen/fridge", "open").granted
+        home.runtime.clock.advance(hours=10)  # 22:00
+        assert not gateway.operate_local("alice", "kitchen/fridge", "open").granted

@@ -1,0 +1,106 @@
+"""Tests for residents and daily schedules."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.env.location import OUTSIDE
+from repro.exceptions import GrbacError
+from repro.home.residents import (
+    DailySchedule,
+    Resident,
+    ScheduleError,
+    standard_household,
+)
+
+
+class TestDailySchedule:
+    @pytest.fixture
+    def schedule(self) -> DailySchedule:
+        return DailySchedule(
+            [
+                ("07:00", "kitchen"),
+                ("08:00", OUTSIDE),
+                ("17:00", "livingroom"),
+                ("22:00", "master-bedroom"),
+            ]
+        )
+
+    def test_location_between_waypoints(self, schedule):
+        assert schedule.location_at(datetime(2000, 1, 17, 7, 30)) == "kitchen"
+        assert schedule.location_at(datetime(2000, 1, 17, 12, 0)) == OUTSIDE
+        assert schedule.location_at(datetime(2000, 1, 17, 18, 0)) == "livingroom"
+
+    def test_waypoint_boundary_inclusive(self, schedule):
+        assert schedule.location_at(datetime(2000, 1, 17, 7, 0)) == "kitchen"
+
+    def test_wraps_around_midnight(self, schedule):
+        # Before 07:00 the person is where 22:00 left them: in bed.
+        assert schedule.location_at(datetime(2000, 1, 17, 3, 0)) == "master-bedroom"
+
+    def test_entries_sorted(self):
+        schedule = DailySchedule([("17:00", "b"), ("07:00", "a")])
+        assert [e.location for e in schedule.entries()] == ["a", "b"]
+
+    def test_duplicate_times_rejected(self):
+        with pytest.raises(ScheduleError):
+            DailySchedule([("07:00", "a"), ("07:00", "b")])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ScheduleError):
+            DailySchedule([])
+
+    def test_transition_times(self, schedule):
+        assert len(schedule.transition_times()) == 4
+
+
+class TestResident:
+    def test_defaults(self):
+        resident = Resident("alice", age=11, weight_lb=94.0)
+        assert resident.face_signature == "face:alice"
+        assert resident.voice_signature == "voice:alice"
+        assert not resident.is_adult
+        assert Resident("mom", age=40, weight_lb=135.0).is_adult
+
+    def test_presence_carries_ground_truth(self):
+        resident = Resident("alice", age=11, weight_lb=94.0)
+        presence = resident.presence()
+        assert presence.subject == "alice"
+        assert presence.feature("weight_lb") == 94.0
+        assert presence.feature("face") == "face:alice"
+
+    def test_presence_extra_features(self):
+        presence = Resident("mom", age=40, weight_lb=135.0).presence(
+            password="secret"
+        )
+        assert presence.feature("password") == "secret"
+
+    def test_location_without_schedule_is_outside(self):
+        visitor = Resident("tech", age=35, weight_lb=170.0)
+        assert visitor.location_at(datetime(2000, 1, 17, 9, 0)) == OUTSIDE
+
+    def test_validation(self):
+        with pytest.raises(GrbacError):
+            Resident("", age=1, weight_lb=1)
+        with pytest.raises(GrbacError):
+            Resident("x", age=-1, weight_lb=100)
+        with pytest.raises(GrbacError):
+            Resident("x", age=5, weight_lb=0)
+
+
+class TestStandardHousehold:
+    def test_cast_of_characters(self):
+        household = {r.name: r for r in standard_household()}
+        assert set(household) == {"mom", "dad", "alice", "bobby"}
+        # §5.2's exact numbers.
+        assert household["alice"].age == 11
+        assert household["alice"].weight_lb == 94.0
+        assert household["alice"].roles == ("child",)
+        assert household["mom"].roles == ("parent",)
+
+    def test_everyone_has_a_schedule(self):
+        for resident in standard_household():
+            assert resident.schedule is not None
+            # Everyone is home in the evening (the §5.1 scenario).
+            evening = resident.location_at(datetime(2000, 1, 17, 19, 30))
+            assert evening != OUTSIDE

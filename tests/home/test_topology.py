@@ -1,0 +1,135 @@
+"""Tests for the home topology model."""
+
+import pytest
+
+from repro.env.location import OUTSIDE
+from repro.home.topology import HOME_ZONE, Home, TopologyError, standard_home
+
+
+class TestConstruction:
+    def test_add_room_and_floor(self):
+        home = Home()
+        home.add_room("kitchen", "ground")
+        assert home.rooms() == ["kitchen"]
+        assert home.floor_of("kitchen") == "ground"
+        assert home.floors() == ["ground"]
+
+    def test_add_room_idempotent_same_floor(self):
+        home = Home()
+        home.add_room("kitchen", "ground")
+        home.add_room("kitchen", "ground")
+        assert home.rooms() == ["kitchen"]
+
+    def test_room_cannot_move_floors(self):
+        home = Home()
+        home.add_room("kitchen", "ground")
+        with pytest.raises(TopologyError):
+            home.add_room("kitchen", "upstairs")
+
+    def test_reserved_names_rejected(self):
+        home = Home()
+        with pytest.raises(TopologyError):
+            home.add_room(OUTSIDE)
+        with pytest.raises(TopologyError):
+            home.add_room(HOME_ZONE)
+        with pytest.raises(TopologyError):
+            home.add_room("")
+
+    def test_zone_definition_validates_rooms(self):
+        home = Home()
+        home.add_room("kitchen")
+        with pytest.raises(TopologyError):
+            home.define_zone("z", ["kitchen", "narnia"])
+        with pytest.raises(TopologyError):
+            home.define_zone("z", [])
+        home.define_zone("z", ["kitchen"])
+        assert home.zones() == ["z"]
+
+    def test_zone_name_cannot_shadow_room(self):
+        home = Home()
+        home.add_room("kitchen")
+        with pytest.raises(TopologyError):
+            home.define_zone("kitchen", ["kitchen"])
+
+    def test_connect_validates(self):
+        home = Home()
+        home.add_room("kitchen")
+        with pytest.raises(TopologyError):
+            home.connect("kitchen", "narnia")
+        with pytest.raises(TopologyError):
+            home.connect("kitchen", "kitchen")
+        home.connect("kitchen", OUTSIDE)
+        assert OUTSIDE in home.adjacent_to("kitchen")
+
+
+class TestContainment:
+    @pytest.fixture
+    def home(self) -> Home:
+        return standard_home()
+
+    def test_room_contains_itself(self, home):
+        assert home.contains("kitchen", "kitchen")
+
+    def test_home_zone_contains_all_rooms(self, home):
+        for room in home.rooms():
+            assert home.contains(room, HOME_ZONE)
+
+    def test_floor_containment(self, home):
+        assert home.contains("kitchen", "downstairs-floor")
+        assert not home.contains("kitchen", "upstairs-floor")
+
+    def test_zone_containment(self, home):
+        assert home.contains("kids-bedroom", "upstairs")
+        assert home.contains("kids-bedroom", "private")
+        assert not home.contains("bathroom", "private")
+
+    def test_outside_contained_nowhere(self, home):
+        assert not home.contains(OUTSIDE, HOME_ZONE)
+        assert home.contains(OUTSIDE, OUTSIDE)
+
+    def test_unknown_location_contained_nowhere(self, home):
+        assert not home.contains("narnia", HOME_ZONE)
+
+    def test_zone_resolver_adapter(self, home):
+        resolver = home.zone_resolver()
+        assert resolver("kitchen", HOME_ZONE)
+        assert not resolver("kitchen", "upstairs")
+
+
+class TestPathfinding:
+    @pytest.fixture
+    def home(self) -> Home:
+        return standard_home()
+
+    def test_trivial_path(self, home):
+        assert home.path("kitchen", "kitchen") == ["kitchen"]
+
+    def test_shortest_path(self, home):
+        path = home.path(OUTSIDE, "kitchen")
+        assert path is not None
+        assert path[0] == OUTSIDE
+        assert path[-1] == "kitchen"
+        # Through the garage is 2 hops; through the foyer is longer.
+        assert len(path) == 3
+
+    def test_all_rooms_reachable_from_outside(self, home):
+        for room in home.rooms():
+            assert home.path(OUTSIDE, room) is not None
+
+    def test_unknown_room_raises(self, home):
+        with pytest.raises(TopologyError):
+            home.path("kitchen", "narnia")
+
+    def test_unreachable_returns_none(self):
+        home = Home()
+        home.add_room("kitchen")
+        home.add_room("island")
+        assert home.path("kitchen", "island") is None
+
+
+class TestStandardHome:
+    def test_shape(self):
+        home = standard_home()
+        assert len(home.rooms()) == 9
+        assert set(home.zones()) == {"upstairs", "downstairs", "private"}
+        assert len(home.floors()) == 2

@@ -1,0 +1,129 @@
+"""Integration: household administration — the babysitter evening.
+
+Mom (a parent) uses her scoped administrative rights to delegate the
+*authorized-guest* role to the babysitter for one evening, the
+babysitter gets exactly the guest privileges for exactly the window,
+and the whole episode is reconstructable from the audit/event record.
+"""
+
+from datetime import datetime
+
+import pytest
+
+from repro.core import AccessRequest, MediationEngine
+from repro.core.admin import AdminAction, PolicyAdministrator
+from repro.core.delegation import DelegationManager, DelegationState
+from repro.exceptions import AccessDeniedError
+from repro.home.devices import Refrigerator, Television
+from repro.home.registry import SecureHome
+from repro.home.residents import Resident, standard_household
+from repro.policy.templates import install_figure2_roles
+
+
+@pytest.fixture
+def household():
+    home = SecureHome(start=datetime(2000, 1, 21, 17, 0))  # Friday 17:00
+    install_figure2_roles(home.policy)
+    for resident in standard_household():
+        home.register_resident(resident)
+    home.register_resident(
+        Resident("babysitter", age=19, weight_lb=128.0, roles=())
+    )
+    home.register_device(Television("tv", "livingroom"))
+    home.register_device(Refrigerator("fridge", "kitchen"))
+    policy = home.policy
+    policy.grant("authorized-guest", "power_on", "entertainment", name="guest-tv")
+    policy.grant("authorized-guest", "watch", "entertainment", name="guest-tv2")
+    policy.grant("authorized-guest", "open", "kitchen", name="guest-fridge")
+    policy.grant("family-member", "power_on", "entertainment")
+
+    delegations = DelegationManager(
+        policy, home.runtime.clock, bus=home.runtime.bus
+    )
+    admin = PolicyAdministrator(policy, delegations=delegations, bus=home.runtime.bus)
+    admin.grant_admin("parent", AdminAction.DELEGATE_ROLE, "authorized-guest")
+    admin.grant_admin("parent", AdminAction.REVOKE_ROLE, "authorized-guest")
+    return home, admin, delegations
+
+
+class TestBabysitterEvening:
+    def test_the_full_evening(self, household):
+        home, admin, delegations = household
+
+        # Before the pass: the babysitter can do nothing.
+        assert not home.try_operate("babysitter", "livingroom/tv", "power_on").granted
+
+        # 17:05 — Mom issues an evening pass until 23:00.
+        delegation = admin.delegate_role(
+            "mom", "babysitter", "authorized-guest",
+            until=datetime(2000, 1, 21, 23, 0),
+        )
+        assert delegation.state is DelegationState.ACTIVE
+        assert home.try_operate("babysitter", "livingroom/tv", "power_on").granted
+        assert home.try_operate("babysitter", "kitchen/fridge", "open").granted
+
+        # Guest rights are guest rights — nothing parental leaks.
+        assert not home.try_operate("babysitter", "kitchen/fridge", "add_item").granted
+
+        # 23:30 — the pass has lapsed on its own.
+        home.runtime.clock.advance(hours=6, minutes=30)
+        assert delegation.state is DelegationState.EXPIRED
+        assert not home.try_operate("babysitter", "livingroom/tv", "power_on").granted
+
+        # The trusted event record tells the whole story.
+        event_types = [
+            e.type
+            for e in home.runtime.bus.history()
+            if e.type.startswith(("admin.", "delegation."))
+        ]
+        assert event_types == [
+            "delegation.granted",
+            "admin.delegate-role",
+            "delegation.expired",
+        ]
+
+    def test_children_cannot_issue_passes(self, household):
+        home, admin, _ = household
+        with pytest.raises(AccessDeniedError):
+            admin.delegate_role(
+                "alice", "babysitter", "authorized-guest",
+                until=datetime(2000, 1, 21, 23, 0),
+            )
+        assert not home.try_operate("babysitter", "livingroom/tv", "power_on").granted
+
+    def test_parents_cannot_delegate_parenthood(self, household):
+        home, admin, _ = household
+        with pytest.raises(AccessDeniedError):
+            admin.delegate_role(
+                "mom", "babysitter", "parent",
+                until=datetime(2000, 1, 21, 23, 0),
+            )
+
+    def test_early_revocation(self, household):
+        home, admin, delegations = household
+        delegation = admin.delegate_role(
+            "mom", "babysitter", "authorized-guest",
+            until=datetime(2000, 1, 21, 23, 0),
+        )
+        # The kids act up; the evening ends early.
+        delegations.revoke(delegation)
+        assert not home.try_operate("babysitter", "livingroom/tv", "power_on").granted
+
+    def test_cached_engine_tracks_delegation_lifecycle(self, household):
+        # The decision cache must not serve stale grants across the
+        # delegation boundary — decision_revision covers assignments.
+        home, admin, _ = household
+        engine = MediationEngine(
+            home.policy, home.runtime.activator, cache_size=32
+        )
+        request = AccessRequest(
+            transaction="power_on", obj="livingroom/tv", subject="babysitter"
+        )
+        assert not engine.decide(request).granted
+        admin.delegate_role(
+            "mom", "babysitter", "authorized-guest",
+            until=datetime(2000, 1, 21, 23, 0),
+        )
+        assert engine.decide(request).granted
+        home.runtime.clock.advance(hours=7)
+        assert not engine.decide(request).granted

@@ -1,0 +1,50 @@
+"""Every shipped example must run clean — they are the quickstart.
+
+Each example is executed as a subprocess (the way a user would run it)
+and must exit 0 with the output landmarks it promises.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "examples")
+
+#: example file -> a landmark string its output must contain
+LANDMARKS = {
+    "quickstart.py": "Why was the last request denied?",
+    "aware_home.py": "Section 5.1",
+    "partial_authentication.py": "the TV turns on",
+    "policy_language.py": "Policy lint:",
+    "eldercare.py": "unlocks the front door",
+    "connected_home.py": "babysitter",
+    "unified_models.py": "multilevel security",
+}
+
+
+def run_example(name: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, name)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+@pytest.mark.parametrize("name", sorted(LANDMARKS))
+def test_example_runs_clean(name):
+    result = run_example(name)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert LANDMARKS[name] in result.stdout
+    assert "Traceback" not in result.stderr
+
+
+def test_every_example_file_has_a_landmark():
+    shipped = {
+        name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py")
+    }
+    assert shipped == set(LANDMARKS), (
+        "examples/ and the landmark table drifted apart"
+    )

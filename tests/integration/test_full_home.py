@@ -1,0 +1,140 @@
+"""Integration: a fully configured household with all apps at once."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.exceptions import AccessDeniedError
+from repro.home.apps import (
+    CyberfridgeApp,
+    ElderCareApp,
+    MediaGuardApp,
+    UtilityApp,
+)
+from repro.home.devices import (
+    Camera,
+    DoorLock,
+    MedicalMonitor,
+    Oven,
+    Refrigerator,
+    Television,
+    Thermostat,
+    WaterHeater,
+)
+from repro.home.registry import SecureHome
+from repro.home.residents import standard_household
+from repro.policy.templates import install_figure2_roles
+from repro.sensors.motion import OccupancyProvider
+from repro.workload.traces import DayTraceSimulator
+
+
+@pytest.fixture
+def full_home():
+    """Everything wired: all devices, all apps, the whole family."""
+    home = SecureHome(start=datetime(2000, 1, 17, 6, 0))
+    install_figure2_roles(home.policy)
+    for resident in standard_household():
+        home.register_resident(resident)
+
+    devices = {
+        "tv": Television("tv", "livingroom"),
+        "fridge": Refrigerator("fridge", "kitchen"),
+        "oven": Oven("oven", "kitchen"),
+        "thermostat": Thermostat("thermostat", "foyer"),
+        "heater": WaterHeater("heater", "garage"),
+        "monitor": MedicalMonitor("vitals", "master-bedroom"),
+        "camera": Camera("camera", "master-bedroom"),
+        "door": DoorLock("front-door", "foyer"),
+    }
+    for device in devices.values():
+        home.register_device(device)
+    home.runtime.providers.register(
+        OccupancyProvider(home.runtime.location, ["home"])
+    )
+
+    CyberfridgeApp.install_policy(home)
+    fridge_app = CyberfridgeApp(home, devices["fridge"])
+    eldercare = ElderCareApp(
+        home, devices["monitor"], devices["camera"], devices["door"]
+    )
+    ElderCareApp.install_policy(home)
+    UtilityApp.install_policy(home)
+    utility = UtilityApp(home, devices["thermostat"], devices["heater"])
+    media = MediaGuardApp(home, devices["tv"])
+    MediaGuardApp.install_policy(home)
+    media.add_program(2, "cartoons", "G")
+    media.add_program(5, "late-movie", "R")
+
+    # Household basics beyond the apps.
+    home.policy.grant("family-member", "power_on", "entertainment")
+    home.policy.grant("family-member", "watch", "entertainment")
+    home.policy.deny("child", "power_on", "safety-critical", name="kids-oven")
+    home.policy.grant("parent", "power_on", "safety-critical")
+    home.policy.grant("parent", "set_temperature", "safety-critical")
+    home.policy.grant("parent", "set_temperature", "hvac")
+    home.policy.add_subject("nurse")
+    home.policy.assign_subject("nurse", "caregiver")
+
+    return home, devices, {
+        "fridge": fridge_app,
+        "eldercare": eldercare,
+        "utility": utility,
+        "media": media,
+    }
+
+
+class TestCrossAppInteractions:
+    def test_role_structure_is_shared_across_apps(self, full_home):
+        home, _, apps = full_home
+        # One 'parent' role drives fridge management AND the oven AND
+        # media — no per-app identity silos.
+        assert apps["fridge"].stock("mom", "milk", 2) == 2
+        assert home.operate("mom", "kitchen/oven", "power_on")
+        assert apps["media"].can_watch("mom", 5)
+
+    def test_children_see_consistent_restrictions(self, full_home):
+        home, _, apps = full_home
+        with pytest.raises(AccessDeniedError):
+            home.operate("alice", "kitchen/oven", "power_on")
+        assert not apps["media"].can_watch("alice", 5)
+        assert apps["media"].can_watch("alice", 2)
+        assert apps["fridge"].read_inventory("alice") is not None
+
+    def test_environment_roles_from_different_apps_coexist(self, full_home):
+        home, _, apps = full_home
+        home.move("mom", "kitchen")
+        apps["utility"].tick()
+        assert apps["utility"].status()["heating"] is True
+        apps["eldercare"].record_vitals(150, 190)
+        # The utility app's roles are unaffected by the emergency role.
+        active = home.runtime.active_roles()
+        assert "medical-emergency" in active
+        assert "home-occupied" in active
+
+    def test_emergency_does_not_leak_unrelated_rights(self, full_home):
+        home, _, apps = full_home
+        apps["eldercare"].record_vitals(150, 190)
+        # Even during an emergency, the nurse cannot raid the fridge.
+        with pytest.raises(AccessDeniedError):
+            home.operate("nurse", "kitchen/fridge", "read_inventory")
+
+    def test_full_day_trace_runs_clean(self, full_home):
+        home, _, _ = full_home
+        simulator = DayTraceSimulator(home, step_minutes=20, seed=2)
+        result = simulator.run(hours=24)
+        assert len(result.events) >= 20
+        assert result.grants > 0
+        assert result.denials > 0  # children keep probing the oven
+        assert home.audit.total >= len(result.events)
+
+    def test_audit_answers_who_did_what(self, full_home):
+        home, _, apps = full_home
+        apps["fridge"].stock("mom", "milk", 1)
+        try:
+            home.operate("alice", "kitchen/oven", "power_on")
+        except AccessDeniedError:
+            pass
+        oven_denials = home.audit.records(obj="kitchen/oven", granted=False)
+        assert [r.subject for r in oven_denials] == ["alice"]
+        milk_grants = home.audit.records(subject="mom", granted=True)
+        assert any(r.transaction == "add_item" for r in milk_grants)

@@ -1,0 +1,129 @@
+"""Integration: §4.2.2's videophone rule — requester-relative location.
+
+"Children may only use the videophone while they are in the kitchen."
+The rule conditions on the *requester's* location, so two children in
+different rooms get different answers at the same instant — exactly
+what the requester-relative environment roles provide.
+"""
+
+from datetime import datetime
+
+import pytest
+
+from repro.core import AccessRequest
+from repro.env.location import RequesterLocationEnvironment
+from repro.home.devices import Videophone
+from repro.home.registry import SecureHome
+from repro.home.residents import standard_household
+from repro.policy.templates import install_figure2_roles
+
+
+@pytest.fixture
+def home() -> SecureHome:
+    home = SecureHome(start=datetime(2000, 1, 17, 19, 0))
+    install_figure2_roles(home.policy)
+    for resident in standard_household():
+        home.register_resident(resident)
+    home.register_device(Videophone("videophone", "kitchen"))
+    policy = home.policy
+    # The paper's rule, verbatim: one grant against the injected role.
+    policy.add_environment_role(
+        "requester-in-kitchen", "the requester is in the kitchen"
+    )
+    policy.grant(
+        "child", "place_call", "communication", "requester-in-kitchen",
+        name="videophone-kitchen",
+    )
+    # Parents call from anywhere.
+    policy.grant("parent", "place_call", "communication", name="parents-anywhere")
+    policy.grant("family-member", "hang_up", "communication")
+    return home
+
+
+class TestVideophoneRule:
+    def test_child_in_kitchen_may_call(self, home):
+        home.move("alice", "kitchen")
+        assert home.try_operate("alice", "kitchen/videophone", "place_call").granted
+
+    def test_child_elsewhere_may_not(self, home):
+        home.move("alice", "livingroom")
+        assert not home.try_operate(
+            "alice", "kitchen/videophone", "place_call"
+        ).granted
+
+    def test_two_children_different_rooms_same_instant(self, home):
+        home.move("alice", "kitchen")
+        home.move("bobby", "kids-bedroom")
+        alice = home.try_operate("alice", "kitchen/videophone", "place_call")
+        assert alice.granted
+        home.device("kitchen/videophone").perform("hang_up")
+        bobby = home.try_operate("bobby", "kitchen/videophone", "place_call")
+        assert not bobby.granted
+
+    def test_access_follows_movement(self, home):
+        home.move("alice", "livingroom")
+        assert not home.try_operate(
+            "alice", "kitchen/videophone", "place_call"
+        ).granted
+        home.move("alice", "kitchen")
+        assert home.try_operate("alice", "kitchen/videophone", "place_call").granted
+
+    def test_parents_unconstrained_by_location(self, home):
+        home.move("mom", "master-bedroom")
+        assert home.try_operate("mom", "kitchen/videophone", "place_call").granted
+
+    def test_zone_level_roles_also_injected(self, home):
+        # requester-in-downstairs is injected too (zones come from the
+        # topology); a rule can target the whole floor.
+        home.policy.add_environment_role("requester-in-downstairs")
+        home.policy.grant(
+            "child", "hang_up", "communication", "requester-in-downstairs",
+            name="hangup-downstairs",
+        )
+        home.move("bobby", "diningroom")
+        decision = home.engine.decide(
+            AccessRequest(
+                transaction="hang_up", obj="kitchen/videophone", subject="bobby"
+            )
+        )
+        assert "requester-in-downstairs" in decision.environment_roles
+
+    def test_unregistered_injected_roles_are_inert(self, home):
+        # requester-in-garage is injected when someone stands in the
+        # garage, but no policy registered it: it must change nothing.
+        home.move("alice", "garage")
+        decision = home.engine.decide(
+            AccessRequest(
+                transaction="place_call",
+                obj="kitchen/videophone",
+                subject="alice",
+            )
+        )
+        assert not decision.granted
+        assert "requester-in-garage" not in decision.environment_roles
+
+
+class TestSourceDirectly:
+    def test_wrapper_semantics(self, home):
+        environment = home.engine.environment
+        assert isinstance(environment, RequesterLocationEnvironment)
+        home.move("alice", "kitchen")
+        request = AccessRequest(
+            transaction="place_call", obj="kitchen/videophone", subject="alice"
+        )
+        roles = environment.active_environment_roles_for(request)
+        assert "requester-in-kitchen" in roles
+        assert "requester-in-home" in roles
+        assert "requester-in-downstairs" in roles
+        # The request-free view adds nothing.
+        assert "requester-in-kitchen" not in environment.active_environment_roles()
+
+    def test_subjectless_requests_get_no_location_roles(self, home):
+        environment = home.engine.environment
+        request = AccessRequest(
+            transaction="place_call",
+            obj="kitchen/videophone",
+            role_claims={"child": 0.9},
+        )
+        roles = environment.active_environment_roles_for(request)
+        assert not any(role.startswith("requester-in-") for role in roles)

@@ -1,0 +1,124 @@
+"""Tests for policy analysis: conflicts, shadowing, reachability."""
+
+import pytest
+
+from repro.core import GrbacPolicy, PrecedenceStrategy
+from repro.policy.analysis import PolicyAnalyzer
+
+
+@pytest.fixture
+def policy(tv_policy) -> GrbacPolicy:
+    return tv_policy
+
+
+class TestConflicts:
+    def test_overlapping_grant_deny_detected(self, policy):
+        # Children are granted watch on entertainment; denying watch on
+        # television collides for alice on the TV.
+        policy.deny("child", "watch", "television")
+        analyzer = PolicyAnalyzer(policy)
+        conflicts = analyzer.find_conflicts()
+        assert len(conflicts) == 1
+        conflict = conflicts[0]
+        assert "alice" in conflict.witness_subjects
+        assert "livingroom/tv" in conflict.witness_objects
+        assert "deny wins" in conflict.resolution
+        assert "conflict" in conflict.describe()
+
+    def test_disjoint_subject_scopes_no_conflict(self, policy):
+        # Denying parents does not collide with the child grant.
+        policy.deny("parent", "watch", "television")
+        assert PolicyAnalyzer(policy).find_conflicts() == []
+
+    def test_disjoint_object_scopes_no_conflict(self, policy):
+        policy.deny("child", "watch", "dangerous")
+        assert PolicyAnalyzer(policy).find_conflicts() == []
+
+    def test_different_transactions_no_conflict(self, policy):
+        policy.deny("child", "power_on", "television")
+        assert PolicyAnalyzer(policy).find_conflicts() == []
+
+    def test_resolution_reflects_strategy(self, policy):
+        policy.deny("child", "watch", "television", priority=1)
+        policy.precedence = PrecedenceStrategy.ALLOW_OVERRIDES
+        assert "grant wins" in PolicyAnalyzer(policy).find_conflicts()[0].resolution
+        policy.precedence = PrecedenceStrategy.PRIORITY
+        assert "priority" in PolicyAnalyzer(policy).find_conflicts()[0].resolution
+
+
+class TestShadowing:
+    def test_grant_shadowed_by_broader_deny(self, policy):
+        # Deny watch to family-member on anything, any environment:
+        # the child grant can never win under deny-overrides.
+        policy.deny("family-member", "watch")
+        shadowed = PolicyAnalyzer(policy).find_shadowed_rules()
+        assert len(shadowed) == 1
+        victim, cover = shadowed[0]
+        assert victim.sign.value == "grant"
+        assert cover.subject_role.name == "family-member"
+
+    def test_narrower_deny_does_not_shadow(self, policy):
+        # A deny limited to 'television' does NOT cover the whole
+        # entertainment-devices grant scope.
+        policy.deny("child", "watch", "television")
+        assert PolicyAnalyzer(policy).find_shadowed_rules() == []
+
+    def test_no_shadowing_under_priority_strategy(self, policy):
+        policy.deny("family-member", "watch")
+        policy.precedence = PrecedenceStrategy.PRIORITY
+        assert PolicyAnalyzer(policy).find_shadowed_rules() == []
+
+    def test_deny_shadowed_under_allow_overrides(self, policy):
+        policy.deny("child", "watch", "entertainment-devices", "free-time")
+        policy.precedence = PrecedenceStrategy.ALLOW_OVERRIDES
+        shadowed = PolicyAnalyzer(policy).find_shadowed_rules()
+        assert len(shadowed) == 1
+        assert shadowed[0][0].sign.value == "deny"
+
+
+class TestReachability:
+    def test_rule_for_empty_role_flagged(self, policy):
+        policy.add_subject_role("houseguest")  # nobody assigned
+        policy.grant("houseguest", "watch", "television")
+        unreachable = PolicyAnalyzer(policy).find_unreachable_rules()
+        assert len(unreachable) == 1
+        assert unreachable[0].subject_role.name == "houseguest"
+
+    def test_rule_for_empty_object_role_flagged(self, policy):
+        policy.add_object_role("pool-equipment")  # no objects
+        policy.grant("parent", "power_on", "pool-equipment")
+        unreachable = PolicyAnalyzer(policy).find_unreachable_rules()
+        assert len(unreachable) == 1
+
+    def test_reachable_rules_not_flagged(self, policy):
+        assert PolicyAnalyzer(policy).find_unreachable_rules() == []
+
+
+class TestCoverage:
+    def test_counts(self, policy):
+        coverage = PolicyAnalyzer(policy).coverage()
+        # 4 subjects x 1 transaction x 2 objects = 8 triples; the one
+        # rule covers (alice|bobby) x watch x tv = 2.
+        assert coverage["total"] == 8
+        assert coverage["covered"] == 2
+        assert coverage["uncovered"] == 6
+
+    def test_any_object_rule_widens_coverage(self, policy):
+        policy.grant("family-member", "watch")
+        coverage = PolicyAnalyzer(policy).coverage()
+        assert coverage["covered"] == 8
+
+
+class TestLint:
+    def test_lint_aggregates_findings(self, policy):
+        policy.deny("child", "watch", "television")  # conflict
+        policy.add_subject_role("houseguest")
+        policy.grant("houseguest", "watch", "television")  # unreachable
+        findings = PolicyAnalyzer(policy).lint()
+        categories = {finding.category for finding in findings}
+        assert "conflict" in categories
+        assert "unreachable" in categories
+        assert all(finding.describe() for finding in findings)
+
+    def test_clean_policy_lints_clean(self, policy):
+        assert PolicyAnalyzer(policy).lint() == []

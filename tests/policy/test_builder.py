@@ -1,0 +1,112 @@
+"""Tests for the fluent policy builder."""
+
+import pytest
+
+from repro.core import (
+    MediationEngine,
+    PrecedenceStrategy,
+    Sign,
+    StaticEnvironment,
+)
+from repro.exceptions import ConstraintViolationError
+from repro.policy.builder import PolicyBuilder
+
+
+class TestBuilder:
+    def test_full_household_policy(self):
+        policy = (
+            PolicyBuilder("home")
+            .subject_role("family-member")
+            .subject_role("parent", extends="family-member")
+            .subject_role("child", extends="family-member")
+            .subject("alice", roles=["child"], age=11)
+            .subject("mom", roles=["parent"])
+            .object_role("entertainment-devices")
+            .object_role("television", extends="entertainment-devices")
+            .object("livingroom/tv", roles=["television"])
+            .environment_role("free-time")
+            .allow("child", "watch", on="entertainment-devices", when="free-time")
+            .build()
+        )
+        engine = MediationEngine(policy, StaticEnvironment({"free-time"}))
+        assert engine.check("alice", "watch", "livingroom/tv")
+        assert not engine.check("mom", "watch", "livingroom/tv")
+
+    def test_multiple_transactions_per_rule(self):
+        policy = (
+            PolicyBuilder()
+            .subject_role("parent")
+            .allow("parent", "power_on", "power_off", "watch")
+            .build()
+        )
+        assert len(policy.permissions()) == 3
+
+    def test_deny_rule(self):
+        policy = (
+            PolicyBuilder()
+            .subject_role("child")
+            .object_role("dangerous")
+            .deny("child", "power_on", on="dangerous", name="no-danger")
+            .build()
+        )
+        permission = policy.permissions()[0]
+        assert permission.sign is Sign.DENY
+        assert permission.name == "no-danger"
+
+    def test_confidence_and_priority_forwarded(self):
+        policy = (
+            PolicyBuilder()
+            .subject_role("parent")
+            .allow("parent", "view", min_confidence=0.9, priority=4)
+            .build()
+        )
+        permission = policy.permissions()[0]
+        assert permission.min_confidence == 0.9
+        assert permission.priority == 4
+
+    def test_extends_auto_registers_parent(self):
+        policy = PolicyBuilder().subject_role("parent", extends="adult").build()
+        assert "adult" in policy.subject_roles
+        assert policy.subject_roles.is_specialization_of("parent", "adult")
+
+    def test_environment_role_hierarchy(self):
+        policy = (
+            PolicyBuilder()
+            .environment_role("weekday-morning", extends="weekday")
+            .build()
+        )
+        assert policy.environment_roles.is_specialization_of(
+            "weekday-morning", "weekday"
+        )
+
+    def test_constraints_wired(self):
+        builder = (
+            PolicyBuilder()
+            .subject_role("teller")
+            .subject_role("account-holder")
+            .subject_role("admin")
+            .subject_role("employee")
+            .static_sod("bank", ["teller", "account-holder"])
+            .dynamic_sod("ops", ["admin", "teller"])
+            .cardinality("one-admin", "admin", 1)
+            .prerequisite("admin-emp", "admin", "employee")
+        )
+        policy = builder.subject("pat", roles=["teller"]).build()
+        with pytest.raises(ConstraintViolationError):
+            policy.assign_subject("pat", "account-holder")
+        assert len(policy.constraints) == 4
+
+    def test_precedence_and_default(self):
+        policy = (
+            PolicyBuilder()
+            .precedence(PrecedenceStrategy.ALLOW_OVERRIDES)
+            .default_allow()
+            .build()
+        )
+        assert policy.precedence is PrecedenceStrategy.ALLOW_OVERRIDES
+        assert policy.default_sign is Sign.GRANT
+        assert PolicyBuilder().default_deny().build().default_sign is Sign.DENY
+
+    def test_transaction_registration(self):
+        policy = PolicyBuilder().transaction("reboot").build()
+        assert policy.transaction("reboot")

@@ -1,0 +1,154 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+POLICY_TEXT = """
+subject role child
+subject role parent
+object role entertainment
+environment role free-time
+subject alice is child
+subject mom is parent
+object tv is entertainment
+allow child to watch on entertainment when free-time
+allow parent to watch on entertainment
+"""
+
+
+@pytest.fixture
+def policy_file(tmp_path):
+    path = tmp_path / "home.grbac"
+    path.write_text(POLICY_TEXT)
+    return str(path)
+
+
+class TestShow:
+    def test_show_prints_rules_and_stats(self, policy_file, capsys):
+        assert main(["show", policy_file]) == 0
+        out = capsys.readouterr().out
+        assert "permissions" in out
+        assert "grant watch to child" in out
+        assert "deny-overrides" in out
+
+    def test_missing_file(self, capsys):
+        assert main(["show", "/nonexistent.grbac"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestLint:
+    def test_clean_policy(self, policy_file, capsys):
+        assert main(["lint", policy_file]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_findings_printed(self, tmp_path, capsys):
+        path = tmp_path / "conflicted.grbac"
+        path.write_text(
+            POLICY_TEXT + "deny child to watch on entertainment\n"
+        )
+        assert main(["lint", str(path)]) == 0  # warnings, not errors
+        out = capsys.readouterr().out
+        assert "conflict" in out
+
+    def test_syntax_error_exit_code(self, tmp_path, capsys):
+        path = tmp_path / "broken.grbac"
+        path.write_text("allow child watch\n")
+        assert main(["lint", str(path)]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestCheck:
+    def test_grant_exit_zero(self, policy_file, capsys):
+        code = main(
+            ["check", policy_file, "alice", "watch", "tv", "--env", "free-time"]
+        )
+        assert code == 0
+        assert capsys.readouterr().out.strip() == "GRANT"
+
+    def test_deny_exit_one(self, policy_file, capsys):
+        code = main(["check", policy_file, "alice", "watch", "tv"])
+        assert code == 1
+        assert capsys.readouterr().out.strip() == "DENY"
+
+    def test_explain(self, policy_file, capsys):
+        main(
+            [
+                "check",
+                policy_file,
+                "alice",
+                "watch",
+                "tv",
+                "--env",
+                "free-time",
+                "--explain",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "rationale" in out
+        assert "GRANT" in out
+
+    def test_confidence_and_threshold(self, policy_file, capsys):
+        code = main(
+            [
+                "check",
+                policy_file,
+                "mom",
+                "watch",
+                "tv",
+                "--confidence",
+                "0.7",
+                "--threshold",
+                "0.9",
+            ]
+        )
+        assert code == 1  # 0.7 < 0.9
+
+    def test_unknown_entity_is_error(self, policy_file, capsys):
+        assert main(["check", policy_file, "ghost", "watch", "tv"]) == 2
+
+    def test_diagnose_lists_candidate_rules(self, policy_file, capsys):
+        main(["check", policy_file, "alice", "watch", "tv", "--diagnose"])
+        out = capsys.readouterr().out
+        assert "candidate rules:" in out
+        assert "missed" in out
+        assert "'free-time' not active" in out
+
+
+class TestExport:
+    def test_export_stdout_is_valid_json(self, policy_file, capsys):
+        assert main(["export", policy_file]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema"] == 1
+        assert len(document["permissions"]) == 2
+
+    def test_export_to_file_round_trips(self, policy_file, tmp_path, capsys):
+        output = tmp_path / "policy.json"
+        assert main(["export", policy_file, "-o", str(output)]) == 0
+        from repro.policy.serialize import from_json
+
+        restored = from_json(output.read_text())
+        assert restored.stats()["permissions"] == 2
+
+
+class TestExportDsl:
+    def test_export_dsl_round_trips(self, policy_file, capsys):
+        assert main(["export", policy_file, "--format", "dsl"]) == 0
+        text = capsys.readouterr().out
+        assert "allow child to watch on entertainment when free-time" in text
+        from repro.policy.dsl import compile_policy
+
+        restored = compile_policy(text)
+        assert restored.stats()["permissions"] == 2
+
+
+class TestDemo:
+    @pytest.mark.parametrize(
+        "scenario", ["s51", "s52", "repairman", "negative-rights"]
+    )
+    def test_demos_run(self, scenario, capsys):
+        assert main(["demo", scenario]) == 0
+        out = capsys.readouterr().out
+        assert "GRANT" in out or "DENY" in out

@@ -1,0 +1,54 @@
+"""Keep the documentation's policy examples compiling.
+
+Docs that drift from the implementation are worse than no docs; these
+tests extract the code blocks from ``docs/POLICY_LANGUAGE.md`` and the
+README quickstart policy and compile them.
+"""
+
+import os
+import re
+
+import pytest
+
+from repro import compile_policy
+
+REPO_ROOT = os.path.join(os.path.dirname(__file__), "..", "..")
+
+
+def read(path: str) -> str:
+    with open(os.path.join(REPO_ROOT, path), "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+class TestPolicyLanguageDoc:
+    def test_household_example_compiles(self):
+        text = read("docs/POLICY_LANGUAGE.md")
+        blocks = re.findall(r"```\n(.*?)```", text, re.S)
+        household = [b for b in blocks if "subject role home-user" in b]
+        assert household, "the doc lost its complete-household example"
+        policy = compile_policy(household[0])
+        assert policy.stats()["permissions"] >= 5
+        assert "child" in policy.subject_roles
+
+    def test_documented_strategies_exist(self):
+        from repro.core import PrecedenceStrategy
+
+        text = read("docs/POLICY_LANGUAGE.md")
+        for strategy in PrecedenceStrategy:
+            assert strategy.value in text
+
+
+class TestReadmeExamples:
+    def test_readme_dsl_block_compiles(self):
+        text = read("README.md")
+        blocks = re.findall(r'compile_policy\("""\n(.*?)"""\)', text, re.S)
+        assert blocks, "the README lost its DSL example"
+        policy = compile_policy(blocks[0])
+        assert policy.stats()["permissions"] == 1
+
+    def test_readme_names_real_example_files(self):
+        text = read("README.md")
+        for match in re.findall(r"`examples/([a-z_]+\.py)`", text):
+            assert os.path.exists(
+                os.path.join(REPO_ROOT, "examples", match)
+            ), match

@@ -1,0 +1,231 @@
+"""Tests for the policy DSL: lexer, parser, compiler."""
+
+import pytest
+
+from repro.core import MediationEngine, PrecedenceStrategy, Sign, StaticEnvironment
+from repro.exceptions import PolicyCompileError, PolicySyntaxError
+from repro.policy.dsl import compile_policy, parse
+from repro.policy.dsl.ast import (
+    ConstraintDecl,
+    DefaultDecl,
+    ObjectDecl,
+    PrecedenceDecl,
+    RoleDecl,
+    RuleDecl,
+    SubjectDecl,
+    TransactionDecl,
+)
+from repro.policy.dsl.lexer import tokenize_line
+
+
+class TestLexer:
+    def test_words_numbers_percent(self):
+        tokens = tokenize_line("priority 5 allow if confidence >= 90%", 1)
+        kinds = [t.kind for t in tokens]
+        assert kinds == ["word", "number", "word", "word", "word", "gte", "percent"]
+        assert tokens[-1].number == pytest.approx(0.9)
+
+    def test_identifiers_with_punctuation(self):
+        tokens = tokenize_line("object livingroom/tv is entertainment-devices", 1)
+        assert tokens[1].text == "livingroom/tv"
+        assert tokens[3].text == "entertainment-devices"
+
+    def test_comments_stripped(self):
+        assert tokenize_line("allow x to y  # a comment", 1)[-1].text == "y"
+        assert tokenize_line("# only a comment", 1) == []
+
+    def test_unexpected_character(self):
+        with pytest.raises(PolicySyntaxError) as excinfo:
+            tokenize_line("allow child to watch @tv", 3)
+        assert excinfo.value.line == 3
+
+
+class TestParser:
+    def test_role_declarations(self):
+        statements = parse(
+            "subject role parent extends family-member\n"
+            "object role tv\n"
+            "environment role weekday extends any-time\n"
+        )
+        assert statements[0] == RoleDecl(1, "subject", "parent", "family-member")
+        assert statements[1] == RoleDecl(2, "object", "tv", None)
+        assert statements[2] == RoleDecl(3, "environment", "weekday", "any-time")
+
+    def test_entity_declarations(self):
+        statements = parse(
+            "subject alice is child, family-member\nobject tv is television\nobject bare\n"
+        )
+        assert statements[0] == SubjectDecl(1, "alice", ("child", "family-member"))
+        assert statements[1] == ObjectDecl(2, "tv", ("television",))
+        assert statements[2] == ObjectDecl(3, "bare", ())
+
+    def test_transaction_declaration(self):
+        assert parse("transaction watch")[0] == TransactionDecl(1, "watch")
+
+    def test_full_rule(self):
+        (rule,) = parse(
+            "priority 3 deny child to watch, record on tv when night "
+            "if confidence >= 85%"
+        )
+        assert rule == RuleDecl(
+            1, "deny", "child", ("watch", "record"), "tv", "night", 0.85, 3
+        )
+
+    def test_minimal_rule(self):
+        (rule,) = parse("allow parent to unlock")
+        assert rule.object_role is None
+        assert rule.environment_role is None
+        assert rule.min_confidence == 0.0
+        assert rule.priority == 0
+
+    def test_bare_confidence_number_means_percent(self):
+        (rule,) = parse("allow parent to view if confidence >= 90")
+        assert rule.min_confidence == pytest.approx(0.9)
+
+    def test_constraint(self):
+        (constraint,) = parse(
+            "constraint dsd bank between teller and account-holder and auditor limit 2"
+        )
+        assert constraint == ConstraintDecl(
+            1, "dsd", "bank", ("teller", "account-holder", "auditor"), 2
+        )
+
+    def test_precedence_and_default(self):
+        statements = parse("precedence most-specific\ndefault allow")
+        assert statements[0] == PrecedenceDecl(1, "most-specific")
+        assert statements[1] == DefaultDecl(2, "allow")
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "allow child watch",  # missing 'to'
+            "subject role",  # missing name
+            "frobnicate everything",  # unknown statement
+            "allow child to watch extra trailing",
+            "priority x allow child to watch",
+            "constraint ssd x between only-one",
+            "allow child to watch if confidence > 90%",
+            "default maybe",
+        ],
+    )
+    def test_syntax_errors(self, bad):
+        with pytest.raises(PolicySyntaxError):
+            parse(bad)
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(PolicySyntaxError) as excinfo:
+            parse("subject role ok\nallow child watch\n")
+        assert excinfo.value.line == 2
+
+
+S51_POLICY = """
+# Section 5.1, in the policy language
+subject role home-user
+subject role family-member extends home-user
+subject role parent extends family-member
+subject role child extends family-member
+object role entertainment-devices
+environment role weekday-free-time
+
+subject mom is parent
+subject alice is child
+object livingroom/tv is entertainment-devices
+
+allow child to watch on entertainment-devices when weekday-free-time
+"""
+
+
+class TestCompiler:
+    def test_section51_policy_end_to_end(self):
+        policy = compile_policy(S51_POLICY)
+        engine = MediationEngine(
+            policy, StaticEnvironment({"weekday-free-time"})
+        )
+        assert engine.check("alice", "watch", "livingroom/tv")
+        assert not engine.check("mom", "watch", "livingroom/tv")
+
+    def test_declaration_order_does_not_matter(self):
+        reordered = "\n".join(reversed(S51_POLICY.strip().splitlines()))
+        policy = compile_policy(reordered)
+        engine = MediationEngine(
+            policy, StaticEnvironment({"weekday-free-time"})
+        )
+        assert engine.check("alice", "watch", "livingroom/tv")
+
+    def test_undeclared_roles_are_compile_errors(self):
+        for source, fragment in [
+            ("allow ghost to fly", "subject role 'ghost'"),
+            (
+                "subject role r\nallow r to fly on ghost-objects",
+                "object role 'ghost-objects'",
+            ),
+            (
+                "subject role r\nallow r to fly when ghostly",
+                "environment role 'ghostly'",
+            ),
+            ("subject x is ghost-role", "subject role 'ghost-role'"),
+            (
+                "object o is ghost-role",
+                "object role 'ghost-role'",
+            ),
+            (
+                "constraint ssd c between a and b",
+                "subject role",
+            ),
+        ]:
+            with pytest.raises(PolicyCompileError, match="line"):
+                compile_policy(source)
+
+    def test_deny_and_priority_compiled(self):
+        policy = compile_policy(
+            "subject role child\npriority 7 deny child to power_on\n"
+        )
+        permission = policy.permissions()[0]
+        assert permission.sign is Sign.DENY
+        assert permission.priority == 7
+
+    def test_confidence_compiled(self):
+        policy = compile_policy(
+            "subject role parent\nallow parent to view if confidence >= 90%\n"
+        )
+        assert policy.permissions()[0].min_confidence == pytest.approx(0.9)
+
+    def test_constraints_compiled_and_enforced(self):
+        policy = compile_policy(
+            "subject role teller\n"
+            "subject role account-holder\n"
+            "subject pat is teller\n"
+            "constraint ssd bank between teller and account-holder\n"
+        )
+        from repro.exceptions import ConstraintViolationError
+
+        with pytest.raises(ConstraintViolationError):
+            policy.assign_subject("pat", "account-holder")
+
+    def test_precedence_and_default_compiled(self):
+        policy = compile_policy("precedence allow-overrides\ndefault allow\n")
+        assert policy.precedence is PrecedenceStrategy.ALLOW_OVERRIDES
+        assert policy.default_sign is Sign.GRANT
+
+    def test_unknown_precedence_rejected(self):
+        with pytest.raises(PolicyCompileError):
+            compile_policy("precedence coin-flip")
+
+    def test_compile_onto_existing_policy(self, tv_policy):
+        compile_policy(
+            "allow parent to watch on television when free-time", policy=tv_policy
+        )
+        engine = MediationEngine(tv_policy, StaticEnvironment({"free-time"}))
+        assert engine.check("mom", "watch", "livingroom/tv")
+
+    def test_duplicate_rule_is_compile_error(self):
+        with pytest.raises(PolicyCompileError):
+            compile_policy(
+                "subject role r\nallow r to fly\nallow r to fly\n"
+            )
+
+    def test_hierarchy_cycle_is_compile_error(self):
+        with pytest.raises(PolicyCompileError):
+            compile_policy(
+                "subject role a extends b\nsubject role b extends a\n"
+            )

@@ -1,0 +1,125 @@
+"""Tests for the Bell–LaPadula encoding (§6's MLS claim)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import PolicyError, UnknownEntityError
+from repro.policy.mls import (
+    DEFAULT_LEVELS,
+    MlsEncoding,
+    ReferenceBlp,
+    agreement,
+    build_pair,
+)
+
+
+@pytest.fixture
+def pair():
+    subjects = {
+        "pvt": "unclassified",
+        "sgt": "confidential",
+        "col": "secret",
+        "gen": "top-secret",
+    }
+    objects = {
+        "memo": "unclassified",
+        "plan": "confidential",
+        "intel": "secret",
+        "codes": "top-secret",
+    }
+    reference, encoding = build_pair(DEFAULT_LEVELS, subjects, objects)
+    return reference, encoding, list(subjects), list(objects)
+
+
+class TestReferenceBlp:
+    def test_no_read_up(self, pair):
+        reference, _, _, _ = pair
+        assert reference.can_read("gen", "memo")
+        assert reference.can_read("col", "intel")
+        assert not reference.can_read("pvt", "codes")
+        assert not reference.can_read("sgt", "intel")
+
+    def test_no_write_down(self, pair):
+        reference, _, _, _ = pair
+        assert reference.can_write("pvt", "codes")
+        assert reference.can_write("col", "intel")
+        assert not reference.can_write("gen", "memo")
+        assert not reference.can_write("col", "plan")
+
+    def test_unknown_entities(self, pair):
+        reference, _, _, _ = pair
+        with pytest.raises(UnknownEntityError):
+            reference.can_read("ghost", "memo")
+        with pytest.raises(UnknownEntityError):
+            reference.can_read("pvt", "ghost")
+        with pytest.raises(UnknownEntityError):
+            reference.set_clearance("x", "ultra-secret")
+
+    def test_lattice_validation(self):
+        with pytest.raises(PolicyError):
+            ReferenceBlp(["only-one"])
+        with pytest.raises(PolicyError):
+            ReferenceBlp(["a", "a"])
+
+
+class TestEncoding:
+    def test_exhaustive_agreement(self, pair):
+        reference, encoding, subjects, objects = pair
+        result = agreement(reference, encoding, subjects, objects)
+        assert result["disagree"] == 0
+        assert result["agree"] == len(subjects) * len(objects) * 2
+
+    def test_information_flows_up_only(self, pair):
+        _, encoding, _, _ = pair
+        # A secret-cleared colonel can read below and write at-or-above.
+        assert encoding.can_read("col", "memo")
+        assert not encoding.can_read("col", "codes")
+        assert encoding.can_write("col", "codes")
+        assert not encoding.can_write("col", "memo")
+
+    def test_same_level_read_write(self, pair):
+        _, encoding, _, _ = pair
+        assert encoding.can_read("sgt", "plan")
+        assert encoding.can_write("sgt", "plan")
+
+    def test_unknown_level_rejected(self, pair):
+        _, encoding, _, _ = pair
+        with pytest.raises(UnknownEntityError):
+            encoding.add_subject("x", "ultra")
+        with pytest.raises(UnknownEntityError):
+            encoding.add_object("x", "ultra")
+
+    def test_encoding_is_pure_grbac(self, pair):
+        # No negative rights, no special-cased mediation: just roles,
+        # hierarchies, and grants.
+        _, encoding, _, _ = pair
+        from repro.core import Sign
+
+        assert all(
+            p.sign is Sign.GRANT for p in encoding.policy.permissions()
+        )
+        # 2 rules per level.
+        assert len(encoding.policy.permissions()) == 2 * len(DEFAULT_LEVELS)
+
+
+class TestEncodingProperties:
+    @given(
+        levels=st.integers(2, 5),
+        assignments=st.lists(
+            st.tuples(st.integers(0, 4), st.integers(0, 4)),
+            min_size=1,
+            max_size=12,
+        ),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_agreement_on_random_lattices(self, levels, assignments):
+        names = [f"L{i}" for i in range(levels)]
+        subjects = {}
+        objects = {}
+        for index, (s_level, o_level) in enumerate(assignments):
+            subjects[f"s{index}"] = names[s_level % levels]
+            objects[f"o{index}"] = names[o_level % levels]
+        reference, encoding = build_pair(names, subjects, objects)
+        result = agreement(reference, encoding, list(subjects), list(objects))
+        assert result["disagree"] == 0

@@ -1,0 +1,161 @@
+"""Tests for policy serialization (JSON round-tripping)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    CardinalityConstraint,
+    MediationEngine,
+    PrecedenceStrategy,
+    PrerequisiteConstraint,
+    SeparationOfDuty,
+    Sign,
+)
+from repro.exceptions import PolicyError
+from repro.policy.serialize import (
+    SCHEMA_VERSION,
+    from_dict,
+    from_json,
+    to_dict,
+    to_json,
+)
+from repro.workload.generator import (
+    RandomPolicyConfig,
+    generate_policy,
+    generate_requests,
+)
+
+
+class TestRoundTrip:
+    def test_tv_policy_round_trips(self, tv_policy):
+        restored = from_dict(to_dict(tv_policy))
+        assert restored.stats() == tv_policy.stats()
+        assert restored.precedence is tv_policy.precedence
+        assert restored.default_sign is tv_policy.default_sign
+        engine_a = MediationEngine(tv_policy)
+        engine_b = MediationEngine(restored)
+        for subject in ("mom", "alice"):
+            for env in (set(), {"free-time"}):
+                from repro.core import AccessRequest
+
+                request = AccessRequest(
+                    transaction="watch", obj="livingroom/tv", subject=subject
+                )
+                assert (
+                    engine_a.decide(request, environment_roles=env).granted
+                    == engine_b.decide(request, environment_roles=env).granted
+                )
+
+    def test_json_round_trip(self, tv_policy):
+        restored = from_json(to_json(tv_policy))
+        assert restored.stats() == tv_policy.stats()
+
+    def test_attributes_preserved(self, empty_policy):
+        empty_policy.add_subject("alice", age=11, weight_lb=94.0)
+        empty_policy.add_object("tv", rating="G")
+        restored = from_dict(to_dict(empty_policy))
+        assert restored.subject("alice").attribute("age") == 11
+        assert restored.object("tv").attribute("rating") == "G"
+
+    def test_permission_fields_preserved(self, empty_policy):
+        empty_policy.add_subject_role("parent")
+        empty_policy.grant(
+            "parent", "view", min_confidence=0.9, priority=3, name="cam"
+        )
+        empty_policy.deny("parent", "misuse")
+        restored = from_dict(to_dict(empty_policy))
+        grant = restored.permissions()[0]
+        assert grant.min_confidence == 0.9
+        assert grant.priority == 3
+        assert grant.name == "cam"
+        assert restored.permissions()[1].sign is Sign.DENY
+
+    def test_constraints_preserved(self, empty_policy):
+        policy = empty_policy
+        for role in ("teller", "holder", "admin", "employee"):
+            policy.add_subject_role(role)
+        policy.add_constraint(SeparationOfDuty("ssd", ["teller", "holder"]))
+        policy.add_constraint(
+            SeparationOfDuty("dsd", ["admin", "teller"], static=False)
+        )
+        policy.add_constraint(CardinalityConstraint("card", "admin", 2))
+        policy.add_constraint(PrerequisiteConstraint("pre", "admin", "employee"))
+        restored = from_dict(to_dict(policy))
+        assert len(restored.constraints) == 4
+        assert restored.constraints.static_sod[0].name == "ssd"
+        assert restored.constraints.dynamic_sod[0].static is False
+        assert restored.constraints.cardinality[0].max_members == 2
+        assert restored.constraints.prerequisite[0].required == "employee"
+
+    def test_prerequisite_replay_safe_regardless_of_order(self, empty_policy):
+        # The subject got 'admin' legitimately; round-tripping must not
+        # re-reject it because assignments replay in sorted order.
+        policy = empty_policy
+        policy.add_subject("mom")
+        policy.add_subject_role("admin")
+        policy.add_subject_role("member")
+        policy.assign_subject("mom", "member")
+        policy.add_constraint(PrerequisiteConstraint("pre", "admin", "member"))
+        policy.assign_subject("mom", "admin")
+        restored = from_dict(to_dict(policy))
+        assert restored.authorized_subject_role_names("mom") == {"admin", "member"}
+
+    def test_hierarchies_and_transactions_preserved(self, figure2_policy):
+        figure2_policy.add_transaction("composite")
+        restored = from_dict(to_dict(figure2_policy))
+        assert restored.subject_roles.is_specialization_of("child", "home-user")
+        assert restored.transaction("composite")
+
+    def test_precedence_and_default_preserved(self, empty_policy):
+        empty_policy.precedence = PrecedenceStrategy.PRIORITY
+        empty_policy.default_sign = Sign.GRANT
+        restored = from_dict(to_dict(empty_policy))
+        assert restored.precedence is PrecedenceStrategy.PRIORITY
+        assert restored.default_sign is Sign.GRANT
+
+
+class TestValidation:
+    def test_unknown_schema_rejected(self, tv_policy):
+        document = to_dict(tv_policy)
+        document["schema"] = SCHEMA_VERSION + 1
+        with pytest.raises(PolicyError, match="schema"):
+            from_dict(document)
+
+    def test_missing_key_rejected(self, tv_policy):
+        document = to_dict(tv_policy)
+        del document["permissions"]
+        with pytest.raises(PolicyError, match="malformed"):
+            from_dict(document)
+
+    def test_unknown_constraint_type_rejected(self, tv_policy):
+        document = to_dict(tv_policy)
+        document["constraints"] = [{"type": "quantum"}]
+        with pytest.raises(PolicyError, match="unknown constraint"):
+            from_dict(document)
+
+    def test_document_is_json_safe(self, tv_policy):
+        import json
+
+        json.loads(json.dumps(to_dict(tv_policy)))
+
+
+class TestRoundTripProperty:
+    @given(
+        seed=st.integers(0, 5_000),
+        request_seed=st.integers(0, 5_000),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_random_policies_decide_identically_after_round_trip(
+        self, seed, request_seed
+    ):
+        policy = generate_policy(RandomPolicyConfig(seed=seed, permissions=30))
+        restored = from_json(to_json(policy))
+        engine_a = MediationEngine(policy)
+        engine_b = MediationEngine(restored)
+        for generated in generate_requests(policy, 15, seed=request_seed):
+            env = set(generated.active_environment_roles)
+            assert (
+                engine_a.decide(generated.request, environment_roles=env).granted
+                == engine_b.decide(generated.request, environment_roles=env).granted
+            )

@@ -1,0 +1,55 @@
+"""Tests for the canned policy templates."""
+
+import pytest
+
+from repro.core import GrbacPolicy
+from repro.policy.templates import (
+    FIGURE2_ASSIGNMENTS,
+    install_figure2_household,
+    install_figure2_roles,
+    install_standard_object_roles,
+    section51_rule,
+)
+
+
+class TestFigure2Roles:
+    def test_hierarchy_shape(self):
+        policy = GrbacPolicy()
+        install_figure2_roles(policy)
+        hierarchy = policy.subject_roles
+        assert hierarchy.is_specialization_of("parent", "home-user")
+        assert hierarchy.is_specialization_of("child", "family-member")
+        assert hierarchy.is_specialization_of("service-agent", "authorized-guest")
+        assert not hierarchy.is_specialization_of("service-agent", "family-member")
+        assert len(hierarchy) == 6
+
+    def test_household_assignments(self):
+        policy = GrbacPolicy()
+        assignments = install_figure2_household(policy)
+        assert assignments == FIGURE2_ASSIGNMENTS
+        assert policy.subjects_in_role("parent") == {"mom", "dad"}
+        assert policy.subjects_in_role("child") == {"alice", "bobby"}
+        # The repair tech reaches home-user through authorized-guest.
+        assert "dishwasher-repair-tech" in policy.subjects_in_role("home-user")
+
+
+class TestObjectRolesAndRule:
+    def test_standard_object_roles(self):
+        policy = GrbacPolicy()
+        install_standard_object_roles(policy)
+        assert policy.object_roles.is_specialization_of(
+            "television", "entertainment-devices"
+        )
+        assert "dangerous-appliances" in policy.object_roles
+
+    def test_section51_rule_installs_two_grants(self):
+        policy = GrbacPolicy()
+        install_figure2_roles(policy)
+        install_standard_object_roles(policy)
+        policy.add_environment_role("weekday-free-time")
+        section51_rule(policy)
+        transactions = {p.transaction.name for p in policy.permissions()}
+        assert transactions == {"watch", "power_on"}
+        for permission in policy.permissions():
+            assert permission.subject_role.name == "child"
+            assert permission.environment_role.name == "weekday-free-time"

@@ -1,0 +1,179 @@
+"""Tests for the GRBAC↔RBAC bridges (§6 claims made executable)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import GrbacPolicy, MediationEngine
+from repro.exceptions import PolicyError
+from repro.rbac.bridge import (
+    FlattenedGrbac,
+    agreement_check,
+    grbac_from_rbac,
+    rbac_from_grbac,
+)
+from repro.rbac.model import RbacModel
+
+
+def random_rbac(seed: int, subjects=4, roles=4, transactions=4) -> RbacModel:
+    import random
+
+    rng = random.Random(seed)
+    model = RbacModel(f"random-{seed}")
+    subject_names = [f"s{i}" for i in range(subjects)]
+    role_names = [f"r{i}" for i in range(roles)]
+    transaction_names = [f"t{i}" for i in range(transactions)]
+    for name in subject_names:
+        model.add_subject(name)
+    for name in role_names:
+        model.add_role(name)
+    for name in transaction_names:
+        model.add_transaction(name)
+    for subject in subject_names:
+        for role in rng.sample(role_names, rng.randint(0, roles)):
+            model.authorize_role(subject, role)
+    for role in role_names:
+        for transaction in rng.sample(transaction_names, rng.randint(0, transactions)):
+            model.authorize_transaction(role, transaction)
+    return model
+
+
+class TestEmbedding:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_rbac_is_grbac_with_subject_roles_only(self, seed):
+        """§6: every Figure 1 decision is preserved by the embedding."""
+        rbac = random_rbac(seed)
+        policy, placeholder = grbac_from_rbac(rbac)
+        engine = MediationEngine(policy)
+        for subject in rbac.subjects():
+            for transaction in rbac.transactions():
+                assert rbac.exec_(subject, transaction) == engine.check(
+                    subject, transaction, placeholder
+                )
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_round_trip_preserves_decisions(self, seed):
+        rbac = random_rbac(seed)
+        policy, _ = grbac_from_rbac(rbac)
+        back = rbac_from_grbac(policy)
+        for subject in rbac.subjects():
+            for transaction in rbac.transactions():
+                assert rbac.exec_(subject, transaction) == back.exec_(
+                    subject, transaction
+                )
+
+
+class TestProjectionRestrictions:
+    def test_object_roles_not_projectable(self):
+        policy = GrbacPolicy()
+        policy.add_subject_role("r")
+        policy.add_object_role("o")
+        policy.grant("r", "t", "o")
+        with pytest.raises(PolicyError):
+            rbac_from_grbac(policy)
+
+    def test_environment_roles_not_projectable(self):
+        policy = GrbacPolicy()
+        policy.add_subject_role("r")
+        policy.add_environment_role("e")
+        policy.grant("r", "t", environment_role="e")
+        with pytest.raises(PolicyError):
+            rbac_from_grbac(policy)
+
+    def test_negative_rights_not_projectable(self):
+        policy = GrbacPolicy()
+        policy.add_subject_role("r")
+        policy.deny("r", "t")
+        with pytest.raises(PolicyError):
+            rbac_from_grbac(policy)
+
+    def test_hierarchy_not_projectable(self):
+        policy = GrbacPolicy()
+        policy.add_subject_role("a")
+        policy.add_subject_role("b")
+        policy.subject_roles.add_specialization("a", "b")
+        with pytest.raises(PolicyError):
+            rbac_from_grbac(policy)
+
+
+class TestFlattening:
+    @pytest.fixture
+    def grbac(self) -> GrbacPolicy:
+        policy = GrbacPolicy("household")
+        for role in ("parent", "child"):
+            policy.add_subject_role(role)
+        for role in ("entertainment", "kitchen"):
+            policy.add_object_role(role)
+        for role in ("free-time", "weekday"):
+            policy.add_environment_role(role)
+        for subject, role in [("mom", "parent"), ("alice", "child")]:
+            policy.add_subject(subject)
+            policy.assign_subject(subject, role)
+        for obj, role in [("tv", "entertainment"), ("fridge", "kitchen")]:
+            policy.add_object(obj)
+            policy.assign_object(obj, role)
+        policy.grant("child", "watch", "entertainment", "free-time")
+        policy.grant("parent", "open", "kitchen")
+        return policy
+
+    def test_size_blowup(self, grbac):
+        flattened = FlattenedGrbac(grbac)
+        metrics = flattened.size_metrics()
+        # subject roles (2) x env roles (2 named + any-environment) = 6
+        assert metrics["flat_roles"] == 6
+        # transactions (2) x objects (2) = 4
+        assert metrics["flat_transactions"] == 4
+        # GRBAC needed 2 rules; the flat emulation needs >= 2 and the
+        # subjects carry an AR entry per (role, env) combination.
+        assert metrics["flat_role_authorizations"] == 6
+
+    def test_semantic_agreement_in_each_context(self, grbac):
+        flattened = FlattenedGrbac(grbac)
+        for env_role in (None, "free-time", "weekday"):
+            assert agreement_check(grbac, flattened, env_role)
+
+    def test_exec_in_env_examples(self, grbac):
+        flattened = FlattenedGrbac(grbac)
+        assert flattened.exec_in_env("alice", "watch", "tv", "free-time")
+        assert not flattened.exec_in_env("alice", "watch", "tv", None)
+        assert not flattened.exec_in_env("alice", "watch", "fridge", "free-time")
+        assert flattened.exec_in_env("mom", "open", "fridge", None)
+
+    def test_hierarchical_policies_rejected(self, grbac):
+        grbac.add_subject_role("home-user")
+        grbac.subject_roles.add_specialization("parent", "home-user")
+        with pytest.raises(PolicyError):
+            FlattenedGrbac(grbac)
+
+    def test_deny_policies_rejected(self, grbac):
+        grbac.deny("child", "open", "kitchen")
+        with pytest.raises(PolicyError):
+            FlattenedGrbac(grbac)
+
+    @given(st.integers(0, 5_000))
+    @settings(max_examples=15, deadline=None)
+    def test_flattening_agreement_on_random_flat_policies(self, seed):
+        from repro.workload.generator import RandomPolicyConfig, generate_policy
+
+        config = RandomPolicyConfig(
+            subjects=4,
+            objects=4,
+            transactions=3,
+            subject_roles=3,
+            object_roles=3,
+            environment_roles=2,
+            hierarchy_edges=0,
+            permissions=8,
+            deny_fraction=0.0,
+            seed=seed,
+        )
+        policy = generate_policy(config)
+        flattened = FlattenedGrbac(policy)
+        for env_role in [None] + [
+            r.name
+            for r in policy.environment_roles.roles()
+            if r.name != "any-environment"
+        ]:
+            assert agreement_check(policy, flattened, env_role)

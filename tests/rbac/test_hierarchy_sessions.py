@@ -1,0 +1,108 @@
+"""Tests for hierarchical RBAC and RBAC sessions."""
+
+import pytest
+
+from repro.exceptions import (
+    ActivationError,
+    ConstraintViolationError,
+)
+from repro.rbac.hierarchy import HierarchicalRbacModel
+from repro.rbac.sessions import RbacSessionModel
+
+
+class TestHierarchicalRbac:
+    @pytest.fixture
+    def org(self) -> HierarchicalRbacModel:
+        model = HierarchicalRbacModel()
+        model.add_subject("dana")
+        model.add_specialization("engineering-manager", "manager")
+        model.add_specialization("sales-manager", "manager")
+        model.add_transaction("approve-expenses")
+        model.add_transaction("deploy-code")
+        model.authorize_transaction("manager", "approve-expenses")
+        model.authorize_transaction("engineering-manager", "deploy-code")
+        model.authorize_role("dana", "engineering-manager")
+        return model
+
+    def test_generic_rule_written_once_covers_specializations(self, org):
+        # §4.1.2: "write generic access rules just once".
+        assert org.exec_("dana", "approve-expenses")
+        assert org.exec_("dana", "deploy-code")
+
+    def test_effective_roles(self, org):
+        assert org.effective_roles("dana") == {"engineering-manager", "manager"}
+
+    def test_sibling_privileges_not_inherited(self, org):
+        org.add_subject("kim")
+        org.authorize_role("kim", "sales-manager")
+        assert org.exec_("kim", "approve-expenses")
+        assert not org.exec_("kim", "deploy-code")
+
+    def test_naive_agrees(self, org):
+        for transaction in org.transactions():
+            assert org.exec_("dana", transaction) == org.exec_naive(
+                "dana", transaction
+            )
+
+
+class TestRbacSessions:
+    @pytest.fixture
+    def bank(self) -> RbacSessionModel:
+        model = RbacSessionModel()
+        model.add_subject("pat")
+        for role in ("teller", "account-holder"):
+            model.add_role(role)
+        model.add_transaction("execute-deposit")
+        model.add_transaction("authorize-deposit")
+        model.authorize_transaction("teller", "execute-deposit")
+        model.authorize_transaction("account-holder", "authorize-deposit")
+        model.authorize_role("pat", "teller")
+        model.authorize_role("pat", "account-holder")
+        model.add_dsd_pair("teller", "account-holder")
+        return model
+
+    def test_only_active_roles_execute(self, bank):
+        session = bank.open_session("pat")
+        assert not session.exec_("execute-deposit")
+        session.activate("teller")
+        assert session.exec_("execute-deposit")
+        assert not session.exec_("authorize-deposit")
+
+    def test_dsd_blocks_simultaneous_activation(self, bank):
+        session = bank.open_session("pat")
+        session.activate("teller")
+        with pytest.raises(ConstraintViolationError):
+            session.activate("account-holder")
+
+    def test_sequential_use_is_fine(self, bank):
+        session = bank.open_session("pat")
+        session.activate("teller")
+        session.deactivate("teller")
+        session.activate("account-holder")
+        assert session.exec_("authorize-deposit")
+
+    def test_unpossessed_activation_rejected(self, bank):
+        bank.add_role("auditor")
+        session = bank.open_session("pat")
+        with pytest.raises(ActivationError):
+            session.activate("auditor")
+
+    def test_deactivate_inactive_rejected(self, bank):
+        session = bank.open_session("pat")
+        with pytest.raises(ActivationError):
+            session.deactivate("teller")
+
+    def test_dsd_pair_validation(self, bank):
+        with pytest.raises(ConstraintViolationError):
+            bank.add_dsd_pair("teller", "teller")
+
+    def test_close_session(self, bank):
+        session = bank.open_session("pat")
+        session.activate("teller")
+        bank.close_session(session)
+        assert session.active == set()
+        assert bank.sessions_of("pat") == []
+
+    def test_dsd_conflicts_lookup(self, bank):
+        assert bank.dsd_conflicts("teller") == {"account-holder"}
+        assert bank.dsd_conflicts("unrelated") == set()

@@ -1,0 +1,87 @@
+"""Tests for the Figure 1 RBAC baseline."""
+
+import pytest
+
+from repro.exceptions import UnknownEntityError
+from repro.rbac.model import RbacModel
+
+
+@pytest.fixture
+def bank() -> RbacModel:
+    model = RbacModel("bank")
+    for subject in ("pat", "sam"):
+        model.add_subject(subject)
+    for role in ("teller", "account-holder"):
+        model.add_role(role)
+    for transaction in ("execute-deposit", "authorize-deposit"):
+        model.add_transaction(transaction)
+    model.authorize_role("pat", "teller")
+    model.authorize_role("sam", "account-holder")
+    model.authorize_transaction("teller", "execute-deposit")
+    model.authorize_transaction("account-holder", "authorize-deposit")
+    return model
+
+
+class TestFigure1Definitions:
+    def test_ar_is_the_authorized_role_set(self, bank):
+        assert bank.authorized_roles("pat") == {"teller"}
+        assert bank.authorized_roles("sam") == {"account-holder"}
+
+    def test_at_is_the_authorized_transaction_set(self, bank):
+        assert bank.authorized_transactions("teller") == {"execute-deposit"}
+
+    def test_exec_rule(self, bank):
+        # exec(s, t) iff ∃ r: r ∈ AR(s), t ∈ AT(r).
+        assert bank.exec_("pat", "execute-deposit")
+        assert not bank.exec_("pat", "authorize-deposit")
+        assert bank.exec_("sam", "authorize-deposit")
+        assert not bank.exec_("sam", "execute-deposit")
+
+    def test_exec_naive_agrees(self, bank):
+        for subject in bank.subjects():
+            for transaction in bank.transactions():
+                assert bank.exec_(subject, transaction) == bank.exec_naive(
+                    subject, transaction
+                )
+
+    def test_multiple_roles_any_suffices(self, bank):
+        bank.authorize_role("pat", "account-holder")
+        assert bank.exec_("pat", "authorize-deposit")
+        assert bank.exec_("pat", "execute-deposit")
+
+
+class TestValidation:
+    def test_unknown_entities_raise(self, bank):
+        with pytest.raises(UnknownEntityError):
+            bank.exec_("ghost", "execute-deposit")
+        with pytest.raises(UnknownEntityError):
+            bank.exec_("pat", "ghost-transaction")
+        with pytest.raises(UnknownEntityError):
+            bank.authorize_role("pat", "ghost-role")
+        with pytest.raises(UnknownEntityError):
+            bank.authorize_transaction("ghost-role", "execute-deposit")
+
+    def test_empty_names_rejected(self):
+        model = RbacModel()
+        with pytest.raises(UnknownEntityError):
+            model.add_subject("")
+        with pytest.raises(UnknownEntityError):
+            model.add_role("")
+        with pytest.raises(UnknownEntityError):
+            model.add_transaction("")
+
+    def test_registration_idempotent(self):
+        model = RbacModel()
+        model.add_subject("pat")
+        model.add_subject("pat")
+        assert model.subjects() == ["pat"]
+
+
+class TestStats:
+    def test_counters(self, bank):
+        stats = bank.stats()
+        assert stats["subjects"] == 2
+        assert stats["roles"] == 2
+        assert stats["transactions"] == 2
+        assert stats["role_authorizations"] == 2
+        assert stats["transaction_authorizations"] == 2

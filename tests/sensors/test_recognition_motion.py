@@ -1,0 +1,134 @@
+"""Tests for recognition sensors and occupancy sensing."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.auth.authenticator import Presence
+from repro.env.clock import SimulatedClock
+from repro.env.location import LocationService
+from repro.env.state import EnvironmentState
+from repro.exceptions import AuthenticationError
+from repro.home.topology import standard_home
+from repro.sensors.motion import OccupancyProvider
+from repro.sensors.recognition import RecognitionSensor, face_sensor, voice_sensor
+
+
+class TestDeterministicRecognition:
+    def test_paper_accuracies(self):
+        assert face_sensor().accuracy == 0.90
+        assert voice_sensor().accuracy == 0.70
+
+    def test_enrolled_signature_recognized_at_accuracy(self):
+        sensor = face_sensor()
+        sensor.enroll("alice", "face:alice")
+        evidence = sensor.observe(Presence("alice", {"face": "face:alice"}))
+        assert evidence.identity_map() == {"alice": 0.90}
+
+    def test_unenrolled_signature_empty(self):
+        sensor = face_sensor()
+        assert sensor.observe(Presence("x", {"face": "face:ghost"})).empty
+
+    def test_missing_modality_empty(self):
+        sensor = face_sensor()
+        sensor.enroll("alice", "face:alice")
+        assert sensor.observe(Presence("alice", {"voice": "voice:alice"})).empty
+
+    def test_signature_collision_rejected(self):
+        sensor = face_sensor()
+        sensor.enroll("alice", "sig")
+        sensor.enroll("alice", "sig")  # same binding OK
+        with pytest.raises(AuthenticationError):
+            sensor.enroll("bobby", "sig")
+
+    def test_enrolled_subjects_listing(self):
+        sensor = voice_sensor()
+        sensor.enroll("alice", "v:a")
+        sensor.enroll("bobby", "v:b")
+        assert sensor.enrolled_subjects() == ["alice", "bobby"]
+
+
+class TestStochasticRecognition:
+    def _accuracy_run(self, accuracy: float, trials: int = 2000) -> float:
+        sensor = RecognitionSensor(
+            "face", accuracy, stochastic=True, miss_fraction=0.5, seed=3
+        )
+        sensor.enroll("alice", "f:a")
+        sensor.enroll("bobby", "f:b")
+        correct = 0
+        for _ in range(trials):
+            evidence = sensor.observe(Presence("alice", {"face": "f:a"}))
+            if evidence.identity_map().get("alice"):
+                correct += 1
+        return correct / trials
+
+    def test_realized_accuracy_matches_parameter(self):
+        assert self._accuracy_run(0.9) == pytest.approx(0.9, abs=0.03)
+        assert self._accuracy_run(0.7) == pytest.approx(0.7, abs=0.03)
+
+    def test_errors_include_misidentifications(self):
+        sensor = RecognitionSensor(
+            "face", 0.5, stochastic=True, miss_fraction=0.0, seed=5
+        )
+        sensor.enroll("alice", "f:a")
+        sensor.enroll("bobby", "f:b")
+        wrong = 0
+        for _ in range(500):
+            evidence = sensor.observe(Presence("alice", {"face": "f:a"}))
+            if "bobby" in evidence.identity_map():
+                wrong += 1
+        assert wrong > 100  # roughly half the errors misidentify
+
+    def test_sole_enrollee_errors_become_misses(self):
+        sensor = RecognitionSensor(
+            "face", 0.5, stochastic=True, miss_fraction=0.0, seed=5
+        )
+        sensor.enroll("alice", "f:a")
+        outcomes = {
+            tuple(sensor.observe(Presence("alice", {"face": "f:a"})).identity_map())
+            for _ in range(100)
+        }
+        assert outcomes <= {(), ("alice",)}
+
+    def test_seeded_reproducibility(self):
+        runs = []
+        for _ in range(2):
+            sensor = RecognitionSensor("face", 0.6, stochastic=True, seed=9)
+            sensor.enroll("alice", "f:a")
+            sensor.enroll("bobby", "f:b")
+            runs.append(
+                [
+                    tuple(
+                        sensor.observe(
+                            Presence("alice", {"face": "f:a"})
+                        ).identity_map()
+                    )
+                    for _ in range(50)
+                ]
+            )
+        assert runs[0] == runs[1]
+
+    def test_parameter_validation(self):
+        with pytest.raises(AuthenticationError):
+            RecognitionSensor("face", 0.0)
+        with pytest.raises(AuthenticationError):
+            RecognitionSensor("face", 0.9, miss_fraction=2.0)
+
+
+class TestOccupancyProvider:
+    def test_counts_written_to_state(self):
+        home = standard_home()
+        state = EnvironmentState()
+        location = LocationService(state, resolver=home.zone_resolver())
+        provider = OccupancyProvider(location, ["home", "kitchen", "upstairs"])
+        clock = SimulatedClock(datetime(2000, 1, 17))
+        location.move("alice", "kitchen")
+        location.move("mom", "master-bedroom")
+        provider.refresh(state, clock)
+        assert state.get("occupancy.home") == 2
+        assert state.get("occupancy.kitchen") == 1
+        assert state.get("occupancy.upstairs") == 1
+        location.leave("alice")
+        provider.refresh(state, clock)
+        assert state.get("occupancy.home") == 1
+        assert state.get("occupancy.kitchen") == 0

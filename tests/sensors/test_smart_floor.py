@@ -1,0 +1,115 @@
+"""Tests for the Smart Floor model (§5.2)."""
+
+import pytest
+
+from repro.auth.authenticator import Presence
+from repro.exceptions import AuthenticationError
+from repro.sensors.base import gaussian_cdf, interval_probability
+from repro.sensors.smart_floor import SmartFloor
+
+
+@pytest.fixture
+def floor() -> SmartFloor:
+    """The paper's household, noise-free measurement."""
+    floor = SmartFloor(
+        measurement_sigma=0.0, identity_sigma=4.0, reliability=0.98
+    )
+    floor.enroll("mom", 135.0)
+    floor.enroll("dad", 180.0)
+    floor.enroll("alice", 94.0)
+    floor.enroll("bobby", 88.0)
+    floor.define_weight_class("child", 40.0, 120.0)
+    floor.define_weight_class("parent", 120.0, 260.0)
+    return floor
+
+
+class TestStatisticsHelpers:
+    def test_gaussian_cdf_basics(self):
+        assert gaussian_cdf(0.0) == pytest.approx(0.5)
+        assert gaussian_cdf(10.0) == pytest.approx(1.0, abs=1e-9)
+        assert gaussian_cdf(-10.0) == pytest.approx(0.0, abs=1e-9)
+
+    def test_interval_probability_zero_sigma_is_indicator(self):
+        assert interval_probability(94.0, 40, 120, 0.0) == 1.0
+        assert interval_probability(130.0, 40, 120, 0.0) == 0.0
+
+    def test_interval_probability_near_boundary(self):
+        near_edge = interval_probability(119.0, 40, 120, 3.0)
+        middle = interval_probability(80.0, 40, 120, 3.0)
+        assert near_edge < middle
+
+
+class TestPaperNumbers:
+    def test_identity_posterior_for_alice_is_about_75_percent(self, floor):
+        # §5.2: "the Smart Floor can identify her as Alice with 75%
+        # accuracy" — Alice (94 lb) is confusable with Bobby (88 lb).
+        posterior = floor.identity_posterior(94.0)
+        assert posterior["alice"] == pytest.approx(0.75, abs=0.02)
+        assert posterior["bobby"] == pytest.approx(0.25, abs=0.02)
+        assert posterior.get("mom", 0.0) < 0.01
+
+    def test_child_role_confidence_is_98_percent(self, floor):
+        # "...authenticate her into the Child role with 98% accuracy":
+        # the class is unambiguous, so confidence saturates at the
+        # sensor's reliability.
+        confidences = floor.role_confidences(94.0)
+        assert confidences["child"] == pytest.approx(0.98, abs=0.001)
+        assert confidences["parent"] == pytest.approx(0.0, abs=0.001)
+
+    def test_role_confidence_exceeds_identity_confidence(self, floor):
+        # The crux of §5.2.
+        identity = floor.identity_posterior(94.0)["alice"]
+        role = floor.role_confidences(94.0)["child"]
+        assert role > identity
+
+
+class TestObserve:
+    def test_observe_produces_both_claim_kinds(self, floor):
+        evidence = floor.observe(Presence("alice", {"weight_lb": 94.0}))
+        assert "alice" in evidence.identity_map()
+        assert "child" in evidence.role_map()
+
+    def test_observe_without_weight_is_empty(self, floor):
+        assert floor.observe(Presence("alice")).empty
+
+    def test_unenrolled_person_still_gets_role_claims(self, floor):
+        # A visiting child is not enrolled, but their weight class is
+        # still recognizable — role-level authentication at work.
+        evidence = floor.observe(Presence("visitor-kid", {"weight_lb": 70.0}))
+        assert evidence.role_map()["child"] > 0.9
+
+    def test_measurement_noise_is_seeded(self):
+        floors = [
+            SmartFloor(measurement_sigma=3.0, seed=11) for _ in range(2)
+        ]
+        for floor in floors:
+            floor.enroll("alice", 94.0)
+        assert floors[0].measure(94.0) == floors[1].measure(94.0)
+
+    def test_boundary_weight_splits_role_confidence(self, floor):
+        noisy = SmartFloor(measurement_sigma=5.0, identity_sigma=4.0)
+        noisy.define_weight_class("child", 40.0, 120.0)
+        noisy.define_weight_class("parent", 120.0, 260.0)
+        confidences = noisy.role_confidences(120.0)
+        assert confidences["child"] == pytest.approx(0.5, abs=0.02)
+        assert confidences["parent"] == pytest.approx(0.5, abs=0.02)
+
+
+class TestValidation:
+    def test_bad_enrollment(self, floor):
+        with pytest.raises(AuthenticationError):
+            floor.enroll("x", -10.0)
+
+    def test_bad_weight_class(self, floor):
+        with pytest.raises(AuthenticationError):
+            floor.define_weight_class("x", 120.0, 40.0)
+
+    def test_bad_sigmas(self):
+        with pytest.raises(AuthenticationError):
+            SmartFloor(measurement_sigma=-1.0)
+        with pytest.raises(AuthenticationError):
+            SmartFloor(identity_sigma=0.0)
+
+    def test_empty_floor_posterior(self):
+        floor = SmartFloor()
+        assert floor.identity_posterior(100.0) == {}

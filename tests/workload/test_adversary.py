@@ -1,0 +1,130 @@
+"""Tests for the adversarial workload (the §1 electronic intruder)."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.workload.adversary import AdversarySimulator, AttackReport
+from repro.workload.scenarios import (
+    build_repairman_scenario,
+    build_s51_scenario,
+)
+
+
+@pytest.fixture
+def s51_home():
+    return build_s51_scenario(start=datetime(2000, 1, 17, 19, 30)).home
+
+
+class TestStrangerProbe:
+    def test_stranger_gets_nothing(self, s51_home):
+        simulator = AdversarySimulator(s51_home)
+        report = AttackReport()
+        simulator.stranger_probe(report)
+        assert report.grant_count("stranger") == 0
+        assert report.attempts["stranger"] > 10  # whole surface probed
+
+    def test_stranger_registered_without_roles(self, s51_home):
+        AdversarySimulator(s51_home)
+        assert s51_home.policy.authorized_subject_role_names("intruder") == set()
+
+    def test_open_world_policy_leaks_and_is_caught(self, s51_home):
+        from repro.core import Sign
+
+        s51_home.policy.default_sign = Sign.GRANT  # a misconfiguration
+        simulator = AdversarySimulator(s51_home)
+        report = AttackReport()
+        simulator.stranger_probe(report)
+        assert report.grant_count("stranger") == report.attempts["stranger"]
+
+
+class TestClaimSpoofProbe:
+    def test_spoofed_child_claim_reaches_exactly_the_s51_surface(self, s51_home):
+        # During free time, asserting "child" grants exactly what §5.2
+        # says sensed child-evidence should grant: watch/power_on on
+        # entertainment devices.  Nothing else.
+        simulator = AdversarySimulator(s51_home)
+        report = AttackReport()
+        simulator.claim_spoof_probe(report, confidences=(0.99,))
+        grants = report.grants_for("claim-spoof")
+        assert grants, "the s51 policy intends sensed children to get TV access"
+        for grant in grants:
+            assert grant.transaction in ("watch", "power_on")
+            assert "child" in grant.detail or "family" in grant.detail or (
+                "home-user" in grant.detail
+            )
+
+    def test_spoofing_gains_nothing_outside_free_time(self):
+        home = build_s51_scenario(start=datetime(2000, 1, 17, 9, 0)).home
+        simulator = AdversarySimulator(home)
+        report = AttackReport()
+        simulator.claim_spoof_probe(report, confidences=(0.99,))
+        assert report.grant_count("claim-spoof") == 0
+
+    def test_confidence_threshold_blocks_weak_spoofs(self, s51_home):
+        s51_home.engine.confidence_threshold = 0.9
+        simulator = AdversarySimulator(s51_home)
+        report = AttackReport()
+        simulator.claim_spoof_probe(report, confidences=(0.5,))
+        assert report.grant_count("claim-spoof") == 0
+
+    def test_summary_renders(self, s51_home):
+        simulator = AdversarySimulator(s51_home)
+        report = simulator.run()
+        text = report.summary()
+        assert "stranger:" in text
+        assert "claim-spoof:" in text
+
+
+class TestReplayProbe:
+    def test_repairman_replay_after_window_fails(self):
+        scenario = build_repairman_scenario()
+        home = scenario.home
+        home.runtime.clock.advance(hours=2)  # 09:00, in window
+        home.move("repair-tech", "kitchen")
+        legitimate = [
+            ("diagnose", "kitchen/dishwasher"),
+            ("open", "kitchen/fridge"),
+        ]
+        # Sanity: these were legitimately grantable in the window.
+        for operation, device in legitimate:
+            assert home.try_operate("repair-tech", device, operation).granted
+
+        # Midnight replay: same subject, same requests.
+        home.runtime.clock.advance(hours=15)
+        simulator = AdversarySimulator(home)
+        report = AttackReport()
+        simulator.replay_probe(report, "repair-tech", legitimate)
+        assert report.grant_count("replay") == 0
+
+    def test_replay_inside_window_would_succeed(self):
+        # The probe measures the window, not magic: inside it, the
+        # same requests are (correctly) granted.
+        scenario = build_repairman_scenario()
+        home = scenario.home
+        home.runtime.clock.advance(hours=2)
+        home.move("repair-tech", "kitchen")
+        simulator = AdversarySimulator(home)
+        report = AttackReport()
+        simulator.replay_probe(
+            report, "repair-tech", [("diagnose", "kitchen/dishwasher")]
+        )
+        assert report.grant_count("replay") == 1
+
+
+class TestPrivilegeMap:
+    def test_blast_radius_follows_roles(self, s51_home):
+        simulator = AdversarySimulator(s51_home)
+        mapping = simulator.privilege_map()
+        # During free time children reach the entertainment surface.
+        assert any("watch" in item for item in mapping["alice"])
+        # Parents reach nothing via the s51 rule.
+        assert mapping["mom"] == []
+        # The intruder is excluded from the legitimate map.
+        assert "intruder" not in mapping
+
+    def test_empty_outside_free_time(self):
+        home = build_s51_scenario(start=datetime(2000, 1, 17, 9, 0)).home
+        simulator = AdversarySimulator(home)
+        mapping = simulator.privilege_map()
+        assert all(not reachable for reachable in mapping.values())

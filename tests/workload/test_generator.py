@@ -1,0 +1,103 @@
+"""Tests for the synthetic policy and request generators."""
+
+import pytest
+
+from repro.core import MediationEngine
+from repro.exceptions import WorkloadError
+from repro.workload.generator import (
+    RandomPolicyConfig,
+    generate_policy,
+    generate_requests,
+)
+
+
+class TestConfig:
+    def test_defaults_are_valid(self):
+        RandomPolicyConfig()
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            RandomPolicyConfig(subjects=0)
+        with pytest.raises(WorkloadError):
+            RandomPolicyConfig(deny_fraction=1.5)
+
+
+class TestGeneratePolicy:
+    def test_shape_matches_config(self):
+        config = RandomPolicyConfig(
+            subjects=5, objects=7, transactions=3, permissions=20, seed=1
+        )
+        policy = generate_policy(config)
+        stats = policy.stats()
+        assert stats["subjects"] == 5
+        assert stats["objects"] == 7
+        assert stats["transactions"] == 3
+        assert stats["permissions"] == 20
+
+    def test_deterministic_for_same_seed(self):
+        a = generate_policy(RandomPolicyConfig(seed=42))
+        b = generate_policy(RandomPolicyConfig(seed=42))
+        assert [p.key for p in a.permissions()] == [p.key for p in b.permissions()]
+
+    def test_different_seeds_differ(self):
+        a = generate_policy(RandomPolicyConfig(seed=1))
+        b = generate_policy(RandomPolicyConfig(seed=2))
+        assert [p.key for p in a.permissions()] != [p.key for p in b.permissions()]
+
+    def test_everyone_has_roles(self):
+        policy = generate_policy(RandomPolicyConfig(seed=3))
+        for subject in policy.subjects():
+            assert policy.authorized_subject_role_names(subject.name)
+
+    def test_impossible_permission_count_raises(self):
+        config = RandomPolicyConfig(
+            subject_roles=1,
+            object_roles=1,
+            environment_roles=1,
+            transactions=1,
+            permissions=100,  # only ~8 unique tuples exist
+            seed=0,
+        )
+        with pytest.raises(WorkloadError):
+            generate_policy(config)
+
+    def test_policies_are_mediatable(self):
+        policy = generate_policy(RandomPolicyConfig(seed=9))
+        engine = MediationEngine(policy)
+        for generated in generate_requests(policy, 20, seed=9):
+            engine.decide(
+                generated.request,
+                environment_roles=set(generated.active_environment_roles),
+            )
+
+
+class TestGenerateRequests:
+    def test_count_and_determinism(self):
+        policy = generate_policy(RandomPolicyConfig(seed=5))
+        a = generate_requests(policy, 50, seed=7)
+        b = generate_requests(policy, 50, seed=7)
+        assert len(a) == 50
+        assert [g.request for g in a] == [g.request for g in b]
+        assert [g.active_environment_roles for g in a] == [
+            g.active_environment_roles for g in b
+        ]
+
+    def test_zipf_bias_favors_low_ranked_subjects(self):
+        policy = generate_policy(RandomPolicyConfig(subjects=10, seed=5))
+        requests = generate_requests(policy, 800, seed=1)
+        counts = {}
+        for generated in requests:
+            counts[generated.request.subject] = (
+                counts.get(generated.request.subject, 0) + 1
+            )
+        assert counts["subject-0"] > counts.get("subject-9", 0)
+
+    def test_negative_count_rejected(self):
+        policy = generate_policy(RandomPolicyConfig(seed=5))
+        with pytest.raises(WorkloadError):
+            generate_requests(policy, -1)
+
+    def test_env_sets_bounded(self):
+        policy = generate_policy(RandomPolicyConfig(seed=5))
+        for generated in generate_requests(policy, 100, seed=2, max_active_env_roles=1):
+            assert len(generated.active_environment_roles) <= 1
