@@ -9,6 +9,7 @@ who prefer a terminal over a Python prompt::
            --env weekday-free-time --explain
     python -m repro.cli export policy.grbac -o policy.json
     python -m repro.cli demo  s51
+    python -m repro.cli bench policy.grbac --requests 5000 --mode compiled
 
 Policies are authored in the text DSL (see
 :mod:`repro.policy.dsl.parser` for the grammar); ``export`` converts
@@ -59,6 +60,15 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if has_errors else 0
 
 
+def _print_engine_stats(engine: MediationEngine) -> None:
+    print("engine stats:")
+    for key, value in engine.stats().items():
+        if isinstance(value, float):
+            print(f"  {key:<22} {value:.6f}")
+        else:
+            print(f"  {key:<22} {value}")
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     policy = _load_policy(args.policy)
     engine = MediationEngine(
@@ -82,7 +92,35 @@ def _cmd_check(args: argparse.Namespace) -> int:
             print(f"  (no rule mentions transaction {args.transaction!r})")
         for diagnosis in diagnoses:
             print(f"  {diagnosis.describe()}")
+    if args.stats:
+        _print_engine_stats(engine)
     return 0 if decision.granted else 1
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.workload.generator import generate_requests, replay_requests
+
+    policy = _load_policy(args.policy)
+    engine = MediationEngine(policy, mode=args.mode, cache_size=args.cache_size)
+    generated = generate_requests(policy, args.requests, seed=args.seed)
+    # Warm compile/memos outside the timed window, then measure a
+    # steady-state batch replay.
+    replay_requests(engine, generated[: min(len(generated), 10)])
+    start = time.perf_counter()
+    decisions = replay_requests(engine, generated, batch=not args.no_batch)
+    elapsed = time.perf_counter() - start
+    grants = sum(1 for decision in decisions if decision.granted)
+    per_decision_us = elapsed / len(decisions) * 1e6 if decisions else 0.0
+    throughput = len(decisions) / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"{len(decisions)} decisions ({grants} grants, "
+        f"{len(decisions) - grants} denies) in {elapsed * 1e3:.2f} ms"
+    )
+    print(f"  {per_decision_us:.2f} us/decision, {throughput:,.0f} decisions/s")
+    _print_engine_stats(engine)
+    return 0
 
 
 def _cmd_export(args: argparse.Namespace) -> int:
@@ -195,7 +233,44 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="list every candidate rule and why it did/didn't apply",
     )
+    check.add_argument(
+        "--stats",
+        action="store_true",
+        help="print engine cache/compile statistics after the decision",
+    )
     check.set_defaults(func=_cmd_check)
+
+    bench = subparsers.add_parser(
+        "bench", help="replay a synthetic request stream against a policy"
+    )
+    bench.add_argument("policy", help="path to a DSL policy file")
+    bench.add_argument(
+        "--requests",
+        type=int,
+        default=1000,
+        help="number of synthetic requests to replay (default 1000)",
+    )
+    bench.add_argument(
+        "--seed", type=int, default=0, help="request-stream seed (default 0)"
+    )
+    bench.add_argument(
+        "--mode",
+        choices=["compiled", "indexed", "naive"],
+        default="compiled",
+        help="decision path to exercise (default compiled)",
+    )
+    bench.add_argument(
+        "--cache-size",
+        type=int,
+        default=0,
+        help="LRU decision-cache capacity (default 0 = off)",
+    )
+    bench.add_argument(
+        "--no-batch",
+        action="store_true",
+        help="mediate one request at a time instead of decide_batch",
+    )
+    bench.set_defaults(func=_cmd_bench)
 
     export = subparsers.add_parser(
         "export", help="convert a policy to JSON or normalized DSL"

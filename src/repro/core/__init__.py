@@ -18,7 +18,8 @@ from repro.core.constraints import (
     PrerequisiteConstraint,
     SeparationOfDuty,
 )
-from repro.core.hierarchy import RoleHierarchy
+from repro.core.compiled import CompiledPolicy, CompiledRule
+from repro.core.hierarchy import InternedHierarchy, RoleHierarchy
 from repro.core.mediation import (
     AccessRequest,
     Decision,
@@ -56,8 +57,11 @@ __all__ = [
     "AuditLog",
     "AuditRecord",
     "CardinalityConstraint",
+    "CompiledPolicy",
+    "CompiledRule",
     "ConstraintSet",
     "Decision",
+    "InternedHierarchy",
     "EnvironmentSource",
     "GrbacPolicy",
     "Match",

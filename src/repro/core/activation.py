@@ -49,6 +49,11 @@ class Session:
         self._dsd_check = dsd_check
         self._active: Set[str] = set()
         self._terminated = False
+        #: Monotonic counter bumped on every change to the active role
+        #: set.  The mediation engine's compiled path memoizes the
+        #: session's expanded role profile keyed on this epoch, so the
+        #: memo can never serve a stale activation state.
+        self.epoch = 0
 
     # ------------------------------------------------------------------
     # State
@@ -91,6 +96,7 @@ class Session:
             )
         self._dsd_check(self.subject, name, self._active)
         self._active.add(name)
+        self.epoch += 1
 
     def deactivate(self, role: "Role | str") -> None:
         """Remove ``role`` from the active role set.
@@ -104,6 +110,7 @@ class Session:
                 f"role {name!r} is not active in session {self.session_id!r}"
             )
         self._active.discard(name)
+        self.epoch += 1
 
     def activate_all_authorized(self) -> Set[str]:
         """Activate every authorized role that DSD allows.
@@ -127,7 +134,9 @@ class Session:
     def drop_all(self) -> None:
         """Deactivate every role (the session stays alive)."""
         self._require_live()
-        self._active.clear()
+        if self._active:
+            self._active.clear()
+            self.epoch += 1
 
     def _require_live(self) -> None:
         if self._terminated:
@@ -185,6 +194,7 @@ class SessionManager:
         if found is not None:
             found._terminated = True
             found._active.clear()
+            found.epoch += 1
 
     def sessions_of(self, subject: str) -> List[Session]:
         """All live sessions of ``subject``."""

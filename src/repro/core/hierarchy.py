@@ -36,6 +36,90 @@ from repro.exceptions import (
 )
 
 
+class InternedHierarchy:
+    """A dense-integer-ID snapshot of one :class:`RoleHierarchy`.
+
+    Role names are interned to consecutive integers (insertion order),
+    the generalization closure of every role is baked into a Python
+    ``int`` bitset (bit *i* set iff role *i* is the role itself or one
+    of its transitive generalizations), and shortest specialization-path
+    distances are precomputed per role.  The compiled mediation path
+    (:mod:`repro.core.compiled`) works entirely over these ints: role
+    possession becomes ``mask & bit`` instead of set membership, and
+    closure union becomes ``|`` over ints.
+
+    Snapshots are immutable; :meth:`RoleHierarchy.interned` hands out a
+    cached instance and rebuilds it when the hierarchy's revision moves.
+    """
+
+    __slots__ = ("revision", "ids", "names", "up_masks", "distances")
+
+    def __init__(self, hierarchy: "RoleHierarchy") -> None:
+        #: The hierarchy revision this snapshot was built from.
+        self.revision = hierarchy.revision
+        #: role name -> dense id (insertion order).
+        self.ids: Dict[str, int] = {
+            role.name: index for index, role in enumerate(hierarchy.roles())
+        }
+        #: dense id -> role name.
+        self.names: List[str] = list(self.ids)
+        #: per role id: bitset of the upward closure (self included).
+        self.up_masks: List[int] = []
+        #: per role id: ancestor id -> shortest specialization distance
+        #: (self at distance 0).
+        self.distances: List[Dict[int, int]] = []
+        for name in self.names:
+            mask = 0
+            distance_by_id: Dict[int, int] = {}
+            for ancestor, distance in hierarchy.closure_distances(name).items():
+                ancestor_id = self.ids[ancestor]
+                mask |= 1 << ancestor_id
+                distance_by_id[ancestor_id] = distance
+            self.up_masks.append(mask)
+            self.distances.append(distance_by_id)
+
+    def expand_mask(self, names: Iterable[str]) -> int:
+        """Bitset of the generalization closure of ``names``.
+
+        Unknown names are ignored (mirrors how the mediation engine
+        drops unregistered environment roles from a request).
+        """
+        mask = 0
+        ids = self.ids
+        up = self.up_masks
+        for name in names:
+            role_id = ids.get(name)
+            if role_id is not None:
+                mask |= up[role_id]
+        return mask
+
+    def mask_names(self, mask: int) -> List[str]:
+        """Decode a bitset back into role names (ascending id order)."""
+        names = self.names
+        result: List[str] = []
+        while mask:
+            bit = mask & -mask
+            result.append(names[bit.bit_length() - 1])
+            mask ^= bit
+        return result
+
+    def merged_distances(self, ids: Iterable[int]) -> Dict[int, int]:
+        """Min specialization distance to each ancestor over ``ids``.
+
+        This is the per-request table the compiled path uses for rule
+        specificity: given the *direct* roles of a requester (or object,
+        or environment), ``result[target]`` is the length of the
+        shortest path from any direct role up to ``target``.
+        """
+        merged: Dict[int, int] = {}
+        for role_id in ids:
+            for target, distance in self.distances[role_id].items():
+                current = merged.get(target)
+                if current is None or distance < current:
+                    merged[target] = distance
+        return merged
+
+
 class RoleHierarchy:
     """A DAG of specialization edges over roles of one kind.
 
@@ -62,6 +146,9 @@ class RoleHierarchy:
         #: Monotonic counter bumped on every structural mutation;
         #: consumers use it as a staleness check.
         self.revision = 0
+        #: Cached interned (dense-ID bitset) snapshot; rebuilt lazily
+        #: whenever :attr:`revision` moves past its build revision.
+        self._interned: Optional[InternedHierarchy] = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -286,6 +373,41 @@ class RoleHierarchy:
                         frontier.append(up)
             self._distance_cache[child_name] = distances
         return distances.get(parent_name)
+
+    def closure_distances(self, role: "Role | str") -> Dict[str, int]:
+        """Shortest specialization distance to every generalization.
+
+        Returns ``{ancestor name: distance}`` including the role itself
+        at distance 0 — the closure *with* path lengths, in one call.
+        Backed by the same BFS memo as :meth:`distance`.
+        """
+        name = self._name_of(role)
+        self.role(name)
+        distances = self._distance_cache.get(name)
+        if distances is None:
+            distances = {name: 0}
+            frontier = deque([name])
+            while frontier:
+                current = frontier.popleft()
+                for up in self._parents[current]:
+                    if up not in distances:
+                        distances[up] = distances[current] + 1
+                        frontier.append(up)
+            self._distance_cache[name] = distances
+        return dict(distances)
+
+    def interned(self) -> InternedHierarchy:
+        """The current :class:`InternedHierarchy` snapshot (cached).
+
+        The snapshot is rebuilt on first use after any structural
+        mutation; callers may hold it for the duration of one compiled
+        policy revision.
+        """
+        snapshot = self._interned
+        if snapshot is None or snapshot.revision != self.revision:
+            snapshot = InternedHierarchy(self)
+            self._interned = snapshot
+        return snapshot
 
     def edges(self) -> List[Tuple[Role, Role]]:
         """All direct (child, parent) specialization edges."""

@@ -26,20 +26,36 @@ the paper discusses around it:
   DENY rules match at any confidence: weak evidence must never weaken
   a prohibition.
 
-Two decision paths are provided: the default *indexed* path and a
-*naive* path that is a literal transcription of the quantifier rule.
-They are verified equivalent by property-based tests and ablated
-against each other in benchmark E11.
+Three decision paths are provided: the default *compiled* path (served
+from an interned-ID bitset snapshot, see :mod:`repro.core.compiled`),
+the *indexed* path (tuple-keyed permission index over string role
+sets), and a *naive* path that is a literal transcription of the
+quantifier rule.  They are verified equivalent by property-based tests
+and ablated against each other in benchmark E11.
 """
 
 from __future__ import annotations
 
 import itertools
+import time
+import weakref
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 from repro.core.activation import Session
+from repro.core.compiled import CompiledPolicy
 from repro.core.permissions import Permission, Sign
 from repro.core.policy import GrbacPolicy
 from repro.core.precedence import Match, PrecedenceStrategy, Resolution, resolve
@@ -232,6 +248,10 @@ class StaticEnvironment(EnvironmentSource):
         return set(self._active)
 
 
+#: The decision paths an engine can run (see module docstring).
+MODES = ("compiled", "indexed", "naive")
+
+
 class MediationEngine:
     """Evaluates access requests against a policy (§4.2.4).
 
@@ -242,8 +262,13 @@ class MediationEngine:
     :param confidence_threshold: policy-wide minimum authentication
         confidence for GRANT matches (the "90% accuracy before the
         system will grant rights" of §5.2).
-    :param use_index: select the indexed decision path (default) or
-        the naive quantifier transcription (for the E11 ablation).
+    :param use_index: legacy path selector kept for callers predating
+        the compiled engine: ``True`` forces the indexed path,
+        ``False`` the naive quantifier transcription.  Leave unset to
+        get the default compiled path (or pass ``mode``).
+    :param mode: decision path — ``"compiled"`` (default), ``"indexed"``,
+        or ``"naive"``.  All three are decision-equivalent
+        (property-tested); they differ only in speed.
     """
 
     def __init__(
@@ -251,17 +276,29 @@ class MediationEngine:
         policy: GrbacPolicy,
         environment: Optional[EnvironmentSource] = None,
         confidence_threshold: float = 0.0,
-        use_index: bool = True,
+        use_index: Optional[bool] = None,
         cache_size: int = 0,
+        mode: Optional[str] = None,
     ) -> None:
         if not 0.0 <= confidence_threshold <= 1.0:
             raise PolicyError("confidence_threshold must be in [0, 1]")
         if cache_size < 0:
             raise PolicyError("cache_size must be >= 0")
+        if mode is None:
+            if use_index is None:
+                mode = "compiled"
+            else:
+                mode = "indexed" if use_index else "naive"
+        if mode not in MODES:
+            raise PolicyError(
+                f"unknown mediation mode {mode!r}; expected one of {MODES}"
+            )
         self.policy = policy
         self.environment = environment
         self.confidence_threshold = confidence_threshold
-        self.use_index = use_index
+        self.mode = mode
+        #: Back-compat view of :attr:`mode` (the pre-compiled API).
+        self.use_index = mode == "indexed"
         #: LRU decision cache capacity (0 disables caching).  Entries
         #: key on the full request *and* the active environment set
         #: *and* the policy's decision revision, so cached decisions
@@ -270,10 +307,31 @@ class MediationEngine:
         self._cache: "OrderedDict[tuple, Decision]" = OrderedDict()
         self.cache_hits = 0
         self.cache_misses = 0
+        #: Total decisions rendered (all paths, cache hits included).
+        self.decisions = 0
         #: (transaction, subject_role, object_role) -> permissions
         self._index: Dict[Tuple[str, str, str], List[Permission]] = {}
         self._permission_order: Dict[tuple, int] = {}
         self._indexed_revision = -1  # force initial build
+        # --- compiled-path state ------------------------------------
+        #: Snapshot this engine currently serves (compiled mode).
+        self._snapshot: Optional[CompiledPolicy] = None
+        #: Snapshot (re)loads observed by this engine, and the time
+        #: spent waiting on them (compilation is shared per policy, so
+        #: a load can be a cheap cache hit on the policy side).
+        self.compile_count = 0
+        self.compile_time_s = 0.0
+        #: subject name -> (effective ids, names, mask, distance table);
+        #: valid for one snapshot revision (cleared on reload).
+        self._subject_memo: Dict[str, tuple] = {}
+        #: Session -> (epoch, profile); weak so ended sessions drop out.
+        self._session_memo: "weakref.WeakKeyDictionary[Session, tuple]" = (
+            weakref.WeakKeyDictionary()
+        )
+        #: object name -> (mask, expanded names, distance table).
+        self._object_memo: Dict[str, tuple] = {}
+        #: frozenset of direct env roles -> (mask, names, distances).
+        self._env_memo: Dict[FrozenSet[str], tuple] = {}
 
     # ------------------------------------------------------------------
     # Public API
@@ -294,6 +352,109 @@ class MediationEngine:
             useful for what-if queries and policy analysis.
         """
         active_env = self._resolve_active_env(request, environment_roles)
+        return self._decide_one(request, session, active_env)
+
+    def decide_batch(
+        self,
+        requests: Iterable[AccessRequest],
+        session: Optional[Session] = None,
+        environment_roles: Union[
+            None, Set[str], FrozenSet[str], Sequence[Optional[Set[str]]]
+        ] = None,
+    ) -> List[Decision]:
+        """Mediate many requests, amortizing per-request setup.
+
+        The batch path shares one snapshot lookup per request stream
+        and reuses the engine's expansion memos (subject profiles,
+        object profiles, environment closures) across the whole batch —
+        with Zipf-shaped traffic most requests hit a memoized profile
+        and skip role expansion entirely.
+
+        :param requests: the access requests, in order.
+        :param session: optional session applied to *every* request
+            (requests in one batch belong to one principal stream).
+        :param environment_roles: either ``None`` (resolve each request
+            against the engine's environment source), one role-name set
+            shared by the whole batch, or a per-request sequence of
+            sets (``None`` entries fall back to the environment
+            source).  A per-request sequence must match ``requests`` in
+            length.
+        :returns: one :class:`Decision` per request, in request order.
+        """
+        batch = list(requests)
+        decide_one = self._decide_one
+        if environment_roles is None:
+            resolve_env = self._resolve_active_env
+            return [decide_one(r, session, resolve_env(r, None)) for r in batch]
+        if isinstance(environment_roles, (set, frozenset)):
+            shared = frozenset(environment_roles)
+            return [decide_one(r, session, shared) for r in batch]
+        overrides = list(environment_roles)
+        if len(overrides) != len(batch):
+            raise PolicyError(
+                f"environment_roles sequence has {len(overrides)} entries "
+                f"for {len(batch)} requests"
+            )
+        resolve_env = self._resolve_active_env
+        return [
+            decide_one(r, session, resolve_env(r, override))
+            for r, override in zip(batch, overrides)
+        ]
+
+    def check(
+        self,
+        subject: str,
+        transaction: str,
+        obj: str,
+        session: Optional[Session] = None,
+        environment_roles: Optional[Set[str]] = None,
+    ) -> bool:
+        """Boolean convenience wrapper around :meth:`decide`.
+
+        ``environment_roles`` passes straight through to
+        :meth:`decide`, so what-if checks ("could Bobby watch TV on a
+        weekday evening?") do not need a hand-built
+        :class:`AccessRequest`.
+        """
+        request = AccessRequest(transaction=transaction, obj=obj, subject=subject)
+        return self.decide(
+            request, session=session, environment_roles=environment_roles
+        ).granted
+
+    def stats(self) -> Dict[str, object]:
+        """Engine-level cache and compile statistics.
+
+        Complements :meth:`GrbacPolicy.stats` (policy sizes) with the
+        runtime counters operators watch: decision volume, decision-
+        cache effectiveness, and compiled-snapshot churn.
+        """
+        snapshot = self._snapshot
+        return {
+            "mode": self.mode,
+            "decisions": self.decisions,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_entries": len(self._cache),
+            "compile_count": self.compile_count,
+            "compile_time_s": self.compile_time_s,
+            "snapshot_revision": None if snapshot is None else snapshot.revision,
+            "compiled_rules": 0 if snapshot is None else snapshot.rule_count,
+            "subject_profiles": len(self._subject_memo),
+            "object_profiles": len(self._object_memo),
+            "environment_profiles": len(self._env_memo),
+        }
+
+    # ------------------------------------------------------------------
+    # Decision internals
+    # ------------------------------------------------------------------
+    def _decide_one(
+        self,
+        request: AccessRequest,
+        session: Optional[Session],
+        active_env: FrozenSet[str],
+    ) -> Decision:
+        """Render one decision for an already-resolved environment."""
+        self.decisions += 1
         cache_key = None
         if self.cache_size > 0 and session is None:
             cache_key = (
@@ -315,23 +476,28 @@ class MediationEngine:
                 return cached
             self.cache_misses += 1
 
-        confidences, direct_subject_roles = self._subject_role_confidences(
-            request, session
-        )
-        object_roles, direct_object_roles = self._object_role_names(request.obj)
-        env_roles, direct_env_roles = self._environment_role_names(active_env)
-        self.policy.transaction(request.transaction)
-        directs = (direct_subject_roles, direct_object_roles, direct_env_roles)
-
-        if self.use_index:
-            matches = self._matches_indexed(
-                request.transaction, confidences, object_roles, env_roles, directs
+        if self.mode == "compiled":
+            matches, confidences, object_roles, env_roles = self._evaluate_compiled(
+                request, session, active_env
             )
         else:
-            matches = self._matches_naive(
-                request.transaction, confidences, object_roles, env_roles, directs
+            confidences, direct_subject_roles = self._subject_role_confidences(
+                request, session
             )
-        matches = self._apply_confidence_gate(matches)
+            object_roles, direct_object_roles = self._object_role_names(request.obj)
+            env_roles, direct_env_roles = self._environment_role_names(active_env)
+            self.policy.transaction(request.transaction)
+            directs = (direct_subject_roles, direct_object_roles, direct_env_roles)
+
+            if self.mode == "indexed":
+                matches = self._matches_indexed(
+                    request.transaction, confidences, object_roles, env_roles, directs
+                )
+            else:
+                matches = self._matches_naive(
+                    request.transaction, confidences, object_roles, env_roles, directs
+                )
+            matches = self._apply_confidence_gate(matches)
         resolution = resolve(matches, self.policy.precedence, self.policy.default_sign)
         decision = Decision(
             request=request,
@@ -347,17 +513,6 @@ class MediationEngine:
             if len(self._cache) > self.cache_size:
                 self._cache.popitem(last=False)
         return decision
-
-    def check(
-        self,
-        subject: str,
-        transaction: str,
-        obj: str,
-        session: Optional[Session] = None,
-    ) -> bool:
-        """Boolean convenience wrapper around :meth:`decide`."""
-        request = AccessRequest(transaction=transaction, obj=obj, subject=subject)
-        return self.decide(request, session=session).granted
 
     def diagnose(
         self,
@@ -407,6 +562,256 @@ class MediationEngine:
             )
         diagnoses.sort(key=lambda d: -d.conditions_met)
         return diagnoses
+
+    # ------------------------------------------------------------------
+    # Compiled decision path
+    # ------------------------------------------------------------------
+    def _ensure_snapshot(self) -> CompiledPolicy:
+        """The compiled snapshot for the current decision revision.
+
+        Reloads (and drops every expansion memo) whenever the policy's
+        ``decision_revision`` has moved past the held snapshot — the
+        revision-based invalidation the property tests pin down.
+        """
+        snapshot = self._snapshot
+        if snapshot is None or snapshot.revision != self.policy.decision_revision:
+            started = time.perf_counter()
+            snapshot = self.policy.compiled()
+            self.compile_time_s += time.perf_counter() - started
+            self.compile_count += 1
+            self._snapshot = snapshot
+            self._subject_memo.clear()
+            self._session_memo = weakref.WeakKeyDictionary()
+            self._object_memo.clear()
+            self._env_memo.clear()
+        return snapshot
+
+    def _evaluate_compiled(
+        self,
+        request: AccessRequest,
+        session: Optional[Session],
+        active_env: FrozenSet[str],
+    ) -> Tuple[List[Match], Dict[str, float], FrozenSet[str], FrozenSet[str]]:
+        """Match + gate a request against the compiled snapshot.
+
+        Returns ``(gated matches, effective subject-role confidences,
+        expanded object-role names, expanded environment-role names)``
+        — the same values the string-set paths compute, derived from
+        bitset tests instead of set intersections and dict probes.
+        """
+        snapshot = self._ensure_snapshot()
+        subject = request.subject
+
+        # --- subject side: memoized profile or claims slow path ------
+        uniform_confidence: Optional[float] = None
+        confidence_by_id: Dict[int, float] = {}
+        if not request.role_claims and subject is not None:
+            if session is None:
+                profile = self._subject_memo.get(subject)
+                if profile is None:
+                    self.policy.subject(subject)
+                    profile = snapshot.subject_profile(
+                        self.policy.authorized_subject_role_names(subject)
+                    )
+                    self._subject_memo[subject] = profile
+            else:
+                profile = self._session_profile(snapshot, request, session)
+            effective_ids, effective_names, subject_mask, subject_distances = profile
+            uniform_confidence = request.identity_confidence
+            confidences = dict.fromkeys(effective_names, uniform_confidence)
+        else:
+            (
+                effective_names,
+                subject_mask,
+                subject_distances,
+                confidence_by_id,
+                confidences,
+            ) = self._claims_profile(snapshot, request, session)
+
+        # --- object / environment side: memoized closures ------------
+        obj = request.obj
+        object_profile = self._object_memo.get(obj)
+        if object_profile is None:
+            self.policy.object(obj)
+            object_profile = snapshot.object_profile(
+                r.name for r in self.policy.direct_object_roles(obj)
+            )
+            self._object_memo[obj] = object_profile
+        object_mask, object_names, object_distances = object_profile
+
+        env_profile = self._env_memo.get(active_env)
+        if env_profile is None:
+            env_profile = snapshot.environment_profile(active_env)
+            if len(self._env_memo) >= 4096:  # defensive bound
+                self._env_memo.clear()
+            self._env_memo[active_env] = env_profile
+        env_mask, env_names, env_distances = env_profile
+
+        # --- transaction bucket --------------------------------------
+        transaction = request.transaction
+        if transaction in snapshot.transactions:
+            bucket = snapshot.rules.get(transaction)
+        else:
+            # Registered after the snapshot was compiled (transactions
+            # carry no revision) or simply unknown — the live lookup
+            # raises exactly like the other paths for the latter.
+            self.policy.transaction(transaction)
+            bucket = None
+
+        # --- match loop: pure int tests ------------------------------
+        raw: List = []
+        if bucket is not None:
+            remaining = subject_mask
+            while remaining:
+                bit = remaining & -remaining
+                remaining ^= bit
+                rules = bucket.get(bit.bit_length() - 1)
+                if rules:
+                    for rule in rules:
+                        # rule[3]=object_bit, rule[4]=environment_bit
+                        if rule[3] & object_mask and rule[4] & env_mask:
+                            raw.append(rule)
+            if len(raw) > 1:
+                raw.sort()  # CompiledRule sorts by its order field
+
+        # --- confidence gate + Match construction --------------------
+        threshold = self.confidence_threshold
+        matches: List[Match] = []
+        for rule in raw:
+            (
+                _order,
+                permission,
+                subject_id,
+                _obit,
+                _ebit,
+                is_deny,
+                min_confidence,
+                object_is_wildcard,
+                environment_is_wildcard,
+                object_id,
+                environment_id,
+            ) = rule
+            if uniform_confidence is not None:
+                confidence = uniform_confidence
+            else:
+                confidence = confidence_by_id[subject_id]
+            if not is_deny:
+                required = min_confidence or threshold
+                if required != 0.0 and confidence < required:
+                    continue
+            specificity = (
+                subject_distances.get(subject_id, WILDCARD_DISTANCE)
+                + (
+                    WILDCARD_DISTANCE
+                    if object_is_wildcard
+                    else object_distances.get(object_id, WILDCARD_DISTANCE)
+                )
+                + (
+                    WILDCARD_DISTANCE
+                    if environment_is_wildcard
+                    else env_distances.get(environment_id, WILDCARD_DISTANCE)
+                )
+            )
+            matches.append(
+                Match(
+                    permission,
+                    permission.subject_role,
+                    permission.object_role,
+                    permission.environment_role,
+                    specificity,
+                    confidence,
+                )
+            )
+        return matches, confidences, object_names, env_names
+
+    def _session_profile(
+        self, snapshot: CompiledPolicy, request: AccessRequest, session: Session
+    ) -> tuple:
+        """Expansion profile for a session-restricted subject.
+
+        Memoized per session object, keyed on the session's activation
+        epoch (and implicitly on the snapshot revision — the memo is
+        cleared on reload), so repeated decisions inside one session
+        state expand roles once.
+        """
+        if session.subject != request.subject:
+            raise PolicyError(
+                f"session belongs to {session.subject!r}, "
+                f"request is for {request.subject!r}"
+            )
+        entry = self._session_memo.get(session)
+        if entry is not None and entry[0] == session.epoch:
+            return entry[1]
+        self.policy.subject(request.subject)
+        assigned = self.policy.authorized_subject_role_names(request.subject)
+        assigned &= session.active_roles
+        profile = snapshot.subject_profile(assigned)
+        self._session_memo[session] = (session.epoch, profile)
+        return profile
+
+    def _claims_profile(
+        self,
+        snapshot: CompiledPolicy,
+        request: AccessRequest,
+        session: Optional[Session],
+    ) -> Tuple[Tuple[str, ...], int, Dict[int, int], Dict[int, float], Dict[str, float]]:
+        """Subject profile when role claims are in play (§5.2).
+
+        Claims carry per-role confidences, so the uniform-confidence
+        fast path does not apply; expansion still runs over closure
+        bitsets, propagating each direct role's confidence to its
+        generalizations with max-merge.
+        """
+        interned = snapshot.subjects
+        ids = interned.ids
+        up_masks = interned.up_masks
+        direct: Dict[str, float] = {}
+        if request.subject is not None:
+            self.policy.subject(request.subject)
+            assigned = self.policy.authorized_subject_role_names(request.subject)
+            if session is not None:
+                if session.subject != request.subject:
+                    raise PolicyError(
+                        f"session belongs to {session.subject!r}, "
+                        f"request is for {request.subject!r}"
+                    )
+                assigned &= session.active_roles
+            for role_name in assigned:
+                direct[role_name] = max(
+                    direct.get(role_name, 0.0), request.identity_confidence
+                )
+        for role_name, confidence in request.role_claims.items():
+            if role_name not in ids:
+                # Same error as the string-set paths for unknown roles.
+                self.policy.subject_roles.role(role_name)
+            direct[role_name] = max(direct.get(role_name, 0.0), confidence)
+
+        confidence_by_id: Dict[int, float] = {}
+        subject_mask = 0
+        direct_ids: List[int] = []
+        for role_name, confidence in direct.items():
+            role_id = ids[role_name]
+            direct_ids.append(role_id)
+            mask = up_masks[role_id]
+            subject_mask |= mask
+            while mask:
+                bit = mask & -mask
+                mask ^= bit
+                effective_id = bit.bit_length() - 1
+                if confidence > confidence_by_id.get(effective_id, -1.0):
+                    confidence_by_id[effective_id] = confidence
+        names = interned.names
+        confidences = {
+            names[role_id]: confidence
+            for role_id, confidence in confidence_by_id.items()
+        }
+        return (
+            tuple(confidences),
+            subject_mask,
+            interned.merged_distances(direct_ids),
+            confidence_by_id,
+            confidences,
+        )
 
     # ------------------------------------------------------------------
     # Effective role computation

@@ -86,18 +86,27 @@ class Permission:
         )
 
     def describe(self) -> str:
-        """Human-readable one-line rendering, used by audit logs."""
+        """Human-readable one-line rendering, used by audit logs.
+
+        Memoized on the instance: resolution rationales embed this
+        string on every decision, and the fields it renders are frozen.
+        """
+        cached = self.__dict__.get("_described")
+        if cached is not None:
+            return cached
         label = f"[{self.name}] " if self.name else ""
         confidence = (
             f" (confidence >= {self.min_confidence:.0%})"
             if self.min_confidence > 0
             else ""
         )
-        return (
+        text = (
             f"{label}{self.sign.value} {self.transaction.name} to "
             f"{self.subject_role.name} on {self.object_role.name} "
             f"when {self.environment_role.name}{confidence}"
         )
+        object.__setattr__(self, "_described", text)
+        return text
 
     def __str__(self) -> str:  # pragma: no cover - trivial
         return self.describe()

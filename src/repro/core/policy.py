@@ -24,6 +24,7 @@ from typing import Dict, Iterable, List, Optional, Set, Union
 
 from repro.core.activation import SessionManager
 from repro.core.assignment import AssignmentTable
+from repro.core.compiled import CompiledPolicy
 from repro.core.constraints import ConstraintSet
 from repro.core.hierarchy import RoleHierarchy
 from repro.core.objects import Resource
@@ -97,6 +98,12 @@ class GrbacPolicy:
             authorized=self.authorized_subject_role_names,
             dsd_check=self.constraints.check_activation,
         )
+
+        #: Cached compiled snapshot; rebuilt lazily when
+        #: :attr:`decision_revision` moves (see :meth:`compiled`).
+        self._compiled: Optional[CompiledPolicy] = None
+        #: How many snapshot compiles this policy has performed.
+        self.compile_count = 0
 
         # Distinguished wildcard roles (see module docstring).
         self.object_roles.add_role(ANY_OBJECT)
@@ -423,6 +430,23 @@ class GrbacPolicy:
             + self.object_roles.revision
             + self.environment_roles.revision
         )
+
+    def compiled(self) -> CompiledPolicy:
+        """The compiled snapshot of the current decision revision.
+
+        Compilation happens lazily, at most once per revision: any
+        mutation of permissions, assignments, or hierarchies moves
+        :attr:`decision_revision` and the next call rebuilds.  The
+        returned snapshot is immutable and safe to hold for the
+        lifetime of one revision; the mediation engine's compiled path
+        is served entirely from it.
+        """
+        snapshot = self._compiled
+        if snapshot is None or snapshot.revision != self.decision_revision:
+            snapshot = CompiledPolicy(self)
+            self._compiled = snapshot
+            self.compile_count += 1
+        return snapshot
 
     # ------------------------------------------------------------------
     # Introspection

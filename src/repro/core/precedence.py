@@ -88,7 +88,11 @@ def resolve(
 ) -> Resolution:
     """Resolve ``matches`` into a single signed decision.
 
-    :param matches: all permissions that matched the request.
+    :param matches: all permissions that matched the request, in
+        policy insertion order.  Every decision path (compiled,
+        indexed, naive) normalizes to this same :class:`Match` shape,
+        so resolution semantics are identical regardless of how the
+        match set was computed.
     :param strategy: the conflict-resolution strategy to apply.
     :param default_sign: decision when *nothing* matched.  The library
         default is the closed-world :attr:`Sign.DENY`.
@@ -140,8 +144,18 @@ def _allow_overrides(matches: Sequence[Match]) -> Resolution:
 
 
 def _priority(matches: Sequence[Match]) -> Resolution:
-    top = max(match.permission.priority for match in matches)
-    tied = [match for match in matches if match.permission.priority == top]
+    # Single pass: track the top priority and its tied matches together
+    # (resolve sits on the mediation hot path; the compiled engine
+    # feeds it one Match list per decision).
+    top: Optional[int] = None
+    tied: List[Match] = []
+    for match in matches:
+        priority = match.permission.priority
+        if top is None or priority > top:
+            top = priority
+            tied = [match]
+        elif priority == top:
+            tied.append(match)
     inner = _deny_overrides(tied)
     return Resolution(
         inner.sign,
@@ -151,8 +165,16 @@ def _priority(matches: Sequence[Match]) -> Resolution:
 
 
 def _most_specific(matches: Sequence[Match]) -> Resolution:
-    best = min(match.specificity for match in matches)
-    tied = [match for match in matches if match.specificity == best]
+    # Single pass, mirroring _priority (smaller distance wins).
+    best: Optional[int] = None
+    tied: List[Match] = []
+    for match in matches:
+        specificity = match.specificity
+        if best is None or specificity < best:
+            best = specificity
+            tied = [match]
+        elif specificity == best:
+            tied.append(match)
     inner = _deny_overrides(tied)
     return Resolution(
         inner.sign,

@@ -11,6 +11,7 @@ from repro.workload.generator import (
     RandomPolicyConfig,
     generate_policy,
     generate_requests,
+    replay_requests,
 )
 from repro.workload.scenarios import (
     REPAIR_WINDOW,
@@ -28,6 +29,7 @@ from repro.workload.traces import (
     DayTraceSimulator,
     TraceEvent,
     TraceResult,
+    replay_trace,
 )
 
 __all__ = [
@@ -51,4 +53,6 @@ __all__ = [
     "build_s52_scenario",
     "generate_policy",
     "generate_requests",
+    "replay_requests",
+    "replay_trace",
 ]

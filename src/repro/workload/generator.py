@@ -18,7 +18,7 @@ import random
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Set, Tuple
 
-from repro.core.mediation import AccessRequest
+from repro.core.mediation import AccessRequest, Decision, MediationEngine
 from repro.core.policy import GrbacPolicy
 from repro.exceptions import WorkloadError
 
@@ -191,3 +191,32 @@ def generate_requests(
             )
         )
     return requests
+
+
+def replay_requests(
+    engine: MediationEngine,
+    generated: Sequence[GeneratedRequest],
+    batch: bool = True,
+) -> List[Decision]:
+    """Mediate a generated request stream and return the decisions.
+
+    The canonical way benchmarks and the CLI drive an engine over a
+    synthetic workload.  With ``batch=True`` (default) the stream goes
+    through :meth:`MediationEngine.decide_batch`, which amortizes
+    snapshot lookup and role expansion across the stream; with
+    ``batch=False`` each request is mediated individually — the
+    ablation the E-series benchmarks time.
+    """
+    if batch:
+        return engine.decide_batch(
+            [item.request for item in generated],
+            environment_roles=[
+                item.active_environment_roles for item in generated
+            ],
+        )
+    return [
+        engine.decide(
+            item.request, environment_roles=item.active_environment_roles
+        )
+        for item in generated
+    ]

@@ -16,8 +16,9 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 from datetime import datetime, timedelta
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from repro.core.mediation import AccessRequest, Decision
 from repro.env.location import OUTSIDE
 from repro.exceptions import DeviceError, WorkloadError
 from repro.home.registry import SecureHome
@@ -80,6 +81,33 @@ class TraceResult:
             f"{len(self.events)} attempts ({self.grants} granted, "
             f"{self.denials} denied), {self.moves} movements"
         )
+
+
+def replay_trace(
+    home: SecureHome,
+    trace: Union[TraceResult, Iterable[TraceEvent]],
+) -> List[Decision]:
+    """Re-mediate a recorded trace's access attempts in one batch.
+
+    Rebuilds the :class:`~repro.core.mediation.AccessRequest` of every
+    trace event and pushes them through the home engine's
+    :meth:`~repro.core.mediation.MediationEngine.decide_batch` — the
+    what-if tool for policy edits: record a day, change the policy,
+    replay the same attempts, diff the outcomes.
+
+    Decisions are rendered against the *current* policy and
+    environment state (not the state at trace time): environment roles
+    resolve through the home's live environment source per request.
+    Returns one decision per event, in event order.
+    """
+    events = trace.events if isinstance(trace, TraceResult) else list(trace)
+    requests = [
+        AccessRequest(
+            transaction=event.operation, obj=event.device, subject=event.subject
+        )
+        for event in events
+    ]
+    return home.engine.decide_batch(requests)
 
 
 class DayTraceSimulator:

@@ -163,6 +163,182 @@ def test_indexed_engine_equals_naive_engine(config, request_seed):
         }
 
 
+# ----------------------------------------------------------------------
+# Mediation equivalence: compiled == indexed == naive
+# ----------------------------------------------------------------------
+def _decision_fingerprint(decision):
+    """Everything a decision path computes, order-insensitively."""
+    return (
+        decision.granted,
+        decision.resolution.sign,
+        sorted(
+            (repr(m.permission.key), m.specificity, m.confidence)
+            for m in decision.matches
+        ),
+        dict(decision.subject_role_confidence),
+        decision.object_roles,
+        decision.environment_roles,
+    )
+
+
+def _assert_all_paths_agree(policy, requests_with_env, confidence_threshold=0.0):
+    engines = [
+        MediationEngine(policy, mode=mode, confidence_threshold=confidence_threshold)
+        for mode in ("compiled", "indexed", "naive")
+    ]
+    compiled = engines[0]
+    decisions_per_engine = [
+        [engine.decide(r, environment_roles=env) for r, env in requests_with_env]
+        for engine in engines
+    ]
+    batched = compiled.decide_batch(
+        [r for r, _ in requests_with_env],
+        environment_roles=[env for _, env in requests_with_env],
+    )
+    decisions_per_engine.append(batched)
+    reference = [_decision_fingerprint(d) for d in decisions_per_engine[0]]
+    for decisions in decisions_per_engine[1:]:
+        assert [_decision_fingerprint(d) for d in decisions] == reference
+
+
+@given(policy_configs(), st.integers(0, 10_000), st.data())
+@settings(max_examples=40, deadline=None)
+def test_compiled_equals_indexed_equals_naive_with_claims(
+    config, request_seed, data
+):
+    """Full 3-way (plus batch) equivalence under partial authentication.
+
+    Requests are enriched with random role claims, identity
+    confidences, and engine thresholds, so the DENY-at-any-confidence
+    rule and the wildcard roles (the generator emits ``any-object`` /
+    ``any-environment`` rules) are exercised across all paths.
+    """
+    policy = generate_policy(config)
+    threshold = data.draw(
+        st.sampled_from([0.0, 0.3, 0.7, 0.95]), label="threshold"
+    )
+    role_names = [r.name for r in policy.subject_roles.roles()]
+    requests_with_env = []
+    for generated in generate_requests(policy, 8, seed=request_seed):
+        base = generated.request
+        claims = data.draw(
+            st.dictionaries(
+                st.sampled_from(role_names),
+                st.floats(0.0, 1.0),
+                max_size=2,
+            ),
+            label="claims",
+        )
+        identity = data.draw(st.floats(0.0, 1.0), label="identity")
+        subject = base.subject
+        if claims and data.draw(st.booleans(), label="drop_subject"):
+            subject = None  # pure sensor-driven request (§5.2)
+        request = AccessRequest(
+            transaction=base.transaction,
+            obj=base.obj,
+            subject=subject,
+            role_claims=claims,
+            identity_confidence=identity,
+        )
+        requests_with_env.append(
+            (request, set(generated.active_environment_roles))
+        )
+    _assert_all_paths_agree(policy, requests_with_env, threshold)
+
+
+@given(policy_configs(), st.integers(0, 10_000), st.data())
+@settings(max_examples=25, deadline=None)
+def test_compiled_equals_indexed_equals_naive_with_sessions(
+    config, request_seed, data
+):
+    """3-way equivalence when sessions restrict the active role set,
+    including mid-session activation changes (the epoch-keyed memo
+    must never serve a stale activation state)."""
+    policy = generate_policy(config)
+    engines = [
+        MediationEngine(policy, mode=mode)
+        for mode in ("compiled", "indexed", "naive")
+    ]
+    for generated in generate_requests(policy, 5, seed=request_seed):
+        subject = generated.request.subject
+        env = set(generated.active_environment_roles)
+        session = policy.sessions.open(subject)
+        try:
+            for role in sorted(policy.authorized_subject_role_names(subject)):
+                if data.draw(st.booleans(), label=f"activate {role}"):
+                    session.activate(role)
+            fingerprints = [
+                _decision_fingerprint(
+                    engine.decide(
+                        generated.request, session=session, environment_roles=env
+                    )
+                )
+                for engine in engines
+            ]
+            assert fingerprints[1:] == fingerprints[:-1]
+            # Flip the activation state and re-check: the compiled
+            # session memo must follow the epoch.
+            active = sorted(session.active_roles)
+            if active:
+                session.deactivate(active[0])
+                fingerprints = [
+                    _decision_fingerprint(
+                        engine.decide(
+                            generated.request,
+                            session=session,
+                            environment_roles=env,
+                        )
+                    )
+                    for engine in engines
+                ]
+                assert fingerprints[1:] == fingerprints[:-1]
+        finally:
+            policy.sessions.close(session)
+
+
+@given(policy_configs(), st.integers(0, 10_000))
+@settings(max_examples=25, deadline=None)
+def test_compiled_snapshot_invalidates_on_revision_bumps(config, request_seed):
+    """A held engine must re-compile and agree with a fresh naive
+    engine after every kind of policy mutation."""
+    policy = generate_policy(config)
+    compiled = MediationEngine(policy, mode="compiled")
+    stream = generate_requests(policy, 6, seed=request_seed)
+
+    def check_against_fresh_naive():
+        naive = MediationEngine(policy, mode="naive")
+        for generated in stream:
+            env = set(generated.active_environment_roles)
+            a = compiled.decide(generated.request, environment_roles=env)
+            b = naive.decide(generated.request, environment_roles=env)
+            assert _decision_fingerprint(a) == _decision_fingerprint(b)
+
+    check_against_fresh_naive()
+    revision_before = policy.decision_revision
+    # Permission mutation.
+    removed = policy.permissions()[0]
+    policy.remove_permission(removed)
+    check_against_fresh_naive()
+    policy.add_permission(removed)
+    check_against_fresh_naive()
+    # Assignment mutation.
+    subject = policy.subjects()[0].name
+    assigned = sorted(policy.authorized_subject_role_names(subject))
+    if assigned:
+        policy.revoke_subject(subject, assigned[0])
+        check_against_fresh_naive()
+        policy.assign_subject(subject, assigned[0])
+        check_against_fresh_naive()
+    # Hierarchy mutation (fresh leaf role, then an edge).
+    policy.add_subject_role("prop-fresh-role")
+    policy.subject_roles.add_specialization(
+        "prop-fresh-role", policy.subject_roles.roles()[0].name
+    )
+    check_against_fresh_naive()
+    assert policy.decision_revision > revision_before
+    assert compiled.stats()["snapshot_revision"] == policy.decision_revision
+
+
 @given(policy_configs(), st.integers(0, 10_000))
 @settings(max_examples=20, deadline=None)
 def test_deny_overrides_is_never_more_permissive(config, request_seed):
