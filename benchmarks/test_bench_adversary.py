@@ -17,7 +17,7 @@ from __future__ import annotations
 from datetime import datetime
 
 from repro.workload.adversary import AdversarySimulator, AttackReport
-from repro.workload.scenarios import build_repairman_scenario, build_s51_scenario
+from repro.workload.scenarios import build_repairman_scenario
 
 from test_bench_home_day import build_full_home
 

@@ -17,7 +17,7 @@ characterizes what each costs:
 from __future__ import annotations
 
 import time
-from datetime import datetime, timedelta
+from datetime import datetime
 
 from repro.core import AccessRequest, MediationEngine
 from repro.core.admin import AdminAction, PolicyAdministrator

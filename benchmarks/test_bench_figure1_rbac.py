@@ -15,7 +15,6 @@ from __future__ import annotations
 import random
 import time
 
-import pytest
 
 from repro.rbac.model import RbacModel
 

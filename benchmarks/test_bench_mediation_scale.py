@@ -25,14 +25,21 @@ import os
 import time
 
 from repro.core import MediationEngine
+from repro.obs import Observer
 from repro.workload.generator import (
     RandomPolicyConfig,
     generate_policy,
     generate_requests,
-    replay_requests,
 )
 
 SPEEDUP_GATE = 3.0  # compiled+batch vs indexed at the largest sweep point
+
+# Instrumentation guard: the staged pipeline with a subscribed no-op
+# observer (the full observability surface active, doing nothing) must
+# stay within 5% of the bare compiled path at the largest sweep point.
+# Untraced decisions take no timestamps and publish one emit per
+# decision, so the delta is a single hub fan-out.
+OVERHEAD_GATE = 0.05
 
 
 REPEATS = 3  # best-of-N to damp scheduler noise in single-shot sweeps
@@ -88,10 +95,12 @@ def test_bench_mediation_scale(benchmark, report):
         "E11 Mediation scalability: compiled vs indexed vs naive",
         f"  {'permissions':>12}{'roles':>7}{'edges':>7}"
         f"{'naive us':>10}{'indexed us':>11}{'compiled us':>12}"
-        f"{'batch us':>10}{'cmp/idx':>9}{'batch/idx':>10}",
+        f"{'batch us':>10}{'observed us':>12}{'ovh%':>7}"
+        f"{'cmp/idx':>9}{'batch/idx':>10}",
     ]
     sweep_records = []
     gate_speedup = None
+    gate_overhead = None
     for permissions, roles, edges in [
         (50, 10, 5),
         (200, 20, 10),
@@ -115,6 +124,11 @@ def test_bench_mediation_scale(benchmark, report):
         indexed = MediationEngine(policy, mode="indexed")
         compiled = MediationEngine(policy, mode="compiled")
         batch_engine = MediationEngine(policy, mode="compiled")
+        # The same compiled pipeline with the full observer surface
+        # switched on but subscribed to a no-op observer: measures the
+        # cost of instrumentation, not of any particular consumer.
+        observed = MediationEngine(policy, mode="compiled")
+        observed.observers.subscribe(Observer())
         generated = generate_requests(policy, 150, seed=7)
         # Prebuild request/env pairs so set construction stays outside
         # every timed window.
@@ -126,7 +140,7 @@ def test_bench_mediation_scale(benchmark, report):
         envs = [env for _, env in pairs]
 
         # Equivalence first (also warms compiles and expansion memos).
-        assert_paths_equivalent([compiled, indexed, naive], pairs[:40])
+        assert_paths_equivalent([compiled, indexed, naive, observed], pairs[:40])
         batch_decisions = batch_engine.decide_batch(
             requests[:40], environment_roles=envs[:40]
         )
@@ -142,12 +156,15 @@ def test_bench_mediation_scale(benchmark, report):
         indexed_us = mean_decide_us(indexed, pairs)
         compiled_us = mean_decide_us(compiled, pairs)
         batch_us = mean_batch_us(batch_engine, requests, envs)
+        observed_us = mean_decide_us(observed, pairs)
+        overhead = observed_us / compiled_us - 1.0
         cmp_speedup = indexed_us / compiled_us
         batch_speedup = indexed_us / batch_us
         rows.append(
             f"  {permissions:>12}{roles:>7}{edges:>7}"
             f"{naive_us:>10.2f}{indexed_us:>11.2f}{compiled_us:>12.2f}"
-            f"{batch_us:>10.2f}{cmp_speedup:>8.1f}x{batch_speedup:>9.1f}x"
+            f"{batch_us:>10.2f}{observed_us:>12.2f}{overhead:>7.1%}"
+            f"{cmp_speedup:>8.1f}x{batch_speedup:>9.1f}x"
         )
         sweep_records.append(
             {
@@ -159,6 +176,8 @@ def test_bench_mediation_scale(benchmark, report):
                 "indexed_us": round(indexed_us, 3),
                 "compiled_us": round(compiled_us, 3),
                 "compiled_batch_us": round(batch_us, 3),
+                "observed_us": round(observed_us, 3),
+                "instrumentation_overhead": round(overhead, 4),
                 "compiled_vs_indexed_speedup": round(cmp_speedup, 2),
                 "batch_vs_indexed_speedup": round(batch_speedup, 2),
                 "compile_time_s": round(
@@ -169,19 +188,29 @@ def test_bench_mediation_scale(benchmark, report):
         )
         if permissions == 4000:
             gate_speedup = batch_speedup
+            gate_overhead = overhead
     rows.append(
         "shape: naive cost scales with the rule count (it visits every "
         "permission); indexed probes the requester's effective "
         "(subject-role x object-role) pairs; compiled tests interned "
         "closure bitsets against per-(transaction, subject-role) rule "
         "buckets, so per-decision work tracks the handful of rules "
-        "that name roles the requester can actually reach."
+        "that name roles the requester can actually reach.  'observed' "
+        "is the same compiled pipeline with a subscribed no-op "
+        "observer; its overhead ('ovh%') is the cost of the "
+        "instrumentation layer itself."
     )
     assert gate_speedup is not None
     assert gate_speedup >= SPEEDUP_GATE, (
         f"compiled batch path is only {gate_speedup:.1f}x faster than the "
         f"indexed path at 4000 permissions; the acceptance gate is "
         f"{SPEEDUP_GATE:.0f}x"
+    )
+    assert gate_overhead is not None
+    assert gate_overhead <= OVERHEAD_GATE, (
+        f"no-op-observer pipeline costs {gate_overhead:.1%} over the bare "
+        f"compiled path at 4000 permissions; the instrumentation gate is "
+        f"{OVERHEAD_GATE:.0%}"
     )
 
     # ---- decision-cache ablation ---------------------------------------
@@ -231,6 +260,8 @@ def test_bench_mediation_scale(benchmark, report):
                 "experiment": "E11-mediation-scale",
                 "speedup_gate": SPEEDUP_GATE,
                 "gate_speedup_at_4000": round(gate_speedup, 2),
+                "instrumentation_overhead_gate": OVERHEAD_GATE,
+                "instrumentation_overhead_at_4000": round(gate_overhead, 4),
                 "sweep": sweep_records,
                 "cache_ablation": cache_records,
             },

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import time
 
-from repro.policy.mls import ReferenceBlp, agreement, build_pair
+from repro.policy.mls import agreement, build_pair
 
 
 def population(levels, subjects: int, objects: int):

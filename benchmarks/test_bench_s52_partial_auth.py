@@ -12,7 +12,7 @@ keeps granting until the threshold passes the floor's reliability.
 
 from __future__ import annotations
 
-from repro.auth import AuthenticationService, FusionStrategy, Presence
+from repro.auth import AuthenticationService, FusionStrategy
 from repro.sensors import SmartFloor, face_sensor, voice_sensor
 from repro.workload.scenarios import build_s52_scenario
 

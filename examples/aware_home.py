@@ -13,9 +13,8 @@ What it shows:
 Run:  python examples/aware_home.py
 """
 
-from datetime import datetime, timedelta
+from datetime import datetime
 
-from repro.exceptions import AccessDeniedError
 from repro.home.devices import Oven, Stereo
 from repro.workload.scenarios import (
     build_repairman_scenario,

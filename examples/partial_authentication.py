@@ -18,7 +18,7 @@ identity back over the threshold.
 Run:  python examples/partial_authentication.py
 """
 
-from repro.auth import AuthenticationService, FusionStrategy, Presence
+from repro.auth import AuthenticationService, FusionStrategy
 from repro.sensors import SmartFloor, face_sensor, voice_sensor
 from repro.workload.scenarios import build_s52_scenario
 

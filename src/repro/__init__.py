@@ -67,6 +67,13 @@ from repro.env import (
 )
 from repro.exceptions import AccessDeniedError, GrbacError
 from repro.home import SecureHome
+from repro.obs import (
+    CollectingObserver,
+    DecisionTrace,
+    MetricsRegistry,
+    Observer,
+    ObserverHub,
+)
 from repro.policy import PolicyAnalyzer, PolicyBuilder, compile_policy
 
 __version__ = "1.0.0"
@@ -78,13 +85,18 @@ __all__ = [
     "AccessRequest",
     "AuditLog",
     "CardinalityConstraint",
+    "CollectingObserver",
     "Decision",
+    "DecisionTrace",
     "EnvironmentRuntime",
     "EnvironmentState",
     "EventBus",
     "GrbacError",
     "GrbacPolicy",
     "MediationEngine",
+    "MetricsRegistry",
+    "Observer",
+    "ObserverHub",
     "Permission",
     "PolicyAnalyzer",
     "PolicyBuilder",

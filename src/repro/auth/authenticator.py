@@ -14,7 +14,7 @@ from __future__ import annotations
 import hashlib
 import hmac
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Tuple
+from typing import Any, Dict, Mapping, Tuple
 
 from repro.auth.claims import IdentityClaim, RoleClaim
 from repro.exceptions import AuthenticationError

@@ -7,6 +7,8 @@ who prefer a terminal over a Python prompt::
     python -m repro.cli lint  policy.grbac
     python -m repro.cli check policy.grbac alice watch livingroom/tv \\
            --env weekday-free-time --explain
+    python -m repro.cli trace policy.grbac alice watch livingroom/tv \\
+           --env weekday-free-time
     python -m repro.cli export policy.grbac -o policy.json
     python -m repro.cli demo  s51
     python -m repro.cli bench policy.grbac --requests 5000 --mode compiled
@@ -61,12 +63,27 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 
 def _print_engine_stats(engine: MediationEngine) -> None:
+    # stats() syncs the engine's hot-path tallies into the metrics
+    # registry; the registry render is the canonical stats output
+    # (counters + any per-stage latency histograms tracing recorded).
+    stats = engine.stats()
     print("engine stats:")
-    for key, value in engine.stats().items():
+    print(f"  {'mode':<32} {stats['mode']}")
+    for key in (
+        "cache_entries",
+        "compile_time_s",
+        "snapshot_revision",
+        "compiled_rules",
+        "subject_profiles",
+        "object_profiles",
+        "environment_profiles",
+    ):
+        value = stats[key]
         if isinstance(value, float):
-            print(f"  {key:<22} {value:.6f}")
+            print(f"  {key:<32} {value:.6f}")
         else:
-            print(f"  {key:<22} {value}")
+            print(f"  {key:<32} {value}")
+    print(engine.metrics.render())
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
@@ -80,8 +97,15 @@ def _cmd_check(args: argparse.Namespace) -> int:
         subject=args.subject,
         identity_confidence=args.confidence,
     )
-    decision = engine.decide(request, environment_roles=set(args.env))
-    if args.explain:
+    want_trace = getattr(args, "trace", False)
+    decision = engine.decide(
+        request, environment_roles=set(args.env), trace=want_trace
+    )
+    if want_trace:
+        # The recorded pipeline trace carries the decision line, the
+        # per-stage spans with timings, and the role/rule facts.
+        print(decision.explain())
+    elif args.explain:
         print(decision.explain())
     else:
         print("GRANT" if decision.granted else "DENY")
@@ -201,44 +225,60 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("policy", help="path to a DSL policy file")
     lint.set_defaults(func=_cmd_lint)
 
+    def add_check_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("policy", help="path to a DSL policy file")
+        sub.add_argument("subject")
+        sub.add_argument("transaction")
+        sub.add_argument("object")
+        sub.add_argument(
+            "--env",
+            action="append",
+            default=[],
+            metavar="ROLE",
+            help="active environment role (repeatable)",
+        )
+        sub.add_argument(
+            "--confidence",
+            type=float,
+            default=1.0,
+            help="identity confidence of the requester (default 1.0)",
+        )
+        sub.add_argument(
+            "--threshold",
+            type=float,
+            default=0.0,
+            help="policy-wide confidence threshold (default 0.0)",
+        )
+        sub.add_argument(
+            "--explain", action="store_true", help="print the full decision"
+        )
+        sub.add_argument(
+            "--diagnose",
+            action="store_true",
+            help="list every candidate rule and why it did/didn't apply",
+        )
+        sub.add_argument(
+            "--stats",
+            action="store_true",
+            help="print engine statistics (metrics registry) after the decision",
+        )
+
     check = subparsers.add_parser("check", help="mediate one request")
-    check.add_argument("policy", help="path to a DSL policy file")
-    check.add_argument("subject")
-    check.add_argument("transaction")
-    check.add_argument("object")
+    add_check_arguments(check)
     check.add_argument(
-        "--env",
-        action="append",
-        default=[],
-        metavar="ROLE",
-        help="active environment role (repeatable)",
-    )
-    check.add_argument(
-        "--confidence",
-        type=float,
-        default=1.0,
-        help="identity confidence of the requester (default 1.0)",
-    )
-    check.add_argument(
-        "--threshold",
-        type=float,
-        default=0.0,
-        help="policy-wide confidence threshold (default 0.0)",
-    )
-    check.add_argument(
-        "--explain", action="store_true", help="print the full decision"
-    )
-    check.add_argument(
-        "--diagnose",
+        "--trace",
         action="store_true",
-        help="list every candidate rule and why it did/didn't apply",
-    )
-    check.add_argument(
-        "--stats",
-        action="store_true",
-        help="print engine cache/compile statistics after the decision",
+        help="print the timed per-stage pipeline trace of the decision",
     )
     check.set_defaults(func=_cmd_check)
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="mediate one request and print its pipeline trace "
+        "(alias for check --trace)",
+    )
+    add_check_arguments(trace)
+    trace.set_defaults(func=_cmd_check, trace=True)
 
     bench = subparsers.add_parser(
         "bench", help="replay a synthetic request stream against a policy"

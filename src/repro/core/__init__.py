@@ -29,6 +29,13 @@ from repro.core.mediation import (
     StaticEnvironment,
 )
 from repro.core.objects import Object, Resource
+from repro.core.pipeline import (
+    MODES,
+    STAGE_ORDER,
+    DecisionContext,
+    DecisionPipeline,
+    DecisionStrategy,
+)
 from repro.core.permissions import Permission, Sign
 from repro.core.policy import GrbacPolicy
 from repro.core.precedence import Match, PrecedenceStrategy, Resolution, resolve
@@ -61,6 +68,11 @@ __all__ = [
     "CompiledRule",
     "ConstraintSet",
     "Decision",
+    "DecisionContext",
+    "DecisionPipeline",
+    "DecisionStrategy",
+    "MODES",
+    "STAGE_ORDER",
     "InternedHierarchy",
     "EnvironmentSource",
     "GrbacPolicy",

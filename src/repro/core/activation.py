@@ -26,6 +26,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Set
 
 from repro.core.roles import Role, RoleKind
 from repro.exceptions import ActivationError, SessionError
+from repro.obs.observers import ObserverHub
 
 
 class Session:
@@ -49,6 +50,9 @@ class Session:
         self._dsd_check = dsd_check
         self._active: Set[str] = set()
         self._terminated = False
+        #: Observer hub activation changes are published to (set by
+        #: :class:`SessionManager` when it has one).
+        self.observers: Optional[ObserverHub] = None
         #: Monotonic counter bumped on every change to the active role
         #: set.  The mediation engine's compiled path memoizes the
         #: session's expanded role profile keyed on this epoch, so the
@@ -97,6 +101,14 @@ class Session:
         self._dsd_check(self.subject, name, self._active)
         self._active.add(name)
         self.epoch += 1
+        hub = self.observers
+        if hub:
+            hub.emit(
+                "session.activate",
+                session=self.session_id,
+                subject=self.subject,
+                role=name,
+            )
 
     def deactivate(self, role: "Role | str") -> None:
         """Remove ``role`` from the active role set.
@@ -111,6 +123,14 @@ class Session:
             )
         self._active.discard(name)
         self.epoch += 1
+        hub = self.observers
+        if hub:
+            hub.emit(
+                "session.deactivate",
+                session=self.session_id,
+                subject=self.subject,
+                role=name,
+            )
 
     def activate_all_authorized(self) -> Set[str]:
         """Activate every authorized role that DSD allows.
@@ -156,11 +176,15 @@ class SessionManager:
         self,
         authorized: Callable[[str], Set[str]],
         dsd_check: Callable[[str, str, Set[str]], None],
+        observers: Optional[ObserverHub] = None,
     ) -> None:
         self._authorized = authorized
         self._dsd_check = dsd_check
         self._sessions: Dict[str, Session] = {}
         self._counter = itertools.count(1)
+        #: Hub that ``session.open`` / ``session.close`` (and, via the
+        #: sessions themselves, activation changes) are published to.
+        self.observers = observers
 
     def open(self, subject: str, activate: Optional[List[str]] = None) -> Session:
         """Open a session for ``subject``.
@@ -171,7 +195,11 @@ class SessionManager:
         """
         session_id = f"session-{next(self._counter)}"
         session = Session(session_id, subject, self._authorized, self._dsd_check)
+        session.observers = self.observers
         self._sessions[session_id] = session
+        hub = self.observers
+        if hub:
+            hub.emit("session.open", session=session_id, subject=subject)
         if activate:
             for role_name in activate:
                 session.activate(role_name)
@@ -195,6 +223,11 @@ class SessionManager:
             found._terminated = True
             found._active.clear()
             found.epoch += 1
+            hub = self.observers
+            if hub:
+                hub.emit(
+                    "session.close", session=session_id, subject=found.subject
+                )
 
     def sessions_of(self, subject: str) -> List[Session]:
         """All live sessions of ``subject``."""

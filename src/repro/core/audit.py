@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterator, List, Optional
 
 from repro.core.mediation import Decision
+from repro.obs.observers import ObserverHub
 
 
 @dataclass(frozen=True)
@@ -65,17 +66,21 @@ class AuditLog:
     :param capacity: optional bound; when exceeded the oldest records
         are dropped (a ring buffer), which keeps week-long simulated
         traces memory-safe.
+    :param observers: optional hub; every appended record is published
+        as an ``audit.record`` event (outcome, parties, sequence).
     """
 
     def __init__(
         self,
         clock: Optional[Callable[[], float]] = None,
         capacity: Optional[int] = None,
+        observers: Optional[ObserverHub] = None,
     ) -> None:
         if capacity is not None and capacity < 1:
             raise ValueError("audit capacity must be >= 1")
         self._clock = clock
         self._capacity = capacity
+        self.observers = observers
         self._records: List[AuditRecord] = []
         self._sequence = 0
         self._grant_count = 0
@@ -96,6 +101,17 @@ class AuditLog:
             self._deny_count += 1
         if self._capacity is not None and len(self._records) > self._capacity:
             self._records = self._records[-self._capacity :]
+        hub = self.observers
+        if hub:
+            hub.emit(
+                "audit.record",
+                sequence=record.sequence,
+                granted=record.granted,
+                subject=record.subject,
+                transaction=record.transaction,
+                object=record.obj,
+                timestamp=record.timestamp,
+            )
         return record
 
     # ------------------------------------------------------------------
@@ -186,35 +202,39 @@ class AuditLog:
 
         The export carries what an external audit system needs —
         outcome, parties, matched-rule names, rationale, environment —
-        not the full in-memory decision graph.
+        not the full in-memory decision graph.  Decisions that carry a
+        recorded pipeline trace additionally export their per-stage
+        timings (microseconds), so latency outliers can be attributed
+        to a stage after the fact.
         """
         import json
 
         lines = []
         for record in self._records:
             decision = record.decision
-            lines.append(
-                json.dumps(
-                    {
-                        "sequence": record.sequence,
-                        "timestamp": record.timestamp,
-                        "granted": record.granted,
-                        "subject": record.subject,
-                        "transaction": record.transaction,
-                        "object": record.obj,
-                        "rationale": decision.rationale,
-                        "matched_rules": [
-                            m.permission.describe() for m in decision.matches
-                        ],
-                        "environment_roles": sorted(decision.environment_roles),
-                        "subject_roles": {
-                            name: round(confidence, 6)
-                            for name, confidence in sorted(
-                                decision.subject_role_confidence.items()
-                            )
-                        },
-                    },
-                    sort_keys=True,
-                )
-            )
+            payload = {
+                "sequence": record.sequence,
+                "timestamp": record.timestamp,
+                "granted": record.granted,
+                "subject": record.subject,
+                "transaction": record.transaction,
+                "object": record.obj,
+                "rationale": decision.rationale,
+                "matched_rules": [
+                    m.permission.describe() for m in decision.matches
+                ],
+                "environment_roles": sorted(decision.environment_roles),
+                "subject_roles": {
+                    name: round(confidence, 6)
+                    for name, confidence in sorted(
+                        decision.subject_role_confidence.items()
+                    )
+                },
+            }
+            trace = decision.trace
+            if trace is not None:
+                timings = trace.stage_timings_us()
+                if timings:
+                    payload["stage_timings_us"] = timings
+            lines.append(json.dumps(payload, sort_keys=True))
         return "\n".join(lines) + ("\n" if lines else "")

@@ -22,8 +22,8 @@ role against an existing role-name set and raises
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, FrozenSet, Iterable, List, Optional, Set
+from dataclasses import dataclass
+from typing import Callable, FrozenSet, Iterable, List, Set
 
 from repro.core.roles import Role
 from repro.exceptions import ConstraintViolationError, PolicyError

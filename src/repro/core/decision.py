@@ -1,0 +1,218 @@
+"""Request and decision value types for access mediation.
+
+These used to live in :mod:`repro.core.mediation`; they sit in their
+own module so the staged pipeline (:mod:`repro.core.pipeline`) and the
+engine (:mod:`repro.core.mediation`) can both depend on them without a
+cycle.  ``repro.core.mediation`` re-exports everything here, so
+existing imports keep working.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Mapping, Optional, Set, Tuple
+
+from repro.core.permissions import Permission, Sign
+from repro.core.precedence import Match, Resolution
+from repro.exceptions import PolicyError
+from repro.obs.trace import DecisionTrace
+
+#: Hierarchy distance assigned to a match through one of the wildcard
+#: roles (``any-object`` / ``any-environment``) when computing rule
+#: specificity — wildcards are by definition the least specific match.
+WILDCARD_DISTANCE = 1_000
+
+
+@dataclass(frozen=True)
+class AccessRequest:
+    """One access attempt: who, what transaction, which object.
+
+    ``subject`` may be ``None`` for purely sensor-driven requests in
+    which the requester was never identified but was authenticated
+    directly into roles via ``role_claims`` (the §5.2 mechanism).
+
+    ``role_claims`` maps subject-role names to authentication
+    confidence in ``[0, 1]`` — "the Smart Floor can authenticate her
+    into the Child role with 98% accuracy" becomes
+    ``{"child": 0.98}``.
+    """
+
+    transaction: str
+    obj: str
+    subject: Optional[str] = None
+    role_claims: Mapping[str, float] = field(default_factory=dict)
+    #: Confidence of the identity claim itself; the subject's assigned
+    #: roles inherit this confidence (identifying Alice at 75% means
+    #: every role derived from "this is Alice" carries 75%).
+    identity_confidence: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.subject is None and not self.role_claims:
+            raise PolicyError(
+                "an access request needs a subject, role claims, or both"
+            )
+        if not 0.0 <= self.identity_confidence <= 1.0:
+            raise PolicyError("identity_confidence must be in [0, 1]")
+        claims = dict(self.role_claims)
+        for role_name, confidence in claims.items():
+            if not 0.0 <= confidence <= 1.0:
+                raise PolicyError(
+                    f"confidence for role {role_name!r} must be in [0, 1], "
+                    f"got {confidence}"
+                )
+        object.__setattr__(self, "role_claims", claims)
+
+
+@dataclass(frozen=True)
+class Decision:
+    """The outcome of mediating one request."""
+
+    request: AccessRequest
+    granted: bool
+    resolution: Resolution
+    matches: Tuple[Match, ...]
+    #: Effective (expanded) subject-role confidences used for matching.
+    subject_role_confidence: Mapping[str, float]
+    object_roles: FrozenSet[str]
+    environment_roles: FrozenSet[str]
+    #: Pipeline trace recorded for this decision (``decide(...,
+    #: trace=True)``), or ``None``.  Excluded from equality: two
+    #: decisions that agree on every decision-relevant field are the
+    #: same decision whether or not one of them was traced.
+    trace: Optional[DecisionTrace] = field(
+        default=None, compare=False, repr=False
+    )
+
+    @property
+    def sign(self) -> Sign:
+        return self.resolution.sign
+
+    @property
+    def rationale(self) -> str:
+        """Why the decision came out the way it did."""
+        return self.resolution.rationale
+
+    def explain(self) -> str:
+        """Multi-line human-readable explanation for audit output.
+
+        Rendered from the recorded pipeline trace when one exists;
+        otherwise from a trace reconstructed (without timings) from the
+        decision's own fields — either way the formatting lives in
+        :meth:`repro.obs.trace.DecisionTrace.render`.
+        """
+        trace = self.trace if self.trace is not None else self.reconstruct_trace()
+        return trace.render()
+
+    def reconstruct_trace(self) -> DecisionTrace:
+        """A timing-less :class:`DecisionTrace` built from this
+        decision's recorded fields — what ``explain()`` renders when no
+        live trace was captured."""
+        trace = DecisionTrace(
+            subject=self.request.subject,
+            transaction=self.request.transaction,
+            obj=self.request.obj,
+        )
+        trace.granted = self.granted
+        trace.rationale = self.rationale
+        trace.subject_roles = dict(self.subject_role_confidence)
+        trace.object_roles = sorted(self.object_roles)
+        trace.environment_roles = sorted(self.environment_roles)
+        trace.matched_rules = [m.permission.describe() for m in self.matches]
+        return trace
+
+
+@dataclass(frozen=True)
+class RuleDiagnosis:
+    """Why one candidate rule did / did not apply to a request."""
+
+    permission: Permission
+    subject_role_ok: bool
+    object_role_ok: bool
+    environment_role_ok: bool
+    confidence_ok: bool
+
+    @property
+    def matched(self) -> bool:
+        """All four gates held — this rule participated in resolution."""
+        return (
+            self.subject_role_ok
+            and self.object_role_ok
+            and self.environment_role_ok
+            and self.confidence_ok
+        )
+
+    @property
+    def conditions_met(self) -> int:
+        """How many of the four gates held (for nearest-miss sorting)."""
+        return sum(
+            (
+                self.subject_role_ok,
+                self.object_role_ok,
+                self.environment_role_ok,
+                self.confidence_ok,
+            )
+        )
+
+    def describe(self) -> str:
+        if self.matched:
+            return f"MATCHED  {self.permission.describe()}"
+        missing = []
+        if not self.subject_role_ok:
+            missing.append(
+                f"requester lacks role {self.permission.subject_role.name!r}"
+            )
+        if not self.object_role_ok:
+            missing.append(
+                f"object lacks role {self.permission.object_role.name!r}"
+            )
+        if not self.environment_role_ok:
+            missing.append(
+                f"environment role {self.permission.environment_role.name!r} "
+                "not active"
+            )
+        if not self.confidence_ok:
+            missing.append("authentication confidence too low")
+        return f"missed   {self.permission.describe()} — " + "; ".join(missing)
+
+
+class EnvironmentSource:
+    """Protocol-ish base: supplies the currently active environment roles.
+
+    The env substrate (:mod:`repro.env.activation`) provides the real
+    implementation; :class:`StaticEnvironment` below serves tests and
+    pure-model usage.
+
+    A source may additionally implement
+    :meth:`active_environment_roles_for` to contribute
+    *requester-relative* roles — state that depends on who is asking,
+    like §4.2.2's "children may only use the videophone while they are
+    in the kitchen" (the kitchen-ness is a property of the requester's
+    location, not of the house).  The engine prefers the request-aware
+    hook when present.
+    """
+
+    def active_environment_roles(self) -> Set[str]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def active_environment_roles_for(self, request: "AccessRequest") -> Set[str]:
+        """Request-aware variant; defaults to the global set."""
+        return self.active_environment_roles()
+
+
+class StaticEnvironment(EnvironmentSource):
+    """A fixed active environment-role set, settable by hand."""
+
+    def __init__(self, active: Optional[Set[str]] = None) -> None:
+        self._active: Set[str] = set(active or ())
+
+    def activate(self, *role_names: str) -> None:
+        self._active.update(role_names)
+
+    def deactivate(self, *role_names: str) -> None:
+        self._active.difference_update(role_names)
+
+    def set_active(self, role_names: Set[str]) -> None:
+        self._active = set(role_names)
+
+    def active_environment_roles(self) -> Set[str]:
+        return set(self._active)

@@ -31,7 +31,6 @@ from repro.core.roles import Role, RoleKind
 from repro.exceptions import (
     HierarchyCycleError,
     HierarchyError,
-    RoleKindError,
     UnknownEntityError,
 )
 

@@ -26,230 +26,57 @@ the paper discusses around it:
   DENY rules match at any confidence: weak evidence must never weaken
   a prohibition.
 
-Three decision paths are provided: the default *compiled* path (served
-from an interned-ID bitset snapshot, see :mod:`repro.core.compiled`),
-the *indexed* path (tuple-keyed permission index over string role
-sets), and a *naive* path that is a literal transcription of the
-quantifier rule.  They are verified equivalent by property-based tests
-and ablated against each other in benchmark E11.
+Every decision runs through the staged pipeline of
+:mod:`repro.core.pipeline` — resolve subject roles, snapshot the
+environment, expand hierarchy closures, match permissions, resolve
+precedence, apply constraints, emit.  The *compiled* (default,
+interned-ID bitsets — see :mod:`repro.core.compiled`), *indexed*
+(tuple-keyed permission index), and *naive* (literal quantifier
+transcription) paths are strategy plug-ins for the expansion/match
+stages of that one pipeline.  They are verified equivalent by
+property-based tests and ablated against each other in benchmark E11.
+
+The request/decision value types live in :mod:`repro.core.decision`
+and are re-exported here for compatibility.
 """
 
 from __future__ import annotations
 
-import itertools
-import time
-import weakref
 from collections import OrderedDict
-from dataclasses import dataclass, field
 from typing import (
     Dict,
     FrozenSet,
     Iterable,
     List,
-    Mapping,
     Optional,
     Sequence,
     Set,
-    Tuple,
     Union,
 )
 
 from repro.core.activation import Session
-from repro.core.compiled import CompiledPolicy
-from repro.core.permissions import Permission, Sign
+from repro.core.decision import (  # noqa: F401  (re-exported API)
+    WILDCARD_DISTANCE,
+    AccessRequest,
+    Decision,
+    EnvironmentSource,
+    RuleDiagnosis,
+    StaticEnvironment,
+)
+from repro.core.permissions import Sign
+from repro.core.pipeline import (
+    MODES,
+    DecisionPipeline,
+    build_strategy,
+    direct_subject_confidences,
+    environment_role_names,
+    expand_subject_confidences,
+    object_role_names,
+)
 from repro.core.policy import GrbacPolicy
-from repro.core.precedence import Match, PrecedenceStrategy, Resolution, resolve
-from repro.core.roles import ANY_ENVIRONMENT, ANY_OBJECT, Role
 from repro.exceptions import PolicyError
-
-#: Hierarchy distance assigned to a match through one of the wildcard
-#: roles (``any-object`` / ``any-environment``) when computing rule
-#: specificity — wildcards are by definition the least specific match.
-WILDCARD_DISTANCE = 1_000
-
-
-@dataclass(frozen=True)
-class AccessRequest:
-    """One access attempt: who, what transaction, which object.
-
-    ``subject`` may be ``None`` for purely sensor-driven requests in
-    which the requester was never identified but was authenticated
-    directly into roles via ``role_claims`` (the §5.2 mechanism).
-
-    ``role_claims`` maps subject-role names to authentication
-    confidence in ``[0, 1]`` — "the Smart Floor can authenticate her
-    into the Child role with 98% accuracy" becomes
-    ``{"child": 0.98}``.
-    """
-
-    transaction: str
-    obj: str
-    subject: Optional[str] = None
-    role_claims: Mapping[str, float] = field(default_factory=dict)
-    #: Confidence of the identity claim itself; the subject's assigned
-    #: roles inherit this confidence (identifying Alice at 75% means
-    #: every role derived from "this is Alice" carries 75%).
-    identity_confidence: float = 1.0
-
-    def __post_init__(self) -> None:
-        if self.subject is None and not self.role_claims:
-            raise PolicyError(
-                "an access request needs a subject, role claims, or both"
-            )
-        if not 0.0 <= self.identity_confidence <= 1.0:
-            raise PolicyError("identity_confidence must be in [0, 1]")
-        claims = dict(self.role_claims)
-        for role_name, confidence in claims.items():
-            if not 0.0 <= confidence <= 1.0:
-                raise PolicyError(
-                    f"confidence for role {role_name!r} must be in [0, 1], "
-                    f"got {confidence}"
-                )
-        object.__setattr__(self, "role_claims", claims)
-
-
-@dataclass(frozen=True)
-class Decision:
-    """The outcome of mediating one request."""
-
-    request: AccessRequest
-    granted: bool
-    resolution: Resolution
-    matches: Tuple[Match, ...]
-    #: Effective (expanded) subject-role confidences used for matching.
-    subject_role_confidence: Mapping[str, float]
-    object_roles: FrozenSet[str]
-    environment_roles: FrozenSet[str]
-
-    @property
-    def sign(self) -> Sign:
-        return self.resolution.sign
-
-    @property
-    def rationale(self) -> str:
-        """Why the decision came out the way it did."""
-        return self.resolution.rationale
-
-    def explain(self) -> str:
-        """Multi-line human-readable explanation for audit output."""
-        lines = [
-            f"request: {self.request.subject or '<unidentified>'} -> "
-            f"{self.request.transaction} on {self.request.obj}",
-            f"decision: {'GRANT' if self.granted else 'DENY'}",
-            f"rationale: {self.rationale}",
-            "subject roles: "
-            + ", ".join(
-                f"{name}@{conf:.2f}"
-                for name, conf in sorted(self.subject_role_confidence.items())
-            ),
-            "object roles: " + ", ".join(sorted(self.object_roles)),
-            "environment roles: " + ", ".join(sorted(self.environment_roles)),
-        ]
-        if self.matches:
-            lines.append("matched rules:")
-            lines.extend(f"  - {m.permission.describe()}" for m in self.matches)
-        return "\n".join(lines)
-
-
-@dataclass(frozen=True)
-class RuleDiagnosis:
-    """Why one candidate rule did / did not apply to a request."""
-
-    permission: Permission
-    subject_role_ok: bool
-    object_role_ok: bool
-    environment_role_ok: bool
-    confidence_ok: bool
-
-    @property
-    def matched(self) -> bool:
-        """All four gates held — this rule participated in resolution."""
-        return (
-            self.subject_role_ok
-            and self.object_role_ok
-            and self.environment_role_ok
-            and self.confidence_ok
-        )
-
-    @property
-    def conditions_met(self) -> int:
-        """How many of the four gates held (for nearest-miss sorting)."""
-        return sum(
-            (
-                self.subject_role_ok,
-                self.object_role_ok,
-                self.environment_role_ok,
-                self.confidence_ok,
-            )
-        )
-
-    def describe(self) -> str:
-        if self.matched:
-            return f"MATCHED  {self.permission.describe()}"
-        missing = []
-        if not self.subject_role_ok:
-            missing.append(
-                f"requester lacks role {self.permission.subject_role.name!r}"
-            )
-        if not self.object_role_ok:
-            missing.append(
-                f"object lacks role {self.permission.object_role.name!r}"
-            )
-        if not self.environment_role_ok:
-            missing.append(
-                f"environment role {self.permission.environment_role.name!r} "
-                "not active"
-            )
-        if not self.confidence_ok:
-            missing.append("authentication confidence too low")
-        return f"missed   {self.permission.describe()} — " + "; ".join(missing)
-
-
-class EnvironmentSource:
-    """Protocol-ish base: supplies the currently active environment roles.
-
-    The env substrate (:mod:`repro.env.activation`) provides the real
-    implementation; :class:`StaticEnvironment` below serves tests and
-    pure-model usage.
-
-    A source may additionally implement
-    :meth:`active_environment_roles_for` to contribute
-    *requester-relative* roles — state that depends on who is asking,
-    like §4.2.2's "children may only use the videophone while they are
-    in the kitchen" (the kitchen-ness is a property of the requester's
-    location, not of the house).  The engine prefers the request-aware
-    hook when present.
-    """
-
-    def active_environment_roles(self) -> Set[str]:  # pragma: no cover - interface
-        raise NotImplementedError
-
-    def active_environment_roles_for(self, request: "AccessRequest") -> Set[str]:
-        """Request-aware variant; defaults to the global set."""
-        return self.active_environment_roles()
-
-
-class StaticEnvironment(EnvironmentSource):
-    """A fixed active environment-role set, settable by hand."""
-
-    def __init__(self, active: Optional[Set[str]] = None) -> None:
-        self._active: Set[str] = set(active or ())
-
-    def activate(self, *role_names: str) -> None:
-        self._active.update(role_names)
-
-    def deactivate(self, *role_names: str) -> None:
-        self._active.difference_update(role_names)
-
-    def set_active(self, role_names: Set[str]) -> None:
-        self._active = set(role_names)
-
-    def active_environment_roles(self) -> Set[str]:
-        return set(self._active)
-
-
-#: The decision paths an engine can run (see module docstring).
-MODES = ("compiled", "indexed", "naive")
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.observers import ObserverHub
 
 
 class MediationEngine:
@@ -263,12 +90,17 @@ class MediationEngine:
         confidence for GRANT matches (the "90% accuracy before the
         system will grant rights" of §5.2).
     :param use_index: legacy path selector kept for callers predating
-        the compiled engine: ``True`` forces the indexed path,
+        the compiled engine: ``True`` forces the indexed strategy,
         ``False`` the naive quantifier transcription.  Leave unset to
-        get the default compiled path (or pass ``mode``).
-    :param mode: decision path — ``"compiled"`` (default), ``"indexed"``,
-        or ``"naive"``.  All three are decision-equivalent
-        (property-tested); they differ only in speed.
+        get the default compiled strategy (or pass ``mode``).
+    :param mode: expansion/match strategy — ``"compiled"`` (default),
+        ``"indexed"``, or ``"naive"``.  All three are
+        decision-equivalent (property-tested); they differ only in
+        speed.
+    :param metrics: metrics registry to publish into; a private one is
+        created when not supplied, so ``engine.metrics`` always works.
+    :param observers: observer hub decisions are published to; a
+        private (empty) hub is created when not supplied.
     """
 
     def __init__(
@@ -279,6 +111,8 @@ class MediationEngine:
         use_index: Optional[bool] = None,
         cache_size: int = 0,
         mode: Optional[str] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        observers: Optional[ObserverHub] = None,
     ) -> None:
         if not 0.0 <= confidence_threshold <= 1.0:
             raise PolicyError("confidence_threshold must be in [0, 1]")
@@ -299,6 +133,14 @@ class MediationEngine:
         self.mode = mode
         #: Back-compat view of :attr:`mode` (the pre-compiled API).
         self.use_index = mode == "indexed"
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.observers = observers if observers is not None else ObserverHub()
+        #: Decision constraints (pipeline stage 6): callables
+        #: ``(ctx) -> Optional[str]`` whose non-empty return vetoes a
+        #: grant.  Empty by default.  Engines with constraints skip the
+        #: decision cache — a constraint may consult state outside the
+        #: cache key.
+        self.decision_constraints: List = []
         #: LRU decision cache capacity (0 disables caching).  Entries
         #: key on the full request *and* the active environment set
         #: *and* the policy's decision revision, so cached decisions
@@ -307,31 +149,16 @@ class MediationEngine:
         self._cache: "OrderedDict[tuple, Decision]" = OrderedDict()
         self.cache_hits = 0
         self.cache_misses = 0
-        #: Total decisions rendered (all paths, cache hits included).
+        #: Total decisions rendered (all strategies, cache hits
+        #: included), split into grants/denies.  Plain attributes —
+        #: not registry counters — on purpose: the decision path pays
+        #: one integer add, and :meth:`stats` syncs them into the
+        #: registry when anyone looks.
         self.decisions = 0
-        #: (transaction, subject_role, object_role) -> permissions
-        self._index: Dict[Tuple[str, str, str], List[Permission]] = {}
-        self._permission_order: Dict[tuple, int] = {}
-        self._indexed_revision = -1  # force initial build
-        # --- compiled-path state ------------------------------------
-        #: Snapshot this engine currently serves (compiled mode).
-        self._snapshot: Optional[CompiledPolicy] = None
-        #: Snapshot (re)loads observed by this engine, and the time
-        #: spent waiting on them (compilation is shared per policy, so
-        #: a load can be a cheap cache hit on the policy side).
-        self.compile_count = 0
-        self.compile_time_s = 0.0
-        #: subject name -> (effective ids, names, mask, distance table);
-        #: valid for one snapshot revision (cleared on reload).
-        self._subject_memo: Dict[str, tuple] = {}
-        #: Session -> (epoch, profile); weak so ended sessions drop out.
-        self._session_memo: "weakref.WeakKeyDictionary[Session, tuple]" = (
-            weakref.WeakKeyDictionary()
-        )
-        #: object name -> (mask, expanded names, distance table).
-        self._object_memo: Dict[str, tuple] = {}
-        #: frozenset of direct env roles -> (mask, names, distances).
-        self._env_memo: Dict[FrozenSet[str], tuple] = {}
+        self.grants = 0
+        self.denies = 0
+        self.strategy = build_strategy(mode, self)
+        self.pipeline = DecisionPipeline(self, self.strategy)
 
     # ------------------------------------------------------------------
     # Public API
@@ -341,6 +168,7 @@ class MediationEngine:
         request: AccessRequest,
         session: Optional[Session] = None,
         environment_roles: Optional[Set[str]] = None,
+        trace: bool = False,
     ) -> Decision:
         """Mediate ``request`` and return a full :class:`Decision`.
 
@@ -350,9 +178,14 @@ class MediationEngine:
         :param environment_roles: explicit directly-active environment
             role names, overriding the engine's environment source —
             useful for what-if queries and policy analysis.
+        :param trace: record a timed per-stage pipeline trace on the
+            returned decision (``decision.trace``) and feed the
+            per-stage latency histograms.  Traced decisions bypass the
+            decision cache — a cached decision has no live stages to
+            time.
         """
         active_env = self._resolve_active_env(request, environment_roles)
-        return self._decide_one(request, session, active_env)
+        return self._decide_one(request, session, active_env, trace)
 
     def decide_batch(
         self,
@@ -365,7 +198,7 @@ class MediationEngine:
         """Mediate many requests, amortizing per-request setup.
 
         The batch path shares one snapshot lookup per request stream
-        and reuses the engine's expansion memos (subject profiles,
+        and reuses the strategy's expansion memos (subject profiles,
         object profiles, environment closures) across the whole batch —
         with Zipf-shaped traffic most requests hit a memoized profile
         and skip role expansion entirely.
@@ -426,23 +259,41 @@ class MediationEngine:
 
         Complements :meth:`GrbacPolicy.stats` (policy sizes) with the
         runtime counters operators watch: decision volume, decision-
-        cache effectiveness, and compiled-snapshot churn.
+        cache effectiveness, and compiled-snapshot churn.  Calling it
+        also syncs the engine tallies into the metrics registry, so a
+        registry snapshot taken afterwards is consistent with the
+        returned dict.
         """
-        snapshot = self._snapshot
-        return {
+        data: Dict[str, object] = {
             "mode": self.mode,
             "decisions": self.decisions,
+            "grants": self.grants,
+            "denies": self.denies,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_entries": len(self._cache),
-            "compile_count": self.compile_count,
-            "compile_time_s": self.compile_time_s,
-            "snapshot_revision": None if snapshot is None else snapshot.revision,
-            "compiled_rules": 0 if snapshot is None else snapshot.rule_count,
-            "subject_profiles": len(self._subject_memo),
-            "object_profiles": len(self._object_memo),
-            "environment_profiles": len(self._env_memo),
+            # Strategy-owned counters; overridden below when the
+            # strategy tracks them (the compiled one does).
+            "compile_count": 0,
+            "compile_time_s": 0.0,
+            "snapshot_revision": None,
+            "compiled_rules": 0,
+            "subject_profiles": 0,
+            "object_profiles": 0,
+            "environment_profiles": 0,
         }
+        data.update(self.strategy.stats())
+        metrics = self.metrics
+        for key in (
+            "decisions",
+            "grants",
+            "denies",
+            "cache_hits",
+            "cache_misses",
+            "compile_count",
+        ):
+            metrics.counter(f"engine.{key}").set(int(data[key]))  # type: ignore[arg-type]
+        return data
 
     # ------------------------------------------------------------------
     # Decision internals
@@ -452,11 +303,17 @@ class MediationEngine:
         request: AccessRequest,
         session: Optional[Session],
         active_env: FrozenSet[str],
+        trace: bool = False,
     ) -> Decision:
         """Render one decision for an already-resolved environment."""
         self.decisions += 1
         cache_key = None
-        if self.cache_size > 0 and session is None:
+        if (
+            self.cache_size > 0
+            and session is None
+            and not trace
+            and not self.decision_constraints
+        ):
             cache_key = (
                 request.subject,
                 request.transaction,
@@ -473,53 +330,32 @@ class MediationEngine:
             if cached is not None:
                 self._cache.move_to_end(cache_key)
                 self.cache_hits += 1
+                self._tally(cached)
                 return cached
             self.cache_misses += 1
 
-        if self.mode == "compiled":
-            matches, confidences, object_roles, env_roles = self._evaluate_compiled(
-                request, session, active_env
-            )
-        else:
-            confidences, direct_subject_roles = self._subject_role_confidences(
-                request, session
-            )
-            object_roles, direct_object_roles = self._object_role_names(request.obj)
-            env_roles, direct_env_roles = self._environment_role_names(active_env)
-            self.policy.transaction(request.transaction)
-            directs = (direct_subject_roles, direct_object_roles, direct_env_roles)
-
-            if self.mode == "indexed":
-                matches = self._matches_indexed(
-                    request.transaction, confidences, object_roles, env_roles, directs
-                )
-            else:
-                matches = self._matches_naive(
-                    request.transaction, confidences, object_roles, env_roles, directs
-                )
-            matches = self._apply_confidence_gate(matches)
-        resolution = resolve(matches, self.policy.precedence, self.policy.default_sign)
-        decision = Decision(
-            request=request,
-            granted=resolution.sign is Sign.GRANT,
-            resolution=resolution,
-            matches=tuple(matches),
-            subject_role_confidence=dict(confidences),
-            object_roles=frozenset(object_roles),
-            environment_roles=frozenset(env_roles),
+        decision = self.pipeline.execute(
+            request, session=session, active_env=active_env, trace=trace
         )
+        self._tally(decision)
         if cache_key is not None:
             self._cache[cache_key] = decision
             if len(self._cache) > self.cache_size:
                 self._cache.popitem(last=False)
         return decision
 
+    def _tally(self, decision: Decision) -> None:
+        if decision.granted:
+            self.grants += 1
+        else:
+            self.denies += 1
+
     def diagnose(
         self,
         request: AccessRequest,
         session: Optional[Session] = None,
         environment_roles: Optional[Set[str]] = None,
-    ) -> List["RuleDiagnosis"]:
+    ) -> List[RuleDiagnosis]:
         """Explain, per candidate rule, why the request did or did not
         match it — the "why can't I watch TV?" answer a homeowner needs
         (§3's usability requirement).
@@ -530,14 +366,17 @@ class MediationEngine:
         possessed, environment role active) plus the confidence gate.
         Sorted with the nearest misses first.
         """
+        policy = self.policy
         active_env = self._resolve_active_env(request, environment_roles)
-        confidences, _ = self._subject_role_confidences(request, session)
-        object_roles, _ = self._object_role_names(request.obj)
-        env_roles, _ = self._environment_role_names(active_env)
-        self.policy.transaction(request.transaction)
+        confidences = expand_subject_confidences(
+            policy, direct_subject_confidences(policy, request, session)
+        )
+        object_roles, _ = object_role_names(policy, request.obj)
+        env_roles, _ = environment_role_names(policy, active_env)
+        policy.transaction(request.transaction)
 
         diagnoses: List[RuleDiagnosis] = []
-        for permission in self.policy.permissions():
+        for permission in policy.permissions():
             if permission.transaction.name != request.transaction:
                 continue
             subject_ok = permission.subject_role.name in confidences
@@ -564,305 +403,8 @@ class MediationEngine:
         return diagnoses
 
     # ------------------------------------------------------------------
-    # Compiled decision path
+    # Environment resolution
     # ------------------------------------------------------------------
-    def _ensure_snapshot(self) -> CompiledPolicy:
-        """The compiled snapshot for the current decision revision.
-
-        Reloads (and drops every expansion memo) whenever the policy's
-        ``decision_revision`` has moved past the held snapshot — the
-        revision-based invalidation the property tests pin down.
-        """
-        snapshot = self._snapshot
-        if snapshot is None or snapshot.revision != self.policy.decision_revision:
-            started = time.perf_counter()
-            snapshot = self.policy.compiled()
-            self.compile_time_s += time.perf_counter() - started
-            self.compile_count += 1
-            self._snapshot = snapshot
-            self._subject_memo.clear()
-            self._session_memo = weakref.WeakKeyDictionary()
-            self._object_memo.clear()
-            self._env_memo.clear()
-        return snapshot
-
-    def _evaluate_compiled(
-        self,
-        request: AccessRequest,
-        session: Optional[Session],
-        active_env: FrozenSet[str],
-    ) -> Tuple[List[Match], Dict[str, float], FrozenSet[str], FrozenSet[str]]:
-        """Match + gate a request against the compiled snapshot.
-
-        Returns ``(gated matches, effective subject-role confidences,
-        expanded object-role names, expanded environment-role names)``
-        — the same values the string-set paths compute, derived from
-        bitset tests instead of set intersections and dict probes.
-        """
-        snapshot = self._ensure_snapshot()
-        subject = request.subject
-
-        # --- subject side: memoized profile or claims slow path ------
-        uniform_confidence: Optional[float] = None
-        confidence_by_id: Dict[int, float] = {}
-        if not request.role_claims and subject is not None:
-            if session is None:
-                profile = self._subject_memo.get(subject)
-                if profile is None:
-                    self.policy.subject(subject)
-                    profile = snapshot.subject_profile(
-                        self.policy.authorized_subject_role_names(subject)
-                    )
-                    self._subject_memo[subject] = profile
-            else:
-                profile = self._session_profile(snapshot, request, session)
-            effective_ids, effective_names, subject_mask, subject_distances = profile
-            uniform_confidence = request.identity_confidence
-            confidences = dict.fromkeys(effective_names, uniform_confidence)
-        else:
-            (
-                effective_names,
-                subject_mask,
-                subject_distances,
-                confidence_by_id,
-                confidences,
-            ) = self._claims_profile(snapshot, request, session)
-
-        # --- object / environment side: memoized closures ------------
-        obj = request.obj
-        object_profile = self._object_memo.get(obj)
-        if object_profile is None:
-            self.policy.object(obj)
-            object_profile = snapshot.object_profile(
-                r.name for r in self.policy.direct_object_roles(obj)
-            )
-            self._object_memo[obj] = object_profile
-        object_mask, object_names, object_distances = object_profile
-
-        env_profile = self._env_memo.get(active_env)
-        if env_profile is None:
-            env_profile = snapshot.environment_profile(active_env)
-            if len(self._env_memo) >= 4096:  # defensive bound
-                self._env_memo.clear()
-            self._env_memo[active_env] = env_profile
-        env_mask, env_names, env_distances = env_profile
-
-        # --- transaction bucket --------------------------------------
-        transaction = request.transaction
-        if transaction in snapshot.transactions:
-            bucket = snapshot.rules.get(transaction)
-        else:
-            # Registered after the snapshot was compiled (transactions
-            # carry no revision) or simply unknown — the live lookup
-            # raises exactly like the other paths for the latter.
-            self.policy.transaction(transaction)
-            bucket = None
-
-        # --- match loop: pure int tests ------------------------------
-        raw: List = []
-        if bucket is not None:
-            remaining = subject_mask
-            while remaining:
-                bit = remaining & -remaining
-                remaining ^= bit
-                rules = bucket.get(bit.bit_length() - 1)
-                if rules:
-                    for rule in rules:
-                        # rule[3]=object_bit, rule[4]=environment_bit
-                        if rule[3] & object_mask and rule[4] & env_mask:
-                            raw.append(rule)
-            if len(raw) > 1:
-                raw.sort()  # CompiledRule sorts by its order field
-
-        # --- confidence gate + Match construction --------------------
-        threshold = self.confidence_threshold
-        matches: List[Match] = []
-        for rule in raw:
-            (
-                _order,
-                permission,
-                subject_id,
-                _obit,
-                _ebit,
-                is_deny,
-                min_confidence,
-                object_is_wildcard,
-                environment_is_wildcard,
-                object_id,
-                environment_id,
-            ) = rule
-            if uniform_confidence is not None:
-                confidence = uniform_confidence
-            else:
-                confidence = confidence_by_id[subject_id]
-            if not is_deny:
-                required = min_confidence or threshold
-                if required != 0.0 and confidence < required:
-                    continue
-            specificity = (
-                subject_distances.get(subject_id, WILDCARD_DISTANCE)
-                + (
-                    WILDCARD_DISTANCE
-                    if object_is_wildcard
-                    else object_distances.get(object_id, WILDCARD_DISTANCE)
-                )
-                + (
-                    WILDCARD_DISTANCE
-                    if environment_is_wildcard
-                    else env_distances.get(environment_id, WILDCARD_DISTANCE)
-                )
-            )
-            matches.append(
-                Match(
-                    permission,
-                    permission.subject_role,
-                    permission.object_role,
-                    permission.environment_role,
-                    specificity,
-                    confidence,
-                )
-            )
-        return matches, confidences, object_names, env_names
-
-    def _session_profile(
-        self, snapshot: CompiledPolicy, request: AccessRequest, session: Session
-    ) -> tuple:
-        """Expansion profile for a session-restricted subject.
-
-        Memoized per session object, keyed on the session's activation
-        epoch (and implicitly on the snapshot revision — the memo is
-        cleared on reload), so repeated decisions inside one session
-        state expand roles once.
-        """
-        if session.subject != request.subject:
-            raise PolicyError(
-                f"session belongs to {session.subject!r}, "
-                f"request is for {request.subject!r}"
-            )
-        entry = self._session_memo.get(session)
-        if entry is not None and entry[0] == session.epoch:
-            return entry[1]
-        self.policy.subject(request.subject)
-        assigned = self.policy.authorized_subject_role_names(request.subject)
-        assigned &= session.active_roles
-        profile = snapshot.subject_profile(assigned)
-        self._session_memo[session] = (session.epoch, profile)
-        return profile
-
-    def _claims_profile(
-        self,
-        snapshot: CompiledPolicy,
-        request: AccessRequest,
-        session: Optional[Session],
-    ) -> Tuple[Tuple[str, ...], int, Dict[int, int], Dict[int, float], Dict[str, float]]:
-        """Subject profile when role claims are in play (§5.2).
-
-        Claims carry per-role confidences, so the uniform-confidence
-        fast path does not apply; expansion still runs over closure
-        bitsets, propagating each direct role's confidence to its
-        generalizations with max-merge.
-        """
-        interned = snapshot.subjects
-        ids = interned.ids
-        up_masks = interned.up_masks
-        direct: Dict[str, float] = {}
-        if request.subject is not None:
-            self.policy.subject(request.subject)
-            assigned = self.policy.authorized_subject_role_names(request.subject)
-            if session is not None:
-                if session.subject != request.subject:
-                    raise PolicyError(
-                        f"session belongs to {session.subject!r}, "
-                        f"request is for {request.subject!r}"
-                    )
-                assigned &= session.active_roles
-            for role_name in assigned:
-                direct[role_name] = max(
-                    direct.get(role_name, 0.0), request.identity_confidence
-                )
-        for role_name, confidence in request.role_claims.items():
-            if role_name not in ids:
-                # Same error as the string-set paths for unknown roles.
-                self.policy.subject_roles.role(role_name)
-            direct[role_name] = max(direct.get(role_name, 0.0), confidence)
-
-        confidence_by_id: Dict[int, float] = {}
-        subject_mask = 0
-        direct_ids: List[int] = []
-        for role_name, confidence in direct.items():
-            role_id = ids[role_name]
-            direct_ids.append(role_id)
-            mask = up_masks[role_id]
-            subject_mask |= mask
-            while mask:
-                bit = mask & -mask
-                mask ^= bit
-                effective_id = bit.bit_length() - 1
-                if confidence > confidence_by_id.get(effective_id, -1.0):
-                    confidence_by_id[effective_id] = confidence
-        names = interned.names
-        confidences = {
-            names[role_id]: confidence
-            for role_id, confidence in confidence_by_id.items()
-        }
-        return (
-            tuple(confidences),
-            subject_mask,
-            interned.merged_distances(direct_ids),
-            confidence_by_id,
-            confidences,
-        )
-
-    # ------------------------------------------------------------------
-    # Effective role computation
-    # ------------------------------------------------------------------
-    def _subject_role_confidences(
-        self, request: AccessRequest, session: Optional[Session]
-    ) -> Tuple[Dict[str, float], Set[str]]:
-        """Expanded subject-role -> confidence map, plus direct roles.
-
-        Identity-derived roles carry ``identity_confidence``; explicit
-        role claims carry their own confidence.  Expansion propagates a
-        role's confidence to all its generalizations (being *parent* at
-        0.9 implies being *family-member* at 0.9).  Where several
-        sources support the same role, the maximum confidence wins.
-
-        The returned direct-role set (pre-expansion) feeds rule
-        specificity: a rule naming a direct role is maximally specific.
-        """
-        hierarchy = self.policy.subject_roles
-        direct: Dict[str, float] = {}
-        if request.subject is not None:
-            self.policy.subject(request.subject)
-            assigned = self.policy.authorized_subject_role_names(request.subject)
-            if session is not None:
-                if session.subject != request.subject:
-                    raise PolicyError(
-                        f"session belongs to {session.subject!r}, "
-                        f"request is for {request.subject!r}"
-                    )
-                assigned &= session.active_roles
-            for role_name in assigned:
-                direct[role_name] = max(
-                    direct.get(role_name, 0.0), request.identity_confidence
-                )
-        for role_name, confidence in request.role_claims.items():
-            hierarchy.role(role_name)  # claims must name real roles
-            direct[role_name] = max(direct.get(role_name, 0.0), confidence)
-
-        effective: Dict[str, float] = {}
-        for role_name, confidence in direct.items():
-            for role in hierarchy.expand([role_name]):
-                if confidence > effective.get(role.name, -1.0):
-                    effective[role.name] = confidence
-        return effective, set(direct)
-
-    def _object_role_names(self, obj: str) -> Tuple[Set[str], Set[str]]:
-        """(expanded role names incl. any-object, direct role names)."""
-        expanded = {r.name for r in self.policy.effective_object_roles(obj)}
-        direct = {r.name for r in self.policy.direct_object_roles(obj)}
-        return expanded, direct
-
     def _resolve_active_env(
         self, request: AccessRequest, override: Optional[Set[str]]
     ) -> FrozenSet[str]:
@@ -876,166 +418,3 @@ class MediationEngine:
         if self.environment is None:
             return frozenset()
         return frozenset(self.environment.active_environment_roles_for(request))
-
-    def _environment_role_names(
-        self, active: FrozenSet[str]
-    ) -> Tuple[Set[str], Set[str]]:
-        """(expanded active role names incl. any-environment, direct)."""
-        hierarchy = self.policy.environment_roles
-        known = {name for name in active if name in hierarchy}
-        expanded = {r.name for r in hierarchy.expand(known)}
-        expanded.add(ANY_ENVIRONMENT.name)
-        return expanded, known
-
-    # ------------------------------------------------------------------
-    # Matching
-    # ------------------------------------------------------------------
-    def _matches_indexed(
-        self,
-        transaction: str,
-        confidences: Dict[str, float],
-        object_roles: Set[str],
-        env_roles: Set[str],
-        directs: Tuple[Set[str], Set[str], Set[str]],
-    ) -> List[Match]:
-        self._refresh_index()
-        matches: List[Match] = []
-        for subject_role, object_role in itertools.product(
-            confidences, object_roles
-        ):
-            for permission in self._index.get(
-                (transaction, subject_role, object_role), ()
-            ):
-                if permission.environment_role.name in env_roles:
-                    matches.append(
-                        self._build_match(permission, confidences, directs)
-                    )
-        # Keep policy insertion order for deterministic resolution.
-        matches.sort(key=lambda m: self._permission_order[m.permission.key])
-        return matches
-
-    def _matches_naive(
-        self,
-        transaction: str,
-        confidences: Dict[str, float],
-        object_roles: Set[str],
-        env_roles: Set[str],
-        directs: Tuple[Set[str], Set[str], Set[str]],
-    ) -> List[Match]:
-        """Literal transcription of the §4.2.4 quantifier rule."""
-        matches: List[Match] = []
-        for permission in self.policy.permissions():
-            if permission.transaction.name != transaction:
-                continue
-            if permission.subject_role.name not in confidences:
-                continue
-            if permission.object_role.name not in object_roles:
-                continue
-            if permission.environment_role.name not in env_roles:
-                continue
-            matches.append(self._build_match(permission, confidences, directs))
-        return matches
-
-    def _apply_confidence_gate(self, matches: List[Match]) -> List[Match]:
-        """Drop GRANT matches whose confidence is insufficient.
-
-        A rule that sets its own ``min_confidence`` governs itself —
-        that is how §3's quality-tiered access works (stream at 90%,
-        degraded snapshot at 60%, under a 90% house default).  Rules
-        without one fall under the engine-wide ``confidence_threshold``
-        (§5.2's "90% accuracy before the system will grant rights").
-        Denies always survive: insufficient evidence must never
-        *unlock* something a deny rule forbids.
-        """
-        kept: List[Match] = []
-        for match in matches:
-            if match.sign is Sign.DENY:
-                kept.append(match)
-                continue
-            required = match.permission.min_confidence
-            if required == 0.0:
-                required = self.confidence_threshold
-            if match.confidence >= required or required == 0.0:
-                kept.append(match)
-        return kept
-
-    def _build_match(
-        self,
-        permission: Permission,
-        confidences: Dict[str, float],
-        directs: Tuple[Set[str], Set[str], Set[str]],
-    ) -> Match:
-        confidence = confidences[permission.subject_role.name]
-        specificity = self._specificity(permission, directs)
-        return Match(
-            permission=permission,
-            subject_role=permission.subject_role,
-            object_role=permission.object_role,
-            environment_role=permission.environment_role,
-            specificity=specificity,
-            confidence=confidence,
-        )
-
-    def _specificity(
-        self, permission: Permission, directs: Tuple[Set[str], Set[str], Set[str]]
-    ) -> int:
-        """Total hierarchy distance of the rule from the request.
-
-        Per dimension: the minimum specialization-path length from any
-        role the request holds *directly* up to the role the rule was
-        written against — 0 when the rule names a direct role, larger
-        the more generally the rule was phrased.  The ``any-object`` /
-        ``any-environment`` wildcards take a fixed large penalty: a
-        wildcard is by definition the least specific way to match.
-        """
-        direct_subjects, direct_objects, direct_envs = directs
-        subject_component = self._dimension_distance(
-            self.policy.subject_roles, direct_subjects, permission.subject_role.name
-        )
-        if permission.object_role == ANY_OBJECT:
-            object_component = WILDCARD_DISTANCE
-        else:
-            object_component = self._dimension_distance(
-                self.policy.object_roles, direct_objects, permission.object_role.name
-            )
-        if permission.environment_role == ANY_ENVIRONMENT:
-            environment_component = WILDCARD_DISTANCE
-        else:
-            environment_component = self._dimension_distance(
-                self.policy.environment_roles,
-                direct_envs,
-                permission.environment_role.name,
-            )
-        return subject_component + object_component + environment_component
-
-    @staticmethod
-    def _dimension_distance(hierarchy, direct_roles: Set[str], target: str) -> int:
-        distances = [
-            d
-            for d in (
-                hierarchy.distance(name, target)
-                for name in direct_roles
-                if name in hierarchy
-            )
-            if d is not None
-        ]
-        return min(distances) if distances else WILDCARD_DISTANCE
-
-    # ------------------------------------------------------------------
-    # Index maintenance
-    # ------------------------------------------------------------------
-    def _refresh_index(self) -> None:
-        if self.policy.permission_revision == self._indexed_revision:
-            return
-        permissions = self.policy.permissions()
-        self._index = {}
-        self._permission_order = {}
-        for position, permission in enumerate(permissions):
-            key = (
-                permission.transaction.name,
-                permission.subject_role.name,
-                permission.object_role.name,
-            )
-            self._index.setdefault(key, []).append(permission)
-            self._permission_order[permission.key] = position
-        self._indexed_revision = self.policy.permission_revision

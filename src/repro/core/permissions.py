@@ -21,7 +21,6 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.core.roles import Role, RoleKind
 from repro.core.transactions import Transaction

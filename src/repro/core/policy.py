@@ -20,7 +20,7 @@ permission against ``any-object``/``any-environment``.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set, Union
+from typing import Dict, List, Optional, Set, Union
 
 from repro.core.activation import SessionManager
 from repro.core.assignment import AssignmentTable

@@ -16,7 +16,7 @@ consumer cannot wedge the bus; ``strict=True`` flips that for tests.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional
 
 from repro.exceptions import EnvironmentError_
 

@@ -16,7 +16,7 @@ can gate an environment role such as *low-load*.
 from __future__ import annotations
 
 import random
-from typing import Iterable, List, Optional
+from typing import Iterable, List
 
 from repro.env.state import EnvironmentState
 from repro.exceptions import EnvironmentError_

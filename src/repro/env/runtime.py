@@ -23,6 +23,7 @@ from repro.env.location import LocationService, ZoneResolver, exact_zone_resolve
 from repro.env.providers import ProviderRegistry
 from repro.env.state import EnvironmentState
 from repro.env.temporal import TimeExpression
+from repro.obs.observers import ObserverHub
 
 
 class EnvironmentRuntime:
@@ -41,6 +42,7 @@ class EnvironmentRuntime:
         clock: Optional[Clock] = None,
         zone_resolver: ZoneResolver = exact_zone_resolver,
         strict_events: bool = False,
+        observers: Optional[ObserverHub] = None,
     ) -> None:
         if clock is not None and start is not None:
             raise ValueError("pass either start or clock, not both")
@@ -60,6 +62,8 @@ class EnvironmentRuntime:
         self.location = LocationService(self.state, resolver=zone_resolver)
         #: Data providers refreshed on clock advances.
         self.providers = ProviderRegistry(self.state, self.clock)
+        #: Hub that role definitions / activation sweeps publish to.
+        self.observers = observers
 
     # ------------------------------------------------------------------
     # Role definition conveniences
@@ -83,6 +87,9 @@ class EnvironmentRuntime:
         else:
             role = policy.add_environment_role(name, description)
         self.activator.bind(name, condition)
+        hub = self.observers
+        if hub:
+            hub.emit("env.define_role", role=name, description=description)
         return role
 
     def define_time_role(

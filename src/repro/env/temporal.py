@@ -29,7 +29,7 @@ from __future__ import annotations
 import calendar
 import re
 from dataclasses import dataclass
-from datetime import date, datetime, time, timedelta
+from datetime import date, datetime, time
 from typing import FrozenSet, Iterable, Tuple
 
 from repro.exceptions import TemporalExpressionError

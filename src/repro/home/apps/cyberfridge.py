@@ -19,7 +19,7 @@ paper's examples imply:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.home.devices import Refrigerator
 from repro.home.registry import SecureHome

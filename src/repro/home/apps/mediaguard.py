@@ -15,7 +15,7 @@ decisions.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.exceptions import AccessDeniedError, UnknownEntityError
 from repro.home.devices import Television

@@ -21,7 +21,7 @@ integrated carefully into a trusted computer system", §7).
 from __future__ import annotations
 
 import enum
-from typing import Any, Callable, Dict, List, Mapping, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.exceptions import DeviceError
 

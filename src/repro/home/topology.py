@@ -19,7 +19,7 @@ realistically (no teleporting through walls).
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set
 
 from repro.env.location import OUTSIDE, ZoneResolver
 from repro.exceptions import GrbacError

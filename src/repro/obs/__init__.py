@@ -1,0 +1,31 @@
+"""Observability for the GRBAC engine.
+
+The ROADMAP's north star is an engine serving millions of requests;
+operating one requires answering three questions without a debugger:
+
+* **how much** — :mod:`repro.obs.metrics`: a registry of counters and
+  latency histograms that the mediation pipeline, sessions, audit log,
+  and CLI publish into;
+* **why** — :mod:`repro.obs.trace`: span-style decision traces, one
+  :class:`StageSpan` per pipeline stage, from which
+  ``Decision.explain()`` and audit records are rendered;
+* **who is watching** — :mod:`repro.obs.observers`: a subscription hub
+  that components publish structured events into.  With no observers
+  subscribed the hooks cost one truthiness check, which is what keeps
+  the instrumented pipeline within the E11 overhead budget.
+"""
+
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry
+from repro.obs.observers import CollectingObserver, Observer, ObserverHub
+from repro.obs.trace import DecisionTrace, StageSpan
+
+__all__ = [
+    "CollectingObserver",
+    "Counter",
+    "DecisionTrace",
+    "Histogram",
+    "MetricsRegistry",
+    "Observer",
+    "ObserverHub",
+    "StageSpan",
+]

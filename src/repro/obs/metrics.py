@@ -1,0 +1,185 @@
+"""Engine-wide metrics: counters and latency histograms.
+
+A deliberately small, dependency-free metrics substrate.  Components
+hold a :class:`MetricsRegistry` and publish named :class:`Counter` and
+:class:`Histogram` instances into it; the CLI renders a registry
+snapshot with ``check --stats`` / ``bench``.
+
+Design constraints, in order:
+
+1. **Hot-path cost.**  ``counter.inc()`` is one attribute add;
+   ``registry.counter(name)`` is one dict probe (callers cache the
+   returned object when they sit on the decision path).
+2. **No wall-clock surprises.**  Histograms bucket values themselves;
+   nothing here reads a clock — callers measure and hand in seconds.
+3. **Plain-data snapshots.**  ``snapshot()`` returns dicts of numbers
+   so benchmarks and the CLI can serialize without adapters.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Dict, List, Optional, Tuple
+
+#: Histogram bucket upper bounds in seconds: 1us .. ~8.4s, doubling.
+#: One overflow bucket catches anything slower.
+_DEFAULT_BOUNDS: Tuple[float, ...] = tuple(1e-6 * 2**i for i in range(24))
+
+
+class Counter:
+    """A monotonic (by convention) named count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def set(self, value: int) -> None:
+        """Overwrite the count — used to sync engine-internal tallies
+        (kept as plain attributes for hot-path speed) into the registry
+        at snapshot time."""
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name}={self.value})"
+
+
+class Histogram:
+    """A fixed-bucket latency histogram (seconds).
+
+    Tracks count / sum / min / max exactly and the distribution in
+    geometric buckets, from which :meth:`quantile` interpolates — the
+    usual trade: bounded memory, ~1 bucket-width error on percentiles.
+    """
+
+    __slots__ = ("name", "bounds", "buckets", "count", "total", "min", "max")
+
+    def __init__(
+        self, name: str, bounds: Tuple[float, ...] = _DEFAULT_BOUNDS
+    ) -> None:
+        self.name = name
+        self.bounds = bounds
+        self.buckets: List[int] = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.buckets[bisect_right(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate the ``q``-quantile (0 < q <= 1) in seconds."""
+        if not 0.0 < q <= 1.0:
+            raise ValueError("q must be in (0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for index, bucket in enumerate(self.buckets):
+            seen += bucket
+            if seen >= target:
+                if index >= len(self.bounds):
+                    return self.max if self.max is not None else 0.0
+                return self.bounds[index]
+        return self.max if self.max is not None else 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean_us": round(self.mean * 1e6, 3),
+            "p50_us": round(self.quantile(0.5) * 1e6, 3),
+            "p99_us": round(self.quantile(0.99) * 1e6, 3),
+            "min_us": round((self.min or 0.0) * 1e6, 3),
+            "max_us": round((self.max or 0.0) * 1e6, 3),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram({self.name}, n={self.count})"
+
+
+class MetricsRegistry:
+    """Named counters and histograms for one engine (or one process).
+
+    Components share a registry by passing the same instance around —
+    the CLI wires one registry through the engine, audit log, and its
+    own output; tests hand each engine a private one.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # Access / creation
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        found = self._counters.get(name)
+        if found is None:
+            found = self._counters[name] = Counter(name)
+        return found
+
+    def histogram(self, name: str) -> Histogram:
+        found = self._histograms.get(name)
+        if found is None:
+            found = self._histograms[name] = Histogram(name)
+        return found
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        self.counter(name).inc(amount)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def counters(self) -> Dict[str, int]:
+        return {name: c.value for name, c in sorted(self._counters.items())}
+
+    def histograms(self) -> Dict[str, Dict[str, float]]:
+        return {
+            name: h.snapshot() for name, h in sorted(self._histograms.items())
+        }
+
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-data view of everything recorded so far."""
+        return {"counters": self.counters(), "histograms": self.histograms()}
+
+    def render(self) -> str:
+        """Human-readable multi-line rendering for CLI output."""
+        lines: List[str] = []
+        counters = self.counters()
+        if counters:
+            lines.append("counters:")
+            lines.extend(
+                f"  {name:<32} {value}" for name, value in counters.items()
+            )
+        histograms = self.histograms()
+        if histograms:
+            lines.append("latency histograms (us):")
+            lines.append(
+                f"  {'name':<32}{'count':>8}{'mean':>10}{'p50':>10}"
+                f"{'p99':>10}{'max':>10}"
+            )
+            for name, snap in histograms.items():
+                lines.append(
+                    f"  {name:<32}{snap['count']:>8}{snap['mean_us']:>10.2f}"
+                    f"{snap['p50_us']:>10.2f}{snap['p99_us']:>10.2f}"
+                    f"{snap['max_us']:>10.2f}"
+                )
+        return "\n".join(lines) if lines else "(no metrics recorded)"

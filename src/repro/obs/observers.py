@@ -1,0 +1,114 @@
+"""Observer hooks: who gets told what the engine is doing.
+
+An :class:`ObserverHub` is a subscription point that producers —
+:class:`~repro.core.mediation.MediationEngine`,
+:class:`~repro.core.activation.SessionManager`,
+:class:`~repro.env.runtime.EnvironmentRuntime`,
+:class:`~repro.core.audit.AuditLog`, the CLI, and the workload
+replayers — publish structured events into.
+
+The contract that keeps this safe on the mediation hot path:
+
+* producers guard every publication with ``if hub:`` — an empty (or
+  absent) hub costs one truthiness check per event site;
+* observers must not raise; a raising observer is unsubscribed and the
+  error recorded, so a broken dashboard can never turn into a denied
+  (or granted!) access;
+* payloads are small plain values, already rendered — no live policy
+  objects that an observer could mutate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.trace import DecisionTrace
+
+
+class Observer:
+    """Base observer: override the callbacks you care about."""
+
+    def on_event(self, name: str, payload: Dict[str, object]) -> None:
+        """A structured event (``session.open``, ``audit.record``, ...)."""
+
+    def on_decision(
+        self, decision: object, trace: Optional[DecisionTrace] = None
+    ) -> None:
+        """A mediation decision was emitted.
+
+        ``decision`` is a :class:`~repro.core.decision.Decision`;
+        ``trace`` is its pipeline trace when one was recorded.
+        """
+
+
+class CollectingObserver(Observer):
+    """Buffers everything it sees — for tests and ad-hoc debugging."""
+
+    def __init__(self) -> None:
+        self.events: List[Tuple[str, Dict[str, object]]] = []
+        self.decisions: List[object] = []
+        self.traces: List[Optional[DecisionTrace]] = []
+
+    def on_event(self, name: str, payload: Dict[str, object]) -> None:
+        self.events.append((name, dict(payload)))
+
+    def on_decision(
+        self, decision: object, trace: Optional[DecisionTrace] = None
+    ) -> None:
+        self.decisions.append(decision)
+        self.traces.append(trace)
+
+    def event_names(self) -> List[str]:
+        return [name for name, _ in self.events]
+
+
+class ObserverHub:
+    """Fan-out point from producers to subscribed observers."""
+
+    def __init__(self) -> None:
+        self._observers: List[Observer] = []
+        #: (observer repr, error repr) pairs for observers dropped
+        #: because they raised — surfaced instead of silently lost.
+        self.dropped: List[Tuple[str, str]] = []
+
+    # ------------------------------------------------------------------
+    # Subscription
+    # ------------------------------------------------------------------
+    def subscribe(self, observer: Observer) -> Observer:
+        self._observers.append(observer)
+        return observer
+
+    def unsubscribe(self, observer: Observer) -> None:
+        try:
+            self._observers.remove(observer)
+        except ValueError:
+            pass
+
+    def __len__(self) -> int:
+        return len(self._observers)
+
+    def __bool__(self) -> bool:
+        return bool(self._observers)
+
+    # ------------------------------------------------------------------
+    # Publication
+    # ------------------------------------------------------------------
+    def emit(self, name: str, **payload: object) -> None:
+        for observer in list(self._observers):
+            try:
+                observer.on_event(name, payload)
+            except Exception as error:  # noqa: BLE001 - observer isolation
+                self._drop(observer, error)
+
+    def emit_decision(
+        self, decision: object, trace: Optional[DecisionTrace] = None
+    ) -> None:
+        for observer in list(self._observers):
+            try:
+                observer.on_decision(decision, trace)
+            except Exception as error:  # noqa: BLE001 - observer isolation
+                self._drop(observer, error)
+
+    def _drop(self, observer: Observer, error: Exception) -> None:
+        self.unsubscribe(observer)
+        self.dropped.append((repr(observer), repr(error)))

@@ -1,0 +1,182 @@
+"""Span-style decision traces.
+
+One :class:`DecisionTrace` records the passage of a single access
+request through the staged decision pipeline
+(:mod:`repro.core.pipeline`): a :class:`StageSpan` per stage with its
+duration and a small annotation dict of that stage's outputs, plus the
+structured facts of the final decision (effective role sets, matched
+rules, rationale).
+
+Two producers build traces:
+
+* the pipeline itself, when a decision is made with ``trace=True`` —
+  spans carry real timings;
+* ``Decision.explain()``, which *reconstructs* a timing-less trace
+  from a decision's recorded fields so that every human-readable
+  explanation — live, cached, or rebuilt from an audit record — is
+  rendered by the same code path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional
+
+
+class StageSpan:
+    """One pipeline stage's execution inside a trace."""
+
+    __slots__ = ("name", "duration_s", "annotations")
+
+    def __init__(
+        self,
+        name: str,
+        duration_s: Optional[float] = None,
+        annotations: Optional[Mapping[str, object]] = None,
+    ) -> None:
+        self.name = name
+        #: Wall time the stage took, or ``None`` on reconstructed traces.
+        self.duration_s = duration_s
+        #: Stage-output summary (small, already-rendered values only).
+        self.annotations: Dict[str, object] = dict(annotations or {})
+
+    def describe(self) -> str:
+        timing = (
+            f"{self.duration_s * 1e6:>9.2f}us"
+            if self.duration_s is not None
+            else " " * 11
+        )
+        details = "  ".join(
+            f"{key}={value}" for key, value in self.annotations.items()
+        )
+        return f"{self.name:<24}{timing}  {details}".rstrip()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StageSpan({self.name!r}, {self.duration_s})"
+
+
+class DecisionTrace:
+    """The full record of one mediated request.
+
+    Mutable by design: the pipeline appends spans as stages complete,
+    and the frozen ``Decision`` holds a reference to the same trace —
+    the final (emit) span lands after the decision object exists.
+    """
+
+    __slots__ = (
+        "subject",
+        "transaction",
+        "obj",
+        "mode",
+        "granted",
+        "rationale",
+        "subject_roles",
+        "object_roles",
+        "environment_roles",
+        "matched_rules",
+        "spans",
+    )
+
+    def __init__(
+        self,
+        subject: Optional[str],
+        transaction: str,
+        obj: str,
+        mode: str = "",
+    ) -> None:
+        self.subject = subject
+        self.transaction = transaction
+        self.obj = obj
+        #: Which expansion/match strategy served the decision.
+        self.mode = mode
+        self.granted: Optional[bool] = None
+        self.rationale: str = ""
+        #: Effective subject-role name -> confidence.
+        self.subject_roles: Dict[str, float] = {}
+        self.object_roles: List[str] = []
+        self.environment_roles: List[str] = []
+        #: ``describe()`` strings of the matched permissions, in order.
+        self.matched_rules: List[str] = []
+        self.spans: List[StageSpan] = []
+
+    # ------------------------------------------------------------------
+    # Building
+    # ------------------------------------------------------------------
+    def add_span(
+        self,
+        name: str,
+        duration_s: Optional[float] = None,
+        annotations: Optional[Mapping[str, object]] = None,
+    ) -> StageSpan:
+        span = StageSpan(name, duration_s, annotations)
+        self.spans.append(span)
+        return span
+
+    def span(self, name: str) -> Optional[StageSpan]:
+        """The first span with ``name``, or ``None``."""
+        for span in self.spans:
+            if span.name == name:
+                return span
+        return None
+
+    @property
+    def total_s(self) -> Optional[float]:
+        """Sum of timed span durations, or ``None`` if none are timed."""
+        timed = [s.duration_s for s in self.spans if s.duration_s is not None]
+        return sum(timed) if timed else None
+
+    def stage_timings_us(self) -> Dict[str, float]:
+        """stage name -> microseconds, for timed spans only."""
+        return {
+            span.name: round(span.duration_s * 1e6, 3)
+            for span in self.spans
+            if span.duration_s is not None
+        }
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """Multi-line human-readable rendering.
+
+        This is the single formatting path behind ``Decision.explain()``
+        and the CLI's ``check --trace`` / ``trace`` output.
+        """
+        outcome = (
+            "GRANT" if self.granted else "DENY"
+        ) if self.granted is not None else "?"
+        lines = [
+            f"request: {self.subject or '<unidentified>'} -> "
+            f"{self.transaction} on {self.obj}",
+            f"decision: {outcome}",
+            f"rationale: {self.rationale}",
+        ]
+        if self.spans:
+            total = self.total_s
+            header = "pipeline:"
+            if self.mode:
+                header = f"pipeline ({self.mode} strategy):"
+            if total is not None:
+                header += f"  [total {total * 1e6:.2f}us]"
+            lines.append(header)
+            lines.extend(f"  {span.describe()}" for span in self.spans)
+        lines.append(
+            "subject roles: "
+            + ", ".join(
+                f"{name}@{confidence:.2f}"
+                for name, confidence in sorted(self.subject_roles.items())
+            )
+        )
+        lines.append("object roles: " + ", ".join(sorted(self.object_roles)))
+        lines.append(
+            "environment roles: " + ", ".join(sorted(self.environment_roles))
+        )
+        if self.matched_rules:
+            lines.append("matched rules:")
+            lines.extend(f"  - {rule}" for rule in self.matched_rules)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DecisionTrace({self.subject!r} -> {self.transaction!r} "
+            f"on {self.obj!r}, spans={len(self.spans)})"
+        )

@@ -7,7 +7,7 @@ The grammar is documented in :mod:`repro.policy.dsl.parser`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 

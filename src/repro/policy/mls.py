@@ -35,7 +35,7 @@ encoding and the reference monitor over exhaustive request grids.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 from repro.core.mediation import MediationEngine
 from repro.core.policy import GrbacPolicy

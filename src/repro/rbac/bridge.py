@@ -25,7 +25,7 @@ benchmark sweeps, and keeping the emulation simple keeps it auditable.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.core.mediation import AccessRequest, MediationEngine
 from repro.core.permissions import Sign

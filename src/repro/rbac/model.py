@@ -23,7 +23,7 @@ the expressiveness benchmarks (E10).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Set
+from typing import Dict, List, Set
 
 from repro.exceptions import UnknownEntityError
 

@@ -12,7 +12,7 @@ teller / account-holder example), enforced at activation time.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, FrozenSet, List, Set, Tuple
+from typing import Dict, FrozenSet, List, Set
 
 from repro.exceptions import ActivationError, ConstraintViolationError
 from repro.rbac.model import RbacModel

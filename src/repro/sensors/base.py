@@ -21,7 +21,6 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Optional
 
 from repro.auth.authenticator import Authenticator
 from repro.exceptions import AuthenticationError

@@ -19,7 +19,7 @@ Two operating modes:
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.auth.authenticator import Evidence, Presence
 from repro.auth.claims import IdentityClaim

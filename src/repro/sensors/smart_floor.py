@@ -24,7 +24,7 @@ entire point of §5.2, and it emerges from the physics of the model.
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 from repro.auth.authenticator import Evidence, Presence
 from repro.auth.claims import IdentityClaim, RoleClaim

@@ -15,8 +15,8 @@ entities dominate, as in real access logs.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import List, Sequence
 
 from repro.core.mediation import AccessRequest, Decision, MediationEngine
 from repro.core.policy import GrbacPolicy

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.activation import Session, SessionManager
+from repro.core.activation import SessionManager
 from repro.exceptions import (
     ActivationError,
     ConstraintViolationError,

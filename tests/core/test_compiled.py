@@ -13,7 +13,6 @@ import pytest
 
 from repro.core import (
     AccessRequest,
-    CompiledPolicy,
     GrbacPolicy,
     MediationEngine,
     Sign,

@@ -4,10 +4,8 @@ import pytest
 
 from repro.core import (
     AccessRequest,
-    GrbacPolicy,
     MediationEngine,
     PrecedenceStrategy,
-    Sign,
     StaticEnvironment,
 )
 from repro.exceptions import PolicyError, UnknownEntityError

@@ -4,10 +4,8 @@ import pytest
 
 from repro.core import (
     CardinalityConstraint,
-    GrbacPolicy,
     PrerequisiteConstraint,
     SeparationOfDuty,
-    Sign,
 )
 from repro.core.roles import ANY_ENVIRONMENT, ANY_OBJECT
 from repro.exceptions import (

@@ -1,6 +1,5 @@
 """Tests for role-precedence / conflict-resolution strategies."""
 
-import pytest
 
 from repro.core.permissions import Permission, Sign
 from repro.core.precedence import Match, PrecedenceStrategy, resolve

@@ -13,11 +13,11 @@ Invariants checked:
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import (
+    STAGE_ORDER,
     AccessRequest,
     MediationEngine,
     PrecedenceStrategy,
@@ -337,6 +337,76 @@ def test_compiled_snapshot_invalidates_on_revision_bumps(config, request_seed):
     check_against_fresh_naive()
     assert policy.decision_revision > revision_before
     assert compiled.stats()["snapshot_revision"] == policy.decision_revision
+
+
+# ----------------------------------------------------------------------
+# Trace / decision coherence
+# ----------------------------------------------------------------------
+@given(
+    policy_configs(),
+    st.integers(0, 10_000),
+    st.sampled_from(["compiled", "indexed", "naive"]),
+)
+@settings(max_examples=30, deadline=None)
+def test_trace_coheres_with_decision(config, request_seed, mode):
+    """A traced decision must agree with the untraced reference path,
+    and its trace must mirror the decision: granted iff a matched
+    permission survived precedence as a grant, stage spans in pipeline
+    order with real timings, and stage outputs (role closures, active
+    environment roles) equal to direct policy queries."""
+    policy = generate_policy(config)
+    engine = MediationEngine(policy, mode=mode)
+    reference = MediationEngine(policy, mode="naive")
+    for generated in generate_requests(policy, 6, seed=request_seed):
+        env = set(generated.active_environment_roles)
+        decision = engine.decide(
+            generated.request, environment_roles=env, trace=True
+        )
+        trace = decision.trace
+        assert trace is not None
+        assert trace.mode == mode
+
+        # Tracing must not change the decision.
+        untraced = reference.decide(generated.request, environment_roles=env)
+        assert _decision_fingerprint(decision) == _decision_fingerprint(untraced)
+
+        # One timed span per pipeline stage, in order.
+        assert [span.name for span in trace.spans] == list(STAGE_ORDER)
+        assert all(
+            span.duration_s is not None and span.duration_s >= 0.0
+            for span in trace.spans
+        )
+
+        # Decision facts mirrored into the trace.
+        assert trace.granted == decision.granted
+        assert trace.matched_rules == [
+            m.permission.describe() for m in decision.matches
+        ]
+
+        # Granted iff a matched permission survived precedence as a
+        # grant (or the policy default grants when nothing matched).
+        winner = decision.resolution.winner
+        if winner is not None:
+            assert decision.granted == (winner.sign is Sign.GRANT)
+            assert winner.permission.describe() in trace.matched_rules
+        else:
+            assert not trace.matched_rules
+            assert decision.granted == (policy.default_sign is Sign.GRANT)
+
+        # Stage outputs equal direct policy queries.
+        subject = generated.request.subject
+        assigned = policy.authorized_subject_role_names(subject)
+        assert set(trace.subject_roles) == {
+            r.name for r in policy.subject_roles.expand(assigned)
+        }
+        assert set(trace.object_roles) == {
+            r.name
+            for r in policy.effective_object_roles(generated.request.obj)
+        }
+        known = {n for n in env if n in policy.environment_roles}
+        expected_env = {r.name for r in policy.environment_roles.expand(known)}
+        expected_env.add("any-environment")
+        assert set(trace.environment_roles) == expected_env
 
 
 @given(policy_configs(), st.integers(0, 10_000))

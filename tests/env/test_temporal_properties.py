@@ -7,7 +7,7 @@ structured expressions must agree with brute-force calendar scans.
 from __future__ import annotations
 
 import calendar
-from datetime import datetime, timedelta
+from datetime import datetime
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -15,12 +15,9 @@ from hypothesis import strategies as st
 from repro.env.temporal import (
     Complement,
     Intersection,
-    TimeOfDayWindow,
     Union,
     WeekdaySet,
-    days,
     nth_weekday,
-    parse_time_of_day,
     time_window,
     weekdays,
     weekends,

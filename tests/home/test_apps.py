@@ -7,7 +7,6 @@ import pytest
 from repro.exceptions import AccessDeniedError, UnknownEntityError
 from repro.home.apps import (
     AGENT_SUBJECT,
-    EMERGENCY_ROLE,
     CyberfridgeApp,
     ElderCareApp,
     MediaGuardApp,
@@ -23,7 +22,7 @@ from repro.home.devices import (
     WaterHeater,
 )
 from repro.home.registry import SecureHome
-from repro.home.residents import Resident, standard_household
+from repro.home.residents import standard_household
 from repro.policy.templates import install_figure2_roles
 from repro.sensors.motion import OccupancyProvider
 

@@ -5,7 +5,6 @@ import pytest
 from repro.exceptions import DeviceError
 from repro.home.devices import (
     Camera,
-    Device,
     DeviceCategory,
     Dishwasher,
     DocumentStore,

@@ -116,6 +116,82 @@ class TestCheck:
         assert "missed" in out
         assert "'free-time' not active" in out
 
+    def test_stats_renders_metrics_registry(self, policy_file, capsys):
+        main(
+            [
+                "check",
+                policy_file,
+                "alice",
+                "watch",
+                "tv",
+                "--env",
+                "free-time",
+                "--stats",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "engine stats:" in out
+        assert "counters:" in out
+        assert "engine.decisions" in out
+
+
+class TestTrace:
+    def test_trace_subcommand_prints_pipeline_spans(self, policy_file, capsys):
+        code = main(
+            ["trace", policy_file, "alice", "watch", "tv", "--env", "free-time"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "decision: GRANT" in out
+        assert "pipeline (compiled strategy):" in out
+        assert "resolve-subject-roles" in out
+        assert "emit-decision" in out
+
+    def test_check_trace_flag_matches_trace_alias(self, policy_file, capsys):
+        code = main(
+            [
+                "check",
+                policy_file,
+                "alice",
+                "watch",
+                "tv",
+                "--env",
+                "free-time",
+                "--trace",
+            ]
+        )
+        assert code == 0
+        flagged = capsys.readouterr().out
+        main(["trace", policy_file, "alice", "watch", "tv", "--env", "free-time"])
+        aliased = capsys.readouterr().out
+        # Identical shape apart from the measured stage timings.
+        assert "pipeline (compiled strategy):" in flagged
+        assert flagged.splitlines()[0] == aliased.splitlines()[0]
+
+    def test_trace_denial_keeps_exit_code(self, policy_file, capsys):
+        code = main(["trace", policy_file, "alice", "watch", "tv"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "decision: DENY" in out
+        assert "apply-constraints" in out
+
+    def test_trace_with_stats_shows_stage_histograms(self, policy_file, capsys):
+        main(
+            [
+                "trace",
+                policy_file,
+                "alice",
+                "watch",
+                "tv",
+                "--env",
+                "free-time",
+                "--stats",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "latency histograms (us):" in out
+        assert "pipeline.total" in out
+
 
 class TestExport:
     def test_export_stdout_is_valid_json(self, policy_file, capsys):

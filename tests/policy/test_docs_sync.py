@@ -8,7 +8,6 @@ README quickstart policy and compile them.
 import os
 import re
 
-import pytest
 
 from repro import compile_policy
 

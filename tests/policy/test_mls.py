@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 from repro.exceptions import PolicyError, UnknownEntityError
 from repro.policy.mls import (
     DEFAULT_LEVELS,
-    MlsEncoding,
     ReferenceBlp,
     agreement,
     build_pair,

@@ -106,7 +106,6 @@ class TestDiff:
         assert diff.describe() == "policies are equivalent"
 
     def test_added_rule_and_subject(self, tv_policy, figure2_policy):
-        import copy
 
         before = tv_policy
         # Rebuild a modified copy through the serializer.

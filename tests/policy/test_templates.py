@@ -1,6 +1,5 @@
 """Tests for the canned policy templates."""
 
-import pytest
 
 from repro.core import GrbacPolicy
 from repro.policy.templates import (
