@@ -12,6 +12,9 @@ who prefer a terminal over a Python prompt::
     python -m repro.cli export policy.grbac -o policy.json
     python -m repro.cli demo  s51
     python -m repro.cli bench policy.grbac --requests 5000 --mode compiled
+    python -m repro.cli serve policy.grbac --port 7471
+    python -m repro.cli loadgen policy.grbac --connect 127.0.0.1:7471 \\
+           --requests 200 --verify
 
 Policies are authored in the text DSL (see
 :mod:`repro.policy.dsl.parser` for the grammar); ``export`` converts
@@ -144,6 +147,106 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     )
     print(f"  {per_decision_us:.2f} us/decision, {throughput:,.0f} decisions/s")
     _print_engine_stats(engine)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import PDPConfig, PDPServer, PolicyDecisionPoint
+
+    policy = _load_policy(args.policy)
+    engine = MediationEngine(policy, confidence_threshold=args.threshold)
+    config = PDPConfig(
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        max_queue=args.max_queue,
+        cache_size=args.cache_size,
+        default_timeout_s=(
+            args.timeout_ms / 1000.0 if args.timeout_ms else None
+        ),
+    )
+
+    async def run() -> None:
+        pdp = PolicyDecisionPoint(engine, config)
+        server = PDPServer(pdp, host=args.host, port=args.port)
+        await server.start()
+        # The "listening" line is the readiness signal scripts (and the
+        # CI smoke job) wait for before pointing loadgen at us.
+        print(f"serving {args.policy!r} listening on "
+              f"{args.host}:{server.port}", flush=True)
+        await server.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("interrupted: admitted requests drained, server stopped")
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+    import json as json_module
+
+    from repro.service import (
+        LoadgenConfig,
+        PDPClient,
+        PDPConfig,
+        PolicyDecisionPoint,
+        RemotePDPClient,
+        build_stream,
+        compute_expected,
+        run_loadgen,
+    )
+
+    policy = _load_policy(args.policy)
+    config = LoadgenConfig(
+        requests=args.requests,
+        concurrency=args.concurrency,
+        seed=args.seed,
+        repeat=args.repeat,
+    )
+    stream = build_stream(policy, config)
+    expected = compute_expected(policy, stream) if args.verify else None
+
+    async def run():
+        if args.connect:
+            host, _, port_text = args.connect.rpartition(":")
+            client = await RemotePDPClient.connect(host or "127.0.0.1",
+                                                   int(port_text))
+            try:
+                return await run_loadgen(client, stream, config, expected)
+            finally:
+                await client.close()
+        engine = MediationEngine(policy)
+        pdp = PolicyDecisionPoint(
+            engine,
+            PDPConfig(
+                max_batch=1 if args.unbatched else args.max_batch,
+                max_wait_ms=args.max_wait_ms,
+                cache_size=0 if args.no_cache else args.cache_size,
+            ),
+        )
+        async with pdp:
+            return await run_loadgen(PDPClient(pdp), stream, config, expected)
+
+    result = asyncio.run(run())
+    target = args.connect or "in-process PDP"
+    mode = "unbatched" if args.unbatched else "micro-batched"
+    print(f"loadgen against {target} ({mode}):")
+    print(result.describe())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json_module.dump(result.to_dict(), handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    if not result.ok:
+        print(
+            f"FAIL: {result.mismatches} stale answers, "
+            f"{result.dropped} dropped without an explicit shed",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -311,6 +414,113 @@ def build_parser() -> argparse.ArgumentParser:
         help="mediate one request at a time instead of decide_batch",
     )
     bench.set_defaults(func=_cmd_bench)
+
+    def add_pdp_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--max-batch",
+            type=int,
+            default=64,
+            help="micro-batch flush size (default 64)",
+        )
+        sub.add_argument(
+            "--max-wait-ms",
+            type=float,
+            default=1.0,
+            help="micro-batch flush deadline in ms (default 1.0)",
+        )
+        sub.add_argument(
+            "--cache-size",
+            type=int,
+            default=4096,
+            help="revision-keyed decision cache capacity (default 4096)",
+        )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve a policy as a PDP over newline-delimited-JSON TCP",
+    )
+    serve.add_argument("policy", help="path to a DSL policy file")
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=7471,
+        help="bind port; 0 picks an ephemeral port (default 7471)",
+    )
+    add_pdp_arguments(serve)
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=1024,
+        help="admission bound; excess requests shed DENY_OVERLOAD "
+        "(default 1024)",
+    )
+    serve.add_argument(
+        "--timeout-ms",
+        type=float,
+        default=None,
+        help="default per-request deadline in ms (default: none)",
+    )
+    serve.add_argument(
+        "--threshold",
+        type=float,
+        default=0.0,
+        help="policy-wide confidence threshold (default 0.0)",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    loadgen = subparsers.add_parser(
+        "loadgen",
+        help="drive a synthetic closed-loop workload at a PDP "
+        "(in-process, or --connect to a served one)",
+    )
+    loadgen.add_argument("policy", help="path to a DSL policy file")
+    loadgen.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        help="target a running `serve` instance (must serve the same "
+        "policy file; default: in-process PDP)",
+    )
+    loadgen.add_argument(
+        "--requests",
+        type=int,
+        default=1000,
+        help="unique synthetic requests (default 1000)",
+    )
+    loadgen.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="replay the stream N times (warms the decision cache)",
+    )
+    loadgen.add_argument(
+        "--concurrency",
+        type=int,
+        default=16,
+        help="closed-loop workers (default 16)",
+    )
+    loadgen.add_argument(
+        "--seed", type=int, default=0, help="request-stream seed (default 0)"
+    )
+    add_pdp_arguments(loadgen)
+    loadgen.add_argument(
+        "--unbatched",
+        action="store_true",
+        help="in-process only: one request per engine call (ablation)",
+    )
+    loadgen.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="in-process only: disable the decision cache",
+    )
+    loadgen.add_argument(
+        "--verify",
+        action="store_true",
+        help="cross-check every answer against a direct engine; "
+        "exit 1 on any stale answer or silent drop",
+    )
+    loadgen.add_argument(
+        "--json", metavar="PATH", help="write machine-readable results"
+    )
+    loadgen.set_defaults(func=_cmd_loadgen)
 
     export = subparsers.add_parser(
         "export", help="convert a policy to JSON or normalized DSL"

@@ -58,6 +58,13 @@ class EnvironmentRoleActivator(EnvironmentSource):
         # Evaluation cache: valid while neither time nor state changed.
         self._cache_key: Optional[tuple] = None
         self._cache_value: Set[str] = set()
+        #: Monotonic activation revision: bumped whenever the set of
+        #: active environment roles (or the bindings that produce it)
+        #: changes.  Downstream caches — the PDP decision cache — key
+        #: on it, so it must move *before* a stale answer could be
+        #: observed; read it through :attr:`revision`, which
+        #: re-evaluates first.
+        self._revision = 0
 
         if bus is not None:
             bus.subscribe("env.changed", lambda event: self.refresh())
@@ -123,9 +130,23 @@ class EnvironmentRoleActivator(EnvironmentSource):
             for role_name, condition in self._bindings.items()
             if condition.evaluate(self._state, self._clock)
         }
+        if active != self._cache_value:
+            self._revision += 1
         self._cache_key = key
         self._cache_value = active
         return set(active)
+
+    @property
+    def revision(self) -> int:
+        """Monotonic counter observing activation changes.
+
+        Re-evaluates the bindings first, so any pending transition
+        (clock advanced, state written, role rebound) is folded in
+        before the counter is read — two reads that return the same
+        value are guaranteed to bracket an identical active-role set.
+        """
+        self.active_environment_roles()
+        return self._revision
 
     def is_active(self, role_name: str) -> bool:
         """True iff ``role_name`` is bound and currently active."""

@@ -102,6 +102,16 @@ class LocationService:
         """Number of tracked subjects inside ``zone``."""
         return len(self.subjects_in_zone(zone))
 
+    @property
+    def revision(self) -> int:
+        """Revision of the underlying state store.
+
+        Every :meth:`move`/:meth:`leave` mirrors into state, so this
+        moves whenever any tracked location does — what the PDP's
+        revision-keyed cache needs from a location source.
+        """
+        return self._state.revision
+
     # ------------------------------------------------------------------
     # Condition factory
     # ------------------------------------------------------------------
@@ -191,3 +201,14 @@ class RequesterLocationEnvironment(EnvironmentSource):
                 if self._location.is_in_zone(request.subject, zone):
                     active.add(self.role_for(zone))
         return active
+
+    @property
+    def revision(self) -> int:
+        """Combined snapshot revision: base activations + locations.
+
+        Monotonic (a sum of monotonic counters), and moves before any
+        changed role set — global or requester-relative — can be
+        observed, so the PDP decision cache can key on it.
+        """
+        base_revision = getattr(self._base, "revision", 0)
+        return base_revision + self._location.revision

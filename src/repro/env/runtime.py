@@ -125,6 +125,22 @@ class EnvironmentRuntime:
         """Names of currently active environment roles."""
         return self.activator.active_environment_roles()
 
+    @property
+    def revision(self) -> int:
+        """Monotonic environment-snapshot revision.
+
+        Moves whenever anything that can change a decision's
+        environment does: an environment role activates or deactivates
+        (the activator's revision) or any state variable is written
+        (the state revision — which also covers requester-relative
+        sources such as
+        :class:`~repro.env.location.RequesterLocationEnvironment`,
+        whose injected roles derive from location state).  The PDP
+        decision cache keys on this, so equal revisions guarantee
+        equal environment answers.
+        """
+        return self.activator.revision + self.state.revision
+
     def now(self) -> datetime:
         """Current simulated time."""
         return self.clock.now_datetime()

@@ -105,3 +105,13 @@ class AccessDeniedError(GrbacError):
 
 class WorkloadError(GrbacError):
     """A workload generator was misconfigured."""
+
+
+class ServiceError(GrbacError):
+    """A decision-service (PDP) operation is invalid.
+
+    Raised for lifecycle misuse (submitting before start / after
+    shutdown) and malformed wire traffic — never for an access denial,
+    which is always reported as an explicit outcome so callers cannot
+    confuse "the service broke" with "the request was refused".
+    """

@@ -1,0 +1,92 @@
+"""Revision-keyed decision cache for the PDP.
+
+The engine's internal LRU (PR 1) keys on the *resolved* active
+environment set; the service-level cache keys on **revisions** instead:
+``(policy.decision_revision, environment revision, request fields)``.
+That makes invalidation automatic and observable — any policy mutation
+or environment transition moves a revision counter (see
+:mod:`repro.env.runtime` and :attr:`GrbacPolicy.decision_revision`),
+the next lookup builds a different key, and the stale entry simply
+never matches again.  Old-revision entries age out of the LRU tail.
+
+Correctness argument (property-tested in
+``tests/service/test_property_pdp.py``): a decision is a pure function
+of (policy state, active environment, request).  Equal policy revision
+implies equal policy state; equal environment revision implies an
+equal active environment (both counters move *before* a changed value
+can be observed); the remaining key fields pin the request.  So equal
+keys imply equal decisions, and a hit can never serve a stale grant.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Hashable, Optional, Tuple
+
+from repro.core.decision import Decision
+from repro.exceptions import ServiceError
+
+CacheKey = Tuple[Hashable, ...]
+
+
+class DecisionCache:
+    """A bounded LRU of fully-rendered :class:`Decision` objects.
+
+    :param capacity: maximum entries; 0 disables the cache (every
+        ``get`` misses, ``put`` is a no-op).
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 0:
+            raise ServiceError("cache capacity must be >= 0")
+        self.capacity = capacity
+        self._entries: "OrderedDict[CacheKey, Decision]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        #: Entries displaced because their key could never match again
+        #: is not tracked separately: revision-keyed entries are not
+        #: *removed* on invalidation, they stop matching and age out.
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Optional[CacheKey]) -> Optional[Decision]:
+        """Look up ``key``; ``None`` keys (uncacheable requests) miss."""
+        if key is None or self.capacity == 0:
+            self.misses += 1
+            return None
+        found = self._entries.get(key)
+        if found is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return found
+
+    def put(self, key: Optional[CacheKey], decision: Decision) -> None:
+        if key is None or self.capacity == 0:
+            return
+        self._entries[key] = decision
+        self._entries.move_to_end(key)
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "capacity": self.capacity,
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate, 4),
+        }

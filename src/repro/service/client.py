@@ -1,0 +1,165 @@
+"""Async TCP client for a remote PDP (newline-delimited JSON).
+
+:class:`RemotePDPClient` keeps one connection and pipelines: each
+in-flight request is tracked by id in a pending-future table, a single
+reader task dispatches responses as they arrive (they may be
+reordered by the server — cache hits overtake batched work), and any
+number of callers can await decisions concurrently.  The surface
+mirrors the in-process :class:`~repro.service.pdp.PDPClient` so load
+generators and examples can target either transparently.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Any, Dict, FrozenSet, Optional, Set
+
+from repro.core.decision import AccessRequest
+from repro.exceptions import ServiceError
+from repro.service.protocol import (
+    WireResponse,
+    decode_response,
+    dumps_line,
+    encode_request,
+    parse_line,
+)
+
+
+class RemotePDPClient:
+    """One pipelined connection to a :class:`~repro.service.server.PDPServer`.
+
+    Use as an async context manager::
+
+        async with await RemotePDPClient.connect("127.0.0.1", 7471) as pdp:
+            granted = await pdp.check("alice", "watch", "livingroom/tv",
+                                      environment_roles={"weekday-free-time"})
+    """
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._ids = itertools.count(1)
+        self._pending: Dict[Any, "asyncio.Future[dict]"] = {}
+        self._write_lock = asyncio.Lock()
+        self._closed = False
+        self._reader_task = asyncio.get_running_loop().create_task(
+            self._read_loop()
+        )
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "RemotePDPClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def __aenter__(self) -> "RemotePDPClient":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+    async def decide(
+        self,
+        request: AccessRequest,
+        environment_roles: Optional[Set[str]] = None,
+        timeout_ms: Optional[float] = None,
+    ) -> WireResponse:
+        """Submit one request and await its wire response."""
+        env: Optional[FrozenSet[str]] = (
+            frozenset(environment_roles) if environment_roles is not None else None
+        )
+        request_id = next(self._ids)
+        payload = encode_request(request, request_id, env=env, timeout_ms=timeout_ms)
+        raw = await self._roundtrip(request_id, payload)
+        return decode_response(raw)
+
+    async def check(
+        self,
+        subject: str,
+        transaction: str,
+        obj: str,
+        environment_roles: Optional[Set[str]] = None,
+        timeout_ms: Optional[float] = None,
+    ) -> bool:
+        request = AccessRequest(transaction=transaction, obj=obj, subject=subject)
+        response = await self.decide(
+            request, environment_roles=environment_roles, timeout_ms=timeout_ms
+        )
+        return response.granted
+
+    async def ping(self) -> bool:
+        request_id = next(self._ids)
+        raw = await self._roundtrip(request_id, {"op": "ping", "id": request_id})
+        return raw.get("op") == "pong"
+
+    async def stats(self) -> Dict[str, Any]:
+        """The server-side PDP's :meth:`stats` snapshot."""
+        request_id = next(self._ids)
+        raw = await self._roundtrip(request_id, {"op": "stats", "id": request_id})
+        stats = raw.get("stats")
+        if not isinstance(stats, dict):
+            raise ServiceError(f"bad stats response: {raw!r}")
+        return stats
+
+    # ------------------------------------------------------------------
+    # Transport internals
+    # ------------------------------------------------------------------
+    async def _roundtrip(self, request_id: Any, payload: dict) -> dict:
+        if self._closed:
+            raise ServiceError("client is closed")
+        future: "asyncio.Future[dict]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._pending[request_id] = future
+        try:
+            async with self._write_lock:
+                self._writer.write(dumps_line(payload))
+                await self._writer.drain()
+            return await future
+        finally:
+            self._pending.pop(request_id, None)
+
+    async def _read_loop(self) -> None:
+        error: Optional[Exception] = None
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                try:
+                    payload = parse_line(line.strip())
+                except ServiceError:
+                    continue  # garbage line; keep the stream alive
+                future = self._pending.get(payload.get("id"))
+                if future is not None and not future.done():
+                    future.set_result(payload)
+        except (ConnectionResetError, asyncio.IncompleteReadError) as exc:
+            error = exc
+        except asyncio.CancelledError:
+            error = ServiceError("client closed")
+        # Fail anything still waiting so callers never hang on EOF.
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(
+                    error or ServiceError("connection closed by server")
+                )
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass

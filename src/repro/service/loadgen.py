@@ -1,0 +1,222 @@
+"""Closed-loop load generation against a PDP (local or remote).
+
+A fixed pool of ``concurrency`` workers each keeps exactly one request
+in flight (closed-loop: a worker submits, awaits the answer, then
+takes the next item), which is both how interactive clients behave and
+what gives the micro-batcher real concurrency to coalesce.  Latencies
+are measured client-side around each await, so local and TCP runs are
+comparable; percentiles are exact (computed from the full sample set,
+not bucketed).
+
+Verification mode replays the same stream through a direct, cache-less
+:class:`MediationEngine` and cross-checks every mediated answer — the
+CI smoke job's "zero stale responses" assertion.  Dropped requests
+(submitted but never answered *and* never explicitly shed) are counted
+separately and also fail verification: backpressure must always be
+explicit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.mediation import MediationEngine
+from repro.core.policy import GrbacPolicy
+from repro.exceptions import ServiceError
+from repro.service.pdp import PDPOutcome
+from repro.workload.generator import GeneratedRequest, generate_requests
+
+
+@dataclass(frozen=True)
+class LoadgenConfig:
+    """Shape of one load-generation run."""
+
+    requests: int = 1000
+    concurrency: int = 16
+    seed: int = 0
+    #: Repeat the unique stream this many times (in order).  Repeats
+    #: after the first hit the revision-keyed cache on a static
+    #: policy/environment — the replay-workload warmth knob.
+    repeat: int = 1
+
+    def __post_init__(self) -> None:
+        if self.requests < 1:
+            raise ServiceError("requests must be >= 1")
+        if self.concurrency < 1:
+            raise ServiceError("concurrency must be >= 1")
+        if self.repeat < 1:
+            raise ServiceError("repeat must be >= 1")
+
+
+@dataclass
+class LoadgenResult:
+    """Tallies and latency distribution of one run."""
+
+    sent: int = 0
+    completed: int = 0
+    grants: int = 0
+    denies: int = 0
+    shed: int = 0
+    timeouts: int = 0
+    errors: int = 0
+    #: Requests that vanished: no mediated answer, no explicit
+    #: overload/timeout outcome.  Must be zero — sheds are the only
+    #: sanctioned form of loss.
+    dropped: int = 0
+    #: Mediated answers disagreeing with the direct-engine reference
+    #: (verification runs only).  Must be zero: a cache or batching
+    #: bug shows up here as a stale grant/deny.
+    mismatches: int = 0
+    cached: int = 0
+    elapsed_s: float = 0.0
+    latencies_s: List[float] = field(default_factory=list, repr=False)
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.completed / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    def latency_us(self, q: float) -> float:
+        """Exact ``q``-quantile of client-observed latency, in µs."""
+        if not self.latencies_s:
+            return 0.0
+        ordered = sorted(self.latencies_s)
+        index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+        return ordered[index] * 1e6
+
+    @property
+    def ok(self) -> bool:
+        """Zero stale answers and zero silent drops."""
+        return self.mismatches == 0 and self.dropped == 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "sent": self.sent,
+            "completed": self.completed,
+            "grants": self.grants,
+            "denies": self.denies,
+            "shed": self.shed,
+            "timeouts": self.timeouts,
+            "errors": self.errors,
+            "dropped": self.dropped,
+            "mismatches": self.mismatches,
+            "cached": self.cached,
+            "elapsed_s": round(self.elapsed_s, 6),
+            "throughput_rps": round(self.throughput_rps, 1),
+            "latency_p50_us": round(self.latency_us(0.50), 1),
+            "latency_p99_us": round(self.latency_us(0.99), 1),
+        }
+
+    def describe(self) -> str:
+        lines = [
+            f"{self.completed}/{self.sent} answered in {self.elapsed_s * 1e3:.1f} ms "
+            f"({self.throughput_rps:,.0f} req/s)",
+            f"  grants {self.grants}  denies {self.denies}  cached {self.cached}",
+            f"  shed {self.shed}  timeouts {self.timeouts}  errors {self.errors}  "
+            f"dropped {self.dropped}",
+            f"  latency p50 {self.latency_us(0.5):.1f} us  "
+            f"p99 {self.latency_us(0.99):.1f} us",
+        ]
+        if self.mismatches:
+            lines.append(f"  STALE ANSWERS: {self.mismatches} mismatches vs direct engine")
+        return "\n".join(lines)
+
+
+def build_stream(
+    policy: GrbacPolicy, config: LoadgenConfig
+) -> List[GeneratedRequest]:
+    """The seeded request stream for ``config`` (repeats appended)."""
+    unique = generate_requests(policy, config.requests, seed=config.seed)
+    return unique * config.repeat
+
+
+def compute_expected(
+    policy: GrbacPolicy,
+    stream: Sequence[GeneratedRequest],
+    confidence_threshold: float = 0.0,
+) -> List[bool]:
+    """Reference grant/deny per stream item, from a direct engine.
+
+    Uses a fresh cache-less engine over the same policy, so any
+    disagreement with the served path is a service bug, not drift.
+    """
+    reference = MediationEngine(
+        policy, confidence_threshold=confidence_threshold
+    )
+    return [
+        reference.decide(
+            item.request, environment_roles=set(item.active_environment_roles)
+        ).granted
+        for item in stream
+    ]
+
+
+async def run_loadgen(
+    client,
+    stream: Sequence[GeneratedRequest],
+    config: LoadgenConfig,
+    expected: Optional[Sequence[bool]] = None,
+) -> LoadgenResult:
+    """Drive ``stream`` through ``client`` closed-loop.
+
+    :param client: anything with ``async decide(request,
+        environment_roles=...)`` returning an object with ``outcome``
+        (a :class:`PDPOutcome`), ``granted`` and ``cached`` — both the
+        in-process :class:`~repro.service.pdp.PDPClient` and the
+        remote :class:`~repro.service.client.RemotePDPClient` qualify.
+    :param expected: optional per-item reference grants; when given,
+        every mediated answer is cross-checked.
+    """
+    if expected is not None and len(expected) != len(stream):
+        raise ServiceError("expected list must match the stream length")
+    result = LoadgenResult(sent=len(stream))
+    next_index = 0
+
+    async def worker() -> None:
+        nonlocal next_index
+        while True:
+            index = next_index
+            if index >= len(stream):
+                return
+            next_index = index + 1
+            item = stream[index]
+            started = time.perf_counter()
+            try:
+                response = await client.decide(
+                    item.request,
+                    environment_roles=set(item.active_environment_roles),
+                )
+            except ServiceError:
+                result.dropped += 1
+                continue
+            result.latencies_s.append(time.perf_counter() - started)
+            result.completed += 1
+            outcome = response.outcome
+            if outcome is PDPOutcome.GRANT:
+                result.grants += 1
+            elif outcome is PDPOutcome.DENY:
+                result.denies += 1
+            elif outcome is PDPOutcome.DENY_OVERLOAD:
+                result.shed += 1
+            elif outcome is PDPOutcome.DENY_TIMEOUT:
+                result.timeouts += 1
+            else:
+                result.errors += 1
+            if response.cached:
+                result.cached += 1
+            if (
+                expected is not None
+                and outcome in (PDPOutcome.GRANT, PDPOutcome.DENY)
+                and response.granted != expected[index]
+            ):
+                result.mismatches += 1
+
+    workers = [worker() for _ in range(min(config.concurrency, len(stream)))]
+    started = time.perf_counter()
+    await asyncio.gather(*workers)
+    result.elapsed_s = time.perf_counter() - started
+    # Closed loop: anything not answered was dropped, however it failed.
+    result.dropped = result.sent - result.completed
+    return result

@@ -1,0 +1,604 @@
+"""The asyncio Policy Decision Point (PDP).
+
+NIST RBAC frames mediation as a reference monitor interposed on every
+access; the ROADMAP's north star is that monitor under *heavy
+concurrent traffic*.  :class:`PolicyDecisionPoint` is the serving
+layer between the compiled engine's ``decide_batch`` fast path (PR 1)
+and live callers:
+
+* **bounded admission queue** — requests wait in an
+  :class:`asyncio.Queue` of configurable depth; when it is full the
+  request is *shed immediately* with the explicit
+  :attr:`PDPOutcome.DENY_OVERLOAD` outcome.  Overload never produces
+  an unbounded wait and never a spurious grant.
+* **micro-batching** — a single consumer task drains the queue into
+  batches, flushing at ``max_batch``, after ``max_wait_ms``, or as
+  soon as the queue goes idle after a scheduling pass (whichever
+  comes first), and renders the whole batch through one
+  :meth:`MediationEngine.decide_batch` call, amortizing snapshot
+  lookups and expansion memos across concurrent callers.  Batch size
+  therefore self-regulates with load: light traffic flushes
+  singletons immediately, heavy traffic fills real batches.
+* **revision-keyed caching** — answers are cached keyed on
+  ``(policy.decision_revision, environment revision, request)``; any
+  policy mutation or environment transition moves a revision counter
+  and the stale entry stops matching (see
+  :mod:`repro.service.cache`).  Hits resolve synchronously at submit
+  time without ever touching the queue.
+* **deadlines** — a request may carry a timeout; if it is still
+  queued when its deadline passes it resolves to
+  :attr:`PDPOutcome.DENY_TIMEOUT` instead of occupying a batch slot.
+* **graceful drain** — :meth:`stop` (default) decides everything
+  already admitted before shutting down, so an accepted request is
+  never silently dropped.
+
+The PDP is deliberately sessionless: callers that need §4.1.2 session
+semantics hold a :class:`~repro.core.activation.Session` and talk to
+the engine directly.  Decisions themselves are synchronous CPU work;
+the consumer runs them on the event loop in batches small enough to
+bound added latency (override :meth:`_decide` to offload).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import enum
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set
+
+from repro.core.decision import AccessRequest, Decision
+from repro.core.mediation import MediationEngine
+from repro.exceptions import ServiceError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.observers import ObserverHub
+from repro.service.cache import CacheKey, DecisionCache
+
+
+class PDPOutcome(str, enum.Enum):
+    """How the service answered — distinct from grant/deny alone.
+
+    ``GRANT``/``DENY`` are mediated answers; the remaining outcomes
+    are *service* refusals, all of which report ``granted=False`` so
+    an overloaded or timed-out request can never be mistaken for an
+    authorization.
+    """
+
+    GRANT = "grant"
+    DENY = "deny"
+    DENY_OVERLOAD = "deny-overload"
+    DENY_TIMEOUT = "deny-timeout"
+    ERROR = "error"
+
+
+#: Outcomes that carry a mediated :class:`Decision`.
+MEDIATED_OUTCOMES = frozenset({PDPOutcome.GRANT, PDPOutcome.DENY})
+
+
+@dataclass(frozen=True)
+class PDPResponse:
+    """One answered request, as seen by the submitting caller."""
+
+    request: AccessRequest
+    outcome: PDPOutcome
+    #: Always ``False`` unless ``outcome is GRANT``.
+    granted: bool
+    #: The full mediated decision for GRANT/DENY; ``None`` for shed,
+    #: timed-out, and errored requests (nothing was mediated).
+    decision: Optional[Decision]
+    #: Served from the revision-keyed cache (no queue, no batch).
+    cached: bool = False
+    #: Size of the micro-batch this request was decided in (0 when it
+    #: never reached the batcher: cache hits, sheds, timeouts).
+    batch_size: int = 0
+    #: End-to-end service latency in seconds (submit to resolution).
+    latency_s: float = 0.0
+    #: Why a non-mediated outcome happened (overload/timeout/error).
+    detail: str = ""
+
+    @property
+    def rationale(self) -> str:
+        if self.decision is not None:
+            return self.decision.rationale
+        return self.detail or self.outcome.value
+
+
+@dataclass(frozen=True)
+class PDPConfig:
+    """Tuning knobs for the decision service."""
+
+    #: Flush a batch at this size.
+    max_batch: int = 64
+    #: Upper bound on gathering: flush once the head of the batch has
+    #: waited this long.  (An idle queue flushes sooner — see _run.)
+    max_wait_ms: float = 1.0
+    #: Admission bound: queued (not yet decided) request limit.  A
+    #: submit finding the queue full is shed with DENY_OVERLOAD.
+    max_queue: int = 1024
+    #: Revision-keyed decision cache capacity (0 disables).
+    cache_size: int = 4096
+    #: Default per-request deadline in seconds (None = no deadline).
+    default_timeout_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ServiceError("max_batch must be >= 1")
+        if self.max_wait_ms < 0:
+            raise ServiceError("max_wait_ms must be >= 0")
+        if self.max_queue < 1:
+            raise ServiceError("max_queue must be >= 1")
+        if self.cache_size < 0:
+            raise ServiceError("cache_size must be >= 0")
+        if self.default_timeout_s is not None and self.default_timeout_s <= 0:
+            raise ServiceError("default_timeout_s must be > 0")
+
+
+@dataclass
+class _Pending:
+    """One admitted request waiting for the batcher."""
+
+    request: AccessRequest
+    env_override: Optional[FrozenSet[str]]
+    future: "asyncio.Future[PDPResponse]"
+    submitted_at: float
+    #: Event-loop deadline (loop.time() based), or None.
+    deadline: Optional[float]
+
+
+_STOP = object()  # queue sentinel; see stop()
+
+
+class PolicyDecisionPoint:
+    """An asyncio decision service over one :class:`MediationEngine`.
+
+    :param engine: the mediation engine decisions are rendered by.
+    :param config: service tuning; defaults are reasonable for an
+        in-process PDP.
+    :param env_revision: how to observe the environment-snapshot
+        revision for cache keys — a zero-argument callable, or any
+        object exposing a ``revision`` attribute (e.g.
+        :class:`~repro.env.runtime.EnvironmentRuntime` or the
+        activator).  When omitted, it is derived from the engine's
+        environment source when that source exposes ``revision``;
+        engines with an opaque source stay correct by *not caching*
+        requests that resolve the environment through it (explicit
+        per-request environment overrides are always cacheable).
+    :param metrics: registry for service counters/histograms; the
+        engine's own registry is reused by default so one snapshot
+        shows the whole stack.
+    :param observers: observer hub for lifecycle/overload events;
+        defaults to the engine's hub.
+    """
+
+    def __init__(
+        self,
+        engine: MediationEngine,
+        config: Optional[PDPConfig] = None,
+        env_revision: object = None,
+        metrics: Optional[MetricsRegistry] = None,
+        observers: Optional[ObserverHub] = None,
+    ) -> None:
+        self.engine = engine
+        self.config = config or PDPConfig()
+        self.metrics = metrics if metrics is not None else engine.metrics
+        self.observers = observers if observers is not None else engine.observers
+        self.cache = DecisionCache(self.config.cache_size)
+        self._env_revision = self._resolve_env_revision(env_revision)
+        self._queue: Optional["asyncio.Queue[object]"] = None
+        self._batcher: Optional["asyncio.Task[None]"] = None
+        self._accepting = False
+        self._drain_on_stop = True
+        # Hot-path metric handles (one dict probe each, taken once).
+        metrics_registry = self.metrics
+        self._m_requests = metrics_registry.counter("pdp.requests")
+        self._m_cache_hits = metrics_registry.counter("pdp.cache_hits")
+        self._m_cache_misses = metrics_registry.counter("pdp.cache_misses")
+        self._m_shed = metrics_registry.counter("pdp.shed")
+        self._m_timeouts = metrics_registry.counter("pdp.timeouts")
+        self._m_errors = metrics_registry.counter("pdp.errors")
+        self._m_batches = metrics_registry.counter("pdp.batches")
+        self._m_decided = metrics_registry.counter("pdp.decided")
+        self._h_batch = metrics_registry.histogram("pdp.batch_size")
+        self._h_queue = metrics_registry.histogram("pdp.queue_depth")
+        self._h_latency = metrics_registry.histogram("pdp.latency")
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "PolicyDecisionPoint":
+        """Start the batcher; idempotent."""
+        if self._batcher is not None and not self._batcher.done():
+            return self
+        self._queue = asyncio.Queue(maxsize=self.config.max_queue)
+        self._batcher = asyncio.get_running_loop().create_task(self._run())
+        self._accepting = True
+        hub = self.observers
+        if hub:
+            hub.emit("pdp.start", max_batch=self.config.max_batch,
+                     max_queue=self.config.max_queue)
+        return self
+
+    async def stop(self, drain: bool = True) -> None:
+        """Stop accepting and shut the batcher down.
+
+        With ``drain=True`` (graceful, the default) every already-
+        admitted request is decided before the task exits; with
+        ``drain=False`` queued requests are shed with DENY_OVERLOAD.
+        """
+        if self._batcher is None:
+            return
+        self._accepting = False
+        self._drain_on_stop = drain
+        assert self._queue is not None
+        await self._queue.put(_STOP)
+        await self._batcher
+        self._batcher = None
+        hub = self.observers
+        if hub:
+            hub.emit("pdp.stop", drained=drain)
+
+    async def __aenter__(self) -> "PolicyDecisionPoint":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.stop()
+
+    @property
+    def running(self) -> bool:
+        return self._batcher is not None and not self._batcher.done()
+
+    @property
+    def queue_depth(self) -> int:
+        return self._queue.qsize() if self._queue is not None else 0
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    async def submit(
+        self,
+        request: AccessRequest,
+        environment_roles: Optional[Set[str]] = None,
+        timeout: Optional[float] = None,
+    ) -> PDPResponse:
+        """Mediate ``request`` through the service.
+
+        :param environment_roles: explicit directly-active environment
+            roles (what-if / replay traffic); ``None`` resolves through
+            the engine's environment source at decision time.
+        :param timeout: per-request deadline in seconds (defaults to
+            the config's ``default_timeout_s``).  A request whose
+            deadline passes while it is still queued resolves to
+            DENY_TIMEOUT.
+        :raises ServiceError: when the service is not running.
+        """
+        if not self._accepting or self._queue is None:
+            raise ServiceError("PDP is not running (call start())")
+        self._m_requests.inc()
+        submitted = time.perf_counter()
+        override = (
+            frozenset(environment_roles) if environment_roles is not None else None
+        )
+
+        key = self._cache_key(request, override)
+        cached = self.cache.get(key)
+        if cached is not None:
+            self._m_cache_hits.inc()
+            outcome = PDPOutcome.GRANT if cached.granted else PDPOutcome.DENY
+            latency = time.perf_counter() - submitted
+            self._h_latency.observe(latency)
+            return PDPResponse(
+                request=request,
+                outcome=outcome,
+                granted=cached.granted,
+                decision=cached,
+                cached=True,
+                latency_s=latency,
+            )
+        self._m_cache_misses.inc()
+
+        loop = asyncio.get_running_loop()
+        timeout_s = timeout if timeout is not None else self.config.default_timeout_s
+        pending = _Pending(
+            request=request,
+            env_override=override,
+            future=loop.create_future(),
+            submitted_at=submitted,
+            deadline=loop.time() + timeout_s if timeout_s is not None else None,
+        )
+        self._h_queue.observe(float(self._queue.qsize()))
+        try:
+            self._queue.put_nowait(pending)
+        except asyncio.QueueFull:
+            return self._shed(pending, "admission queue full")
+        return await pending.future
+
+    # ------------------------------------------------------------------
+    # Batching internals
+    # ------------------------------------------------------------------
+    async def _run(self) -> None:
+        assert self._queue is not None
+        queue = self._queue
+        loop = asyncio.get_running_loop()
+        max_batch = self.config.max_batch
+        max_wait_s = self.config.max_wait_ms / 1000.0
+        stopping = False
+        while not stopping:
+            head = await queue.get()
+            if head is _STOP:
+                break
+            batch: List[_Pending] = [head]  # type: ignore[list-item]
+            if max_batch > 1:
+                # Gather until max_batch, the deadline, or the queue
+                # going momentarily idle — whichever comes first.  The
+                # idle check only fires after one scheduling pass
+                # (asyncio.sleep(0)) so every producer that is already
+                # runnable gets to enqueue; waiting any longer could
+                # only collect requests that do not exist yet, which
+                # trades real latency for hypothetical batch fill (and
+                # deadlocks throughput for closed-loop callers blocked
+                # on this very flush).
+                flush_at = loop.time() + max_wait_s
+                while len(batch) < max_batch:
+                    try:
+                        item = queue.get_nowait()
+                    except asyncio.QueueEmpty:
+                        if loop.time() >= flush_at:
+                            break
+                        await asyncio.sleep(0)
+                        try:
+                            item = queue.get_nowait()
+                        except asyncio.QueueEmpty:
+                            break  # idle after a yield: flush now
+                    if item is _STOP:
+                        stopping = True
+                        break
+                    batch.append(item)  # type: ignore[arg-type]
+            await self._flush(batch)
+            if not self._accepting and not self._drain_on_stop:
+                # Non-graceful stop: shed the backlog instead of
+                # deciding it (the _STOP sentinel is FIFO-last, so
+                # waiting for it would drain the queue anyway).
+                break
+        # Shutdown: decide (drain) or shed whatever is still queued.
+        leftovers: List[_Pending] = []
+        while True:
+            try:
+                item = queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            if item is not _STOP:
+                leftovers.append(item)  # type: ignore[arg-type]
+        if self._drain_on_stop:
+            for start in range(0, len(leftovers), max_batch):
+                await self._flush(leftovers[start : start + max_batch])
+        else:
+            for item in leftovers:
+                self._shed(item, "service shutting down")
+
+    async def _flush(self, batch: Sequence[_Pending]) -> None:
+        """Decide one micro-batch and resolve its futures."""
+        loop = asyncio.get_running_loop()
+        now = loop.time()
+        live: List[_Pending] = []
+        for item in batch:
+            if item.deadline is not None and now > item.deadline:
+                self._resolve(
+                    item,
+                    PDPResponse(
+                        request=item.request,
+                        outcome=PDPOutcome.DENY_TIMEOUT,
+                        granted=False,
+                        decision=None,
+                        detail="deadline expired while queued",
+                        latency_s=time.perf_counter() - item.submitted_at,
+                    ),
+                )
+                self._m_timeouts.inc()
+                continue
+            live.append(item)
+        if not live:
+            return
+        self._m_batches.inc()
+        self._h_batch.observe(float(len(live)))
+        try:
+            decisions = await self._decide(
+                [item.request for item in live],
+                [item.env_override for item in live],
+            )
+        except Exception as error:  # noqa: BLE001 - isolate engine faults
+            self._m_errors.inc(len(live))
+            for item in live:
+                self._resolve(
+                    item,
+                    PDPResponse(
+                        request=item.request,
+                        outcome=PDPOutcome.ERROR,
+                        granted=False,
+                        decision=None,
+                        detail=f"engine error: {error!r}",
+                        latency_s=time.perf_counter() - item.submitted_at,
+                    ),
+                )
+            return
+        self._m_decided.inc(len(live))
+        size = len(live)
+        for item, decision in zip(live, decisions):
+            # Key recomputed *after* deciding, so the cached entry is
+            # filed under the revision it was actually rendered at.
+            self.cache.put(self._cache_key(item.request, item.env_override), decision)
+            latency = time.perf_counter() - item.submitted_at
+            self._h_latency.observe(latency)
+            self._resolve(
+                item,
+                PDPResponse(
+                    request=item.request,
+                    outcome=PDPOutcome.GRANT if decision.granted else PDPOutcome.DENY,
+                    granted=decision.granted,
+                    decision=decision,
+                    batch_size=size,
+                    latency_s=latency,
+                ),
+            )
+
+    async def _decide(
+        self,
+        requests: Sequence[AccessRequest],
+        env_overrides: Sequence[Optional[FrozenSet[str]]],
+    ) -> List[Decision]:
+        """Render a batch; overridable to offload to an executor."""
+        if all(env is None for env in env_overrides):
+            return self.engine.decide_batch(requests)
+        return self.engine.decide_batch(
+            requests,
+            environment_roles=[
+                set(env) if env is not None else None for env in env_overrides
+            ],
+        )
+
+    def _shed(self, item: _Pending, detail: str) -> PDPResponse:
+        self._m_shed.inc()
+        hub = self.observers
+        if hub:
+            hub.emit(
+                "pdp.shed",
+                subject=item.request.subject,
+                transaction=item.request.transaction,
+                obj=item.request.obj,
+                detail=detail,
+            )
+        response = PDPResponse(
+            request=item.request,
+            outcome=PDPOutcome.DENY_OVERLOAD,
+            granted=False,
+            decision=None,
+            detail=detail,
+            latency_s=time.perf_counter() - item.submitted_at,
+        )
+        self._resolve(item, response)
+        return response
+
+    @staticmethod
+    def _resolve(item: _Pending, response: PDPResponse) -> None:
+        if not item.future.done():
+            item.future.set_result(response)
+
+    # ------------------------------------------------------------------
+    # Cache keying
+    # ------------------------------------------------------------------
+    def _resolve_env_revision(
+        self, source: object
+    ) -> Optional[Callable[[], int]]:
+        if callable(source):
+            return source  # type: ignore[return-value]
+        if source is not None:
+            if not hasattr(source, "revision"):
+                raise ServiceError(
+                    "env_revision must be callable or expose .revision"
+                )
+            return lambda: source.revision  # type: ignore[attr-defined]
+        environment = self.engine.environment
+        if environment is None:
+            return lambda: 0
+        if hasattr(environment, "revision"):
+            return lambda: environment.revision  # type: ignore[attr-defined]
+        return None  # opaque source: source-resolved requests uncacheable
+
+    def _cache_key(
+        self, request: AccessRequest, env_override: Optional[FrozenSet[str]]
+    ) -> Optional[CacheKey]:
+        """The revision-pinned cache key, or None when uncacheable."""
+        if self.config.cache_size == 0:
+            return None
+        engine = self.engine
+        if engine.decision_constraints:
+            # A constraint may consult state outside the key; mirror
+            # the engine's own policy of never caching around them.
+            return None
+        if env_override is not None:
+            env_component: object = ("override", env_override)
+        else:
+            reader = self._env_revision
+            if reader is None:
+                return None
+            env_component = ("revision", reader())
+        return (
+            engine.policy.decision_revision,
+            env_component,
+            request.subject,
+            request.transaction,
+            request.obj,
+            request.identity_confidence,
+            frozenset(request.role_claims.items()),
+            engine.confidence_threshold,
+            engine.policy.precedence,
+            engine.policy.default_sign,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """Service counters plus the nested cache view.
+
+        Engine-side statistics remain on :meth:`MediationEngine.stats`;
+        both publish into the same metrics registry by default.
+        """
+        return {
+            "running": self.running,
+            "queue_depth": self.queue_depth,
+            "max_queue": self.config.max_queue,
+            "max_batch": self.config.max_batch,
+            "max_wait_ms": self.config.max_wait_ms,
+            "requests": self._m_requests.value,
+            "decided": self._m_decided.value,
+            "batches": self._m_batches.value,
+            "cache_hits": self._m_cache_hits.value,
+            "cache_misses": self._m_cache_misses.value,
+            "cache_hit_rate": round(self.cache.hit_rate, 4),
+            "shed": self._m_shed.value,
+            "timeouts": self._m_timeouts.value,
+            "errors": self._m_errors.value,
+            "cache": self.cache.stats(),
+        }
+
+
+@dataclass
+class PDPClient:
+    """In-process client: the ergonomic face of :class:`PolicyDecisionPoint`.
+
+    Mirrors :meth:`MediationEngine.check`/``decide`` so call sites can
+    swap direct mediation for the served path with one line —
+    ``examples/served_home.py`` replays §5.1 through this.
+    """
+
+    pdp: PolicyDecisionPoint
+    #: Environment roles applied to every request when the call site
+    #: does not pass its own (replay streams with a fixed context).
+    default_environment_roles: Optional[Set[str]] = field(default=None)
+
+    async def decide(
+        self,
+        request: AccessRequest,
+        environment_roles: Optional[Set[str]] = None,
+        timeout: Optional[float] = None,
+    ) -> PDPResponse:
+        env = (
+            environment_roles
+            if environment_roles is not None
+            else self.default_environment_roles
+        )
+        return await self.pdp.submit(request, environment_roles=env, timeout=timeout)
+
+    async def check(
+        self,
+        subject: str,
+        transaction: str,
+        obj: str,
+        environment_roles: Optional[Set[str]] = None,
+        timeout: Optional[float] = None,
+    ) -> bool:
+        request = AccessRequest(transaction=transaction, obj=obj, subject=subject)
+        response = await self.decide(
+            request, environment_roles=environment_roles, timeout=timeout
+        )
+        return response.granted

@@ -1,0 +1,184 @@
+"""Newline-delimited JSON wire protocol for the PDP.
+
+One JSON object per line, UTF-8, ``\\n`` terminated — trivially
+debuggable with ``nc`` and line-oriented tools, no framing code, and
+every mainstream language can speak it.
+
+Decision request::
+
+    {"id": 7, "subject": "alice", "transaction": "watch",
+     "object": "livingroom/tv", "env": ["weekday-free-time"],
+     "identity_confidence": 1.0, "role_claims": {},
+     "timeout_ms": 250}
+
+``env`` is optional: absent/null resolves the environment through the
+server's environment source at decision time; a list pins the
+directly-active roles explicitly (replay / what-if traffic).
+
+Decision response::
+
+    {"id": 7, "outcome": "grant", "granted": true, "cached": false,
+     "batch_size": 12, "latency_us": 183.4, "rationale": "..."}
+
+Control messages use ``op`` instead of a request body: ``{"op":
+"ping"}`` → ``{"op": "pong"}``; ``{"op": "stats"}`` → ``{"op":
+"stats", "stats": {...}}``.  A malformed line gets ``{"error": ...}``
+(with the request's ``id`` echoed when one could be parsed) — the
+connection stays usable.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Optional, Tuple
+
+from repro.core.decision import AccessRequest
+from repro.exceptions import GrbacError, ServiceError
+from repro.service.pdp import PDPOutcome, PDPResponse
+
+#: Hard cap on one wire line; longer lines are a protocol error, not a
+#: buffer-growth vector.
+MAX_LINE_BYTES = 64 * 1024
+
+
+def dumps_line(payload: Dict[str, Any]) -> bytes:
+    """Serialize one protocol message to a wire line."""
+    return json.dumps(payload, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def parse_line(line: bytes) -> Dict[str, Any]:
+    """Parse one wire line into a message dict.
+
+    :raises ServiceError: on malformed JSON or a non-object payload.
+    """
+    if len(line) > MAX_LINE_BYTES:
+        raise ServiceError(f"wire line exceeds {MAX_LINE_BYTES} bytes")
+    try:
+        payload = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ServiceError(f"malformed wire line: {error}") from None
+    if not isinstance(payload, dict):
+        raise ServiceError("wire message must be a JSON object")
+    return payload
+
+
+def decode_request(
+    payload: Dict[str, Any]
+) -> Tuple[Any, AccessRequest, Optional[FrozenSet[str]], Optional[float]]:
+    """Decode a decision-request message.
+
+    :returns: ``(id, request, env_override, timeout_s)``.
+    :raises ServiceError: when required fields are missing/invalid.
+    """
+    request_id = payload.get("id")
+    transaction = payload.get("transaction")
+    obj = payload.get("object")
+    if not isinstance(transaction, str) or not isinstance(obj, str):
+        raise ServiceError("request needs string 'transaction' and 'object'")
+    subject = payload.get("subject")
+    if subject is not None and not isinstance(subject, str):
+        raise ServiceError("'subject' must be a string or null")
+    role_claims = payload.get("role_claims") or {}
+    if not isinstance(role_claims, dict):
+        raise ServiceError("'role_claims' must be an object")
+    confidence = payload.get("identity_confidence", 1.0)
+    if not isinstance(confidence, (int, float)):
+        raise ServiceError("'identity_confidence' must be a number")
+    env = payload.get("env")
+    if env is not None:
+        if not isinstance(env, list) or not all(
+            isinstance(name, str) for name in env
+        ):
+            raise ServiceError("'env' must be a list of role names or null")
+        env_override: Optional[FrozenSet[str]] = frozenset(env)
+    else:
+        env_override = None
+    timeout_ms = payload.get("timeout_ms")
+    if timeout_ms is not None and not isinstance(timeout_ms, (int, float)):
+        raise ServiceError("'timeout_ms' must be a number or null")
+    try:
+        request = AccessRequest(
+            transaction=transaction,
+            obj=obj,
+            subject=subject,
+            role_claims={str(k): float(v) for k, v in role_claims.items()},
+            identity_confidence=float(confidence),
+        )
+    except GrbacError as error:
+        raise ServiceError(f"invalid request: {error}") from None
+    timeout_s = float(timeout_ms) / 1000.0 if timeout_ms is not None else None
+    return request_id, request, env_override, timeout_s
+
+
+def encode_request(
+    request: AccessRequest,
+    request_id: Any,
+    env: Optional[FrozenSet[str]] = None,
+    timeout_ms: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Build the wire message for one decision request."""
+    payload: Dict[str, Any] = {
+        "id": request_id,
+        "subject": request.subject,
+        "transaction": request.transaction,
+        "object": request.obj,
+    }
+    if request.role_claims:
+        payload["role_claims"] = dict(request.role_claims)
+    if request.identity_confidence != 1.0:
+        payload["identity_confidence"] = request.identity_confidence
+    if env is not None:
+        payload["env"] = sorted(env)
+    if timeout_ms is not None:
+        payload["timeout_ms"] = timeout_ms
+    return payload
+
+
+def encode_response(request_id: Any, response: PDPResponse) -> Dict[str, Any]:
+    """Build the wire message for one PDP response."""
+    return {
+        "id": request_id,
+        "outcome": response.outcome.value,
+        "granted": response.granted,
+        "cached": response.cached,
+        "batch_size": response.batch_size,
+        "latency_us": round(response.latency_s * 1e6, 1),
+        "rationale": response.rationale,
+    }
+
+
+@dataclass(frozen=True)
+class WireResponse:
+    """A decoded decision response, as seen by a remote client."""
+
+    id: Any
+    outcome: PDPOutcome
+    granted: bool
+    cached: bool
+    batch_size: int
+    latency_us: float
+    rationale: str
+
+
+def decode_response(payload: Dict[str, Any]) -> WireResponse:
+    """Decode a decision-response message.
+
+    :raises ServiceError: on missing/unknown fields (including server-
+        side ``{"error": ...}`` reports, surfaced as exceptions).
+    """
+    if "error" in payload:
+        raise ServiceError(f"server rejected request: {payload['error']}")
+    try:
+        outcome = PDPOutcome(payload["outcome"])
+    except (KeyError, ValueError):
+        raise ServiceError(f"unknown response outcome in {payload!r}") from None
+    return WireResponse(
+        id=payload.get("id"),
+        outcome=outcome,
+        granted=bool(payload.get("granted", False)),
+        cached=bool(payload.get("cached", False)),
+        batch_size=int(payload.get("batch_size", 0)),
+        latency_us=float(payload.get("latency_us", 0.0)),
+        rationale=str(payload.get("rationale", "")),
+    )

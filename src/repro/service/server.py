@@ -1,0 +1,183 @@
+"""The TCP face of the PDP: newline-delimited JSON over asyncio.
+
+:class:`PDPServer` binds a :class:`~repro.service.pdp.PolicyDecisionPoint`
+to a listening socket.  Each connection is a long-lived pipelined
+stream: clients may have any number of requests in flight; responses
+carry the request's ``id`` and may arrive out of submission order
+(cache hits and sheds resolve ahead of batched work).  Backpressure
+composes: the PDP's bounded queue sheds excess decision work
+explicitly, and per-connection writes await ``drain()`` so a slow
+reader throttles only its own connection.
+
+The CLI's ``serve`` subcommand (see :mod:`repro.cli`) is a thin
+wrapper over :func:`PDPServer.serve_forever`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional
+
+from repro.exceptions import ServiceError
+from repro.service.pdp import PolicyDecisionPoint
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    decode_request,
+    dumps_line,
+    encode_response,
+    parse_line,
+)
+
+
+class PDPServer:
+    """Serves one PDP over TCP.
+
+    :param pdp: the decision point; started/stopped with the server.
+    :param host: bind address (default loopback).
+    :param port: bind port; 0 picks an ephemeral port — read
+        :attr:`port` after :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        pdp: PolicyDecisionPoint,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.pdp = pdp
+        self.host = host
+        self._requested_port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.connections = 0
+
+    @property
+    def port(self) -> int:
+        """The bound port (after :meth:`start`)."""
+        if self._server is None or not self._server.sockets:
+            raise ServiceError("server is not listening")
+        return self._server.sockets[0].getsockname()[1]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "PDPServer":
+        await self.pdp.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.host,
+            port=self._requested_port,
+            limit=MAX_LINE_BYTES,
+        )
+        return self
+
+    async def stop(self, drain: bool = True) -> None:
+        """Close the listener, then drain (or shed) the PDP."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.pdp.stop(drain=drain)
+
+    async def serve_forever(self) -> None:
+        """Start (if needed) and serve until cancelled.
+
+        Cancellation (KeyboardInterrupt in the CLI) triggers a
+        graceful stop: listener closed first, admitted work drained.
+        """
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await self.stop(drain=True)
+
+    async def __aenter__(self) -> "PDPServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.connections += 1
+        write_lock = asyncio.Lock()
+        tasks: "set[asyncio.Task[None]]" = set()
+
+        async def respond(payload: dict) -> None:
+            async with write_lock:
+                writer.write(dumps_line(payload))
+                await writer.drain()
+
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    await respond({"error": "wire line too long"})
+                    break
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                await self._handle_line(line, respond, tasks)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _handle_line(self, line: bytes, respond, tasks) -> None:
+        try:
+            payload = parse_line(line)
+        except ServiceError as error:
+            await respond({"error": str(error)})
+            return
+        op = payload.get("op")
+        if op is not None:
+            await self._handle_op(op, payload, respond)
+            return
+        try:
+            request_id, request, env, timeout_s = decode_request(payload)
+        except ServiceError as error:
+            await respond({"id": payload.get("id"), "error": str(error)})
+            return
+
+        async def decide_and_reply() -> None:
+            try:
+                response = await self.pdp.submit(
+                    request, environment_roles=env, timeout=timeout_s
+                )
+            except ServiceError as error:  # PDP stopped mid-flight
+                await respond({"id": request_id, "error": str(error)})
+                return
+            await respond(encode_response(request_id, response))
+
+        # Decide concurrently so one queued request never blocks the
+        # read loop — this is what lets a single connection keep many
+        # requests in flight (and the batcher fill real batches).
+        task = asyncio.get_running_loop().create_task(decide_and_reply())
+        tasks.add(task)
+        task.add_done_callback(tasks.discard)
+
+    async def _handle_op(self, op: object, payload: dict, respond) -> None:
+        if op == "ping":
+            await respond({"op": "pong", "id": payload.get("id")})
+        elif op == "stats":
+            await respond(
+                {"op": "stats", "id": payload.get("id"), "stats": self.pdp.stats()}
+            )
+        else:
+            await respond({"id": payload.get("id"), "error": f"unknown op {op!r}"})

@@ -1,0 +1,138 @@
+"""Regression tests for the environment revision counters.
+
+The PDP decision cache (PR 3) keys cached answers on
+``(policy.decision_revision, environment revision, request)``; a
+revision counter that fails to move when the active environment-role
+set changes would let the cache serve a stale grant.  These tests pin
+the contract: every activation/deactivation — whether driven by the
+clock, by state writes, or by rebinding — is observable as a revision
+bump *before* the new active set can be read.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime
+
+from repro.env.conditions import state_equals
+from repro.env.runtime import EnvironmentRuntime
+from repro.env.temporal import time_window, weekdays
+
+
+def make_runtime() -> EnvironmentRuntime:
+    # Monday 2000-01-17, 18:00 — §5.1's canonical week.
+    return EnvironmentRuntime(start=datetime(2000, 1, 17, 18, 0))
+
+
+class TestActivatorRevision:
+    def test_clock_driven_activation_bumps_revision(self, empty_policy):
+        runtime = make_runtime()
+        runtime.define_time_role(
+            empty_policy, "free-time", weekdays() & time_window("19:00", "22:00")
+        )
+        before = runtime.activator.revision
+        assert "free-time" not in runtime.active_roles()
+
+        runtime.clock.advance(hours=2)  # 20:00 — inside the window
+        assert "free-time" in runtime.active_roles()
+        after_activate = runtime.activator.revision
+        assert after_activate > before
+
+        runtime.clock.advance(hours=3)  # 23:00 — outside again
+        assert "free-time" not in runtime.active_roles()
+        assert runtime.activator.revision > after_activate
+
+    def test_state_driven_activation_bumps_revision(self, empty_policy):
+        runtime = make_runtime()
+        runtime.define_role(
+            empty_policy, "emergency", state_equals("alarm", "on")
+        )
+        before = runtime.activator.revision
+        runtime.state.set("alarm", "on")
+        assert "emergency" in runtime.active_roles()
+        assert runtime.activator.revision > before
+
+    def test_revision_observable_without_prior_query(self, empty_policy):
+        # Reading .revision alone must fold in pending transitions —
+        # a cache that reads the counter before the set is safe.
+        runtime = make_runtime()
+        runtime.define_time_role(
+            empty_policy, "free-time", time_window("19:00", "22:00")
+        )
+        before = runtime.activator.revision
+        runtime.clock.advance(hours=2)
+        # No active_roles() call in between: the property itself must see it.
+        assert runtime.activator.revision > before
+
+    def test_revision_stable_when_nothing_changes(self, empty_policy):
+        runtime = make_runtime()
+        runtime.define_time_role(
+            empty_policy, "free-time", time_window("19:00", "22:00")
+        )
+        revision = runtime.activator.revision
+        assert runtime.activator.revision == revision
+        # A clock advance that does not cross an activation boundary
+        # leaves the activation revision alone (cache stays warm).
+        runtime.clock.advance(minutes=5)  # 18:05, still outside
+        assert runtime.activator.revision == revision
+
+    def test_unbind_bumps_revision_when_role_was_active(self, empty_policy):
+        runtime = make_runtime()
+        runtime.define_role(empty_policy, "armed", state_equals("alarm", "on"))
+        runtime.state.set("alarm", "on")
+        assert "armed" in runtime.active_roles()
+        before = runtime.activator.revision
+        runtime.activator.unbind("armed")
+        assert "armed" not in runtime.active_roles()
+        assert runtime.activator.revision > before
+
+    def test_revision_is_monotonic(self, empty_policy):
+        runtime = make_runtime()
+        runtime.define_role(empty_policy, "armed", state_equals("alarm", "on"))
+        seen = [runtime.activator.revision]
+        for value in ("on", "off", "on", "on", "off"):
+            runtime.state.set("alarm", value)
+            runtime.clock.advance(minutes=1)
+            seen.append(runtime.activator.revision)
+        assert seen == sorted(seen)
+
+
+class TestRuntimeRevision:
+    def test_runtime_revision_covers_state_writes(self, empty_policy):
+        # Requester-relative sources (location injection) read state
+        # directly, so the runtime-level revision must move on *any*
+        # state write even when no bound role flips.
+        runtime = make_runtime()
+        before = runtime.revision
+        runtime.state.set("location.alice", "kitchen")
+        assert runtime.revision > before
+
+    def test_runtime_revision_covers_activation(self, empty_policy):
+        runtime = make_runtime()
+        runtime.define_time_role(
+            empty_policy, "free-time", time_window("19:00", "22:00")
+        )
+        before = runtime.revision
+        runtime.clock.advance(hours=2)
+        assert runtime.revision > before
+
+    def test_policy_mutations_move_decision_revision(self, empty_policy):
+        # The policy side of the PR 1 invalidation path, audited: every
+        # decision-relevant mutation must move decision_revision.
+        policy = empty_policy
+        seen = [policy.decision_revision]
+        policy.add_subject("alice")
+        policy.add_subject_role("child")
+        policy.assign_subject("alice", "child")
+        seen.append(policy.decision_revision)
+        policy.add_object("tv")
+        policy.add_object_role("entertainment")
+        policy.assign_object("tv", "entertainment")
+        seen.append(policy.decision_revision)
+        rule = policy.grant("child", "watch", "entertainment")
+        seen.append(policy.decision_revision)
+        policy.remove_permission(rule)
+        seen.append(policy.decision_revision)
+        policy.revoke_subject("alice", "child")
+        seen.append(policy.decision_revision)
+        assert seen == sorted(seen)
+        assert len(set(seen)) == len(seen), "every mutation must bump"

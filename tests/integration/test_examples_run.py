@@ -21,6 +21,7 @@ LANDMARKS = {
     "eldercare.py": "unlocks the front door",
     "connected_home.py": "babysitter",
     "unified_models.py": "multilevel security",
+    "served_home.py": "identical grant/deny sequence",
 }
 
 

@@ -1,0 +1,62 @@
+"""Unit tests for the revision-keyed decision cache."""
+
+from __future__ import annotations
+
+from repro.service.cache import DecisionCache
+
+
+def test_basic_get_put() -> None:
+    cache = DecisionCache(4)
+    assert cache.get(("k",)) is None
+    cache.put(("k",), "value")
+    assert cache.get(("k",)) == "value"
+    assert cache.hits == 1
+    assert cache.misses == 1
+
+
+def test_none_key_is_a_miss_and_never_stored() -> None:
+    cache = DecisionCache(4)
+    assert cache.get(None) is None
+    cache.put(None, "value")
+    assert cache.get(None) is None
+    assert len(cache) == 0
+
+
+def test_capacity_zero_disables() -> None:
+    cache = DecisionCache(0)
+    cache.put(("k",), "value")
+    assert cache.get(("k",)) is None
+    assert len(cache) == 0
+
+
+def test_lru_eviction_prefers_recently_used() -> None:
+    cache = DecisionCache(2)
+    cache.put(("a",), 1)
+    cache.put(("b",), 2)
+    assert cache.get(("a",)) == 1  # touch "a" so "b" is the LRU entry
+    cache.put(("c",), 3)
+    assert cache.get(("b",)) is None
+    assert cache.get(("a",)) == 1
+    assert cache.get(("c",)) == 3
+    assert cache.evictions == 1
+
+
+def test_revisioned_keys_never_collide() -> None:
+    cache = DecisionCache(8)
+    cache.put((1, "alice", "watch"), "grant@rev1")
+    cache.put((2, "alice", "watch"), "deny@rev2")
+    assert cache.get((1, "alice", "watch")) == "grant@rev1"
+    assert cache.get((2, "alice", "watch")) == "deny@rev2"
+
+
+def test_stats_shape() -> None:
+    cache = DecisionCache(2)
+    cache.put(("a",), 1)
+    cache.get(("a",))
+    cache.get(("b",))
+    stats = cache.stats()
+    assert stats["entries"] == 1
+    assert stats["capacity"] == 2
+    assert stats["hits"] == 1
+    assert stats["misses"] == 1
+    assert 0.0 <= stats["hit_rate"] <= 1.0

@@ -1,0 +1,244 @@
+"""Backpressure: overload is explicit, bounded, and never a grant.
+
+The batcher is parked on an event (via the overridable ``_decide``
+hook) so the admission queue fills deterministically — no timing
+races, no real load needed.  Every scenario releases the gate in a
+``finally`` so a failing assertion can never deadlock the drain.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.core import AccessRequest, MediationEngine
+from repro.service import PDPConfig, PDPOutcome, PolicyDecisionPoint
+
+REQUEST = AccessRequest("watch", "livingroom/tv", subject="alice")
+ENV = {"free-time"}
+
+
+def parked_pdp(policy, release: asyncio.Event, **config) -> PolicyDecisionPoint:
+    """A PDP whose batcher blocks until ``release`` is set."""
+    engine = MediationEngine(policy)
+    pdp = PolicyDecisionPoint(engine, PDPConfig(cache_size=0, **config))
+    original = PolicyDecisionPoint._decide
+
+    async def gated(self, requests, env_overrides):
+        await release.wait()
+        return await original(self, requests, env_overrides)
+
+    pdp._decide = gated.__get__(pdp)
+    return pdp
+
+
+async def park_batcher(pdp) -> "asyncio.Task":
+    """Submit one request and wait until the batcher holds it."""
+    blocker = asyncio.create_task(pdp.submit(REQUEST, environment_roles=ENV))
+    for _ in range(20):
+        await asyncio.sleep(0)
+        if pdp.queue_depth == 0 and not blocker.done():
+            return blocker
+    raise AssertionError("batcher never picked up the blocker")
+
+
+def test_full_queue_sheds_immediately_with_explicit_outcome(tv_policy) -> None:
+    async def scenario():
+        release = asyncio.Event()
+        pdp = parked_pdp(tv_policy, release, max_queue=4, max_batch=1)
+        try:
+            async with pdp:
+                blocker = await park_batcher(pdp)
+                waiters = [
+                    asyncio.create_task(
+                        pdp.submit(REQUEST, environment_roles=ENV)
+                    )
+                    for _ in range(4)
+                ]
+                await asyncio.sleep(0)
+                assert pdp.queue_depth == 4  # at capacity
+                # The next submit must shed *now* — no waiting.
+                shed = await asyncio.wait_for(
+                    pdp.submit(REQUEST, environment_roles=ENV), timeout=0.1
+                )
+                assert shed.outcome is PDPOutcome.DENY_OVERLOAD
+                assert shed.granted is False
+                assert shed.decision is None
+                assert "queue full" in shed.detail
+                release.set()
+                admitted = await asyncio.gather(blocker, *waiters)
+            return shed, admitted
+        finally:
+            release.set()
+
+    shed, admitted = asyncio.run(scenario())
+    # Everyone actually admitted still got a real mediated answer.
+    assert [r.outcome for r in admitted] == [PDPOutcome.GRANT] * 5
+    assert shed.latency_s < 0.1
+
+
+def test_shed_count_is_observable(tv_policy) -> None:
+    async def scenario():
+        release = asyncio.Event()
+        pdp = parked_pdp(tv_policy, release, max_queue=2, max_batch=1)
+        try:
+            async with pdp:
+                blocker = await park_batcher(pdp)
+                waiters = [
+                    asyncio.create_task(
+                        pdp.submit(REQUEST, environment_roles=ENV)
+                    )
+                    for _ in range(2)
+                ]
+                await asyncio.sleep(0)
+                for _ in range(4):
+                    await pdp.submit(REQUEST, environment_roles=ENV)
+                stats = pdp.stats()
+                release.set()
+                await asyncio.gather(blocker, *waiters)
+            return stats
+        finally:
+            release.set()
+
+    stats = asyncio.run(scenario())
+    assert stats["shed"] == 4
+    assert stats["requests"] == 7
+
+
+def test_queued_deadline_resolves_to_timeout_not_grant(tv_policy) -> None:
+    async def scenario():
+        release = asyncio.Event()
+        pdp = parked_pdp(tv_policy, release, max_queue=8, max_batch=1)
+        try:
+            async with pdp:
+                blocker = await park_batcher(pdp)
+                # Queued behind the parked batch with a 5 ms deadline.
+                timed = asyncio.create_task(
+                    pdp.submit(REQUEST, environment_roles=ENV, timeout=0.005)
+                )
+                await asyncio.sleep(0.02)
+                release.set()
+                return await timed, await blocker
+        finally:
+            release.set()
+
+    timed, blocker = asyncio.run(scenario())
+    assert timed.outcome is PDPOutcome.DENY_TIMEOUT
+    assert timed.granted is False
+    assert timed.decision is None
+    assert blocker.outcome is PDPOutcome.GRANT
+
+
+def test_default_timeout_config_applies(tv_policy) -> None:
+    async def scenario():
+        release = asyncio.Event()
+        pdp = parked_pdp(
+            tv_policy, release, max_queue=8, max_batch=1,
+            default_timeout_s=0.005,
+        )
+        try:
+            async with pdp:
+                blocker = await park_batcher(pdp)
+                timed = asyncio.create_task(
+                    pdp.submit(REQUEST, environment_roles=ENV)
+                )
+                await asyncio.sleep(0.02)
+                release.set()
+                await blocker
+                return await timed
+        finally:
+            release.set()
+
+    assert asyncio.run(scenario()).outcome is PDPOutcome.DENY_TIMEOUT
+
+
+def test_non_drain_stop_sheds_queued_requests(tv_policy) -> None:
+    async def scenario():
+        release = asyncio.Event()
+        pdp = parked_pdp(tv_policy, release, max_queue=8, max_batch=1)
+        try:
+            await pdp.start()
+            blocker = await park_batcher(pdp)
+            queued = [
+                asyncio.create_task(pdp.submit(REQUEST, environment_roles=ENV))
+                for _ in range(3)
+            ]
+            await asyncio.sleep(0)
+            stopper = asyncio.create_task(pdp.stop(drain=False))
+            await asyncio.sleep(0)
+            release.set()
+            await stopper
+            return await blocker, await asyncio.gather(*queued)
+        finally:
+            release.set()
+
+    blocker, queued = asyncio.run(scenario())
+    # In flight when stop() landed: still decided.
+    assert blocker.outcome is PDPOutcome.GRANT
+    # Still queued: shed explicitly, never silently dropped.
+    for response in queued:
+        assert response.outcome is PDPOutcome.DENY_OVERLOAD
+        assert response.granted is False
+        assert "shutting down" in response.detail
+
+
+def test_graceful_stop_decides_the_same_backlog(tv_policy) -> None:
+    # Identical setup to the non-drain test, but drain=True: the same
+    # backlog gets mediated answers instead of sheds.
+    async def scenario():
+        release = asyncio.Event()
+        pdp = parked_pdp(tv_policy, release, max_queue=8, max_batch=1)
+        try:
+            await pdp.start()
+            blocker = await park_batcher(pdp)
+            queued = [
+                asyncio.create_task(pdp.submit(REQUEST, environment_roles=ENV))
+                for _ in range(3)
+            ]
+            await asyncio.sleep(0)
+            stopper = asyncio.create_task(pdp.stop(drain=True))
+            await asyncio.sleep(0)
+            release.set()
+            await stopper
+            return await blocker, await asyncio.gather(*queued)
+        finally:
+            release.set()
+
+    blocker, queued = asyncio.run(scenario())
+    assert blocker.outcome is PDPOutcome.GRANT
+    assert [r.outcome for r in queued] == [PDPOutcome.GRANT] * 3
+
+
+def test_overload_never_leaks_a_spurious_grant(tv_policy) -> None:
+    # Hammer an undersized PDP; every response must be either a real
+    # mediated answer or an explicit service refusal, and every grant
+    # must match the direct engine's verdict for that request.
+    reference = MediationEngine(tv_policy)
+    denied_request = AccessRequest("watch", "kitchen/oven", subject="alice")
+    expected = {
+        REQUEST.obj: reference.decide(REQUEST, environment_roles=ENV).granted,
+        denied_request.obj: reference.decide(
+            denied_request, environment_roles=ENV
+        ).granted,
+    }
+
+    async def scenario():
+        engine = MediationEngine(tv_policy)
+        pdp = PolicyDecisionPoint(
+            engine, PDPConfig(cache_size=0, max_queue=2, max_batch=2)
+        )
+        async with pdp:
+            requests = [REQUEST, denied_request] * 100
+            return requests, await asyncio.gather(
+                *(pdp.submit(r, environment_roles=ENV) for r in requests)
+            )
+
+    requests, responses = asyncio.run(scenario())
+    sheds = 0
+    for request, response in zip(requests, responses):
+        if response.outcome is PDPOutcome.DENY_OVERLOAD:
+            sheds += 1
+            assert response.granted is False
+        else:
+            assert response.outcome in (PDPOutcome.GRANT, PDPOutcome.DENY)
+            assert response.granted == expected[request.obj]
+    assert sheds > 0  # the undersized queue really was overloaded
