@@ -25,6 +25,7 @@ from __future__ import annotations
 import asyncio
 import json
 import os
+import time
 
 from repro.core import GrbacPolicy
 from repro.core.mediation import MediationEngine
@@ -192,6 +193,7 @@ def test_bench_service(benchmark, report):
             "cache_size": cache_size,
             "throughput_rps": round(result.throughput_rps, 1),
             "latency_p50_us": round(result.latency_us(0.5), 1),
+            "latency_p95_us": round(result.latency_us(0.95), 1),
             "latency_p99_us": round(result.latency_us(0.99), 1),
             "cache_hit_rate": round(hit_rate, 4),
             "mean_batch_size": round(mean_batch, 2),
@@ -199,6 +201,7 @@ def test_bench_service(benchmark, report):
             "mismatches": result.mismatches,
             "dropped": result.dropped,
             "shed": result.shed,
+            "timeouts": result.timeouts,
         }
 
     full = records["batched+cache"]
@@ -232,6 +235,32 @@ def test_bench_service(benchmark, report):
     report_dir = os.path.join(os.path.dirname(__file__), "reports")
     os.makedirs(report_dir, exist_ok=True)
     json_path = os.path.join(report_dir, "BENCH_service.json")
+    # Trajectory accumulation: each run appends the full-service
+    # headline numbers (client-side percentiles, shed/timeout counts)
+    # so drift across commits is visible in one file, not just the
+    # latest snapshot.
+    trajectory: list = []
+    if os.path.exists(json_path):
+        try:
+            with open(json_path, "r", encoding="utf-8") as handle:
+                trajectory = list(json.load(handle).get("trajectory", []))
+        except (json.JSONDecodeError, OSError):
+            trajectory = []
+    trajectory.append(
+        {
+            "timestamp": time.strftime(
+                "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+            ),
+            "gate_speedup": round(speedup, 2),
+            "throughput_rps": full["throughput_rps"],
+            "latency_p50_us": full["latency_p50_us"],
+            "latency_p95_us": full["latency_p95_us"],
+            "latency_p99_us": full["latency_p99_us"],
+            "cache_hit_rate": full["cache_hit_rate"],
+            "shed": full["shed"],
+            "timeouts": full["timeouts"],
+        }
+    )
     with open(json_path, "w", encoding="utf-8") as handle:
         json.dump(
             {
@@ -246,6 +275,7 @@ def test_bench_service(benchmark, report):
                 "hit_rate_gate": HIT_RATE_GATE,
                 "gate_hit_rate": full["cache_hit_rate"],
                 "configurations": records,
+                "trajectory": trajectory[-50:],
             },
             handle,
             indent=2,

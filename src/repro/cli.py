@@ -12,9 +12,12 @@ who prefer a terminal over a Python prompt::
     python -m repro.cli export policy.grbac -o policy.json
     python -m repro.cli demo  s51
     python -m repro.cli bench policy.grbac --requests 5000 --mode compiled
-    python -m repro.cli serve policy.grbac --port 7471
+    python -m repro.cli serve policy.grbac --port 7471 --admin-port 9471 \\
+           --trace-sample-rate 0.05 --trace-file traces.jsonl
     python -m repro.cli loadgen policy.grbac --connect 127.0.0.1:7471 \\
            --requests 200 --verify
+    python -m repro.cli status --connect 127.0.0.1:7471 --check
+    python -m repro.cli tail --connect 127.0.0.1:7471 --follow
 
 Policies are authored in the text DSL (see
 :mod:`repro.policy.dsl.parser` for the grammar); ``export`` converts
@@ -153,7 +156,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
-    from repro.service import PDPConfig, PDPServer, PolicyDecisionPoint
+    from repro.obs import JsonlTraceSink, SloTracker
+    from repro.service import (
+        AdminServer,
+        PDPConfig,
+        PDPServer,
+        PolicyDecisionPoint,
+    )
 
     policy = _load_policy(args.policy)
     engine = MediationEngine(policy, confidence_threshold=args.threshold)
@@ -165,22 +174,178 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         default_timeout_s=(
             args.timeout_ms / 1000.0 if args.timeout_ms else None
         ),
+        trace_sample_rate=args.trace_sample_rate,
+        flight_capacity=args.flight_capacity,
+    )
+    sink = JsonlTraceSink(args.trace_file) if args.trace_file else None
+    slo = SloTracker(
+        availability_target=args.slo_availability,
+        latency_threshold_s=args.slo_latency_ms / 1000.0,
+        metrics=engine.metrics,
     )
 
     async def run() -> None:
-        pdp = PolicyDecisionPoint(engine, config)
+        pdp = PolicyDecisionPoint(engine, config, trace_sink=sink, slo=slo)
         server = PDPServer(pdp, host=args.host, port=args.port)
         await server.start()
+        admin = None
+        if args.admin_port is not None:
+            admin = AdminServer(pdp, host=args.host, port=args.admin_port)
+            await admin.start()
         # The "listening" line is the readiness signal scripts (and the
         # CI smoke job) wait for before pointing loadgen at us.
         print(f"serving {args.policy!r} listening on "
               f"{args.host}:{server.port}", flush=True)
-        await server.serve_forever()
+        if admin is not None:
+            print(f"admin http listening on {args.host}:{admin.port}",
+                  flush=True)
+        if sink is not None:
+            print(f"exporting sampled traces (rate "
+                  f"{args.trace_sample_rate}) to {args.trace_file}",
+                  flush=True)
+        try:
+            await server.serve_forever()
+        finally:
+            if admin is not None:
+                await admin.stop()
 
     try:
         asyncio.run(run())
     except KeyboardInterrupt:
         print("interrupted: admitted requests drained, server stopped")
+    finally:
+        if sink is not None:
+            sink.close()
+    return 0
+
+
+def _parse_connect(text: str) -> "tuple[str, int]":
+    """Split a HOST:PORT target (host defaults to loopback)."""
+    host, _, port_text = text.rpartition(":")
+    try:
+        return host or "127.0.0.1", int(port_text)
+    except ValueError:
+        raise GrbacError(
+            f"invalid --connect target {text!r} (expected HOST:PORT)"
+        ) from None
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.obs import PrometheusParseError, parse_prometheus
+    from repro.service import RemotePDPClient
+
+    host, port = _parse_connect(args.connect)
+
+    async def fetch():
+        client = await RemotePDPClient.connect(host, port)
+        try:
+            return (
+                await client.health(),
+                await client.ready(),
+                await client.stats(),
+                await client.metrics(),
+            )
+        finally:
+            await client.close()
+
+    health, ready, stats, metrics = asyncio.run(fetch())
+
+    problems = []
+    try:
+        families = parse_prometheus(metrics["prometheus"])
+    except PrometheusParseError as error:
+        families = {}
+        problems.append(f"malformed metrics exposition: {error}")
+    if not health.get("healthy"):
+        problems.append("health reports unhealthy")
+    if not ready.get("ready"):
+        problems.append("not ready (stopped, draining, or saturated)")
+
+    print(f"pdp {host}:{port}  policy {health.get('policy')!r} "
+          f"(revision {health.get('policy_revision')})")
+    print(f"  healthy {health.get('healthy')}  ready {ready.get('ready')}  "
+          f"uptime {health.get('uptime_s')} s  "
+          f"queue {ready.get('queue_depth')}/{ready.get('max_queue')}")
+    print(f"  requests {stats.get('requests')}  "
+          f"decided {stats.get('decided')}  "
+          f"cache hit rate {stats.get('cache_hit_rate')}")
+    print(f"  shed {stats.get('shed')}  timeouts {stats.get('timeouts')}  "
+          f"errors {stats.get('errors')}  "
+          f"traces sampled {stats.get('traces_sampled')}")
+    slo = health.get("slo")
+    if isinstance(slo, dict):
+        for name in ("availability", "latency"):
+            objective = slo.get(name)
+            if not isinstance(objective, dict):
+                continue
+            met = "met" if objective.get("met") else "MISSED"
+            print(
+                f"  slo {name:<13} {met}: ratio {objective.get('ratio')} "
+                f"vs target {objective.get('target')} "
+                f"(burn rate {objective.get('burn_rate')}, "
+                f"window {objective.get('window_total')} requests)"
+            )
+    print(f"  metric families scraped: {len(families)}")
+    if problems:
+        for problem in problems:
+            print(f"PROBLEM: {problem}", file=sys.stderr)
+        if args.check:
+            return 1
+    return 0
+
+
+def _cmd_tail(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import RemotePDPClient
+
+    host, port = _parse_connect(args.connect)
+
+    def render(entry: dict) -> str:
+        flags = []
+        if entry.get("cached"):
+            flags.append("cached")
+        if entry.get("request_id") is not None:
+            flags.append(f"id={entry['request_id']}")
+        suffix = f"  [{' '.join(flags)}]" if flags else ""
+        return (
+            f"#{entry.get('seq'):<6} {entry.get('outcome'):<14} "
+            f"{entry.get('subject')} {entry.get('transaction')} "
+            f"{entry.get('object')}  {entry.get('latency_us', 0):.0f} us"
+            f"{suffix}"
+        )
+
+    async def run() -> None:
+        client = await RemotePDPClient.connect(host, port)
+        try:
+            cursor = 0
+            entries = await client.dump(
+                limit=args.limit,
+                subject=args.subject,
+                outcome=args.outcome,
+            )
+            for entry in entries:
+                print(render(entry), flush=True)
+                cursor = max(cursor, int(entry.get("seq", 0)))
+            while args.follow:
+                await asyncio.sleep(args.interval)
+                entries = await client.dump(
+                    since_seq=cursor,
+                    subject=args.subject,
+                    outcome=args.outcome,
+                )
+                for entry in entries:
+                    print(render(entry), flush=True)
+                    cursor = max(cursor, int(entry.get("seq", 0)))
+        finally:
+            await client.close()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
     return 0
 
 
@@ -211,9 +376,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
 
     async def run():
         if args.connect:
-            host, _, port_text = args.connect.rpartition(":")
-            client = await RemotePDPClient.connect(host or "127.0.0.1",
-                                                   int(port_text))
+            host, port = _parse_connect(args.connect)
+            client = await RemotePDPClient.connect(host, port)
             try:
                 return await run_loadgen(client, stream, config, expected)
             finally:
@@ -240,6 +404,39 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             json_module.dump(result.to_dict(), handle, indent=2)
             handle.write("\n")
         print(f"wrote {args.json}")
+    if args.report:
+        import time as time_module
+
+        # Trajectory accumulation: append this run's client-side view
+        # (percentiles, shed/timeout counts) to the report's history
+        # instead of overwriting it.
+        payload = {}
+        try:
+            with open(args.report, "r", encoding="utf-8") as handle:
+                payload = json_module.load(handle)
+            if not isinstance(payload, dict):
+                payload = {}
+        except (FileNotFoundError, json_module.JSONDecodeError):
+            payload = {}
+        trajectory = payload.get("trajectory")
+        if not isinstance(trajectory, list):
+            trajectory = []
+        trajectory.append(
+            {
+                "timestamp": time_module.strftime(
+                    "%Y-%m-%dT%H:%M:%SZ", time_module.gmtime()
+                ),
+                "target": target,
+                "mode": mode,
+                "verified": args.verify,
+                **result.to_dict(),
+            }
+        )
+        payload["trajectory"] = trajectory[-50:]
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json_module.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"appended run #{len(trajectory)} to {args.report}")
     if not result.ok:
         print(
             f"FAIL: {result.mismatches} stale answers, "
@@ -465,7 +662,110 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.0,
         help="policy-wide confidence threshold (default 0.0)",
     )
+    serve.add_argument(
+        "--admin-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="also serve /metrics /health /ready /dump over HTTP on "
+        "this port (0 picks an ephemeral port; default: off)",
+    )
+    serve.add_argument(
+        "--trace-sample-rate",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="head-sample this fraction of requests for full pipeline "
+        "traces (default 0.0; needs --trace-file to export)",
+    )
+    serve.add_argument(
+        "--trace-file",
+        metavar="PATH",
+        help="export sampled decision spans as JSONL to this file "
+        "(rotated; default: no trace export)",
+    )
+    serve.add_argument(
+        "--flight-capacity",
+        type=int,
+        default=512,
+        help="flight-recorder ring size for the dump op / repro tail "
+        "(0 disables; default 512)",
+    )
+    serve.add_argument(
+        "--slo-availability",
+        type=float,
+        default=0.999,
+        metavar="TARGET",
+        help="availability SLO target: fraction of requests that must "
+        "be mediated, not shed/timed out/errored (default 0.999)",
+    )
+    serve.add_argument(
+        "--slo-latency-ms",
+        type=float,
+        default=50.0,
+        metavar="MS",
+        help="latency SLO threshold in ms (default 50.0)",
+    )
     serve.set_defaults(func=_cmd_serve)
+
+    status = subparsers.add_parser(
+        "status",
+        help="one-shot live-ops view of a served PDP "
+        "(health, readiness, SLOs, metrics)",
+    )
+    status.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="a running `serve` instance",
+    )
+    status.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 when unhealthy, not ready, or the Prometheus "
+        "exposition fails to parse (CI probe mode)",
+    )
+    status.set_defaults(func=_cmd_status)
+
+    tail = subparsers.add_parser(
+        "tail",
+        help="print a served PDP's flight-recorder entries "
+        "(recent decisions), optionally following",
+    )
+    tail.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="a running `serve` instance",
+    )
+    tail.add_argument(
+        "--limit",
+        type=int,
+        default=20,
+        help="entries to print on the first poll (default 20)",
+    )
+    tail.add_argument(
+        "--follow",
+        "-f",
+        action="store_true",
+        help="keep polling for new entries until interrupted",
+    )
+    tail.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="poll interval with --follow (default 1.0)",
+    )
+    tail.add_argument(
+        "--subject", help="only entries for this subject"
+    )
+    tail.add_argument(
+        "--outcome",
+        help="only entries with this outcome (grant, deny, "
+        "deny-overload, deny-timeout, error)",
+    )
+    tail.set_defaults(func=_cmd_tail)
 
     loadgen = subparsers.add_parser(
         "loadgen",
@@ -519,6 +819,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     loadgen.add_argument(
         "--json", metavar="PATH", help="write machine-readable results"
+    )
+    loadgen.add_argument(
+        "--report",
+        metavar="PATH",
+        help="append this run's client-side percentiles and shed/"
+        "timeout counts to a trajectory report (e.g. "
+        "benchmarks/reports/BENCH_service.json)",
     )
     loadgen.set_defaults(func=_cmd_loadgen)
 

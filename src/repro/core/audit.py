@@ -46,6 +46,17 @@ class AuditRecord:
     def transaction(self) -> str:
         return self.decision.request.transaction
 
+    @property
+    def request_id(self) -> Optional[object]:
+        """The wire correlation id, when the decision carries a trace.
+
+        This is the join key between the audit log and the obs export
+        pipeline: an exported span, a flight-recorder entry, and an
+        audit record for the same request all name the same id.
+        """
+        trace = self.decision.trace
+        return trace.request_id if trace is not None else None
+
     def describe(self) -> str:
         """One-line rendering for reports."""
         stamp = f"t={self.timestamp:.0f} " if self.timestamp is not None else ""
@@ -215,6 +226,7 @@ class AuditLog:
             payload = {
                 "sequence": record.sequence,
                 "timestamp": record.timestamp,
+                "request_id": record.request_id,
                 "granted": record.granted,
                 "subject": record.subject,
                 "transaction": record.transaction,

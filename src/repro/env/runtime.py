@@ -23,6 +23,7 @@ from repro.env.location import LocationService, ZoneResolver, exact_zone_resolve
 from repro.env.providers import ProviderRegistry
 from repro.env.state import EnvironmentState
 from repro.env.temporal import TimeExpression
+from repro.obs.metrics import MetricsRegistry
 from repro.obs.observers import ObserverHub
 
 
@@ -144,3 +145,18 @@ class EnvironmentRuntime:
     def now(self) -> datetime:
         """Current simulated time."""
         return self.clock.now_datetime()
+
+    def bind_metrics(self, metrics: "MetricsRegistry") -> None:
+        """Expose the substrate's state as live gauges.
+
+        Registers ``env.revision`` (the snapshot revision decision
+        caches key on — a stuck value under changing conditions is the
+        classic stale-cache symptom) and ``env.active_roles`` (the
+        current environment-role census) so a metrics scrape of any
+        registry this runtime is bound to shows the environment the
+        PDP is deciding under.
+        """
+        metrics.gauge("env.revision", lambda: float(self.revision))
+        metrics.gauge(
+            "env.active_roles", lambda: float(len(self.active_roles()))
+        )

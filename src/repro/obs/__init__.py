@@ -3,9 +3,9 @@
 The ROADMAP's north star is an engine serving millions of requests;
 operating one requires answering three questions without a debugger:
 
-* **how much** — :mod:`repro.obs.metrics`: a registry of counters and
-  latency histograms that the mediation pipeline, sessions, audit log,
-  and CLI publish into;
+* **how much** — :mod:`repro.obs.metrics`: a registry of counters,
+  gauges and latency histograms that the mediation pipeline, sessions,
+  audit log, PDP, and CLI publish into;
 * **why** — :mod:`repro.obs.trace`: span-style decision traces, one
   :class:`StageSpan` per pipeline stage, from which
   ``Decision.explain()`` and audit records are rendered;
@@ -13,19 +13,58 @@ operating one requires answering three questions without a debugger:
   that components publish structured events into.  With no observers
   subscribed the hooks cost one truthiness check, which is what keeps
   the instrumented pipeline within the E11 overhead budget.
+
+PR 4 adds the export boundary that makes the signals *operable*:
+
+* :mod:`repro.obs.export` — Prometheus/JSON metrics exposition (plus
+  a validating parser), head-based trace sampling, and bounded
+  drop-counting trace sinks (JSONL with rotation, in-memory);
+* :mod:`repro.obs.flight` — the always-on flight recorder: a ring of
+  recent decision summaries behind the ``dump`` op / ``repro tail``;
+* :mod:`repro.obs.slo` — rolling availability and latency objectives
+  with burn rates, surfaced through ``metrics`` and ``repro status``.
 """
 
-from repro.obs.metrics import Counter, Histogram, MetricsRegistry
+from repro.obs.export import (
+    InMemoryTraceSink,
+    JsonlTraceSink,
+    PrometheusParseError,
+    TraceSampler,
+    TraceSink,
+    parse_prometheus,
+    prometheus_name,
+    render_json,
+    render_prometheus,
+    trace_to_dict,
+)
+from repro.obs.flight import FlightRecorder
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.observers import CollectingObserver, Observer, ObserverHub
+from repro.obs.slo import RollingRatio, SloObjective, SloTracker
 from repro.obs.trace import DecisionTrace, StageSpan
 
 __all__ = [
     "CollectingObserver",
     "Counter",
     "DecisionTrace",
+    "FlightRecorder",
+    "Gauge",
     "Histogram",
+    "InMemoryTraceSink",
+    "JsonlTraceSink",
     "MetricsRegistry",
     "Observer",
     "ObserverHub",
+    "PrometheusParseError",
+    "RollingRatio",
+    "SloObjective",
+    "SloTracker",
     "StageSpan",
+    "TraceSampler",
+    "TraceSink",
+    "parse_prometheus",
+    "prometheus_name",
+    "render_json",
+    "render_prometheus",
+    "trace_to_dict",
 ]

@@ -1,0 +1,448 @@
+"""Telemetry export: metrics exposition and trace sinks.
+
+Everything PR 2/PR 3 instrumented is in-process plain data —
+:class:`~repro.obs.metrics.MetricsRegistry` snapshots and
+:class:`~repro.obs.trace.DecisionTrace` objects.  This module is the
+boundary that turns those into *operable* signals:
+
+* :func:`render_prometheus` / :func:`render_json` — one registry,
+  two expositions.  Prometheus text is what a scraper pulls from the
+  ``metrics`` wire op or the ``--admin-port`` HTTP sidecar; the JSON
+  form is the same numbers for scripts and the CLI.
+* :func:`parse_prometheus` — a deliberately small parser for the text
+  format, used by tests and the CI smoke job to *validate* what we
+  expose (an exposition bug should fail CI, not a dashboard at 3am).
+* :class:`TraceSampler` — head-based sampling: the keep/drop choice
+  is made once at admission, so a sampled request pays for tracing
+  and an unsampled one pays nothing.
+* :class:`TraceSink` + :class:`InMemoryTraceSink` /
+  :class:`JsonlTraceSink` — where sampled spans go.  The JSONL sink
+  is bounded and drop-counting: when its queue is full the span is
+  dropped and counted, never blocking the decision path; a background
+  writer thread owns the file and rotates it at a size threshold.
+
+Span schema (one JSON object per line; see ``docs/OBSERVABILITY.md``)::
+
+    {"request_id": 7, "subject": "alice", "transaction": "watch",
+     "object": "livingroom/tv", "granted": true, "mode": "compiled",
+     "rationale": "...", "environment_roles": [...],
+     "subject_roles": {...}, "matched_rules": [...],
+     "total_us": 101.2,
+     "stages": [{"name": "resolve-subject-roles", "duration_us": 8.1,
+                 "annotations": {...}}, ...]}
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import queue
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import DecisionTrace
+
+#: Prefix every exposed metric carries, so a shared Prometheus has an
+#: unambiguous namespace to scrape/alert on.
+PROMETHEUS_PREFIX = "grbac"
+
+
+# ----------------------------------------------------------------------
+# Metric-name mangling
+# ----------------------------------------------------------------------
+def prometheus_name(name: str, suffix: str = "") -> str:
+    """Registry name -> Prometheus metric name.
+
+    Registry names are dotted (``pdp.cache_hits``,
+    ``pipeline.match-permissions``); Prometheus names must match
+    ``[a-zA-Z_:][a-zA-Z0-9_:]*``.  Dots and dashes become underscores
+    and the ``grbac_`` namespace prefix is applied.
+    """
+    safe = "".join(
+        ch if ch.isalnum() or ch == "_" else "_" for ch in name
+    )
+    if safe and safe[0].isdigit():
+        safe = "_" + safe
+    return f"{PROMETHEUS_PREFIX}_{safe}{suffix}"
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    formatted = repr(float(value))
+    return formatted
+
+
+# ----------------------------------------------------------------------
+# Exposition
+# ----------------------------------------------------------------------
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Render a registry in Prometheus text exposition format (0.0.4).
+
+    Counters expose as ``counter``, gauges as ``gauge``, histograms as
+    native Prometheus histograms: cumulative ``_bucket{le="..."}``
+    series (including the mandatory ``le="+Inf"``), ``_sum`` and
+    ``_count``.  Histogram values are seconds, so bucket bounds are
+    directly usable in ``histogram_quantile()``.
+    """
+    lines: List[str] = []
+    for name, value in registry.counters().items():
+        metric = prometheus_name(name, "_total")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {value}")
+    for name, value in registry.gauges().items():
+        metric = prometheus_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(value)}")
+    for name, histogram in registry.histogram_objects().items():
+        metric = prometheus_name(name, "_seconds")
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for bound, bucket in zip(histogram.bounds, histogram.buckets):
+            cumulative += bucket
+            lines.append(
+                f'{metric}_bucket{{le="{_format_value(bound)}"}} {cumulative}'
+            )
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {histogram.count}')
+        lines.append(f"{metric}_sum {_format_value(histogram.total)}")
+        lines.append(f"{metric}_count {histogram.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def render_json(registry: MetricsRegistry) -> Dict[str, object]:
+    """The registry snapshot, as exposed by the ``metrics`` op."""
+    return registry.snapshot()
+
+
+# ----------------------------------------------------------------------
+# Validation parser
+# ----------------------------------------------------------------------
+class PrometheusParseError(ValueError):
+    """The exposition text violates the Prometheus text format."""
+
+
+def parse_prometheus(text: str) -> Dict[str, List[Tuple[Dict[str, str], float]]]:
+    """Parse Prometheus text exposition into ``{name: [(labels, value)]}``.
+
+    A *validating* parser for the subset this package emits (and any
+    well-formed unlabelled/simple-labelled exposition): it rejects
+    malformed sample lines, bad label syntax, non-numeric values, and
+    samples whose metric family was ``# TYPE``-declared under a
+    different name than used.  Used by tests and the CI smoke job —
+    this is the "small parser" the service-smoke gate runs the scraped
+    body through.
+
+    :raises PrometheusParseError: on any malformed line.
+    """
+    samples: Dict[str, List[Tuple[Dict[str, str], float]]] = {}
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 2 and parts[1] not in ("HELP", "TYPE"):
+                raise PrometheusParseError(
+                    f"line {line_number}: unknown comment form {line!r}"
+                )
+            if parts[1:2] == ["TYPE"] and len(parts) != 4:
+                raise PrometheusParseError(
+                    f"line {line_number}: malformed TYPE line {line!r}"
+                )
+            continue
+        name, labels, value_text = _split_sample(line, line_number)
+        if not name or not _valid_metric_name(name):
+            raise PrometheusParseError(
+                f"line {line_number}: invalid metric name {name!r}"
+            )
+        try:
+            value = float(value_text)
+        except ValueError:
+            raise PrometheusParseError(
+                f"line {line_number}: non-numeric value {value_text!r}"
+            ) from None
+        samples.setdefault(name, []).append((labels, value))
+    return samples
+
+
+def _valid_metric_name(name: str) -> bool:
+    head, tail = name[0], name[1:]
+    if not (head.isalpha() or head in "_:"):
+        return False
+    return all(ch.isalnum() or ch in "_:" for ch in tail)
+
+
+def _split_sample(
+    line: str, line_number: int
+) -> Tuple[str, Dict[str, str], str]:
+    """``name{label="v"} value`` -> (name, labels, value-text)."""
+    labels: Dict[str, str] = {}
+    if "{" in line:
+        name, _, rest = line.partition("{")
+        body, closed, value_part = rest.partition("}")
+        if not closed or not value_part.strip():
+            raise PrometheusParseError(
+                f"line {line_number}: malformed labelled sample {line!r}"
+            )
+        for pair in filter(None, (p.strip() for p in body.split(","))):
+            key, eq, value = pair.partition("=")
+            key = key.strip()
+            value = value.strip()
+            if (
+                not eq
+                or not key
+                or len(value) < 2
+                or value[0] != '"'
+                or value[-1] != '"'
+            ):
+                raise PrometheusParseError(
+                    f"line {line_number}: malformed label pair {pair!r}"
+                )
+            labels[key] = value[1:-1]
+        return name.strip(), labels, value_part.strip().split()[0]
+    parts = line.split()
+    if len(parts) < 2:
+        raise PrometheusParseError(
+            f"line {line_number}: sample needs a name and a value: {line!r}"
+        )
+    return parts[0], labels, parts[1]
+
+
+# ----------------------------------------------------------------------
+# Trace serialization
+# ----------------------------------------------------------------------
+def trace_to_dict(
+    trace: DecisionTrace, request_id: Optional[object] = None
+) -> Dict[str, object]:
+    """One exported span record for a recorded decision trace."""
+    total = trace.total_s
+    payload: Dict[str, object] = {
+        "request_id": request_id if request_id is not None else trace.request_id,
+        "subject": trace.subject,
+        "transaction": trace.transaction,
+        "object": trace.obj,
+        "mode": trace.mode,
+        "granted": trace.granted,
+        "rationale": trace.rationale,
+        "subject_roles": {
+            name: round(confidence, 6)
+            for name, confidence in sorted(trace.subject_roles.items())
+        },
+        "environment_roles": sorted(trace.environment_roles),
+        "matched_rules": list(trace.matched_rules),
+        "total_us": round(total * 1e6, 3) if total is not None else None,
+        "stages": [
+            {
+                "name": span.name,
+                "duration_us": (
+                    round(span.duration_s * 1e6, 3)
+                    if span.duration_s is not None
+                    else None
+                ),
+                "annotations": {
+                    key: _plain(value)
+                    for key, value in span.annotations.items()
+                },
+            }
+            for span in trace.spans
+        ],
+    }
+    return payload
+
+
+def _plain(value: object) -> object:
+    """Annotation values as JSON-safe plain data."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_plain(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _plain(item) for key, item in value.items()}
+    return repr(value)
+
+
+# ----------------------------------------------------------------------
+# Sampling
+# ----------------------------------------------------------------------
+class TraceSampler:
+    """Deterministic head-based sampler.
+
+    ``rate`` is the target sampled fraction in ``[0, 1]``.  The
+    sampler is a credit accumulator, not a coin flip: every admission
+    adds ``rate`` credit and a sample spends one unit, so exactly
+    ``ceil(n * rate)`` of the first ``n`` requests are sampled — load
+    tests and benchmarks see the same overhead every run.
+    """
+
+    __slots__ = ("rate", "_credit", "sampled", "seen")
+
+    def __init__(self, rate: float) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("trace sample rate must be in [0, 1]")
+        self.rate = rate
+        self._credit = 0.0
+        self.sampled = 0
+        self.seen = 0
+
+    def should_sample(self) -> bool:
+        self.seen += 1
+        if self.rate == 0.0:
+            return False
+        self._credit += self.rate
+        if self._credit >= 1.0 - 1e-12:
+            self._credit -= 1.0
+            self.sampled += 1
+            return True
+        return False
+
+
+# ----------------------------------------------------------------------
+# Sinks
+# ----------------------------------------------------------------------
+class TraceSink:
+    """Where sampled decision spans go.
+
+    The contract producers rely on: :meth:`offer` never blocks and
+    never raises — a full or broken sink drops the span and counts it
+    in :attr:`dropped`.
+    """
+
+    def __init__(self) -> None:
+        self.accepted = 0
+        self.dropped = 0
+
+    def offer(self, span: Dict[str, object]) -> bool:
+        """Accept ``span`` (a plain dict) for export; True if kept."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush and release resources; idempotent."""
+
+    def stats(self) -> Dict[str, object]:
+        return {"accepted": self.accepted, "dropped": self.dropped}
+
+
+class InMemoryTraceSink(TraceSink):
+    """Buffers spans in memory — tests and the in-process live-ops path."""
+
+    def __init__(self, capacity: int = 1024) -> None:
+        super().__init__()
+        if capacity < 1:
+            raise ValueError("sink capacity must be >= 1")
+        self.capacity = capacity
+        self.spans: List[Dict[str, object]] = []
+
+    def offer(self, span: Dict[str, object]) -> bool:
+        if len(self.spans) >= self.capacity:
+            self.dropped += 1
+            return False
+        self.spans.append(span)
+        self.accepted += 1
+        return True
+
+
+class JsonlTraceSink(TraceSink):
+    """Bounded async JSONL file sink with size-based rotation.
+
+    ``offer`` puts the span on a bounded queue and returns; a daemon
+    writer thread serializes, writes, and rotates.  When the queue is
+    full the span is dropped and counted — exporting telemetry must
+    never add latency to (let alone fail) a decision.
+
+    Rotation: when the active file exceeds ``max_bytes`` it is renamed
+    to ``<path>.1`` (shifting older generations up to ``backups``) and
+    a fresh file is started.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        max_bytes: int = 16 * 1024 * 1024,
+        backups: int = 2,
+        queue_size: int = 2048,
+    ) -> None:
+        super().__init__()
+        if max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1")
+        if backups < 0:
+            raise ValueError("backups must be >= 0")
+        if queue_size < 1:
+            raise ValueError("queue_size must be >= 1")
+        self.path = path
+        self.max_bytes = max_bytes
+        self.backups = backups
+        self.rotations = 0
+        self._queue: "queue.Queue[Optional[Dict[str, object]]]" = queue.Queue(
+            maxsize=queue_size
+        )
+        self._closed = False
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        self._writer = threading.Thread(
+            target=self._drain, name="grbac-trace-sink", daemon=True
+        )
+        self._writer.start()
+
+    # -- producer side -------------------------------------------------
+    def offer(self, span: Dict[str, object]) -> bool:
+        if self._closed:
+            self.dropped += 1
+            return False
+        try:
+            self._queue.put_nowait(span)
+        except queue.Full:
+            self.dropped += 1
+            return False
+        self.accepted += 1
+        return True
+
+    def close(self) -> None:
+        """Stop the writer after it drains everything already queued."""
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.put(None)  # wake the writer; blocks only if full,
+        # in which case the writer is actively draining ahead of us.
+        self._writer.join(timeout=5.0)
+
+    # -- writer side ---------------------------------------------------
+    def _drain(self) -> None:
+        handle = open(self.path, "a", encoding="utf-8")
+        size = handle.tell()
+        try:
+            while True:
+                span = self._queue.get()
+                if span is None:
+                    break
+                line = json.dumps(span, sort_keys=True) + "\n"
+                handle.write(line)
+                handle.flush()
+                size += len(line.encode("utf-8"))
+                if size > self.max_bytes:
+                    handle.close()
+                    self._rotate()
+                    handle = open(self.path, "a", encoding="utf-8")
+                    size = 0
+        finally:
+            handle.close()
+
+    def _rotate(self) -> None:
+        self.rotations += 1
+        if self.backups == 0:
+            os.remove(self.path)
+            return
+        oldest = f"{self.path}.{self.backups}"
+        if os.path.exists(oldest):
+            os.remove(oldest)
+        for generation in range(self.backups - 1, 0, -1):
+            source = f"{self.path}.{generation}"
+            if os.path.exists(source):
+                os.replace(source, f"{self.path}.{generation + 1}")
+        os.replace(self.path, f"{self.path}.1")
+
+    def stats(self) -> Dict[str, object]:
+        data = super().stats()
+        data["path"] = self.path
+        data["rotations"] = self.rotations
+        return data

@@ -1,0 +1,122 @@
+"""The flight recorder: always-on ring of recent decision summaries.
+
+Traces are sampled and metrics are aggregates; neither answers the
+live-debugging question *"what were the last N things the PDP actually
+did, and why was Bobby just denied?"*.  The :class:`FlightRecorder`
+does: a fixed-size ring buffer of small plain-dict summaries, one per
+served response, cheap enough to leave on in production (one dict
+build and one deque append per decision — no serialization, no I/O).
+
+The ring is queryable via the PDP's ``dump`` wire op and the CLI's
+``repro tail`` (follow mode) / ``repro status``.  Entries carry a
+monotonic ``seq`` so a follower can poll with ``since_seq`` and only
+ever see each entry once, even across ring wrap-around.
+
+Entry schema (see ``docs/OBSERVABILITY.md``)::
+
+    {"seq": 1041, "request_id": 7, "subject": "bobby",
+     "transaction": "watch", "object": "livingroom/tv",
+     "outcome": "deny", "granted": false, "cached": false,
+     "matched_rule": "DENY child watch ...", "rationale": "...",
+     "environment_roles": ["weekday-free-time"], "latency_us": 95.0}
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+
+class FlightRecorder:
+    """Fixed-capacity ring buffer of decision summaries."""
+
+    def __init__(self, capacity: int = 512) -> None:
+        if capacity < 1:
+            raise ValueError("flight recorder capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: Deque[Dict[str, object]] = deque(maxlen=capacity)
+        self._seq = itertools.count(1)
+        self.recorded = 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        *,
+        subject: Optional[str],
+        transaction: str,
+        obj: str,
+        outcome: str,
+        granted: bool,
+        cached: bool = False,
+        request_id: Optional[object] = None,
+        matched_rule: Optional[str] = None,
+        rationale: str = "",
+        environment_roles: Optional[List[str]] = None,
+        latency_us: float = 0.0,
+    ) -> Dict[str, object]:
+        """Append one decision summary; returns the stored entry."""
+        entry: Dict[str, object] = {
+            "seq": next(self._seq),
+            "request_id": request_id,
+            "subject": subject,
+            "transaction": transaction,
+            "object": obj,
+            "outcome": outcome,
+            "granted": granted,
+            "cached": cached,
+            "matched_rule": matched_rule,
+            "rationale": rationale,
+            "environment_roles": sorted(environment_roles or ()),
+            "latency_us": round(latency_us, 1),
+        }
+        self._entries.append(entry)
+        self.recorded += 1
+        return entry
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def last_seq(self) -> int:
+        return self._entries[-1]["seq"] if self._entries else 0  # type: ignore[return-value]
+
+    def dump(
+        self,
+        limit: Optional[int] = None,
+        since_seq: int = 0,
+        subject: Optional[str] = None,
+        outcome: Optional[str] = None,
+    ) -> List[Dict[str, object]]:
+        """Retained entries, oldest first, after conjunctive filters.
+
+        :param limit: keep only the *newest* ``limit`` matches.
+        :param since_seq: only entries with ``seq > since_seq`` — the
+            follow-mode cursor.
+        :param subject: exact subject filter.
+        :param outcome: exact outcome filter (``grant``, ``deny``,
+            ``deny-overload``, ``deny-timeout``, ``error``).
+        """
+        matches = [
+            dict(entry)
+            for entry in self._entries
+            if entry["seq"] > since_seq  # type: ignore[operator]
+            and (subject is None or entry["subject"] == subject)
+            and (outcome is None or entry["outcome"] == outcome)
+        ]
+        if limit is not None and limit >= 0:
+            matches = matches[-limit:] if limit else []
+        return matches
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "capacity": self.capacity,
+            "retained": len(self._entries),
+            "recorded": self.recorded,
+            "last_seq": self.last_seq,
+        }

@@ -19,7 +19,7 @@ Design constraints, in order:
 from __future__ import annotations
 
 from bisect import bisect_right
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 #: Histogram bucket upper bounds in seconds: 1us .. ~8.4s, doubling.
 #: One overflow bucket catches anything slower.
@@ -46,6 +46,43 @@ class Counter:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A point-in-time value: set directly, or backed by a callable.
+
+    Two flavours, one surface:
+
+    * ``gauge.set(value)`` — components push the latest value
+      (e.g. a queue depth sampled at snapshot time);
+    * ``Gauge(name, fn=...)`` — the gauge *pulls* from ``fn`` whenever
+      it is read, so exposition always reports live state (e.g. the
+      environment-snapshot revision) without a sync step.
+    """
+
+    __slots__ = ("name", "_value", "fn")
+
+    def __init__(
+        self, name: str, fn: Optional[Callable[[], float]] = None
+    ) -> None:
+        self.name = name
+        self._value = 0.0
+        self.fn = fn
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        if self.fn is not None:
+            try:
+                return float(self.fn())
+            except Exception:  # noqa: BLE001 - a broken probe reads as 0
+                return 0.0
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name}={self.value})"
 
 
 class Histogram:
@@ -83,20 +120,34 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def quantile(self, q: float) -> float:
-        """Approximate the ``q``-quantile (0 < q <= 1) in seconds."""
+        """Approximate the ``q``-quantile (0 < q <= 1) in seconds.
+
+        Returns the upper bound of the bucket holding the ``q``-th
+        observation, clamped to the exactly-tracked observed ``max`` —
+        so an estimate never exceeds any real observation.  Edge cases
+        (pinned by ``tests/obs/test_histogram_quantile.py``):
+
+        * empty histogram → ``0.0`` (there is nothing to estimate);
+        * a single observation → that observation exactly, for every
+          ``q`` (the clamp collapses the bucket-width error);
+        * ``q = 1.0`` → the observed ``max`` exactly;
+        * observations beyond the top bucket land in the overflow
+          bucket, whose only known bound is the observed ``max``.
+        """
         if not 0.0 < q <= 1.0:
             raise ValueError("q must be in (0, 1]")
         if self.count == 0:
             return 0.0
+        observed_max = self.max if self.max is not None else 0.0
         target = q * self.count
         seen = 0
         for index, bucket in enumerate(self.buckets):
             seen += bucket
             if seen >= target:
                 if index >= len(self.bounds):
-                    return self.max if self.max is not None else 0.0
-                return self.bounds[index]
-        return self.max if self.max is not None else 0.0
+                    return observed_max
+                return min(self.bounds[index], observed_max)
+        return observed_max
 
     def snapshot(self) -> Dict[str, float]:
         return {
@@ -123,6 +174,7 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._counters: Dict[str, Counter] = {}
         self._histograms: Dict[str, Histogram] = {}
+        self._gauges: Dict[str, Gauge] = {}
 
     # ------------------------------------------------------------------
     # Access / creation
@@ -137,6 +189,22 @@ class MetricsRegistry:
         found = self._histograms.get(name)
         if found is None:
             found = self._histograms[name] = Histogram(name)
+        return found
+
+    def gauge(
+        self, name: str, fn: Optional[Callable[[], float]] = None
+    ) -> Gauge:
+        """The named gauge, created on first use.
+
+        Passing ``fn`` (re)binds the gauge to a live probe — last
+        binding wins, so a restarted component can re-register its
+        probe over a stale one.
+        """
+        found = self._gauges.get(name)
+        if found is None:
+            found = self._gauges[name] = Gauge(name, fn)
+        elif fn is not None:
+            found.fn = fn
         return found
 
     def inc(self, name: str, amount: int = 1) -> None:
@@ -156,9 +224,20 @@ class MetricsRegistry:
             name: h.snapshot() for name, h in sorted(self._histograms.items())
         }
 
+    def gauges(self) -> Dict[str, float]:
+        return {name: g.value for name, g in sorted(self._gauges.items())}
+
+    def histogram_objects(self) -> Dict[str, Histogram]:
+        """The live histograms, for exposition (bucket-level access)."""
+        return dict(sorted(self._histograms.items()))
+
     def snapshot(self) -> Dict[str, object]:
         """Plain-data view of everything recorded so far."""
-        return {"counters": self.counters(), "histograms": self.histograms()}
+        return {
+            "counters": self.counters(),
+            "gauges": self.gauges(),
+            "histograms": self.histograms(),
+        }
 
     def render(self) -> str:
         """Human-readable multi-line rendering for CLI output."""
@@ -168,6 +247,12 @@ class MetricsRegistry:
             lines.append("counters:")
             lines.extend(
                 f"  {name:<32} {value}" for name, value in counters.items()
+            )
+        gauges = self.gauges()
+        if gauges:
+            lines.append("gauges:")
+            lines.extend(
+                f"  {name:<32} {value:g}" for name, value in gauges.items()
             )
         histograms = self.histograms()
         if histograms:

@@ -1,0 +1,220 @@
+"""SLO tracking: rolling service-level objectives with burn rates.
+
+The PDP's counters say what happened since the process started; an
+operator needs to know whether the service is meeting its objectives
+*right now*.  This module tracks two objectives the serving layer
+cares about:
+
+* **availability** — the fraction of requests answered by mediation
+  (not shed, not timed out, not errored).  The PDP's explicit
+  fail-closed refusals are exactly the "error budget" spend.
+* **latency** — the fraction of requests answered within a latency
+  threshold.
+
+Each objective keeps a rolling window (bucketed ring — O(1) memory,
+O(buckets) reads) plus lifetime totals, and derives the standard
+**burn rate**: observed error fraction divided by the error budget
+``1 - target``.  Burn rate 1.0 means the budget is being spent
+exactly as fast as it accrues; a sustained burn rate above ~14 on a
+small window is the classic page-now signal.
+
+Time is injectable (``clock``) and defaults to ``time.monotonic`` —
+tests drive the window with a fake clock, nothing here sleeps.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+
+
+class RollingRatio:
+    """good/total ratio over a rolling time window, bucketed ring."""
+
+    def __init__(
+        self,
+        window_s: float = 300.0,
+        buckets: int = 30,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if window_s <= 0:
+            raise ValueError("window_s must be > 0")
+        if buckets < 1:
+            raise ValueError("buckets must be >= 1")
+        self.window_s = window_s
+        self.bucket_s = window_s / buckets
+        self._clock = clock if clock is not None else time.monotonic
+        self._good: List[int] = [0] * buckets
+        self._total: List[int] = [0] * buckets
+        #: Absolute bucket index (monotonic) each slot currently holds.
+        self._stamp: List[int] = [-1] * buckets
+        self.lifetime_good = 0
+        self.lifetime_total = 0
+
+    def _slot(self, now: float) -> int:
+        epoch = int(now / self.bucket_s)
+        index = epoch % len(self._total)
+        if self._stamp[index] != epoch:
+            self._stamp[index] = epoch
+            self._good[index] = 0
+            self._total[index] = 0
+        return index
+
+    def record(self, good: bool) -> None:
+        index = self._slot(self._clock())
+        self._total[index] += 1
+        if good:
+            self._good[index] += 1
+        self.lifetime_total += 1
+        if good:
+            self.lifetime_good += 1
+
+    def window_counts(self) -> Dict[str, int]:
+        """(good, total) summed over buckets still inside the window."""
+        now = self._clock()
+        current_epoch = int(now / self.bucket_s)
+        oldest_live = current_epoch - len(self._total) + 1
+        good = total = 0
+        for index in range(len(self._total)):
+            if self._stamp[index] >= oldest_live:
+                good += self._good[index]
+                total += self._total[index]
+        return {"good": good, "total": total}
+
+    def ratio(self, default: float = 1.0) -> float:
+        """Rolling good fraction; ``default`` when the window is empty."""
+        counts = self.window_counts()
+        if counts["total"] == 0:
+            return default
+        return counts["good"] / counts["total"]
+
+
+class SloObjective:
+    """One named objective: a target ratio over a rolling window."""
+
+    def __init__(
+        self,
+        name: str,
+        target: float,
+        window_s: float = 300.0,
+        buckets: int = 30,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if not 0.0 < target < 1.0:
+            raise ValueError("SLO target must be in (0, 1)")
+        self.name = name
+        self.target = target
+        self.rolling = RollingRatio(window_s, buckets, clock)
+
+    def record(self, good: bool) -> None:
+        self.rolling.record(good)
+
+    @property
+    def ratio(self) -> float:
+        return self.rolling.ratio()
+
+    @property
+    def met(self) -> bool:
+        return self.ratio >= self.target
+
+    @property
+    def burn_rate(self) -> float:
+        """Error fraction over error budget (1.0 = spending at accrual)."""
+        budget = 1.0 - self.target
+        return (1.0 - self.ratio) / budget
+
+    def snapshot(self) -> Dict[str, object]:
+        counts = self.rolling.window_counts()
+        return {
+            "target": self.target,
+            "window_s": self.rolling.window_s,
+            "window_good": counts["good"],
+            "window_total": counts["total"],
+            "ratio": round(self.ratio, 6),
+            "burn_rate": round(self.burn_rate, 4),
+            "met": self.met,
+            "lifetime_good": self.rolling.lifetime_good,
+            "lifetime_total": self.rolling.lifetime_total,
+        }
+
+
+class SloTracker:
+    """The PDP's two serving objectives, plus metric exposition.
+
+    :param availability_target: minimum fraction of requests that must
+        be mediated (neither shed nor timed out nor errored).
+    :param latency_threshold_s: a request is "fast" when its
+        end-to-end service latency is at or under this.
+    :param latency_target: minimum fraction of fast requests.
+    :param window_s: rolling window both objectives evaluate over.
+    :param clock: injectable monotonic clock (tests).
+    :param metrics: when given, live gauges are registered
+        (``slo.availability.ratio``, ``slo.availability.burn_rate``,
+        ``slo.latency.ratio``, ``slo.latency.burn_rate``, targets and
+        the latency threshold) so every exposition surface shows SLO
+        state without a sync step.
+    """
+
+    def __init__(
+        self,
+        availability_target: float = 0.999,
+        latency_threshold_s: float = 0.050,
+        latency_target: float = 0.99,
+        window_s: float = 300.0,
+        buckets: int = 30,
+        clock: Optional[Callable[[], float]] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if latency_threshold_s <= 0:
+            raise ValueError("latency_threshold_s must be > 0")
+        self.latency_threshold_s = latency_threshold_s
+        self.availability = SloObjective(
+            "availability", availability_target, window_s, buckets, clock
+        )
+        self.latency = SloObjective(
+            "latency", latency_target, window_s, buckets, clock
+        )
+        if metrics is not None:
+            self.bind_metrics(metrics)
+
+    def bind_metrics(self, metrics: MetricsRegistry) -> None:
+        availability, latency = self.availability, self.latency
+        metrics.gauge("slo.availability.target").set(availability.target)
+        metrics.gauge("slo.availability.ratio", lambda: availability.ratio)
+        metrics.gauge(
+            "slo.availability.burn_rate", lambda: availability.burn_rate
+        )
+        metrics.gauge("slo.latency.target").set(latency.target)
+        metrics.gauge(
+            "slo.latency.threshold_seconds"
+        ).set(self.latency_threshold_s)
+        metrics.gauge("slo.latency.ratio", lambda: latency.ratio)
+        metrics.gauge("slo.latency.burn_rate", lambda: latency.burn_rate)
+
+    def record_response(self, mediated: bool, latency_s: float) -> None:
+        """Record one served response against both objectives.
+
+        :param mediated: the request got a real grant/deny (service
+            refusals — shed, timeout, error — spend availability
+            budget).
+        :param latency_s: end-to-end service latency.
+        """
+        self.availability.record(mediated)
+        self.latency.record(latency_s <= self.latency_threshold_s)
+
+    @property
+    def healthy(self) -> bool:
+        """Both objectives currently met."""
+        return self.availability.met and self.latency.met
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "availability": self.availability.snapshot(),
+            "latency": {
+                "threshold_ms": round(self.latency_threshold_s * 1e3, 3),
+                **self.latency.snapshot(),
+            },
+            "healthy": self.healthy,
+        }

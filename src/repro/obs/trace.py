@@ -67,6 +67,7 @@ class DecisionTrace:
         "transaction",
         "obj",
         "mode",
+        "request_id",
         "granted",
         "rationale",
         "subject_roles",
@@ -82,12 +83,18 @@ class DecisionTrace:
         transaction: str,
         obj: str,
         mode: str = "",
+        request_id: Optional[object] = None,
     ) -> None:
         self.subject = subject
         self.transaction = transaction
         self.obj = obj
         #: Which expansion/match strategy served the decision.
         self.mode = mode
+        #: Wire-protocol correlation id, set by the serving layer when
+        #: the request arrived over a protocol that carries one — what
+        #: joins an exported span to the client's request and to the
+        #: audit record of the same decision.
+        self.request_id = request_id
         self.granted: Optional[bool] = None
         self.rationale: str = ""
         #: Effective subject-role name -> confidence.

@@ -11,6 +11,7 @@ newline-delimited-JSON TCP (:class:`PDPServer` /
 subcommands.  See ``docs/SERVICE.md`` for the architecture.
 """
 
+from repro.service.admin import AdminServer
 from repro.service.cache import DecisionCache
 from repro.service.client import RemotePDPClient
 from repro.service.loadgen import (
@@ -32,6 +33,7 @@ from repro.service.protocol import WireResponse
 from repro.service.server import PDPServer
 
 __all__ = [
+    "AdminServer",
     "DecisionCache",
     "LoadgenConfig",
     "LoadgenResult",

@@ -1,0 +1,199 @@
+"""The admin HTTP sidecar: scrape and poke a PDP with plain HTTP.
+
+The NDJSON protocol is the PDP's data plane; operations tooling —
+Prometheus scrapers, load-balancer health checks, ``curl`` — speaks
+HTTP.  :class:`AdminServer` is a deliberately tiny HTTP/1.0-style
+listener (stdlib asyncio only, one response per connection) bound to
+a separate port (``repro serve --admin-port``) so a scraper can never
+occupy a decision-plane connection slot:
+
+======================  =====================================================
+``GET /metrics``        Prometheus text exposition (0.0.4), whole stack
+``GET /metrics.json``   the same registry snapshot as JSON
+``GET /health``         liveness + SLO state; 200 while serving, 503 after
+``GET /ready``          admission headroom; 200 ready / 503 not ready
+``GET /dump``           flight-recorder entries; ``?limit=&since_seq=&``
+                        ``subject=&outcome=`` filters
+======================  =====================================================
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.exceptions import ServiceError
+from repro.service.pdp import PolicyDecisionPoint
+
+#: Request line + headers must fit in this; admin requests are tiny.
+_MAX_REQUEST_BYTES = 8 * 1024
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    503: "Service Unavailable",
+}
+
+#: Content type Prometheus scrapers expect for the text format.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class AdminServer:
+    """Serves a PDP's live-ops surface over HTTP.
+
+    :param pdp: the decision point to expose (read-only access).
+    :param host: bind address (default loopback).
+    :param port: bind port; 0 picks an ephemeral port — read
+        :attr:`port` after :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        pdp: PolicyDecisionPoint,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.pdp = pdp
+        self.host = host
+        self._requested_port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.requests_served = 0
+
+    @property
+    def port(self) -> int:
+        if self._server is None or not self._server.sockets:
+            raise ServiceError("admin server is not listening")
+        return self._server.sockets[0].getsockname()[1]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "AdminServer":
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.host,
+            port=self._requested_port,
+            limit=_MAX_REQUEST_BYTES,
+        )
+        return self
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def __aenter__(self) -> "AdminServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # HTTP handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request_line = await reader.readline()
+            # Drain headers (ignored) until the blank line.
+            while True:
+                header = await reader.readline()
+                if header in (b"\r\n", b"\n", b""):
+                    break
+            status, content_type, body = self._route(request_line)
+            self.requests_served += 1
+            writer.write(self._response(status, content_type, body))
+            await writer.drain()
+        except (
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.LimitOverrunError,
+            ValueError,
+        ):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    @staticmethod
+    def _response(status: int, content_type: str, body: bytes) -> bytes:
+        head = (
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        )
+        return head.encode("ascii") + body
+
+    def _route(self, request_line: bytes) -> Tuple[int, str, bytes]:
+        try:
+            method, target, _version = (
+                request_line.decode("latin-1").strip().split(" ", 2)
+            )
+        except ValueError:
+            return 400, "text/plain", b"malformed request line\n"
+        if method != "GET":
+            return 405, "text/plain", b"only GET is supported\n"
+        split = urlsplit(target)
+        path = split.path
+        query = {
+            key: values[-1] for key, values in parse_qs(split.query).items()
+        }
+        if path == "/metrics":
+            return (
+                200,
+                PROMETHEUS_CONTENT_TYPE,
+                self.pdp.metrics_prometheus().encode("utf-8"),
+            )
+        if path == "/metrics.json":
+            return 200, "application/json", _json(self.pdp.metrics_json())
+        if path == "/health":
+            health = self.pdp.health()
+            return (
+                200 if health["healthy"] else 503,
+                "application/json",
+                _json(health),
+            )
+        if path == "/ready":
+            ready = self.pdp.ready()
+            return (
+                200 if ready["ready"] else 503,
+                "application/json",
+                _json(ready),
+            )
+        if path == "/dump":
+            try:
+                entries = self.pdp.dump(
+                    limit=_int_param(query, "limit"),
+                    since_seq=_int_param(query, "since_seq") or 0,
+                    subject=query.get("subject"),
+                    outcome=query.get("outcome"),
+                )
+            except ValueError as error:
+                return 400, "text/plain", f"{error}\n".encode("utf-8")
+            return 200, "application/json", _json({"entries": entries})
+        return 404, "text/plain", b"unknown path\n"
+
+
+def _json(payload: Dict[str, object]) -> bytes:
+    return (json.dumps(payload, indent=2) + "\n").encode("utf-8")
+
+
+def _int_param(query: Dict[str, str], name: str) -> Optional[int]:
+    raw = query.get(name)
+    if raw is None:
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(f"query parameter {name!r} must be an integer") from None

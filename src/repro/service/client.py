@@ -13,11 +13,12 @@ from __future__ import annotations
 
 import asyncio
 import itertools
-from typing import Any, Dict, FrozenSet, Optional, Set
+from typing import Any, Dict, FrozenSet, List, Optional, Set
 
 from repro.core.decision import AccessRequest
 from repro.exceptions import ServiceError
 from repro.service.protocol import (
+    MAX_OP_LINE_BYTES,
     WireResponse,
     decode_response,
     dumps_line,
@@ -51,7 +52,11 @@ class RemotePDPClient:
 
     @classmethod
     async def connect(cls, host: str, port: int) -> "RemotePDPClient":
-        reader, writer = await asyncio.open_connection(host, port)
+        # The read limit is the op-response cap: a metrics exposition
+        # line is much larger than any decision response.
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=MAX_OP_LINE_BYTES
+        )
         return cls(reader, writer)
 
     async def __aenter__(self) -> "RemotePDPClient":
@@ -106,6 +111,66 @@ class RemotePDPClient:
             raise ServiceError(f"bad stats response: {raw!r}")
         return stats
 
+    async def metrics(self) -> Dict[str, Any]:
+        """The server's metrics exposition.
+
+        :returns: ``{"prometheus": <text exposition>, "json":
+            <registry snapshot>}``.
+        """
+        request_id = next(self._ids)
+        raw = await self._roundtrip(
+            request_id, {"op": "metrics", "id": request_id}
+        )
+        if "prometheus" not in raw or "json" not in raw:
+            raise ServiceError(f"bad metrics response: {raw!r}")
+        return {"prometheus": raw["prometheus"], "json": raw["json"]}
+
+    async def health(self) -> Dict[str, Any]:
+        """The server's ``health`` body (liveness + SLO state)."""
+        request_id = next(self._ids)
+        raw = await self._roundtrip(
+            request_id, {"op": "health", "id": request_id}
+        )
+        if "healthy" not in raw:
+            raise ServiceError(f"bad health response: {raw!r}")
+        return raw
+
+    async def ready(self) -> Dict[str, Any]:
+        """The server's ``ready`` body (admission headroom)."""
+        request_id = next(self._ids)
+        raw = await self._roundtrip(
+            request_id, {"op": "ready", "id": request_id}
+        )
+        if "ready" not in raw:
+            raise ServiceError(f"bad ready response: {raw!r}")
+        return raw
+
+    async def dump(
+        self,
+        limit: Optional[int] = None,
+        since_seq: int = 0,
+        subject: Optional[str] = None,
+        outcome: Optional[str] = None,
+    ) -> List[Dict[str, Any]]:
+        """Flight-recorder entries from the server (oldest first)."""
+        request_id = next(self._ids)
+        payload: Dict[str, Any] = {
+            "op": "dump",
+            "id": request_id,
+            "since_seq": since_seq,
+        }
+        if limit is not None:
+            payload["limit"] = limit
+        if subject is not None:
+            payload["subject"] = subject
+        if outcome is not None:
+            payload["outcome"] = outcome
+        raw = await self._roundtrip(request_id, payload)
+        entries = raw.get("entries")
+        if not isinstance(entries, list):
+            raise ServiceError(f"bad dump response: {raw!r}")
+        return entries
+
     # ------------------------------------------------------------------
     # Transport internals
     # ------------------------------------------------------------------
@@ -132,7 +197,9 @@ class RemotePDPClient:
                 if not line:
                     break
                 try:
-                    payload = parse_line(line.strip())
+                    payload = parse_line(
+                        line.strip(), max_bytes=MAX_OP_LINE_BYTES
+                    )
                 except ServiceError:
                     continue  # garbage line; keep the stream alive
                 future = self._pending.get(payload.get("id"))

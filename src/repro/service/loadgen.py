@@ -70,6 +70,10 @@ class LoadgenResult:
     #: (verification runs only).  Must be zero: a cache or batching
     #: bug shows up here as a stale grant/deny.
     mismatches: int = 0
+    #: Wire/request ids of the mismatched answers — the join key into
+    #: the server's flight recorder, exported spans, and audit log, so
+    #: a stale answer can be chased to its decision record.
+    mismatch_request_ids: List[object] = field(default_factory=list, repr=False)
     cached: int = 0
     elapsed_s: float = 0.0
     latencies_s: List[float] = field(default_factory=list, repr=False)
@@ -106,6 +110,7 @@ class LoadgenResult:
             "elapsed_s": round(self.elapsed_s, 6),
             "throughput_rps": round(self.throughput_rps, 1),
             "latency_p50_us": round(self.latency_us(0.50), 1),
+            "latency_p95_us": round(self.latency_us(0.95), 1),
             "latency_p99_us": round(self.latency_us(0.99), 1),
         }
 
@@ -117,10 +122,15 @@ class LoadgenResult:
             f"  shed {self.shed}  timeouts {self.timeouts}  errors {self.errors}  "
             f"dropped {self.dropped}",
             f"  latency p50 {self.latency_us(0.5):.1f} us  "
+            f"p95 {self.latency_us(0.95):.1f} us  "
             f"p99 {self.latency_us(0.99):.1f} us",
         ]
         if self.mismatches:
-            lines.append(f"  STALE ANSWERS: {self.mismatches} mismatches vs direct engine")
+            ids = ", ".join(repr(i) for i in self.mismatch_request_ids[:10])
+            lines.append(
+                f"  STALE ANSWERS: {self.mismatches} mismatches vs direct "
+                f"engine (request ids: {ids})"
+            )
         return "\n".join(lines)
 
 
@@ -212,6 +222,9 @@ async def run_loadgen(
                 and response.granted != expected[index]
             ):
                 result.mismatches += 1
+                result.mismatch_request_ids.append(
+                    getattr(response, "request_id", None)
+                )
 
     workers = [worker() for _ in range(min(config.concurrency, len(stream)))]
     started = time.perf_counter()

@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import asyncio
 import enum
+import itertools
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set
@@ -50,8 +51,11 @@ from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set
 from repro.core.decision import AccessRequest, Decision
 from repro.core.mediation import MediationEngine
 from repro.exceptions import ServiceError
+from repro.obs.export import TraceSampler, TraceSink, trace_to_dict
+from repro.obs.flight import FlightRecorder
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.observers import ObserverHub
+from repro.obs.slo import SloTracker
 from repro.service.cache import CacheKey, DecisionCache
 
 
@@ -95,6 +99,10 @@ class PDPResponse:
     latency_s: float = 0.0
     #: Why a non-mediated outcome happened (overload/timeout/error).
     detail: str = ""
+    #: Caller-supplied correlation id (the wire protocol's ``id``);
+    #: echoed so logs, traces, and verification failures all name the
+    #: same request.
+    request_id: Optional[object] = None
 
     @property
     def rationale(self) -> str:
@@ -119,6 +127,12 @@ class PDPConfig:
     cache_size: int = 4096
     #: Default per-request deadline in seconds (None = no deadline).
     default_timeout_s: Optional[float] = None
+    #: Head-based trace sampling rate in [0, 1]; sampled requests are
+    #: decided with a full pipeline trace exported to the trace sink
+    #: (no-op unless a sink is attached).
+    trace_sample_rate: float = 0.0
+    #: Flight-recorder ring capacity (0 disables the recorder).
+    flight_capacity: int = 512
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -131,6 +145,10 @@ class PDPConfig:
             raise ServiceError("cache_size must be >= 0")
         if self.default_timeout_s is not None and self.default_timeout_s <= 0:
             raise ServiceError("default_timeout_s must be > 0")
+        if not 0.0 <= self.trace_sample_rate <= 1.0:
+            raise ServiceError("trace_sample_rate must be in [0, 1]")
+        if self.flight_capacity < 0:
+            raise ServiceError("flight_capacity must be >= 0")
 
 
 @dataclass
@@ -143,6 +161,11 @@ class _Pending:
     submitted_at: float
     #: Event-loop deadline (loop.time() based), or None.
     deadline: Optional[float]
+    #: Wire correlation id, threaded into the response and any trace.
+    request_id: Optional[object] = None
+    #: Head-sampled for tracing: decided individually with a full
+    #: pipeline trace that is exported to the trace sink.
+    traced: bool = False
 
 
 _STOP = object()  # queue sentinel; see stop()
@@ -168,6 +191,12 @@ class PolicyDecisionPoint:
         shows the whole stack.
     :param observers: observer hub for lifecycle/overload events;
         defaults to the engine's hub.
+    :param trace_sink: destination for sampled decision spans (see
+        :mod:`repro.obs.export`).  ``None`` disables trace export
+        regardless of the configured sample rate.
+    :param slo: rolling SLO tracker; a default one (99.9%%
+        availability, 99%% under 50 ms, 5-minute window) bound to the
+        metrics registry is created when omitted.
     """
 
     def __init__(
@@ -177,6 +206,8 @@ class PolicyDecisionPoint:
         env_revision: object = None,
         metrics: Optional[MetricsRegistry] = None,
         observers: Optional[ObserverHub] = None,
+        trace_sink: Optional[TraceSink] = None,
+        slo: Optional[SloTracker] = None,
     ) -> None:
         self.engine = engine
         self.config = config or PDPConfig()
@@ -188,6 +219,25 @@ class PolicyDecisionPoint:
         self._batcher: Optional["asyncio.Task[None]"] = None
         self._accepting = False
         self._drain_on_stop = True
+        self._started_at: Optional[float] = None
+        # Live-ops surfaces (PR 4): sampled trace export, the always-on
+        # flight recorder, and rolling SLO objectives.
+        self.trace_sink = trace_sink
+        self.sampler = TraceSampler(self.config.trace_sample_rate)
+        self.flight: Optional[FlightRecorder] = (
+            FlightRecorder(self.config.flight_capacity)
+            if self.config.flight_capacity > 0
+            else None
+        )
+        self.slo = slo if slo is not None else SloTracker(metrics=self.metrics)
+        self.metrics.gauge("pdp.queue_depth", lambda: float(self.queue_depth))
+        self.metrics.gauge("pdp.running", lambda: float(self.running))
+        environment = engine.environment
+        if environment is not None and hasattr(environment, "revision"):
+            self.metrics.gauge(
+                "env.revision",
+                lambda: float(environment.revision),  # type: ignore[attr-defined]
+            )
         # Hot-path metric handles (one dict probe each, taken once).
         metrics_registry = self.metrics
         self._m_requests = metrics_registry.counter("pdp.requests")
@@ -212,6 +262,7 @@ class PolicyDecisionPoint:
         self._queue = asyncio.Queue(maxsize=self.config.max_queue)
         self._batcher = asyncio.get_running_loop().create_task(self._run())
         self._accepting = True
+        self._started_at = time.monotonic()
         hub = self.observers
         if hub:
             hub.emit("pdp.start", max_batch=self.config.max_batch,
@@ -251,6 +302,13 @@ class PolicyDecisionPoint:
     def queue_depth(self) -> int:
         return self._queue.qsize() if self._queue is not None else 0
 
+    @property
+    def uptime_s(self) -> float:
+        """Seconds since the batcher (last) started; 0 when never."""
+        if self._started_at is None:
+            return 0.0
+        return time.monotonic() - self._started_at
+
     # ------------------------------------------------------------------
     # Submission
     # ------------------------------------------------------------------
@@ -259,6 +317,7 @@ class PolicyDecisionPoint:
         request: AccessRequest,
         environment_roles: Optional[Set[str]] = None,
         timeout: Optional[float] = None,
+        request_id: Optional[object] = None,
     ) -> PDPResponse:
         """Mediate ``request`` through the service.
 
@@ -269,6 +328,9 @@ class PolicyDecisionPoint:
             the config's ``default_timeout_s``).  A request whose
             deadline passes while it is still queued resolves to
             DENY_TIMEOUT.
+        :param request_id: caller correlation id (the wire protocol's
+            ``id``); echoed on the response, stamped into exported
+            trace spans and flight-recorder entries.
         :raises ServiceError: when the service is not running.
         """
         if not self._accepting or self._queue is None:
@@ -278,6 +340,9 @@ class PolicyDecisionPoint:
         override = (
             frozenset(environment_roles) if environment_roles is not None else None
         )
+        # Head-based sampling: the keep/drop choice is made here, once,
+        # before we know whether the request will hit the cache.
+        traced = self.trace_sink is not None and self.sampler.should_sample()
 
         key = self._cache_key(request, override)
         cached = self.cache.get(key)
@@ -286,14 +351,19 @@ class PolicyDecisionPoint:
             outcome = PDPOutcome.GRANT if cached.granted else PDPOutcome.DENY
             latency = time.perf_counter() - submitted
             self._h_latency.observe(latency)
-            return PDPResponse(
+            response = PDPResponse(
                 request=request,
                 outcome=outcome,
                 granted=cached.granted,
                 decision=cached,
                 cached=True,
                 latency_s=latency,
+                request_id=request_id,
             )
+            if traced:
+                self._export_cached_trace(cached, request_id)
+            self._observe_response(response)
+            return response
         self._m_cache_misses.inc()
 
         loop = asyncio.get_running_loop()
@@ -304,6 +374,8 @@ class PolicyDecisionPoint:
             future=loop.create_future(),
             submitted_at=submitted,
             deadline=loop.time() + timeout_s if timeout_s is not None else None,
+            request_id=request_id,
+            traced=traced,
         )
         self._h_queue.observe(float(self._queue.qsize()))
         try:
@@ -382,7 +454,7 @@ class PolicyDecisionPoint:
         live: List[_Pending] = []
         for item in batch:
             if item.deadline is not None and now > item.deadline:
-                self._resolve(
+                self._finish(
                     item,
                     PDPResponse(
                         request=item.request,
@@ -391,6 +463,7 @@ class PolicyDecisionPoint:
                         decision=None,
                         detail="deadline expired while queued",
                         latency_s=time.perf_counter() - item.submitted_at,
+                        request_id=item.request_id,
                     ),
                 )
                 self._m_timeouts.inc()
@@ -400,15 +473,28 @@ class PolicyDecisionPoint:
             return
         self._m_batches.inc()
         self._h_batch.observe(float(len(live)))
+        # Sampled requests are decided individually with a full
+        # pipeline trace; the rest share one decide_batch call.
+        plain = [item for item in live if not item.traced]
+        traced = [item for item in live if item.traced]
+        decisions: Dict[int, Decision] = {}
         try:
-            decisions = await self._decide(
-                [item.request for item in live],
-                [item.env_override for item in live],
-            )
+            if plain:
+                for item, decision in zip(
+                    plain,
+                    await self._decide(
+                        [item.request for item in plain],
+                        [item.env_override for item in plain],
+                    ),
+                ):
+                    decisions[id(item)] = decision
+            for item in traced:
+                decisions[id(item)] = self._decide_traced(item)
         except Exception as error:  # noqa: BLE001 - isolate engine faults
-            self._m_errors.inc(len(live))
-            for item in live:
-                self._resolve(
+            unresolved = [i for i in live if id(i) not in decisions]
+            self._m_errors.inc(len(unresolved))
+            for item in unresolved:
+                self._finish(
                     item,
                     PDPResponse(
                         request=item.request,
@@ -417,18 +503,20 @@ class PolicyDecisionPoint:
                         decision=None,
                         detail=f"engine error: {error!r}",
                         latency_s=time.perf_counter() - item.submitted_at,
+                        request_id=item.request_id,
                     ),
                 )
-            return
+            live = [i for i in live if id(i) in decisions]
         self._m_decided.inc(len(live))
         size = len(live)
-        for item, decision in zip(live, decisions):
+        for item in live:
+            decision = decisions[id(item)]
             # Key recomputed *after* deciding, so the cached entry is
             # filed under the revision it was actually rendered at.
             self.cache.put(self._cache_key(item.request, item.env_override), decision)
             latency = time.perf_counter() - item.submitted_at
             self._h_latency.observe(latency)
-            self._resolve(
+            self._finish(
                 item,
                 PDPResponse(
                     request=item.request,
@@ -437,8 +525,39 @@ class PolicyDecisionPoint:
                     decision=decision,
                     batch_size=size,
                     latency_s=latency,
+                    request_id=item.request_id,
                 ),
             )
+
+    def _decide_traced(self, item: _Pending) -> Decision:
+        """Decide one sampled request with a pipeline trace, export it."""
+        env = set(item.env_override) if item.env_override is not None else None
+        decision = self.engine.decide(
+            item.request, environment_roles=env, trace=True
+        )
+        trace = decision.trace
+        sink = self.trace_sink
+        if trace is not None and sink is not None:
+            trace.request_id = item.request_id
+            sink.offer(trace_to_dict(trace))
+        return decision
+
+    def _export_cached_trace(
+        self, decision: Decision, request_id: Optional[object]
+    ) -> None:
+        """Export a timing-less span for a sampled cache hit.
+
+        A cache hit has no live stages to time, but the sampled stream
+        must still carry it — otherwise warm caches would make traces
+        vanish exactly when correlation questions get asked.
+        """
+        sink = self.trace_sink
+        if sink is None:
+            return
+        trace = decision.reconstruct_trace()
+        trace.mode = "cached"
+        trace.request_id = request_id
+        sink.offer(trace_to_dict(trace))
 
     async def _decide(
         self,
@@ -473,14 +592,47 @@ class PolicyDecisionPoint:
             decision=None,
             detail=detail,
             latency_s=time.perf_counter() - item.submitted_at,
+            request_id=item.request_id,
         )
-        self._resolve(item, response)
+        self._finish(item, response)
         return response
 
-    @staticmethod
-    def _resolve(item: _Pending, response: PDPResponse) -> None:
+    def _finish(self, item: _Pending, response: PDPResponse) -> None:
+        self._observe_response(response)
         if not item.future.done():
             item.future.set_result(response)
+
+    def _observe_response(self, response: PDPResponse) -> None:
+        """Feed the flight recorder and SLO tracker — every response,
+        every path (cache hit, batch, shed, timeout, error)."""
+        self.slo.record_response(
+            mediated=response.outcome in MEDIATED_OUTCOMES,
+            latency_s=response.latency_s,
+        )
+        flight = self.flight
+        if flight is None:
+            return
+        decision = response.decision
+        winner = decision.resolution.winner if decision is not None else None
+        flight.record(
+            subject=response.request.subject,
+            transaction=response.request.transaction,
+            obj=response.request.obj,
+            outcome=response.outcome.value,
+            granted=response.granted,
+            cached=response.cached,
+            request_id=response.request_id,
+            matched_rule=(
+                winner.permission.describe() if winner is not None else None
+            ),
+            rationale=response.rationale,
+            environment_roles=(
+                sorted(decision.environment_roles)
+                if decision is not None
+                else None
+            ),
+            latency_us=response.latency_s * 1e6,
+        )
 
     # ------------------------------------------------------------------
     # Cache keying
@@ -535,7 +687,7 @@ class PolicyDecisionPoint:
         )
 
     # ------------------------------------------------------------------
-    # Introspection
+    # Introspection / live-ops
     # ------------------------------------------------------------------
     def stats(self) -> Dict[str, object]:
         """Service counters plus the nested cache view.
@@ -543,8 +695,9 @@ class PolicyDecisionPoint:
         Engine-side statistics remain on :meth:`MediationEngine.stats`;
         both publish into the same metrics registry by default.
         """
-        return {
+        data: Dict[str, object] = {
             "running": self.running,
+            "uptime_s": round(self.uptime_s, 3),
             "queue_depth": self.queue_depth,
             "max_queue": self.config.max_queue,
             "max_batch": self.config.max_batch,
@@ -559,7 +712,74 @@ class PolicyDecisionPoint:
             "timeouts": self._m_timeouts.value,
             "errors": self._m_errors.value,
             "cache": self.cache.stats(),
+            "trace_sample_rate": self.config.trace_sample_rate,
+            "traces_sampled": self.sampler.sampled,
         }
+        if self.trace_sink is not None:
+            data["trace_sink"] = self.trace_sink.stats()
+        if self.flight is not None:
+            data["flight"] = self.flight.stats()
+        return data
+
+    def metrics_prometheus(self) -> str:
+        """The shared metrics registry in Prometheus text format.
+
+        Engine-internal tallies (plain attributes for hot-path speed)
+        are synced into the registry first, so one scrape is the whole
+        stack: engine, pipeline, cache, PDP, SLOs.
+        """
+        from repro.obs.export import render_prometheus
+
+        self.engine.stats()  # syncs engine tallies into the registry
+        return render_prometheus(self.metrics)
+
+    def metrics_json(self) -> Dict[str, object]:
+        """The same exposition as structured JSON."""
+        from repro.obs.export import render_json
+
+        self.engine.stats()
+        return render_json(self.metrics)
+
+    def health(self) -> Dict[str, object]:
+        """Liveness + SLO state — the ``health`` op / ``/health`` body."""
+        return {
+            "healthy": self.running,
+            "running": self.running,
+            "uptime_s": round(self.uptime_s, 3),
+            "policy": self.engine.policy.name,
+            "policy_revision": self.engine.policy.decision_revision,
+            "queue_depth": self.queue_depth,
+            "slo": self.slo.snapshot(),
+        }
+
+    def ready(self) -> Dict[str, object]:
+        """Readiness: accepting work with admission headroom.
+
+        ``ready`` flips false when the PDP is stopped, draining, or its
+        admission queue is saturated (new submits would shed) — the
+        signal a load balancer keys on.
+        """
+        saturated = self.queue_depth >= self.config.max_queue
+        return {
+            "ready": self.running and self._accepting and not saturated,
+            "accepting": self._accepting,
+            "queue_depth": self.queue_depth,
+            "max_queue": self.config.max_queue,
+        }
+
+    def dump(
+        self,
+        limit: Optional[int] = None,
+        since_seq: int = 0,
+        subject: Optional[str] = None,
+        outcome: Optional[str] = None,
+    ) -> List[Dict[str, object]]:
+        """Flight-recorder entries (oldest first); [] when disabled."""
+        if self.flight is None:
+            return []
+        return self.flight.dump(
+            limit=limit, since_seq=since_seq, subject=subject, outcome=outcome
+        )
 
 
 @dataclass
@@ -576,18 +796,32 @@ class PDPClient:
     #: does not pass its own (replay streams with a fixed context).
     default_environment_roles: Optional[Set[str]] = field(default=None)
 
+    def __post_init__(self) -> None:
+        # Sequential correlation ids, mirroring the wire client's, so
+        # in-process traffic is attributable the same way TCP traffic
+        # is (loadgen verification errors name a request id either way).
+        self._ids = itertools.count(1)
+
     async def decide(
         self,
         request: AccessRequest,
         environment_roles: Optional[Set[str]] = None,
         timeout: Optional[float] = None,
+        request_id: Optional[object] = None,
     ) -> PDPResponse:
         env = (
             environment_roles
             if environment_roles is not None
             else self.default_environment_roles
         )
-        return await self.pdp.submit(request, environment_roles=env, timeout=timeout)
+        if request_id is None:
+            request_id = next(self._ids)
+        return await self.pdp.submit(
+            request,
+            environment_roles=env,
+            timeout=timeout,
+            request_id=request_id,
+        )
 
     async def check(
         self,

@@ -22,9 +22,13 @@ Decision response::
 
 Control messages use ``op`` instead of a request body: ``{"op":
 "ping"}`` → ``{"op": "pong"}``; ``{"op": "stats"}`` → ``{"op":
-"stats", "stats": {...}}``.  A malformed line gets ``{"error": ...}``
-(with the request's ``id`` echoed when one could be parsed) — the
-connection stays usable.
+"stats", "stats": {...}}``.  The live-ops suite (PR 4) rides the same
+form: ``{"op": "metrics"}`` → Prometheus text + JSON snapshot;
+``{"op": "health"}`` / ``{"op": "ready"}`` → liveness/readiness
+bodies; ``{"op": "dump", "limit": 20, "since_seq": 0, "subject":
+..., "outcome": ...}`` → flight-recorder entries.  A malformed line
+gets ``{"error": ...}`` (with the request's ``id`` echoed when one
+could be parsed) — the connection stays usable.
 """
 
 from __future__ import annotations
@@ -41,19 +45,26 @@ from repro.service.pdp import PDPOutcome, PDPResponse
 #: buffer-growth vector.
 MAX_LINE_BYTES = 64 * 1024
 
+#: Cap for *op responses* read by clients: a full metrics exposition
+#: (Prometheus text + JSON snapshot on one line) legitimately outgrows
+#: a request line, and the server is the trusted party on that path.
+MAX_OP_LINE_BYTES = 4 * 1024 * 1024
+
 
 def dumps_line(payload: Dict[str, Any]) -> bytes:
     """Serialize one protocol message to a wire line."""
     return json.dumps(payload, separators=(",", ":")).encode("utf-8") + b"\n"
 
 
-def parse_line(line: bytes) -> Dict[str, Any]:
+def parse_line(
+    line: bytes, max_bytes: int = MAX_LINE_BYTES
+) -> Dict[str, Any]:
     """Parse one wire line into a message dict.
 
     :raises ServiceError: on malformed JSON or a non-object payload.
     """
-    if len(line) > MAX_LINE_BYTES:
-        raise ServiceError(f"wire line exceeds {MAX_LINE_BYTES} bytes")
+    if len(line) > max_bytes:
+        raise ServiceError(f"wire line exceeds {max_bytes} bytes")
     try:
         payload = json.loads(line.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as error:
@@ -159,6 +170,13 @@ class WireResponse:
     batch_size: int
     latency_us: float
     rationale: str
+
+    @property
+    def request_id(self) -> Any:
+        """The wire ``id``, under the name the in-process
+        :class:`~repro.service.pdp.PDPResponse` uses — call sites that
+        attribute answers to requests work against either client."""
+        return self.id
 
 
 def decode_response(payload: Dict[str, Any]) -> WireResponse:

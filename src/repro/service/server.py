@@ -158,7 +158,10 @@ class PDPServer:
         async def decide_and_reply() -> None:
             try:
                 response = await self.pdp.submit(
-                    request, environment_roles=env, timeout=timeout_s
+                    request,
+                    environment_roles=env,
+                    timeout=timeout_s,
+                    request_id=request_id,
                 )
             except ServiceError as error:  # PDP stopped mid-flight
                 await respond({"id": request_id, "error": str(error)})
@@ -173,11 +176,56 @@ class PDPServer:
         task.add_done_callback(tasks.discard)
 
     async def _handle_op(self, op: object, payload: dict, respond) -> None:
+        request_id = payload.get("id")
         if op == "ping":
-            await respond({"op": "pong", "id": payload.get("id")})
+            await respond({"op": "pong", "id": request_id})
         elif op == "stats":
             await respond(
-                {"op": "stats", "id": payload.get("id"), "stats": self.pdp.stats()}
+                {"op": "stats", "id": request_id, "stats": self.pdp.stats()}
+            )
+        elif op == "metrics":
+            await respond(
+                {
+                    "op": "metrics",
+                    "id": request_id,
+                    "prometheus": self.pdp.metrics_prometheus(),
+                    "json": self.pdp.metrics_json(),
+                }
+            )
+        elif op == "health":
+            await respond(
+                {"op": "health", "id": request_id, **self.pdp.health()}
+            )
+        elif op == "ready":
+            await respond(
+                {"op": "ready", "id": request_id, **self.pdp.ready()}
+            )
+        elif op == "dump":
+            limit = payload.get("limit")
+            since_seq = payload.get("since_seq", 0)
+            subject = payload.get("subject")
+            outcome = payload.get("outcome")
+            if limit is not None and not isinstance(limit, int):
+                await respond(
+                    {"id": request_id, "error": "'limit' must be an integer"}
+                )
+                return
+            if not isinstance(since_seq, int):
+                await respond(
+                    {"id": request_id, "error": "'since_seq' must be an integer"}
+                )
+                return
+            await respond(
+                {
+                    "op": "dump",
+                    "id": request_id,
+                    "entries": self.pdp.dump(
+                        limit=limit,
+                        since_seq=since_seq,
+                        subject=subject if isinstance(subject, str) else None,
+                        outcome=outcome if isinstance(outcome, str) else None,
+                    ),
+                }
             )
         else:
-            await respond({"id": payload.get("id"), "error": f"unknown op {op!r}"})
+            await respond({"id": request_id, "error": f"unknown op {op!r}"})

@@ -1,0 +1,238 @@
+"""Tests for the telemetry export boundary: exposition, sampling, sinks."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.obs import (
+    InMemoryTraceSink,
+    JsonlTraceSink,
+    MetricsRegistry,
+    PrometheusParseError,
+    TraceSampler,
+    parse_prometheus,
+    prometheus_name,
+    render_json,
+    render_prometheus,
+    trace_to_dict,
+)
+from repro.obs.trace import DecisionTrace
+
+
+class TestPrometheusName:
+    def test_dots_and_dashes_become_underscores(self):
+        assert prometheus_name("pdp.cache_hits") == "grbac_pdp_cache_hits"
+        assert (
+            prometheus_name("pipeline.match-permissions")
+            == "grbac_pipeline_match_permissions"
+        )
+
+    def test_suffix_and_digit_guard(self):
+        assert prometheus_name("pdp.requests", "_total") == (
+            "grbac_pdp_requests_total"
+        )
+        assert prometheus_name("9lives").startswith("grbac__9lives")
+
+
+class TestRenderPrometheus:
+    def make_registry(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.counter("pdp.requests").inc(7)
+        registry.gauge("pdp.queue_depth").set(3)
+        histogram = registry.histogram("pdp.latency")
+        histogram.observe(2e-6)
+        histogram.observe(5e-6)
+        return registry
+
+    def test_counter_gauge_histogram_families(self):
+        text = render_prometheus(self.make_registry())
+        families = parse_prometheus(text)
+        assert families["grbac_pdp_requests_total"] == [({}, 7.0)]
+        assert families["grbac_pdp_queue_depth"] == [({}, 3.0)]
+        # Native histogram: cumulative buckets, +Inf, _sum, _count.
+        buckets = families["grbac_pdp_latency_seconds_bucket"]
+        assert buckets[-1][0] == {"le": "+Inf"}
+        assert buckets[-1][1] == 2.0
+        cumulative = [value for _, value in buckets]
+        assert cumulative == sorted(cumulative)
+        assert families["grbac_pdp_latency_seconds_count"] == [({}, 2.0)]
+        (labels, total) = families["grbac_pdp_latency_seconds_sum"][0]
+        assert total == pytest.approx(7e-6)
+
+    def test_type_lines_name_each_family(self):
+        text = render_prometheus(self.make_registry())
+        type_lines = [
+            line for line in text.splitlines() if line.startswith("# TYPE")
+        ]
+        declared = {line.split()[2]: line.split()[3] for line in type_lines}
+        assert declared["grbac_pdp_requests_total"] == "counter"
+        assert declared["grbac_pdp_queue_depth"] == "gauge"
+        assert declared["grbac_pdp_latency_seconds"] == "histogram"
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+        assert parse_prometheus("") == {}
+
+    def test_render_json_matches_snapshot(self):
+        registry = self.make_registry()
+        assert render_json(registry) == registry.snapshot()
+
+    def test_pull_gauge_reads_live(self):
+        registry = MetricsRegistry()
+        state = {"value": 1.0}
+        registry.gauge("env.revision", lambda: state["value"])
+        assert "grbac_env_revision 1.0" in render_prometheus(registry)
+        state["value"] = 9.0
+        assert "grbac_env_revision 9.0" in render_prometheus(registry)
+
+
+class TestParsePrometheus:
+    def test_rejects_malformed_sample(self):
+        with pytest.raises(PrometheusParseError):
+            parse_prometheus("grbac_thing\n")
+
+    def test_rejects_bad_metric_name(self):
+        with pytest.raises(PrometheusParseError):
+            parse_prometheus("9bad_name 1\n")
+
+    def test_rejects_non_numeric_value(self):
+        with pytest.raises(PrometheusParseError):
+            parse_prometheus("grbac_thing banana\n")
+
+    def test_rejects_unclosed_label_block(self):
+        with pytest.raises(PrometheusParseError):
+            parse_prometheus('grbac_thing{le="1.0" 3\n')
+
+    def test_rejects_unquoted_label_value(self):
+        with pytest.raises(PrometheusParseError):
+            parse_prometheus("grbac_thing{le=1.0} 3\n")
+
+    def test_rejects_unknown_comment_form(self):
+        with pytest.raises(PrometheusParseError):
+            parse_prometheus("# BOGUS grbac_thing counter\n")
+
+    def test_accepts_help_and_blank_lines(self):
+        families = parse_prometheus(
+            "# HELP grbac_thing words here\n\ngrbac_thing 4\n"
+        )
+        assert families == {"grbac_thing": [({}, 4.0)]}
+
+
+class TestTraceToDict:
+    def make_trace(self) -> DecisionTrace:
+        trace = DecisionTrace(
+            "alice", "watch", "livingroom/tv", mode="compiled"
+        )
+        trace.granted = True
+        trace.rationale = "closest match grants"
+        trace.subject_roles = {"child": 1.0}
+        trace.environment_roles = ["free-time"]
+        trace.matched_rules = ["(child, watch, entertainment-devices)"]
+        trace.add_span("resolve-subject-roles", 4e-6, {"roles": 2})
+        trace.add_span("emit", 1e-6, {"sets": frozenset({"a"})})
+        return trace
+
+    def test_span_record_shape(self):
+        span = trace_to_dict(self.make_trace(), request_id=41)
+        assert span["request_id"] == 41
+        assert span["subject"] == "alice"
+        assert span["granted"] is True
+        assert span["total_us"] == pytest.approx(5.0)
+        assert [s["name"] for s in span["stages"]] == [
+            "resolve-subject-roles",
+            "emit",
+        ]
+        # Everything must be JSON-serializable (frozenset flattened).
+        json.dumps(span)
+
+    def test_request_id_defaults_to_trace_field(self):
+        trace = self.make_trace()
+        trace.request_id = "req-9"
+        assert trace_to_dict(trace)["request_id"] == "req-9"
+
+
+class TestTraceSampler:
+    def test_deterministic_fraction(self):
+        sampler = TraceSampler(0.1)
+        picks = [sampler.should_sample() for _ in range(1000)]
+        assert sum(picks) == 100
+        assert sampler.sampled == 100
+        assert sampler.seen == 1000
+
+    def test_rate_zero_never_samples(self):
+        sampler = TraceSampler(0.0)
+        assert not any(sampler.should_sample() for _ in range(100))
+        assert sampler.sampled == 0
+
+    def test_rate_one_always_samples(self):
+        sampler = TraceSampler(1.0)
+        assert all(sampler.should_sample() for _ in range(100))
+
+    def test_rejects_out_of_range_rate(self):
+        with pytest.raises(ValueError):
+            TraceSampler(1.5)
+        with pytest.raises(ValueError):
+            TraceSampler(-0.1)
+
+
+class TestInMemoryTraceSink:
+    def test_accepts_until_capacity_then_drops(self):
+        sink = InMemoryTraceSink(capacity=2)
+        assert sink.offer({"a": 1}) is True
+        assert sink.offer({"b": 2}) is True
+        assert sink.offer({"c": 3}) is False
+        assert sink.accepted == 2
+        assert sink.dropped == 1
+        assert sink.stats() == {"accepted": 2, "dropped": 1}
+
+
+class TestJsonlTraceSink:
+    def test_writes_one_json_object_per_line(self, tmp_path):
+        path = os.path.join(str(tmp_path), "traces.jsonl")
+        sink = JsonlTraceSink(path)
+        for i in range(5):
+            assert sink.offer({"request_id": i, "granted": True})
+        sink.close()
+        with open(path, "r", encoding="utf-8") as handle:
+            spans = [json.loads(line) for line in handle]
+        assert [span["request_id"] for span in spans] == list(range(5))
+        assert sink.accepted == 5
+        assert sink.dropped == 0
+
+    def test_rotation_shifts_generations(self, tmp_path):
+        path = os.path.join(str(tmp_path), "traces.jsonl")
+        # Tiny threshold: every span overflows the active file.
+        sink = JsonlTraceSink(path, max_bytes=10, backups=2)
+        for i in range(4):
+            sink.offer({"i": i})
+        sink.close()
+        assert sink.rotations >= 2
+        assert os.path.exists(f"{path}.1")
+        assert os.path.exists(f"{path}.2")
+        assert not os.path.exists(f"{path}.3")  # backups bound respected
+        # Every written line everywhere is valid JSON.
+        for candidate in (path, f"{path}.1", f"{path}.2"):
+            if os.path.exists(candidate):
+                with open(candidate, "r", encoding="utf-8") as handle:
+                    for line in handle:
+                        json.loads(line)
+
+    def test_offer_after_close_drops(self, tmp_path):
+        path = os.path.join(str(tmp_path), "traces.jsonl")
+        sink = JsonlTraceSink(path)
+        sink.close()
+        assert sink.offer({"late": True}) is False
+        assert sink.dropped == 1
+
+    def test_stats_carry_path_and_rotations(self, tmp_path):
+        path = os.path.join(str(tmp_path), "traces.jsonl")
+        sink = JsonlTraceSink(path)
+        sink.offer({"x": 1})
+        sink.close()
+        stats = sink.stats()
+        assert stats["path"] == path
+        assert stats["rotations"] == 0
+        assert stats["accepted"] == 1

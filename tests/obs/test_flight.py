@@ -1,0 +1,113 @@
+"""Tests for the flight recorder ring."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import FlightRecorder
+
+
+def record_n(recorder: FlightRecorder, n: int, **overrides) -> None:
+    for i in range(n):
+        fields = {
+            "subject": "alice",
+            "transaction": "watch",
+            "obj": "livingroom/tv",
+            "outcome": "grant",
+            "granted": True,
+            "request_id": i + 1,
+        }
+        fields.update(overrides)
+        recorder.record(**fields)
+
+
+class TestRecording:
+    def test_entries_are_plain_json_safe_dicts(self):
+        recorder = FlightRecorder(capacity=4)
+        entry = recorder.record(
+            subject="bobby",
+            transaction="watch",
+            obj="livingroom/tv",
+            outcome="deny",
+            granted=False,
+            request_id=7,
+            matched_rule="DENY child watch dangerous",
+            rationale="negative right wins",
+            environment_roles=["weekday", "free-time"],
+            latency_us=95.04,
+        )
+        json.dumps(entry)
+        assert entry["seq"] == 1
+        assert entry["environment_roles"] == ["free-time", "weekday"]
+        assert entry["latency_us"] == 95.0
+
+    def test_ring_retains_only_newest(self):
+        recorder = FlightRecorder(capacity=3)
+        record_n(recorder, 10)
+        assert len(recorder) == 3
+        assert recorder.recorded == 10
+        assert [e["seq"] for e in recorder.dump()] == [8, 9, 10]
+        assert recorder.last_seq == 10
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+
+class TestDump:
+    def test_since_seq_cursor_sees_each_entry_once(self):
+        recorder = FlightRecorder(capacity=100)
+        record_n(recorder, 5)
+        first = recorder.dump()
+        cursor = first[-1]["seq"]
+        assert recorder.dump(since_seq=cursor) == []
+        record_n(recorder, 3)
+        fresh = recorder.dump(since_seq=cursor)
+        assert [e["seq"] for e in fresh] == [6, 7, 8]
+
+    def test_cursor_survives_ring_wraparound(self):
+        recorder = FlightRecorder(capacity=4)
+        record_n(recorder, 4)
+        cursor = recorder.last_seq
+        record_n(recorder, 6)  # overwrites everything the cursor saw
+        fresh = recorder.dump(since_seq=cursor)
+        # Only retained entries newer than the cursor; seq stays
+        # monotonic so nothing is double-delivered.
+        assert [e["seq"] for e in fresh] == [7, 8, 9, 10]
+
+    def test_limit_keeps_newest_matches(self):
+        recorder = FlightRecorder(capacity=100)
+        record_n(recorder, 10)
+        limited = recorder.dump(limit=3)
+        assert [e["seq"] for e in limited] == [8, 9, 10]
+        assert recorder.dump(limit=0) == []
+
+    def test_subject_and_outcome_filters_are_conjunctive(self):
+        recorder = FlightRecorder(capacity=100)
+        record_n(recorder, 3, subject="alice", outcome="grant")
+        record_n(recorder, 2, subject="bobby", outcome="deny", granted=False)
+        record_n(recorder, 1, subject="bobby", outcome="grant")
+        assert len(recorder.dump(subject="bobby")) == 3
+        assert len(recorder.dump(outcome="deny")) == 2
+        assert len(recorder.dump(subject="bobby", outcome="deny")) == 2
+        assert recorder.dump(subject="alice", outcome="deny") == []
+
+    def test_dump_returns_copies(self):
+        recorder = FlightRecorder(capacity=4)
+        record_n(recorder, 1)
+        recorder.dump()[0]["outcome"] = "tampered"
+        assert recorder.dump()[0]["outcome"] == "grant"
+
+
+class TestStats:
+    def test_stats_shape(self):
+        recorder = FlightRecorder(capacity=2)
+        record_n(recorder, 5)
+        assert recorder.stats() == {
+            "capacity": 2,
+            "retained": 2,
+            "recorded": 5,
+            "last_seq": 5,
+        }

@@ -1,0 +1,99 @@
+"""Edge cases of ``Histogram.quantile`` (pinned behavior).
+
+The estimator answers from geometric buckets but clamps to the
+exactly-tracked observed maximum, so an estimate can never exceed any
+real observation.  These tests pin the edges where bucketed estimators
+classically surprise: empty data, a single observation, ``q = 1.0``,
+and observations beyond the top bucket bound.
+"""
+
+import pytest
+
+from repro.obs.metrics import Histogram
+
+
+class TestEmptyHistogram:
+    def test_every_quantile_is_zero(self):
+        histogram = Histogram("latency")
+        for q in (0.01, 0.5, 0.99, 1.0):
+            assert histogram.quantile(q) == 0.0
+
+    def test_bad_q_rejected_even_when_empty(self):
+        histogram = Histogram("latency")
+        with pytest.raises(ValueError):
+            histogram.quantile(0.0)
+        with pytest.raises(ValueError):
+            histogram.quantile(1.0001)
+        with pytest.raises(ValueError):
+            histogram.quantile(-0.5)
+
+
+class TestSingleObservation:
+    def test_every_quantile_is_the_observation(self):
+        """One sample: the clamp collapses the bucket-width error.
+
+        Without the max clamp a single 5us observation would report
+        8us (its bucket's upper bound) at every quantile — a 60%%
+        over-report from one data point.
+        """
+        histogram = Histogram("latency")
+        histogram.observe(5e-6)
+        for q in (0.01, 0.5, 0.99, 1.0):
+            assert histogram.quantile(q) == pytest.approx(5e-6)
+
+    def test_exact_bucket_bound_observation(self):
+        histogram = Histogram("latency")
+        histogram.observe(4e-6)  # exactly a bucket upper bound
+        assert histogram.quantile(0.5) == pytest.approx(4e-6)
+        assert histogram.quantile(1.0) == pytest.approx(4e-6)
+
+
+class TestQEqualsOne:
+    def test_q1_is_the_observed_max_exactly(self):
+        histogram = Histogram("latency")
+        for value in (1e-6, 3e-6, 100e-6, 7.3e-6):
+            histogram.observe(value)
+        assert histogram.quantile(1.0) == pytest.approx(100e-6)
+
+    def test_q1_never_exceeds_max_with_spread_data(self):
+        histogram = Histogram("latency")
+        for i in range(1000):
+            histogram.observe((i + 1) * 1e-6)
+        assert histogram.quantile(1.0) == pytest.approx(1000e-6)
+        # Lower quantiles stay at or below q=1.0 (monotone).
+        previous = 0.0
+        for q in (0.1, 0.5, 0.9, 0.99, 1.0):
+            value = histogram.quantile(q)
+            assert value >= previous
+            previous = value
+
+
+class TestBeyondTopBucket:
+    def test_overflow_observation_reports_observed_max(self):
+        """Values past the last bound land in the overflow bucket,
+        whose only known bound is the tracked max."""
+        histogram = Histogram("latency")
+        top = histogram.bounds[-1]
+        histogram.observe(top * 10)
+        assert histogram.quantile(0.5) == pytest.approx(top * 10)
+        assert histogram.quantile(1.0) == pytest.approx(top * 10)
+
+    def test_mixed_overflow_keeps_lower_quantiles_bucketed(self):
+        histogram = Histogram("latency")
+        top = histogram.bounds[-1]
+        for _ in range(99):
+            histogram.observe(3e-6)
+        histogram.observe(top * 3)
+        # p50 is still answered from the in-range buckets: 3us sits in
+        # the (2us, 4us] bucket, so its upper bound is reported...
+        assert histogram.quantile(0.5) == pytest.approx(4e-6)
+        # ...while the tail reports the overflow observation.
+        assert histogram.quantile(1.0) == pytest.approx(top * 3)
+
+    def test_estimate_never_exceeds_an_observation(self):
+        histogram = Histogram("latency")
+        values = [1.5e-6, 2.5e-6, 3e-6, 9e-6, 33e-6]
+        for value in values:
+            histogram.observe(value)
+        for q in (0.2, 0.4, 0.6, 0.8, 1.0):
+            assert histogram.quantile(q) <= max(values)

@@ -37,10 +37,15 @@ class TestHistogram:
         histogram = Histogram("latency")
         for _ in range(100):
             histogram.observe(5e-6)
-        # 5us falls in the (4us, 8us] bucket: every quantile reports
-        # its upper bound.
-        assert histogram.quantile(0.5) == pytest.approx(8e-6)
-        assert histogram.quantile(0.99) == pytest.approx(8e-6)
+        # 5us falls in the (4us, 8us] bucket; the bucket's upper bound
+        # is clamped to the observed max, so a uniform stream reports
+        # the true value instead of over-reporting by up to one bucket.
+        assert histogram.quantile(0.5) == pytest.approx(5e-6)
+        assert histogram.quantile(0.99) == pytest.approx(5e-6)
+        # A spread within one bucket still reports that bucket's bound
+        # (clamped to the max actually seen).
+        histogram.observe(7e-6)
+        assert histogram.quantile(0.99) == pytest.approx(7e-6)
 
     def test_empty_histogram_is_zeroed(self):
         histogram = Histogram("latency")
