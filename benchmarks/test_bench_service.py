@@ -178,6 +178,9 @@ def test_bench_service(benchmark, report):
             max_batch=max_batch, cache_size=cache_size,
         )
         hits = stats["cache_hits"]
+        # Misses exclude uncacheable lookups (None keys, cache-off
+        # configs), so the rate measures only cache-eligible traffic —
+        # the cache-off rows report 0/0 here, not a fake near-zero rate.
         lookups = hits + stats["cache_misses"]
         hit_rate = hits / lookups if lookups else 0.0
         mean_batch = (
@@ -196,6 +199,7 @@ def test_bench_service(benchmark, report):
             "latency_p95_us": round(result.latency_us(0.95), 1),
             "latency_p99_us": round(result.latency_us(0.99), 1),
             "cache_hit_rate": round(hit_rate, 4),
+            "cache_uncacheable": stats["cache_uncacheable"],
             "mean_batch_size": round(mean_batch, 2),
             "completed": result.completed,
             "mismatches": result.mismatches,

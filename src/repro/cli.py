@@ -16,6 +16,8 @@ who prefer a terminal over a Python prompt::
            --trace-sample-rate 0.05 --trace-file traces.jsonl
     python -m repro.cli loadgen policy.grbac --connect 127.0.0.1:7471 \\
            --requests 200 --verify
+    python -m repro.cli reload new-policy.grbac --connect 127.0.0.1:7471 \\
+           --actor alice --dry-run
     python -m repro.cli status --connect 127.0.0.1:7471 --check
     python -m repro.cli tail --connect 127.0.0.1:7471 --follow
 
@@ -185,13 +187,38 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
 
     async def run() -> None:
+        from repro.policy.admin import PolicyAdministrator, PolicyFileWatcher
+
         pdp = PolicyDecisionPoint(engine, config, trace_sink=sink, slo=slo)
-        server = PDPServer(pdp, host=args.host, port=args.port)
+        administrator = PolicyAdministrator(pdp)
+        server = PDPServer(
+            pdp, host=args.host, port=args.port, administrator=administrator
+        )
         await server.start()
         admin = None
         if args.admin_port is not None:
-            admin = AdminServer(pdp, host=args.host, port=args.admin_port)
+            admin = AdminServer(
+                pdp,
+                host=args.host,
+                port=args.admin_port,
+                administrator=administrator,
+            )
             await admin.start()
+        watcher_task = None
+        if args.watch:
+            def announce(result) -> None:
+                print(f"policy file reload: {result.record.describe()}",
+                      flush=True)
+
+            watcher = PolicyFileWatcher(
+                args.policy,
+                administrator,
+                interval_s=args.watch_interval,
+                on_reload=announce,
+            )
+            watcher_task = asyncio.get_running_loop().create_task(
+                watcher.run_forever()
+            )
         # The "listening" line is the readiness signal scripts (and the
         # CI smoke job) wait for before pointing loadgen at us.
         print(f"serving {args.policy!r} listening on "
@@ -199,6 +226,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if admin is not None:
             print(f"admin http listening on {args.host}:{admin.port}",
                   flush=True)
+        if args.watch:
+            print(f"watching {args.policy!r} for changes every "
+                  f"{args.watch_interval}s", flush=True)
         if sink is not None:
             print(f"exporting sampled traces (rate "
                   f"{args.trace_sample_rate}) to {args.trace_file}",
@@ -206,6 +236,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         try:
             await server.serve_forever()
         finally:
+            if watcher_task is not None:
+                watcher_task.cancel()
             if admin is not None:
                 await admin.stop()
 
@@ -217,6 +249,46 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if sink is not None:
             sink.close()
     return 0
+
+
+def _cmd_reload(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import RemotePDPClient
+
+    host, port = _parse_connect(args.connect)
+    with open(args.policy, "r", encoding="utf-8") as handle:
+        policy_text = handle.read()
+
+    async def run() -> int:
+        async with await RemotePDPClient.connect(host, port) as client:
+            result = await client.reload(
+                policy_text, actor=args.actor, dry_run=args.dry_run
+            )
+        record = result["record"]
+        if result["error"]:
+            print(f"rejected: {result['error']}")
+        elif args.dry_run:
+            print(
+                f"validated: candidate {record.get('policy')!r} would be "
+                f"accepted (no swap performed)"
+            )
+        else:
+            print(
+                f"reloaded: policy {record.get('policy')!r} now serving "
+                f"(generation {record.get('generation')}, "
+                f"revision {record.get('new_revision')})"
+            )
+        for finding in record.get("findings", []):
+            print(f"  lint: {finding}")
+        summary = record.get("diff_summary", "")
+        if summary:
+            print("diff against previous policy:")
+            for line in summary.splitlines():
+                print(f"  {line}")
+        return 1 if result["error"] else 0
+
+    return asyncio.run(run())
 
 
 def _parse_connect(text: str) -> "tuple[str, int]":
@@ -706,7 +778,49 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="MS",
         help="latency SLO threshold in ms (default 50.0)",
     )
+    serve.add_argument(
+        "--watch",
+        action="store_true",
+        help="poll the policy file's mtime and hot-reload it through "
+        "the validated admin path when it changes (a candidate that "
+        "fails validation is rejected and the old policy keeps "
+        "serving)",
+    )
+    serve.add_argument(
+        "--watch-interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="mtime poll interval with --watch (default 1.0)",
+    )
     serve.set_defaults(func=_cmd_serve)
+
+    reload_cmd = subparsers.add_parser(
+        "reload",
+        help="hot-reload a served PDP's policy through the validated "
+        "admin path (lint, diff, atomic swap)",
+    )
+    reload_cmd.add_argument(
+        "policy", help="path to the candidate policy (DSL or exported JSON)"
+    )
+    reload_cmd.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="a running `serve` instance",
+    )
+    reload_cmd.add_argument(
+        "--actor",
+        default="cli",
+        help="who is making the change, for the audit record "
+        "(default 'cli')",
+    )
+    reload_cmd.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="validate and diff only; do not swap the policy in",
+    )
+    reload_cmd.set_defaults(func=_cmd_reload)
 
     status = subparsers.add_parser(
         "status",

@@ -1,5 +1,14 @@
 """Policy authoring and analysis: builder, DSL, lint, MLS, templates."""
 
+from repro.policy.admin import (
+    PolicyAdministrator,
+    PolicyFileWatcher,
+    ReloadAudit,
+    ReloadRecord,
+    ReloadResult,
+    load_policy_file,
+    load_policy_text,
+)
 from repro.policy.analysis import Conflict, Finding, PolicyAnalyzer
 from repro.policy.builder import PolicyBuilder
 from repro.policy.diff import CategoryDiff, PolicyDiff, diff_policies
@@ -37,12 +46,19 @@ __all__ = [
     "to_json",
     "Finding",
     "MlsEncoding",
+    "PolicyAdministrator",
     "PolicyAnalyzer",
     "PolicyBuilder",
+    "PolicyFileWatcher",
     "ReferenceBlp",
+    "ReloadAudit",
+    "ReloadRecord",
+    "ReloadResult",
     "agreement",
     "build_pair",
     "compile_policy",
+    "load_policy_file",
+    "load_policy_text",
     "install_figure2_household",
     "install_figure2_roles",
     "install_standard_object_roles",

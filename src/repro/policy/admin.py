@@ -1,0 +1,430 @@
+"""Live policy administration: validated atomic hot-reload.
+
+ARBAC treats policy *change* as a first-class, analyzable operation;
+this module is that operation for the running service.  A candidate
+policy — DSL text or the serialized JSON form — goes through a fixed
+pipeline before it can touch traffic:
+
+1. **parse/compile** (:func:`load_policy_text`),
+2. **lint** with the existing :class:`~repro.policy.analysis.PolicyAnalyzer`
+   (severities at or above ``fail_on`` reject the candidate),
+3. **diff** against the live policy
+   (:func:`~repro.policy.diff.diff_policies`) for the human-readable
+   change summary,
+4. **swap** via :meth:`PolicyDecisionPoint.swap_policy
+   <repro.service.pdp.PolicyDecisionPoint.swap_policy>` — atomic on
+   the event loop, generation-keyed so stale cache entries stop
+   matching by construction.
+
+Every attempt — accepted, rejected, or dry-run — lands in a bounded
+:class:`ReloadAudit` as a :class:`ReloadRecord` naming who asked, when,
+what changed, and why it was refused if it was.  A rejected or failed
+reload leaves the old policy serving, untouched.
+
+:class:`PolicyFileWatcher` closes the loop for ``serve --policy-file
+--watch``: mtime polling that funnels file edits through the same
+validated path.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.policy import GrbacPolicy
+from repro.exceptions import GrbacError, ServiceError
+from repro.obs.metrics import MetricsRegistry
+from repro.policy.analysis import Finding, PolicyAnalyzer
+from repro.policy.diff import diff_policies
+from repro.policy.dsl import compile_policy
+from repro.policy.serialize import from_json
+
+#: Lint severities, most severe first (index = rank).
+_SEVERITY_RANK = {"error": 0, "warning": 1, "info": 2}
+
+
+def load_policy_text(text: str, name: str = "candidate") -> GrbacPolicy:
+    """Parse a candidate policy from DSL text or serialized JSON.
+
+    The two on-disk forms are distinguished by their first
+    non-whitespace character: serialized policies are JSON objects
+    (``{``); everything else is DSL.  Raises the underlying
+    :class:`~repro.exceptions.GrbacError` subtype on malformed input —
+    the administrator turns that into an audited rejection.
+    """
+    stripped = text.lstrip()
+    if stripped.startswith("{"):
+        return from_json(text)
+    return compile_policy(text, name=name)
+
+
+def load_policy_file(path: str) -> GrbacPolicy:
+    """Load a candidate policy from ``path`` (DSL or JSON by content)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    return load_policy_text(text, name=path)
+
+
+@dataclass(frozen=True)
+class ReloadRecord:
+    """One audited policy-administration attempt.
+
+    This is the administration plane's audit record — who asked for the
+    change, when, whether it was applied, and the diff summary — the
+    counterpart of the decision-bound
+    :class:`~repro.core.audit.AuditRecord` for mediation traffic.
+    """
+
+    sequence: int
+    #: Wall-clock seconds (``time.time()``) the attempt completed at.
+    timestamp: float
+    #: Caller-supplied identity ("cli", "admin-http", "file-watch", a
+    #: username); empty when the caller named nobody.
+    actor: str
+    #: ``"reload"`` or ``"validate"`` (dry-run).
+    action: str
+    #: The candidate was swapped in (always False for dry-runs).
+    accepted: bool
+    dry_run: bool
+    policy_name: str
+    old_revision: int
+    #: The candidate's decision revision; None when it failed to parse.
+    new_revision: Optional[int]
+    #: PDP generation after an accepted swap; None otherwise.
+    generation: Optional[int]
+    #: ``Finding.describe()`` strings from the lint pass.
+    findings: Tuple[str, ...]
+    #: Human-readable change summary from :func:`diff_policies`.
+    diff_summary: str
+    #: Why the attempt was rejected; empty when it was not.
+    error: str
+    duration_s: float
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "sequence": self.sequence,
+            "timestamp": self.timestamp,
+            "actor": self.actor,
+            "action": self.action,
+            "accepted": self.accepted,
+            "dry_run": self.dry_run,
+            "policy": self.policy_name,
+            "old_revision": self.old_revision,
+            "new_revision": self.new_revision,
+            "generation": self.generation,
+            "findings": list(self.findings),
+            "diff_summary": self.diff_summary,
+            "error": self.error,
+            "duration_s": round(self.duration_s, 6),
+        }
+
+    def describe(self) -> str:
+        verdict = (
+            "dry-run ok"
+            if self.dry_run and not self.error
+            else "applied"
+            if self.accepted
+            else f"rejected ({self.error})"
+        )
+        return (
+            f"#{self.sequence} {self.action} by {self.actor or '<anonymous>'}"
+            f" -> {verdict}: {self.policy_name!r}"
+        )
+
+
+class ReloadAudit:
+    """A bounded, append-only ring of :class:`ReloadRecord` entries."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ServiceError("reload audit capacity must be >= 1")
+        self.capacity = capacity
+        self._records: List[ReloadRecord] = []
+        self._sequence = 0
+        self.accepted = 0
+        self.rejected = 0
+
+    def append(self, **fields: object) -> ReloadRecord:
+        self._sequence += 1
+        record = ReloadRecord(
+            sequence=self._sequence, timestamp=time.time(), **fields
+        )  # type: ignore[arg-type]
+        self._records.append(record)
+        if len(self._records) > self.capacity:
+            self._records = self._records[-self.capacity :]
+        if record.error:
+            self.rejected += 1
+        elif record.accepted:
+            self.accepted += 1
+        return record
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def records(self) -> List[ReloadRecord]:
+        return list(self._records)
+
+    @property
+    def last(self) -> Optional[ReloadRecord]:
+        return self._records[-1] if self._records else None
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "attempts": self._sequence,
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "retained": len(self._records),
+        }
+
+
+@dataclass(frozen=True)
+class ReloadResult:
+    """What a :meth:`PolicyAdministrator.reload` call tells its caller."""
+
+    accepted: bool
+    dry_run: bool
+    record: ReloadRecord
+
+    @property
+    def error(self) -> str:
+        return self.record.error
+
+    @property
+    def generation(self) -> Optional[int]:
+        return self.record.generation
+
+    def to_dict(self) -> Dict[str, object]:
+        return self.record.to_dict()
+
+
+class PolicyAdministrator:
+    """The validated path between candidate policy text and the PDP.
+
+    :param target: the serving :class:`PolicyDecisionPoint` (anything
+        exposing ``policy`` and ``swap_policy(policy) -> int``).
+    :param fail_on: minimum lint severity that rejects a candidate —
+        ``"error"`` (default) lets warnings through with an audit
+        trail; ``"warning"`` makes the gate strict.  ``None`` disables
+        the lint gate entirely (parse failures still reject).
+    :param metrics: registry for ``admin.reloads_*`` counters; the
+        target's own registry is reused when it has one.
+    """
+
+    def __init__(
+        self,
+        target: object,
+        fail_on: Optional[str] = "error",
+        metrics: Optional[MetricsRegistry] = None,
+        audit_capacity: int = 256,
+    ) -> None:
+        if fail_on is not None and fail_on not in _SEVERITY_RANK:
+            raise ServiceError(
+                f"fail_on must be one of {sorted(_SEVERITY_RANK)} or None"
+            )
+        self.target = target
+        self.fail_on = fail_on
+        self.audit = ReloadAudit(audit_capacity)
+        if metrics is None:
+            metrics = getattr(target, "metrics", None) or MetricsRegistry()
+        self.metrics = metrics
+        self._m_accepted = metrics.counter("admin.reloads_accepted")
+        self._m_rejected = metrics.counter("admin.reloads_rejected")
+        self._m_dry_runs = metrics.counter("admin.reloads_dry_run")
+
+    # ------------------------------------------------------------------
+    # The administration pipeline
+    # ------------------------------------------------------------------
+    def reload(
+        self,
+        source: str,
+        actor: str = "",
+        dry_run: bool = False,
+        name: str = "candidate",
+    ) -> ReloadResult:
+        """Parse, lint, diff, and (unless ``dry_run``) swap ``source``.
+
+        Never raises on a bad candidate: every failure mode — parse
+        error, lint gate, swap fault — resolves to an audited,
+        rejected :class:`ReloadResult` with the old policy still
+        serving.  Programming errors (a target without
+        ``swap_policy``) still raise.
+        """
+        started = time.perf_counter()
+        live = self.target.policy
+        action = "validate" if dry_run else "reload"
+
+        def rejected(
+            error: str,
+            candidate: Optional[GrbacPolicy] = None,
+            findings: Tuple[str, ...] = (),
+            diff_summary: str = "",
+        ) -> ReloadResult:
+            self._m_rejected.inc()
+            record = self.audit.append(
+                actor=actor,
+                action=action,
+                accepted=False,
+                dry_run=dry_run,
+                policy_name=(
+                    candidate.name if candidate is not None else name
+                ),
+                old_revision=live.decision_revision,
+                new_revision=(
+                    candidate.decision_revision
+                    if candidate is not None
+                    else None
+                ),
+                generation=None,
+                findings=findings,
+                diff_summary=diff_summary,
+                error=error,
+                duration_s=time.perf_counter() - started,
+            )
+            return ReloadResult(accepted=False, dry_run=dry_run, record=record)
+
+        try:
+            candidate = load_policy_text(source, name=name)
+        except (GrbacError, ValueError, KeyError, TypeError) as error:
+            # GrbacError covers DSL/compile faults; the rest are what
+            # json.loads / from_dict raise on malformed documents.
+            return rejected(f"parse error: {error}")
+
+        findings = PolicyAnalyzer(candidate).lint()
+        finding_strs = tuple(f.describe() for f in findings)
+        blocking = self._blocking(findings)
+        diff_summary = diff_policies(live, candidate).describe()
+        if blocking:
+            return rejected(
+                "validation failed: "
+                + "; ".join(f.describe() for f in blocking),
+                candidate=candidate,
+                findings=finding_strs,
+                diff_summary=diff_summary,
+            )
+
+        if dry_run:
+            self._m_dry_runs.inc()
+            record = self.audit.append(
+                actor=actor,
+                action=action,
+                accepted=False,
+                dry_run=True,
+                policy_name=candidate.name,
+                old_revision=live.decision_revision,
+                new_revision=candidate.decision_revision,
+                generation=None,
+                findings=finding_strs,
+                diff_summary=diff_summary,
+                error="",
+                duration_s=time.perf_counter() - started,
+            )
+            return ReloadResult(accepted=False, dry_run=True, record=record)
+
+        try:
+            generation = self.target.swap_policy(candidate)
+        except GrbacError as error:
+            # Swap refused (e.g. the candidate will not compile for the
+            # engine mode): the PDP still holds the old engine — swap
+            # is all-or-nothing by construction.
+            return rejected(
+                f"swap failed: {error}",
+                candidate=candidate,
+                findings=finding_strs,
+                diff_summary=diff_summary,
+            )
+        self._m_accepted.inc()
+        record = self.audit.append(
+            actor=actor,
+            action=action,
+            accepted=True,
+            dry_run=False,
+            policy_name=candidate.name,
+            old_revision=live.decision_revision,
+            new_revision=candidate.decision_revision,
+            generation=generation,
+            findings=finding_strs,
+            diff_summary=diff_summary,
+            error="",
+            duration_s=time.perf_counter() - started,
+        )
+        return ReloadResult(accepted=True, dry_run=False, record=record)
+
+    def validate(
+        self, source: str, actor: str = "", name: str = "candidate"
+    ) -> ReloadResult:
+        """Dry-run: the full pipeline minus the swap."""
+        return self.reload(source, actor=actor, dry_run=True, name=name)
+
+    def _blocking(self, findings: List[Finding]) -> List[Finding]:
+        if self.fail_on is None:
+            return []
+        gate = _SEVERITY_RANK[self.fail_on]
+        return [
+            f
+            for f in findings
+            if _SEVERITY_RANK.get(f.severity, gate) <= gate
+        ]
+
+
+@dataclass
+class PolicyFileWatcher:
+    """mtime-polling bridge from a policy file to the administrator.
+
+    ``serve --policy-file X --watch`` runs :meth:`run_forever`; tests
+    and the CLI use the synchronous :meth:`poll_once`.  The watcher
+    never crashes the server on a bad edit: a file that fails
+    validation is an audited rejection, and the same content is not
+    retried until the file changes again.
+    """
+
+    path: str
+    administrator: PolicyAdministrator
+    interval_s: float = 1.0
+    actor: str = "file-watch"
+    #: Called with each ReloadResult (serve uses this to log).
+    on_reload: Optional[Callable[[ReloadResult], None]] = None
+    _last_mtime_ns: Optional[int] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.interval_s <= 0:
+            raise ServiceError("watch interval must be > 0")
+        # Baseline: the file as served at startup is not "a change".
+        self._last_mtime_ns = self._mtime_ns()
+
+    def _mtime_ns(self) -> Optional[int]:
+        import os
+
+        try:
+            return os.stat(self.path).st_mtime_ns
+        except OSError:
+            return None  # transient (editor rename-in-place); retry
+
+    def poll_once(self) -> Optional[ReloadResult]:
+        """Reload if the file's mtime moved; None when it did not."""
+        mtime = self._mtime_ns()
+        if mtime is None or mtime == self._last_mtime_ns:
+            return None
+        self._last_mtime_ns = mtime
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError:
+            # Transient unreadable window (editor rename-in-place):
+            # forget the mtime so the next poll retries the read.
+            self._last_mtime_ns = None
+            return None
+        result = self.administrator.reload(
+            source, actor=self.actor, name=self.path
+        )
+        if self.on_reload is not None:
+            self.on_reload(result)
+        return result
+
+    async def run_forever(self) -> None:
+        """Poll until cancelled (serve runs this next to the PDP)."""
+        import asyncio
+
+        while True:
+            await asyncio.sleep(self.interval_s)
+            self.poll_once()

@@ -7,14 +7,26 @@ listener (stdlib asyncio only, one response per connection) bound to
 a separate port (``repro serve --admin-port``) so a scraper can never
 occupy a decision-plane connection slot:
 
-======================  =====================================================
-``GET /metrics``        Prometheus text exposition (0.0.4), whole stack
-``GET /metrics.json``   the same registry snapshot as JSON
-``GET /health``         liveness + SLO state; 200 while serving, 503 after
-``GET /ready``          admission headroom; 200 ready / 503 not ready
-``GET /dump``           flight-recorder entries; ``?limit=&since_seq=&``
-                        ``subject=&outcome=`` filters
-======================  =====================================================
+=========================  ==================================================
+``GET /metrics``           Prometheus text exposition (0.0.4), whole stack
+``GET /metrics.json``      the same registry snapshot as JSON
+``GET /health``            liveness + SLO state; 200 while serving, 503 after
+``GET /ready``             admission headroom; 200 ready / 503 not ready
+``GET /dump``              flight-recorder entries; ``?limit=&since_seq=&``
+                           ``subject=&outcome=`` filters
+``POST /reload``           validated hot-reload; the request body is the
+                           candidate policy (DSL or serialized JSON),
+                           ``?actor=&dry_run=1`` qualify it.  200 on an
+                           applied (or clean dry-run) candidate, 422 on a
+                           rejected one — body is the audited ReloadRecord
+                           either way.  404 unless the server was built
+                           with an administrator.
+=========================  ==================================================
+
+Connections are read under a deadline (:attr:`AdminServer.read_timeout_s`,
+408 on expiry) with hard size caps on the header block and body (413) —
+a stalled or oversized scrape connection can hold a handler slot at
+most one deadline long, never forever.
 """
 
 from __future__ import annotations
@@ -30,16 +42,31 @@ from repro.service.pdp import PolicyDecisionPoint
 #: Request line + headers must fit in this; admin requests are tiny.
 _MAX_REQUEST_BYTES = 8 * 1024
 
+#: Upper bound on a request body (the /reload policy text).
+_MAX_BODY_BYTES = 1024 * 1024
+
 _STATUS_TEXT = {
     200: "OK",
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
     503: "Service Unavailable",
 }
 
 #: Content type Prometheus scrapers expect for the text format.
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _BadRequest(Exception):
+    """Internal: abort request reading with a specific status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
 
 
 class AdminServer:
@@ -49,6 +76,13 @@ class AdminServer:
     :param host: bind address (default loopback).
     :param port: bind port; 0 picks an ephemeral port — read
         :attr:`port` after :meth:`start`.
+    :param administrator: optional
+        :class:`~repro.policy.admin.PolicyAdministrator`; enables
+        ``POST /reload``.  Without one the route 404s, so a scrape-only
+        sidecar exposes no mutation surface at all.
+    :param read_timeout_s: deadline for reading one full request
+        (request line, headers, body).  A connection that has not
+        produced a complete request by then is answered 408 and closed.
     """
 
     def __init__(
@@ -56,12 +90,20 @@ class AdminServer:
         pdp: PolicyDecisionPoint,
         host: str = "127.0.0.1",
         port: int = 0,
+        administrator: Optional[object] = None,
+        read_timeout_s: float = 5.0,
     ) -> None:
+        if read_timeout_s <= 0:
+            raise ServiceError("read_timeout_s must be > 0")
         self.pdp = pdp
         self.host = host
+        self.administrator = administrator
+        self.read_timeout_s = read_timeout_s
         self._requested_port = port
         self._server: Optional[asyncio.AbstractServer] = None
         self.requests_served = 0
+        #: Connections dropped for blowing the read deadline (408).
+        self.read_timeouts = 0
 
     @property
     def port(self) -> int:
@@ -100,15 +142,37 @@ class AdminServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         try:
-            request_line = await reader.readline()
-            # Drain headers (ignored) until the blank line.
-            while True:
-                header = await reader.readline()
-                if header in (b"\r\n", b"\n", b""):
-                    break
-            status, content_type, body = self._route(request_line)
+            try:
+                # One deadline covers the whole read: a peer that
+                # stalls mid-headers or trickles a body cannot hold
+                # this handler longer than read_timeout_s.
+                request_line, body = await asyncio.wait_for(
+                    self._read_request(reader), timeout=self.read_timeout_s
+                )
+            except asyncio.TimeoutError:
+                self.read_timeouts += 1
+                writer.write(
+                    self._response(
+                        408, "text/plain", b"request read deadline expired\n"
+                    )
+                )
+                await writer.drain()
+                return
+            except _BadRequest as refused:
+                writer.write(
+                    self._response(
+                        refused.status,
+                        "text/plain",
+                        f"{refused.message}\n".encode("utf-8"),
+                    )
+                )
+                await writer.drain()
+                return
+            status, content_type, response_body = self._route(
+                request_line, body
+            )
             self.requests_served += 1
-            writer.write(self._response(status, content_type, body))
+            writer.write(self._response(status, content_type, response_body))
             await writer.drain()
         except (
             ConnectionResetError,
@@ -124,6 +188,51 @@ class AdminServer:
             except (ConnectionResetError, BrokenPipeError):
                 pass
 
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[bytes, bytes]:
+        """Read one request: line, capped headers, capped body.
+
+        :raises _BadRequest: 413 when the header block or declared
+            body outgrows its cap.
+        """
+        request_line = await reader.readline()
+        header_bytes = len(request_line)
+        content_length = 0
+        while True:
+            header = await reader.readline()
+            header_bytes += len(header)
+            if header_bytes > _MAX_REQUEST_BYTES:
+                raise _BadRequest(
+                    413,
+                    f"request head exceeds {_MAX_REQUEST_BYTES} bytes",
+                )
+            if header in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = header.partition(b":")
+            if name.strip().lower() == b"content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    raise _BadRequest(
+                        400, "malformed Content-Length header"
+                    ) from None
+        if content_length < 0:
+            raise _BadRequest(400, "malformed Content-Length header")
+        if content_length > _MAX_BODY_BYTES:
+            raise _BadRequest(
+                413, f"request body exceeds {_MAX_BODY_BYTES} bytes"
+            )
+        body = b""
+        if content_length:
+            try:
+                body = await reader.readexactly(content_length)
+            except asyncio.IncompleteReadError as error:
+                raise _BadRequest(
+                    400, "request body shorter than Content-Length"
+                ) from error
+        return request_line, body
+
     @staticmethod
     def _response(status: int, content_type: str, body: bytes) -> bytes:
         head = (
@@ -135,20 +244,28 @@ class AdminServer:
         )
         return head.encode("ascii") + body
 
-    def _route(self, request_line: bytes) -> Tuple[int, str, bytes]:
+    def _route(
+        self, request_line: bytes, body: bytes
+    ) -> Tuple[int, str, bytes]:
         try:
             method, target, _version = (
                 request_line.decode("latin-1").strip().split(" ", 2)
             )
         except ValueError:
             return 400, "text/plain", b"malformed request line\n"
-        if method != "GET":
-            return 405, "text/plain", b"only GET is supported\n"
         split = urlsplit(target)
         path = split.path
         query = {
             key: values[-1] for key, values in parse_qs(split.query).items()
         }
+        if path == "/reload":
+            if self.administrator is None:
+                return 404, "text/plain", b"unknown path\n"
+            if method != "POST":
+                return 405, "text/plain", b"/reload requires POST\n"
+            return self._handle_reload(query, body)
+        if method != "GET":
+            return 405, "text/plain", b"only GET is supported\n"
         if path == "/metrics":
             return (
                 200,
@@ -183,6 +300,37 @@ class AdminServer:
                 return 400, "text/plain", f"{error}\n".encode("utf-8")
             return 200, "application/json", _json({"entries": entries})
         return 404, "text/plain", b"unknown path\n"
+
+    def _handle_reload(
+        self, query: Dict[str, str], body: bytes
+    ) -> Tuple[int, str, bytes]:
+        """``POST /reload``: the body is the candidate policy text."""
+        try:
+            policy_text = body.decode("utf-8")
+        except UnicodeDecodeError:
+            return 400, "text/plain", b"policy body must be UTF-8 text\n"
+        if not policy_text.strip():
+            return (
+                400,
+                "text/plain",
+                b"empty body; POST the candidate policy (DSL or JSON)\n",
+            )
+        dry_run = query.get("dry_run", "").lower() in ("1", "true", "yes")
+        result = self.administrator.reload(  # type: ignore[attr-defined]
+            policy_text,
+            actor=query.get("actor", "") or "admin-http",
+            dry_run=dry_run,
+        )
+        payload = {
+            "accepted": result.accepted,
+            "dry_run": result.dry_run,
+            "error": result.error,
+            "record": result.record.to_dict(),
+        }
+        # A rejected candidate is a *content* problem: 422, with the
+        # audited record explaining why, and the old policy serving.
+        status = 200 if not result.error else 422
+        return status, "application/json", _json(payload)
 
 
 def _json(payload: Dict[str, object]) -> bytes:

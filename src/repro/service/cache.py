@@ -43,6 +43,14 @@ class DecisionCache:
         self._entries: "OrderedDict[CacheKey, Decision]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        #: Lookups the cache could never have answered: ``None`` keys
+        #: (uncacheable requests) and capacity-0 lookups.  Tracked
+        #: apart from :attr:`misses` so :attr:`hit_rate` measures how
+        #: the cache performs on the traffic it is *allowed* to serve —
+        #: counting these as misses deflated the warm-hit-rate gate
+        #: (E12) and the exported metric on streams with uncacheable
+        #: requests mixed in.
+        self.uncacheable = 0
         self.evictions = 0
         #: Entries displaced because their key could never match again
         #: is not tracked separately: revision-keyed entries are not
@@ -54,7 +62,7 @@ class DecisionCache:
     def get(self, key: Optional[CacheKey]) -> Optional[Decision]:
         """Look up ``key``; ``None`` keys (uncacheable requests) miss."""
         if key is None or self.capacity == 0:
-            self.misses += 1
+            self.uncacheable += 1
             return None
         found = self._entries.get(key)
         if found is None:
@@ -78,6 +86,7 @@ class DecisionCache:
 
     @property
     def hit_rate(self) -> float:
+        """Hits over *cacheable* lookups (uncacheable ones excluded)."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
@@ -87,6 +96,7 @@ class DecisionCache:
             "entries": len(self._entries),
             "hits": self.hits,
             "misses": self.misses,
+            "uncacheable": self.uncacheable,
             "evictions": self.evictions,
             "hit_rate": round(self.hit_rate, 4),
         }

@@ -145,6 +145,43 @@ class RemotePDPClient:
             raise ServiceError(f"bad ready response: {raw!r}")
         return raw
 
+    async def reload(
+        self,
+        policy_text: str,
+        actor: str = "",
+        dry_run: bool = False,
+    ) -> Dict[str, Any]:
+        """Ask the server to hot-reload ``policy_text`` (DSL or JSON).
+
+        :returns: ``{"accepted": bool, "dry_run": bool, "error": str,
+            "record": {...}}`` — the audited
+            :class:`~repro.policy.admin.ReloadRecord` as a dict.
+        :raises ServiceError: when the server has no administrator or
+            the message itself was malformed (a *rejected candidate*
+            is not an exception — read ``accepted``/``error``).
+        """
+        request_id = next(self._ids)
+        raw = await self._roundtrip(
+            request_id,
+            {
+                "op": "reload",
+                "id": request_id,
+                "policy": policy_text,
+                "actor": actor,
+                "dry_run": dry_run,
+            },
+        )
+        if raw.get("op") != "reload" or "accepted" not in raw:
+            raise ServiceError(
+                f"bad reload response: {raw.get('error', raw)!r}"
+            )
+        return {
+            "accepted": raw["accepted"],
+            "dry_run": raw.get("dry_run", dry_run),
+            "error": raw.get("error", ""),
+            "record": raw.get("record", {}),
+        }
+
     async def dump(
         self,
         limit: Optional[int] = None,

@@ -31,6 +31,15 @@ and live callers:
 * **graceful drain** — :meth:`stop` (default) decides everything
   already admitted before shutting down, so an accepted request is
   never silently dropped.
+* **hot-reload** — :meth:`swap_policy` atomically replaces the served
+  policy without a restart: in-flight micro-batches complete against
+  the engine they started with, subsequent batches see only the new
+  one, and a :attr:`generation` counter in every cache key guarantees
+  a swapped-in policy can never collide with cached decisions from an
+  earlier one — even when their ``decision_revision`` values happen to
+  coincide.  The validated administration path (parse, lint, diff,
+  audit) lives in :mod:`repro.policy.admin`; the PDP only performs the
+  swap itself.
 
 The PDP is deliberately sessionless: callers that need §4.1.2 session
 semantics hold a :class:`~repro.core.activation.Session` and talk to
@@ -50,12 +59,14 @@ from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set
 
 from repro.core.decision import AccessRequest, Decision
 from repro.core.mediation import MediationEngine
+from repro.core.policy import GrbacPolicy
 from repro.exceptions import ServiceError
 from repro.obs.export import TraceSampler, TraceSink, trace_to_dict
 from repro.obs.flight import FlightRecorder
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.observers import ObserverHub
 from repro.obs.slo import SloTracker
+from repro.obs.trace import DecisionTrace
 from repro.service.cache import CacheKey, DecisionCache
 
 
@@ -214,7 +225,21 @@ class PolicyDecisionPoint:
         self.metrics = metrics if metrics is not None else engine.metrics
         self.observers = observers if observers is not None else engine.observers
         self.cache = DecisionCache(self.config.cache_size)
+        #: Monotonic policy generation, bumped by every
+        #: :meth:`swap_policy`.  It is the leading cache-key component:
+        #: two policies can legitimately share a ``decision_revision``
+        #: (a freshly-built policy starts its counters from the same
+        #: deterministic construction order), so revision alone cannot
+        #: distinguish pre-swap entries from post-swap ones.
+        self.generation = 0
         self._env_revision = self._resolve_env_revision(env_revision)
+        # Environment-source identity tracking: cache keys must change
+        # when `engine.environment` itself is attached, detached, or
+        # replaced after construction — two different sources can carry
+        # equal revision numbers.  Compared by identity in
+        # _env_component; the epoch bumps on every observed change.
+        self._env_source = engine.environment
+        self._env_epoch = 0
         self._queue: Optional["asyncio.Queue[object]"] = None
         self._batcher: Optional["asyncio.Task[None]"] = None
         self._accepting = False
@@ -232,6 +257,7 @@ class PolicyDecisionPoint:
         self.slo = slo if slo is not None else SloTracker(metrics=self.metrics)
         self.metrics.gauge("pdp.queue_depth", lambda: float(self.queue_depth))
         self.metrics.gauge("pdp.running", lambda: float(self.running))
+        self.metrics.gauge("pdp.generation", lambda: float(self.generation))
         environment = engine.environment
         if environment is not None and hasattr(environment, "revision"):
             self.metrics.gauge(
@@ -243,14 +269,19 @@ class PolicyDecisionPoint:
         self._m_requests = metrics_registry.counter("pdp.requests")
         self._m_cache_hits = metrics_registry.counter("pdp.cache_hits")
         self._m_cache_misses = metrics_registry.counter("pdp.cache_misses")
+        self._m_cache_uncacheable = metrics_registry.counter(
+            "pdp.cache_uncacheable"
+        )
         self._m_shed = metrics_registry.counter("pdp.shed")
         self._m_timeouts = metrics_registry.counter("pdp.timeouts")
         self._m_errors = metrics_registry.counter("pdp.errors")
         self._m_batches = metrics_registry.counter("pdp.batches")
         self._m_decided = metrics_registry.counter("pdp.decided")
+        self._m_reloads = metrics_registry.counter("pdp.reloads")
         self._h_batch = metrics_registry.histogram("pdp.batch_size")
         self._h_queue = metrics_registry.histogram("pdp.queue_depth")
         self._h_latency = metrics_registry.histogram("pdp.latency")
+        self._h_reload = metrics_registry.histogram("pdp.reload_duration")
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -309,6 +340,97 @@ class PolicyDecisionPoint:
             return 0.0
         return time.monotonic() - self._started_at
 
+    @property
+    def policy(self) -> GrbacPolicy:
+        """The policy currently being served."""
+        return self.engine.policy
+
+    # ------------------------------------------------------------------
+    # Hot-reload
+    # ------------------------------------------------------------------
+    def swap_policy(self, policy: GrbacPolicy) -> int:
+        """Atomically replace the served policy; returns the generation.
+
+        A fresh :class:`MediationEngine` is built on ``policy`` carrying
+        over the old engine's environment source, confidence threshold,
+        mode, internal cache sizing, and decision constraints, then
+        swapped in with *no await point* between building it and
+        publishing it: on asyncio's single thread, a micro-batch that
+        already captured its engine (see :meth:`_flush`) completes
+        against the old snapshot, and every batch formed afterwards sees
+        only the new one.  :attr:`generation` bumps in the same
+        synchronous step, so pre-swap :class:`DecisionCache` entries
+        stop matching by construction — even when old and new policies
+        share a ``decision_revision``.
+
+        This is the mechanism only; validation, diffing, and audit live
+        in :class:`repro.policy.admin.PolicyAdministrator`, which calls
+        this after a candidate passes its checks.
+        """
+        old = self.engine
+        started = time.perf_counter()
+        engine = MediationEngine(
+            policy,
+            environment=old.environment,
+            confidence_threshold=old.confidence_threshold,
+            cache_size=old.cache_size,
+            mode=old.mode,
+            metrics=self.metrics,
+            observers=self.observers,
+        )
+        engine.decision_constraints = list(old.decision_constraints)
+        if engine.mode == "compiled":
+            # Pre-warm the snapshot so the first post-swap batch does
+            # not pay the compile inside its latency budget.
+            policy.compiled()
+        # The swap: two plain attribute writes, no await between them,
+        # so no task can observe one without the other.
+        self.engine = engine
+        self.generation += 1
+        generation = self.generation
+        duration = time.perf_counter() - started
+        self._m_reloads.inc()
+        self._h_reload.observe(duration)
+        hub = self.observers
+        if hub:
+            hub.emit(
+                "pdp.reload",
+                policy=policy.name,
+                generation=generation,
+                revision=policy.decision_revision,
+            )
+        rationale = (
+            f"policy swapped to {policy.name!r} "
+            f"(generation {generation}, revision {policy.decision_revision})"
+        )
+        if self.flight is not None:
+            self.flight.record(
+                subject=None,
+                transaction="policy.reload",
+                obj=policy.name,
+                outcome="reload",
+                granted=False,
+                rationale=rationale,
+                latency_us=duration * 1e6,
+            )
+        sink = self.trace_sink
+        if sink is not None:
+            trace = DecisionTrace(None, "policy.reload", policy.name,
+                                  mode="admin")
+            trace.granted = False
+            trace.rationale = rationale
+            trace.add_span(
+                "pdp.reload",
+                duration_s=duration,
+                annotations={
+                    "policy": policy.name,
+                    "generation": generation,
+                    "revision": policy.decision_revision,
+                },
+            )
+            sink.offer(trace_to_dict(trace))
+        return generation
+
     # ------------------------------------------------------------------
     # Submission
     # ------------------------------------------------------------------
@@ -364,7 +486,13 @@ class PolicyDecisionPoint:
                 self._export_cached_trace(cached, request_id)
             self._observe_response(response)
             return response
-        self._m_cache_misses.inc()
+        if key is None:
+            # The cache could never have answered this (constraints,
+            # opaque env source, cache disabled) — not a miss; counting
+            # it as one deflates the exported hit rate.
+            self._m_cache_uncacheable.inc()
+        else:
+            self._m_cache_misses.inc()
 
         loop = asyncio.get_running_loop()
         timeout_s = timeout if timeout is not None else self.config.default_timeout_s
@@ -449,6 +577,13 @@ class PolicyDecisionPoint:
 
     async def _flush(self, batch: Sequence[_Pending]) -> None:
         """Decide one micro-batch and resolve its futures."""
+        # Capture the engine and generation *once*, before any await:
+        # a swap_policy racing with this flush (possible when _decide
+        # is overridden to offload to an executor) must not mix a batch
+        # decided on the old engine with cache entries keyed on the new
+        # one, or vice versa.
+        engine = self.engine
+        generation = self.generation
         loop = asyncio.get_running_loop()
         now = loop.time()
         live: List[_Pending] = []
@@ -485,11 +620,12 @@ class PolicyDecisionPoint:
                     await self._decide(
                         [item.request for item in plain],
                         [item.env_override for item in plain],
+                        engine,
                     ),
                 ):
                     decisions[id(item)] = decision
             for item in traced:
-                decisions[id(item)] = self._decide_traced(item)
+                decisions[id(item)] = self._decide_traced(item, engine)
         except Exception as error:  # noqa: BLE001 - isolate engine faults
             unresolved = [i for i in live if id(i) not in decisions]
             self._m_errors.inc(len(unresolved))
@@ -511,9 +647,19 @@ class PolicyDecisionPoint:
         size = len(live)
         for item in live:
             decision = decisions[id(item)]
-            # Key recomputed *after* deciding, so the cached entry is
-            # filed under the revision it was actually rendered at.
-            self.cache.put(self._cache_key(item.request, item.env_override), decision)
+            # Key recomputed *after* deciding — under the captured
+            # engine and generation, so the cached entry is filed under
+            # the revision it was actually rendered at, never a policy
+            # swapped in mid-flush.
+            self.cache.put(
+                self._cache_key(
+                    item.request,
+                    item.env_override,
+                    engine=engine,
+                    generation=generation,
+                ),
+                decision,
+            )
             latency = time.perf_counter() - item.submitted_at
             self._h_latency.observe(latency)
             self._finish(
@@ -529,10 +675,14 @@ class PolicyDecisionPoint:
                 ),
             )
 
-    def _decide_traced(self, item: _Pending) -> Decision:
+    def _decide_traced(
+        self, item: _Pending, engine: Optional[MediationEngine] = None
+    ) -> Decision:
         """Decide one sampled request with a pipeline trace, export it."""
+        if engine is None:
+            engine = self.engine
         env = set(item.env_override) if item.env_override is not None else None
-        decision = self.engine.decide(
+        decision = engine.decide(
             item.request, environment_roles=env, trace=True
         )
         trace = decision.trace
@@ -563,11 +713,19 @@ class PolicyDecisionPoint:
         self,
         requests: Sequence[AccessRequest],
         env_overrides: Sequence[Optional[FrozenSet[str]]],
+        engine: Optional[MediationEngine] = None,
     ) -> List[Decision]:
-        """Render a batch; overridable to offload to an executor."""
+        """Render a batch; overridable to offload to an executor.
+
+        ``engine`` is the snapshot captured at flush start; overrides
+        must decide against it (not ``self.engine``) so a concurrent
+        :meth:`swap_policy` cannot split a batch across two policies.
+        """
+        if engine is None:
+            engine = self.engine
         if all(env is None for env in env_overrides):
-            return self.engine.decide_batch(requests)
-        return self.engine.decide_batch(
+            return engine.decide_batch(requests)
+        return engine.decide_batch(
             requests,
             environment_roles=[
                 set(env) if env is not None else None for env in env_overrides
@@ -640,40 +798,82 @@ class PolicyDecisionPoint:
     def _resolve_env_revision(
         self, source: object
     ) -> Optional[Callable[[], int]]:
+        """An explicit caller-supplied revision reader, or None.
+
+        When None, :meth:`_env_component` derives the component from
+        the engine's *current* environment source at key time — it used
+        to be captured here at construction, which meant a source
+        attached or replaced on the engine afterwards changed decisions
+        without changing cache keys (a stale-serve bug; regression
+        tests in ``tests/service/test_revision_coverage.py``).
+        """
+        if source is None:
+            return None
         if callable(source):
             return source  # type: ignore[return-value]
-        if source is not None:
-            if not hasattr(source, "revision"):
-                raise ServiceError(
-                    "env_revision must be callable or expose .revision"
-                )
-            return lambda: source.revision  # type: ignore[attr-defined]
-        environment = self.engine.environment
+        if not hasattr(source, "revision"):
+            raise ServiceError(
+                "env_revision must be callable or expose .revision"
+            )
+        return lambda: source.revision  # type: ignore[attr-defined]
+
+    def _env_component(self, engine: MediationEngine) -> Optional[object]:
+        """The environment part of the cache key, or None (uncacheable).
+
+        Resolved against the engine's *live* environment source, with
+        an identity-keyed epoch: replacing, attaching, or detaching the
+        source bumps :attr:`_env_epoch`, so keys built against the old
+        source stop matching even when old and new sources happen to
+        carry equal revision numbers.
+        """
+        reader = self._env_revision
+        if reader is not None:
+            return ("revision", reader())
+        environment = engine.environment
+        if environment is not self._env_source:
+            self._env_source = environment
+            self._env_epoch += 1
         if environment is None:
-            return lambda: 0
-        if hasattr(environment, "revision"):
-            return lambda: environment.revision  # type: ignore[attr-defined]
-        return None  # opaque source: source-resolved requests uncacheable
+            return ("none", self._env_epoch)
+        if not hasattr(environment, "revision"):
+            return None  # opaque source: source-resolved uncacheable
+        return (
+            "epoch",
+            self._env_epoch,
+            environment.revision,  # type: ignore[attr-defined]
+        )
 
     def _cache_key(
-        self, request: AccessRequest, env_override: Optional[FrozenSet[str]]
+        self,
+        request: AccessRequest,
+        env_override: Optional[FrozenSet[str]],
+        engine: Optional[MediationEngine] = None,
+        generation: Optional[int] = None,
     ) -> Optional[CacheKey]:
-        """The revision-pinned cache key, or None when uncacheable."""
+        """The generation- and revision-pinned key, or None (uncacheable).
+
+        ``engine``/``generation`` default to the live ones; the batcher
+        passes the pair it captured at flush start so entries are filed
+        under the policy that actually rendered them.
+        """
         if self.config.cache_size == 0:
             return None
-        engine = self.engine
+        if engine is None:
+            engine = self.engine
+        if generation is None:
+            generation = self.generation
         if engine.decision_constraints:
             # A constraint may consult state outside the key; mirror
             # the engine's own policy of never caching around them.
             return None
         if env_override is not None:
-            env_component: object = ("override", env_override)
+            env_component: Optional[object] = ("override", env_override)
         else:
-            reader = self._env_revision
-            if reader is None:
+            env_component = self._env_component(engine)
+            if env_component is None:
                 return None
-            env_component = ("revision", reader())
         return (
+            generation,
             engine.policy.decision_revision,
             env_component,
             request.subject,
@@ -707,10 +907,13 @@ class PolicyDecisionPoint:
             "batches": self._m_batches.value,
             "cache_hits": self._m_cache_hits.value,
             "cache_misses": self._m_cache_misses.value,
+            "cache_uncacheable": self._m_cache_uncacheable.value,
             "cache_hit_rate": round(self.cache.hit_rate, 4),
             "shed": self._m_shed.value,
             "timeouts": self._m_timeouts.value,
             "errors": self._m_errors.value,
+            "generation": self.generation,
+            "reloads": self._m_reloads.value,
             "cache": self.cache.stats(),
             "trace_sample_rate": self.config.trace_sample_rate,
             "traces_sampled": self.sampler.sampled,
@@ -748,6 +951,7 @@ class PolicyDecisionPoint:
             "uptime_s": round(self.uptime_s, 3),
             "policy": self.engine.policy.name,
             "policy_revision": self.engine.policy.decision_revision,
+            "generation": self.generation,
             "queue_depth": self.queue_depth,
             "slo": self.slo.snapshot(),
         }

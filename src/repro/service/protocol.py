@@ -26,9 +26,17 @@ Control messages use ``op`` instead of a request body: ``{"op":
 form: ``{"op": "metrics"}`` → Prometheus text + JSON snapshot;
 ``{"op": "health"}`` / ``{"op": "ready"}`` → liveness/readiness
 bodies; ``{"op": "dump", "limit": 20, "since_seq": 0, "subject":
-..., "outcome": ...}`` → flight-recorder entries.  A malformed line
-gets ``{"error": ...}`` (with the request's ``id`` echoed when one
-could be parsed) — the connection stays usable.
+..., "outcome": ...}`` → flight-recorder entries.  Policy
+administration (PR 5) adds ``{"op": "reload", "policy": "<DSL or
+serialized-JSON text>", "actor": "...", "dry_run": false}`` →
+``{"op": "reload", "accepted": ..., "record": {...}}`` where
+``record`` is the audited :class:`~repro.policy.admin.ReloadRecord`
+(who, when, diff summary, lint findings, rejection reason).  The
+policy text rides the request line, so it shares the
+``MAX_LINE_BYTES`` cap — ship larger policies by file path through
+``serve --policy-file --watch`` instead.  A malformed line gets
+``{"error": ...}`` (with the request's ``id`` echoed when one could
+be parsed) — the connection stays usable.
 """
 
 from __future__ import annotations

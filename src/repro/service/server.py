@@ -36,6 +36,10 @@ class PDPServer:
     :param host: bind address (default loopback).
     :param port: bind port; 0 picks an ephemeral port — read
         :attr:`port` after :meth:`start`.
+    :param administrator: optional
+        :class:`~repro.policy.admin.PolicyAdministrator` bound to the
+        same PDP; enables the ``reload`` wire op.  Servers without one
+        answer reload attempts with an explicit error.
     """
 
     def __init__(
@@ -43,9 +47,11 @@ class PDPServer:
         pdp: PolicyDecisionPoint,
         host: str = "127.0.0.1",
         port: int = 0,
+        administrator: Optional[object] = None,
     ) -> None:
         self.pdp = pdp
         self.host = host
+        self.administrator = administrator
         self._requested_port = port
         self._server: Optional[asyncio.AbstractServer] = None
         self.connections = 0
@@ -227,5 +233,55 @@ class PDPServer:
                     ),
                 }
             )
+        elif op == "reload":
+            await self._handle_reload(payload, respond)
         else:
             await respond({"id": request_id, "error": f"unknown op {op!r}"})
+
+    async def _handle_reload(self, payload: dict, respond) -> None:
+        request_id = payload.get("id")
+        administrator = self.administrator
+        if administrator is None:
+            await respond(
+                {
+                    "id": request_id,
+                    "error": "policy administration is not enabled "
+                    "on this server",
+                }
+            )
+            return
+        policy_text = payload.get("policy")
+        if not isinstance(policy_text, str) or not policy_text.strip():
+            await respond(
+                {
+                    "id": request_id,
+                    "error": "'policy' must be non-empty policy text "
+                    "(DSL or serialized JSON)",
+                }
+            )
+            return
+        actor = payload.get("actor", "")
+        if not isinstance(actor, str):
+            await respond(
+                {"id": request_id, "error": "'actor' must be a string"}
+            )
+            return
+        dry_run = payload.get("dry_run", False)
+        if not isinstance(dry_run, bool):
+            await respond(
+                {"id": request_id, "error": "'dry_run' must be a boolean"}
+            )
+            return
+        result = administrator.reload(
+            policy_text, actor=actor or "wire", dry_run=dry_run
+        )
+        await respond(
+            {
+                "op": "reload",
+                "id": request_id,
+                "accepted": result.accepted,
+                "dry_run": result.dry_run,
+                "error": result.error,
+                "record": result.record.to_dict(),
+            }
+        )

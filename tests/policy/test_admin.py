@@ -1,0 +1,226 @@
+"""The policy administration plane: parse, lint, diff, swap, audit."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core import AccessRequest, GrbacPolicy, MediationEngine
+from repro.exceptions import ServiceError
+from repro.policy import to_json
+from repro.policy.admin import (
+    PolicyAdministrator,
+    PolicyFileWatcher,
+    ReloadAudit,
+    load_policy_text,
+)
+from repro.service import PDPConfig, PolicyDecisionPoint
+
+DSL = """
+subject role parent
+subject role child
+subject alice is child
+object role entertainment
+object tv is entertainment
+environment role free-time
+allow child to watch on entertainment when free-time
+"""
+
+DSL_WITH_BOBBY = DSL + "subject bobby is child\n"
+
+
+def make_pdp(policy, **config) -> PolicyDecisionPoint:
+    return PolicyDecisionPoint(MediationEngine(policy), PDPConfig(**config))
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+# ----------------------------------------------------------------------
+# Candidate loading
+# ----------------------------------------------------------------------
+def test_load_policy_text_accepts_dsl_and_json() -> None:
+    from_dsl = load_policy_text(DSL, name="dsl")
+    from_doc = load_policy_text(to_json(from_dsl))
+    assert from_doc.decision_revision == from_dsl.decision_revision
+    assert "alice" in {subject.name for subject in from_doc.subjects()}
+
+
+# ----------------------------------------------------------------------
+# The reload pipeline
+# ----------------------------------------------------------------------
+def test_accepted_reload_swaps_and_audits(tv_policy) -> None:
+    pdp = make_pdp(tv_policy)
+    admin = PolicyAdministrator(pdp)
+
+    async def scenario():
+        async with pdp:
+            result = admin.reload(DSL_WITH_BOBBY, actor="ops")
+            response = await pdp.submit(
+                AccessRequest("watch", "tv", subject="bobby"),
+                environment_roles={"free-time"},
+            )
+        return result, response
+
+    result, response = run(scenario())
+    assert result.accepted is True
+    assert response.granted is True
+    record = result.record
+    assert record.actor == "ops"
+    assert record.action == "reload"
+    assert record.generation == 1
+    assert record.old_revision == tv_policy.decision_revision
+    assert "+ tv" in record.diff_summary  # the candidate's new object
+    assert record.error == ""
+    assert admin.audit.stats()["accepted"] == 1
+
+
+def test_parse_failure_is_audited_and_leaves_policy_serving(tv_policy) -> None:
+    pdp = make_pdp(tv_policy)
+    admin = PolicyAdministrator(pdp)
+    request = AccessRequest("watch", "livingroom/tv", subject="alice")
+
+    async def scenario():
+        async with pdp:
+            before = await pdp.submit(request, environment_roles={"free-time"})
+            result = admin.reload("grant gibberish ???", actor="ops")
+            after = await pdp.submit(request, environment_roles={"free-time"})
+        return before, result, after
+
+    before, result, after = run(scenario())
+    assert result.accepted is False
+    assert "parse error" in result.error
+    assert before.granted is after.granted is True
+    # The old policy kept serving: same engine, generation untouched.
+    assert pdp.policy is tv_policy
+    assert pdp.generation == 0
+    record = admin.audit.last
+    assert record is not None and record.error == result.error
+    assert admin.audit.stats()["rejected"] == 1
+
+
+def test_malformed_json_candidate_is_rejected_not_raised(tv_policy) -> None:
+    admin = PolicyAdministrator(make_pdp(tv_policy))
+    result = admin.reload('{"schema": "nope', actor="ops")
+    assert result.accepted is False
+    assert "parse error" in result.error
+
+
+def test_dry_run_validates_without_swapping(tv_policy) -> None:
+    pdp = make_pdp(tv_policy)
+    admin = PolicyAdministrator(pdp)
+    result = admin.validate(DSL_WITH_BOBBY, actor="ops")
+    assert result.accepted is False
+    assert result.dry_run is True
+    assert result.error == ""
+    assert result.record.action == "validate"
+    assert "+ tv" in result.record.diff_summary
+    assert pdp.policy is tv_policy
+    assert pdp.generation == 0
+
+
+def test_fail_on_warning_blocks_linted_candidate(tv_policy) -> None:
+    # A grant/deny conflict lints as a warning; the strict gate
+    # refuses it while the default gate lets it through (audited).
+    conflicted = (
+        DSL + "deny child to watch on entertainment when free-time\n"
+    )
+    strict = PolicyAdministrator(make_pdp(tv_policy), fail_on="warning")
+    result = strict.reload(conflicted, actor="ops")
+    assert result.accepted is False
+    assert "validation failed" in result.error
+    assert result.record.findings  # the findings made it to the audit
+
+    lenient = PolicyAdministrator(make_pdp(tv_policy))
+    assert lenient.reload(conflicted, actor="ops").accepted is True
+
+
+def test_fail_on_rejects_unknown_severity(tv_policy) -> None:
+    with pytest.raises(ServiceError):
+        PolicyAdministrator(make_pdp(tv_policy), fail_on="fatal")
+
+
+def test_reload_metrics_count_outcomes(tv_policy) -> None:
+    pdp = make_pdp(tv_policy)
+    admin = PolicyAdministrator(pdp)
+    admin.reload(DSL, actor="ops")
+    admin.reload("not a policy {{{", actor="ops")
+    admin.validate(DSL, actor="ops")
+    registry = pdp.metrics
+    assert registry.counter("admin.reloads_accepted").value == 1
+    assert registry.counter("admin.reloads_rejected").value == 1
+    assert registry.counter("admin.reloads_dry_run").value == 1
+    assert registry.counter("pdp.reloads").value == 1
+
+
+def test_audit_ring_is_bounded() -> None:
+    audit = ReloadAudit(capacity=2)
+    for index in range(5):
+        audit.append(
+            actor="a",
+            action="validate",
+            accepted=False,
+            dry_run=True,
+            policy_name=f"p{index}",
+            old_revision=0,
+            new_revision=0,
+            generation=None,
+            findings=(),
+            diff_summary="",
+            error="",
+            duration_s=0.0,
+        )
+    assert len(audit) == 2
+    assert audit.records()[-1].sequence == 5
+    assert audit.stats()["attempts"] == 5
+
+
+# ----------------------------------------------------------------------
+# File watching
+# ----------------------------------------------------------------------
+def test_watcher_reloads_on_mtime_change(tv_policy, tmp_path) -> None:
+    path = tmp_path / "policy.grbac"
+    path.write_text(DSL)
+    pdp = make_pdp(tv_policy)
+    admin = PolicyAdministrator(pdp)
+    watcher = PolicyFileWatcher(str(path), admin, actor="test-watch")
+
+    # Unchanged file: nothing happens (the boot content is baseline).
+    assert watcher.poll_once() is None
+
+    import os
+
+    path.write_text(DSL_WITH_BOBBY)
+    # Force an mtime step even on coarse-granularity filesystems.
+    stamp = path.stat()
+    os.utime(path, ns=(stamp.st_atime_ns, stamp.st_mtime_ns + 1_000_000))
+    result = watcher.poll_once()
+    assert result is not None and result.accepted is True
+    assert result.record.actor == "test-watch"
+    assert pdp.generation == 1
+    # And idempotent until the next change.
+    assert watcher.poll_once() is None
+
+
+def test_watcher_bad_edit_keeps_serving_and_does_not_retry(
+    tv_policy, tmp_path
+) -> None:
+    import os
+
+    path = tmp_path / "policy.grbac"
+    path.write_text(DSL)
+    pdp = make_pdp(tv_policy)
+    admin = PolicyAdministrator(pdp)
+    watcher = PolicyFileWatcher(str(path), admin)
+
+    path.write_text("broken ???")
+    stamp = path.stat()
+    os.utime(path, ns=(stamp.st_atime_ns, stamp.st_mtime_ns + 1_000_000))
+    result = watcher.poll_once()
+    assert result is not None and result.accepted is False
+    assert pdp.policy is tv_policy
+    # Same content, same mtime: not retried every poll.
+    assert watcher.poll_once() is None
+    assert admin.audit.stats()["rejected"] == 1

@@ -1,0 +1,180 @@
+"""Admin HTTP hardening: read deadlines and request-size caps.
+
+The sidecar used to read requests with no deadline and no bound on the
+request head — one stalled scraper connection could hold a handler
+forever.  These tests pin the fixes: 408 when the deadline expires,
+413 when the head or declared body outgrows its cap, 400 on malformed
+or short bodies.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core import MediationEngine
+from repro.exceptions import ServiceError
+from repro.service import AdminServer, PDPConfig, PolicyDecisionPoint
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+def make_pdp(policy) -> PolicyDecisionPoint:
+    return PolicyDecisionPoint(MediationEngine(policy), PDPConfig())
+
+
+async def _exchange(port: int, payload: bytes, eof: bool = False):
+    """Send ``payload``, optionally half-close, read the full response."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(payload)
+    await writer.drain()
+    if eof:
+        writer.write_eof()
+    raw = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    if not raw:
+        return None, b""
+    head, _, body = raw.partition(b"\r\n\r\n")
+    return int(head.split(b"\r\n", 1)[0].split()[1]), body
+
+
+def test_read_timeout_must_be_positive(tv_policy) -> None:
+    with pytest.raises(ServiceError):
+        AdminServer(make_pdp(tv_policy), read_timeout_s=0)
+
+
+def test_stalled_request_is_answered_408(tv_policy) -> None:
+    pdp = make_pdp(tv_policy)
+
+    async def scenario():
+        async with AdminServer(pdp, read_timeout_s=0.2) as admin:
+            # An unterminated request line: the reader waits for more
+            # bytes that never come, and the deadline fires.
+            return await _exchange(admin.port, b"GET /health"), admin
+
+    (status, body), admin = run(scenario())
+    assert status == 408
+    assert b"deadline" in body
+    assert admin.read_timeouts == 1
+
+
+def test_slow_header_trickle_cannot_outlive_the_deadline(tv_policy) -> None:
+    """The deadline covers the whole read, not each line: trickling
+    one header per 100ms still gets cut off."""
+    pdp = make_pdp(tv_policy)
+
+    async def scenario():
+        async with AdminServer(pdp, read_timeout_s=0.3) as admin:
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", admin.port
+            )
+            writer.write(b"GET /health HTTP/1.1\r\n")
+            await writer.drain()
+            dripped = 0
+            try:
+                for index in range(20):
+                    writer.write(f"X-Drip-{index}: 1\r\n".encode("ascii"))
+                    await writer.drain()
+                    await asyncio.sleep(0.1)
+                    dripped += 1
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            try:
+                raw = await reader.read()
+            except OSError:
+                raw = b""  # the write-side failure poisoned the stream
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            return raw, dripped, admin.read_timeouts
+
+    raw, dripped, timeouts = run(scenario())
+    assert timeouts == 1  # the deadline fired despite steady progress
+    assert dripped < 20  # ... and the connection was cut early
+    if raw:
+        assert raw.startswith(b"HTTP/1.1 408")
+
+
+def test_oversized_header_block_is_answered_413(tv_policy) -> None:
+    pdp = make_pdp(tv_policy)
+    filler = b"".join(
+        b"X-Pad-%d: %s\r\n" % (index, b"v" * 120) for index in range(80)
+    )
+    request = b"GET /health HTTP/1.1\r\n" + filler + b"\r\n"
+    assert len(request) > 8 * 1024  # bigger than the head cap
+
+    async def scenario():
+        async with AdminServer(pdp) as admin:
+            return await _exchange(admin.port, request)
+
+    status, body = run(scenario())
+    assert status == 413
+    assert b"head exceeds" in body
+
+
+def test_declared_oversized_body_is_answered_413(tv_policy) -> None:
+    pdp = make_pdp(tv_policy)
+    request = (
+        b"POST /reload HTTP/1.1\r\n"
+        b"Content-Length: 10485760\r\n\r\n"  # 10 MiB, never sent
+    )
+
+    async def scenario():
+        async with AdminServer(pdp) as admin:
+            return await _exchange(admin.port, request)
+
+    status, body = run(scenario())
+    assert status == 413
+    assert b"body exceeds" in body
+
+
+@pytest.mark.parametrize("value", [b"ten", b"-5"])
+def test_malformed_content_length_is_answered_400(tv_policy, value) -> None:
+    pdp = make_pdp(tv_policy)
+    request = (
+        b"POST /reload HTTP/1.1\r\nContent-Length: " + value + b"\r\n\r\n"
+    )
+
+    async def scenario():
+        async with AdminServer(pdp) as admin:
+            return await _exchange(admin.port, request)
+
+    status, body = run(scenario())
+    assert status == 400
+    assert b"Content-Length" in body
+
+
+def test_body_shorter_than_declared_is_answered_400(tv_policy) -> None:
+    pdp = make_pdp(tv_policy)
+    request = b"POST /reload HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"
+
+    async def scenario():
+        async with AdminServer(pdp) as admin:
+            return await _exchange(admin.port, request, eof=True)
+
+    status, body = run(scenario())
+    assert status == 400
+    assert b"shorter than Content-Length" in body
+
+
+def test_well_formed_requests_still_served_after_refusals(tv_policy) -> None:
+    """Refused connections must not wedge the listener."""
+    pdp = make_pdp(tv_policy)
+
+    async def scenario():
+        async with AdminServer(pdp, read_timeout_s=0.2) as admin:
+            await _exchange(admin.port, b"GET /stall")  # 408s
+            status, _ = await _exchange(
+                admin.port, b"GET /health HTTP/1.1\r\nHost: x\r\n\r\n"
+            )
+            return status, admin.requests_served
+
+    status, served = run(scenario())
+    assert status in (200, 503)
+    assert served == 1  # only the good request counts

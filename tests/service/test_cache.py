@@ -14,12 +14,16 @@ def test_basic_get_put() -> None:
     assert cache.misses == 1
 
 
-def test_none_key_is_a_miss_and_never_stored() -> None:
+def test_none_key_is_uncacheable_and_never_stored() -> None:
     cache = DecisionCache(4)
     assert cache.get(None) is None
     cache.put(None, "value")
     assert cache.get(None) is None
     assert len(cache) == 0
+    # A None key was never *eligible* for the cache: it is counted as
+    # uncacheable, not as a miss (misses would deflate hit_rate).
+    assert cache.uncacheable == 2  # one per get(None)
+    assert cache.misses == 0
 
 
 def test_capacity_zero_disables() -> None:
@@ -27,6 +31,25 @@ def test_capacity_zero_disables() -> None:
     cache.put(("k",), "value")
     assert cache.get(("k",)) is None
     assert len(cache) == 0
+    assert cache.uncacheable == 1
+    assert cache.misses == 0
+
+
+def test_hit_rate_measures_cacheable_lookups_only() -> None:
+    """Regression: uncacheable lookups used to count as misses, so a
+    PDP with many constraint-guarded (uncacheable) requests reported a
+    near-zero hit_rate however well the cache was doing."""
+    cache = DecisionCache(4)
+    cache.put(("k",), "value")
+    assert cache.get(("k",)) == "value"  # 1 hit
+    assert cache.get(("other",)) is None  # 1 miss
+    for _ in range(98):
+        cache.get(None)  # uncacheable noise
+    stats = cache.stats()
+    assert stats["hits"] == 1
+    assert stats["misses"] == 1
+    assert stats["uncacheable"] == 98
+    assert stats["hit_rate"] == 0.5  # not 1/100
 
 
 def test_lru_eviction_prefers_recently_used() -> None:
@@ -59,4 +82,5 @@ def test_stats_shape() -> None:
     assert stats["capacity"] == 2
     assert stats["hits"] == 1
     assert stats["misses"] == 1
+    assert stats["uncacheable"] == 0
     assert 0.0 <= stats["hit_rate"] <= 1.0

@@ -23,9 +23,9 @@ def parked_pdp(policy, release: asyncio.Event, **config) -> PolicyDecisionPoint:
     pdp = PolicyDecisionPoint(engine, PDPConfig(cache_size=0, **config))
     original = PolicyDecisionPoint._decide
 
-    async def gated(self, requests, env_overrides):
+    async def gated(self, requests, env_overrides, engine=None):
         await release.wait()
-        return await original(self, requests, env_overrides)
+        return await original(self, requests, env_overrides, engine)
 
     pdp._decide = gated.__get__(pdp)
     return pdp

@@ -266,9 +266,9 @@ def test_graceful_drain_decides_everything_admitted(tv_policy) -> None:
         release = asyncio.Event()
         original = type(pdp)._decide
 
-        async def gated(self, requests, env_overrides):
+        async def gated(self, requests, env_overrides, engine=None):
             await release.wait()
-            return await original(self, requests, env_overrides)
+            return await original(self, requests, env_overrides, engine)
 
         pdp._decide = gated.__get__(pdp)
         async with pdp:
@@ -310,7 +310,7 @@ def test_engine_fault_isolated_to_error_outcome(tv_policy) -> None:
     pdp = make_pdp(tv_policy, cache_size=0)
     request = AccessRequest("watch", "livingroom/tv", subject="alice")
 
-    async def broken(self, requests, env_overrides):
+    async def broken(self, requests, env_overrides, engine=None):
         raise RuntimeError("engine exploded")
 
     pdp._decide = broken.__get__(pdp)

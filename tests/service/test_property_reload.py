@@ -1,0 +1,137 @@
+"""Property: hot-reload is indistinguishable from a fresh PDP.
+
+Hypothesis generates random candidate rule sets.  A live PDP that
+hot-reloads the candidate (with a warm cache full of old-policy
+answers to tempt staleness) must answer every probe exactly as a PDP
+built directly on the candidate — and a candidate that fails
+validation must leave every answer exactly as it was.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AccessRequest, GrbacPolicy, MediationEngine
+from repro.exceptions import GrbacError
+from repro.policy import to_json
+from repro.policy.admin import PolicyAdministrator
+from repro.service import MEDIATED_OUTCOMES, PDPConfig, PolicyDecisionPoint
+
+SUBJECT_ROLES = ["parent", "child"]
+SUBJECTS = {"mom": "parent", "alice": "child"}
+OBJECT_ROLES = ["entertainment", "dangerous"]
+OBJECTS = {"tv": "entertainment", "oven": "dangerous"}
+ENV_ROLES = ["free-time", "weekday"]
+TRANSACTIONS = ["watch", "power_on"]
+
+PROBES = [
+    (subject, transaction, obj, env)
+    for subject in sorted(SUBJECTS)
+    for transaction in TRANSACTIONS
+    for obj in sorted(OBJECTS)
+    for env in (frozenset(), frozenset({"free-time"}))
+]
+
+rules = st.lists(
+    st.tuples(
+        st.sampled_from(["grant", "deny"]),
+        st.sampled_from(SUBJECT_ROLES),
+        st.sampled_from(TRANSACTIONS),
+        st.sampled_from(OBJECT_ROLES),
+        st.sampled_from(ENV_ROLES + [None]),
+    ),
+    max_size=6,
+)
+
+
+def build_policy(rule_list, name="prop") -> GrbacPolicy:
+    policy = GrbacPolicy(name)
+    for role in SUBJECT_ROLES:
+        policy.add_subject_role(role)
+    for role in OBJECT_ROLES:
+        policy.add_object_role(role)
+    for role in ENV_ROLES:
+        policy.add_environment_role(role)
+    for transaction in TRANSACTIONS:
+        policy.add_transaction(transaction)
+    for subject, role in SUBJECTS.items():
+        policy.add_subject(subject)
+        policy.assign_subject(subject, role)
+    for obj, role in OBJECTS.items():
+        policy.add_object(obj)
+        policy.assign_object(obj, role)
+    for sign, srole, transaction, orole, erole in rule_list:
+        try:
+            if sign == "grant":
+                policy.grant(srole, transaction, orole, erole)
+            else:
+                policy.deny(srole, transaction, orole, erole)
+        except GrbacError:
+            pass  # duplicate rule in the sample
+    return policy
+
+
+BASE_RULES = [("grant", "child", "watch", "entertainment", "free-time")]
+
+
+async def _probe_all(pdp: PolicyDecisionPoint):
+    answers = []
+    for subject, transaction, obj, env in PROBES:
+        request = AccessRequest(transaction, obj, subject=subject)
+        response = await pdp.submit(request, environment_roles=set(env))
+        assert response.outcome in MEDIATED_OUTCOMES
+        answers.append((response.outcome, response.granted))
+    return answers
+
+
+@settings(max_examples=25, deadline=None)
+@given(rule_list=rules)
+def test_reload_is_equivalent_to_a_fresh_pdp(rule_list) -> None:
+    pdp = PolicyDecisionPoint(
+        MediationEngine(build_policy(BASE_RULES, name="base")),
+        PDPConfig(max_batch=8, cache_size=64),
+    )
+    fresh = PolicyDecisionPoint(
+        MediationEngine(build_policy(rule_list)),
+        PDPConfig(max_batch=8, cache_size=64),
+    )
+    administrator = PolicyAdministrator(pdp)
+    candidate = to_json(build_policy(rule_list))
+
+    async def scenario():
+        async with pdp, fresh:
+            await _probe_all(pdp)  # warm old-policy cache entries
+            result = administrator.reload(candidate, actor="prop")
+            assert result.accepted, result.error
+            return await _probe_all(pdp), await _probe_all(fresh)
+
+    reloaded, direct = asyncio.run(scenario())
+    assert reloaded == direct
+
+
+@settings(max_examples=25, deadline=None)
+@given(rule_list=rules, junk=st.text(max_size=30))
+def test_failed_validation_leaves_answers_untouched(rule_list, junk) -> None:
+    policy = build_policy(rule_list)
+    pdp = PolicyDecisionPoint(
+        MediationEngine(policy), PDPConfig(max_batch=8, cache_size=64)
+    )
+    administrator = PolicyAdministrator(pdp)
+    # Whatever the sampled junk, the leading line cannot parse.
+    candidate = "certainly not a grbac statement\n" + junk
+
+    async def scenario():
+        async with pdp:
+            before = await _probe_all(pdp)
+            result = administrator.reload(candidate, actor="prop")
+            assert result.accepted is False
+            assert result.error
+            return before, await _probe_all(pdp)
+
+    before, after = asyncio.run(scenario())
+    assert before == after
+    assert pdp.policy is policy
+    assert pdp.generation == 0
