@@ -1,18 +1,22 @@
-"""E11 — mediation scalability: compiled vs indexed vs naive.
+"""E11 — mediation scalability: vectorized vs compiled vs indexed vs naive.
 
 Sweeps policy size (permission count, role counts, hierarchy edges)
 over synthetic policies and measures per-decision latency for all
-three decision paths, plus the compiled path driven through
-``decide_batch``.  Equivalence of every path is asserted on every
-swept point before any timing happens.
+four decision paths, plus the compiled and vectorized paths driven
+through ``decide_batch``.  Equivalence of every path is asserted on
+every swept point before any timing happens.
 
 Expected shape: naive latency grows linearly with the permission
 count; indexed latency is governed by the (small) effective role sets
 of the request; the compiled path tests precomputed closure bitsets
 against per-(transaction, subject-role) rule buckets, so it stays
-near-flat and well below indexed.  The acceptance gate — compiled
-batch at least 3x faster than indexed on the 4000-permission point —
-is asserted, not just reported.
+near-flat and well below indexed; the vectorized batch lane adds
+environment-pre-pruned struct-of-arrays buckets and revision-scoped
+decision templates on top, taking warm repeats out of the pipeline
+entirely.  Two acceptance gates are asserted, not just reported:
+compiled batch at least 3x faster than indexed, and vectorized batch
+at least 3x faster than compiled batch, both on the 4000-permission
+point.
 
 Besides the human-readable report, the sweep is persisted
 machine-readably to ``benchmarks/reports/BENCH_mediation.json``.
@@ -33,6 +37,7 @@ from repro.workload.generator import (
 )
 
 SPEEDUP_GATE = 3.0  # compiled+batch vs indexed at the largest sweep point
+VECTORIZED_GATE = 3.0  # vectorized batch vs compiled+batch at the same point
 
 # Instrumentation guard: the staged pipeline with a subscribed no-op
 # observer (the full observability surface active, doing nothing) must
@@ -92,14 +97,15 @@ def assert_paths_equivalent(engines, pairs) -> None:
 
 def test_bench_mediation_scale(benchmark, report):
     rows = [
-        "E11 Mediation scalability: compiled vs indexed vs naive",
+        "E11 Mediation scalability: vectorized vs compiled vs indexed vs naive",
         f"  {'permissions':>12}{'roles':>7}{'edges':>7}"
         f"{'naive us':>10}{'indexed us':>11}{'compiled us':>12}"
-        f"{'batch us':>10}{'observed us':>12}{'ovh%':>7}"
-        f"{'cmp/idx':>9}{'batch/idx':>10}",
+        f"{'batch us':>10}{'vector us':>11}{'observed us':>12}{'ovh%':>7}"
+        f"{'cmp/idx':>9}{'batch/idx':>10}{'vec/batch':>10}",
     ]
     sweep_records = []
     gate_speedup = None
+    gate_vectorized = None
     gate_overhead = None
     for permissions, roles, edges in [
         (50, 10, 5),
@@ -124,6 +130,7 @@ def test_bench_mediation_scale(benchmark, report):
         indexed = MediationEngine(policy, mode="indexed")
         compiled = MediationEngine(policy, mode="compiled")
         batch_engine = MediationEngine(policy, mode="compiled")
+        vectorized = MediationEngine(policy, mode="vectorized")
         # The same compiled pipeline with the full observer surface
         # switched on but subscribed to a no-op observer: measures the
         # cost of instrumentation, not of any particular consumer.
@@ -140,7 +147,9 @@ def test_bench_mediation_scale(benchmark, report):
         envs = [env for _, env in pairs]
 
         # Equivalence first (also warms compiles and expansion memos).
-        assert_paths_equivalent([compiled, indexed, naive, observed], pairs[:40])
+        assert_paths_equivalent(
+            [compiled, indexed, naive, observed, vectorized], pairs[:40]
+        )
         batch_decisions = batch_engine.decide_batch(
             requests[:40], environment_roles=envs[:40]
         )
@@ -151,20 +160,30 @@ def test_bench_mediation_scale(benchmark, report):
         assert [d.granted for d in batch_decisions] == [
             d.granted for d in singles
         ]
+        vector_decisions = vectorized.decide_batch(
+            requests[:40], environment_roles=envs[:40]
+        )
+        assert [d.granted for d in vector_decisions] == [
+            d.granted for d in singles
+        ]
 
         naive_us = mean_decide_us(naive, pairs)
         indexed_us = mean_decide_us(indexed, pairs)
         compiled_us = mean_decide_us(compiled, pairs)
         batch_us = mean_batch_us(batch_engine, requests, envs)
+        vectorized_us = mean_batch_us(vectorized, requests, envs)
         observed_us = mean_decide_us(observed, pairs)
         overhead = observed_us / compiled_us - 1.0
         cmp_speedup = indexed_us / compiled_us
         batch_speedup = indexed_us / batch_us
+        vector_speedup = batch_us / vectorized_us
         rows.append(
             f"  {permissions:>12}{roles:>7}{edges:>7}"
             f"{naive_us:>10.2f}{indexed_us:>11.2f}{compiled_us:>12.2f}"
-            f"{batch_us:>10.2f}{observed_us:>12.2f}{overhead:>7.1%}"
+            f"{batch_us:>10.2f}{vectorized_us:>11.2f}"
+            f"{observed_us:>12.2f}{overhead:>7.1%}"
             f"{cmp_speedup:>8.1f}x{batch_speedup:>9.1f}x"
+            f"{vector_speedup:>9.1f}x"
         )
         sweep_records.append(
             {
@@ -178,8 +197,16 @@ def test_bench_mediation_scale(benchmark, report):
                 "compiled_batch_us": round(batch_us, 3),
                 "observed_us": round(observed_us, 3),
                 "instrumentation_overhead": round(overhead, 4),
+                "vectorized_batch_us": round(vectorized_us, 3),
                 "compiled_vs_indexed_speedup": round(cmp_speedup, 2),
                 "batch_vs_indexed_speedup": round(batch_speedup, 2),
+                "vectorized_vs_compiled_batch_speedup": round(
+                    vector_speedup, 2
+                ),
+                "decision_templates": vectorized.stats().get(
+                    "decision_templates", 0
+                ),
+                "vector_buckets": vectorized.stats().get("vector_buckets", 0),
                 "compile_time_s": round(
                     compiled.stats()["compile_time_s"], 6
                 ),
@@ -188,6 +215,7 @@ def test_bench_mediation_scale(benchmark, report):
         )
         if permissions == 4000:
             gate_speedup = batch_speedup
+            gate_vectorized = vector_speedup
             gate_overhead = overhead
     rows.append(
         "shape: naive cost scales with the rule count (it visits every "
@@ -195,16 +223,25 @@ def test_bench_mediation_scale(benchmark, report):
         "(subject-role x object-role) pairs; compiled tests interned "
         "closure bitsets against per-(transaction, subject-role) rule "
         "buckets, so per-decision work tracks the handful of rules "
-        "that name roles the requester can actually reach.  'observed' "
-        "is the same compiled pipeline with a subscribed no-op "
-        "observer; its overhead ('ovh%') is the cost of the "
-        "instrumentation layer itself."
+        "that name roles the requester can actually reach.  'vector' "
+        "is the struct-of-arrays batch kernel: environment pruning is "
+        "hoisted to one pass per flush and warm (request-shape, "
+        "revision) repeats resolve from decision templates without "
+        "re-entering the pipeline.  'observed' is the same compiled "
+        "pipeline with a subscribed no-op observer; its overhead "
+        "('ovh%') is the cost of the instrumentation layer itself."
     )
     assert gate_speedup is not None
     assert gate_speedup >= SPEEDUP_GATE, (
         f"compiled batch path is only {gate_speedup:.1f}x faster than the "
         f"indexed path at 4000 permissions; the acceptance gate is "
         f"{SPEEDUP_GATE:.0f}x"
+    )
+    assert gate_vectorized is not None
+    assert gate_vectorized >= VECTORIZED_GATE, (
+        f"vectorized batch path is only {gate_vectorized:.1f}x faster than "
+        f"the compiled batch path at 4000 permissions; the acceptance gate "
+        f"is {VECTORIZED_GATE:.0f}x"
     )
     assert gate_overhead is not None
     assert gate_overhead <= OVERHEAD_GATE, (
@@ -260,6 +297,8 @@ def test_bench_mediation_scale(benchmark, report):
                 "experiment": "E11-mediation-scale",
                 "speedup_gate": SPEEDUP_GATE,
                 "gate_speedup_at_4000": round(gate_speedup, 2),
+                "vectorized_gate": VECTORIZED_GATE,
+                "gate_vectorized_speedup_at_4000": round(gate_vectorized, 2),
                 "instrumentation_overhead_gate": OVERHEAD_GATE,
                 "instrumentation_overhead_at_4000": round(gate_overhead, 4),
                 "sweep": sweep_records,

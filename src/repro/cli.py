@@ -449,7 +449,9 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     async def run():
         if args.connect:
             host, port = _parse_connect(args.connect)
-            client = await RemotePDPClient.connect(host, port)
+            client = await RemotePDPClient.connect(
+                host, port, wire=args.wire
+            )
             try:
                 return await run_loadgen(client, stream, config, expected)
             finally:
@@ -467,7 +469,12 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             return await run_loadgen(PDPClient(pdp), stream, config, expected)
 
     result = asyncio.run(run())
-    target = args.connect or "in-process PDP"
+    wire = args.wire if args.connect else "in-process"
+    target = (
+        f"{args.connect} [{args.wire} wire]"
+        if args.connect
+        else "in-process PDP"
+    )
     mode = "unbatched" if args.unbatched else "micro-batched"
     print(f"loadgen against {target} ({mode}):")
     print(result.describe())
@@ -500,6 +507,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
                 ),
                 "target": target,
                 "mode": mode,
+                "wire": wire,
                 "verified": args.verify,
                 **result.to_dict(),
             }
@@ -667,7 +675,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument(
         "--mode",
-        choices=["compiled", "indexed", "naive"],
+        choices=["vectorized", "compiled", "indexed", "naive"],
         default="compiled",
         help="decision path to exercise (default compiled)",
     )
@@ -892,6 +900,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="HOST:PORT",
         help="target a running `serve` instance (must serve the same "
         "policy file; default: in-process PDP)",
+    )
+    loadgen.add_argument(
+        "--wire",
+        choices=("json", "binary"),
+        default="json",
+        help="wire format for --connect: 'binary' runs the intern "
+        "handshake and ships interned-integer frames on the hot path "
+        "(default json; ignored in-process)",
     )
     loadgen.add_argument(
         "--requests",

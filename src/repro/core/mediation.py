@@ -30,11 +30,13 @@ Every decision runs through the staged pipeline of
 :mod:`repro.core.pipeline` — resolve subject roles, snapshot the
 environment, expand hierarchy closures, match permissions, resolve
 precedence, apply constraints, emit.  The *compiled* (default,
-interned-ID bitsets — see :mod:`repro.core.compiled`), *indexed*
-(tuple-keyed permission index), and *naive* (literal quantifier
-transcription) paths are strategy plug-ins for the expansion/match
-stages of that one pipeline.  They are verified equivalent by
-property-based tests and ablated against each other in benchmark E11.
+interned-ID bitsets — see :mod:`repro.core.compiled`), *vectorized*
+(compiled plus the struct-of-arrays batch kernel of
+:mod:`repro.core.vectorized`), *indexed* (tuple-keyed permission
+index), and *naive* (literal quantifier transcription) paths are
+strategy plug-ins for the expansion/match stages of that one
+pipeline.  They are verified equivalent by property-based tests and
+ablated against each other in benchmark E11.
 
 The request/decision value types live in :mod:`repro.core.decision`
 and are re-exported here for compatibility.
@@ -94,9 +96,10 @@ class MediationEngine:
         ``False`` the naive quantifier transcription.  Leave unset to
         get the default compiled strategy (or pass ``mode``).
     :param mode: expansion/match strategy — ``"compiled"`` (default),
-        ``"indexed"``, or ``"naive"``.  All three are
-        decision-equivalent (property-tested); they differ only in
-        speed.
+        ``"vectorized"`` (compiled plus the struct-of-arrays batch
+        kernel of :mod:`repro.core.vectorized`), ``"indexed"``, or
+        ``"naive"``.  All four are decision-equivalent
+        (property-tested); they differ only in speed.
     :param metrics: metrics registry to publish into; a private one is
         created when not supplied, so ``engine.metrics`` always works.
     :param observers: observer hub decisions are published to; a
@@ -159,6 +162,11 @@ class MediationEngine:
         self.denies = 0
         self.strategy = build_strategy(mode, self)
         self.pipeline = DecisionPipeline(self, self.strategy)
+        #: Strategy-owned batch fast lane (the vectorized struct-of-
+        #: arrays kernel); ``None`` for strategies without one.
+        self._batch_kernel = (
+            self.strategy.decide_batch if mode == "vectorized" else None
+        )
 
     # ------------------------------------------------------------------
     # Public API
@@ -215,23 +223,36 @@ class MediationEngine:
         :returns: one :class:`Decision` per request, in request order.
         """
         batch = list(requests)
-        decide_one = self._decide_one
-        if environment_roles is None:
-            resolve_env = self._resolve_active_env
-            return [decide_one(r, session, resolve_env(r, None)) for r in batch]
-        if isinstance(environment_roles, (set, frozenset)):
-            shared = frozenset(environment_roles)
-            return [decide_one(r, session, shared) for r in batch]
-        overrides = list(environment_roles)
-        if len(overrides) != len(batch):
-            raise PolicyError(
-                f"environment_roles sequence has {len(overrides)} entries "
-                f"for {len(batch)} requests"
-            )
         resolve_env = self._resolve_active_env
+        if environment_roles is None:
+            envs = [resolve_env(r, None) for r in batch]
+        elif isinstance(environment_roles, (set, frozenset)):
+            envs = [frozenset(environment_roles)] * len(batch)
+        else:
+            overrides = list(environment_roles)
+            if len(overrides) != len(batch):
+                raise PolicyError(
+                    f"environment_roles sequence has {len(overrides)} entries "
+                    f"for {len(batch)} requests"
+                )
+            envs = [
+                resolve_env(r, override)
+                for r, override in zip(batch, overrides)
+            ]
+        if (
+            self._batch_kernel is not None
+            and session is None
+            and not self.decision_constraints
+        ):
+            # Vectorized mode: hand the whole batch to the struct-of-
+            # arrays kernel (environment pre-pruning + decision
+            # templates).  The kernel's templates supersede the LRU —
+            # sessions and constraints fall back to the scalar loop
+            # because both can carry state outside the template key.
+            return self._batch_kernel(batch, envs)
+        decide_one = self._decide_one
         return [
-            decide_one(r, session, resolve_env(r, override))
-            for r, override in zip(batch, overrides)
+            decide_one(r, session, env) for r, env in zip(batch, envs)
         ]
 
     def check(

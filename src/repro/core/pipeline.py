@@ -59,6 +59,7 @@ from typing import (
 
 from repro.core.activation import Session
 from repro.core.compiled import CompiledPolicy
+from repro.core.vectorized import VectorTable
 from repro.core.decision import WILDCARD_DISTANCE, AccessRequest, Decision
 from repro.core.permissions import Permission, Sign
 from repro.core.precedence import Match, Resolution, resolve
@@ -67,7 +68,7 @@ from repro.exceptions import PolicyError
 from repro.obs.trace import DecisionTrace
 
 #: The expansion/match strategies an engine can run.
-MODES = ("compiled", "indexed", "naive")
+MODES = ("compiled", "vectorized", "indexed", "naive")
 
 #: Stage names in execution order (the trace vocabulary).
 STAGE_ORDER = (
@@ -665,8 +666,19 @@ class CompiledStrategy(DecisionStrategy):
                             raw.append(rule)
             if len(raw) > 1:
                 raw.sort()  # CompiledRule sorts by its order field
+        self._finish_matches(ctx, raw)
 
-        # Confidence gate + Match construction.
+    def _finish_matches(self, ctx: DecisionContext, raw: List) -> None:
+        """Confidence-gate ``raw`` compiled rules and build the Matches.
+
+        Shared tail of the compiled and vectorized match stages: the
+        strategies differ only in how they *collect* candidate rules.
+        """
+        subject_distances = ctx.subject_state[1]
+        confidence_by_id = ctx.subject_state[2]
+        uniform = ctx.subject_state[3]
+        object_distances = ctx.object_state[1]
+        env_distances = ctx.environment_state[1]
         threshold = self.engine.confidence_threshold
         matches: List[Match] = []
         for rule in raw:
@@ -717,10 +729,200 @@ class CompiledStrategy(DecisionStrategy):
         ctx.matches = matches
 
 
+class VectorizedStrategy(CompiledStrategy):
+    """Struct-of-arrays mediation over :class:`~repro.core.vectorized.VectorTable`.
+
+    Subject/object/environment resolution is inherited from the
+    compiled strategy (same memoized profiles, same snapshot
+    lifecycle); what changes is the match stage and the batch lane:
+
+    * :meth:`match` collects candidates from environment-pre-pruned,
+      object-grouped rule columns instead of walking per-rule tuples —
+      the active-environment membership is applied to each bucket once
+      per environment profile and memoized for the snapshot's
+      lifetime;
+    * :meth:`decide_batch` (reached through
+      :meth:`MediationEngine.decide_batch` in ``vectorized`` mode)
+      additionally serves repeated uniform-confidence requests from
+      revision-scoped decision templates, skipping the pipeline
+      entirely on a template hit.
+
+    Decision outputs are identical to the compiled path — property-
+    tested in ``tests/core/test_vectorized.py``.
+    """
+
+    name = "vectorized"
+
+    #: Defensive bounds: distinct environment profiles and decision
+    #: templates seen per snapshot revision before the memo resets.
+    MAX_ENV_PROFILES = 1024
+    MAX_TEMPLATES = 65536
+
+    def __init__(self, engine) -> None:
+        super().__init__(engine)
+        self._tables: Optional[VectorTable] = None
+        #: env frozenset -> (membership bytes, {(transaction,
+        #: subject_id): pruned object-grouped rules}).
+        self._pruned: Dict[FrozenSet[str], tuple] = {}
+        #: (subject, transaction, object, env, confidence) -> Decision,
+        #: valid for one snapshot revision + one knob guard.
+        self._templates: Dict[tuple, Decision] = {}
+        #: (threshold, precedence, default_sign) the templates were
+        #: rendered under — these knobs can move without a revision
+        #: bump, so the batch lane re-checks them per batch.
+        self._template_guard: Optional[tuple] = None
+
+    def snapshot(self) -> CompiledPolicy:
+        before = self._snapshot
+        snap = super().snapshot()
+        if snap is not before:
+            self._tables = VectorTable(snap)
+            self._pruned.clear()
+            self._templates.clear()
+        return snap
+
+    def stats(self) -> Dict[str, object]:
+        data = super().stats()
+        data["decision_templates"] = len(self._templates)
+        data["environment_prunes"] = len(self._pruned)
+        if self._tables is not None:
+            data.update(self._tables.stats())
+        return data
+
+    # -- stage 4 (columnar) --------------------------------------------
+    def match(self, ctx: DecisionContext) -> None:
+        snapshot = self._snapshot
+        transaction = ctx.request.transaction
+        if transaction in snapshot.transactions:
+            has_rules = transaction in snapshot.rules
+        else:
+            # Same fallback as the compiled path: raise for unknown
+            # transactions, no rules for post-snapshot registrations.
+            self.policy.transaction(transaction)
+            has_rules = False
+
+        subject_mask = ctx.subject_state[0]
+        object_mask = ctx.object_state[0]
+        env_mask = ctx.environment_state[0]
+
+        raw: List = []
+        if has_rules:
+            env_member, pruned = self._env_entry(ctx.active_env, env_mask)
+            tables = self._tables
+            remaining = subject_mask
+            while remaining:
+                bit = remaining & -remaining
+                remaining ^= bit
+                key = (transaction, bit.bit_length() - 1)
+                groups = pruned.get(key)
+                if groups is None:
+                    columns = tables.bucket(*key)
+                    groups = () if columns is None else columns.prune(env_member)
+                    pruned[key] = groups
+                for object_id, rules in groups:
+                    if (object_mask >> object_id) & 1:
+                        raw.extend(rules)
+            if len(raw) > 1:
+                raw.sort()
+        self._finish_matches(ctx, raw)
+
+    def _env_entry(
+        self, active_env: Optional[FrozenSet[str]], env_mask: int
+    ) -> tuple:
+        """(membership bytes, pruned-bucket memo) for one env profile.
+
+        This is the per-flush environment work: the membership vector
+        is decoded from the closure bitset once, and every bucket
+        visited under it is pruned once — both reused for the
+        snapshot's lifetime.
+        """
+        entry = self._pruned.get(active_env)
+        if entry is None:
+            if len(self._pruned) >= self.MAX_ENV_PROFILES:
+                self._pruned.clear()
+            entry = (self._tables.environment_membership(env_mask), {})
+            self._pruned[active_env] = entry
+        return entry
+
+    # -- batch lane ----------------------------------------------------
+    def decide_batch(
+        self,
+        batch: List[AccessRequest],
+        active_envs: List[FrozenSet[str]],
+    ) -> List[Decision]:
+        """Render a batch, serving repeats from decision templates.
+
+        Uniform-confidence requests (no role claims) key a template on
+        ``(subject, transaction, object, environment profile, identity
+        confidence)``; within one snapshot revision and one knob guard
+        that key determines the full decision, so repeats return the
+        memoized :class:`Decision` without re-entering the pipeline —
+        the same reuse the engine's LRU provides, but revision-scoped
+        and free of capacity tuning.  Requests carrying role claims
+        run the (vectorized) pipeline per request.
+        """
+        engine = self.engine
+        policy = self.policy
+        snap = self.snapshot()
+        revision = snap.revision
+        guard = (
+            engine.confidence_threshold,
+            policy.precedence,
+            policy.default_sign,
+        )
+        if guard != self._template_guard:
+            self._templates.clear()
+            self._template_guard = guard
+        templates = self._templates
+        execute = engine.pipeline.execute
+        hub = engine.observers
+        emit = hub.emit_decision if hub else None
+        decisions: List[Decision] = []
+        rendered = 0
+        grants = 0
+        try:
+            for request, active_env in zip(batch, active_envs):
+                if policy.decision_revision != revision:
+                    # A mid-batch mutation (observer side effects);
+                    # refresh the snapshot and drop stale templates.
+                    snap = self.snapshot()
+                    revision = snap.revision
+                    templates = self._templates
+                if request.role_claims:
+                    decision = execute(request, active_env=active_env)
+                else:
+                    key = (
+                        request.subject,
+                        request.transaction,
+                        request.obj,
+                        active_env,
+                        request.identity_confidence,
+                    )
+                    decision = templates.get(key)
+                    if decision is None:
+                        decision = execute(request, active_env=active_env)
+                        if len(templates) >= self.MAX_TEMPLATES:
+                            templates.clear()
+                        templates[key] = decision
+                    elif emit is not None:
+                        emit(decision, None)
+                decisions.append(decision)
+                rendered += 1
+                if decision.granted:
+                    grants += 1
+        finally:
+            engine.decisions += rendered
+            engine.grants += grants
+            engine.denies += rendered - grants
+        return decisions
+
+
 def build_strategy(mode: str, engine) -> DecisionStrategy:
     """Construct the strategy implementing ``mode`` for ``engine``."""
     if mode == "compiled":
         return CompiledStrategy(engine)
+    if mode == "vectorized":
+        return VectorizedStrategy(engine)
     if mode == "indexed":
         return IndexedStrategy(engine)
     if mode == "naive":

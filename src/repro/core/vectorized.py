@@ -1,0 +1,190 @@
+"""Struct-of-arrays mediation kernel — the vectorized batch substrate.
+
+The compiled path (:mod:`repro.core.compiled`) already reduces one
+decision to a handful of integer mask tests, but ``decide_batch``
+still walks per-rule :class:`~repro.core.compiled.CompiledRule`
+tuples, unpacking eleven fields per candidate.  This module re-packs
+each ``(transaction, subject-role)`` rule bucket into contiguous
+parallel *columns* — object-role id, environment-role id, insertion
+order — held in :mod:`array` arrays (numpy views of the same buffers
+when the optional accelerator is available), so the batch path tests
+whole columns instead of tuples:
+
+* **Environment pre-pruning.**  The active-environment membership is
+  computed once per batch flush (environment state changes far less
+  often than requests arrive) and applied to each visited bucket's
+  ``environment_id`` column *before* the per-request loop, leaving a
+  pruned bucket in which only the object test remains.  Pruned buckets
+  are memoized per environment profile for the snapshot's lifetime.
+* **Object-grouped survivors.**  The surviving rows are grouped by
+  ``object_id``, so a request pays one possession-mask test per
+  distinct object role in the bucket rather than one per rule.
+* **Decision templates.**  Within one snapshot revision, a
+  uniform-confidence request's full decision is a pure function of
+  ``(subject, transaction, object, environment)``; the batch path
+  memoizes the rendered :class:`~repro.core.decision.Decision` under
+  that key (plus the engine/policy knobs that can move without a
+  revision bump) and serves repeats without re-matching — the same
+  move the engine's LRU makes, but revision-scoped and always on for
+  the vectorized batch lane.
+
+Role closures are Python bigints (role counts exceed machine words),
+which numpy cannot shift; the columns therefore carry role *ids* and
+the kernel tests membership byte-vectors indexed by id —
+``member[id_column]`` is one fancy-index gather on the numpy path and
+a tight ``(mask >> id) & 1`` loop on the pure-Python path.  numpy is
+strictly optional: the feature check below prefers it for buckets of
+at least :data:`NUMPY_MIN_ROWS` rows and can be disabled outright
+with the ``REPRO_NO_NUMPY`` environment variable (the no-numpy CI leg
+runs the :mod:`array` path end to end).
+
+Equivalence of the vectorized path with the compiled / indexed /
+naive paths is property-tested in ``tests/core/test_vectorized.py``
+and asserted point-by-point by benchmark E11 before timing.
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.compiled import CompiledPolicy, CompiledRule
+
+#: Minimum pruned-column length before the numpy gather beats the
+#: pure-Python loop (fancy indexing has fixed per-call overhead that
+#: only amortizes over enough rows).
+NUMPY_MIN_ROWS = 32
+
+_np = None
+if not os.environ.get("REPRO_NO_NUMPY"):
+    try:  # pragma: no cover - exercised via the CI numpy matrix leg
+        import numpy as _np  # type: ignore[no-redef]
+    except ImportError:  # pragma: no cover - numpy-less environments
+        _np = None
+
+#: True when the numpy accelerator is active for this process.
+HAVE_NUMPY = _np is not None
+
+
+def numpy_enabled() -> bool:
+    """Whether column tests may use the numpy gather path."""
+    return HAVE_NUMPY
+
+
+def mask_membership(mask: int, size: int) -> bytearray:
+    """Decode a closure bitset into a byte-per-role membership vector.
+
+    ``member[role_id]`` is 1 when ``role_id`` is set in ``mask`` —
+    the indexable form of the bigint that column-wise tests (and the
+    numpy gather) need, built in O(popcount).
+    """
+    member = bytearray(size)
+    while mask:
+        low = mask & -mask
+        member[low.bit_length() - 1] = 1
+        mask ^= low
+    return member
+
+
+class RuleColumns:
+    """One ``(transaction, subject-role)`` bucket, struct-of-arrays.
+
+    Parallel columns over the bucket's rules, in policy insertion
+    order: ``environment_ids[i]`` / ``object_ids[i]`` / ``orders[i]``
+    describe ``rules[i]``.  Sign, confidence, and wildcard flags stay
+    on the :class:`~repro.core.compiled.CompiledRule` rows — they are
+    only read for the (few) rules that survive both mask tests.
+    """
+
+    __slots__ = ("rules", "environment_ids", "object_ids", "orders", "env_np")
+
+    def __init__(self, rules: List["CompiledRule"]) -> None:
+        self.rules: Tuple["CompiledRule", ...] = tuple(rules)
+        self.environment_ids = array("q", (r.environment_id for r in rules))
+        self.object_ids = array("q", (r.object_id for r in rules))
+        self.orders = array("q", (r.order for r in rules))
+        #: numpy view over the environment column (shares the buffer);
+        #: built once, used when the bucket is big enough to gather.
+        self.env_np = (
+            _np.frombuffer(self.environment_ids, dtype=_np.int64)
+            if HAVE_NUMPY and len(rules) >= NUMPY_MIN_ROWS
+            else None
+        )
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def prune(
+        self, env_member: bytearray
+    ) -> Tuple[Tuple[int, Tuple["CompiledRule", ...]], ...]:
+        """Environment-filter this bucket, grouped by object role.
+
+        Returns ``((object_id, surviving rules), ...)`` with rule
+        order preserved inside each group — the per-request loop then
+        pays one object-mask test per *group*, not per rule.
+        """
+        rules = self.rules
+        env_np = self.env_np
+        if env_np is not None:
+            member = _np.frombuffer(env_member, dtype=_np.uint8)
+            surviving = _np.flatnonzero(member[env_np])
+            rows = surviving.tolist()
+        else:
+            environment_ids = self.environment_ids
+            rows = [
+                i
+                for i in range(len(rules))
+                if env_member[environment_ids[i]]
+            ]
+        groups: Dict[int, List["CompiledRule"]] = {}
+        for i in rows:
+            rule = rules[i]
+            groups.setdefault(rule.object_id, []).append(rule)
+        return tuple(
+            (object_id, tuple(bucket_rules))
+            for object_id, bucket_rules in groups.items()
+        )
+
+
+class VectorTable:
+    """Columnar view of one :class:`~repro.core.compiled.CompiledPolicy`.
+
+    Buckets mirror the snapshot's ``(transaction, subject-role id)``
+    layout; each is a :class:`RuleColumns`.  Built lazily per bucket —
+    a transaction never requested never pays the packing cost — and
+    discarded with the snapshot on every revision bump.
+    """
+
+    __slots__ = ("snapshot", "_buckets", "environment_size", "object_size")
+
+    def __init__(self, snapshot: "CompiledPolicy") -> None:
+        self.snapshot = snapshot
+        self._buckets: Dict[Tuple[str, int], Optional[RuleColumns]] = {}
+        self.environment_size = len(snapshot.environments.names)
+        self.object_size = len(snapshot.objects.names)
+
+    def bucket(self, transaction: str, subject_id: int) -> Optional[RuleColumns]:
+        key = (transaction, subject_id)
+        found = self._buckets.get(key, _MISSING)
+        if found is not _MISSING:
+            return found  # type: ignore[return-value]
+        rules = self.snapshot.rules.get(transaction, _EMPTY).get(subject_id)
+        columns = RuleColumns(rules) if rules else None
+        self._buckets[key] = columns
+        return columns
+
+    def environment_membership(self, env_mask: int) -> bytearray:
+        return mask_membership(env_mask, self.environment_size)
+
+    def stats(self) -> Dict[str, int]:
+        packed = [c for c in self._buckets.values() if c is not None]
+        return {
+            "vector_buckets": len(packed),
+            "vector_rows": sum(len(c) for c in packed),
+        }
+
+
+_MISSING = object()
+_EMPTY: Dict[int, List["CompiledRule"]] = {}

@@ -154,6 +154,7 @@ class Histogram:
             "count": self.count,
             "mean_us": round(self.mean * 1e6, 3),
             "p50_us": round(self.quantile(0.5) * 1e6, 3),
+            "p95_us": round(self.quantile(0.95) * 1e6, 3),
             "p99_us": round(self.quantile(0.99) * 1e6, 3),
             "min_us": round((self.min or 0.0) * 1e6, 3),
             "max_us": round((self.max or 0.0) * 1e6, 3),
@@ -259,12 +260,12 @@ class MetricsRegistry:
             lines.append("latency histograms (us):")
             lines.append(
                 f"  {'name':<32}{'count':>8}{'mean':>10}{'p50':>10}"
-                f"{'p99':>10}{'max':>10}"
+                f"{'p95':>10}{'p99':>10}{'max':>10}"
             )
             for name, snap in histograms.items():
                 lines.append(
                     f"  {name:<32}{snap['count']:>8}{snap['mean_us']:>10.2f}"
-                    f"{snap['p50_us']:>10.2f}{snap['p99_us']:>10.2f}"
-                    f"{snap['max_us']:>10.2f}"
+                    f"{snap['p50_us']:>10.2f}{snap['p95_us']:>10.2f}"
+                    f"{snap['p99_us']:>10.2f}{snap['max_us']:>10.2f}"
                 )
         return "\n".join(lines) if lines else "(no metrics recorded)"

@@ -29,12 +29,13 @@ from repro.service.pdp import (
     PDPResponse,
     PolicyDecisionPoint,
 )
-from repro.service.protocol import WireResponse
+from repro.service.protocol import InternTables, WireResponse
 from repro.service.server import PDPServer
 
 __all__ = [
     "AdminServer",
     "DecisionCache",
+    "InternTables",
     "LoadgenConfig",
     "LoadgenResult",
     "MEDIATED_OUTCOMES",

@@ -59,6 +59,16 @@ class DecisionCache:
     def __len__(self) -> int:
         return len(self._entries)
 
+    def note_uncacheable(self) -> None:
+        """Record a lookup that skipped key construction entirely.
+
+        The capacity-0 fast path in the PDP short-circuits *before*
+        materializing a key tuple; this keeps the
+        :attr:`uncacheable` tally identical to the ``get(None)`` it
+        replaced.
+        """
+        self.uncacheable += 1
+
     def get(self, key: Optional[CacheKey]) -> Optional[Decision]:
         """Look up ``key``; ``None`` keys (uncacheable requests) miss."""
         if key is None or self.capacity == 0:

@@ -1,4 +1,4 @@
-"""Async TCP client for a remote PDP (newline-delimited JSON).
+"""Async TCP client for a remote PDP (NDJSON, plus the binary lane).
 
 :class:`RemotePDPClient` keeps one connection and pipelines: each
 in-flight request is tracked by id in a pending-future table, a single
@@ -7,6 +7,13 @@ reordered by the server — cache hits overtake batched work), and any
 number of callers can await decisions concurrently.  The surface
 mirrors the in-process :class:`~repro.service.pdp.PDPClient` so load
 generators and examples can target either transparently.
+
+``wire="binary"`` adds the interned-ID fast lane of
+:mod:`repro.service.protocol`: the client runs the ``intern``
+handshake on connect and encodes eligible decision requests as
+fixed-layout struct frames, falling back to NDJSON per request when a
+name is not interned, the request carries role claims, or a timeout
+rides along.  Control ops always speak NDJSON.
 """
 
 from __future__ import annotations
@@ -18,12 +25,20 @@ from typing import Any, Dict, FrozenSet, List, Optional, Set
 from repro.core.decision import AccessRequest
 from repro.exceptions import ServiceError
 from repro.service.protocol import (
+    BINARY_MAGIC,
+    KIND_ERROR,
+    KIND_RESPONSE,
     MAX_OP_LINE_BYTES,
+    InternTables,
     WireResponse,
+    decode_binary_error,
+    decode_binary_response,
     decode_response,
     dumps_line,
+    encode_binary_request,
     encode_request,
     parse_line,
+    read_frame_tail,
 )
 
 
@@ -35,29 +50,66 @@ class RemotePDPClient:
         async with await RemotePDPClient.connect("127.0.0.1", 7471) as pdp:
             granted = await pdp.check("alice", "watch", "livingroom/tv",
                                       environment_roles={"weekday-free-time"})
+
+    With ``wire="binary"`` the client runs the intern handshake on
+    connect and ships interned-integer frames for every request the
+    binary lane can carry (no role claims, no per-request timeout, all
+    names interned); anything else transparently falls back to NDJSON
+    on the same connection.
     """
 
     def __init__(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        wire: str = "json",
     ) -> None:
+        if wire not in ("json", "binary"):
+            raise ServiceError(f"unknown wire format {wire!r}")
+        self.wire = wire
         self._reader = reader
         self._writer = writer
         self._ids = itertools.count(1)
-        self._pending: Dict[Any, "asyncio.Future[dict]"] = {}
+        self._pending: Dict[Any, "asyncio.Future[Any]"] = {}
         self._write_lock = asyncio.Lock()
         self._closed = False
+        self._tables: Optional[InternTables] = None
         self._reader_task = asyncio.get_running_loop().create_task(
             self._read_loop()
         )
 
     @classmethod
-    async def connect(cls, host: str, port: int) -> "RemotePDPClient":
+    async def connect(
+        cls, host: str, port: int, wire: str = "json"
+    ) -> "RemotePDPClient":
         # The read limit is the op-response cap: a metrics exposition
         # line is much larger than any decision response.
         reader, writer = await asyncio.open_connection(
             host, port, limit=MAX_OP_LINE_BYTES
         )
-        return cls(reader, writer)
+        client = cls(reader, writer, wire=wire)
+        if wire == "binary":
+            await client.intern()
+        return client
+
+    async def intern(self) -> InternTables:
+        """Run (or re-run) the intern handshake.
+
+        Fetches the server's current name<->id tables and pins them
+        for this connection's binary lane.  Re-issue after a policy
+        reload to pick up newly minted names — stale tables are never
+        *unsafe* (an unknown or stale name fails mediation exactly as
+        it would over NDJSON), just slower, since uninterned requests
+        fall back to NDJSON.
+        """
+        request_id = next(self._ids)
+        raw = await self._roundtrip(
+            request_id, {"op": "intern", "id": request_id}
+        )
+        if raw.get("op") != "intern":
+            raise ServiceError(f"bad intern response: {raw!r}")
+        self._tables = InternTables.from_payload(raw)
+        return self._tables
 
     async def __aenter__(self) -> "RemotePDPClient":
         return self
@@ -79,6 +131,18 @@ class RemotePDPClient:
             frozenset(environment_roles) if environment_roles is not None else None
         )
         request_id = next(self._ids)
+        if self.wire == "binary" and self._tables is not None and timeout_ms is None:
+            try:
+                data = encode_binary_request(
+                    self._tables, request, request_id, env=env
+                )
+            except ServiceError:
+                data = None  # uninterned name / claims: NDJSON lane
+            if data is not None:
+                raw = await self._send_and_wait(request_id, data)
+                if isinstance(raw, WireResponse):
+                    return raw
+                return decode_response(raw)
         payload = encode_request(request, request_id, env=env, timeout_ms=timeout_ms)
         raw = await self._roundtrip(request_id, payload)
         return decode_response(raw)
@@ -212,30 +276,65 @@ class RemotePDPClient:
     # Transport internals
     # ------------------------------------------------------------------
     async def _roundtrip(self, request_id: Any, payload: dict) -> dict:
+        return await self._send_and_wait(request_id, dumps_line(payload))
+
+    async def _send_and_wait(self, request_id: Any, data: bytes) -> Any:
         if self._closed:
             raise ServiceError("client is closed")
-        future: "asyncio.Future[dict]" = (
+        future: "asyncio.Future[Any]" = (
             asyncio.get_running_loop().create_future()
         )
         self._pending[request_id] = future
         try:
             async with self._write_lock:
-                self._writer.write(dumps_line(payload))
+                self._writer.write(data)
                 await self._writer.drain()
             return await future
         finally:
             self._pending.pop(request_id, None)
 
+    def _dispatch_frame(self, kind: int, body: bytes) -> None:
+        if kind == KIND_RESPONSE:
+            response = decode_binary_response(body)
+            future = self._pending.get(response.id)
+            if future is not None and not future.done():
+                future.set_result(response)
+        elif kind == KIND_ERROR:
+            request_id, message = decode_binary_error(body)
+            future = (
+                self._pending.get(request_id)
+                if request_id is not None
+                else None
+            )
+            if future is not None and not future.done():
+                future.set_exception(
+                    ServiceError(f"server rejected request: {message}")
+                )
+
     async def _read_loop(self) -> None:
         error: Optional[Exception] = None
         try:
             while True:
-                line = await self._reader.readline()
-                if not line:
+                # Same per-message format detection as the server:
+                # binary frames lead with the magic byte, NDJSON with
+                # anything else — responses of both kinds interleave.
+                try:
+                    first = await self._reader.readexactly(1)
+                except asyncio.IncompleteReadError:
                     break
+                if first[0] == BINARY_MAGIC:
+                    kind, body = await read_frame_tail(self._reader)
+                    self._dispatch_frame(kind, body)
+                    continue
+                try:
+                    rest = await self._reader.readuntil(b"\n")
+                except asyncio.IncompleteReadError as eof:
+                    if not eof.partial:
+                        break
+                    rest = eof.partial
                 try:
                     payload = parse_line(
-                        line.strip(), max_bytes=MAX_OP_LINE_BYTES
+                        (first + rest).strip(), max_bytes=MAX_OP_LINE_BYTES
                     )
                 except ServiceError:
                     continue  # garbage line; keep the stream alive
@@ -243,6 +342,8 @@ class RemotePDPClient:
                 if future is not None and not future.done():
                     future.set_result(payload)
         except (ConnectionResetError, asyncio.IncompleteReadError) as exc:
+            error = exc
+        except ServiceError as exc:  # oversized or malformed frame
             error = exc
         except asyncio.CancelledError:
             error = ServiceError("client closed")

@@ -466,8 +466,16 @@ class PolicyDecisionPoint:
         # before we know whether the request will hit the cache.
         traced = self.trace_sink is not None and self.sampler.should_sample()
 
-        key = self._cache_key(request, override)
-        cached = self.cache.get(key)
+        if self.config.cache_size == 0:
+            # Capacity-0 fast path: no key tuple is ever materialized
+            # and the LRU is never probed — only the uncacheable tally
+            # moves, exactly as a ``get(None)`` would have moved it.
+            key: Optional[CacheKey] = None
+            cached = None
+            self.cache.note_uncacheable()
+        else:
+            key = self._cache_key(request, override)
+            cached = self.cache.get(key)
         if cached is not None:
             self._m_cache_hits.inc()
             outcome = PDPOutcome.GRANT if cached.granted else PDPOutcome.DENY
@@ -650,16 +658,18 @@ class PolicyDecisionPoint:
             # Key recomputed *after* deciding — under the captured
             # engine and generation, so the cached entry is filed under
             # the revision it was actually rendered at, never a policy
-            # swapped in mid-flush.
-            self.cache.put(
-                self._cache_key(
-                    item.request,
-                    item.env_override,
-                    engine=engine,
-                    generation=generation,
-                ),
-                decision,
-            )
+            # swapped in mid-flush.  Capacity 0 skips key work here
+            # too (the put would be a no-op anyway).
+            if self.config.cache_size:
+                self.cache.put(
+                    self._cache_key(
+                        item.request,
+                        item.env_override,
+                        engine=engine,
+                        generation=generation,
+                    ),
+                    decision,
+                )
             latency = time.perf_counter() - item.submitted_at
             self._h_latency.observe(latency)
             self._finish(

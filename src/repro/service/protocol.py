@@ -37,13 +37,21 @@ policy text rides the request line, so it shares the
 ``serve --policy-file --watch`` instead.  A malformed line gets
 ``{"error": ...}`` (with the request's ``id`` echoed when one could
 be parsed) — the connection stays usable.
+
+Beside NDJSON, hot-path decision traffic can ride the length-prefixed
+*binary* framing defined in the second half of this module (PR 6):
+``{"op": "intern"}`` hands the client integer id tables, after which
+requests and responses are fixed-layout struct frames — see the
+"Binary framing" section below for the exact layout and staleness
+contract.
 """
 
 from __future__ import annotations
 
 import json
+import struct
 from dataclasses import dataclass
-from typing import Any, Dict, FrozenSet, Optional, Tuple
+from typing import Any, Dict, FrozenSet, List, Optional, Tuple
 
 from repro.core.decision import AccessRequest
 from repro.exceptions import GrbacError, ServiceError
@@ -208,3 +216,366 @@ def decode_response(payload: Dict[str, Any]) -> WireResponse:
         latency_us=float(payload.get("latency_us", 0.0)),
         rationale=str(payload.get("rationale", "")),
     )
+
+
+# ======================================================================
+# Binary framing — the interned-ID fast lane
+# ======================================================================
+# Negotiated per *message*, not per connection: every binary frame
+# starts with a magic byte (0xB1) that can never begin a JSON line, so
+# a server peeks one byte and routes — NDJSON and binary clients (and
+# even mixed messages from one client) coexist on one listener.
+#
+# Frame layout (network byte order throughout)::
+#
+#     +------+------+----------+-----------------+
+#     | 0xB1 | kind | length:4 |  body (length)  |
+#     +------+------+----------+-----------------+
+#
+# ``kind`` is KIND_REQUEST / KIND_RESPONSE / KIND_ERROR; ``length``
+# counts body bytes only and is capped at MAX_FRAME_BYTES (the NDJSON
+# line cap — same buffer-growth argument).
+#
+# Request body (fixed ``!IiiidB`` + optional env ids)::
+#
+#     id:4  subject:4  transaction:4  object:4  confidence:8  env_flag:1
+#     [env_count:2  env_id:2 ...]            (only when env_flag == 1)
+#
+# Entity fields carry *interned ids* from the ``{"op": "intern"}``
+# handshake (below), so the hot path ships 25–40 bytes of integers and
+# the server never hashes a name.  ``subject == -1`` means "no
+# subject".  Requests that need strings anyway — role claims, names
+# minted after the handshake, per-request timeouts — simply go as
+# NDJSON on the same connection; the binary lane is an accelerator,
+# not a replacement.
+#
+# Response body (fixed ``!IBBBId`` + UTF-8 rationale)::
+#
+#     id:4  outcome:1  granted:1  cached:1  batch_size:4  latency_us:8
+#     rationale...
+#
+# Error body: ``id:4`` (0xFFFFFFFF when no id could be parsed) +
+# UTF-8 message.
+#
+# The intern handshake is an NDJSON op: ``{"op": "intern"}`` returns
+# ``{"op": "intern", "revision": N, "tables": {"subjects": [...],
+# "objects": [...], "transactions": [...], "environment_roles":
+# [...]}}`` — each list's index is the entity's id.  Tables are pure
+# name<->integer codecs, NOT authorization state: a client holding
+# stale tables decodes to the same *names* the server handed out, and
+# an id minted for a since-deleted entity decodes to a name that then
+# fails mediation exactly as the NDJSON form would.
+
+#: First byte of every binary frame.  0xB1 is not valid ASCII/UTF-8
+#: JSON start, so one-byte peek disambiguates the wire format.
+BINARY_MAGIC = 0xB1
+
+KIND_REQUEST = 1
+KIND_RESPONSE = 2
+KIND_ERROR = 3
+
+#: Full frame header: magic, kind, body length.
+FRAME_HEADER = struct.Struct("!BBI")
+#: Header remainder after the peeked magic byte (kind, body length).
+FRAME_TAIL = struct.Struct("!BI")
+
+#: Body-size cap, mirroring the NDJSON line cap.
+MAX_FRAME_BYTES = MAX_LINE_BYTES
+
+#: Wire id meaning "no request id" in a KIND_ERROR frame.
+NO_REQUEST_ID = 0xFFFFFFFF
+
+_REQUEST_FIXED = struct.Struct("!IiiidB")
+_RESPONSE_FIXED = struct.Struct("!IBBBId")
+_ENV_COUNT = struct.Struct("!H")
+
+#: PDPOutcome <-> one-byte wire code.
+_OUTCOME_CODES = {
+    PDPOutcome.GRANT: 0,
+    PDPOutcome.DENY: 1,
+    PDPOutcome.DENY_OVERLOAD: 2,
+    PDPOutcome.DENY_TIMEOUT: 3,
+    PDPOutcome.ERROR: 4,
+}
+_CODE_OUTCOMES = {code: outcome for outcome, code in _OUTCOME_CODES.items()}
+
+
+class InternTables:
+    """Per-connection name<->id codec behind the binary request lane.
+
+    Ids are list indices: ``tables.subjects[i]`` is the name interned
+    as subject id ``i``.  Built server-side from the live policy on
+    each ``{"op": "intern"}`` and shipped to the client as plain name
+    lists; both ends derive the reverse maps locally.
+    """
+
+    __slots__ = (
+        "revision",
+        "subjects",
+        "objects",
+        "transactions",
+        "environment_roles",
+        "_subject_ids",
+        "_object_ids",
+        "_transaction_ids",
+        "_environment_ids",
+    )
+
+    def __init__(
+        self,
+        subjects: List[str],
+        objects: List[str],
+        transactions: List[str],
+        environment_roles: List[str],
+        revision: int = 0,
+    ) -> None:
+        self.revision = revision
+        self.subjects = list(subjects)
+        self.objects = list(objects)
+        self.transactions = list(transactions)
+        self.environment_roles = list(environment_roles)
+        self._subject_ids = {name: i for i, name in enumerate(self.subjects)}
+        self._object_ids = {name: i for i, name in enumerate(self.objects)}
+        self._transaction_ids = {
+            name: i for i, name in enumerate(self.transactions)
+        }
+        self._environment_ids = {
+            name: i for i, name in enumerate(self.environment_roles)
+        }
+
+    @classmethod
+    def from_policy(cls, policy) -> "InternTables":
+        """Snapshot ``policy``'s entity names into fresh tables."""
+        return cls(
+            subjects=sorted(s.name for s in policy.subjects()),
+            objects=sorted(o.name for o in policy.objects()),
+            transactions=sorted(t.name for t in policy.transactions()),
+            environment_roles=sorted(
+                r.name for r in policy.environment_roles.roles()
+            ),
+            revision=policy.decision_revision,
+        )
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The ``{"op": "intern"}`` response body."""
+        return {
+            "op": "intern",
+            "revision": self.revision,
+            "tables": {
+                "subjects": self.subjects,
+                "objects": self.objects,
+                "transactions": self.transactions,
+                "environment_roles": self.environment_roles,
+            },
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "InternTables":
+        """Rebuild client-side tables from an intern response."""
+        tables = payload.get("tables")
+        if not isinstance(tables, dict):
+            raise ServiceError(f"malformed intern response: {payload!r}")
+        try:
+            return cls(
+                subjects=[str(n) for n in tables["subjects"]],
+                objects=[str(n) for n in tables["objects"]],
+                transactions=[str(n) for n in tables["transactions"]],
+                environment_roles=[
+                    str(n) for n in tables["environment_roles"]
+                ],
+                revision=int(payload.get("revision", 0)),
+            )
+        except (KeyError, TypeError) as error:
+            raise ServiceError(
+                f"malformed intern response: {error}"
+            ) from None
+
+
+def frame(kind: int, body: bytes) -> bytes:
+    """Wrap ``body`` in a binary frame header."""
+    if len(body) > MAX_FRAME_BYTES:
+        raise ServiceError(f"binary frame exceeds {MAX_FRAME_BYTES} bytes")
+    return FRAME_HEADER.pack(BINARY_MAGIC, kind, len(body)) + body
+
+
+def encode_binary_request(
+    tables: InternTables,
+    request: AccessRequest,
+    request_id: int,
+    env: Optional[FrozenSet[str]] = None,
+) -> bytes:
+    """Encode one decision request as a binary frame.
+
+    :raises ServiceError: when the request cannot ride the binary lane
+        — uninterned names, role claims, or a non-u32 id.  Callers
+        (the remote client) catch this and fall back to NDJSON.
+    """
+    if request.role_claims:
+        raise ServiceError("role claims require the NDJSON lane")
+    if not isinstance(request_id, int) or not 0 <= request_id < NO_REQUEST_ID:
+        raise ServiceError("binary lane needs an integer id below 2^32-1")
+    try:
+        subject_id = (
+            -1
+            if request.subject is None
+            else tables._subject_ids[request.subject]
+        )
+        transaction_id = tables._transaction_ids[request.transaction]
+        object_id = tables._object_ids[request.obj]
+        if env is not None:
+            env_ids = [tables._environment_ids[name] for name in sorted(env)]
+    except KeyError as error:
+        raise ServiceError(f"name not interned: {error}") from None
+    body = _REQUEST_FIXED.pack(
+        request_id,
+        subject_id,
+        transaction_id,
+        object_id,
+        request.identity_confidence,
+        0 if env is None else 1,
+    )
+    if env is not None:
+        body += _ENV_COUNT.pack(len(env_ids))
+        body += struct.pack(f"!{len(env_ids)}H", *env_ids)
+    return frame(KIND_REQUEST, body)
+
+
+def decode_binary_request(
+    tables: Optional[InternTables], body: bytes
+) -> Tuple[Any, AccessRequest, Optional[FrozenSet[str]], Optional[float]]:
+    """Decode a KIND_REQUEST body — same shape as :func:`decode_request`.
+
+    :raises ServiceError: on truncated/malformed bodies, unknown ids,
+        or a connection that never ran the intern handshake.
+    """
+    if tables is None:
+        raise ServiceError(
+            "binary request before intern handshake; send {\"op\": \"intern\"}"
+        )
+    try:
+        (
+            request_id,
+            subject_id,
+            transaction_id,
+            object_id,
+            confidence,
+            env_flag,
+        ) = _REQUEST_FIXED.unpack_from(body)
+        offset = _REQUEST_FIXED.size
+        env_override: Optional[FrozenSet[str]] = None
+        if env_flag:
+            (count,) = _ENV_COUNT.unpack_from(body, offset)
+            offset += _ENV_COUNT.size
+            env_ids = struct.unpack_from(f"!{count}H", body, offset)
+            offset += count * 2
+            env_override = frozenset(
+                tables.environment_roles[i] for i in env_ids
+            )
+        if offset != len(body):
+            raise ServiceError(
+                f"binary request has {len(body) - offset} trailing bytes"
+            )
+        subject = (
+            None if subject_id == -1 else tables.subjects[subject_id]
+        )
+        request = AccessRequest(
+            transaction=tables.transactions[transaction_id],
+            obj=tables.objects[object_id],
+            subject=subject,
+            identity_confidence=confidence,
+        )
+    except struct.error as error:
+        raise ServiceError(f"truncated binary request: {error}") from None
+    except IndexError:
+        raise ServiceError("binary request references unknown id") from None
+    except GrbacError as error:
+        raise ServiceError(f"invalid request: {error}") from None
+    return request_id, request, env_override, None
+
+
+def encode_binary_response(request_id: Any, response: PDPResponse) -> bytes:
+    """Encode one PDP response as a binary frame."""
+    wire_id = (
+        request_id
+        if isinstance(request_id, int) and 0 <= request_id < NO_REQUEST_ID
+        else NO_REQUEST_ID
+    )
+    rationale = response.rationale.encode("utf-8")
+    body = (
+        _RESPONSE_FIXED.pack(
+            wire_id,
+            _OUTCOME_CODES[response.outcome],
+            int(response.granted),
+            int(response.cached),
+            response.batch_size,
+            response.latency_s * 1e6,
+        )
+        + rationale
+    )
+    return frame(KIND_RESPONSE, body)
+
+
+def decode_binary_response(body: bytes) -> WireResponse:
+    """Decode a KIND_RESPONSE body into a :class:`WireResponse`."""
+    try:
+        (
+            request_id,
+            outcome_code,
+            granted,
+            cached,
+            batch_size,
+            latency_us,
+        ) = _RESPONSE_FIXED.unpack_from(body)
+        outcome = _CODE_OUTCOMES[outcome_code]
+    except (struct.error, KeyError) as error:
+        raise ServiceError(f"malformed binary response: {error}") from None
+    rationale = body[_RESPONSE_FIXED.size :].decode("utf-8", "replace")
+    return WireResponse(
+        id=request_id,
+        outcome=outcome,
+        granted=bool(granted),
+        cached=bool(cached),
+        batch_size=batch_size,
+        latency_us=round(latency_us, 1),
+        rationale=rationale,
+    )
+
+
+def encode_binary_error(request_id: Any, message: str) -> bytes:
+    """Encode a protocol error as a binary frame."""
+    wire_id = (
+        request_id
+        if isinstance(request_id, int) and 0 <= request_id < NO_REQUEST_ID
+        else NO_REQUEST_ID
+    )
+    return frame(
+        KIND_ERROR, struct.pack("!I", wire_id) + message.encode("utf-8")
+    )
+
+
+def decode_binary_error(body: bytes) -> Tuple[Optional[int], str]:
+    """Decode a KIND_ERROR body into ``(request_id, message)``."""
+    try:
+        (wire_id,) = struct.unpack_from("!I", body)
+    except struct.error as error:
+        raise ServiceError(f"malformed binary error: {error}") from None
+    message = body[4:].decode("utf-8", "replace")
+    return (None if wire_id == NO_REQUEST_ID else wire_id), message
+
+
+async def read_frame_tail(reader) -> Tuple[int, bytes]:
+    """Read ``(kind, body)`` after the magic byte has been consumed.
+
+    :raises ServiceError: on an oversized frame (the caller should
+        drop the connection — the stream position is unrecoverable).
+    :raises asyncio.IncompleteReadError: when the peer closes mid-
+        frame (truncation).
+    """
+    header = await reader.readexactly(FRAME_TAIL.size)
+    kind, length = FRAME_TAIL.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ServiceError(
+            f"binary frame of {length} bytes exceeds {MAX_FRAME_BYTES}"
+        )
+    body = await reader.readexactly(length)
+    return kind, body

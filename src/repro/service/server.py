@@ -1,4 +1,4 @@
-"""The TCP face of the PDP: newline-delimited JSON over asyncio.
+"""The TCP face of the PDP: NDJSON and binary frames over asyncio.
 
 :class:`PDPServer` binds a :class:`~repro.service.pdp.PolicyDecisionPoint`
 to a listening socket.  Each connection is a long-lived pipelined
@@ -8,6 +8,14 @@ carry the request's ``id`` and may arrive out of submission order
 composes: the PDP's bounded queue sheds excess decision work
 explicitly, and per-connection writes await ``drain()`` so a slow
 reader throttles only its own connection.
+
+Wire negotiation is per *message*: every read peeks one byte — the
+binary magic routes to the struct-frame decoder of
+:mod:`repro.service.protocol`, anything else is an NDJSON line — so
+NDJSON and binary clients (and mixed traffic from one client) share a
+single listener.  The ``{"op": "intern"}`` handshake pins this
+connection's integer id tables for the binary request lane; binary
+requests get binary responses, NDJSON requests get NDJSON responses.
 
 The CLI's ``serve`` subcommand (see :mod:`repro.cli`) is a thin
 wrapper over :func:`PDPServer.serve_forever`.
@@ -21,11 +29,18 @@ from typing import Optional
 from repro.exceptions import ServiceError
 from repro.service.pdp import PolicyDecisionPoint
 from repro.service.protocol import (
+    BINARY_MAGIC,
+    KIND_REQUEST,
     MAX_LINE_BYTES,
+    InternTables,
+    decode_binary_request,
     decode_request,
     dumps_line,
+    encode_binary_error,
+    encode_binary_response,
     encode_response,
     parse_line,
+    read_frame_tail,
 )
 
 
@@ -115,25 +130,56 @@ class PDPServer:
         self.connections += 1
         write_lock = asyncio.Lock()
         tasks: "set[asyncio.Task[None]]" = set()
+        #: Per-connection intern tables (protocol.InternTables), set by
+        #: the first ``{"op": "intern"}``.  One-slot list so the nested
+        #: handlers can rebind it.
+        tables: "list[Optional[InternTables]]" = [None]
 
         async def respond(payload: dict) -> None:
             async with write_lock:
                 writer.write(dumps_line(payload))
                 await writer.drain()
 
+        async def respond_bytes(data: bytes) -> None:
+            async with write_lock:
+                writer.write(data)
+                await writer.drain()
+
         try:
             while True:
+                # Per-message format detection: a binary frame leads
+                # with BINARY_MAGIC (never a JSON start byte), NDJSON
+                # with anything else — mixed clients share one port.
                 try:
-                    line = await reader.readline()
+                    first = await reader.readexactly(1)
+                except asyncio.IncompleteReadError:
+                    break
+                if first[0] == BINARY_MAGIC:
+                    try:
+                        kind, body = await read_frame_tail(reader)
+                    except ServiceError as error:
+                        # Oversized frame: the stream position is not
+                        # recoverable, so report and drop the link.
+                        await respond_bytes(
+                            encode_binary_error(None, str(error))
+                        )
+                        break
+                    except asyncio.IncompleteReadError:
+                        break  # truncated frame: peer went away
+                    await self._handle_frame(
+                        kind, body, tables, respond_bytes, tasks
+                    )
+                    continue
+                try:
+                    rest = await reader.readuntil(b"\n")
+                except asyncio.IncompleteReadError as eof:
+                    rest = eof.partial  # final unterminated line
                 except (asyncio.LimitOverrunError, ValueError):
                     await respond({"error": "wire line too long"})
                     break
-                if not line:
-                    break
-                line = line.strip()
-                if not line:
-                    continue
-                await self._handle_line(line, respond, tasks)
+                line = (first + rest).strip()
+                if line:
+                    await self._handle_line(line, respond, tables, tasks)
         except (ConnectionResetError, BrokenPipeError):
             pass
         finally:
@@ -145,7 +191,42 @@ class PDPServer:
             except (ConnectionResetError, BrokenPipeError):
                 pass
 
-    async def _handle_line(self, line: bytes, respond, tasks) -> None:
+    async def _handle_frame(
+        self, kind: int, body: bytes, tables, respond_bytes, tasks
+    ) -> None:
+        if kind != KIND_REQUEST:
+            await respond_bytes(
+                encode_binary_error(None, f"unexpected frame kind {kind}")
+            )
+            return
+        try:
+            request_id, request, env, timeout_s = decode_binary_request(
+                tables[0], body
+            )
+        except ServiceError as error:
+            await respond_bytes(encode_binary_error(None, str(error)))
+            return
+
+        async def decide_and_reply() -> None:
+            try:
+                response = await self.pdp.submit(
+                    request,
+                    environment_roles=env,
+                    timeout=timeout_s,
+                    request_id=request_id,
+                )
+            except ServiceError as error:  # PDP stopped mid-flight
+                await respond_bytes(
+                    encode_binary_error(request_id, str(error))
+                )
+                return
+            await respond_bytes(encode_binary_response(request_id, response))
+
+        task = asyncio.get_running_loop().create_task(decide_and_reply())
+        tasks.add(task)
+        task.add_done_callback(tasks.discard)
+
+    async def _handle_line(self, line: bytes, respond, tables, tasks) -> None:
         try:
             payload = parse_line(line)
         except ServiceError as error:
@@ -153,7 +234,7 @@ class PDPServer:
             return
         op = payload.get("op")
         if op is not None:
-            await self._handle_op(op, payload, respond)
+            await self._handle_op(op, payload, respond, tables)
             return
         try:
             request_id, request, env, timeout_s = decode_request(payload)
@@ -181,10 +262,20 @@ class PDPServer:
         tasks.add(task)
         task.add_done_callback(tasks.discard)
 
-    async def _handle_op(self, op: object, payload: dict, respond) -> None:
+    async def _handle_op(
+        self, op: object, payload: dict, respond, tables=None
+    ) -> None:
         request_id = payload.get("id")
         if op == "ping":
             await respond({"op": "pong", "id": request_id})
+        elif op == "intern":
+            # Hand out (and pin, for this connection) the integer id
+            # tables the binary request lane encodes against.  Re-
+            # issuing the op after a policy change refreshes them.
+            interned = InternTables.from_policy(self.pdp.policy)
+            if tables is not None:
+                tables[0] = interned
+            await respond({"id": request_id, **interned.to_payload()})
         elif op == "stats":
             await respond(
                 {"op": "stats", "id": request_id, "stats": self.pdp.stats()}

@@ -93,7 +93,7 @@ class TestCompiledDecisions:
 
     def test_unknown_mode_rejected(self, tv_policy):
         with pytest.raises(PolicyError):
-            MediationEngine(tv_policy, mode="vectorized")
+            MediationEngine(tv_policy, mode="turbo")
 
     def test_grant_and_deny_precedence(self, tv_policy):
         engine = MediationEngine(tv_policy)
@@ -226,7 +226,7 @@ class TestDecideBatch:
 
     def test_batch_equals_singles_on_every_mode(self, tv_policy):
         requests = self._requests() * 3
-        for mode in ("compiled", "indexed", "naive"):
+        for mode in ("compiled", "vectorized", "indexed", "naive"):
             engine = MediationEngine(tv_policy, mode=mode)
             singles = [
                 engine.decide(r, environment_roles={"free-time"})

@@ -184,18 +184,26 @@ def _decision_fingerprint(decision):
 def _assert_all_paths_agree(policy, requests_with_env, confidence_threshold=0.0):
     engines = [
         MediationEngine(policy, mode=mode, confidence_threshold=confidence_threshold)
-        for mode in ("compiled", "indexed", "naive")
+        for mode in ("compiled", "vectorized", "indexed", "naive")
     ]
     compiled = engines[0]
+    vectorized = engines[1]
     decisions_per_engine = [
         [engine.decide(r, environment_roles=env) for r, env in requests_with_env]
         for engine in engines
     ]
-    batched = compiled.decide_batch(
-        [r for r, _ in requests_with_env],
-        environment_roles=[env for _, env in requests_with_env],
+    # Both batch lanes: the compiled scalar loop and the vectorized
+    # struct-of-arrays kernel (decision templates included — the
+    # stream is replayed twice so repeats hit the template memo).
+    batch_requests = [r for r, _ in requests_with_env]
+    batch_envs = [env for _, env in requests_with_env]
+    decisions_per_engine.append(
+        compiled.decide_batch(batch_requests, environment_roles=batch_envs)
     )
-    decisions_per_engine.append(batched)
+    for _ in range(2):
+        decisions_per_engine.append(
+            vectorized.decide_batch(batch_requests, environment_roles=batch_envs)
+        )
     reference = [_decision_fingerprint(d) for d in decisions_per_engine[0]]
     for decisions in decisions_per_engine[1:]:
         assert [_decision_fingerprint(d) for d in decisions] == reference
@@ -257,7 +265,7 @@ def test_compiled_equals_indexed_equals_naive_with_sessions(
     policy = generate_policy(config)
     engines = [
         MediationEngine(policy, mode=mode)
-        for mode in ("compiled", "indexed", "naive")
+        for mode in ("compiled", "vectorized", "indexed", "naive")
     ]
     for generated in generate_requests(policy, 5, seed=request_seed):
         subject = generated.request.subject
@@ -345,7 +353,7 @@ def test_compiled_snapshot_invalidates_on_revision_bumps(config, request_seed):
 @given(
     policy_configs(),
     st.integers(0, 10_000),
-    st.sampled_from(["compiled", "indexed", "naive"]),
+    st.sampled_from(["compiled", "vectorized", "indexed", "naive"]),
 )
 @settings(max_examples=30, deadline=None)
 def test_trace_coheres_with_decision(config, request_seed, mode):

@@ -1,0 +1,368 @@
+"""The vectorized struct-of-arrays kernel (tentpole of PR 6).
+
+Two layers under test:
+
+* :mod:`repro.core.vectorized` — column packing, membership decoding,
+  environment pre-pruning, and the numpy/pure-Python split;
+* ``VectorizedStrategy`` — the batch lane's decision templates: hits
+  must return decisions identical to the pipeline, and every
+  invalidation edge (revision bump, precedence flip, threshold change,
+  mid-batch mutation) must drop stale templates.
+
+The headline property — vectorized ≡ compiled ≡ indexed ≡ naive on
+random policies, including deny/precedence/wildcard and confidence
+edge cases — lives here as the batch-lane equivalence test and in
+``test_properties.py`` (``_assert_all_paths_agree`` runs the
+vectorized engine and its batch kernel alongside the other paths).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AccessRequest, MediationEngine
+from repro.core.vectorized import (
+    NUMPY_MIN_ROWS,
+    RuleColumns,
+    VectorTable,
+    mask_membership,
+)
+from repro.obs.observers import CollectingObserver
+from repro.workload.generator import (
+    RandomPolicyConfig,
+    generate_policy,
+    generate_requests,
+    replay_requests,
+)
+
+from tests.core.test_properties import (
+    _decision_fingerprint,
+    policy_configs,
+)
+
+
+def _fingerprints(decisions):
+    return [_decision_fingerprint(d) for d in decisions]
+
+
+# ----------------------------------------------------------------------
+# Column primitives
+# ----------------------------------------------------------------------
+class TestMaskMembership:
+    def test_decodes_bits_into_bytes(self):
+        mask = (1 << 0) | (1 << 3) | (1 << 9)
+        member = mask_membership(mask, 12)
+        assert list(member) == [
+            1, 0, 0, 1, 0, 0, 0, 0, 0, 1, 0, 0,
+        ]
+
+    def test_empty_mask(self):
+        assert bytes(mask_membership(0, 5)) == b"\x00" * 5
+
+    def test_bigint_mask_beyond_machine_words(self):
+        # Role ids routinely exceed 64 — the closure masks are Python
+        # bigints, which is exactly why the columns carry ids.
+        mask = (1 << 200) | (1 << 64) | 1
+        member = mask_membership(mask, 201)
+        assert member[0] and member[64] and member[200]
+        assert sum(member) == 3
+
+
+class TestVectorTable:
+    @pytest.fixture()
+    def policy(self):
+        return generate_policy(
+            RandomPolicyConfig(permissions=60, seed=11)
+        )
+
+    def test_buckets_lazy_and_memoized(self, policy):
+        engine = MediationEngine(policy, mode="vectorized")
+        engine.strategy.snapshot()
+        table = engine.strategy._tables
+        assert table.stats() == {"vector_buckets": 0, "vector_rows": 0}
+        snap = table.snapshot
+        transaction = next(iter(snap.rules))
+        subject_id = next(iter(snap.rules[transaction]))
+        first = table.bucket(transaction, subject_id)
+        assert first is table.bucket(transaction, subject_id)
+        assert table.stats()["vector_buckets"] == 1
+        assert table.stats()["vector_rows"] == len(first)
+
+    def test_missing_bucket_is_none_and_cached(self, policy):
+        engine = MediationEngine(policy, mode="vectorized")
+        snap = engine.strategy.snapshot()
+        table = engine.strategy._tables
+        transaction = next(iter(snap.rules))
+        assert table.bucket(transaction, 10_000) is None
+        assert table.bucket(transaction, 10_000) is None
+        assert table.stats()["vector_buckets"] == 0
+
+    def test_prune_preserves_rule_order_within_groups(self, policy):
+        engine = MediationEngine(policy, mode="vectorized")
+        snap = engine.strategy.snapshot()
+        table = engine.strategy._tables
+        everything = mask_membership(
+            (1 << table.environment_size) - 1, table.environment_size
+        )
+        for transaction, by_subject in snap.rules.items():
+            for subject_id, rules in by_subject.items():
+                columns = table.bucket(transaction, subject_id)
+                groups = dict(columns.prune(everything))
+                regrouped = {}
+                for rule in rules:
+                    regrouped.setdefault(rule.object_id, []).append(rule)
+                assert {
+                    oid: list(group) for oid, group in groups.items()
+                } == regrouped
+
+    def test_prune_numpy_and_python_paths_agree(self):
+        # A bucket wide enough to clear NUMPY_MIN_ROWS exercises the
+        # gather path when numpy is present; forcing env_np = None on
+        # a copy exercises the pure-Python loop on identical columns.
+        from repro.core.compiled import CompiledRule
+
+        rules = [
+            CompiledRule(
+                order=i,
+                permission=None,
+                subject_id=0,
+                object_bit=1 << (i % 5),
+                environment_bit=1 << (i % 7),
+                is_deny=False,
+                min_confidence=0.0,
+                object_is_wildcard=False,
+                environment_is_wildcard=False,
+                object_id=i % 5,
+                environment_id=i % 7,
+            )
+            for i in range(max(NUMPY_MIN_ROWS, 32) + 8)
+        ]
+        fast = RuleColumns(rules)
+        slow = RuleColumns(rules)
+        slow.env_np = None
+        member = mask_membership((1 << 1) | (1 << 4) | (1 << 6), 7)
+        assert fast.prune(member) == slow.prune(member)
+
+
+# ----------------------------------------------------------------------
+# Batch-lane equivalence (the headline property)
+# ----------------------------------------------------------------------
+@given(policy_configs(), st.integers(0, 10_000))
+@settings(max_examples=30, deadline=None)
+def test_vectorized_batch_equals_compiled_scalar(config, request_seed):
+    """The acceptance property: vectorized ``decide_batch`` decisions
+    are identical to the scalar compiled path on generated policies —
+    replayed twice so the second pass is served from decision
+    templates."""
+    policy = generate_policy(config)
+    generated = generate_requests(policy, 12, seed=request_seed)
+    compiled = MediationEngine(policy, mode="compiled")
+    reference = _fingerprints(
+        [
+            compiled.decide(
+                g.request, environment_roles=set(g.active_environment_roles)
+            )
+            for g in generated
+        ]
+    )
+    vectorized = MediationEngine(policy, mode="vectorized")
+    for _ in range(2):
+        assert (
+            _fingerprints(replay_requests(vectorized, generated, batch=True))
+            == reference
+        )
+    assert vectorized.stats()["decision_templates"] > 0
+
+
+@given(policy_configs(), st.integers(0, 10_000), st.data())
+@settings(max_examples=20, deadline=None)
+def test_vectorized_batch_with_confidence_edges(config, request_seed, data):
+    """Role claims force the kernel's per-request pipeline fallback;
+    identity confidences and thresholds exercise the §5.2 gate —
+    both must match the compiled scalar path exactly."""
+    policy = generate_policy(config)
+    threshold = data.draw(st.sampled_from([0.0, 0.5, 0.95]))
+    role_names = [r.name for r in policy.subject_roles.roles()]
+    requests, envs = [], []
+    for generated in generate_requests(policy, 8, seed=request_seed):
+        base = generated.request
+        claims = data.draw(
+            st.dictionaries(
+                st.sampled_from(role_names), st.floats(0.0, 1.0), max_size=2
+            )
+        )
+        requests.append(
+            AccessRequest(
+                transaction=base.transaction,
+                obj=base.obj,
+                subject=base.subject,
+                role_claims=claims,
+                identity_confidence=data.draw(st.floats(0.0, 1.0)),
+            )
+        )
+        envs.append(generated.active_environment_roles)
+    compiled = MediationEngine(
+        policy, mode="compiled", confidence_threshold=threshold
+    )
+    vectorized = MediationEngine(
+        policy, mode="vectorized", confidence_threshold=threshold
+    )
+    reference = _fingerprints(
+        [
+            compiled.decide(r, environment_roles=set(env))
+            for r, env in zip(requests, envs)
+        ]
+    )
+    assert (
+        _fingerprints(
+            vectorized.decide_batch(requests, environment_roles=envs)
+        )
+        == reference
+    )
+
+
+# ----------------------------------------------------------------------
+# Decision-template lifecycle
+# ----------------------------------------------------------------------
+class TestDecisionTemplates:
+    @pytest.fixture()
+    def policy(self):
+        return generate_policy(
+            RandomPolicyConfig(permissions=60, seed=23)
+        )
+
+    @pytest.fixture()
+    def stream(self, policy):
+        return generate_requests(policy, 20, seed=5)
+
+    def test_template_hits_skip_pipeline_but_count_and_emit(
+        self, policy, stream
+    ):
+        engine = MediationEngine(policy, mode="vectorized")
+        observer = engine.observers.subscribe(CollectingObserver())
+        first = replay_requests(engine, stream, batch=True)
+        second = replay_requests(engine, stream, batch=True)
+        assert _fingerprints(first) == _fingerprints(second)
+        # Template hits return the identical Decision object.
+        assert all(a is b for a, b in zip(first, second))
+        # Tallies and observer fan-out cover both passes.
+        assert engine.decisions == 2 * len(stream)
+        assert engine.grants + engine.denies == engine.decisions
+        assert len(observer.decisions) == 2 * len(stream)
+
+    def test_revision_bump_invalidates_templates(self, policy, stream):
+        engine = MediationEngine(policy, mode="vectorized")
+        before = replay_requests(engine, stream, batch=True)
+        assert engine.stats()["decision_templates"] > 0
+        policy.grant("srole-0", "txn-0", "any-object", "any-environment")
+        after = replay_requests(engine, stream, batch=True)
+        # Fresh render against the new snapshot...
+        assert not any(a is b for a, b in zip(before, after))
+        # ...and equivalent to a cold engine on the mutated policy.
+        cold = MediationEngine(policy, mode="vectorized")
+        assert _fingerprints(after) == _fingerprints(
+            replay_requests(cold, stream, batch=True)
+        )
+
+    def test_precedence_flip_invalidates_templates(self, policy, stream):
+        engine = MediationEngine(policy, mode="vectorized")
+        replay_requests(engine, stream, batch=True)
+        from repro.core import PrecedenceStrategy
+
+        policy.precedence = (
+            PrecedenceStrategy.ALLOW_OVERRIDES
+            if policy.precedence is not PrecedenceStrategy.ALLOW_OVERRIDES
+            else PrecedenceStrategy.DENY_OVERRIDES
+        )
+        flipped = replay_requests(engine, stream, batch=True)
+        cold = MediationEngine(policy, mode="vectorized")
+        assert _fingerprints(flipped) == _fingerprints(
+            replay_requests(cold, stream, batch=True)
+        )
+
+    def test_threshold_change_invalidates_templates(self, policy, stream):
+        requests = [g.request for g in stream]
+        envs = [g.active_environment_roles for g in stream]
+        low_identity = [
+            AccessRequest(
+                transaction=r.transaction,
+                obj=r.obj,
+                subject=r.subject,
+                identity_confidence=0.4,
+            )
+            for r in requests
+        ]
+        engine = MediationEngine(policy, mode="vectorized")
+        engine.decide_batch(low_identity, environment_roles=envs)
+        engine.confidence_threshold = 0.9
+        gated = engine.decide_batch(low_identity, environment_roles=envs)
+        cold = MediationEngine(
+            policy, mode="vectorized", confidence_threshold=0.9
+        )
+        assert _fingerprints(gated) == _fingerprints(
+            cold.decide_batch(low_identity, environment_roles=envs)
+        )
+
+    def test_mid_batch_mutation_is_picked_up(self, policy, stream):
+        """An observer mutating the policy mid-batch must not leave
+        later requests in the same batch on the stale snapshot."""
+        engine = MediationEngine(policy, mode="vectorized")
+
+        class MutateOnce(CollectingObserver):
+            fired = False
+
+            def on_decision(self, decision, trace=None):
+                super().on_decision(decision, trace)
+                if not MutateOnce.fired:
+                    MutateOnce.fired = True
+                    policy.grant(
+                        "srole-0", "txn-0", "any-object", "any-environment"
+                    )
+
+        engine.observers.subscribe(MutateOnce())
+        decisions = replay_requests(engine, stream, batch=True)
+        # Requests after the mutation see the post-mutation policy.
+        cold = MediationEngine(policy, mode="vectorized")
+        expected = replay_requests(cold, stream, batch=True)
+        assert _fingerprints(decisions[1:]) == _fingerprints(expected[1:])
+
+    def test_sessions_and_constraints_bypass_kernel(self, policy, stream):
+        engine = MediationEngine(policy, mode="vectorized")
+        subject = stream[0].request.subject
+        session = policy.sessions.open(subject)
+        own = [g for g in stream if g.request.subject == subject]
+        requests = [g.request for g in own]
+        envs = [g.active_environment_roles for g in own]
+        engine.decide_batch(requests, session=session, environment_roles=envs)
+        assert engine.stats()["decision_templates"] == 0
+        engine.decision_constraints.append(lambda ctx: None)
+        engine.decide_batch(requests, environment_roles=envs)
+        assert engine.stats()["decision_templates"] == 0
+
+    def test_unknown_transaction_still_raises(self, policy):
+        from repro.exceptions import PolicyError
+
+        engine = MediationEngine(policy, mode="vectorized")
+        with pytest.raises(PolicyError):
+            engine.decide_batch(
+                [
+                    AccessRequest(
+                        transaction="no-such-txn",
+                        obj="object-0",
+                        subject="subject-0",
+                    )
+                ],
+                environment_roles=[frozenset()],
+            )
+
+    def test_stats_expose_kernel_counters(self, policy, stream):
+        engine = MediationEngine(policy, mode="vectorized")
+        replay_requests(engine, stream, batch=True)
+        stats = engine.stats()
+        assert stats["mode"] == "vectorized"
+        assert stats["decision_templates"] > 0
+        assert stats["environment_prunes"] > 0
+        assert stats["vector_buckets"] > 0
+        assert stats["vector_rows"] > 0

@@ -97,3 +97,19 @@ class TestBeyondTopBucket:
             histogram.observe(value)
         for q in (0.2, 0.4, 0.6, 0.8, 1.0):
             assert histogram.quantile(q) <= max(values)
+
+
+class TestSnapshotPercentiles:
+    def test_snapshot_reports_complete_percentile_set(self):
+        """Latency reporting must carry p50, p95, AND p99 — partial
+        percentile sets (p95 without p99, or vice versa) have twice
+        slipped through report plumbing."""
+        histogram = Histogram("latency")
+        for i in range(200):
+            histogram.observe((i + 1) * 1e-6)
+        snap = histogram.snapshot()
+        for key in ("count", "mean_us", "p50_us", "p95_us", "p99_us",
+                    "min_us", "max_us"):
+            assert key in snap, key
+        assert snap["p50_us"] <= snap["p95_us"] <= snap["p99_us"]
+        assert snap["p99_us"] <= snap["max_us"]

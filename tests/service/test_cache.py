@@ -2,7 +2,11 @@
 
 from __future__ import annotations
 
+import asyncio
+
+from repro.core import AccessRequest, MediationEngine
 from repro.service.cache import DecisionCache
+from repro.service.pdp import PDPConfig, PDPOutcome, PolicyDecisionPoint
 
 
 def test_basic_get_put() -> None:
@@ -33,6 +37,46 @@ def test_capacity_zero_disables() -> None:
     assert len(cache) == 0
     assert cache.uncacheable == 1
     assert cache.misses == 0
+
+
+def test_note_uncacheable_matches_get_none_tally() -> None:
+    cache = DecisionCache(0)
+    cache.note_uncacheable()
+    cache.note_uncacheable()
+    assert cache.uncacheable == 2
+    assert cache.misses == 0 and cache.hits == 0
+
+
+def test_capacity_zero_pdp_does_no_key_work(tv_policy) -> None:
+    """Micro-assert for the capacity-0 fast path: ``submit`` must
+    short-circuit *before* key materialization — a poisoned
+    ``_cache_key`` proves the tuple is never built — while the
+    uncacheable tally still moves as if ``get(None)`` had run."""
+
+    async def scenario():
+        engine = MediationEngine(tv_policy)
+        pdp = PolicyDecisionPoint(engine, PDPConfig(cache_size=0))
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("capacity-0 submit built a cache key")
+
+        pdp._cache_key = boom
+        async with pdp:
+            responses = [
+                await pdp.submit(
+                    AccessRequest(
+                        "watch", "livingroom/tv", subject="alice"
+                    ),
+                    environment_roles={"free-time"},
+                )
+                for _ in range(3)
+            ]
+        return responses, pdp.cache.stats()
+
+    responses, stats = asyncio.run(scenario())
+    assert all(r.outcome is PDPOutcome.GRANT for r in responses)
+    assert stats["uncacheable"] == 3
+    assert stats["hits"] == 0 and stats["misses"] == 0
 
 
 def test_hit_rate_measures_cacheable_lookups_only() -> None:
