@@ -20,6 +20,13 @@ who prefer a terminal over a Python prompt::
            --actor alice --dry-run
     python -m repro.cli status --connect 127.0.0.1:7471 --check
     python -m repro.cli tail --connect 127.0.0.1:7471 --follow
+    python -m repro.cli tenant create unit-9 --store ./policies
+    python -m repro.cli tenant put unit-9 policy.grbac --store ./policies \\
+           --activate
+    python -m repro.cli tenant rollback unit-9 --store ./policies
+    python -m repro.cli serve --store ./policies --port 7471
+    python -m repro.cli loadgen policy.grbac --connect 127.0.0.1:7471 \\
+           --tenant unit-9
 
 Policies are authored in the text DSL (see
 :mod:`repro.policy.dsl.parser` for the grammar); ``export`` converts
@@ -166,7 +173,29 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         PolicyDecisionPoint,
     )
 
-    policy = _load_policy(args.policy)
+    store = None
+    if args.store:
+        from repro.store import DEFAULT_TENANT, PolicyStore
+
+        store = PolicyStore(args.store)
+    if args.policy:
+        policy = _load_policy(args.policy)
+    elif (
+        store is not None
+        and DEFAULT_TENANT in store
+        and store.active_version(DEFAULT_TENANT) is not None
+    ):
+        # No policy file: the store's active "default" version is the
+        # boot policy, so a store-only deployment needs no files
+        # outside the store directory.
+        policy = store.policy(DEFAULT_TENANT)
+    else:
+        raise GrbacError(
+            "serve needs a policy file argument, or --store pointing at "
+            "a store whose 'default' tenant has an active version"
+        )
+    if args.watch and not args.policy:
+        raise GrbacError("--watch needs a policy file argument to watch")
     engine = MediationEngine(policy, confidence_threshold=args.threshold)
     config = PDPConfig(
         max_batch=args.max_batch,
@@ -189,7 +218,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     async def run() -> None:
         from repro.policy.admin import PolicyAdministrator, PolicyFileWatcher
 
-        pdp = PolicyDecisionPoint(engine, config, trace_sink=sink, slo=slo)
+        pdp = PolicyDecisionPoint(
+            engine, config, trace_sink=sink, slo=slo, store=store
+        )
         administrator = PolicyAdministrator(pdp)
         server = PDPServer(
             pdp, host=args.host, port=args.port, administrator=administrator
@@ -221,8 +252,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             )
         # The "listening" line is the readiness signal scripts (and the
         # CI smoke job) wait for before pointing loadgen at us.
-        print(f"serving {args.policy!r} listening on "
+        source = args.policy if args.policy else f"store:{args.store}"
+        print(f"serving {source!r} listening on "
               f"{args.host}:{server.port}", flush=True)
+        if store is not None:
+            print(f"policy store {args.store!r}: "
+                  f"{len(store.tenants())} tenant(s)", flush=True)
         if admin is not None:
             print(f"admin http listening on {args.host}:{admin.port}",
                   flush=True)
@@ -442,6 +477,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         concurrency=args.concurrency,
         seed=args.seed,
         repeat=args.repeat,
+        tenant=args.tenant,
     )
     stream = build_stream(policy, config)
     expected = compute_expected(policy, stream) if args.verify else None
@@ -525,6 +561,89 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         )
         return 1
     return 0
+
+
+def _cmd_tenant(args: argparse.Namespace) -> int:
+    """``repro tenant``: administer an on-disk policy store.
+
+    Every subcommand opens the JSONL store, applies one lineage
+    operation, and exits — the serving process (``serve --store``)
+    picks changes up on its next tenant-scoped reload/refresh.
+    """
+    from repro.exceptions import PolicyStoreError
+    from repro.store import PolicyStore
+
+    store = PolicyStore(args.store)
+    action = args.tenant_command
+    try:
+        if action == "create":
+            lineage = store.create_tenant(args.name, actor=args.actor)
+            print(f"created tenant {lineage.name!r} in {args.store}")
+            return 0
+        if action == "put":
+            with open(args.file, "r", encoding="utf-8") as handle:
+                text = handle.read()
+            before = len(store.lineage(args.name).versions)
+            version = store.put(
+                args.name, text, actor=args.actor, note=args.note
+            )
+            if len(store.lineage(args.name).versions) == before:
+                print(
+                    f"{args.name} v{version.version} unchanged "
+                    f"(content already at head: {version.content_hash})"
+                )
+            else:
+                print(
+                    f"{args.name} v{version.version} appended "
+                    f"({version.content_hash})"
+                )
+            if args.activate:
+                store.activate(
+                    args.name, version.version, actor=args.actor
+                )
+                print(f"{args.name} v{version.version} activated")
+            return 0
+        if action == "activate":
+            version = store.activate(
+                args.name, version=args.version, actor=args.actor
+            )
+            print(f"{args.name} v{version.version} activated")
+            return 0
+        if action == "rollback":
+            version = store.rollback(args.name, actor=args.actor)
+            print(f"{args.name} rolled back to v{version.version}")
+            return 0
+        # action == "log"
+        if args.name:
+            lineage = store.log(args.name)
+            print(f"tenant {lineage['tenant']!r}  "
+                  f"active v{lineage['active_version']}")
+            print("versions:")
+            for row in lineage["versions"]:
+                note = f"  # {row['note']}" if row.get("note") else ""
+                print(f"  v{row['version']:<3} {row['content_hash']}  "
+                      f"by {row['actor'] or '?'}{note}")
+            print("activations:")
+            for row in lineage["activations"]:
+                print(f"  {row['action']:<9} -> v{row['version']}  "
+                      f"by {row['actor'] or '?'}")
+        else:
+            rows = store.overview()
+            if not rows:
+                print(f"store {args.store} holds no tenants")
+            for row in rows:
+                active = (
+                    f"v{row['active_version']}"
+                    if row["active_version"]
+                    else "-"
+                )
+                print(f"  {row['tenant']:<24} versions {row['versions']:<4} "
+                      f"active {active:<5} "
+                      f"activations {row['activations']}")
+        return 0
+    except PolicyStoreError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
 
 
 def _cmd_export(args: argparse.Namespace) -> int:
@@ -716,7 +835,22 @@ def build_parser() -> argparse.ArgumentParser:
         "serve",
         help="serve a policy as a PDP over newline-delimited-JSON TCP",
     )
-    serve.add_argument("policy", help="path to a DSL policy file")
+    serve.add_argument(
+        "policy",
+        nargs="?",
+        default=None,
+        help="path to a DSL policy file for the default tenant "
+        "(optional with --store: the store's active 'default' "
+        "version boots the PDP)",
+    )
+    serve.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="attach a multi-tenant policy store directory; tenants "
+        "with an active version become servable (requests carry "
+        "'tenant', reloads accept ?tenant=)",
+    )
     serve.add_argument("--host", default="127.0.0.1", help="bind address")
     serve.add_argument(
         "--port", type=int, default=7471,
@@ -942,6 +1076,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="in-process only: disable the decision cache",
     )
     loadgen.add_argument(
+        "--tenant",
+        default=None,
+        metavar="NAME",
+        help="route every request to this tenant on the target PDP "
+        "(the policy file should be that tenant's active policy; "
+        "default: the default tenant)",
+    )
+    loadgen.add_argument(
         "--verify",
         action="store_true",
         help="cross-check every answer against a direct engine; "
@@ -971,6 +1113,87 @@ def build_parser() -> argparse.ArgumentParser:
         help="output format (default json)",
     )
     export.set_defaults(func=_cmd_export)
+
+    tenant = subparsers.add_parser(
+        "tenant",
+        help="administer a multi-tenant policy store "
+        "(create/put/activate/rollback/log)",
+    )
+    tenant_sub = tenant.add_subparsers(dest="tenant_command", required=True)
+
+    def add_store_argument(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--store",
+            required=True,
+            metavar="DIR",
+            help="policy store directory (created on first use)",
+        )
+        sub.add_argument(
+            "--actor",
+            default="cli",
+            help="who is making the change, for the lineage record "
+            "(default 'cli')",
+        )
+
+    tenant_create = tenant_sub.add_parser(
+        "create", help="register a new, empty tenant lineage"
+    )
+    tenant_create.add_argument("name", help="tenant name")
+    add_store_argument(tenant_create)
+    tenant_create.set_defaults(func=_cmd_tenant)
+
+    tenant_put = tenant_sub.add_parser(
+        "put",
+        help="append a policy file as the tenant's next version "
+        "(content identical to the head is a no-op)",
+    )
+    tenant_put.add_argument("name", help="tenant name")
+    tenant_put.add_argument("file", help="path to a DSL policy file")
+    add_store_argument(tenant_put)
+    tenant_put.add_argument(
+        "--note", default="", help="free-form note kept with the version"
+    )
+    tenant_put.add_argument(
+        "--activate",
+        action="store_true",
+        help="also activate the new version (runs the lint gate)",
+    )
+    tenant_put.set_defaults(func=_cmd_tenant)
+
+    tenant_activate = tenant_sub.add_parser(
+        "activate",
+        help="move the tenant's active pointer (lint-gated; a "
+        "rejected candidate leaves the pointer untouched)",
+    )
+    tenant_activate.add_argument("name", help="tenant name")
+    tenant_activate.add_argument(
+        "--version",
+        type=int,
+        default=None,
+        help="version to activate (default: the head version)",
+    )
+    add_store_argument(tenant_activate)
+    tenant_activate.set_defaults(func=_cmd_tenant)
+
+    tenant_rollback = tenant_sub.add_parser(
+        "rollback",
+        help="reactivate the previously active distinct version "
+        "(no re-lint: the escape hatch is never blockable)",
+    )
+    tenant_rollback.add_argument("name", help="tenant name")
+    add_store_argument(tenant_rollback)
+    tenant_rollback.set_defaults(func=_cmd_tenant)
+
+    tenant_log = tenant_sub.add_parser(
+        "log",
+        help="print a tenant's lineage (or a store overview "
+        "when no tenant is named)",
+    )
+    tenant_log.add_argument(
+        "name", nargs="?", default=None, help="tenant name (optional)"
+    )
+    add_store_argument(tenant_log)
+    tenant_log.set_defaults(func=_cmd_tenant)
 
     demo = subparsers.add_parser("demo", help="run a canned paper scenario")
     demo.add_argument(

@@ -107,6 +107,16 @@ class WorkloadError(GrbacError):
     """A workload generator was misconfigured."""
 
 
+class PolicyStoreError(GrbacError):
+    """A policy-store operation is invalid.
+
+    Raised for unknown tenants/versions, activation of a candidate
+    that fails the lint gate, and a corrupt store log — never for an
+    access denial, which the serving layer reports as an explicit
+    decision outcome.
+    """
+
+
 class ServiceError(GrbacError):
     """A decision-service (PDP) operation is invalid.
 

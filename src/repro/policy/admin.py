@@ -369,13 +369,21 @@ class PolicyAdministrator:
 
 @dataclass
 class PolicyFileWatcher:
-    """mtime-polling bridge from a policy file to the administrator.
+    """Polling bridge from a policy file to the administrator.
 
     ``serve --policy-file X --watch`` runs :meth:`run_forever`; tests
     and the CLI use the synchronous :meth:`poll_once`.  The watcher
     never crashes the server on a bad edit: a file that fails
     validation is an audited rejection, and the same content is not
-    retried until the file changes again.
+    retried until the content actually changes.
+
+    Change detection compares a three-part fingerprint — ``(mtime_ns,
+    size, sha256(content))`` — not mtime alone.  The stat pair is the
+    cheap first gate (unchanged metadata means no read at all); when
+    it moves, the content hash decides: a ``touch``, a re-save of
+    identical text, or a rsync/untar that bumps timestamps produces
+    **no** reload, while a real edit does even when the filesystem's
+    mtime granularity swallowed the timestamp step.
     """
 
     path: str
@@ -384,36 +392,56 @@ class PolicyFileWatcher:
     actor: str = "file-watch"
     #: Called with each ReloadResult (serve uses this to log).
     on_reload: Optional[Callable[[ReloadResult], None]] = None
-    _last_mtime_ns: Optional[int] = field(default=None, repr=False)
+    #: ``(mtime_ns, size, content_sha256)`` of the last content seen.
+    _last_fingerprint: Optional[Tuple[int, int, str]] = field(
+        default=None, repr=False
+    )
 
     def __post_init__(self) -> None:
         if self.interval_s <= 0:
             raise ServiceError("watch interval must be > 0")
         # Baseline: the file as served at startup is not "a change".
-        self._last_mtime_ns = self._mtime_ns()
+        snapshot = self._snapshot()
+        if snapshot is not None:
+            self._last_fingerprint = snapshot[0]
 
-    def _mtime_ns(self) -> Optional[int]:
+    def _snapshot(
+        self,
+    ) -> Optional[Tuple[Tuple[int, int, str], str]]:
+        """``(fingerprint, content)`` of the file now, None if unreadable."""
+        import hashlib
         import os
 
         try:
-            return os.stat(self.path).st_mtime_ns
-        except OSError:
-            return None  # transient (editor rename-in-place); retry
-
-    def poll_once(self) -> Optional[ReloadResult]:
-        """Reload if the file's mtime moved; None when it did not."""
-        mtime = self._mtime_ns()
-        if mtime is None or mtime == self._last_mtime_ns:
-            return None
-        self._last_mtime_ns = mtime
-        try:
+            stat = os.stat(self.path)
             with open(self.path, "r", encoding="utf-8") as handle:
                 source = handle.read()
         except OSError:
-            # Transient unreadable window (editor rename-in-place):
-            # forget the mtime so the next poll retries the read.
-            self._last_mtime_ns = None
+            return None  # transient (editor rename-in-place); retry
+        digest = hashlib.sha256(source.encode("utf-8")).hexdigest()
+        return (stat.st_mtime_ns, stat.st_size, digest), source
+
+    def poll_once(self) -> Optional[ReloadResult]:
+        """Reload if the file's *content* changed; None when it did not."""
+        import os
+
+        last = self._last_fingerprint
+        if last is not None:
+            try:
+                stat = os.stat(self.path)
+            except OSError:
+                return None  # transient; fingerprint kept, next poll retries
+            if (stat.st_mtime_ns, stat.st_size) == last[:2]:
+                return None  # metadata unchanged: skip the read
+        snapshot = self._snapshot()
+        if snapshot is None:
             return None
+        fingerprint, source = snapshot
+        # Record the new metadata either way, so a pure touch is not
+        # re-hashed every poll; reload only on a content change.
+        self._last_fingerprint = fingerprint
+        if last is not None and fingerprint[2] == last[2]:
+            return None  # touched, but byte-identical content
         result = self.administrator.reload(
             source, actor=self.actor, name=self.path
         )

@@ -14,13 +14,20 @@ occupy a decision-plane connection slot:
 ``GET /ready``             admission headroom; 200 ready / 503 not ready
 ``GET /dump``              flight-recorder entries; ``?limit=&since_seq=&``
                            ``subject=&outcome=`` filters
+``GET /tenants``           one summary row per tenant: store lineage merged
+                           with live serving state and counters
 ``POST /reload``           validated hot-reload; the request body is the
                            candidate policy (DSL or serialized JSON),
                            ``?actor=&dry_run=1`` qualify it.  200 on an
                            applied (or clean dry-run) candidate, 422 on a
                            rejected one — body is the audited ReloadRecord
                            either way.  404 unless the server was built
-                           with an administrator.
+                           with an administrator.  ``?tenant=NAME`` scopes
+                           the reload: store-backed tenants go through the
+                           store's put+activate lint gate (an **empty**
+                           body then refreshes the PDP from the store's
+                           current active version), pinned tenants through
+                           a per-tenant administrator.
 =========================  ==================================================
 
 Connections are read under a deadline (:attr:`AdminServer.read_timeout_s`,
@@ -36,8 +43,8 @@ import json
 from typing import Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
-from repro.exceptions import ServiceError
-from repro.service.pdp import PolicyDecisionPoint
+from repro.exceptions import PolicyStoreError, ServiceError
+from repro.service.pdp import DEFAULT_TENANT, PolicyDecisionPoint
 
 #: Request line + headers must fit in this; admin requests are tiny.
 _MAX_REQUEST_BYTES = 8 * 1024
@@ -104,6 +111,9 @@ class AdminServer:
         self.requests_served = 0
         #: Connections dropped for blowing the read deadline (408).
         self.read_timeouts = 0
+        #: Lazily-created per-tenant administrators for pinned
+        #: (non-store) tenants reloaded via ``POST /reload?tenant=``.
+        self._tenant_admins: Dict[str, object] = {}
 
     @property
     def port(self) -> int:
@@ -299,6 +309,12 @@ class AdminServer:
             except ValueError as error:
                 return 400, "text/plain", f"{error}\n".encode("utf-8")
             return 200, "application/json", _json({"entries": entries})
+        if path == "/tenants":
+            return (
+                200,
+                "application/json",
+                _json({"tenants": self.pdp.tenants_overview()}),
+            )
         return 404, "text/plain", b"unknown path\n"
 
     def _handle_reload(
@@ -309,16 +325,22 @@ class AdminServer:
             policy_text = body.decode("utf-8")
         except UnicodeDecodeError:
             return 400, "text/plain", b"policy body must be UTF-8 text\n"
+        tenant = query.get("tenant")
+        actor = query.get("actor", "") or "admin-http"
+        dry_run = query.get("dry_run", "").lower() in ("1", "true", "yes")
+        if tenant is not None and tenant != DEFAULT_TENANT:
+            return self._handle_tenant_reload(
+                tenant, policy_text, actor, dry_run
+            )
         if not policy_text.strip():
             return (
                 400,
                 "text/plain",
                 b"empty body; POST the candidate policy (DSL or JSON)\n",
             )
-        dry_run = query.get("dry_run", "").lower() in ("1", "true", "yes")
         result = self.administrator.reload(  # type: ignore[attr-defined]
             policy_text,
-            actor=query.get("actor", "") or "admin-http",
+            actor=actor,
             dry_run=dry_run,
         )
         payload = {
@@ -331,6 +353,91 @@ class AdminServer:
         # audited record explaining why, and the old policy serving.
         status = 200 if not result.error else 422
         return status, "application/json", _json(payload)
+
+    def _handle_tenant_reload(
+        self, tenant: str, policy_text: str, actor: str, dry_run: bool
+    ) -> Tuple[int, str, bytes]:
+        """``POST /reload?tenant=``: store-gated or per-tenant admin.
+
+        Mirrors the wire protocol's tenant-scoped ``reload`` op —
+        store-backed tenants ``put`` + ``activate`` (an empty body
+        means refresh-only), pinned tenants go through a lazily-built
+        per-tenant :class:`~repro.policy.admin.PolicyAdministrator`.
+        """
+        store = self.pdp.store
+        if store is not None and tenant in store:
+            if dry_run:
+                return (
+                    400,
+                    "text/plain",
+                    b"dry_run is not supported for store-backed tenants\n",
+                )
+            try:
+                if policy_text.strip():
+                    version = store.put(
+                        tenant, policy_text, actor=actor, note="admin-http"
+                    )
+                    store.activate(tenant, version.version, actor=actor)
+                generation = self.pdp.refresh_tenant(tenant)
+            except (PolicyStoreError, ServiceError) as error:
+                return (
+                    422,
+                    "application/json",
+                    _json(
+                        {
+                            "tenant": tenant,
+                            "accepted": False,
+                            "error": str(error),
+                        }
+                    ),
+                )
+            return (
+                200,
+                "application/json",
+                _json(
+                    {
+                        "tenant": tenant,
+                        "accepted": True,
+                        "error": "",
+                        "version": store.active_version(tenant),
+                        "generation": generation,
+                    }
+                ),
+            )
+        if not policy_text.strip():
+            return (
+                400,
+                "text/plain",
+                f"unknown store tenant {tenant!r} (an empty body "
+                "refreshes a store-backed tenant)\n".encode("utf-8"),
+            )
+        if tenant not in self.pdp.tenants():
+            return (
+                404,
+                "text/plain",
+                f"unknown tenant {tenant!r}\n".encode("utf-8"),
+            )
+        admin = self._tenant_admins.get(tenant)
+        if admin is None:
+            from repro.policy.admin import PolicyAdministrator
+            from repro.service.server import _TenantAdminTarget
+
+            admin = PolicyAdministrator(
+                _TenantAdminTarget(self.pdp, tenant),
+                fail_on=getattr(self.administrator, "fail_on", "error"),
+            )
+            self._tenant_admins[tenant] = admin
+        result = admin.reload(policy_text, actor=actor, dry_run=dry_run)
+        payload = {
+            "tenant": tenant,
+            "accepted": result.accepted,
+            "dry_run": result.dry_run,
+            "error": result.error,
+            "record": result.record.to_dict(),
+        }
+        return (200 if not result.error else 422), "application/json", _json(
+            payload
+        )
 
 
 def _json(payload: Dict[str, object]) -> bytes:

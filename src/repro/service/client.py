@@ -92,7 +92,7 @@ class RemotePDPClient:
             await client.intern()
         return client
 
-    async def intern(self) -> InternTables:
+    async def intern(self, tenant: Optional[str] = None) -> InternTables:
         """Run (or re-run) the intern handshake.
 
         Fetches the server's current name<->id tables and pins them
@@ -100,12 +100,15 @@ class RemotePDPClient:
         reload to pick up newly minted names — stale tables are never
         *unsafe* (an unknown or stale name fails mediation exactly as
         it would over NDJSON), just slower, since uninterned requests
-        fall back to NDJSON.
+        fall back to NDJSON.  ``tenant`` interns against that tenant's
+        active policy instead of the default engine's — a client
+        mostly talking to one tenant should intern against it.
         """
         request_id = next(self._ids)
-        raw = await self._roundtrip(
-            request_id, {"op": "intern", "id": request_id}
-        )
+        payload: Dict[str, Any] = {"op": "intern", "id": request_id}
+        if tenant is not None:
+            payload["tenant"] = tenant
+        raw = await self._roundtrip(request_id, payload)
         if raw.get("op") != "intern":
             raise ServiceError(f"bad intern response: {raw!r}")
         self._tables = InternTables.from_payload(raw)
@@ -125,8 +128,15 @@ class RemotePDPClient:
         request: AccessRequest,
         environment_roles: Optional[Set[str]] = None,
         timeout_ms: Optional[float] = None,
+        tenant: Optional[str] = None,
     ) -> WireResponse:
-        """Submit one request and await its wire response."""
+        """Submit one request and await its wire response.
+
+        ``tenant`` routes the decision to that tenant's engine; the
+        server answers ``deny-unknown-tenant`` (never an error) for
+        names it cannot resolve.  ``None`` is the default tenant and
+        keeps the wire bytes identical to a tenantless client.
+        """
         env: Optional[FrozenSet[str]] = (
             frozenset(environment_roles) if environment_roles is not None else None
         )
@@ -134,7 +144,7 @@ class RemotePDPClient:
         if self.wire == "binary" and self._tables is not None and timeout_ms is None:
             try:
                 data = encode_binary_request(
-                    self._tables, request, request_id, env=env
+                    self._tables, request, request_id, env=env, tenant=tenant
                 )
             except ServiceError:
                 data = None  # uninterned name / claims: NDJSON lane
@@ -143,7 +153,9 @@ class RemotePDPClient:
                 if isinstance(raw, WireResponse):
                     return raw
                 return decode_response(raw)
-        payload = encode_request(request, request_id, env=env, timeout_ms=timeout_ms)
+        payload = encode_request(
+            request, request_id, env=env, timeout_ms=timeout_ms, tenant=tenant
+        )
         raw = await self._roundtrip(request_id, payload)
         return decode_response(raw)
 
@@ -154,10 +166,14 @@ class RemotePDPClient:
         obj: str,
         environment_roles: Optional[Set[str]] = None,
         timeout_ms: Optional[float] = None,
+        tenant: Optional[str] = None,
     ) -> bool:
         request = AccessRequest(transaction=transaction, obj=obj, subject=subject)
         response = await self.decide(
-            request, environment_roles=environment_roles, timeout_ms=timeout_ms
+            request,
+            environment_roles=environment_roles,
+            timeout_ms=timeout_ms,
+            tenant=tenant,
         )
         return response.granted
 
@@ -211,40 +227,66 @@ class RemotePDPClient:
 
     async def reload(
         self,
-        policy_text: str,
+        policy_text: Optional[str] = None,
         actor: str = "",
         dry_run: bool = False,
+        tenant: Optional[str] = None,
     ) -> Dict[str, Any]:
         """Ask the server to hot-reload ``policy_text`` (DSL or JSON).
 
+        With ``tenant`` the reload is tenant-scoped: store-backed
+        tenants go through ``put`` + ``activate`` (the store's lint
+        gate), pinned tenants through a per-tenant administrator.
+        ``policy_text=None`` is only meaningful with a store-backed
+        tenant — it refreshes the PDP from the store's current active
+        version without shipping text.
+
         :returns: ``{"accepted": bool, "dry_run": bool, "error": str,
             "record": {...}}`` — the audited
-            :class:`~repro.policy.admin.ReloadRecord` as a dict.
+            :class:`~repro.policy.admin.ReloadRecord` as a dict
+            (store-path reloads return ``version``/``generation``
+            instead of a record).
         :raises ServiceError: when the server has no administrator or
             the message itself was malformed (a *rejected candidate*
             is not an exception — read ``accepted``/``error``).
         """
         request_id = next(self._ids)
-        raw = await self._roundtrip(
-            request_id,
-            {
-                "op": "reload",
-                "id": request_id,
-                "policy": policy_text,
-                "actor": actor,
-                "dry_run": dry_run,
-            },
-        )
+        payload: Dict[str, Any] = {
+            "op": "reload",
+            "id": request_id,
+            "actor": actor,
+            "dry_run": dry_run,
+        }
+        if policy_text is not None:
+            payload["policy"] = policy_text
+        if tenant is not None:
+            payload["tenant"] = tenant
+        raw = await self._roundtrip(request_id, payload)
         if raw.get("op") != "reload" or "accepted" not in raw:
             raise ServiceError(
                 f"bad reload response: {raw.get('error', raw)!r}"
             )
-        return {
+        result = {
             "accepted": raw["accepted"],
             "dry_run": raw.get("dry_run", dry_run),
             "error": raw.get("error", ""),
             "record": raw.get("record", {}),
         }
+        for key in ("tenant", "version", "generation"):
+            if key in raw:
+                result[key] = raw[key]
+        return result
+
+    async def tenants(self) -> List[Dict[str, Any]]:
+        """The server's tenant overview (one summary row per tenant)."""
+        request_id = next(self._ids)
+        raw = await self._roundtrip(
+            request_id, {"op": "tenants", "id": request_id}
+        )
+        rows = raw.get("tenants")
+        if not isinstance(rows, list):
+            raise ServiceError(f"bad tenants response: {raw!r}")
+        return rows
 
     async def dump(
         self,

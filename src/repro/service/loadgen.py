@@ -41,6 +41,10 @@ class LoadgenConfig:
     #: after the first hit the revision-keyed cache on a static
     #: policy/environment — the replay-workload warmth knob.
     repeat: int = 1
+    #: Route every request to this tenant (None = default tenant,
+    #: wire bytes unchanged).  The stream should be generated from
+    #: that tenant's policy for meaningful grant rates.
+    tenant: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.requests < 1:
@@ -193,10 +197,14 @@ async def run_loadgen(
             next_index = index + 1
             item = stream[index]
             started = time.perf_counter()
+            kwargs = {}
+            if config.tenant is not None:
+                kwargs["tenant"] = config.tenant
             try:
                 response = await client.decide(
                     item.request,
                     environment_roles=set(item.active_environment_roles),
+                    **kwargs,
                 )
             except ServiceError:
                 result.dropped += 1

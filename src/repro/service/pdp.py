@@ -54,13 +54,23 @@ import asyncio
 import enum
 import itertools
 import time
+import weakref
 from dataclasses import dataclass, field
-from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.core.decision import AccessRequest, Decision
 from repro.core.mediation import MediationEngine
 from repro.core.policy import GrbacPolicy
-from repro.exceptions import ServiceError
+from repro.exceptions import PolicyStoreError, ServiceError
 from repro.obs.export import TraceSampler, TraceSink, trace_to_dict
 from repro.obs.flight import FlightRecorder
 from repro.obs.metrics import MetricsRegistry
@@ -68,6 +78,7 @@ from repro.obs.observers import ObserverHub
 from repro.obs.slo import SloTracker
 from repro.obs.trace import DecisionTrace
 from repro.service.cache import CacheKey, DecisionCache
+from repro.store.store import DEFAULT_TENANT, PolicyStore
 
 
 class PDPOutcome(str, enum.Enum):
@@ -76,13 +87,16 @@ class PDPOutcome(str, enum.Enum):
     ``GRANT``/``DENY`` are mediated answers; the remaining outcomes
     are *service* refusals, all of which report ``granted=False`` so
     an overloaded or timed-out request can never be mistaken for an
-    authorization.
+    authorization.  ``DENY_UNKNOWN_TENANT`` is the explicit answer for
+    a request naming a tenant this PDP does not serve — a routing
+    mistake must read as a refusal, never a crash and never a grant.
     """
 
     GRANT = "grant"
     DENY = "deny"
     DENY_OVERLOAD = "deny-overload"
     DENY_TIMEOUT = "deny-timeout"
+    DENY_UNKNOWN_TENANT = "deny-unknown-tenant"
     ERROR = "error"
 
 
@@ -114,6 +128,9 @@ class PDPResponse:
     #: echoed so logs, traces, and verification failures all name the
     #: same request.
     request_id: Optional[object] = None
+    #: The tenant this request was routed to (the default tenant for
+    #: single-policy traffic, preserving pre-tenancy behavior).
+    tenant: str = DEFAULT_TENANT
 
     @property
     def rationale(self) -> str:
@@ -177,6 +194,48 @@ class _Pending:
     #: Head-sampled for tracing: decided individually with a full
     #: pipeline trace that is exported to the trace sink.
     traced: bool = False
+    #: Tenant the request was admitted for; the batcher groups a
+    #: flush by this so each group renders on its tenant's engine.
+    tenant: str = DEFAULT_TENANT
+
+
+@dataclass
+class _TenantState:
+    """Per-tenant serving state: generation, origin, and counters.
+
+    Store-backed tenants deliberately hold **no strong engine
+    reference** — the engine is owned by the store's bounded compiled
+    LRU, so resident memory scales with the LRU capacity, not the
+    tenant count (the E13 bench gates on this).  What they do keep is
+    a *weak* reference plus the version it was resolved at: while the
+    active pointer stands still and the LRU has not evicted, requests
+    skip the store's locks entirely.  Tenants swapped in directly via
+    :meth:`PolicyDecisionPoint.swap_policy` pin a strong engine
+    reference here instead.
+    """
+
+    name: str
+    #: Per-tenant swap counter; leads this tenant's cache keys exactly
+    #: as :attr:`PolicyDecisionPoint.generation` leads the default
+    #: tenant's.
+    generation: int = 0
+    #: Store version the last resolution saw; a pointer move observed
+    #: at resolve time bumps :attr:`generation` so cached decisions
+    #: from the previous version stop matching.
+    version: Optional[int] = None
+    #: Pinned engine (direct swaps only); None = resolve via store.
+    engine: Optional[MediationEngine] = None
+    #: Weak reference to the engine the last store resolution returned,
+    #: valid while :attr:`version` is still the active version.  Weak
+    #: on purpose: the store's compiled LRU stays the engine's only
+    #: owner (eviction still bounds memory); the reference only lets
+    #: the per-request path skip the store's locks when nothing moved.
+    store_engine: Optional["weakref.ref"] = None
+    # Per-tenant metric handles, bound by _tenant_state().
+    m_requests: object = None
+    m_cache_hits: object = None
+    m_decided: object = None
+    m_reloads: object = None
 
 
 _STOP = object()  # queue sentinel; see stop()
@@ -219,6 +278,7 @@ class PolicyDecisionPoint:
         observers: Optional[ObserverHub] = None,
         trace_sink: Optional[TraceSink] = None,
         slo: Optional[SloTracker] = None,
+        store: Optional[PolicyStore] = None,
     ) -> None:
         self.engine = engine
         self.config = config or PDPConfig()
@@ -240,6 +300,12 @@ class PolicyDecisionPoint:
         # _env_component; the epoch bumps on every observed change.
         self._env_source = engine.environment
         self._env_epoch = 0
+        #: Optional multi-tenant policy store; tenants it holds resolve
+        #: engines lazily through its bounded compiled-snapshot LRU.
+        #: The constructor engine always serves the *default* tenant,
+        #: so single-policy deployments behave exactly as before.
+        self.store = store
+        self._tenants: Dict[str, _TenantState] = {}
         self._queue: Optional["asyncio.Queue[object]"] = None
         self._batcher: Optional["asyncio.Task[None]"] = None
         self._accepting = False
@@ -278,10 +344,23 @@ class PolicyDecisionPoint:
         self._m_batches = metrics_registry.counter("pdp.batches")
         self._m_decided = metrics_registry.counter("pdp.decided")
         self._m_reloads = metrics_registry.counter("pdp.reloads")
+        self._m_unknown_tenant = metrics_registry.counter(
+            "pdp.unknown_tenant"
+        )
         self._h_batch = metrics_registry.histogram("pdp.batch_size")
         self._h_queue = metrics_registry.histogram("pdp.queue_depth")
         self._h_latency = metrics_registry.histogram("pdp.latency")
         self._h_reload = metrics_registry.histogram("pdp.reload_duration")
+        # Decision-cache capacity/evictions at the exposition surface,
+        # so tenant-LRU tuning is observable without a stats round-trip.
+        metrics_registry.gauge(
+            "pdp.cache_capacity", lambda: float(self.cache.capacity)
+        )
+        metrics_registry.gauge(
+            "pdp.cache_evictions", lambda: float(self.cache.evictions)
+        )
+        if store is not None:
+            store.bind_metrics(metrics_registry)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -342,13 +421,170 @@ class PolicyDecisionPoint:
 
     @property
     def policy(self) -> GrbacPolicy:
-        """The policy currently being served."""
+        """The policy currently being served (default tenant)."""
         return self.engine.policy
+
+    # ------------------------------------------------------------------
+    # Tenancy
+    # ------------------------------------------------------------------
+    def _tenant_state(self, tenant: str) -> _TenantState:
+        state = self._tenants.get(tenant)
+        if state is None:
+            metrics = self.metrics
+            prefix = f"pdp.tenant.{tenant}"
+            state = _TenantState(
+                name=tenant,
+                m_requests=metrics.counter(f"{prefix}.requests"),
+                m_cache_hits=metrics.counter(f"{prefix}.cache_hits"),
+                m_decided=metrics.counter(f"{prefix}.decided"),
+                m_reloads=metrics.counter(f"{prefix}.reloads"),
+            )
+            self._tenants[tenant] = state
+        return state
+
+    def _resolve_tenant(
+        self, tenant: str
+    ) -> Optional[Tuple[MediationEngine, int, _TenantState]]:
+        """``(engine, generation, state)`` for ``tenant``, or None.
+
+        Resolution order: the default tenant is always the constructor
+        engine (single-policy behavior, byte-compatible); a tenant
+        with a pinned engine (direct :meth:`swap_policy`) serves that;
+        otherwise the attached store resolves the tenant's *active*
+        version through its compiled LRU — and a pointer move observed
+        here bumps the tenant's generation, so a store-side
+        ``activate``/``rollback`` invalidates cached decisions without
+        any callback plumbing.  ``None`` means the tenant is unknown
+        (or store-known but never activated): the caller answers
+        ``DENY_UNKNOWN_TENANT``.
+        """
+        if tenant == DEFAULT_TENANT:
+            return self.engine, self.generation, self._tenant_state(tenant)
+        state = self._tenants.get(tenant)
+        if state is not None and state.engine is not None:
+            return state.engine, state.generation, state
+        store = self.store
+        if store is None or tenant not in store:
+            return None
+        # Fast path: the last resolution is still valid if the active
+        # pointer has not moved and the LRU has not evicted the engine
+        # (the weakref died).  One lock-free version probe instead of
+        # the store's full lock + LRU round trip per request.
+        if state is not None and state.store_engine is not None:
+            try:
+                version = store.active_version(tenant)
+            except PolicyStoreError:
+                version = None
+            if version is not None and version == state.version:
+                engine = state.store_engine()
+                if engine is not None:
+                    return engine, state.generation, state
+        try:
+            engine, version = store.engine(tenant)
+        except PolicyStoreError:
+            return None  # no active version yet
+        state = self._tenant_state(tenant)
+        state.store_engine = weakref.ref(engine)
+        if state.version != version:
+            state.version = version
+            state.generation += 1
+        return engine, state.generation, state
+
+    def tenants(self) -> List[str]:
+        """Every tenant this PDP can currently serve, sorted."""
+        names = {DEFAULT_TENANT}
+        names.update(
+            name
+            for name, state in self._tenants.items()
+            if state.engine is not None
+        )
+        if self.store is not None:
+            names.update(self.store.tenants())
+        return sorted(names)
+
+    def tenant_policy(self, tenant: Optional[str] = None) -> GrbacPolicy:
+        """The policy serving ``tenant`` (default tenant when None).
+
+        :raises ServiceError: unknown tenant.
+        """
+        resolved = self._resolve_tenant(tenant or DEFAULT_TENANT)
+        if resolved is None:
+            raise ServiceError(f"unknown tenant {tenant!r}")
+        return resolved[0].policy
+
+    def refresh_tenant(self, tenant: Optional[str] = None) -> int:
+        """Re-resolve ``tenant`` from the attached store; new generation.
+
+        The explicit admin hook behind ``reload?tenant=`` without a
+        policy body: drops any pinned engine (the store becomes the
+        authority again) and, for the default tenant, swaps the
+        store's active *default* policy into the constructor engine.
+
+        :raises ServiceError: no store attached.
+        :raises PolicyStoreError: tenant unknown to the store / no
+            active version.
+        """
+        store = self.store
+        if store is None:
+            raise ServiceError("no policy store attached to this PDP")
+        name = tenant or DEFAULT_TENANT
+        if name == DEFAULT_TENANT:
+            return self.swap_policy(store.policy(DEFAULT_TENANT))
+        if name not in store:
+            raise PolicyStoreError(f"unknown tenant {name!r}")
+        engine, version = store.engine(name)  # raises if never activated
+        state = self._tenant_state(name)
+        state.engine = None
+        state.store_engine = weakref.ref(engine)
+        state.version = version
+        state.generation += 1
+        state.m_reloads.inc()
+        self._m_reloads.inc()
+        hub = self.observers
+        if hub:
+            hub.emit(
+                "pdp.reload",
+                policy=engine.policy.name,
+                tenant=name,
+                generation=state.generation,
+                revision=engine.policy.decision_revision,
+            )
+        return state.generation
+
+    def tenants_overview(self) -> List[Dict[str, object]]:
+        """One summary row per tenant — the ``tenants`` op / ``GET
+        /tenants`` body: lineage from the store (when attached) merged
+        with live serving state and per-tenant counters."""
+        rows: Dict[str, Dict[str, object]] = {}
+        if self.store is not None:
+            for row in self.store.overview():
+                rows[str(row["tenant"])] = {**row, "source": "store"}
+        default = rows.setdefault(
+            DEFAULT_TENANT, {"tenant": DEFAULT_TENANT, "source": "engine"}
+        )
+        default["policy"] = self.engine.policy.name
+        default["generation"] = self.generation
+        for name, state in self._tenants.items():
+            row = rows.setdefault(name, {"tenant": name})
+            if state.engine is not None:
+                row["source"] = "swap"
+                row["policy"] = state.engine.policy.name
+            if name != DEFAULT_TENANT:
+                row["generation"] = state.generation
+                if state.version is not None:
+                    row["serving_version"] = state.version
+            row["requests"] = state.m_requests.value
+            row["cache_hits"] = state.m_cache_hits.value
+            row["decided"] = state.m_decided.value
+            row["reloads"] = state.m_reloads.value
+        return [rows[name] for name in sorted(rows)]
 
     # ------------------------------------------------------------------
     # Hot-reload
     # ------------------------------------------------------------------
-    def swap_policy(self, policy: GrbacPolicy) -> int:
+    def swap_policy(
+        self, policy: GrbacPolicy, tenant: Optional[str] = None
+    ) -> int:
         """Atomically replace the served policy; returns the generation.
 
         A fresh :class:`MediationEngine` is built on ``policy`` carrying
@@ -366,7 +602,15 @@ class PolicyDecisionPoint:
         This is the mechanism only; validation, diffing, and audit live
         in :class:`repro.policy.admin.PolicyAdministrator`, which calls
         this after a candidate passes its checks.
+
+        With ``tenant`` naming a non-default tenant, the swap targets
+        (or creates) that tenant's pinned engine instead and bumps the
+        *tenant's* generation — the default tenant and every other
+        tenant keep serving their engines and their cached decisions
+        untouched.
         """
+        if tenant is not None and tenant != DEFAULT_TENANT:
+            return self._swap_tenant_policy(policy, tenant)
         old = self.engine
         started = time.perf_counter()
         engine = MediationEngine(
@@ -431,6 +675,47 @@ class PolicyDecisionPoint:
             sink.offer(trace_to_dict(trace))
         return generation
 
+    def _swap_tenant_policy(self, policy: GrbacPolicy, tenant: str) -> int:
+        """Pin a fresh engine for a non-default tenant; its generation.
+
+        Engine settings (threshold, mode, cache sizing) carry over
+        from the tenant's previous pinned engine when it has one, and
+        from the default engine otherwise — a tenant minted by its
+        first swap inherits the deployment's tuning.
+        """
+        state = self._tenant_state(tenant)
+        template = state.engine if state.engine is not None else self.engine
+        started = time.perf_counter()
+        engine = MediationEngine(
+            policy,
+            environment=template.environment,
+            confidence_threshold=template.confidence_threshold,
+            cache_size=template.cache_size,
+            mode=template.mode,
+            metrics=self.metrics,
+            observers=self.observers,
+        )
+        if engine.mode == "compiled":
+            policy.compiled()
+        state.engine = engine
+        state.version = None  # pinned: the store is no longer authority
+        state.store_engine = None
+        state.generation += 1
+        duration = time.perf_counter() - started
+        state.m_reloads.inc()
+        self._m_reloads.inc()
+        self._h_reload.observe(duration)
+        hub = self.observers
+        if hub:
+            hub.emit(
+                "pdp.reload",
+                policy=policy.name,
+                tenant=tenant,
+                generation=state.generation,
+                revision=policy.decision_revision,
+            )
+        return state.generation
+
     # ------------------------------------------------------------------
     # Submission
     # ------------------------------------------------------------------
@@ -440,6 +725,7 @@ class PolicyDecisionPoint:
         environment_roles: Optional[Set[str]] = None,
         timeout: Optional[float] = None,
         request_id: Optional[object] = None,
+        tenant: Optional[str] = None,
     ) -> PDPResponse:
         """Mediate ``request`` through the service.
 
@@ -453,12 +739,36 @@ class PolicyDecisionPoint:
         :param request_id: caller correlation id (the wire protocol's
             ``id``); echoed on the response, stamped into exported
             trace spans and flight-recorder entries.
+        :param tenant: named policy lineage to decide against;
+            ``None`` (and the literal default name) is the constructor
+            engine.  A tenant this PDP does not serve answers
+            DENY_UNKNOWN_TENANT — explicitly, never as a crash.
         :raises ServiceError: when the service is not running.
         """
         if not self._accepting or self._queue is None:
             raise ServiceError("PDP is not running (call start())")
         self._m_requests.inc()
         submitted = time.perf_counter()
+        tenant_name = tenant or DEFAULT_TENANT
+        resolved = self._resolve_tenant(tenant_name)
+        if resolved is None:
+            self._m_unknown_tenant.inc()
+            latency = time.perf_counter() - submitted
+            self._h_latency.observe(latency)
+            response = PDPResponse(
+                request=request,
+                outcome=PDPOutcome.DENY_UNKNOWN_TENANT,
+                granted=False,
+                decision=None,
+                detail=f"unknown tenant {tenant_name!r}",
+                latency_s=latency,
+                request_id=request_id,
+                tenant=tenant_name,
+            )
+            self._observe_response(response)
+            return response
+        engine, generation, state = resolved
+        state.m_requests.inc()
         override = (
             frozenset(environment_roles) if environment_roles is not None else None
         )
@@ -474,10 +784,17 @@ class PolicyDecisionPoint:
             cached = None
             self.cache.note_uncacheable()
         else:
-            key = self._cache_key(request, override)
+            key = self._cache_key(
+                request,
+                override,
+                engine=engine,
+                generation=generation,
+                tenant=tenant_name,
+            )
             cached = self.cache.get(key)
         if cached is not None:
             self._m_cache_hits.inc()
+            state.m_cache_hits.inc()
             outcome = PDPOutcome.GRANT if cached.granted else PDPOutcome.DENY
             latency = time.perf_counter() - submitted
             self._h_latency.observe(latency)
@@ -489,6 +806,7 @@ class PolicyDecisionPoint:
                 cached=True,
                 latency_s=latency,
                 request_id=request_id,
+                tenant=tenant_name,
             )
             if traced:
                 self._export_cached_trace(cached, request_id)
@@ -512,6 +830,7 @@ class PolicyDecisionPoint:
             deadline=loop.time() + timeout_s if timeout_s is not None else None,
             request_id=request_id,
             traced=traced,
+            tenant=tenant_name,
         )
         self._h_queue.observe(float(self._queue.qsize()))
         try:
@@ -584,17 +903,17 @@ class PolicyDecisionPoint:
                 self._shed(item, "service shutting down")
 
     async def _flush(self, batch: Sequence[_Pending]) -> None:
-        """Decide one micro-batch and resolve its futures."""
-        # Capture the engine and generation *once*, before any await:
-        # a swap_policy racing with this flush (possible when _decide
-        # is overridden to offload to an executor) must not mix a batch
-        # decided on the old engine with cache entries keyed on the new
-        # one, or vice versa.
-        engine = self.engine
-        generation = self.generation
+        """Triage one micro-batch and decide it, grouped by tenant.
+
+        Deadline triage runs over the whole batch first; survivors are
+        grouped by tenant and each group renders through one
+        ``decide_batch`` call on *its* tenant's engine — single-tenant
+        traffic therefore takes exactly the pre-tenancy path (one
+        group, one engine capture, one decide call).
+        """
         loop = asyncio.get_running_loop()
         now = loop.time()
-        live: List[_Pending] = []
+        groups: Dict[str, List[_Pending]] = {}
         for item in batch:
             if item.deadline is not None and now > item.deadline:
                 self._finish(
@@ -607,13 +926,51 @@ class PolicyDecisionPoint:
                         detail="deadline expired while queued",
                         latency_s=time.perf_counter() - item.submitted_at,
                         request_id=item.request_id,
+                        tenant=item.tenant,
                     ),
                 )
                 self._m_timeouts.inc()
                 continue
-            live.append(item)
-        if not live:
-            return
+            groups.setdefault(item.tenant, []).append(item)
+        for tenant, items in groups.items():
+            # Capture the group's engine and generation *once*, before
+            # any await: a swap/activate racing with this flush must
+            # not mix decisions from the old engine with cache entries
+            # keyed on the new one, or vice versa.
+            resolved = self._resolve_tenant(tenant)
+            if resolved is None:
+                # The tenant vanished between admission and flush (a
+                # store swap-out); answer explicitly, never crash.
+                self._m_unknown_tenant.inc()
+                for item in items:
+                    self._finish(
+                        item,
+                        PDPResponse(
+                            request=item.request,
+                            outcome=PDPOutcome.DENY_UNKNOWN_TENANT,
+                            granted=False,
+                            decision=None,
+                            detail=f"unknown tenant {tenant!r}",
+                            latency_s=(
+                                time.perf_counter() - item.submitted_at
+                            ),
+                            request_id=item.request_id,
+                            tenant=tenant,
+                        ),
+                    )
+                continue
+            engine, generation, state = resolved
+            await self._flush_group(items, engine, generation, state)
+
+    async def _flush_group(
+        self,
+        live: List[_Pending],
+        engine: MediationEngine,
+        generation: int,
+        state: _TenantState,
+    ) -> None:
+        """Decide one same-tenant group and resolve its futures."""
+        tenant = state.name
         self._m_batches.inc()
         self._h_batch.observe(float(len(live)))
         # Sampled requests are decided individually with a full
@@ -648,10 +1005,12 @@ class PolicyDecisionPoint:
                         detail=f"engine error: {error!r}",
                         latency_s=time.perf_counter() - item.submitted_at,
                         request_id=item.request_id,
+                        tenant=tenant,
                     ),
                 )
             live = [i for i in live if id(i) in decisions]
         self._m_decided.inc(len(live))
+        state.m_decided.inc(len(live))
         size = len(live)
         for item in live:
             decision = decisions[id(item)]
@@ -667,6 +1026,7 @@ class PolicyDecisionPoint:
                         item.env_override,
                         engine=engine,
                         generation=generation,
+                        tenant=tenant,
                     ),
                     decision,
                 )
@@ -682,6 +1042,7 @@ class PolicyDecisionPoint:
                     batch_size=size,
                     latency_s=latency,
                     request_id=item.request_id,
+                    tenant=tenant,
                 ),
             )
 
@@ -761,6 +1122,7 @@ class PolicyDecisionPoint:
             detail=detail,
             latency_s=time.perf_counter() - item.submitted_at,
             request_id=item.request_id,
+            tenant=item.tenant,
         )
         self._finish(item, response)
         return response
@@ -853,18 +1215,40 @@ class PolicyDecisionPoint:
             environment.revision,  # type: ignore[attr-defined]
         )
 
+    @staticmethod
+    def _tenant_env_component(engine: MediationEngine) -> Optional[object]:
+        """Environment key component for a *non-default* tenant engine.
+
+        Tenant engines alternate through the flush loop, so the
+        default tenant's identity-epoch tracking (which bumps on every
+        observed source change) would thrash the epoch and destroy
+        cache hits.  Tenant engines instead key on the source's own
+        revision — store-built engines have no environment source
+        (a stable ``("none", 0)``), and an opaque source is simply
+        uncacheable, exactly as on the default path.
+        """
+        environment = engine.environment
+        if environment is None:
+            return ("none", 0)
+        if not hasattr(environment, "revision"):
+            return None
+        return ("revision", environment.revision)  # type: ignore[attr-defined]
+
     def _cache_key(
         self,
         request: AccessRequest,
         env_override: Optional[FrozenSet[str]],
         engine: Optional[MediationEngine] = None,
         generation: Optional[int] = None,
+        tenant: str = DEFAULT_TENANT,
     ) -> Optional[CacheKey]:
         """The generation- and revision-pinned key, or None (uncacheable).
 
         ``engine``/``generation`` default to the live ones; the batcher
         passes the pair it captured at flush start so entries are filed
-        under the policy that actually rendered them.
+        under the policy that actually rendered them.  ``tenant``
+        leads the tuple, so two tenants serving policies with equal
+        revisions (a shared template text) can never collide.
         """
         if self.config.cache_size == 0:
             return None
@@ -878,11 +1262,16 @@ class PolicyDecisionPoint:
             return None
         if env_override is not None:
             env_component: Optional[object] = ("override", env_override)
-        else:
+        elif tenant == DEFAULT_TENANT:
             env_component = self._env_component(engine)
             if env_component is None:
                 return None
+        else:
+            env_component = self._tenant_env_component(engine)
+            if env_component is None:
+                return None
         return (
+            tenant,
             generation,
             engine.policy.decision_revision,
             env_component,
@@ -919,15 +1308,22 @@ class PolicyDecisionPoint:
             "cache_misses": self._m_cache_misses.value,
             "cache_uncacheable": self._m_cache_uncacheable.value,
             "cache_hit_rate": round(self.cache.hit_rate, 4),
+            "cache_capacity": self.cache.capacity,
+            "cache_evictions": self.cache.evictions,
             "shed": self._m_shed.value,
             "timeouts": self._m_timeouts.value,
             "errors": self._m_errors.value,
+            "unknown_tenant": self._m_unknown_tenant.value,
             "generation": self.generation,
             "reloads": self._m_reloads.value,
             "cache": self.cache.stats(),
             "trace_sample_rate": self.config.trace_sample_rate,
             "traces_sampled": self.sampler.sampled,
         }
+        if self._tenants or self.store is not None:
+            data["tenants"] = self.tenants_overview()
+        if self.store is not None:
+            data["store"] = self.store.stats()
         if self.trace_sink is not None:
             data["trace_sink"] = self.trace_sink.stats()
         if self.flight is not None:
@@ -1022,6 +1418,7 @@ class PDPClient:
         environment_roles: Optional[Set[str]] = None,
         timeout: Optional[float] = None,
         request_id: Optional[object] = None,
+        tenant: Optional[str] = None,
     ) -> PDPResponse:
         env = (
             environment_roles
@@ -1035,6 +1432,7 @@ class PDPClient:
             environment_roles=env,
             timeout=timeout,
             request_id=request_id,
+            tenant=tenant,
         )
 
     async def check(
@@ -1044,9 +1442,13 @@ class PDPClient:
         obj: str,
         environment_roles: Optional[Set[str]] = None,
         timeout: Optional[float] = None,
+        tenant: Optional[str] = None,
     ) -> bool:
         request = AccessRequest(transaction=transaction, obj=obj, subject=subject)
         response = await self.decide(
-            request, environment_roles=environment_roles, timeout=timeout
+            request,
+            environment_roles=environment_roles,
+            timeout=timeout,
+            tenant=tenant,
         )
         return response.granted

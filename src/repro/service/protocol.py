@@ -55,7 +55,7 @@ from typing import Any, Dict, FrozenSet, List, Optional, Tuple
 
 from repro.core.decision import AccessRequest
 from repro.exceptions import GrbacError, ServiceError
-from repro.service.pdp import PDPOutcome, PDPResponse
+from repro.service.pdp import DEFAULT_TENANT, PDPOutcome, PDPResponse
 
 #: Hard cap on one wire line; longer lines are a protocol error, not a
 #: buffer-growth vector.
@@ -138,13 +138,35 @@ def decode_request(
     return request_id, request, env_override, timeout_s
 
 
+def decode_tenant(payload: Dict[str, Any]) -> Optional[str]:
+    """The optional ``tenant`` field of a decision request.
+
+    Kept beside (not inside) :func:`decode_request` so that function's
+    4-tuple shape — and every single-tenant call site built on it —
+    stays byte-for-byte compatible.  ``None`` means "default tenant".
+
+    :raises ServiceError: when present but not a non-empty string.
+    """
+    tenant = payload.get("tenant")
+    if tenant is None:
+        return None
+    if not isinstance(tenant, str) or not tenant:
+        raise ServiceError("'tenant' must be a non-empty string or absent")
+    return tenant
+
+
 def encode_request(
     request: AccessRequest,
     request_id: Any,
     env: Optional[FrozenSet[str]] = None,
     timeout_ms: Optional[float] = None,
+    tenant: Optional[str] = None,
 ) -> Dict[str, Any]:
-    """Build the wire message for one decision request."""
+    """Build the wire message for one decision request.
+
+    ``tenant=None`` produces exactly the pre-tenancy message — the
+    field rides the wire only when a caller names a tenant.
+    """
     payload: Dict[str, Any] = {
         "id": request_id,
         "subject": request.subject,
@@ -159,12 +181,18 @@ def encode_request(
         payload["env"] = sorted(env)
     if timeout_ms is not None:
         payload["timeout_ms"] = timeout_ms
+    if tenant is not None:
+        payload["tenant"] = tenant
     return payload
 
 
 def encode_response(request_id: Any, response: PDPResponse) -> Dict[str, Any]:
-    """Build the wire message for one PDP response."""
-    return {
+    """Build the wire message for one PDP response.
+
+    Default-tenant responses are byte-identical to the pre-tenancy
+    form; only tenant-routed answers carry the echoed ``tenant``.
+    """
+    payload = {
         "id": request_id,
         "outcome": response.outcome.value,
         "granted": response.granted,
@@ -173,6 +201,9 @@ def encode_response(request_id: Any, response: PDPResponse) -> Dict[str, Any]:
         "latency_us": round(response.latency_s * 1e6, 1),
         "rationale": response.rationale,
     }
+    if response.tenant != DEFAULT_TENANT:
+        payload["tenant"] = response.tenant
+    return payload
 
 
 @dataclass(frozen=True)
@@ -186,6 +217,10 @@ class WireResponse:
     batch_size: int
     latency_us: float
     rationale: str
+    #: Tenant echoed by the server; ``None`` on default-tenant answers
+    #: (whose wire form never carries the field) and on the binary
+    #: lane, where the caller already knows what it asked for.
+    tenant: Optional[str] = None
 
     @property
     def request_id(self) -> Any:
@@ -207,6 +242,7 @@ def decode_response(payload: Dict[str, Any]) -> WireResponse:
         outcome = PDPOutcome(payload["outcome"])
     except (KeyError, ValueError):
         raise ServiceError(f"unknown response outcome in {payload!r}") from None
+    tenant = payload.get("tenant")
     return WireResponse(
         id=payload.get("id"),
         outcome=outcome,
@@ -215,6 +251,7 @@ def decode_response(payload: Dict[str, Any]) -> WireResponse:
         batch_size=int(payload.get("batch_size", 0)),
         latency_us=float(payload.get("latency_us", 0.0)),
         rationale=str(payload.get("rationale", "")),
+        tenant=tenant if isinstance(tenant, str) else None,
     )
 
 
@@ -236,10 +273,19 @@ def decode_response(payload: Dict[str, Any]) -> WireResponse:
 # counts body bytes only and is capped at MAX_FRAME_BYTES (the NDJSON
 # line cap — same buffer-growth argument).
 #
-# Request body (fixed ``!IiiidB`` + optional env ids)::
+# Request body (fixed ``!IiiidB`` + optional env ids + tenant)::
 #
-#     id:4  subject:4  transaction:4  object:4  confidence:8  env_flag:1
-#     [env_count:2  env_id:2 ...]            (only when env_flag == 1)
+#     id:4  subject:4  transaction:4  object:4  confidence:8  flags:1
+#     [env_count:2  env_id:2 ...]         (only when flags bit 0 set)
+#     [tenant_len:1  tenant_utf8 ...]     (only when flags bit 1 set)
+#
+# ``flags`` is a bitfield (it was a 0/1 env marker pre-tenancy, so
+# tenantless frames are byte-identical to the old layout): bit 0 =
+# explicit env override present, bit 1 = tenant name present.  The
+# tenant rides as raw UTF-8 (length-prefixed, <= 64 bytes by the
+# store's name rule) rather than an interned id — intern tables are
+# per-tenant-policy, so the tenant name must be readable *before*
+# choosing a table.
 #
 # Entity fields carry *interned ids* from the ``{"op": "intern"}``
 # handshake (below), so the hot path ships 25–40 bytes of integers and
@@ -296,6 +342,7 @@ _OUTCOME_CODES = {
     PDPOutcome.DENY_OVERLOAD: 2,
     PDPOutcome.DENY_TIMEOUT: 3,
     PDPOutcome.ERROR: 4,
+    PDPOutcome.DENY_UNKNOWN_TENANT: 5,
 }
 _CODE_OUTCOMES = {code: outcome for outcome, code in _OUTCOME_CODES.items()}
 
@@ -398,22 +445,34 @@ def frame(kind: int, body: bytes) -> bytes:
     return FRAME_HEADER.pack(BINARY_MAGIC, kind, len(body)) + body
 
 
+#: ``flags`` bits in the binary request body.
+_FLAG_ENV = 0x01
+_FLAG_TENANT = 0x02
+
+
 def encode_binary_request(
     tables: InternTables,
     request: AccessRequest,
     request_id: int,
     env: Optional[FrozenSet[str]] = None,
+    tenant: Optional[str] = None,
 ) -> bytes:
     """Encode one decision request as a binary frame.
 
     :raises ServiceError: when the request cannot ride the binary lane
-        — uninterned names, role claims, or a non-u32 id.  Callers
-        (the remote client) catch this and fall back to NDJSON.
+        — uninterned names, role claims, a non-u32 id, or a tenant
+        name over 255 UTF-8 bytes.  Callers (the remote client) catch
+        this and fall back to NDJSON.
     """
     if request.role_claims:
         raise ServiceError("role claims require the NDJSON lane")
     if not isinstance(request_id, int) or not 0 <= request_id < NO_REQUEST_ID:
         raise ServiceError("binary lane needs an integer id below 2^32-1")
+    tenant_bytes = b""
+    if tenant is not None:
+        tenant_bytes = tenant.encode("utf-8")
+        if not 1 <= len(tenant_bytes) <= 255:
+            raise ServiceError("tenant name must be 1-255 UTF-8 bytes")
     try:
         subject_id = (
             -1
@@ -426,25 +485,38 @@ def encode_binary_request(
             env_ids = [tables._environment_ids[name] for name in sorted(env)]
     except KeyError as error:
         raise ServiceError(f"name not interned: {error}") from None
+    flags = (0 if env is None else _FLAG_ENV) | (
+        0 if tenant is None else _FLAG_TENANT
+    )
     body = _REQUEST_FIXED.pack(
         request_id,
         subject_id,
         transaction_id,
         object_id,
         request.identity_confidence,
-        0 if env is None else 1,
+        flags,
     )
     if env is not None:
         body += _ENV_COUNT.pack(len(env_ids))
         body += struct.pack(f"!{len(env_ids)}H", *env_ids)
+    if tenant is not None:
+        body += bytes([len(tenant_bytes)]) + tenant_bytes
     return frame(KIND_REQUEST, body)
 
 
-def decode_binary_request(
+def decode_binary_request_ex(
     tables: Optional[InternTables], body: bytes
-) -> Tuple[Any, AccessRequest, Optional[FrozenSet[str]], Optional[float]]:
-    """Decode a KIND_REQUEST body — same shape as :func:`decode_request`.
+) -> Tuple[
+    Any,
+    AccessRequest,
+    Optional[FrozenSet[str]],
+    Optional[float],
+    Optional[str],
+]:
+    """Decode a KIND_REQUEST body, tenant included.
 
+    :returns: ``(id, request, env_override, timeout_s, tenant)`` —
+        :func:`decode_request`'s shape plus the optional tenant name.
     :raises ServiceError: on truncated/malformed bodies, unknown ids,
         or a connection that never ran the intern handshake.
     """
@@ -459,11 +531,11 @@ def decode_binary_request(
             transaction_id,
             object_id,
             confidence,
-            env_flag,
+            flags,
         ) = _REQUEST_FIXED.unpack_from(body)
         offset = _REQUEST_FIXED.size
         env_override: Optional[FrozenSet[str]] = None
-        if env_flag:
+        if flags & _FLAG_ENV:
             (count,) = _ENV_COUNT.unpack_from(body, offset)
             offset += _ENV_COUNT.size
             env_ids = struct.unpack_from(f"!{count}H", body, offset)
@@ -471,6 +543,17 @@ def decode_binary_request(
             env_override = frozenset(
                 tables.environment_roles[i] for i in env_ids
             )
+        tenant: Optional[str] = None
+        if flags & _FLAG_TENANT:
+            if offset >= len(body):
+                raise ServiceError("binary request truncated before tenant")
+            tenant_len = body[offset]
+            offset += 1
+            raw = body[offset : offset + tenant_len]
+            if len(raw) != tenant_len or tenant_len == 0:
+                raise ServiceError("binary request has a malformed tenant")
+            tenant = raw.decode("utf-8", "strict")
+            offset += tenant_len
         if offset != len(body):
             raise ServiceError(
                 f"binary request has {len(body) - offset} trailing bytes"
@@ -486,11 +569,32 @@ def decode_binary_request(
         )
     except struct.error as error:
         raise ServiceError(f"truncated binary request: {error}") from None
+    except UnicodeDecodeError:
+        raise ServiceError("binary request tenant is not UTF-8") from None
     except IndexError:
         raise ServiceError("binary request references unknown id") from None
     except GrbacError as error:
         raise ServiceError(f"invalid request: {error}") from None
-    return request_id, request, env_override, None
+    return request_id, request, env_override, None, tenant
+
+
+def decode_binary_request(
+    tables: Optional[InternTables], body: bytes
+) -> Tuple[Any, AccessRequest, Optional[FrozenSet[str]], Optional[float]]:
+    """Decode a KIND_REQUEST body — same shape as :func:`decode_request`.
+
+    The pre-tenancy 4-tuple surface.  A tenant-tagged frame raises
+    rather than silently dropping the tenant — deciding a tenant's
+    request against the default policy would be an isolation hole.
+    """
+    request_id, request, env_override, timeout_s, tenant = (
+        decode_binary_request_ex(tables, body)
+    )
+    if tenant is not None:
+        raise ServiceError(
+            "tenant-tagged frame needs decode_binary_request_ex"
+        )
+    return request_id, request, env_override, timeout_s
 
 
 def encode_binary_response(request_id: Any, response: PDPResponse) -> bytes:

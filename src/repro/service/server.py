@@ -26,15 +26,16 @@ from __future__ import annotations
 import asyncio
 from typing import Optional
 
-from repro.exceptions import ServiceError
-from repro.service.pdp import PolicyDecisionPoint
+from repro.exceptions import PolicyStoreError, ServiceError
+from repro.service.pdp import DEFAULT_TENANT, PolicyDecisionPoint
 from repro.service.protocol import (
     BINARY_MAGIC,
     KIND_REQUEST,
     MAX_LINE_BYTES,
     InternTables,
-    decode_binary_request,
+    decode_binary_request_ex,
     decode_request,
+    decode_tenant,
     dumps_line,
     encode_binary_error,
     encode_binary_response,
@@ -70,6 +71,10 @@ class PDPServer:
         self._requested_port = port
         self._server: Optional[asyncio.AbstractServer] = None
         self.connections = 0
+        #: Lazily-created per-tenant administrators for pinned
+        #: (non-store) tenants, so tenant-scoped reloads get the same
+        #: lint/diff/audit gate as the default path.
+        self._tenant_admins: "dict[str, object]" = {}
 
     @property
     def port(self) -> int:
@@ -200,9 +205,13 @@ class PDPServer:
             )
             return
         try:
-            request_id, request, env, timeout_s = decode_binary_request(
-                tables[0], body
-            )
+            (
+                request_id,
+                request,
+                env,
+                timeout_s,
+                tenant,
+            ) = decode_binary_request_ex(tables[0], body)
         except ServiceError as error:
             await respond_bytes(encode_binary_error(None, str(error)))
             return
@@ -214,6 +223,7 @@ class PDPServer:
                     environment_roles=env,
                     timeout=timeout_s,
                     request_id=request_id,
+                    tenant=tenant,
                 )
             except ServiceError as error:  # PDP stopped mid-flight
                 await respond_bytes(
@@ -238,6 +248,7 @@ class PDPServer:
             return
         try:
             request_id, request, env, timeout_s = decode_request(payload)
+            tenant = decode_tenant(payload)
         except ServiceError as error:
             await respond({"id": payload.get("id"), "error": str(error)})
             return
@@ -249,6 +260,7 @@ class PDPServer:
                     environment_roles=env,
                     timeout=timeout_s,
                     request_id=request_id,
+                    tenant=tenant,
                 )
             except ServiceError as error:  # PDP stopped mid-flight
                 await respond({"id": request_id, "error": str(error)})
@@ -271,11 +283,36 @@ class PDPServer:
         elif op == "intern":
             # Hand out (and pin, for this connection) the integer id
             # tables the binary request lane encodes against.  Re-
-            # issuing the op after a policy change refreshes them.
-            interned = InternTables.from_policy(self.pdp.policy)
+            # issuing the op after a policy change refreshes them.  An
+            # optional "tenant" interns against that tenant's active
+            # policy instead of the default engine's.
+            tenant = payload.get("tenant")
+            if tenant is not None and not isinstance(tenant, str):
+                await respond(
+                    {"id": request_id, "error": "'tenant' must be a string"}
+                )
+                return
+            try:
+                policy = (
+                    self.pdp.policy
+                    if tenant is None or tenant == DEFAULT_TENANT
+                    else self.pdp.tenant_policy(tenant)
+                )
+            except ServiceError as error:
+                await respond({"id": request_id, "error": str(error)})
+                return
+            interned = InternTables.from_policy(policy)
             if tables is not None:
                 tables[0] = interned
             await respond({"id": request_id, **interned.to_payload()})
+        elif op == "tenants":
+            await respond(
+                {
+                    "op": "tenants",
+                    "id": request_id,
+                    "tenants": self.pdp.tenants_overview(),
+                }
+            )
         elif op == "stats":
             await respond(
                 {"op": "stats", "id": request_id, "stats": self.pdp.stats()}
@@ -331,6 +368,21 @@ class PDPServer:
 
     async def _handle_reload(self, payload: dict, respond) -> None:
         request_id = payload.get("id")
+        tenant = payload.get("tenant")
+        if tenant is not None:
+            if not isinstance(tenant, str) or not tenant:
+                await respond(
+                    {
+                        "id": request_id,
+                        "error": "'tenant' must be a non-empty string",
+                    }
+                )
+                return
+            if tenant != DEFAULT_TENANT:
+                await self._handle_tenant_reload(
+                    request_id, tenant, payload, respond
+                )
+                return
         administrator = self.administrator
         if administrator is None:
             await respond(
@@ -376,3 +428,156 @@ class PDPServer:
                 "record": result.record.to_dict(),
             }
         )
+
+    async def _handle_tenant_reload(
+        self, request_id: object, tenant: str, payload: dict, respond
+    ) -> None:
+        """Tenant-scoped ``reload``: store-gated or per-tenant admin.
+
+        Three shapes, mirroring ``POST /reload?tenant=`` on the admin
+        sidecar:
+
+        * store-backed tenant **with** policy text — ``put`` +
+          ``activate`` through the store's lint gate, then refresh the
+          PDP's resolution (generation bump drops stale cache lines);
+        * store-backed tenant **without** text — refresh only, for
+          activations done out-of-band (CLI, another process);
+        * pinned tenant with text — a lazily-created per-tenant
+          :class:`~repro.policy.admin.PolicyAdministrator` applies the
+          same lint/diff/audit gate as the default path.
+        """
+        actor = payload.get("actor", "")
+        if not isinstance(actor, str):
+            await respond(
+                {"id": request_id, "error": "'actor' must be a string"}
+            )
+            return
+        dry_run = payload.get("dry_run", False)
+        if not isinstance(dry_run, bool):
+            await respond(
+                {"id": request_id, "error": "'dry_run' must be a boolean"}
+            )
+            return
+        policy_text = payload.get("policy")
+        if policy_text is not None and (
+            not isinstance(policy_text, str) or not policy_text.strip()
+        ):
+            await respond(
+                {
+                    "id": request_id,
+                    "error": "'policy' must be non-empty policy text "
+                    "when present",
+                }
+            )
+            return
+        store = self.pdp.store
+        if store is not None and tenant in store:
+            if dry_run:
+                await respond(
+                    {
+                        "id": request_id,
+                        "error": "dry_run is not supported for "
+                        "store-backed tenants (activate gates instead)",
+                    }
+                )
+                return
+            try:
+                if policy_text is not None:
+                    version = store.put(
+                        tenant,
+                        policy_text,
+                        actor=actor or "wire",
+                        note="wire reload",
+                    )
+                    store.activate(
+                        tenant, version.version, actor=actor or "wire"
+                    )
+                generation = self.pdp.refresh_tenant(tenant)
+            except (PolicyStoreError, ServiceError) as error:
+                await respond(
+                    {
+                        "op": "reload",
+                        "id": request_id,
+                        "tenant": tenant,
+                        "accepted": False,
+                        "dry_run": False,
+                        "error": str(error),
+                    }
+                )
+                return
+            await respond(
+                {
+                    "op": "reload",
+                    "id": request_id,
+                    "tenant": tenant,
+                    "accepted": True,
+                    "dry_run": False,
+                    "error": None,
+                    "version": store.active_version(tenant),
+                    "generation": generation,
+                }
+            )
+            return
+        if policy_text is None:
+            await respond(
+                {
+                    "id": request_id,
+                    "error": f"unknown store tenant {tenant!r} "
+                    "(reload without 'policy' refreshes from the store)",
+                }
+            )
+            return
+        if self.administrator is None:
+            await respond(
+                {
+                    "id": request_id,
+                    "error": "policy administration is not enabled "
+                    "on this server",
+                }
+            )
+            return
+        if tenant not in self.pdp.tenants():
+            await respond(
+                {"id": request_id, "error": f"unknown tenant {tenant!r}"}
+            )
+            return
+        admin = self._tenant_admins.get(tenant)
+        if admin is None:
+            from repro.policy.admin import PolicyAdministrator
+
+            admin = PolicyAdministrator(
+                _TenantAdminTarget(self.pdp, tenant),
+                fail_on=getattr(self.administrator, "fail_on", "error"),
+            )
+            self._tenant_admins[tenant] = admin
+        result = admin.reload(
+            policy_text, actor=actor or "wire", dry_run=dry_run
+        )
+        await respond(
+            {
+                "op": "reload",
+                "id": request_id,
+                "tenant": tenant,
+                "accepted": result.accepted,
+                "dry_run": result.dry_run,
+                "error": result.error,
+                "record": result.record.to_dict(),
+            }
+        )
+
+
+class _TenantAdminTarget:
+    """Adapter exposing one tenant of a PDP as an administrator target
+    (the ``policy`` / ``swap_policy(policy) -> int`` protocol)."""
+
+    def __init__(self, pdp: PolicyDecisionPoint, tenant: str) -> None:
+        self._pdp = pdp
+        self.tenant = tenant
+        self.metrics = pdp.metrics
+
+    @property
+    def policy(self):
+        return self._pdp.tenant_policy(self.tenant)
+
+    def swap_policy(self, policy) -> int:
+        return self._pdp.swap_policy(policy, tenant=self.tenant)

@@ -1,0 +1,21 @@
+"""Versioned multi-tenant policy store (append-only lineage + LRU)."""
+
+from repro.store.snapshots import CompiledSnapshotCache
+from repro.store.store import (
+    DEFAULT_TENANT,
+    Activation,
+    PolicyStore,
+    PolicyVersion,
+    TenantLineage,
+    content_hash,
+)
+
+__all__ = [
+    "Activation",
+    "CompiledSnapshotCache",
+    "DEFAULT_TENANT",
+    "PolicyStore",
+    "PolicyVersion",
+    "TenantLineage",
+    "content_hash",
+]

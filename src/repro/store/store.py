@@ -1,0 +1,675 @@
+"""The versioned multi-tenant policy store — append-only source of truth.
+
+The paper frames GRBAC per home (§4: each smart home has its own
+subjects, environment roles, and policy); the ROADMAP's
+millions-of-users target needs *many* such homes served as tenants
+from one cluster.  This module is the persistence half of that story,
+in the "policy store as single source of truth" shape of the openedx
+Casbin ADR (SNIPPETS.md): every policy a tenant has ever served is a
+**version** in an append-only JSONL log, an explicit **active
+pointer** selects the one decisions render against, and nothing is
+ever rewritten — ``put`` appends, ``activate``/``rollback`` move the
+pointer, history answers "what did home 17 enforce last Tuesday".
+
+Model
+-----
+
+* **Tenant** — a named policy lineage (one smart home, in paper
+  terms).  Created explicitly; names are ``[A-Za-z0-9][A-Za-z0-9_.-]*``
+  up to 64 chars.
+* **Version** — one immutable policy text (DSL or serialized JSON),
+  numbered 1..N per tenant.  Texts are stored once per content hash
+  (``sha256:...``) however many tenants or versions reference them.
+* **Active pointer** — the version decisions are served from.
+  ``activate`` parses the candidate and runs the same
+  lint gate :class:`~repro.policy.admin.PolicyAdministrator` applies
+  to hot reloads (``fail_on`` severity, diff against the previously
+  active version recorded in the log); a candidate that fails the
+  gate *cannot* become active.  ``rollback`` moves the pointer to the
+  previously active distinct version without re-linting — it was
+  gated when it first went live, and the escape hatch must not be
+  blockable by a since-tightened linter.
+* **Compiled snapshots** — serving goes through
+  :meth:`PolicyStore.engine`: the active text is parsed and compiled
+  lazily on first use into a bounded content-addressed LRU
+  (:mod:`repro.store.snapshots`), so memory is bounded by the LRU
+  capacity, not the tenant count.
+
+Durability: one ``store.jsonl`` per store directory, replayed on open.
+A torn final line (crash mid-append) is dropped and counted; malformed
+interior lines fail loudly — they mean the log was edited by hand.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import re
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.mediation import MediationEngine
+from repro.core.policy import GrbacPolicy
+from repro.exceptions import GrbacError, PolicyStoreError
+from repro.obs.metrics import MetricsRegistry
+from repro.policy.admin import load_policy_text
+from repro.policy.analysis import PolicyAnalyzer
+from repro.policy.diff import diff_policies
+from repro.store.snapshots import CompiledSnapshotCache
+
+#: The tenant single-policy deployments implicitly serve; the PDP maps
+#: its constructor engine to this name so store-less and store-backed
+#: call sites agree on what "no tenant" means.
+DEFAULT_TENANT = "default"
+
+#: Store log filename inside a store directory.
+LOG_FILENAME = "store.jsonl"
+
+_TENANT_NAME = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]{0,63}$")
+
+#: Lint severities, most severe first (shared with policy.admin).
+_SEVERITY_RANK = {"error": 0, "warning": 1, "info": 2}
+
+
+def content_hash(text: str) -> str:
+    """The content address of one policy text."""
+    return "sha256:" + hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class PolicyVersion:
+    """One immutable entry in a tenant's lineage."""
+
+    tenant: str
+    version: int
+    content_hash: str
+    actor: str
+    created_at: float
+    note: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "tenant": self.tenant,
+            "version": self.version,
+            "content_hash": self.content_hash,
+            "actor": self.actor,
+            "created_at": self.created_at,
+            "note": self.note,
+        }
+
+
+@dataclass(frozen=True)
+class Activation:
+    """One movement of a tenant's active pointer."""
+
+    version: int
+    #: ``"activate"`` or ``"rollback"``.
+    action: str
+    actor: str
+    timestamp: float
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "version": self.version,
+            "action": self.action,
+            "actor": self.actor,
+            "timestamp": self.timestamp,
+        }
+
+
+@dataclass
+class TenantLineage:
+    """A tenant's full history: versions plus pointer movements."""
+
+    name: str
+    created_at: float
+    actor: str = ""
+    versions: List[PolicyVersion] = field(default_factory=list)
+    activations: List[Activation] = field(default_factory=list)
+
+    @property
+    def head(self) -> Optional[PolicyVersion]:
+        """The latest *put* version (not necessarily the active one)."""
+        return self.versions[-1] if self.versions else None
+
+    @property
+    def active_version(self) -> Optional[int]:
+        """The version currently serving, or None before any activate."""
+        return self.activations[-1].version if self.activations else None
+
+    def version(self, number: int) -> PolicyVersion:
+        if not 1 <= number <= len(self.versions):
+            raise PolicyStoreError(
+                f"tenant {self.name!r} has no version {number} "
+                f"(lineage holds 1..{len(self.versions)})"
+            )
+        return self.versions[number - 1]
+
+    def to_dict(self) -> Dict[str, object]:
+        active = self.active_version
+        return {
+            "tenant": self.name,
+            "created_at": self.created_at,
+            "actor": self.actor,
+            "active_version": active,
+            "versions": [
+                {**v.to_dict(), "active": v.version == active}
+                for v in self.versions
+            ],
+            "activations": [a.to_dict() for a in self.activations],
+        }
+
+
+class PolicyStore:
+    """Append-only, versioned, multi-tenant policy store.
+
+    :param path: store directory (created if missing); ``None`` keeps
+        everything in memory — same semantics, no durability, for
+        tests and embedding.
+    :param compiled_cache_size: bounded LRU capacity for compiled
+        engine snapshots (content-addressed; see
+        :mod:`repro.store.snapshots`).
+    :param fail_on: minimum lint severity that blocks ``activate`` —
+        mirrors :class:`~repro.policy.admin.PolicyAdministrator`.
+        ``None`` disables the lint gate (parse failures still block).
+    :param engine_mode: mediation mode compiled snapshots are built
+        in (default ``"compiled"``, pre-warmed at build).
+    """
+
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        compiled_cache_size: int = 8,
+        fail_on: Optional[str] = "error",
+        engine_mode: str = "compiled",
+    ) -> None:
+        if fail_on is not None and fail_on not in _SEVERITY_RANK:
+            raise PolicyStoreError(
+                f"fail_on must be one of {sorted(_SEVERITY_RANK)} or None"
+            )
+        self.path = path
+        self.fail_on = fail_on
+        self.engine_mode = engine_mode
+        self.compiled = CompiledSnapshotCache(compiled_cache_size)
+        self._lock = threading.RLock()
+        self._tenants: Dict[str, TenantLineage] = {}
+        self._blobs: Dict[str, str] = {}
+        self._seq = 0
+        self._log: Optional[io.TextIOWrapper] = None
+        #: Tallies surfaced via :meth:`stats` / bound metrics.
+        self.puts = 0
+        self.dedup_hits = 0
+        self.activations = 0
+        self.rollbacks = 0
+        self.torn_tail_recovered = 0
+        #: Lint results memoized by content hash — text is immutable,
+        #: so findings are too.  Holds ``(findings, parse_error)``;
+        #: one small entry per distinct blob (same bound as
+        #: ``_blobs``), which turns fleet-wide activations of a shared
+        #: template into one parse+lint instead of thousands.
+        self._lint_memo: Dict[str, Tuple[list, Optional[str]]] = {}
+        if path is not None:
+            os.makedirs(path, exist_ok=True)
+            log_path = os.path.join(path, LOG_FILENAME)
+            if os.path.exists(log_path):
+                self._replay(log_path)
+            self._log = open(log_path, "a", encoding="utf-8")
+
+    # ------------------------------------------------------------------
+    # Log plumbing
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._log is not None:
+            self._log.close()
+            self._log = None
+
+    def __enter__(self) -> "PolicyStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _append(self, event: Dict[str, object]) -> None:
+        """Append one event to the log (no-op for in-memory stores)."""
+        self._seq += 1
+        event = {"seq": self._seq, "ts": time.time(), **event}
+        if self._log is not None:
+            self._log.write(json.dumps(event, separators=(",", ":")) + "\n")
+            self._log.flush()
+
+    def _replay(self, log_path: str) -> None:
+        """Rebuild in-memory state from the log; tolerate a torn tail."""
+        with open(log_path, "r", encoding="utf-8") as handle:
+            lines = handle.read().split("\n")
+        # A cleanly-appended log ends with "\n" -> last split element
+        # is "".  Anything else is a torn final line: drop and count.
+        if lines and lines[-1] == "":
+            lines.pop()
+        elif lines:
+            lines.pop()
+            self.torn_tail_recovered += 1
+        for number, line in enumerate(lines, start=1):
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise PolicyStoreError(
+                    f"corrupt store log {log_path}:{number}: {error}"
+                ) from None
+            self._apply(event, log_path, number)
+            self._seq = max(self._seq, int(event.get("seq", 0)))
+
+    def _apply(self, event: Dict[str, object], path: str, line: int) -> None:
+        kind = event.get("event")
+        try:
+            if kind == "create":
+                self._tenants[str(event["tenant"])] = TenantLineage(
+                    name=str(event["tenant"]),
+                    created_at=float(event.get("ts", 0.0)),
+                    actor=str(event.get("actor", "")),
+                )
+            elif kind == "blob":
+                self._blobs[str(event["hash"])] = str(event["text"])
+            elif kind == "put":
+                lineage = self._tenants[str(event["tenant"])]
+                lineage.versions.append(
+                    PolicyVersion(
+                        tenant=lineage.name,
+                        version=int(event["version"]),
+                        content_hash=str(event["hash"]),
+                        actor=str(event.get("actor", "")),
+                        created_at=float(event.get("ts", 0.0)),
+                        note=str(event.get("note", "")),
+                    )
+                )
+            elif kind == "activate":
+                lineage = self._tenants[str(event["tenant"])]
+                lineage.activations.append(
+                    Activation(
+                        version=int(event["version"]),
+                        action=str(event.get("action", "activate")),
+                        actor=str(event.get("actor", "")),
+                        timestamp=float(event.get("ts", 0.0)),
+                    )
+                )
+            else:
+                raise KeyError(f"unknown event kind {kind!r}")
+        except (KeyError, TypeError, ValueError) as error:
+            raise PolicyStoreError(
+                f"corrupt store log {path}:{line}: {error}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Tenants
+    # ------------------------------------------------------------------
+    def tenants(self) -> List[str]:
+        """All tenant names, sorted."""
+        with self._lock:
+            return sorted(self._tenants)
+
+    def __contains__(self, tenant: str) -> bool:
+        return tenant in self._tenants
+
+    def lineage(self, tenant: str) -> TenantLineage:
+        with self._lock:
+            found = self._tenants.get(tenant)
+            if found is None:
+                raise PolicyStoreError(f"unknown tenant {tenant!r}")
+            return found
+
+    def create_tenant(self, name: str, actor: str = "") -> TenantLineage:
+        """Register a new, empty lineage; rejects duplicates."""
+        if not _TENANT_NAME.match(name or ""):
+            raise PolicyStoreError(
+                f"invalid tenant name {name!r} "
+                "(want [A-Za-z0-9][A-Za-z0-9_.-]*, max 64 chars)"
+            )
+        with self._lock:
+            if name in self._tenants:
+                raise PolicyStoreError(f"tenant {name!r} already exists")
+            lineage = TenantLineage(
+                name=name, created_at=time.time(), actor=actor
+            )
+            self._tenants[name] = lineage
+            self._append({"event": "create", "tenant": name, "actor": actor})
+            return lineage
+
+    def ensure_tenant(self, name: str, actor: str = "") -> TenantLineage:
+        """The lineage for ``name``, creating it if absent."""
+        with self._lock:
+            found = self._tenants.get(name)
+            if found is not None:
+                return found
+            return self.create_tenant(name, actor=actor)
+
+    # ------------------------------------------------------------------
+    # Versions
+    # ------------------------------------------------------------------
+    def put(
+        self, tenant: str, text: str, actor: str = "", note: str = ""
+    ) -> PolicyVersion:
+        """Append ``text`` as the tenant's next version.
+
+        Content-hash dedup at two levels: the text blob is stored once
+        per hash store-wide, and a put identical to the tenant's
+        *head* version is a no-op returning the head (re-putting the
+        same file must not grow the lineage).  Does **not** parse or
+        activate — the lineage records candidates; the gate runs at
+        :meth:`activate`.
+        """
+        if not isinstance(text, str) or not text.strip():
+            raise PolicyStoreError("policy text must be non-empty")
+        with self._lock:
+            lineage = self.lineage(tenant)
+            digest = content_hash(text)
+            head = lineage.head
+            if head is not None and head.content_hash == digest:
+                self.dedup_hits += 1
+                return head
+            if digest not in self._blobs:
+                self._blobs[digest] = text
+                self._append({"event": "blob", "hash": digest, "text": text})
+            else:
+                self.dedup_hits += 1
+            entry = PolicyVersion(
+                tenant=tenant,
+                version=len(lineage.versions) + 1,
+                content_hash=digest,
+                actor=actor,
+                created_at=time.time(),
+                note=note,
+            )
+            lineage.versions.append(entry)
+            self.puts += 1
+            self._append(
+                {
+                    "event": "put",
+                    "tenant": tenant,
+                    "version": entry.version,
+                    "hash": digest,
+                    "actor": actor,
+                    "note": note,
+                }
+            )
+            return entry
+
+    def text(self, tenant: str, version: Optional[int] = None) -> str:
+        """The policy text of ``version`` (default: the active one)."""
+        with self._lock:
+            entry = self._resolve_version(tenant, version)
+            return self._blobs[entry.content_hash]
+
+    def policy(
+        self, tenant: str, version: Optional[int] = None
+    ) -> GrbacPolicy:
+        """A freshly parsed policy for ``version`` (default: active)."""
+        with self._lock:
+            entry = self._resolve_version(tenant, version)
+            text = self._blobs[entry.content_hash]
+        return load_policy_text(text, name=f"{tenant}@v{entry.version}")
+
+    def _resolve_version(
+        self, tenant: str, version: Optional[int]
+    ) -> PolicyVersion:
+        lineage = self.lineage(tenant)
+        if version is None:
+            active = lineage.active_version
+            if active is None:
+                raise PolicyStoreError(
+                    f"tenant {tenant!r} has no active version"
+                )
+            version = active
+        return lineage.version(version)
+
+    # ------------------------------------------------------------------
+    # Activation / rollback — the gated pointer moves
+    # ------------------------------------------------------------------
+    def activate(
+        self,
+        tenant: str,
+        version: Optional[int] = None,
+        actor: str = "",
+    ) -> PolicyVersion:
+        """Move the active pointer to ``version`` (default: head).
+
+        The candidate is parsed and linted exactly like a hot-reload
+        candidate (`fail_on` severity gate); the findings and the diff
+        against the previously active version land in the log's
+        activate event.  A candidate that fails the gate raises and
+        the pointer does not move.
+
+        Lint results are memoized by content hash (immutable text ->
+        immutable findings), so a template shared by a thousand
+        tenants is parsed and linted once, not a thousand times —
+        subsequent activations of a known-clean first version skip
+        the parse entirely.
+        """
+        with self._lock:
+            lineage = self.lineage(tenant)
+            if version is None:
+                head = lineage.head
+                if head is None:
+                    raise PolicyStoreError(
+                        f"tenant {tenant!r} has no versions to activate"
+                    )
+                version = head.version
+            entry = lineage.version(version)
+            if lineage.active_version == version:
+                return entry  # idempotent: already serving
+            memo = self._lint_memo.get(entry.content_hash)
+            if memo is None:
+                text = self._blobs[entry.content_hash]
+                try:
+                    candidate = load_policy_text(
+                        text, name=f"{tenant}@v{version}"
+                    )
+                except (GrbacError, ValueError, KeyError, TypeError) as error:
+                    memo = ([], f"parse error: {error}")
+                else:
+                    memo = (PolicyAnalyzer(candidate).lint(), None)
+                self._lint_memo[entry.content_hash] = memo
+            findings, parse_error = memo
+            if parse_error is not None:
+                raise PolicyStoreError(
+                    f"cannot activate {tenant!r} v{version}: {parse_error}"
+                )
+            blocking = [
+                f
+                for f in findings
+                if self.fail_on is not None
+                and _SEVERITY_RANK.get(
+                    f.severity, _SEVERITY_RANK[self.fail_on]
+                )
+                <= _SEVERITY_RANK[self.fail_on]
+            ]
+            if blocking:
+                raise PolicyStoreError(
+                    f"cannot activate {tenant!r} v{version}: "
+                    "validation failed: "
+                    + "; ".join(f.describe() for f in blocking)
+                )
+            diff_summary = ""
+            previous = lineage.active_version
+            if previous is not None and previous != version:
+                try:
+                    diff_summary = diff_policies(
+                        self.policy(tenant, previous),
+                        self.policy(tenant, version),
+                    ).describe()
+                except GrbacError:
+                    diff_summary = "(a version no longer parses)"
+            lineage.activations.append(
+                Activation(
+                    version=version,
+                    action="activate",
+                    actor=actor,
+                    timestamp=time.time(),
+                )
+            )
+            self.activations += 1
+            self._append(
+                {
+                    "event": "activate",
+                    "tenant": tenant,
+                    "version": version,
+                    "action": "activate",
+                    "actor": actor,
+                    "findings": [f.describe() for f in findings],
+                    "diff_summary": diff_summary,
+                }
+            )
+            return entry
+
+    def rollback(self, tenant: str, actor: str = "") -> PolicyVersion:
+        """Move the pointer back to the previously active distinct version.
+
+        No re-lint: the target served before (it passed the gate when
+        it first activated), and the escape hatch must not be
+        blockable.  Appends a ``rollback`` activation — lineage is
+        history, so rolling back twice alternates between the last two
+        distinct versions, exactly like repeated ``git revert``.
+        """
+        with self._lock:
+            lineage = self.lineage(tenant)
+            current = lineage.active_version
+            if current is None:
+                raise PolicyStoreError(
+                    f"tenant {tenant!r} has no active version to roll back"
+                )
+            target: Optional[int] = None
+            for activation in reversed(lineage.activations):
+                if activation.version != current:
+                    target = activation.version
+                    break
+            if target is None:
+                raise PolicyStoreError(
+                    f"tenant {tenant!r} has no earlier distinct version "
+                    "to roll back to"
+                )
+            lineage.activations.append(
+                Activation(
+                    version=target,
+                    action="rollback",
+                    actor=actor,
+                    timestamp=time.time(),
+                )
+            )
+            self.rollbacks += 1
+            self._append(
+                {
+                    "event": "activate",
+                    "tenant": tenant,
+                    "version": target,
+                    "action": "rollback",
+                    "actor": actor,
+                }
+            )
+            return lineage.version(target)
+
+    def active_version(self, tenant: str) -> Optional[int]:
+        # Deliberately lock-free: one dict read and a list-tail read,
+        # both atomic under the GIL against an append-only lineage.
+        # This sits on the PDP's per-request fast path (the probe that
+        # decides whether a cached engine resolution is still valid).
+        lineage = self._tenants.get(tenant)
+        if lineage is None:
+            raise PolicyStoreError(f"unknown tenant {tenant!r}")
+        return lineage.active_version
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def engine(self, tenant: str) -> Tuple[MediationEngine, int]:
+        """The compiled engine for the tenant's active version.
+
+        Lazy: the text is parsed and compiled on first use and cached
+        content-addressed (tenants sharing a text share the engine).
+        :returns: ``(engine, active_version)``.
+        :raises PolicyStoreError: unknown tenant / no active version.
+        """
+        with self._lock:
+            entry = self._resolve_version(tenant, None)
+            text = self._blobs[entry.content_hash]
+
+        def build() -> MediationEngine:
+            policy = load_policy_text(
+                text, name=f"{tenant}@v{entry.version}"
+            )
+            engine = MediationEngine(policy, mode=self.engine_mode)
+            if engine.mode == "compiled":
+                policy.compiled()  # pre-warm outside the decision path
+            return engine
+
+        return self.compiled.get_or_build(entry.content_hash, build), (
+            entry.version
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def log(self, tenant: str) -> Dict[str, object]:
+        """The tenant's lineage as plain data (CLI ``tenant log``)."""
+        with self._lock:
+            return self.lineage(tenant).to_dict()
+
+    def overview(self) -> List[Dict[str, object]]:
+        """One summary row per tenant (wire ``tenants`` op)."""
+        with self._lock:
+            rows = []
+            for name in sorted(self._tenants):
+                lineage = self._tenants[name]
+                rows.append(
+                    {
+                        "tenant": name,
+                        "versions": len(lineage.versions),
+                        "active_version": lineage.active_version,
+                        "activations": len(lineage.activations),
+                    }
+                )
+            return rows
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "path": self.path,
+                "tenants": len(self._tenants),
+                "versions": sum(
+                    len(t.versions) for t in self._tenants.values()
+                ),
+                "blobs": len(self._blobs),
+                "puts": self.puts,
+                "dedup_hits": self.dedup_hits,
+                "activations": self.activations,
+                "rollbacks": self.rollbacks,
+                "torn_tail_recovered": self.torn_tail_recovered,
+                "compiled": self.compiled.stats(),
+            }
+
+    def bind_metrics(self, registry: MetricsRegistry) -> None:
+        """Publish store gauges into ``registry`` (PDP wiring)."""
+        registry.gauge("store.tenants", lambda: float(len(self._tenants)))
+        registry.gauge(
+            "store.versions",
+            lambda: float(
+                sum(len(t.versions) for t in self._tenants.values())
+            ),
+        )
+        registry.gauge("store.blobs", lambda: float(len(self._blobs)))
+        registry.gauge("store.activations", lambda: float(self.activations))
+        registry.gauge("store.rollbacks", lambda: float(self.rollbacks))
+        registry.gauge(
+            "store.compiled_entries", lambda: float(len(self.compiled))
+        )
+        registry.gauge(
+            "store.compiled_hits", lambda: float(self.compiled.hits)
+        )
+        registry.gauge(
+            "store.compiled_misses", lambda: float(self.compiled.misses)
+        )
+        registry.gauge(
+            "store.compiled_evictions",
+            lambda: float(self.compiled.evictions),
+        )

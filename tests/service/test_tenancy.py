@@ -1,0 +1,586 @@
+"""Multi-tenant serving through the PDP, wire, and admin surfaces.
+
+The tenancy contract:
+
+* the default tenant is the constructor engine — tenantless requests
+  behave (and encode) exactly as before the store existed;
+* a request naming a tenant resolves through pinned engines or the
+  attached store; an unresolvable name answers an explicit
+  ``DENY_UNKNOWN_TENANT``, never an error or a crash;
+* tenants are isolated — the decision cache keys on the tenant, so
+  identical requests against different tenants never share entries;
+* ``activate``/``rollback`` in the store invalidate a tenant's cached
+  decisions on the next request (generation bump), with no callback
+  plumbing;
+* both wire lanes, the ``tenants``/``reload`` ops, and the admin
+  HTTP sidecar carry the tenant dimension end to end.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.core import AccessRequest, MediationEngine
+from repro.exceptions import ServiceError
+from repro.policy.admin import PolicyAdministrator
+from repro.policy.dsl import compile_policy
+from repro.service import (
+    AdminServer,
+    PDPConfig,
+    PDPOutcome,
+    PDPServer,
+    PolicyDecisionPoint,
+    RemotePDPClient,
+)
+from repro.service.protocol import (
+    decode_binary_request,
+    decode_binary_request_ex,
+    encode_binary_request,
+    encode_request,
+    encode_response,
+    InternTables,
+)
+from repro.service.pdp import DEFAULT_TENANT, PDPResponse
+from repro.store import PolicyStore
+
+import pytest
+
+GRANT_DSL = """
+subject role child
+object role tv-devices
+environment role free-time
+subject alice is child
+object livingroom/tv is tv-devices
+allow child to watch on tv-devices when free-time
+"""
+DENY_DSL = GRANT_DSL.replace("allow child", "deny child")
+
+REQUEST = AccessRequest("watch", "livingroom/tv", subject="alice")
+ENV = {"free-time"}
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+def grant_policy(name="grant"):
+    return compile_policy(GRANT_DSL, name=name)
+
+
+def deny_policy(name="deny"):
+    return compile_policy(DENY_DSL, name=name)
+
+
+def make_store(*tenants):
+    """An in-memory store with (name, text) tenants, all activated."""
+    store = PolicyStore()
+    for name, text in tenants:
+        store.create_tenant(name)
+        store.put(name, text)
+        store.activate(name)
+    return store
+
+
+def make_pdp(store=None, **config):
+    return PolicyDecisionPoint(
+        MediationEngine(grant_policy()), PDPConfig(**config), store=store
+    )
+
+
+# ----------------------------------------------------------------------
+# PDP core
+# ----------------------------------------------------------------------
+class TestPdpTenancy:
+    def test_default_tenant_is_constructor_engine(self):
+        pdp = make_pdp()
+
+        async def scenario():
+            async with pdp:
+                response = await pdp.submit(REQUEST, environment_roles=ENV)
+                assert response.granted is True
+                assert response.tenant == DEFAULT_TENANT
+                named = await pdp.submit(
+                    REQUEST, environment_roles=ENV, tenant=DEFAULT_TENANT
+                )
+                assert named.granted is True
+
+        run(scenario())
+
+    def test_unknown_tenant_is_explicit_outcome(self):
+        pdp = make_pdp()
+
+        async def scenario():
+            async with pdp:
+                response = await pdp.submit(
+                    REQUEST, environment_roles=ENV, tenant="ghost"
+                )
+                assert response.outcome is PDPOutcome.DENY_UNKNOWN_TENANT
+                assert response.granted is False
+                assert "ghost" in response.detail
+
+        run(scenario())
+        assert pdp.stats()["unknown_tenant"] == 1
+
+    def test_store_tenants_resolve_and_isolate(self):
+        store = make_store(("a", GRANT_DSL), ("b", DENY_DSL))
+        pdp = make_pdp(store=store)
+
+        async def scenario():
+            async with pdp:
+                granted = await pdp.submit(
+                    REQUEST, environment_roles=ENV, tenant="a"
+                )
+                denied = await pdp.submit(
+                    REQUEST, environment_roles=ENV, tenant="b"
+                )
+                assert granted.granted is True and granted.tenant == "a"
+                assert denied.granted is False and denied.tenant == "b"
+
+        run(scenario())
+
+    def test_cache_is_tenant_keyed(self):
+        store = make_store(("a", GRANT_DSL), ("b", DENY_DSL))
+        pdp = make_pdp(store=store, cache_size=128)
+
+        async def scenario():
+            async with pdp:
+                await pdp.submit(REQUEST, environment_roles=ENV, tenant="a")
+                hit = await pdp.submit(
+                    REQUEST, environment_roles=ENV, tenant="a"
+                )
+                assert hit.cached is True
+                # Same request, other tenant: own entry, other answer.
+                cross = await pdp.submit(
+                    REQUEST, environment_roles=ENV, tenant="b"
+                )
+                assert cross.cached is False
+                assert cross.granted is False
+
+        run(scenario())
+
+    def test_activate_invalidates_cached_decisions(self):
+        store = make_store(("a", GRANT_DSL))
+        pdp = make_pdp(store=store, cache_size=128)
+
+        async def scenario():
+            async with pdp:
+                first = await pdp.submit(
+                    REQUEST, environment_roles=ENV, tenant="a"
+                )
+                assert first.granted is True
+                store.put("a", DENY_DSL)
+                store.activate("a")
+                flipped = await pdp.submit(
+                    REQUEST, environment_roles=ENV, tenant="a"
+                )
+                assert flipped.granted is False
+                store.rollback("a")
+                restored = await pdp.submit(
+                    REQUEST, environment_roles=ENV, tenant="a"
+                )
+                assert restored.granted is True
+
+        run(scenario())
+
+    def test_eviction_under_tiny_lru_keeps_answers_correct(self):
+        # Capacity 1 with two tenants on different texts: every other
+        # request kills the resolved-engine weakref, forcing the PDP
+        # off its fast path and through a rebuild — answers must not
+        # change either way.
+        store = PolicyStore(compiled_cache_size=1)
+        for name, text in (("a", GRANT_DSL), ("b", DENY_DSL)):
+            store.create_tenant(name)
+            store.put(name, text)
+            store.activate(name)
+        pdp = make_pdp(store=store, cache_size=0)
+
+        async def scenario():
+            async with pdp:
+                for _ in range(3):
+                    granted = await pdp.submit(
+                        REQUEST, environment_roles=ENV, tenant="a"
+                    )
+                    denied = await pdp.submit(
+                        REQUEST, environment_roles=ENV, tenant="b"
+                    )
+                    assert granted.granted is True
+                    assert denied.granted is False
+
+        run(scenario())
+        compiled = store.stats()["compiled"]
+        assert compiled["entries"] <= 1
+        assert compiled["evictions"] > 0
+
+    def test_pinned_tenant_via_swap_policy(self):
+        pdp = make_pdp()
+
+        async def scenario():
+            async with pdp:
+                generation = pdp.swap_policy(
+                    deny_policy("pinned"), tenant="unit-x"
+                )
+                assert generation >= 1
+                response = await pdp.submit(
+                    REQUEST, environment_roles=ENV, tenant="unit-x"
+                )
+                assert response.granted is False
+                # The default tenant is untouched.
+                default = await pdp.submit(REQUEST, environment_roles=ENV)
+                assert default.granted is True
+
+        run(scenario())
+        assert "unit-x" in pdp.tenants()
+
+    def test_stats_surface_cache_and_tenants(self):
+        store = make_store(("a", GRANT_DSL))
+        pdp = make_pdp(store=store, cache_size=64)
+
+        async def scenario():
+            async with pdp:
+                await pdp.submit(REQUEST, environment_roles=ENV, tenant="a")
+                await pdp.submit(REQUEST, environment_roles=ENV, tenant="a")
+
+        run(scenario())
+        stats = pdp.stats()
+        assert stats["cache_capacity"] == 64
+        assert "cache_evictions" in stats
+        assert stats["store"]["tenants"] == 1
+        rows = {row["tenant"]: row for row in stats["tenants"]}
+        assert rows["a"]["requests"] == 2
+        assert rows["a"]["cache_hits"] == 1
+
+
+# ----------------------------------------------------------------------
+# Wire compatibility
+# ----------------------------------------------------------------------
+class TestWireCompatibility:
+    def test_tenantless_request_has_no_tenant_key(self):
+        payload = encode_request(REQUEST, 1, env=frozenset(ENV))
+        assert "tenant" not in payload
+        tagged = encode_request(REQUEST, 1, env=frozenset(ENV), tenant="a")
+        assert tagged["tenant"] == "a"
+
+    def test_default_response_has_no_tenant_key(self):
+        response = PDPResponse(
+            request=REQUEST,
+            outcome=PDPOutcome.GRANT,
+            granted=True,
+            decision=None,
+        )
+        assert "tenant" not in encode_response(1, response)
+        tagged = PDPResponse(
+            request=REQUEST,
+            outcome=PDPOutcome.GRANT,
+            granted=True,
+            decision=None,
+            tenant="a",
+        )
+        assert encode_response(1, tagged)["tenant"] == "a"
+
+    def test_tenantless_binary_frame_is_byte_identical(self):
+        tables = InternTables.from_policy(grant_policy())
+        plain = encode_binary_request(tables, REQUEST, 7)
+        # The legacy 4-tuple decoder still reads tenantless frames.
+        request_id, request, env, timeout = decode_binary_request(
+            tables, plain[6:]
+        )
+        assert request_id == 7 and request.subject == "alice"
+
+    def test_binary_tenant_frame_round_trips(self):
+        tables = InternTables.from_policy(grant_policy())
+        frame = encode_binary_request(
+            tables, REQUEST, 9, env=frozenset(ENV), tenant="unit-a"
+        )
+        request_id, request, env, timeout, tenant = decode_binary_request_ex(
+            tables, frame[6:]
+        )
+        assert request_id == 9
+        assert tenant == "unit-a"
+        assert env == frozenset(ENV)
+        # The legacy decoder refuses (never silently drops) the tenant.
+        with pytest.raises(ServiceError, match="tenant"):
+            decode_binary_request(tables, frame[6:])
+
+
+# ----------------------------------------------------------------------
+# Served end to end
+# ----------------------------------------------------------------------
+class TestServedTenancy:
+    def test_ndjson_and_binary_lanes_carry_tenant(self):
+        store = make_store(("a", GRANT_DSL), ("b", DENY_DSL))
+        pdp = make_pdp(store=store)
+
+        async def scenario():
+            async with PDPServer(pdp) as server:
+                async with await RemotePDPClient.connect(
+                    "127.0.0.1", server.port
+                ) as client:
+                    granted = await client.decide(
+                        REQUEST, environment_roles=ENV, tenant="a"
+                    )
+                    denied = await client.decide(
+                        REQUEST, environment_roles=ENV, tenant="b"
+                    )
+                    unknown = await client.decide(
+                        REQUEST, environment_roles=ENV, tenant="ghost"
+                    )
+                    plain = await client.decide(
+                        REQUEST, environment_roles=ENV
+                    )
+                async with await RemotePDPClient.connect(
+                    "127.0.0.1", server.port, wire="binary"
+                ) as binary:
+                    bin_denied = await binary.decide(
+                        REQUEST, environment_roles=ENV, tenant="b"
+                    )
+                return granted, denied, unknown, plain, bin_denied
+
+        granted, denied, unknown, plain, bin_denied = run(scenario())
+        assert granted.granted is True and granted.tenant == "a"
+        assert denied.granted is False and denied.tenant == "b"
+        assert unknown.outcome is PDPOutcome.DENY_UNKNOWN_TENANT
+        assert plain.granted is True and plain.tenant is None
+        assert bin_denied.granted is False
+
+    def test_tenants_op_lists_store_and_live_state(self):
+        store = make_store(("a", GRANT_DSL))
+        pdp = make_pdp(store=store)
+
+        async def scenario():
+            async with PDPServer(pdp) as server:
+                async with await RemotePDPClient.connect(
+                    "127.0.0.1", server.port
+                ) as client:
+                    await client.decide(
+                        REQUEST, environment_roles=ENV, tenant="a"
+                    )
+                    return await client.tenants()
+
+        rows = {row["tenant"]: row for row in run(scenario())}
+        assert DEFAULT_TENANT in rows
+        assert rows["a"]["active_version"] == 1
+        assert rows["a"]["requests"] == 1
+
+    def test_wire_reload_scoped_to_store_tenant(self):
+        store = make_store(("a", GRANT_DSL), ("b", GRANT_DSL))
+        pdp = make_pdp(store=store)
+        administrator = PolicyAdministrator(pdp)
+
+        async def scenario():
+            async with PDPServer(
+                pdp, administrator=administrator
+            ) as server:
+                async with await RemotePDPClient.connect(
+                    "127.0.0.1", server.port
+                ) as client:
+                    result = await client.reload(
+                        DENY_DSL, actor="test", tenant="a"
+                    )
+                    assert result["accepted"] is True
+                    assert result["version"] == 2
+                    flipped = await client.decide(
+                        REQUEST, environment_roles=ENV, tenant="a"
+                    )
+                    untouched = await client.decide(
+                        REQUEST, environment_roles=ENV, tenant="b"
+                    )
+                    default = await client.decide(
+                        REQUEST, environment_roles=ENV
+                    )
+                    return flipped, untouched, default
+
+        flipped, untouched, default = run(scenario())
+        assert flipped.granted is False
+        assert untouched.granted is True
+        assert default.granted is True
+        assert store.active_version("a") == 2
+
+    def test_wire_reload_refresh_only_after_external_rollback(self):
+        store = make_store(("a", GRANT_DSL))
+        store.put("a", DENY_DSL)
+        store.activate("a")
+        pdp = make_pdp(store=store)
+        administrator = PolicyAdministrator(pdp)
+
+        async def scenario():
+            async with PDPServer(
+                pdp, administrator=administrator
+            ) as server:
+                async with await RemotePDPClient.connect(
+                    "127.0.0.1", server.port
+                ) as client:
+                    before = await client.decide(
+                        REQUEST, environment_roles=ENV, tenant="a"
+                    )
+                    store.rollback("a")  # out-of-band (CLI, operator)
+                    result = await client.reload(tenant="a")
+                    after = await client.decide(
+                        REQUEST, environment_roles=ENV, tenant="a"
+                    )
+                    return before, result, after
+
+        before, result, after = run(scenario())
+        assert before.granted is False
+        assert result["accepted"] is True and result["version"] == 1
+        assert after.granted is True
+
+    def test_wire_reload_unknown_tenant_is_error_not_crash(self):
+        pdp = make_pdp(store=make_store())
+        administrator = PolicyAdministrator(pdp)
+
+        async def scenario():
+            async with PDPServer(
+                pdp, administrator=administrator
+            ) as server:
+                async with await RemotePDPClient.connect(
+                    "127.0.0.1", server.port
+                ) as client:
+                    try:
+                        await client.reload(
+                            DENY_DSL, actor="test", tenant="ghost"
+                        )
+                    except ServiceError as error:
+                        return str(error)
+                    return None
+
+        message = run(scenario())
+        assert message is not None and "ghost" in message
+
+    def test_intern_against_tenant_policy(self):
+        other = GRANT_DSL.replace("alice", "zed")
+        store = make_store(("a", other))
+        pdp = make_pdp(store=store)
+
+        async def scenario():
+            async with PDPServer(pdp) as server:
+                async with await RemotePDPClient.connect(
+                    "127.0.0.1", server.port
+                ) as client:
+                    tables = await client.intern(tenant="a")
+                    zed = AccessRequest(
+                        "watch", "livingroom/tv", subject="zed"
+                    )
+                    response = await client.decide(
+                        zed, environment_roles=ENV, tenant="a"
+                    )
+                    return tables, response
+
+        tables, response = run(scenario())
+        assert "zed" in tables.subjects
+        assert response.granted is True
+
+
+# ----------------------------------------------------------------------
+# Admin HTTP sidecar
+# ----------------------------------------------------------------------
+async def http(port: int, head: str, body: bytes = b"") -> tuple:
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    request = head.encode("ascii")
+    if body:
+        request += f"Content-Length: {len(body)}\r\n\r\n".encode() + body
+    else:
+        request += b"\r\n"
+    writer.write(request)
+    await writer.drain()
+    writer.write_eof()
+    raw = await reader.read()
+    writer.close()
+    status = int(raw.split(b"\r\n", 1)[0].split()[1])
+    payload = raw.split(b"\r\n\r\n", 1)[1]
+    return status, payload
+
+
+class TestAdminHttpTenancy:
+    def test_get_tenants(self):
+        store = make_store(("a", GRANT_DSL))
+        pdp = make_pdp(store=store)
+
+        async def scenario():
+            async with pdp:
+                async with AdminServer(pdp) as admin:
+                    return await http(
+                        admin.port, "GET /tenants HTTP/1.1\r\n"
+                    )
+
+        status, payload = run(scenario())
+        assert status == 200
+        rows = {
+            row["tenant"]: row for row in json.loads(payload)["tenants"]
+        }
+        assert rows["a"]["active_version"] == 1
+
+    def test_post_reload_with_tenant_query(self):
+        store = make_store(("a", GRANT_DSL))
+        pdp = make_pdp(store=store)
+        administrator = PolicyAdministrator(pdp)
+
+        async def scenario():
+            async with pdp:
+                async with AdminServer(
+                    pdp, administrator=administrator
+                ) as admin:
+                    status, payload = await http(
+                        admin.port,
+                        "POST /reload?tenant=a&actor=ops HTTP/1.1\r\n",
+                        DENY_DSL.encode("utf-8"),
+                    )
+                    response = await pdp.submit(
+                        REQUEST, environment_roles=ENV, tenant="a"
+                    )
+                    return status, payload, response
+
+        status, payload, response = run(scenario())
+        assert status == 200
+        body = json.loads(payload)
+        assert body["accepted"] is True and body["version"] == 2
+        assert response.granted is False
+
+    def test_post_reload_empty_body_refreshes_store_tenant(self):
+        store = make_store(("a", GRANT_DSL))
+        pdp = make_pdp(store=store)
+        administrator = PolicyAdministrator(pdp)
+
+        async def scenario():
+            async with pdp:
+                async with AdminServer(
+                    pdp, administrator=administrator
+                ) as admin:
+                    # Pin the serving state, then change the store
+                    # out-of-band and refresh over HTTP.
+                    await pdp.submit(
+                        REQUEST, environment_roles=ENV, tenant="a"
+                    )
+                    store.put("a", DENY_DSL)
+                    store.activate("a")
+                    status, payload = await http(
+                        admin.port, "POST /reload?tenant=a HTTP/1.1\r\n"
+                    )
+                    response = await pdp.submit(
+                        REQUEST, environment_roles=ENV, tenant="a"
+                    )
+                    return status, payload, response
+
+        status, payload, response = run(scenario())
+        assert status == 200
+        assert json.loads(payload)["version"] == 2
+        assert response.granted is False
+
+    def test_post_reload_unknown_tenant_404s(self):
+        pdp = make_pdp(store=make_store())
+        administrator = PolicyAdministrator(pdp)
+
+        async def scenario():
+            async with pdp:
+                async with AdminServer(
+                    pdp, administrator=administrator
+                ) as admin:
+                    return await http(
+                        admin.port,
+                        "POST /reload?tenant=ghost HTTP/1.1\r\n",
+                        DENY_DSL.encode("utf-8"),
+                    )
+
+        status, payload = run(scenario())
+        assert status == 404
+        assert b"ghost" in payload

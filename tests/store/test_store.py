@@ -1,0 +1,411 @@
+"""Unit tests for the append-only multi-tenant policy store.
+
+The lineage contract under test:
+
+* ``put`` appends, never rewrites — re-putting the head's exact
+  content is a no-op, and identical text across versions/tenants is
+  stored once (content-hash dedup);
+* ``activate`` moves a pointer through the lint gate; a rejected
+  candidate raises and the pointer does not move;
+* ``rollback`` reactivates the previous *distinct* version without
+  re-linting, and alternates when repeated (history, not a stack pop);
+* the JSONL log replays to identical state, tolerating a torn final
+  line (crash mid-append) but refusing interior corruption;
+* compiled snapshots are content-addressed and LRU-bounded, so memory
+  scales with distinct active texts, not tenant count.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.core import AccessRequest, MediationEngine
+from repro.exceptions import PolicyStoreError
+from repro.obs.metrics import MetricsRegistry
+from repro.store import (
+    DEFAULT_TENANT,
+    CompiledSnapshotCache,
+    PolicyStore,
+    content_hash,
+)
+
+GRANT_DSL = """
+subject role child
+object role tv-devices
+environment role free-time
+subject alice is child
+object livingroom/tv is tv-devices
+allow child to watch on tv-devices when free-time
+"""
+
+DENY_DSL = GRANT_DSL.replace("allow child", "deny child")
+
+THIRD_DSL = GRANT_DSL + "allow child to watch on tv-devices\n"
+
+REQUEST = AccessRequest("watch", "livingroom/tv", subject="alice")
+ENV = {"free-time"}
+
+
+def decide(engine: MediationEngine) -> bool:
+    return engine.decide(REQUEST, environment_roles=set(ENV)).granted
+
+
+# ----------------------------------------------------------------------
+# Lineage basics
+# ----------------------------------------------------------------------
+class TestLineage:
+    def test_create_put_activate(self):
+        store = PolicyStore()
+        store.create_tenant("unit-a", actor="test")
+        version = store.put("unit-a", GRANT_DSL, actor="test", note="v1")
+        assert version.version == 1
+        assert version.content_hash == content_hash(GRANT_DSL)
+        assert store.active_version("unit-a") is None
+        store.activate("unit-a")
+        assert store.active_version("unit-a") == 1
+        assert store.text("unit-a") == GRANT_DSL
+
+    def test_put_appends_and_never_rewrites(self):
+        store = PolicyStore()
+        store.create_tenant("t", actor="test")
+        store.put("t", GRANT_DSL)
+        store.put("t", DENY_DSL)
+        lineage = store.lineage("t")
+        assert [v.version for v in lineage.versions] == [1, 2]
+        # v1's content is still reachable after v2 landed.
+        assert store.text("t", 1) == GRANT_DSL
+        assert store.text("t", 2) == DENY_DSL
+
+    def test_put_identical_head_is_noop(self):
+        store = PolicyStore()
+        store.create_tenant("t")
+        first = store.put("t", GRANT_DSL)
+        again = store.put("t", GRANT_DSL)
+        assert again.version == first.version == 1
+        assert len(store.lineage("t").versions) == 1
+        assert store.dedup_hits == 1
+
+    def test_blob_dedup_across_tenants(self):
+        store = PolicyStore()
+        store.create_tenant("a")
+        store.create_tenant("b")
+        store.put("a", GRANT_DSL)
+        store.put("b", GRANT_DSL)
+        assert store.stats()["blobs"] == 1
+        assert store.dedup_hits == 1
+
+    def test_invalid_tenant_names_rejected(self):
+        store = PolicyStore()
+        for bad in ("", "-leading", "a" * 65, "has space", ".dot"):
+            with pytest.raises(PolicyStoreError):
+                store.create_tenant(bad)
+
+    def test_duplicate_tenant_rejected(self):
+        store = PolicyStore()
+        store.create_tenant("t")
+        with pytest.raises(PolicyStoreError):
+            store.create_tenant("t")
+
+    def test_unknown_tenant_and_version_raise(self):
+        store = PolicyStore()
+        with pytest.raises(PolicyStoreError):
+            store.lineage("ghost")
+        store.create_tenant("t")
+        store.put("t", GRANT_DSL)
+        with pytest.raises(PolicyStoreError):
+            store.text("t", 7)
+
+
+# ----------------------------------------------------------------------
+# Activation gate
+# ----------------------------------------------------------------------
+class TestActivationGate:
+    def test_unparseable_candidate_blocks_and_pointer_stays(self):
+        store = PolicyStore()
+        store.create_tenant("t")
+        store.put("t", GRANT_DSL)
+        store.activate("t")
+        store.put("t", "not a policy ???")
+        with pytest.raises(PolicyStoreError, match="parse error"):
+            store.activate("t")
+        assert store.active_version("t") == 1
+
+    def test_strict_gate_blocks_conflicting_candidate(self):
+        # allow + deny of the same triple lints as a "conflict"
+        # warning: a fail_on="warning" store must refuse to serve it.
+        store = PolicyStore(fail_on="warning")
+        conflicted = GRANT_DSL + "deny child to watch on tv-devices when free-time\n"
+        store.create_tenant("t")
+        store.put("t", conflicted)
+        with pytest.raises(PolicyStoreError, match="validation failed"):
+            store.activate("t")
+        assert store.active_version("t") is None
+
+    def test_default_gate_lets_warnings_through(self):
+        # fail_on="error" (the default) mirrors PolicyAdministrator:
+        # warnings are recorded in the activate event, not blocking.
+        conflicted = GRANT_DSL + "deny child to watch on tv-devices when free-time\n"
+        store = PolicyStore()
+        store.create_tenant("t")
+        store.put("t", conflicted)
+        store.activate("t")  # does not raise
+        assert store.active_version("t") == 1
+
+    def test_activate_is_idempotent(self):
+        store = PolicyStore()
+        store.create_tenant("t")
+        store.put("t", GRANT_DSL)
+        store.activate("t")
+        before = store.activations
+        store.activate("t")
+        assert store.activations == before
+        assert len(store.lineage("t").activations) == 1
+
+    def test_lint_memoized_per_content_hash(self):
+        store = PolicyStore()
+        for index in range(5):
+            name = f"unit-{index}"
+            store.create_tenant(name)
+            store.put(name, GRANT_DSL)
+            store.activate(name)
+        # One shared text -> one lint, however many tenants activated.
+        assert len(store._lint_memo) == 1
+
+
+# ----------------------------------------------------------------------
+# Rollback
+# ----------------------------------------------------------------------
+class TestRollback:
+    def test_rollback_restores_previous_distinct_version(self):
+        store = PolicyStore()
+        store.create_tenant("t")
+        store.put("t", GRANT_DSL)
+        store.activate("t")
+        store.put("t", DENY_DSL)
+        store.activate("t")
+        assert store.active_version("t") == 2
+        restored = store.rollback("t")
+        assert restored.version == 1
+        assert store.active_version("t") == 1
+
+    def test_rollback_alternates_like_git_revert(self):
+        store = PolicyStore()
+        store.create_tenant("t")
+        store.put("t", GRANT_DSL)
+        store.activate("t")
+        store.put("t", DENY_DSL)
+        store.activate("t")
+        assert store.rollback("t").version == 1
+        assert store.rollback("t").version == 2
+        assert store.rollback("t").version == 1
+
+    def test_rollback_without_history_raises(self):
+        store = PolicyStore()
+        store.create_tenant("t")
+        with pytest.raises(PolicyStoreError):
+            store.rollback("t")
+        store.put("t", GRANT_DSL)
+        store.activate("t")
+        with pytest.raises(PolicyStoreError, match="no earlier distinct"):
+            store.rollback("t")
+
+    def test_rollback_skips_lint_gate(self):
+        # v1 activates under a permissive gate; after the gate
+        # tightens, rollback to it must still work — the escape hatch
+        # never re-lints (the target already served once).
+        store = PolicyStore(fail_on=None)
+        conflicted = GRANT_DSL + "deny child to watch on tv-devices when free-time\n"
+        store.create_tenant("t")
+        store.put("t", conflicted)
+        store.activate("t")
+        store.put("t", GRANT_DSL)
+        store.activate("t")
+        store.fail_on = "warning"  # would now block activate(v1)
+        restored = store.rollback("t")
+        assert restored.version == 1
+        assert store.active_version("t") == 1
+
+
+# ----------------------------------------------------------------------
+# Durability: replay, torn tail, corruption
+# ----------------------------------------------------------------------
+class TestDurability:
+    def test_replay_reconstructs_state(self, tmp_path):
+        path = str(tmp_path / "store")
+        with PolicyStore(path) as store:
+            store.create_tenant("a", actor="me")
+            store.put("a", GRANT_DSL, note="first")
+            store.activate("a")
+            store.put("a", DENY_DSL)
+            store.activate("a")
+            store.rollback("a")
+        with PolicyStore(path) as reopened:
+            assert reopened.tenants() == ["a"]
+            lineage = reopened.lineage("a")
+            assert [v.version for v in lineage.versions] == [1, 2]
+            assert lineage.versions[0].note == "first"
+            assert reopened.active_version("a") == 1
+            assert reopened.text("a") == GRANT_DSL
+            # Appending after replay continues the sequence cleanly.
+            reopened.put("a", THIRD_DSL)
+            assert reopened.lineage("a").head.version == 3
+
+    def test_torn_tail_is_dropped_and_counted(self, tmp_path):
+        path = str(tmp_path / "store")
+        with PolicyStore(path) as store:
+            store.create_tenant("a")
+            store.put("a", GRANT_DSL)
+            store.activate("a")
+        log_path = os.path.join(path, "store.jsonl")
+        with open(log_path, "a", encoding="utf-8") as handle:
+            handle.write('{"seq": 99, "event": "activ')  # crash mid-append
+        with PolicyStore(path) as reopened:
+            assert reopened.torn_tail_recovered == 1
+            assert reopened.active_version("a") == 1
+
+    def test_interior_corruption_refuses_to_open(self, tmp_path):
+        path = str(tmp_path / "store")
+        with PolicyStore(path) as store:
+            store.create_tenant("a")
+            store.put("a", GRANT_DSL)
+        log_path = os.path.join(path, "store.jsonl")
+        with open(log_path, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+        lines[0] = "garbage not json\n"
+        with open(log_path, "w", encoding="utf-8") as handle:
+            handle.writelines(lines)
+        with pytest.raises(PolicyStoreError, match="store.jsonl:1"):
+            PolicyStore(path)
+
+    def test_log_events_are_json_with_monotonic_seq(self, tmp_path):
+        path = str(tmp_path / "store")
+        with PolicyStore(path) as store:
+            store.create_tenant("a")
+            store.put("a", GRANT_DSL)
+            store.activate("a")
+        with open(os.path.join(path, "store.jsonl"), encoding="utf-8") as handle:
+            events = [json.loads(line) for line in handle]
+        assert [e["seq"] for e in events] == list(range(1, len(events) + 1))
+        assert [e["event"] for e in events] == [
+            "create",
+            "blob",
+            "put",
+            "activate",
+        ]
+
+
+# ----------------------------------------------------------------------
+# Serving: lazy compile, content-addressed LRU
+# ----------------------------------------------------------------------
+class TestServing:
+    def test_engine_serves_active_version(self):
+        store = PolicyStore()
+        store.create_tenant("t")
+        store.put("t", GRANT_DSL)
+        store.activate("t")
+        engine, version = store.engine("t")
+        assert version == 1
+        assert decide(engine) is True
+        store.put("t", DENY_DSL)
+        store.activate("t")
+        engine2, version2 = store.engine("t")
+        assert version2 == 2
+        assert decide(engine2) is False
+
+    def test_engine_without_activation_raises(self):
+        store = PolicyStore()
+        store.create_tenant("t")
+        with pytest.raises(PolicyStoreError):
+            store.engine("t")
+        store.put("t", GRANT_DSL)
+        with pytest.raises(PolicyStoreError):
+            store.engine("t")
+
+    def test_tenants_sharing_text_share_compiled_engine(self):
+        store = PolicyStore()
+        for name in ("a", "b", "c"):
+            store.create_tenant(name)
+            store.put(name, GRANT_DSL)
+            store.activate(name)
+        engines = {id(store.engine(name)[0]) for name in ("a", "b", "c")}
+        assert len(engines) == 1
+        assert store.compiled.misses == 1
+        assert store.compiled.hits == 2
+
+    def test_compiled_lru_bounded_with_evictions(self):
+        store = PolicyStore(compiled_cache_size=2)
+        texts = [
+            GRANT_DSL,
+            DENY_DSL,
+            THIRD_DSL,
+        ]
+        for index, text in enumerate(texts):
+            name = f"t{index}"
+            store.create_tenant(name)
+            store.put(name, text)
+            store.activate(name)
+            store.engine(name)
+        assert len(store.compiled) == 2
+        assert store.compiled.evictions == 1
+        # The evicted entry rebuilds on demand (correctly, not stale).
+        engine, _ = store.engine("t0")
+        assert decide(engine) is True
+
+    def test_snapshot_cache_rejects_zero_capacity(self):
+        with pytest.raises(PolicyStoreError):
+            CompiledSnapshotCache(0)
+
+
+# ----------------------------------------------------------------------
+# Observability
+# ----------------------------------------------------------------------
+class TestObservability:
+    def test_stats_shape(self, tmp_path):
+        store = PolicyStore(str(tmp_path / "store"))
+        store.create_tenant("t")
+        store.put("t", GRANT_DSL)
+        store.activate("t")
+        store.engine("t")
+        stats = store.stats()
+        assert stats["tenants"] == 1
+        assert stats["versions"] == 1
+        assert stats["blobs"] == 1
+        assert stats["activations"] == 1
+        assert stats["compiled"]["entries"] == 1
+
+    def test_bind_metrics_exports_gauges(self):
+        store = PolicyStore()
+        registry = MetricsRegistry()
+        store.bind_metrics(registry)
+        store.create_tenant("t")
+        store.put("t", GRANT_DSL)
+        store.activate("t")
+        snapshot = registry.snapshot()
+        gauges = snapshot["gauges"]
+        assert gauges["store.tenants"] == 1
+        assert gauges["store.versions"] == 1
+        assert gauges["store.activations"] == 1
+
+    def test_overview_and_log(self):
+        store = PolicyStore()
+        store.create_tenant("t")
+        store.put("t", GRANT_DSL)
+        store.activate("t")
+        rows = store.overview()
+        assert rows == [
+            {
+                "tenant": "t",
+                "versions": 1,
+                "active_version": 1,
+                "activations": 1,
+            }
+        ]
+        lineage = store.log("t")
+        assert lineage["tenant"] == "t"
+        assert lineage["versions"][0]["active"] is True
+
+    def test_default_tenant_constant(self):
+        assert DEFAULT_TENANT == "default"
