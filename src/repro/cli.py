@@ -177,7 +177,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.store:
         from repro.store import DEFAULT_TENANT, PolicyStore
 
-        store = PolicyStore(args.store)
+        store = PolicyStore(
+            args.store, reader=getattr(args, "store_reader", False)
+        )
     if args.policy:
         policy = _load_policy(args.policy)
     elif (
@@ -223,9 +225,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
         administrator = PolicyAdministrator(pdp)
         server = PDPServer(
-            pdp, host=args.host, port=args.port, administrator=administrator
+            pdp,
+            host=args.host,
+            port=args.port,
+            administrator=administrator,
+            drain_timeout_s=getattr(args, "drain_timeout", None),
         )
         await server.start()
+        # SIGTERM/SIGINT trigger the same graceful drain Ctrl-C does:
+        # stop accepting, finish admitted work (bounded by
+        # --drain-timeout), then exit 0 — what a supervisor expects.
+        server.install_signal_handlers()
         admin = None
         if args.admin_port is not None:
             admin = AdminServer(
@@ -469,8 +479,11 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         build_stream,
         compute_expected,
         run_loadgen,
+        run_loadgen_endpoints,
     )
 
+    if args.connections < 1:
+        raise GrbacError("--connections must be >= 1")
     policy = _load_policy(args.policy)
     config = LoadgenConfig(
         requests=args.requests,
@@ -481,17 +494,41 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     )
     stream = build_stream(policy, config)
     expected = compute_expected(policy, stream) if args.verify else None
+    endpoints = list(args.connect or ())
+    # Repeating one endpoint is allowed (more independent closed loops
+    # against one target); label repeats uniquely so results don't merge.
+    labels = [
+        endpoint
+        if endpoints.count(endpoint) == 1
+        else f"{endpoint}#{index}"
+        for index, endpoint in enumerate(endpoints)
+    ]
 
     async def run():
-        if args.connect:
-            host, port = _parse_connect(args.connect)
-            client = await RemotePDPClient.connect(
-                host, port, wire=args.wire
-            )
+        if endpoints:
+            clients_by_endpoint = {}
             try:
-                return await run_loadgen(client, stream, config, expected)
+                for label, endpoint in zip(labels, endpoints):
+                    host, port = _parse_connect(endpoint)
+                    clients_by_endpoint[label] = [
+                        await RemotePDPClient.connect(
+                            host, port, wire=args.wire
+                        )
+                        for _ in range(args.connections)
+                    ]
+                if len(endpoints) == 1 and args.connections == 1:
+                    only = clients_by_endpoint[labels[0]][0]
+                    return (
+                        await run_loadgen(only, stream, config, expected),
+                        None,
+                    )
+                return await run_loadgen_endpoints(
+                    clients_by_endpoint, stream, config, expected
+                )
             finally:
-                await client.close()
+                for clients in clients_by_endpoint.values():
+                    for client in clients:
+                        await client.close()
         engine = MediationEngine(policy)
         pdp = PolicyDecisionPoint(
             engine,
@@ -502,18 +539,31 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             ),
         )
         async with pdp:
-            return await run_loadgen(PDPClient(pdp), stream, config, expected)
+            return (
+                await run_loadgen(PDPClient(pdp), stream, config, expected),
+                None,
+            )
 
-    result = asyncio.run(run())
-    wire = args.wire if args.connect else "in-process"
+    result, per_endpoint = asyncio.run(run())
+    wire = args.wire if endpoints else "in-process"
     target = (
-        f"{args.connect} [{args.wire} wire]"
-        if args.connect
+        f"{', '.join(endpoints)} [{args.wire} wire, "
+        f"{args.connections} conn/endpoint]"
+        if endpoints
         else "in-process PDP"
     )
     mode = "unbatched" if args.unbatched else "micro-batched"
     print(f"loadgen against {target} ({mode}):")
     print(result.describe())
+    if per_endpoint is not None:
+        for label in labels:
+            one = per_endpoint[label]
+            print(
+                f"  {label}: {one.completed}/{one.sent} completed  "
+                f"{one.throughput_rps:,.0f} req/s  "
+                f"p95 {one.latency_us(0.95):.1f} us  "
+                f"shed {one.shed}  unavailable {one.unavailable}"
+            )
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             json_module.dump(result.to_dict(), handle, indent=2)
@@ -561,6 +611,168 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         )
         return 1
     return 0
+
+
+def _cluster_http(
+    connect: str, path: str, body: "Optional[bytes]" = None
+) -> "tuple[int, dict]":
+    """One request against a cluster admin endpoint; ``(status, json)``."""
+    import json as json_module
+    import urllib.error
+    import urllib.request
+
+    host, port = _parse_connect(connect)
+    url = f"http://{host}:{port}{path}"
+    request = urllib.request.Request(
+        url, data=body, method="GET" if body is None else "POST"
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json_module.loads(response.read())
+    except urllib.error.HTTPError as error:
+        raw = error.read()
+        try:
+            return error.code, json_module.loads(raw)
+        except json_module.JSONDecodeError:
+            return error.code, {"error": raw.decode("utf-8", "replace")}
+    except (urllib.error.URLError, OSError) as error:
+        raise GrbacError(
+            f"cluster admin at {connect} unreachable: {error}"
+        ) from None
+
+
+def _cmd_cluster_start(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.cluster import ClusterAdminServer, ClusterSupervisor
+
+    async def run() -> None:
+        supervisor = ClusterSupervisor(
+            policy_path=args.policy,
+            store_dir=args.store,
+            workers=args.workers,
+            host=args.host,
+            router_port=args.port,
+            vnodes=args.vnodes,
+            drain_timeout_s=args.drain_timeout,
+            worker_args=args.worker_arg or [],
+        )
+        await supervisor.start()
+        admin = ClusterAdminServer(
+            supervisor, host=args.host, port=args.admin_port
+        )
+        await admin.start()
+        source = args.policy if args.policy else f"store:{args.store}"
+        # Readiness lines, same contract as `serve`: scripts wait for
+        # "listening on HOST:PORT" before pointing loadgen at us.
+        print(
+            f"cluster of {args.workers} serving {source!r} "
+            f"listening on {args.host}:{supervisor.router.port}",
+            flush=True,
+        )
+        print(
+            f"cluster admin http listening on {args.host}:{admin.port}",
+            flush=True,
+        )
+        for name, worker in sorted(supervisor.status()["workers"].items()):
+            print(
+                f"  worker {name} pid {worker['pid']} on port "
+                f"{worker['port']} (admin {worker['admin_port']})",
+                flush=True,
+            )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        try:
+            loop.add_signal_handler(signal.SIGTERM, stop.set)
+            loop.add_signal_handler(signal.SIGINT, stop.set)
+        except (NotImplementedError, RuntimeError):
+            pass
+        stop_wait = loop.create_task(stop.wait())
+        drain_wait = loop.create_task(admin.drain_requested.wait())
+        try:
+            await asyncio.wait(
+                {stop_wait, drain_wait},
+                return_when=asyncio.FIRST_COMPLETED,
+            )
+        finally:
+            stop_wait.cancel()
+            drain_wait.cancel()
+        print("draining cluster", flush=True)
+        await admin.stop()
+        await supervisor.stop(drain=True)
+        print("cluster stopped", flush=True)
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_cluster_status(args: argparse.Namespace) -> int:
+    _, status = _cluster_http(args.connect, "/status")
+    code, health = _cluster_http(args.connect, "/health")
+    healthy = health.get("healthy", False)
+    print(f"cluster {'healthy' if healthy else 'UNHEALTHY'} "
+          f"(generations {health.get('generations')})")
+    for name, worker in sorted(status.get("workers", {}).items()):
+        router_row = (
+            status.get("router", {}).get("workers", {}).get(name, {})
+        )
+        print(
+            f"  {name}: {worker['state']}  pid {worker['pid']}  "
+            f"port {worker['port']}  restarts {worker['restarts']}  "
+            f"routed {router_row.get('routed', 0)}  "
+            f"breaker {router_row.get('breaker', '?')}"
+        )
+    router = status.get("router", {})
+    print(
+        f"  router: {router.get('connections', 0)} connections, "
+        f"{router.get('in_flight', 0)} in flight, "
+        f"{router.get('unavailable_synthesized', 0)} shed unavailable"
+    )
+    reloads = status.get("reloads", {})
+    print(
+        f"  reloads: {reloads.get('accepted', 0)} accepted, "
+        f"{reloads.get('rejected', 0)} rejected"
+    )
+    return 0 if healthy else 1
+
+
+def _cmd_cluster_reload(args: argparse.Namespace) -> int:
+    with open(args.policy, "r", encoding="utf-8") as handle:
+        policy_text = handle.read()
+    query = f"?actor={args.actor}" if args.actor else ""
+    if args.dry_run:
+        query += ("&" if query else "?") + "dry_run=1"
+    code, result = _cluster_http(
+        args.connect, f"/reload{query}", policy_text.encode("utf-8")
+    )
+    accepted = result.get("accepted", False)
+    phase = result.get("phase", "?")
+    verdict = "accepted" if accepted else "REJECTED"
+    print(f"cluster reload {verdict} (phase: {phase}, http {code})")
+    for name, outcome in sorted(result.get("workers", {}).items()):
+        detail = outcome.get("error") or "ok"
+        print(f"  {name}: "
+              f"{'accepted' if outcome.get('accepted') else 'rejected'}"
+              f" — {detail}")
+    generations = result.get("generations") or {}
+    if generations:
+        print(f"  generations: {generations}")
+    if not accepted and result.get("error"):
+        print(f"  error: {result['error']}", file=sys.stderr)
+    return 0 if accepted else 1
+
+
+def _cmd_cluster_drain(args: argparse.Namespace) -> int:
+    code, result = _cluster_http(args.connect, "/drain", b"")
+    if code == 200 and result.get("draining"):
+        print("cluster drain initiated")
+        return 0
+    print(f"drain refused (http {code}): {result}", file=sys.stderr)
+    return 1
 
 
 def _cmd_tenant(args: argparse.Namespace) -> int:
@@ -935,6 +1147,22 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="mtime poll interval with --watch (default 1.0)",
     )
+    serve.add_argument(
+        "--store-reader",
+        action="store_true",
+        help="open --store read-only and follow the writer's appends "
+        "(for cluster workers sharing one store directory; mutating "
+        "ops are refused)",
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="on SIGTERM/SIGINT, wait at most this long for admitted "
+        "requests to drain before shedding the remainder "
+        "(default: drain without a deadline)",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     reload_cmd = subparsers.add_parser(
@@ -1032,8 +1260,20 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument(
         "--connect",
         metavar="HOST:PORT",
+        action="append",
         help="target a running `serve` instance (must serve the same "
-        "policy file; default: in-process PDP)",
+        "policy file; default: in-process PDP).  Repeatable: with "
+        "several targets the stream is dealt round-robin across them "
+        "and per-endpoint throughput is reported",
+    )
+    loadgen.add_argument(
+        "--connections",
+        type=int,
+        default=1,
+        metavar="N",
+        help="TCP connections per --connect endpoint (default 1); more "
+        "connections lift the single-socket write-serialization "
+        "ceiling",
     )
     loadgen.add_argument(
         "--wire",
@@ -1100,6 +1340,107 @@ def build_parser() -> argparse.ArgumentParser:
         "benchmarks/reports/BENCH_service.json)",
     )
     loadgen.set_defaults(func=_cmd_loadgen)
+
+    cluster = subparsers.add_parser(
+        "cluster",
+        help="run and operate a multi-worker PDP cluster (shard "
+        "router + supervisor + aggregated live-ops)",
+    )
+    cluster_sub = cluster.add_subparsers(
+        dest="cluster_command", required=True
+    )
+    cluster_start = cluster_sub.add_parser(
+        "start",
+        help="fork N workers behind a shard router and serve until "
+        "SIGTERM/SIGINT or POST /drain",
+    )
+    cluster_start.add_argument(
+        "policy",
+        nargs="?",
+        default=None,
+        help="path to a DSL policy file every worker boots from "
+        "(optional with --store)",
+    )
+    cluster_start.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="policy store directory workers open read-only "
+        "(--store-reader); the supervisor side stays the writer",
+    )
+    cluster_start.add_argument(
+        "--workers", type=int, default=4,
+        help="worker process count (default 4)",
+    )
+    cluster_start.add_argument(
+        "--host", default="127.0.0.1", help="bind address"
+    )
+    cluster_start.add_argument(
+        "--port", type=int, default=7470,
+        help="router (data plane) port; 0 picks an ephemeral port "
+        "(default 7470)",
+    )
+    cluster_start.add_argument(
+        "--admin-port", type=int, default=0, metavar="PORT",
+        help="aggregating admin HTTP port (default: ephemeral)",
+    )
+    cluster_start.add_argument(
+        "--vnodes", type=int, default=128,
+        help="virtual nodes per worker on the hash ring (default 128)",
+    )
+    cluster_start.add_argument(
+        "--drain-timeout", type=float, default=5.0, metavar="SECONDS",
+        help="graceful-drain deadline for the router and each worker "
+        "(default 5.0)",
+    )
+    cluster_start.add_argument(
+        "--worker-arg",
+        action="append",
+        metavar="ARG",
+        help="extra argument passed to every worker's `serve` command "
+        "line (repeatable), e.g. --worker-arg=--cache-size=8192",
+    )
+    cluster_start.set_defaults(func=_cmd_cluster_start)
+    cluster_status = cluster_sub.add_parser(
+        "status", help="one-line-per-worker cluster state and health"
+    )
+    cluster_status.add_argument(
+        "--connect", required=True, metavar="HOST:ADMIN_PORT",
+        help="the cluster admin endpoint printed by `cluster start`",
+    )
+    cluster_status.set_defaults(func=_cmd_cluster_status)
+    cluster_reload = cluster_sub.add_parser(
+        "reload",
+        help="two-phase cluster-wide hot reload: prepare on every "
+        "worker, activate only if all accepted",
+    )
+    cluster_reload.add_argument(
+        "policy", help="path to the candidate policy file (DSL or JSON)"
+    )
+    cluster_reload.add_argument(
+        "--connect", required=True, metavar="HOST:ADMIN_PORT",
+        help="the cluster admin endpoint",
+    )
+    cluster_reload.add_argument(
+        "--actor", default="", help="audit-trail attribution"
+    )
+    cluster_reload.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="prepare (validate + compile) everywhere, then abort — "
+        "nothing activates",
+    )
+    cluster_reload.set_defaults(func=_cmd_cluster_reload)
+    cluster_drain = cluster_sub.add_parser(
+        "drain",
+        help="gracefully shut the cluster down (router drains, "
+        "workers SIGTERM-drain)",
+    )
+    cluster_drain.add_argument(
+        "--connect", required=True, metavar="HOST:ADMIN_PORT",
+        help="the cluster admin endpoint",
+    )
+    cluster_drain.set_defaults(func=_cmd_cluster_drain)
 
     export = subparsers.add_parser(
         "export", help="convert a policy to JSON or normalized DSL"

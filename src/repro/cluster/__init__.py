@@ -1,0 +1,34 @@
+"""Multi-worker PDP cluster: shard router, supervisor, live-ops.
+
+One supervisor process forks N single-loop ``PDPServer`` workers and
+fronts them with a :class:`~repro.cluster.router.ShardRouter` that
+consistent-hashes each request's shard key (tenant, else subject) to
+a worker — keeping every decision cache hot for its own key range.
+The supervisor restarts dead workers with backoff, drives cluster-wide
+two-phase policy reloads (prepare everywhere, then activate
+everywhere or abort everywhere), and aggregates per-worker metrics,
+health, and flight-recorder tails into one cluster view.
+"""
+
+from repro.cluster.admin import ClusterAdminServer
+from repro.cluster.liveops import (
+    merge_flight,
+    merge_health,
+    merge_prometheus,
+)
+from repro.cluster.ring import ConsistentHashRing, stable_hash
+from repro.cluster.router import CircuitBreaker, ShardRouter
+from repro.cluster.supervisor import ClusterSupervisor, WorkerHandle
+
+__all__ = [
+    "CircuitBreaker",
+    "ClusterAdminServer",
+    "ClusterSupervisor",
+    "ConsistentHashRing",
+    "ShardRouter",
+    "WorkerHandle",
+    "merge_flight",
+    "merge_health",
+    "merge_prometheus",
+    "stable_hash",
+]

@@ -1,0 +1,140 @@
+"""Cluster live-ops: merge per-worker telemetry into one view.
+
+Pure functions over data the supervisor's control connections already
+fetch (the ``metrics`` / ``health`` / ``dump`` wire ops), so they are
+trivially testable without a cluster.  Every merged sample, health
+row, and flight entry carries a ``shard`` label naming the worker it
+came from — one scrape target, per-shard drill-down.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Optional
+
+from repro.obs.export import PrometheusParseError, parse_prometheus
+
+_TYPE_LINE = re.compile(r"^#\s+TYPE\s+(\S+)\s+(\S+)\s*$", re.MULTILINE)
+
+
+def _render_labels(labels: Dict[str, str]) -> str:
+    body = ",".join(f'{key}="{value}"' for key, value in labels.items())
+    return "{" + body + "}"
+
+
+def merge_prometheus(texts: Dict[str, str]) -> str:
+    """Merge per-worker expositions into one, adding ``shard`` labels.
+
+    ``texts`` maps worker name -> that worker's Prometheus text
+    exposition.  Every sample is re-emitted with ``shard="<name>"``
+    merged into its label set; ``# TYPE`` declarations are emitted
+    once per metric family.  A worker whose exposition fails to parse
+    contributes a ``grbac_cluster_scrape_errors`` sample instead of
+    poisoning the whole scrape.
+    """
+    types: Dict[str, str] = {}
+    merged: Dict[str, List[str]] = {}
+    scrape_errors: Dict[str, int] = {}
+    for shard in sorted(texts):
+        text = texts[shard]
+        for match in _TYPE_LINE.finditer(text):
+            types.setdefault(match.group(1), match.group(2))
+        try:
+            samples = parse_prometheus(text)
+        except PrometheusParseError:
+            scrape_errors[shard] = 1
+            continue
+        for name in samples:
+            lines = merged.setdefault(name, [])
+            for labels, value in samples[name]:
+                labelled = dict(labels)
+                labelled["shard"] = shard
+                lines.append(f"{name}{_render_labels(labelled)} {value}")
+    def family_of(name: str) -> str:
+        # Histogram series (_bucket/_sum/_count) belong to the family
+        # their TYPE line declares; everything else is its own family.
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in types:
+                return name[: -len(suffix)]
+        return name
+
+    families: Dict[str, List[str]] = {}
+    for name in merged:
+        families.setdefault(family_of(name), []).append(name)
+    out: List[str] = []
+    for family in sorted(families):
+        if family in types:
+            out.append(f"# TYPE {family} {types[family]}")
+        for name in sorted(families[family]):
+            out.extend(merged[name])
+    out.append("# TYPE grbac_cluster_scrape_errors_total counter")
+    for shard in sorted(texts):
+        out.append(
+            f'grbac_cluster_scrape_errors_total{{shard="{shard}"}} '
+            f"{scrape_errors.get(shard, 0)}"
+        )
+    return "\n".join(out) + "\n"
+
+
+def merge_health(
+    reports: Dict[str, Optional[Dict[str, Any]]]
+) -> Dict[str, Any]:
+    """One cluster health body from per-worker ``health`` bodies.
+
+    ``None`` marks an unreachable worker.  The cluster is healthy only
+    when every worker answered healthy **and** all of them serve the
+    same policy generation — a mixed-generation cluster answers the
+    same request differently depending on the shard it lands on, which
+    is exactly what the two-phase reload exists to prevent.
+    """
+    generations = sorted(
+        {
+            report["generation"]
+            for report in reports.values()
+            if report is not None and "generation" in report
+        }
+    )
+    workers = {}
+    for shard in sorted(reports):
+        report = reports[shard]
+        if report is None:
+            workers[shard] = {"healthy": False, "reachable": False}
+        else:
+            workers[shard] = {**report, "reachable": True}
+    healthy = (
+        bool(reports)
+        and all(
+            report is not None and report.get("healthy", False)
+            for report in reports.values()
+        )
+        and len(generations) <= 1
+    )
+    return {
+        "healthy": healthy,
+        "workers": workers,
+        "generations": generations,
+        "mixed_generations": len(generations) > 1,
+    }
+
+
+def merge_flight(
+    tails: Dict[str, List[Dict[str, Any]]], limit: Optional[int] = None
+) -> List[Dict[str, Any]]:
+    """Interleave per-worker flight-recorder tails into one list.
+
+    Entries gain a ``shard`` field.  Recorder sequence numbers are
+    per-worker (there is no cluster clock), so ordering is by ``seq``
+    then shard name — each worker's own tail stays in order and the
+    interleave is deterministic; ``limit`` keeps the last N.
+    """
+    merged: List[Dict[str, Any]] = []
+    for shard in sorted(tails):
+        for entry in tails[shard]:
+            merged.append({**entry, "shard": shard})
+    merged.sort(key=lambda e: (e.get("seq", 0), e.get("shard", "")))
+    if limit is not None and limit >= 0:
+        merged = merged[len(merged) - min(limit, len(merged)):]
+    return merged
+
+
+__all__ = ["merge_flight", "merge_health", "merge_prometheus"]

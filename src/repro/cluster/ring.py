@@ -1,0 +1,136 @@
+"""Consistent-hash ring for shard-affine request routing.
+
+The cluster routes every decision request by its *shard key* (subject
+name, or tenant when one is set) so that a given subject always lands
+on the same worker and that worker's revision-keyed decision cache
+stays hot for its key range — the same locality argument GRBAC makes
+for environment state living near the home it describes.
+
+A plain ``hash(key) % N`` mapping would remap almost every key when a
+worker joins or leaves.  The ring instead places ``vnodes`` virtual
+points per worker on a 32-bit circle and routes each key to the first
+point clockwise from the key's hash; removing a worker reassigns only
+the arcs that worker owned (~1/N of the keyspace), which is the
+"bounded remap on membership change" contract the router depends on.
+
+Hashes come from :mod:`hashlib` (md5, first 4 bytes), **never**
+Python's builtin ``hash``: the builtin is salted per process, and the
+ring must route identically in the router, the supervisor, tests, and
+any future peer — routing is part of the wire contract, not an
+implementation detail.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, List, Sequence, Tuple
+
+from repro.exceptions import ServiceError
+
+#: Virtual nodes per ring member.  128 keeps the largest/smallest
+#: owned-share ratio under ~1.6 for 4–16 workers (asserted in tests)
+#: while membership changes stay O(vnodes · log points).
+DEFAULT_VNODES = 128
+
+
+def stable_hash(key: str) -> int:
+    """Process-stable 32-bit hash of ``key`` (md5 prefix)."""
+    return int.from_bytes(
+        hashlib.md5(key.encode("utf-8")).digest()[:4], "big"
+    )
+
+
+class ConsistentHashRing:
+    """Maps shard keys to member names with bounded remap.
+
+    :param members: initial member names (e.g. worker slot names
+        ``"w0".."wN-1"``).  Names must be unique and non-empty.
+    :param vnodes: virtual points per member; more points smooth the
+        distribution at the cost of membership-change work.
+    """
+
+    def __init__(
+        self, members: Sequence[str] = (), vnodes: int = DEFAULT_VNODES
+    ) -> None:
+        if vnodes < 1:
+            raise ServiceError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        #: Sorted virtual-point hashes, parallel to :attr:`_owners`.
+        self._points: List[int] = []
+        self._owners: List[str] = []
+        self._members: Dict[str, List[int]] = {}
+        for member in members:
+            self.add(member)
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    @property
+    def members(self) -> List[str]:
+        return sorted(self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, member: str) -> bool:
+        return member in self._members
+
+    def add(self, member: str) -> None:
+        """Place ``member``'s virtual points on the ring."""
+        if not member:
+            raise ServiceError("ring member name must be non-empty")
+        if member in self._members:
+            raise ServiceError(f"ring member {member!r} already present")
+        hashes: List[int] = []
+        for vnode in range(self.vnodes):
+            point = stable_hash(f"{member}#{vnode}")
+            # Collisions across members are astronomically unlikely but
+            # must not silently shadow an existing owner; perturb.
+            while True:
+                index = bisect.bisect_left(self._points, point)
+                if index < len(self._points) and self._points[index] == point:
+                    point = (point + 1) & 0xFFFFFFFF
+                    continue
+                break
+            self._points.insert(index, point)
+            self._owners.insert(index, member)
+            hashes.append(point)
+        self._members[member] = hashes
+
+    def remove(self, member: str) -> None:
+        """Remove ``member``; only its arcs are reassigned."""
+        hashes = self._members.pop(member, None)
+        if hashes is None:
+            raise ServiceError(f"ring member {member!r} not present")
+        for point in hashes:
+            index = bisect.bisect_left(self._points, point)
+            # The point is present by construction; owners may share a
+            # hash value only via the perturbation above, so scan.
+            while self._owners[index] != member or self._points[index] != point:
+                index += 1
+            del self._points[index]
+            del self._owners[index]
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def route(self, key: str) -> str:
+        """Member owning ``key``: first virtual point clockwise."""
+        if not self._points:
+            raise ServiceError("ring has no members")
+        index = bisect.bisect_right(self._points, stable_hash(key))
+        if index == len(self._points):
+            index = 0
+        return self._owners[index]
+
+    def distribution(self, keys: Sequence[str]) -> Dict[str, int]:
+        """Routed-key counts per member (diagnostics and tests)."""
+        counts = {member: 0 for member in self._members}
+        for key in keys:
+            counts[self.route(key)] += 1
+        return counts
+
+    def describe(self) -> List[Tuple[str, int]]:
+        """(member, virtual-point count) rows, sorted by member."""
+        return [(m, len(h)) for m, h in sorted(self._members.items())]

@@ -1,0 +1,777 @@
+"""The shard router: one front door for a cluster of PDP workers.
+
+An asyncio TCP proxy that terminates both wire formats the PDP speaks
+(NDJSON lines and binary frames, detected per message by the same
+one-byte peek the server uses), extracts each decision request's
+*shard key* — tenant when present, else subject — and forwards the
+message byte-for-byte to the worker the consistent-hash ring owns
+that key on.  Responses stream back over per-worker pumps and are
+written to the client under its connection lock, so the client sees
+exactly the pipelined out-of-order protocol a single server gives it.
+
+Connections upstream are **per client session, per worker**, created
+lazily on first route and kept pipelined: because every upstream
+carries only one client's traffic, the client's own request ids stay
+unique on the wire and the router never rewrites a message.
+
+Failure policy — shed, never hang:
+
+* every worker has a :class:`CircuitBreaker`; connect/IO failures
+  open it and requests routed there are answered immediately with
+  ``DENY_UNAVAILABLE`` until the cooldown's half-open probe succeeds;
+* when an upstream dies mid-flight, every request still outstanding
+  on it is answered with ``DENY_UNAVAILABLE`` (matching the lane it
+  arrived on) — a killed worker costs explicit refusals, not client
+  errors or silent drops;
+* ``drain()`` stops accepting, lets in-flight work finish (bounded),
+  then closes — the router half of the cluster's graceful SIGTERM
+  story.
+
+Control ops ride through too: ``ping`` is answered locally,
+``intern`` is forwarded and its table payload captured so new
+upstreams can be pinned to the *same* tables (see
+``PDPServer``'s intern-with-tables form), reload ops are delegated
+to the supervisor's cluster-wide two-phase handler, and everything
+else goes to the first healthy worker.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Awaitable, Callable, Dict, Optional, Tuple
+
+from repro.cluster.ring import ConsistentHashRing
+from repro.exceptions import ServiceError
+from repro.service.protocol import (
+    BINARY_MAGIC,
+    KIND_REQUEST,
+    MAX_LINE_BYTES,
+    MAX_OP_LINE_BYTES,
+    InternTables,
+    dumps_line,
+    encode_binary_error,
+    encode_binary_unavailable,
+    encode_unavailable,
+    frame,
+    parse_line,
+    peek_binary_id,
+    peek_binary_request,
+    read_frame_tail,
+)
+
+#: Reserved wire id for the router's own intern replays to fresh
+#: upstreams; responses carrying it are consumed, never forwarded.
+ROUTER_INTERN_ID = "__router_intern__"
+
+#: Ops the router forwards to any healthy worker (cluster-wide
+#: aggregation lives on the supervisor's admin endpoint instead).
+_FORWARD_OPS = frozenset(
+    {"stats", "metrics", "health", "ready", "dump", "tenants", "intern"}
+)
+
+_RELOAD_OPS = frozenset({"reload", "reload_prepare", "reload_activate",
+                         "reload_abort"})
+
+
+class CircuitBreaker:
+    """Per-worker failure gate: open after N failures, probe after cooldown.
+
+    While open, routed requests shed with ``DENY_UNAVAILABLE`` instead
+    of paying a connect timeout each.  After ``cooldown_s`` the breaker
+    is *half-open*: attempts pass again, one failure re-opens it, one
+    success closes it.
+    """
+
+    def __init__(
+        self, failure_threshold: int = 3, cooldown_s: float = 1.0
+    ) -> None:
+        if failure_threshold < 1:
+            raise ServiceError("failure_threshold must be >= 1")
+        if cooldown_s <= 0:
+            raise ServiceError("cooldown_s must be > 0")
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self.failures = 0
+        self.opened_at: Optional[float] = None
+        self.opens = 0
+
+    @property
+    def open(self) -> bool:
+        if self.opened_at is None:
+            return False
+        if time.monotonic() - self.opened_at >= self.cooldown_s:
+            return False  # half-open: let a probe through
+        return True
+
+    def record_failure(self) -> None:
+        self.failures += 1
+        if self.failures >= self.failure_threshold:
+            if self.opened_at is None:
+                self.opens += 1
+            self.opened_at = time.monotonic()
+
+    def record_success(self) -> None:
+        self.failures = 0
+        self.opened_at = None
+
+    def force_open(self) -> None:
+        """Open immediately (supervisor saw the worker die)."""
+        if self.opened_at is None:
+            self.opens += 1
+        self.failures = max(self.failures, self.failure_threshold)
+        self.opened_at = time.monotonic()
+
+    def state(self) -> str:
+        if self.opened_at is None:
+            return "closed"
+        return "open" if self.open else "half-open"
+
+
+class _Upstream:
+    """One client session's pipelined connection to one worker."""
+
+    def __init__(
+        self,
+        session: "_Session",
+        name: str,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        self.session = session
+        self.name = name
+        self.reader = reader
+        self.writer = writer
+        #: wire id -> lane tag ("bin" | "json" | "op" | "intern" |
+        #: "router-intern"), insertion-ordered for failure synthesis.
+        self.outstanding: Dict[object, str] = {}
+        self.closed = False
+        self.pump = asyncio.get_running_loop().create_task(self._pump())
+
+    async def _pump(self) -> None:
+        """Forward worker responses to the client, byte-for-byte."""
+        session = self.session
+        try:
+            while True:
+                try:
+                    first = await self.reader.readexactly(1)
+                except asyncio.IncompleteReadError:
+                    break
+                if first[0] == BINARY_MAGIC:
+                    kind, body = await read_frame_tail(self.reader)
+                    self.outstanding.pop(peek_binary_id(body), None)
+                    await session.send_bytes(frame(kind, body))
+                    continue
+                try:
+                    rest = await self.reader.readuntil(b"\n")
+                except asyncio.IncompleteReadError as eof:
+                    if eof.partial:
+                        await self._forward_line(first + eof.partial + b"\n")
+                    break
+                await self._forward_line(first + rest)
+        except (ConnectionResetError, BrokenPipeError, OSError, ServiceError):
+            pass
+        finally:
+            await self.close(synthesize=True)
+
+    async def _forward_line(self, line: bytes) -> None:
+        """Pass one NDJSON response through; intercept intern replies."""
+        session = self.session
+        wire_id, parsed = _scan_response_id(line)
+        tag = self.outstanding.pop(wire_id, None)
+        if tag == "router-intern":
+            return  # the router's own table pin; nothing to forward
+        if tag == "intern":
+            # Capture the table payload so future upstreams (worker
+            # restarts, other shards) can be pinned to the same codec.
+            try:
+                payload = parsed if parsed is not None else parse_line(
+                    line, max_bytes=MAX_OP_LINE_BYTES
+                )
+                if "error" not in payload:
+                    session.tables = InternTables.from_payload(payload)
+                    session.intern_payload = {
+                        "op": "intern",
+                        "id": ROUTER_INTERN_ID,
+                        "revision": payload.get("revision", 0),
+                        "tables": payload.get("tables"),
+                    }
+            except ServiceError:
+                pass
+        await session.send_bytes(line)
+
+    async def send(self, data: bytes) -> None:
+        self.writer.write(data)
+        await self.writer.drain()
+
+    async def close(self, synthesize: bool) -> None:
+        """Tear down; optionally answer everything still in flight."""
+        if self.closed:
+            return
+        self.closed = True
+        self.session.upstreams.pop(self.name, None)
+        if self.pump is not asyncio.current_task():
+            self.pump.cancel()
+        self.writer.close()
+        pending = list(self.outstanding.items())
+        self.outstanding.clear()
+        if synthesize and pending:
+            detail = f"worker {self.name} unavailable"
+            router = self.session.router
+            for wire_id, tag in pending:
+                router.unavailable_synthesized += 1
+                try:
+                    if tag == "bin":
+                        await self.session.send_bytes(
+                            encode_binary_unavailable(wire_id, detail)
+                        )
+                    elif tag == "json":
+                        await self.session.send_bytes(
+                            dumps_line(encode_unavailable(wire_id, detail))
+                        )
+                    elif tag in ("op", "intern"):
+                        await self.session.send_bytes(
+                            dumps_line({"id": wire_id, "error": detail})
+                        )
+                except (ConnectionResetError, BrokenPipeError, OSError):
+                    break
+
+
+class _Session:
+    """One client connection and its lazily-built upstream fan."""
+
+    def __init__(
+        self,
+        router: "ShardRouter",
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        self.router = router
+        self.reader = reader
+        self.writer = writer
+        self.write_lock = asyncio.Lock()
+        self.upstreams: Dict[str, _Upstream] = {}
+        #: The client's intern tables (captured off the intern reply)
+        #: — used to decode binary routing keys.
+        self.tables: Optional[InternTables] = None
+        #: The intern op to replay on fresh upstreams (tables pinned).
+        self.intern_payload: Optional[dict] = None
+
+    async def send_bytes(self, data: bytes) -> None:
+        async with self.write_lock:
+            self.writer.write(data)
+            await self.writer.drain()
+
+    @property
+    def in_flight(self) -> int:
+        return sum(len(u.outstanding) for u in self.upstreams.values())
+
+    # ------------------------------------------------------------------
+    # Upstream management
+    # ------------------------------------------------------------------
+    async def upstream_for(self, name: str) -> Optional[_Upstream]:
+        """The (possibly fresh) upstream to worker ``name``.
+
+        ``None`` means unroutable right now: breaker open, worker
+        removed, or connect refused — the caller sheds.
+        """
+        upstream = self.upstreams.get(name)
+        if upstream is not None and not upstream.closed:
+            return upstream
+        router = self.router
+        breaker = router.breaker(name)
+        if breaker.open:
+            return None
+        address = router.worker_address(name)
+        if address is None:
+            return None
+        try:
+            reader, writer = await asyncio.open_connection(
+                address[0], address[1], limit=MAX_OP_LINE_BYTES
+            )
+        except OSError:
+            breaker.record_failure()
+            return None
+        breaker.record_success()
+        upstream = _Upstream(self, name, reader, writer)
+        self.upstreams[name] = upstream
+        if self.intern_payload is not None:
+            # Pin the worker connection to the client's exact tables
+            # (a worker restarted after a reload must not decode the
+            # client's ids against a different codec).
+            line = dumps_line(self.intern_payload)
+            if len(line) <= MAX_LINE_BYTES:
+                upstream.outstanding[ROUTER_INTERN_ID] = "router-intern"
+                try:
+                    await upstream.send(line)
+                except (ConnectionResetError, BrokenPipeError, OSError):
+                    breaker.record_failure()
+                    await upstream.close(synthesize=True)
+                    return None
+        return upstream
+
+    async def first_healthy_upstream(self) -> Optional[_Upstream]:
+        for name in self.router.ring.members:
+            upstream = await self.upstream_for(name)
+            if upstream is not None:
+                return upstream
+        return None
+
+    async def close(self) -> None:
+        for upstream in list(self.upstreams.values()):
+            await upstream.close(synthesize=False)
+        self.writer.close()
+        try:
+            await self.writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+
+class ShardRouter:
+    """The cluster's front listener (see module docstring).
+
+    :param workers: initial ``name -> (host, port)`` map; the ring is
+        built from the names, so slots (not ports) own key ranges and
+        a restarted worker keeps its range.
+    :param reload_handler: async callable given the parsed reload-op
+        payload, returning the response payload — the supervisor's
+        cluster-wide two-phase reload.  Without one, reload ops are
+        refused (reloading one shard of a cluster would fork it).
+    """
+
+    def __init__(
+        self,
+        workers: Optional[Dict[str, Tuple[str, int]]] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        vnodes: int = 128,
+        failure_threshold: int = 3,
+        cooldown_s: float = 1.0,
+        reload_handler: Optional[
+            Callable[[dict], Awaitable[dict]]
+        ] = None,
+    ) -> None:
+        self.host = host
+        self.reload_handler = reload_handler
+        self._requested_port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._workers: Dict[str, Tuple[str, int]] = dict(workers or {})
+        self.ring = ConsistentHashRing(sorted(self._workers), vnodes=vnodes)
+        self._failure_threshold = failure_threshold
+        self._cooldown_s = cooldown_s
+        self._breakers: Dict[str, CircuitBreaker] = {
+            name: CircuitBreaker(failure_threshold, cooldown_s)
+            for name in self._workers
+        }
+        self._sessions: "set[_Session]" = set()
+        self._accepting = True
+        self.connections = 0
+        self.routed: Dict[str, int] = {name: 0 for name in self._workers}
+        self.unavailable_synthesized = 0
+
+    # ------------------------------------------------------------------
+    # Membership (driven by the supervisor)
+    # ------------------------------------------------------------------
+    def breaker(self, name: str) -> CircuitBreaker:
+        found = self._breakers.get(name)
+        if found is None:
+            raise ServiceError(f"unknown worker {name!r}")
+        return found
+
+    def worker_address(self, name: str) -> Optional[Tuple[str, int]]:
+        return self._workers.get(name)
+
+    def set_worker(self, name: str, host: str, port: int) -> None:
+        """Add ``name`` or update its address (restart on a new port).
+
+        A fresh address resets the breaker — the supervisor only calls
+        this once the worker answered its readiness probe.
+        """
+        known = name in self._workers
+        self._workers[name] = (host, port)
+        self._breakers.setdefault(
+            name,
+            CircuitBreaker(self._failure_threshold, self._cooldown_s),
+        ).record_success()
+        self.routed.setdefault(name, 0)
+        if not known or name not in self.ring:
+            if name not in self.ring:
+                self.ring.add(name)
+
+    def mark_worker_down(self, name: str) -> None:
+        """Shed immediately for ``name`` (supervisor saw it die).
+
+        The slot stays on the ring — its key range sheds until the
+        restarted worker re-registers — so no other shard's cache
+        locality is disturbed by the outage.
+        """
+        self.breaker(name).force_open()
+
+    def remove_worker(self, name: str) -> None:
+        """Take ``name`` out of rotation (scale-down, not a crash)."""
+        self._workers.pop(name, None)
+        self._breakers.pop(name, None)
+        if name in self.ring:
+            self.ring.remove(name)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        if self._server is None or not self._server.sockets:
+            raise ServiceError("router is not listening")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> "ShardRouter":
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.host,
+            port=self._requested_port,
+            limit=MAX_LINE_BYTES,
+        )
+        return self
+
+    async def stop(self) -> None:
+        self._accepting = False
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for session in list(self._sessions):
+            await session.close()
+        self._sessions.clear()
+
+    async def drain(self, timeout_s: float = 5.0) -> int:
+        """Stop accepting, wait (bounded) for in-flight work, close.
+
+        :returns: requests still in flight when the deadline hit
+            (0 on a clean drain).
+        """
+        self._accepting = False
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            remaining = sum(s.in_flight for s in self._sessions)
+            if remaining == 0:
+                break
+            await asyncio.sleep(0.02)
+        remaining = sum(s.in_flight for s in self._sessions)
+        for session in list(self._sessions):
+            await session.close()
+        self._sessions.clear()
+        return remaining
+
+    async def __aenter__(self) -> "ShardRouter":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # Client connections
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        if not self._accepting:
+            writer.close()
+            return
+        self.connections += 1
+        session = _Session(self, reader, writer)
+        self._sessions.add(session)
+        try:
+            while True:
+                try:
+                    first = await reader.readexactly(1)
+                except asyncio.IncompleteReadError:
+                    break
+                if first[0] == BINARY_MAGIC:
+                    try:
+                        kind, body = await read_frame_tail(reader)
+                    except ServiceError as error:
+                        await session.send_bytes(
+                            encode_binary_error(None, str(error))
+                        )
+                        break
+                    except asyncio.IncompleteReadError:
+                        break
+                    await self._route_frame(session, kind, body)
+                    continue
+                try:
+                    rest = await reader.readuntil(b"\n")
+                except asyncio.IncompleteReadError as eof:
+                    rest = eof.partial
+                except (asyncio.LimitOverrunError, ValueError):
+                    await session.send_bytes(
+                        dumps_line({"error": "wire line too long"})
+                    )
+                    break
+                line = first + rest
+                if line.strip():
+                    await self._route_line(session, line)
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+        finally:
+            self._sessions.discard(session)
+            await session.close()
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    async def _route_frame(
+        self, session: _Session, kind: int, body: bytes
+    ) -> None:
+        if kind != KIND_REQUEST:
+            await session.send_bytes(
+                encode_binary_error(None, f"unexpected frame kind {kind}")
+            )
+            return
+        try:
+            wire_id, subject, tenant = peek_binary_request(
+                session.tables, body
+            )
+        except ServiceError as error:
+            await session.send_bytes(
+                encode_binary_error(peek_binary_id(body), str(error))
+            )
+            return
+        key = tenant or subject or str(wire_id)
+        await self._forward(
+            session, self.ring.route(key), frame(kind, body), wire_id, "bin"
+        )
+
+    async def _route_line(self, session: _Session, line: bytes) -> None:
+        scanned = _scan_request(line)
+        if scanned is None:
+            # Slow path: ops, escaped strings, unusual field order.
+            try:
+                payload = parse_line(line)
+            except ServiceError as error:
+                await session.send_bytes(dumps_line({"error": str(error)}))
+                return
+            op = payload.get("op")
+            if op is not None:
+                await self._handle_op(session, op, payload, line)
+                return
+            wire_id = payload.get("id")
+            subject = payload.get("subject")
+            tenant = payload.get("tenant")
+            key = (
+                tenant
+                if isinstance(tenant, str) and tenant
+                else subject
+                if isinstance(subject, str) and subject
+                else str(wire_id)
+            )
+        else:
+            wire_id, key = scanned
+        if not isinstance(wire_id, (int, str)) and wire_id is not None:
+            wire_id = str(wire_id)
+        await self._forward(
+            session, self.ring.route(key), line, wire_id, "json"
+        )
+
+    async def _forward(
+        self,
+        session: _Session,
+        worker: str,
+        data: bytes,
+        wire_id: object,
+        lane: str,
+    ) -> None:
+        upstream = await session.upstream_for(worker)
+        if upstream is None:
+            await self._shed(session, wire_id, lane, worker)
+            return
+        upstream.outstanding[wire_id] = lane
+        try:
+            await upstream.send(data)
+            self.routed[worker] = self.routed.get(worker, 0) + 1
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            self.breaker(worker).record_failure()
+            # close() synthesizes for everything outstanding there —
+            # including the id just recorded.
+            await upstream.close(synthesize=True)
+
+    async def _shed(
+        self, session: _Session, wire_id: object, lane: str, worker: str
+    ) -> None:
+        self.unavailable_synthesized += 1
+        detail = f"worker {worker} unavailable"
+        if lane == "bin":
+            await session.send_bytes(
+                encode_binary_unavailable(wire_id, detail)
+            )
+        else:
+            await session.send_bytes(
+                dumps_line(encode_unavailable(wire_id, detail))
+            )
+
+    # ------------------------------------------------------------------
+    # Control ops
+    # ------------------------------------------------------------------
+    async def _handle_op(
+        self, session: _Session, op: object, payload: dict, line: bytes
+    ) -> None:
+        wire_id = payload.get("id")
+        if op == "ping":
+            await session.send_bytes(
+                dumps_line({"op": "pong", "id": wire_id})
+            )
+            return
+        if op in _RELOAD_OPS:
+            if self.reload_handler is None:
+                await session.send_bytes(
+                    dumps_line(
+                        {
+                            "id": wire_id,
+                            "error": "cluster reload requires the "
+                            "supervisor (no reload handler installed)",
+                        }
+                    )
+                )
+                return
+            result = await self.reload_handler(payload)
+            await session.send_bytes(
+                dumps_line({"op": op, "id": wire_id, **result})
+            )
+            return
+        if op in _FORWARD_OPS:
+            upstream = await session.first_healthy_upstream()
+            if upstream is None:
+                await session.send_bytes(
+                    dumps_line({"id": wire_id, "error": "no healthy worker"})
+                )
+                return
+            upstream.outstanding[wire_id] = (
+                "intern" if op == "intern" else "op"
+            )
+            try:
+                await upstream.send(line)
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                self.breaker(upstream.name).record_failure()
+                await upstream.close(synthesize=True)
+            return
+        await session.send_bytes(
+            dumps_line({"id": wire_id, "error": f"unknown op {op!r}"})
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        return {
+            "workers": {
+                name: {
+                    "address": list(self._workers[name]),
+                    "routed": self.routed.get(name, 0),
+                    "breaker": self._breakers[name].state(),
+                    "breaker_opens": self._breakers[name].opens,
+                }
+                for name in sorted(self._workers)
+            },
+            "connections": self.connections,
+            "sessions": len(self._sessions),
+            "in_flight": sum(s.in_flight for s in self._sessions),
+            "unavailable_synthesized": self.unavailable_synthesized,
+        }
+
+
+# ----------------------------------------------------------------------
+# Fast-path line scanners
+# ----------------------------------------------------------------------
+# encode_request serializes compactly with "id" first and "subject"
+# second, so the hot path can lift the routing key with two byte scans
+# and no JSON parse.  Anything surprising (ops, escapes, other
+# producers' field orders) falls back to parse_line — the scanners
+# must never guess.
+
+_ID_PREFIX = b'{"id":'
+_SUBJECT_MARK = b'"subject":"'
+_TENANT_MARK = b'"tenant":"'
+
+
+def _scan_string(line: bytes, marker: bytes) -> Optional[str]:
+    start = line.find(marker)
+    if start < 0:
+        return None
+    start += len(marker)
+    end = line.find(b'"', start)
+    if end < 0 or b"\\" in line[start:end]:
+        return None
+    try:
+        return line[start:end].decode("utf-8")
+    except UnicodeDecodeError:
+        return None
+
+
+def _scan_request(line: bytes) -> Optional[Tuple[object, str]]:
+    """``(id, shard_key)`` of a compact decision line; None → slow path."""
+    if not line.startswith(_ID_PREFIX):
+        return None
+    if b'"op"' in line:
+        return None  # never treat an op as a decision
+    rest = line[len(_ID_PREFIX) :]
+    wire_id: object
+    if rest[:1] == b'"':
+        end = rest.find(b'"', 1)
+        if end < 0 or b"\\" in rest[1:end]:
+            return None
+        wire_id = rest[1:end].decode("utf-8", "replace")
+    else:
+        end = 0
+        while end < len(rest) and rest[end : end + 1] in b"-0123456789":
+            end += 1
+        if end == 0 or rest[end : end + 1] not in (b",", b"}"):
+            return None
+        try:
+            wire_id = int(rest[:end])
+        except ValueError:
+            return None
+    tenant = _scan_string(line, _TENANT_MARK)
+    if tenant:
+        return wire_id, tenant
+    subject = _scan_string(line, _SUBJECT_MARK)
+    if subject:
+        return wire_id, subject
+    if b'"subject"' in line or b'"tenant"' in line:
+        return None  # present but not scannable: fall back
+    return wire_id, str(wire_id)  # subjectless request
+
+
+def _scan_response_id(
+    line: bytes,
+) -> Tuple[object, Optional[dict]]:
+    """``(id, parsed_payload_or_None)`` of a response line.
+
+    Responses also serialize ``id`` first; when the scan cannot be
+    trusted the line is fully parsed (and the parse returned so the
+    caller does not pay it twice).
+    """
+    if line.startswith(_ID_PREFIX):
+        rest = line[len(_ID_PREFIX) :]
+        if rest[:1] == b'"':
+            end = rest.find(b'"', 1)
+            if end >= 0 and b"\\" not in rest[1:end]:
+                return rest[1:end].decode("utf-8", "replace"), None
+        else:
+            end = 0
+            while end < len(rest) and rest[end : end + 1] in b"-0123456789":
+                end += 1
+            if end and rest[end : end + 1] in (b",", b"}"):
+                try:
+                    return int(rest[:end]), None
+                except ValueError:
+                    pass
+    try:
+        payload = parse_line(line, max_bytes=MAX_OP_LINE_BYTES)
+    except ServiceError:
+        return None, None
+    return payload.get("id"), payload
+
+
+__all__ = ["CircuitBreaker", "ShardRouter", "ROUTER_INTERN_ID"]

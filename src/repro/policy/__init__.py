@@ -3,6 +3,7 @@
 from repro.policy.admin import (
     PolicyAdministrator,
     PolicyFileWatcher,
+    PrepareResult,
     ReloadAudit,
     ReloadRecord,
     ReloadResult,
@@ -50,6 +51,7 @@ __all__ = [
     "PolicyAnalyzer",
     "PolicyBuilder",
     "PolicyFileWatcher",
+    "PrepareResult",
     "ReferenceBlp",
     "ReloadAudit",
     "ReloadRecord",

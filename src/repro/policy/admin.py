@@ -198,6 +198,39 @@ class ReloadResult:
         return self.record.to_dict()
 
 
+@dataclass(frozen=True)
+class PrepareResult:
+    """What :meth:`PolicyAdministrator.prepare` tells its caller.
+
+    ``token`` is non-None exactly when the candidate passed the full
+    validation pipeline and is being held warm for
+    :meth:`~PolicyAdministrator.activate_prepared`.
+    """
+
+    accepted: bool
+    token: Optional[str]
+    record: ReloadRecord
+
+    @property
+    def error(self) -> str:
+        return self.record.error
+
+    def to_dict(self) -> Dict[str, object]:
+        payload = self.record.to_dict()
+        payload["token"] = self.token
+        return payload
+
+
+@dataclass(frozen=True)
+class _PreparedCandidate:
+    """A validated candidate held warm between prepare and activate."""
+
+    token: str
+    candidate: GrbacPolicy
+    findings: Tuple[str, ...]
+    diff_summary: str
+
+
 class PolicyAdministrator:
     """The validated path between candidate policy text and the PDP.
 
@@ -231,6 +264,11 @@ class PolicyAdministrator:
         self._m_accepted = metrics.counter("admin.reloads_accepted")
         self._m_rejected = metrics.counter("admin.reloads_rejected")
         self._m_dry_runs = metrics.counter("admin.reloads_dry_run")
+        #: Outstanding two-phase candidates by token (insertion order;
+        #: oldest evicted past :attr:`max_prepared`).
+        self._prepared: Dict[str, _PreparedCandidate] = {}
+        self._prepare_sequence = 0
+        self.max_prepared = 8
 
     # ------------------------------------------------------------------
     # The administration pipeline
@@ -355,6 +393,188 @@ class PolicyAdministrator:
     ) -> ReloadResult:
         """Dry-run: the full pipeline minus the swap."""
         return self.reload(source, actor=actor, dry_run=True, name=name)
+
+    # ------------------------------------------------------------------
+    # Two-phase reload (cluster prepare/activate)
+    # ------------------------------------------------------------------
+    def prepare(
+        self, source: str, actor: str = "", name: str = "candidate"
+    ) -> PrepareResult:
+        """Phase one: validate ``source`` and hold it warm for activate.
+
+        Runs the same parse/lint/diff pipeline as :meth:`reload` and —
+        on success — pre-builds the candidate's compiled snapshot
+        (memoized on the policy object, so the eventual
+        ``swap_policy`` pays no compile), then parks it under a token.
+        Nothing about the serving policy changes.  The cluster
+        supervisor prepares on *every* worker and activates only when
+        all of them accepted; any rejection here aborts the whole
+        cluster reload with nothing swapped anywhere.
+        """
+        started = time.perf_counter()
+        live = self.target.policy
+
+        def rejected(
+            error: str,
+            candidate: Optional[GrbacPolicy] = None,
+            findings: Tuple[str, ...] = (),
+            diff_summary: str = "",
+        ) -> PrepareResult:
+            self._m_rejected.inc()
+            record = self.audit.append(
+                actor=actor,
+                action="prepare",
+                accepted=False,
+                dry_run=False,
+                policy_name=(
+                    candidate.name if candidate is not None else name
+                ),
+                old_revision=live.decision_revision,
+                new_revision=(
+                    candidate.decision_revision
+                    if candidate is not None
+                    else None
+                ),
+                generation=None,
+                findings=findings,
+                diff_summary=diff_summary,
+                error=error,
+                duration_s=time.perf_counter() - started,
+            )
+            return PrepareResult(accepted=False, token=None, record=record)
+
+        try:
+            candidate = load_policy_text(source, name=name)
+        except (GrbacError, ValueError, KeyError, TypeError) as error:
+            return rejected(f"parse error: {error}")
+
+        findings = PolicyAnalyzer(candidate).lint()
+        finding_strs = tuple(f.describe() for f in findings)
+        blocking = self._blocking(findings)
+        diff_summary = diff_policies(live, candidate).describe()
+        if blocking:
+            return rejected(
+                "validation failed: "
+                + "; ".join(f.describe() for f in blocking),
+                candidate=candidate,
+                findings=finding_strs,
+                diff_summary=diff_summary,
+            )
+        try:
+            candidate.compiled()
+        except GrbacError as error:
+            return rejected(
+                f"compile failed: {error}",
+                candidate=candidate,
+                findings=finding_strs,
+                diff_summary=diff_summary,
+            )
+
+        self._prepare_sequence += 1
+        token = f"prep-{self._prepare_sequence}"
+        self._prepared[token] = _PreparedCandidate(
+            token=token,
+            candidate=candidate,
+            findings=finding_strs,
+            diff_summary=diff_summary,
+        )
+        while len(self._prepared) > self.max_prepared:
+            oldest = next(iter(self._prepared))
+            del self._prepared[oldest]
+        record = self.audit.append(
+            actor=actor,
+            action="prepare",
+            accepted=False,
+            dry_run=False,
+            policy_name=candidate.name,
+            old_revision=live.decision_revision,
+            new_revision=candidate.decision_revision,
+            generation=None,
+            findings=finding_strs,
+            diff_summary=diff_summary,
+            error="",
+            duration_s=time.perf_counter() - started,
+        )
+        return PrepareResult(accepted=True, token=token, record=record)
+
+    def activate_prepared(self, token: str, actor: str = "") -> ReloadResult:
+        """Phase two: swap in a previously prepared candidate.
+
+        The candidate was validated and compiled at prepare time, so
+        barring an engine-construction fault this is just the atomic
+        ``swap_policy`` — the cheap, non-rejectable step the
+        supervisor fans out once every worker has prepared.  The token
+        is consumed whether or not the swap succeeds.
+        """
+        started = time.perf_counter()
+        live = self.target.policy
+        prepared = self._prepared.pop(token, None)
+
+        def finish(
+            accepted: bool, error: str, generation: Optional[int]
+        ) -> ReloadResult:
+            if accepted:
+                self._m_accepted.inc()
+            else:
+                self._m_rejected.inc()
+            record = self.audit.append(
+                actor=actor,
+                action="activate",
+                accepted=accepted,
+                dry_run=False,
+                policy_name=(
+                    prepared.candidate.name if prepared is not None else token
+                ),
+                old_revision=live.decision_revision,
+                new_revision=(
+                    prepared.candidate.decision_revision
+                    if prepared is not None
+                    else None
+                ),
+                generation=generation,
+                findings=prepared.findings if prepared is not None else (),
+                diff_summary=(
+                    prepared.diff_summary if prepared is not None else ""
+                ),
+                error=error,
+                duration_s=time.perf_counter() - started,
+            )
+            return ReloadResult(
+                accepted=accepted, dry_run=False, record=record
+            )
+
+        if prepared is None:
+            return finish(False, f"unknown prepare token {token!r}", None)
+        try:
+            generation = self.target.swap_policy(prepared.candidate)
+        except GrbacError as error:
+            return finish(False, f"swap failed: {error}", None)
+        return finish(True, "", generation)
+
+    def abort_prepared(self, token: str, actor: str = "") -> bool:
+        """Discard a prepared candidate; True if the token was live."""
+        prepared = self._prepared.pop(token, None)
+        if prepared is None:
+            return False
+        self.audit.append(
+            actor=actor,
+            action="abort",
+            accepted=False,
+            dry_run=False,
+            policy_name=prepared.candidate.name,
+            old_revision=self.target.policy.decision_revision,
+            new_revision=prepared.candidate.decision_revision,
+            generation=None,
+            findings=prepared.findings,
+            diff_summary=prepared.diff_summary,
+            error="",
+            duration_s=0.0,
+        )
+        return True
+
+    def prepared_tokens(self) -> List[str]:
+        """Outstanding prepare tokens, oldest first."""
+        return list(self._prepared)
 
     def _blocking(self, findings: List[Finding]) -> List[Finding]:
         if self.fail_on is None:

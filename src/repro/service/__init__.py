@@ -15,11 +15,14 @@ from repro.service.admin import AdminServer
 from repro.service.cache import DecisionCache
 from repro.service.client import RemotePDPClient
 from repro.service.loadgen import (
+    ClientPool,
     LoadgenConfig,
     LoadgenResult,
     build_stream,
     compute_expected,
+    merge_results,
     run_loadgen,
+    run_loadgen_endpoints,
 )
 from repro.service.pdp import (
     MEDIATED_OUTCOMES,
@@ -34,6 +37,7 @@ from repro.service.server import PDPServer
 
 __all__ = [
     "AdminServer",
+    "ClientPool",
     "DecisionCache",
     "InternTables",
     "LoadgenConfig",
@@ -49,5 +53,7 @@ __all__ = [
     "WireResponse",
     "build_stream",
     "compute_expected",
+    "merge_results",
     "run_loadgen",
+    "run_loadgen_endpoints",
 ]

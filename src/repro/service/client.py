@@ -277,6 +277,88 @@ class RemotePDPClient:
                 result[key] = raw[key]
         return result
 
+    async def reload_prepare(
+        self, policy_text: str, actor: str = ""
+    ) -> Dict[str, Any]:
+        """Phase one of a two-phase reload: validate and hold warm.
+
+        The server parses, lints, diffs, and *compiles* the candidate
+        but keeps serving the old policy; an accepted prepare returns
+        a ``token`` to pass to :meth:`reload_activate` (or
+        :meth:`reload_abort`).  A cluster supervisor prepares on every
+        worker and activates only when all of them accepted.
+
+        :returns: ``{"accepted": bool, "token": str|None,
+            "error": str, "record": {...}}``.
+        """
+        request_id = next(self._ids)
+        raw = await self._roundtrip(
+            request_id,
+            {
+                "op": "reload_prepare",
+                "id": request_id,
+                "actor": actor,
+                "policy": policy_text,
+            },
+        )
+        if raw.get("op") != "reload_prepare" or "accepted" not in raw:
+            raise ServiceError(
+                f"bad reload_prepare response: {raw.get('error', raw)!r}"
+            )
+        return {
+            "accepted": raw["accepted"],
+            "token": raw.get("token"),
+            "error": raw.get("error", ""),
+            "record": raw.get("record", {}),
+        }
+
+    async def reload_activate(
+        self, token: str, actor: str = ""
+    ) -> Dict[str, Any]:
+        """Phase two: atomically swap in the prepared candidate.
+
+        :returns: ``{"accepted": bool, "error": str,
+            "generation": int|None, "record": {...}}``.
+        """
+        request_id = next(self._ids)
+        raw = await self._roundtrip(
+            request_id,
+            {
+                "op": "reload_activate",
+                "id": request_id,
+                "actor": actor,
+                "token": token,
+            },
+        )
+        if raw.get("op") != "reload_activate" or "accepted" not in raw:
+            raise ServiceError(
+                f"bad reload_activate response: {raw.get('error', raw)!r}"
+            )
+        return {
+            "accepted": raw["accepted"],
+            "error": raw.get("error", ""),
+            "generation": raw.get("generation"),
+            "record": raw.get("record", {}),
+        }
+
+    async def reload_abort(self, token: str, actor: str = "") -> bool:
+        """Discard a prepared candidate; ``True`` if it existed."""
+        request_id = next(self._ids)
+        raw = await self._roundtrip(
+            request_id,
+            {
+                "op": "reload_abort",
+                "id": request_id,
+                "actor": actor,
+                "token": token,
+            },
+        )
+        if raw.get("op") != "reload_abort" or "aborted" not in raw:
+            raise ServiceError(
+                f"bad reload_abort response: {raw.get('error', raw)!r}"
+            )
+        return bool(raw["aborted"])
+
     async def tenants(self) -> List[Dict[str, Any]]:
         """The server's tenant overview (one summary row per tenant)."""
         request_id = next(self._ids)

@@ -65,6 +65,11 @@ class LoadgenResult:
     denies: int = 0
     shed: int = 0
     timeouts: int = 0
+    #: Explicit ``DENY_UNAVAILABLE`` answers — the cluster router's
+    #: "your shard is down/circuit-broken" refusal.  Counted apart
+    #: from ``errors`` because, like sheds, they are sanctioned
+    #: backpressure, not protocol failures.
+    unavailable: int = 0
     errors: int = 0
     #: Requests that vanished: no mediated answer, no explicit
     #: overload/timeout outcome.  Must be zero — sheds are the only
@@ -107,6 +112,7 @@ class LoadgenResult:
             "denies": self.denies,
             "shed": self.shed,
             "timeouts": self.timeouts,
+            "unavailable": self.unavailable,
             "errors": self.errors,
             "dropped": self.dropped,
             "mismatches": self.mismatches,
@@ -123,7 +129,8 @@ class LoadgenResult:
             f"{self.completed}/{self.sent} answered in {self.elapsed_s * 1e3:.1f} ms "
             f"({self.throughput_rps:,.0f} req/s)",
             f"  grants {self.grants}  denies {self.denies}  cached {self.cached}",
-            f"  shed {self.shed}  timeouts {self.timeouts}  errors {self.errors}  "
+            f"  shed {self.shed}  timeouts {self.timeouts}  "
+            f"unavailable {self.unavailable}  errors {self.errors}  "
             f"dropped {self.dropped}",
             f"  latency p50 {self.latency_us(0.5):.1f} us  "
             f"p95 {self.latency_us(0.95):.1f} us  "
@@ -220,6 +227,8 @@ async def run_loadgen(
                 result.shed += 1
             elif outcome is PDPOutcome.DENY_TIMEOUT:
                 result.timeouts += 1
+            elif outcome is PDPOutcome.DENY_UNAVAILABLE:
+                result.unavailable += 1
             else:
                 result.errors += 1
             if response.cached:
@@ -241,3 +250,91 @@ async def run_loadgen(
     # Closed loop: anything not answered was dropped, however it failed.
     result.dropped = result.sent - result.completed
     return result
+
+
+class ClientPool:
+    """Round-robins ``decide`` over several pipelined clients.
+
+    One TCP connection serializes writes under its lock; spreading a
+    closed-loop worker pool over ``--connections N`` sockets per
+    endpoint removes that single-connection ceiling.  All other calls
+    proxy to the first client.
+    """
+
+    def __init__(self, clients: Sequence[object]) -> None:
+        if not clients:
+            raise ServiceError("client pool needs at least one client")
+        self._clients = list(clients)
+        self._next = 0
+
+    async def decide(self, request, **kwargs):
+        client = self._clients[self._next]
+        self._next = (self._next + 1) % len(self._clients)
+        return await client.decide(request, **kwargs)
+
+
+def merge_results(
+    results: Sequence[LoadgenResult], elapsed_s: float
+) -> LoadgenResult:
+    """Sum per-endpoint tallies into one run-wide result.
+
+    ``elapsed_s`` is the caller's wall clock around the whole run, so
+    aggregate throughput reflects real concurrency instead of summing
+    per-endpoint rates measured over different windows.
+    """
+    merged = LoadgenResult(elapsed_s=elapsed_s)
+    for result in results:
+        merged.sent += result.sent
+        merged.completed += result.completed
+        merged.grants += result.grants
+        merged.denies += result.denies
+        merged.shed += result.shed
+        merged.timeouts += result.timeouts
+        merged.unavailable += result.unavailable
+        merged.errors += result.errors
+        merged.dropped += result.dropped
+        merged.mismatches += result.mismatches
+        merged.mismatch_request_ids.extend(result.mismatch_request_ids)
+        merged.cached += result.cached
+        merged.latencies_s.extend(result.latencies_s)
+    return merged
+
+
+async def run_loadgen_endpoints(
+    clients_by_endpoint: "Dict[str, Sequence[object]]",
+    stream: Sequence[GeneratedRequest],
+    config: LoadgenConfig,
+    expected: Optional[Sequence[bool]] = None,
+) -> "tuple[LoadgenResult, Dict[str, LoadgenResult]]":
+    """Drive one stream across several endpoints concurrently.
+
+    The stream is dealt round-robin across endpoints (item ``i`` goes
+    to endpoint ``i % k``), each endpoint running its own closed loop
+    of ``config.concurrency`` workers over its client pool.  Returns
+    the aggregate plus per-endpoint results so a cluster bench can
+    attribute throughput skew or sheds to a single shard.
+    """
+    if expected is not None and len(expected) != len(stream):
+        raise ServiceError("expected list must match the stream length")
+    endpoints = list(clients_by_endpoint)
+    if not endpoints:
+        raise ServiceError("at least one endpoint is required")
+    count = len(endpoints)
+
+    async def run_one(index: int, endpoint: str) -> LoadgenResult:
+        part = list(stream[index::count])
+        part_expected = (
+            list(expected[index::count]) if expected is not None else None
+        )
+        if not part:
+            return LoadgenResult()
+        pool = ClientPool(clients_by_endpoint[endpoint])
+        return await run_loadgen(pool, part, config, part_expected)
+
+    started = time.perf_counter()
+    results = await asyncio.gather(
+        *(run_one(i, endpoint) for i, endpoint in enumerate(endpoints))
+    )
+    elapsed = time.perf_counter() - started
+    per_endpoint = dict(zip(endpoints, results))
+    return merge_results(results, elapsed), per_endpoint

@@ -97,6 +97,10 @@ class PDPOutcome(str, enum.Enum):
     DENY_OVERLOAD = "deny-overload"
     DENY_TIMEOUT = "deny-timeout"
     DENY_UNKNOWN_TENANT = "deny-unknown-tenant"
+    #: The shard a request routes to is down or circuit-broken; the
+    #: cluster router synthesizes this instead of letting the client
+    #: hang.  Like every service refusal it reports ``granted=False``.
+    DENY_UNAVAILABLE = "deny-unavailable"
     ERROR = "error"
 
 

@@ -343,6 +343,7 @@ _OUTCOME_CODES = {
     PDPOutcome.DENY_TIMEOUT: 3,
     PDPOutcome.ERROR: 4,
     PDPOutcome.DENY_UNKNOWN_TENANT: 5,
+    PDPOutcome.DENY_UNAVAILABLE: 6,
 }
 _CODE_OUTCOMES = {code: outcome for outcome, code in _OUTCOME_CODES.items()}
 
@@ -683,3 +684,104 @@ async def read_frame_tail(reader) -> Tuple[int, bytes]:
         )
     body = await reader.readexactly(length)
     return kind, body
+
+
+# ======================================================================
+# Router support — peek helpers and synthesized refusals
+# ======================================================================
+# The cluster's ShardRouter forwards frames and lines *byte-for-byte*;
+# it only needs the routing key (subject or tenant) and the request id
+# out of each message, and a way to answer for a worker that is down.
+# These helpers keep that knowledge here, next to the layouts they
+# depend on, instead of leaking struct offsets into the router.
+
+
+def peek_binary_request(
+    tables: Optional[InternTables], body: bytes
+) -> Tuple[int, Optional[str], Optional[str]]:
+    """``(request_id, subject_name, tenant)`` of a KIND_REQUEST body.
+
+    Unpacks only what routing needs — no :class:`AccessRequest` is
+    built, env ids are skipped, nothing is validated beyond the
+    offsets walked.  ``subject_name`` is ``None`` for subjectless
+    requests or ids outside ``tables`` (stale tables route arbitrarily
+    but still decode server-side to the same refusal NDJSON would).
+
+    :raises ServiceError: truncated body, or ``tables`` is ``None``
+        while the body names a subject (no handshake ran).
+    """
+    try:
+        (request_id, subject_id, _, _, _, flags) = _REQUEST_FIXED.unpack_from(
+            body
+        )
+        offset = _REQUEST_FIXED.size
+        if flags & _FLAG_ENV:
+            (count,) = _ENV_COUNT.unpack_from(body, offset)
+            offset += _ENV_COUNT.size + count * 2
+        tenant: Optional[str] = None
+        if flags & _FLAG_TENANT:
+            if offset >= len(body):
+                raise ServiceError("binary request truncated before tenant")
+            tenant_len = body[offset]
+            offset += 1
+            raw = body[offset : offset + tenant_len]
+            if len(raw) != tenant_len or tenant_len == 0:
+                raise ServiceError("binary request has a malformed tenant")
+            tenant = raw.decode("utf-8", "replace")
+    except struct.error as error:
+        raise ServiceError(f"truncated binary request: {error}") from None
+    subject: Optional[str] = None
+    if subject_id != -1:
+        if tables is None:
+            raise ServiceError(
+                "binary request before intern handshake; "
+                'send {"op": "intern"}'
+            )
+        if 0 <= subject_id < len(tables.subjects):
+            subject = tables.subjects[subject_id]
+    return request_id, subject, tenant
+
+
+def peek_binary_id(body: bytes) -> Optional[int]:
+    """The leading wire id of a response/error body (both start
+    ``id:4``); ``None`` for NO_REQUEST_ID or a truncated body."""
+    if len(body) < 4:
+        return None
+    (wire_id,) = struct.unpack_from("!I", body)
+    return None if wire_id == NO_REQUEST_ID else wire_id
+
+
+def encode_unavailable(request_id: Any, detail: str) -> Dict[str, Any]:
+    """NDJSON ``DENY_UNAVAILABLE`` payload a router answers with.
+
+    Shaped exactly like :func:`encode_response` output so
+    :func:`decode_response` and every client treat it as a normal
+    (refused) decision, never a protocol error.
+    """
+    return {
+        "id": request_id,
+        "outcome": PDPOutcome.DENY_UNAVAILABLE.value,
+        "granted": False,
+        "cached": False,
+        "batch_size": 0,
+        "latency_us": 0.0,
+        "rationale": detail,
+    }
+
+
+def encode_binary_unavailable(request_id: Any, detail: str) -> bytes:
+    """Binary ``DENY_UNAVAILABLE`` frame a router answers with."""
+    wire_id = (
+        request_id
+        if isinstance(request_id, int) and 0 <= request_id < NO_REQUEST_ID
+        else NO_REQUEST_ID
+    )
+    body = _RESPONSE_FIXED.pack(
+        wire_id,
+        _OUTCOME_CODES[PDPOutcome.DENY_UNAVAILABLE],
+        0,
+        0,
+        0,
+        0.0,
+    ) + detail.encode("utf-8")
+    return frame(KIND_RESPONSE, body)

@@ -54,8 +54,14 @@ class PDPServer:
         :attr:`port` after :meth:`start`.
     :param administrator: optional
         :class:`~repro.policy.admin.PolicyAdministrator` bound to the
-        same PDP; enables the ``reload`` wire op.  Servers without one
-        answer reload attempts with an explicit error.
+        same PDP; enables the ``reload`` wire op (and the two-phase
+        ``reload_prepare``/``reload_activate``/``reload_abort`` ops
+        the cluster supervisor drives).  Servers without one answer
+        reload attempts with an explicit error.
+    :param drain_timeout_s: bound on the graceful drain when
+        :meth:`serve_forever` shuts down (signal or cancellation).
+        ``None`` drains without a deadline; past the deadline queued
+        work is shed with ``DENY_OVERLOAD`` instead.
     """
 
     def __init__(
@@ -64,12 +70,17 @@ class PDPServer:
         host: str = "127.0.0.1",
         port: int = 0,
         administrator: Optional[object] = None,
+        drain_timeout_s: Optional[float] = None,
     ) -> None:
+        if drain_timeout_s is not None and drain_timeout_s <= 0:
+            raise ServiceError("drain_timeout_s must be > 0 or None")
         self.pdp = pdp
         self.host = host
         self.administrator = administrator
+        self.drain_timeout_s = drain_timeout_s
         self._requested_port = port
         self._server: Optional[asyncio.AbstractServer] = None
+        self._shutdown: Optional[asyncio.Event] = None
         self.connections = 0
         #: Lazily-created per-tenant administrators for pinned
         #: (non-store) tenants, so tenant-scoped reloads get the same
@@ -104,21 +115,68 @@ class PDPServer:
             self._server = None
         await self.pdp.stop(drain=drain)
 
-    async def serve_forever(self) -> None:
-        """Start (if needed) and serve until cancelled.
+    def request_shutdown(self) -> None:
+        """Ask :meth:`serve_forever` to exit and drain gracefully.
 
-        Cancellation (KeyboardInterrupt in the CLI) triggers a
-        graceful stop: listener closed first, admitted work drained.
+        Safe to call from a signal handler registered with
+        ``loop.add_signal_handler`` (it runs on the loop); idempotent.
+        Before :meth:`serve_forever` runs it is a no-op.
+        """
+        if self._shutdown is not None:
+            self._shutdown.set()
+
+    def install_signal_handlers(self) -> None:
+        """Route SIGTERM/SIGINT into the graceful drain path.
+
+        Without this, SIGTERM kills the process mid-batch and SIGINT
+        relies on KeyboardInterrupt unwinding; with it, either signal
+        closes the listener first and decides everything already
+        admitted (bounded by :attr:`drain_timeout_s`).
+        """
+        import signal
+
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, self.request_shutdown)
+
+    async def serve_forever(self) -> None:
+        """Start (if needed) and serve until cancelled or shut down.
+
+        Cancellation (KeyboardInterrupt in the CLI) and
+        :meth:`request_shutdown` (the SIGTERM/SIGINT path) both
+        trigger a graceful stop: listener closed first, admitted work
+        drained — shed after :attr:`drain_timeout_s` when one is set.
         """
         if self._server is None:
             await self.start()
         assert self._server is not None
+        self._shutdown = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        forever = loop.create_task(self._server.serve_forever())
+        shutdown = loop.create_task(self._shutdown.wait())
         try:
-            await self._server.serve_forever()
+            await asyncio.wait(
+                (forever, shutdown), return_when=asyncio.FIRST_COMPLETED
+            )
         except asyncio.CancelledError:
             pass
         finally:
-            await self.stop(drain=True)
+            for task in (forever, shutdown):
+                task.cancel()
+            await asyncio.gather(forever, shutdown, return_exceptions=True)
+            if self.drain_timeout_s is None:
+                await self.stop(drain=True)
+            else:
+                try:
+                    await asyncio.wait_for(
+                        asyncio.shield(
+                            asyncio.ensure_future(self.stop(drain=True))
+                        ),
+                        timeout=self.drain_timeout_s,
+                    )
+                except asyncio.TimeoutError:
+                    # Deadline blown: shed whatever is still queued.
+                    await self.stop(drain=False)
 
     async def __aenter__(self) -> "PDPServer":
         return await self.start()
@@ -286,6 +344,21 @@ class PDPServer:
             # issuing the op after a policy change refreshes them.  An
             # optional "tenant" interns against that tenant's active
             # policy instead of the default engine's.
+            # A client (or the shard router, replaying a handshake to
+            # a fresh worker connection) may instead *provide* tables;
+            # they are pinned verbatim so the same ids decode to the
+            # same names on every connection of a session, even across
+            # worker restarts or reloads.
+            if payload.get("tables") is not None:
+                try:
+                    interned = InternTables.from_payload(payload)
+                except ServiceError as error:
+                    await respond({"id": request_id, "error": str(error)})
+                    return
+                if tables is not None:
+                    tables[0] = interned
+                await respond({"id": request_id, **interned.to_payload()})
+                return
             tenant = payload.get("tenant")
             if tenant is not None and not isinstance(tenant, str):
                 await respond(
@@ -363,8 +436,92 @@ class PDPServer:
             )
         elif op == "reload":
             await self._handle_reload(payload, respond)
+        elif op in ("reload_prepare", "reload_activate", "reload_abort"):
+            await self._handle_two_phase(op, payload, respond)
         else:
             await respond({"id": request_id, "error": f"unknown op {op!r}"})
+
+    async def _handle_two_phase(self, op: str, payload: dict, respond) -> None:
+        """The cluster reload ops: prepare / activate / abort.
+
+        ``reload_prepare`` validates and compiles the candidate and
+        answers with a ``token``; ``reload_activate`` swaps a prepared
+        token in (the cheap, non-rejectable phase the supervisor fans
+        out only after *every* worker prepared); ``reload_abort``
+        discards one.  All three are admin-gated like ``reload``.
+        """
+        request_id = payload.get("id")
+        administrator = self.administrator
+        if administrator is None:
+            await respond(
+                {
+                    "id": request_id,
+                    "error": "policy administration is not enabled "
+                    "on this server",
+                }
+            )
+            return
+        actor = payload.get("actor", "")
+        if not isinstance(actor, str):
+            await respond(
+                {"id": request_id, "error": "'actor' must be a string"}
+            )
+            return
+        actor = actor or "wire"
+        if op == "reload_prepare":
+            policy_text = payload.get("policy")
+            if not isinstance(policy_text, str) or not policy_text.strip():
+                await respond(
+                    {
+                        "id": request_id,
+                        "error": "'policy' must be non-empty policy text "
+                        "(DSL or serialized JSON)",
+                    }
+                )
+                return
+            prepared = administrator.prepare(policy_text, actor=actor)
+            await respond(
+                {
+                    "op": op,
+                    "id": request_id,
+                    "accepted": prepared.accepted,
+                    "token": prepared.token,
+                    "error": prepared.error,
+                    "record": prepared.record.to_dict(),
+                }
+            )
+            return
+        token = payload.get("token")
+        if not isinstance(token, str) or not token:
+            await respond(
+                {
+                    "id": request_id,
+                    "error": "'token' must be a non-empty string",
+                }
+            )
+            return
+        if op == "reload_activate":
+            result = administrator.activate_prepared(token, actor=actor)
+            await respond(
+                {
+                    "op": op,
+                    "id": request_id,
+                    "accepted": result.accepted,
+                    "error": result.error,
+                    "generation": result.generation,
+                    "record": result.record.to_dict(),
+                }
+            )
+            return
+        aborted = administrator.abort_prepared(token, actor=actor)
+        await respond(
+            {
+                "op": op,
+                "id": request_id,
+                "aborted": aborted,
+                "error": "" if aborted else f"unknown prepare token {token!r}",
+            }
+        )
 
     async def _handle_reload(self, payload: dict, respond) -> None:
         request_id = payload.get("id")

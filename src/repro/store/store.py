@@ -178,6 +178,20 @@ class PolicyStore:
         ``None`` disables the lint gate (parse failures still block).
     :param engine_mode: mediation mode compiled snapshots are built
         in (default ``"compiled"``, pre-warmed at build).
+    :param reader: open the store read-only for cross-process sharing.
+        A reader holds **no** append handle and takes **no** lock
+        against the writing process: it replays the log to the last
+        complete line, remembers that byte offset, and re-reads only
+        the appended suffix when the file grows (throttled by
+        ``refresh_interval_s``).  The writer's append+flush of whole
+        lines is what makes this safe — a reader either sees a
+        complete event or leaves the torn tail for the next refresh.
+        Mutating calls raise.  This is how every worker in a PDP
+        cluster boots from (and follows) one supervisor-owned
+        ``store.jsonl``.
+    :param refresh_interval_s: minimum seconds between a reader's
+        ``stat`` probes of the log — bounds syscall cost on the
+        per-request ``active_version`` path.
     """
 
     def __init__(
@@ -186,14 +200,24 @@ class PolicyStore:
         compiled_cache_size: int = 8,
         fail_on: Optional[str] = "error",
         engine_mode: str = "compiled",
+        reader: bool = False,
+        refresh_interval_s: float = 0.2,
     ) -> None:
         if fail_on is not None and fail_on not in _SEVERITY_RANK:
             raise PolicyStoreError(
                 f"fail_on must be one of {sorted(_SEVERITY_RANK)} or None"
             )
+        if reader and path is None:
+            raise PolicyStoreError(
+                "reader mode requires a store path (nothing to follow)"
+            )
+        if refresh_interval_s < 0:
+            raise PolicyStoreError("refresh_interval_s must be >= 0")
         self.path = path
         self.fail_on = fail_on
         self.engine_mode = engine_mode
+        self._reader = reader
+        self.refresh_interval_s = refresh_interval_s
         self.compiled = CompiledSnapshotCache(compiled_cache_size)
         self._lock = threading.RLock()
         self._tenants: Dict[str, TenantLineage] = {}
@@ -212,12 +236,19 @@ class PolicyStore:
         #: ``_blobs``), which turns fleet-wide activations of a shared
         #: template into one parse+lint instead of thousands.
         self._lint_memo: Dict[str, Tuple[list, Optional[str]]] = {}
+        #: Byte offset of the last complete line replayed (reader mode).
+        self._read_offset = 0
+        self._applied_lines = 0
+        self._last_probe = float("-inf")
+        self._log_path: Optional[str] = None
         if path is not None:
             os.makedirs(path, exist_ok=True)
             log_path = os.path.join(path, LOG_FILENAME)
+            self._log_path = log_path
             if os.path.exists(log_path):
                 self._replay(log_path)
-            self._log = open(log_path, "a", encoding="utf-8")
+            if not reader:
+                self._log = open(log_path, "a", encoding="utf-8")
 
     # ------------------------------------------------------------------
     # Log plumbing
@@ -243,24 +274,102 @@ class PolicyStore:
 
     def _replay(self, log_path: str) -> None:
         """Rebuild in-memory state from the log; tolerate a torn tail."""
-        with open(log_path, "r", encoding="utf-8") as handle:
-            lines = handle.read().split("\n")
-        # A cleanly-appended log ends with "\n" -> last split element
-        # is "".  Anything else is a torn final line: drop and count.
-        if lines and lines[-1] == "":
-            lines.pop()
-        elif lines:
-            lines.pop()
+        with open(log_path, "rb") as handle:
+            data = handle.read()
+        self._read_offset = self._ingest(data, log_path)
+        # A cleanly-appended log ends with "\n"; trailing bytes past
+        # the last newline are a torn final line (crash mid-append for
+        # the writer, append-in-progress for a reader): drop and count.
+        if len(data) > self._read_offset:
             self.torn_tail_recovered += 1
-        for number, line in enumerate(lines, start=1):
+
+    def _ingest(self, data: bytes, log_path: str) -> int:
+        """Apply every complete line in ``data``; bytes consumed.
+
+        Only lines with a trailing newline are applied — an
+        unterminated tail stays unconsumed so a reader can pick it up
+        once the writer's flush completes it.
+        """
+        end = data.rfind(b"\n")
+        if end < 0:
+            return 0
+        consumed = end + 1
+        for raw in data[:end].split(b"\n"):
+            if not raw:
+                continue
+            self._applied_lines += 1
+            number = self._applied_lines
             try:
-                event = json.loads(line)
+                event = json.loads(raw)
             except json.JSONDecodeError as error:
                 raise PolicyStoreError(
                     f"corrupt store log {log_path}:{number}: {error}"
                 ) from None
             self._apply(event, log_path, number)
             self._seq = max(self._seq, int(event.get("seq", 0)))
+        return consumed
+
+    # ------------------------------------------------------------------
+    # Reader mode (cross-process sharing)
+    # ------------------------------------------------------------------
+    @property
+    def reader(self) -> bool:
+        """True when opened read-only (see the ``reader`` parameter)."""
+        return self._reader
+
+    def _require_writer(self, operation: str) -> None:
+        if self._reader:
+            raise PolicyStoreError(
+                f"store opened reader=True: {operation} is not allowed"
+            )
+
+    def _maybe_refresh(self) -> None:
+        """Throttled reader catch-up on the shared log.
+
+        The cheap gate is a monotonic-clock compare; at most once per
+        :attr:`refresh_interval_s` the log is ``stat``-ed, and only a
+        grown file is re-opened and read from the remembered offset.
+        Called from read paths; a no-op for writers.
+        """
+        if not self._reader:
+            return
+        now = time.monotonic()
+        if now - self._last_probe < self.refresh_interval_s:
+            return
+        self._last_probe = now
+        log_path = self._log_path
+        assert log_path is not None  # reader mode requires a path
+        try:
+            size = os.stat(log_path).st_size
+        except OSError:
+            return  # log not created yet (writer still booting)
+        if size <= self._read_offset:
+            return
+        with self._lock:
+            self.refresh()
+
+    def refresh(self) -> int:
+        """Apply any log lines appended since the last read; count.
+
+        Readers call this implicitly (throttled) on read paths; it is
+        public so tests and coordination points (e.g. a worker told
+        "the supervisor just activated v3") can force an immediate
+        catch-up.  Writers return 0 — their own appends already
+        applied in-memory, so re-reading the log would double-apply.
+        """
+        log_path = self._log_path
+        if log_path is None or not self._reader:
+            return 0
+        with self._lock:
+            before = self._applied_lines
+            try:
+                with open(log_path, "rb") as handle:
+                    handle.seek(self._read_offset)
+                    data = handle.read()
+            except OSError:
+                return 0
+            self._read_offset += self._ingest(data, log_path)
+            return self._applied_lines - before
 
     def _apply(self, event: Dict[str, object], path: str, line: int) -> None:
         kind = event.get("event")
@@ -307,13 +416,16 @@ class PolicyStore:
     # ------------------------------------------------------------------
     def tenants(self) -> List[str]:
         """All tenant names, sorted."""
+        self._maybe_refresh()
         with self._lock:
             return sorted(self._tenants)
 
     def __contains__(self, tenant: str) -> bool:
+        self._maybe_refresh()
         return tenant in self._tenants
 
     def lineage(self, tenant: str) -> TenantLineage:
+        self._maybe_refresh()
         with self._lock:
             found = self._tenants.get(tenant)
             if found is None:
@@ -322,6 +434,7 @@ class PolicyStore:
 
     def create_tenant(self, name: str, actor: str = "") -> TenantLineage:
         """Register a new, empty lineage; rejects duplicates."""
+        self._require_writer("create_tenant")
         if not _TENANT_NAME.match(name or ""):
             raise PolicyStoreError(
                 f"invalid tenant name {name!r} "
@@ -360,6 +473,7 @@ class PolicyStore:
         activate — the lineage records candidates; the gate runs at
         :meth:`activate`.
         """
+        self._require_writer("put")
         if not isinstance(text, str) or not text.strip():
             raise PolicyStoreError("policy text must be non-empty")
         with self._lock:
@@ -447,6 +561,7 @@ class PolicyStore:
         subsequent activations of a known-clean first version skip
         the parse entirely.
         """
+        self._require_writer("activate")
         with self._lock:
             lineage = self.lineage(tenant)
             if version is None:
@@ -532,6 +647,7 @@ class PolicyStore:
         history, so rolling back twice alternates between the last two
         distinct versions, exactly like repeated ``git revert``.
         """
+        self._require_writer("rollback")
         with self._lock:
             lineage = self.lineage(tenant)
             current = lineage.active_version
@@ -574,6 +690,10 @@ class PolicyStore:
         # both atomic under the GIL against an append-only lineage.
         # This sits on the PDP's per-request fast path (the probe that
         # decides whether a cached engine resolution is still valid).
+        # In reader mode the refresh probe rides here too — its cheap
+        # gate is one clock compare, the stat syscall throttled.
+        if self._reader:
+            self._maybe_refresh()
         lineage = self._tenants.get(tenant)
         if lineage is None:
             raise PolicyStoreError(f"unknown tenant {tenant!r}")
@@ -617,6 +737,7 @@ class PolicyStore:
 
     def overview(self) -> List[Dict[str, object]]:
         """One summary row per tenant (wire ``tenants`` op)."""
+        self._maybe_refresh()
         with self._lock:
             rows = []
             for name in sorted(self._tenants):
@@ -635,6 +756,8 @@ class PolicyStore:
         with self._lock:
             return {
                 "path": self.path,
+                "reader": self._reader,
+                "read_offset": self._read_offset,
                 "tenants": len(self._tenants),
                 "versions": sum(
                     len(t.versions) for t in self._tenants.values()

@@ -1,0 +1,139 @@
+"""Unit tests for the pure live-ops merge functions."""
+
+from __future__ import annotations
+
+from repro.cluster import merge_flight, merge_health, merge_prometheus
+
+COUNTER_A = (
+    "# TYPE grbac_requests_total counter\n"
+    "grbac_requests_total 5\n"
+)
+COUNTER_B = (
+    "# TYPE grbac_requests_total counter\n"
+    "grbac_requests_total 7\n"
+)
+HISTOGRAM = (
+    "# TYPE grbac_latency_us histogram\n"
+    'grbac_latency_us_bucket{le="100"} 3\n'
+    'grbac_latency_us_bucket{le="+Inf"} 4\n'
+    "grbac_latency_us_sum 250\n"
+    "grbac_latency_us_count 4\n"
+)
+
+
+# ----------------------------------------------------------------------
+# merge_prometheus
+# ----------------------------------------------------------------------
+def test_merge_adds_shard_labels_and_single_type_lines() -> None:
+    merged = merge_prometheus({"w0": COUNTER_A, "w1": COUNTER_B})
+    assert merged.count("# TYPE grbac_requests_total counter") == 1
+    assert 'grbac_requests_total{shard="w0"} 5' in merged
+    assert 'grbac_requests_total{shard="w1"} 7' in merged
+
+
+def test_merge_preserves_existing_labels() -> None:
+    text = (
+        "# TYPE grbac_decisions_total counter\n"
+        'grbac_decisions_total{outcome="grant"} 9\n'
+    )
+    merged = merge_prometheus({"w3": text})
+    assert (
+        'grbac_decisions_total{outcome="grant",shard="w3"} 9' in merged
+    )
+
+
+def test_histogram_series_grouped_under_one_family_type() -> None:
+    merged = merge_prometheus({"w0": HISTOGRAM, "w1": HISTOGRAM})
+    # One TYPE declaration for the family; bucket/sum/count samples
+    # all carry shard labels and sit under it.
+    assert merged.count("# TYPE grbac_latency_us histogram") == 1
+    assert merged.count('grbac_latency_us_sum{shard=') == 2
+    assert 'grbac_latency_us_bucket{le="100",shard="w1"} 3' in merged
+    type_at = merged.index("# TYPE grbac_latency_us histogram")
+    assert type_at < merged.index("grbac_latency_us_bucket")
+
+
+def test_unparseable_shard_counts_as_scrape_error() -> None:
+    merged = merge_prometheus({"w0": COUNTER_A, "w1": "}{ not prom"})
+    assert 'grbac_requests_total{shard="w0"} 5' in merged
+    assert 'grbac_cluster_scrape_errors_total{shard="w1"} 1' in merged
+    assert 'grbac_cluster_scrape_errors_total{shard="w0"} 0' in merged
+
+
+def test_merge_of_nothing_is_just_the_error_family() -> None:
+    merged = merge_prometheus({})
+    assert "grbac_cluster_scrape_errors_total" in merged
+    assert merged.endswith("\n")
+
+
+# ----------------------------------------------------------------------
+# merge_health
+# ----------------------------------------------------------------------
+def test_health_all_good_single_generation() -> None:
+    merged = merge_health(
+        {
+            "w0": {"healthy": True, "generation": 3},
+            "w1": {"healthy": True, "generation": 3},
+        }
+    )
+    assert merged["healthy"] is True
+    assert merged["generations"] == [3]
+    assert merged["mixed_generations"] is False
+    assert merged["workers"]["w0"]["reachable"] is True
+
+
+def test_health_mixed_generations_is_unhealthy() -> None:
+    merged = merge_health(
+        {
+            "w0": {"healthy": True, "generation": 3},
+            "w1": {"healthy": True, "generation": 4},
+        }
+    )
+    assert merged["healthy"] is False
+    assert merged["mixed_generations"] is True
+    assert merged["generations"] == [3, 4]
+
+
+def test_health_unreachable_worker_is_unhealthy() -> None:
+    merged = merge_health(
+        {"w0": {"healthy": True, "generation": 0}, "w1": None}
+    )
+    assert merged["healthy"] is False
+    assert merged["workers"]["w1"] == {
+        "healthy": False,
+        "reachable": False,
+    }
+
+
+def test_health_of_empty_cluster_is_unhealthy() -> None:
+    assert merge_health({})["healthy"] is False
+
+
+# ----------------------------------------------------------------------
+# merge_flight
+# ----------------------------------------------------------------------
+def test_flight_interleave_tags_shards_and_orders() -> None:
+    merged = merge_flight(
+        {
+            "w1": [{"seq": 2, "subject": "b"}, {"seq": 5, "subject": "d"}],
+            "w0": [{"seq": 1, "subject": "a"}, {"seq": 4, "subject": "c"}],
+        }
+    )
+    assert [e["shard"] for e in merged] == ["w0", "w1", "w0", "w1"]
+    assert [e["seq"] for e in merged] == [1, 2, 4, 5]
+
+
+def test_flight_limit_keeps_the_last_n() -> None:
+    merged = merge_flight(
+        {
+            "w0": [{"seq": 1}, {"seq": 3}],
+            "w1": [{"seq": 2}, {"seq": 9}],
+        },
+        limit=2,
+    )
+    assert [e["seq"] for e in merged] == [3, 9]
+
+
+def test_flight_equal_seq_breaks_ties_by_shard() -> None:
+    merged = merge_flight({"w1": [{"seq": 7}], "w0": [{"seq": 7}]})
+    assert [e["shard"] for e in merged] == ["w0", "w1"]

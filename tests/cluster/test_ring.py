@@ -1,0 +1,152 @@
+"""The consistent-hash ring: evenness, minimal remap, determinism.
+
+The ring is the cluster's shard map: every decision cache stays hot
+only if (a) one key always lands on one worker and (b) membership
+changes move as few keys as possible.  These tests pin both, plus the
+statistical property the vnode count buys — reasonable evenness
+across 4–16 workers without a rebalancer.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.ring import ConsistentHashRing, stable_hash
+from repro.exceptions import ServiceError
+
+KEYS = [f"home{i}/device{j}" for i in range(500) for j in range(4)]
+
+
+def members(n: int) -> list:
+    return [f"w{i}" for i in range(n)]
+
+
+# ----------------------------------------------------------------------
+# Basics
+# ----------------------------------------------------------------------
+def test_empty_ring_refuses_to_route() -> None:
+    ring = ConsistentHashRing()
+    with pytest.raises(ServiceError):
+        ring.route("alice")
+
+
+def test_single_member_owns_everything() -> None:
+    ring = ConsistentHashRing(["w0"])
+    assert all(ring.route(key) == "w0" for key in KEYS[:100])
+
+
+def test_duplicate_and_empty_members_rejected() -> None:
+    ring = ConsistentHashRing(["w0"])
+    with pytest.raises(ServiceError):
+        ring.add("w0")
+    with pytest.raises(ServiceError):
+        ring.add("")
+    with pytest.raises(ServiceError):
+        ConsistentHashRing(vnodes=0)
+
+
+def test_stable_hash_is_stable_across_processes() -> None:
+    # md5-derived, never the salted builtin hash(): these exact values
+    # must hold on any interpreter, or worker restarts reshuffle keys.
+    assert stable_hash("alice") == stable_hash("alice")
+    assert stable_hash("w0#0") != stable_hash("w0#1")
+    assert 0 <= stable_hash("anything") < 2**32
+
+
+def test_routing_is_deterministic() -> None:
+    first = ConsistentHashRing(members(8))
+    second = ConsistentHashRing(list(reversed(members(8))))
+    # Same membership => same ownership, regardless of insert order.
+    assert [first.route(k) for k in KEYS] == [second.route(k) for k in KEYS]
+
+
+# ----------------------------------------------------------------------
+# Satellite: evenness across 4..16 workers
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("n", [4, 8, 12, 16])
+def test_distribution_evenness(n: int) -> None:
+    ring = ConsistentHashRing(members(n))
+    counts = ring.distribution(KEYS)
+    assert set(counts) == set(members(n))
+    expected = len(KEYS) / n
+    # 128 vnodes/member keeps every worker within ~2x of fair share
+    # for a realistic keyspace; gross skew here means the ring (or the
+    # hash) broke, not bad luck.
+    for member, count in counts.items():
+        assert count > 0.45 * expected, (member, counts)
+        assert count < 2.0 * expected, (member, counts)
+
+
+# ----------------------------------------------------------------------
+# Satellite: minimal remap on join and leave
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("n", [4, 8, 16])
+def test_join_remaps_roughly_one_nth(n: int) -> None:
+    ring = ConsistentHashRing(members(n))
+    before = {key: ring.route(key) for key in KEYS}
+    ring.add(f"w{n}")
+    moved = sum(1 for key in KEYS if ring.route(key) != before[key])
+    fair = len(KEYS) / (n + 1)
+    # Consistent hashing's contract: a join steals ~1/(n+1) of the
+    # keys and nothing else moves.
+    assert moved < 2.0 * fair, (moved, fair)
+    for key in KEYS:
+        after = ring.route(key)
+        assert after == before[key] or after == f"w{n}"
+
+
+@pytest.mark.parametrize("n", [4, 8, 16])
+def test_leave_remaps_only_the_departed_keys(n: int) -> None:
+    ring = ConsistentHashRing(members(n))
+    before = {key: ring.route(key) for key in KEYS}
+    ring.remove("w0")
+    for key in KEYS:
+        if before[key] == "w0":
+            assert ring.route(key) != "w0"
+        else:
+            # Keys that never lived on w0 must not move at all.
+            assert ring.route(key) == before[key]
+
+
+def test_join_then_leave_restores_ownership() -> None:
+    ring = ConsistentHashRing(members(4))
+    before = {key: ring.route(key) for key in KEYS}
+    ring.add("w4")
+    ring.remove("w4")
+    assert {key: ring.route(key) for key in KEYS} == before
+
+
+# ----------------------------------------------------------------------
+# Property: fixed membership => stable routing
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=16),
+    keys=st.lists(st.text(min_size=1, max_size=24), min_size=1, max_size=40),
+)
+def test_fixed_membership_routing_is_a_pure_function(n, keys) -> None:
+    ring = ConsistentHashRing(members(n))
+    other = ConsistentHashRing(members(n))
+    for key in keys:
+        owner = ring.route(key)
+        assert owner in ring.members
+        # Same key, same ring state, any time, any instance.
+        assert ring.route(key) == owner
+        assert other.route(key) == owner
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=10),
+    keys=st.lists(st.text(min_size=1, max_size=24), min_size=1, max_size=30),
+    victim=st.integers(min_value=0, max_value=9),
+)
+def test_membership_churn_never_strands_a_key(n, keys, victim) -> None:
+    ring = ConsistentHashRing(members(n))
+    name = f"w{victim % n}"
+    ring.remove(name)
+    ring.add(name)
+    for key in keys:
+        assert ring.route(key) in ring.members

@@ -1,0 +1,340 @@
+"""End-to-end cluster lifecycle with real worker subprocesses.
+
+These spawn actual ``repro.cli serve`` interpreters, so each test
+carries ~a second of fork/exec cost — kept to a 2-worker cluster and
+a handful of scenarios that can only be proven against real process
+boundaries: spawn/readiness, crash → restart with policy replay,
+all-or-nothing two-phase reload, and the aggregated live-ops view.
+Router protocol details live in ``test_router.py`` (in-process).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+
+import pytest
+
+from repro.cluster import ClusterAdminServer, ClusterSupervisor
+from repro.core import AccessRequest
+from repro.service import PDPOutcome, RemotePDPClient
+
+POLICY_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+    "examples",
+    "policies",
+    "entertainment.grbac",
+)
+
+pytestmark = pytest.mark.skipif(
+    not os.path.exists(POLICY_PATH),
+    reason="example policy missing",
+)
+
+
+def read_policy() -> str:
+    with open(POLICY_PATH, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def make_supervisor(**overrides) -> ClusterSupervisor:
+    config = dict(
+        policy_path=POLICY_PATH,
+        workers=2,
+        probe_interval_s=0.1,
+        restart_backoff_s=0.05,
+        drain_timeout_s=2.0,
+    )
+    config.update(overrides)
+    return ClusterSupervisor(**config)
+
+
+async def wait_for(predicate, timeout_s=20.0, interval_s=0.05):
+    deadline = asyncio.get_running_loop().time() + timeout_s
+    while True:
+        result = predicate()
+        if result:
+            return result
+        if asyncio.get_running_loop().time() > deadline:
+            raise AssertionError("condition not met in time")
+        await asyncio.sleep(interval_s)
+
+
+def test_spawn_route_and_aggregate(tmp_path) -> None:
+    async def scenario():
+        async with make_supervisor() as sup:
+            status = sup.status()
+            assert all(
+                row["state"] == "ready"
+                for row in status["workers"].values()
+            )
+            assert set(status["workers"]) == {"w0", "w1"}
+
+            client = await RemotePDPClient.connect(
+                "127.0.0.1", sup.router.port
+            )
+            outcomes = {}
+            for subject in ("mom", "dad", "alice", "bobby"):
+                response = await client.decide(
+                    AccessRequest(
+                        "watch", "livingroom/tv", subject=subject
+                    ),
+                    environment_roles={"weekday-free-time"},
+                )
+                outcomes[subject] = response.outcome
+            denied = await client.decide(
+                AccessRequest("power_on", "kitchen/oven", subject="alice"),
+                environment_roles={"kitchen-occupied"},
+            )
+            await client.close()
+
+            health = await sup.cluster_health()
+            metrics = await sup.cluster_metrics()
+            tail = await sup.cluster_tail(limit=10)
+            return outcomes, denied.outcome, health, metrics, tail
+
+    outcomes, denied, health, metrics, tail = asyncio.run(scenario())
+    # Everyone may watch (children via weekday-free-time, parents
+    # unconditionally); the oven stays adults-only.
+    assert all(o is PDPOutcome.GRANT for o in outcomes.values())
+    assert denied is PDPOutcome.DENY
+    assert health["healthy"] is True
+    assert health["generations"] in ([0], [])
+    assert health["mixed_generations"] is False
+    assert 'shard="w0"' in metrics["prometheus"]
+    assert 'shard="w1"' in metrics["prometheus"]
+    assert len(tail) == 5
+    assert {entry["shard"] for entry in tail} <= {"w0", "w1"}
+
+
+def test_two_phase_reload_and_rejection() -> None:
+    good = read_policy() + "\nallow child to power_on on game-devices\n"
+    bad = read_policy() + "\nallow gibberish syntax {{{\n"
+
+    async def scenario():
+        async with make_supervisor() as sup:
+            # A malformed candidate fails prepare on every worker and
+            # must change nothing anywhere.
+            rejected = await sup.reload_cluster(bad, actor="test")
+            health_after_reject = await sup.cluster_health()
+
+            # Dry-run of a good candidate: validated everywhere,
+            # activated nowhere.
+            dry = await sup.reload_cluster(good, actor="test", dry_run=True)
+            health_after_dry = await sup.cluster_health()
+
+            # The real thing: everyone moves to generation 1.
+            accepted = await sup.reload_cluster(good, actor="test")
+            health_after_accept = await sup.cluster_health()
+            return (
+                rejected,
+                dry,
+                accepted,
+                health_after_reject,
+                health_after_dry,
+                health_after_accept,
+                sup.reloads_accepted,
+                sup.reloads_rejected,
+            )
+
+    (
+        rejected,
+        dry,
+        accepted,
+        health_after_reject,
+        health_after_dry,
+        health_after_accept,
+        n_accepted,
+        n_rejected,
+    ) = asyncio.run(scenario())
+
+    assert rejected["accepted"] is False
+    assert rejected["phase"] == "prepare"
+    assert rejected["error"]
+    assert rejected["generations"] == {}
+    assert health_after_reject["generations"] == [0]
+
+    assert dry["accepted"] is True
+    assert dry["dry_run"] is True
+    assert dry["phase"] == "prepare"
+    assert dry["generations"] == {}
+    assert health_after_dry["generations"] == [0]
+
+    assert accepted["accepted"] is True
+    assert accepted["phase"] == "activate"
+    assert accepted["generations"] == {"w0": 1, "w1": 1}
+    assert health_after_accept["healthy"] is True
+    assert health_after_accept["generations"] == [1]
+    assert n_accepted == 2  # dry-run counts as an accepted validation
+    assert n_rejected == 1
+
+
+def test_crash_restart_replays_current_policy() -> None:
+    good = read_policy() + "\nallow child to power_on on game-devices\n"
+
+    async def scenario():
+        async with make_supervisor() as sup:
+            accepted = await sup.reload_cluster(good, actor="test")
+            assert accepted["accepted"] is True
+
+            victim = sup._workers["w0"]
+            old_pid = victim.pid
+            victim.process.kill()
+
+            await wait_for(
+                lambda: victim.state == "ready" and victim.pid != old_pid
+            )
+            # The restarted worker must have been healed to the
+            # reloaded policy *before* rejoining the ring — otherwise
+            # its shard would answer from generation 0 again.
+            health = await wait_for_converged_health(sup)
+            assert victim.restarts >= 1
+
+            client = await RemotePDPClient.connect(
+                "127.0.0.1", sup.router.port
+            )
+            response = await client.decide(
+                AccessRequest(
+                    "power_on", "kids-bedroom/console", subject="alice"
+                ),
+                environment_roles={"weekday-free-time"},
+            )
+            await client.close()
+            return health, response.outcome
+
+    async def wait_for_converged_health(sup):
+        deadline = asyncio.get_running_loop().time() + 20.0
+        while True:
+            health = await sup.cluster_health()
+            if health["healthy"] and health["generations"] == [1]:
+                return health
+            if asyncio.get_running_loop().time() > deadline:
+                raise AssertionError(f"never converged: {health}")
+            await asyncio.sleep(0.1)
+
+    health, outcome = asyncio.run(scenario())
+    assert health["mixed_generations"] is False
+    # The new rule came from the replayed reload, not the boot file.
+    assert outcome is PDPOutcome.GRANT
+
+
+def test_reload_refused_while_a_worker_is_down() -> None:
+    good = read_policy() + "\nallow child to power_on on game-devices\n"
+
+    async def scenario():
+        async with make_supervisor(
+            restart_backoff_s=5.0,  # keep the victim down during the test
+        ) as sup:
+            victim = sup._workers["w1"]
+            victim.process.kill()
+            await wait_for(lambda: victim.state == "down")
+            result = await sup.reload_cluster(good, actor="test")
+            return result
+
+    result = asyncio.run(scenario())
+    assert result["accepted"] is False
+    assert "not ready" in result["error"]
+    assert "w1" in result["error"]
+
+
+def test_failed_router_bind_stops_spawned_workers() -> None:
+    import socket
+
+    blocker = socket.socket()
+    blocker.bind(("127.0.0.1", 0))
+    blocker.listen(1)
+    taken_port = blocker.getsockname()[1]
+
+    async def scenario():
+        sup = make_supervisor(router_port=taken_port)
+        with pytest.raises(Exception, match="failed to start"):
+            await sup.start()
+        return [w.process for w in sup._workers.values()]
+
+    try:
+        processes = asyncio.run(scenario())
+    finally:
+        blocker.close()
+    # Every worker the supervisor managed to spawn must be reaped —
+    # a failed bind must not orphan N serve processes.
+    for process in processes:
+        if process is not None:
+            assert process.returncode is not None
+
+
+def test_cluster_admin_http_surface() -> None:
+    import json
+    import urllib.error
+    import urllib.request
+
+    good = read_policy() + "\nallow child to power_on on game-devices\n"
+    bad = read_policy() + "\nallow gibberish syntax {{{\n"
+
+    def get(url):
+        with urllib.request.urlopen(url, timeout=10) as response:
+            return response.status, response.read().decode()
+
+    def post(url, body):
+        request = urllib.request.Request(
+            url, data=body.encode(), method="POST"
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=30) as response:
+                return response.status, response.read().decode()
+        except urllib.error.HTTPError as error:
+            return error.code, error.read().decode()
+
+    async def scenario():
+        async with make_supervisor() as sup:
+            admin = ClusterAdminServer(sup)
+            await admin.start()
+            try:
+                base = f"http://127.0.0.1:{admin.port}"
+                # urllib blocks; keep it off the server's event loop.
+                status = await asyncio.to_thread(get, f"{base}/status")
+                health = await asyncio.to_thread(get, f"{base}/health")
+                metrics = await asyncio.to_thread(get, f"{base}/metrics")
+                code_bad, body_bad = await asyncio.to_thread(
+                    post, f"{base}/reload?actor=test", bad
+                )
+                code_good, body_good = await asyncio.to_thread(
+                    post, f"{base}/reload?actor=test", good
+                )
+                health_after = await asyncio.to_thread(
+                    get, f"{base}/health"
+                )
+                return (
+                    status,
+                    health,
+                    metrics,
+                    (code_bad, body_bad),
+                    (code_good, body_good),
+                    health_after,
+                )
+            finally:
+                await admin.stop()
+
+    (
+        (status_code, status_body),
+        (health_code, _),
+        (metrics_code, metrics_body),
+        (code_bad, body_bad),
+        (code_good, body_good),
+        (health_after_code, health_after_body),
+    ) = asyncio.run(scenario())
+
+    assert status_code == 200
+    status = json.loads(status_body)
+    assert set(status["workers"]) == {"w0", "w1"}
+    assert health_code == 200
+    assert metrics_code == 200
+    assert 'shard="w0"' in metrics_body
+
+    assert code_bad == 422
+    assert json.loads(body_bad)["accepted"] is False
+    assert code_good == 200
+    accepted = json.loads(body_good)
+    assert accepted["accepted"] is True
+    assert accepted["generations"] == {"w0": 1, "w1": 1}
+    assert health_after_code == 200
+    assert json.loads(health_after_body)["generations"] == [1]

@@ -1,0 +1,135 @@
+"""Two-phase reload on the administrator: prepare / activate / abort.
+
+The cluster supervisor's all-or-nothing reload is built from these
+three primitives; everything here runs against a single PDP so the
+token lifecycle (validation at prepare, cheap swap at activate, FIFO
+eviction, consume-on-use) is pinned independently of any cluster.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.core import AccessRequest, MediationEngine
+from repro.policy.admin import PolicyAdministrator
+from repro.service import PDPConfig, PolicyDecisionPoint
+
+DSL = """
+subject role parent
+subject role child
+subject alice is child
+object role entertainment
+object tv is entertainment
+environment role free-time
+allow child to watch on entertainment when free-time
+"""
+
+DSL_WITH_BOBBY = DSL + "subject bobby is child\n"
+
+
+def make_pdp(policy, **config) -> PolicyDecisionPoint:
+    return PolicyDecisionPoint(MediationEngine(policy), PDPConfig(**config))
+
+
+def test_prepare_validates_but_changes_nothing(tv_policy) -> None:
+    pdp = make_pdp(tv_policy)
+    admin = PolicyAdministrator(pdp)
+    revision_before = pdp.policy.decision_revision
+
+    result = admin.prepare(DSL_WITH_BOBBY, actor="ops")
+    assert result.accepted is True
+    assert result.token == "prep-1"
+    assert result.error == ""
+    # Still serving the old policy: prepare holds the candidate warm.
+    assert pdp.policy.decision_revision == revision_before
+    assert pdp.generation == 0
+    assert admin.prepared_tokens() == ["prep-1"]
+    assert result.record.action == "prepare"
+
+
+def test_prepare_rejects_malformed_candidate(tv_policy) -> None:
+    pdp = make_pdp(tv_policy)
+    admin = PolicyAdministrator(pdp)
+
+    result = admin.prepare("grant gibberish ???", actor="ops")
+    assert result.accepted is False
+    assert result.token is None
+    assert "parse error" in result.error
+    assert admin.prepared_tokens() == []
+
+
+def test_activate_swaps_the_prepared_candidate(tv_policy) -> None:
+    pdp = make_pdp(tv_policy)
+    admin = PolicyAdministrator(pdp)
+
+    async def scenario():
+        async with pdp:
+            prepared = admin.prepare(DSL_WITH_BOBBY, actor="ops")
+            activated = admin.activate_prepared(prepared.token, actor="ops")
+            response = await pdp.submit(
+                AccessRequest("watch", "tv", subject="bobby"),
+                environment_roles={"free-time"},
+            )
+        return prepared, activated, response
+
+    prepared, activated, response = asyncio.run(scenario())
+    assert activated.accepted is True
+    assert activated.record.generation == 1
+    assert activated.record.action == "activate"
+    assert response.granted is True
+    # The token is consumed: a second activate is an unknown token.
+    replay = admin.activate_prepared(prepared.token, actor="ops")
+    assert replay.accepted is False
+    assert "unknown prepare token" in replay.error
+
+
+def test_abort_discards_without_swapping(tv_policy) -> None:
+    pdp = make_pdp(tv_policy)
+    admin = PolicyAdministrator(pdp)
+
+    prepared = admin.prepare(DSL_WITH_BOBBY, actor="ops")
+    assert admin.abort_prepared(prepared.token, actor="ops") is True
+    assert pdp.generation == 0
+    assert admin.prepared_tokens() == []
+    # Idempotent-ish: a dead token aborts to False, activates to error.
+    assert admin.abort_prepared(prepared.token, actor="ops") is False
+    assert admin.activate_prepared(prepared.token).accepted is False
+
+
+def test_unknown_token_activate_is_rejected_not_raised(tv_policy) -> None:
+    admin = PolicyAdministrator(make_pdp(tv_policy))
+    result = admin.activate_prepared("prep-999", actor="ops")
+    assert result.accepted is False
+    assert "unknown prepare token" in result.error
+
+
+def test_prepared_tokens_evict_fifo_past_max(tv_policy) -> None:
+    pdp = make_pdp(tv_policy)
+    admin = PolicyAdministrator(pdp)
+    assert admin.max_prepared == 8
+
+    tokens = [
+        admin.prepare(DSL, actor="ops", name=f"cand{i}").token
+        for i in range(10)
+    ]
+    held = admin.prepared_tokens()
+    assert len(held) == 8
+    # The two oldest were evicted, oldest-first.
+    assert held == tokens[2:]
+    evicted = admin.activate_prepared(tokens[0], actor="ops")
+    assert evicted.accepted is False
+    survivor = admin.activate_prepared(tokens[-1], actor="ops")
+    assert survivor.accepted is True
+
+
+def test_prepare_audit_trail_spans_the_whole_lifecycle(tv_policy) -> None:
+    pdp = make_pdp(tv_policy)
+    admin = PolicyAdministrator(pdp)
+
+    kept = admin.prepare(DSL_WITH_BOBBY, actor="ops")
+    dropped = admin.prepare(DSL, actor="ops")
+    admin.abort_prepared(dropped.token, actor="ops")
+    admin.activate_prepared(kept.token, actor="ops")
+
+    actions = [record.action for record in admin.audit.records()]
+    assert actions == ["prepare", "prepare", "abort", "activate"]

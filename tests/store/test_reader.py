@@ -1,0 +1,136 @@
+"""Reader-mode stores: safe concurrent read-only opens on one log.
+
+A cluster's workers each open the supervisor-owned store directory
+with ``reader=True`` — no append handle, no lock, replay-then-follow.
+These tests pin the contract: readers see every *complete* line,
+catch up when the log grows, leave a torn tail for the next refresh,
+and refuse every mutating call.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.exceptions import PolicyStoreError
+from repro.store import DEFAULT_TENANT, PolicyStore
+
+GRANT_DSL = """
+subject role child
+object role tv-devices
+environment role free-time
+subject alice is child
+object livingroom/tv is tv-devices
+allow child to watch on tv-devices when free-time
+"""
+
+DENY_DSL = GRANT_DSL.replace("allow child", "deny child")
+
+
+def make_writer(path) -> PolicyStore:
+    writer = PolicyStore(str(path))
+    writer.create_tenant(DEFAULT_TENANT)
+    version = writer.put(DEFAULT_TENANT, GRANT_DSL, actor="writer")
+    writer.activate(DEFAULT_TENANT, version.version, actor="writer")
+    return writer
+
+
+def test_reader_requires_a_path() -> None:
+    with pytest.raises(PolicyStoreError, match="reader mode requires"):
+        PolicyStore(reader=True)
+
+
+def test_reader_replays_existing_log(tmp_path) -> None:
+    with make_writer(tmp_path):
+        pass
+    with PolicyStore(str(tmp_path), reader=True) as reader:
+        assert reader.reader is True
+        assert reader.tenants() == [DEFAULT_TENANT]
+        assert reader.active_version(DEFAULT_TENANT) == 1
+        engine, version = reader.engine(DEFAULT_TENANT)
+        assert version == 1
+
+
+def test_reader_follows_writer_appends(tmp_path) -> None:
+    with make_writer(tmp_path) as writer, PolicyStore(
+        str(tmp_path), reader=True, refresh_interval_s=0.0
+    ) as reader:
+        assert reader.active_version(DEFAULT_TENANT) == 1
+        version = writer.put(DEFAULT_TENANT, DENY_DSL, actor="writer")
+        writer.activate(DEFAULT_TENANT, version.version, actor="writer")
+        writer.create_tenant("acme", actor="writer")
+        # Same process here, but the coupling is only the shared file.
+        applied = reader.refresh()
+        assert applied == 4  # blob + put + activate + create
+        assert reader.active_version(DEFAULT_TENANT) == 2
+        assert set(reader.tenants()) == {DEFAULT_TENANT, "acme"}
+
+
+def test_reader_refresh_is_implicit_on_read_paths(tmp_path) -> None:
+    with make_writer(tmp_path) as writer, PolicyStore(
+        str(tmp_path), reader=True, refresh_interval_s=0.0
+    ) as reader:
+        version = writer.put(DEFAULT_TENANT, DENY_DSL, actor="writer")
+        writer.activate(DEFAULT_TENANT, version.version, actor="writer")
+        # No explicit refresh(): active_version probes the log itself.
+        assert reader.active_version(DEFAULT_TENANT) == 2
+
+
+def test_reader_leaves_torn_tail_for_next_refresh(tmp_path) -> None:
+    with make_writer(tmp_path):
+        pass
+    log_path = os.path.join(str(tmp_path), "store.jsonl")
+    with open(log_path, "r", encoding="utf-8") as handle:
+        lines = handle.readlines()
+    # Simulate an append caught mid-write: a complete line followed by
+    # half of the next one, no trailing newline.
+    torn = lines[-1].rstrip("\n")
+    with open(log_path, "a", encoding="utf-8") as handle:
+        handle.write(torn[: len(torn) // 2])
+
+    with PolicyStore(
+        str(tmp_path), reader=True, refresh_interval_s=0.0
+    ) as reader:
+        assert reader.torn_tail_recovered == 1
+        assert reader.active_version(DEFAULT_TENANT) == 1
+        # The "writer" finishes the line: the reader picks it up whole.
+        with open(log_path, "a", encoding="utf-8") as handle:
+            handle.write(torn[len(torn) // 2:] + "\n")
+        assert reader.refresh() == 1
+
+
+def test_reader_refuses_every_mutation(tmp_path) -> None:
+    with make_writer(tmp_path):
+        pass
+    with PolicyStore(str(tmp_path), reader=True) as reader:
+        with pytest.raises(PolicyStoreError, match="not allowed"):
+            reader.put(DEFAULT_TENANT, DENY_DSL)
+        with pytest.raises(PolicyStoreError, match="not allowed"):
+            reader.activate(DEFAULT_TENANT, 1)
+        with pytest.raises(PolicyStoreError, match="not allowed"):
+            reader.rollback(DEFAULT_TENANT)
+        # Nothing leaked into the log.
+        assert reader.active_version(DEFAULT_TENANT) == 1
+
+
+def test_writer_refresh_is_a_no_op(tmp_path) -> None:
+    with make_writer(tmp_path) as writer:
+        assert writer.refresh() == 0  # appends already applied in-memory
+
+
+def test_many_concurrent_readers_share_one_log(tmp_path) -> None:
+    with make_writer(tmp_path) as writer:
+        readers = [
+            PolicyStore(str(tmp_path), reader=True, refresh_interval_s=0.0)
+            for _ in range(4)
+        ]
+        try:
+            version = writer.put(DEFAULT_TENANT, DENY_DSL, actor="writer")
+            writer.activate(DEFAULT_TENANT, version.version, actor="writer")
+            assert all(
+                r.active_version(DEFAULT_TENANT) == 2 for r in readers
+            )
+        finally:
+            for reader in readers:
+                reader.close()
