@@ -43,6 +43,8 @@ from repro.service.server import PDPServer
 
 THROUGHPUT_GATE = 2.0  # batched+cached vs unbatched+uncached
 HIT_RATE_GATE = 0.50  # warm cache hit rate of the full service
+TRACE_OVERHEAD_GATE = 0.05  # traced (default sampling) vs untraced
+DEFAULT_TRACE_SAMPLE_RATE = 0.01  # the rate a production deploy runs at
 
 HOMES = 500  # 8 rules per home -> ~4000 permissions
 UNIQUE_REQUESTS = 400
@@ -330,6 +332,63 @@ def test_bench_service(benchmark, report):
         f"({wire_gain:.2f}x)"
     )
 
+    # ---- distributed tracing: traced vs untraced throughput ------------
+    rows.append("")
+    rows.append(
+        "distributed tracing (full service, loadgen-originated context):"
+    )
+    rows.append(f"  {'tracing':>16}{'req/s':>10}{'p50 us':>9}{'p99 us':>9}")
+    trace_records = {}
+    trace_columns = [
+        ("untraced", 0.0),
+        (f"sampled@{DEFAULT_TRACE_SAMPLE_RATE:.0%}", DEFAULT_TRACE_SAMPLE_RATE),
+        ("sampled@100%", 1.0),
+    ]
+    for label, rate in trace_columns:
+        traced_config = LoadgenConfig(
+            requests=UNIQUE_REQUESTS,
+            concurrency=CONCURRENCY,
+            seed=11,
+            repeat=REPEAT,
+            trace_sample_rate=rate,
+        )
+        result, _ = measure(
+            policy, stream, expected, traced_config,
+            max_batch=64, cache_size=4096,
+        )
+        rows.append(
+            f"  {label:>16}{result.throughput_rps:>10,.0f}"
+            f"{result.latency_us(0.5):>9.1f}{result.latency_us(0.99):>9.1f}"
+        )
+        trace_records[label] = {
+            "trace_sample_rate": rate,
+            "traced": result.traced,
+            "throughput_rps": round(result.throughput_rps, 1),
+            "latency_p50_us": round(result.latency_us(0.5), 1),
+            "latency_p99_us": round(result.latency_us(0.99), 1),
+        }
+    untraced_rps = trace_records["untraced"]["throughput_rps"]
+    default_label = f"sampled@{DEFAULT_TRACE_SAMPLE_RATE:.0%}"
+    trace_overhead = 1.0 - (
+        trace_records[default_label]["throughput_rps"] / untraced_rps
+    )
+    rows.append(
+        f"  overhead at default sampling "
+        f"({DEFAULT_TRACE_SAMPLE_RATE:.0%} of requests traced): "
+        f"{trace_overhead:+.1%} (gate <= {TRACE_OVERHEAD_GATE:.0%})"
+    )
+    rows.append(
+        "shape: untraced requests pay one sampler test and a None "
+        "check; a sampled request additionally mints a context, rides "
+        "it through the wire codec, and exports spans to the bounded "
+        "collector — head sampling keeps that on a small fraction of "
+        "traffic, which is what the overhead gate pins."
+    )
+    assert trace_overhead <= TRACE_OVERHEAD_GATE, (
+        f"tracing at default sampling costs {trace_overhead:.1%} "
+        f"throughput; the acceptance gate is {TRACE_OVERHEAD_GATE:.0%}"
+    )
+
     report_dir = os.path.join(os.path.dirname(__file__), "reports")
     os.makedirs(report_dir, exist_ok=True)
     json_path = os.path.join(report_dir, "BENCH_service.json")
@@ -358,6 +417,7 @@ def test_bench_service(benchmark, report):
             "shed": full["shed"],
             "timeouts": full["timeouts"],
             "wire_binary_gain": round(wire_gain, 2),
+            "trace_overhead": round(trace_overhead, 4),
         }
     )
     with open(json_path, "w", encoding="utf-8") as handle:
@@ -376,6 +436,10 @@ def test_bench_service(benchmark, report):
                 "configurations": records,
                 "wire_framing": wire_records,
                 "wire_binary_gain": round(wire_gain, 2),
+                "tracing": trace_records,
+                "trace_overhead_gate": TRACE_OVERHEAD_GATE,
+                "trace_overhead": round(trace_overhead, 4),
+                "default_trace_sample_rate": DEFAULT_TRACE_SAMPLE_RATE,
                 "trajectory": trajectory[-50:],
             },
             handle,

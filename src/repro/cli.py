@@ -13,13 +13,20 @@ who prefer a terminal over a Python prompt::
     python -m repro.cli demo  s51
     python -m repro.cli bench policy.grbac --requests 5000 --mode compiled
     python -m repro.cli serve policy.grbac --port 7471 --admin-port 9471 \\
-           --trace-sample-rate 0.05 --trace-file traces.jsonl
+           --trace-sample-rate 0.05 --trace-file traces.jsonl \\
+           --audit-file audit.jsonl
     python -m repro.cli loadgen policy.grbac --connect 127.0.0.1:7471 \\
            --requests 200 --verify
     python -m repro.cli reload new-policy.grbac --connect 127.0.0.1:7471 \\
            --actor alice --dry-run
     python -m repro.cli status --connect 127.0.0.1:7471 --check
     python -m repro.cli tail --connect 127.0.0.1:7471 --follow
+    python -m repro.cli trace 0123456789abcdef --connect 127.0.0.1:9470
+    python -m repro.cli audit verify audit.jsonl
+    python -m repro.cli audit query audit.jsonl --subject alice \\
+           --since 2026-08-08T00:00:00 --denied
+    python -m repro.cli audit pack audit.jsonl --subject alice \\
+           -o evidence.json --sign-key swordfish --key-id ops-1
     python -m repro.cli tenant create unit-9 --store ./policies
     python -m repro.cli tenant put unit-9 policy.grbac --store ./policies \\
            --activate
@@ -211,6 +218,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         flight_capacity=args.flight_capacity,
     )
     sink = JsonlTraceSink(args.trace_file) if args.trace_file else None
+    audit_writer = None
+    if args.audit_file:
+        from repro.core.audit import HashChainWriter
+
+        audit_writer = HashChainWriter(args.audit_file)
     slo = SloTracker(
         availability_target=args.slo_availability,
         latency_threshold_s=args.slo_latency_ms / 1000.0,
@@ -221,7 +233,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         from repro.policy.admin import PolicyAdministrator, PolicyFileWatcher
 
         pdp = PolicyDecisionPoint(
-            engine, config, trace_sink=sink, slo=slo, store=store
+            engine,
+            config,
+            trace_sink=sink,
+            slo=slo,
+            store=store,
+            audit_writer=audit_writer,
         )
         administrator = PolicyAdministrator(pdp)
         server = PDPServer(
@@ -278,6 +295,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(f"exporting sampled traces (rate "
                   f"{args.trace_sample_rate}) to {args.trace_file}",
                   flush=True)
+        if audit_writer is not None:
+            print(f"hash-chained audit log at {args.audit_file!r}",
+                  flush=True)
         try:
             await server.serve_forever()
         finally:
@@ -293,6 +313,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         if sink is not None:
             sink.close()
+        if audit_writer is not None:
+            audit_writer.close()
     return 0
 
 
@@ -426,6 +448,9 @@ def _cmd_tail(args: argparse.Namespace) -> int:
             flags.append("cached")
         if entry.get("request_id") is not None:
             flags.append(f"id={entry['request_id']}")
+        if entry.get("trace_id"):
+            # Pasteable into GET /trace/<id> / `repro trace <id>`.
+            flags.append(f"trace={entry['trace_id']}")
         suffix = f"  [{' '.join(flags)}]" if flags else ""
         return (
             f"#{entry.get('seq'):<6} {entry.get('outcome'):<14} "
@@ -491,6 +516,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         seed=args.seed,
         repeat=args.repeat,
         tenant=args.tenant,
+        trace_sample_rate=args.trace_sample_rate,
     )
     stream = build_stream(policy, config)
     expected = compute_expected(policy, stream) if args.verify else None
@@ -657,6 +683,8 @@ def _cmd_cluster_start(args: argparse.Namespace) -> int:
             vnodes=args.vnodes,
             drain_timeout_s=args.drain_timeout,
             worker_args=args.worker_arg or [],
+            trace_sample_rate=args.trace_sample_rate,
+            audit_dir=args.audit_dir,
         )
         await supervisor.start()
         admin = ClusterAdminServer(
@@ -675,6 +703,18 @@ def _cmd_cluster_start(args: argparse.Namespace) -> int:
             f"cluster admin http listening on {args.host}:{admin.port}",
             flush=True,
         )
+        if args.trace_sample_rate > 0:
+            print(
+                f"router originating traces at rate "
+                f"{args.trace_sample_rate} (GET /trace/<id>)",
+                flush=True,
+            )
+        if args.audit_dir:
+            print(
+                f"per-worker hash-chained audit logs in "
+                f"{args.audit_dir!r}",
+                flush=True,
+            )
         for name, worker in sorted(supervisor.status()["workers"].items()):
             print(
                 f"  worker {name} pid {worker['pid']} on port "
@@ -773,6 +813,235 @@ def _cmd_cluster_drain(args: argparse.Namespace) -> int:
         return 0
     print(f"drain refused (http {code}): {result}", file=sys.stderr)
     return 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """``repro trace``: pipeline trace locally, span waterfall remotely.
+
+    Without ``--connect`` this is ``check --trace`` (the first
+    positional is a policy file).  With ``--connect`` the first
+    positional is a distributed trace id, fetched from an admin
+    endpoint's ``GET /trace/<id>`` — the cluster admin answers with
+    router+worker spans joined, a single worker's sidecar with its own.
+    """
+    if args.connect is None:
+        if not (args.subject and args.transaction and args.object):
+            raise GrbacError(
+                "trace needs POLICY SUBJECT TRANSACTION OBJECT — or "
+                "--connect HOST:ADMIN_PORT with a trace id"
+            )
+        return _cmd_check(args)
+    trace_id = args.policy
+    code, payload = _cluster_http(args.connect, f"/trace/{trace_id}")
+    spans = payload.get("spans")
+    if code != 200 or not isinstance(spans, list) or not spans:
+        print(f"trace {trace_id}: no spans found (http {code})",
+              file=sys.stderr)
+        return 1
+    services = sorted(
+        {str(span.get("service") or "?") for span in spans}
+    )
+    print(
+        f"trace {trace_id} — {len(spans)} span(s) "
+        f"across {', '.join(services)}"
+    )
+    for span in spans:
+        depth = span.get("depth")
+        indent = "  " * ((depth if isinstance(depth, int) else 0) + 1)
+        where = span.get("shard") or span.get("service") or "?"
+        duration = span.get("duration_us")
+        timing = (
+            f"{duration:.1f} us"
+            if isinstance(duration, (int, float))
+            else "in flight"
+        )
+        annotations = span.get("annotations")
+        notes = ""
+        if isinstance(annotations, dict):
+            notes = "  ".join(
+                f"{key}={annotations[key]}"
+                for key in sorted(annotations)
+                if key != "stage_timings_us"
+            )
+        print(f"{indent}{span.get('name')}  [{where}]  {timing}  {notes}")
+    return 0
+
+
+def _parse_when(text: str) -> float:
+    """Epoch seconds from a float or ISO-8601 timestamp."""
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    from datetime import datetime, timezone
+
+    try:
+        parsed = datetime.fromisoformat(text)
+    except ValueError:
+        raise GrbacError(
+            f"invalid time {text!r} (epoch seconds or ISO-8601)"
+        ) from None
+    if parsed.tzinfo is None:
+        parsed = parsed.replace(tzinfo=timezone.utc)
+    return parsed.timestamp()
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    """``repro audit``: verify/query a hash-chained audit log, build
+    and check signed evidence packs."""
+    import json as json_module
+    import time as time_module
+
+    from repro.core.evidence import (
+        build_evidence_pack,
+        join_traces,
+        load_jsonl,
+        query_audit_records,
+        verify_audit_file,
+        verify_evidence_pack,
+    )
+
+    action = args.audit_command
+    if action == "verify":
+        verification = verify_audit_file(
+            args.log,
+            expect_head=args.expect_head,
+            use_anchor=not args.no_anchor,
+        )
+        if verification.ok:
+            print(
+                f"OK: {verification.records} record(s), "
+                f"head {verification.head_hash}"
+            )
+            return 0
+        where = (
+            f" (line {verification.error_line})"
+            if verification.error_line
+            else ""
+        )
+        print(f"FAIL: {verification.error}{where}", file=sys.stderr)
+        return 1
+
+    if action == "check-pack":
+        with open(args.pack, "r", encoding="utf-8") as handle:
+            pack = json_module.load(handle)
+        key = args.sign_key.encode("utf-8") if args.sign_key else None
+        ok, reason = verify_evidence_pack(pack, key=key)
+        if ok:
+            signed = "signed, " if key is not None else ""
+            print(
+                f"OK: {signed}digest {pack.get('digest')}  "
+                f"({len(pack.get('records', []))} record(s), anchor "
+                f"{pack.get('chain', {}).get('head_hash')})"
+            )
+            return 0
+        print(f"FAIL: {reason}", file=sys.stderr)
+        return 1
+
+    # query / pack share the chain verification and the filters.
+    verification = verify_audit_file(
+        args.log, use_anchor=not args.no_anchor
+    )
+    if not verification.ok:
+        print(
+            f"FAIL: refusing to answer from a broken chain: "
+            f"{verification.error}",
+            file=sys.stderr,
+        )
+        return 1
+    granted = True if args.granted else (False if args.denied else None)
+    since = _parse_when(args.since) if args.since else None
+    until = _parse_when(args.until) if args.until else None
+    records = query_audit_records(
+        verification.entries,
+        subject=args.subject,
+        obj=args.object,
+        transaction=args.transaction,
+        granted=granted,
+        tenant=args.tenant,
+        since=since,
+        until=until,
+    )
+    query = {
+        key: value
+        for key, value in (
+            ("subject", args.subject),
+            ("object", args.object),
+            ("transaction", args.transaction),
+            ("granted", granted),
+            ("tenant", args.tenant),
+            ("since", since),
+            ("until", until),
+        )
+        if value is not None
+    }
+
+    if action == "query":
+        limit = args.limit if args.limit and args.limit > 0 else None
+        shown = records if limit is None else records[-limit:]
+        if args.json:
+            print(json_module.dumps(shown, indent=2))
+        else:
+            for record in shown:
+                timestamp = record.get("timestamp")
+                when = (
+                    time_module.strftime(
+                        "%Y-%m-%dT%H:%M:%SZ",
+                        time_module.gmtime(float(timestamp)),
+                    )
+                    if isinstance(timestamp, (int, float))
+                    else "?"
+                )
+                verdict = "GRANT" if record.get("granted") else "DENY"
+                trace_note = (
+                    f"  trace={record['trace_id']}"
+                    if record.get("trace_id")
+                    else ""
+                )
+                print(
+                    f"{when}  {verdict:<5} {record.get('subject')} "
+                    f"{record.get('transaction')} {record.get('object')}"
+                    f"  tenant={record.get('tenant')}{trace_note}"
+                )
+                print(f"    why: {record.get('rationale')}")
+                rules = record.get("matched_rules")
+                if isinstance(rules, list):
+                    for rule in rules:
+                        print(f"    rule: {rule}")
+                print(
+                    f"    roles: subject={record.get('subject_roles')} "
+                    f"environment={record.get('environment_roles')}"
+                )
+        print(
+            f"{len(records)} matching record(s) of {verification.records} "
+            f"(chain OK, head {verification.head_hash})"
+        )
+        return 0
+
+    # action == "pack"
+    spans = None
+    if args.trace_file:
+        spans = join_traces(records, load_jsonl(args.trace_file))
+    key = args.sign_key.encode("utf-8") if args.sign_key else None
+    pack = build_evidence_pack(
+        verification,
+        records,
+        query,
+        source=args.log,
+        spans=spans,
+        generated_at=time_module.time(),
+        key=key,
+        key_id=args.key_id,
+    )
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json_module.dump(pack, handle, indent=2)
+        handle.write("\n")
+    signed = " (signed)" if key is not None else ""
+    print(
+        f"wrote {args.output}: {len(records)} record(s), "
+        f"digest {pack['digest']}{signed}"
+    )
+    return 0
 
 
 def _cmd_tenant(args: argparse.Namespace) -> int:
@@ -936,11 +1205,18 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("policy", help="path to a DSL policy file")
     lint.set_defaults(func=_cmd_lint)
 
-    def add_check_arguments(sub: argparse.ArgumentParser) -> None:
+    def add_check_arguments(
+        sub: argparse.ArgumentParser, optional_targets: bool = False
+    ) -> None:
         sub.add_argument("policy", help="path to a DSL policy file")
-        sub.add_argument("subject")
-        sub.add_argument("transaction")
-        sub.add_argument("object")
+        if optional_targets:
+            sub.add_argument("subject", nargs="?", default=None)
+            sub.add_argument("transaction", nargs="?", default=None)
+            sub.add_argument("object", nargs="?", default=None)
+        else:
+            sub.add_argument("subject")
+            sub.add_argument("transaction")
+            sub.add_argument("object")
         sub.add_argument(
             "--env",
             action="append",
@@ -986,10 +1262,18 @@ def build_parser() -> argparse.ArgumentParser:
     trace = subparsers.add_parser(
         "trace",
         help="mediate one request and print its pipeline trace "
-        "(alias for check --trace)",
+        "(alias for check --trace), or — with --connect — fetch one "
+        "distributed trace by id and print its span waterfall",
     )
-    add_check_arguments(trace)
-    trace.set_defaults(func=_cmd_check, trace=True)
+    add_check_arguments(trace, optional_targets=True)
+    trace.add_argument(
+        "--connect",
+        metavar="HOST:ADMIN_PORT",
+        default=None,
+        help="fetch GET /trace/<id> from this admin endpoint (cluster "
+        "or single worker); the first positional is then the trace id",
+    )
+    trace.set_defaults(func=_cmd_trace, trace=True)
 
     bench = subparsers.add_parser(
         "bench", help="replay a synthetic request stream against a policy"
@@ -1109,6 +1393,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="export sampled decision spans as JSONL to this file "
         "(rotated; default: no trace export)",
+    )
+    serve.add_argument(
+        "--audit-file",
+        metavar="PATH",
+        help="append every mediated grant/deny to this hash-chained "
+        "JSONL audit log (verify with `repro audit verify`; "
+        "default: no audit log)",
     )
     serve.add_argument(
         "--flight-capacity",
@@ -1324,6 +1615,15 @@ def build_parser() -> argparse.ArgumentParser:
         "default: the default tenant)",
     )
     loadgen.add_argument(
+        "--trace-sample-rate",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="originate a client-side trace context on this fraction "
+        "of requests; mismatch reports then carry pasteable trace ids "
+        "(default 0.0)",
+    )
+    loadgen.add_argument(
         "--verify",
         action="store_true",
         help="cross-check every answer against a direct engine; "
@@ -1400,6 +1700,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="extra argument passed to every worker's `serve` command "
         "line (repeatable), e.g. --worker-arg=--cache-size=8192",
     )
+    cluster_start.add_argument(
+        "--trace-sample-rate",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="router-originated distributed-trace sampling: this "
+        "fraction of routed requests gets a router span plus a child "
+        "worker span, joinable via GET /trace/<id> or `repro trace "
+        "<id> --connect` (default 0.0)",
+    )
+    cluster_start.add_argument(
+        "--audit-dir",
+        metavar="DIR",
+        default=None,
+        help="give every worker a hash-chained audit log "
+        "(DIR/<worker>.audit.jsonl, verify with `repro audit "
+        "verify`; default: no audit logs)",
+    )
     cluster_start.set_defaults(func=_cmd_cluster_start)
     cluster_status = cluster_sub.add_parser(
         "status", help="one-line-per-worker cluster state and health"
@@ -1441,6 +1759,126 @@ def build_parser() -> argparse.ArgumentParser:
         help="the cluster admin endpoint",
     )
     cluster_drain.set_defaults(func=_cmd_cluster_drain)
+
+    audit = subparsers.add_parser(
+        "audit",
+        help="verify and query a hash-chained audit log; build and "
+        "check signed evidence packs",
+    )
+    audit_sub = audit.add_subparsers(dest="audit_command", required=True)
+
+    def add_audit_log_argument(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "log", help="path to a hash-chained audit JSONL log"
+        )
+        sub.add_argument(
+            "--no-anchor",
+            action="store_true",
+            help="skip the <log>.head sidecar anchor (checks link "
+            "integrity only; tail truncation becomes undetectable)",
+        )
+
+    def add_audit_filters(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--subject", default=None)
+        sub.add_argument("--object", default=None)
+        sub.add_argument("--transaction", default=None)
+        verdict = sub.add_mutually_exclusive_group()
+        verdict.add_argument(
+            "--granted", action="store_true", help="grants only"
+        )
+        verdict.add_argument(
+            "--denied", action="store_true", help="denies only"
+        )
+        sub.add_argument("--tenant", default=None)
+        sub.add_argument(
+            "--since",
+            default=None,
+            metavar="WHEN",
+            help="window start (epoch seconds or ISO-8601)",
+        )
+        sub.add_argument(
+            "--until",
+            default=None,
+            metavar="WHEN",
+            help="window end (epoch seconds or ISO-8601)",
+        )
+
+    audit_verify = audit_sub.add_parser(
+        "verify",
+        help="re-walk the hash chain; exit 1 on tampering or "
+        "truncation",
+    )
+    add_audit_log_argument(audit_verify)
+    audit_verify.add_argument(
+        "--expect-head",
+        default=None,
+        metavar="HASH",
+        help="externally pinned head hash (wins over the sidecar)",
+    )
+    audit_verify.set_defaults(func=_cmd_audit)
+
+    audit_query = audit_sub.add_parser(
+        "query",
+        help="who accessed what, in window W, under which roles, and "
+        "why — over a verified chain",
+    )
+    add_audit_log_argument(audit_query)
+    add_audit_filters(audit_query)
+    audit_query.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        help="show only the last N matches (tallies still count all)",
+    )
+    audit_query.add_argument(
+        "--json",
+        action="store_true",
+        help="print matching records as JSON instead of prose",
+    )
+    audit_query.set_defaults(func=_cmd_audit)
+
+    audit_pack = audit_sub.add_parser(
+        "pack",
+        help="build a self-verifying (optionally HMAC-signed) "
+        "evidence pack from a query over a verified chain",
+    )
+    add_audit_log_argument(audit_pack)
+    add_audit_filters(audit_pack)
+    audit_pack.add_argument(
+        "-o", "--output", required=True, help="pack output file"
+    )
+    audit_pack.add_argument(
+        "--trace-file",
+        default=None,
+        metavar="PATH",
+        help="exported spans JSONL (serve --trace-file) to join into "
+        "the pack by trace/request id",
+    )
+    audit_pack.add_argument(
+        "--sign-key",
+        default=None,
+        metavar="KEY",
+        help="HMAC-SHA256 key; the pack then carries a signature "
+        "over its digest",
+    )
+    audit_pack.add_argument(
+        "--key-id", default="", help="key identifier kept in the pack"
+    )
+    audit_pack.set_defaults(func=_cmd_audit)
+
+    audit_check = audit_sub.add_parser(
+        "check-pack",
+        help="check an evidence pack's digest (and signature with "
+        "--sign-key)",
+    )
+    audit_check.add_argument("pack", help="path to an evidence pack")
+    audit_check.add_argument(
+        "--sign-key",
+        default=None,
+        metavar="KEY",
+        help="HMAC key the pack must verify under",
+    )
+    audit_check.set_defaults(func=_cmd_audit)
 
     export = subparsers.add_parser(
         "export", help="convert a policy to JSON or normalized DSL"

@@ -16,6 +16,11 @@ aggregates:
                            restarts, router shard stats, reload counters
 ``GET /dump``              interleaved flight-recorder tails (``?limit=``),
                            each entry labelled with its shard
+``GET /traces``            recent trace ids the router sampled
+                           (``?limit=``)
+``GET /trace/<id>``        one distributed trace joined across the
+                           router and every worker: a waterfall-ordered
+                           span list with parentage depth
 ``POST /reload``           cluster-wide two-phase reload; the body is the
                            candidate policy, ``?actor=&dry_run=1`` qualify
                            it.  200 when every worker activated, 422 when
@@ -271,6 +276,28 @@ class ClusterAdminServer:
                 )
             entries = await supervisor.cluster_tail(limit=limit)
             return 200, "application/json", _json({"entries": entries})
+        if path == "/traces":
+            limit_raw = query.get("limit")
+            try:
+                limit = 50 if limit_raw is None else int(limit_raw)
+            except ValueError:
+                return (
+                    400,
+                    "text/plain",
+                    b"query parameter 'limit' must be an integer\n",
+                )
+            return (
+                200,
+                "application/json",
+                _json({"trace_ids": supervisor.cluster_traces(limit)}),
+            )
+        if path.startswith("/trace/"):
+            trace_id = path[len("/trace/"):]
+            if not trace_id:
+                return 400, "text/plain", b"missing trace id\n"
+            joined = await supervisor.cluster_trace(trace_id)
+            status = 200 if joined["spans"] else 404
+            return status, "application/json", _json(joined)
         return 404, "text/plain", b"unknown path\n"
 
     async def _handle_reload(

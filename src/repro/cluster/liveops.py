@@ -12,13 +12,20 @@ from __future__ import annotations
 import re
 from typing import Any, Dict, List, Optional
 
-from repro.obs.export import PrometheusParseError, parse_prometheus
+from repro.obs.export import (
+    PrometheusParseError,
+    escape_label_value,
+    parse_prometheus,
+)
 
 _TYPE_LINE = re.compile(r"^#\s+TYPE\s+(\S+)\s+(\S+)\s*$", re.MULTILINE)
 
 
 def _render_labels(labels: Dict[str, str]) -> str:
-    body = ",".join(f'{key}="{value}"' for key, value in labels.items())
+    body = ",".join(
+        f'{key}="{escape_label_value(value)}"'
+        for key, value in labels.items()
+    )
     return "{" + body + "}"
 
 
@@ -70,7 +77,7 @@ def merge_prometheus(texts: Dict[str, str]) -> str:
     out.append("# TYPE grbac_cluster_scrape_errors_total counter")
     for shard in sorted(texts):
         out.append(
-            f'grbac_cluster_scrape_errors_total{{shard="{shard}"}} '
+            f"grbac_cluster_scrape_errors_total{_render_labels({'shard': shard})} "
             f"{scrape_errors.get(shard, 0)}"
         )
     return "\n".join(out) + "\n"
@@ -137,4 +144,56 @@ def merge_flight(
     return merged
 
 
-__all__ = ["merge_flight", "merge_health", "merge_prometheus"]
+def join_trace(
+    reports: Dict[str, Optional[List[Dict[str, Any]]]]
+) -> List[Dict[str, Any]]:
+    """One waterfall-ordered span list from per-source span fetches.
+
+    ``reports`` maps a source name (``"router"`` or a worker name) to
+    the spans that source holds for one trace id — ``None`` marks an
+    unreachable source, an empty list a source that never saw the
+    trace.  Every span gains a ``shard`` field naming its source.
+
+    Ordering is the waterfall a human wants to read: roots first (a
+    span whose parent is absent from the joined set — the router's
+    origin span, or a client-originated span whose client we cannot
+    see), each span immediately followed by its children, siblings by
+    start time.  Each span also gains ``depth`` (0 for roots) so a
+    renderer can indent without re-deriving parentage.
+    """
+    spans: List[Dict[str, Any]] = []
+    for source in sorted(reports):
+        listing = reports[source]
+        if not listing:
+            continue
+        for span in listing:
+            spans.append({**span, "shard": source})
+    span_ids = {
+        span["span_id"] for span in spans if span.get("span_id")
+    }
+    children: Dict[str, List[Dict[str, Any]]] = {}
+    roots: List[Dict[str, Any]] = []
+    for span in spans:
+        parent = span.get("parent_span_id") or ""
+        if parent and parent in span_ids:
+            children.setdefault(parent, []).append(span)
+        else:
+            roots.append(span)
+
+    def start_key(span: Dict[str, Any]) -> Any:
+        return (span.get("start_s") or 0.0, span.get("span_id") or "")
+
+    ordered: List[Dict[str, Any]] = []
+
+    def walk(span: Dict[str, Any], depth: int) -> None:
+        ordered.append({**span, "depth": depth})
+        own_id = span.get("span_id") or ""
+        for child in sorted(children.get(own_id, []), key=start_key):
+            walk(child, depth + 1)
+
+    for root in sorted(roots, key=start_key):
+        walk(root, 0)
+    return ordered
+
+
+__all__ = ["join_trace", "merge_flight", "merge_health", "merge_prometheus"]

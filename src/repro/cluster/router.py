@@ -43,6 +43,8 @@ from typing import Awaitable, Callable, Dict, Optional, Tuple
 
 from repro.cluster.ring import ConsistentHashRing
 from repro.exceptions import ServiceError
+from repro.obs.export import TraceSampler
+from repro.obs.trace import Span, SpanCollector, TraceContext, new_span_id
 from repro.service.protocol import (
     BINARY_MAGIC,
     KIND_REQUEST,
@@ -57,7 +59,10 @@ from repro.service.protocol import (
     parse_line,
     peek_binary_id,
     peek_binary_request,
+    peek_binary_trace,
     read_frame_tail,
+    splice_binary_trace,
+    splice_line_trace,
 )
 
 #: Reserved wire id for the router's own intern replays to fresh
@@ -145,6 +150,10 @@ class _Upstream:
         #: wire id -> lane tag ("bin" | "json" | "op" | "intern" |
         #: "router-intern"), insertion-ordered for failure synthesis.
         self.outstanding: Dict[object, str] = {}
+        #: wire id -> pending router span (sampled requests only);
+        #: completed when the worker's response comes back, so the
+        #: span's duration is the upstream round-trip time.
+        self.traces: Dict[object, Dict[str, object]] = {}
         self.closed = False
         self.pump = asyncio.get_running_loop().create_task(self._pump())
 
@@ -159,7 +168,9 @@ class _Upstream:
                     break
                 if first[0] == BINARY_MAGIC:
                     kind, body = await read_frame_tail(self.reader)
-                    self.outstanding.pop(peek_binary_id(body), None)
+                    wire_id = peek_binary_id(body)
+                    self.outstanding.pop(wire_id, None)
+                    self._finish_trace(wire_id)
                     await session.send_bytes(frame(kind, body))
                     continue
                 try:
@@ -179,6 +190,7 @@ class _Upstream:
         session = self.session
         wire_id, parsed = _scan_response_id(line)
         tag = self.outstanding.pop(wire_id, None)
+        self._finish_trace(wire_id)
         if tag == "router-intern":
             return  # the router's own table pin; nothing to forward
         if tag == "intern":
@@ -204,6 +216,14 @@ class _Upstream:
         self.writer.write(data)
         await self.writer.drain()
 
+    def _finish_trace(self, wire_id: object, outcome: str = "ok") -> None:
+        """Complete the router span for ``wire_id`` (upstream RTT)."""
+        pending = self.traces.pop(wire_id, None)
+        if pending is not None:
+            self.session.router._record_span(
+                pending, self.name, outcome=outcome
+            )
+
     async def close(self, synthesize: bool) -> None:
         """Tear down; optionally answer everything still in flight."""
         if self.closed:
@@ -215,6 +235,8 @@ class _Upstream:
         self.writer.close()
         pending = list(self.outstanding.items())
         self.outstanding.clear()
+        for wire_id in list(self.traces):
+            self._finish_trace(wire_id, outcome="unavailable")
         if synthesize and pending:
             detail = f"worker {self.name} unavailable"
             router = self.session.router
@@ -337,6 +359,12 @@ class ShardRouter:
         payload, returning the response payload — the supervisor's
         cluster-wide two-phase reload.  Without one, reload ops are
         refused (reloading one shard of a cluster would fork it).
+    :param trace_sample_rate: head-sampling rate for traces the
+        *router originates* on requests that arrive without a trace
+        context.  Requests that already carry one keep their origin's
+        sampled flag — the router never re-rolls.
+    :param trace_buffer: retained traces in the router's own span
+        buffer (0 disables router span recording entirely).
     """
 
     def __init__(
@@ -350,9 +378,20 @@ class ShardRouter:
         reload_handler: Optional[
             Callable[[dict], Awaitable[dict]]
         ] = None,
+        trace_sample_rate: float = 0.0,
+        trace_buffer: int = 256,
     ) -> None:
+        if not 0.0 <= trace_sample_rate <= 1.0:
+            raise ServiceError("trace_sample_rate must be in [0, 1]")
+        if trace_buffer < 0:
+            raise ServiceError("trace_buffer must be >= 0")
         self.host = host
         self.reload_handler = reload_handler
+        self.sampler = TraceSampler(trace_sample_rate)
+        self.trace_sample_rate = trace_sample_rate
+        self.spans: Optional[SpanCollector] = (
+            SpanCollector(trace_buffer) if trace_buffer > 0 else None
+        )
         self._requested_port = port
         self._server: Optional[asyncio.AbstractServer] = None
         self._workers: Dict[str, Tuple[str, int]] = dict(workers or {})
@@ -534,14 +573,23 @@ class ShardRouter:
             wire_id, subject, tenant = peek_binary_request(
                 session.tables, body
             )
+            incoming = peek_binary_trace(body)
         except ServiceError as error:
             await session.send_bytes(
                 encode_binary_error(peek_binary_id(body), str(error))
             )
             return
         key = tenant or subject or str(wire_id)
+        pending = self._begin_trace(incoming, wire_id, key, "bin")
+        if pending is not None:
+            body = splice_binary_trace(body, pending["ctx"])
         await self._forward(
-            session, self.ring.route(key), frame(kind, body), wire_id, "bin"
+            session,
+            self.ring.route(key),
+            frame(kind, body),
+            wire_id,
+            "bin",
+            pending,
         )
 
     async def _route_line(self, session: _Session, line: bytes) -> None:
@@ -571,8 +619,92 @@ class ShardRouter:
             wire_id, key = scanned
         if not isinstance(wire_id, (int, str)) and wire_id is not None:
             wire_id = str(wire_id)
+        incoming = _scan_trace(line)
+        pending = self._begin_trace(incoming, wire_id, key, "json")
+        if pending is not None:
+            try:
+                line = splice_line_trace(line, pending["ctx"])
+            except ServiceError:
+                pending = None  # not a JSON object; forward verbatim
         await self._forward(
-            session, self.ring.route(key), line, wire_id, "json"
+            session, self.ring.route(key), line, wire_id, "json", pending
+        )
+
+    def _begin_trace(
+        self,
+        incoming: Optional[TraceContext],
+        wire_id: object,
+        key: str,
+        lane: str,
+    ) -> Optional[Dict[str, object]]:
+        """Originate or propagate trace context for one request.
+
+        Returns the pending router-span record (the forwarded context
+        under ``"ctx"``), or ``None`` when the request is untraced —
+        in which case the message must be forwarded byte-verbatim.
+        An incoming context's sampled flag is authoritative; only
+        context-less requests consult the router's own sampler.
+        """
+        if incoming is not None:
+            if not incoming.sampled:
+                return None  # head said drop: forward untouched
+            forward = TraceContext(incoming.trace_id, new_span_id(), True)
+            parent = incoming.span_id
+        elif self.sampler.should_sample():
+            forward = TraceContext.origin()
+            parent = ""
+        else:
+            return None
+        return {
+            "ctx": forward,
+            "parent": parent,
+            "start": time.perf_counter(),
+            # Wall clock for the span record: perf_counter times the
+            # hop, but only wall time is comparable across processes
+            # when the collector orders siblings in a joined trace.
+            "start_wall": time.time(),
+            "key": key,
+            "lane": lane,
+            "wire_id": wire_id,
+        }
+
+    def _record_span(
+        self,
+        pending: Dict[str, object],
+        worker: str,
+        outcome: str,
+    ) -> None:
+        """Emit the router's own span for one completed route."""
+        spans = self.spans
+        if spans is None:
+            return
+        ctx = pending["ctx"]
+        assert isinstance(ctx, TraceContext)
+        breaker = self._breakers.get(worker)
+        start = pending.get("start")
+        spans.add(
+            Span(
+                trace_id=ctx.trace_id,
+                span_id=ctx.span_id,
+                parent_span_id=str(pending.get("parent", "")),
+                name="router.route",
+                service="router",
+                start_s=pending.get("start_wall"),
+                duration_s=(
+                    time.perf_counter() - start
+                    if isinstance(start, float)
+                    else None
+                ),
+                annotations={
+                    "worker": worker,
+                    "key": pending.get("key"),
+                    "lane": pending.get("lane"),
+                    "breaker": breaker.state() if breaker else "unknown",
+                    "outcome": outcome,
+                    "request_id": pending.get("wire_id"),
+                    "origin": pending.get("parent", "") == "",
+                },
+            ).to_dict()
         )
 
     async def _forward(
@@ -582,12 +714,15 @@ class ShardRouter:
         data: bytes,
         wire_id: object,
         lane: str,
+        trace_pending: Optional[Dict[str, object]] = None,
     ) -> None:
         upstream = await session.upstream_for(worker)
         if upstream is None:
-            await self._shed(session, wire_id, lane, worker)
+            await self._shed(session, wire_id, lane, worker, trace_pending)
             return
         upstream.outstanding[wire_id] = lane
+        if trace_pending is not None:
+            upstream.traces[wire_id] = trace_pending
         try:
             await upstream.send(data)
             self.routed[worker] = self.routed.get(worker, 0) + 1
@@ -598,9 +733,16 @@ class ShardRouter:
             await upstream.close(synthesize=True)
 
     async def _shed(
-        self, session: _Session, wire_id: object, lane: str, worker: str
+        self,
+        session: _Session,
+        wire_id: object,
+        lane: str,
+        worker: str,
+        trace_pending: Optional[Dict[str, object]] = None,
     ) -> None:
         self.unavailable_synthesized += 1
+        if trace_pending is not None:
+            self._record_span(trace_pending, worker, outcome="shed")
         detail = f"worker {worker} unavailable"
         if lane == "bin":
             await session.send_bytes(
@@ -663,8 +805,20 @@ class ShardRouter:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    def find_trace(self, trace_id: str) -> "list[Dict[str, object]]":
+        """The router's retained spans for ``trace_id`` (maybe [])."""
+        if self.spans is None:
+            return []
+        return self.spans.get(trace_id)
+
+    def recent_traces(self, limit: Optional[int] = None) -> "list[str]":
+        """Retained trace ids, newest first."""
+        if self.spans is None:
+            return []
+        return self.spans.trace_ids(limit)
+
     def stats(self) -> Dict[str, object]:
-        return {
+        data: Dict[str, object] = {
             "workers": {
                 name: {
                     "address": list(self._workers[name]),
@@ -678,7 +832,12 @@ class ShardRouter:
             "sessions": len(self._sessions),
             "in_flight": sum(s.in_flight for s in self._sessions),
             "unavailable_synthesized": self.unavailable_synthesized,
+            "trace_sample_rate": self.trace_sample_rate,
+            "traces_sampled": self.sampler.sampled,
         }
+        if self.spans is not None:
+            data["trace_buffer"] = self.spans.stats()
+        return data
 
 
 # ----------------------------------------------------------------------
@@ -693,6 +852,7 @@ class ShardRouter:
 _ID_PREFIX = b'{"id":'
 _SUBJECT_MARK = b'"subject":"'
 _TENANT_MARK = b'"tenant":"'
+_TRACE_MARK = b'"trace":"'
 
 
 def _scan_string(line: bytes, marker: bytes) -> Optional[str]:
@@ -741,6 +901,24 @@ def _scan_request(line: bytes) -> Optional[Tuple[object, str]]:
     if b'"subject"' in line or b'"tenant"' in line:
         return None  # present but not scannable: fall back
     return wire_id, str(wire_id)  # subjectless request
+
+
+def _scan_trace(line: bytes) -> Optional[TraceContext]:
+    """The line's trace context, or None (absent or unscannable).
+
+    A valid wire context is pure hex-and-dash, so the no-escapes scan
+    is exact; anything unparseable forwards verbatim and the worker's
+    own decoder renders the verdict.
+    """
+    if _TRACE_MARK not in line:
+        return None
+    wire = _scan_string(line, _TRACE_MARK)
+    if wire is None:
+        return None
+    try:
+        return TraceContext.parse(wire)
+    except ValueError:
+        return None
 
 
 def _scan_response_id(

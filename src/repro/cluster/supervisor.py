@@ -37,6 +37,7 @@ from typing import Any, Deque, Dict, List, Optional, Sequence
 
 import repro
 from repro.cluster.liveops import (
+    join_trace,
     merge_flight,
     merge_health,
     merge_prometheus,
@@ -111,6 +112,9 @@ class ClusterSupervisor:
         drain_timeout_s: float = 5.0,
         worker_args: Sequence[str] = (),
         python: Optional[str] = None,
+        trace_sample_rate: float = 0.0,
+        trace_buffer: int = 256,
+        audit_dir: Optional[str] = None,
     ) -> None:
         if policy_path is None and store_dir is None:
             raise ServiceError(
@@ -132,11 +136,18 @@ class ClusterSupervisor:
         self.drain_timeout_s = drain_timeout_s
         self.worker_args = list(worker_args)
         self.python = python or sys.executable
+        #: Directory for per-worker hash-chained audit logs
+        #: (``<audit_dir>/<worker>.audit.jsonl``); ``None`` disables.
+        self.audit_dir = audit_dir
+        if audit_dir is not None:
+            os.makedirs(audit_dir, exist_ok=True)
         self.router = ShardRouter(
             host=host,
             port=router_port,
             vnodes=vnodes,
             reload_handler=self._wire_reload,
+            trace_sample_rate=trace_sample_rate,
+            trace_buffer=trace_buffer,
         )
         self._workers: Dict[str, WorkerHandle] = {
             f"w{i}": WorkerHandle(f"w{i}") for i in range(workers)
@@ -229,7 +240,7 @@ class ClusterSupervisor:
     # ------------------------------------------------------------------
     # Spawning
     # ------------------------------------------------------------------
-    def _worker_argv(self) -> List[str]:
+    def _worker_argv(self, worker: WorkerHandle) -> List[str]:
         argv = [self.python, "-m", "repro.cli", "serve"]
         if self.policy_path is not None:
             argv.append(self.policy_path)
@@ -244,6 +255,16 @@ class ClusterSupervisor:
             "--admin-port", "0",
             "--drain-timeout", str(self.drain_timeout_s),
         ]
+        if self.audit_dir is not None:
+            # One chain per worker: a restarted worker resumes its own
+            # file's head, so the chain survives crashes without any
+            # cross-worker hash coordination.
+            argv += [
+                "--audit-file",
+                os.path.join(
+                    self.audit_dir, f"{worker.name}.audit.jsonl"
+                ),
+            ]
         argv += self.worker_args
         return argv
 
@@ -263,7 +284,7 @@ class ClusterSupervisor:
         worker.state = "starting"
         worker.probe_failures = 0
         process = await asyncio.create_subprocess_exec(
-            *self._worker_argv(),
+            *self._worker_argv(worker),
             stdout=asyncio.subprocess.PIPE,
             stderr=asyncio.subprocess.STDOUT,
             env=self._worker_env(),
@@ -616,6 +637,34 @@ class ClusterSupervisor:
                 for name, report in reports.items()
             },
         }
+
+    async def cluster_trace(self, trace_id: str) -> Dict[str, Any]:
+        """Join one trace across the router and every ready worker.
+
+        The router holds its own ``router.route`` spans in-process;
+        each worker is asked over the control connection for the spans
+        its PDP retained (``pdp.decide`` / ``pdp.cache_hit``).  The
+        result is one waterfall-ordered span list (see
+        :func:`~repro.cluster.liveops.join_trace`) — the cross-process
+        view no single process can produce alone.
+        """
+        reports: Dict[str, Optional[List[Dict[str, Any]]]] = dict(
+            await self._each_ready(lambda c: c.trace(trace_id))
+        )
+        reports["router"] = self.router.find_trace(trace_id)
+        spans = join_trace(reports)
+        return {
+            "trace_id": trace_id,
+            "spans": spans,
+            "span_count": len(spans),
+            "services": sorted(
+                {span.get("service") or "" for span in spans} - {""}
+            ),
+        }
+
+    def cluster_traces(self, limit: int = 50) -> List[str]:
+        """Recent trace ids the router sampled or propagated."""
+        return self.router.recent_traces(limit)
 
     async def cluster_tail(
         self, limit: Optional[int] = None

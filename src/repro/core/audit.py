@@ -1,4 +1,4 @@
-"""Audit trail for access decisions.
+"""Audit trail for access decisions, with a tamper-evident export.
 
 The home scenario makes auditability a first-class need: when a
 homeowner asks "who looked at the bedroom camera last night?", the
@@ -7,15 +7,54 @@ scattered across devices.  :class:`AuditLog` records every
 :class:`~repro.core.mediation.Decision` together with the environment
 snapshot it was made under, and supports the queries the example
 applications and benchmarks need.
+
+The JSONL export is a **hash chain**: every record carries
+``prev_hash`` (the previous record's ``record_hash``, or the all-zeros
+genesis value) and ``record_hash`` (SHA-256 over ``prev_hash`` plus
+the canonical JSON of the record's own fields).  Editing, deleting, or
+reordering any line breaks every hash downstream of it, which
+:func:`verify_audit_chain` detects; truncation of the *tail* is caught
+against a head anchor — the ``<path>.head`` sidecar that
+:class:`HashChainWriter` maintains, or an explicit expected head hash
+(an evidence pack records one).  :class:`HashChainWriter` is the
+serving-path producer: a bounded queue and a daemon writer thread
+append chained records without ever blocking a decision.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Iterator, List, Optional
+import hashlib
+import json
+import os
+import queue
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Union
 
 from repro.core.mediation import Decision
 from repro.obs.observers import ObserverHub
+
+#: ``prev_hash`` of the first record in a chain.
+GENESIS_HASH = "0" * 64
+
+
+def canonical_json(payload: Dict[str, object]) -> str:
+    """The byte-stable JSON form hashes are computed over."""
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    )
+
+
+def chain_record_hash(prev_hash: str, payload: Dict[str, object]) -> str:
+    """SHA-256 hex digest binding ``payload`` to its predecessor.
+
+    ``payload`` must not already contain ``prev_hash``/``record_hash``
+    — the caller adds those to the emitted line afterwards.
+    """
+    digest = hashlib.sha256()
+    digest.update(prev_hash.encode("ascii"))
+    digest.update(canonical_json(payload).encode("utf-8"))
+    return digest.hexdigest()
 
 
 @dataclass(frozen=True)
@@ -56,6 +95,12 @@ class AuditRecord:
         """
         trace = self.decision.trace
         return trace.request_id if trace is not None else None
+
+    @property
+    def trace_id(self) -> str:
+        """The distributed trace id, when one was sampled (else ``""``)."""
+        trace = self.decision.trace
+        return trace.trace_id if trace is not None else ""
 
     def describe(self) -> str:
         """One-line rendering for reports."""
@@ -209,21 +254,24 @@ class AuditLog:
     # Export
     # ------------------------------------------------------------------
     def export_jsonl(self) -> str:
-        """Render retained records as JSON Lines, one decision per line.
+        """Render retained records as hash-chained JSON Lines.
 
         The export carries what an external audit system needs —
         outcome, parties, matched-rule names, rationale, environment —
         not the full in-memory decision graph.  Decisions that carry a
         recorded pipeline trace additionally export their per-stage
-        timings (microseconds), so latency outliers can be attributed
-        to a stage after the fact.
-        """
-        import json
+        timings (microseconds) and distributed-trace id, so latency
+        outliers can be attributed and spans joined after the fact.
 
+        Every line carries ``prev_hash``/``record_hash``
+        (:func:`chain_record_hash`), so the exported file verifies with
+        :func:`verify_audit_chain` / ``repro audit verify``.
+        """
         lines = []
+        prev_hash = GENESIS_HASH
         for record in self._records:
             decision = record.decision
-            payload = {
+            payload: Dict[str, object] = {
                 "sequence": record.sequence,
                 "timestamp": record.timestamp,
                 "request_id": record.request_id,
@@ -245,8 +293,283 @@ class AuditLog:
             }
             trace = decision.trace
             if trace is not None:
+                if trace.trace_id:
+                    payload["trace_id"] = trace.trace_id
                 timings = trace.stage_timings_us()
                 if timings:
                     payload["stage_timings_us"] = timings
+            record_hash = chain_record_hash(prev_hash, payload)
+            payload["prev_hash"] = prev_hash
+            payload["record_hash"] = record_hash
+            prev_hash = record_hash
             lines.append(json.dumps(payload, sort_keys=True))
         return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ----------------------------------------------------------------------
+# Chain verification
+# ----------------------------------------------------------------------
+@dataclass
+class ChainVerification:
+    """The outcome of verifying one audit JSONL chain."""
+
+    ok: bool
+    records: int
+    head_hash: str
+    error: str = ""
+    error_line: Optional[int] = None
+    #: Parsed record payloads (chain fields included), valid prefix
+    #: only when ``ok`` is False.
+    entries: List[Dict[str, object]] = field(default_factory=list)
+
+    def describe(self) -> str:
+        if self.ok:
+            return (
+                f"chain OK: {self.records} record(s), "
+                f"head {self.head_hash[:16]}..."
+            )
+        where = f" (line {self.error_line})" if self.error_line else ""
+        return f"chain BROKEN{where}: {self.error}"
+
+
+def verify_audit_chain(
+    source: Union[str, Iterable[str]],
+    expect_head: Optional[str] = None,
+    expect_records: Optional[int] = None,
+) -> ChainVerification:
+    """Walk a hash-chained audit JSONL stream and verify every link.
+
+    Detects in-place tampering, deletion, insertion, and reordering
+    anywhere in the file (any of them breaks a ``prev_hash`` /
+    ``record_hash`` link).  Truncation of the *tail* leaves a valid
+    shorter chain, so it is only detectable against an anchor: pass
+    ``expect_head`` (and optionally ``expect_records``) from a trusted
+    place — the writer's ``.head`` sidecar or an evidence pack.
+
+    :param source: the JSONL text, or an iterable of lines.
+    """
+    lines = source.splitlines() if isinstance(source, str) else source
+    prev_hash = GENESIS_HASH
+    entries: List[Dict[str, object]] = []
+    count = 0
+    for line_number, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as error:
+            return ChainVerification(
+                False, count, prev_hash,
+                f"line is not valid JSON: {error}", line_number, entries,
+            )
+        if not isinstance(payload, dict):
+            return ChainVerification(
+                False, count, prev_hash,
+                "line is not a JSON object", line_number, entries,
+            )
+        claimed_prev = payload.get("prev_hash")
+        claimed_hash = payload.get("record_hash")
+        if not isinstance(claimed_prev, str) or not isinstance(claimed_hash, str):
+            return ChainVerification(
+                False, count, prev_hash,
+                "record is missing prev_hash/record_hash", line_number, entries,
+            )
+        if claimed_prev != prev_hash:
+            return ChainVerification(
+                False, count, prev_hash,
+                f"prev_hash mismatch: chain expected {prev_hash[:16]}..., "
+                f"record claims {claimed_prev[:16]}... — a record was "
+                "altered, removed, or reordered",
+                line_number, entries,
+            )
+        body = {
+            key: value
+            for key, value in payload.items()
+            if key not in ("prev_hash", "record_hash")
+        }
+        computed = chain_record_hash(claimed_prev, body)
+        if computed != claimed_hash:
+            return ChainVerification(
+                False, count, prev_hash,
+                "record_hash mismatch: record content was tampered with",
+                line_number, entries,
+            )
+        prev_hash = claimed_hash
+        count += 1
+        entries.append(payload)
+    if expect_records is not None and count != expect_records:
+        return ChainVerification(
+            False, count, prev_hash,
+            f"chain holds {count} record(s) but the anchor expects "
+            f"{expect_records} — the log was truncated", None, entries,
+        )
+    if expect_head is not None and prev_hash != expect_head:
+        return ChainVerification(
+            False, count, prev_hash,
+            f"chain head {prev_hash[:16]}... does not match the anchor "
+            f"{expect_head[:16]}... — the log tail was truncated or "
+            "replaced", None, entries,
+        )
+    return ChainVerification(True, count, prev_hash, "", None, entries)
+
+
+def read_head_anchor(path: str) -> Optional[Dict[str, object]]:
+    """Load a writer's ``.head`` sidecar (``None`` when absent)."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return None
+    if not isinstance(payload, dict):
+        return None
+    return payload
+
+
+# ----------------------------------------------------------------------
+# Serving-path chained writer
+# ----------------------------------------------------------------------
+class HashChainWriter:
+    """Append hash-chained audit records to a JSONL file, off-thread.
+
+    The serving contract mirrors the trace sinks': :meth:`append`
+    never blocks and never raises — a full queue drops the record and
+    counts it (a drop leaves a ``sequence`` gap but an intact chain).
+    The writer thread owns the file, computes the chain in arrival
+    order, resumes an existing chain on open (by re-reading the last
+    line), and maintains a ``<path>.head`` sidecar anchor
+    (``{"records": N, "head_hash": ...}``) that ``repro audit verify``
+    uses to detect tail truncation.  No rotation, deliberately — a
+    rotated-away prefix would be indistinguishable from truncation.
+    """
+
+    def __init__(self, path: str, queue_size: int = 4096) -> None:
+        if queue_size < 1:
+            raise ValueError("queue_size must be >= 1")
+        self.path = path
+        self.head_path = path + ".head"
+        self.accepted = 0
+        self.dropped = 0
+        self._queue: "queue.Queue[Optional[Dict[str, object]]]" = queue.Queue(
+            maxsize=queue_size
+        )
+        self._closed = False
+        self._sequence = 0
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        self._prev_hash, self._records = self._resume()
+        self._writer = threading.Thread(
+            target=self._drain, name="grbac-audit-chain", daemon=True
+        )
+        self._writer.start()
+
+    def _resume(self) -> "tuple[str, int]":
+        """Pick the chain up from an existing file's last record.
+
+        A crash (kill -9) can die mid-``write`` and leave a torn final
+        line; appending after it would corrupt that record *and* the
+        next one, so a torn tail — the last line unterminated or
+        unparseable — is truncated away before the chain resumes.
+        Interior damage is left in place for ``verify`` to report:
+        only external tampering can produce it, and recovery must not
+        destroy the evidence.
+        """
+        prev_hash = GENESIS_HASH
+        records = 0
+        good_end = 0  # byte offset just past the last intact line
+        torn = False
+        try:
+            with open(self.path, "rb") as handle:
+                offset = 0
+                for raw in handle:
+                    offset += len(raw)
+                    parsed = None
+                    if raw.endswith(b"\n"):
+                        line = raw.strip()
+                        if not line:
+                            good_end = offset
+                            continue
+                        try:
+                            parsed = json.loads(line.decode("utf-8"))
+                        except (json.JSONDecodeError, UnicodeDecodeError):
+                            parsed = None
+                    if not isinstance(parsed, dict):
+                        # Provisionally torn; a later intact line means
+                        # this was interior damage, not a torn tail.
+                        torn = True
+                        continue
+                    claimed = parsed.get("record_hash")
+                    if isinstance(claimed, str):
+                        prev_hash = claimed
+                        records += 1
+                    good_end = offset
+                    torn = False
+            if torn:
+                with open(self.path, "r+b") as handle:
+                    handle.truncate(good_end)
+        except OSError:
+            pass
+        return prev_hash, records
+
+    # -- producer side -------------------------------------------------
+    def append(self, payload: Dict[str, object]) -> bool:
+        """Queue one record (chain fields are added by the writer)."""
+        if self._closed:
+            self.dropped += 1
+            return False
+        self._sequence += 1
+        record = dict(payload)
+        record.setdefault("sequence", self._sequence)
+        try:
+            self._queue.put_nowait(record)
+        except queue.Full:
+            self.dropped += 1
+            return False
+        self.accepted += 1
+        return True
+
+    def close(self) -> None:
+        """Stop the writer after it drains everything already queued."""
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.put(None)
+        self._writer.join(timeout=5.0)
+
+    # -- writer side ---------------------------------------------------
+    def _drain(self) -> None:
+        handle = open(self.path, "a", encoding="utf-8")
+        try:
+            while True:
+                record = self._queue.get()
+                if record is None:
+                    break
+                record_hash = chain_record_hash(self._prev_hash, record)
+                record["prev_hash"] = self._prev_hash
+                record["record_hash"] = record_hash
+                self._prev_hash = record_hash
+                self._records += 1
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+                handle.flush()
+                self._write_head()
+        finally:
+            handle.close()
+
+    def _write_head(self) -> None:
+        try:
+            with open(self.head_path, "w", encoding="utf-8") as head:
+                json.dump(
+                    {"records": self._records, "head_hash": self._prev_hash},
+                    head,
+                )
+                head.write("\n")
+        except OSError:  # a broken anchor must never kill the writer
+            pass
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "accepted": self.accepted,
+            "dropped": self.dropped,
+            "records": self._records,
+        }

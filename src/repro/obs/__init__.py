@@ -31,17 +31,28 @@ from repro.obs.export import (
     PrometheusParseError,
     TraceSampler,
     TraceSink,
+    escape_label_value,
     parse_prometheus,
     prometheus_name,
     render_json,
+    render_label_set,
     render_prometheus,
     trace_to_dict,
+    unescape_label_value,
 )
 from repro.obs.flight import FlightRecorder
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.observers import CollectingObserver, Observer, ObserverHub
 from repro.obs.slo import RollingRatio, SloObjective, SloTracker
-from repro.obs.trace import DecisionTrace, StageSpan
+from repro.obs.trace import (
+    DecisionTrace,
+    Span,
+    SpanCollector,
+    StageSpan,
+    TraceContext,
+    new_span_id,
+    new_trace_id,
+)
 
 __all__ = [
     "CollectingObserver",
@@ -59,12 +70,20 @@ __all__ = [
     "RollingRatio",
     "SloObjective",
     "SloTracker",
+    "Span",
+    "SpanCollector",
     "StageSpan",
+    "TraceContext",
     "TraceSampler",
     "TraceSink",
+    "escape_label_value",
+    "new_span_id",
+    "new_trace_id",
     "parse_prometheus",
     "prometheus_name",
     "render_json",
+    "render_label_set",
     "render_prometheus",
     "trace_to_dict",
+    "unescape_label_value",
 ]

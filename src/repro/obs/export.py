@@ -23,7 +23,8 @@ boundary that turns those into *operable* signals:
 
 Span schema (one JSON object per line; see ``docs/OBSERVABILITY.md``)::
 
-    {"request_id": 7, "subject": "alice", "transaction": "watch",
+    {"request_id": 7, "trace_id": "9f86d081884c7d65", "span_id": "...",
+     "parent_span_id": "...", "subject": "alice", "transaction": "watch",
      "object": "livingroom/tv", "granted": true, "mode": "compiled",
      "rationale": "...", "environment_roles": [...],
      "subject_roles": {...}, "matched_rules": [...],
@@ -68,10 +69,60 @@ def prometheus_name(name: str, suffix: str = "") -> str:
 
 
 def _format_value(value: float) -> str:
+    value = float(value)
+    if value != value:  # NaN never equals itself
+        return "NaN"
     if value == float("inf"):
         return "+Inf"
-    formatted = repr(float(value))
-    return formatted
+    if value == float("-inf"):
+        return "-Inf"
+    return repr(value)
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text format.
+
+    Backslash, double-quote, and newline are the three characters the
+    format escapes inside quoted label values; anything else passes
+    through.  Every labelled sample this package emits (tenant labels,
+    the cluster merger's ``shard`` labels) goes through here.
+    """
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def unescape_label_value(value: str) -> str:
+    """Invert :func:`escape_label_value` (used by the parser)."""
+    out: List[str] = []
+    index = 0
+    while index < len(value):
+        ch = value[index]
+        if ch == "\\" and index + 1 < len(value):
+            nxt = value[index + 1]
+            if nxt == "n":
+                out.append("\n")
+            elif nxt in ('"', "\\"):
+                out.append(nxt)
+            else:  # unknown escape: keep both characters verbatim
+                out.append(ch)
+                out.append(nxt)
+            index += 2
+            continue
+        out.append(ch)
+        index += 1
+    return "".join(out)
+
+
+def render_label_set(labels: Dict[str, str]) -> str:
+    """``{a="x",b="y"}`` with proper value escaping; ``""`` if empty."""
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{key}="{escape_label_value(str(value))}"'
+        for key, value in sorted(labels.items())
+    )
+    return "{" + body + "}"
 
 
 # ----------------------------------------------------------------------
@@ -176,31 +227,66 @@ def _valid_metric_name(name: str) -> bool:
 def _split_sample(
     line: str, line_number: int
 ) -> Tuple[str, Dict[str, str], str]:
-    """``name{label="v"} value`` -> (name, labels, value-text)."""
+    """``name{label="v"} value`` -> (name, labels, value-text).
+
+    Label values are scanned character-by-character so escaped quotes,
+    backslashes, newlines (``\\n``), and literal ``}`` / ``,`` inside a
+    quoted value all parse correctly — the merger's ``shard`` labels
+    and tenant labels may contain any of these.
+    """
     labels: Dict[str, str] = {}
     if "{" in line:
         name, _, rest = line.partition("{")
-        body, closed, value_part = rest.partition("}")
-        if not closed or not value_part.strip():
+        index = 0
+        while True:
+            # Skip separators / whitespace before a key or the close.
+            while index < len(rest) and rest[index] in ", \t":
+                index += 1
+            if index >= len(rest):
+                raise PrometheusParseError(
+                    f"line {line_number}: unterminated label set {line!r}"
+                )
+            if rest[index] == "}":
+                index += 1
+                break
+            eq = rest.find("=", index)
+            if eq < 0:
+                raise PrometheusParseError(
+                    f"line {line_number}: malformed label pair in {line!r}"
+                )
+            key = rest[index:eq].strip()
+            index = eq + 1
+            while index < len(rest) and rest[index] in " \t":
+                index += 1
+            if not key or index >= len(rest) or rest[index] != '"':
+                raise PrometheusParseError(
+                    f"line {line_number}: malformed label pair in {line!r}"
+                )
+            index += 1
+            raw: List[str] = []
+            while index < len(rest):
+                ch = rest[index]
+                if ch == "\\" and index + 1 < len(rest):
+                    raw.append(ch)
+                    raw.append(rest[index + 1])
+                    index += 2
+                    continue
+                if ch == '"':
+                    break
+                raw.append(ch)
+                index += 1
+            if index >= len(rest) or rest[index] != '"':
+                raise PrometheusParseError(
+                    f"line {line_number}: unterminated label value in {line!r}"
+                )
+            index += 1
+            labels[key] = unescape_label_value("".join(raw))
+        value_part = rest[index:].strip()
+        if not value_part:
             raise PrometheusParseError(
                 f"line {line_number}: malformed labelled sample {line!r}"
             )
-        for pair in filter(None, (p.strip() for p in body.split(","))):
-            key, eq, value = pair.partition("=")
-            key = key.strip()
-            value = value.strip()
-            if (
-                not eq
-                or not key
-                or len(value) < 2
-                or value[0] != '"'
-                or value[-1] != '"'
-            ):
-                raise PrometheusParseError(
-                    f"line {line_number}: malformed label pair {pair!r}"
-                )
-            labels[key] = value[1:-1]
-        return name.strip(), labels, value_part.strip().split()[0]
+        return name.strip(), labels, value_part.split()[0]
     parts = line.split()
     if len(parts) < 2:
         raise PrometheusParseError(
@@ -219,6 +305,9 @@ def trace_to_dict(
     total = trace.total_s
     payload: Dict[str, object] = {
         "request_id": request_id if request_id is not None else trace.request_id,
+        "trace_id": trace.trace_id,
+        "span_id": trace.span_id,
+        "parent_span_id": trace.parent_span_id,
         "subject": trace.subject,
         "transaction": trace.transaction,
         "object": trace.obj,

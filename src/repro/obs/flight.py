@@ -14,7 +14,8 @@ ever see each entry once, even across ring wrap-around.
 
 Entry schema (see ``docs/OBSERVABILITY.md``)::
 
-    {"seq": 1041, "request_id": 7, "subject": "bobby",
+    {"seq": 1041, "request_id": 7, "trace_id": "9f86d081884c7d65",
+     "subject": "bobby",
      "transaction": "watch", "object": "livingroom/tv",
      "outcome": "deny", "granted": false, "cached": false,
      "matched_rule": "DENY child watch ...", "rationale": "...",
@@ -52,15 +53,22 @@ class FlightRecorder:
         granted: bool,
         cached: bool = False,
         request_id: Optional[object] = None,
+        trace_id: str = "",
         matched_rule: Optional[str] = None,
         rationale: str = "",
         environment_roles: Optional[List[str]] = None,
         latency_us: float = 0.0,
     ) -> Dict[str, object]:
-        """Append one decision summary; returns the stored entry."""
+        """Append one decision summary; returns the stored entry.
+
+        ``trace_id`` links the entry to the distributed trace of the
+        same request when one was sampled (``""`` otherwise), so a
+        ``repro tail`` line can point straight at ``/trace/<id>``.
+        """
         entry: Dict[str, object] = {
             "seq": next(self._seq),
             "request_id": request_id,
+            "trace_id": trace_id,
             "subject": subject,
             "transaction": transaction,
             "object": obj,

@@ -16,6 +16,10 @@ occupy a decision-plane connection slot:
                            ``subject=&outcome=`` filters
 ``GET /tenants``           one summary row per tenant: store lineage merged
                            with live serving state and counters
+``GET /traces``            retained distributed-trace ids, newest first
+                           (``?limit=`` caps the listing)
+``GET /trace/<id>``        this process's spans for one trace id; 404 with
+                           an empty span list when nothing is retained
 ``POST /reload``           validated hot-reload; the request body is the
                            candidate policy (DSL or serialized JSON),
                            ``?actor=&dry_run=1`` qualify it.  200 on an
@@ -314,6 +318,32 @@ class AdminServer:
                 200,
                 "application/json",
                 _json({"tenants": self.pdp.tenants_overview()}),
+            )
+        if path == "/traces":
+            try:
+                limit = _int_param(query, "limit")
+            except ValueError as error:
+                return 400, "text/plain", f"{error}\n".encode("utf-8")
+            return (
+                200,
+                "application/json",
+                _json({"trace_ids": self.pdp.recent_traces(limit)}),
+            )
+        if path.startswith("/trace/"):
+            trace_id = path[len("/trace/"):]
+            if not trace_id:
+                return 400, "text/plain", b"missing trace id\n"
+            spans = self.pdp.find_trace(trace_id)
+            if not spans:
+                return (
+                    404,
+                    "application/json",
+                    _json({"trace_id": trace_id, "spans": []}),
+                )
+            return (
+                200,
+                "application/json",
+                _json({"trace_id": trace_id, "spans": spans}),
             )
         return 404, "text/plain", b"unknown path\n"
 

@@ -24,6 +24,7 @@ from typing import Any, Dict, FrozenSet, List, Optional, Set
 
 from repro.core.decision import AccessRequest
 from repro.exceptions import ServiceError
+from repro.obs.trace import TraceContext
 from repro.service.protocol import (
     BINARY_MAGIC,
     KIND_ERROR,
@@ -129,6 +130,7 @@ class RemotePDPClient:
         environment_roles: Optional[Set[str]] = None,
         timeout_ms: Optional[float] = None,
         tenant: Optional[str] = None,
+        trace: Optional[TraceContext] = None,
     ) -> WireResponse:
         """Submit one request and await its wire response.
 
@@ -136,6 +138,8 @@ class RemotePDPClient:
         server answers ``deny-unknown-tenant`` (never an error) for
         names it cannot resolve.  ``None`` is the default tenant and
         keeps the wire bytes identical to a tenantless client.
+        ``trace`` rides both lanes as the compact trace-context
+        segment; untraced requests stay byte-identical.
         """
         env: Optional[FrozenSet[str]] = (
             frozenset(environment_roles) if environment_roles is not None else None
@@ -144,7 +148,12 @@ class RemotePDPClient:
         if self.wire == "binary" and self._tables is not None and timeout_ms is None:
             try:
                 data = encode_binary_request(
-                    self._tables, request, request_id, env=env, tenant=tenant
+                    self._tables,
+                    request,
+                    request_id,
+                    env=env,
+                    tenant=tenant,
+                    trace=trace,
                 )
             except ServiceError:
                 data = None  # uninterned name / claims: NDJSON lane
@@ -154,7 +163,12 @@ class RemotePDPClient:
                     return raw
                 return decode_response(raw)
         payload = encode_request(
-            request, request_id, env=env, timeout_ms=timeout_ms, tenant=tenant
+            request,
+            request_id,
+            env=env,
+            timeout_ms=timeout_ms,
+            tenant=tenant,
+            trace=trace,
         )
         raw = await self._roundtrip(request_id, payload)
         return decode_response(raw)
@@ -395,6 +409,23 @@ class RemotePDPClient:
         if not isinstance(entries, list):
             raise ServiceError(f"bad dump response: {raw!r}")
         return entries
+
+    async def trace(self, trace_id: str) -> List[Dict[str, Any]]:
+        """The server's retained spans for ``trace_id`` (maybe []).
+
+        One worker's contribution only; the cluster admin fans this
+        out across workers and joins the results with the router's
+        spans into the cross-process waterfall.
+        """
+        request_id = next(self._ids)
+        raw = await self._roundtrip(
+            request_id,
+            {"op": "trace", "id": request_id, "trace_id": trace_id},
+        )
+        spans = raw.get("spans")
+        if not isinstance(spans, list):
+            raise ServiceError(f"bad trace response: {raw!r}")
+        return spans
 
     # ------------------------------------------------------------------
     # Transport internals

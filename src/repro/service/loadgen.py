@@ -26,6 +26,8 @@ from typing import Dict, List, Optional, Sequence
 from repro.core.mediation import MediationEngine
 from repro.core.policy import GrbacPolicy
 from repro.exceptions import ServiceError
+from repro.obs.export import TraceSampler
+from repro.obs.trace import TraceContext
 from repro.service.pdp import PDPOutcome
 from repro.workload.generator import GeneratedRequest, generate_requests
 
@@ -45,6 +47,11 @@ class LoadgenConfig:
     #: wire bytes unchanged).  The stream should be generated from
     #: that tenant's policy for meaningful grant rates.
     tenant: Optional[str] = None
+    #: Originate a trace context on this fraction of requests (the
+    #: client-side head-sampling decision; the server and router then
+    #: obey it).  0.0 keeps every request byte-identical to the
+    #: untraced form.
+    trace_sample_rate: float = 0.0
 
     def __post_init__(self) -> None:
         if self.requests < 1:
@@ -53,6 +60,8 @@ class LoadgenConfig:
             raise ServiceError("concurrency must be >= 1")
         if self.repeat < 1:
             raise ServiceError("repeat must be >= 1")
+        if not 0.0 <= self.trace_sample_rate <= 1.0:
+            raise ServiceError("trace_sample_rate must be in [0, 1]")
 
 
 @dataclass
@@ -83,6 +92,13 @@ class LoadgenResult:
     #: the server's flight recorder, exported spans, and audit log, so
     #: a stale answer can be chased to its decision record.
     mismatch_request_ids: List[object] = field(default_factory=list, repr=False)
+    #: Trace ids of the mismatched answers, aligned with
+    #: ``mismatch_request_ids`` (``""`` when that request was not
+    #: sampled) — pasteable straight into ``/trace/<id>`` for the
+    #: cross-process waterfall of the stale answer.
+    mismatch_trace_ids: List[str] = field(default_factory=list, repr=False)
+    #: Requests that carried an originated trace context.
+    traced: int = 0
     cached: int = 0
     elapsed_s: float = 0.0
     latencies_s: List[float] = field(default_factory=list, repr=False)
@@ -116,6 +132,7 @@ class LoadgenResult:
             "errors": self.errors,
             "dropped": self.dropped,
             "mismatches": self.mismatches,
+            "traced": self.traced,
             "cached": self.cached,
             "elapsed_s": round(self.elapsed_s, 6),
             "throughput_rps": round(self.throughput_rps, 1),
@@ -137,7 +154,14 @@ class LoadgenResult:
             f"p99 {self.latency_us(0.99):.1f} us",
         ]
         if self.mismatches:
-            ids = ", ".join(repr(i) for i in self.mismatch_request_ids[:10])
+            ids = ", ".join(
+                f"{request_id!r}"
+                + (f" (trace {trace_id})" if trace_id else "")
+                for request_id, trace_id in zip(
+                    self.mismatch_request_ids[:10],
+                    (self.mismatch_trace_ids + [""] * 10)[:10],
+                )
+            )
             lines.append(
                 f"  STALE ANSWERS: {self.mismatches} mismatches vs direct "
                 f"engine (request ids: {ids})"
@@ -194,6 +218,11 @@ async def run_loadgen(
         raise ServiceError("expected list must match the stream length")
     result = LoadgenResult(sent=len(stream))
     next_index = 0
+    sampler = (
+        TraceSampler(config.trace_sample_rate)
+        if config.trace_sample_rate > 0
+        else None
+    )
 
     async def worker() -> None:
         nonlocal next_index
@@ -207,6 +236,11 @@ async def run_loadgen(
             kwargs = {}
             if config.tenant is not None:
                 kwargs["tenant"] = config.tenant
+            trace_ctx: Optional[TraceContext] = None
+            if sampler is not None and sampler.should_sample():
+                trace_ctx = TraceContext.origin()
+                kwargs["trace"] = trace_ctx
+                result.traced += 1
             try:
                 response = await client.decide(
                     item.request,
@@ -241,6 +275,10 @@ async def run_loadgen(
                 result.mismatches += 1
                 result.mismatch_request_ids.append(
                     getattr(response, "request_id", None)
+                )
+                result.mismatch_trace_ids.append(
+                    getattr(response, "trace_id", "")
+                    or (trace_ctx.trace_id if trace_ctx is not None else "")
                 )
 
     workers = [worker() for _ in range(min(config.concurrency, len(stream)))]
@@ -295,6 +333,8 @@ def merge_results(
         merged.dropped += result.dropped
         merged.mismatches += result.mismatches
         merged.mismatch_request_ids.extend(result.mismatch_request_ids)
+        merged.mismatch_trace_ids.extend(result.mismatch_trace_ids)
+        merged.traced += result.traced
         merged.cached += result.cached
         merged.latencies_s.extend(result.latencies_s)
     return merged

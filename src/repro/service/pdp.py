@@ -67,16 +67,29 @@ from typing import (
     Tuple,
 )
 
+from repro.core.audit import HashChainWriter
 from repro.core.decision import AccessRequest, Decision
 from repro.core.mediation import MediationEngine
 from repro.core.policy import GrbacPolicy
 from repro.exceptions import PolicyStoreError, ServiceError
-from repro.obs.export import TraceSampler, TraceSink, trace_to_dict
+from repro.obs.export import (
+    TraceSampler,
+    TraceSink,
+    prometheus_name,
+    render_label_set,
+    trace_to_dict,
+)
 from repro.obs.flight import FlightRecorder
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.observers import ObserverHub
 from repro.obs.slo import SloTracker
-from repro.obs.trace import DecisionTrace
+from repro.obs.trace import (
+    DecisionTrace,
+    Span,
+    SpanCollector,
+    TraceContext,
+    new_span_id,
+)
 from repro.service.cache import CacheKey, DecisionCache
 from repro.store.store import DEFAULT_TENANT, PolicyStore
 
@@ -135,6 +148,9 @@ class PDPResponse:
     #: The tenant this request was routed to (the default tenant for
     #: single-policy traffic, preserving pre-tenancy behavior).
     tenant: str = DEFAULT_TENANT
+    #: Distributed trace id when the request carried (or the PDP
+    #: originated) a :class:`TraceContext`; ``""`` otherwise.
+    trace_id: str = ""
 
     @property
     def rationale(self) -> str:
@@ -165,6 +181,14 @@ class PDPConfig:
     trace_sample_rate: float = 0.0
     #: Flight-recorder ring capacity (0 disables the recorder).
     flight_capacity: int = 512
+    #: Retained distributed traces for the ``trace`` op (0 disables
+    #: the in-memory span buffer; sink export is unaffected).
+    trace_buffer: int = 256
+    #: Tenants given their own ``tenant="..."`` label on the exported
+    #: per-tenant series; everything past the top K folds into the
+    #: ``__other__`` bucket so exposition cardinality stays bounded no
+    #: matter how many tenants a PDP has served.
+    tenant_label_topk: int = 8
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -181,6 +205,10 @@ class PDPConfig:
             raise ServiceError("trace_sample_rate must be in [0, 1]")
         if self.flight_capacity < 0:
             raise ServiceError("flight_capacity must be >= 0")
+        if self.trace_buffer < 0:
+            raise ServiceError("trace_buffer must be >= 0")
+        if self.tenant_label_topk < 0:
+            raise ServiceError("tenant_label_topk must be >= 0")
 
 
 @dataclass
@@ -201,6 +229,14 @@ class _Pending:
     #: Tenant the request was admitted for; the batcher groups a
     #: flush by this so each group renders on its tenant's engine.
     tenant: str = DEFAULT_TENANT
+    #: Distributed trace context the request arrived with (or that
+    #: submit originated for a locally sampled request); ``None`` on
+    #: untraced traffic.
+    trace_ctx: Optional[TraceContext] = None
+
+    @property
+    def trace_id(self) -> str:
+        return self.trace_ctx.trace_id if self.trace_ctx is not None else ""
 
 
 @dataclass
@@ -235,11 +271,22 @@ class _TenantState:
     #: owner (eviction still bounds memory); the reference only lets
     #: the per-request path skip the store's locks when nothing moved.
     store_engine: Optional["weakref.ref"] = None
-    # Per-tenant metric handles, bound by _tenant_state().
-    m_requests: object = None
-    m_cache_hits: object = None
-    m_decided: object = None
-    m_reloads: object = None
+    # Per-tenant tallies.  Deliberately plain attributes rather than
+    # registry counters: registering ``pdp.tenant.<name>.*`` series
+    # per tenant made exposition cardinality grow with tenant count
+    # (an unbounded-label bug at fleet scale).  The exposition layer
+    # instead emits bounded ``tenant="..."`` labels for the top-K
+    # hottest tenants plus an ``__other__`` overflow bucket — see
+    # :meth:`PolicyDecisionPoint._tenant_prometheus`.
+    requests: int = 0
+    cache_hits: int = 0
+    decided: int = 0
+    reloads: int = 0
+    #: Decision-latency accumulator (seconds) and sample count, fed by
+    #: every observed response for this tenant; exported as a
+    #: Prometheus ``_sum``/``_count`` pair.
+    latency_sum_s: float = 0.0
+    latency_count: int = 0
 
 
 _STOP = object()  # queue sentinel; see stop()
@@ -283,6 +330,7 @@ class PolicyDecisionPoint:
         trace_sink: Optional[TraceSink] = None,
         slo: Optional[SloTracker] = None,
         store: Optional[PolicyStore] = None,
+        audit_writer: Optional[HashChainWriter] = None,
     ) -> None:
         self.engine = engine
         self.config = config or PDPConfig()
@@ -325,6 +373,19 @@ class PolicyDecisionPoint:
             else None
         )
         self.slo = slo if slo is not None else SloTracker(metrics=self.metrics)
+        #: Bounded buffer of this process's distributed-trace spans,
+        #: keyed by trace id — what the ``trace`` wire op and the
+        #: cluster admin's cross-process join read from.
+        self.spans: Optional[SpanCollector] = (
+            SpanCollector(self.config.trace_buffer)
+            if self.config.trace_buffer > 0
+            else None
+        )
+        #: Optional hash-chained audit stream: every *mediated*
+        #: response (GRANT/DENY — service refusals mediate nothing)
+        #: appends one tamper-evident record.  See
+        #: :class:`repro.core.audit.HashChainWriter`.
+        self.audit_writer = audit_writer
         self.metrics.gauge("pdp.queue_depth", lambda: float(self.queue_depth))
         self.metrics.gauge("pdp.running", lambda: float(self.running))
         self.metrics.gauge("pdp.generation", lambda: float(self.generation))
@@ -434,15 +495,7 @@ class PolicyDecisionPoint:
     def _tenant_state(self, tenant: str) -> _TenantState:
         state = self._tenants.get(tenant)
         if state is None:
-            metrics = self.metrics
-            prefix = f"pdp.tenant.{tenant}"
-            state = _TenantState(
-                name=tenant,
-                m_requests=metrics.counter(f"{prefix}.requests"),
-                m_cache_hits=metrics.counter(f"{prefix}.cache_hits"),
-                m_decided=metrics.counter(f"{prefix}.decided"),
-                m_reloads=metrics.counter(f"{prefix}.reloads"),
-            )
+            state = _TenantState(name=tenant)
             self._tenants[tenant] = state
         return state
 
@@ -542,7 +595,7 @@ class PolicyDecisionPoint:
         state.store_engine = weakref.ref(engine)
         state.version = version
         state.generation += 1
-        state.m_reloads.inc()
+        state.reloads += 1
         self._m_reloads.inc()
         hub = self.observers
         if hub:
@@ -577,10 +630,10 @@ class PolicyDecisionPoint:
                 row["generation"] = state.generation
                 if state.version is not None:
                     row["serving_version"] = state.version
-            row["requests"] = state.m_requests.value
-            row["cache_hits"] = state.m_cache_hits.value
-            row["decided"] = state.m_decided.value
-            row["reloads"] = state.m_reloads.value
+            row["requests"] = state.requests
+            row["cache_hits"] = state.cache_hits
+            row["decided"] = state.decided
+            row["reloads"] = state.reloads
         return [rows[name] for name in sorted(rows)]
 
     # ------------------------------------------------------------------
@@ -706,7 +759,7 @@ class PolicyDecisionPoint:
         state.store_engine = None
         state.generation += 1
         duration = time.perf_counter() - started
-        state.m_reloads.inc()
+        state.reloads += 1
         self._m_reloads.inc()
         self._h_reload.observe(duration)
         hub = self.observers
@@ -730,6 +783,7 @@ class PolicyDecisionPoint:
         timeout: Optional[float] = None,
         request_id: Optional[object] = None,
         tenant: Optional[str] = None,
+        trace_ctx: Optional[TraceContext] = None,
     ) -> PDPResponse:
         """Mediate ``request`` through the service.
 
@@ -747,6 +801,12 @@ class PolicyDecisionPoint:
             ``None`` (and the literal default name) is the constructor
             engine.  A tenant this PDP does not serve answers
             DENY_UNKNOWN_TENANT — explicitly, never as a crash.
+        :param trace_ctx: distributed trace context propagated from an
+            upstream hop (router or client).  Its head-sampling flag is
+            *obeyed* — this PDP never re-rolls the decision — so a
+            cross-process trace is complete or absent, never partial.
+            ``None`` falls back to local head sampling, originating a
+            fresh context when sampled.
         :raises ServiceError: when the service is not running.
         """
         if not self._accepting or self._queue is None:
@@ -768,17 +828,31 @@ class PolicyDecisionPoint:
                 latency_s=latency,
                 request_id=request_id,
                 tenant=tenant_name,
+                trace_id=trace_ctx.trace_id if trace_ctx is not None else "",
             )
             self._observe_response(response)
             return response
         engine, generation, state = resolved
-        state.m_requests.inc()
+        state.requests += 1
         override = (
             frozenset(environment_roles) if environment_roles is not None else None
         )
         # Head-based sampling: the keep/drop choice is made here, once,
-        # before we know whether the request will hit the cache.
-        traced = self.trace_sink is not None and self.sampler.should_sample()
+        # before we know whether the request will hit the cache.  A
+        # propagated context's flag is authoritative (the origin rolled
+        # the dice); otherwise the local sampler decides, and a locally
+        # sampled request originates its own context so every traced
+        # decision carries a joinable trace id.
+        if trace_ctx is not None:
+            traced = trace_ctx.sampled and (
+                self.trace_sink is not None or self.spans is not None
+            )
+        else:
+            traced = (
+                self.trace_sink is not None or self.spans is not None
+            ) and self.sampler.should_sample()
+            if traced:
+                trace_ctx = TraceContext.origin()
 
         if self.config.cache_size == 0:
             # Capacity-0 fast path: no key tuple is ever materialized
@@ -798,7 +872,7 @@ class PolicyDecisionPoint:
             cached = self.cache.get(key)
         if cached is not None:
             self._m_cache_hits.inc()
-            state.m_cache_hits.inc()
+            state.cache_hits += 1
             outcome = PDPOutcome.GRANT if cached.granted else PDPOutcome.DENY
             latency = time.perf_counter() - submitted
             self._h_latency.observe(latency)
@@ -811,9 +885,10 @@ class PolicyDecisionPoint:
                 latency_s=latency,
                 request_id=request_id,
                 tenant=tenant_name,
+                trace_id=trace_ctx.trace_id if trace_ctx is not None else "",
             )
             if traced:
-                self._export_cached_trace(cached, request_id)
+                self._export_cached_trace(cached, request_id, trace_ctx)
             self._observe_response(response)
             return response
         if key is None:
@@ -835,6 +910,7 @@ class PolicyDecisionPoint:
             request_id=request_id,
             traced=traced,
             tenant=tenant_name,
+            trace_ctx=trace_ctx,
         )
         self._h_queue.observe(float(self._queue.qsize()))
         try:
@@ -931,6 +1007,7 @@ class PolicyDecisionPoint:
                         latency_s=time.perf_counter() - item.submitted_at,
                         request_id=item.request_id,
                         tenant=item.tenant,
+                        trace_id=item.trace_id,
                     ),
                 )
                 self._m_timeouts.inc()
@@ -960,6 +1037,7 @@ class PolicyDecisionPoint:
                             ),
                             request_id=item.request_id,
                             tenant=tenant,
+                            trace_id=item.trace_id,
                         ),
                     )
                 continue
@@ -1010,11 +1088,12 @@ class PolicyDecisionPoint:
                         latency_s=time.perf_counter() - item.submitted_at,
                         request_id=item.request_id,
                         tenant=tenant,
+                        trace_id=item.trace_id,
                     ),
                 )
             live = [i for i in live if id(i) in decisions]
         self._m_decided.inc(len(live))
-        state.m_decided.inc(len(live))
+        state.decided += len(live)
         size = len(live)
         for item in live:
             decision = decisions[id(item)]
@@ -1047,6 +1126,7 @@ class PolicyDecisionPoint:
                     latency_s=latency,
                     request_id=item.request_id,
                     tenant=tenant,
+                    trace_id=item.trace_id,
                 ),
             )
 
@@ -1057,18 +1137,74 @@ class PolicyDecisionPoint:
         if engine is None:
             engine = self.engine
         env = set(item.env_override) if item.env_override is not None else None
+        started = time.perf_counter()
         decision = engine.decide(
             item.request, environment_roles=env, trace=True
         )
+        duration = time.perf_counter() - started
         trace = decision.trace
-        sink = self.trace_sink
-        if trace is not None and sink is not None:
+        if trace is not None:
             trace.request_id = item.request_id
-            sink.offer(trace_to_dict(trace))
+            ctx = item.trace_ctx
+            if ctx is not None:
+                # This hop's span: the propagated span id becomes the
+                # parent, a fresh id names the PDP's own work.
+                trace.trace_id = ctx.trace_id
+                trace.span_id = new_span_id()
+                trace.parent_span_id = ctx.span_id
+                self._collect_span(
+                    trace, item, duration_s=duration, cached=False
+                )
+            sink = self.trace_sink
+            if sink is not None:
+                sink.offer(trace_to_dict(trace))
         return decision
 
+    def _collect_span(
+        self,
+        trace: DecisionTrace,
+        item: _Pending,
+        duration_s: Optional[float],
+        cached: bool,
+    ) -> None:
+        """Retain this hop's span in the bounded collector, so the
+        ``trace`` op (and the cluster admin's cross-process join) can
+        serve it later."""
+        spans = self.spans
+        if spans is None or not trace.trace_id:
+            return
+        spans.add(
+            Span(
+                trace_id=trace.trace_id,
+                span_id=trace.span_id,
+                parent_span_id=trace.parent_span_id,
+                name="pdp.decide",
+                service="pdp",
+                start_s=(
+                    time.time() - duration_s
+                    if duration_s is not None
+                    else time.time()
+                ),
+                duration_s=duration_s,
+                annotations={
+                    "subject": item.request.subject,
+                    "transaction": item.request.transaction,
+                    "object": item.request.obj,
+                    "granted": trace.granted,
+                    "cached": cached,
+                    "tenant": item.tenant,
+                    "request_id": item.request_id,
+                    "mode": trace.mode,
+                    "stage_timings_us": trace.stage_timings_us(),
+                },
+            ).to_dict()
+        )
+
     def _export_cached_trace(
-        self, decision: Decision, request_id: Optional[object]
+        self,
+        decision: Decision,
+        request_id: Optional[object],
+        trace_ctx: Optional[TraceContext] = None,
     ) -> None:
         """Export a timing-less span for a sampled cache hit.
 
@@ -1077,12 +1213,37 @@ class PolicyDecisionPoint:
         vanish exactly when correlation questions get asked.
         """
         sink = self.trace_sink
-        if sink is None:
+        spans = self.spans
+        if sink is None and (spans is None or trace_ctx is None):
             return
         trace = decision.reconstruct_trace()
         trace.mode = "cached"
         trace.request_id = request_id
-        sink.offer(trace_to_dict(trace))
+        if trace_ctx is not None:
+            trace.trace_id = trace_ctx.trace_id
+            trace.span_id = new_span_id()
+            trace.parent_span_id = trace_ctx.span_id
+            if spans is not None:
+                spans.add(
+                    Span(
+                        trace_id=trace.trace_id,
+                        span_id=trace.span_id,
+                        parent_span_id=trace.parent_span_id,
+                        name="pdp.cache_hit",
+                        service="pdp",
+                        start_s=time.time(),
+                        annotations={
+                            "subject": decision.request.subject,
+                            "transaction": decision.request.transaction,
+                            "object": decision.request.obj,
+                            "granted": decision.granted,
+                            "cached": True,
+                            "request_id": request_id,
+                        },
+                    ).to_dict()
+                )
+        if sink is not None:
+            sink.offer(trace_to_dict(trace))
 
     async def _decide(
         self,
@@ -1127,6 +1288,7 @@ class PolicyDecisionPoint:
             latency_s=time.perf_counter() - item.submitted_at,
             request_id=item.request_id,
             tenant=item.tenant,
+            trace_id=item.trace_id,
         )
         self._finish(item, response)
         return response
@@ -1137,16 +1299,48 @@ class PolicyDecisionPoint:
             item.future.set_result(response)
 
     def _observe_response(self, response: PDPResponse) -> None:
-        """Feed the flight recorder and SLO tracker — every response,
-        every path (cache hit, batch, shed, timeout, error)."""
+        """Feed the flight recorder, SLO tracker, per-tenant latency
+        tallies, and the audit chain — every response, every path
+        (cache hit, batch, shed, timeout, error)."""
         self.slo.record_response(
             mediated=response.outcome in MEDIATED_OUTCOMES,
             latency_s=response.latency_s,
         )
+        state = self._tenants.get(response.tenant)
+        if state is not None:
+            state.latency_sum_s += response.latency_s
+            state.latency_count += 1
+        decision = response.decision
+        writer = self.audit_writer
+        if writer is not None and response.outcome in MEDIATED_OUTCOMES:
+            assert decision is not None
+            writer.append(
+                {
+                    "timestamp": time.time(),
+                    "request_id": response.request_id,
+                    "trace_id": response.trace_id,
+                    "tenant": response.tenant,
+                    "subject": response.request.subject,
+                    "transaction": response.request.transaction,
+                    "object": response.request.obj,
+                    "granted": response.granted,
+                    "outcome": response.outcome.value,
+                    "cached": response.cached,
+                    "rationale": response.rationale,
+                    "matched_rules": [
+                        match.permission.describe()
+                        for match in decision.matches
+                    ],
+                    "subject_roles": sorted(
+                        decision.subject_role_confidence
+                    ),
+                    "environment_roles": sorted(decision.environment_roles),
+                    "latency_us": round(response.latency_s * 1e6, 3),
+                }
+            )
         flight = self.flight
         if flight is None:
             return
-        decision = response.decision
         winner = decision.resolution.winner if decision is not None else None
         flight.record(
             subject=response.request.subject,
@@ -1156,6 +1350,7 @@ class PolicyDecisionPoint:
             granted=response.granted,
             cached=response.cached,
             request_id=response.request_id,
+            trace_id=response.trace_id,
             matched_rule=(
                 winner.permission.describe() if winner is not None else None
             ),
@@ -1330,6 +1525,10 @@ class PolicyDecisionPoint:
             data["store"] = self.store.stats()
         if self.trace_sink is not None:
             data["trace_sink"] = self.trace_sink.stats()
+        if self.spans is not None:
+            data["trace_buffer"] = self.spans.stats()
+        if self.audit_writer is not None:
+            data["audit"] = self.audit_writer.stats()
         if self.flight is not None:
             data["flight"] = self.flight.stats()
         return data
@@ -1344,7 +1543,61 @@ class PolicyDecisionPoint:
         from repro.obs.export import render_prometheus
 
         self.engine.stats()  # syncs engine tallies into the registry
-        return render_prometheus(self.metrics)
+        text = render_prometheus(self.metrics)
+        tenant_lines = self._tenant_prometheus()
+        if tenant_lines:
+            text += "\n".join(tenant_lines) + "\n"
+        return text
+
+    def _tenant_prometheus(self) -> List[str]:
+        """Bounded-cardinality per-tenant series.
+
+        The top-K tenants by request count get their own
+        ``tenant="..."`` label; every other tenant folds into one
+        ``tenant="__other__"`` bucket.  Label values are escaped, so a
+        tenant named ``a"b\\n`` cannot corrupt the exposition.
+        """
+        states = [s for s in self._tenants.values() if s.requests > 0]
+        if not states:
+            return []
+        states.sort(key=lambda s: (-s.requests, s.name))
+        top_k = self.config.tenant_label_topk
+        rows: List[Tuple[str, _TenantState]] = [
+            (state.name, state) for state in states[:top_k]
+        ]
+        overflow = states[top_k:]
+        if overflow:
+            other = _TenantState(name="__other__")
+            for state in overflow:
+                other.requests += state.requests
+                other.cache_hits += state.cache_hits
+                other.decided += state.decided
+                other.reloads += state.reloads
+                other.latency_sum_s += state.latency_sum_s
+                other.latency_count += state.latency_count
+            rows.append(("__other__", other))
+        lines: List[str] = []
+        counters = (
+            ("pdp.tenant_requests", lambda s: s.requests),
+            ("pdp.tenant_cache_hits", lambda s: s.cache_hits),
+            ("pdp.tenant_decided", lambda s: s.decided),
+            ("pdp.tenant_reloads", lambda s: s.reloads),
+        )
+        for name, reader in counters:
+            metric = prometheus_name(name, "_total")
+            lines.append(f"# TYPE {metric} counter")
+            for tenant, state in rows:
+                labels = render_label_set({"tenant": tenant})
+                lines.append(f"{metric}{labels} {float(reader(state))!r}")
+        metric = prometheus_name("pdp.tenant_latency_seconds")
+        lines.append(f"# TYPE {metric} summary")
+        for tenant, state in rows:
+            labels = render_label_set({"tenant": tenant})
+            lines.append(f"{metric}_sum{labels} {state.latency_sum_s!r}")
+            lines.append(
+                f"{metric}_count{labels} {float(state.latency_count)!r}"
+            )
+        return lines
 
     def metrics_json(self) -> Dict[str, object]:
         """The same exposition as structured JSON."""
@@ -1395,6 +1648,22 @@ class PolicyDecisionPoint:
             limit=limit, since_seq=since_seq, subject=subject, outcome=outcome
         )
 
+    def find_trace(self, trace_id: str) -> List[Dict[str, object]]:
+        """This process's retained spans for ``trace_id`` (maybe []).
+
+        Only spans this PDP emitted — the cluster admin joins these
+        with the router's own spans for the cross-process waterfall.
+        """
+        if self.spans is None:
+            return []
+        return self.spans.get(trace_id)
+
+    def recent_traces(self, limit: Optional[int] = None) -> List[str]:
+        """Retained trace ids, newest first; [] when buffering is off."""
+        if self.spans is None:
+            return []
+        return self.spans.trace_ids(limit)
+
 
 @dataclass
 class PDPClient:
@@ -1423,6 +1692,7 @@ class PDPClient:
         timeout: Optional[float] = None,
         request_id: Optional[object] = None,
         tenant: Optional[str] = None,
+        trace: Optional[TraceContext] = None,
     ) -> PDPResponse:
         env = (
             environment_roles
@@ -1437,6 +1707,7 @@ class PDPClient:
             timeout=timeout,
             request_id=request_id,
             tenant=tenant,
+            trace_ctx=trace,
         )
 
     async def check(

@@ -9,11 +9,19 @@ Decision request::
     {"id": 7, "subject": "alice", "transaction": "watch",
      "object": "livingroom/tv", "env": ["weekday-free-time"],
      "identity_confidence": 1.0, "role_claims": {},
-     "timeout_ms": 250}
+     "timeout_ms": 250,
+     "trace": "9f86d081884c7d65-4355a46b19d348dc-01"}
 
 ``env`` is optional: absent/null resolves the environment through the
 server's environment source at decision time; a list pins the
 directly-active roles explicitly (replay / what-if traffic).
+
+``trace`` is optional distributed-trace context in the compact
+``<trace_id>-<parent_span_id>-<sampled>`` form of
+:class:`~repro.obs.trace.TraceContext` — absent on untraced traffic,
+so pre-tracing wire bytes are unchanged.  The shard router originates
+or rewrites it per hop; the server threads it into the decision's
+exported spans, flight-recorder entry, and audit record.
 
 Decision response::
 
@@ -55,6 +63,7 @@ from typing import Any, Dict, FrozenSet, List, Optional, Tuple
 
 from repro.core.decision import AccessRequest
 from repro.exceptions import GrbacError, ServiceError
+from repro.obs.trace import TraceContext
 from repro.service.pdp import DEFAULT_TENANT, PDPOutcome, PDPResponse
 
 #: Hard cap on one wire line; longer lines are a protocol error, not a
@@ -155,17 +164,40 @@ def decode_tenant(payload: Dict[str, Any]) -> Optional[str]:
     return tenant
 
 
+def decode_trace_context(payload: Dict[str, Any]) -> Optional[TraceContext]:
+    """The optional ``trace`` field of a decision request.
+
+    Kept beside (not inside) :func:`decode_request` for the same
+    reason as :func:`decode_tenant`: the 4-tuple call sites stay
+    untouched, and only trace-aware layers pay for the parse.
+
+    :raises ServiceError: when present but not a well-formed compact
+        trace context.
+    """
+    wire = payload.get("trace")
+    if wire is None:
+        return None
+    if not isinstance(wire, str):
+        raise ServiceError("'trace' must be a string or absent")
+    try:
+        return TraceContext.parse(wire)
+    except ValueError as error:
+        raise ServiceError(str(error)) from None
+
+
 def encode_request(
     request: AccessRequest,
     request_id: Any,
     env: Optional[FrozenSet[str]] = None,
     timeout_ms: Optional[float] = None,
     tenant: Optional[str] = None,
+    trace: Optional[TraceContext] = None,
 ) -> Dict[str, Any]:
     """Build the wire message for one decision request.
 
     ``tenant=None`` produces exactly the pre-tenancy message — the
-    field rides the wire only when a caller names a tenant.
+    field rides the wire only when a caller names a tenant.  Likewise
+    ``trace=None`` (untraced) adds nothing.
     """
     payload: Dict[str, Any] = {
         "id": request_id,
@@ -183,6 +215,8 @@ def encode_request(
         payload["timeout_ms"] = timeout_ms
     if tenant is not None:
         payload["tenant"] = tenant
+    if trace is not None:
+        payload["trace"] = trace.to_wire()
     return payload
 
 
@@ -203,6 +237,8 @@ def encode_response(request_id: Any, response: PDPResponse) -> Dict[str, Any]:
     }
     if response.tenant != DEFAULT_TENANT:
         payload["tenant"] = response.tenant
+    if response.trace_id:
+        payload["trace_id"] = response.trace_id
     return payload
 
 
@@ -221,6 +257,10 @@ class WireResponse:
     #: (whose wire form never carries the field) and on the binary
     #: lane, where the caller already knows what it asked for.
     tenant: Optional[str] = None
+    #: Trace id echoed by the server on sampled NDJSON answers (empty
+    #: when the decision was untraced, and always on the binary lane —
+    #: a binary caller that originated the context already knows it).
+    trace_id: str = ""
 
     @property
     def request_id(self) -> Any:
@@ -252,6 +292,7 @@ def decode_response(payload: Dict[str, Any]) -> WireResponse:
         latency_us=float(payload.get("latency_us", 0.0)),
         rationale=str(payload.get("rationale", "")),
         tenant=tenant if isinstance(tenant, str) else None,
+        trace_id=str(payload.get("trace_id", "")),
     )
 
 
@@ -273,19 +314,25 @@ def decode_response(payload: Dict[str, Any]) -> WireResponse:
 # counts body bytes only and is capped at MAX_FRAME_BYTES (the NDJSON
 # line cap — same buffer-growth argument).
 #
-# Request body (fixed ``!IiiidB`` + optional env ids + tenant)::
+# Request body (fixed ``!IiiidB`` + optional env ids + tenant +
+# trace)::
 #
 #     id:4  subject:4  transaction:4  object:4  confidence:8  flags:1
 #     [env_count:2  env_id:2 ...]         (only when flags bit 0 set)
 #     [tenant_len:1  tenant_utf8 ...]     (only when flags bit 1 set)
+#     [trace_id:8  span_id:8  sampled:1]  (only when flags bit 2 set)
 #
 # ``flags`` is a bitfield (it was a 0/1 env marker pre-tenancy, so
 # tenantless frames are byte-identical to the old layout): bit 0 =
-# explicit env override present, bit 1 = tenant name present.  The
-# tenant rides as raw UTF-8 (length-prefixed, <= 64 bytes by the
-# store's name rule) rather than an interned id — intern tables are
-# per-tenant-policy, so the tenant name must be readable *before*
-# choosing a table.
+# explicit env override present, bit 1 = tenant name present, bit 2 =
+# trace context present.  The tenant rides as raw UTF-8
+# (length-prefixed, <= 64 bytes by the store's name rule) rather than
+# an interned id — intern tables are per-tenant-policy, so the tenant
+# name must be readable *before* choosing a table.  The trace segment
+# is the binary form of :class:`~repro.obs.trace.TraceContext` (two
+# raw 64-bit ids plus the sampled flag) and is always the *last*
+# segment, so a router can splice it onto a frame without decoding
+# names; untagged frames stay byte-identical to the PR 7 layout.
 #
 # Entity fields carry *interned ids* from the ``{"op": "intern"}``
 # handshake (below), so the hot path ships 25–40 bytes of integers and
@@ -449,6 +496,41 @@ def frame(kind: int, body: bytes) -> bytes:
 #: ``flags`` bits in the binary request body.
 _FLAG_ENV = 0x01
 _FLAG_TENANT = 0x02
+_FLAG_TRACE = 0x04
+
+#: Trace-context segment: raw trace id, raw span id, sampled flag.
+_TRACE_SEGMENT = struct.Struct("!8s8sB")
+
+#: Byte offset of ``flags`` inside a request body (end of the fixed
+#: header) — what lets a router flip the trace bit without a decode.
+_FLAGS_OFFSET = _REQUEST_FIXED.size - 1
+
+
+def _pack_trace(trace: TraceContext) -> bytes:
+    try:
+        return _TRACE_SEGMENT.pack(
+            bytes.fromhex(trace.trace_id),
+            bytes.fromhex(trace.span_id),
+            1 if trace.sampled else 0,
+        )
+    except (ValueError, struct.error):
+        raise ServiceError(
+            f"trace ids must be 16 hex chars: {trace.trace_id!r}/"
+            f"{trace.span_id!r}"
+        ) from None
+
+
+def _unpack_trace(body: bytes, offset: int) -> Tuple[TraceContext, int]:
+    try:
+        trace_raw, span_raw, sampled = _TRACE_SEGMENT.unpack_from(body, offset)
+    except struct.error as error:
+        raise ServiceError(
+            f"truncated binary trace segment: {error}"
+        ) from None
+    return (
+        TraceContext(trace_raw.hex(), span_raw.hex(), bool(sampled)),
+        offset + _TRACE_SEGMENT.size,
+    )
 
 
 def encode_binary_request(
@@ -457,6 +539,7 @@ def encode_binary_request(
     request_id: int,
     env: Optional[FrozenSet[str]] = None,
     tenant: Optional[str] = None,
+    trace: Optional[TraceContext] = None,
 ) -> bytes:
     """Encode one decision request as a binary frame.
 
@@ -486,8 +569,10 @@ def encode_binary_request(
             env_ids = [tables._environment_ids[name] for name in sorted(env)]
     except KeyError as error:
         raise ServiceError(f"name not interned: {error}") from None
-    flags = (0 if env is None else _FLAG_ENV) | (
-        0 if tenant is None else _FLAG_TENANT
+    flags = (
+        (0 if env is None else _FLAG_ENV)
+        | (0 if tenant is None else _FLAG_TENANT)
+        | (0 if trace is None else _FLAG_TRACE)
     )
     body = _REQUEST_FIXED.pack(
         request_id,
@@ -502,6 +587,8 @@ def encode_binary_request(
         body += struct.pack(f"!{len(env_ids)}H", *env_ids)
     if tenant is not None:
         body += bytes([len(tenant_bytes)]) + tenant_bytes
+    if trace is not None:
+        body += _pack_trace(trace)
     return frame(KIND_REQUEST, body)
 
 
@@ -513,11 +600,13 @@ def decode_binary_request_ex(
     Optional[FrozenSet[str]],
     Optional[float],
     Optional[str],
+    Optional[TraceContext],
 ]:
-    """Decode a KIND_REQUEST body, tenant included.
+    """Decode a KIND_REQUEST body, tenant and trace context included.
 
-    :returns: ``(id, request, env_override, timeout_s, tenant)`` —
-        :func:`decode_request`'s shape plus the optional tenant name.
+    :returns: ``(id, request, env_override, timeout_s, tenant,
+        trace)`` — :func:`decode_request`'s shape plus the optional
+        tenant name and propagated trace context.
     :raises ServiceError: on truncated/malformed bodies, unknown ids,
         or a connection that never ran the intern handshake.
     """
@@ -555,6 +644,9 @@ def decode_binary_request_ex(
                 raise ServiceError("binary request has a malformed tenant")
             tenant = raw.decode("utf-8", "strict")
             offset += tenant_len
+        trace: Optional[TraceContext] = None
+        if flags & _FLAG_TRACE:
+            trace, offset = _unpack_trace(body, offset)
         if offset != len(body):
             raise ServiceError(
                 f"binary request has {len(body) - offset} trailing bytes"
@@ -576,7 +668,7 @@ def decode_binary_request_ex(
         raise ServiceError("binary request references unknown id") from None
     except GrbacError as error:
         raise ServiceError(f"invalid request: {error}") from None
-    return request_id, request, env_override, None, tenant
+    return request_id, request, env_override, None, tenant, trace
 
 
 def decode_binary_request(
@@ -587,8 +679,10 @@ def decode_binary_request(
     The pre-tenancy 4-tuple surface.  A tenant-tagged frame raises
     rather than silently dropping the tenant — deciding a tenant's
     request against the default policy would be an isolation hole.
+    (A trace-tagged frame is fine to drop here: trace context is
+    telemetry, not authorization state.)
     """
-    request_id, request, env_override, timeout_s, tenant = (
+    request_id, request, env_override, timeout_s, tenant, _trace = (
         decode_binary_request_ex(tables, body)
     )
     if tenant is not None:
@@ -749,6 +843,76 @@ def peek_binary_id(body: bytes) -> Optional[int]:
         return None
     (wire_id,) = struct.unpack_from("!I", body)
     return None if wire_id == NO_REQUEST_ID else wire_id
+
+
+def peek_binary_trace(body: bytes) -> Optional[TraceContext]:
+    """The trace context of a KIND_REQUEST body, or ``None``.
+
+    Reads only the flags byte and the trailing trace segment (it is
+    defined to be the last segment), so no tables and no offset walk
+    are needed — the router's per-frame cost for untraced traffic is
+    one byte test.
+
+    :raises ServiceError: flag set but the segment is truncated.
+    """
+    if len(body) <= _FLAGS_OFFSET:
+        return None
+    if not body[_FLAGS_OFFSET] & _FLAG_TRACE:
+        return None
+    if len(body) < _REQUEST_FIXED.size + _TRACE_SEGMENT.size:
+        raise ServiceError("truncated binary trace segment")
+    trace, _ = _unpack_trace(body, len(body) - _TRACE_SEGMENT.size)
+    return trace
+
+
+def splice_binary_trace(body: bytes, trace: TraceContext) -> bytes:
+    """Return ``body`` carrying ``trace`` as its context segment.
+
+    Flips the trace flag and appends (or, for an already-tagged frame,
+    replaces) the trailing trace segment.  Everything else — including
+    env and tenant segments the router never decoded — is untouched,
+    which is what lets the router originate/rewrite context without
+    intern tables.
+
+    :raises ServiceError: on a body too short to carry a flags byte.
+    """
+    if len(body) <= _FLAGS_OFFSET:
+        raise ServiceError("binary request too short to tag with a trace")
+    flags = body[_FLAGS_OFFSET]
+    if flags & _FLAG_TRACE:
+        if len(body) < _REQUEST_FIXED.size + _TRACE_SEGMENT.size:
+            raise ServiceError("truncated binary trace segment")
+        body = body[: len(body) - _TRACE_SEGMENT.size]
+    return (
+        body[:_FLAGS_OFFSET]
+        + bytes([flags | _FLAG_TRACE])
+        + body[_FLAGS_OFFSET + 1 :]
+        + _pack_trace(trace)
+    )
+
+
+def splice_line_trace(line: bytes, trace: TraceContext) -> bytes:
+    """Return an NDJSON request line carrying ``trace``.
+
+    Fast path: the line is a JSON object with no ``trace`` key yet, so
+    the key is spliced in before the closing brace without a parse.
+    Lines that already carry one (a client-originated context being
+    rewritten to name the router's span) take the parse-and-re-encode
+    path.  The returned line is newline-terminated either way.
+
+    :raises ServiceError: when the line is not a JSON object.
+    """
+    stripped = line.rstrip()
+    if not stripped.startswith(b"{") or not stripped.endswith(b"}"):
+        raise ServiceError("NDJSON request line is not a JSON object")
+    addition = f',"trace":"{trace.to_wire()}"}}'.encode("ascii")
+    if b'"trace"' not in stripped:
+        if stripped == b"{}":
+            return b'{"trace":"' + trace.to_wire().encode("ascii") + b'"}\n'
+        return stripped[:-1] + addition + b"\n"
+    payload = parse_line(stripped)
+    payload["trace"] = trace.to_wire()
+    return dumps_line(payload)
 
 
 def encode_unavailable(request_id: Any, detail: str) -> Dict[str, Any]:

@@ -36,6 +36,7 @@ from repro.service.protocol import (
     decode_binary_request_ex,
     decode_request,
     decode_tenant,
+    decode_trace_context,
     dumps_line,
     encode_binary_error,
     encode_binary_response,
@@ -269,6 +270,7 @@ class PDPServer:
                 env,
                 timeout_s,
                 tenant,
+                trace_ctx,
             ) = decode_binary_request_ex(tables[0], body)
         except ServiceError as error:
             await respond_bytes(encode_binary_error(None, str(error)))
@@ -282,6 +284,7 @@ class PDPServer:
                     timeout=timeout_s,
                     request_id=request_id,
                     tenant=tenant,
+                    trace_ctx=trace_ctx,
                 )
             except ServiceError as error:  # PDP stopped mid-flight
                 await respond_bytes(
@@ -307,6 +310,7 @@ class PDPServer:
         try:
             request_id, request, env, timeout_s = decode_request(payload)
             tenant = decode_tenant(payload)
+            trace_ctx = decode_trace_context(payload)
         except ServiceError as error:
             await respond({"id": payload.get("id"), "error": str(error)})
             return
@@ -319,6 +323,7 @@ class PDPServer:
                     timeout=timeout_s,
                     request_id=request_id,
                     tenant=tenant,
+                    trace_ctx=trace_ctx,
                 )
             except ServiceError as error:  # PDP stopped mid-flight
                 await respond({"id": request_id, "error": str(error)})
@@ -389,6 +394,27 @@ class PDPServer:
         elif op == "stats":
             await respond(
                 {"op": "stats", "id": request_id, "stats": self.pdp.stats()}
+            )
+        elif op == "trace":
+            # Span lookup for one distributed trace: the cluster admin
+            # (or a debugging client) asks each worker for the spans it
+            # retained for a trace id and joins them with the router's.
+            trace_id = payload.get("trace_id")
+            if not isinstance(trace_id, str) or not trace_id:
+                await respond(
+                    {
+                        "id": request_id,
+                        "error": "'trace_id' must be a non-empty string",
+                    }
+                )
+                return
+            await respond(
+                {
+                    "op": "trace",
+                    "id": request_id,
+                    "trace_id": trace_id,
+                    "spans": self.pdp.find_trace(trace_id),
+                }
             )
         elif op == "metrics":
             await respond(

@@ -1,0 +1,221 @@
+"""Cross-process trace propagation and the span-join waterfall.
+
+End-to-end half: in-process PDP workers behind a :class:`ShardRouter`
+with head-sampling at 1.0, asserting the parentage chain the ISSUE
+demands — the worker span's ``parent_span_id`` IS the router span's
+``span_id``, for the same trace id, across both wire formats.
+Unit half: :func:`join_trace` ordering, depth, orphan roots, and
+unreachable-source tolerance.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.cluster import ShardRouter
+from repro.cluster.liveops import join_trace
+from repro.core import AccessRequest, MediationEngine
+from repro.obs.trace import TraceContext
+from repro.service import (
+    PDPConfig,
+    PDPOutcome,
+    PDPServer,
+    PolicyDecisionPoint,
+    RemotePDPClient,
+)
+
+
+def make_server(policy, **config) -> PDPServer:
+    return PDPServer(
+        PolicyDecisionPoint(MediationEngine(policy), PDPConfig(**config))
+    )
+
+
+async def start_cluster(tv_policy, n=2, **router_kwargs):
+    servers = []
+    for _ in range(n):
+        server = make_server(tv_policy)
+        await server.start()
+        servers.append(server)
+    router = ShardRouter(
+        {f"w{i}": ("127.0.0.1", s.port) for i, s in enumerate(servers)},
+        **router_kwargs,
+    )
+    await router.start()
+    return router, servers
+
+
+async def stop_cluster(router, servers):
+    await router.stop()
+    for server in servers:
+        await server.stop()
+
+
+def joined_for(router, servers, trace_id):
+    reports = {
+        f"w{i}": server.pdp.find_trace(trace_id)
+        for i, server in enumerate(servers)
+    }
+    reports["router"] = router.find_trace(trace_id)
+    return join_trace(reports)
+
+
+def assert_parentage(spans):
+    """The ISSUE's acceptance shape: router root, worker child."""
+    router_spans = [s for s in spans if s["service"] == "router"]
+    worker_spans = [s for s in spans if s["service"] == "pdp"]
+    assert router_spans and worker_spans
+    root = router_spans[0]
+    child = worker_spans[0]
+    assert root["parent_span_id"] == "" or root["depth"] == 0
+    assert child["parent_span_id"] == root["span_id"]
+    assert child["depth"] == root["depth"] + 1
+    assert child["trace_id"] == root["trace_id"]
+
+
+# ----------------------------------------------------------------------
+# End-to-end propagation
+# ----------------------------------------------------------------------
+def test_router_originates_and_worker_continues(tv_policy) -> None:
+    async def scenario():
+        router, servers = await start_cluster(
+            tv_policy, trace_sample_rate=1.0
+        )
+        try:
+            client = await RemotePDPClient.connect("127.0.0.1", router.port)
+            response = await client.decide(
+                AccessRequest("watch", "livingroom/tv", subject="alice"),
+                environment_roles={"free-time"},
+            )
+            await client.close()
+            trace_ids = router.recent_traces()
+            return (
+                response.outcome,
+                trace_ids,
+                joined_for(router, servers, trace_ids[0]),
+            )
+        finally:
+            await stop_cluster(router, servers)
+
+    outcome, trace_ids, spans = asyncio.run(scenario())
+    assert outcome is PDPOutcome.GRANT
+    assert len(trace_ids) == 1
+    assert_parentage(spans)
+    names = {s["name"] for s in spans}
+    assert "router.route" in names
+
+
+def test_client_originated_context_propagates(tv_policy) -> None:
+    """A caller-minted trace id survives router rewrite to the worker."""
+
+    async def scenario():
+        router, servers = await start_cluster(tv_policy)
+        try:
+            ctx = TraceContext.origin()
+            client = await RemotePDPClient.connect("127.0.0.1", router.port)
+            await client.decide(
+                AccessRequest("watch", "livingroom/tv", subject="alice"),
+                environment_roles={"free-time"},
+                trace=ctx,
+            )
+            await client.close()
+            return ctx.trace_id, joined_for(router, servers, ctx.trace_id)
+        finally:
+            await stop_cluster(router, servers)
+
+    trace_id, spans = asyncio.run(scenario())
+    assert spans, "client-originated trace must be recorded"
+    assert all(s["trace_id"] == trace_id for s in spans)
+    assert_parentage(spans)
+    # The router span's parent is the *client's* span id.
+    router_span = [s for s in spans if s["service"] == "router"][0]
+    assert router_span["parent_span_id"] != ""
+
+
+def test_unsampled_context_records_nothing(tv_policy) -> None:
+    async def scenario():
+        router, servers = await start_cluster(tv_policy)
+        try:
+            ctx = TraceContext.origin(sampled=False)
+            client = await RemotePDPClient.connect("127.0.0.1", router.port)
+            await client.decide(
+                AccessRequest("watch", "livingroom/tv", subject="alice"),
+                environment_roles={"free-time"},
+                trace=ctx,
+            )
+            await client.close()
+            return joined_for(router, servers, ctx.trace_id)
+        finally:
+            await stop_cluster(router, servers)
+
+    assert asyncio.run(scenario()) == []
+
+
+def test_default_rate_traces_nothing(tv_policy) -> None:
+    async def scenario():
+        router, servers = await start_cluster(tv_policy)
+        try:
+            client = await RemotePDPClient.connect("127.0.0.1", router.port)
+            for subject in ("mom", "alice"):
+                await client.decide(
+                    AccessRequest("watch", "livingroom/tv", subject=subject),
+                    environment_roles={"free-time"},
+                )
+            await client.close()
+            return router.recent_traces()
+        finally:
+            await stop_cluster(router, servers)
+
+    assert asyncio.run(scenario()) == []
+
+
+# ----------------------------------------------------------------------
+# join_trace unit behavior
+# ----------------------------------------------------------------------
+def span(span_id, parent="", start=0.0, name="n", service="x"):
+    return {
+        "trace_id": "t",
+        "span_id": span_id,
+        "parent_span_id": parent,
+        "name": name,
+        "service": service,
+        "start_s": start,
+    }
+
+
+class TestJoinTrace:
+    def test_waterfall_depth_and_order(self) -> None:
+        joined = join_trace(
+            {
+                "router": [span("r1", start=1.0, service="router")],
+                "w0": [
+                    span("c2", parent="r1", start=3.0),
+                    span("c1", parent="r1", start=2.0),
+                    span("g1", parent="c1", start=2.5),
+                ],
+            }
+        )
+        assert [s["span_id"] for s in joined] == ["r1", "c1", "g1", "c2"]
+        assert [s["depth"] for s in joined] == [0, 1, 2, 1]
+        assert joined[0]["shard"] == "router"
+        assert joined[1]["shard"] == "w0"
+
+    def test_orphan_parent_becomes_root(self) -> None:
+        joined = join_trace({"w0": [span("a", parent="missing")]})
+        assert [s["depth"] for s in joined] == [0]
+
+    def test_unreachable_source_tolerated(self) -> None:
+        joined = join_trace({"router": [span("r1")], "w1": None})
+        assert [s["span_id"] for s in joined] == ["r1"]
+
+    def test_sibling_roots_order_by_start_then_id(self) -> None:
+        joined = join_trace(
+            {"a": [span("z", start=1.0)], "b": [span("a", start=1.0)]}
+        )
+        assert [s["span_id"] for s in joined] == ["a", "z"]
+
+    def test_empty_reports(self) -> None:
+        assert join_trace({}) == []
+        assert join_trace({"w0": []}) == []

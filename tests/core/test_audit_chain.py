@@ -1,0 +1,297 @@
+"""Hash-chained audit log and evidence-pack verification.
+
+The chain's security claim is narrow and testable: any in-place edit,
+insertion, deletion, or reordering breaks a ``prev_hash`` /
+``record_hash`` link, and tail truncation — which leaves a valid
+shorter chain — is caught against the writer's ``.head`` sidecar
+anchor.  Evidence packs extend the same property to exported query
+results via a digest and an optional HMAC signature.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.core.audit import (
+    GENESIS_HASH,
+    HashChainWriter,
+    canonical_json,
+    chain_record_hash,
+    read_head_anchor,
+    verify_audit_chain,
+)
+from repro.core.evidence import (
+    build_evidence_pack,
+    join_traces,
+    load_jsonl,
+    pack_digest,
+    query_audit_records,
+    verify_audit_file,
+    verify_evidence_pack,
+)
+
+
+def make_chain(payloads):
+    """Hand-roll a chained JSONL text from record payloads."""
+    lines = []
+    prev = GENESIS_HASH
+    for sequence, payload in enumerate(payloads, start=1):
+        record = {"sequence": sequence, **payload}
+        record["prev_hash"] = prev
+        record["record_hash"] = chain_record_hash(
+            prev,
+            {k: v for k, v in record.items() if k not in ("prev_hash", "record_hash")},
+        )
+        prev = record["record_hash"]
+        lines.append(json.dumps(record))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+RECORDS = [
+    {"subject": "alice", "object": "tv", "transaction": "watch",
+     "granted": True, "tenant": "default", "timestamp": 100.0,
+     "trace_id": "aa" * 8, "request_id": 1},
+    {"subject": "bobby", "object": "oven", "transaction": "power_on",
+     "granted": False, "tenant": "default", "timestamp": 200.0,
+     "trace_id": "", "request_id": 2},
+    {"subject": "alice", "object": "oven", "transaction": "power_on",
+     "granted": False, "tenant": "unit-9", "timestamp": 300.0,
+     "trace_id": "bb" * 8, "request_id": 3},
+]
+
+
+class TestChainVerification:
+    def test_intact_chain_verifies(self) -> None:
+        text = make_chain(RECORDS)
+        verification = verify_audit_chain(text)
+        assert verification.ok
+        assert verification.records == 3
+        assert verification.head_hash != GENESIS_HASH
+        assert [e["subject"] for e in verification.entries] == [
+            "alice", "bobby", "alice",
+        ]
+
+    def test_empty_chain_is_valid_genesis(self) -> None:
+        verification = verify_audit_chain("")
+        assert verification.ok
+        assert verification.records == 0
+        assert verification.head_hash == GENESIS_HASH
+
+    def test_in_place_edit_detected(self) -> None:
+        lines = make_chain(RECORDS).splitlines()
+        lines[1] = lines[1].replace('"bobby"', '"mallory"')
+        verification = verify_audit_chain("\n".join(lines))
+        assert not verification.ok
+        assert verification.error_line == 2
+        assert "tampered" in verification.error
+
+    def test_deleted_record_detected(self) -> None:
+        lines = make_chain(RECORDS).splitlines()
+        del lines[1]
+        verification = verify_audit_chain("\n".join(lines))
+        assert not verification.ok
+
+    def test_reordered_records_detected(self) -> None:
+        lines = make_chain(RECORDS).splitlines()
+        lines[0], lines[1] = lines[1], lines[0]
+        verification = verify_audit_chain("\n".join(lines))
+        assert not verification.ok
+
+    def test_truncation_caught_only_with_anchor(self) -> None:
+        full = verify_audit_chain(make_chain(RECORDS))
+        truncated = "\n".join(make_chain(RECORDS).splitlines()[:-1])
+        # Without an anchor a truncated tail is a valid shorter chain.
+        assert verify_audit_chain(truncated).ok
+        anchored = verify_audit_chain(
+            truncated, expect_head=full.head_hash, expect_records=3
+        )
+        assert not anchored.ok
+        assert "truncated" in anchored.error
+
+    def test_wrong_head_rejected(self) -> None:
+        verification = verify_audit_chain(
+            make_chain(RECORDS), expect_head="f" * 64
+        )
+        assert not verification.ok
+
+    def test_non_json_line_rejected(self) -> None:
+        verification = verify_audit_chain(make_chain(RECORDS) + "not json\n")
+        assert not verification.ok
+        assert verification.error_line == 4
+
+    def test_canonical_json_is_order_insensitive(self) -> None:
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json(
+            {"a": 2, "b": 1}
+        )
+
+
+class TestHashChainWriter:
+    def test_writes_verifiable_chain_and_anchor(self, tmp_path) -> None:
+        path = str(tmp_path / "audit.jsonl")
+        writer = HashChainWriter(path)
+        for record in RECORDS:
+            assert writer.append(dict(record))
+        writer.close()
+        verification = verify_audit_file(path)
+        assert verification.ok
+        assert verification.records == 3
+        anchor = read_head_anchor(path + ".head")
+        assert anchor is not None
+        assert anchor["records"] == 3
+        assert anchor["head_hash"] == verification.head_hash
+
+    def test_resumes_existing_chain(self, tmp_path) -> None:
+        path = str(tmp_path / "audit.jsonl")
+        first = HashChainWriter(path)
+        first.append(dict(RECORDS[0]))
+        first.close()
+        second = HashChainWriter(path)
+        second.append(dict(RECORDS[1]))
+        second.close()
+        verification = verify_audit_file(path)
+        assert verification.ok
+        assert verification.records == 2
+
+    def test_sidecar_catches_file_truncation(self, tmp_path) -> None:
+        path = str(tmp_path / "audit.jsonl")
+        writer = HashChainWriter(path)
+        for record in RECORDS:
+            writer.append(dict(record))
+        writer.close()
+        lines = open(path, encoding="utf-8").read().splitlines()
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines[:-1]) + "\n")
+        verification = verify_audit_file(path)
+        assert not verification.ok
+        assert "truncated" in verification.error
+
+    def test_torn_tail_truncated_on_resume(self, tmp_path) -> None:
+        """A kill -9 mid-write leaves a partial last line; the resumed
+        writer must drop it rather than append onto it."""
+        path = str(tmp_path / "audit.jsonl")
+        first = HashChainWriter(path)
+        first.append(dict(RECORDS[0]))
+        first.append(dict(RECORDS[1]))
+        first.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"subject": "torn", "record_ha')
+        second = HashChainWriter(path)
+        second.append(dict(RECORDS[2]))
+        second.close()
+        verification = verify_audit_file(path)
+        assert verification.ok
+        assert verification.records == 3
+        assert [e["subject"] for e in verification.entries] == [
+            "alice", "bobby", "alice",
+        ]
+
+    def test_interior_damage_not_truncated_on_resume(self, tmp_path) -> None:
+        """Only a torn *tail* is recovery; interior junk is tampering
+        evidence and must survive resume for verify to report."""
+        path = str(tmp_path / "audit.jsonl")
+        first = HashChainWriter(path)
+        first.append(dict(RECORDS[0]))
+        first.append(dict(RECORDS[1]))
+        first.close()
+        lines = open(path, encoding="utf-8").read().splitlines()
+        lines[0] = "junk line"
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+        second = HashChainWriter(path)
+        second.append(dict(RECORDS[2]))
+        second.close()
+        text = open(path, encoding="utf-8").read()
+        assert "junk line" in text
+        verification = verify_audit_file(path)
+        assert not verification.ok
+        assert verification.error_line == 1
+
+    def test_append_after_close_drops(self, tmp_path) -> None:
+        writer = HashChainWriter(str(tmp_path / "audit.jsonl"))
+        writer.close()
+        assert not writer.append({"x": 1})
+        assert writer.dropped == 1
+
+
+class TestQueriesAndPacks:
+    def test_conjunctive_filters(self) -> None:
+        records = verify_audit_chain(make_chain(RECORDS)).entries
+        assert len(query_audit_records(records, subject="alice")) == 2
+        assert len(query_audit_records(records, granted=False)) == 2
+        assert (
+            len(query_audit_records(records, subject="alice", granted=False))
+            == 1
+        )
+        assert len(query_audit_records(records, tenant="unit-9")) == 1
+        window = query_audit_records(records, since=150.0, until=250.0)
+        assert [r["subject"] for r in window] == ["bobby"]
+
+    def test_join_traces_by_trace_then_request_id(self) -> None:
+        records = verify_audit_chain(make_chain(RECORDS)).entries
+        spans = [
+            {"trace_id": "aa" * 8, "name": "router.route"},
+            {"trace_id": "aa" * 8, "name": "pdp.decide"},
+            {"request_id": 2, "name": "pdp.decide"},
+        ]
+        joined = join_traces(records, spans)
+        assert len(joined["aa" * 8]) == 2
+        assert len(joined["request_id:2"]) == 1
+
+    def test_pack_digest_and_signature_round_trip(self) -> None:
+        verification = verify_audit_chain(make_chain(RECORDS))
+        records = query_audit_records(verification.entries, subject="alice")
+        pack = build_evidence_pack(
+            verification,
+            records,
+            {"subject": "alice"},
+            source="audit.jsonl",
+            generated_at=time.time(),
+            key=b"swordfish",
+            key_id="ops-1",
+        )
+        assert pack["matches"] == 2
+        assert pack["chain"]["head_hash"] == verification.head_hash
+        assert verify_evidence_pack(pack, key=b"swordfish") == (True, "")
+        ok, reason = verify_evidence_pack(pack, key=b"wrong")
+        assert not ok and "signature" in reason
+
+    def test_altered_pack_fails_digest(self) -> None:
+        verification = verify_audit_chain(make_chain(RECORDS))
+        pack = build_evidence_pack(
+            verification, list(verification.entries), {}, source="a"
+        )
+        pack["records"][0]["subject"] = "mallory"
+        ok, reason = verify_evidence_pack(pack)
+        assert not ok and "digest" in reason
+        # pack_digest over the altered content differs from the claim.
+        assert pack_digest(pack) != pack["digest"]
+
+    def test_query_over_large_log_is_fast(self) -> None:
+        many = [
+            {
+                "subject": f"s{i % 50}",
+                "object": f"o{i % 20}",
+                "transaction": "watch",
+                "granted": i % 3 == 0,
+                "tenant": "default",
+                "timestamp": float(i),
+            }
+            for i in range(4000)
+        ]
+        text = make_chain(many)
+        started = time.perf_counter()
+        verification = verify_audit_chain(text)
+        matches = query_audit_records(
+            verification.entries, subject="s7", since=1000.0, until=3000.0
+        )
+        elapsed = time.perf_counter() - started
+        assert verification.ok and matches
+        assert elapsed < 5.0  # "completes in seconds" acceptance bound
+
+    def test_load_jsonl_skips_blanks(self, tmp_path) -> None:
+        path = tmp_path / "spans.jsonl"
+        path.write_text('{"a": 1}\n\n{"b": 2}\n', encoding="utf-8")
+        assert load_jsonl(str(path)) == [{"a": 1}, {"b": 2}]

@@ -1,0 +1,135 @@
+"""Prometheus text-format edge cases: escaping, non-finite values,
+and the cluster-merge round trip.
+
+The exposition format escapes exactly three characters inside quoted
+label values (backslash, double-quote, newline) and spells non-finite
+samples ``NaN`` / ``+Inf`` / ``-Inf``.  These tests pin the
+escape/unescape pair, the value formatter, and — the case that bit the
+cluster merger — that :func:`merge_prometheus` output with hostile
+``shard`` labels survives a :func:`parse_prometheus` round trip.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.cluster.liveops import merge_prometheus
+from repro.obs.export import (
+    _format_value,
+    escape_label_value,
+    parse_prometheus,
+    render_label_set,
+    unescape_label_value,
+)
+
+
+class TestLabelEscaping:
+    @pytest.mark.parametrize(
+        "raw,escaped",
+        [
+            ("plain", "plain"),
+            ('has "quotes"', 'has \\"quotes\\"'),
+            ("back\\slash", "back\\\\slash"),
+            ("two\nlines", "two\\nlines"),
+            ('\\"\n', '\\\\\\"\\n'),
+        ],
+    )
+    def test_escape_and_invert(self, raw: str, escaped: str) -> None:
+        assert escape_label_value(raw) == escaped
+        assert unescape_label_value(escaped) == raw
+
+    def test_unknown_escape_kept_verbatim(self) -> None:
+        assert unescape_label_value("a\\tb") == "a\\tb"
+
+    def test_trailing_lone_backslash_kept(self) -> None:
+        assert unescape_label_value("a\\") == "a\\"
+
+    def test_render_label_set_sorts_and_escapes(self) -> None:
+        rendered = render_label_set({"b": 'x"y', "a": "p\\q"})
+        assert rendered == '{a="p\\\\q",b="x\\"y"}'
+        assert render_label_set({}) == ""
+
+    def test_parser_unescapes_quoted_values(self) -> None:
+        text = 'm{tenant="a\\\\b\\"c\\nd"} 1\n'
+        samples = parse_prometheus(text)
+        ((labels, value),) = samples["m"]
+        assert labels == {"tenant": 'a\\b"c\nd'}
+        assert value == 1.0
+
+
+class TestNonFiniteValues:
+    def test_format_value_spellings(self) -> None:
+        assert _format_value(float("nan")) == "NaN"
+        assert _format_value(float("inf")) == "+Inf"
+        assert _format_value(float("-inf")) == "-Inf"
+        assert _format_value(2.5) == "2.5"
+
+    def test_parser_accepts_non_finite_spellings(self) -> None:
+        text = "a 1\nb NaN\nc +Inf\nd -Inf\n"
+        samples = parse_prometheus(text)
+        assert math.isnan(samples["b"][0][1])
+        assert samples["c"][0][1] == float("inf")
+        assert samples["d"][0][1] == float("-inf")
+
+
+class TestMergeRoundTrip:
+    def worker_text(self) -> str:
+        return (
+            "# TYPE grbac_pdp_decisions counter\n"
+            "grbac_pdp_decisions 41\n"
+            'grbac_tenant_decisions{tenant="acme \\"prod\\""} 7\n'
+            "grbac_latency_us_sum 12.5\n"
+            "grbac_latency_us_count 3\n"
+        )
+
+    def test_merged_output_parses_back_with_shard_labels(self) -> None:
+        # Shard names with every escape-worthy character: the merger
+        # must re-escape what the parser unescaped, or this round trip
+        # dies with an unclosed-label-set parse error.
+        shards = {
+            'w"quote': self.worker_text(),
+            "w\\back": self.worker_text(),
+            "w\nnl": self.worker_text(),
+        }
+        merged = merge_prometheus(shards)
+        samples = parse_prometheus(merged)
+        decisions = samples["grbac_pdp_decisions"]
+        assert {labels["shard"] for labels, _ in decisions} == set(shards)
+        assert all(value == 41.0 for _, value in decisions)
+
+    def test_merge_preserves_worker_label_values(self) -> None:
+        merged = merge_prometheus({"w0": self.worker_text()})
+        samples = parse_prometheus(merged)
+        ((labels, value),) = samples["grbac_tenant_decisions"]
+        assert labels == {"tenant": 'acme "prod"', "shard": "w0"}
+        assert value == 7.0
+
+    def test_merge_emits_type_lines_once(self) -> None:
+        merged = merge_prometheus(
+            {"w0": self.worker_text(), "w1": self.worker_text()}
+        )
+        type_lines = [
+            line for line in merged.splitlines() if line.startswith("# TYPE")
+        ]
+        assert type_lines.count("# TYPE grbac_pdp_decisions counter") == 1
+
+    def test_unparseable_worker_becomes_scrape_error_sample(self) -> None:
+        merged = merge_prometheus(
+            {"good": self.worker_text(), "bad": "{{{ not prometheus"}
+        )
+        samples = parse_prometheus(merged)
+        errors = {
+            labels["shard"]: value
+            for labels, value in samples["grbac_cluster_scrape_errors_total"]
+        }
+        assert errors == {"bad": 1.0, "good": 0.0}
+        assert "grbac_pdp_decisions" in samples
+
+    def test_merge_round_trips_non_finite_values(self) -> None:
+        merged = merge_prometheus({"w0": "grbac_gauge NaN\n"})
+        samples = parse_prometheus(merged)
+        ((labels, value),) = samples["grbac_gauge"]
+        assert labels == {"shard": "w0"}
+        assert math.isnan(value)

@@ -1,0 +1,144 @@
+"""Trace-context identity, propagation, and the bounded span store.
+
+The context triple (``trace_id``, ``span_id``, ``sampled``) is the
+whole cross-process contract: everything else — parentage, waterfall
+joins, audit correlation — is derived from how hops mint and forward
+it.  These tests pin that contract plus the :class:`SpanCollector`
+retention semantics the trace endpoints serve from.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.trace import (
+    Span,
+    SpanCollector,
+    TraceContext,
+    new_span_id,
+    new_trace_id,
+)
+
+
+class TestIds:
+    def test_ids_are_16_lowercase_hex(self) -> None:
+        for make in (new_trace_id, new_span_id):
+            value = make()
+            assert len(value) == 16
+            assert value == value.lower()
+            int(value, 16)  # parses as hex
+
+    def test_ids_are_unique_enough(self) -> None:
+        assert len({new_trace_id() for _ in range(256)}) == 256
+
+
+class TestTraceContext:
+    def test_origin_mints_fresh_sampled_context(self) -> None:
+        ctx = TraceContext.origin()
+        assert ctx.sampled
+        assert ctx.trace_id != ctx.span_id
+
+    def test_child_keeps_trace_id_mints_span_id(self) -> None:
+        parent = TraceContext.origin()
+        child = parent.child()
+        assert child.trace_id == parent.trace_id
+        assert child.span_id != parent.span_id
+        assert child.sampled == parent.sampled
+
+    def test_wire_round_trip(self) -> None:
+        ctx = TraceContext.origin()
+        assert TraceContext.parse(ctx.to_wire()) == ctx
+        off = TraceContext(ctx.trace_id, ctx.span_id, False)
+        assert off.to_wire().endswith("-00")
+        assert TraceContext.parse(off.to_wire()) == off
+
+    @pytest.mark.parametrize(
+        "wire",
+        [
+            "",
+            "nope",
+            "abc-def-01",  # ids too short
+            ("a" * 16) + "-" + ("b" * 16),  # missing sampled flag
+            ("a" * 16) + "-" + ("b" * 16) + "-02",  # bad flag
+            ("g" * 16) + "-" + ("b" * 16) + "-01",  # non-hex
+            ("A" * 16) + "-" + ("b" * 16) + "-01",  # uppercase refused
+        ],
+    )
+    def test_malformed_wire_forms_rejected(self, wire: str) -> None:
+        with pytest.raises(ValueError):
+            TraceContext.parse(wire)
+
+
+class TestSpanCollector:
+    def span(self, trace_id: str, name: str = "x") -> dict:
+        return Span(
+            trace_id=trace_id,
+            span_id=new_span_id(),
+            name=name,
+            service="test",
+        ).to_dict()
+
+    def test_groups_by_trace_and_returns_copies(self) -> None:
+        collector = SpanCollector(4)
+        collector.add(self.span("t1", "a"))
+        collector.add(self.span("t1", "b"))
+        collector.add(self.span("t2", "c"))
+        spans = collector.get("t1")
+        assert [s["name"] for s in spans] == ["a", "b"]
+        spans[0]["name"] = "mutated"
+        assert collector.get("t1")[0]["name"] == "a"
+        assert collector.get("missing") == []
+
+    def test_evicts_whole_traces_oldest_first(self) -> None:
+        collector = SpanCollector(2)
+        for trace_id in ("t1", "t2", "t3"):
+            collector.add(self.span(trace_id))
+            collector.add(self.span(trace_id))
+        assert collector.get("t1") == []
+        assert len(collector.get("t3")) == 2
+        stats = collector.stats()
+        assert stats["traces"] == 2
+        assert stats["evicted_traces"] == 1
+
+    def test_trace_ids_newest_first_with_limit(self) -> None:
+        collector = SpanCollector(8)
+        for trace_id in ("t1", "t2", "t3"):
+            collector.add(self.span(trace_id))
+        assert collector.trace_ids() == ["t3", "t2", "t1"]
+        assert collector.trace_ids(limit=2) == ["t3", "t2"]
+
+    def test_ignores_spans_without_trace_id(self) -> None:
+        collector = SpanCollector(2)
+        collector.add({"name": "no-trace"})
+        collector.add({"trace_id": "", "name": "empty"})
+        assert collector.stats()["spans"] == 0
+
+    def test_rejects_non_positive_capacity(self) -> None:
+        with pytest.raises(ValueError):
+            SpanCollector(0)
+
+
+class TestSpan:
+    def test_to_dict_renders_duration_in_us(self) -> None:
+        span = Span(
+            trace_id="t",
+            span_id="s",
+            name="pdp.decide",
+            service="pdp",
+            parent_span_id="p",
+            start_s=123.5,
+            duration_s=0.0012345,
+            annotations={"granted": True},
+        )
+        payload = span.to_dict()
+        assert payload["duration_us"] == 1234.5
+        assert payload["parent_span_id"] == "p"
+        assert payload["start_s"] == 123.5
+        assert payload["annotations"] == {"granted": True}
+
+    def test_untimed_span_has_null_duration(self) -> None:
+        assert (
+            Span(trace_id="t", span_id="s", name="n", service="x")
+            .to_dict()["duration_us"]
+            is None
+        )

@@ -292,11 +292,12 @@ class TestWireCompatibility:
         frame = encode_binary_request(
             tables, REQUEST, 9, env=frozenset(ENV), tenant="unit-a"
         )
-        request_id, request, env, timeout, tenant = decode_binary_request_ex(
-            tables, frame[6:]
+        request_id, request, env, timeout, tenant, trace = (
+            decode_binary_request_ex(tables, frame[6:])
         )
         assert request_id == 9
         assert tenant == "unit-a"
+        assert trace is None
         assert env == frozenset(ENV)
         # The legacy decoder refuses (never silently drops) the tenant.
         with pytest.raises(ServiceError, match="tenant"):

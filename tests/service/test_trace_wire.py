@@ -1,0 +1,173 @@
+"""Trace context on both wire formats.
+
+The compatibility contract is strict: an untraced request encodes to
+the exact bytes the pre-trace protocol produced, on both lanes.  The
+router's hot-path helpers (``peek_binary_trace``, the two splice
+functions) must tag and rewrite frames without intern tables and
+without disturbing the segments they never decoded.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import AccessRequest
+from repro.exceptions import ServiceError
+from repro.service import PDPOutcome
+from repro.service.pdp import PDPResponse
+from repro.obs.trace import TraceContext
+from repro.service.protocol import (
+    FRAME_HEADER,
+    InternTables,
+    decode_binary_request,
+    decode_binary_request_ex,
+    decode_request,
+    decode_response,
+    decode_trace_context,
+    dumps_line,
+    encode_binary_request,
+    encode_request,
+    encode_response,
+    peek_binary_trace,
+    splice_binary_trace,
+    splice_line_trace,
+)
+
+CTX = TraceContext("ab" * 8, "cd" * 8, True)
+
+
+def body_of(frame: bytes) -> bytes:
+    return frame[FRAME_HEADER.size:]
+
+
+class TestLineLane:
+    def test_untraced_payload_has_no_trace_key(self) -> None:
+        request = AccessRequest("watch", "tv", subject="alice")
+        untraced = encode_request(request, 1)
+        assert "trace" not in untraced
+        traced = encode_request(request, 1, trace=CTX)
+        assert traced["trace"] == CTX.to_wire()
+        assert {k: v for k, v in traced.items() if k != "trace"} == untraced
+
+    def test_decode_trace_context(self) -> None:
+        assert decode_trace_context({}) is None
+        assert decode_trace_context({"trace": CTX.to_wire()}) == CTX
+        with pytest.raises(ServiceError):
+            decode_trace_context({"trace": 7})
+        with pytest.raises(ServiceError):
+            decode_trace_context({"trace": "garbage"})
+
+    def response(self, trace_id: str = "") -> PDPResponse:
+        return PDPResponse(
+            request=AccessRequest("watch", "tv", subject="alice"),
+            outcome=PDPOutcome.GRANT,
+            granted=True,
+            decision=None,
+            trace_id=trace_id,
+        )
+
+    def test_response_echoes_trace_id_only_when_set(self) -> None:
+        payload = encode_response(3, self.response())
+        assert "trace_id" not in payload
+        assert decode_response(payload).trace_id == ""
+        tagged = encode_response(3, self.response(trace_id=CTX.trace_id))
+        assert tagged["trace_id"] == CTX.trace_id
+        assert decode_response(tagged).trace_id == CTX.trace_id
+
+    def test_splice_into_untagged_line(self) -> None:
+        line = dumps_line(encode_request(AccessRequest("watch", "tv", subject="alice"), 9))
+        spliced = splice_line_trace(line, CTX)
+        assert spliced.endswith(b"\n")
+        payload = json.loads(spliced)
+        assert payload["trace"] == CTX.to_wire()
+        assert decode_request(payload)[1].transaction == "watch"
+
+    def test_splice_rewrites_existing_context(self) -> None:
+        line = dumps_line(
+            encode_request(AccessRequest("watch", "tv", subject="alice"), 9, trace=CTX)
+        )
+        rewritten = TraceContext(CTX.trace_id, "ef" * 8, True)
+        payload = json.loads(splice_line_trace(line, rewritten))
+        assert payload["trace"] == rewritten.to_wire()
+
+    def test_splice_rejects_non_object_line(self) -> None:
+        with pytest.raises(ServiceError):
+            splice_line_trace(b"[1, 2]\n", CTX)
+
+
+class TestBinaryLane:
+    @pytest.fixture()
+    def tables(self, tv_policy) -> InternTables:
+        return InternTables.from_policy(tv_policy)
+
+    def encode(self, tables: InternTables, **kwargs) -> bytes:
+        request = AccessRequest("watch", "livingroom/tv", subject="alice")
+        return encode_binary_request(tables, request, 7, **kwargs)
+
+    def test_untraced_frame_is_byte_identical(self, tables) -> None:
+        assert self.encode(tables) == self.encode(tables, trace=None)
+        assert peek_binary_trace(body_of(self.encode(tables))) is None
+
+    def test_traced_frame_round_trips(self, tables) -> None:
+        body = body_of(self.encode(tables, trace=CTX))
+        assert peek_binary_trace(body) == CTX
+        request_id, request, env, timeout_s, tenant, trace = (
+            decode_binary_request_ex(tables, body)
+        )
+        assert request_id == 7
+        assert request.subject == "alice"
+        assert trace == CTX
+
+    def test_trace_composes_with_env_and_tenant(self, tables) -> None:
+        body = body_of(
+            self.encode(
+                tables,
+                env=frozenset({"free-time"}),
+                tenant="acme",
+                trace=CTX,
+            )
+        )
+        assert peek_binary_trace(body) == CTX
+        _, _, env, _, tenant, trace = decode_binary_request_ex(tables, body)
+        assert env == frozenset({"free-time"})
+        assert tenant == "acme"
+        assert trace == CTX
+
+    def test_legacy_decode_drops_trace_silently(self, tables) -> None:
+        body = body_of(self.encode(tables, trace=CTX))
+        request_id, request, env, timeout_s = decode_binary_request(
+            tables, body
+        )
+        assert request_id == 7 and request.subject == "alice"
+
+    def test_splice_tags_untagged_frame(self, tables) -> None:
+        untagged = body_of(self.encode(tables, tenant="acme"))
+        tagged = splice_binary_trace(untagged, CTX)
+        assert peek_binary_trace(tagged) == CTX
+        _, request, _, _, tenant, trace = decode_binary_request_ex(
+            tables, tagged
+        )
+        # The splice never decoded the tenant segment yet preserved it.
+        assert tenant == "acme"
+        assert request.subject == "alice"
+        assert trace == CTX
+
+    def test_splice_replaces_existing_segment(self, tables) -> None:
+        tagged = body_of(self.encode(tables, trace=CTX))
+        rewritten = TraceContext(CTX.trace_id, "ef" * 8, False)
+        replaced = splice_binary_trace(tagged, rewritten)
+        assert peek_binary_trace(replaced) == rewritten
+        assert len(replaced) == len(tagged)
+
+    def test_truncated_trace_segment_raises(self, tables) -> None:
+        body = body_of(self.encode(tables, trace=CTX))
+        with pytest.raises(ServiceError):
+            peek_binary_trace(body[:-3])
+        with pytest.raises(ServiceError):
+            decode_binary_request_ex(tables, body[:-3])
+
+    def test_splice_rejects_headerless_body(self) -> None:
+        with pytest.raises(ServiceError):
+            splice_binary_trace(b"\x01", CTX)
