@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""The §4.2.2 videophone, hung up live: continuous authorization.
+
+The paper's motivating scenario for *continuous* authorization: a
+child may use the videophone only while a parent-approved environment
+holds — in-kitchen, during free time.  Granting the call once is not
+enough; when the supporting environment roles deactivate mid-call,
+the authorization itself must be withdrawn, not merely re-deniable on
+the next request.
+
+This example serves a PDP with a live simulated environment and shows
+both halves of the mechanism, end to end over real sockets:
+
+1. **Subscribe** — the client asks for the call with
+   ``decide(request, subscribe=True)``; the granted decision is
+   registered in the server's session grant table along with the
+   exact environment roles it rests on.
+2. **Push revocation** — bobby leaves the kitchen (a location event),
+   and later the 22:00 free-time boundary passes (a pure clock
+   transition, zero requests in flight: the server's boundary driver
+   observes it).  Each flip sweeps the grant table and pushes an
+   unsolicited ``revoke`` to the affected connection; the client's
+   handler fires with the withdrawn grant, the roles that caused it,
+   and the measured flip-to-delivery latency.
+
+Run:  python examples/videophone_revocation.py
+"""
+
+import asyncio
+import time
+from datetime import datetime
+
+from repro.core import AccessRequest, GrbacPolicy, MediationEngine
+from repro.env.conditions import during
+from repro.env.runtime import EnvironmentRuntime
+from repro.env.temporal import time_window
+from repro.service import PDPServer, PolicyDecisionPoint, RemotePDPClient
+
+MONDAY_EVENING = datetime(2000, 1, 17, 20, 0)  # inside free-time
+
+
+def build_home():
+    """The §4.2.2 household: a videophone behind a composite env role."""
+    runtime = EnvironmentRuntime(start=MONDAY_EVENING)
+    policy = GrbacPolicy()
+    policy.add_subject("bobby")
+    policy.add_subject_role("child")
+    policy.assign_subject("bobby", "child")
+    policy.add_object("kitchen/videophone")
+    policy.add_object_role("comms-devices")
+    policy.assign_object("kitchen/videophone", "comms-devices")
+
+    # Children may call only during free time AND while in the
+    # kitchen — one composite environment role, the conjunction of a
+    # temporal condition and a location condition (§4.2.2's composite
+    # environment roles).
+    call_window = during(time_window("19:00", "22:00")) & (
+        runtime.location.in_zone_condition("bobby", "kitchen")
+    )
+    runtime.define_role(
+        policy,
+        "call-window",
+        call_window,
+        "free time AND bobby in the kitchen",
+    )
+    policy.grant("child", "call", "comms-devices", "call-window")
+
+    engine = MediationEngine(policy, runtime.activator)
+    pdp = PolicyDecisionPoint(engine, env_revision=runtime)
+    return runtime, PDPServer(pdp, environment=runtime)
+
+
+async def main() -> None:
+    runtime, server = build_home()
+    async with server:
+        client = await RemotePDPClient.connect("127.0.0.1", server.port)
+
+        hangups = []
+
+        def on_revoke(revocation):
+            latency_ms = (time.time() - revocation.ts) * 1e3
+            hangups.append(revocation)
+            print(
+                f"  << REVOKED grant {revocation.id}: "
+                f"{revocation.subject} {revocation.transaction} "
+                f"{revocation.obj}"
+            )
+            print(
+                f"     roles withdrawn: {', '.join(revocation.roles)}  "
+                f"({revocation.reason}; flip-to-delivery "
+                f"{latency_ms:.1f} ms)"
+            )
+
+        client.subscribe(on_revoke)
+
+        print("=" * 64)
+        print("Scene 1: bobby calls grandma from the kitchen at 20:00")
+        print("=" * 64)
+        await client.env_move("bobby", "kitchen")
+        call = AccessRequest("call", "kitchen/videophone", subject="bobby")
+        response = await client.decide(call, subscribe=True)
+        print(
+            f"  decision: {response.outcome.name} "
+            f"(subscribed for continuous authorization)"
+        )
+        assert response.granted
+
+        print()
+        print("Scene 2: bobby wanders to the den mid-call")
+        print("  (a location event deactivates 'in-kitchen' — the call")
+        print("   must drop NOW, not at the next request)")
+        out = await client.env_move("bobby", "den")
+        await asyncio.sleep(0.1)  # let the push arrive
+        print(f"  active environment roles now: {sorted(out['active'])}")
+        assert len(hangups) == 1
+        assert hangups[0].roles == ("call-window",)
+
+        print()
+        print("Scene 3: back in the kitchen, a new call is granted...")
+        await client.env_move("bobby", "kitchen")
+        response = await client.decide(call, subscribe=True)
+        print(f"  decision: {response.outcome.name}")
+        assert response.granted
+
+        print()
+        print("Scene 4: ...until 22:00 passes with ZERO requests in flight")
+        print("  (a pure clock transition: the free-time window closes)")
+        out = await client.env("advance", seconds=3 * 3600)  # 20:xx -> 23:xx
+        await asyncio.sleep(0.1)
+        print(f"  active environment roles now: {sorted(out['active'])}")
+        assert len(hangups) == 2
+        assert hangups[1].roles == ("call-window",)
+
+        print()
+        print("Scene 5: asking again after the flip is a plain deny")
+        response = await client.decide(call)
+        print(f"  decision: {response.outcome.name}")
+        assert not response.granted
+
+        await client.close()
+
+    print()
+    print(
+        "the videophone hung up twice — once on a location flip, once "
+        "on a time\nboundary nobody was watching — because the grant "
+        "was *subscribed*, not\nmerely cached.  See 'Continuous "
+        "authorization' in docs/SERVICE.md."
+    )
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

@@ -205,7 +205,27 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
     if args.watch and not args.policy:
         raise GrbacError("--watch needs a policy file argument to watch")
-    engine = MediationEngine(policy, confidence_threshold=args.threshold)
+    environment = None
+    if getattr(args, "continuous", False):
+        from repro.env.runtime import EnvironmentRuntime
+
+        if args.sim_start:
+            from datetime import datetime as _datetime
+
+            environment = EnvironmentRuntime(
+                start=_datetime.fromisoformat(args.sim_start)
+            )
+        else:
+            from repro.env.clock import SystemClock
+
+            environment = EnvironmentRuntime(clock=SystemClock())
+    if environment is not None:
+        engine = MediationEngine(
+            policy, environment.activator, confidence_threshold=args.threshold
+        )
+        environment.bind_metrics(engine.metrics)
+    else:
+        engine = MediationEngine(policy, confidence_threshold=args.threshold)
     config = PDPConfig(
         max_batch=args.max_batch,
         max_wait_ms=args.max_wait_ms,
@@ -235,6 +255,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         pdp = PolicyDecisionPoint(
             engine,
             config,
+            env_revision=environment,
             trace_sink=sink,
             slo=slo,
             store=store,
@@ -247,6 +268,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             port=args.port,
             administrator=administrator,
             drain_timeout_s=getattr(args, "drain_timeout", None),
+            environment=environment,
         )
         await server.start()
         # SIGTERM/SIGINT trigger the same graceful drain Ctrl-C does:
@@ -282,6 +304,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         source = args.policy if args.policy else f"store:{args.store}"
         print(f"serving {source!r} listening on "
               f"{args.host}:{server.port}", flush=True)
+        if environment is not None:
+            clock_kind = (
+                f"simulated clock at {environment.now().isoformat()}"
+                if args.sim_start
+                else "system clock"
+            )
+            print(f"continuous authorization enabled ({clock_kind})",
+                  flush=True)
         if store is not None:
             print(f"policy store {args.store!r}: "
                   f"{len(store.tenants())} tenant(s)", flush=True)
@@ -316,6 +346,63 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if audit_writer is not None:
             audit_writer.close()
     return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    """Hold one subscribed grant open and print pushed revocations."""
+    import asyncio
+    import time as _time
+
+    from repro.core.decision import AccessRequest
+    from repro.service import RemotePDPClient
+
+    async def run() -> int:
+        revoked = asyncio.Event()
+
+        def on_revoke(revocation) -> None:
+            latency_ms = max(0.0, _time.time() - revocation.ts) * 1000.0
+            print(
+                f"REVOKED id={revocation.id} "
+                f"subject={revocation.subject} "
+                f"{revocation.transaction}:{revocation.obj} "
+                f"roles={','.join(revocation.roles)} "
+                f"reason={revocation.reason!r} "
+                f"latency_ms={latency_ms:.1f}",
+                flush=True,
+            )
+            revoked.set()
+
+        client = await RemotePDPClient.connect(args.host, args.port)
+        try:
+            client.subscribe(on_revoke)
+            request = AccessRequest(
+                transaction=args.transaction,
+                obj=args.object,
+                subject=args.subject,
+            )
+            response = await client.decide(request, subscribe=True)
+            print(
+                f"{response.outcome.value}: {args.subject} "
+                f"{args.transaction}:{args.object} — {response.rationale}",
+                flush=True,
+            )
+            if not response.granted:
+                return 1
+            print("watching for revocation (Ctrl-C to stop)", flush=True)
+            try:
+                await asyncio.wait_for(revoked.wait(), timeout=args.duration)
+            except asyncio.TimeoutError:
+                print("watch duration elapsed; grant still standing",
+                      flush=True)
+            return 0
+        finally:
+            await client.close()
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        print("watch interrupted")
+        return 0
 
 
 def _cmd_reload(args: argparse.Namespace) -> int:
@@ -1454,7 +1541,47 @@ def build_parser() -> argparse.ArgumentParser:
         "requests to drain before shedding the remainder "
         "(default: drain without a deadline)",
     )
+    serve.add_argument(
+        "--continuous",
+        action="store_true",
+        help="attach a live environment runtime: the 'env' wire op "
+        "accepts state/location events and role definitions, "
+        "subscribed GRANTs ('subscribe': true) are revoked by push "
+        "when a supporting environment role deactivates, and a "
+        "timer-wheel driver flips temporal roles at their boundaries "
+        "with no traffic in flight (continuous authorization, §4.2.2)",
+    )
+    serve.add_argument(
+        "--sim-start",
+        metavar="ISO_DATETIME",
+        default=None,
+        help="with --continuous, drive the environment from a "
+        "simulated clock starting at this ISO datetime (advance it "
+        "with the env op); default: the system wall clock",
+    )
     serve.set_defaults(func=_cmd_serve)
+
+    watch = subparsers.add_parser(
+        "watch",
+        help="hold a subscribed grant open against a --continuous PDP "
+        "and print pushed revocations as they arrive",
+    )
+    watch.add_argument("subject", help="requesting subject")
+    watch.add_argument("transaction", help="transaction name")
+    watch.add_argument("object", help="target object")
+    watch.add_argument("--host", default="127.0.0.1", help="server host")
+    watch.add_argument(
+        "--port", type=int, default=7471, help="server port (default 7471)"
+    )
+    watch.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="stop watching after this long (default: until Ctrl-C "
+        "or the grant is revoked)",
+    )
+    watch.set_defaults(func=_cmd_watch)
 
     reload_cmd = subparsers.add_parser(
         "reload",

@@ -782,6 +782,31 @@ class ShardRouter:
                 dumps_line({"op": op, "id": wire_id, **result})
             )
             return
+        if op == "env":
+            # Environment events fan out to *every* worker: each worker
+            # process holds its own environment replica, and a flip
+            # must revoke subscribed grants wherever they were issued —
+            # not just on the shard this client's subjects hash to.
+            # All workers answer with the same wire id; the client's
+            # pending-future table resolves on the first and ignores
+            # the rest, exactly like a duplicated op response.
+            delivered = 0
+            for name in list(self._workers):
+                upstream = await session.upstream_for(name)
+                if upstream is None:
+                    continue
+                upstream.outstanding[wire_id] = "op"
+                try:
+                    await upstream.send(line)
+                    delivered += 1
+                except (ConnectionResetError, BrokenPipeError, OSError):
+                    self.breaker(upstream.name).record_failure()
+                    await upstream.close(synthesize=True)
+            if delivered == 0:
+                await session.send_bytes(
+                    dumps_line({"id": wire_id, "error": "no healthy worker"})
+                )
+            return
         if op in _FORWARD_OPS:
             upstream = await session.first_healthy_upstream()
             if upstream is None:

@@ -12,19 +12,38 @@ protocol, so a mediation engine wired to an activator automatically
 sees time/location/load-based roles flip as the simulated clock
 advances and sensors write state.
 
-Activation transitions are published on the trusted event bus
-(``role.activated`` / ``role.deactivated``) whenever :meth:`refresh`
-runs — the activator subscribes itself to clock advances and
-``env.changed`` events so transitions are observed promptly.
+Activation is *event-driven and incremental*: at bind time each
+condition is analyzed (:func:`repro.env.engine.analyze_condition`)
+for the state variables and time expressions it depends on.  A state
+write re-evaluates only the roles indexed under that variable; a
+clock advance re-evaluates only the roles whose next temporal
+boundary (scheduled on a :class:`repro.env.engine.TimerWheel`) was
+crossed.  Transitions bump :attr:`revision` and publish
+``role.activated`` / ``role.deactivated`` **eagerly, at the change**
+— not when the next query happens to observe it — which is what lets
+the PDP invalidate cached decisions and push revocations with zero
+requests in flight.
+
+With a non-notifying wall clock (``SystemClock``), queries advance
+the timer wheel first, so boundary flips are still caught on
+observation — and because the memo is keyed on the wheel's crossing
+count rather than ``clock.now()``, queries *between* boundaries are
+pure cache hits instead of full re-evaluations.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.mediation import EnvironmentSource
 from repro.env.clock import Clock
 from repro.env.conditions import Condition
+from repro.env.engine import (
+    ConditionDependencies,
+    TimerWheel,
+    analyze_condition,
+    next_boundary_ts,
+)
 from repro.env.events import EventBus
 from repro.env.state import EnvironmentState
 from repro.exceptions import EnvironmentError_
@@ -37,10 +56,10 @@ class EnvironmentRoleActivator(EnvironmentSource):
     :param clock: the trusted time source.
     :param bus: optional event bus for activation-transition events;
         when provided, the activator also subscribes to ``env.changed``
-        so state writes trigger a refresh.
-    :param auto_refresh_on_clock: when the clock is a
-        :class:`~repro.env.clock.SimulatedClock`, register for advance
-        notifications so time-based roles transition eagerly.
+        so state writes trigger targeted re-evaluation immediately.
+    :param auto_refresh_on_clock: when the clock supports advance
+        notifications (:class:`~repro.env.clock.SimulatedClock`),
+        register for them so time-based roles transition eagerly.
     """
 
     def __init__(
@@ -54,22 +73,42 @@ class EnvironmentRoleActivator(EnvironmentSource):
         self._clock = clock
         self._bus = bus
         self._bindings: Dict[str, Condition] = {}
-        self._last_active: Set[str] = set()
-        # Evaluation cache: valid while neither time nor state changed.
-        self._cache_key: Optional[tuple] = None
-        self._cache_value: Set[str] = set()
-        #: Monotonic activation revision: bumped whenever the set of
-        #: active environment roles (or the bindings that produce it)
-        #: changes.  Downstream caches — the PDP decision cache — key
-        #: on it, so it must move *before* a stale answer could be
-        #: observed; read it through :attr:`revision`, which
-        #: re-evaluates first.
+        self._deps: Dict[str, ConditionDependencies] = {}
+        #: variable name -> roles whose conditions read it.
+        self._var_index: Dict[str, Set[str]] = {}
+        #: roles whose conditions the analyzer cannot see through;
+        #: conservatively re-evaluated on every state/clock change.
+        self._opaque: Set[str] = set()
+        self._wheel = TimerWheel()
+        #: The authoritative currently-active set, maintained
+        #: incrementally by every targeted re-evaluation.
+        self._active: Set[str] = set()
+        #: Monotonic activation revision: bumped *at* every transition
+        #: (eagerly — event handlers and boundary crossings move it
+        #: before any query could observe a stale set).  Downstream
+        #: caches — the PDP decision cache — key on it.
         self._revision = 0
+        #: Bumped on every bind/unbind/rebind; part of what downstream
+        #: memo keys must include (``len(bindings)`` misses a
+        #: same-length unbind+bind swap).
+        self._bindings_revision = 0
+        # Pull-path memo: the state revision the non-opaque active set
+        # was last reconciled against.  Crossings and bindings need no
+        # marker — both are folded in eagerly where they happen.
+        self._seen_state_revision = state.revision
+        # Opaque roles re-evaluate whenever time or state moved; their
+        # own key preserves the historical "once per instant" caching.
+        self._opaque_key: Optional[tuple] = None
+        #: Query-memo counters (observability + regression tests).
+        self.memo_hits = 0
+        self.memo_misses = 0
+        #: Total individual condition evaluations performed.
+        self.evaluations = 0
 
         if bus is not None:
-            bus.subscribe("env.changed", lambda event: self.refresh())
+            bus.subscribe("env.changed", self._on_env_changed)
         if auto_refresh_on_clock and hasattr(clock, "on_advance"):
-            clock.on_advance(self.refresh)
+            clock.on_advance(self._on_clock_advance)
 
     # ------------------------------------------------------------------
     # Binding management
@@ -78,22 +117,49 @@ class EnvironmentRoleActivator(EnvironmentSource):
         """Associate ``role_name`` with ``condition``.
 
         Rebinding an existing role replaces its condition (policy
-        updates); the next refresh publishes any resulting transition.
+        updates).  The new condition is evaluated immediately: any
+        resulting transition is published and bumps the revision right
+        here, not on the next query.
         """
         if not role_name:
             raise EnvironmentError_("environment role name must be non-empty")
+        if role_name in self._bindings:
+            self._forget(role_name)
         self._bindings[role_name] = condition
-        self._invalidate()
+        deps = analyze_condition(condition)
+        self._deps[role_name] = deps
+        for variable in deps.variables:
+            self._var_index.setdefault(variable, set()).add(role_name)
+        if deps.opaque:
+            self._opaque.add(role_name)
+        now_ts = self._clock.now()
+        now_dt = self._clock.now_datetime()
+        for expression in deps.expressions:
+            boundary = next_boundary_ts(expression, now_dt)
+            if boundary is not None and boundary > now_ts:
+                self._wheel.schedule(boundary, role_name, expression)
+        self._bindings_revision += 1
+        self._reevaluate({role_name} | self._opaque)
+        self._opaque_key = self._opaque_token() if self._opaque else None
 
     def unbind(self, role_name: str) -> None:
         """Remove a binding; the role becomes permanently inactive.
+
+        A deactivation transition (revision bump + event) is published
+        immediately when the role was active.
 
         :raises EnvironmentError_: when the role was never bound.
         """
         if role_name not in self._bindings:
             raise EnvironmentError_(f"environment role {role_name!r} is not bound")
+        self._forget(role_name)
         del self._bindings[role_name]
-        self._invalidate()
+        self._bindings_revision += 1
+        if role_name in self._active:
+            self._active.discard(role_name)
+            self._revision += 1
+            if self._bus is not None:
+                self._bus.publish("role.deactivated", role=role_name)
 
     def bound_roles(self) -> List[str]:
         """Names of all bound environment roles."""
@@ -111,6 +177,35 @@ class EnvironmentRoleActivator(EnvironmentSource):
                 f"environment role {role_name!r} is not bound"
             ) from None
 
+    def dependencies_of(self, role_name: str) -> ConditionDependencies:
+        """The analyzed dependencies of ``role_name``'s condition."""
+        try:
+            return self._deps[role_name]
+        except KeyError:
+            raise EnvironmentError_(
+                f"environment role {role_name!r} is not bound"
+            ) from None
+
+    def _forget(self, role_name: str) -> None:
+        """Drop ``role_name``'s dependency records (unbind/rebind).
+
+        Active-set membership is deliberately kept: the caller either
+        removes it (unbind) or re-evaluates it (rebind), and the diff
+        against the kept membership is what detects the transition.
+        """
+        deps = self._deps.pop(role_name, None)
+        if deps is None:
+            return
+        for variable in deps.variables:
+            index = self._var_index.get(variable)
+            if index is not None:
+                index.discard(role_name)
+                if not index:
+                    del self._var_index[variable]
+        self._opaque.discard(role_name)
+        if deps.expressions:
+            self._wheel.drop_role(role_name)
+
     # ------------------------------------------------------------------
     # Activation queries
     # ------------------------------------------------------------------
@@ -118,63 +213,161 @@ class EnvironmentRoleActivator(EnvironmentSource):
         """Names of roles whose condition currently holds.
 
         This is the :class:`EnvironmentSource` hook the mediation
-        engine calls on every decision; results are cached against
-        ``(clock.now(), state.revision)`` so bursts of decisions at
-        one simulated instant evaluate conditions once.
+        engine calls on every decision.  The timer wheel is advanced
+        first (a non-notifying wall clock still flips time roles on
+        observation); after that the answer is memoized against the
+        wheel's crossing count and the state revision, so queries
+        between boundaries cost a set copy — not a re-evaluation —
+        even when ``clock.now()`` differs on every call.
         """
-        key = (self._clock.now(), self._state.revision, len(self._bindings))
-        if key == self._cache_key:
-            return set(self._cache_value)
-        active = {
-            role_name
-            for role_name, condition in self._bindings.items()
-            if condition.evaluate(self._state, self._clock)
-        }
-        if active != self._cache_value:
-            self._revision += 1
-        self._cache_key = key
-        self._cache_value = active
-        return set(active)
+        affected = self._observe_time()
+        if affected:
+            self._reevaluate(affected)
+        if self._seen_state_revision == self._state.revision:
+            self.memo_hits += 1
+        else:
+            self.memo_misses += 1
+            self._reevaluate(set(self._bindings) - self._opaque)
+            self._seen_state_revision = self._state.revision
+        if self._opaque:
+            opaque_key = self._opaque_token()
+            if opaque_key != self._opaque_key:
+                self._opaque_key = opaque_key
+                self._reevaluate(self._opaque)
+        return set(self._active)
 
     @property
     def revision(self) -> int:
         """Monotonic counter observing activation changes.
 
-        Re-evaluates the bindings first, so any pending transition
-        (clock advanced, state written, role rebound) is folded in
-        before the counter is read — two reads that return the same
-        value are guaranteed to bracket an identical active-role set.
+        Event-driven transitions bump the counter at the change
+        itself; reading the property still folds in anything only a
+        query can see (wall-clock boundary crossings, state written
+        without a bus), so two reads that return the same value are
+        guaranteed to bracket an identical active-role set.
         """
         self.active_environment_roles()
         return self._revision
+
+    @property
+    def bindings_revision(self) -> int:
+        """Bumped on every bind/unbind — including same-length swaps."""
+        return self._bindings_revision
+
+    @property
+    def boundaries_crossed(self) -> int:
+        """Temporal boundaries crossed so far (the wheel's counter)."""
+        return self._wheel.crossings
+
+    def next_boundary(self) -> Optional[float]:
+        """Timestamp of the next scheduled temporal boundary, or None.
+
+        This is what a push driver (``repro serve --continuous``) arms
+        its timer against, so wall-clock flips are delivered without
+        polling.
+        """
+        return self._wheel.next_deadline()
 
     def is_active(self, role_name: str) -> bool:
         """True iff ``role_name`` is bound and currently active."""
         return role_name in self.active_environment_roles()
 
     # ------------------------------------------------------------------
+    # Incremental update machinery
+    # ------------------------------------------------------------------
+    def _observe_time(self) -> Set[str]:
+        """Advance the wheel to ``clock.now()``; return roles to re-check.
+
+        Every crossed boundary reschedules that expression's *next*
+        boundary, so the wheel never runs dry while a temporal binding
+        exists.
+        """
+        crossed = self._wheel.advance(self._clock.now())
+        if not crossed:
+            return set()
+        affected: Set[str] = set()
+        now_ts = self._clock.now()
+        now_dt = self._clock.now_datetime()
+        for role_name, expression in crossed:
+            deps = self._deps.get(role_name)
+            if deps is None or expression not in deps.expressions:
+                continue  # stale entry from an unbound/rebound role
+            affected.add(role_name)
+            boundary = next_boundary_ts(expression, now_dt)
+            if boundary is not None and boundary > now_ts:
+                self._wheel.schedule(boundary, role_name, expression)
+        return affected
+
+    def _on_clock_advance(self) -> None:
+        """Clock-advance notification: fold in crossed boundaries now."""
+        affected = self._observe_time() | self._opaque
+        if affected:
+            self._reevaluate(affected)
+        if self._opaque:
+            self._opaque_key = self._opaque_token()
+
+    def _on_env_changed(self, event) -> None:
+        """``env.changed`` handler: re-evaluate only dependent roles."""
+        variable = event.get("name")
+        if variable is None:
+            affected = set(self._bindings)
+        else:
+            affected = set(self._var_index.get(variable, ())) | self._opaque
+        if affected:
+            self._reevaluate(affected)
+        self._seen_state_revision = self._state.revision
+        if self._opaque:
+            self._opaque_key = self._opaque_token()
+
+    def _reevaluate(self, role_names: Set[str]) -> Dict[str, bool]:
+        """Evaluate the given roles; apply, publish, and count flips."""
+        changed: Dict[str, Tuple[bool, object]] = {}
+        for role_name in role_names:
+            condition = self._bindings.get(role_name)
+            if condition is None:
+                continue
+            self.evaluations += 1
+            active = bool(condition.evaluate(self._state, self._clock))
+            if active != (role_name in self._active):
+                changed[role_name] = active
+                if active:
+                    self._active.add(role_name)
+                else:
+                    self._active.discard(role_name)
+        if changed:
+            self._revision += 1
+            if self._bus is not None:
+                for role_name in sorted(changed):
+                    self._bus.publish(
+                        "role.activated"
+                        if changed[role_name]
+                        else "role.deactivated",
+                        role=role_name,
+                    )
+        return changed  # type: ignore[return-value]
+
+    def _opaque_token(self) -> tuple:
+        return (
+            self._clock.now(),
+            self._state.revision,
+            self._bindings_revision,
+        )
+
+    # ------------------------------------------------------------------
     # Transition tracking
     # ------------------------------------------------------------------
     def refresh(self) -> Dict[str, bool]:
-        """Re-evaluate all bindings and publish transitions.
+        """Force a full re-evaluation of every binding.
 
         Returns a mapping of role name → new activation value for every
-        role that *changed* since the previous refresh.  When a bus is
-        attached, each change is published as ``role.activated`` or
-        ``role.deactivated`` with the role name in the payload.
+        role that flipped, publishing each transition on the bus.  With
+        the incremental handlers wired this is a no-op consistency
+        sweep (transitions were already applied at their cause); it
+        remains the authoritative recompute the equivalence property
+        tests compare the incremental path against.
         """
-        current = self.active_environment_roles()
-        changed: Dict[str, bool] = {}
-        for role_name in current - self._last_active:
-            changed[role_name] = True
-            if self._bus is not None:
-                self._bus.publish("role.activated", role=role_name)
-        for role_name in self._last_active - current:
-            changed[role_name] = False
-            if self._bus is not None:
-                self._bus.publish("role.deactivated", role=role_name)
-        self._last_active = current
-        return changed
-
-    def _invalidate(self) -> None:
-        self._cache_key = None
+        self._observe_time()
+        changed = self._reevaluate(set(self._bindings))
+        self._seen_state_revision = self._state.revision
+        self._opaque_key = self._opaque_token() if self._opaque else None
+        return changed  # type: ignore[return-value]

@@ -1,0 +1,170 @@
+"""Incremental activation machinery — dependency analysis + timer wheel.
+
+The §4.2.2 videophone scenario needs environment-role transitions to
+be *pushed* at the moment the environment changes, not discovered when
+the next request happens to re-evaluate every condition.  Two pieces
+make that incremental:
+
+* :func:`analyze_condition` walks a condition tree once, at bind time,
+  and reports what the condition can possibly depend on — the state
+  variables it reads and the :class:`~repro.env.temporal.TimeExpression`
+  objects it tests.  A state write then re-evaluates only the roles
+  indexed under that variable; everything else is untouched.
+* :class:`TimerWheel` holds the *next* activation boundary of every
+  temporal dependency (via ``TimeExpression.next_boundary``), so
+  wall-clock flips are scheduled events rather than something a
+  request has to observe.  Its ``crossings`` counter is the temporal
+  half of the activator's memo key: between boundaries the clock can
+  tick freely without invalidating anything.
+
+Conditions the walker cannot see through (custom :class:`Condition`
+subclasses) are *opaque*: they are conservatively re-evaluated on
+every state or clock change, which is exactly the pre-incremental
+behaviour — unknown code loses the optimization, never correctness.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from datetime import datetime
+from typing import FrozenSet, List, Optional, Tuple
+
+from repro.env.conditions import (
+    AllOf,
+    AnyOf,
+    Condition,
+    FalseCondition,
+    Not,
+    StateCondition,
+    TemporalCondition,
+    TrueCondition,
+)
+from repro.env.temporal import TimeExpression
+
+
+@dataclass(frozen=True)
+class ConditionDependencies:
+    """What a condition tree can possibly depend on.
+
+    ``opaque`` marks a tree containing at least one condition class
+    the walker does not know; such a tree may read anything, so its
+    role must be re-evaluated on every environment change.
+    """
+
+    variables: FrozenSet[str] = frozenset()
+    expressions: Tuple[TimeExpression, ...] = ()
+    opaque: bool = False
+
+    def merge(self, other: "ConditionDependencies") -> "ConditionDependencies":
+        return ConditionDependencies(
+            variables=self.variables | other.variables,
+            expressions=self.expressions + other.expressions,
+            opaque=self.opaque or other.opaque,
+        )
+
+
+_NO_DEPS = ConditionDependencies()
+_OPAQUE = ConditionDependencies(opaque=True)
+
+
+def analyze_condition(condition: Condition) -> ConditionDependencies:
+    """Dependency analysis over the built-in condition vocabulary.
+
+    Constants depend on nothing; a :class:`StateCondition` depends on
+    its variable (whatever its predicate closure does with the value);
+    a :class:`TemporalCondition` depends on its time expression; the
+    combinators union their children.  Anything else is opaque.
+    """
+    if isinstance(condition, (TrueCondition, FalseCondition)):
+        return _NO_DEPS
+    if isinstance(condition, StateCondition):
+        return ConditionDependencies(variables=frozenset({condition.variable}))
+    if isinstance(condition, TemporalCondition):
+        return ConditionDependencies(expressions=(condition.expression,))
+    if isinstance(condition, (AllOf, AnyOf)):
+        deps = _NO_DEPS
+        for member in condition.members:
+            deps = deps.merge(analyze_condition(member))
+        return deps
+    if isinstance(condition, Not):
+        return analyze_condition(condition.inner)
+    return _OPAQUE
+
+
+@dataclass(order=True)
+class _Boundary:
+    """One scheduled activation boundary (heap entry)."""
+
+    when_ts: float
+    seq: int
+    role: str = field(compare=False)
+    expression: TimeExpression = field(compare=False)
+
+
+class TimerWheel:
+    """A heap of upcoming temporal activation boundaries.
+
+    ``advance(now)`` pops every boundary at or before ``now`` and
+    returns them; each pop bumps :attr:`crossings`, the monotonic
+    counter that stands in for wall-clock time in the activator's
+    memo key — two reads inside the same boundary window see the same
+    crossings value no matter how much real time passed between them.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[_Boundary] = []
+        self._seq = itertools.count()
+        #: Monotonic count of boundaries crossed (popped) so far.
+        self.crossings = 0
+        #: Total boundaries ever scheduled (introspection / tests).
+        self.scheduled = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule(
+        self, when_ts: float, role: str, expression: TimeExpression
+    ) -> None:
+        heapq.heappush(
+            self._heap,
+            _Boundary(when_ts, next(self._seq), role, expression),
+        )
+        self.scheduled += 1
+
+    def next_deadline(self) -> Optional[float]:
+        """Timestamp of the earliest pending boundary, or None."""
+        return self._heap[0].when_ts if self._heap else None
+
+    def advance(self, now_ts: float) -> List[Tuple[str, TimeExpression]]:
+        """Pop (role, expression) for every boundary due at ``now_ts``."""
+        crossed: List[Tuple[str, TimeExpression]] = []
+        while self._heap and self._heap[0].when_ts <= now_ts:
+            entry = heapq.heappop(self._heap)
+            self.crossings += 1
+            crossed.append((entry.role, entry.expression))
+        return crossed
+
+    def drop_role(self, role: str) -> None:
+        """Discard pending boundaries for ``role`` (unbind/rebind).
+
+        Rebuilds the heap without the role's entries; bind/unbind are
+        rare control-plane operations, so O(n) is fine here.
+        """
+        kept = [entry for entry in self._heap if entry.role != role]
+        if len(kept) != len(self._heap):
+            self._heap = kept
+            heapq.heapify(self._heap)
+
+
+def next_boundary_ts(
+    expression: TimeExpression, now: datetime
+) -> Optional[float]:
+    """``expression.next_boundary`` as an epoch timestamp, or None."""
+    from repro.env.clock import to_timestamp
+
+    boundary = expression.next_boundary(now)
+    if boundary is None:
+        return None
+    return to_timestamp(boundary)

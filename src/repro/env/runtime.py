@@ -65,6 +65,8 @@ class EnvironmentRuntime:
         self.providers = ProviderRegistry(self.state, self.clock)
         #: Hub that role definitions / activation sweeps publish to.
         self.observers = observers
+        # Last observed snapshot revision (monotonicity guard).
+        self._last_revision = 0
 
     # ------------------------------------------------------------------
     # Role definition conveniences
@@ -139,8 +141,27 @@ class EnvironmentRuntime:
         whose injected roles derive from location state).  The PDP
         decision cache keys on this, so equal revisions guarantee
         equal environment answers.
+
+        Why a *sum* of two counters cannot alias two distinct
+        snapshots to one value: both components are monotonically
+        non-decreasing and only ever step — neither is ever reset or
+        decremented — so the sum strictly increases whenever either
+        component moves.  Two equal readings therefore imply *neither*
+        component moved in between, i.e. the same state and the same
+        activation set.  (A sum of counters that could each move both
+        ways would alias — e.g. +1/-1 — which is why this invariant is
+        asserted here and pinned in ``tests/env/test_revision.py``.)
         """
-        return self.activator.revision + self.state.revision
+        value = self.activator.revision + self.state.revision
+        # Guard the monotonic-sum argument above: a revision that ever
+        # stepped backwards would let the PDP cache serve a snapshot
+        # from a different environment under a reused key.
+        assert value >= self._last_revision, (
+            "environment revision regressed: "
+            f"{value} < {self._last_revision}"
+        )
+        self._last_revision = value
+        return value
 
     def now(self) -> datetime:
         """Current simulated time."""
@@ -159,4 +180,11 @@ class EnvironmentRuntime:
         metrics.gauge("env.revision", lambda: float(self.revision))
         metrics.gauge(
             "env.active_roles", lambda: float(len(self.active_roles()))
+        )
+        metrics.gauge(
+            "env.events", lambda: float(self.bus.published_count)
+        )
+        metrics.gauge(
+            "env.boundaries_crossed",
+            lambda: float(self.activator.boundaries_crossed),
         )

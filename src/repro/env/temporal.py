@@ -29,10 +29,19 @@ from __future__ import annotations
 import calendar
 import re
 from dataclasses import dataclass
-from datetime import date, datetime, time
-from typing import FrozenSet, Iterable, Tuple
+from datetime import date, datetime, time, timedelta
+from typing import FrozenSet, Iterable, Optional, Tuple
 
 from repro.exceptions import TemporalExpressionError
+
+
+def _next_midnight(moment: datetime) -> datetime:
+    """The first midnight strictly after ``moment``."""
+    return datetime.combine(moment.date() + timedelta(days=1), time.min)
+
+
+def _start_of_day(day: date) -> datetime:
+    return datetime.combine(day, time.min)
 
 _DAY_NAMES = [
     "monday",
@@ -86,6 +95,21 @@ class TimeExpression:
         """Human-readable rendering."""
         raise NotImplementedError  # pragma: no cover - interface
 
+    def next_boundary(self, moment: datetime) -> Optional[datetime]:
+        """The earliest instant strictly after ``moment`` at which
+        :meth:`contains` *may* change value, or ``None`` when the
+        expression is constant from ``moment`` on.
+
+        This is the contract the activation timer wheel schedules
+        against: boundaries may be conservative (an instant where the
+        value happens not to change is fine — it only costs one cheap
+        re-evaluation) but must never be *later* than a true flip.
+        The base implementation returns the next midnight, which is
+        sound for any expression with day granularity; subclasses with
+        sub-day structure override it.
+        """
+        return _next_midnight(moment)
+
     # --- algebra -------------------------------------------------------
     def __and__(self, other: "TimeExpression") -> "TimeExpression":
         return Intersection((self, other))
@@ -113,6 +137,9 @@ class Always(TimeExpression):
     def describe(self) -> str:
         return "always"
 
+    def next_boundary(self, moment: datetime) -> Optional[datetime]:
+        return None
+
 
 @dataclass(frozen=True)
 class Never(TimeExpression):
@@ -123,6 +150,9 @@ class Never(TimeExpression):
 
     def describe(self) -> str:
         return "never"
+
+    def next_boundary(self, moment: datetime) -> Optional[datetime]:
+        return None
 
 
 @dataclass(frozen=True)
@@ -151,6 +181,16 @@ class TimeOfDayWindow(TimeExpression):
 
     def describe(self) -> str:
         return f"{self.start.strftime('%H:%M')}-{self.end.strftime('%H:%M')}"
+
+    def next_boundary(self, moment: datetime) -> Optional[datetime]:
+        # The value flips exactly at the start and end instants; the
+        # next one is within the coming day on either side of midnight.
+        candidates = [
+            datetime.combine(day, edge)
+            for day in (moment.date(), moment.date() + timedelta(days=1))
+            for edge in (self.start, self.end)
+        ]
+        return min(c for c in candidates if c > moment)
 
 
 @dataclass(frozen=True)
@@ -189,6 +229,12 @@ class MonthSet(TimeExpression):
 
     def describe(self) -> str:
         return ",".join(_MONTH_NAMES[m - 1] for m in sorted(self.months))
+
+    def next_boundary(self, moment: datetime) -> Optional[datetime]:
+        # Month membership only changes at the turn of a month.
+        if moment.month == 12:
+            return datetime(moment.year + 1, 1, 1)
+        return datetime(moment.year, moment.month + 1, 1)
 
 
 @dataclass(frozen=True)
@@ -249,6 +295,15 @@ class DateRange(TimeExpression):
             return self.start.isoformat()
         return f"{self.start.isoformat()}..{self.end.isoformat()}"
 
+    def next_boundary(self, moment: datetime) -> Optional[datetime]:
+        start_at = _start_of_day(self.start)
+        end_at = _start_of_day(self.end + timedelta(days=1))
+        if moment < start_at:
+            return start_at
+        if moment < end_at:
+            return end_at
+        return None
+
 
 @dataclass(frozen=True)
 class DateTimeRange(TimeExpression):
@@ -268,6 +323,13 @@ class DateTimeRange(TimeExpression):
     def describe(self) -> str:
         return f"{self.start.isoformat()}..{self.end.isoformat()}"
 
+    def next_boundary(self, moment: datetime) -> Optional[datetime]:
+        if moment < self.start:
+            return self.start
+        if moment < self.end:
+            return self.end
+        return None
+
 
 @dataclass(frozen=True)
 class Union(TimeExpression):
@@ -284,6 +346,9 @@ class Union(TimeExpression):
 
     def describe(self) -> str:
         return "(" + " or ".join(m.describe() for m in self.members) + ")"
+
+    def next_boundary(self, moment: datetime) -> Optional[datetime]:
+        return _earliest_member_boundary(self.members, moment)
 
 
 @dataclass(frozen=True)
@@ -302,6 +367,9 @@ class Intersection(TimeExpression):
     def describe(self) -> str:
         return "(" + " and ".join(m.describe() for m in self.members) + ")"
 
+    def next_boundary(self, moment: datetime) -> Optional[datetime]:
+        return _earliest_member_boundary(self.members, moment)
+
 
 @dataclass(frozen=True)
 class Complement(TimeExpression):
@@ -314,6 +382,24 @@ class Complement(TimeExpression):
 
     def describe(self) -> str:
         return f"not {self.inner.describe()}"
+
+    def next_boundary(self, moment: datetime) -> Optional[datetime]:
+        # A complement flips exactly when the inner expression flips.
+        return self.inner.next_boundary(moment)
+
+
+def _earliest_member_boundary(
+    members: Tuple[TimeExpression, ...], moment: datetime
+) -> Optional[datetime]:
+    """Min over member boundaries — a composite can only change value
+    when some member does, so the earliest member boundary is a sound
+    (if occasionally early) composite boundary."""
+    boundaries = [
+        boundary
+        for boundary in (member.next_boundary(moment) for member in members)
+        if boundary is not None
+    ]
+    return min(boundaries) if boundaries else None
 
 
 # ----------------------------------------------------------------------

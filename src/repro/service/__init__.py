@@ -16,6 +16,7 @@ from repro.service.cache import DecisionCache
 from repro.service.client import RemotePDPClient
 from repro.service.loadgen import (
     ClientPool,
+    attach_revocation_probe,
     LoadgenConfig,
     LoadgenResult,
     build_stream,
@@ -31,8 +32,10 @@ from repro.service.pdp import (
     PDPOutcome,
     PDPResponse,
     PolicyDecisionPoint,
+    SessionGrant,
+    SessionGrantTable,
 )
-from repro.service.protocol import InternTables, WireResponse
+from repro.service.protocol import InternTables, WireResponse, WireRevocation
 from repro.service.server import PDPServer
 
 __all__ = [
@@ -50,7 +53,11 @@ __all__ = [
     "PDPServer",
     "PolicyDecisionPoint",
     "RemotePDPClient",
+    "SessionGrant",
+    "SessionGrantTable",
     "WireResponse",
+    "WireRevocation",
+    "attach_revocation_probe",
     "build_stream",
     "compute_expected",
     "merge_results",

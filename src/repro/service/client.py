@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import asyncio
 import itertools
-from typing import Any, Dict, FrozenSet, List, Optional, Set
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Set
 
 from repro.core.decision import AccessRequest
 from repro.exceptions import ServiceError
@@ -29,12 +29,16 @@ from repro.service.protocol import (
     BINARY_MAGIC,
     KIND_ERROR,
     KIND_RESPONSE,
+    KIND_REVOKE,
     MAX_OP_LINE_BYTES,
     InternTables,
     WireResponse,
+    WireRevocation,
     decode_binary_error,
     decode_binary_response,
+    decode_binary_revocation,
     decode_response,
+    decode_revocation,
     dumps_line,
     encode_binary_request,
     encode_request,
@@ -75,6 +79,13 @@ class RemotePDPClient:
         self._write_lock = asyncio.Lock()
         self._closed = False
         self._tables: Optional[InternTables] = None
+        #: Unsolicited grant withdrawals received on this connection,
+        #: oldest first (continuous authorization; see
+        #: :meth:`subscribe`).
+        self.revocations: List[WireRevocation] = []
+        self._revocation_handlers: List[
+            Callable[[WireRevocation], None]
+        ] = []
         self._reader_task = asyncio.get_running_loop().create_task(
             self._read_loop()
         )
@@ -124,6 +135,18 @@ class RemotePDPClient:
     # ------------------------------------------------------------------
     # Requests
     # ------------------------------------------------------------------
+    def subscribe(self, handler: Callable[[WireRevocation], None]) -> None:
+        """Register a callback for pushed grant revocations.
+
+        ``handler(revocation)`` runs on the reader task, synchronously,
+        for every unsolicited ``revoke`` the server pushes (on either
+        wire lane); exceptions are swallowed so a broken handler cannot
+        kill the connection.  Every revocation is also appended to
+        :attr:`revocations` whether or not handlers are registered —
+        polling callers need no callback at all.
+        """
+        self._revocation_handlers.append(handler)
+
     async def decide(
         self,
         request: AccessRequest,
@@ -131,6 +154,7 @@ class RemotePDPClient:
         timeout_ms: Optional[float] = None,
         tenant: Optional[str] = None,
         trace: Optional[TraceContext] = None,
+        subscribe: bool = False,
     ) -> WireResponse:
         """Submit one request and await its wire response.
 
@@ -140,6 +164,14 @@ class RemotePDPClient:
         keeps the wire bytes identical to a tenantless client.
         ``trace`` rides both lanes as the compact trace-context
         segment; untraced requests stay byte-identical.
+
+        ``subscribe=True`` asks a continuous-authorization server to
+        keep watching a GRANT resolved against its live environment:
+        when a supporting environment role later deactivates, the
+        server pushes an unsolicited revoke (see :meth:`subscribe`
+        and :attr:`revocations`).  Requests pinning an explicit
+        ``environment_roles`` override are never watched — they are
+        not claims about the live environment.
         """
         env: Optional[FrozenSet[str]] = (
             frozenset(environment_roles) if environment_roles is not None else None
@@ -154,6 +186,7 @@ class RemotePDPClient:
                     env=env,
                     tenant=tenant,
                     trace=trace,
+                    subscribe=subscribe,
                 )
             except ServiceError:
                 data = None  # uninterned name / claims: NDJSON lane
@@ -169,6 +202,7 @@ class RemotePDPClient:
             timeout_ms=timeout_ms,
             tenant=tenant,
             trace=trace,
+            subscribe=subscribe,
         )
         raw = await self._roundtrip(request_id, payload)
         return decode_response(raw)
@@ -195,6 +229,40 @@ class RemotePDPClient:
         request_id = next(self._ids)
         raw = await self._roundtrip(request_id, {"op": "ping", "id": request_id})
         return raw.get("op") == "pong"
+
+    async def env(self, action: str, **fields: Any) -> Dict[str, Any]:
+        """Drive the server's live environment (the ``env`` wire op).
+
+        ``action`` is ``"set"`` (``name=``, ``value=``), ``"move"``
+        (``subject=``, ``zone=``), or ``"advance"`` (``seconds=``, on
+        simulated clocks).  Answers the post-action snapshot:
+        ``{"revision": N, "active": [...]}``.  By the time this
+        returns, every revocation the action caused has been pushed.
+
+        :raises ServiceError: when the server has no live environment
+            or the action was malformed.
+        """
+        request_id = next(self._ids)
+        payload: Dict[str, Any] = {
+            "op": "env",
+            "id": request_id,
+            "action": action,
+            **fields,
+        }
+        raw = await self._roundtrip(request_id, payload)
+        if raw.get("op") != "env" or "revision" not in raw:
+            raise ServiceError(
+                f"bad env response: {raw.get('error', raw)!r}"
+            )
+        return raw
+
+    async def env_set(self, name: str, value: Any) -> Dict[str, Any]:
+        """Write one environment state variable (a sensor event)."""
+        return await self.env("set", name=name, value=value)
+
+    async def env_move(self, subject: str, zone: str) -> Dict[str, Any]:
+        """Report a subject's location to the server's environment."""
+        return await self.env("move", subject=subject, zone=zone)
 
     async def stats(self) -> Dict[str, Any]:
         """The server-side PDP's :meth:`stats` snapshot."""
@@ -448,8 +516,22 @@ class RemotePDPClient:
         finally:
             self._pending.pop(request_id, None)
 
+    def _deliver_revocation(self, revocation: WireRevocation) -> None:
+        self.revocations.append(revocation)
+        for handler in self._revocation_handlers:
+            try:
+                handler(revocation)
+            except Exception:  # noqa: BLE001 - a handler bug, not the wire
+                pass
+
     def _dispatch_frame(self, kind: int, body: bytes) -> None:
-        if kind == KIND_RESPONSE:
+        if kind == KIND_REVOKE:
+            try:
+                revocation = decode_binary_revocation(self._tables, body)
+            except ServiceError:
+                return  # undecodable push; the stream itself is fine
+            self._deliver_revocation(revocation)
+        elif kind == KIND_RESPONSE:
             response = decode_binary_response(body)
             future = self._pending.get(response.id)
             if future is not None and not future.done():
@@ -493,6 +575,15 @@ class RemotePDPClient:
                     )
                 except ServiceError:
                     continue  # garbage line; keep the stream alive
+                if payload.get("op") == "revoke":
+                    # Unsolicited push — never matched against pending
+                    # futures (its id names a *grant*, whose decide()
+                    # future resolved long ago).
+                    try:
+                        self._deliver_revocation(decode_revocation(payload))
+                    except ServiceError:
+                        pass
+                    continue
                 future = self._pending.get(payload.get("id"))
                 if future is not None and not future.done():
                     future.set_result(payload)

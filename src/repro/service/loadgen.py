@@ -52,6 +52,14 @@ class LoadgenConfig:
     #: obey it).  0.0 keeps every request byte-identical to the
     #: untraced form.
     trace_sample_rate: float = 0.0
+    #: Continuous-authorization mode: send every request with the
+    #: ``subscribe`` field set and *without* an explicit environment
+    #: override, so grants resolve against the server's live
+    #: environment and register in its session grant table.  Pair with
+    #: :func:`attach_revocation_probe` to measure flip-to-delivery
+    #: latency.  Incompatible with verification (the reference engine
+    #: replays the stream's claimed roles, not the live environment).
+    subscribe: bool = False
 
     def __post_init__(self) -> None:
         if self.requests < 1:
@@ -102,6 +110,16 @@ class LoadgenResult:
     cached: int = 0
     elapsed_s: float = 0.0
     latencies_s: List[float] = field(default_factory=list, repr=False)
+    #: Unsolicited ``revoke`` pushes received (continuous-authorization
+    #: runs with :func:`attach_revocation_probe`).
+    revocations: int = 0
+    #: Flip-to-delivery latency per received revocation: client
+    #: ``time.time()`` at receipt minus the server's flip timestamp
+    #: riding the message (``WireRevocation.ts``) — one wall clock end
+    #: to end, no round trip needed.
+    revocation_latencies_s: List[float] = field(
+        default_factory=list, repr=False
+    )
 
     @property
     def throughput_rps(self) -> float:
@@ -114,6 +132,14 @@ class LoadgenResult:
         ordered = sorted(self.latencies_s)
         index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
         return ordered[index] * 1e6
+
+    def revocation_latency_ms(self, q: float) -> float:
+        """Exact ``q``-quantile of flip-to-delivery latency, in ms."""
+        if not self.revocation_latencies_s:
+            return 0.0
+        ordered = sorted(self.revocation_latencies_s)
+        index = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+        return ordered[index] * 1e3
 
     @property
     def ok(self) -> bool:
@@ -139,6 +165,9 @@ class LoadgenResult:
             "latency_p50_us": round(self.latency_us(0.50), 1),
             "latency_p95_us": round(self.latency_us(0.95), 1),
             "latency_p99_us": round(self.latency_us(0.99), 1),
+            "revocations": self.revocations,
+            "revocation_p50_ms": round(self.revocation_latency_ms(0.50), 3),
+            "revocation_p99_ms": round(self.revocation_latency_ms(0.99), 3),
         }
 
     def describe(self) -> str:
@@ -153,6 +182,13 @@ class LoadgenResult:
             f"p95 {self.latency_us(0.95):.1f} us  "
             f"p99 {self.latency_us(0.99):.1f} us",
         ]
+        if self.revocations:
+            lines.append(
+                f"  revocations {self.revocations}  "
+                f"flip-to-delivery p50 "
+                f"{self.revocation_latency_ms(0.5):.2f} ms  "
+                f"p99 {self.revocation_latency_ms(0.99):.2f} ms"
+            )
         if self.mismatches:
             ids = ", ".join(
                 f"{request_id!r}"
@@ -198,6 +234,28 @@ def compute_expected(
     ]
 
 
+def attach_revocation_probe(client, result: LoadgenResult) -> None:
+    """Record flip-to-delivery latency for every push ``client`` gets.
+
+    Registers a :meth:`RemotePDPClient.subscribe` handler that stamps
+    ``time.time()`` at receipt and subtracts the server's flip
+    timestamp from the message.  Both ends read the same wall clock on
+    one machine (the bench topology); across machines the measurement
+    inherits clock skew, like any one-way latency.
+    """
+    subscribe = getattr(client, "subscribe", None)
+    if subscribe is None:
+        raise ServiceError("client does not support revocation pushes")
+
+    def on_revocation(revocation) -> None:
+        result.revocations += 1
+        result.revocation_latencies_s.append(
+            max(0.0, time.time() - revocation.ts)
+        )
+
+    subscribe(on_revocation)
+
+
 async def run_loadgen(
     client,
     stream: Sequence[GeneratedRequest],
@@ -216,6 +274,11 @@ async def run_loadgen(
     """
     if expected is not None and len(expected) != len(stream):
         raise ServiceError("expected list must match the stream length")
+    if config.subscribe and expected is not None:
+        raise ServiceError(
+            "subscribe mode resolves against the live environment; "
+            "verification replays claimed roles — run one or the other"
+        )
     result = LoadgenResult(sent=len(stream))
     next_index = 0
     sampler = (
@@ -241,12 +304,16 @@ async def run_loadgen(
                 trace_ctx = TraceContext.origin()
                 kwargs["trace"] = trace_ctx
                 result.traced += 1
-            try:
-                response = await client.decide(
-                    item.request,
-                    environment_roles=set(item.active_environment_roles),
-                    **kwargs,
+            if config.subscribe:
+                # Live-environment resolution: no env override, so the
+                # server registers every grant for push revocation.
+                kwargs["subscribe"] = True
+            else:
+                kwargs["environment_roles"] = set(
+                    item.active_environment_roles
                 )
+            try:
+                response = await client.decide(item.request, **kwargs)
             except ServiceError:
                 result.dropped += 1
                 continue
@@ -310,6 +377,12 @@ class ClientPool:
         self._next = (self._next + 1) % len(self._clients)
         return await client.decide(request, **kwargs)
 
+    def subscribe(self, handler) -> None:
+        """Register ``handler`` on every pooled connection — a push
+        arrives on whichever socket carried the subscribed grant."""
+        for client in self._clients:
+            client.subscribe(handler)
+
 
 def merge_results(
     results: Sequence[LoadgenResult], elapsed_s: float
@@ -337,6 +410,8 @@ def merge_results(
         merged.traced += result.traced
         merged.cached += result.cached
         merged.latencies_s.extend(result.latencies_s)
+        merged.revocations += result.revocations
+        merged.revocation_latencies_s.extend(result.revocation_latencies_s)
     return merged
 
 

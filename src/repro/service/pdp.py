@@ -289,6 +289,165 @@ class _TenantState:
     latency_count: int = 0
 
 
+@dataclass(frozen=True)
+class SessionGrant:
+    """One pushed-revocation subscription: a live grant being watched.
+
+    Continuous authorization (§4.2.2) turns a GRANT answer from a
+    point-in-time fact into a *standing* one: the videophone session
+    that was allowed to start must be torn down the moment the
+    environment roles that justified it deactivate.  A subscribed
+    GRANT is recorded as one of these; the supporting ``roles`` set is
+    the decision's active environment-role census at grant time, so
+    *any* member deactivating withdraws the grant (conditions are
+    conjunctive once granted — we cannot know which roles were
+    load-bearing without re-mediating, and re-checking on flip is
+    exactly what the subscriber will do anyway).
+    """
+
+    #: Opaque connection identity the grant was issued on.
+    session_id: object
+    #: Wire id of the decision request (what the revoke push echoes).
+    grant_id: object
+    subject: Optional[str]
+    transaction: str
+    obj: str
+    #: Environment roles active when the grant was rendered.
+    roles: FrozenSet[str]
+    tenant: str = DEFAULT_TENANT
+
+
+class SessionGrantTable:
+    """Who holds which environment-supported grants, by connection.
+
+    The PDP-side half of push revocation: the serving layer registers
+    each subscribed GRANT here together with a per-session ``push``
+    callable; when an environment role deactivates,
+    :meth:`revoke_role` sweeps the role's postings list and hands every
+    affected grant to its session's push callback exactly once (the
+    grant is removed before the callback runs, so a re-entrant flip
+    cannot double-revoke).  Grants supported by *no* environment role
+    are never registered — nothing in the environment can withdraw
+    them, so watching them would only grow the table.
+
+    Not thread-safe by design: it lives on the server's event loop,
+    where activator events (delivered synchronously by the
+    :class:`~repro.env.events.EventBus`) and connection lifecycles
+    already serialize.
+    """
+
+    def __init__(self) -> None:
+        # session -> grant_id -> grant; insertion order preserves
+        # grant age for deterministic revocation order in tests.
+        self._sessions: Dict[object, Dict[object, SessionGrant]] = {}
+        self._push: Dict[object, Callable[..., None]] = {}
+        # role name -> {(session_id, grant_id)} postings, so a flip
+        # touches only the grants that role supports — O(affected),
+        # not O(table).
+        self._by_role: Dict[str, Set[Tuple[object, object]]] = {}
+        #: Push callbacks that raised (kept for observability; a dead
+        #: connection's failed push must not break the sweep).
+        self.push_errors = 0
+
+    def attach_session(
+        self, session_id: object, push: Callable[..., None]
+    ) -> None:
+        """Start accepting grants for ``session_id``.
+
+        ``push(grant, roles, reason, ts)`` is invoked for every
+        revocation: the withdrawn :class:`SessionGrant`, the tuple of
+        deactivated role names that withdrew it, a human-readable
+        reason, and the server wall-clock timestamp of the flip.
+        """
+        self._sessions.setdefault(session_id, {})
+        self._push[session_id] = push
+
+    def detach_session(self, session_id: object) -> None:
+        """Forget a closed connection and every grant it held."""
+        grants = self._sessions.pop(session_id, None)
+        self._push.pop(session_id, None)
+        if not grants:
+            return
+        for grant in grants.values():
+            self._unindex(grant)
+
+    def register(self, grant: SessionGrant) -> bool:
+        """Record one subscribed GRANT; ``True`` when it is watched.
+
+        Returns ``False`` (and records nothing) for grants with no
+        supporting environment roles or on sessions never attached —
+        both mean no push can ever fire.  Re-registering the same
+        ``(session, grant_id)`` replaces the old record (a client
+        reusing a wire id after re-asking sees the fresh census).
+        """
+        if not grant.roles or grant.session_id not in self._sessions:
+            return False
+        grants = self._sessions[grant.session_id]
+        old = grants.get(grant.grant_id)
+        if old is not None:
+            self._unindex(old)
+        grants[grant.grant_id] = grant
+        key = (grant.session_id, grant.grant_id)
+        for role in grant.roles:
+            self._by_role.setdefault(role, set()).add(key)
+        return True
+
+    def revoke_role(
+        self, role: str, reason: str, ts: float
+    ) -> List[SessionGrant]:
+        """Withdraw every grant ``role`` supports and push each one.
+
+        Returns the withdrawn grants (already removed from the table).
+        """
+        postings = self._by_role.pop(role, None)
+        if not postings:
+            return []
+        revoked: List[SessionGrant] = []
+        for session_id, grant_id in sorted(
+            postings, key=lambda key: (repr(key[0]), repr(key[1]))
+        ):
+            grants = self._sessions.get(session_id)
+            if grants is None:
+                continue
+            grant = grants.pop(grant_id, None)
+            if grant is None:
+                continue
+            self._unindex(grant, skip_role=role)
+            revoked.append(grant)
+            push = self._push.get(session_id)
+            if push is None:
+                continue
+            try:
+                push(grant, (role,), reason, ts)
+            except Exception:  # noqa: BLE001 - a dead writer, not us
+                self.push_errors += 1
+        return revoked
+
+    def _unindex(self, grant: SessionGrant, skip_role: str = "") -> None:
+        key = (grant.session_id, grant.grant_id)
+        for role in grant.roles:
+            if role == skip_role:
+                continue
+            postings = self._by_role.get(role)
+            if postings is None:
+                continue
+            postings.discard(key)
+            if not postings:
+                del self._by_role[role]
+
+    @property
+    def sessions(self) -> int:
+        return len(self._sessions)
+
+    @property
+    def grants(self) -> int:
+        return sum(len(grants) for grants in self._sessions.values())
+
+    def grants_for(self, session_id: object) -> List[SessionGrant]:
+        """The live grants of one session (observability/tests)."""
+        return list(self._sessions.get(session_id, {}).values())
+
+
 _STOP = object()  # queue sentinel; see stop()
 
 
@@ -416,6 +575,21 @@ class PolicyDecisionPoint:
         self._h_queue = metrics_registry.histogram("pdp.queue_depth")
         self._h_latency = metrics_registry.histogram("pdp.latency")
         self._h_reload = metrics_registry.histogram("pdp.reload_duration")
+        # Continuous authorization (§4.2.2): the push-revocation ledger
+        # and its observability.  The table is always present (cheap);
+        # it only fills when a serving layer attaches sessions and
+        # calls watch_environment.
+        self.grants = SessionGrantTable()
+        self._m_revocations = metrics_registry.counter("pdp.revocations")
+        self._h_revocation_latency = metrics_registry.histogram(
+            "pdp.revocation_latency"
+        )
+        metrics_registry.gauge(
+            "pdp.subscribed_sessions", lambda: float(self.grants.sessions)
+        )
+        metrics_registry.gauge(
+            "pdp.subscribed_grants", lambda: float(self.grants.grants)
+        )
         # Decision-cache capacity/evictions at the exposition surface,
         # so tenant-LRU tuning is observable without a stats round-trip.
         metrics_registry.gauge(
@@ -772,6 +946,50 @@ class PolicyDecisionPoint:
                 revision=policy.decision_revision,
             )
         return state.generation
+
+    # ------------------------------------------------------------------
+    # Continuous authorization (push revocation)
+    # ------------------------------------------------------------------
+    def watch_environment(self, bus) -> None:
+        """Subscribe the grant table to ``bus``'s role lifecycle.
+
+        Wires ``role.deactivated`` events — published eagerly by the
+        :class:`~repro.env.activation.EnvironmentRoleActivator` at
+        every transition, with zero requests in flight — into
+        :meth:`SessionGrantTable.revoke_role`, so a §4.2.2 environment
+        flip withdraws every subscribed grant the flipped role
+        supported.  Delivery is synchronous on the bus's publish path:
+        by the time the event has fanned out, the table no longer
+        holds the grant and every push callback has run.
+        """
+        bus.subscribe("role.deactivated", self._on_role_deactivated)
+
+    def _on_role_deactivated(self, event) -> None:
+        role = event.get("role")
+        if not role:
+            return
+        ts = time.time()
+        revoked = self.grants.revoke_role(
+            role, reason=f"environment role '{role}' deactivated", ts=ts
+        )
+        if revoked:
+            self._m_revocations.inc(len(revoked))
+            hub = self.observers
+            if hub:
+                hub.emit(
+                    "pdp.revocations", role=role, grants=len(revoked)
+                )
+
+    def record_revocation_latency(self, seconds: float) -> None:
+        """Record one flip-to-delivery revocation latency observation.
+
+        Called by whichever layer can actually see the delivery happen
+        — the TCP server just before the push bytes are written, an
+        in-process harness when its callback fires — because the PDP
+        itself only knows when the flip occurred, not when the
+        subscriber learned of it.
+        """
+        self._h_revocation_latency.observe(max(0.0, seconds))
 
     # ------------------------------------------------------------------
     # Submission

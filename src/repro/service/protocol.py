@@ -164,6 +164,27 @@ def decode_tenant(payload: Dict[str, Any]) -> Optional[str]:
     return tenant
 
 
+def decode_subscribe(payload: Dict[str, Any]) -> bool:
+    """The optional ``subscribe`` field of a decision request.
+
+    Kept beside (not inside) :func:`decode_request` for the same
+    reason as :func:`decode_tenant`: the 4-tuple call sites stay
+    untouched, and only continuous-authorization servers pay for the
+    lookup.  ``True`` asks the server to keep watching the grant — a
+    later environment-role flip that withdraws it is pushed to the
+    connection as an unsolicited ``{"op": "revoke"}`` message instead
+    of waiting for the client to re-ask (§4.2.2's videophone hangup).
+
+    :raises ServiceError: when present but not a boolean.
+    """
+    subscribe = payload.get("subscribe")
+    if subscribe is None:
+        return False
+    if not isinstance(subscribe, bool):
+        raise ServiceError("'subscribe' must be a boolean or absent")
+    return subscribe
+
+
 def decode_trace_context(payload: Dict[str, Any]) -> Optional[TraceContext]:
     """The optional ``trace`` field of a decision request.
 
@@ -192,12 +213,13 @@ def encode_request(
     timeout_ms: Optional[float] = None,
     tenant: Optional[str] = None,
     trace: Optional[TraceContext] = None,
+    subscribe: bool = False,
 ) -> Dict[str, Any]:
     """Build the wire message for one decision request.
 
     ``tenant=None`` produces exactly the pre-tenancy message — the
     field rides the wire only when a caller names a tenant.  Likewise
-    ``trace=None`` (untraced) adds nothing.
+    ``trace=None`` (untraced) and ``subscribe=False`` add nothing.
     """
     payload: Dict[str, Any] = {
         "id": request_id,
@@ -217,6 +239,8 @@ def encode_request(
         payload["tenant"] = tenant
     if trace is not None:
         payload["trace"] = trace.to_wire()
+    if subscribe:
+        payload["subscribe"] = True
     return payload
 
 
@@ -296,6 +320,73 @@ def decode_response(payload: Dict[str, Any]) -> WireResponse:
     )
 
 
+@dataclass(frozen=True)
+class WireRevocation:
+    """An unsolicited grant withdrawal pushed by the server (§4.2.2).
+
+    Identifies the grant by the wire ``id`` of the decision request it
+    answered, plus the request triple for callers that did not keep
+    their own ledger.  ``roles`` names the environment roles whose
+    deactivation withdrew the grant; ``ts`` is the server's wall clock
+    (``time.time()``) at the flip, so a subscriber can measure
+    flip-to-delivery latency without a round trip.
+    """
+
+    id: Any
+    subject: Optional[str]
+    transaction: str
+    obj: str
+    roles: Tuple[str, ...]
+    reason: str
+    ts: float
+
+
+def encode_revocation(revocation: WireRevocation) -> Dict[str, Any]:
+    """Build the NDJSON ``{"op": "revoke"}`` push message."""
+    payload: Dict[str, Any] = {
+        "op": "revoke",
+        "id": revocation.id,
+        "subject": revocation.subject,
+        "transaction": revocation.transaction,
+        "object": revocation.obj,
+        "roles": list(revocation.roles),
+        "reason": revocation.reason,
+        "ts": revocation.ts,
+    }
+    return payload
+
+
+def decode_revocation(payload: Dict[str, Any]) -> WireRevocation:
+    """Decode an ``{"op": "revoke"}`` push message.
+
+    :raises ServiceError: on missing/invalid fields.
+    """
+    transaction = payload.get("transaction")
+    obj = payload.get("object")
+    if not isinstance(transaction, str) or not isinstance(obj, str):
+        raise ServiceError("revoke needs string 'transaction' and 'object'")
+    subject = payload.get("subject")
+    if subject is not None and not isinstance(subject, str):
+        raise ServiceError("revoke 'subject' must be a string or null")
+    roles = payload.get("roles")
+    if not isinstance(roles, list) or not all(
+        isinstance(name, str) for name in roles
+    ):
+        raise ServiceError("revoke 'roles' must be a list of role names")
+    ts = payload.get("ts", 0.0)
+    if not isinstance(ts, (int, float)):
+        raise ServiceError("revoke 'ts' must be a number")
+    return WireRevocation(
+        id=payload.get("id"),
+        subject=subject,
+        transaction=transaction,
+        obj=obj,
+        roles=tuple(roles),
+        reason=str(payload.get("reason", "")),
+        ts=float(ts),
+    )
+
+
 # ======================================================================
 # Binary framing — the interned-ID fast lane
 # ======================================================================
@@ -366,6 +457,15 @@ BINARY_MAGIC = 0xB1
 KIND_REQUEST = 1
 KIND_RESPONSE = 2
 KIND_ERROR = 3
+#: Unsolicited server→client grant withdrawal (continuous
+#: authorization).  Body: ``id:4  subject:4  transaction:4  object:4
+#: ts:8  role_count:2  role_id:2...  reason_utf8...`` — the leading
+#: ``id:4`` is the wire id the grant was issued under, so
+#: :func:`peek_binary_id` works and a router relays by session without
+#: decoding; entity/role fields are interned ids; ``ts`` is the
+#: server's wall clock at the environment flip (revocation-latency
+#: measurement).
+KIND_REVOKE = 4
 
 #: Full frame header: magic, kind, body length.
 FRAME_HEADER = struct.Struct("!BBI")
@@ -497,6 +597,16 @@ def frame(kind: int, body: bytes) -> bytes:
 _FLAG_ENV = 0x01
 _FLAG_TENANT = 0x02
 _FLAG_TRACE = 0x04
+#: Bit 3 = subscribe to continuous authorization for this grant.  A
+#: pure flag — no body segment — so the trace segment stays last and
+#: pre-subscription decoders (which never mask this bit) see a frame
+#: whose walked offsets still land exactly on the body end.
+_FLAG_SUBSCRIBE = 0x08
+
+#: Fixed head of a KIND_REVOKE body (id, subject, transaction, object,
+#: flip timestamp) — entity fields are interned ids, ``subject`` may
+#: be -1, mirroring the request layout.
+_REVOKE_FIXED = struct.Struct("!Iiiid")
 
 #: Trace-context segment: raw trace id, raw span id, sampled flag.
 _TRACE_SEGMENT = struct.Struct("!8s8sB")
@@ -540,6 +650,7 @@ def encode_binary_request(
     env: Optional[FrozenSet[str]] = None,
     tenant: Optional[str] = None,
     trace: Optional[TraceContext] = None,
+    subscribe: bool = False,
 ) -> bytes:
     """Encode one decision request as a binary frame.
 
@@ -573,6 +684,7 @@ def encode_binary_request(
         (0 if env is None else _FLAG_ENV)
         | (0 if tenant is None else _FLAG_TENANT)
         | (0 if trace is None else _FLAG_TRACE)
+        | (_FLAG_SUBSCRIBE if subscribe else 0)
     )
     body = _REQUEST_FIXED.pack(
         request_id,
@@ -762,6 +874,87 @@ def decode_binary_error(body: bytes) -> Tuple[Optional[int], str]:
     return (None if wire_id == NO_REQUEST_ID else wire_id), message
 
 
+def encode_binary_revocation(
+    tables: InternTables, revocation: WireRevocation
+) -> bytes:
+    """Encode one grant withdrawal as a KIND_REVOKE frame.
+
+    :raises ServiceError: when the revocation cannot ride the binary
+        lane — uninterned names or a non-u32 grant id.  The server
+        catches this and pushes the NDJSON form instead; a withdrawal
+        must never be silently dropped because a name was minted after
+        the intern handshake.
+    """
+    wire_id = revocation.id
+    if not isinstance(wire_id, int) or not 0 <= wire_id < NO_REQUEST_ID:
+        raise ServiceError("binary revoke needs an integer id below 2^32-1")
+    try:
+        subject_id = (
+            -1
+            if revocation.subject is None
+            else tables._subject_ids[revocation.subject]
+        )
+        transaction_id = tables._transaction_ids[revocation.transaction]
+        object_id = tables._object_ids[revocation.obj]
+        role_ids = [
+            tables._environment_ids[name] for name in revocation.roles
+        ]
+    except KeyError as error:
+        raise ServiceError(f"name not interned: {error}") from None
+    body = (
+        _REVOKE_FIXED.pack(
+            wire_id, subject_id, transaction_id, object_id, revocation.ts
+        )
+        + _ENV_COUNT.pack(len(role_ids))
+        + struct.pack(f"!{len(role_ids)}H", *role_ids)
+        + revocation.reason.encode("utf-8")
+    )
+    return frame(KIND_REVOKE, body)
+
+
+def decode_binary_revocation(
+    tables: Optional[InternTables], body: bytes
+) -> WireRevocation:
+    """Decode a KIND_REVOKE body into a :class:`WireRevocation`.
+
+    :raises ServiceError: on truncated/malformed bodies, unknown ids,
+        or a connection that never ran the intern handshake.
+    """
+    if tables is None:
+        raise ServiceError(
+            "binary revoke before intern handshake; send {\"op\": \"intern\"}"
+        )
+    try:
+        (wire_id, subject_id, transaction_id, object_id, ts) = (
+            _REVOKE_FIXED.unpack_from(body)
+        )
+        offset = _REVOKE_FIXED.size
+        (count,) = _ENV_COUNT.unpack_from(body, offset)
+        offset += _ENV_COUNT.size
+        role_ids = struct.unpack_from(f"!{count}H", body, offset)
+        offset += count * 2
+        roles = tuple(tables.environment_roles[i] for i in role_ids)
+        subject = (
+            None if subject_id == -1 else tables.subjects[subject_id]
+        )
+        transaction = tables.transactions[transaction_id]
+        obj = tables.objects[object_id]
+    except struct.error as error:
+        raise ServiceError(f"truncated binary revoke: {error}") from None
+    except IndexError:
+        raise ServiceError("binary revoke references unknown id") from None
+    reason = body[offset:].decode("utf-8", "replace")
+    return WireRevocation(
+        id=wire_id,
+        subject=subject,
+        transaction=transaction,
+        obj=obj,
+        roles=roles,
+        reason=reason,
+        ts=ts,
+    )
+
+
 async def read_frame_tail(reader) -> Tuple[int, bytes]:
     """Read ``(kind, body)`` after the magic byte has been consumed.
 
@@ -843,6 +1036,20 @@ def peek_binary_id(body: bytes) -> Optional[int]:
         return None
     (wire_id,) = struct.unpack_from("!I", body)
     return None if wire_id == NO_REQUEST_ID else wire_id
+
+
+def peek_binary_subscribe(body: bytes) -> bool:
+    """Whether a KIND_REQUEST body carries the subscribe flag.
+
+    A one-byte test against the flags offset — kept beside (not
+    inside) :func:`decode_binary_request_ex` so that function's
+    6-tuple shape and every call site built on it stay untouched;
+    only continuous-authorization servers pay the extra peek.
+    """
+    return (
+        len(body) > _FLAGS_OFFSET
+        and bool(body[_FLAGS_OFFSET] & _FLAG_SUBSCRIBE)
+    )
 
 
 def peek_binary_trace(body: bytes) -> Optional[TraceContext]:

@@ -24,24 +24,35 @@ wrapper over :func:`PDPServer.serve_forever`.
 from __future__ import annotations
 
 import asyncio
+import time
 from typing import Optional
 
 from repro.exceptions import PolicyStoreError, ServiceError
-from repro.service.pdp import DEFAULT_TENANT, PolicyDecisionPoint
+from repro.service.pdp import (
+    DEFAULT_TENANT,
+    PDPOutcome,
+    PolicyDecisionPoint,
+    SessionGrant,
+)
 from repro.service.protocol import (
     BINARY_MAGIC,
     KIND_REQUEST,
     MAX_LINE_BYTES,
     InternTables,
+    WireRevocation,
     decode_binary_request_ex,
     decode_request,
+    decode_subscribe,
     decode_tenant,
     decode_trace_context,
     dumps_line,
     encode_binary_error,
     encode_binary_response,
+    encode_binary_revocation,
     encode_response,
+    encode_revocation,
     parse_line,
+    peek_binary_subscribe,
     read_frame_tail,
 )
 
@@ -63,6 +74,16 @@ class PDPServer:
         :meth:`serve_forever` shuts down (signal or cancellation).
         ``None`` drains without a deadline; past the deadline queued
         work is shed with ``DENY_OVERLOAD`` instead.
+    :param environment: optional
+        :class:`~repro.env.runtime.EnvironmentRuntime` this server is
+        the authority for.  Enables *continuous authorization*
+        (§4.2.2): subscribed GRANTs register in the PDP's
+        :class:`~repro.service.pdp.SessionGrantTable`, the runtime's
+        bus is watched for ``role.deactivated``, the ``env`` wire op
+        accepts state writes/moves, and a background driver observes
+        the activator at each scheduled temporal boundary so
+        wall-clock flips push revocations with zero requests in
+        flight.
     """
 
     def __init__(
@@ -72,6 +93,7 @@ class PDPServer:
         port: int = 0,
         administrator: Optional[object] = None,
         drain_timeout_s: Optional[float] = None,
+        environment: Optional[object] = None,
     ) -> None:
         if drain_timeout_s is not None and drain_timeout_s <= 0:
             raise ServiceError("drain_timeout_s must be > 0 or None")
@@ -79,14 +101,18 @@ class PDPServer:
         self.host = host
         self.administrator = administrator
         self.drain_timeout_s = drain_timeout_s
+        self.environment = environment
         self._requested_port = port
         self._server: Optional[asyncio.AbstractServer] = None
         self._shutdown: Optional[asyncio.Event] = None
+        self._boundary_task: Optional["asyncio.Task[None]"] = None
         self.connections = 0
         #: Lazily-created per-tenant administrators for pinned
         #: (non-store) tenants, so tenant-scoped reloads get the same
         #: lint/diff/audit gate as the default path.
         self._tenant_admins: "dict[str, object]" = {}
+        if environment is not None:
+            pdp.watch_environment(environment.bus)
 
     @property
     def port(self) -> int:
@@ -106,15 +132,50 @@ class PDPServer:
             port=self._requested_port,
             limit=MAX_LINE_BYTES,
         )
+        if self.environment is not None and self._boundary_task is None:
+            self._boundary_task = asyncio.get_running_loop().create_task(
+                self._drive_boundaries()
+            )
         return self
 
     async def stop(self, drain: bool = True) -> None:
         """Close the listener, then drain (or shed) the PDP."""
+        if self._boundary_task is not None:
+            self._boundary_task.cancel()
+            try:
+                await self._boundary_task
+            except asyncio.CancelledError:
+                pass
+            self._boundary_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
         await self.pdp.stop(drain=drain)
+
+    async def _drive_boundaries(self) -> None:
+        """Observe the activator at every scheduled temporal boundary.
+
+        The activator's timer wheel knows the next instant any bound
+        temporal condition may flip (:meth:`next_boundary`); this task
+        sleeps until then and performs one observation, which advances
+        the wheel, re-evaluates only the affected roles, and publishes
+        ``role.deactivated`` events — i.e. pushes revocations — even
+        when no request is in flight and no state event arrives.  The
+        sleep is capped at one second so roles bound after the timer
+        was armed (whose boundary may be earlier) are picked up
+        promptly; between boundaries each wake-up is a memo hit.
+        """
+        activator = self.environment.activator
+        clock = self.environment.clock
+        while True:
+            deadline = activator.next_boundary()
+            if deadline is None:
+                delay = 1.0
+            else:
+                delay = min(1.0, max(0.01, deadline - clock.now()))
+            await asyncio.sleep(delay)
+            activator.active_environment_roles()
 
     def request_shutdown(self) -> None:
         """Ask :meth:`serve_forever` to exit and drain gracefully.
@@ -209,6 +270,96 @@ class PDPServer:
                 writer.write(data)
                 await writer.drain()
 
+        # Continuous-authorization session state: this connection's
+        # identity in the PDP grant table, plus which of its grants
+        # arrived on the binary lane (revokes answer in kind).
+        loop = asyncio.get_running_loop()
+        session_key = object()
+        binary_grants: "set[object]" = set()
+
+        async def deliver_revocation(
+            revocation: WireRevocation, binary: bool
+        ) -> None:
+            # Flip-to-delivery latency, observed as late as the server
+            # can see it: just before the push bytes are written.
+            self.pdp.record_revocation_latency(time.time() - revocation.ts)
+            if binary and tables[0] is not None:
+                try:
+                    data = encode_binary_revocation(tables[0], revocation)
+                except ServiceError:
+                    data = None  # uninterned name: fall back to NDJSON
+                if data is not None:
+                    await respond_bytes(data)
+                    return
+            await respond(encode_revocation(revocation))
+
+        def push_revocation(grant, roles, reason: str, ts: float) -> None:
+            # Called synchronously from the grant-table sweep (on this
+            # loop).  Fast path: encode and buffer the push inline —
+            # ``writer.write`` never blocks (``drain`` is only the
+            # cooperative backpressure wait, and a sweep pushes at
+            # most one frame per registered grant, so the buffer
+            # growth is bounded by the table) — a 1k-session sweep is
+            # 1k buffer appends, not 1k scheduled tasks.  Writes stay
+            # whole-message: every ``write`` call appends one complete
+            # frame/line, so interleaving with a locked respond is
+            # safe.
+            revocation = WireRevocation(
+                id=grant.grant_id,
+                subject=grant.subject,
+                transaction=grant.transaction,
+                obj=grant.obj,
+                roles=tuple(roles),
+                reason=reason,
+                ts=ts,
+            )
+            binary = grant.grant_id in binary_grants
+            data: Optional[bytes] = None
+            if binary and tables[0] is not None:
+                try:
+                    data = encode_binary_revocation(tables[0], revocation)
+                except ServiceError:
+                    data = None  # uninterned name: NDJSON below
+            if data is None and not binary:
+                data = dumps_line(encode_revocation(revocation))
+            if data is not None and not writer.is_closing():
+                self.pdp.record_revocation_latency(
+                    time.time() - revocation.ts
+                )
+                writer.write(data)
+                return
+            # Slow path (binary encode refused, or mid-close): a task
+            # that can await the lock and fall back across lanes.
+            task = loop.create_task(deliver_revocation(revocation, binary))
+            tasks.add(task)
+            task.add_done_callback(tasks.discard)
+
+        def register_grant(request_id, request, response, binary) -> None:
+            # Subscribed GRANTs resolved against the *live* environment
+            # become standing grants: any supporting role deactivating
+            # pushes a revoke.  Registered before the response is
+            # written, so a flip arriving right after the decision can
+            # never fall between grant and subscription.
+            if (
+                response.outcome is not PDPOutcome.GRANT
+                or response.decision is None
+            ):
+                return
+            if binary:
+                binary_grants.add(request_id)
+            self.pdp.grants.register(
+                SessionGrant(
+                    session_id=session_key,
+                    grant_id=request_id,
+                    subject=request.subject,
+                    transaction=request.transaction,
+                    obj=request.obj,
+                    roles=frozenset(response.decision.environment_roles),
+                    tenant=response.tenant,
+                )
+            )
+
+        self.pdp.grants.attach_session(session_key, push_revocation)
         try:
             while True:
                 # Per-message format detection: a binary frame leads
@@ -231,7 +382,8 @@ class PDPServer:
                     except asyncio.IncompleteReadError:
                         break  # truncated frame: peer went away
                     await self._handle_frame(
-                        kind, body, tables, respond_bytes, tasks
+                        kind, body, tables, respond_bytes, tasks,
+                        register_grant,
                     )
                     continue
                 try:
@@ -243,10 +395,13 @@ class PDPServer:
                     break
                 line = (first + rest).strip()
                 if line:
-                    await self._handle_line(line, respond, tables, tasks)
+                    await self._handle_line(
+                        line, respond, tables, tasks, register_grant
+                    )
         except (ConnectionResetError, BrokenPipeError):
             pass
         finally:
+            self.pdp.grants.detach_session(session_key)
             if tasks:
                 await asyncio.gather(*tasks, return_exceptions=True)
             writer.close()
@@ -256,13 +411,15 @@ class PDPServer:
                 pass
 
     async def _handle_frame(
-        self, kind: int, body: bytes, tables, respond_bytes, tasks
+        self, kind: int, body: bytes, tables, respond_bytes, tasks,
+        register=None,
     ) -> None:
         if kind != KIND_REQUEST:
             await respond_bytes(
                 encode_binary_error(None, f"unexpected frame kind {kind}")
             )
             return
+        subscribe = peek_binary_subscribe(body)
         try:
             (
                 request_id,
@@ -291,13 +448,17 @@ class PDPServer:
                     encode_binary_error(request_id, str(error))
                 )
                 return
+            if subscribe and env is None and register is not None:
+                register(request_id, request, response, True)
             await respond_bytes(encode_binary_response(request_id, response))
 
         task = asyncio.get_running_loop().create_task(decide_and_reply())
         tasks.add(task)
         task.add_done_callback(tasks.discard)
 
-    async def _handle_line(self, line: bytes, respond, tables, tasks) -> None:
+    async def _handle_line(
+        self, line: bytes, respond, tables, tasks, register=None
+    ) -> None:
         try:
             payload = parse_line(line)
         except ServiceError as error:
@@ -311,6 +472,7 @@ class PDPServer:
             request_id, request, env, timeout_s = decode_request(payload)
             tenant = decode_tenant(payload)
             trace_ctx = decode_trace_context(payload)
+            subscribe = decode_subscribe(payload)
         except ServiceError as error:
             await respond({"id": payload.get("id"), "error": str(error)})
             return
@@ -328,6 +490,8 @@ class PDPServer:
             except ServiceError as error:  # PDP stopped mid-flight
                 await respond({"id": request_id, "error": str(error)})
                 return
+            if subscribe and env is None and register is not None:
+                register(request_id, request, response, False)
             await respond(encode_response(request_id, response))
 
         # Decide concurrently so one queued request never blocks the
@@ -460,12 +624,130 @@ class PDPServer:
                     ),
                 }
             )
+        elif op == "env":
+            await self._handle_env(payload, respond)
         elif op == "reload":
             await self._handle_reload(payload, respond)
         elif op in ("reload_prepare", "reload_activate", "reload_abort"):
             await self._handle_two_phase(op, payload, respond)
         else:
             await respond({"id": request_id, "error": f"unknown op {op!r}"})
+
+    async def _handle_env(self, payload: dict, respond) -> None:
+        """The ``env`` wire op: feed the server's live environment.
+
+        Only servers constructed with an ``environment`` runtime accept
+        it — a PDP whose environment lives elsewhere must not pretend
+        to be its authority.  Actions:
+
+        * ``{"op": "env", "action": "set", "name": ..., "value": ...}``
+          — write one state variable (a sensor event);
+        * ``{"op": "env", "action": "move", "subject": ...,
+          "zone": ...}`` — a location update through the
+          :class:`~repro.env.location.LocationService`;
+        * ``{"op": "env", "action": "advance", "seconds": N}`` — step a
+          *simulated* clock (tests/smoke drills; a system clock
+          refuses);
+        * ``{"op": "env", "action": "define_time_role", "name": ...,
+          "start": "19:00", "end": "22:00", "weekdays": false}`` —
+          register and bind a temporal environment role (§5.1's
+          free-time shape) in the default tenant's policy;
+        * ``{"op": "env", "action": "define_location_role",
+          "name": ..., "subject": ..., "zone": ...}`` — an
+          environment role active while ``subject`` is in ``zone``.
+
+        Every action answers with the post-action snapshot revision and
+        active-role census.  Side effects — role flips, cache
+        invalidation, pushed revocations — happen synchronously on the
+        bus before the answer is written, so a client that sees the
+        reply knows every revocation it caused has been queued.
+        """
+        request_id = payload.get("id")
+        runtime = self.environment
+        if runtime is None:
+            await respond(
+                {
+                    "id": request_id,
+                    "error": "this server has no live environment "
+                    "(start serve with --continuous)",
+                }
+            )
+            return
+        action = payload.get("action")
+        try:
+            if action == "set":
+                name = payload.get("name")
+                if not isinstance(name, str) or not name:
+                    raise ServiceError("'name' must be a non-empty string")
+                runtime.state.set(name, payload.get("value"))
+            elif action == "move":
+                subject = payload.get("subject")
+                zone = payload.get("zone")
+                if not isinstance(subject, str) or not isinstance(zone, str):
+                    raise ServiceError(
+                        "'subject' and 'zone' must be strings"
+                    )
+                runtime.location.move(subject, zone)
+            elif action == "advance":
+                seconds = payload.get("seconds")
+                if not isinstance(seconds, (int, float)) or seconds < 0:
+                    raise ServiceError("'seconds' must be a number >= 0")
+                advance = getattr(runtime.clock, "advance", None)
+                if advance is None:
+                    raise ServiceError(
+                        "this server's clock is not simulated"
+                    )
+                advance(seconds=float(seconds))
+            elif action == "define_time_role":
+                from repro.env.temporal import time_window, weekdays
+
+                name = payload.get("name")
+                start = payload.get("start")
+                end = payload.get("end")
+                if not all(
+                    isinstance(value, str) and value
+                    for value in (name, start, end)
+                ):
+                    raise ServiceError(
+                        "'name', 'start', 'end' must be non-empty strings"
+                    )
+                expression = time_window(start, end)
+                if payload.get("weekdays"):
+                    expression = weekdays() & expression
+                runtime.define_time_role(self.pdp.policy, name, expression)
+            elif action == "define_location_role":
+                name = payload.get("name")
+                subject = payload.get("subject")
+                zone = payload.get("zone")
+                if not all(
+                    isinstance(value, str) and value
+                    for value in (name, subject, zone)
+                ):
+                    raise ServiceError(
+                        "'name', 'subject', 'zone' must be non-empty strings"
+                    )
+                runtime.define_location_role(
+                    self.pdp.policy, name, subject, zone
+                )
+            else:
+                raise ServiceError(
+                    "'action' must be one of set/move/advance/"
+                    "define_time_role/define_location_role"
+                )
+        except ServiceError as error:
+            await respond({"id": request_id, "error": str(error)})
+            return
+        except Exception as error:  # noqa: BLE001 - env errors answer, not kill
+            await respond({"id": request_id, "error": str(error)})
+            return
+        await respond(
+            {
+                "op": "env",
+                "id": request_id,
+                "revision": runtime.revision,
+                "active": sorted(runtime.active_roles()),
+            }
+        )
 
     async def _handle_two_phase(self, op: str, payload: dict, respond) -> None:
         """The cluster reload ops: prepare / activate / abort.

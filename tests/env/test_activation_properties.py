@@ -1,0 +1,163 @@
+"""Property: incremental activation ≡ full recompute.
+
+The event-driven activator re-evaluates only the roles affected by
+each change (dependency index, timer wheel).  Over *any* interleaving
+of state writes, location moves, clock advances, and bind/unbind
+operations, its answer must be identical to evaluating every bound
+condition from scratch — and its revision must move between any two
+observations whose active sets differ.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.env.activation import EnvironmentRoleActivator
+from repro.env.clock import SimulatedClock
+from repro.env.conditions import (
+    AllOf,
+    AnyOf,
+    Not,
+    during,
+    state_equals,
+    subject_located,
+)
+from repro.env.events import EventBus
+from repro.env.state import EnvironmentState
+from repro.env.temporal import time_window, weekdays, weekends
+
+START = datetime(2000, 1, 17, 8, 0)  # Monday
+
+SUBJECTS = ["alice", "bobby"]
+ZONES = ["kitchen", "den", "outside"]
+VARIABLES = ["alarm", "noise", "guests"]
+
+#: A small vocabulary of analyzable and composite conditions.
+CONDITIONS = [
+    ("free-time", during(time_window("19:00", "22:00"))),
+    ("weekday", during(weekdays())),
+    ("weekend-morning", during(weekends() & time_window("06:00", "12:00"))),
+    ("armed", state_equals("alarm", True)),
+    ("quiet", Not(state_equals("noise", "loud"))),
+    ("alice-kitchen", subject_located("alice", "kitchen")),
+    (
+        "supervised-tv",
+        AllOf(
+            (
+                subject_located("bobby", "den"),
+                AnyOf(
+                    (
+                        subject_located("alice", "den"),
+                        state_equals("guests", True),
+                    )
+                ),
+            )
+        ),
+    ),
+]
+
+
+def op_strategy():
+    set_state = st.tuples(
+        st.just("set"),
+        st.sampled_from(VARIABLES),
+        st.sampled_from([True, False, "loud", "soft", 1, 2]),
+    )
+    move = st.tuples(
+        st.just("move"),
+        st.sampled_from(SUBJECTS),
+        st.sampled_from(ZONES),
+    )
+    advance = st.tuples(
+        st.just("advance"),
+        st.integers(min_value=1, max_value=18 * 60),  # minutes
+        st.just(None),
+    )
+    bind = st.tuples(
+        st.just("bind"), st.integers(0, len(CONDITIONS) - 1), st.just(None)
+    )
+    unbind = st.tuples(
+        st.just("unbind"), st.integers(0, len(CONDITIONS) - 1), st.just(None)
+    )
+    return st.one_of(set_state, move, advance, bind, unbind)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(op_strategy(), min_size=1, max_size=40))
+def test_incremental_activation_matches_full_recompute(ops) -> None:
+    clock = SimulatedClock(START)
+    bus = EventBus(clock=clock, strict=True)
+    state = EnvironmentState(bus)
+    activator = EnvironmentRoleActivator(state, clock, bus=bus)
+    bound = {}
+
+    last_revision = -1
+    last_active = None
+    for op, a, b in ops:
+        if op == "set":
+            state.set(a, b)
+        elif op == "move":
+            state.set(f"location.{a}", b)
+        elif op == "advance":
+            clock.advance(minutes=a)
+        elif op == "bind":
+            name, condition = CONDITIONS[a]
+            activator.bind(name, condition)
+            bound[name] = condition
+        elif op == "unbind":
+            name, _ = CONDITIONS[a]
+            if name in bound:
+                activator.unbind(name)
+                del bound[name]
+
+        observed = activator.active_environment_roles()
+        # Ground truth: evaluate every bound condition from scratch.
+        expected = {
+            name
+            for name, condition in bound.items()
+            if condition.evaluate(state, clock)
+        }
+        assert observed == expected, (op, a, b)
+
+        revision = activator.revision
+        assert revision >= last_revision
+        if last_active is not None and observed != last_active:
+            assert revision > last_revision, (
+                "active set changed without a revision bump"
+            )
+        last_revision = revision
+        last_active = observed
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(op_strategy(), min_size=1, max_size=30),
+    st.integers(min_value=0, max_value=len(CONDITIONS) - 1),
+)
+def test_refresh_is_a_noop_after_incremental_updates(ops, seed_binding) -> None:
+    # With the handlers wired, every transition is applied at its
+    # cause; a trailing full refresh() must find nothing left to do.
+    clock = SimulatedClock(START)
+    bus = EventBus(clock=clock, strict=True)
+    state = EnvironmentState(bus)
+    activator = EnvironmentRoleActivator(state, clock, bus=bus)
+    name, condition = CONDITIONS[seed_binding]
+    activator.bind(name, condition)
+    for op, a, b in ops:
+        if op == "set":
+            state.set(a, b)
+        elif op == "move":
+            state.set(f"location.{a}", b)
+        elif op == "advance":
+            clock.advance(minutes=a)
+        elif op == "bind":
+            bind_name, bind_condition = CONDITIONS[a]
+            activator.bind(bind_name, bind_condition)
+        elif op == "unbind":
+            unbind_name, _ = CONDITIONS[a]
+            if unbind_name in activator.bound_roles():
+                activator.unbind(unbind_name)
+    assert activator.refresh() == {}

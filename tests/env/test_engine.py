@@ -1,0 +1,322 @@
+"""Tests for the incremental activation engine.
+
+Covers the three defects this layer fixes:
+
+* the old memo key contained ``clock.now()``, so with a real wall
+  clock every query re-evaluated every condition (the memo never hit);
+* ``len(bindings)`` in the key missed a same-length unbind+bind swap;
+* the revision was lazily observed — nothing moved, and no
+  ``role.deactivated`` event fired, until a query happened to look.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta
+
+from repro.env.activation import EnvironmentRoleActivator
+from repro.env.clock import Clock, SimulatedClock, to_timestamp
+from repro.env.conditions import (
+    AllOf,
+    Condition,
+    Not,
+    always_true,
+    during,
+    state_equals,
+    subject_located,
+)
+from repro.env.engine import TimerWheel, analyze_condition
+from repro.env.events import EventBus
+from repro.env.state import EnvironmentState
+from repro.env.temporal import (
+    always,
+    months,
+    never,
+    one_off,
+    time_window,
+    weekdays,
+)
+
+
+class WallClock(Clock):
+    """A steppable clock *without* advance notifications — what a real
+    ``SystemClock`` looks like to the activator."""
+
+    def __init__(self, start: datetime) -> None:
+        self._now = to_timestamp(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def step(self, **units: float) -> None:
+        self._now += timedelta(**units).total_seconds()
+
+
+# ----------------------------------------------------------------------
+# Dependency analysis
+# ----------------------------------------------------------------------
+class TestAnalyzeCondition:
+    def test_state_condition_reports_its_variable(self):
+        deps = analyze_condition(state_equals("alarm", True))
+        assert deps.variables == frozenset({"alarm"})
+        assert not deps.expressions and not deps.opaque
+
+    def test_temporal_condition_reports_its_expression(self):
+        expr = time_window("19:00", "22:00")
+        deps = analyze_condition(during(expr))
+        assert deps.expressions == (expr,)
+        assert not deps.variables and not deps.opaque
+
+    def test_combinators_union_children(self):
+        expr = weekdays()
+        condition = AllOf(
+            (
+                during(expr),
+                Not(state_equals("alarm", True)),
+                subject_located("alice", "kitchen"),
+            )
+        )
+        deps = analyze_condition(condition)
+        assert deps.variables == frozenset({"alarm", "location.alice"})
+        assert deps.expressions == (expr,)
+        assert not deps.opaque
+
+    def test_constants_depend_on_nothing(self):
+        deps = analyze_condition(always_true())
+        assert not deps.variables and not deps.expressions and not deps.opaque
+
+    def test_unknown_condition_class_is_opaque(self):
+        class Custom(Condition):
+            def evaluate(self, state, clock):
+                return True
+
+            def describe(self):
+                return "custom"
+
+        assert analyze_condition(Custom()).opaque
+        assert analyze_condition(Not(Custom())).opaque
+
+
+# ----------------------------------------------------------------------
+# Timer wheel / next_boundary
+# ----------------------------------------------------------------------
+class TestNextBoundary:
+    def test_time_of_day_window_edges(self):
+        expr = time_window("19:00", "22:00")
+        monday_18 = datetime(2000, 1, 17, 18, 0)
+        assert expr.next_boundary(monday_18) == datetime(2000, 1, 17, 19, 0)
+        inside = datetime(2000, 1, 17, 20, 30)
+        assert expr.next_boundary(inside) == datetime(2000, 1, 17, 22, 0)
+        after = datetime(2000, 1, 17, 22, 30)
+        assert expr.next_boundary(after) == datetime(2000, 1, 18, 19, 0)
+
+    def test_wrapping_window(self):
+        expr = time_window("22:00", "06:00")
+        late = datetime(2000, 1, 17, 23, 0)
+        assert expr.next_boundary(late) == datetime(2000, 1, 18, 6, 0)
+
+    def test_constants_have_no_boundary(self):
+        moment = datetime(2000, 1, 17, 8, 0)
+        assert always().next_boundary(moment) is None
+        assert never().next_boundary(moment) is None
+
+    def test_one_off_window(self):
+        expr = one_off(
+            datetime(2000, 1, 17, 8, 0), datetime(2000, 1, 17, 13, 0)
+        )
+        before = datetime(2000, 1, 17, 7, 0)
+        assert expr.next_boundary(before) == datetime(2000, 1, 17, 8, 0)
+        inside = datetime(2000, 1, 17, 9, 0)
+        assert expr.next_boundary(inside) == datetime(2000, 1, 17, 13, 0)
+        assert expr.next_boundary(datetime(2000, 1, 17, 14, 0)) is None
+
+    def test_weekday_granularity_is_midnight(self):
+        expr = weekdays()
+        moment = datetime(2000, 1, 17, 18, 0)
+        assert expr.next_boundary(moment) == datetime(2000, 1, 18, 0, 0)
+
+    def test_month_set_jumps_to_month_turn(self):
+        expr = months(7)
+        moment = datetime(2000, 1, 17, 18, 0)
+        assert expr.next_boundary(moment) == datetime(2000, 2, 1)
+        december = datetime(2000, 12, 31, 23, 0)
+        assert expr.next_boundary(december) == datetime(2001, 1, 1)
+
+    def test_composites_take_earliest_member_boundary(self):
+        expr = weekdays() & time_window("19:00", "22:00")
+        moment = datetime(2000, 1, 17, 18, 0)
+        assert expr.next_boundary(moment) == datetime(2000, 1, 17, 19, 0)
+        complement = ~time_window("19:00", "22:00")
+        assert complement.next_boundary(moment) == datetime(2000, 1, 17, 19, 0)
+
+    def test_boundaries_are_never_late(self):
+        # Walk a composite expression minute-by-minute across a day:
+        # every observed value flip must coincide with (or follow) a
+        # boundary the expression itself predicted.
+        expr = (weekdays() & time_window("19:00", "22:00")) | time_window(
+            "06:30", "07:15"
+        )
+        moment = datetime(2000, 1, 17, 0, 0)
+        horizon = moment + timedelta(days=2)
+        value = expr.contains(moment)
+        boundary = expr.next_boundary(moment)
+        while moment < horizon:
+            moment += timedelta(minutes=1)
+            new_value = expr.contains(moment)
+            if new_value != value:
+                assert boundary is not None and boundary <= moment
+            if boundary is not None and moment >= boundary:
+                boundary = expr.next_boundary(moment)
+            value = new_value
+
+
+class TestTimerWheel:
+    def test_advance_pops_due_entries_in_order(self):
+        wheel = TimerWheel()
+        expr = always()
+        wheel.schedule(10.0, "b", expr)
+        wheel.schedule(5.0, "a", expr)
+        wheel.schedule(20.0, "c", expr)
+        assert wheel.next_deadline() == 5.0
+        crossed = wheel.advance(12.0)
+        assert [role for role, _ in crossed] == ["a", "b"]
+        assert wheel.crossings == 2
+        assert wheel.next_deadline() == 20.0
+
+    def test_drop_role_discards_pending(self):
+        wheel = TimerWheel()
+        expr = always()
+        wheel.schedule(5.0, "a", expr)
+        wheel.schedule(6.0, "b", expr)
+        wheel.drop_role("a")
+        assert len(wheel) == 1
+        assert wheel.next_deadline() == 6.0
+
+
+# ----------------------------------------------------------------------
+# The memo defects (satellite: activation.py:125)
+# ----------------------------------------------------------------------
+class TestMemoKey:
+    def test_real_clock_queries_hit_the_memo_between_boundaries(self):
+        # The old key contained clock.now(): with a wall clock every
+        # query was a miss and re-evaluated every binding.  Keyed on
+        # the wheel's crossing count, queries inside one boundary
+        # window evaluate nothing.
+        clock = WallClock(datetime(2000, 1, 17, 18, 0))
+        state = EnvironmentState()
+        activator = EnvironmentRoleActivator(state, clock)
+        activator.bind("free-time", during(time_window("19:00", "22:00")))
+        activator.bind("armed", state_equals("alarm", True))
+        baseline = activator.evaluations
+        for _ in range(50):
+            clock.step(seconds=0.25)  # time moves between every query
+            assert activator.active_environment_roles() == set()
+        assert activator.memo_hits == 50
+        assert activator.evaluations == baseline  # zero re-evaluations
+
+    def test_boundary_crossing_re_evaluates_only_temporal_roles(self):
+        clock = WallClock(datetime(2000, 1, 17, 18, 59))
+        state = EnvironmentState()
+        activator = EnvironmentRoleActivator(state, clock)
+        activator.bind("free-time", during(time_window("19:00", "22:00")))
+        activator.bind("armed", state_equals("alarm", True))
+        assert activator.active_environment_roles() == set()
+        baseline = activator.evaluations
+        clock.step(minutes=2)  # crosses 19:00
+        assert activator.active_environment_roles() == {"free-time"}
+        assert activator.evaluations == baseline + 1  # free-time only
+
+    def test_same_length_swap_is_not_masked(self):
+        # unbind+bind at constant len(bindings): the old key never
+        # noticed; the bindings revision and the eager rebind path do.
+        clock = SimulatedClock(datetime(2000, 1, 17, 18, 0))
+        state = EnvironmentState()
+        activator = EnvironmentRoleActivator(state, clock)
+        activator.bind("a", during(never()))
+        activator.bind("b", during(never()))
+        assert activator.active_environment_roles() == set()
+        revision = activator.revision
+        bindings_before = activator.bindings_revision
+        activator.unbind("b")
+        activator.bind("c", during(always()))
+        assert activator.bindings_revision == bindings_before + 2
+        assert activator.active_environment_roles() == {"c"}
+        assert activator.revision > revision
+
+    def test_memo_miss_on_unobserved_state_write(self):
+        # Without a bus, state writes are only visible via the state
+        # revision — the query path must miss and re-evaluate.
+        clock = WallClock(datetime(2000, 1, 17, 18, 0))
+        state = EnvironmentState()
+        activator = EnvironmentRoleActivator(state, clock)
+        activator.bind("armed", state_equals("alarm", True))
+        assert activator.active_environment_roles() == set()
+        state.set("alarm", True)
+        assert activator.active_environment_roles() == {"armed"}
+        assert activator.memo_misses >= 1
+
+
+# ----------------------------------------------------------------------
+# Eager transitions (the lazily-observed-revision bug)
+# ----------------------------------------------------------------------
+class TestEagerTransitions:
+    def test_clock_advance_bumps_revision_with_zero_queries(self):
+        # The pre-fix activator moved its revision inside
+        # active_environment_roles(); an advance with no query in
+        # flight left the counter — and every PDP cache key — stale.
+        clock = SimulatedClock(datetime(2000, 1, 17, 18, 0))
+        bus = EventBus(clock=clock)
+        state = EnvironmentState(bus)
+        activator = EnvironmentRoleActivator(state, clock, bus=bus)
+        activator.bind("free-time", during(time_window("19:00", "22:00")))
+        revision = activator._revision  # raw: no observing read
+        deactivations = []
+        bus.subscribe("role.activated", lambda e: deactivations.append(e))
+        clock.advance(hours=2)  # 20:00 — no query anywhere
+        assert activator._revision > revision
+        assert len(deactivations) == 1
+
+    def test_wall_clock_flip_caught_on_first_observation(self):
+        clock = WallClock(datetime(2000, 1, 17, 19, 30))
+        bus = EventBus()
+        state = EnvironmentState(bus)
+        activator = EnvironmentRoleActivator(state, clock, bus=bus)
+        activator.bind("free-time", during(time_window("19:00", "22:00")))
+        assert activator.is_active("free-time")
+        clock.step(hours=3)  # 22:30 — nothing notifies the activator
+        deactivated = []
+        bus.subscribe("role.deactivated", lambda e: deactivated.append(e))
+        # The first read advances the wheel, publishes the transition,
+        # and moves the revision — all before returning the set.
+        assert activator.active_environment_roles() == set()
+        assert [e.get("role") for e in deactivated] == ["free-time"]
+
+    def test_next_boundary_exposed_for_push_drivers(self):
+        clock = SimulatedClock(datetime(2000, 1, 17, 18, 0))
+        state = EnvironmentState()
+        activator = EnvironmentRoleActivator(state, clock)
+        assert activator.next_boundary() is None
+        activator.bind("free-time", during(time_window("19:00", "22:00")))
+        deadline = activator.next_boundary()
+        assert deadline == to_timestamp(datetime(2000, 1, 17, 19, 0))
+        clock.advance(hours=2)
+        # Crossed 19:00: the wheel now holds the 22:00 edge.
+        assert activator.next_boundary() == to_timestamp(
+            datetime(2000, 1, 17, 22, 0)
+        )
+
+    def test_jump_across_whole_window_stays_scheduled(self):
+        # One big jump across start *and* end of the window: the set
+        # is unchanged at the destination (a single jump cannot
+        # observe the interior, exactly like a full recompute), but
+        # the crossing is counted and the wheel reschedules from the
+        # destination — the next day's window will still be pushed.
+        clock = SimulatedClock(datetime(2000, 1, 17, 18, 0))
+        state = EnvironmentState()
+        activator = EnvironmentRoleActivator(state, clock)
+        activator.bind("free-time", during(time_window("19:00", "22:00")))
+        clock.advance(hours=9)  # 03:00 next day
+        assert activator.active_environment_roles() == set()
+        assert activator.boundaries_crossed == 1
+        assert activator.next_boundary() == to_timestamp(
+            datetime(2000, 1, 18, 19, 0)
+        )

@@ -99,11 +99,16 @@ class TestCrashingConsumers:
 
         activator.bind("healthy", state_equals("ok", True))
         state.set("ok", True)
-        activator.bind("broken", Exploding())
         # A condition that raises (not just returns garbage) is a
-        # programming error and must surface...
+        # programming error and must surface — already at bind time,
+        # where the activator eagerly evaluates the new role...
+        with pytest.raises(RuntimeError):
+            activator.bind("broken", Exploding())
+        # ...and again on any later query while the binding stands.
         with pytest.raises(RuntimeError):
             activator.active_environment_roles()
+        # The healthy role is unaffected by its broken neighbour.
+        assert "healthy" in activator.bound_roles()
 
 
 class TestProviderFailures:

@@ -115,6 +115,49 @@ class TestRuntimeRevision:
         runtime.clock.advance(hours=2)
         assert runtime.revision > before
 
+    def test_sum_of_counters_cannot_alias_distinct_snapshots(self, empty_policy):
+        # runtime.revision is activator.revision + state.revision.  A
+        # sum of counters is only alias-free if *both* components are
+        # monotonically non-decreasing — then the sum strictly
+        # increases whenever either moves, so one value can never
+        # stand for two different (state, activation) snapshots.
+        # Drive both counters through interleaved bumps and check the
+        # pairing: every distinct (activator, state) pair the runtime
+        # ever exposes maps to a distinct sum.
+        runtime = make_runtime()
+        runtime.define_role(empty_policy, "armed", state_equals("alarm", "on"))
+        runtime.define_time_role(
+            empty_policy, "free-time", time_window("19:00", "22:00")
+        )
+        seen = {}
+        for step in range(40):
+            if step % 3 == 0:
+                runtime.state.set("alarm", "on" if step % 2 else "off")
+            if step % 5 == 0:
+                runtime.clock.advance(hours=1)
+            pair = (runtime.activator.revision, runtime.state.revision)
+            total = runtime.revision
+            if pair in seen:
+                assert seen[pair] == total
+            else:
+                assert total not in seen.values(), (
+                    f"sum {total} aliases {pair} with another snapshot"
+                )
+                seen[pair] = total
+
+    def test_revision_regression_is_asserted(self, empty_policy):
+        # The property guards itself: a component that ever stepped
+        # backwards must trip the monotonicity assertion, not silently
+        # reuse a key.
+        import pytest
+
+        runtime = make_runtime()
+        runtime.state.set("x", 1)
+        assert runtime.revision > 0
+        runtime.state.revision = 0  # simulate a buggy reset
+        with pytest.raises(AssertionError):
+            runtime.revision
+
     def test_policy_mutations_move_decision_revision(self, empty_policy):
         # The policy side of the PR 1 invalidation path, audited: every
         # decision-relevant mutation must move decision_revision.

@@ -22,6 +22,7 @@ LANDMARKS = {
     "connected_home.py": "babysitter",
     "unified_models.py": "multilevel security",
     "served_home.py": "identical grant/deny sequence",
+    "videophone_revocation.py": "the videophone hung up twice",
 }
 
 

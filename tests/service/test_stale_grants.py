@@ -1,0 +1,134 @@
+"""Regression: grants must not outlive their environment roles.
+
+The §4.2.2 staleness class this PR fixes: the pre-fix activator moved
+its revision only when ``active_environment_roles()`` happened to run
+and observe a change, so an environment-role flip with zero requests
+in flight left every cached decision keyed on the old revision —
+"children may use the videophone only while they are in the kitchen"
+degenerated to "…until someone else asks".
+
+The fix is structural (eager revision bumps at the change itself:
+event handlers, clock-advance hooks, and the timer wheel for
+non-notifying wall clocks); these tests pin it at the PDP layer.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from datetime import datetime, timedelta
+
+from repro.core import AccessRequest, MediationEngine
+from repro.env.clock import Clock, to_timestamp
+from repro.env.runtime import EnvironmentRuntime
+from repro.env.temporal import time_window
+from repro.service import PolicyDecisionPoint
+
+
+class WallClock(Clock):
+    """Steppable, *non-notifying* — the shape of a real SystemClock."""
+
+    def __init__(self, start: datetime) -> None:
+        self._now = to_timestamp(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def step(self, **units: float) -> None:
+        self._now += timedelta(**units).total_seconds()
+
+
+def build(policy, runtime):
+    # §5.1-style: children may watch TV during free time (19:00-22:00).
+    policy.add_subject_role("child")
+    policy.add_object_role("tv")
+    policy.add_subject("bobby")
+    policy.assign_subject("bobby", "child")
+    policy.add_object("den/tv")
+    policy.assign_object("den/tv", "tv")
+    runtime.define_time_role(policy, "free-time", time_window("19:00", "22:00"))
+    policy.grant("child", "watch", "tv", "free-time")
+    return MediationEngine(policy, runtime.activator)
+
+
+def test_time_role_flip_invalidates_cache_with_zero_requests_in_flight(
+    empty_policy,
+) -> None:
+    runtime = EnvironmentRuntime(start=datetime(2000, 1, 17, 19, 30))
+    engine = build(empty_policy, runtime)
+    pdp = PolicyDecisionPoint(engine, env_revision=runtime)
+    request = AccessRequest("watch", "den/tv", subject="bobby")
+
+    async def scenario():
+        async with pdp:
+            first = await pdp.submit(request)
+            # A 100%-hit stream: every answer after the first is the
+            # cached grant.
+            stream = [await pdp.submit(request) for _ in range(20)]
+
+            # Observe the raw revision WITHOUT triggering the lazy
+            # re-evaluation path (no .revision read, no role query).
+            revision_before = (
+                runtime.activator._revision + runtime.state.revision
+            )
+            deactivations = len(runtime.bus.history("role.deactivated"))
+
+            runtime.clock.advance(hours=3)  # 22:30 — zero requests in flight
+
+            # The flip itself must have moved the revision and
+            # published the deactivation — *before* any request or
+            # revision read could observe it.  This is the eager bump
+            # the pre-fix activator did not do.
+            revision_after = (
+                runtime.activator._revision + runtime.state.revision
+            )
+            assert revision_after > revision_before
+            assert (
+                len(runtime.bus.history("role.deactivated"))
+                == deactivations + 1
+            )
+
+            after = await pdp.submit(request)
+            return first, stream, after
+
+    first, stream, after = asyncio.run(scenario())
+    assert first.granted is True
+    assert all(r.granted and r.cached for r in stream)
+    # The pre-flip grant did not survive the boundary.
+    assert after.granted is False
+    assert after.cached is False
+
+
+def test_wall_clock_flip_invalidates_without_notifications(
+    empty_policy,
+) -> None:
+    # A real deployment's clock notifies nobody.  The timer wheel
+    # catches the boundary on the next observation — and because the
+    # memo is keyed on boundary crossings rather than now(), the
+    # 100%-hit stream stays a 100%-hit stream until the flip.
+    clock = WallClock(datetime(2000, 1, 17, 19, 30))
+    runtime = EnvironmentRuntime(clock=clock)
+    engine = build(empty_policy, runtime)
+    pdp = PolicyDecisionPoint(engine, env_revision=runtime)
+    request = AccessRequest("watch", "den/tv", subject="bobby")
+
+    async def scenario():
+        async with pdp:
+            first = await pdp.submit(request)
+            stream = []
+            for _ in range(20):
+                clock.step(seconds=1)  # wall time moves between requests
+                stream.append(await pdp.submit(request))
+            evaluations = runtime.activator.evaluations
+            clock.step(hours=3)  # 22:31 — crosses 22:00 unannounced
+            after = await pdp.submit(request)
+            return first, stream, after, evaluations
+
+    first, stream, after, evaluations = asyncio.run(scenario())
+    assert first.granted is True
+    # The whole pre-flip stream was served from cache: with the old
+    # now()-keyed memo every one of these was a full re-evaluation.
+    assert all(r.granted and r.cached for r in stream)
+    assert runtime.activator.memo_hits >= 20
+    assert after.granted is False and after.cached is False
+    # The flip cost exactly one re-evaluation of the one temporal role.
+    assert runtime.activator.evaluations == evaluations + 1
